@@ -1,0 +1,93 @@
+// E9 (ablation): the mechanism behind Figures 3-6, made visible.
+//
+// The paper's explanation of the load-balance problem has two ingredients:
+//   1. oldPAR issues ~P times more synchronization events (one per-partition
+//      Newton-Raphson/Brent iteration each), and
+//   2. each of those events gives every thread only len(p)/T patterns of
+//      work, so the fixed barrier cost and the per-thread imbalance dominate.
+// This bench runs the same branch-length optimization workload under both
+// strategies and prints the raw counters: commands (syncs), NR iterations,
+// critical-path seconds and imbalance seconds — the quantities that the
+// runtime differences in E1-E4 are made of. It also sweeps the partition
+// count at fixed total width to show the gap growing with P (the paper:
+// "the more and the shorter the partitions are, the better the performance
+// of newPAR versus oldPAR will become").
+#include "common.hpp"
+
+namespace {
+
+using namespace plk;
+
+struct Counters {
+  double seconds;
+  std::uint64_t commands;
+  std::uint64_t nr_iters;
+  double critical_path;
+  double imbalance;
+};
+
+Counters measure(const Dataset& data, Strategy strategy, int threads) {
+  auto comp = CompressedAlignment::build(data.alignment, data.scheme, false);
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 0.8,
+                        4);
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.unlinked_branch_lengths = true;
+  Engine eng(comp, data.true_tree, std::move(models), eo);
+  eng.loglikelihood(0);
+  eng.reset_stats();
+
+  Timer timer;
+  optimize_branch_lengths(eng, strategy);
+  return Counters{timer.seconds(), eng.stats().commands,
+                  eng.stats().nr_iterations,
+                  eng.team_stats().critical_path_seconds,
+                  eng.team_stats().imbalance_seconds};
+}
+
+}  // namespace
+
+int main() {
+  using namespace plk;
+  using namespace plk::bench;
+
+  const double scale = scale_from_env(0.3);
+  const int threads = 8;
+  const auto sites = static_cast<std::size_t>(15000 * scale / 0.3);
+  const int taxa = 20;
+
+  std::printf(
+      "E9 ablation: branch-length optimization, %d taxa, %zu sites, %d "
+      "threads\n",
+      taxa, sites, threads);
+  std::printf("%10s %8s %12s %12s %12s %12s %10s\n", "partitions", "strat",
+              "runtime[s]", "syncs", "NR iters", "critpath[s]",
+              "imbal[s]");
+
+  for (std::size_t plen : {sites, sites / 5, sites / 20, sites / 50}) {
+    Dataset data = make_simulated_dna(taxa, sites, plen, 11);
+    const auto nparts = data.scheme.size();
+    Counters old_c = measure(data, Strategy::kOldPar, threads);
+    Counters new_c = measure(data, Strategy::kNewPar, threads);
+    std::printf("%10zu %8s %12.3f %12llu %12llu %12.3f %10.3f\n", nparts,
+                "old", old_c.seconds,
+                static_cast<unsigned long long>(old_c.commands),
+                static_cast<unsigned long long>(old_c.nr_iters),
+                old_c.critical_path, old_c.imbalance);
+    std::printf("%10zu %8s %12.3f %12llu %12llu %12.3f %10.3f\n", nparts,
+                "new", new_c.seconds,
+                static_cast<unsigned long long>(new_c.commands),
+                static_cast<unsigned long long>(new_c.nr_iters),
+                new_c.critical_path, new_c.imbalance);
+    std::printf("%10zu %8s %12.2fx %11.1fx\n", nparts, "gap",
+                old_c.seconds / new_c.seconds,
+                static_cast<double>(old_c.commands) /
+                    static_cast<double>(new_c.commands));
+  }
+  std::printf(
+      "\n(expected: the old/new runtime and sync-count gaps grow with the "
+      "partition count)\n");
+  return 0;
+}

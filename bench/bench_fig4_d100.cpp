@@ -1,0 +1,34 @@
+// E2 / Figure 4: as Figure 3 but for dataset d100_50000 (100 taxa, 50,000
+// columns, 50 partitions of 1,000). More taxa mean more branches to
+// optimize per search round, so the per-branch synchronization overhead of
+// oldPAR weighs even heavier — the paper's plot shows the same ordering as
+// Figure 3 at roughly doubled absolute runtimes.
+#include "common.hpp"
+
+int main() {
+  using namespace plk;
+  using namespace plk::bench;
+
+  const double scale = scale_from_env(0.22);
+  Dataset data = make_paper_d100_50000(scale, 2);
+  print_dataset_info(data, scale);
+
+  std::vector<RunResult> rows;
+  rows.push_back(run_config(data, "Sequential", Strategy::kNewPar, 1, true,
+                            RunKind::kSearch));
+  const double seq = rows[0].seconds;
+  for (int t : threads_from_env()) {
+    rows.push_back(run_config(data, "Old " + std::to_string(t),
+                              Strategy::kOldPar, t, true, RunKind::kSearch));
+    rows.push_back(run_config(data, "New " + std::to_string(t),
+                              Strategy::kNewPar, t, true, RunKind::kSearch));
+  }
+  print_table(
+      "Figure 4: full ML search, per-partition branch lengths (d100_50000 "
+      "p1000)",
+      rows, seq);
+  for (std::size_t i = 1; i + 1 < rows.size(); i += 2)
+    std::printf("improvement at %s: %.2fx\n", rows[i].label.c_str() + 4,
+                rows[i].seconds / rows[i + 1].seconds);
+  return 0;
+}

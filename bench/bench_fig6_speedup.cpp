@@ -1,0 +1,60 @@
+// E4 / Figure 6: speedup curves on d50_50000 p1000 (the paper's Intel
+// Nehalem plot) at 2, 4 and 8 threads for three configurations:
+//   * Unpartitioned  - one partition spanning the whole alignment
+//   * New            - newPAR, 50 partitions, per-partition branch lengths
+//   * Old            - oldPAR, same
+// Paper shape: the unpartitioned analysis scales best; newPAR on the
+// partitioned analysis comes close to it despite the load imbalance; oldPAR
+// trails far behind (speedup ~1-2 at 8 threads).
+#include "common.hpp"
+
+int main() {
+  using namespace plk;
+  using namespace plk::bench;
+
+  const double scale = scale_from_env(0.3);
+  Dataset part = make_paper_d50_50000(scale, 4);
+  Dataset unpart = make_unpartitioned_dna(
+      static_cast<int>(part.alignment.taxon_count()),
+      part.alignment.site_count(), 4);
+  print_dataset_info(part, scale);
+
+  // Per-configuration sequential baselines (speedup is relative to each
+  // configuration's own 1-thread run, as in the paper's plot).
+  const RunResult seq_unpart = run_config(unpart, "unpart seq",
+                                          Strategy::kNewPar, 1, true,
+                                          RunKind::kSearch);
+  const RunResult seq_part = run_config(part, "part seq", Strategy::kNewPar,
+                                        1, true, RunKind::kSearch);
+
+  std::printf("\nFigure 6: speedup vs threads (d50_50000 p1000)\n");
+  std::printf("%8s %14s %10s %10s\n", "threads", "Unpartitioned", "New",
+              "Old");
+  std::vector<int> threads{2, 4, 8};
+  if (const char* s = std::getenv("PLK_BENCH_THREADS")) {
+    threads.clear();
+    std::string spec = s;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      threads.push_back(std::atoi(spec.substr(pos, comma - pos).c_str()));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  for (int t : threads) {
+    const RunResult u = run_config(unpart, "u", Strategy::kNewPar, t, true,
+                                   RunKind::kSearch);
+    const RunResult n = run_config(part, "n", Strategy::kNewPar, t, true,
+                                   RunKind::kSearch);
+    const RunResult o = run_config(part, "o", Strategy::kOldPar, t, true,
+                                   RunKind::kSearch);
+    std::printf("%8d %14.2f %10.2f %10.2f\n", t,
+                seq_unpart.seconds / u.seconds, seq_part.seconds / n.seconds,
+                seq_part.seconds / o.seconds);
+  }
+  std::printf(
+      "\n(expected shape: Unpartitioned >= New >> Old, Old ~flat with "
+      "threads)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E8: kernel micro-benchmarks (google-benchmark).
+//
+// Measures the building blocks whose ratio drives the paper's load-balance
+// effect: newview / evaluate / NR-derivative cost per pattern for 4-state
+// (DNA) vs 20-state (protein) kernels, and the fixed cost of one thread-team
+// synchronization. The paper's protein observation (E7) is the direct
+// consequence of the ~25x flops gap visible here.
+#include <benchmark/benchmark.h>
+
+#include "plk.hpp"
+
+namespace {
+
+using namespace plk;
+
+/// A tiny ready-made engine over one partition.
+struct Fixture {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  Fixture(bool protein, std::size_t sites, int threads)
+      : data(protein ? make_realworld_like(16, 1, sites, sites + 1, 0.0, true,
+                                           7)
+                     : make_simulated_dna(16, sites, sites, 7)) {
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, false));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions)
+      models.emplace_back(part.type == DataType::kDna
+                              ? make_model("GTR", empirical_frequencies(part))
+                              : make_model("WAG"),
+                          0.8, 4);
+    EngineOptions eo;
+    eo.threads = threads;
+    engine = std::make_unique<Engine>(*comp, data.true_tree,
+                                      std::move(models), eo);
+  }
+};
+
+void BM_Evaluate(benchmark::State& state, bool protein) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  Fixture fx(protein, sites, 1);
+  fx.engine->loglikelihood(0);
+  for (auto _ : state) {
+    fx.engine->invalidate_all();
+    benchmark::DoNotOptimize(fx.engine->loglikelihood(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sites));
+}
+
+void BM_EvaluateDna(benchmark::State& s) { BM_Evaluate(s, false); }
+void BM_EvaluateProtein(benchmark::State& s) { BM_Evaluate(s, true); }
+BENCHMARK(BM_EvaluateDna)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_EvaluateProtein)->Arg(1000)->Arg(4000);
+
+void BM_NrDerivatives(benchmark::State& state, bool protein) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  Fixture fx(protein, sites, 1);
+  fx.engine->loglikelihood(0);
+  fx.engine->prepare_root(0);
+  fx.engine->compute_sumtable({0});
+  double len = 0.1, d1 = 0, d2 = 0;
+  for (auto _ : state) {
+    fx.engine->nr_derivatives({0}, {&len, 1}, {&d1, 1}, {&d2, 1});
+    benchmark::DoNotOptimize(d1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sites));
+}
+
+void BM_NrDna(benchmark::State& s) { BM_NrDerivatives(s, false); }
+void BM_NrProtein(benchmark::State& s) { BM_NrDerivatives(s, true); }
+BENCHMARK(BM_NrDna)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_NrProtein)->Arg(1000)->Arg(4000);
+
+/// Fixed cost of one thread-team synchronization (empty command) — the
+/// overhead every oldPAR per-partition iteration pays.
+void BM_TeamSync(benchmark::State& state) {
+  ThreadTeam team(static_cast<int>(state.range(0)), false);
+  for (auto _ : state)
+    team.run([](int) {});
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_TeamSync)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Shared harness for the paper-figure benchmarks (E1-E7, E9).
+//
+// Each bench binary reproduces one table/figure of Stamatakis & Ott 2009:
+// it builds the corresponding dataset (scaled by PLK_BENCH_SCALE, default a
+// laptop-budget fraction of the paper's dimensions; set PLK_BENCH_SCALE=1
+// for the published size), runs the paper's analysis configurations
+// (sequential / oldPAR / newPAR at the thread counts in PLK_BENCH_THREADS,
+// default "8,16" as in the paper), and prints the same rows the figure
+// plots, plus the synchronization/imbalance accounting that explains them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "plk.hpp"
+
+namespace plk::bench {
+
+/// Scale factor for dataset dimensions (1.0 == the paper's size).
+inline double scale_from_env(double fallback) {
+  if (const char* s = std::getenv("PLK_BENCH_SCALE")) return std::atof(s);
+  return fallback;
+}
+
+/// Thread counts to benchmark (the paper uses 8 and 16 plus sequential).
+inline std::vector<int> threads_from_env() {
+  std::vector<int> out;
+  std::string spec = "8,16";
+  if (const char* s = std::getenv("PLK_BENCH_THREADS")) spec = s;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    out.push_back(std::atoi(spec.substr(pos, comma - pos).c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// One benchmark run's outcome.
+struct RunResult {
+  std::string label;
+  double seconds = 0.0;
+  double lnl = 0.0;
+  std::uint64_t syncs = 0;
+  double imbalance_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+};
+
+/// What kind of analysis a configuration runs.
+enum class RunKind { kModelOpt, kSearch };
+
+/// Run one configuration over a dataset and collect timing + counters.
+inline RunResult run_config(const Dataset& data, const std::string& label,
+                            Strategy strategy, int threads,
+                            bool per_partition_bl, RunKind kind,
+                            int spr_radius = 3, int rounds = 1) {
+  AnalysisOptions opts;
+  opts.threads = threads;
+  opts.strategy = strategy;
+  opts.per_partition_branch_lengths = per_partition_bl;
+  // The paper's simulated alignments consist entirely of unique columns
+  // (m == m'); skip compression to preserve that property.
+  opts.compress_patterns = false;
+  opts.search.spr_radius = spr_radius;
+  opts.search.max_rounds = rounds;
+  opts.search.epsilon = 1e9;  // fixed round count for comparable runs
+  Analysis analysis(data.alignment, data.scheme, opts, data.true_tree);
+
+  RunResult res;
+  AnalysisResult ar = kind == RunKind::kModelOpt
+                          ? analysis.optimize_parameters()
+                          : analysis.run_search();
+  res.label = label;
+  res.seconds = ar.seconds;
+  res.lnl = ar.lnl;
+  res.syncs = ar.team_stats.sync_count;
+  res.imbalance_seconds = ar.team_stats.imbalance_seconds;
+  res.critical_path_seconds = ar.team_stats.critical_path_seconds;
+  return res;
+}
+
+/// Print the standard result table (mirrors the figures' bar groups).
+inline void print_table(const std::string& title,
+                        const std::vector<RunResult>& rows,
+                        double sequential_seconds) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-14s %10s %9s %12s %12s %12s\n", "config", "runtime[s]",
+              "speedup", "syncs", "imbalance[s]", "lnL");
+  for (const auto& r : rows) {
+    std::printf("%-14s %10.3f %9.2f %12llu %12.3f %12.1f\n", r.label.c_str(),
+                r.seconds, sequential_seconds / r.seconds,
+                static_cast<unsigned long long>(r.syncs),
+                r.imbalance_seconds, r.lnl);
+  }
+}
+
+/// Banner with dataset shape, so results are interpretable standalone.
+inline void print_dataset_info(const Dataset& d, double scale) {
+  std::size_t mn = static_cast<std::size_t>(-1), mx = 0;
+  for (const auto& p : d.scheme) {
+    mn = std::min(mn, p.site_count());
+    mx = std::max(mx, p.site_count());
+  }
+  std::printf(
+      "dataset %s (scale %.2f): %zu taxa, %zu sites, %zu partitions "
+      "(len %zu-%zu)\n",
+      d.name.c_str(), scale, d.alignment.taxon_count(),
+      d.alignment.site_count(), d.scheme.size(), mn, mx);
+}
+
+}  // namespace plk::bench

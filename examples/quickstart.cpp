@@ -1,0 +1,41 @@
+// Quickstart: simulate a small multi-gene DNA alignment, optimize model
+// parameters and branch lengths on the true tree, and print the result.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "plk.hpp"
+
+int main() {
+  using namespace plk;
+  Log::set_level(LogLevel::Info);
+
+  // 1. A synthetic 12-taxon, 4-gene dataset (2,000 DNA columns).
+  Dataset data = make_simulated_dna(/*taxa=*/12, /*sites=*/2000,
+                                    /*partition_length=*/500, /*seed=*/42);
+  std::printf("dataset %s: %zu taxa, %zu sites, %zu partitions\n",
+              data.name.c_str(), data.alignment.taxon_count(),
+              data.alignment.site_count(), data.scheme.size());
+
+  // 2. Analyze on the true tree with per-partition branch lengths, using
+  //    the paper's newPAR simultaneous-optimization strategy on 4 threads.
+  AnalysisOptions opts;
+  opts.threads = 4;
+  opts.strategy = Strategy::kNewPar;
+  opts.per_partition_branch_lengths = true;
+
+  Analysis analysis(data.alignment, data.scheme, opts, data.true_tree);
+  std::printf("starting lnL: %.3f\n", analysis.loglikelihood());
+
+  AnalysisResult res = analysis.optimize_parameters();
+  std::printf("optimized lnL: %.3f in %.2fs\n", res.lnl, res.seconds);
+  std::printf("parallel commands (sync events): %llu\n",
+              static_cast<unsigned long long>(res.engine_stats.commands));
+  for (int p = 0; p < analysis.engine().partition_count(); ++p)
+    std::printf("  partition %d: alpha = %.3f\n", p,
+                analysis.engine().model(p).alpha());
+  std::printf("tree: %s\n", res.newick.c_str());
+  return 0;
+}

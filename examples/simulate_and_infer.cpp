@@ -1,0 +1,46 @@
+// Simulation study: generate data on a known tree, infer a tree back from a
+// random start, and measure topological accuracy (Robinson-Foulds distance)
+// — the standard way to validate an ML implementation end to end.
+//
+// Usage: example_simulate_and_infer [taxa] [sites] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "plk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plk;
+  Log::set_level(LogLevel::Info);
+
+  const int taxa = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::size_t sites = argc > 2 ? (std::size_t)std::atoll(argv[2]) : 2000;
+  const std::uint64_t seed = argc > 3 ? (std::uint64_t)std::atoll(argv[3]) : 20090615;
+
+  // 1. Simulate on a random "true" tree under GTR+Gamma.
+  Dataset data = make_simulated_dna(taxa, sites, sites / 4, seed);
+  std::printf("true tree: %s\n", write_newick(data.true_tree).c_str());
+
+  // 2. Infer from a random starting topology.
+  AnalysisOptions opts;
+  opts.threads = 4;
+  opts.seed = seed ^ 0xdecafbad;  // a different random start tree
+  opts.search.max_rounds = 3;
+  opts.search.spr_radius = 5;
+  Analysis analysis(data.alignment, data.scheme, opts);
+  std::printf("random-start lnL: %.2f\n", analysis.loglikelihood());
+
+  AnalysisResult res = analysis.run_search();
+  std::printf("final lnL %.2f after %d rounds, %d accepted SPR moves, "
+              "%llu candidates scored (%.2fs)\n",
+              res.lnl, res.search.rounds, res.search.accepted_moves,
+              static_cast<unsigned long long>(res.search.candidates_scored),
+              res.seconds);
+
+  // 3. Compare against the simulation truth.
+  Tree found = parse_newick(res.newick, data.true_tree.labels());
+  const int rf = rf_distance(found, data.true_tree);
+  std::printf("Robinson-Foulds distance to truth: %d (normalized %.3f)\n",
+              rf, rf_normalized(found, data.true_tree));
+  std::printf("inferred tree: %s\n", res.newick.c_str());
+  return rf <= 4 ? 0 : 1;  // clean data: expect (near-)perfect recovery
+}

@@ -1,0 +1,32 @@
+#include "bio/alignment.hpp"
+
+#include <stdexcept>
+
+namespace plk {
+
+Alignment::Alignment(std::vector<Sequence> seqs) {
+  for (auto& s : seqs) add(std::move(s.name), std::move(s.data));
+}
+
+void Alignment::check_add(const std::string& name,
+                          const std::string& data) const {
+  if (name.empty()) throw std::invalid_argument("empty taxon name");
+  if (!rows_.empty() && data.size() != rows_.front().data.size())
+    throw std::invalid_argument("alignment row '" + name +
+                                "' has inconsistent length");
+  if (find_taxon(name) != npos)
+    throw std::invalid_argument("duplicate taxon name '" + name + "'");
+}
+
+void Alignment::add(std::string name, std::string data) {
+  check_add(name, data);
+  rows_.push_back(Sequence{std::move(name), std::move(data)});
+}
+
+std::size_t Alignment::find_taxon(std::string_view name) const {
+  for (std::size_t i = 0; i < rows_.size(); ++i)
+    if (rows_[i].name == name) return i;
+  return npos;
+}
+
+}  // namespace plk

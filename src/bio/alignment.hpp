@@ -1,0 +1,56 @@
+// Multiple sequence alignments.
+//
+// An `Alignment` is the raw, character-based input of a phylogenomic
+// analysis: n taxa (rows) by m sites (columns). Pattern compression into the
+// kernel-ready representation happens later (see bio/patterns.hpp), because
+// compression is per-partition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plk {
+
+/// One named sequence (alignment row).
+struct Sequence {
+  std::string name;
+  std::string data;
+};
+
+/// An n-by-m character matrix with named rows. All rows have equal length.
+class Alignment {
+ public:
+  Alignment() = default;
+
+  /// Build from a list of sequences; throws if lengths differ or names clash.
+  explicit Alignment(std::vector<Sequence> seqs);
+
+  /// Append a row; throws if its length differs from existing rows or the
+  /// name duplicates an existing taxon.
+  void add(std::string name, std::string data);
+
+  std::size_t taxon_count() const { return rows_.size(); }
+  std::size_t site_count() const {
+    return rows_.empty() ? 0 : rows_.front().data.size();
+  }
+
+  const std::string& name(std::size_t taxon) const { return rows_[taxon].name; }
+  std::string_view row(std::size_t taxon) const { return rows_[taxon].data; }
+  char at(std::size_t taxon, std::size_t site) const {
+    return rows_[taxon].data[site];
+  }
+
+  /// Index of the taxon with the given name, or npos if absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_taxon(std::string_view name) const;
+
+  const std::vector<Sequence>& sequences() const { return rows_; }
+
+ private:
+  void check_add(const std::string& name, const std::string& data) const;
+  std::vector<Sequence> rows_;
+};
+
+}  // namespace plk

@@ -1,0 +1,115 @@
+#include "bio/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+constexpr StateMask kA = 1u << 0;
+constexpr StateMask kC = 1u << 1;
+constexpr StateMask kG = 1u << 2;
+constexpr StateMask kT = 1u << 3;
+}  // namespace
+
+Alphabet::Alphabet(DataType type, int size, std::string symbols)
+    : type_(type), size_(size), symbols_(std::move(symbols)) {
+  if (static_cast<int>(symbols_.size()) != size_)
+    throw std::logic_error("alphabet symbol count mismatch");
+  const StateMask gap = gap_mask();
+  for (auto& t : table_) t = gap;  // unknown characters behave as missing data
+  for (int i = 0; i < size_; ++i) {
+    const StateMask m = StateMask{1} << i;
+    add_code(symbols_[static_cast<std::size_t>(i)], m);
+  }
+  add_code('-', gap);
+  add_code('?', gap);
+  add_code('.', gap);
+  add_code('N', gap);  // harmless for AA too (N is a determined AA state and
+                       // was registered above; add_code keeps the first entry)
+}
+
+void Alphabet::add_code(char c, StateMask m) {
+  const auto upper = static_cast<unsigned char>(std::toupper(c));
+  const auto lower = static_cast<unsigned char>(std::tolower(c));
+  // First registration wins so determined states are not clobbered by the
+  // ambiguity table (relevant for AA where e.g. 'N' is asparagine).
+  if (table_[upper] == gap_mask() && c != '-' && c != '?' && c != '.') {
+    table_[upper] = m;
+    table_[lower] = m;
+  } else if (c == '-' || c == '?' || c == '.') {
+    table_[upper] = m;
+    table_[lower] = m;
+  }
+  decode_codes_.emplace_back(m, static_cast<char>(std::toupper(c)));
+}
+
+StateMask Alphabet::encode(char c) const {
+  return table_[static_cast<unsigned char>(c)];
+}
+
+char Alphabet::decode(StateMask m) const {
+  if (m == gap_mask()) return '-';
+  for (const auto& [mask, ch] : decode_codes_)
+    if (mask == m) return ch;
+  return '?';
+}
+
+std::vector<StateMask> Alphabet::encode(std::string_view s) const {
+  std::vector<StateMask> out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(encode(c));
+  return out;
+}
+
+int Alphabet::single_state(StateMask m) {
+  if (!is_determined(m))
+    throw std::invalid_argument("single_state on ambiguous mask");
+  int i = 0;
+  while ((m & 1u) == 0) {
+    m >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+const Alphabet& Alphabet::dna() {
+  static Alphabet a = [] {
+    Alphabet al(DataType::kDna, 4, "ACGT");
+    // IUPAC nucleotide ambiguity codes.
+    al.add_code('U', kT);
+    al.add_code('R', kA | kG);
+    al.add_code('Y', kC | kT);
+    al.add_code('S', kC | kG);
+    al.add_code('W', kA | kT);
+    al.add_code('K', kG | kT);
+    al.add_code('M', kA | kC);
+    al.add_code('B', kC | kG | kT);
+    al.add_code('D', kA | kG | kT);
+    al.add_code('H', kA | kC | kT);
+    al.add_code('V', kA | kC | kG);
+    return al;
+  }();
+  return a;
+}
+
+const Alphabet& Alphabet::protein() {
+  static Alphabet a = [] {
+    // Canonical RAxML/PAML amino-acid ordering:
+    // A R N D C Q E G H I L K M F P S T W Y V
+    Alphabet al(DataType::kProtein, 20, "ARNDCQEGHILKMFPSTWYV");
+    const auto bit = [](int i) { return StateMask{1} << i; };
+    al.add_code('B', bit(2) | bit(3));    // N or D
+    al.add_code('Z', bit(5) | bit(6));    // Q or E
+    al.add_code('J', bit(9) | bit(10));   // I or L
+    al.add_code('X', al.gap_mask());      // fully unknown
+    return al;
+  }();
+  return a;
+}
+
+const Alphabet& Alphabet::for_type(DataType t) {
+  return t == DataType::kDna ? dna() : protein();
+}
+
+}  // namespace plk

@@ -1,0 +1,73 @@
+// Biological alphabets and state encoding.
+//
+// Characters are encoded as *state sets*: a bitmask over the alphabet's
+// states. A fully determined character has exactly one bit set; IUPAC
+// ambiguity codes (e.g. R = A|G) and gaps/unknowns (all bits) set several.
+// The likelihood kernel turns a mask directly into a tip conditional
+// likelihood vector: entry i is 1.0 iff bit i is set (Felsenstein 1981).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plk {
+
+/// Kind of molecular data a partition contains.
+enum class DataType { kDna, kProtein };
+
+/// Bitmask over alphabet states; supports up to 32 states (DNA=4, AA=20).
+using StateMask = std::uint32_t;
+
+/// An immutable alphabet: maps characters to state masks and back.
+class Alphabet {
+ public:
+  /// The 4-state DNA alphabet with full IUPAC ambiguity support.
+  static const Alphabet& dna();
+  /// The 20-state amino-acid alphabet (B, Z, X ambiguity supported).
+  static const Alphabet& protein();
+  /// Look up the canonical alphabet for a data type.
+  static const Alphabet& for_type(DataType t);
+
+  DataType type() const { return type_; }
+
+  /// Number of states (4 or 20).
+  int size() const { return size_; }
+
+  /// Mask with every state bit set: gap / completely unknown character.
+  StateMask gap_mask() const { return (StateMask{1} << size_) - 1; }
+
+  /// Encode one character; returns gap_mask() for '-', '?', '.' and any
+  /// unrecognized character (treated as missing data, as RAxML does).
+  StateMask encode(char c) const;
+
+  /// Decode a mask back to a representative character ('-' for the full
+  /// gap mask, '?' for other multi-state masks without an IUPAC code).
+  char decode(StateMask m) const;
+
+  /// Encode a whole string.
+  std::vector<StateMask> encode(std::string_view s) const;
+
+  /// True if the mask identifies exactly one state.
+  static bool is_determined(StateMask m) { return m != 0 && (m & (m - 1)) == 0; }
+
+  /// Index of the single set bit; only valid when is_determined(m).
+  static int single_state(StateMask m);
+
+  /// One-letter symbols of the determined states, in state-index order.
+  std::string_view symbols() const { return symbols_; }
+
+ private:
+  Alphabet(DataType type, int size, std::string symbols);
+  void add_code(char c, StateMask m);
+
+  DataType type_;
+  int size_;
+  std::string symbols_;
+  StateMask table_[256];
+  std::vector<std::pair<StateMask, char>> decode_codes_;
+};
+
+}  // namespace plk

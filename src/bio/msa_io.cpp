@@ -1,0 +1,166 @@
+#include "bio/msa_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+
+bool is_blank(std::string_view s) {
+  for (char c : s)
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+std::string strip_cr(std::string s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw std::runtime_error("short write to '" + path + "'");
+}
+
+Alignment read_fasta(std::string_view text) {
+  Alignment aln;
+  std::istringstream in{std::string(text)};
+  std::string line, name, data;
+  bool have_record = false;
+  auto flush = [&] {
+    if (!have_record) return;
+    if (data.empty())
+      throw std::runtime_error("FASTA record '" + name + "' has no sequence");
+    aln.add(name, data);
+    data.clear();
+  };
+  while (std::getline(in, line)) {
+    line = strip_cr(std::move(line));
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      // Name = first whitespace-delimited token after '>'.
+      std::istringstream hs(line.substr(1));
+      hs >> name;
+      if (name.empty()) throw std::runtime_error("FASTA header without name");
+      have_record = true;
+    } else {
+      if (!have_record)
+        throw std::runtime_error("FASTA sequence data before first header");
+      for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c))) data.push_back(c);
+    }
+  }
+  flush();
+  if (aln.taxon_count() == 0) throw std::runtime_error("empty FASTA input");
+  return aln;
+}
+
+Alignment read_fasta_file(const std::string& path) {
+  return read_fasta(read_file(path));
+}
+
+std::string write_fasta(const Alignment& aln, std::size_t wrap) {
+  std::ostringstream out;
+  for (std::size_t t = 0; t < aln.taxon_count(); ++t) {
+    out << '>' << aln.name(t) << '\n';
+    std::string_view row = aln.row(t);
+    if (wrap == 0) {
+      out << row << '\n';
+    } else {
+      for (std::size_t i = 0; i < row.size(); i += wrap)
+        out << row.substr(i, wrap) << '\n';
+    }
+  }
+  return out.str();
+}
+
+Alignment read_phylip(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::size_t n_taxa = 0, n_sites = 0;
+  if (!(in >> n_taxa >> n_sites))
+    throw std::runtime_error("PHYLIP header missing taxon/site counts");
+  std::string rest;
+  std::getline(in, rest);  // consume remainder of header line
+
+  std::vector<Sequence> rows;
+  rows.reserve(n_taxa);
+
+  // First block: names + data. Subsequent (interleaved) blocks: data only.
+  std::string line;
+  std::size_t row = 0;
+  bool first_block = true;
+  while (std::getline(in, line)) {
+    line = strip_cr(std::move(line));
+    if (is_blank(line)) {
+      if (!rows.empty() && row != 0 && row != n_taxa)
+        throw std::runtime_error("PHYLIP block with wrong number of rows");
+      if (!rows.empty() && row == n_taxa) {
+        first_block = false;
+        row = 0;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string first_tok;
+    ls >> first_tok;
+    std::string chunk;
+    if (first_block) {
+      Sequence s;
+      s.name = first_tok;
+      std::string tok;
+      while (ls >> tok) s.data += tok;
+      rows.push_back(std::move(s));
+    } else {
+      if (row >= n_taxa)
+        throw std::runtime_error("PHYLIP interleaved block too long");
+      rows[row].data += first_tok;
+      std::string tok;
+      while (ls >> tok) rows[row].data += tok;
+    }
+    ++row;
+    if (first_block && rows.size() == n_taxa) {
+      first_block = false;
+      row = 0;
+    }
+  }
+
+  if (rows.size() != n_taxa)
+    throw std::runtime_error("PHYLIP: expected " + std::to_string(n_taxa) +
+                             " taxa, found " + std::to_string(rows.size()));
+  for (const auto& s : rows)
+    if (s.data.size() != n_sites)
+      throw std::runtime_error("PHYLIP: taxon '" + s.name + "' has " +
+                               std::to_string(s.data.size()) + " sites, " +
+                               "header says " + std::to_string(n_sites));
+  return Alignment(std::move(rows));
+}
+
+Alignment read_phylip_file(const std::string& path) {
+  return read_phylip(read_file(path));
+}
+
+std::string write_phylip(const Alignment& aln) {
+  std::ostringstream out;
+  out << aln.taxon_count() << ' ' << aln.site_count() << '\n';
+  for (std::size_t t = 0; t < aln.taxon_count(); ++t)
+    out << aln.name(t) << ' ' << aln.row(t) << '\n';
+  return out.str();
+}
+
+}  // namespace plk

@@ -1,0 +1,36 @@
+// Alignment file I/O: FASTA and (relaxed) PHYLIP.
+//
+// Both readers accept the dialects RAxML users actually feed it: FASTA with
+// wrapped sequence lines, PHYLIP with whitespace-separated names of any
+// length ("relaxed" PHYLIP) and optionally interleaved blocks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bio/alignment.hpp"
+
+namespace plk {
+
+/// Parse FASTA text; throws std::runtime_error on malformed input.
+Alignment read_fasta(std::string_view text);
+/// Read FASTA from a file path.
+Alignment read_fasta_file(const std::string& path);
+/// Serialize to FASTA with lines wrapped at `wrap` characters (0 = no wrap).
+std::string write_fasta(const Alignment& aln, std::size_t wrap = 80);
+
+/// Parse relaxed PHYLIP (sequential or interleaved); throws on malformed
+/// input, including a header/taxon-count mismatch.
+Alignment read_phylip(std::string_view text);
+/// Read PHYLIP from a file path.
+Alignment read_phylip_file(const std::string& path);
+/// Serialize to sequential relaxed PHYLIP.
+std::string write_phylip(const Alignment& aln);
+
+/// Slurp a whole file into a string; throws if it cannot be opened.
+std::string read_file(const std::string& path);
+/// Write a string to a file; throws on failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace plk

@@ -1,0 +1,159 @@
+#include "bio/partition.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("partition file, line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// Models we recognize on the left of the comma, and the data type each
+/// implies. Unknown names are rejected so typos fail early.
+DataType type_for_model(const std::string& model, std::size_t line_no) {
+  static const char* dna_models[] = {"DNA", "GTR", "JC", "JC69", "K80",
+                                     "K2P", "HKY", "HKY85"};
+  static const char* aa_models[] = {"WAG", "JTT", "LG", "DAYHOFF", "PROT",
+                                    "PROTGAMMA", "AA"};
+  std::string up = model;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (const char* m : dna_models)
+    if (up == m) return DataType::kDna;
+  for (const char* m : aa_models)
+    if (up == m) return DataType::kProtein;
+  fail(line_no, "unknown model name '" + model + "'");
+}
+
+}  // namespace
+
+std::vector<std::size_t> PartitionDef::sites() const {
+  std::vector<std::size_t> out;
+  for (const auto& r : ranges)
+    for (std::size_t s = r.begin; s < r.end; s += r.stride) out.push_back(s);
+  return out;
+}
+
+std::size_t PartitionDef::site_count() const {
+  std::size_t n = 0;
+  for (const auto& r : ranges)
+    if (r.end > r.begin) n += (r.end - r.begin + r.stride - 1) / r.stride;
+  return n;
+}
+
+PartitionScheme PartitionScheme::single(DataType type, std::size_t site_count,
+                                        std::string model_name) {
+  PartitionDef def;
+  def.name = "ALL";
+  def.type = type;
+  def.model_name = std::move(model_name);
+  def.ranges.push_back(SiteRange{0, site_count, 1});
+  return PartitionScheme({def});
+}
+
+PartitionScheme PartitionScheme::parse(std::string_view text) {
+  std::vector<PartitionDef> parts;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) fail(line_no, "missing ',' after model");
+    const std::size_t eq = line.find('=', comma);
+    if (eq == std::string::npos) fail(line_no, "missing '=' after name");
+
+    PartitionDef def;
+    def.model_name = trim(line.substr(0, comma));
+    def.type = type_for_model(def.model_name, line_no);
+    def.name = trim(line.substr(comma + 1, eq - comma - 1));
+    if (def.name.empty()) fail(line_no, "empty partition name");
+
+    // Right-hand side: comma-separated ranges "a-b", "a" or "a-b\k".
+    std::string rhs = trim(line.substr(eq + 1));
+    std::istringstream rs(rhs);
+    std::string piece;
+    while (std::getline(rs, piece, ',')) {
+      piece = trim(piece);
+      if (piece.empty()) fail(line_no, "empty range");
+      std::size_t stride = 1;
+      if (const std::size_t back = piece.find('\\');
+          back != std::string::npos) {
+        stride = std::stoull(trim(piece.substr(back + 1)));
+        if (stride == 0) fail(line_no, "zero stride");
+        piece = trim(piece.substr(0, back));
+      }
+      std::size_t lo = 0, hi = 0;
+      const std::size_t dash = piece.find('-');
+      try {
+        if (dash == std::string::npos) {
+          lo = hi = std::stoull(piece);
+        } else {
+          lo = std::stoull(trim(piece.substr(0, dash)));
+          hi = std::stoull(trim(piece.substr(dash + 1)));
+        }
+      } catch (const std::exception&) {
+        fail(line_no, "malformed range '" + piece + "'");
+      }
+      if (lo == 0 || hi < lo)
+        fail(line_no, "range must be 1-based and non-decreasing");
+      def.ranges.push_back(SiteRange{lo - 1, hi, stride});
+    }
+    if (def.ranges.empty()) fail(line_no, "partition has no ranges");
+    parts.push_back(std::move(def));
+  }
+  return PartitionScheme(std::move(parts));
+}
+
+std::string PartitionScheme::to_string() const {
+  std::ostringstream out;
+  for (const auto& p : parts_) {
+    out << p.model_name << ", " << p.name << " = ";
+    for (std::size_t i = 0; i < p.ranges.size(); ++i) {
+      const auto& r = p.ranges[i];
+      if (i) out << ", ";
+      out << (r.begin + 1) << "-" << r.end;
+      if (r.stride != 1) out << "\\" << r.stride;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void PartitionScheme::validate(std::size_t site_count) const {
+  std::vector<int> hits(site_count, 0);
+  for (const auto& p : parts_) {
+    for (std::size_t s : p.sites()) {
+      if (s >= site_count)
+        throw std::runtime_error("partition '" + p.name +
+                                 "' references site beyond alignment end");
+      ++hits[s];
+    }
+  }
+  for (std::size_t s = 0; s < site_count; ++s) {
+    if (hits[s] == 0)
+      throw std::runtime_error("site " + std::to_string(s + 1) +
+                               " not covered by any partition");
+    if (hits[s] > 1)
+      throw std::runtime_error("site " + std::to_string(s + 1) +
+                               " covered by multiple partitions");
+  }
+}
+
+}  // namespace plk

@@ -1,0 +1,81 @@
+// Partition schemes for multi-gene (phylogenomic) alignments.
+//
+// A partition scheme splits the alignment columns into disjoint genes; each
+// gene gets its own substitution model, alpha shape parameter and —
+// optionally — its own branch lengths (the per-partition estimate whose
+// parallelization the paper studies). The text format parsed here is the
+// RAxML one:
+//
+//   DNA, gene0 = 1-1000
+//   DNA, gene1 = 1001-1500, 2001-2500
+//   WAG, geneP = 1501-2000
+//   DNA, codon3 = 3001-3300\3
+//
+// Coordinates are 1-based inclusive; "\3" is an optional stride.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bio/alphabet.hpp"
+
+namespace plk {
+
+/// A [begin, end) half-open range of 0-based site indices with a stride.
+struct SiteRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t stride = 1;
+};
+
+/// One partition (gene): a name, a data type, a model name and site ranges.
+struct PartitionDef {
+  std::string name;
+  DataType type = DataType::kDna;
+  std::string model_name;  // e.g. "GTR", "WAG", "JTT"
+  std::vector<SiteRange> ranges;
+
+  /// Expand ranges into the ordered list of global site indices.
+  std::vector<std::size_t> sites() const;
+  /// Total number of sites in this partition.
+  std::size_t site_count() const;
+};
+
+/// An ordered set of partitions covering an alignment.
+class PartitionScheme {
+ public:
+  PartitionScheme() = default;
+  explicit PartitionScheme(std::vector<PartitionDef> parts)
+      : parts_(std::move(parts)) {}
+
+  /// The trivial scheme: one partition spanning all `site_count` sites.
+  static PartitionScheme single(DataType type, std::size_t site_count,
+                                std::string model_name = "GTR");
+
+  /// Parse the RAxML partition-file format (see file header). Throws
+  /// std::runtime_error with a line number on malformed input.
+  static PartitionScheme parse(std::string_view text);
+
+  /// Render back to the RAxML text format.
+  std::string to_string() const;
+
+  /// Verify that the scheme covers every site of an alignment with
+  /// `site_count` columns exactly once; throws otherwise.
+  void validate(std::size_t site_count) const;
+
+  std::size_t size() const { return parts_.size(); }
+  bool empty() const { return parts_.empty(); }
+  const PartitionDef& operator[](std::size_t i) const { return parts_[i]; }
+  PartitionDef& operator[](std::size_t i) { return parts_[i]; }
+  void add(PartitionDef p) { parts_.push_back(std::move(p)); }
+
+  auto begin() const { return parts_.begin(); }
+  auto end() const { return parts_.end(); }
+
+ private:
+  std::vector<PartitionDef> parts_;
+};
+
+}  // namespace plk

@@ -1,0 +1,82 @@
+#include "bio/patterns.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace plk {
+
+std::size_t CompressedAlignment::total_patterns() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions) n += p.pattern_count;
+  return n;
+}
+
+std::size_t CompressedAlignment::total_sites() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions) n += p.site_count;
+  return n;
+}
+
+CompressedAlignment CompressedAlignment::build(const Alignment& aln,
+                                               const PartitionScheme& scheme,
+                                               bool compress) {
+  scheme.validate(aln.site_count());
+  const std::size_t n_taxa = aln.taxon_count();
+  if (n_taxa < 2) throw std::invalid_argument("alignment needs >= 2 taxa");
+
+  CompressedAlignment out;
+  out.taxon_names.reserve(n_taxa);
+  for (std::size_t t = 0; t < n_taxa; ++t)
+    out.taxon_names.push_back(aln.name(t));
+
+  for (const auto& def : scheme) {
+    CompressedPartition part;
+    part.name = def.name;
+    part.type = def.type;
+    part.model_name = def.model_name;
+    part.global_sites = def.sites();
+    part.site_count = part.global_sites.size();
+    if (part.site_count == 0)
+      throw std::invalid_argument("partition '" + def.name + "' is empty");
+    const Alphabet& alpha = part.alphabet();
+
+    part.tip_states.assign(n_taxa, {});
+    part.site_to_pattern.resize(part.site_count);
+
+    // Column -> pattern index. The key is the raw (uppercased via encoding)
+    // mask column; identical masks <=> identical tip CLVs <=> mergeable.
+    std::unordered_map<std::string, std::size_t> seen;
+    std::vector<StateMask> column(n_taxa);
+    std::string key(n_taxa * sizeof(StateMask), '\0');
+
+    for (std::size_t j = 0; j < part.site_count; ++j) {
+      const std::size_t site = part.global_sites[j];
+      for (std::size_t t = 0; t < n_taxa; ++t)
+        column[t] = alpha.encode(aln.at(t, site));
+
+      std::size_t pat;
+      if (compress) {
+        std::memcpy(key.data(), column.data(), key.size());
+        auto [it, inserted] = seen.emplace(key, part.pattern_count);
+        pat = it->second;
+        if (!inserted) {
+          part.weights[pat] += 1.0;
+          part.site_to_pattern[j] = pat;
+          continue;
+        }
+      } else {
+        pat = part.pattern_count;
+      }
+      ++part.pattern_count;
+      part.weights.push_back(1.0);
+      for (std::size_t t = 0; t < n_taxa; ++t)
+        part.tip_states[t].push_back(column[t]);
+      part.site_to_pattern[j] = pat;
+    }
+    out.partitions.push_back(std::move(part));
+  }
+  return out;
+}
+
+}  // namespace plk

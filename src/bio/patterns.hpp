@@ -1,0 +1,68 @@
+// Pattern compression: the kernel-ready alignment representation.
+//
+// The likelihood of an alignment is a product over columns, and identical
+// columns contribute identical per-site likelihoods, so the kernel iterates
+// over the m' *distinct column patterns* and weights each by its multiplicity
+// (Felsenstein's trick; in the paper's notation m' <= m). Compression is done
+// per partition because two identical columns in different genes evolve under
+// different models and may not be merged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bio/alignment.hpp"
+#include "bio/alphabet.hpp"
+#include "bio/partition.hpp"
+
+namespace plk {
+
+/// One partition of the alignment after pattern compression. Tip characters
+/// are pre-encoded to state masks so the kernel never touches chars.
+struct CompressedPartition {
+  std::string name;
+  DataType type = DataType::kDna;
+  std::string model_name;
+
+  std::size_t pattern_count = 0;
+  std::size_t site_count = 0;
+
+  /// Multiplicity of each pattern (sums to site_count).
+  std::vector<double> weights;
+
+  /// tip_states[taxon][pattern]: encoded state mask.
+  std::vector<std::vector<StateMask>> tip_states;
+
+  /// For each site of the partition (in partition order), its pattern index.
+  std::vector<std::size_t> site_to_pattern;
+
+  /// Global (alignment-level) site indices in partition order.
+  std::vector<std::size_t> global_sites;
+
+  const Alphabet& alphabet() const { return Alphabet::for_type(type); }
+  int states() const { return alphabet().size(); }
+};
+
+/// A fully compressed, partitioned alignment: what the PLK engine consumes.
+struct CompressedAlignment {
+  std::vector<std::string> taxon_names;
+  std::vector<CompressedPartition> partitions;
+
+  std::size_t taxon_count() const { return taxon_names.size(); }
+  std::size_t partition_count() const { return partitions.size(); }
+
+  /// Total distinct patterns m' summed over partitions.
+  std::size_t total_patterns() const;
+  /// Total sites m summed over partitions.
+  std::size_t total_sites() const;
+
+  /// Compress `aln` under `scheme`. If `compress` is false, every column
+  /// becomes its own pattern with weight 1 (useful for tests and to mimic
+  /// the paper's simulated data where m == m').
+  static CompressedAlignment build(const Alignment& aln,
+                                   const PartitionScheme& scheme,
+                                   bool compress = true);
+};
+
+}  // namespace plk

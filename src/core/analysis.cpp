@@ -1,0 +1,114 @@
+#include "core/analysis.hpp"
+
+#include <stdexcept>
+
+#include "parsimony/fitch.hpp"
+#include "tree/newick.hpp"
+#include "tree/tree_gen.hpp"
+#include "util/timer.hpp"
+
+namespace plk {
+
+std::vector<double> empirical_frequencies(const CompressedPartition& part) {
+  const int s = part.states();
+  std::vector<double> counts(static_cast<std::size_t>(s), 1.0);  // pseudo-count
+  for (const auto& taxon : part.tip_states) {
+    for (std::size_t i = 0; i < part.pattern_count; ++i) {
+      const StateMask m = taxon[i];
+      if (!Alphabet::is_determined(m)) continue;
+      counts[static_cast<std::size_t>(Alphabet::single_state(m))] +=
+          part.weights[i];
+    }
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+Analysis::Analysis(const Alignment& aln, const PartitionScheme& scheme,
+                   const AnalysisOptions& opts, std::optional<Tree> start_tree)
+    : opts_(opts) {
+  data_ = std::make_unique<CompressedAlignment>(
+      CompressedAlignment::build(aln, scheme, opts.compress_patterns));
+
+  std::vector<PartitionModel> models;
+  models.reserve(data_->partitions.size());
+  for (const auto& part : data_->partitions) {
+    SubstModel m = part.type == DataType::kDna
+                       ? make_model(part.model_name.empty() ? "GTR"
+                                                            : part.model_name,
+                                    empirical_frequencies(part))
+                       : make_model(part.model_name.empty() ? "WAG"
+                                                            : part.model_name);
+    models.emplace_back(std::move(m), /*alpha=*/1.0, opts.gamma_categories);
+  }
+
+  Tree tree = start_tree ? std::move(*start_tree) : [&] {
+    Rng rng(opts.seed);
+    if (opts.start_tree == StartTree::kParsimony) {
+      Tree t = parsimony_stepwise_tree(*data_, rng);
+      // Parsimony gives no branch lengths; seed with a sensible default.
+      for (EdgeId e = 0; e < t.edge_count(); ++e) t.set_length(e, 0.1);
+      return t;
+    }
+    std::vector<std::string> labels = data_->taxon_names;
+    return random_tree(std::move(labels), rng);
+  }();
+
+  EngineOptions eo;
+  eo.threads = opts.threads;
+  eo.unlinked_branch_lengths = opts.per_partition_branch_lengths;
+  engine_ = std::make_unique<Engine>(*data_, std::move(tree),
+                                     std::move(models), eo);
+}
+
+Analysis::~Analysis() = default;
+
+AnalysisResult Analysis::optimize_parameters() {
+  Timer timer;
+  engine_->reset_stats();
+
+  double lnl = optimize_branch_lengths(*engine_, opts_.strategy,
+                                       opts_.branch_opts);
+  double prev;
+  // Alternate model-parameter and branch-length optimization until the
+  // total log-likelihood stops improving (RAxML's modOpt loop).
+  int round = 0;
+  do {
+    prev = lnl;
+    lnl = optimize_model_parameters(*engine_, opts_.strategy,
+                                    opts_.model_opts);
+    lnl = optimize_branch_lengths(*engine_, opts_.strategy,
+                                  opts_.branch_opts);
+  } while (lnl - prev > 0.1 && ++round < 10);
+
+  AnalysisResult res;
+  res.lnl = lnl;
+  res.seconds = timer.seconds();
+  res.engine_stats = engine_->stats();
+  res.team_stats = engine_->team_stats();
+  engine_->sync_tree_lengths();
+  res.newick = write_newick(engine_->tree());
+  return res;
+}
+
+AnalysisResult Analysis::run_search() {
+  Timer timer;
+  engine_->reset_stats();
+
+  SearchOptions so = opts_.search;
+  so.strategy = opts_.strategy;
+  AnalysisResult res;
+  res.search = search_ml(*engine_, so);
+  res.lnl = res.search.final_lnl;
+  res.seconds = timer.seconds();
+  res.engine_stats = engine_->stats();
+  res.team_stats = engine_->team_stats();
+  res.newick = write_newick(engine_->tree());
+  return res;
+}
+
+double Analysis::loglikelihood() { return engine_->loglikelihood(0); }
+
+}  // namespace plk

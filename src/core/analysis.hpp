@@ -1,0 +1,94 @@
+// High-level analysis API: the library's front door.
+//
+// Wraps alignment compression, model assignment (with empirical base
+// frequencies), engine construction, and the two analysis types the paper
+// benchmarks: model-parameter optimization on a fixed tree, and a full ML
+// tree search — each under either parallelization strategy, with joint or
+// per-partition branch lengths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bio/alignment.hpp"
+#include "bio/partition.hpp"
+#include "bio/patterns.hpp"
+#include "core/engine.hpp"
+#include "core/strategy.hpp"
+#include "search/search.hpp"
+
+namespace plk {
+
+/// Empirical stationary frequencies of one compressed partition (weighted
+/// counts of determined characters, with a pseudo-count guard against
+/// zeros). Used to parameterize GTR/HKY models, as RAxML does by default.
+std::vector<double> empirical_frequencies(const CompressedPartition& part);
+
+/// How the starting topology is chosen when none is supplied.
+enum class StartTree {
+  kRandom,     ///< uniform random topology
+  kParsimony,  ///< randomized stepwise-addition parsimony (RAxML's default)
+};
+
+/// Configuration of an end-to-end analysis.
+struct AnalysisOptions {
+  int threads = 1;
+  Strategy strategy = Strategy::kNewPar;
+  StartTree start_tree = StartTree::kRandom;
+  /// Per-partition branch lengths (the paper's hard case) vs a joint
+  /// estimate across partitions.
+  bool per_partition_branch_lengths = true;
+  int gamma_categories = 4;
+  /// Deduplicate alignment columns into weighted patterns. The paper's
+  /// simulated data is generated with all-unique columns (m == m'); keep
+  /// this on for real data.
+  bool compress_patterns = true;
+  std::uint64_t seed = 42;  ///< for the random starting tree
+  SearchOptions search;
+  ModelOptOptions model_opts;
+  BranchOptOptions branch_opts;
+};
+
+/// Timing and result summary of one analysis run.
+struct AnalysisResult {
+  double lnl = 0.0;
+  double seconds = 0.0;
+  EngineStats engine_stats;
+  TeamStats team_stats;
+  SearchResult search;  ///< populated by run_search() only
+  std::string newick;
+};
+
+/// An analysis session owning the engine.
+class Analysis {
+ public:
+  /// Build from raw inputs; a random starting tree is generated unless
+  /// `start_tree` is given (its tip labels must match the alignment).
+  Analysis(const Alignment& aln, const PartitionScheme& scheme,
+           const AnalysisOptions& opts,
+           std::optional<Tree> start_tree = std::nullopt);
+  ~Analysis();
+
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  /// ML model-parameter + branch-length optimization on the fixed topology
+  /// (the paper's "model optimization on a fixed input tree" experiment).
+  AnalysisResult optimize_parameters();
+
+  /// Full ML tree search (search phases alternating with model-optimization
+  /// phases).
+  AnalysisResult run_search();
+
+  /// Current log-likelihood without changing anything.
+  double loglikelihood();
+
+ private:
+  AnalysisOptions opts_;
+  std::unique_ptr<CompressedAlignment> data_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace plk

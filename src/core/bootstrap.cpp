@@ -1,0 +1,94 @@
+#include "core/bootstrap.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "tree/rf_distance.hpp"
+
+namespace plk {
+
+CompressedAlignment bootstrap_replicate(const CompressedAlignment& aln,
+                                        Rng& rng) {
+  CompressedAlignment rep = aln;
+  for (auto& part : rep.partitions) {
+    std::vector<double> fresh(part.pattern_count, 0.0);
+    // Draw site_count columns with replacement, weighted by the original
+    // multiplicities (each original column is equally likely).
+    for (std::size_t s = 0; s < part.site_count; ++s)
+      fresh[rng.discrete(part.weights)] += 1.0;
+    part.weights = std::move(fresh);
+  }
+  return rep;
+}
+
+std::map<EdgeId, double> bipartition_support(
+    const Tree& reference, const std::vector<Tree>& replicates) {
+  // Count bipartitions across replicates.
+  std::map<Bipartition, int> counts;
+  for (const Tree& t : replicates)
+    for (auto& bp : bipartitions(t)) ++counts[bp];
+
+  // Match each internal reference edge's bipartition against the counts.
+  // bipartitions() emits entries in increasing internal-edge order, so walk
+  // both in lockstep.
+  std::map<EdgeId, double> support;
+  const auto ref_bips = bipartitions(reference);
+  std::size_t idx = 0;
+  const double denom =
+      replicates.empty() ? 1.0 : static_cast<double>(replicates.size());
+  for (EdgeId e = 0; e < reference.edge_count(); ++e) {
+    if (!reference.is_internal_edge(e)) continue;
+    const auto it = counts.find(ref_bips[idx++]);
+    support[e] = (it == counts.end() ? 0 : it->second) / denom;
+  }
+  return support;
+}
+
+namespace {
+
+void write_support_subtree(const Tree& t, NodeId v, EdgeId via,
+                           const std::map<EdgeId, double>& support,
+                           std::ostream& out, int precision) {
+  if (t.is_tip(v)) {
+    out << t.label(v);
+  } else {
+    out << '(';
+    bool first = true;
+    for (EdgeId e : t.edges_of(v)) {
+      if (e == via) continue;
+      if (!first) out << ',';
+      first = false;
+      write_support_subtree(t, t.other_end(e, v), e, support, out, precision);
+    }
+    out << ')';
+    if (auto it = support.find(via); it != support.end())
+      out << static_cast<int>(std::lround(100.0 * it->second));
+  }
+  out << ':';
+  out.precision(precision);
+  out << t.length(via);
+}
+
+}  // namespace
+
+std::string write_newick_with_support(
+    const Tree& tree, const std::map<EdgeId, double>& support,
+    int precision) {
+  std::ostringstream out;
+  const EdgeId pend = tree.edges_of(0).front();
+  const NodeId root = tree.other_end(pend, 0);
+  out << '(' << tree.label(0) << ':';
+  out.precision(precision);
+  out << tree.length(pend);
+  for (EdgeId e : tree.edges_of(root)) {
+    if (e == pend) continue;
+    out << ',';
+    write_support_subtree(tree, tree.other_end(e, root), e, support, out,
+                          precision);
+  }
+  out << ");";
+  return out.str();
+}
+
+}  // namespace plk

@@ -1,0 +1,37 @@
+// Bootstrap resampling and bipartition support.
+//
+// The non-parametric bootstrap (Felsenstein 1985 — the paper's [6]) draws,
+// per partition, `site_count` columns with replacement; in the pattern-
+// compressed representation this is simply a multinomial resampling of the
+// pattern *weights*, so a replicate costs no extra memory for tip data.
+// Replicate searches yield a set of trees; the support of each internal
+// branch of a reference tree (e.g. the best ML tree) is the fraction of
+// replicate trees containing the same bipartition — RAxML's "-f b" drawing.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bio/patterns.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace plk {
+
+/// A bootstrap replicate: same patterns, multinomially resampled weights
+/// (per partition, preserving each partition's total site count).
+CompressedAlignment bootstrap_replicate(const CompressedAlignment& aln,
+                                        Rng& rng);
+
+/// For each *internal* edge of `reference`, the fraction of `replicates`
+/// that contain the same tip bipartition. Trees must share tip ids.
+std::map<EdgeId, double> bipartition_support(
+    const Tree& reference, const std::vector<Tree>& replicates);
+
+/// Serialize `tree` to Newick with integer support values (0-100) as inner
+/// node labels, the standard way phylogenetics tools exchange support.
+std::string write_newick_with_support(
+    const Tree& tree, const std::map<EdgeId, double>& support,
+    int precision = 6);
+
+}  // namespace plk

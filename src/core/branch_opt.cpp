@@ -1,0 +1,127 @@
+#include "core/branch_opt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "model/subst_model.hpp"
+#include "optimize/newton.hpp"
+#include "tree/traversal.hpp"
+
+namespace plk {
+
+namespace {
+
+std::vector<int> all_partitions(const Engine& engine) {
+  std::vector<int> all(static_cast<std::size_t>(engine.partition_count()));
+  for (int p = 0; p < engine.partition_count(); ++p)
+    all[static_cast<std::size_t>(p)] = p;
+  return all;
+}
+
+/// Joint (linked) estimate: one NR instance whose derivatives are summed
+/// over all partitions. Identical schedule for both strategies.
+void optimize_edge_linked(Engine& engine, EdgeId edge,
+                          const BranchOptOptions& opts) {
+  const auto parts = all_partitions(engine);
+  engine.compute_sumtable(parts);
+  BranchLengths& bl = engine.branch_lengths();
+
+  NewtonBranch nr(bl.get(edge, 0), kBranchMin, kBranchMax,
+                  opts.length_tolerance, opts.max_nr_iterations);
+  std::vector<double> lens(parts.size());
+  std::vector<double> d1(parts.size()), d2(parts.size());
+  while (!nr.done()) {
+    std::fill(lens.begin(), lens.end(), nr.current());
+    engine.nr_derivatives(parts, lens, d1, d2);
+    double s1 = 0.0, s2 = 0.0;
+    for (std::size_t k = 0; k < parts.size(); ++k) {
+      s1 += d1[k];
+      s2 += d2[k];
+    }
+    nr.feed(s1, s2);
+  }
+  bl.set_all(edge, nr.current());
+}
+
+/// oldPAR, unlinked: one partition at a time — per-partition sumtable and
+/// per-partition NR iteration commands.
+void optimize_edge_old(Engine& engine, EdgeId edge,
+                       const BranchOptOptions& opts) {
+  BranchLengths& bl = engine.branch_lengths();
+  for (int p = 0; p < engine.partition_count(); ++p) {
+    const std::vector<int> one{p};
+    engine.compute_sumtable(one);
+    NewtonBranch nr(bl.get(edge, p), kBranchMin, kBranchMax,
+                    opts.length_tolerance, opts.max_nr_iterations);
+    double len, d1, d2;
+    while (!nr.done()) {
+      len = nr.current();
+      engine.nr_derivatives(one, {&len, 1}, {&d1, 1}, {&d2, 1});
+      nr.feed(d1, d2);
+    }
+    bl.set(edge, p, nr.current());
+  }
+}
+
+/// newPAR, unlinked: all partitions advance simultaneously; converged
+/// partitions drop out of the command via the active list (the paper's
+/// boolean convergence vector).
+void optimize_edge_new(Engine& engine, EdgeId edge,
+                       const BranchOptOptions& opts) {
+  BranchLengths& bl = engine.branch_lengths();
+  const int P = engine.partition_count();
+
+  engine.compute_sumtable(all_partitions(engine));
+
+  std::vector<NewtonBranch> nr;
+  nr.reserve(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p)
+    nr.emplace_back(bl.get(edge, p), kBranchMin, kBranchMax,
+                    opts.length_tolerance, opts.max_nr_iterations);
+
+  std::vector<int> active = all_partitions(engine);
+  std::vector<double> lens, d1, d2;
+  while (!active.empty()) {
+    lens.resize(active.size());
+    d1.resize(active.size());
+    d2.resize(active.size());
+    for (std::size_t k = 0; k < active.size(); ++k)
+      lens[k] = nr[static_cast<std::size_t>(active[k])].current();
+    engine.nr_derivatives(active, lens, d1, d2);
+
+    std::vector<int> still_active;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      auto& inst = nr[static_cast<std::size_t>(active[k])];
+      inst.feed(d1[k], d2[k]);
+      if (!inst.done())
+        still_active.push_back(active[k]);
+      else
+        bl.set(edge, active[k], inst.current());
+    }
+    active = std::move(still_active);
+  }
+}
+
+}  // namespace
+
+void optimize_edge(Engine& engine, EdgeId edge, Strategy strategy,
+                   const BranchOptOptions& opts) {
+  engine.prepare_root(edge);
+  if (engine.branch_lengths().linked()) {
+    optimize_edge_linked(engine, edge, opts);
+  } else if (strategy == Strategy::kOldPar) {
+    optimize_edge_old(engine, edge, opts);
+  } else {
+    optimize_edge_new(engine, edge, opts);
+  }
+}
+
+double optimize_branch_lengths(Engine& engine, Strategy strategy,
+                               const BranchOptOptions& opts) {
+  const auto order = dfs_edge_order(engine.tree());
+  for (int pass = 0; pass < opts.smoothing_passes; ++pass)
+    for (EdgeId e : order) optimize_edge(engine, e, strategy, opts);
+  return engine.loglikelihood(order.empty() ? 0 : order.back());
+}
+
+}  // namespace plk

@@ -1,0 +1,43 @@
+// Branch-length optimization: Newton-Raphson over all edges, under either
+// parallelization strategy.
+//
+// Per edge the procedure is (i) relocate the virtual root to the edge
+// (partial traversal), (ii) build the NR sumtable, (iii) iterate NR until
+// convergence. With a per-partition branch-length estimate (unlinked mode):
+//
+//   * oldPAR: for each partition in turn, its own sumtable command and its
+//     own NR iteration commands — sync count ~ sum_p iters(p), and each
+//     command gives a thread only len(p)/T patterns of work;
+//   * newPAR: one sumtable command for all partitions, then NR commands that
+//     advance every non-converged partition at once (convergence mask) —
+//     sync count ~ max_p iters(p), each command spanning m'/T patterns.
+//
+// In linked (joint) mode both strategies collapse to the same schedule
+// (derivatives are summed over partitions), which is why the paper measures
+// only ~5 % difference there.
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/strategy.hpp"
+
+namespace plk {
+
+/// Tuning knobs for branch-length optimization.
+struct BranchOptOptions {
+  int max_nr_iterations = 32;   ///< per branch (per partition)
+  double length_tolerance = 1e-6;
+  int smoothing_passes = 2;     ///< full sweeps over all edges
+};
+
+/// Optimize every branch length in `engine` (all partitions).
+/// Returns the log-likelihood evaluated after the final pass.
+double optimize_branch_lengths(Engine& engine, Strategy strategy,
+                               const BranchOptOptions& opts = {});
+
+/// Optimize a single edge's length(s) under the given strategy. The engine's
+/// virtual root is relocated to `edge`. Exposed separately because the lazy
+/// SPR search optimizes only the three edges around an insertion point.
+void optimize_edge(Engine& engine, EdgeId edge, Strategy strategy,
+                   const BranchOptOptions& opts = {});
+
+}  // namespace plk

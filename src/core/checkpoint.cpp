@@ -1,0 +1,169 @@
+#include "core/checkpoint.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "bio/msa_io.hpp"
+
+namespace plk {
+
+namespace {
+
+constexpr const char* kMagic = "plk-checkpoint";
+constexpr int kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what);
+}
+
+std::string expect_word(std::istream& in, const char* what) {
+  std::string w;
+  if (!(in >> w)) fail(std::string("missing ") + what);
+  return w;
+}
+
+void expect_keyword(std::istream& in, const char* kw) {
+  if (expect_word(in, kw) != kw) fail(std::string("expected '") + kw + "'");
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const Engine& engine) {
+  std::ostringstream out;
+  out.precision(17);
+  const Tree& tree = engine.tree();
+  const BranchLengths& bl = engine.branch_lengths();
+  const int P = engine.partition_count();
+
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "taxa " << tree.tip_count() << '\n';
+  for (NodeId t = 0; t < tree.tip_count(); ++t)
+    out << tree.label(t) << '\n';
+
+  out << "edges " << tree.edge_count() << '\n';
+  for (EdgeId e = 0; e < tree.edge_count(); ++e)
+    out << tree.edge(e).a << ' ' << tree.edge(e).b << ' ' << tree.length(e)
+        << '\n';
+
+  out << "partitions " << P << '\n';
+  for (int p = 0; p < P; ++p) {
+    const PartitionModel& m = engine.model(p);
+    out << "alpha " << m.alpha() << '\n';
+    const auto& exch = m.model().exchangeabilities();
+    out << "exch " << exch.size();
+    for (double r : exch) out << ' ' << r;
+    out << '\n';
+    const auto& freqs = m.model().freqs();
+    out << "freqs " << freqs.size();
+    for (double f : freqs) out << ' ' << f;
+    out << '\n';
+  }
+
+  out << "lengths " << (bl.linked() ? "linked" : "unlinked") << '\n';
+  const int cols = bl.linked() ? 1 : P;
+  for (EdgeId e = 0; e < tree.edge_count(); ++e) {
+    for (int p = 0; p < cols; ++p) out << (p ? " " : "") << bl.get(e, p);
+    out << '\n';
+  }
+  return out.str();
+}
+
+void apply_checkpoint(Engine& engine, std::string_view text) {
+  std::istringstream in{std::string(text)};
+  if (expect_word(in, "magic") != kMagic) fail("bad magic");
+  int version = 0;
+  in >> version;
+  if (version != kVersion) fail("unsupported version");
+
+  expect_keyword(in, "taxa");
+  int n_taxa = 0;
+  in >> n_taxa;
+  if (n_taxa != engine.tree().tip_count()) fail("taxon count mismatch");
+  std::vector<std::string> labels(static_cast<std::size_t>(n_taxa));
+  for (auto& l : labels) {
+    if (!(in >> l)) fail("truncated taxon list");
+  }
+  for (NodeId t = 0; t < n_taxa; ++t)
+    if (labels[static_cast<std::size_t>(t)] != engine.tree().label(t))
+      fail("taxon '" + labels[static_cast<std::size_t>(t)] +
+           "' does not match the engine's alignment");
+
+  expect_keyword(in, "edges");
+  int n_edges = 0;
+  in >> n_edges;
+  if (n_edges != engine.tree().edge_count()) fail("edge count mismatch");
+  std::vector<Tree::Edge> edges(static_cast<std::size_t>(n_edges));
+  for (auto& e : edges)
+    if (!(in >> e.a >> e.b >> e.length)) fail("truncated edge list");
+
+  expect_keyword(in, "partitions");
+  int P = 0;
+  in >> P;
+  if (P != engine.partition_count()) fail("partition count mismatch");
+
+  struct PartState {
+    double alpha = 1.0;
+    std::vector<double> exch, freqs;
+  };
+  std::vector<PartState> parts(static_cast<std::size_t>(P));
+  for (auto& ps : parts) {
+    expect_keyword(in, "alpha");
+    if (!(in >> ps.alpha)) fail("truncated alpha");
+    expect_keyword(in, "exch");
+    std::size_t k = 0;
+    in >> k;
+    ps.exch.resize(k);
+    for (auto& r : ps.exch)
+      if (!(in >> r)) fail("truncated exchangeabilities");
+    expect_keyword(in, "freqs");
+    in >> k;
+    ps.freqs.resize(k);
+    for (auto& f : ps.freqs)
+      if (!(in >> f)) fail("truncated frequencies");
+  }
+
+  expect_keyword(in, "lengths");
+  const std::string mode = expect_word(in, "lengths mode");
+  const bool linked = mode == "linked";
+  if (!linked && mode != "unlinked") fail("bad lengths mode");
+  if (linked != engine.branch_lengths().linked())
+    fail("branch-length mode mismatch");
+  const int cols = linked ? 1 : P;
+  std::vector<std::vector<double>> lens(
+      static_cast<std::size_t>(n_edges),
+      std::vector<double>(static_cast<std::size_t>(cols)));
+  for (auto& row : lens)
+    for (auto& v : row)
+      if (!(in >> v)) fail("truncated branch lengths");
+
+  // All parsed; now mutate the engine (strong-ish exception safety: the
+  // model setters validate before we touch anything).
+  Tree restored = Tree::from_edges(std::move(labels), std::move(edges));
+  engine.tree() = std::move(restored);
+  engine.invalidate_all();
+  for (int p = 0; p < P; ++p) {
+    auto& ps = parts[static_cast<std::size_t>(p)];
+    PartitionModel& m = engine.model(p);
+    if (ps.exch.size() != m.model().exchangeabilities().size() ||
+        ps.freqs.size() != m.model().freqs().size())
+      fail("model dimension mismatch in partition " + std::to_string(p));
+    m.model().set_exchangeabilities(std::move(ps.exch));
+    m.model().set_freqs(std::move(ps.freqs));
+    m.set_alpha(ps.alpha);
+    engine.invalidate_partition(p);
+  }
+  for (EdgeId e = 0; e < n_edges; ++e)
+    for (int p = 0; p < cols; ++p)
+      engine.branch_lengths().set(
+          e, p, lens[static_cast<std::size_t>(e)][static_cast<std::size_t>(p)]);
+}
+
+void save_checkpoint_file(const Engine& engine, const std::string& path) {
+  write_file(path, serialize_checkpoint(engine));
+}
+
+void load_checkpoint_file(Engine& engine, const std::string& path) {
+  apply_checkpoint(engine, read_file(path));
+}
+
+}  // namespace plk

@@ -1,0 +1,35 @@
+// Checkpointing: serialize and restore a full analysis state.
+//
+// Phylogenomic runs take hours to days (the paper's motivating analyses
+// burned 2.25M CPU-hours); RAxML therefore writes periodic checkpoints.
+// A plkit checkpoint captures everything the engine cannot recompute from
+// the alignment: the tree topology (as an explicit edge list, so edge ids —
+// and with them the per-partition branch-length matrix — survive exactly),
+// every partition's model parameters, and all branch lengths.
+//
+// The text format is line-oriented and versioned; apply_checkpoint()
+// validates taxa against the target engine and restores state such that the
+// engine's next log-likelihood equals the checkpointed one bit-for-bit
+// (given the same thread count).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/engine.hpp"
+
+namespace plk {
+
+/// Serialize the engine's tree, models and branch lengths.
+std::string serialize_checkpoint(const Engine& engine);
+
+/// Restore a checkpoint into an engine built over the *same alignment*
+/// (taxa are validated by label). Invalidates all CLVs.
+/// Throws std::runtime_error on format or compatibility errors.
+void apply_checkpoint(Engine& engine, std::string_view text);
+
+/// File convenience wrappers.
+void save_checkpoint_file(const Engine& engine, const std::string& path);
+void load_checkpoint_file(Engine& engine, const std::string& path);
+
+}  // namespace plk

@@ -1,0 +1,589 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "model/matrix.hpp"
+
+namespace plk {
+
+namespace {
+
+/// Dispatch a generic lambda templated on the (compile-time) state count.
+template <class Fn>
+void dispatch_states(int states, Fn&& fn) {
+  switch (states) {
+    case 4:
+      fn.template operator()<4>();
+      break;
+    case 20:
+      fn.template operator()<20>();
+      break;
+    default:
+      throw std::logic_error("unsupported state count " +
+                             std::to_string(states));
+  }
+}
+
+}  // namespace
+
+/// Per-partition engine state: model, encoded tips, CLVs, NR sumtable.
+struct Engine::PartData {
+  const CompressedPartition* src = nullptr;
+  PartitionModel model;
+  std::size_t patterns = 0;
+  int states = 4;
+  int cats = 4;
+  std::vector<double> weights;
+
+  // Tip encoding: per pattern, a code into `indicators` (rows of S doubles,
+  // one per distinct state mask occurring in this partition).
+  std::vector<std::vector<std::uint16_t>> tip_codes;  // [tip node][pattern]
+  AlignedDoubleVec indicators;
+
+  // Inner-node CLVs and scale counts, indexed by (node - tip_count).
+  std::vector<AlignedDoubleVec> clv;
+  std::vector<std::vector<std::int32_t>> scale;
+
+  // NR sumtable at the current root edge: [pattern][cat][state].
+  AlignedDoubleVec sumtable;
+
+  explicit PartData(PartitionModel m) : model(std::move(m)) {}
+
+  std::size_t clv_stride() const {
+    return static_cast<std::size_t>(cats) * static_cast<std::size_t>(states);
+  }
+};
+
+/// One parallel command: a traversal op list optionally fused with an
+/// evaluation, a sumtable pass, or an NR derivative pass.
+struct Engine::Command {
+  struct Op {
+    NodeId node = kNoId;
+    EdgeId toward = kNoId;  // the orientation this op establishes
+    NodeId c1 = kNoId, c2 = kNoId;
+    EdgeId e1 = kNoId, e2 = kNoId;
+    std::vector<int> parts;
+    // Offsets into `pmats` for each listed partition (child 1 and child 2).
+    std::vector<std::size_t> pmat1, pmat2;
+  };
+  std::vector<Op> ops;
+
+  bool do_eval = false;
+  EdgeId eval_edge = kNoId;
+  std::vector<int> eval_parts;
+  std::vector<std::size_t> eval_pmat;
+
+  bool do_sumtable = false;
+  std::vector<int> sum_parts;
+
+  bool do_sites = false;
+  int sites_part = -1;
+  std::size_t sites_pmat = 0;
+  double* sites_out = nullptr;
+
+  bool do_nr = false;
+  std::vector<int> nr_parts;
+  // Per listed partition: offsets into `scratch` for exp(lam*r*b) and lam*r
+  // tables, each cats*states doubles.
+  std::vector<std::size_t> nr_exp, nr_lam;
+
+  AlignedDoubleVec pmats;    // concatenated transition matrices
+  AlignedDoubleVec scratch;  // NR tables
+};
+
+Engine::Engine(const CompressedAlignment& aln, Tree tree,
+               std::vector<PartitionModel> models, EngineOptions opts)
+    : aln_(aln),
+      tree_(std::move(tree)),
+      lengths_(BranchLengths::from_tree(tree_, static_cast<int>(aln.partition_count()),
+                                        !opts.unlinked_branch_lengths)) {
+  if (models.size() != aln.partition_count())
+    throw std::invalid_argument("need one model per partition");
+  if (static_cast<std::size_t>(tree_.tip_count()) != aln.taxon_count())
+    throw std::invalid_argument("tree/alignment taxon count mismatch");
+
+  for (std::size_t p = 0; p < models.size(); ++p) {
+    const auto& cp = aln.partitions[p];
+    if (models[p].model().states() != cp.states())
+      throw std::invalid_argument("model/partition state count mismatch for '" +
+                                  cp.name + "'");
+    auto pd = std::make_unique<PartData>(std::move(models[p]));
+    pd->src = &cp;
+    pd->patterns = cp.pattern_count;
+    pd->states = cp.states();
+    pd->cats = pd->model.gamma_categories();
+    pd->weights = cp.weights;
+    parts_.push_back(std::move(pd));
+  }
+
+  // Map tree tips to alignment taxa by name.
+  tip_of_taxon_.assign(aln.taxon_count(), kNoId);
+  std::unordered_map<std::string, NodeId> tip_by_label;
+  for (NodeId t = 0; t < tree_.tip_count(); ++t)
+    tip_by_label[tree_.label(t)] = t;
+  if (tip_by_label.size() != aln.taxon_count())
+    throw std::invalid_argument("duplicate tree tip labels");
+  for (std::size_t x = 0; x < aln.taxon_count(); ++x) {
+    auto it = tip_by_label.find(aln.taxon_names[x]);
+    if (it == tip_by_label.end())
+      throw std::invalid_argument("taxon '" + aln.taxon_names[x] +
+                                  "' missing from tree");
+    tip_of_taxon_[x] = it->second;
+  }
+
+  build_tip_data();
+
+  // Allocate CLVs, scale counts, and tracking structures.
+  const int inner_count = tree_.node_count() - tree_.tip_count();
+  for (auto& pd : parts_) {
+    pd->clv.resize(static_cast<std::size_t>(inner_count));
+    pd->scale.resize(static_cast<std::size_t>(inner_count));
+    for (int i = 0; i < inner_count; ++i) {
+      pd->clv[static_cast<std::size_t>(i)].assign(
+          pd->patterns * pd->clv_stride(), 0.0);
+      pd->scale[static_cast<std::size_t>(i)].assign(pd->patterns, 0);
+    }
+    pd->sumtable.assign(pd->patterns * pd->clv_stride(), 0.0);
+  }
+  orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
+  model_epoch_.assign(parts_.size(), 1);
+  clv_epoch_.assign(static_cast<std::size_t>(inner_count),
+                    std::vector<std::uint32_t>(parts_.size(), 0));
+  last_lnl_.assign(parts_.size(), 0.0);
+
+  team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument);
+  red_stride_ = (parts_.size() + 7) / 8 * 8;
+  const std::size_t red_size = static_cast<std::size_t>(opts.threads) * red_stride_;
+  red_lnl_.assign(red_size, 0.0);
+  red_d1_.assign(red_size, 0.0);
+  red_d2_.assign(red_size, 0.0);
+}
+
+Engine::~Engine() = default;
+
+void Engine::build_tip_data() {
+  for (auto& pd : parts_) {
+    const CompressedPartition& cp = *pd->src;
+    const int s = pd->states;
+    // Catalog of distinct state masks in this partition.
+    std::unordered_map<StateMask, std::uint16_t> code_of;
+    pd->tip_codes.assign(static_cast<std::size_t>(tree_.tip_count()), {});
+    std::vector<StateMask> catalog;
+    for (std::size_t x = 0; x < aln_.taxon_count(); ++x) {
+      const NodeId tip = tip_of_taxon_[x];
+      auto& codes = pd->tip_codes[static_cast<std::size_t>(tip)];
+      codes.resize(pd->patterns);
+      for (std::size_t i = 0; i < pd->patterns; ++i) {
+        const StateMask m = cp.tip_states[x][i];
+        auto [it, inserted] =
+            code_of.emplace(m, static_cast<std::uint16_t>(catalog.size()));
+        if (inserted) catalog.push_back(m);
+        codes[i] = it->second;
+      }
+    }
+    if (catalog.size() > 65535)
+      throw std::runtime_error("too many distinct state masks");
+    pd->indicators.assign(catalog.size() * static_cast<std::size_t>(s), 0.0);
+    for (std::size_t c = 0; c < catalog.size(); ++c)
+      for (int j = 0; j < s; ++j)
+        if (catalog[c] & (StateMask{1} << j))
+          pd->indicators[c * static_cast<std::size_t>(s) +
+                         static_cast<std::size_t>(j)] = 1.0;
+  }
+}
+
+std::size_t Engine::pattern_count(int p) const {
+  return parts_[static_cast<std::size_t>(p)]->patterns;
+}
+
+std::size_t Engine::total_patterns() const {
+  std::size_t n = 0;
+  for (const auto& pd : parts_) n += pd->patterns;
+  return n;
+}
+
+const PartitionModel& Engine::model(int p) const {
+  return parts_[static_cast<std::size_t>(p)]->model;
+}
+
+PartitionModel& Engine::model(int p) {
+  return parts_[static_cast<std::size_t>(p)]->model;
+}
+
+void Engine::invalidate_partition(int p) {
+  ++model_epoch_[static_cast<std::size_t>(p)];
+  sumtable_valid_ = false;
+}
+
+void Engine::invalidate_node(NodeId v) {
+  if (!tree_.is_tip(v)) orient_[static_cast<std::size_t>(v)] = kNoId;
+  sumtable_valid_ = false;
+}
+
+void Engine::invalidate_all() {
+  std::fill(orient_.begin(), orient_.end(), kNoId);
+  sumtable_valid_ = false;
+}
+
+kernel::ChildView Engine::child_view(int p, NodeId v) const {
+  const PartData& pd = *parts_[static_cast<std::size_t>(p)];
+  kernel::ChildView cv;
+  if (tree_.is_tip(v)) {
+    cv.codes = pd.tip_codes[static_cast<std::size_t>(v)].data();
+    cv.indicators = pd.indicators.data();
+  } else {
+    const std::size_t inner = static_cast<std::size_t>(v - tree_.tip_count());
+    cv.clv = pd.clv[inner].data();
+    cv.scale = pd.scale[inner].data();
+  }
+  return cv;
+}
+
+void Engine::ensure_clv(NodeId v, EdgeId via, bool need_all,
+                        const std::vector<int>& scope, Command& cmd) {
+  if (tree_.is_tip(v)) return;
+  const std::size_t inner = static_cast<std::size_t>(v - tree_.tip_count());
+  const bool flip = orient_[static_cast<std::size_t>(v)] != via;
+
+  std::vector<int> rec;
+  if (flip) {
+    rec.resize(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) rec[p] = static_cast<int>(p);
+  } else {
+    const auto consider = [&](int p) {
+      if (clv_epoch_[inner][static_cast<std::size_t>(p)] !=
+          model_epoch_[static_cast<std::size_t>(p)])
+        rec.push_back(p);
+    };
+    if (need_all) {
+      for (std::size_t p = 0; p < parts_.size(); ++p)
+        consider(static_cast<int>(p));
+    } else {
+      for (int p : scope) consider(p);
+    }
+  }
+  if (rec.empty()) return;
+
+  const bool rec_all = rec.size() == parts_.size();
+  for (EdgeId e : tree_.edges_of(v)) {
+    if (e == via) continue;
+    ensure_clv(tree_.other_end(e, v), e, rec_all, rec, cmd);
+  }
+  add_newview_op(v, via, rec, cmd);
+}
+
+void Engine::add_newview_op(NodeId v, EdgeId via, const std::vector<int>& parts,
+                            Command& cmd) {
+  Command::Op op;
+  op.node = v;
+  op.toward = via;
+  for (EdgeId e : tree_.edges_of(v)) {
+    if (e == via) continue;
+    if (op.c1 == kNoId) {
+      op.c1 = tree_.other_end(e, v);
+      op.e1 = e;
+    } else {
+      op.c2 = tree_.other_end(e, v);
+      op.e2 = e;
+    }
+  }
+  op.parts = parts;
+
+  // Precompute the per-category transition matrices for both child edges.
+  Matrix pm;
+  for (int p : parts) {
+    const PartData& pd = *parts_[static_cast<std::size_t>(p)];
+    const int s = pd.states;
+    const auto& rates = pd.model.category_rates();
+    for (int child = 0; child < 2; ++child) {
+      const EdgeId e = child == 0 ? op.e1 : op.e2;
+      const double b = lengths_.get(e, p);
+      (child == 0 ? op.pmat1 : op.pmat2).push_back(cmd.pmats.size());
+      for (int c = 0; c < pd.cats; ++c) {
+        pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
+                                           pm);
+        cmd.pmats.insert(cmd.pmats.end(), pm.data(),
+                         pm.data() + static_cast<std::size_t>(s) * s);
+      }
+    }
+  }
+  cmd.ops.push_back(std::move(op));
+}
+
+void Engine::execute(Command& cmd) {
+  ++stats_.commands;
+  for (const auto& op : cmd.ops) stats_.newview_ops += op.parts.size();
+  if (cmd.do_eval) stats_.evaluations += cmd.eval_parts.size();
+  if (cmd.do_nr) stats_.nr_iterations += cmd.nr_parts.size();
+
+  const int T = team_->size();
+  const int tips = tree_.tip_count();
+
+  team_->run([&](int tid) {
+    // 1. Traversal ops, in order (no intra-traversal barrier needed: with a
+    //    cyclic distribution, thread tid's slice of a parent CLV depends only
+    //    on its own slice of the children CLVs).
+    for (const auto& op : cmd.ops) {
+      const std::size_t inner = static_cast<std::size_t>(op.node - tips);
+      for (std::size_t k = 0; k < op.parts.size(); ++k) {
+        const int p = op.parts[k];
+        PartData& pd = *parts_[static_cast<std::size_t>(p)];
+        const kernel::ChildView v1 = child_view(p, op.c1);
+        const kernel::ChildView v2 = child_view(p, op.c2);
+        dispatch_states(pd.states, [&]<int S>() {
+          kernel::newview_slice<S>(tid, T, pd.patterns, pd.cats, v1, v2,
+                                   cmd.pmats.data() + op.pmat1[k],
+                                   cmd.pmats.data() + op.pmat2[k],
+                                   pd.clv[inner].data(),
+                                   pd.scale[inner].data());
+        });
+      }
+    }
+
+    // 2. Optional fused evaluation at the root edge.
+    if (cmd.do_eval) {
+      const NodeId u = tree_.edge(cmd.eval_edge).a;
+      const NodeId v = tree_.edge(cmd.eval_edge).b;
+      for (std::size_t k = 0; k < cmd.eval_parts.size(); ++k) {
+        const int p = cmd.eval_parts[k];
+        PartData& pd = *parts_[static_cast<std::size_t>(p)];
+        const kernel::ChildView vu = child_view(p, u);
+        const kernel::ChildView vv = child_view(p, v);
+        double partial = 0.0;
+        dispatch_states(pd.states, [&]<int S>() {
+          partial = kernel::evaluate_slice<S>(
+              tid, T, pd.patterns, pd.cats, vu, vv,
+              cmd.pmats.data() + cmd.eval_pmat[k],
+              pd.model.model().freqs().data(), pd.weights.data());
+        });
+        red_lnl_[static_cast<std::size_t>(tid) * red_stride_ +
+                 static_cast<std::size_t>(p)] = partial;
+      }
+    }
+
+    // 2b. Optional per-site evaluation for one partition.
+    if (cmd.do_sites) {
+      const NodeId u = tree_.edge(cmd.eval_edge).a;
+      const NodeId v = tree_.edge(cmd.eval_edge).b;
+      const int p = cmd.sites_part;
+      PartData& pd = *parts_[static_cast<std::size_t>(p)];
+      const kernel::ChildView vu = child_view(p, u);
+      const kernel::ChildView vv = child_view(p, v);
+      dispatch_states(pd.states, [&]<int S>() {
+        kernel::evaluate_sites_slice<S>(
+            tid, T, pd.patterns, pd.cats, vu, vv,
+            cmd.pmats.data() + cmd.sites_pmat,
+            pd.model.model().freqs().data(), cmd.sites_out);
+      });
+    }
+
+    // 3. Optional sumtable pass.
+    if (cmd.do_sumtable) {
+      const NodeId u = tree_.edge(root_edge_).a;
+      const NodeId v = tree_.edge(root_edge_).b;
+      for (int p : cmd.sum_parts) {
+        PartData& pd = *parts_[static_cast<std::size_t>(p)];
+        const kernel::ChildView vu = child_view(p, u);
+        const kernel::ChildView vv = child_view(p, v);
+        dispatch_states(pd.states, [&]<int S>() {
+          kernel::sumtable_slice<S>(tid, T, pd.patterns, pd.cats, vu, vv,
+                                    pd.model.model().sym_transform().data(),
+                                    pd.sumtable.data());
+        });
+      }
+    }
+
+    // 4. Optional NR derivative pass.
+    if (cmd.do_nr) {
+      for (std::size_t k = 0; k < cmd.nr_parts.size(); ++k) {
+        const int p = cmd.nr_parts[k];
+        PartData& pd = *parts_[static_cast<std::size_t>(p)];
+        double d1 = 0.0, d2 = 0.0;
+        dispatch_states(pd.states, [&]<int S>() {
+          kernel::nr_slice<S>(tid, T, pd.patterns, pd.cats,
+                              pd.sumtable.data(),
+                              cmd.scratch.data() + cmd.nr_exp[k],
+                              cmd.scratch.data() + cmd.nr_lam[k],
+                              pd.weights.data(), &d1, &d2);
+        });
+        red_d1_[static_cast<std::size_t>(tid) * red_stride_ +
+                static_cast<std::size_t>(p)] = d1;
+        red_d2_[static_cast<std::size_t>(tid) * red_stride_ +
+                static_cast<std::size_t>(p)] = d2;
+      }
+    }
+  });
+
+  // Post-run bookkeeping: orientations and epochs for executed ops.
+  for (const auto& op : cmd.ops) {
+    orient_[static_cast<std::size_t>(op.node)] = op.toward;
+    const std::size_t inner = static_cast<std::size_t>(op.node - tips);
+    for (int p : op.parts)
+      clv_epoch_[inner][static_cast<std::size_t>(p)] =
+          model_epoch_[static_cast<std::size_t>(p)];
+  }
+}
+
+double Engine::loglikelihood(EdgeId edge) {
+  std::vector<int> all(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) all[p] = static_cast<int>(p);
+  return loglikelihood(edge, all);
+}
+
+double Engine::loglikelihood(EdgeId edge, const std::vector<int>& partitions) {
+  Command cmd;
+  const NodeId u = tree_.edge(edge).a;
+  const NodeId v = tree_.edge(edge).b;
+  ensure_clv(u, edge, false, partitions, cmd);
+  ensure_clv(v, edge, false, partitions, cmd);
+
+  cmd.do_eval = true;
+  cmd.eval_edge = edge;
+  cmd.eval_parts = partitions;
+  Matrix pm;
+  for (int p : partitions) {
+    const PartData& pd = *parts_[static_cast<std::size_t>(p)];
+    const auto& rates = pd.model.category_rates();
+    const double b = lengths_.get(edge, p);
+    cmd.eval_pmat.push_back(cmd.pmats.size());
+    for (int c = 0; c < pd.cats; ++c) {
+      pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
+                                         pm);
+      cmd.pmats.insert(cmd.pmats.end(), pm.data(),
+                       pm.data() + static_cast<std::size_t>(pd.states) *
+                                       static_cast<std::size_t>(pd.states));
+    }
+  }
+  execute(cmd);
+
+  double total = 0.0;
+  for (int p : partitions) {
+    double lnl = 0.0;
+    for (int t = 0; t < team_->size(); ++t)
+      lnl += red_lnl_[static_cast<std::size_t>(t) * red_stride_ +
+                      static_cast<std::size_t>(p)];
+    last_lnl_[static_cast<std::size_t>(p)] = lnl;
+    total += lnl;
+  }
+  root_edge_ = edge;
+  sumtable_valid_ = false;
+  return total;
+}
+
+std::vector<double> Engine::site_loglikelihoods(EdgeId edge, int p) {
+  Command cmd;
+  const NodeId u = tree_.edge(edge).a;
+  const NodeId v = tree_.edge(edge).b;
+  const std::vector<int> one{p};
+  ensure_clv(u, edge, false, one, cmd);
+  ensure_clv(v, edge, false, one, cmd);
+
+  const PartData& pd = *parts_[static_cast<std::size_t>(p)];
+  std::vector<double> out(pd.patterns);
+  cmd.do_sites = true;
+  cmd.eval_edge = edge;
+  cmd.sites_part = p;
+  cmd.sites_out = out.data();
+  Matrix pm;
+  const auto& rates = pd.model.category_rates();
+  const double b = lengths_.get(edge, p);
+  cmd.sites_pmat = cmd.pmats.size();
+  for (int c = 0; c < pd.cats; ++c) {
+    pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
+                                       pm);
+    cmd.pmats.insert(cmd.pmats.end(), pm.data(),
+                     pm.data() + static_cast<std::size_t>(pd.states) *
+                                     static_cast<std::size_t>(pd.states));
+  }
+  execute(cmd);
+  root_edge_ = edge;
+  sumtable_valid_ = false;
+  return out;
+}
+
+void Engine::prepare_root(EdgeId edge) {
+  Command cmd;
+  std::vector<int> all(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) all[p] = static_cast<int>(p);
+  const NodeId u = tree_.edge(edge).a;
+  const NodeId v = tree_.edge(edge).b;
+  ensure_clv(u, edge, true, all, cmd);
+  ensure_clv(v, edge, true, all, cmd);
+  if (!cmd.ops.empty()) execute(cmd);
+  root_edge_ = edge;
+  sumtable_valid_ = false;
+}
+
+void Engine::compute_sumtable(const std::vector<int>& partitions) {
+  if (root_edge_ == kNoId)
+    throw std::logic_error("compute_sumtable: no root edge prepared");
+  Command cmd;
+  const NodeId u = tree_.edge(root_edge_).a;
+  const NodeId v = tree_.edge(root_edge_).b;
+  ensure_clv(u, root_edge_, false, partitions, cmd);
+  ensure_clv(v, root_edge_, false, partitions, cmd);
+  cmd.do_sumtable = true;
+  cmd.sum_parts = partitions;
+  execute(cmd);
+  sumtable_valid_ = true;
+}
+
+void Engine::nr_derivatives(const std::vector<int>& partitions,
+                            std::span<const double> lens, std::span<double> d1,
+                            std::span<double> d2) {
+  if (!sumtable_valid_)
+    throw std::logic_error("nr_derivatives: sumtable not computed");
+  if (lens.size() != partitions.size() || d1.size() != partitions.size() ||
+      d2.size() != partitions.size())
+    throw std::invalid_argument("nr_derivatives: size mismatch");
+
+  Command cmd;
+  cmd.do_nr = true;
+  cmd.nr_parts = partitions;
+  for (std::size_t k = 0; k < partitions.size(); ++k) {
+    const PartData& pd = *parts_[static_cast<std::size_t>(partitions[k])];
+    const auto& rates = pd.model.category_rates();
+    const auto& lambda = pd.model.model().eigenvalues();
+    const double b = std::clamp(lens[k], kBranchMin, kBranchMax);
+    cmd.nr_exp.push_back(cmd.scratch.size());
+    for (int c = 0; c < pd.cats; ++c)
+      for (int s = 0; s < pd.states; ++s)
+        cmd.scratch.push_back(
+            std::exp(lambda[static_cast<std::size_t>(s)] *
+                     rates[static_cast<std::size_t>(c)] * b));
+    cmd.nr_lam.push_back(cmd.scratch.size());
+    for (int c = 0; c < pd.cats; ++c)
+      for (int s = 0; s < pd.states; ++s)
+        cmd.scratch.push_back(lambda[static_cast<std::size_t>(s)] *
+                              rates[static_cast<std::size_t>(c)]);
+  }
+  execute(cmd);
+
+  for (std::size_t k = 0; k < partitions.size(); ++k) {
+    const int p = partitions[k];
+    double s1 = 0.0, s2 = 0.0;
+    for (int t = 0; t < team_->size(); ++t) {
+      s1 += red_d1_[static_cast<std::size_t>(t) * red_stride_ +
+                    static_cast<std::size_t>(p)];
+      s2 += red_d2_[static_cast<std::size_t>(t) * red_stride_ +
+                    static_cast<std::size_t>(p)];
+    }
+    d1[k] = s1;
+    d2[k] = s2;
+  }
+}
+
+void Engine::reset_stats() {
+  stats_ = EngineStats{};
+  team_->reset_stats();
+}
+
+void Engine::sync_tree_lengths() {
+  for (EdgeId e = 0; e < tree_.edge_count(); ++e)
+    tree_.set_length(e, lengths_.mean(e));
+}
+
+}  // namespace plk

@@ -1,0 +1,186 @@
+// The PLK engine: likelihood evaluation over a partitioned alignment.
+//
+// The engine owns, per partition: encoded tip data, per-inner-node CLVs with
+// scale counts, the model parameters, and a Newton-Raphson sumtable. It owns
+// the thread team and issues *commands* — each command is one parallel
+// region followed by one synchronization, mirroring the RAxML Pthreads
+// design the paper describes:
+//
+//   * traverse            - execute a (partial) tree traversal of newview ops
+//   * traverse + evaluate - same, then reduce per-partition log-likelihoods
+//   * sumtable            - precompute NR coefficients at the virtual root
+//   * nr_derivatives      - reduce d lnL/db, d2 lnL/db2 for a set of
+//                           partitions with per-partition candidate lengths
+//
+// CLV validity tracking: every inner node stores the edge its CLV "points
+// toward" (the virtual-root side); per-partition epochs invalidate CLVs when
+// a partition's model parameters change. Partial traversals fall out
+// naturally: moving the virtual root to an adjacent branch re-orients only
+// the nodes on the path (the paper's "3-4 inner likelihood vectors on
+// average" during tree search).
+//
+// Discipline required of callers (enforced by the optimizers in this repo):
+// branch lengths may only change on the *current* root edge (or be followed
+// by invalidate_all()); topology surgery must be followed by
+// invalidate_node() on every rewired node plus the nodes on the paths from
+// the affected edges to the current root edge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bio/patterns.hpp"
+#include "core/branch_lengths.hpp"
+#include "core/kernels.hpp"
+#include "core/partition_model.hpp"
+#include "parallel/thread_team.hpp"
+#include "tree/tree.hpp"
+#include "util/aligned.hpp"
+
+namespace plk {
+
+/// Engine construction options.
+struct EngineOptions {
+  /// Total threads (including the orchestrating master). 1 = sequential.
+  int threads = 1;
+  /// Per-partition branch lengths (unlinked) vs one joint set (linked).
+  bool unlinked_branch_lengths = false;
+  /// Collect per-thread timing instrumentation in the team.
+  bool instrument = true;
+};
+
+/// Aggregate engine counters for the ablation benchmarks.
+struct EngineStats {
+  std::uint64_t commands = 0;        ///< parallel commands (== syncs)
+  std::uint64_t newview_ops = 0;     ///< node-partition CLV recomputations
+  std::uint64_t evaluations = 0;     ///< likelihood reductions
+  std::uint64_t nr_iterations = 0;   ///< NR derivative reductions
+};
+
+/// The likelihood engine. Not copyable; owns large CLV buffers.
+class Engine {
+ public:
+  /// `aln` must outlive the engine. Tree tip labels must match the
+  /// alignment's taxon names (any order). One model per partition.
+  Engine(const CompressedAlignment& aln, Tree tree,
+         std::vector<PartitionModel> models, EngineOptions opts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- structure accessors -------------------------------------------------
+
+  const Tree& tree() const { return tree_; }
+  Tree& tree() { return tree_; }
+  int partition_count() const { return static_cast<int>(parts_.size()); }
+  int threads() const { return team_->size(); }
+  std::size_t pattern_count(int p) const;
+  std::size_t total_patterns() const;
+
+  const PartitionModel& model(int p) const;
+  /// Mutable model access; call invalidate_partition(p) after changing it.
+  PartitionModel& model(int p);
+
+  BranchLengths& branch_lengths() { return lengths_; }
+  const BranchLengths& branch_lengths() const { return lengths_; }
+
+  // --- invalidation --------------------------------------------------------
+
+  /// Mark all CLVs of partition `p` stale (after a model parameter change).
+  void invalidate_partition(int p);
+  /// Drop the orientation of node `v` (after topology surgery around it).
+  void invalidate_node(NodeId v);
+  /// Drop all orientations (full traversal on next evaluation).
+  void invalidate_all();
+
+  // --- likelihood ----------------------------------------------------------
+
+  /// Log-likelihood with the virtual root on `edge`, summed over all
+  /// partitions. One command (traversal ops fused with the evaluation).
+  double loglikelihood(EdgeId edge);
+
+  /// Log-likelihood restricted to the given partitions; fills
+  /// per_partition_lnl() for exactly those partitions. This is the oldPAR /
+  /// newPAR workhorse: oldPAR calls it with a single partition, newPAR with
+  /// all active ones, at identical synchronization cost per call.
+  double loglikelihood(EdgeId edge, const std::vector<int>& partitions);
+
+  /// Per-partition log-likelihoods from the most recent evaluation
+  /// (entries for partitions not in that evaluation are stale).
+  std::span<const double> per_partition_lnl() const { return last_lnl_; }
+
+  /// Per-pattern log-likelihoods of partition `p` with the virtual root on
+  /// `edge` (scale-corrected, not weight-multiplied: the total partition lnL
+  /// is the weight-dot-product of this vector). One command.
+  std::vector<double> site_loglikelihoods(EdgeId edge, int p);
+
+  /// The edge the CLVs currently point toward (kNoId before first use).
+  EdgeId root_edge() const { return root_edge_; }
+
+  // --- branch-length optimization primitives -------------------------------
+
+  /// Orient all CLVs toward `edge` (one command, possibly with zero ops).
+  void prepare_root(EdgeId edge);
+
+  /// Precompute NR sumtables at the current root for `partitions`.
+  /// prepare_root(edge) must have been called. One command.
+  void compute_sumtable(const std::vector<int>& partitions);
+
+  /// d lnL / db and d2 lnL / db2 for each listed partition at candidate
+  /// branch length `lens[i]` (one per listed partition; in linked mode pass
+  /// the same value and sum the outputs). Requires compute_sumtable().
+  /// One command regardless of how many partitions are listed.
+  void nr_derivatives(const std::vector<int>& partitions,
+                      std::span<const double> lens, std::span<double> d1,
+                      std::span<double> d2);
+
+  // --- instrumentation ------------------------------------------------------
+
+  const EngineStats& stats() const { return stats_; }
+  const TeamStats& team_stats() const { return team_->stats(); }
+  void reset_stats();
+
+  /// Write mean branch lengths back into the tree (for Newick export).
+  void sync_tree_lengths();
+
+ private:
+  struct PartData;
+  struct Command;
+
+  void build_tip_data();
+  /// Recursively ensure node `v`'s CLV points toward `via` and is fresh for
+  /// the scope; appends newview ops. `need_all`: validity required for every
+  /// partition (orientation flips), else for `scope` only.
+  void ensure_clv(NodeId v, EdgeId via, bool need_all,
+                  const std::vector<int>& scope, Command& cmd);
+  void add_newview_op(NodeId v, EdgeId via, const std::vector<int>& parts,
+                      Command& cmd);
+  void execute(Command& cmd);
+  kernel::ChildView child_view(int p, NodeId v) const;
+
+  const CompressedAlignment& aln_;
+  Tree tree_;
+  std::vector<std::unique_ptr<PartData>> parts_;
+  BranchLengths lengths_;
+  std::unique_ptr<ThreadTeam> team_;
+
+  std::vector<EdgeId> orient_;              // per node; kNoId = invalid
+  std::vector<std::uint32_t> model_epoch_;  // per partition
+  std::vector<std::vector<std::uint32_t>> clv_epoch_;  // [inner][partition]
+  std::vector<NodeId> tip_of_taxon_;        // alignment taxon -> tree tip
+
+  EdgeId root_edge_ = kNoId;
+  bool sumtable_valid_ = false;
+  std::vector<double> last_lnl_;            // per partition
+
+  // Padded per-thread reduction buffers (lnl / d1 / d2), stride-aligned.
+  std::vector<double> red_lnl_, red_d1_, red_d2_;
+  std::size_t red_stride_ = 0;
+
+  EngineStats stats_;
+};
+
+}  // namespace plk

@@ -1,0 +1,141 @@
+#include "core/model_opt.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "model/gamma.hpp"
+#include "model/subst_model.hpp"
+#include "optimize/brent.hpp"
+
+namespace plk {
+
+namespace {
+
+EdgeId eval_edge(const Engine& engine) {
+  return engine.root_edge() == kNoId ? 0 : engine.root_edge();
+}
+
+/// Apply a parameter proposal for one partition (alpha or exchangeability
+/// `rate_index`) and invalidate its CLVs.
+void apply_param(Engine& engine, int p, int rate_index, double value) {
+  if (rate_index < 0)
+    engine.model(p).set_alpha(value);
+  else
+    engine.model(p).model().set_exchangeability(rate_index, value);
+  engine.invalidate_partition(p);
+}
+
+double current_param(const Engine& engine, int p, int rate_index) {
+  if (rate_index < 0) return engine.model(p).alpha();
+  return engine.model(p).model()
+      .exchangeabilities()[static_cast<std::size_t>(rate_index)];
+}
+
+/// oldPAR: optimize `rate_index` (or alpha when negative) for the listed
+/// partitions one at a time; every Brent iteration is a single-partition
+/// likelihood command.
+void optimize_param_old(Engine& engine, const std::vector<int>& parts,
+                        int rate_index, double lo, double hi,
+                        const ModelOptOptions& opts) {
+  const EdgeId edge = eval_edge(engine);
+  for (int p : parts) {
+    const double start = current_param(engine, p, rate_index);
+    BrentMinimizer bm(lo, hi, opts.brent_rel_tol, 1e-8,
+                      opts.max_brent_iterations, start);
+    while (!bm.done()) {
+      apply_param(engine, p, rate_index, bm.proposal());
+      const double lnl = engine.loglikelihood(edge, {p});
+      bm.feed(-lnl);
+    }
+    // Restore the best point found (Brent's last proposal need not be it).
+    apply_param(engine, p, rate_index, bm.best());
+    engine.loglikelihood(edge, {p});
+  }
+}
+
+/// newPAR: one Brent instance per listed partition, advanced in lock-step;
+/// each iteration evaluates all active partitions' proposals in ONE command,
+/// with converged partitions masked out (the paper's convergence vector).
+void optimize_param_new(Engine& engine, const std::vector<int>& parts,
+                        int rate_index, double lo, double hi,
+                        const ModelOptOptions& opts) {
+  const EdgeId edge = eval_edge(engine);
+  std::vector<BrentMinimizer> bm;
+  bm.reserve(parts.size());
+  for (int p : parts)
+    bm.emplace_back(lo, hi, opts.brent_rel_tol, 1e-8,
+                    opts.max_brent_iterations,
+                    current_param(engine, p, rate_index));
+
+  std::vector<int> active_idx(parts.size());
+  for (std::size_t k = 0; k < parts.size(); ++k)
+    active_idx[k] = static_cast<int>(k);
+
+  while (!active_idx.empty()) {
+    std::vector<int> active_parts;
+    active_parts.reserve(active_idx.size());
+    for (int k : active_idx) {
+      const int p = parts[static_cast<std::size_t>(k)];
+      apply_param(engine, p, rate_index,
+                  bm[static_cast<std::size_t>(k)].proposal());
+      active_parts.push_back(p);
+    }
+    engine.loglikelihood(edge, active_parts);
+    const auto lnl = engine.per_partition_lnl();
+
+    std::vector<int> still;
+    for (int k : active_idx) {
+      auto& inst = bm[static_cast<std::size_t>(k)];
+      inst.feed(-lnl[static_cast<std::size_t>(parts[static_cast<std::size_t>(k)])]);
+      if (!inst.done()) still.push_back(k);
+    }
+    active_idx = std::move(still);
+  }
+
+  // Commit every partition's best point (one final joint evaluation).
+  for (std::size_t k = 0; k < parts.size(); ++k)
+    apply_param(engine, parts[k], rate_index, bm[k].best());
+  engine.loglikelihood(edge, parts);
+}
+
+void optimize_param(Engine& engine, Strategy strategy,
+                    const std::vector<int>& parts, int rate_index, double lo,
+                    double hi, const ModelOptOptions& opts) {
+  if (parts.empty()) return;
+  if (strategy == Strategy::kOldPar)
+    optimize_param_old(engine, parts, rate_index, lo, hi, opts);
+  else
+    optimize_param_new(engine, parts, rate_index, lo, hi, opts);
+}
+
+}  // namespace
+
+double optimize_model_parameters(Engine& engine, Strategy strategy,
+                                 const ModelOptOptions& opts) {
+  std::vector<int> all_parts, dna_parts;
+  int max_dna_rates = 0;
+  for (int p = 0; p < engine.partition_count(); ++p) {
+    all_parts.push_back(p);
+    if (engine.model(p).model().states() == 4) {
+      dna_parts.push_back(p);
+      max_dna_rates = engine.model(p).model().free_rate_count();
+    }
+  }
+
+  if (opts.optimize_alpha)
+    optimize_param(engine, strategy, all_parts, -1, kAlphaMin, kAlphaMax,
+                   opts);
+
+  if (opts.optimize_rates) {
+    // Coordinate descent over the DNA exchangeabilities: rate k is optimized
+    // across all DNA partitions (simultaneously under newPAR) before moving
+    // to rate k+1 — the schedule RAxML uses.
+    for (int k = 0; k < max_dna_rates; ++k)
+      optimize_param(engine, strategy, dna_parts, k, SubstModel::kRateMin,
+                     SubstModel::kRateMax, opts);
+  }
+
+  return engine.loglikelihood(eval_edge(engine));
+}
+
+}  // namespace plk

@@ -1,0 +1,39 @@
+// Model-parameter optimization: Brent over alpha and the Q-matrix
+// exchangeabilities, per partition, under either parallelization strategy.
+//
+// Every Brent evaluation for partition p changes p's parameters and
+// therefore invalidates all of p's CLVs: re-evaluating the likelihood is a
+// *full tree traversal* restricted to p's patterns. That is why the paper
+// reports only 5-10 % improvement for model optimization (lots of work per
+// synchronization even in oldPAR) versus up to 8x for branch lengths:
+//
+//   * oldPAR: partitions are optimized one at a time; each Brent iteration
+//     is one command over len(p)/T patterns per thread (times n-2 newviews);
+//   * newPAR: one Brent instance per partition advances in lock-step; each
+//     command evaluates all non-converged partitions' proposals at once.
+//
+// Exchangeabilities are optimized coordinate-wise (one rate at a time across
+// all partitions), matching RAxML; protein partitions use fixed empirical
+// matrices and skip rate optimization, also matching RAxML.
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/strategy.hpp"
+
+namespace plk {
+
+/// Tuning knobs for model-parameter optimization.
+struct ModelOptOptions {
+  bool optimize_alpha = true;
+  bool optimize_rates = true;   ///< DNA exchangeabilities (protein: skipped)
+  double brent_rel_tol = 1e-3;
+  int max_brent_iterations = 60;
+};
+
+/// Optimize alpha (and DNA exchangeabilities) for every partition on the
+/// fixed current topology and branch lengths. Returns the final total
+/// log-likelihood.
+double optimize_model_parameters(Engine& engine, Strategy strategy,
+                                 const ModelOptOptions& opts = {});
+
+}  // namespace plk

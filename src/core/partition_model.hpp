@@ -1,0 +1,56 @@
+// Per-partition likelihood model parameters.
+//
+// A partitioned analysis estimates, for every partition (gene): the
+// substitution model's exchangeabilities, the Gamma shape alpha, and —
+// optionally — its own branch lengths. This bundle owns the first two; the
+// engine signals parameter changes via epochs so only the affected
+// partition's CLVs are recomputed.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/gamma.hpp"
+#include "model/subst_model.hpp"
+
+namespace plk {
+
+/// One partition's substitution model plus rate heterogeneity.
+class PartitionModel {
+ public:
+  PartitionModel(SubstModel model, double alpha = 1.0, int gamma_cats = 4,
+                 GammaMode mode = GammaMode::kMean)
+      : model_(std::move(model)),
+        gamma_cats_(gamma_cats),
+        mode_(mode) {
+    set_alpha(alpha);
+  }
+
+  const SubstModel& model() const { return model_; }
+  SubstModel& model() { return model_; }
+
+  double alpha() const { return alpha_; }
+  int gamma_categories() const { return gamma_cats_; }
+  GammaMode gamma_mode() const { return mode_; }
+
+  /// Category rate multipliers (mean 1, one per category).
+  const std::vector<double>& category_rates() const { return rates_; }
+
+  /// Set the Gamma shape and refresh category rates. Clamped to
+  /// [kAlphaMin, kAlphaMax].
+  void set_alpha(double alpha) {
+    alpha_ = alpha < kAlphaMin ? kAlphaMin
+                               : (alpha > kAlphaMax ? kAlphaMax : alpha);
+    rates_ = discrete_gamma_rates(alpha_, gamma_cats_, mode_);
+  }
+
+ private:
+  SubstModel model_;
+  double alpha_ = 1.0;
+  int gamma_cats_;
+  GammaMode mode_;
+  std::vector<double> rates_;
+};
+
+}  // namespace plk

@@ -1,0 +1,25 @@
+// Parallelization strategy selector: the paper's oldPAR vs newPAR.
+#pragma once
+
+#include <string_view>
+
+namespace plk {
+
+/// How iterative per-partition optimizations are scheduled over the thread
+/// team (the subject of the paper).
+enum class Strategy {
+  /// Original approach: optimize one partition at a time. Every Brent /
+  /// Newton-Raphson iteration synchronizes all threads while offering each
+  /// thread only that partition's patterns / nthreads of work.
+  kOldPar,
+  /// The paper's contribution: advance the iterative optimizers of all
+  /// partitions simultaneously, with a per-partition convergence vector, so
+  /// every synchronization covers the full alignment width.
+  kNewPar,
+};
+
+inline std::string_view to_string(Strategy s) {
+  return s == Strategy::kOldPar ? "oldPAR" : "newPAR";
+}
+
+}  // namespace plk

@@ -1,0 +1,74 @@
+#include "model/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace plk {
+
+EigenSystem eigen_symmetric(const Matrix& a_in, double symmetry_tol) {
+  const std::size_t n = a_in.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (std::abs(a_in(i, j) - a_in(j, i)) > symmetry_tol)
+        throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+
+  Matrix a = a_in;
+  Matrix v = Matrix::identity(n);
+
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius norm; convergence check.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (off < 1e-30) {
+      EigenSystem out;
+      out.values.resize(n);
+      for (std::size_t i = 0; i < n; ++i) out.values[i] = a(i, i);
+      out.vectors = std::move(v);
+      return out;
+    }
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable rotation: t = sign(theta) / (|theta| + sqrt(theta^2 + 1)).
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation J(p, q, theta) on both sides of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  throw std::runtime_error("eigen_symmetric: Jacobi did not converge");
+}
+
+}  // namespace plk

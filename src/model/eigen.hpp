@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Time-reversible rate matrices become symmetric after the similarity
+// transform B = D^{1/2} Q D^{-1/2} (D = diag of the stationary frequencies);
+// the Jacobi method is exact enough and dependency-free for matrices of size
+// <= 20, which is all the PLK ever needs.
+#pragma once
+
+#include <vector>
+
+#include "model/matrix.hpp"
+
+namespace plk {
+
+/// Result of a symmetric eigendecomposition A = V diag(values) V^T, with V
+/// orthonormal columns (eigenvector k is V(:, k)).
+struct EigenSystem {
+  std::vector<double> values;
+  Matrix vectors;  // columns are eigenvectors
+};
+
+/// Decompose a symmetric matrix. Throws std::invalid_argument if `a` is not
+/// symmetric to within `symmetry_tol`, or std::runtime_error if Jacobi fails
+/// to converge (which does not happen for well-formed inputs).
+EigenSystem eigen_symmetric(const Matrix& a, double symmetry_tol = 1e-9);
+
+}  // namespace plk

@@ -1,0 +1,182 @@
+#include "model/gamma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+
+/// Series expansion of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-15)
+      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  throw std::runtime_error("gamma_p_series: no convergence");
+}
+
+/// Continued fraction for Q(a, x) = 1 - P(a, x); for x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15)
+      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  throw std::runtime_error("gamma_q_contfrac: no convergence");
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (a <= 0.0) throw std::invalid_argument("regularized_gamma_p: a <= 0");
+  if (x < 0.0) throw std::invalid_argument("regularized_gamma_p: x < 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double gamma_cdf(double x, double shape, double rate) {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape, rate * x);
+}
+
+double gamma_quantile(double p, double shape, double rate) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("gamma_quantile: p must be in (0,1)");
+  if (shape <= 0.0 || rate <= 0.0)
+    throw std::invalid_argument("gamma_quantile: non-positive parameter");
+
+  // Wilson–Hilferty starting point: Gamma quantile via the normal
+  // approximation of the cube root of a chi-square variate.
+  // Normal quantile via Acklam-style rational approximation is overkill;
+  // a simple logistic-ish approximation then Newton cleanup suffices.
+  auto normal_quantile = [](double q) {
+    // Beasley–Springer–Moro style central + tail approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425, phigh = 1 - plow;
+    double x;
+    if (q < plow) {
+      const double u = std::sqrt(-2.0 * std::log(q));
+      x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+           c[5]) /
+          ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+    } else if (q > phigh) {
+      const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+      x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+            c[5]) /
+          ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+    } else {
+      const double u = q - 0.5;
+      const double r = u * u;
+      x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+           a[5]) *
+          u /
+          (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    }
+    return x;
+  };
+
+  const double z = normal_quantile(p);
+  const double g = 2.0 * shape;  // chi-square degrees of freedom analogue
+  const double wh = 1.0 - 2.0 / (9.0 * g) + z * std::sqrt(2.0 / (9.0 * g));
+  double x = 0.5 * g * wh * wh * wh / rate;
+  if (!(x > 0.0)) x = shape / rate * 0.01;
+
+  // Newton iterations on the CDF (with bisection fallback bounds).
+  double lo = 0.0, hi = x;
+  while (gamma_cdf(hi, shape, rate) < p) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double f = gamma_cdf(x, shape, rate) - p;
+    if (f > 0)
+      hi = x;
+    else
+      lo = x;
+    // Gamma pdf at x.
+    const double logpdf = shape * std::log(rate) +
+                          (shape - 1.0) * std::log(x) - rate * x -
+                          std::lgamma(shape);
+    const double pdf = std::exp(logpdf);
+    double next = (pdf > 1e-290) ? x - f / pdf : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - x) < 1e-14 * (1.0 + std::abs(x))) return next;
+    x = next;
+  }
+  return x;
+}
+
+std::vector<double> discrete_gamma_rates(double alpha, int categories,
+                                         GammaMode mode) {
+  if (alpha <= 0.0)
+    throw std::invalid_argument("discrete_gamma_rates: alpha <= 0");
+  if (categories < 1)
+    throw std::invalid_argument("discrete_gamma_rates: categories < 1");
+  if (categories == 1) return {1.0};
+
+  const int k = categories;
+  std::vector<double> rates(static_cast<std::size_t>(k));
+  if (mode == GammaMode::kMean) {
+    // Cut points at quantiles i/k of Gamma(alpha, alpha); category mean
+    // computed via the Gamma(alpha+1, alpha) CDF identity
+    // E[X ; a < X < b] = F_{alpha+1}(b) - F_{alpha+1}(a)  (mean-1 variate).
+    std::vector<double> cut(static_cast<std::size_t>(k + 1));
+    cut[0] = 0.0;
+    cut[static_cast<std::size_t>(k)] = 0.0;  // sentinel; treated as +inf below
+    for (int i = 1; i < k; ++i)
+      cut[static_cast<std::size_t>(i)] =
+          gamma_quantile(static_cast<double>(i) / k, alpha, alpha);
+    auto upper_mass = [&](int i) {  // F_{alpha+1}(cut[i]) with F(inf)=1
+      if (i == 0) return 0.0;
+      if (i == k) return 1.0;
+      return gamma_cdf(cut[static_cast<std::size_t>(i)], alpha + 1.0, alpha);
+    };
+    for (int i = 0; i < k; ++i)
+      rates[static_cast<std::size_t>(i)] =
+          (upper_mass(i + 1) - upper_mass(i)) * k;
+  } else {
+    // Median of each category, then renormalize to mean exactly 1.
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const double p = (2.0 * i + 1.0) / (2.0 * k);
+      rates[static_cast<std::size_t>(i)] = gamma_quantile(p, alpha, alpha);
+      sum += rates[static_cast<std::size_t>(i)];
+    }
+    for (auto& r : rates) r *= k / sum;
+  }
+  // Guard against pathological tiny rates that would produce singular
+  // transition matrices.
+  for (auto& r : rates)
+    if (r < 1e-8) r = 1e-8;
+  return rates;
+}
+
+}  // namespace plk

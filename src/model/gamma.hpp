@@ -1,0 +1,41 @@
+// Discrete Gamma rate heterogeneity (Yang 1994).
+//
+// Sites in real alignments evolve at different speeds. The Γ model draws a
+// per-site rate multiplier from a Gamma(alpha, alpha) distribution (mean 1);
+// the standard discrete approximation replaces the continuous density by K
+// equiprobable categories, each represented by its mean (or median) rate.
+// The alpha shape parameter is estimated by maximum likelihood per partition
+// — one of the per-partition Brent optimizations whose parallelization the
+// paper studies.
+#pragma once
+
+#include <vector>
+
+namespace plk {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a).
+double regularized_gamma_p(double a, double x);
+
+/// CDF of Gamma(shape, rate) at x.
+double gamma_cdf(double x, double shape, double rate);
+
+/// Quantile (inverse CDF) of Gamma(shape, rate); p in (0, 1).
+double gamma_quantile(double p, double shape, double rate);
+
+/// How each category represents its probability mass.
+enum class GammaMode {
+  kMean,    ///< category rate = conditional mean (Yang's default)
+  kMedian,  ///< category rate = conditional median, renormalized to mean 1
+};
+
+/// K equiprobable discrete Gamma category rates for shape `alpha`.
+/// The returned rates always average exactly 1 (each category has
+/// probability 1/K). alpha must be > 0; K >= 1. K == 1 returns {1}.
+std::vector<double> discrete_gamma_rates(double alpha, int categories,
+                                         GammaMode mode = GammaMode::kMean);
+
+/// Bounds within which alpha is optimized (matching RAxML's limits).
+inline constexpr double kAlphaMin = 0.02;
+inline constexpr double kAlphaMax = 100.0;
+
+}  // namespace plk

@@ -1,0 +1,76 @@
+// Small dense square matrices for substitution-model math.
+//
+// Substitution matrices are at most 20x20 (amino acids); these are simple
+// row-major heap matrices with the handful of operations the model layer
+// needs. Not a general linear-algebra library by design.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace plk {
+
+/// Row-major square matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(std::size_t n, double fill = 0.0)
+      : n_(n), data_(n * n, fill) {}
+
+  std::size_t size() const { return n_; }
+
+  double& operator()(std::size_t i, std::size_t j) { return data_[i * n_ + j]; }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * n_ + j];
+  }
+
+  double* row(std::size_t i) { return data_.data() + i * n_; }
+  const double* row(std::size_t i) const { return data_.data() + i * n_; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// Matrix product (this * rhs); sizes must match.
+  Matrix multiply(const Matrix& rhs) const {
+    if (rhs.n_ != n_) throw std::invalid_argument("matrix size mismatch");
+    Matrix out(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t k = 0; k < n_; ++k) {
+        const double a = (*this)(i, k);
+        if (a == 0.0) continue;
+        for (std::size_t j = 0; j < n_; ++j) out(i, j) += a * rhs(k, j);
+      }
+    return out;
+  }
+
+  /// Transposed copy.
+  Matrix transposed() const {
+    Matrix out(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = 0; j < n_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  /// Max |a_ij - b_ij|.
+  double max_abs_diff(const Matrix& rhs) const {
+    double d = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      const double x = data_[i] - rhs.data_[i];
+      d = d > (x < 0 ? -x : x) ? d : (x < 0 ? -x : x);
+    }
+    return d;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace plk

@@ -1,0 +1,219 @@
+#include "model/subst_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace plk {
+
+namespace {
+
+std::size_t exch_count(int states) {
+  return static_cast<std::size_t>(states) *
+         static_cast<std::size_t>(states - 1) / 2;
+}
+
+}  // namespace
+
+SubstModel::SubstModel(int states, std::vector<double> exch,
+                       std::vector<double> freqs)
+    : states_(states), exch_(std::move(exch)), freqs_(std::move(freqs)) {
+  if (states_ < 2) throw std::invalid_argument("model needs >= 2 states");
+  if (exch_.size() != exch_count(states_))
+    throw std::invalid_argument("wrong exchangeability count");
+  if (freqs_.size() != static_cast<std::size_t>(states_))
+    throw std::invalid_argument("wrong frequency count");
+  for (double r : exch_)
+    if (!(r > 0.0)) throw std::invalid_argument("non-positive exchangeability");
+  double fsum = 0.0;
+  for (double f : freqs_) {
+    if (!(f > 0.0)) throw std::invalid_argument("non-positive frequency");
+    fsum += f;
+  }
+  // Skip the division when already normalized: repeated renormalization of
+  // an almost-1 sum would oscillate in the last ulp (breaking byte-stable
+  // checkpoints) without improving anything.
+  if (std::abs(fsum - 1.0) > 1e-12)
+    for (double& f : freqs_) f /= fsum;
+  decompose();
+}
+
+void SubstModel::set_exchangeability(int k, double value) {
+  if (k < 0 || k >= free_rate_count())
+    throw std::out_of_range("exchangeability index");
+  exch_[static_cast<std::size_t>(k)] =
+      std::clamp(value, kRateMin, kRateMax);
+  decompose();
+}
+
+void SubstModel::set_exchangeabilities(std::vector<double> exch) {
+  if (exch.size() != exch_.size())
+    throw std::invalid_argument("wrong exchangeability count");
+  for (double r : exch)
+    if (!(r > 0.0)) throw std::invalid_argument("non-positive exchangeability");
+  exch_ = std::move(exch);
+  decompose();
+}
+
+void SubstModel::set_freqs(std::vector<double> freqs) {
+  if (freqs.size() != static_cast<std::size_t>(states_))
+    throw std::invalid_argument("wrong frequency count");
+  double fsum = 0.0;
+  for (double f : freqs) {
+    if (!(f > 0.0)) throw std::invalid_argument("non-positive frequency");
+    fsum += f;
+  }
+  if (std::abs(fsum - 1.0) > 1e-12)
+    for (double& f : freqs) f /= fsum;
+  freqs_ = std::move(freqs);
+  decompose();
+}
+
+void SubstModel::decompose() {
+  const std::size_t s = static_cast<std::size_t>(states_);
+
+  // Unnormalized Q: q_ij = exch_ij * pi_j for i != j.
+  Matrix q(s);
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t j = i + 1; j < s; ++j, ++e) {
+      q(i, j) = exch_[e] * freqs_[j];
+      q(j, i) = exch_[e] * freqs_[i];
+    }
+  double mean_rate = 0.0;  // -sum_i pi_i q_ii = expected subst / unit time
+  for (std::size_t i = 0; i < s; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < s; ++j)
+      if (j != i) row += q(i, j);
+    q(i, i) = -row;
+    mean_rate += freqs_[i] * row;
+  }
+  if (!(mean_rate > 0.0))
+    throw std::invalid_argument("degenerate rate matrix");
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t j = 0; j < s; ++j) q(i, j) /= mean_rate;
+  q_ = q;
+
+  // Symmetrize: B_ij = q_ij * sqrt(pi_i / pi_j); reversibility makes B
+  // symmetric exactly (up to round-off, which we symmetrize away).
+  Matrix b(s);
+  std::vector<double> sqrt_pi(s);
+  for (std::size_t i = 0; i < s; ++i) sqrt_pi[i] = std::sqrt(freqs_[i]);
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t j = 0; j < s; ++j)
+      b(i, j) = q_(i, j) * sqrt_pi[i] / sqrt_pi[j];
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t j = i + 1; j < s; ++j) {
+      const double avg = 0.5 * (b(i, j) + b(j, i));
+      b(i, j) = avg;
+      b(j, i) = avg;
+    }
+
+  EigenSystem es = eigen_symmetric(b);
+  eigenvalues_ = std::move(es.values);
+
+  left_ = Matrix(s);
+  right_ = Matrix(s);
+  sym_ = Matrix(s);
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t k = 0; k < s; ++k) {
+      left_(i, k) = es.vectors(i, k) / sqrt_pi[i];
+      right_(k, i) = es.vectors(i, k) * sqrt_pi[i];
+      sym_(k, i) = sqrt_pi[i] * es.vectors(i, k);
+    }
+}
+
+void SubstModel::transition_matrix(double t, Matrix& out) const {
+  const std::size_t s = static_cast<std::size_t>(states_);
+  t = std::clamp(t, kBranchMin, kBranchMax);
+  if (out.size() != s) out = Matrix(s);
+  double expl[32];
+  for (std::size_t k = 0; k < s; ++k)
+    expl[k] = std::exp(eigenvalues_[k] * t);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      double p = 0.0;
+      for (std::size_t k = 0; k < s; ++k)
+        p += left_(i, k) * expl[k] * right_(k, j);
+      out(i, j) = p > 0.0 ? p : 0.0;  // clamp round-off negatives
+    }
+  }
+}
+
+// --- factories --------------------------------------------------------------
+
+SubstModel jc69() {
+  return SubstModel(4, std::vector<double>(6, 1.0),
+                    std::vector<double>(4, 0.25));
+}
+
+SubstModel k80(double kappa) {
+  // Exchangeability order: AC, AG, AT, CG, CT, GT; transitions are AG, CT.
+  return SubstModel(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0},
+                    std::vector<double>(4, 0.25));
+}
+
+SubstModel hky85(double kappa, std::vector<double> freqs) {
+  return SubstModel(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0}, std::move(freqs));
+}
+
+SubstModel gtr(std::vector<double> six_rates, std::vector<double> freqs) {
+  if (six_rates.size() != 6)
+    throw std::invalid_argument("GTR needs 6 exchangeabilities");
+  return SubstModel(4, std::move(six_rates), std::move(freqs));
+}
+
+SubstModel protein_model(std::string_view name) {
+  std::string up(name);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  // Deterministic seed from the model name so "WAG" is always the same model.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (char c : up) seed = seed * 1099511628211ULL + static_cast<unsigned char>(c);
+  if (up != "WAG" && up != "JTT" && up != "LG" && up != "DAYHOFF" &&
+      up != "PROT" && up != "AA" && up != "PROTGAMMA")
+    throw std::invalid_argument("unknown protein model '" + up + "'");
+  if (up == "PROT" || up == "AA" || up == "PROTGAMMA") seed = 0x57a6u;  // WAG stand-in
+
+  // Synthetic reversible 20-state model: log-normal-ish exchangeabilities,
+  // Dirichlet-ish frequencies, deterministic in `seed` (see header comment).
+  std::vector<double> exch(exch_count(20));
+  std::uint64_t s = seed;
+  for (auto& r : exch) {
+    const double u = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    r = std::exp(3.0 * (u - 0.5));  // spread over ~ e^-1.5 .. e^1.5
+  }
+  std::vector<double> freqs(20);
+  double fsum = 0.0;
+  for (auto& f : freqs) {
+    const double u = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    f = 0.01 + u;  // bounded away from 0
+    fsum += f;
+  }
+  for (auto& f : freqs) f /= fsum;
+  return SubstModel(20, std::move(exch), std::move(freqs));
+}
+
+SubstModel make_model(std::string_view name, const std::vector<double>& freqs) {
+  std::string up(name);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  auto dna_freqs = [&]() -> std::vector<double> {
+    return freqs.empty() ? std::vector<double>(4, 0.25) : freqs;
+  };
+  if (up == "JC" || up == "JC69")
+    return freqs.empty() ? jc69() : SubstModel(4, std::vector<double>(6, 1.0), freqs);
+  if (up == "K80" || up == "K2P") return k80();
+  if (up == "HKY" || up == "HKY85") return hky85(2.0, dna_freqs());
+  if (up == "GTR" || up == "DNA")
+    return gtr(std::vector<double>(6, 1.0), dna_freqs());
+  // Protein names.
+  SubstModel m = protein_model(up);
+  if (!freqs.empty()) m.set_freqs(freqs);
+  return m;
+}
+
+}  // namespace plk

@@ -1,0 +1,114 @@
+// Time-reversible substitution models.
+//
+// A general time-reversible (GTR-class) model over S states is defined by
+// S(S-1)/2 exchangeability parameters and S stationary frequencies. The rate
+// matrix Q (q_ij = exch_ij * pi_j, rows summing to zero, normalized to one
+// expected substitution per unit time) is diagonalized once per parameter
+// change via the symmetric similarity transform
+//     B = D^{1/2} Q D^{-1/2},  D = diag(pi),  B = V L V^T
+// so that
+//     P(t) = exp(Q t) = (D^{-1/2} V) e^{Lt} (V^T D^{1/2}).
+// The likelihood kernel consumes the decomposition directly: transition
+// matrices for newview, and the "symmetric coordinates" transform
+//     x_k = sum_i sqrt(pi_i) V_ik L_i
+// for the branch-length Newton-Raphson sumtable, where per-site likelihoods
+// become sum_k x_k y_k e^{lambda_k t} and differentiate trivially in t.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/eigen.hpp"
+#include "model/matrix.hpp"
+
+namespace plk {
+
+/// Minimum branch length the models accept (matching RAxML's zmin-equivalent).
+inline constexpr double kBranchMin = 1e-7;
+/// Maximum branch length.
+inline constexpr double kBranchMax = 100.0;
+
+/// A reversible substitution model with cached eigendecomposition.
+class SubstModel {
+ public:
+  /// `exch`: upper-triangle exchangeabilities in row-major order
+  /// ((0,1),(0,2),...,(S-2,S-1)), all > 0; `freqs`: stationary frequencies,
+  /// all > 0, summing to 1 (renormalized internally).
+  SubstModel(int states, std::vector<double> exch, std::vector<double> freqs);
+
+  int states() const { return states_; }
+  const std::vector<double>& freqs() const { return freqs_; }
+  const std::vector<double>& exchangeabilities() const { return exch_; }
+
+  /// Number of free exchangeability parameters (the last one is the fixed
+  /// reference, RAxML convention: G<->T == 1 for DNA).
+  int free_rate_count() const { return static_cast<int>(exch_.size()) - 1; }
+
+  /// Replace exchangeability k (0-based, k < free_rate_count()) and
+  /// re-diagonalize. Value is clamped to [kRateMin, kRateMax].
+  void set_exchangeability(int k, double value);
+  /// Replace all exchangeabilities at once.
+  void set_exchangeabilities(std::vector<double> exch);
+  /// Replace stationary frequencies and re-diagonalize.
+  void set_freqs(std::vector<double> freqs);
+
+  /// Normalized rate matrix Q.
+  const Matrix& rate_matrix() const { return q_; }
+
+  /// Eigenvalues of Q (one is ~0).
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// Fill `out` (S x S) with P(t) = exp(Qt). Negative round-off entries are
+  /// clamped to 0. t is clamped to [kBranchMin, kBranchMax].
+  void transition_matrix(double t, Matrix& out) const;
+
+  /// Row k of this matrix, dotted with a conditional likelihood vector,
+  /// yields symmetric coordinate k: A(k, i) = sqrt(pi_i) * V(i, k).
+  const Matrix& sym_transform() const { return sym_; }
+
+  /// Bounds for exchangeability optimization (RAxML's RATE_MIN/RATE_MAX).
+  static constexpr double kRateMin = 1e-4;
+  static constexpr double kRateMax = 1e6;
+
+ private:
+  void decompose();
+
+  int states_;
+  std::vector<double> exch_;
+  std::vector<double> freqs_;
+  Matrix q_;                        // normalized rate matrix
+  std::vector<double> eigenvalues_;
+  Matrix left_;                     // D^{-1/2} V
+  Matrix right_;                    // V^T D^{1/2}
+  Matrix sym_;                      // A(k,i) = sqrt(pi_i) V(i,k)
+};
+
+// --- named model factories -------------------------------------------------
+
+/// Jukes-Cantor 1969: equal rates, equal frequencies.
+SubstModel jc69();
+/// Kimura 1980: transition/transversion ratio kappa, equal frequencies.
+SubstModel k80(double kappa = 2.0);
+/// HKY 1985: kappa plus arbitrary frequencies.
+SubstModel hky85(double kappa, std::vector<double> freqs);
+/// Full GTR with 6 exchangeabilities (AC, AG, AT, CG, CT, GT) and freqs.
+SubstModel gtr(std::vector<double> six_rates, std::vector<double> freqs);
+
+/// Named 20-state protein model ("WAG", "JTT", "LG", "DAYHOFF").
+///
+/// OFFLINE SUBSTITUTION (documented in DESIGN.md): the published empirical
+/// rate tables are not redistributable from memory, so these are synthetic
+/// reversible 20-state models generated deterministically from the model
+/// name. They exercise exactly the same code paths and per-column floating
+/// point cost as the real tables (which is all the paper's protein
+/// experiment, E7, depends on); likelihood *values* differ from RAxML's.
+SubstModel protein_model(std::string_view name);
+
+/// Build a model by name. DNA names: JC/JC69, K80/K2P, HKY/HKY85, GTR, DNA
+/// (alias of GTR). Protein names as in protein_model(), plus PROT/AA
+/// (alias of WAG). `freqs` overrides stationary frequencies when non-empty.
+SubstModel make_model(std::string_view name,
+                      const std::vector<double>& freqs = {});
+
+}  // namespace plk

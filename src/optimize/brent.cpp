@@ -1,0 +1,112 @@
+#include "optimize/brent.hpp"
+
+#include <algorithm>
+
+namespace plk {
+
+BrentMinimizer::BrentMinimizer(double lo, double hi, double rel_tol,
+                               double abs_tol, int max_iter,
+                               double first_guess)
+    : a_(lo),
+      b_(hi),
+      rel_tol_(rel_tol),
+      abs_tol_(abs_tol),
+      max_iter_(max_iter) {
+  if (!(lo < hi)) throw std::invalid_argument("BrentMinimizer: lo >= hi");
+  if (std::isfinite(first_guess) && first_guess > lo && first_guess < hi)
+    u_ = first_guess;
+  else
+    u_ = a_ + kGolden * (b_ - a_);
+}
+
+double BrentMinimizer::proposal() const {
+  if (done_) throw std::logic_error("BrentMinimizer: proposal() after done");
+  return u_;
+}
+
+void BrentMinimizer::feed(double f) {
+  if (done_) throw std::logic_error("BrentMinimizer: feed() after done");
+  ++iter_;
+  if (!primed_) {
+    primed_ = true;
+    x_ = w_ = v_ = u_;
+    fx_ = fw_ = fv_ = f;
+    plan_next();
+    return;
+  }
+  const double u = u_, fu = f;
+  // Standard localmin bookkeeping.
+  if (fu <= fx_) {
+    if (u < x_)
+      b_ = x_;
+    else
+      a_ = x_;
+    v_ = w_; fv_ = fw_;
+    w_ = x_; fw_ = fx_;
+    x_ = u; fx_ = fu;
+  } else {
+    if (u < x_)
+      a_ = u;
+    else
+      b_ = u;
+    if (fu <= fw_ || w_ == x_) {
+      v_ = w_; fv_ = fw_;
+      w_ = u; fw_ = fu;
+    } else if (fu <= fv_ || v_ == x_ || v_ == w_) {
+      v_ = u; fv_ = fu;
+    }
+  }
+  plan_next();
+}
+
+void BrentMinimizer::plan_next() {
+  if (iter_ >= max_iter_) {
+    done_ = true;
+    return;
+  }
+  const double m = 0.5 * (a_ + b_);
+  const double tol = rel_tol_ * std::abs(x_) + abs_tol_;
+  const double tol2 = 2.0 * tol;
+  if (std::abs(x_ - m) <= tol2 - 0.5 * (b_ - a_)) {
+    done_ = true;
+    return;
+  }
+  double d = 0.0;
+  bool use_golden = true;
+  if (std::abs(e_) > tol) {
+    // Try a parabolic fit through (x, fx), (w, fw), (v, fv).
+    const double r = (x_ - w_) * (fx_ - fv_);
+    double q = (x_ - v_) * (fx_ - fw_);
+    double p = (x_ - v_) * q - (x_ - w_) * r;
+    q = 2.0 * (q - r);
+    if (q > 0.0) p = -p;
+    q = std::abs(q);
+    const double e_old = e_;
+    e_ = d_;
+    if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a_ - x_) &&
+        p < q * (b_ - x_)) {
+      d = p / q;  // parabolic step accepted
+      const double u = x_ + d;
+      // Do not evaluate too close to the interval ends.
+      if (u - a_ < tol2 || b_ - u < tol2) d = (m > x_) ? tol : -tol;
+      use_golden = false;
+    }
+  }
+  if (use_golden) {
+    e_ = (x_ < m) ? b_ - x_ : a_ - x_;
+    d = kGolden * e_;
+  }
+  d_ = d;
+  u_ = (std::abs(d) >= tol) ? x_ + d : x_ + (d > 0 ? tol : -tol);
+}
+
+double brent_minimize(const std::function<double(double)>& fn, double lo,
+                      double hi, double rel_tol, int max_iter, double* fmin,
+                      double first_guess) {
+  BrentMinimizer bm(lo, hi, rel_tol, 1e-10, max_iter, first_guess);
+  while (!bm.done()) bm.feed(fn(bm.proposal()));
+  if (fmin) *fmin = bm.best_f();
+  return bm.best();
+}
+
+}  // namespace plk

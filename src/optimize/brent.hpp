@@ -1,0 +1,71 @@
+// Brent's derivative-free 1-D minimization (Brent 1973, the paper's [39]).
+//
+// RAxML optimizes the Gamma shape alpha and the Q-matrix exchangeabilities
+// with Brent's method; the paper's newPAR redesign requires advancing *many
+// independent Brent instances in lock-step* (one per partition), evaluating
+// all of their current proposals in a single parallel pass. The minimizer is
+// therefore written as a resumable state machine ("inversion of control"):
+//
+//   BrentMinimizer bm(lo, hi, tol);
+//   while (!bm.done()) { double x = bm.proposal(); bm.feed(f(x)); }
+//   use bm.best(), bm.best_f();
+//
+// The algorithm is Brent's `localmin`: golden-section search with parabolic
+// interpolation acceleration, no derivative and no initial bracketing triple
+// required — only the interval [lo, hi].
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace plk {
+
+/// Resumable Brent minimizer over a fixed interval.
+class BrentMinimizer {
+ public:
+  /// Minimize over [lo, hi]; stop when the bracket around the minimum is
+  /// smaller than ~2 * (rel_tol * |x| + abs_tol). `first_guess`, if inside
+  /// the interval, is used as the initial evaluation point (warm start from
+  /// the current parameter value); otherwise the golden point is used.
+  BrentMinimizer(double lo, double hi, double rel_tol = 1e-6,
+                 double abs_tol = 1e-10, int max_iter = 200,
+                 double first_guess = std::nan(""));
+
+  /// The next point whose function value the caller must supply via feed().
+  /// Only valid while !done().
+  double proposal() const;
+
+  /// Supply f(proposal()); advances the state machine.
+  void feed(double f);
+
+  bool done() const { return done_; }
+  /// Argmin and minimum found so far (final after done()).
+  double best() const { return x_; }
+  double best_f() const { return fx_; }
+  int iterations() const { return iter_; }
+
+ private:
+  void plan_next();  // compute the next proposal or finish
+
+  static constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt 5)/2
+
+  double a_, b_;            // current interval
+  double rel_tol_, abs_tol_;
+  int max_iter_, iter_ = 0;
+  bool primed_ = false;     // first evaluation fed?
+  bool done_ = false;
+  double x_ = 0, w_ = 0, v_ = 0;
+  double fx_ = 0, fw_ = 0, fv_ = 0;
+  double d_ = 0, e_ = 0;
+  double u_ = 0;            // current proposal
+};
+
+/// Convenience wrapper: minimize `fn` on [lo, hi]; returns argmin and
+/// writes the minimum into *fmin if non-null.
+double brent_minimize(const std::function<double(double)>& fn, double lo,
+                      double hi, double rel_tol = 1e-6, int max_iter = 200,
+                      double* fmin = nullptr,
+                      double first_guess = std::nan(""));
+
+}  // namespace plk

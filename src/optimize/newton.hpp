@@ -1,0 +1,90 @@
+// Safeguarded Newton-Raphson for branch-length maximization.
+//
+// RAxML optimizes each branch length by Newton-Raphson on d lnL / db using
+// the analytic first and second derivatives from the eigendecomposition
+// (see core/kernels.hpp nr_slice). Like the Brent minimizer, this is a
+// resumable state machine so the paper's newPAR strategy can drive one
+// instance per partition in lock-step: each parallel command evaluates the
+// derivatives of every non-converged partition at once, with a boolean
+// convergence vector — exactly the mechanism the paper introduces.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace plk {
+
+/// Resumable Newton-Raphson maximizer of lnL(b) over [lo, hi].
+class NewtonBranch {
+ public:
+  /// `b0`: starting length (clamped into [lo, hi]).
+  /// Convergence: |step| < tol, or |d1| < grad_tol, or max_iter reached.
+  NewtonBranch(double b0, double lo, double hi, double tol = 1e-8,
+               int max_iter = 64, double grad_tol = 1e-10)
+      : lo_(lo), hi_(hi), tol_(tol), grad_tol_(grad_tol), max_iter_(max_iter) {
+    if (!(lo < hi)) throw std::invalid_argument("NewtonBranch: lo >= hi");
+    b_ = b0 < lo ? lo : (b0 > hi ? hi : b0);
+    blo_ = lo_;
+    bhi_ = hi_;
+  }
+
+  /// Current branch length whose derivatives the caller must supply.
+  double current() const { return b_; }
+  bool done() const { return done_; }
+  int iterations() const { return iter_; }
+
+  /// Supply d lnL/db and d2 lnL/db2 at current(); advances one step.
+  ///
+  /// Safeguarding: for a unimodal lnL the gradient sign brackets the
+  /// maximum (d1 > 0 means the optimum lies above b, d1 < 0 below), so the
+  /// observed signs maintain a shrinking bracket [blo, bhi]. A Newton step
+  /// is accepted only if it stays inside the bracket; otherwise the step
+  /// falls back to the bracket's *geometric* midpoint (branch lengths live
+  /// on a log scale — the arithmetic midpoint of [1e-7, 100] would be a
+  /// terrible guess). This guarantees monotone bracket shrinkage and makes
+  /// per-branch optimization safe even on locally non-concave surfaces.
+  void feed(double d1, double d2) {
+    if (done_) throw std::logic_error("NewtonBranch: feed() after done");
+    ++iter_;
+
+    if (d1 > 0.0 && b_ > blo_) blo_ = b_;
+    if (d1 < 0.0 && b_ < bhi_) bhi_ = b_;
+
+    const double abs_d1 = d1 < 0 ? -d1 : d1;
+    const bool pinned = (b_ <= lo_ && d1 < 0.0) || (b_ >= hi_ && d1 > 0.0);
+    if (abs_d1 < grad_tol_ || pinned || iter_ >= max_iter_ ||
+        bhi_ - blo_ < tol_) {
+      done_ = true;
+      return;
+    }
+
+    double nb;
+    if (d2 < 0.0) {
+      nb = b_ - d1 / d2;
+    } else {
+      // Not concave here: geometric uphill probe.
+      nb = d1 > 0.0 ? b_ * 4.0 : b_ * 0.25;
+    }
+    if (!(nb > blo_ && nb < bhi_)) {
+      // Outside the gradient bracket: geometric bisection.
+      nb = std::sqrt(blo_ * bhi_);
+      if (!(nb > blo_ && nb < bhi_)) nb = 0.5 * (blo_ + bhi_);
+    }
+    if (nb < lo_) nb = lo_;
+    if (nb > hi_) nb = hi_;
+
+    const double step = nb > b_ ? nb - b_ : b_ - nb;
+    b_ = nb;
+    if (step < tol_) done_ = true;
+  }
+
+ private:
+  double lo_, hi_, tol_, grad_tol_;
+  int max_iter_;
+  double b_ = 0.1;
+  double blo_ = 0.0, bhi_ = 0.0;  // gradient-sign bracket (set in ctor)
+  int iter_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace plk

@@ -1,0 +1,124 @@
+#include "parallel/thread_team.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Spin for a bounded number of iterations, then fall back to yielding, so
+/// oversubscribed configurations (more threads than cores) still progress.
+/// The spin budget is generous (~a few ms): between commands the master
+/// performs serial orchestration (traversal lists, P matrices), and a worker
+/// that yields during that window pays a scheduler wake-up latency far
+/// larger than the command it is waiting for — RAxML's workers busy-wait
+/// for the same reason.
+template <class Pred>
+void spin_until(Pred&& pred) {
+  long spins = 0;
+  while (!pred()) {
+    if (++spins < 2'000'000) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+ThreadTeam::ThreadTeam(int nthreads, bool instrument)
+    : nthreads_(nthreads), instrument_(instrument) {
+  if (nthreads_ < 1) throw std::invalid_argument("ThreadTeam needs >= 1 thread");
+  work_seconds_.resize(static_cast<std::size_t>(nthreads_));
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int tid = 1; tid < nthreads_; ++tid)
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  stop_.store(true, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t next = 1;
+  for (;;) {
+    spin_until([&] {
+      return generation_.load(std::memory_order_acquire) >= next ||
+             stop_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (instrument_) {
+      const double t0 = now_seconds();
+      (*fn_)(tid);
+      work_seconds_[static_cast<std::size_t>(tid)].value = now_seconds() - t0;
+    } else {
+      (*fn_)(tid);
+    }
+    done_.fetch_add(1, std::memory_order_release);
+    ++next;
+  }
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  ++stats_.sync_count;
+  if (nthreads_ == 1) {
+    if (instrument_) {
+      const double t0 = now_seconds();
+      fn(0);
+      const double dt = now_seconds() - t0;
+      stats_.critical_path_seconds += dt;
+      stats_.total_work_seconds += dt;
+    } else {
+      fn(0);
+    }
+    return;
+  }
+
+  fn_ = &fn;
+  done_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+
+  if (instrument_) {
+    const double t0 = now_seconds();
+    fn(0);
+    work_seconds_[0].value = now_seconds() - t0;
+  } else {
+    fn(0);
+  }
+
+  spin_until([&] {
+    return done_.load(std::memory_order_acquire) >= nthreads_ - 1;
+  });
+
+  if (instrument_) {
+    double max_dt = 0.0, sum_dt = 0.0;
+    for (int t = 0; t < nthreads_; ++t) {
+      const double dt = work_seconds_[static_cast<std::size_t>(t)].value;
+      max_dt = dt > max_dt ? dt : max_dt;
+      sum_dt += dt;
+    }
+    stats_.critical_path_seconds += max_dt;
+    stats_.total_work_seconds += sum_dt;
+    stats_.imbalance_seconds += nthreads_ * max_dt - sum_dt;
+  }
+}
+
+}  // namespace plk

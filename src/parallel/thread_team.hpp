@@ -1,0 +1,77 @@
+// Persistent fork-join thread team (the paper's Pthreads worker model).
+//
+// RAxML's Pthreads parallelization keeps one master and T-1 workers alive for
+// the whole run; the master orchestrates the search and broadcasts kernel
+// commands (traversal lists, evaluations, Newton-Raphson derivative passes),
+// each of which every thread executes over its cyclic share of alignment
+// patterns, followed by a barrier/reduction. Every `run()` here is exactly
+// one such synchronization event — the quantity whose count and granularity
+// the paper's oldPAR/newPAR comparison is about — so the team counts them
+// and (optionally) measures per-thread work time to quantify imbalance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace plk {
+
+/// Aggregate instrumentation collected across run() calls.
+struct TeamStats {
+  /// Number of parallel commands issued (== synchronization events).
+  std::uint64_t sync_count = 0;
+  /// Sum over commands of (max per-thread work time) — the parallel
+  /// critical path through the kernels.
+  double critical_path_seconds = 0.0;
+  /// Sum over commands and threads of (max - own) work time: total time
+  /// threads spent waiting on the slowest thread (load imbalance).
+  double imbalance_seconds = 0.0;
+  /// Sum of all per-thread work time (useful to compute efficiency).
+  double total_work_seconds = 0.0;
+};
+
+/// A fixed-size team of threads executing broadcast commands.
+///
+/// Thread 0 is the calling (master) thread itself; `size() - 1` workers are
+/// spawned on construction and joined on destruction. Not re-entrant: only
+/// the master may call run(), and nested run() is not allowed.
+class ThreadTeam {
+ public:
+  /// `nthreads` >= 1 total threads (including the master).
+  /// `instrument`: collect per-thread work timings (small overhead: two
+  /// clock reads per thread per command).
+  explicit ThreadTeam(int nthreads, bool instrument = true);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return nthreads_; }
+
+  /// Execute fn(tid) on every thread (master runs tid 0 inline); returns
+  /// after all threads finished. This is one synchronization event.
+  void run(const std::function<void(int)>& fn);
+
+  /// Instrumentation snapshot.
+  const TeamStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TeamStats{}; }
+
+ private:
+  void worker_loop(int tid);
+
+  int nthreads_;
+  bool instrument_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(int)>* fn_ = nullptr;
+  std::vector<std::thread> workers_;
+  std::vector<PaddedDouble> work_seconds_;  // per-thread, per-command
+  TeamStats stats_;
+};
+
+}  // namespace plk

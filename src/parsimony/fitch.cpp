@@ -1,0 +1,188 @@
+#include "parsimony/fitch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+
+namespace {
+
+/// A lightweight mutable tree for scoring: adjacency over arbitrary node
+/// ids; leaves carry a taxon index into the alignment. Avoids Tree's strict
+/// 2n-2 invariants so partially built stepwise trees can be scored.
+struct ProtoTree {
+  struct Edge {
+    int a, b;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::vector<int>> adj;   // node -> edge ids
+  std::vector<int> taxon_of;           // node -> taxon index or -1
+
+  int add_node(int taxon) {
+    adj.emplace_back();
+    taxon_of.push_back(taxon);
+    return static_cast<int>(adj.size()) - 1;
+  }
+  int add_edge(int a, int b) {
+    const int e = static_cast<int>(edges.size());
+    edges.push_back(Edge{a, b});
+    adj[static_cast<std::size_t>(a)].push_back(e);
+    adj[static_cast<std::size_t>(b)].push_back(e);
+    return e;
+  }
+  int other(int e, int v) const {
+    return edges[static_cast<std::size_t>(e)].a == v
+               ? edges[static_cast<std::size_t>(e)].b
+               : edges[static_cast<std::size_t>(e)].a;
+  }
+};
+
+/// Fitch DFS for one partition: returns the node's state mask per pattern
+/// into `out` and accumulates mutations into `cost`.
+void fitch_dfs(const ProtoTree& t, int v, int via,
+               const CompressedPartition& part,
+               std::vector<StateMask>& out, double& cost,
+               std::vector<std::vector<StateMask>>& scratch, int depth) {
+  const int taxon = t.taxon_of[static_cast<std::size_t>(v)];
+  if (taxon >= 0) {
+    const auto& masks = part.tip_states[static_cast<std::size_t>(taxon)];
+    out.assign(masks.begin(), masks.end());
+    return;
+  }
+  bool first = true;
+  for (int e : t.adj[static_cast<std::size_t>(v)]) {
+    if (e == via) continue;
+    auto& child = scratch[static_cast<std::size_t>(depth)];
+    fitch_dfs(t, t.other(e, v), e, part, child, cost, scratch, depth + 1);
+    if (first) {
+      out = child;
+      first = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const StateMask inter = out[i] & child[i];
+      if (inter) {
+        out[i] = inter;
+      } else {
+        out[i] |= child[i];
+        cost += part.weights[i];
+      }
+    }
+  }
+}
+
+double score_proto(const ProtoTree& t, int root,
+                   const CompressedAlignment& aln) {
+  double cost = 0;
+  std::vector<StateMask> rootset;
+  // One scratch row per recursion depth, pre-sized so references into it
+  // stay valid across the recursion.
+  std::vector<std::vector<StateMask>> scratch(t.adj.size() + 1);
+  for (const auto& part : aln.partitions)
+    fitch_dfs(t, root, -1, part, rootset, cost, scratch, 0);
+  return cost;
+}
+
+}  // namespace
+
+double parsimony_score(const Tree& tree, const CompressedAlignment& aln) {
+  if (static_cast<std::size_t>(tree.tip_count()) != aln.taxon_count())
+    throw std::invalid_argument("parsimony_score: taxon count mismatch");
+  // Map tree tips to alignment taxa by label.
+  std::unordered_map<std::string, int> taxon_by_name;
+  for (std::size_t x = 0; x < aln.taxon_count(); ++x)
+    taxon_by_name[aln.taxon_names[x]] = static_cast<int>(x);
+
+  ProtoTree t;
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    int taxon = -1;
+    if (tree.is_tip(v)) {
+      auto it = taxon_by_name.find(tree.label(v));
+      if (it == taxon_by_name.end())
+        throw std::invalid_argument("parsimony_score: unknown tip '" +
+                                    tree.label(v) + "'");
+      taxon = it->second;
+    }
+    t.add_node(taxon);
+  }
+  for (EdgeId e = 0; e < tree.edge_count(); ++e)
+    t.add_edge(tree.edge(e).a, tree.edge(e).b);
+  // Root the DFS at any inner node (or tip 0's neighbour for n == 2).
+  const int root = tree.tip_count() >= 3 ? tree.tip_count() : 0;
+  return score_proto(t, root, aln);
+}
+
+Tree parsimony_stepwise_tree(const CompressedAlignment& aln, Rng& rng) {
+  const int n = static_cast<int>(aln.taxon_count());
+  if (n < 3)
+    throw std::invalid_argument("parsimony_stepwise_tree: need >= 3 taxa");
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+
+  ProtoTree t;
+  // Initial star over the first three taxa.
+  const int a = t.add_node(order[0]);
+  const int b = t.add_node(order[1]);
+  const int c = t.add_node(order[2]);
+  const int hub = t.add_node(-1);
+  t.add_edge(hub, a);
+  t.add_edge(hub, b);
+  t.add_edge(hub, c);
+
+  for (int k = 3; k < n; ++k) {
+    const int taxon = order[static_cast<std::size_t>(k)];
+    // Try inserting into every existing edge; keep the cheapest.
+    double best = 1e300;
+    int best_edge = -1;
+    const int n_edges = static_cast<int>(t.edges.size());
+    for (int e = 0; e < n_edges; ++e) {
+      ProtoTree trial = t;
+      const auto old = trial.edges[static_cast<std::size_t>(e)];
+      const int mid = trial.add_node(-1);
+      const int tip = trial.add_node(taxon);
+      // Redirect edge e to (old.a, mid); add (mid, old.b) and (mid, tip).
+      trial.edges[static_cast<std::size_t>(e)].b = mid;
+      auto& badj = trial.adj[static_cast<std::size_t>(old.b)];
+      badj.erase(std::find(badj.begin(), badj.end(), e));
+      trial.adj[static_cast<std::size_t>(mid)].push_back(e);
+      trial.add_edge(mid, old.b);
+      trial.add_edge(mid, tip);
+      const double s = score_proto(trial, mid, aln);
+      if (s < best) {
+        best = s;
+        best_edge = e;
+      }
+    }
+    // Apply the winning insertion to `t`.
+    const auto old = t.edges[static_cast<std::size_t>(best_edge)];
+    const int mid = t.add_node(-1);
+    const int tip = t.add_node(taxon);
+    t.edges[static_cast<std::size_t>(best_edge)].b = mid;
+    auto& badj = t.adj[static_cast<std::size_t>(old.b)];
+    badj.erase(std::find(badj.begin(), badj.end(), best_edge));
+    t.adj[static_cast<std::size_t>(mid)].push_back(best_edge);
+    t.add_edge(mid, old.b);
+    t.add_edge(mid, tip);
+  }
+
+  // Convert to a plk::Tree: tips keep alignment order (tip id == taxon id).
+  // Proto node -> tree node id.
+  std::vector<NodeId> map(t.adj.size(), kNoId);
+  NodeId next_inner = n;
+  for (std::size_t v = 0; v < t.adj.size(); ++v)
+    map[v] = t.taxon_of[v] >= 0 ? t.taxon_of[v] : next_inner++;
+  std::vector<Tree::Edge> edges;
+  edges.reserve(t.edges.size());
+  for (const auto& e : t.edges)
+    edges.push_back(Tree::Edge{map[static_cast<std::size_t>(e.a)],
+                               map[static_cast<std::size_t>(e.b)], 0.1});
+  std::vector<std::string> labels = aln.taxon_names;
+  return Tree::from_edges(std::move(labels), std::move(edges));
+}
+
+}  // namespace plk

@@ -1,0 +1,42 @@
+// plkit — a Phylogenetic Likelihood Kernel with partition-aware load
+// balancing. Umbrella header: include this to get the whole public API.
+//
+// Reproduction of Stamatakis & Ott, "Load Balance in the Phylogenetic
+// Likelihood Kernel", ICPP 2009. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+#pragma once
+
+#include "bio/alignment.hpp"
+#include "bio/alphabet.hpp"
+#include "bio/msa_io.hpp"
+#include "bio/partition.hpp"
+#include "bio/patterns.hpp"
+#include "core/analysis.hpp"
+#include "core/bootstrap.hpp"
+#include "core/checkpoint.hpp"
+#include "core/branch_lengths.hpp"
+#include "core/branch_opt.hpp"
+#include "core/engine.hpp"
+#include "core/model_opt.hpp"
+#include "core/partition_model.hpp"
+#include "core/strategy.hpp"
+#include "model/gamma.hpp"
+#include "model/subst_model.hpp"
+#include "optimize/brent.hpp"
+#include "optimize/newton.hpp"
+#include "parallel/thread_team.hpp"
+#include "parsimony/fitch.hpp"
+#include "search/nni.hpp"
+#include "search/search.hpp"
+#include "search/spr.hpp"
+#include "sim/datasets.hpp"
+#include "sim/seqgen.hpp"
+#include "tree/newick.hpp"
+#include "tree/rf_distance.hpp"
+#include "tree/traversal.hpp"
+#include "tree/tree.hpp"
+#include "tree/tree_gen.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"

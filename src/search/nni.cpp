@@ -1,0 +1,49 @@
+#include "search/nni.hpp"
+
+#include <stdexcept>
+
+namespace plk {
+
+std::pair<NniMove, NniMove> nni_moves(const Tree& tree, EdgeId edge) {
+  if (!tree.is_internal_edge(edge))
+    throw std::invalid_argument("nni_moves: edge is not internal");
+  const NodeId u = tree.edge(edge).a;
+  const NodeId v = tree.edge(edge).b;
+  EdgeId ue[2] = {kNoId, kNoId};
+  EdgeId ve[2] = {kNoId, kNoId};
+  int i = 0;
+  for (EdgeId e : tree.edges_of(u))
+    if (e != edge) ue[i++] = e;
+  i = 0;
+  for (EdgeId e : tree.edges_of(v))
+    if (e != edge) ve[i++] = e;
+  return {NniMove{edge, ue[0], ve[0]}, NniMove{edge, ue[0], ve[1]}};
+}
+
+void apply_nni(Tree& tree, const NniMove& move) {
+  const NodeId u = tree.edge(move.edge).a;
+  const NodeId v = tree.edge(move.edge).b;
+  // Each swapped edge must currently be attached to the expected endpoint.
+  const NodeId su = tree.edge(move.u_edge).a == u || tree.edge(move.u_edge).b == u
+                        ? u
+                        : v;
+  const NodeId sv = su == u ? v : u;
+  tree.reattach(move.u_edge, su, sv);
+  tree.reattach(move.v_edge, sv, su);
+}
+
+void invalidate_after_nni(Engine& engine, const NniMove& move) {
+  const Tree& tree = engine.tree();
+  engine.invalidate_node(tree.edge(move.edge).a);
+  engine.invalidate_node(tree.edge(move.edge).b);
+  const EdgeId root = engine.root_edge();
+  if (root == kNoId) {
+    engine.invalidate_all();
+    return;
+  }
+  if (move.edge != root)
+    for (NodeId v : tree.path_between_edges(move.edge, root))
+      engine.invalidate_node(v);
+}
+
+}  // namespace plk

@@ -1,0 +1,35 @@
+// Nearest Neighbor Interchange (NNI) topology moves.
+//
+// An internal edge (u, v) admits two alternative topologies, obtained by
+// swapping one subtree attached at u with one attached at v. NNI is the
+// minimal topology move; the search driver uses SPR (which subsumes NNI at
+// radius 1) but NNI is exposed for tests, examples, and Bayesian-style
+// proposal mechanisms.
+#pragma once
+
+#include "core/engine.hpp"
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// An NNI move on internal edge `edge`: swap the subtree hanging off
+/// `u_edge` (incident to edge.a) with the one off `v_edge` (incident to
+/// edge.b).
+struct NniMove {
+  EdgeId edge = kNoId;
+  EdgeId u_edge = kNoId;
+  EdgeId v_edge = kNoId;
+};
+
+/// The two alternative NNI moves for an internal edge. Throws if `edge` is
+/// not internal.
+std::pair<NniMove, NniMove> nni_moves(const Tree& tree, EdgeId edge);
+
+/// Apply the move (also its own inverse: applying the same move again
+/// restores the original topology).
+void apply_nni(Tree& tree, const NniMove& move);
+
+/// Invalidate engine state after an NNI on `move.edge`.
+void invalidate_after_nni(Engine& engine, const NniMove& move);
+
+}  // namespace plk

@@ -1,0 +1,160 @@
+#include "search/search.hpp"
+
+#include <vector>
+
+#include "search/spr.hpp"
+#include "util/log.hpp"
+
+namespace plk {
+
+namespace {
+
+/// Per-partition lengths of one edge (single value in linked mode).
+std::vector<double> save_lengths(const BranchLengths& bl, EdgeId e) {
+  if (bl.linked()) return {bl.get(e, 0)};
+  std::vector<double> out(static_cast<std::size_t>(bl.partition_count()));
+  for (int p = 0; p < bl.partition_count(); ++p)
+    out[static_cast<std::size_t>(p)] = bl.get(e, p);
+  return out;
+}
+
+void restore_lengths(BranchLengths& bl, EdgeId e,
+                     const std::vector<double>& saved) {
+  if (bl.linked()) {
+    bl.set_all(e, saved[0]);
+    return;
+  }
+  for (int p = 0; p < bl.partition_count(); ++p)
+    bl.set(e, p, saved[static_cast<std::size_t>(p)]);
+}
+
+/// Mirror apply_spr's default-length surgery onto the per-partition store:
+/// fused = fused + carried; carried = target / 2; target = target / 2.
+void apply_spr_lengths(BranchLengths& bl, const SprUndo& u) {
+  const int np = bl.linked() ? 1 : bl.partition_count();
+  for (int p = 0; p < np; ++p) {
+    const double lf = bl.get(u.fused, p);
+    const double lc = bl.get(u.carried, p);
+    const double lt = bl.get(u.target, p);
+    bl.set(u.fused, p, lf + lc);
+    bl.set(u.carried, p, 0.5 * lt);
+    bl.set(u.target, p, 0.5 * lt);
+  }
+}
+
+/// Quickly optimize the three branches around the insertion point
+/// (the "lazy" part of lazy SPR) and return the resulting lnL.
+double local_optimize(Engine& engine, const SprUndo& u, EdgeId prune_edge,
+                      const SearchOptions& opts) {
+  optimize_edge(engine, u.carried, opts.strategy, opts.local_branch_opts);
+  optimize_edge(engine, u.target, opts.strategy, opts.local_branch_opts);
+  optimize_edge(engine, prune_edge, opts.strategy, opts.local_branch_opts);
+  return engine.loglikelihood(prune_edge);
+}
+
+/// Score one candidate move without keeping it; returns the candidate lnL.
+double score_candidate(Engine& engine, const SprMove& move,
+                       const SearchOptions& opts) {
+  Tree& tree = engine.tree();
+  BranchLengths& bl = engine.branch_lengths();
+
+  engine.prepare_root(move.prune_edge);
+  // Snapshot: apply_spr tells us which edges it will rewire only afterwards,
+  // so pre-compute them the same way (joint's two non-prune edges + target).
+  const NodeId joint = tree.other_end(move.prune_edge, move.pruned_side);
+  std::vector<EdgeId> touched;
+  for (EdgeId e : tree.edges_of(joint))
+    if (e != move.prune_edge) touched.push_back(e);
+  touched.push_back(move.target_edge);
+  touched.push_back(move.prune_edge);
+  std::vector<std::vector<double>> saved;
+  saved.reserve(touched.size());
+  for (EdgeId e : touched) saved.push_back(save_lengths(bl, e));
+
+  SprUndo undo = apply_spr(tree, move);
+  apply_spr_lengths(bl, undo);
+  invalidate_after_spr(engine, undo);
+
+  const double cand = local_optimize(engine, undo, move.prune_edge, opts);
+
+  engine.prepare_root(move.prune_edge);
+  undo_spr(tree, undo);
+  invalidate_after_spr(engine, undo);
+  for (std::size_t i = 0; i < touched.size(); ++i)
+    restore_lengths(bl, touched[i], saved[i]);
+  return cand;
+}
+
+/// Permanently apply a move (with local optimization); returns the new lnL.
+double commit_move(Engine& engine, const SprMove& move,
+                   const SearchOptions& opts) {
+  engine.prepare_root(move.prune_edge);
+  SprUndo undo = apply_spr(engine.tree(), move);
+  apply_spr_lengths(engine.branch_lengths(), undo);
+  invalidate_after_spr(engine, undo);
+  return local_optimize(engine, undo, move.prune_edge, opts);
+}
+
+}  // namespace
+
+SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
+  SearchResult res;
+
+  double lnl = optimize_branch_lengths(engine, opts.strategy,
+                                       opts.full_branch_opts);
+  if (opts.optimize_model)
+    lnl = optimize_model_parameters(engine, opts.strategy, opts.model_opts);
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    const double round_start = lnl;
+    ++res.rounds;
+
+    // Tree search phase: try pruning every subtree (each edge, both sides).
+    const int n_edges = engine.tree().edge_count();
+    for (EdgeId pe = 0; pe < n_edges; ++pe) {
+      for (int side = 0; side < 2; ++side) {
+        const NodeId s =
+            side == 0 ? engine.tree().edge(pe).a : engine.tree().edge(pe).b;
+        const NodeId joint = engine.tree().other_end(pe, s);
+        if (engine.tree().is_tip(joint)) continue;
+
+        const auto targets =
+            spr_targets(engine.tree(), pe, s, opts.spr_radius);
+        SprMove best_move;
+        double best_lnl = lnl;
+        for (EdgeId t : targets) {
+          const SprMove move{pe, s, t};
+          const double cand = score_candidate(engine, move, opts);
+          ++res.candidates_scored;
+          if (cand > best_lnl) {
+            best_lnl = cand;
+            best_move = move;
+          }
+        }
+        if (best_move.target_edge != kNoId &&
+            best_lnl > lnl + opts.min_move_gain) {
+          lnl = commit_move(engine, best_move, opts);
+          ++res.accepted_moves;
+        }
+      }
+    }
+
+    // Model optimization phase.
+    lnl = optimize_branch_lengths(engine, opts.strategy,
+                                  opts.full_branch_opts);
+    if (opts.optimize_model)
+      lnl = optimize_model_parameters(engine, opts.strategy, opts.model_opts);
+
+    log_info("search round " + std::to_string(round + 1) +
+             ": lnL = " + std::to_string(lnl) + " (+" +
+             std::to_string(lnl - round_start) + ", " +
+             std::to_string(res.accepted_moves) + " moves)");
+    if (lnl - round_start < opts.epsilon) break;
+  }
+
+  engine.sync_tree_lengths();
+  res.final_lnl = lnl;
+  return res;
+}
+
+}  // namespace plk

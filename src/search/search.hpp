@@ -1,0 +1,51 @@
+// Maximum-likelihood tree search: hill climbing with lazy SPR.
+//
+// The driver mirrors the RAxML search loop the paper profiles: it alternates
+// *tree search phases* (radius-bounded SPR candidates, each scored after a
+// quick local optimization of the three branches around the insertion point
+// — "lazy" SPR) with *model optimization phases* (full branch-length
+// smoothing plus per-partition Brent on alpha / exchangeabilities). Both
+// phases issue their per-partition iterations under the configured
+// parallelization strategy, so a full search exercises exactly the command
+// mix whose load balance the paper measures.
+#pragma once
+
+#include <cstdint>
+
+#include "core/branch_opt.hpp"
+#include "core/engine.hpp"
+#include "core/model_opt.hpp"
+#include "core/strategy.hpp"
+
+namespace plk {
+
+/// Tree-search configuration.
+struct SearchOptions {
+  Strategy strategy = Strategy::kNewPar;
+  int spr_radius = 5;          ///< SPR target distance bound (edge hops)
+  int max_rounds = 10;         ///< outer search/model-opt alternations
+  double epsilon = 0.1;        ///< stop when a round improves lnL by less
+  double min_move_gain = 1e-4; ///< accept an SPR only above this gain
+  bool optimize_model = true;  ///< run model-opt phases between rounds
+  /// Quick local optimization applied to the 3 branches at an insertion.
+  BranchOptOptions local_branch_opts{/*max_nr_iterations=*/8,
+                                     /*length_tolerance=*/1e-4,
+                                     /*smoothing_passes=*/1};
+  /// Full smoothing between rounds.
+  BranchOptOptions full_branch_opts{};
+  ModelOptOptions model_opts{};
+};
+
+/// Search outcome summary.
+struct SearchResult {
+  double final_lnl = 0.0;
+  int rounds = 0;
+  int accepted_moves = 0;
+  std::uint64_t candidates_scored = 0;
+};
+
+/// Run the search on the engine's current tree; the engine's tree and
+/// parameters are left at the best configuration found.
+SearchResult search_ml(Engine& engine, const SearchOptions& opts = {});
+
+}  // namespace plk

@@ -1,0 +1,130 @@
+#include "search/spr.hpp"
+
+#include <stdexcept>
+
+#include "tree/traversal.hpp"
+
+namespace plk {
+
+namespace {
+
+/// True if edge `e` lies inside the subtree hanging off `side` of `root_e`.
+bool edge_in_subtree(const Tree& t, EdgeId e, EdgeId root_e, NodeId side) {
+  if (e == root_e) return false;
+  // DFS from `side` away from root_e.
+  std::vector<NodeId> stack{side};
+  std::vector<EdgeId> via{root_e};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    const EdgeId through = via.back();
+    stack.pop_back();
+    via.pop_back();
+    for (EdgeId f : t.edges_of(v)) {
+      if (f == through) continue;
+      if (f == e) return true;
+      stack.push_back(t.other_end(f, v));
+      via.push_back(f);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool spr_is_valid(const Tree& tree, const SprMove& move) {
+  if (move.prune_edge < 0 || move.prune_edge >= tree.edge_count()) return false;
+  if (move.target_edge < 0 || move.target_edge >= tree.edge_count())
+    return false;
+  const NodeId s = move.pruned_side;
+  const auto& pe = tree.edge(move.prune_edge);
+  if (s != pe.a && s != pe.b) return false;
+  const NodeId j = tree.other_end(move.prune_edge, s);
+  if (tree.is_tip(j)) return false;
+  // Target must not be the prune edge, not incident to the joint, and not
+  // inside the pruned subtree.
+  if (move.target_edge == move.prune_edge) return false;
+  const auto& te = tree.edge(move.target_edge);
+  if (te.a == j || te.b == j) return false;
+  if (edge_in_subtree(tree, move.target_edge, move.prune_edge, s))
+    return false;
+  return true;
+}
+
+SprUndo apply_spr(Tree& tree, const SprMove& move) {
+  if (!spr_is_valid(tree, move))
+    throw std::invalid_argument("apply_spr: invalid move");
+
+  const NodeId s = move.pruned_side;
+  const NodeId j = tree.other_end(move.prune_edge, s);
+
+  SprUndo u;
+  u.joint = j;
+  u.target = move.target_edge;
+  // The joint's two non-prune edges.
+  for (EdgeId e : tree.edges_of(j)) {
+    if (e == move.prune_edge) continue;
+    if (u.fused == kNoId)
+      u.fused = e;
+    else
+      u.carried = e;
+  }
+  u.x = tree.other_end(u.fused, j);
+  u.y = tree.other_end(u.carried, j);
+  u.a = tree.edge(move.target_edge).a;
+  u.b = tree.edge(move.target_edge).b;
+  u.len_fused = tree.length(u.fused);
+  u.len_carried = tree.length(u.carried);
+  u.len_target = tree.length(u.target);
+
+  // 1. Fuse: `fused` becomes x-y with the summed length.
+  tree.reattach(u.fused, j, u.y);
+  tree.set_length(u.fused, u.len_fused + u.len_carried);
+  // 2. Re-use `carried` as joint-a.
+  tree.reattach(u.carried, u.y, u.a);
+  // 3. Target becomes joint-b; split its length.
+  tree.reattach(u.target, u.a, j);
+  tree.set_length(u.carried, 0.5 * u.len_target);
+  tree.set_length(u.target, 0.5 * u.len_target);
+  return u;
+}
+
+void undo_spr(Tree& tree, const SprUndo& u) {
+  tree.reattach(u.target, u.joint, u.a);     // target: a-b again
+  tree.reattach(u.carried, u.a, u.y);        // carried: joint-y again
+  tree.reattach(u.fused, u.y, u.joint);      // fused: joint-x again
+  tree.set_length(u.fused, u.len_fused);
+  tree.set_length(u.carried, u.len_carried);
+  tree.set_length(u.target, u.len_target);
+}
+
+void invalidate_after_spr(Engine& engine, const SprUndo& u) {
+  const Tree& tree = engine.tree();
+  for (NodeId v : {u.joint, u.x, u.y, u.a, u.b}) engine.invalidate_node(v);
+  const EdgeId root = engine.root_edge();
+  if (root == kNoId) {
+    engine.invalidate_all();
+    return;
+  }
+  // Nodes whose root-oriented CLV subsumes a modified region: everything on
+  // the paths from the two touched edges to the root edge.
+  for (EdgeId region : {u.fused, u.target, u.carried}) {
+    if (region == root) continue;
+    for (NodeId v : tree.path_between_edges(region, root))
+      engine.invalidate_node(v);
+  }
+}
+
+std::vector<EdgeId> spr_targets(const Tree& tree, EdgeId prune_edge,
+                                NodeId pruned_side, int radius) {
+  std::vector<EdgeId> out;
+  const NodeId j = tree.other_end(prune_edge, pruned_side);
+  if (tree.is_tip(j)) return out;
+  for (EdgeId e :
+       edges_within_radius(tree, prune_edge, radius, pruned_side)) {
+    const SprMove m{prune_edge, pruned_side, e};
+    if (spr_is_valid(tree, m)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace plk

@@ -1,0 +1,58 @@
+// Subtree Pruning and Regrafting (SPR) topology moves.
+//
+// An SPR move detaches the subtree hanging off one side of an edge and
+// re-inserts it into another ("target") edge. Node and edge ids are
+// preserved: the joint node and its two edges are re-used to split the
+// target edge, so the engine's per-node CLV buffers remain valid containers
+// (their *contents* are invalidated selectively, see invalidate_after_spr).
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// Description of an SPR move: prune the subtree on the `pruned_side` end of
+/// `prune_edge` and regraft it into `target_edge`.
+struct SprMove {
+  EdgeId prune_edge = kNoId;
+  NodeId pruned_side = kNoId;
+  EdgeId target_edge = kNoId;
+};
+
+/// Everything needed to restore the topology and the affected default
+/// branch lengths after apply_spr.
+struct SprUndo {
+  NodeId joint = kNoId;        // the re-used joint node
+  EdgeId fused = kNoId;        // edge that became x-y (was joint-x)
+  EdgeId carried = kNoId;      // edge that became joint-a (was joint-y)
+  EdgeId target = kNoId;       // edge that became joint-b (was a-b)
+  NodeId x = kNoId, y = kNoId, a = kNoId, b = kNoId;
+  double len_fused = 0, len_carried = 0, len_target = 0;
+};
+
+/// Check that a move is structurally legal: the joint is an inner node and
+/// the target edge is outside the pruned subtree and not incident to the
+/// joint.
+bool spr_is_valid(const Tree& tree, const SprMove& move);
+
+/// Apply the move; throws std::invalid_argument if it is not valid.
+SprUndo apply_spr(Tree& tree, const SprMove& move);
+
+/// Restore the topology and the three affected default branch lengths.
+void undo_spr(Tree& tree, const SprUndo& undo);
+
+/// Invalidate engine CLVs made stale by an applied (or undone) SPR: the
+/// rewired nodes plus every node on the paths from the two modified regions
+/// to the engine's current root edge. Call with the undo record returned by
+/// apply_spr (after applying) or the same record again (after undoing).
+void invalidate_after_spr(Engine& engine, const SprUndo& undo);
+
+/// All legal target edges for pruning `pruned_side` off `prune_edge`, within
+/// `radius` edge-hops of the pruning point.
+std::vector<EdgeId> spr_targets(const Tree& tree, EdgeId prune_edge,
+                                NodeId pruned_side, int radius);
+
+}  // namespace plk

@@ -1,0 +1,152 @@
+#include "sim/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/seqgen.hpp"
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+
+namespace {
+
+/// Randomized GTR model: exchangeabilities log-uniform in [0.5, 4] (with the
+/// G-T reference fixed at 1), frequencies jittered around uniform.
+SubstModel random_gtr(Rng& rng) {
+  std::vector<double> exch(6);
+  for (std::size_t i = 0; i < 5; ++i)
+    exch[i] = std::exp(rng.uniform(std::log(0.5), std::log(4.0)));
+  exch[5] = 1.0;
+  std::vector<double> freqs(4);
+  double s = 0.0;
+  for (auto& f : freqs) {
+    f = 0.15 + rng.uniform() * 0.4;
+    s += f;
+  }
+  for (auto& f : freqs) f /= s;
+  return SubstModel(4, std::move(exch), std::move(freqs));
+}
+
+SimPartition make_sim_part(const std::string& name, std::size_t sites,
+                           bool protein, Rng& rng) {
+  SimPartition part{name,
+                    protein ? protein_model("WAG") : random_gtr(rng),
+                    sites,
+                    /*alpha=*/rng.uniform(0.3, 1.5),
+                    /*rate_grid=*/16,
+                    /*branch_scale=*/std::exp(rng.uniform(-0.5, 0.5)),
+                    /*missing_taxa=*/{}};
+  return part;
+}
+
+Dataset build(const std::string& name, int taxa,
+              std::vector<SimPartition> parts, std::uint64_t seed) {
+  Rng rng(seed);
+  Tree tree = random_tree(taxa, rng);
+  Alignment aln = simulate(tree, parts, rng);
+  PartitionScheme scheme = simulate_scheme(parts);
+  return Dataset{name, std::move(aln), std::move(scheme), std::move(tree)};
+}
+
+}  // namespace
+
+Dataset make_simulated_dna(int taxa, std::size_t sites,
+                           std::size_t partition_length, std::uint64_t seed) {
+  Rng rng(seed ^ 0xd5a7a5e7ULL);
+  std::vector<SimPartition> parts;
+  std::size_t remaining = sites;
+  int idx = 0;
+  while (remaining > 0) {
+    // The last partition absorbs a short remainder (< one full length).
+    std::size_t len = std::min(partition_length, remaining);
+    if (remaining - len < partition_length / 2 && remaining - len > 0) {
+      len = remaining;
+    }
+    parts.push_back(
+        make_sim_part("gene" + std::to_string(idx++), len, false, rng));
+    remaining -= len;
+  }
+  const std::string name = "d" + std::to_string(taxa) + "_" +
+                           std::to_string(sites) + "_p" +
+                           std::to_string(partition_length);
+  return build(name, taxa, std::move(parts), seed);
+}
+
+Dataset make_unpartitioned_dna(int taxa, std::size_t sites,
+                               std::uint64_t seed) {
+  Rng rng(seed ^ 0xd5a7a5e7ULL);
+  std::vector<SimPartition> parts{make_sim_part("ALL", sites, false, rng)};
+  const std::string name =
+      "d" + std::to_string(taxa) + "_" + std::to_string(sites) + "_unpart";
+  return build(name, taxa, std::move(parts), seed);
+}
+
+Dataset make_realworld_like(int taxa, int partitions, std::size_t min_len,
+                            std::size_t max_len, double missing_fraction,
+                            bool protein, std::uint64_t seed) {
+  Rng rng(seed ^ 0x4ea1f00dULL);
+  std::vector<SimPartition> parts;
+  for (int g = 0; g < partitions; ++g) {
+    // Log-uniform gene lengths reproduce the broad spread the paper reports
+    // (min 148 / max 2,705 patterns on the mammalian dataset).
+    const double u = rng.uniform(std::log(static_cast<double>(min_len)),
+                                 std::log(static_cast<double>(max_len)));
+    auto part = make_sim_part("gene" + std::to_string(g),
+                              static_cast<std::size_t>(std::exp(u)), protein,
+                              rng);
+    for (NodeId t = 0; t < taxa; ++t)
+      if (rng.uniform() < missing_fraction) part.missing_taxa.push_back(t);
+    // Never blank out every taxon of a gene.
+    if (part.missing_taxa.size() + 3 > static_cast<std::size_t>(taxa))
+      part.missing_taxa.clear();
+    parts.push_back(std::move(part));
+  }
+  const std::string name = std::string(protein ? "r_prot_" : "r_dna_") +
+                           std::to_string(taxa) + "x" +
+                           std::to_string(partitions);
+  return build(name, taxa, std::move(parts), seed);
+}
+
+Dataset make_paper_d50_50000(double scale, std::uint64_t seed) {
+  const int taxa = std::max(8, static_cast<int>(std::lround(50 * scale)));
+  const auto sites =
+      static_cast<std::size_t>(std::max(2000.0, 50000.0 * scale));
+  const auto plen =
+      static_cast<std::size_t>(std::max(200.0, 1000.0 * scale));
+  return make_simulated_dna(taxa, sites, plen, seed);
+}
+
+Dataset make_paper_d100_50000(double scale, std::uint64_t seed) {
+  const int taxa = std::max(10, static_cast<int>(std::lround(100 * scale)));
+  const auto sites =
+      static_cast<std::size_t>(std::max(2000.0, 50000.0 * scale));
+  const auto plen =
+      static_cast<std::size_t>(std::max(200.0, 1000.0 * scale));
+  return make_simulated_dna(taxa, sites, plen, seed);
+}
+
+Dataset make_paper_r125_19839(double scale, std::uint64_t seed) {
+  const int taxa = std::max(10, static_cast<int>(std::lround(125 * scale)));
+  const int partitions = std::max(6, static_cast<int>(std::lround(34 * scale)));
+  const auto min_len =
+      static_cast<std::size_t>(std::max(40.0, 148.0 * scale));
+  const auto max_len =
+      static_cast<std::size_t>(std::max(300.0, 2705.0 * scale));
+  return make_realworld_like(taxa, partitions, min_len, max_len,
+                             /*missing_fraction=*/0.15, /*protein=*/false,
+                             seed);
+}
+
+Dataset make_paper_r26_21451(double scale, std::uint64_t seed) {
+  const int taxa = std::max(8, static_cast<int>(std::lround(26 * scale)));
+  const int partitions = std::max(6, static_cast<int>(std::lround(26 * scale)));
+  const auto min_len =
+      static_cast<std::size_t>(std::max(60.0, 173.0 * scale));
+  const auto max_len =
+      static_cast<std::size_t>(std::max(400.0, 2695.0 * scale));
+  return make_realworld_like(taxa, partitions, min_len, max_len,
+                             /*missing_fraction=*/0.1, /*protein=*/true,
+                             seed);
+}
+
+}  // namespace plk

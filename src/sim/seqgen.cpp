@@ -1,0 +1,126 @@
+#include "sim/seqgen.hpp"
+
+#include <stdexcept>
+
+#include "bio/partition.hpp"
+#include "model/matrix.hpp"
+
+namespace plk {
+
+namespace {
+
+/// Simulate one partition; appends its columns to `rows` (one string per
+/// taxon, tip-id order).
+void simulate_partition(const Tree& tree, const SimPartition& part, Rng& rng,
+                        std::vector<std::string>& rows) {
+  const int S = part.model.states();
+  const Alphabet& alpha =
+      S == 4 ? Alphabet::dna() : Alphabet::protein();
+  const std::size_t m = part.sites;
+  const auto& freqs = part.model.freqs();
+
+  // Per-site rate categories from a fine discrete Gamma grid.
+  const auto grid = discrete_gamma_rates(part.alpha, part.rate_grid);
+  std::vector<std::uint8_t> cat(m);
+  for (auto& c : cat)
+    c = static_cast<std::uint8_t>(rng.below(grid.size()));
+
+  // Per-edge, per-category transition matrices.
+  std::vector<std::vector<Matrix>> pmat(
+      static_cast<std::size_t>(tree.edge_count()));
+  for (EdgeId e = 0; e < tree.edge_count(); ++e) {
+    auto& per_cat = pmat[static_cast<std::size_t>(e)];
+    per_cat.resize(grid.size());
+    for (std::size_t c = 0; c < grid.size(); ++c)
+      part.model.transition_matrix(
+          tree.length(e) * part.branch_scale * grid[c], per_cat[c]);
+  }
+
+  // Root the walk at the first inner node; draw the root sequence from the
+  // stationary distribution.
+  const NodeId root = tree.tip_count();
+  std::vector<std::vector<std::uint8_t>> seq(
+      static_cast<std::size_t>(tree.node_count()));
+  auto& rseq = seq[static_cast<std::size_t>(root)];
+  rseq.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    rseq[i] = static_cast<std::uint8_t>(rng.discrete(freqs));
+
+  // Depth-first walk: child state sampled from the parent's P(t) row.
+  std::vector<std::pair<NodeId, EdgeId>> stack{{root, kNoId}};
+  while (!stack.empty()) {
+    const auto [v, via] = stack.back();
+    stack.pop_back();
+    for (EdgeId e : tree.edges_of(v)) {
+      if (e == via) continue;
+      const NodeId w = tree.other_end(e, v);
+      auto& wseq = seq[static_cast<std::size_t>(w)];
+      wseq.resize(m);
+      const auto& vseq = seq[static_cast<std::size_t>(v)];
+      const auto& per_cat = pmat[static_cast<std::size_t>(e)];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* row = per_cat[cat[i]].row(vseq[i]);
+        // Inverse-CDF sample over the row (rows sum to ~1).
+        double u = rng.uniform();
+        int s = 0;
+        for (; s < S - 1; ++s) {
+          u -= row[s];
+          if (u < 0.0) break;
+        }
+        wseq[i] = static_cast<std::uint8_t>(s);
+      }
+      stack.emplace_back(w, e);
+    }
+  }
+
+  // Emit tip rows; taxa listed in missing_taxa get gaps.
+  std::vector<char> missing(static_cast<std::size_t>(tree.tip_count()), 0);
+  for (NodeId t : part.missing_taxa) {
+    if (t < 0 || t >= tree.tip_count())
+      throw std::invalid_argument("missing taxon id out of range");
+    missing[static_cast<std::size_t>(t)] = 1;
+  }
+  const std::string_view symbols = alpha.symbols();
+  for (NodeId t = 0; t < tree.tip_count(); ++t) {
+    auto& row = rows[static_cast<std::size_t>(t)];
+    if (missing[static_cast<std::size_t>(t)]) {
+      row.append(m, '-');
+    } else {
+      const auto& tseq = seq[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < m; ++i) row.push_back(symbols[tseq[i]]);
+    }
+  }
+}
+
+}  // namespace
+
+Alignment simulate(const Tree& tree, const std::vector<SimPartition>& parts,
+                   Rng& rng) {
+  if (tree.tip_count() < 3)
+    throw std::invalid_argument("simulate: need >= 3 taxa");
+  if (parts.empty()) throw std::invalid_argument("simulate: no partitions");
+  std::vector<std::string> rows(static_cast<std::size_t>(tree.tip_count()));
+  for (const auto& part : parts) simulate_partition(tree, part, rng, rows);
+
+  Alignment aln;
+  for (NodeId t = 0; t < tree.tip_count(); ++t)
+    aln.add(tree.label(t), std::move(rows[static_cast<std::size_t>(t)]));
+  return aln;
+}
+
+PartitionScheme simulate_scheme(const std::vector<SimPartition>& parts) {
+  PartitionScheme scheme;
+  std::size_t offset = 0;
+  for (const auto& part : parts) {
+    PartitionDef def;
+    def.name = part.name;
+    def.type = part.model.states() == 4 ? DataType::kDna : DataType::kProtein;
+    def.model_name = def.type == DataType::kDna ? "GTR" : "WAG";
+    def.ranges.push_back(SiteRange{offset, offset + part.sites, 1});
+    offset += part.sites;
+    scheme.add(std::move(def));
+  }
+  return scheme;
+}
+
+}  // namespace plk

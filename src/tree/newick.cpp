@@ -1,0 +1,258 @@
+#include "tree/newick.hpp"
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace plk {
+
+namespace {
+
+/// Intermediate rooted parse tree.
+struct PNode {
+  std::string label;
+  double length = 0.1;
+  bool has_length = false;
+  std::vector<std::unique_ptr<PNode>> children;
+  bool is_leaf() const { return children.empty(); }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::unique_ptr<PNode> parse() {
+    skip_ws();
+    auto root = node();
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ';') ++pos_;
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after ';'");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("newick parse error at position " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  std::unique_ptr<PNode> node() {
+    auto n = std::make_unique<PNode>();
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '(') {
+      ++pos_;
+      for (;;) {
+        n->children.push_back(node());
+        skip_ws();
+        if (pos_ >= s_.size()) fail("unterminated '('");
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        fail("expected ',' or ')'");
+      }
+    }
+    skip_ws();
+    // Optional label (quoted or bare).
+    if (pos_ < s_.size() && s_[pos_] == '\'') {
+      ++pos_;
+      while (pos_ < s_.size() && s_[pos_] != '\'') n->label += s_[pos_++];
+      if (pos_ >= s_.size()) fail("unterminated quoted label");
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() && !strchr_tok(s_[pos_]))
+        n->label += s_[pos_++];
+    }
+    skip_ws();
+    // Optional branch length.
+    if (pos_ < s_.size() && s_[pos_] == ':') {
+      ++pos_;
+      skip_ws();
+      std::size_t used = 0;
+      try {
+        n->length = std::stod(std::string(s_.substr(pos_)), &used);
+      } catch (const std::exception&) {
+        fail("malformed branch length");
+      }
+      n->has_length = true;
+      pos_ += used;
+    }
+    return n;
+  }
+
+  static bool strchr_tok(char c) {
+    return c == '(' || c == ')' || c == ',' || c == ':' || c == ';' ||
+           std::isspace(static_cast<unsigned char>(c));
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+void collect_tips(const PNode* n, std::vector<const PNode*>& tips) {
+  if (n->is_leaf()) {
+    tips.push_back(n);
+    return;
+  }
+  for (const auto& c : n->children) collect_tips(c.get(), tips);
+}
+
+/// Recursively emit edges; returns the plk node id of `n`.
+struct Builder {
+  std::unordered_map<const PNode*, NodeId> tip_ids;
+  std::vector<Tree::Edge> edges;
+  NodeId next_inner;
+
+  NodeId build(const PNode* n) {
+    if (n->is_leaf()) return tip_ids.at(n);
+    if (n->children.size() != 2)
+      throw std::runtime_error("newick: non-binary inner node (degree " +
+                               std::to_string(n->children.size() + 1) + ")");
+    const NodeId me = next_inner++;
+    for (const auto& c : n->children) {
+      const NodeId cid = build(c.get());
+      edges.push_back(Tree::Edge{me, cid, c->length});
+    }
+    return me;
+  }
+};
+
+Tree build_tree(std::unique_ptr<PNode> root,
+                const std::vector<std::string>* taxon_order) {
+  std::vector<const PNode*> tips;
+  collect_tips(root.get(), tips);
+  const int n = static_cast<int>(tips.size());
+  if (n < 2) throw std::runtime_error("newick: fewer than 2 taxa");
+
+  std::vector<std::string> labels(static_cast<std::size_t>(n));
+  std::unordered_map<const PNode*, NodeId> tip_ids;
+  if (taxon_order) {
+    if (static_cast<int>(taxon_order->size()) != n)
+      throw std::runtime_error("newick: taxon count does not match order");
+    std::unordered_map<std::string, NodeId> by_name;
+    for (NodeId i = 0; i < n; ++i)
+      if (!by_name.emplace((*taxon_order)[static_cast<std::size_t>(i)], i)
+               .second)
+        throw std::runtime_error("newick: duplicate taxon in order");
+    for (const PNode* t : tips) {
+      auto it = by_name.find(t->label);
+      if (it == by_name.end())
+        throw std::runtime_error("newick: unknown taxon '" + t->label + "'");
+      tip_ids[t] = it->second;
+      labels[static_cast<std::size_t>(it->second)] = t->label;
+    }
+    if (tip_ids.size() != static_cast<std::size_t>(n))
+      throw std::runtime_error("newick: duplicate taxon label");
+  } else {
+    for (NodeId i = 0; i < n; ++i) {
+      if (tips[static_cast<std::size_t>(i)]->label.empty())
+        throw std::runtime_error("newick: unlabeled tip");
+      tip_ids[tips[static_cast<std::size_t>(i)]] = i;
+      labels[static_cast<std::size_t>(i)] =
+          tips[static_cast<std::size_t>(i)]->label;
+    }
+  }
+
+  if (n == 2) {
+    double len = 0.0;
+    for (const auto& c : root->children) len += c->length;
+    if (root->children.empty())
+      throw std::runtime_error("newick: 2 taxa require a root with children");
+    return Tree::from_edges(std::move(labels), {Tree::Edge{0, 1, len}});
+  }
+
+  Builder b;
+  b.tip_ids = std::move(tip_ids);
+  b.next_inner = n;
+
+  const std::size_t deg = root->children.size();
+  if (deg == 3) {
+    const NodeId me = b.next_inner++;
+    for (const auto& c : root->children) {
+      const NodeId cid = b.build(c.get());
+      b.edges.push_back(Tree::Edge{me, cid, c->length});
+    }
+  } else if (deg == 2) {
+    // Rooted input: fuse the two root edges into one.
+    const NodeId l = b.build(root->children[0].get());
+    const NodeId r = b.build(root->children[1].get());
+    b.edges.push_back(Tree::Edge{
+        l, r, root->children[0]->length + root->children[1]->length});
+  } else {
+    throw std::runtime_error("newick: root must have degree 2 or 3, has " +
+                             std::to_string(deg));
+  }
+  return Tree::from_edges(std::move(labels), std::move(b.edges));
+}
+
+void write_subtree(const Tree& t, NodeId v, EdgeId via, std::ostream& out,
+                   int precision) {
+  if (t.is_tip(v)) {
+    out << t.label(v);
+  } else {
+    out << '(';
+    bool first = true;
+    for (EdgeId e : t.edges_of(v)) {
+      if (e == via) continue;
+      if (!first) out << ',';
+      first = false;
+      write_subtree(t, t.other_end(e, v), e, out, precision);
+    }
+    out << ')';
+  }
+  out << ':';
+  out.precision(precision);
+  out << t.length(via);
+}
+
+}  // namespace
+
+Tree parse_newick(std::string_view text) {
+  Parser p(text);
+  return build_tree(p.parse(), nullptr);
+}
+
+Tree parse_newick(std::string_view text,
+                  const std::vector<std::string>& taxon_order) {
+  Parser p(text);
+  return build_tree(p.parse(), &taxon_order);
+}
+
+std::string write_newick(const Tree& tree, int precision) {
+  std::ostringstream out;
+  if (tree.tip_count() == 2) {
+    out.precision(precision);
+    out << '(' << tree.label(0) << ':' << tree.length(0) << ','
+        << tree.label(1) << ":0);";
+    return out.str();
+  }
+  // Root the output at the inner node adjacent to tip 0.
+  const EdgeId pend = tree.edges_of(0).front();
+  const NodeId root = tree.other_end(pend, 0);
+  out << '(';
+  out << tree.label(0) << ':';
+  out.precision(precision);
+  out << tree.length(pend);
+  for (EdgeId e : tree.edges_of(root)) {
+    if (e == pend) continue;
+    out << ',';
+    write_subtree(tree, tree.other_end(e, root), e, out, precision);
+  }
+  out << ");";
+  return out.str();
+}
+
+}  // namespace plk

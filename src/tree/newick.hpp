@@ -1,0 +1,31 @@
+// Newick tree serialization.
+//
+// Reads rooted or unrooted Newick strings into plk::Tree (rooted inputs with
+// a binary root are unrooted by fusing the two root edges, the standard
+// convention for time-reversible likelihood models, under which the root
+// placement is irrelevant). Writes the canonical unrooted form with a
+// trifurcation at the inner node adjacent to the first taxon.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// Parse a Newick string. Tips are numbered in order of appearance.
+/// Throws std::runtime_error on syntax errors or non-binary topologies.
+Tree parse_newick(std::string_view text);
+
+/// Parse a Newick string, forcing tip ids to match `taxon_order` (tip i gets
+/// the id of its label's position in `taxon_order`). Throws if the label sets
+/// differ.
+Tree parse_newick(std::string_view text,
+                  const std::vector<std::string>& taxon_order);
+
+/// Serialize to Newick with branch lengths, trailing ";".
+std::string write_newick(const Tree& tree, int precision = 6);
+
+}  // namespace plk

@@ -1,0 +1,67 @@
+#include "tree/rf_distance.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+
+/// Fill `bits` with the tips on the `v` side of edge `e` (walking away
+/// from `away`).
+void collect_side(const Tree& t, NodeId v, EdgeId via, Bipartition& bits) {
+  if (t.is_tip(v)) {
+    bits[static_cast<std::size_t>(v) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) % 64);
+    return;
+  }
+  for (EdgeId e : t.edges_of(v)) {
+    if (e == via) continue;
+    collect_side(t, t.other_end(e, v), e, bits);
+  }
+}
+
+}  // namespace
+
+std::vector<Bipartition> bipartitions(const Tree& t) {
+  const std::size_t words = (static_cast<std::size_t>(t.tip_count()) + 63) / 64;
+  std::vector<Bipartition> out;
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    if (!t.is_internal_edge(e)) continue;  // trivial bipartitions are shared
+    Bipartition bits(words, 0);
+    collect_side(t, t.edge(e).a, e, bits);
+    // Canonicalize: store the side containing tip 0.
+    if ((bits[0] & 1u) == 0)
+      for (std::size_t w = 0; w < words; ++w) bits[w] = ~bits[w];
+    // Mask off padding bits beyond tip_count.
+    const std::size_t rem = static_cast<std::size_t>(t.tip_count()) % 64;
+    if (rem != 0) bits[words - 1] &= (std::uint64_t{1} << rem) - 1;
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+int rf_distance(const Tree& a, const Tree& b) {
+  if (a.tip_count() != b.tip_count())
+    throw std::invalid_argument("rf_distance: different taxon counts");
+  auto ba = bipartitions(a);
+  auto bb = bipartitions(b);
+  std::set<Bipartition> sa(ba.begin(), ba.end());
+  std::set<Bipartition> sb(bb.begin(), bb.end());
+  int only = 0;
+  for (const auto& x : sa)
+    if (!sb.count(x)) ++only;
+  for (const auto& x : sb)
+    if (!sa.count(x)) ++only;
+  return only;
+}
+
+double rf_normalized(const Tree& a, const Tree& b) {
+  const int n = a.tip_count();
+  if (n <= 3) return 0.0;
+  return static_cast<double>(rf_distance(a, b)) /
+         static_cast<double>(2 * (n - 3));
+}
+
+}  // namespace plk

@@ -1,0 +1,29 @@
+// Robinson–Foulds (symmetric bipartition) distance between unrooted trees.
+//
+// Used to verify that tree searches recover simulation truth and to compare
+// search results across parallelization strategies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// A tip-set bipartition encoded as a bitset over tip ids, canonicalized so
+/// that the side containing tip 0 is stored.
+using Bipartition = std::vector<std::uint64_t>;
+
+/// All non-trivial bipartitions (one per internal edge) of `t`.
+std::vector<Bipartition> bipartitions(const Tree& t);
+
+/// Robinson–Foulds distance: number of bipartitions present in exactly one
+/// of the two trees. Trees must share the same tip ids (use parse_newick
+/// with a taxon order, or identical label vectors). Max value is 2(n-3).
+int rf_distance(const Tree& a, const Tree& b);
+
+/// Normalized RF in [0, 1]: rf / (2n - 6). Returns 0 for n <= 3.
+double rf_normalized(const Tree& a, const Tree& b);
+
+}  // namespace plk

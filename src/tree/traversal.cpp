@@ -1,0 +1,50 @@
+#include "tree/traversal.hpp"
+
+namespace plk {
+
+namespace {
+
+void dfs_edges(const Tree& t, NodeId v, EdgeId via, std::vector<EdgeId>& out) {
+  for (EdgeId e : t.edges_of(v)) {
+    if (e == via) continue;
+    out.push_back(e);
+    dfs_edges(t, t.other_end(e, v), e, out);
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeId> dfs_edge_order(const Tree& tree, NodeId start_node) {
+  std::vector<EdgeId> out;
+  out.reserve(static_cast<std::size_t>(tree.edge_count()));
+  dfs_edges(tree, start_node, kNoId, out);
+  return out;
+}
+
+std::vector<EdgeId> edges_within_radius(const Tree& tree, EdgeId center,
+                                        int radius, NodeId forbidden_side) {
+  std::vector<EdgeId> out;
+  std::vector<char> seen(static_cast<std::size_t>(tree.edge_count()), 0);
+  seen[static_cast<std::size_t>(center)] = 1;
+
+  // Frontier of (node, depth) pairs expanding outward from the center edge.
+  std::vector<std::pair<NodeId, int>> frontier;
+  for (NodeId v : {tree.edge(center).a, tree.edge(center).b}) {
+    if (v == forbidden_side) continue;
+    frontier.emplace_back(v, 0);
+  }
+  while (!frontier.empty()) {
+    const auto [v, depth] = frontier.back();
+    frontier.pop_back();
+    if (depth >= radius) continue;
+    for (EdgeId e : tree.edges_of(v)) {
+      if (seen[static_cast<std::size_t>(e)]) continue;
+      seen[static_cast<std::size_t>(e)] = 1;
+      out.push_back(e);
+      frontier.emplace_back(tree.other_end(e, v), depth + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace plk

@@ -1,0 +1,24 @@
+// Tree traversal orderings.
+#pragma once
+
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// All edges in depth-first order starting from `start_node` (default: tip
+/// 0). Consecutive edges share a node, so iterating branch-length
+/// optimization in this order keeps virtual-root relocations short (few CLV
+/// re-orientations per step) — the same locality RAxML's smoothing pass
+/// exploits.
+std::vector<EdgeId> dfs_edge_order(const Tree& tree, NodeId start_node = 0);
+
+/// Edges within `radius` edge-hops of `center`, excluding `center` itself
+/// and (optionally) everything on the `forbidden_side` of it. Used for
+/// radius-bounded SPR target enumeration.
+std::vector<EdgeId> edges_within_radius(const Tree& tree, EdgeId center,
+                                        int radius,
+                                        NodeId forbidden_side = kNoId);
+
+}  // namespace plk

@@ -1,0 +1,137 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace plk {
+
+NodeId Tree::other_end(EdgeId e, NodeId v) const {
+  const Edge& ed = edges_[e];
+  if (ed.a == v) return ed.b;
+  if (ed.b == v) return ed.a;
+  throw std::logic_error("other_end: node is not an endpoint of edge");
+}
+
+EdgeId Tree::find_edge(NodeId u, NodeId v) const {
+  for (EdgeId e : adjacency_[u])
+    if (other_end(e, u) == v) return e;
+  return kNoId;
+}
+
+Tree Tree::from_edges(std::vector<std::string> tip_labels,
+                      std::vector<Edge> edges) {
+  Tree t;
+  t.tip_count_ = static_cast<int>(tip_labels.size());
+  t.labels_ = std::move(tip_labels);
+  t.edges_ = std::move(edges);
+  const int n_nodes = 2 * t.tip_count_ - 2;
+  t.adjacency_.assign(static_cast<std::size_t>(n_nodes), {});
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    const Edge& ed = t.edges_[static_cast<std::size_t>(e)];
+    if (ed.a < 0 || ed.a >= n_nodes || ed.b < 0 || ed.b >= n_nodes)
+      throw std::invalid_argument("edge endpoint out of range");
+    t.adjacency_[static_cast<std::size_t>(ed.a)].push_back(e);
+    t.adjacency_[static_cast<std::size_t>(ed.b)].push_back(e);
+  }
+  t.validate();
+  return t;
+}
+
+void Tree::validate() const {
+  if (tip_count_ < 2) throw std::logic_error("tree needs >= 2 tips");
+  if (tip_count_ == 2) {
+    if (edge_count() != 1) throw std::logic_error("2-taxon tree needs 1 edge");
+    return;
+  }
+  if (edge_count() != 2 * tip_count_ - 3)
+    throw std::logic_error("edge count != 2n-3");
+  for (NodeId v = 0; v < node_count(); ++v) {
+    const std::size_t deg = adjacency_[static_cast<std::size_t>(v)].size();
+    if (is_tip(v) && deg != 1)
+      throw std::logic_error("tip with degree != 1");
+    if (!is_tip(v) && deg != 3)
+      throw std::logic_error("inner node with degree != 3");
+  }
+  // Connectivity: BFS from node 0 must reach every node.
+  std::vector<char> seen(static_cast<std::size_t>(node_count()), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (EdgeId e : adjacency_[static_cast<std::size_t>(v)]) {
+      const NodeId w = other_end(e, v);
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        ++reached;
+        q.push(w);
+      }
+    }
+  }
+  if (reached != node_count()) throw std::logic_error("tree is disconnected");
+  for (EdgeId e = 0; e < edge_count(); ++e)
+    if (!(edges_[static_cast<std::size_t>(e)].length >= 0.0))
+      throw std::logic_error("negative or NaN branch length");
+}
+
+void Tree::reattach(EdgeId e, NodeId from, NodeId to) {
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  if (ed.a == from)
+    ed.a = to;
+  else if (ed.b == from)
+    ed.b = to;
+  else
+    throw std::logic_error("reattach: 'from' is not an endpoint");
+  auto& from_adj = adjacency_[static_cast<std::size_t>(from)];
+  from_adj.erase(std::find(from_adj.begin(), from_adj.end(), e));
+  adjacency_[static_cast<std::size_t>(to)].push_back(e);
+}
+
+std::vector<NodeId> Tree::path_between_edges(EdgeId from, EdgeId to) const {
+  if (from == to) return {};
+  // BFS over nodes from both endpoints of `from` until an endpoint of `to`
+  // is reached; reconstruct the node path.
+  std::vector<NodeId> parent(static_cast<std::size_t>(node_count()), kNoId);
+  std::vector<char> seen(static_cast<std::size_t>(node_count()), 0);
+  std::queue<NodeId> q;
+  for (NodeId v : {edges_[static_cast<std::size_t>(from)].a,
+                   edges_[static_cast<std::size_t>(from)].b}) {
+    seen[static_cast<std::size_t>(v)] = 1;
+    q.push(v);
+  }
+  const NodeId ta = edges_[static_cast<std::size_t>(to)].a;
+  const NodeId tb = edges_[static_cast<std::size_t>(to)].b;
+  NodeId hit = kNoId;
+  while (!q.empty() && hit == kNoId) {
+    const NodeId v = q.front();
+    q.pop();
+    if (v == ta || v == tb) {
+      hit = v;
+      break;
+    }
+    for (EdgeId e : adjacency_[static_cast<std::size_t>(v)]) {
+      if (e == to) continue;  // do not walk across the target edge
+      const NodeId w = other_end(e, v);
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        parent[static_cast<std::size_t>(w)] = v;
+        q.push(w);
+      }
+    }
+  }
+  std::vector<NodeId> path;
+  for (NodeId v = hit; v != kNoId; v = parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  return path;
+}
+
+double Tree::total_length() const {
+  double s = 0.0;
+  for (const Edge& e : edges_) s += e.length;
+  return s;
+}
+
+}  // namespace plk

@@ -1,0 +1,92 @@
+// Unrooted binary phylogenetic trees.
+//
+// A tree over n taxa has n tip nodes (degree 1), n-2 inner nodes (degree 3),
+// and 2n-3 edges. Tips are nodes [0, n); inner nodes are [n, 2n-2). The tree
+// is mutable: NNI and SPR moves (tree search) rewire edges in place, keeping
+// node and edge ids stable so that per-node likelihood buffers owned by the
+// engine survive topology changes.
+//
+// Each edge carries a single "default" branch length; analyses with
+// per-partition branch lengths expand these into a matrix (see
+// core/branch_lengths.hpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plk {
+
+using NodeId = int;
+using EdgeId = int;
+inline constexpr int kNoId = -1;
+
+/// An unrooted tree with named tips and per-edge default branch lengths.
+class Tree {
+ public:
+  struct Edge {
+    NodeId a = kNoId;
+    NodeId b = kNoId;
+    double length = 0.1;
+  };
+
+  Tree() = default;
+
+  /// Number of taxa (tips).
+  int tip_count() const { return tip_count_; }
+  /// Total nodes: 2n - 2.
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+  /// Total edges: 2n - 3.
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  bool is_tip(NodeId v) const { return v < tip_count_; }
+  const std::string& label(NodeId tip) const { return labels_[tip]; }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  double length(EdgeId e) const { return edges_[e].length; }
+  void set_length(EdgeId e, double len) { edges_[e].length = len; }
+
+  /// Edge ids incident to `v` (1 for tips, 3 for inner nodes).
+  const std::vector<EdgeId>& edges_of(NodeId v) const { return adjacency_[v]; }
+
+  /// The endpoint of `e` that is not `v`; `v` must be an endpoint.
+  NodeId other_end(EdgeId e, NodeId v) const;
+
+  /// The edge joining u and v, or kNoId if they are not adjacent.
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// True if both endpoints of `e` are inner nodes.
+  bool is_internal_edge(EdgeId e) const {
+    return !is_tip(edges_[e].a) && !is_tip(edges_[e].b);
+  }
+
+  /// Build a tree from an explicit edge list over nodes laid out as
+  /// described in the file header. Validates degrees.
+  static Tree from_edges(std::vector<std::string> tip_labels,
+                         std::vector<Edge> edges);
+
+  /// Check structural invariants (degrees, connectivity); throws on failure.
+  void validate() const;
+
+  // --- topology surgery (used by NNI/SPR; see search/) -------------------
+
+  /// Replace endpoint `from` of edge `e` with `to`, updating adjacency.
+  void reattach(EdgeId e, NodeId from, NodeId to);
+
+  /// Nodes on the path between the midpoint of edge `from` and the midpoint
+  /// of edge `to` (inclusive of endpoints of both edges).
+  std::vector<NodeId> path_between_edges(EdgeId from, EdgeId to) const;
+
+  /// Sum of all branch lengths.
+  double total_length() const;
+
+ private:
+  int tip_count_ = 0;
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace plk

@@ -1,0 +1,54 @@
+#include "tree/tree_gen.hpp"
+
+#include <stdexcept>
+
+namespace plk {
+
+std::vector<std::string> default_labels(int n_taxa) {
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(n_taxa));
+  for (int i = 1; i <= n_taxa; ++i) labels.push_back("t" + std::to_string(i));
+  return labels;
+}
+
+Tree random_tree(std::vector<std::string> labels, Rng& rng,
+                 const TreeGenOptions& opts) {
+  const int n = static_cast<int>(labels.size());
+  if (n < 3) throw std::invalid_argument("random_tree needs >= 3 taxa");
+
+  auto blen = [&] {
+    double b = rng.exponential(1.0 / opts.mean_branch_length);
+    return b < opts.min_branch_length ? opts.min_branch_length : b;
+  };
+
+  // Start with the 3-taxon star: inner node n joined to tips 0,1,2.
+  std::vector<Tree::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(2 * n - 3));
+  NodeId next_inner = n;
+  const NodeId hub = next_inner++;
+  for (NodeId t = 0; t < 3; ++t)
+    edges.push_back(Tree::Edge{hub, t, blen()});
+
+  // Attach each remaining taxon to a uniformly chosen existing edge.
+  for (NodeId t = 3; t < n; ++t) {
+    const std::size_t pick = static_cast<std::size_t>(rng.below(edges.size()));
+    const Tree::Edge old = edges[pick];
+    const NodeId mid = next_inner++;
+    // Split the picked edge at `mid` (approximately preserving its total
+    // length, subject to the minimum-length clamp).
+    const double split = rng.uniform(0.2, 0.8);
+    auto clamp = [&](double b) {
+      return b < opts.min_branch_length ? opts.min_branch_length : b;
+    };
+    edges[pick] = Tree::Edge{old.a, mid, clamp(old.length * split)};
+    edges.push_back(Tree::Edge{mid, old.b, clamp(old.length * (1.0 - split))});
+    edges.push_back(Tree::Edge{mid, t, blen()});
+  }
+  return Tree::from_edges(std::move(labels), std::move(edges));
+}
+
+Tree random_tree(int n_taxa, Rng& rng, const TreeGenOptions& opts) {
+  return random_tree(default_labels(n_taxa), rng, opts);
+}
+
+}  // namespace plk

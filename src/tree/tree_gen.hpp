@@ -1,0 +1,33 @@
+// Random tree generation for simulation studies and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace plk {
+
+/// Options for random tree generation.
+struct TreeGenOptions {
+  /// Branch lengths are drawn i.i.d. exponential with this mean
+  /// (expected substitutions per site; 0.1 is a typical empirical scale).
+  double mean_branch_length = 0.1;
+  /// Lower clamp applied to sampled branch lengths.
+  double min_branch_length = 1e-4;
+};
+
+/// Generate a uniform random unrooted binary topology over the given labels
+/// by sequential random edge attachment (each taxon is attached to an edge
+/// chosen uniformly at random — the "random addition order" process).
+Tree random_tree(std::vector<std::string> labels, Rng& rng,
+                 const TreeGenOptions& opts = {});
+
+/// Convenience: labels "t1".."tn".
+Tree random_tree(int n_taxa, Rng& rng, const TreeGenOptions& opts = {});
+
+/// Generate default labels "t1".."tn".
+std::vector<std::string> default_labels(int n_taxa);
+
+}  // namespace plk

@@ -1,0 +1,73 @@
+// Aligned memory utilities for the likelihood kernels.
+//
+// Conditional likelihood vectors (CLVs) are large arrays of doubles that are
+// streamed through tight SIMD-friendly loops; we allocate them on cache-line
+// (and AVX-512-friendly) 64-byte boundaries and pad per-thread accumulators to
+// a cache line to avoid false sharing between worker threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace plk {
+
+/// Cache line size used for padding shared, per-thread mutable state.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Alignment used for numeric arrays (covers SSE/AVX/AVX-512 loads).
+inline constexpr std::size_t kVectorAlign = 64;
+
+/// Minimal standard-conforming allocator that hands out memory aligned to
+/// `Align` bytes. Used for CLV and scratch buffers.
+template <class T, std::size_t Align = kVectorAlign>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment must be at least alignof(T)");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+
+ private:
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+/// Vector of doubles aligned for vectorized kernel loops.
+using AlignedDoubleVec = std::vector<double, AlignedAllocator<double>>;
+
+/// A double padded out to a full cache line. Arrays of `PaddedDouble` are used
+/// for per-thread partial reductions so writes from different threads never
+/// share a line.
+struct alignas(kCacheLine) PaddedDouble {
+  double value = 0.0;
+  char pad[kCacheLine - sizeof(double)] = {};
+};
+
+}  // namespace plk

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// plkit is a library first; it never writes to stdout unless the host program
+// raises the verbosity. Benches and examples set Level::Info or Level::Debug.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace plk {
+
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Global logging configuration (process-wide, thread-safe).
+class Log {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel lvl) { instance().level_ = lvl; }
+
+  /// Emit a message if `lvl` is at or below the configured verbosity.
+  static void write(LogLevel lvl, const std::string& msg) {
+    Log& log = instance();
+    if (lvl > log.level_) return;
+    std::lock_guard<std::mutex> lock(log.mu_);
+    std::ostream& os = (lvl == LogLevel::Warn) ? std::cerr : std::cout;
+    os << prefix(lvl) << msg << '\n';
+  }
+
+ private:
+  static Log& instance() {
+    static Log log;
+    return log;
+  }
+  static const char* prefix(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::Warn: return "[plk warn] ";
+      case LogLevel::Info: return "[plk] ";
+      case LogLevel::Debug: return "[plk dbg] ";
+      default: return "";
+    }
+  }
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+};
+
+inline void log_warn(const std::string& m) { Log::write(LogLevel::Warn, m); }
+inline void log_info(const std::string& m) { Log::write(LogLevel::Info, m); }
+inline void log_debug(const std::string& m) { Log::write(LogLevel::Debug, m); }
+
+}  // namespace plk

@@ -1,0 +1,61 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace plk {
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("exponential rate must be > 0");
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal() {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("gamma shape must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia & Tsang boosting trick).
+    double u = uniform();
+    while (u == 0.0) u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::size_t Rng::discrete(std::span<const double> probs) {
+  double total = 0.0;
+  for (double p : probs) total += p;
+  if (total <= 0.0) throw std::invalid_argument("discrete: weights sum to 0");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    target -= probs[i];
+    if (target < 0.0) return i;
+  }
+  return probs.size() - 1;  // numerical edge: target == total
+}
+
+}  // namespace plk

@@ -1,0 +1,50 @@
+// Small descriptive-statistics helpers used by benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace plk {
+
+/// Arithmetic mean; throws on an empty input.
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean of empty range");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+inline double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/// Median (copies and sorts); throws on an empty input.
+inline double median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("median of empty range");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Minimum of a non-empty range.
+inline double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+/// Maximum of a non-empty range.
+inline double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace plk

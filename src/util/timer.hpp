@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for benchmarks and instrumentation.
+#pragma once
+
+#include <chrono>
+
+namespace plk {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  /// Microseconds elapsed.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace plk

@@ -1,0 +1,300 @@
+// Tests for bio/: alphabets, alignments, partition schemes, pattern
+// compression, and MSA file I/O.
+#include <gtest/gtest.h>
+
+#include "bio/alignment.hpp"
+#include "bio/alphabet.hpp"
+#include "bio/msa_io.hpp"
+#include "bio/partition.hpp"
+#include "bio/patterns.hpp"
+
+namespace plk {
+namespace {
+
+// --- alphabet ---------------------------------------------------------------
+
+TEST(Alphabet, DnaDeterminedStates) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.size(), 4);
+  EXPECT_EQ(a.encode('A'), 0b0001u);
+  EXPECT_EQ(a.encode('C'), 0b0010u);
+  EXPECT_EQ(a.encode('G'), 0b0100u);
+  EXPECT_EQ(a.encode('T'), 0b1000u);
+  EXPECT_EQ(a.encode('a'), a.encode('A'));  // case-insensitive
+}
+
+TEST(Alphabet, DnaAmbiguityCodes) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.encode('R'), 0b0101u);  // A|G
+  EXPECT_EQ(a.encode('Y'), 0b1010u);  // C|T
+  EXPECT_EQ(a.encode('S'), 0b0110u);
+  EXPECT_EQ(a.encode('W'), 0b1001u);
+  EXPECT_EQ(a.encode('K'), 0b1100u);
+  EXPECT_EQ(a.encode('M'), 0b0011u);
+  EXPECT_EQ(a.encode('B'), 0b1110u);
+  EXPECT_EQ(a.encode('D'), 0b1101u);
+  EXPECT_EQ(a.encode('H'), 0b1011u);
+  EXPECT_EQ(a.encode('V'), 0b0111u);
+  EXPECT_EQ(a.encode('U'), a.encode('T'));  // RNA
+}
+
+TEST(Alphabet, DnaGapsAndUnknowns) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.encode('-'), a.gap_mask());
+  EXPECT_EQ(a.encode('?'), a.gap_mask());
+  EXPECT_EQ(a.encode('.'), a.gap_mask());
+  EXPECT_EQ(a.encode('N'), a.gap_mask());
+  EXPECT_EQ(a.encode('!'), a.gap_mask());  // unrecognized -> missing
+  EXPECT_EQ(a.gap_mask(), 0b1111u);
+}
+
+TEST(Alphabet, DnaDecodeRoundTrip) {
+  const Alphabet& a = Alphabet::dna();
+  for (char c : std::string("ACGTRYSWKMBDHV")) EXPECT_EQ(a.decode(a.encode(c)), c);
+  EXPECT_EQ(a.decode(a.gap_mask()), '-');
+}
+
+TEST(Alphabet, ProteinBasics) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.size(), 20);
+  EXPECT_EQ(a.symbols(), "ARNDCQEGHILKMFPSTWYV");
+  // 'N' must be asparagine (state 2), not missing data.
+  EXPECT_EQ(a.encode('N'), StateMask{1} << 2);
+  EXPECT_EQ(a.encode('X'), a.gap_mask());
+  EXPECT_EQ(a.encode('-'), a.gap_mask());
+  // B = N|D, Z = Q|E.
+  EXPECT_EQ(a.encode('B'), (StateMask{1} << 2) | (StateMask{1} << 3));
+  EXPECT_EQ(a.encode('Z'), (StateMask{1} << 5) | (StateMask{1} << 6));
+}
+
+TEST(Alphabet, ProteinAllSymbolsDetermined) {
+  const Alphabet& a = Alphabet::protein();
+  for (char c : a.symbols()) {
+    EXPECT_TRUE(Alphabet::is_determined(a.encode(c))) << c;
+    EXPECT_EQ(a.decode(a.encode(c)), c);
+  }
+}
+
+TEST(Alphabet, SingleStateIndex) {
+  EXPECT_EQ(Alphabet::single_state(0b0001), 0);
+  EXPECT_EQ(Alphabet::single_state(0b1000), 3);
+  EXPECT_THROW(Alphabet::single_state(0b0101), std::invalid_argument);
+  EXPECT_THROW(Alphabet::single_state(0), std::invalid_argument);
+}
+
+TEST(Alphabet, ForTypeSelects) {
+  EXPECT_EQ(Alphabet::for_type(DataType::kDna).size(), 4);
+  EXPECT_EQ(Alphabet::for_type(DataType::kProtein).size(), 20);
+}
+
+// --- alignment --------------------------------------------------------------
+
+TEST(Alignment, AddAndAccess) {
+  Alignment a;
+  a.add("tax1", "ACGT");
+  a.add("tax2", "AGGT");
+  EXPECT_EQ(a.taxon_count(), 2u);
+  EXPECT_EQ(a.site_count(), 4u);
+  EXPECT_EQ(a.at(1, 1), 'G');
+  EXPECT_EQ(a.row(0), "ACGT");
+  EXPECT_EQ(a.find_taxon("tax2"), 1u);
+  EXPECT_EQ(a.find_taxon("nope"), Alignment::npos);
+}
+
+TEST(Alignment, RejectsInconsistentLengths) {
+  Alignment a;
+  a.add("t1", "ACGT");
+  EXPECT_THROW(a.add("t2", "ACG"), std::invalid_argument);
+}
+
+TEST(Alignment, RejectsDuplicateNames) {
+  Alignment a;
+  a.add("t1", "ACGT");
+  EXPECT_THROW(a.add("t1", "ACGT"), std::invalid_argument);
+}
+
+TEST(Alignment, RejectsEmptyName) {
+  Alignment a;
+  EXPECT_THROW(a.add("", "ACGT"), std::invalid_argument);
+}
+
+// --- partition scheme -------------------------------------------------------
+
+TEST(Partition, ParseBasic) {
+  auto s = PartitionScheme::parse("DNA, gene1 = 1-1000\nDNA, gene2 = 1001-2000\n");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].name, "gene1");
+  EXPECT_EQ(s[0].type, DataType::kDna);
+  EXPECT_EQ(s[0].site_count(), 1000u);
+  EXPECT_EQ(s[1].ranges[0].begin, 1000u);
+  EXPECT_EQ(s[1].ranges[0].end, 2000u);
+  s.validate(2000);
+}
+
+TEST(Partition, ParseMultiRangeAndStride) {
+  auto s = PartitionScheme::parse("WAG, genA = 1-10, 21-30\nDNA, c3 = 31-40\\2\n");
+  EXPECT_EQ(s[0].type, DataType::kProtein);
+  EXPECT_EQ(s[0].site_count(), 20u);
+  EXPECT_EQ(s[1].site_count(), 5u);
+  const auto sites = s[1].sites();
+  EXPECT_EQ(sites[0], 30u);
+  EXPECT_EQ(sites[1], 32u);
+}
+
+TEST(Partition, ParseCommentsAndBlanks) {
+  auto s = PartitionScheme::parse("# comment\n\nDNA, g = 1-4\n");
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Partition, ParseErrors) {
+  EXPECT_THROW(PartitionScheme::parse("DNA gene = 1-10\n"), std::runtime_error);
+  EXPECT_THROW(PartitionScheme::parse("DNA, gene 1-10\n"), std::runtime_error);
+  EXPECT_THROW(PartitionScheme::parse("BOGUS, g = 1-10\n"), std::runtime_error);
+  EXPECT_THROW(PartitionScheme::parse("DNA, g = 10-1\n"), std::runtime_error);
+  EXPECT_THROW(PartitionScheme::parse("DNA, g = 0-5\n"), std::runtime_error);
+}
+
+TEST(Partition, ValidateDetectsGapsAndOverlap) {
+  auto gap = PartitionScheme::parse("DNA, a = 1-5\nDNA, b = 7-10\n");
+  EXPECT_THROW(gap.validate(10), std::runtime_error);
+  auto overlap = PartitionScheme::parse("DNA, a = 1-6\nDNA, b = 5-10\n");
+  EXPECT_THROW(overlap.validate(10), std::runtime_error);
+  auto beyond = PartitionScheme::parse("DNA, a = 1-11\n");
+  EXPECT_THROW(beyond.validate(10), std::runtime_error);
+}
+
+TEST(Partition, RoundTripToString) {
+  const std::string text = "GTR, gene1 = 1-100\nWAG, gene2 = 101-200\\3\n";
+  auto s = PartitionScheme::parse(text);
+  auto s2 = PartitionScheme::parse(s.to_string());
+  EXPECT_EQ(s.to_string(), s2.to_string());
+}
+
+TEST(Partition, SingleCoversEverything) {
+  auto s = PartitionScheme::single(DataType::kDna, 123);
+  EXPECT_EQ(s.size(), 1u);
+  s.validate(123);
+}
+
+// --- pattern compression ----------------------------------------------------
+
+Alignment small_aln() {
+  Alignment a;
+  a.add("t1", "AACCA");
+  a.add("t2", "AAGGA");
+  a.add("t3", "AATTA");
+  return a;
+}
+
+TEST(Patterns, CompressesDuplicateColumns) {
+  auto comp = CompressedAlignment::build(
+      small_aln(), PartitionScheme::single(DataType::kDna, 5), true);
+  ASSERT_EQ(comp.partitions.size(), 1u);
+  const auto& p = comp.partitions[0];
+  // Columns: AAA, AAA, CGT, CGT, AAA -> 2 patterns with weights 3 and 2.
+  EXPECT_EQ(p.pattern_count, 2u);
+  EXPECT_EQ(p.site_count, 5u);
+  EXPECT_DOUBLE_EQ(p.weights[0], 3.0);
+  EXPECT_DOUBLE_EQ(p.weights[1], 2.0);
+  EXPECT_EQ(p.site_to_pattern, (std::vector<std::size_t>{0, 0, 1, 1, 0}));
+}
+
+TEST(Patterns, NoCompressionKeepsEveryColumn) {
+  auto comp = CompressedAlignment::build(
+      small_aln(), PartitionScheme::single(DataType::kDna, 5), false);
+  EXPECT_EQ(comp.partitions[0].pattern_count, 5u);
+  for (double w : comp.partitions[0].weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Patterns, PartitionsCompressIndependently) {
+  // Identical columns in different partitions must NOT merge.
+  auto scheme = PartitionScheme::parse("DNA, a = 1-2\nDNA, b = 3-5\n");
+  auto comp = CompressedAlignment::build(small_aln(), scheme, true);
+  ASSERT_EQ(comp.partitions.size(), 2u);
+  EXPECT_EQ(comp.partitions[0].pattern_count, 1u);  // AAA, AAA
+  EXPECT_EQ(comp.partitions[0].weights[0], 2.0);
+  EXPECT_EQ(comp.partitions[1].pattern_count, 2u);  // CGT, CGT, AAA
+  EXPECT_EQ(comp.total_patterns(), 3u);
+  EXPECT_EQ(comp.total_sites(), 5u);
+}
+
+TEST(Patterns, TipStatesEncoded) {
+  auto comp = CompressedAlignment::build(
+      small_aln(), PartitionScheme::single(DataType::kDna, 5), true);
+  const auto& p = comp.partitions[0];
+  EXPECT_EQ(p.tip_states[0][1], Alphabet::dna().encode('C'));
+  EXPECT_EQ(p.tip_states[2][1], Alphabet::dna().encode('T'));
+}
+
+TEST(Patterns, WeightsSumToSiteCount) {
+  auto comp = CompressedAlignment::build(
+      small_aln(), PartitionScheme::single(DataType::kDna, 5), true);
+  double sum = 0;
+  for (double w : comp.partitions[0].weights) sum += w;
+  EXPECT_DOUBLE_EQ(sum, 5.0);
+}
+
+TEST(Patterns, RejectsSingleTaxon) {
+  Alignment a;
+  a.add("only", "ACGT");
+  EXPECT_THROW(CompressedAlignment::build(
+                   a, PartitionScheme::single(DataType::kDna, 4), true),
+               std::invalid_argument);
+}
+
+// --- FASTA ------------------------------------------------------------------
+
+TEST(Fasta, ParseWithWrappingAndWhitespace) {
+  auto a = read_fasta(">t1 some description\nACGT\nACGT\n>t2\nTT TT\nGGGG\n");
+  EXPECT_EQ(a.taxon_count(), 2u);
+  EXPECT_EQ(a.row(0), "ACGTACGT");
+  EXPECT_EQ(a.row(1), "TTTTGGGG");
+  EXPECT_EQ(a.name(0), "t1");
+}
+
+TEST(Fasta, RoundTrip) {
+  auto a = small_aln();
+  auto b = read_fasta(write_fasta(a, 2));
+  ASSERT_EQ(b.taxon_count(), a.taxon_count());
+  for (std::size_t t = 0; t < a.taxon_count(); ++t) {
+    EXPECT_EQ(a.name(t), b.name(t));
+    EXPECT_EQ(a.row(t), b.row(t));
+  }
+}
+
+TEST(Fasta, Errors) {
+  EXPECT_THROW(read_fasta("ACGT\n"), std::runtime_error);
+  EXPECT_THROW(read_fasta(">t1\n>t2\nAC\n"), std::runtime_error);
+  EXPECT_THROW(read_fasta(""), std::runtime_error);
+}
+
+// --- PHYLIP -----------------------------------------------------------------
+
+TEST(Phylip, ParseSequential) {
+  auto a = read_phylip("3 5\nt1 AACCA\nt2 AAGGA\nt3 AATTA\n");
+  EXPECT_EQ(a.taxon_count(), 3u);
+  EXPECT_EQ(a.site_count(), 5u);
+  EXPECT_EQ(a.row(2), "AATTA");
+}
+
+TEST(Phylip, ParseInterleaved) {
+  auto a = read_phylip("2 8\nt1 ACGT\nt2 TTTT\n\nACGT\nGGGG\n");
+  EXPECT_EQ(a.row(0), "ACGTACGT");
+  EXPECT_EQ(a.row(1), "TTTTGGGG");
+}
+
+TEST(Phylip, RoundTrip) {
+  auto a = small_aln();
+  auto b = read_phylip(write_phylip(a));
+  for (std::size_t t = 0; t < a.taxon_count(); ++t)
+    EXPECT_EQ(a.row(t), b.row(t));
+}
+
+TEST(Phylip, Errors) {
+  EXPECT_THROW(read_phylip("not a header\n"), std::runtime_error);
+  EXPECT_THROW(read_phylip("2 4\nt1 ACGT\n"), std::runtime_error);
+  EXPECT_THROW(read_phylip("2 4\nt1 ACGT\nt2 ACG\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace plk

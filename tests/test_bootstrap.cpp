@@ -1,0 +1,118 @@
+// Tests for core/bootstrap: replicate weight resampling, bipartition
+// support computation, and Newick-with-support serialization.
+#include <gtest/gtest.h>
+
+#include "core/bootstrap.hpp"
+#include "sim/datasets.hpp"
+#include "tree/newick.hpp"
+#include "tree/rf_distance.hpp"
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+namespace {
+
+TEST(Bootstrap, ReplicatePreservesSiteCounts) {
+  Dataset d = make_simulated_dna(8, 600, 200, 21);
+  auto comp = CompressedAlignment::build(d.alignment, d.scheme, true);
+  Rng rng(22);
+  auto rep = bootstrap_replicate(comp, rng);
+  ASSERT_EQ(rep.partitions.size(), comp.partitions.size());
+  for (std::size_t p = 0; p < rep.partitions.size(); ++p) {
+    double total = 0;
+    for (double w : rep.partitions[p].weights) total += w;
+    EXPECT_DOUBLE_EQ(total,
+                     static_cast<double>(comp.partitions[p].site_count));
+    // Tip data shared structure unchanged.
+    EXPECT_EQ(rep.partitions[p].pattern_count,
+              comp.partitions[p].pattern_count);
+    EXPECT_EQ(rep.partitions[p].tip_states, comp.partitions[p].tip_states);
+  }
+}
+
+TEST(Bootstrap, ReplicatesDiffer) {
+  Dataset d = make_simulated_dna(6, 400, 400, 23);
+  auto comp = CompressedAlignment::build(d.alignment, d.scheme, true);
+  Rng rng(24);
+  auto a = bootstrap_replicate(comp, rng);
+  auto b = bootstrap_replicate(comp, rng);
+  EXPECT_NE(a.partitions[0].weights, b.partitions[0].weights);
+}
+
+TEST(Bootstrap, WeightsFollowOriginalMultiplicities) {
+  // A pattern with weight 9x that of another should be drawn ~9x as often.
+  CompressedAlignment aln;
+  aln.taxon_names = {"a", "b"};
+  CompressedPartition part;
+  part.name = "g";
+  part.type = DataType::kDna;
+  part.pattern_count = 2;
+  part.site_count = 1000;
+  part.weights = {900.0, 100.0};
+  part.tip_states = {{1, 2}, {1, 2}};
+  aln.partitions.push_back(part);
+
+  Rng rng(25);
+  double first = 0;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i)
+    first += bootstrap_replicate(aln, rng).partitions[0].weights[0];
+  EXPECT_NEAR(first / reps, 900.0, 15.0);
+}
+
+TEST(Bootstrap, SupportIsOneForIdenticalTrees) {
+  Rng rng(26);
+  Tree ref = random_tree(10, rng);
+  std::vector<Tree> reps(20, ref);
+  auto support = bipartition_support(ref, reps);
+  EXPECT_EQ(support.size(), static_cast<std::size_t>(10 - 3));
+  for (const auto& [e, s] : support) {
+    EXPECT_TRUE(ref.is_internal_edge(e));
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  }
+}
+
+TEST(Bootstrap, SupportReflectsReplicateMix) {
+  // Half the replicates agree with ref, half are a different topology:
+  // shared bipartitions get support ~1, ref-only ones ~0.5.
+  Rng r1(27), r2(28);
+  Tree ref = random_tree(12, r1);
+  Tree other = random_tree(12, r2);
+  std::vector<Tree> reps;
+  for (int i = 0; i < 10; ++i) reps.push_back(ref);
+  for (int i = 0; i < 10; ++i) reps.push_back(other);
+  auto support = bipartition_support(ref, reps);
+  for (const auto& [e, s] : support) {
+    EXPECT_GE(s, 0.5);  // every ref bipartition is in >= half the reps
+    EXPECT_LE(s, 1.0);
+  }
+  bool any_partial = false;
+  for (const auto& [e, s] : support) any_partial |= (s < 1.0);
+  EXPECT_TRUE(any_partial);
+}
+
+TEST(Bootstrap, SupportZeroForDisjointTopologies) {
+  // Caterpillar vs balanced topologies over many taxa share few splits.
+  Rng r1(29), r2(30);
+  Tree ref = random_tree(20, r1);
+  std::vector<Tree> reps;
+  for (int i = 0; i < 5; ++i) reps.push_back(random_tree(20, r2));
+  auto support = bipartition_support(ref, reps);
+  double total = 0;
+  for (const auto& [e, s] : support) total += s;
+  EXPECT_LT(total / static_cast<double>(support.size()), 0.5);
+}
+
+TEST(Bootstrap, NewickWithSupportRoundTrips) {
+  Rng rng(31);
+  Tree ref = random_tree(8, rng);
+  std::vector<Tree> reps(4, ref);
+  auto support = bipartition_support(ref, reps);
+  const std::string nwk = write_newick_with_support(ref, support);
+  EXPECT_NE(nwk.find("100"), std::string::npos);
+  // Inner labels parse as node labels; topology survives.
+  Tree back = parse_newick(nwk, ref.labels());
+  EXPECT_EQ(rf_distance(back, ref), 0);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,73 @@
+// Tests for core/branch_lengths: linked vs unlinked storage semantics and
+// interaction with tree defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/branch_lengths.hpp"
+#include "tree/tree_gen.hpp"
+#include "util/rng.hpp"
+
+namespace plk {
+namespace {
+
+TEST(BranchLengths, LinkedSharesOneValue) {
+  BranchLengths bl(5, 3, /*linked=*/true, 0.2);
+  EXPECT_TRUE(bl.linked());
+  bl.set(2, 0, 0.7);
+  for (int p = 0; p < 3; ++p) EXPECT_DOUBLE_EQ(bl.get(2, p), 0.7);
+  EXPECT_DOUBLE_EQ(bl.mean(2), 0.7);
+}
+
+TEST(BranchLengths, UnlinkedKeepsPartitionsIndependent) {
+  BranchLengths bl(4, 3, /*linked=*/false, 0.1);
+  bl.set(1, 0, 0.5);
+  bl.set(1, 2, 0.9);
+  EXPECT_DOUBLE_EQ(bl.get(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(bl.get(1, 1), 0.1);
+  EXPECT_DOUBLE_EQ(bl.get(1, 2), 0.9);
+  EXPECT_NEAR(bl.mean(1), 0.5, 1e-12);  // (0.5 + 0.1 + 0.9) / 3
+}
+
+TEST(BranchLengths, SetAllBroadcasts) {
+  BranchLengths bl(3, 4, false, 0.1);
+  bl.set_all(0, 0.33);
+  for (int p = 0; p < 4; ++p) EXPECT_DOUBLE_EQ(bl.get(0, p), 0.33);
+}
+
+TEST(BranchLengths, FromTreeUsesDefaults) {
+  Rng rng(1);
+  Tree t = random_tree(8, rng);
+  auto bl = BranchLengths::from_tree(t, 5, false);
+  for (EdgeId e = 0; e < t.edge_count(); ++e)
+    for (int p = 0; p < 5; ++p)
+      EXPECT_DOUBLE_EQ(bl.get(e, p), t.length(e));
+}
+
+TEST(BranchLengths, RejectsNegativeAndNan) {
+  BranchLengths bl(2, 2, false, 0.1);
+  EXPECT_THROW(bl.set(0, 0, -0.1), std::invalid_argument);
+  EXPECT_THROW(bl.set_all(0, std::nan("")), std::invalid_argument);
+}
+
+TEST(BranchLengths, BoundsChecked) {
+  BranchLengths bl(2, 2, false, 0.1);
+  EXPECT_THROW(bl.get(5, 0), std::out_of_range);
+  EXPECT_THROW(bl.get(0, 5), std::out_of_range);
+  EXPECT_THROW(bl.get(-1, 0), std::out_of_range);
+}
+
+TEST(BranchLengths, LinkedIgnoresPartitionIndexOnRead) {
+  BranchLengths bl(2, 8, true, 0.4);
+  // In linked mode any partition index reads the shared value.
+  EXPECT_DOUBLE_EQ(bl.get(1, 7), 0.4);
+}
+
+TEST(BranchLengths, CountsExposed) {
+  BranchLengths bl(7, 3, false, 0.1);
+  EXPECT_EQ(bl.edge_count(), 7);
+  EXPECT_EQ(bl.partition_count(), 3);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,482 @@
+// Engine correctness tests.
+//
+// The gold standard here is an independent brute-force Felsenstein
+// implementation (explicit sum over all internal-node state assignments),
+// checked against the engine on small trees for DNA and protein data, with
+// and without rate heterogeneity. On top of that: virtual-root invariance,
+// parallel-vs-sequential equality, pattern-compression equivalence,
+// analytic two-taxon JC values, numerical-scaling robustness, and
+// finite-difference validation of the Newton-Raphson derivatives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/msa_io.hpp"
+#include "core/analysis.hpp"
+#include "core/engine.hpp"
+#include "model/matrix.hpp"
+#include "sim/datasets.hpp"
+#include "sim/seqgen.hpp"
+#include "tree/newick.hpp"
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+namespace {
+
+/// Independent reference: likelihood by explicit enumeration of internal
+/// state assignments. Exponential in the number of inner nodes — tests only.
+double brute_force_lnl(const Tree& tree, const CompressedPartition& part,
+                       const PartitionModel& pm, const BranchLengths& bl,
+                       int pidx,
+                       const std::vector<std::string>& taxon_names) {
+  const int S = part.states();
+  const auto& rates = pm.category_rates();
+  const int C = pm.gamma_categories();
+  const auto& freqs = pm.model().freqs();
+
+  // Map alignment taxon index -> tree tip id.
+  std::vector<NodeId> tip_of(taxon_names.size());
+  for (std::size_t x = 0; x < taxon_names.size(); ++x) {
+    NodeId found = kNoId;
+    for (NodeId t = 0; t < tree.tip_count(); ++t)
+      if (tree.label(t) == taxon_names[x]) found = t;
+    tip_of[x] = found;
+  }
+  // tip mask per tree tip per pattern
+  std::vector<const StateMask*> tip_masks(
+      static_cast<std::size_t>(tree.tip_count()));
+  for (std::size_t x = 0; x < taxon_names.size(); ++x)
+    tip_masks[static_cast<std::size_t>(tip_of[x])] = part.tip_states[x].data();
+
+  std::vector<NodeId> inner;
+  for (NodeId v = tree.tip_count(); v < tree.node_count(); ++v)
+    inner.push_back(v);
+  const std::size_t n_inner = inner.size();
+
+  // Per category, per edge transition matrices.
+  std::vector<std::vector<Matrix>> pmat(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    pmat[static_cast<std::size_t>(c)].resize(
+        static_cast<std::size_t>(tree.edge_count()));
+    for (EdgeId e = 0; e < tree.edge_count(); ++e)
+      pm.model().transition_matrix(
+          bl.get(e, pidx) * rates[static_cast<std::size_t>(c)],
+          pmat[static_cast<std::size_t>(c)][static_cast<std::size_t>(e)]);
+  }
+
+  double lnl = 0.0;
+  std::vector<int> assign(n_inner, 0);
+  for (std::size_t i = 0; i < part.pattern_count; ++i) {
+    double site = 0.0;
+    for (int c = 0; c < C; ++c) {
+      const auto& P = pmat[static_cast<std::size_t>(c)];
+      double cat_sum = 0.0;
+      // Enumerate all S^n_inner assignments.
+      std::fill(assign.begin(), assign.end(), 0);
+      for (;;) {
+        auto state_of = [&](NodeId v) {
+          for (std::size_t k = 0; k < n_inner; ++k)
+            if (inner[k] == v) return assign[k];
+          return -1;
+        };
+        double prob = freqs[static_cast<std::size_t>(state_of(inner[0]))];
+        for (EdgeId e = 0; e < tree.edge_count(); ++e) {
+          const NodeId a = tree.edge(e).a;
+          const NodeId b = tree.edge(e).b;
+          const NodeId in = tree.is_tip(a) ? b : a;
+          const NodeId out = tree.is_tip(a) ? a : b;
+          if (tree.is_tip(out)) {
+            const StateMask m =
+                tip_masks[static_cast<std::size_t>(out)][i];
+            double f = 0;
+            for (int s = 0; s < S; ++s)
+              if (m & (StateMask{1} << s))
+                f += P[static_cast<std::size_t>(e)](
+                    static_cast<std::size_t>(state_of(in)),
+                    static_cast<std::size_t>(s));
+            prob *= f;
+          } else {
+            prob *= P[static_cast<std::size_t>(e)](
+                static_cast<std::size_t>(state_of(a)),
+                static_cast<std::size_t>(state_of(b)));
+          }
+        }
+        cat_sum += prob;
+        // Next assignment.
+        std::size_t k = 0;
+        while (k < n_inner && ++assign[k] == S) {
+          assign[k] = 0;
+          ++k;
+        }
+        if (k == n_inner) break;
+      }
+      site += cat_sum / C;
+    }
+    lnl += part.weights[i] * std::log(site);
+  }
+  return lnl;
+}
+
+/// Build an engine over a simulated dataset.
+struct Rig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  Rig(int taxa, std::size_t sites, std::size_t plen, int threads,
+        bool unlinked, int cats = 4, std::uint64_t seed = 1234,
+        bool compress = true, bool protein = false) {
+    data = protein
+               ? make_realworld_like(taxa, static_cast<int>(sites / plen) + 1,
+                                     plen, plen + 1, 0.0, true, seed)
+               : make_simulated_dna(taxa, sites, plen, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, compress));
+    std::vector<PartitionModel> models;
+    Rng rng(seed ^ 0xabcdef);
+    for (const auto& part : comp->partitions) {
+      SubstModel m = part.type == DataType::kDna
+                         ? make_model("GTR", empirical_frequencies(part))
+                         : make_model("WAG");
+      models.emplace_back(std::move(m), rng.uniform(0.4, 1.2), cats);
+    }
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.unlinked_branch_lengths = unlinked;
+    engine = std::make_unique<Engine>(*comp, data.true_tree,
+                                      std::move(models), eo);
+  }
+};
+
+// --- brute-force agreement ----------------------------------------------------
+
+TEST(Engine, MatchesBruteForceSmallDna) {
+  Rig s(5, 40, 40, 1, false, 4);
+  const double got = s.engine->loglikelihood(0);
+  double want = 0;
+  for (int p = 0; p < s.engine->partition_count(); ++p)
+    want += brute_force_lnl(s.data.true_tree, s.comp->partitions[0],
+                            s.engine->model(p), s.engine->branch_lengths(), p,
+                            s.comp->taxon_names);
+  EXPECT_NEAR(got, want, 1e-8 * std::abs(want));
+}
+
+TEST(Engine, MatchesBruteForceMultiPartition) {
+  Rig s(5, 60, 20, 1, true, 4, 777);
+  const double got = s.engine->loglikelihood(0);
+  double want = 0;
+  for (int p = 0; p < s.engine->partition_count(); ++p)
+    want += brute_force_lnl(
+        s.data.true_tree, s.comp->partitions[static_cast<std::size_t>(p)],
+        s.engine->model(p), s.engine->branch_lengths(), p,
+        s.comp->taxon_names);
+  EXPECT_NEAR(got, want, 1e-8 * std::abs(want));
+  // Per-partition values must match individually too.
+  for (int p = 0; p < s.engine->partition_count(); ++p) {
+    const double bp = brute_force_lnl(
+        s.data.true_tree, s.comp->partitions[static_cast<std::size_t>(p)],
+        s.engine->model(p), s.engine->branch_lengths(), p,
+        s.comp->taxon_names);
+    EXPECT_NEAR(s.engine->per_partition_lnl()[static_cast<std::size_t>(p)],
+                bp, 1e-8 * std::abs(bp))
+        << "partition " << p;
+  }
+}
+
+TEST(Engine, MatchesBruteForceProtein) {
+  Rig s(4, 25, 25, 1, false, 2, 99, true, true);
+  s.engine->loglikelihood(0, {0});
+  const double got = s.engine->per_partition_lnl()[0];
+  const double want = brute_force_lnl(
+      s.data.true_tree, s.comp->partitions[0], s.engine->model(0),
+      s.engine->branch_lengths(), 0, s.comp->taxon_names);
+  EXPECT_NEAR(got, want, 1e-8 * std::abs(want));
+}
+
+TEST(Engine, MatchesBruteForceSingleCategory) {
+  Rig s(6, 30, 30, 1, false, 1, 31);
+  const double got = s.engine->loglikelihood(2);
+  const double want = brute_force_lnl(
+      s.data.true_tree, s.comp->partitions[0], s.engine->model(0),
+      s.engine->branch_lengths(), 0, s.comp->taxon_names);
+  EXPECT_NEAR(got, want, 1e-8 * std::abs(want));
+}
+
+// --- analytic two-taxon case ---------------------------------------------------
+
+TEST(Engine, TwoTaxonJcAnalytic) {
+  Alignment aln;
+  aln.add("a", "ACGTAC");
+  aln.add("b", "ACGTTT");
+  auto comp = CompressedAlignment::build(
+      aln, PartitionScheme::single(DataType::kDna, 6), false);
+  Tree tree = Tree::from_edges({"a", "b"}, {{0, 1, 0.25}});
+  std::vector<PartitionModel> models;
+  models.emplace_back(jc69(), 1.0, 1);
+  Engine engine(comp, tree, std::move(models), {});
+  const double got = engine.loglikelihood(0);
+
+  const double t = 0.25;
+  const double same = 0.25 + 0.75 * std::exp(-4.0 * t / 3.0);
+  const double diff = 0.25 - 0.25 * std::exp(-4.0 * t / 3.0);
+  // 4 matching sites, 2 mismatching; site L = 0.25 * P_xy(t).
+  const double want = 4 * std::log(0.25 * same) + 2 * std::log(0.25 * diff);
+  EXPECT_NEAR(got, want, 1e-12 * std::abs(want));
+}
+
+// --- virtual-root invariance ----------------------------------------------------
+
+class RootInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootInvariance, SameLnlOnEveryEdge) {
+  Rig s(10, 200, 50, GetParam(), true, 4, 2024);
+  const double ref = s.engine->loglikelihood(0);
+  for (EdgeId e = 1; e < s.data.true_tree.edge_count(); ++e)
+    EXPECT_NEAR(s.engine->loglikelihood(e), ref, 1e-7 * std::abs(ref))
+        << "edge " << e;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RootInvariance, ::testing::Values(1, 3, 8));
+
+TEST(Engine, RootInvarianceProtein) {
+  Rig s(6, 60, 30, 2, false, 4, 5, true, true);
+  const double ref = s.engine->loglikelihood(0);
+  for (EdgeId e = 1; e < s.data.true_tree.edge_count(); ++e)
+    EXPECT_NEAR(s.engine->loglikelihood(e), ref, 1e-7 * std::abs(ref));
+}
+
+// --- parallel == sequential -----------------------------------------------------
+
+TEST(Engine, ParallelMatchesSequential) {
+  double ref = 0;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    Rig s(12, 300, 60, threads, true, 4, 888);
+    const double lnl = s.engine->loglikelihood(3);
+    if (threads == 1)
+      ref = lnl;
+    else
+      EXPECT_NEAR(lnl, ref, 1e-9 * std::abs(ref)) << threads << " threads";
+  }
+}
+
+TEST(Engine, ParallelMatchesSequentialProtein) {
+  double ref = 0;
+  for (int threads : {1, 4}) {
+    Rig s(8, 90, 30, threads, false, 4, 11, true, true);
+    const double lnl = s.engine->loglikelihood(1);
+    if (threads == 1)
+      ref = lnl;
+    else
+      EXPECT_NEAR(lnl, ref, 1e-9 * std::abs(ref));
+  }
+}
+
+// --- pattern compression equivalence ---------------------------------------------
+
+TEST(Engine, CompressionDoesNotChangeLikelihood) {
+  Rig a(8, 120, 40, 1, false, 4, 33, /*compress=*/true);
+  Rig b(8, 120, 40, 1, false, 4, 33, /*compress=*/false);
+  // Same seed -> same data, models, tree.
+  EXPECT_LE(a.comp->total_patterns(), b.comp->total_patterns());
+  EXPECT_NEAR(a.engine->loglikelihood(0), b.engine->loglikelihood(0), 1e-8);
+}
+
+// --- gaps and missing data -------------------------------------------------------
+
+TEST(Engine, AllGapColumnContributesZero) {
+  Alignment base;
+  base.add("a", "ACGT");
+  base.add("b", "AGGT");
+  base.add("c", "ACTT");
+  Alignment gappy;
+  gappy.add("a", "ACGT-");
+  gappy.add("b", "AGGT-");
+  gappy.add("c", "ACTT-");
+  Rng rng(4);
+  Tree tree = random_tree({"a", "b", "c"}, rng);
+
+  auto run = [&](const Alignment& aln) {
+    auto comp = CompressedAlignment::build(
+        aln, PartitionScheme::single(DataType::kDna, aln.site_count()), false);
+    std::vector<PartitionModel> models;
+    models.emplace_back(jc69(), 1.0, 4);
+    Engine engine(comp, tree, std::move(models), {});
+    return engine.loglikelihood(0);
+  };
+  EXPECT_NEAR(run(base), run(gappy), 1e-10);
+}
+
+TEST(Engine, AmbiguityCodesSumStates) {
+  // For a 2-taxon tree, L(R) = L(A) + L(G) per site.
+  Tree tree = Tree::from_edges({"a", "b"}, {{0, 1, 0.3}});
+  auto lnl_for = [&](const std::string& sa, const std::string& sb) {
+    Alignment aln;
+    aln.add("a", sa);
+    aln.add("b", sb);
+    auto comp = CompressedAlignment::build(
+        aln, PartitionScheme::single(DataType::kDna, sa.size()), false);
+    std::vector<PartitionModel> models;
+    models.emplace_back(jc69(), 1.0, 1);
+    Engine engine(comp, tree, std::move(models), {});
+    return engine.loglikelihood(0);
+  };
+  const double la = std::exp(lnl_for("A", "A"));
+  const double lg = std::exp(lnl_for("A", "G"));
+  const double lr = std::exp(lnl_for("A", "R"));
+  EXPECT_NEAR(lr, la + lg, 1e-12);
+}
+
+// --- numerical scaling ------------------------------------------------------------
+
+TEST(Engine, LargeTreeDoesNotUnderflow) {
+  // 160 taxa: unscaled per-site likelihoods would underflow doubles
+  // (~1e-320 at these depths); scaling must keep lnL finite and consistent
+  // across root placements.
+  Rig s(160, 50, 50, 4, false, 4, 314);
+  const double lnl = s.engine->loglikelihood(0);
+  EXPECT_TRUE(std::isfinite(lnl));
+  EXPECT_LT(lnl, 0.0);
+  EXPECT_NEAR(s.engine->loglikelihood(200), lnl, 1e-6 * std::abs(lnl));
+}
+
+// --- NR derivatives vs finite differences ------------------------------------------
+
+TEST(Engine, NrDerivativesMatchFiniteDifferences) {
+  Rig s(8, 200, 50, 1, true, 4, 62);
+  Engine& eng = *s.engine;
+  const EdgeId edge = 4;
+  const auto parts = std::vector<int>{0, 1, 2, 3};
+  eng.prepare_root(edge);
+  eng.compute_sumtable(parts);
+
+  std::vector<double> lens(parts.size()), d1(parts.size()), d2(parts.size());
+  for (std::size_t k = 0; k < parts.size(); ++k) lens[k] = 0.08 + 0.02 * k;
+  eng.nr_derivatives(parts, lens, d1, d2);
+
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    const int p = parts[k];
+    auto lnl_at = [&](double b) {
+      eng.branch_lengths().set(edge, p, b);
+      eng.loglikelihood(edge, {p});
+      return eng.per_partition_lnl()[static_cast<std::size_t>(p)];
+    };
+    const double f0 = lnl_at(lens[k] - h);
+    const double f1 = lnl_at(lens[k]);
+    const double f2 = lnl_at(lens[k] + h);
+    const double fd1 = (f2 - f0) / (2 * h);
+    const double fd2 = (f2 - 2 * f1 + f0) / (h * h);
+    EXPECT_NEAR(d1[k], fd1, 1e-3 * std::max(1.0, std::abs(fd1)))
+        << "partition " << p;
+    EXPECT_NEAR(d2[k], fd2, 1e-2 * std::max(1.0, std::abs(fd2)))
+        << "partition " << p;
+  }
+}
+
+TEST(Engine, NrRequiresSumtable) {
+  Rig s(6, 60, 60, 1, false);
+  double len = 0.1, d1, d2;
+  EXPECT_THROW(
+      s.engine->nr_derivatives({0}, {&len, 1}, {&d1, 1}, {&d2, 1}),
+      std::logic_error);
+}
+
+// --- invalidation and epochs ---------------------------------------------------------
+
+TEST(Engine, AlphaChangeChangesLikelihoodReversibly) {
+  Rig s(8, 150, 50, 2, false, 4, 71);
+  Engine& eng = *s.engine;
+  const double before = eng.loglikelihood(0);
+  const double alpha0 = eng.model(1).alpha();
+
+  eng.model(1).set_alpha(alpha0 * 3.0);
+  eng.invalidate_partition(1);
+  const double changed = eng.loglikelihood(0);
+  EXPECT_NE(before, changed);
+
+  eng.model(1).set_alpha(alpha0);
+  eng.invalidate_partition(1);
+  EXPECT_NEAR(eng.loglikelihood(0), before, 1e-9 * std::abs(before));
+}
+
+TEST(Engine, PartialTraversalTouchesFewNodes) {
+  Rig s(30, 100, 100, 1, false, 4, 55);
+  Engine& eng = *s.engine;
+  const EdgeId pend = eng.tree().edges_of(0).front();  // tip 0's edge
+  eng.loglikelihood(pend);  // full traversal
+  const auto full_ops = eng.stats().newview_ops;
+  // Move the root to an adjacent edge: only the path nodes flip.
+  const NodeId inner = eng.tree().other_end(pend, 0);
+  EdgeId adjacent = kNoId;
+  for (EdgeId e : eng.tree().edges_of(inner))
+    if (e != pend) adjacent = e;
+  eng.loglikelihood(adjacent);
+  const auto delta = eng.stats().newview_ops - full_ops;
+  EXPECT_LE(delta, 2u);  // at most the two endpoints of the new root edge
+  EXPECT_GT(full_ops, 20u);
+}
+
+TEST(Engine, PartitionScopedRecompute) {
+  Rig s(10, 100, 25, 1, true, 4, 91);
+  Engine& eng = *s.engine;
+  eng.loglikelihood(0);
+  eng.reset_stats();
+  // Invalidate one of 4 partitions; re-evaluating it must not touch others.
+  eng.model(2).set_alpha(0.9);
+  eng.invalidate_partition(2);
+  eng.loglikelihood(0, {2});
+  const auto ops = eng.stats().newview_ops;
+  const auto inner_nodes = static_cast<std::uint64_t>(10 - 2);
+  EXPECT_EQ(ops, inner_nodes);  // (n-2) newviews x 1 partition
+}
+
+// --- construction validation -----------------------------------------------------------
+
+TEST(Engine, RejectsMismatchedTaxa) {
+  Rig s(6, 60, 60, 1, false);
+  Rng rng(1);
+  Tree wrong = random_tree({"x1", "x2", "x3", "x4", "x5", "x6"}, rng);
+  std::vector<PartitionModel> models;
+  models.emplace_back(jc69(), 1.0, 4);
+  EXPECT_THROW(Engine(*s.comp, wrong, std::move(models), {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsWrongModelCount) {
+  Rig s(6, 80, 40, 1, false);  // 2 partitions
+  std::vector<PartitionModel> models;
+  models.emplace_back(jc69(), 1.0, 4);
+  EXPECT_THROW(Engine(*s.comp, s.data.true_tree, std::move(models), {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsWrongStateCount) {
+  Rig s(6, 60, 60, 1, false);  // DNA partition
+  std::vector<PartitionModel> models;
+  models.emplace_back(protein_model("WAG"), 1.0, 4);
+  EXPECT_THROW(Engine(*s.comp, s.data.true_tree, std::move(models), {}),
+               std::invalid_argument);
+}
+
+// --- stats ------------------------------------------------------------------------------
+
+TEST(Engine, CommandAndEvaluationCounters) {
+  Rig s(8, 80, 40, 2, false, 4, 13);
+  Engine& eng = *s.engine;
+  eng.loglikelihood(0);
+  EXPECT_EQ(eng.stats().commands, 1u);
+  EXPECT_EQ(eng.stats().evaluations, 2u);  // one per partition
+  eng.prepare_root(0);                     // no-op: already oriented
+  EXPECT_EQ(eng.stats().commands, 1u);
+  eng.compute_sumtable({0, 1});
+  EXPECT_EQ(eng.stats().commands, 2u);
+  double lens[2] = {0.1, 0.1}, d1[2], d2[2];
+  eng.nr_derivatives({0, 1}, lens, d1, d2);
+  EXPECT_EQ(eng.stats().commands, 3u);
+  EXPECT_EQ(eng.stats().nr_iterations, 2u);
+  eng.reset_stats();
+  EXPECT_EQ(eng.stats().commands, 0u);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,190 @@
+// End-to-end integration tests through the public Analysis API: file I/O ->
+// partition parsing -> compression -> engine -> optimization/search, across
+// strategies, thread counts and branch-length modes. These are the paths the
+// examples and benches run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plk.hpp"
+
+namespace plk {
+namespace {
+
+TEST(Integration, FullPipelineFromTextFormats) {
+  // Simulate, serialize through FASTA + partition file text, parse back,
+  // analyze — the workflow of a real user.
+  Dataset d = make_simulated_dna(8, 600, 200, 2025);
+  const std::string fasta = write_fasta(d.alignment);
+  const std::string part_text = d.scheme.to_string();
+
+  Alignment aln = read_fasta(fasta);
+  PartitionScheme scheme = PartitionScheme::parse(part_text);
+  scheme.validate(aln.site_count());
+
+  AnalysisOptions opts;
+  opts.threads = 2;
+  Analysis an(aln, scheme, opts, d.true_tree);
+  const double before = an.loglikelihood();
+  auto res = an.optimize_parameters();
+  EXPECT_GT(res.lnl, before);
+  EXPECT_GT(res.engine_stats.commands, 0u);
+  // Output tree parses back with all taxa.
+  Tree out = parse_newick(res.newick, d.true_tree.labels());
+  EXPECT_EQ(out.tip_count(), 8);
+}
+
+class StrategyThreads
+    : public ::testing::TestWithParam<std::tuple<Strategy, int, bool>> {};
+
+TEST_P(StrategyThreads, OptimizeParametersConvergesEverywhere) {
+  const auto [strategy, threads, unlinked] = GetParam();
+  Dataset d = make_simulated_dna(8, 400, 100, 31415);
+  AnalysisOptions opts;
+  opts.threads = threads;
+  opts.strategy = strategy;
+  opts.per_partition_branch_lengths = unlinked;
+  opts.model_opts.optimize_rates = false;
+  Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+  const double before = an.loglikelihood();
+  auto res = an.optimize_parameters();
+  EXPECT_GT(res.lnl, before);
+  EXPECT_TRUE(std::isfinite(res.lnl));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StrategyThreads,
+    ::testing::Combine(::testing::Values(Strategy::kOldPar,
+                                         Strategy::kNewPar),
+                       ::testing::Values(1, 4), ::testing::Bool()));
+
+TEST(Integration, StrategiesAgreeOnFinalLikelihood) {
+  Dataset d = make_simulated_dna(8, 500, 125, 11);
+  double lnl[2];
+  for (int i = 0; i < 2; ++i) {
+    AnalysisOptions opts;
+    opts.threads = 3;
+    opts.strategy = i == 0 ? Strategy::kOldPar : Strategy::kNewPar;
+    opts.model_opts.optimize_rates = false;
+    Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+    lnl[i] = an.optimize_parameters().lnl;
+  }
+  EXPECT_NEAR(lnl[0], lnl[1], 0.1);
+}
+
+TEST(Integration, ThreadCountDoesNotChangeResult) {
+  Dataset d = make_simulated_dna(10, 600, 150, 13);
+  double ref = 0;
+  for (int threads : {1, 2, 8}) {
+    AnalysisOptions opts;
+    opts.threads = threads;
+    opts.model_opts.optimize_rates = false;
+    Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+    const double lnl = an.optimize_parameters().lnl;
+    if (threads == 1)
+      ref = lnl;
+    else
+      EXPECT_NEAR(lnl, ref, 1e-4 * std::abs(ref));
+  }
+}
+
+TEST(Integration, SearchFromRandomStartViaAnalysis) {
+  Dataset d = make_simulated_dna(8, 800, 200, 17);
+  AnalysisOptions opts;
+  opts.threads = 4;
+  opts.search.max_rounds = 2;
+  opts.search.spr_radius = 4;
+  opts.search.model_opts.optimize_rates = false;
+  opts.model_opts.optimize_rates = false;
+  Analysis an(d.alignment, d.scheme, opts);  // random start tree
+  auto res = an.run_search();
+  EXPECT_GT(res.search.candidates_scored, 0u);
+  // The searched tree should be close to the truth on clean data.
+  Tree found = parse_newick(res.newick, d.true_tree.labels());
+  EXPECT_LE(rf_normalized(found, d.true_tree), 0.4);
+}
+
+TEST(Integration, GappyRealWorldLikeAnalysis) {
+  Dataset d = make_realworld_like(14, 8, 80, 400, 0.25, false, 19);
+  AnalysisOptions opts;
+  opts.threads = 4;
+  opts.model_opts.optimize_rates = false;
+  Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+  auto res = an.optimize_parameters();
+  EXPECT_TRUE(std::isfinite(res.lnl));
+}
+
+TEST(Integration, ProteinAnalysis) {
+  Dataset d = make_realworld_like(6, 3, 60, 150, 0.0, true, 21);
+  AnalysisOptions opts;
+  opts.threads = 2;
+  Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+  const double before = an.loglikelihood();
+  auto res = an.optimize_parameters();
+  EXPECT_GT(res.lnl, before);
+}
+
+TEST(Integration, MixedDnaProteinPartitions) {
+  // Concatenate DNA and protein genes in one analysis (the case the paper's
+  // cyclic pattern distribution was designed for).
+  Rng rng(23);
+  Tree tree = random_tree(6, rng);
+  std::vector<SimPartition> parts;
+  parts.push_back(SimPartition{"dna1", jc69(), 300, 1.0, 8, 1.0, {}});
+  parts.push_back(
+      SimPartition{"prot", protein_model("WAG"), 120, 0.8, 8, 1.0, {}});
+  parts.push_back(SimPartition{"dna2", k80(2.5), 200, 1.2, 8, 1.0, {}});
+  Alignment aln = simulate(tree, parts, rng);
+  PartitionScheme scheme = simulate_scheme(parts);
+
+  AnalysisOptions opts;
+  opts.threads = 3;
+  opts.model_opts.optimize_rates = false;
+  Analysis an(aln, scheme, opts, tree);
+  const double before = an.loglikelihood();
+  auto res = an.optimize_parameters();
+  EXPECT_GT(res.lnl, before);
+  EXPECT_EQ(an.engine().partition_count(), 3);
+  EXPECT_EQ(an.engine().model(1).model().states(), 20);
+}
+
+TEST(Integration, EmpiricalFrequenciesAreSane) {
+  Dataset d = make_simulated_dna(8, 2000, 2000, 29);
+  auto comp = CompressedAlignment::build(d.alignment, d.scheme, true);
+  auto freqs = empirical_frequencies(comp.partitions[0]);
+  ASSERT_EQ(freqs.size(), 4u);
+  double sum = 0;
+  for (double f : freqs) {
+    EXPECT_GT(f, 0.05);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Integration, InstrumentationExposesImbalanceSignals) {
+  Dataset d = make_simulated_dna(8, 800, 100, 37);
+  AnalysisOptions opts;
+  opts.threads = 4;
+  opts.strategy = Strategy::kOldPar;
+  opts.model_opts.optimize_rates = false;
+  Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+  auto res = an.optimize_parameters();
+  EXPECT_GT(res.team_stats.sync_count, 0u);
+  EXPECT_GT(res.team_stats.critical_path_seconds, 0.0);
+  EXPECT_GE(res.team_stats.imbalance_seconds, 0.0);
+}
+
+TEST(Integration, SeparateAnalysesAreIndependent) {
+  Dataset d = make_simulated_dna(6, 300, 100, 41);
+  AnalysisOptions opts;
+  Analysis a(d.alignment, d.scheme, opts, d.true_tree);
+  Analysis b(d.alignment, d.scheme, opts, d.true_tree);
+  EXPECT_DOUBLE_EQ(a.loglikelihood(), b.loglikelihood());
+  a.optimize_parameters();
+  // b untouched by a's optimization.
+  Analysis c(d.alignment, d.scheme, opts, d.true_tree);
+  EXPECT_DOUBLE_EQ(b.loglikelihood(), c.loglikelihood());
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,372 @@
+// Tests for model/: Jacobi eigendecomposition, discrete Gamma rates,
+// substitution models and their transition matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/eigen.hpp"
+#include "model/gamma.hpp"
+#include "model/subst_model.hpp"
+
+namespace plk {
+namespace {
+
+// --- eigen ------------------------------------------------------------------
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a(3);
+  a(0, 0) = 2;
+  a(1, 1) = -1;
+  a(2, 2) = 5;
+  auto es = eigen_symmetric(a);
+  std::vector<double> vals = es.values;
+  std::sort(vals.begin(), vals.end());
+  EXPECT_NEAR(vals[0], -1, 1e-12);
+  EXPECT_NEAR(vals[1], 2, 1e-12);
+  EXPECT_NEAR(vals[2], 5, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a(2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  auto es = eigen_symmetric(a);
+  std::vector<double> vals = es.values;
+  std::sort(vals.begin(), vals.end());
+  EXPECT_NEAR(vals[0], 1.0, 1e-12);
+  EXPECT_NEAR(vals[1], 3.0, 1e-12);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  // A = V diag(l) V^T must reproduce the input.
+  Matrix a(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i; j < 5; ++j) {
+      const double v = std::sin(static_cast<double>(i * 7 + j * 3 + 1));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  auto es = eigen_symmetric(a);
+  Matrix recon(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < 5; ++k)
+        s += es.vectors(i, k) * es.values[k] * es.vectors(j, k);
+      recon(i, j) = s;
+    }
+  EXPECT_LT(a.max_abs_diff(recon), 1e-10);
+}
+
+TEST(Eigen, VectorsOrthonormal) {
+  Matrix a(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = i; j < 4; ++j) {
+      a(i, j) = 1.0 / static_cast<double>(i + j + 1);
+      a(j, i) = a(i, j);
+    }
+  auto es = eigen_symmetric(a);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t l = 0; l < 4; ++l) {
+      double dot = 0;
+      for (std::size_t i = 0; i < 4; ++i)
+        dot += es.vectors(i, k) * es.vectors(i, l);
+      EXPECT_NEAR(dot, k == l ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  Matrix a(2);
+  a(0, 1) = 1.0;
+  EXPECT_THROW(eigen_symmetric(a), std::invalid_argument);
+}
+
+// --- incomplete gamma / quantiles --------------------------------------------
+
+TEST(Gamma, RegularizedPKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 3.0})
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  // P(a, 0) = 0; P(a, inf) -> 1.
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.5, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(2.5, 100.0), 1.0, 1e-12);
+}
+
+TEST(Gamma, CdfQuantileRoundTrip) {
+  for (double shape : {0.3, 1.0, 2.0, 8.0})
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const double x = gamma_quantile(p, shape, shape);
+      EXPECT_NEAR(gamma_cdf(x, shape, shape), p, 1e-9)
+          << "shape=" << shape << " p=" << p;
+    }
+}
+
+TEST(Gamma, QuantileMonotone) {
+  double prev = 0;
+  for (double p = 0.1; p < 1.0; p += 0.1) {
+    const double x = gamma_quantile(p, 0.7, 0.7);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(Gamma, QuantileRejectsBadInput) {
+  EXPECT_THROW(gamma_quantile(0.0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(gamma_quantile(1.0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(gamma_quantile(0.5, -1, 1), std::invalid_argument);
+}
+
+// --- discrete Gamma categories ------------------------------------------------
+
+TEST(DiscreteGamma, MeanRatesAverageToOne) {
+  for (double alpha : {0.1, 0.5, 1.0, 2.0, 10.0, 50.0}) {
+    auto r = discrete_gamma_rates(alpha, 4, GammaMode::kMean);
+    ASSERT_EQ(r.size(), 4u);
+    double mean = 0;
+    for (double x : r) mean += x;
+    mean /= 4;
+    EXPECT_NEAR(mean, 1.0, 1e-8) << "alpha=" << alpha;
+  }
+}
+
+TEST(DiscreteGamma, MedianRatesAverageToOne) {
+  for (double alpha : {0.3, 1.0, 5.0}) {
+    auto r = discrete_gamma_rates(alpha, 4, GammaMode::kMedian);
+    double mean = 0;
+    for (double x : r) mean += x;
+    EXPECT_NEAR(mean / 4, 1.0, 1e-10);
+  }
+}
+
+TEST(DiscreteGamma, RatesIncreaseAcrossCategories) {
+  auto r = discrete_gamma_rates(0.5, 4);
+  for (std::size_t i = 1; i < r.size(); ++i) EXPECT_GT(r[i], r[i - 1]);
+}
+
+TEST(DiscreteGamma, YangReferenceValuesAlphaHalf) {
+  // Yang (1994), table of K=4 mean-category rates for alpha = 0.5:
+  // approximately 0.0334, 0.2519, 0.8203, 2.8944.
+  auto r = discrete_gamma_rates(0.5, 4, GammaMode::kMean);
+  EXPECT_NEAR(r[0], 0.0334, 2e-3);
+  EXPECT_NEAR(r[1], 0.2519, 2e-3);
+  EXPECT_NEAR(r[2], 0.8203, 2e-3);
+  EXPECT_NEAR(r[3], 2.8944, 2e-3);
+}
+
+TEST(DiscreteGamma, HighAlphaApproachesUniformRates) {
+  auto r = discrete_gamma_rates(99.0, 4);
+  for (double x : r) EXPECT_NEAR(x, 1.0, 0.2);
+}
+
+TEST(DiscreteGamma, SingleCategoryIsOne) {
+  auto r = discrete_gamma_rates(0.7, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(DiscreteGamma, MoreCategoriesRefine) {
+  auto r8 = discrete_gamma_rates(0.8, 8);
+  ASSERT_EQ(r8.size(), 8u);
+  double mean = 0;
+  for (double x : r8) mean += x;
+  EXPECT_NEAR(mean / 8, 1.0, 1e-8);
+}
+
+TEST(DiscreteGamma, RejectsBadArguments) {
+  EXPECT_THROW(discrete_gamma_rates(-1.0, 4), std::invalid_argument);
+  EXPECT_THROW(discrete_gamma_rates(1.0, 0), std::invalid_argument);
+}
+
+// --- substitution models -----------------------------------------------------
+
+void check_model_sanity(const SubstModel& m) {
+  const int s = m.states();
+  // Rows of Q sum to zero.
+  for (int i = 0; i < s; ++i) {
+    double row = 0;
+    for (int j = 0; j < s; ++j) row += m.rate_matrix()(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-10);
+  }
+  // Normalization: -sum_i pi_i q_ii == 1.
+  double rate = 0;
+  for (int i = 0; i < s; ++i) rate -= m.freqs()[i] * m.rate_matrix()(i, i);
+  EXPECT_NEAR(rate, 1.0, 1e-10);
+  // One eigenvalue ~ 0, the rest negative.
+  int zeros = 0;
+  for (double l : m.eigenvalues()) {
+    if (std::abs(l) < 1e-9)
+      ++zeros;
+    else
+      EXPECT_LT(l, 0.0);
+  }
+  EXPECT_EQ(zeros, 1);
+}
+
+TEST(SubstModel, Jc69Sanity) { check_model_sanity(jc69()); }
+TEST(SubstModel, K80Sanity) { check_model_sanity(k80(4.0)); }
+TEST(SubstModel, HkySanity) {
+  check_model_sanity(hky85(2.0, {0.3, 0.2, 0.2, 0.3}));
+}
+TEST(SubstModel, GtrSanity) {
+  check_model_sanity(gtr({1.2, 3.0, 0.8, 1.1, 3.5, 1.0},
+                         {0.35, 0.15, 0.2, 0.3}));
+}
+TEST(SubstModel, ProteinSanity) { check_model_sanity(protein_model("WAG")); }
+
+TEST(SubstModel, TransitionMatrixRowsSumToOne) {
+  auto m = gtr({1.2, 3.0, 0.8, 1.1, 3.5, 1.0}, {0.35, 0.15, 0.2, 0.3});
+  Matrix p;
+  for (double t : {1e-6, 0.01, 0.1, 1.0, 10.0}) {
+    m.transition_matrix(t, p);
+    for (int i = 0; i < 4; ++i) {
+      double row = 0;
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_GE(p(i, j), 0.0);
+        row += p(i, j);
+      }
+      EXPECT_NEAR(row, 1.0, 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(SubstModel, TransitionMatrixAtZeroIsIdentity) {
+  auto m = hky85(2.0, {0.3, 0.2, 0.2, 0.3});
+  Matrix p;
+  m.transition_matrix(kBranchMin, p);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(p(i, j), i == j ? 1.0 : 0.0, 1e-5);
+}
+
+TEST(SubstModel, LongBranchReachesStationarity) {
+  auto m = gtr({1.2, 3.0, 0.8, 1.1, 3.5, 1.0}, {0.35, 0.15, 0.2, 0.3});
+  Matrix p;
+  m.transition_matrix(90.0, p);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(p(i, j), m.freqs()[static_cast<std::size_t>(j)], 1e-6);
+}
+
+TEST(SubstModel, DetailedBalance) {
+  // Reversibility: pi_i P_ij(t) == pi_j P_ji(t).
+  auto m = gtr({0.7, 2.2, 1.3, 0.9, 4.0, 1.0}, {0.4, 0.1, 0.15, 0.35});
+  Matrix p;
+  m.transition_matrix(0.3, p);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(m.freqs()[static_cast<std::size_t>(i)] * p(i, j),
+                  m.freqs()[static_cast<std::size_t>(j)] * p(j, i), 1e-12);
+}
+
+TEST(SubstModel, ChapmanKolmogorov) {
+  // P(s + t) == P(s) P(t).
+  auto m = k80(3.0);
+  Matrix ps, pt, pst;
+  m.transition_matrix(0.2, ps);
+  m.transition_matrix(0.5, pt);
+  m.transition_matrix(0.7, pst);
+  Matrix prod = ps.multiply(pt);
+  EXPECT_LT(pst.max_abs_diff(prod), 1e-10);
+}
+
+TEST(SubstModel, Jc69AnalyticTransitions) {
+  // JC69: P_ii = 1/4 + 3/4 e^{-4t/3}; P_ij = 1/4 - 1/4 e^{-4t/3}.
+  auto m = jc69();
+  Matrix p;
+  for (double t : {0.05, 0.3, 1.2}) {
+    m.transition_matrix(t, p);
+    const double same = 0.25 + 0.75 * std::exp(-4.0 * t / 3.0);
+    const double diff = 0.25 - 0.25 * std::exp(-4.0 * t / 3.0);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        EXPECT_NEAR(p(i, j), i == j ? same : diff, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(SubstModel, ProteinModelsDeterministicAndDistinct) {
+  auto w1 = protein_model("WAG");
+  auto w2 = protein_model("WAG");
+  auto j = protein_model("JTT");
+  EXPECT_EQ(w1.exchangeabilities(), w2.exchangeabilities());
+  EXPECT_NE(w1.exchangeabilities(), j.exchangeabilities());
+  EXPECT_EQ(w1.states(), 20);
+}
+
+TEST(SubstModel, ProteinTransitionRowsSumToOne) {
+  auto m = protein_model("LG");
+  Matrix p;
+  m.transition_matrix(0.4, p);
+  for (int i = 0; i < 20; ++i) {
+    double row = 0;
+    for (int j = 0; j < 20; ++j) row += p(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-8);
+  }
+}
+
+TEST(SubstModel, SetExchangeabilityRedecomposes) {
+  auto m = gtr({1, 1, 1, 1, 1, 1}, {0.25, 0.25, 0.25, 0.25});
+  Matrix before, after;
+  m.transition_matrix(0.2, before);
+  m.set_exchangeability(1, 5.0);  // boost A<->G
+  m.transition_matrix(0.2, after);
+  EXPECT_GT(after(0, 2), before(0, 2));
+  check_model_sanity(m);
+}
+
+TEST(SubstModel, SetFreqsRenormalizes) {
+  auto m = jc69();
+  m.set_freqs({2.0, 1.0, 1.0, 1.0});
+  EXPECT_NEAR(m.freqs()[0], 0.4, 1e-12);
+  check_model_sanity(m);
+}
+
+TEST(SubstModel, ConstructorValidation) {
+  EXPECT_THROW(SubstModel(4, {1, 1, 1, 1, 1}, {0.25, 0.25, 0.25, 0.25}),
+               std::invalid_argument);
+  EXPECT_THROW(SubstModel(4, {1, 1, 1, 1, 1, -1}, {0.25, 0.25, 0.25, 0.25}),
+               std::invalid_argument);
+  EXPECT_THROW(SubstModel(4, {1, 1, 1, 1, 1, 1}, {0.25, 0.25, 0.25}),
+               std::invalid_argument);
+  EXPECT_THROW(SubstModel(4, {1, 1, 1, 1, 1, 1}, {0.0, 0.5, 0.25, 0.25}),
+               std::invalid_argument);
+}
+
+TEST(SubstModel, MakeModelByName) {
+  EXPECT_EQ(make_model("GTR").states(), 4);
+  EXPECT_EQ(make_model("jc").states(), 4);
+  EXPECT_EQ(make_model("HKY").states(), 4);
+  EXPECT_EQ(make_model("WAG").states(), 20);
+  EXPECT_EQ(make_model("prot").states(), 20);
+  EXPECT_THROW(make_model("NOPE"), std::invalid_argument);
+}
+
+TEST(SubstModel, SymTransformMatchesDefinition) {
+  // Row k of sym_transform must be sqrt(pi_i) V_ik where Q = left e right.
+  auto m = gtr({1.5, 2.5, 0.5, 1.0, 3.0, 1.0}, {0.3, 0.25, 0.2, 0.25});
+  // Validate via the sumtable identity: sum_ij pi_i a_i P_ij(t) b_j ==
+  // sum_k (A a)_k (A b)_k e^{lambda_k t} for arbitrary vectors a, b.
+  const double a[4] = {0.2, 0.7, 0.05, 0.6};
+  const double b[4] = {0.9, 0.1, 0.33, 0.41};
+  const double t = 0.37;
+  Matrix p;
+  m.transition_matrix(t, p);
+  double direct = 0;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      direct += m.freqs()[static_cast<std::size_t>(i)] * a[i] * p(i, j) * b[j];
+  double viaeigen = 0;
+  const Matrix& sym = m.sym_transform();
+  for (int k = 0; k < 4; ++k) {
+    double x = 0, y = 0;
+    for (int i = 0; i < 4; ++i) {
+      x += sym(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) * a[i];
+      y += sym(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) * b[i];
+    }
+    viaeigen +=
+        x * y * std::exp(m.eigenvalues()[static_cast<std::size_t>(k)] * t);
+  }
+  EXPECT_NEAR(direct, viaeigen, 1e-12);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,210 @@
+// Tests for optimize/: the resumable Brent minimizer and the safeguarded
+// Newton-Raphson branch maximizer, on analytic functions with known optima.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimize/brent.hpp"
+#include "optimize/newton.hpp"
+
+namespace plk {
+namespace {
+
+TEST(Brent, QuadraticMinimum) {
+  double fmin;
+  const double x = brent_minimize(
+      [](double v) { return (v - 3.7) * (v - 3.7) + 2.0; }, 0.0, 10.0, 1e-9,
+      200, &fmin);
+  EXPECT_NEAR(x, 3.7, 1e-6);
+  EXPECT_NEAR(fmin, 2.0, 1e-10);
+}
+
+TEST(Brent, AsymmetricFunction) {
+  // f(x) = x - log(x): minimum at x = 1.
+  const double x = brent_minimize([](double v) { return v - std::log(v); },
+                                  1e-3, 50.0, 1e-10);
+  EXPECT_NEAR(x, 1.0, 1e-5);
+}
+
+TEST(Brent, CosineMinimum) {
+  const double x =
+      brent_minimize([](double v) { return std::cos(v); }, 0.0, 6.0, 1e-10);
+  EXPECT_NEAR(x, M_PI, 1e-6);
+}
+
+TEST(Brent, MinimumAtBoundary) {
+  // Monotone increasing: minimum at the lower bound.
+  const double x =
+      brent_minimize([](double v) { return v; }, 2.0, 9.0, 1e-9);
+  EXPECT_NEAR(x, 2.0, 1e-3);
+}
+
+TEST(Brent, WarmStartConverges) {
+  double fmin;
+  const double x = brent_minimize(
+      [](double v) { return (v - 0.123) * (v - 0.123); }, 0.0, 100.0, 1e-10,
+      200, &fmin, /*first_guess=*/0.12);
+  EXPECT_NEAR(x, 0.123, 1e-5);
+}
+
+TEST(Brent, WarmStartSpeedsConvergence) {
+  auto f = [](double v) { return (v - 5.0) * (v - 5.0); };
+  BrentMinimizer cold(0.0, 1000.0, 1e-8, 1e-10, 200);
+  BrentMinimizer warm(0.0, 1000.0, 1e-8, 1e-10, 200, 5.01);
+  while (!cold.done()) cold.feed(f(cold.proposal()));
+  while (!warm.done()) warm.feed(f(warm.proposal()));
+  EXPECT_LE(warm.iterations(), cold.iterations());
+  EXPECT_NEAR(warm.best(), 5.0, 1e-4);
+}
+
+TEST(Brent, ResumableMatchesWrapper) {
+  auto f = [](double v) { return std::pow(v - 2.0, 4) + 0.5 * v; };
+  BrentMinimizer bm(0.0, 10.0, 1e-8, 1e-10, 200);
+  while (!bm.done()) bm.feed(f(bm.proposal()));
+  double fmin;
+  const double x = brent_minimize(f, 0.0, 10.0, 1e-8, 200, &fmin);
+  EXPECT_DOUBLE_EQ(bm.best(), x);
+  EXPECT_DOUBLE_EQ(bm.best_f(), fmin);
+}
+
+TEST(Brent, RespectsMaxIterations) {
+  BrentMinimizer bm(0.0, 1.0, 1e-15, 1e-18, 5);
+  int n = 0;
+  while (!bm.done()) {
+    bm.feed(std::sin(bm.proposal() * 12.3));
+    ++n;
+  }
+  EXPECT_LE(n, 5);
+}
+
+TEST(Brent, ManyInstancesInLockStep) {
+  // The newPAR pattern: advance N independent minimizers together with a
+  // convergence mask; all must find their own minima.
+  const int n = 20;
+  std::vector<BrentMinimizer> bms;
+  std::vector<double> targets;
+  for (int i = 0; i < n; ++i) {
+    targets.push_back(0.5 + 0.37 * i);
+    bms.emplace_back(0.0, 20.0, 1e-9, 1e-12, 200);
+  }
+  std::vector<int> active(n);
+  for (int i = 0; i < n; ++i) active[static_cast<std::size_t>(i)] = i;
+  while (!active.empty()) {
+    std::vector<int> still;
+    for (int i : active) {
+      auto& bm = bms[static_cast<std::size_t>(i)];
+      const double x = bm.proposal();
+      const double t = targets[static_cast<std::size_t>(i)];
+      bm.feed((x - t) * (x - t));
+      if (!bm.done()) still.push_back(i);
+    }
+    active = std::move(still);
+  }
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(bms[static_cast<std::size_t>(i)].best(),
+                targets[static_cast<std::size_t>(i)], 1e-5);
+}
+
+TEST(Brent, InvalidIntervalThrows) {
+  EXPECT_THROW(BrentMinimizer(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BrentMinimizer(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Brent, UseAfterDoneThrows) {
+  BrentMinimizer bm(0.0, 1.0, 1e-3, 1e-3, 3);
+  while (!bm.done()) bm.feed(bm.proposal() * bm.proposal());
+  EXPECT_THROW(bm.proposal(), std::logic_error);
+  EXPECT_THROW(bm.feed(0.0), std::logic_error);
+}
+
+// --- Newton -----------------------------------------------------------------
+
+/// Drive NewtonBranch on an analytic concave lnL with known maximum.
+double run_newton(double b0, double target, double lo = 1e-7,
+                  double hi = 100.0) {
+  NewtonBranch nb(b0, lo, hi, 1e-10, 100);
+  while (!nb.done()) {
+    const double b = nb.current();
+    // lnL(b) = -(b - target)^2 => d1 = -2 (b - target), d2 = -2.
+    nb.feed(-2.0 * (b - target), -2.0);
+  }
+  return nb.current();
+}
+
+TEST(Newton, ConvergesFromAbove) { EXPECT_NEAR(run_newton(5.0, 0.3), 0.3, 1e-8); }
+TEST(Newton, ConvergesFromBelow) {
+  EXPECT_NEAR(run_newton(1e-6, 0.3), 0.3, 1e-8);
+}
+
+TEST(Newton, QuadraticConvergesInOneStep) {
+  NewtonBranch nb(1.0, 1e-7, 100.0, 1e-10, 100);
+  nb.feed(-2.0 * (1.0 - 0.42), -2.0);
+  EXPECT_NEAR(nb.current(), 0.42, 1e-12);
+}
+
+TEST(Newton, LogLikelihoodShape) {
+  // A realistic shape: lnL(b) = w1 log(b) - w2 b, maximum at w1/w2.
+  const double w1 = 30, w2 = 100;
+  NewtonBranch nb(0.5, 1e-7, 100.0, 1e-12, 100);
+  while (!nb.done()) {
+    const double b = nb.current();
+    nb.feed(w1 / b - w2, -w1 / (b * b));
+  }
+  EXPECT_NEAR(nb.current(), w1 / w2, 1e-8);
+}
+
+TEST(Newton, ClampsToBounds) {
+  // Maximum far above hi: must converge to (essentially) hi and stop.
+  NewtonBranch nb(1.0, 1e-7, 2.0, 1e-8, 100);
+  while (!nb.done()) nb.feed(5.0, -0.01);  // always uphill
+  EXPECT_NEAR(nb.current(), 2.0, 1e-6);
+  EXPECT_LT(nb.iterations(), 100);
+}
+
+TEST(Newton, PinsToLowerBound) {
+  NewtonBranch nb(0.5, 1e-7, 2.0, 1e-8, 100);
+  while (!nb.done()) nb.feed(-5.0, -0.01);  // always downhill
+  EXPECT_NEAR(nb.current(), 1e-7, 1e-6);
+}
+
+TEST(Newton, NonConcaveRegionUsesGeometricSteps) {
+  // d2 > 0 at the start: must still walk uphill and converge.
+  NewtonBranch nb(0.01, 1e-7, 100.0, 1e-10, 100);
+  int iters = 0;
+  while (!nb.done() && ++iters < 100) {
+    const double b = nb.current();
+    const double d1 = -2.0 * (b - 3.0);
+    const double d2 = b < 1.0 ? +1.0 : -2.0;  // fake convexity below 1
+    nb.feed(d1, d2);
+  }
+  EXPECT_NEAR(nb.current(), 3.0, 1e-6);
+}
+
+TEST(Newton, RespectsMaxIterations) {
+  NewtonBranch nb(1.0, 1e-7, 100.0, 0.0, 7);
+  int n = 0;
+  while (!nb.done()) {
+    nb.feed(std::sin(static_cast<double>(n)), -1.0);
+    ++n;
+  }
+  EXPECT_LE(n, 7);
+}
+
+TEST(Newton, StartClampedIntoBounds) {
+  NewtonBranch nb(500.0, 1e-7, 10.0);
+  EXPECT_DOUBLE_EQ(nb.current(), 10.0);
+}
+
+TEST(Newton, InvalidBoundsThrow) {
+  EXPECT_THROW(NewtonBranch(1.0, 5.0, 2.0), std::invalid_argument);
+}
+
+TEST(Newton, FeedAfterDoneThrows) {
+  NewtonBranch nb(1.0, 1e-7, 100.0, 1e-1, 1);
+  nb.feed(0.0, -1.0);
+  EXPECT_TRUE(nb.done());
+  EXPECT_THROW(nb.feed(0.0, -1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,139 @@
+// Tests for parallel/: thread-team correctness under load, reduction
+// determinism, and instrumentation counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "parallel/thread_team.hpp"
+
+namespace plk {
+namespace {
+
+class ThreadTeamP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadTeamP, AllThreadsRun) {
+  const int T = GetParam();
+  ThreadTeam team(T, false);
+  std::vector<PaddedDouble> hits(static_cast<std::size_t>(T));
+  team.run([&](int tid) { hits[static_cast<std::size_t>(tid)].value = tid + 1; });
+  for (int t = 0; t < T; ++t)
+    EXPECT_DOUBLE_EQ(hits[static_cast<std::size_t>(t)].value, t + 1.0);
+}
+
+TEST_P(ThreadTeamP, ManyCommandsInSequence) {
+  const int T = GetParam();
+  ThreadTeam team(T, false);
+  std::atomic<long> total{0};
+  const int commands = 500;
+  for (int c = 0; c < commands; ++c)
+    team.run([&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), static_cast<long>(commands) * T);
+}
+
+TEST_P(ThreadTeamP, CyclicSliceReductionMatchesSequential) {
+  // The engine's pattern: each thread sums its cyclic slice into a padded
+  // slot; the master reduces in thread order.
+  const int T = GetParam();
+  const std::size_t n = 10007;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = std::sin(static_cast<double>(i));
+  ThreadTeam team(T, false);
+  std::vector<PaddedDouble> partial(static_cast<std::size_t>(T));
+  team.run([&](int tid) {
+    double s = 0;
+    for (std::size_t i = static_cast<std::size_t>(tid); i < n;
+         i += static_cast<std::size_t>(T))
+      s += xs[i];
+    partial[static_cast<std::size_t>(tid)].value = s;
+  });
+  double sum = 0;
+  for (int t = 0; t < T; ++t) sum += partial[static_cast<std::size_t>(t)].value;
+  const double ref = std::accumulate(xs.begin(), xs.end(), 0.0);
+  EXPECT_NEAR(sum, ref, 1e-9 * n);
+}
+
+TEST_P(ThreadTeamP, SequentialOpsBetweenCommandsAreOrdered) {
+  // A command must not start before the previous one fully finished.
+  const int T = GetParam();
+  ThreadTeam team(T, false);
+  std::vector<int> data(static_cast<std::size_t>(T), 0);
+  for (int round = 1; round <= 50; ++round) {
+    team.run([&](int tid) {
+      // Each thread verifies it saw the previous round's value.
+      EXPECT_EQ(data[static_cast<std::size_t>(tid)], round - 1);
+      data[static_cast<std::size_t>(tid)] = round;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadTeamP,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(ThreadTeam, SyncCountCountsCommands) {
+  ThreadTeam team(4, true);
+  EXPECT_EQ(team.stats().sync_count, 0u);
+  for (int i = 0; i < 7; ++i) team.run([](int) {});
+  EXPECT_EQ(team.stats().sync_count, 7u);
+  team.reset_stats();
+  EXPECT_EQ(team.stats().sync_count, 0u);
+}
+
+TEST(ThreadTeam, InstrumentationMeasuresImbalance) {
+  ThreadTeam team(4, true);
+  // Thread 0 does ~all the work: imbalance must be most of total critical
+  // path; with balanced work it must be small.
+  team.run([&](int tid) {
+    if (tid == 0) {
+      volatile double x = 0;
+      for (int i = 0; i < 2000000; ++i) x += std::sqrt(i + 1.0);
+    }
+  });
+  const auto& st = team.stats();
+  EXPECT_GT(st.critical_path_seconds, 0.0);
+  EXPECT_GT(st.imbalance_seconds, st.critical_path_seconds);  // 3 idle threads
+}
+
+TEST(ThreadTeam, BalancedWorkHasLowImbalance) {
+  ThreadTeam team(4, true);
+  team.run([&](int) {
+    volatile double x = 0;
+    for (int i = 0; i < 2000000; ++i) x += std::sqrt(i + 1.0);
+  });
+  const auto& st = team.stats();
+  EXPECT_LT(st.imbalance_seconds, 3.0 * st.critical_path_seconds);
+  EXPECT_GT(st.total_work_seconds, st.critical_path_seconds);
+}
+
+TEST(ThreadTeam, SingleThreadWorks) {
+  ThreadTeam team(1, true);
+  int calls = 0;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(team.stats().sync_count, 1u);
+}
+
+TEST(ThreadTeam, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadTeam(0), std::invalid_argument);
+}
+
+TEST(ThreadTeam, DestructsCleanlyWithoutCommands) {
+  ThreadTeam team(8, false);
+  // No run() calls: destructor must still join all workers promptly.
+}
+
+TEST(ThreadTeam, OversubscriptionStillCompletes) {
+  // More threads than cores: the yield fallback must keep things moving.
+  ThreadTeam team(64, false);
+  std::atomic<int> total{0};
+  team.run([&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 64);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,321 @@
+// Tests for search/: SPR and NNI move mechanics (structure preservation,
+// exact undo), the CLV staleness safety net (incremental likelihood after
+// surgery must equal a fresh engine's), and end-to-end search behaviour
+// (monotone improvement, true-tree recovery on clean data).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "search/nni.hpp"
+#include "search/search.hpp"
+#include "search/spr.hpp"
+#include "sim/datasets.hpp"
+#include "tree/newick.hpp"
+#include "tree/rf_distance.hpp"
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+namespace {
+
+struct Rig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  Rig(int taxa, std::size_t sites, std::size_t plen, int threads,
+      bool unlinked, std::uint64_t seed = 555,
+      std::optional<Tree> start = std::nullopt) {
+    data = make_simulated_dna(taxa, sites, plen, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions)
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0,
+                          4);
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.unlinked_branch_lengths = unlinked;
+    engine = std::make_unique<Engine>(
+        *comp, start ? std::move(*start) : data.true_tree, std::move(models),
+        eo);
+  }
+
+  /// Likelihood computed by a completely fresh engine over the current tree
+  /// and branch lengths — the staleness oracle.
+  double fresh_lnl() {
+    std::vector<PartitionModel> models;
+    for (int p = 0; p < engine->partition_count(); ++p)
+      models.push_back(engine->model(p));
+    EngineOptions eo;
+    eo.unlinked_branch_lengths = !engine->branch_lengths().linked();
+    Engine fresh(*comp, engine->tree(), std::move(models), eo);
+    for (EdgeId e = 0; e < engine->tree().edge_count(); ++e)
+      for (int p = 0; p < engine->partition_count(); ++p)
+        fresh.branch_lengths().set(e, p, engine->branch_lengths().get(e, p));
+    return fresh.loglikelihood(engine->root_edge() == kNoId
+                                   ? 0
+                                   : engine->root_edge());
+  }
+};
+
+// --- SPR mechanics ------------------------------------------------------------
+
+TEST(Spr, ApplyPreservesTreeInvariants) {
+  Rng rng(12);
+  Tree t = random_tree(12, rng);
+  int applied = 0;
+  for (EdgeId pe = 0; pe < t.edge_count(); ++pe) {
+    for (NodeId s : {t.edge(pe).a, t.edge(pe).b}) {
+      for (EdgeId target : spr_targets(t, pe, s, 3)) {
+        Tree copy = t;
+        SprUndo u = apply_spr(copy, SprMove{pe, s, target});
+        copy.validate();
+        ++applied;
+        (void)u;
+      }
+    }
+  }
+  EXPECT_GT(applied, 50);
+}
+
+TEST(Spr, UndoRestoresExactly) {
+  Rng rng(13);
+  Tree t = random_tree(15, rng);
+  const Tree before = t;
+  for (EdgeId pe = 0; pe < t.edge_count(); ++pe) {
+    for (NodeId s : {t.edge(pe).a, t.edge(pe).b}) {
+      for (EdgeId target : spr_targets(t, pe, s, 4)) {
+        SprUndo u = apply_spr(t, SprMove{pe, s, target});
+        undo_spr(t, u);
+        t.validate();
+        // Topology identical (adjacency-list order may rotate, so compare
+        // structure, endpoints and lengths rather than serialized text).
+        ASSERT_EQ(rf_distance(t, before), 0);
+        for (EdgeId e = 0; e < t.edge_count(); ++e) {
+          const auto &ea = t.edge(e), &eb = before.edge(e);
+          EXPECT_TRUE((ea.a == eb.a && ea.b == eb.b) ||
+                      (ea.a == eb.b && ea.b == eb.a));
+          EXPECT_DOUBLE_EQ(ea.length, eb.length);
+        }
+      }
+    }
+  }
+}
+
+TEST(Spr, MoveChangesTopology) {
+  Rng rng(14);
+  Tree t = random_tree(10, rng);
+  Tree orig = t;
+  bool changed_any = false;
+  for (EdgeId pe = 0; pe < t.edge_count() && !changed_any; ++pe) {
+    const NodeId s = t.edge(pe).a;
+    auto targets = spr_targets(t, pe, s, 5);
+    // Targets at distance >= 2 from the pruning point change the topology.
+    for (EdgeId target : targets) {
+      Tree copy = orig;
+      apply_spr(copy, SprMove{pe, s, target});
+      if (rf_distance(copy, orig) > 0) changed_any = true;
+    }
+  }
+  EXPECT_TRUE(changed_any);
+}
+
+TEST(Spr, RejectsInvalidMoves) {
+  Rng rng(15);
+  Tree t = random_tree(8, rng);
+  // Target == prune edge.
+  EXPECT_FALSE(spr_is_valid(t, SprMove{0, t.edge(0).a, 0}));
+  EXPECT_THROW(apply_spr(t, SprMove{0, t.edge(0).a, 0}),
+               std::invalid_argument);
+  // Tip-side joint (pruning "everything else" off a tip).
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    const auto& ed = t.edge(e);
+    if (t.is_tip(ed.a))
+      EXPECT_FALSE(spr_is_valid(t, SprMove{e, ed.b, (e + 1) % t.edge_count()}))
+          << "joint is a tip";
+  }
+}
+
+TEST(Spr, TargetsExcludePrunedSubtree) {
+  Rng rng(16);
+  Tree t = random_tree(12, rng);
+  for (EdgeId pe = 0; pe < t.edge_count(); ++pe) {
+    const NodeId s = t.edge(pe).a;
+    for (EdgeId target : spr_targets(t, pe, s, 100)) {
+      EXPECT_TRUE(spr_is_valid(t, SprMove{pe, s, target}));
+    }
+  }
+}
+
+TEST(Spr, RadiusLimitsTargetCount) {
+  Rng rng(17);
+  Tree t = random_tree(30, rng);
+  const EdgeId pe = t.edges_of(0).front();
+  const auto near = spr_targets(t, pe, 0, 2);
+  const auto far = spr_targets(t, pe, 0, 50);
+  EXPECT_LT(near.size(), far.size());
+}
+
+// --- NNI mechanics --------------------------------------------------------------
+
+TEST(Nni, TwoMovesExistPerInternalEdge) {
+  Rng rng(18);
+  Tree t = random_tree(10, rng);
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    if (!t.is_internal_edge(e)) {
+      EXPECT_THROW(nni_moves(t, e), std::invalid_argument);
+      continue;
+    }
+    auto [m1, m2] = nni_moves(t, e);
+    Tree t1 = t, t2 = t;
+    apply_nni(t1, m1);
+    apply_nni(t2, m2);
+    t1.validate();
+    t2.validate();
+    EXPECT_EQ(rf_distance(t, t1), 2);
+    EXPECT_EQ(rf_distance(t, t2), 2);
+    EXPECT_EQ(rf_distance(t1, t2), 2);
+  }
+}
+
+TEST(Nni, SelfInverse) {
+  Rng rng(19);
+  Tree t = random_tree(12, rng);
+  const Tree before = t;
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    if (!t.is_internal_edge(e)) continue;
+    auto [m1, m2] = nni_moves(t, e);
+    apply_nni(t, m1);
+    apply_nni(t, m1);
+    t.validate();
+    ASSERT_EQ(rf_distance(t, before), 0);
+    for (EdgeId f = 0; f < t.edge_count(); ++f) {
+      const auto &ea = t.edge(f), &eb = before.edge(f);
+      EXPECT_TRUE((ea.a == eb.a && ea.b == eb.b) ||
+                  (ea.a == eb.b && ea.b == eb.a));
+    }
+  }
+}
+
+// --- staleness safety net ---------------------------------------------------------
+
+TEST(Spr, IncrementalLikelihoodMatchesFreshEngineAfterMoves) {
+  // Apply a chain of SPR moves with targeted invalidation; after every move
+  // the incrementally maintained likelihood must equal a fresh engine's.
+  Rig rig(12, 200, 50, 1, true, 61);
+  Engine& eng = *rig.engine;
+  eng.loglikelihood(0);
+  Rng rng(62);
+  int done = 0;
+  while (done < 12) {
+    const EdgeId pe = static_cast<EdgeId>(rng.below(
+        static_cast<std::uint64_t>(eng.tree().edge_count())));
+    const NodeId s =
+        rng.below(2) ? eng.tree().edge(pe).a : eng.tree().edge(pe).b;
+    const auto targets = spr_targets(eng.tree(), pe, s, 4);
+    if (targets.empty()) continue;
+    const EdgeId target =
+        targets[static_cast<std::size_t>(rng.below(targets.size()))];
+
+    eng.prepare_root(pe);
+    SprUndo u = apply_spr(eng.tree(), SprMove{pe, s, target});
+    // Mirror the default-length surgery into the per-partition store.
+    for (int p = 0; p < eng.partition_count(); ++p) {
+      const double lf = eng.branch_lengths().get(u.fused, p);
+      const double lc = eng.branch_lengths().get(u.carried, p);
+      const double lt = eng.branch_lengths().get(u.target, p);
+      eng.branch_lengths().set(u.fused, p, lf + lc);
+      eng.branch_lengths().set(u.carried, p, 0.5 * lt);
+      eng.branch_lengths().set(u.target, p, 0.5 * lt);
+    }
+    invalidate_after_spr(eng, u);
+
+    const double incremental = eng.loglikelihood(pe);
+    const double fresh = rig.fresh_lnl();
+    ASSERT_NEAR(incremental, fresh, 1e-7 * std::abs(fresh))
+        << "stale CLVs after SPR " << done;
+    ++done;
+  }
+}
+
+TEST(Nni, IncrementalLikelihoodMatchesFreshEngineAfterMoves) {
+  Rig rig(10, 150, 50, 1, false, 63);
+  Engine& eng = *rig.engine;
+  eng.loglikelihood(0);
+  for (EdgeId e = 0; e < eng.tree().edge_count(); ++e) {
+    if (!eng.tree().is_internal_edge(e)) continue;
+    eng.prepare_root(e);
+    auto [m1, m2] = nni_moves(eng.tree(), e);
+    apply_nni(eng.tree(), m1);
+    invalidate_after_nni(eng, m1);
+    const double incremental = eng.loglikelihood(e);
+    const double fresh = rig.fresh_lnl();
+    ASSERT_NEAR(incremental, fresh, 1e-7 * std::abs(fresh)) << "edge " << e;
+    apply_nni(eng.tree(), m1);  // restore
+    invalidate_after_nni(eng, m1);
+  }
+}
+
+// --- full search -----------------------------------------------------------------
+
+TEST(Search, ImprovesFromRandomStart) {
+  Rng rng(64);
+  Rig rig(9, 400, 100, 2, true, 65, random_tree(default_labels(9), rng));
+  const double start = rig.engine->loglikelihood(0);
+  SearchOptions so;
+  so.max_rounds = 2;
+  so.spr_radius = 4;
+  so.model_opts.optimize_rates = false;
+  SearchResult res = search_ml(*rig.engine, so);
+  EXPECT_GT(res.final_lnl, start);
+  EXPECT_GT(res.candidates_scored, 0u);
+}
+
+TEST(Search, RecoversTrueTreeFromCleanData) {
+  // Plenty of signal (long alignment), 8 taxa: the search must find a tree
+  // whose topology is very close to (usually identical to) the truth.
+  Rng rng(66);
+  Rig rig(8, 1500, 1500, 4, false, 67,
+          random_tree(default_labels(8), rng));
+  SearchOptions so;
+  so.max_rounds = 4;
+  so.spr_radius = 6;
+  so.model_opts.optimize_rates = false;
+  search_ml(*rig.engine, so);
+  const int rf = rf_distance(rig.engine->tree(), rig.data.true_tree);
+  EXPECT_LE(rf, 2) << "searched tree too far from the simulation truth";
+}
+
+TEST(Search, StrategiesFindEquallyGoodTrees) {
+  Rng r1(68), r2(68);
+  Rig a(8, 600, 150, 2, true, 69, random_tree(default_labels(8), r1));
+  Rig b(8, 600, 150, 2, true, 69, random_tree(default_labels(8), r2));
+  SearchOptions so;
+  so.max_rounds = 2;
+  so.spr_radius = 4;
+  so.model_opts.optimize_rates = false;
+  so.strategy = Strategy::kOldPar;
+  const double la = search_ml(*a.engine, so).final_lnl;
+  so.strategy = Strategy::kNewPar;
+  const double lb = search_ml(*b.engine, so).final_lnl;
+  // Identical moves modulo NR tie-breaking; scores must agree closely.
+  EXPECT_NEAR(la, lb, 0.01 * std::abs(la) * 0.01 + 1.0);
+}
+
+TEST(Search, TreeStaysValidThroughout) {
+  Rng rng(70);
+  Rig rig(10, 300, 100, 1, true, 71, random_tree(default_labels(10), rng));
+  SearchOptions so;
+  so.max_rounds = 1;
+  so.spr_radius = 3;
+  so.model_opts.optimize_rates = false;
+  search_ml(*rig.engine, so);
+  rig.engine->tree().validate();
+  // Final state must be internally consistent: incremental == fresh.
+  const double incr = rig.engine->loglikelihood(0);
+  EXPECT_NEAR(incr, rig.fresh_lnl(), 1e-7 * std::abs(incr));
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,220 @@
+// Tests for sim/: the Seq-Gen-equivalent simulator (statistical properties
+// of the generated sequences) and the paper-dataset factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "bio/patterns.hpp"
+#include "sim/datasets.hpp"
+#include "sim/seqgen.hpp"
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+namespace {
+
+TEST(SeqGen, ProducesCorrectDimensions) {
+  Rng rng(1);
+  Tree t = random_tree(6, rng);
+  std::vector<SimPartition> parts;
+  parts.push_back(SimPartition{"g1", jc69(), 120, 1.0, 8, 1.0, {}});
+  parts.push_back(SimPartition{"g2", k80(3.0), 80, 0.5, 8, 1.0, {}});
+  Alignment aln = simulate(t, parts, rng);
+  EXPECT_EQ(aln.taxon_count(), 6u);
+  EXPECT_EQ(aln.site_count(), 200u);
+  const auto scheme = simulate_scheme(parts);
+  EXPECT_EQ(scheme.size(), 2u);
+  scheme.validate(200);
+}
+
+TEST(SeqGen, DeterministicForSeed) {
+  Rng r1(9), r2(9);
+  Tree t1 = random_tree(5, r1);
+  Tree t2 = random_tree(5, r2);
+  std::vector<SimPartition> parts{
+      SimPartition{"g", jc69(), 100, 1.0, 8, 1.0, {}}};
+  Alignment a = simulate(t1, parts, r1);
+  Alignment b = simulate(t2, parts, r2);
+  for (std::size_t x = 0; x < 5; ++x) EXPECT_EQ(a.row(x), b.row(x));
+}
+
+TEST(SeqGen, StationaryFrequenciesMatchModel) {
+  // On a star-ish tree with long simulation, observed character frequencies
+  // must approach the model's stationary distribution.
+  Rng rng(11);
+  Tree t = random_tree(8, rng);
+  auto model = gtr({1.5, 3.0, 0.7, 1.2, 2.8, 1.0}, {0.4, 0.1, 0.2, 0.3});
+  const auto want = model.freqs();
+  std::vector<SimPartition> parts{
+      SimPartition{"g", std::move(model), 30000, 5.0, 8, 1.0, {}}};
+  Alignment aln = simulate(t, parts, rng);
+
+  std::map<char, double> counts;
+  double total = 0;
+  for (std::size_t x = 0; x < aln.taxon_count(); ++x)
+    for (char c : aln.row(x)) {
+      counts[c] += 1;
+      total += 1;
+    }
+  EXPECT_NEAR(counts['A'] / total, want[0], 0.01);
+  EXPECT_NEAR(counts['C'] / total, want[1], 0.01);
+  EXPECT_NEAR(counts['G'] / total, want[2], 0.01);
+  EXPECT_NEAR(counts['T'] / total, want[3], 0.01);
+}
+
+TEST(SeqGen, ShortBranchesMeanFewDifferences) {
+  Rng rng(13);
+  TreeGenOptions opts;
+  opts.mean_branch_length = 0.001;
+  Tree t = random_tree(6, rng, opts);
+  std::vector<SimPartition> parts{
+      SimPartition{"g", jc69(), 5000, 1.0, 8, 1.0, {}}};
+  Alignment aln = simulate(t, parts, rng);
+  int diffs = 0;
+  for (std::size_t i = 0; i < aln.site_count(); ++i)
+    if (aln.at(0, i) != aln.at(1, i)) ++diffs;
+  EXPECT_LT(diffs / 5000.0, 0.05);
+}
+
+TEST(SeqGen, LongBranchesDecorrelate) {
+  Rng rng(15);
+  TreeGenOptions opts;
+  opts.mean_branch_length = 10.0;
+  Tree t = random_tree(6, rng, opts);
+  std::vector<SimPartition> parts{
+      SimPartition{"g", jc69(), 5000, 5.0, 8, 1.0, {}}};
+  Alignment aln = simulate(t, parts, rng);
+  int diffs = 0;
+  for (std::size_t i = 0; i < aln.site_count(); ++i)
+    if (aln.at(0, i) != aln.at(1, i)) ++diffs;
+  // Saturated JC: expected 75% differences.
+  EXPECT_NEAR(diffs / 5000.0, 0.75, 0.03);
+}
+
+TEST(SeqGen, LowAlphaCreatesRateHeterogeneity) {
+  // With strong heterogeneity (alpha = 0.2), many sites are frozen and many
+  // are saturated: the per-site difference distribution across a pair must
+  // be more extreme than under alpha = 50 (near-homogeneous).
+  Rng rng(17);
+  Tree t = random_tree(10, rng);
+  auto count_constant = [&](double alpha) {
+    Rng local(99);
+    std::vector<SimPartition> parts{
+        SimPartition{"g", jc69(), 4000, alpha, 32, 1.0, {}}};
+    Alignment aln = simulate(t, parts, local);
+    int constant = 0;
+    for (std::size_t i = 0; i < aln.site_count(); ++i) {
+      bool same = true;
+      for (std::size_t x = 1; x < aln.taxon_count(); ++x)
+        same &= aln.at(x, i) == aln.at(0, i);
+      constant += same;
+    }
+    return constant;
+  };
+  EXPECT_GT(count_constant(0.2), count_constant(50.0) + 100);
+}
+
+TEST(SeqGen, MissingTaxaGetGaps) {
+  Rng rng(19);
+  Tree t = random_tree(5, rng);
+  std::vector<SimPartition> parts{
+      SimPartition{"g1", jc69(), 50, 1.0, 8, 1.0, {1, 3}},
+      SimPartition{"g2", jc69(), 50, 1.0, 8, 1.0, {}}};
+  Alignment aln = simulate(t, parts, rng);
+  EXPECT_EQ(aln.row(1).substr(0, 50), std::string(50, '-'));
+  EXPECT_EQ(aln.row(3).substr(0, 50), std::string(50, '-'));
+  EXPECT_EQ(aln.row(1).find('-', 50), std::string::npos);
+}
+
+TEST(SeqGen, ProteinSimulationUsesAminoAcidAlphabet) {
+  Rng rng(21);
+  Tree t = random_tree(4, rng);
+  std::vector<SimPartition> parts{
+      SimPartition{"p", protein_model("WAG"), 200, 1.0, 8, 1.0, {}}};
+  Alignment aln = simulate(t, parts, rng);
+  const std::string_view aa = Alphabet::protein().symbols();
+  for (char c : aln.row(0)) EXPECT_NE(aa.find(c), std::string_view::npos);
+}
+
+TEST(SeqGen, RejectsBadInput) {
+  Rng rng(23);
+  Tree t = random_tree(4, rng);
+  EXPECT_THROW(simulate(t, {}, rng), std::invalid_argument);
+  std::vector<SimPartition> bad{
+      SimPartition{"g", jc69(), 10, 1.0, 8, 1.0, {99}}};
+  EXPECT_THROW(simulate(t, bad, rng), std::invalid_argument);
+}
+
+// --- dataset factory ------------------------------------------------------------
+
+TEST(Datasets, SimulatedDnaShape) {
+  Dataset d = make_simulated_dna(10, 5000, 1000, 7);
+  EXPECT_EQ(d.alignment.taxon_count(), 10u);
+  EXPECT_EQ(d.alignment.site_count(), 5000u);
+  EXPECT_EQ(d.scheme.size(), 5u);
+  d.scheme.validate(5000);
+  EXPECT_EQ(d.true_tree.tip_count(), 10);
+}
+
+TEST(Datasets, RemainderFoldsIntoLastPartition) {
+  Dataset d = make_simulated_dna(6, 2500, 1000, 7);
+  // 1000 + 1000 + 500 -> the 500 remainder merges into partition 2.
+  std::size_t total = 0;
+  for (const auto& p : d.scheme) total += p.site_count();
+  EXPECT_EQ(total, 2500u);
+  EXPECT_LE(d.scheme.size(), 3u);
+}
+
+TEST(Datasets, UnpartitionedHasOnePartition) {
+  Dataset d = make_unpartitioned_dna(8, 3000, 7);
+  EXPECT_EQ(d.scheme.size(), 1u);
+  d.scheme.validate(3000);
+}
+
+TEST(Datasets, RealWorldLikeShape) {
+  Dataset d = make_realworld_like(20, 12, 100, 800, 0.2, false, 7);
+  EXPECT_EQ(d.scheme.size(), 12u);
+  for (const auto& p : d.scheme) {
+    EXPECT_GE(p.site_count(), 100u);
+    EXPECT_LE(p.site_count(), 800u);
+  }
+  // Gappy: some rows must contain gap blocks.
+  bool any_gap = false;
+  for (std::size_t x = 0; x < d.alignment.taxon_count(); ++x)
+    any_gap |= d.alignment.row(x).find('-') != std::string_view::npos;
+  EXPECT_TRUE(any_gap);
+}
+
+TEST(Datasets, ProteinDatasets) {
+  Dataset d = make_realworld_like(8, 4, 80, 200, 0.0, true, 7);
+  for (const auto& p : d.scheme) EXPECT_EQ(p.type, DataType::kProtein);
+  auto comp = CompressedAlignment::build(d.alignment, d.scheme, true);
+  EXPECT_EQ(comp.partitions[0].states(), 20);
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  Dataset a = make_simulated_dna(8, 1000, 250, 99);
+  Dataset b = make_simulated_dna(8, 1000, 250, 99);
+  for (std::size_t x = 0; x < a.alignment.taxon_count(); ++x)
+    EXPECT_EQ(a.alignment.row(x), b.alignment.row(x));
+}
+
+TEST(Datasets, PaperScalesShrinkDimensions) {
+  Dataset full = make_paper_d50_50000(0.2, 3);
+  Dataset small = make_paper_d50_50000(0.1, 3);
+  EXPECT_GT(full.alignment.taxon_count(), small.alignment.taxon_count());
+  EXPECT_GT(full.alignment.site_count(), small.alignment.site_count());
+}
+
+TEST(Datasets, PaperRealWorldAnalogueHasVariablePartitions) {
+  Dataset d = make_paper_r125_19839(0.15, 3);
+  std::size_t mn = 1u << 30, mx = 0;
+  for (const auto& p : d.scheme) {
+    mn = std::min(mn, p.site_count());
+    mx = std::max(mx, p.site_count());
+  }
+  EXPECT_LT(mn * 2, mx);  // spread of gene lengths, as in the paper
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,129 @@
+// Tests for the per-site log-likelihood API and the analysis-level start
+// tree options (parsimony vs random).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plk.hpp"
+
+namespace plk {
+namespace {
+
+struct Rig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  explicit Rig(int taxa, std::size_t sites, std::size_t plen,
+               std::uint64_t seed = 3141, int threads = 1) {
+    data = make_simulated_dna(taxa, sites, plen, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions)
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)),
+                          0.7, 4);
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.unlinked_branch_lengths = true;
+    engine = std::make_unique<Engine>(*comp, data.true_tree,
+                                      std::move(models), eo);
+  }
+};
+
+TEST(SiteLnl, WeightedSumEqualsPartitionTotal) {
+  Rig rig(8, 300, 100, 5);
+  Engine& eng = *rig.engine;
+  eng.loglikelihood(0);
+  for (int p = 0; p < eng.partition_count(); ++p) {
+    const auto sites = eng.site_loglikelihoods(0, p);
+    ASSERT_EQ(sites.size(), eng.pattern_count(p));
+    double sum = 0;
+    for (std::size_t i = 0; i < sites.size(); ++i)
+      sum += sites[i] *
+             rig.comp->partitions[static_cast<std::size_t>(p)].weights[i];
+    EXPECT_NEAR(sum, eng.per_partition_lnl()[static_cast<std::size_t>(p)],
+                1e-9 * std::abs(sum))
+        << "partition " << p;
+  }
+}
+
+TEST(SiteLnl, InvariantToRootPlacement) {
+  Rig rig(7, 120, 120, 7);
+  Engine& eng = *rig.engine;
+  const auto ref = eng.site_loglikelihoods(0, 0);
+  for (EdgeId e = 1; e < eng.tree().edge_count(); e += 3) {
+    const auto got = eng.site_loglikelihoods(e, 0);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_NEAR(got[i], ref[i], 1e-8 * std::max(1.0, std::abs(ref[i])))
+          << "edge " << e << " pattern " << i;
+  }
+}
+
+TEST(SiteLnl, MatchesParallelExecution) {
+  Rig a(8, 240, 80, 9, /*threads=*/1);
+  Rig b(8, 240, 80, 9, /*threads=*/6);
+  const auto sa = a.engine->site_loglikelihoods(2, 1);
+  const auto sb = b.engine->site_loglikelihoods(2, 1);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(SiteLnl, AllValuesAreLogProbabilities) {
+  Rig rig(8, 200, 200, 11);
+  const auto sites = rig.engine->site_loglikelihoods(0, 0);
+  for (double s : sites) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LT(s, 0.0);  // per-site likelihoods are < 1
+  }
+}
+
+TEST(SiteLnl, RespondsToModelChange) {
+  Rig rig(8, 200, 200, 13);
+  Engine& eng = *rig.engine;
+  const auto before = eng.site_loglikelihoods(0, 0);
+  eng.model(0).set_alpha(eng.model(0).alpha() * 4);
+  eng.invalidate_partition(0);
+  const auto after = eng.site_loglikelihoods(0, 0);
+  int changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    changed += std::abs(before[i] - after[i]) > 1e-12;
+  EXPECT_GT(changed, static_cast<int>(before.size() / 2));
+}
+
+// --- start tree options ------------------------------------------------------
+
+TEST(StartTrees, ParsimonyStartBeatsRandomStartInitially) {
+  Dataset d = make_simulated_dna(12, 1500, 500, 17);
+  AnalysisOptions ro;
+  ro.start_tree = StartTree::kRandom;
+  Analysis random_an(d.alignment, d.scheme, ro);
+  AnalysisOptions po;
+  po.start_tree = StartTree::kParsimony;
+  Analysis pars_an(d.alignment, d.scheme, po);
+  // Before any optimization, the parsimony topology should already fit the
+  // data much better than a uniform random topology.
+  EXPECT_GT(pars_an.loglikelihood(), random_an.loglikelihood());
+}
+
+TEST(StartTrees, ParsimonyStartIsValidTree) {
+  Dataset d = make_simulated_dna(9, 400, 100, 19);
+  AnalysisOptions opts;
+  opts.start_tree = StartTree::kParsimony;
+  Analysis an(d.alignment, d.scheme, opts);
+  an.engine().tree().validate();
+  EXPECT_EQ(an.engine().tree().tip_count(), 9);
+  EXPECT_TRUE(std::isfinite(an.loglikelihood()));
+}
+
+TEST(StartTrees, ExplicitTreeOverridesOption) {
+  Dataset d = make_simulated_dna(8, 200, 100, 21);
+  AnalysisOptions opts;
+  opts.start_tree = StartTree::kParsimony;
+  Analysis an(d.alignment, d.scheme, opts, d.true_tree);
+  EXPECT_EQ(rf_distance(an.engine().tree(), d.true_tree), 0);
+}
+
+}  // namespace
+}  // namespace plk

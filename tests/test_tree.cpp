@@ -1,0 +1,263 @@
+// Tests for tree/: structure invariants, Newick I/O, random generation,
+// traversal orders, Robinson-Foulds distance.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/newick.hpp"
+#include "tree/rf_distance.hpp"
+#include "tree/traversal.hpp"
+#include "tree/tree.hpp"
+#include "tree/tree_gen.hpp"
+#include "util/rng.hpp"
+
+namespace plk {
+namespace {
+
+Tree quartet() {
+  // ((t1,t2),(t3,t4)) as an unrooted tree: tips 0-3, inner 4,5.
+  return Tree::from_edges({"t1", "t2", "t3", "t4"},
+                          {{4, 0, 0.1},
+                           {4, 1, 0.2},
+                           {4, 5, 0.3},
+                           {5, 2, 0.4},
+                           {5, 3, 0.5}});
+}
+
+TEST(Tree, BasicCounts) {
+  Tree t = quartet();
+  EXPECT_EQ(t.tip_count(), 4);
+  EXPECT_EQ(t.node_count(), 6);
+  EXPECT_EQ(t.edge_count(), 5);
+  EXPECT_TRUE(t.is_tip(0));
+  EXPECT_FALSE(t.is_tip(4));
+  EXPECT_EQ(t.label(2), "t3");
+}
+
+TEST(Tree, AdjacencyAndOtherEnd) {
+  Tree t = quartet();
+  EXPECT_EQ(t.edges_of(0).size(), 1u);
+  EXPECT_EQ(t.edges_of(4).size(), 3u);
+  EXPECT_EQ(t.other_end(0, 4), 0);
+  EXPECT_EQ(t.other_end(0, 0), 4);
+  EXPECT_THROW(t.other_end(0, 5), std::logic_error);
+}
+
+TEST(Tree, FindEdge) {
+  Tree t = quartet();
+  EXPECT_EQ(t.find_edge(4, 5), 2);
+  EXPECT_EQ(t.find_edge(0, 5), kNoId);
+}
+
+TEST(Tree, InternalEdgeDetection) {
+  Tree t = quartet();
+  EXPECT_TRUE(t.is_internal_edge(2));
+  EXPECT_FALSE(t.is_internal_edge(0));
+}
+
+TEST(Tree, ValidateRejectsBadDegrees) {
+  // A tip with two edges.
+  EXPECT_THROW(Tree::from_edges({"a", "b", "c"},
+                                {{3, 0, 0.1}, {3, 1, 0.1}, {0, 2, 0.1}}),
+               std::logic_error);
+}
+
+TEST(Tree, ValidateRejectsDisconnected) {
+  // 4 taxa, correct counts but two components (self-loop style).
+  EXPECT_THROW(Tree::from_edges({"a", "b", "c", "d"},
+                                {{4, 0, 0.1},
+                                 {4, 1, 0.1},
+                                 {4, 2, 0.1},
+                                 {5, 3, 0.1},
+                                 {5, 5, 0.1}}),
+               std::logic_error);
+}
+
+TEST(Tree, ReattachMaintainsInvariants) {
+  Tree t = quartet();
+  // NNI-style swap: move tip 1 to node 5 and tip 2 to node 4.
+  t.reattach(1, 4, 5);
+  t.reattach(3, 5, 4);
+  t.validate();
+  EXPECT_EQ(t.find_edge(4, 2), 3);
+  EXPECT_EQ(t.find_edge(5, 1), 1);
+}
+
+TEST(Tree, TotalLength) {
+  EXPECT_DOUBLE_EQ(quartet().total_length(), 1.5);
+}
+
+TEST(Tree, PathBetweenEdges) {
+  Tree t = quartet();
+  // Path from pendant edge of t1 (edge 0) to pendant edge of t3 (edge 3)
+  // crosses inner nodes 4 and 5.
+  auto path = t.path_between_edges(0, 3);
+  const std::set<NodeId> nodes(path.begin(), path.end());
+  EXPECT_TRUE(nodes.count(4));
+  EXPECT_TRUE(nodes.count(5));
+  EXPECT_TRUE(t.path_between_edges(2, 2).empty());
+}
+
+// --- Newick -----------------------------------------------------------------
+
+TEST(Newick, ParseUnrooted) {
+  Tree t = parse_newick("(t1:0.1,t2:0.2,(t3:0.3,t4:0.4):0.5);");
+  EXPECT_EQ(t.tip_count(), 4);
+  EXPECT_EQ(t.edge_count(), 5);
+  t.validate();
+}
+
+TEST(Newick, ParseRootedGetsUnrooted) {
+  // Binary root: the two root edges fuse (0.2 + 0.3).
+  Tree t = parse_newick("((t1:0.1,t2:0.1):0.2,(t3:0.1,t4:0.1):0.3);");
+  EXPECT_EQ(t.tip_count(), 4);
+  EXPECT_EQ(t.edge_count(), 5);
+  double longest = 0;
+  for (EdgeId e = 0; e < t.edge_count(); ++e)
+    longest = std::max(longest, t.length(e));
+  EXPECT_DOUBLE_EQ(longest, 0.5);
+}
+
+TEST(Newick, ParseWithTaxonOrder) {
+  const std::vector<std::string> order{"c", "a", "b"};
+  Tree t = parse_newick("(a:1,b:1,c:1);", order);
+  EXPECT_EQ(t.label(0), "c");
+  EXPECT_EQ(t.label(1), "a");
+}
+
+TEST(Newick, ParseQuotedLabels) {
+  Tree t = parse_newick("('taxon one':1,b:1,c:1);");
+  EXPECT_EQ(t.label(0), "taxon one");
+}
+
+TEST(Newick, RoundTripPreservesTopologyAndLengths) {
+  Rng rng(99);
+  for (int n : {4, 7, 16, 40}) {
+    Tree t = random_tree(n, rng);
+    Tree u = parse_newick(write_newick(t, 12), t.labels());
+    EXPECT_EQ(rf_distance(t, u), 0) << "n=" << n;
+    EXPECT_NEAR(t.total_length(), u.total_length(), 1e-9);
+  }
+}
+
+TEST(Newick, ParseErrors) {
+  EXPECT_THROW(parse_newick("(a:1,b:1"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:1,b:1,c:1,d:1,e:1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:1,b:x,c:1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:1,(b:1,):1,c:1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:1,b:1,c:1); junk"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:1,a:1,c:1);", {"a", "a", "c"}),
+               std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:1,b:1,c:1);", {"a", "b", "x"}),
+               std::runtime_error);
+}
+
+// --- random trees -----------------------------------------------------------
+
+TEST(TreeGen, ValidAndDeterministic) {
+  Rng r1(5), r2(5);
+  Tree a = random_tree(25, r1);
+  Tree b = random_tree(25, r2);
+  a.validate();
+  EXPECT_EQ(rf_distance(a, b), 0);
+  EXPECT_DOUBLE_EQ(a.total_length(), b.total_length());
+}
+
+TEST(TreeGen, DifferentSeedsDiffer) {
+  Rng r1(5), r2(6);
+  Tree a = random_tree(25, r1);
+  Tree b = random_tree(25, r2);
+  EXPECT_GT(rf_distance(a, b), 0);
+}
+
+TEST(TreeGen, BranchLengthsRespectOptions) {
+  Rng rng(7);
+  TreeGenOptions opts;
+  opts.mean_branch_length = 0.05;
+  opts.min_branch_length = 0.01;
+  Tree t = random_tree(50, rng, opts);
+  for (EdgeId e = 0; e < t.edge_count(); ++e)
+    EXPECT_GE(t.length(e), 0.01);
+}
+
+TEST(TreeGen, RejectsTooFewTaxa) {
+  Rng rng(1);
+  EXPECT_THROW(random_tree(2, rng), std::invalid_argument);
+}
+
+// --- traversal orders -------------------------------------------------------
+
+TEST(Traversal, DfsEdgeOrderCoversAllEdgesOnce) {
+  Rng rng(3);
+  Tree t = random_tree(20, rng);
+  auto order = dfs_edge_order(t);
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(t.edge_count()));
+  std::set<EdgeId> uniq(order.begin(), order.end());
+  EXPECT_EQ(uniq.size(), order.size());
+}
+
+TEST(Traversal, ConsecutiveDfsEdgesShareANode) {
+  Rng rng(4);
+  Tree t = random_tree(15, rng);
+  auto order = dfs_edge_order(t);
+  // DFS property: each edge shares a node with some earlier edge (locality).
+  std::set<NodeId> visited{0};
+  for (EdgeId e : order) {
+    const bool touches = visited.count(t.edge(e).a) || visited.count(t.edge(e).b);
+    EXPECT_TRUE(touches);
+    visited.insert(t.edge(e).a);
+    visited.insert(t.edge(e).b);
+  }
+}
+
+TEST(Traversal, RadiusBoundsTargets) {
+  Rng rng(8);
+  Tree t = random_tree(30, rng);
+  auto near = edges_within_radius(t, 0, 1);
+  auto far = edges_within_radius(t, 0, 100);
+  EXPECT_LT(near.size(), far.size());
+  EXPECT_EQ(far.size(), static_cast<std::size_t>(t.edge_count() - 1));
+}
+
+// --- RF distance ------------------------------------------------------------
+
+TEST(Rf, IdenticalTreesHaveZero) {
+  Rng rng(11);
+  Tree t = random_tree(30, rng);
+  EXPECT_EQ(rf_distance(t, t), 0);
+  EXPECT_DOUBLE_EQ(rf_normalized(t, t), 0.0);
+}
+
+TEST(Rf, SymmetricAndBounded) {
+  Rng r1(1), r2(2);
+  Tree a = random_tree(20, r1);
+  Tree b = random_tree(20, r2);
+  EXPECT_EQ(rf_distance(a, b), rf_distance(b, a));
+  EXPECT_LE(rf_distance(a, b), 2 * (20 - 3));
+  EXPECT_LE(rf_normalized(a, b), 1.0);
+}
+
+TEST(Rf, NniMovesDistanceTwo) {
+  Tree t = quartet();
+  Tree u = quartet();
+  // Swap tips 1 and 2 across the internal edge: one NNI -> RF 2.
+  u.reattach(1, 4, 5);
+  u.reattach(3, 5, 4);
+  EXPECT_EQ(rf_distance(t, u), 2);
+}
+
+TEST(Rf, RejectsDifferentSizes) {
+  Rng rng(1);
+  Tree a = random_tree(10, rng);
+  Tree b = random_tree(12, rng);
+  EXPECT_THROW(rf_distance(a, b), std::invalid_argument);
+}
+
+TEST(Rf, BipartitionCountMatchesInternalEdges) {
+  Rng rng(21);
+  Tree t = random_tree(25, rng);
+  EXPECT_EQ(bipartitions(t).size(), static_cast<std::size_t>(25 - 3));
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,151 @@
+// Tests for util/: RNG determinism and distributions, aligned allocation,
+// descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace plk {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double s = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) s += rng.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  double s = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += rng.exponential(4.0);
+  EXPECT_NEAR(s / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double s = 0, s2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GammaMeanEqualsShape) {
+  Rng rng(17);
+  for (double shape : {0.5, 1.0, 2.5, 10.0}) {
+    double s = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) s += rng.gamma(shape);
+    EXPECT_NEAR(s / n, shape, 0.12 * shape) << "shape " << shape;
+  }
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(19);
+  const double w[] = {1.0, 3.0, 0.0, 6.0};
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsZeroTotal) {
+  Rng rng(1);
+  const double w[] = {0.0, 0.0};
+  EXPECT_THROW(rng.discrete(w), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Aligned, VectorIsAligned) {
+  AlignedDoubleVec v(1000, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kVectorAlign, 0u);
+}
+
+TEST(Aligned, PaddedDoubleFillsCacheLine) {
+  EXPECT_EQ(sizeof(PaddedDouble), kCacheLine);
+  EXPECT_EQ(alignof(PaddedDouble), kCacheLine);
+}
+
+TEST(Stats, MeanMedianStddev) {
+  const double xs[] = {1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 43.6177, 0.001);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 100.0);
+}
+
+TEST(Stats, EmptyRangesThrow) {
+  std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(median(empty), std::invalid_argument);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const double xs[] = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+}  // namespace
+}  // namespace plk
