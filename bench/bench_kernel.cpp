@@ -1,17 +1,224 @@
-// E8: kernel micro-benchmarks (google-benchmark).
+// E8: kernel micro-benchmarks.
 //
-// Measures the building blocks whose ratio drives the paper's load-balance
-// effect: newview / evaluate / NR-derivative cost per pattern for 4-state
-// (DNA) vs 20-state (protein) kernels, and the fixed cost of one thread-team
-// synchronization. The paper's protein observation (E7) is the direct
-// consequence of the ~25x flops gap visible here.
+// Two modes:
+//
+//   bench_kernel                 google-benchmark micro benches: engine-level
+//                                evaluate / NR cost per pattern for DNA vs
+//                                protein, and the thread-team sync cost.
+//   bench_kernel --json <path>   generic-vs-specialized raw-kernel comparison
+//                                (the perf-trajectory record committed as
+//                                BENCH_kernel.json): times every kernel in
+//                                both flavors on identical buffers and
+//                                reports ns/pattern + speedups.
+//
+// The comparison cases mirror the real traversal mix: in an n-taxon tree,
+// roughly half of all newview child slots are tips, so the tip/inner case is
+// the headline DNA number, with tip/tip and inner/inner alongside.
 #include <benchmark/benchmark.h>
 
-#include "plk.hpp"
+#include <cstring>
+#include <string>
+
+#include "common.hpp"
+#include "core/kernels.hpp"
+#include "core/kernels/rig.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
 using namespace plk;
+
+// ---------------------------------------------------------------------------
+// Mode 1: generic vs specialized raw-kernel comparison (--json).
+// ---------------------------------------------------------------------------
+
+/// Best-of-3 ns/pattern for `fn`, with iteration count calibrated so each
+/// timed rep runs >= 60 ms.
+template <class Fn>
+double ns_per_pattern(std::size_t patterns, Fn&& fn) {
+  fn();  // warm caches and page in buffers
+  long iters = 1;
+  for (;;) {
+    Timer t;
+    for (long i = 0; i < iters; ++i) fn();
+    if (t.seconds() >= 0.06) break;
+    iters *= 4;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+    for (long i = 0; i < iters; ++i) fn();
+    const double ns = t.seconds() * 1e9 /
+                      (static_cast<double>(iters) * static_cast<double>(patterns));
+    best = best < ns ? best : ns;
+  }
+  return best;
+}
+
+struct CaseResult {
+  std::string name;
+  double generic_ns = 0.0;
+  double spec_ns = 0.0;
+  double speedup() const { return generic_ns / spec_ns; }
+};
+
+template <int S>
+CaseResult compare_newview(kernel::KernelRig<S>& r, const std::string& name,
+                           const kernel::ChildView& c1,
+                           const kernel::ChildView& c2) {
+  CaseResult res{name};
+  res.generic_ns = ns_per_pattern(r.patterns, [&] {
+    kernel::newview_slice<S>(0, 1, r.patterns, r.cats, c1, c2, r.p1.data(),
+                             r.p2.data(), r.out.data(), r.out_scale.data());
+    benchmark::DoNotOptimize(r.out.data());
+  });
+  res.spec_ns = ns_per_pattern(r.patterns, [&] {
+    kernel::newview_spec<S>(0, 1, r.patterns, r.cats, c1, c2, r.p1.data(),
+                            r.p2.data(), r.p1t.data(), r.p2t.data(),
+                            r.out.data(), r.out_scale.data());
+    benchmark::DoNotOptimize(r.out.data());
+  });
+  return res;
+}
+
+template <int S>
+CaseResult compare_evaluate(kernel::KernelRig<S>& r, const std::string& name,
+                            const kernel::ChildView& cu,
+                            const kernel::ChildView& cv) {
+  CaseResult res{name};
+  res.generic_ns = ns_per_pattern(r.patterns, [&] {
+    benchmark::DoNotOptimize(kernel::evaluate_slice<S>(
+        0, 1, r.patterns, r.cats, cu, cv, r.p2.data(), r.freqs.data(),
+        r.weights.data()));
+  });
+  res.spec_ns = ns_per_pattern(r.patterns, [&] {
+    benchmark::DoNotOptimize(kernel::evaluate_spec<S>(
+        0, 1, r.patterns, r.cats, cu, cv, r.p2.data(), r.p2t.data(),
+        r.freqs.data(), r.weights.data()));
+  });
+  return res;
+}
+
+template <int S>
+CaseResult compare_sumtable(kernel::KernelRig<S>& r, const std::string& name,
+                            const kernel::ChildView& cu,
+                            const kernel::ChildView& cv) {
+  CaseResult res{name};
+  res.generic_ns = ns_per_pattern(r.patterns, [&] {
+    kernel::sumtable_slice<S>(0, 1, r.patterns, r.cats, cu, cv, r.sym.data(),
+                              r.sumtab.data());
+    benchmark::DoNotOptimize(r.sumtab.data());
+  });
+  res.spec_ns = ns_per_pattern(r.patterns, [&] {
+    kernel::sumtable_spec<S>(0, 1, r.patterns, r.cats, cu, cv, r.sym.data(),
+                             r.symt.data(), r.sumtab.data());
+    benchmark::DoNotOptimize(r.sumtab.data());
+  });
+  return res;
+}
+
+template <int S>
+CaseResult compare_nr(kernel::KernelRig<S>& r, const std::string& name) {
+  // Earlier sumtable cases reuse r.sumtab as their output buffer; rebuild it
+  // so the NR timings run on defined inputs regardless of case order.
+  kernel::sumtable_slice<S>(0, 1, r.patterns, r.cats, r.inner1(), r.inner2(),
+                            r.sym.data(), r.sumtab.data());
+  CaseResult res{name};
+  double d1 = 0.0, d2 = 0.0;
+  res.generic_ns = ns_per_pattern(r.patterns, [&] {
+    kernel::nr_slice<S>(0, 1, r.patterns, r.cats, r.sumtab.data(),
+                        r.exp_lam.data(), r.lam.data(), r.weights.data(), &d1,
+                        &d2);
+    benchmark::DoNotOptimize(d1);
+  });
+  res.spec_ns = ns_per_pattern(r.patterns, [&] {
+    kernel::nr_spec<S>(0, 1, r.patterns, r.cats, r.sumtab.data(),
+                       r.exp_lam.data(), r.lam.data(), r.weights.data(), &d1,
+                       &d2);
+    benchmark::DoNotOptimize(d1);
+  });
+  return res;
+}
+
+int run_json_mode(const std::string& path) {
+  constexpr std::size_t kDnaPatterns = 20000;
+  constexpr std::size_t kProtPatterns = 4000;
+  constexpr int kCats = 4;
+  kernel::KernelRig<4> dna(kDnaPatterns, kCats);
+  kernel::KernelRig<20> prot(kProtPatterns, kCats);
+
+  std::vector<CaseResult> cases;
+  cases.push_back(compare_newview<4>(dna, "newview_dna_tip_tip", dna.tip1(),
+                                     dna.tip2()));
+  cases.push_back(compare_newview<4>(dna, "newview_dna_tip_inner", dna.tip1(),
+                                     dna.inner2()));
+  cases.push_back(compare_newview<4>(dna, "newview_dna_inner_inner",
+                                     dna.inner1(), dna.inner2()));
+  cases.push_back(compare_newview<20>(prot, "newview_protein_tip_inner",
+                                      prot.tip1(), prot.inner2()));
+  cases.push_back(compare_newview<20>(prot, "newview_protein_inner_inner",
+                                      prot.inner1(), prot.inner2()));
+  cases.push_back(compare_evaluate<4>(dna, "evaluate_dna_inner_tip",
+                                      dna.inner1(), dna.tip2()));
+  cases.push_back(compare_evaluate<4>(dna, "evaluate_dna_inner_inner",
+                                      dna.inner1(), dna.inner2()));
+  cases.push_back(compare_evaluate<20>(prot, "evaluate_protein_inner_inner",
+                                       prot.inner1(), prot.inner2()));
+  cases.push_back(compare_sumtable<4>(dna, "sumtable_dna_tip_inner",
+                                      dna.tip_sym(), dna.inner2()));
+  cases.push_back(compare_sumtable<4>(dna, "sumtable_dna_inner_inner",
+                                      dna.inner1(), dna.inner2()));
+  cases.push_back(compare_nr<4>(dna, "nr_dna"));
+  cases.push_back(compare_nr<20>(prot, "nr_protein"));
+
+  std::printf("%-28s %14s %14s %9s\n", "case", "generic[ns/pat]",
+              "simd[ns/pat]", "speedup");
+  bench::JsonArray arr;
+  for (const auto& c : cases) {
+    std::printf("%-28s %14.2f %14.2f %8.2fx\n", c.name.c_str(), c.generic_ns,
+                c.spec_ns, c.speedup());
+    bench::JsonObject o;
+    o.add("name", c.name);
+    o.add("generic_ns_per_pattern", c.generic_ns);
+    o.add("specialized_ns_per_pattern", c.spec_ns);
+    o.add("speedup", c.speedup());
+    arr.add_raw(o.render(2));
+  }
+
+  const auto by_name = [&](const char* n) -> const CaseResult& {
+    for (const auto& c : cases)
+      if (c.name == n) return c;
+    throw std::logic_error("missing case");
+  };
+  bench::JsonObject headline;
+  // Headline DNA numbers use the tip/inner case: in an n-taxon tree roughly
+  // half of newview child slots are tips, and evaluate gets a tip table
+  // whenever the root edge touches a tip.
+  headline.add("newview_dna", by_name("newview_dna_tip_inner").speedup());
+  headline.add("evaluate_dna", by_name("evaluate_dna_inner_tip").speedup());
+  headline.add("newview_protein",
+               by_name("newview_protein_tip_inner").speedup());
+  headline.add("evaluate_protein",
+               by_name("evaluate_protein_inner_inner").speedup());
+
+  bench::JsonObject doc;
+  doc.add("bench", "kernel");
+  doc.add("schema", 1);
+  doc.add("simd_backend", simd::kBackend);
+  doc.add("simd_lanes", simd::kLanes);
+  doc.add("cats", kCats);
+  doc.add("patterns_dna", (long long)kDnaPatterns);
+  doc.add("patterns_protein", (long long)kProtPatterns);
+  doc.add_raw("cases", arr.render(2));
+  doc.add_raw("headline_speedups", headline.render(2));
+  bench::write_json(path, doc);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Mode 2: google-benchmark engine-level micro benches.
+// ---------------------------------------------------------------------------
 
 /// A tiny ready-made engine over one partition.
 struct Fixture {
@@ -19,7 +226,7 @@ struct Fixture {
   std::unique_ptr<CompressedAlignment> comp;
   std::unique_ptr<Engine> engine;
 
-  Fixture(bool protein, std::size_t sites, int threads)
+  Fixture(bool protein, std::size_t sites, int threads, bool generic = false)
       : data(protein ? make_realworld_like(16, 1, sites, sites + 1, 0.0, true,
                                            7)
                      : make_simulated_dna(16, sites, sites, 7)) {
@@ -33,14 +240,15 @@ struct Fixture {
                           0.8, 4);
     EngineOptions eo;
     eo.threads = threads;
+    eo.use_generic_kernels = generic;
     engine = std::make_unique<Engine>(*comp, data.true_tree,
                                       std::move(models), eo);
   }
 };
 
-void BM_Evaluate(benchmark::State& state, bool protein) {
+void BM_Evaluate(benchmark::State& state, bool protein, bool generic) {
   const auto sites = static_cast<std::size_t>(state.range(0));
-  Fixture fx(protein, sites, 1);
+  Fixture fx(protein, sites, 1, generic);
   fx.engine->loglikelihood(0);
   for (auto _ : state) {
     fx.engine->invalidate_all();
@@ -50,10 +258,16 @@ void BM_Evaluate(benchmark::State& state, bool protein) {
                           static_cast<std::int64_t>(sites));
 }
 
-void BM_EvaluateDna(benchmark::State& s) { BM_Evaluate(s, false); }
-void BM_EvaluateProtein(benchmark::State& s) { BM_Evaluate(s, true); }
+void BM_EvaluateDna(benchmark::State& s) { BM_Evaluate(s, false, false); }
+void BM_EvaluateDnaGeneric(benchmark::State& s) { BM_Evaluate(s, false, true); }
+void BM_EvaluateProtein(benchmark::State& s) { BM_Evaluate(s, true, false); }
+void BM_EvaluateProteinGeneric(benchmark::State& s) {
+  BM_Evaluate(s, true, true);
+}
 BENCHMARK(BM_EvaluateDna)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_EvaluateDnaGeneric)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_EvaluateProtein)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_EvaluateProteinGeneric)->Arg(1000)->Arg(4000);
 
 void BM_NrDerivatives(benchmark::State& state, bool protein) {
   const auto sites = static_cast<std::size_t>(state.range(0));
@@ -87,4 +301,20 @@ BENCHMARK(BM_TeamSync)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      try {
+        return run_json_mode(argv[i + 1]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_kernel --json: %s\n", e.what());
+        return 1;
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

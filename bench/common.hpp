@@ -11,12 +11,89 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "plk.hpp"
 
 namespace plk::bench {
+
+// --- JSON emission (perf-trajectory records: BENCH_*.json) -------------------
+
+/// Minimal ordered JSON builder — enough for flat benchmark records with
+/// nested arrays/objects, no external dependency. Values are pre-rendered
+/// JSON fragments; use the typed add() overloads for leaves.
+class JsonObject {
+ public:
+  void add(const std::string& key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    add_raw(key, buf);
+  }
+  void add(const std::string& key, long long v) {
+    add_raw(key, std::to_string(v));
+  }
+  void add(const std::string& key, int v) { add(key, (long long)v); }
+  void add(const std::string& key, const std::string& v) {
+    add_raw(key, quote(v));
+  }
+  void add(const std::string& key, const char* v) { add(key, std::string(v)); }
+  /// `rendered` must already be valid JSON (nested object/array).
+  void add_raw(const std::string& key, const std::string& rendered) {
+    fields_.emplace_back(key, rendered);
+  }
+
+  std::string render(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += i ? ",\n" : "\n";
+      out += pad + quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "\n" + std::string(static_cast<std::size_t>(indent), ' ') + "}";
+    return out;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Array of pre-rendered JSON fragments.
+class JsonArray {
+ public:
+  void add_raw(const std::string& rendered) { items_.push_back(rendered); }
+  std::string render(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::string out = "[";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      out += i ? ",\n" : "\n";
+      out += pad + items_[i];
+    }
+    out += "\n" + std::string(static_cast<std::size_t>(indent), ' ') + "]";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+/// Write a rendered JSON document to `path` (with trailing newline).
+inline void write_json(const std::string& path, const JsonObject& doc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << doc.render() << "\n";
+}
 
 /// Scale factor for dataset dimensions (1.0 == the paper's size).
 inline double scale_from_env(double fallback) {

@@ -42,6 +42,19 @@ struct Engine::PartData {
   // one per distinct state mask occurring in this partition).
   std::vector<std::vector<std::uint16_t>> tip_codes;  // [tip node][pattern]
   AlignedDoubleVec indicators;
+  std::size_t n_codes = 0;  // rows in `indicators`
+
+  // Cached tip lookup tables for the specialized kernels. P tables are per
+  // tip-adjacent edge, keyed on (model epoch, branch length, tip endpoint);
+  // the sym table is per partition, keyed on the model epoch alone.
+  struct TipTableEntry {
+    std::uint32_t epoch = 0;
+    double blen = -1.0;
+    NodeId tip = kNoId;
+    AlignedDoubleVec table;
+  };
+  std::vector<TipTableEntry> tip_tables;  // [edge]
+  TipTableEntry sym_table;
 
   // Inner-node CLVs and scale counts, indexed by (node - tip_count).
   std::vector<AlignedDoubleVec> clv;
@@ -67,7 +80,11 @@ struct Engine::Command {
     EdgeId e1 = kNoId, e2 = kNoId;
     std::vector<int> parts;
     // Offsets into `pmats` for each listed partition (child 1 and child 2).
+    // `pmats` and `pmats_t` are filled in lockstep, so the same offsets
+    // address the transposed matrices.
     std::vector<std::size_t> pmat1, pmat2;
+    // Tip lookup tables per listed partition (nullptr for inner children).
+    std::vector<const double*> tt1, tt2;
   };
   std::vector<Op> ops;
 
@@ -75,13 +92,17 @@ struct Engine::Command {
   EdgeId eval_edge = kNoId;
   std::vector<int> eval_parts;
   std::vector<std::size_t> eval_pmat;
+  std::vector<const double*> eval_tt;  // cv-side tip table per listed part
 
   bool do_sumtable = false;
   std::vector<int> sum_parts;
+  std::vector<std::size_t> sum_symt;       // transposed sym offsets (symt)
+  std::vector<const double*> sum_ttu, sum_ttv;  // sym tip tables
 
   bool do_sites = false;
   int sites_part = -1;
   std::size_t sites_pmat = 0;
+  const double* sites_tt = nullptr;
   double* sites_out = nullptr;
 
   bool do_nr = false;
@@ -90,7 +111,9 @@ struct Engine::Command {
   // tables, each cats*states doubles.
   std::vector<std::size_t> nr_exp, nr_lam;
 
-  AlignedDoubleVec pmats;    // concatenated transition matrices
+  AlignedDoubleVec pmats;    // concatenated transition matrices (row-major)
+  AlignedDoubleVec pmats_t;  // same matrices transposed (lockstep offsets)
+  AlignedDoubleVec symt;     // transposed sym transforms (sum_symt offsets)
   AlignedDoubleVec scratch;  // NR tables
 };
 
@@ -136,9 +159,12 @@ Engine::Engine(const CompressedAlignment& aln, Tree tree,
 
   build_tip_data();
 
+  use_generic_ = opts.use_generic_kernels;
+
   // Allocate CLVs, scale counts, and tracking structures.
   const int inner_count = tree_.node_count() - tree_.tip_count();
   for (auto& pd : parts_) {
+    pd->tip_tables.resize(static_cast<std::size_t>(tree_.edge_count()));
     pd->clv.resize(static_cast<std::size_t>(inner_count));
     pd->scale.resize(static_cast<std::size_t>(inner_count));
     for (int i = 0; i < inner_count; ++i) {
@@ -186,6 +212,7 @@ void Engine::build_tip_data() {
     }
     if (catalog.size() > 65535)
       throw std::runtime_error("too many distinct state masks");
+    pd->n_codes = catalog.size();
     pd->indicators.assign(catalog.size() * static_cast<std::size_t>(s), 0.0);
     for (std::size_t c = 0; c < catalog.size(); ++c)
       for (int j = 0; j < s; ++j)
@@ -226,6 +253,59 @@ void Engine::invalidate_node(NodeId v) {
 void Engine::invalidate_all() {
   std::fill(orient_.begin(), orient_.end(), kNoId);
   sumtable_valid_ = false;
+}
+
+const double* Engine::tip_table_for(int p, EdgeId e, NodeId tip,
+                                    const double* pmat) {
+  PartData& pd = *parts_[static_cast<std::size_t>(p)];
+  auto& ent = pd.tip_tables[static_cast<std::size_t>(e)];
+  const double b = lengths_.get(e, p);
+  const std::uint32_t epoch = model_epoch_[static_cast<std::size_t>(p)];
+  if (ent.epoch != epoch || ent.blen != b || ent.tip != tip ||
+      ent.table.empty()) {
+    ent.table.resize(pd.n_codes * pd.clv_stride());
+    dispatch_states(pd.states, [&]<int S>() {
+      kernel::build_tip_table<S>(pmat, pd.cats, pd.indicators.data(),
+                                 pd.n_codes, ent.table.data());
+    });
+    ent.epoch = epoch;
+    ent.blen = b;
+    ent.tip = tip;
+  }
+  return ent.table.data();
+}
+
+const double* Engine::sym_table_for(int p) {
+  PartData& pd = *parts_[static_cast<std::size_t>(p)];
+  auto& ent = pd.sym_table;
+  const std::uint32_t epoch = model_epoch_[static_cast<std::size_t>(p)];
+  if (ent.epoch != epoch || ent.table.empty()) {
+    ent.table.resize(pd.n_codes * static_cast<std::size_t>(pd.states));
+    dispatch_states(pd.states, [&]<int S>() {
+      kernel::build_sym_tip_table<S>(pd.model.model().sym_transform().data(),
+                                     pd.indicators.data(), pd.n_codes,
+                                     ent.table.data());
+    });
+    ent.epoch = epoch;
+  }
+  return ent.table.data();
+}
+
+const double* Engine::prepare_edge_tables(Command& cmd, int p, std::size_t off,
+                                          EdgeId e, NodeId endpoint) {
+  if (use_generic_) return nullptr;
+  // Keep pmats/pmats_t offsets interchangeable. A tip endpoint consumes its
+  // lookup table instead of the transposed matrix, so only inner endpoints
+  // need the transpose.
+  cmd.pmats_t.resize(cmd.pmats.size());
+  if (tree_.is_tip(endpoint))
+    return tip_table_for(p, e, endpoint, cmd.pmats.data() + off);
+  const PartData& pd = *parts_[static_cast<std::size_t>(p)];
+  dispatch_states(pd.states, [&]<int S>() {
+    kernel::transpose_pmats<S>(cmd.pmats.data() + off, pd.cats,
+                               cmd.pmats_t.data() + off);
+  });
+  return nullptr;
 }
 
 kernel::ChildView Engine::child_view(int p, NodeId v) const {
@@ -292,7 +372,8 @@ void Engine::add_newview_op(NodeId v, EdgeId via, const std::vector<int>& parts,
   }
   op.parts = parts;
 
-  // Precompute the per-category transition matrices for both child edges.
+  // Precompute the per-category transition matrices for both child edges
+  // (row-major + transposed), and refresh tip lookup tables for tip children.
   Matrix pm;
   for (int p : parts) {
     const PartData& pd = *parts_[static_cast<std::size_t>(p)];
@@ -300,14 +381,18 @@ void Engine::add_newview_op(NodeId v, EdgeId via, const std::vector<int>& parts,
     const auto& rates = pd.model.category_rates();
     for (int child = 0; child < 2; ++child) {
       const EdgeId e = child == 0 ? op.e1 : op.e2;
+      const NodeId cn = child == 0 ? op.c1 : op.c2;
       const double b = lengths_.get(e, p);
-      (child == 0 ? op.pmat1 : op.pmat2).push_back(cmd.pmats.size());
+      const std::size_t off = cmd.pmats.size();
+      (child == 0 ? op.pmat1 : op.pmat2).push_back(off);
       for (int c = 0; c < pd.cats; ++c) {
         pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
                                            pm);
         cmd.pmats.insert(cmd.pmats.end(), pm.data(),
                          pm.data() + static_cast<std::size_t>(s) * s);
       }
+      (child == 0 ? op.tt1 : op.tt2)
+          .push_back(prepare_edge_tables(cmd, p, off, e, cn));
     }
   }
   cmd.ops.push_back(std::move(op));
@@ -331,14 +416,26 @@ void Engine::execute(Command& cmd) {
       for (std::size_t k = 0; k < op.parts.size(); ++k) {
         const int p = op.parts[k];
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
-        const kernel::ChildView v1 = child_view(p, op.c1);
-        const kernel::ChildView v2 = child_view(p, op.c2);
+        kernel::ChildView v1 = child_view(p, op.c1);
+        kernel::ChildView v2 = child_view(p, op.c2);
         dispatch_states(pd.states, [&]<int S>() {
-          kernel::newview_slice<S>(tid, T, pd.patterns, pd.cats, v1, v2,
-                                   cmd.pmats.data() + op.pmat1[k],
-                                   cmd.pmats.data() + op.pmat2[k],
-                                   pd.clv[inner].data(),
-                                   pd.scale[inner].data());
+          if (use_generic_) {
+            kernel::newview_slice<S>(tid, T, pd.patterns, pd.cats, v1, v2,
+                                     cmd.pmats.data() + op.pmat1[k],
+                                     cmd.pmats.data() + op.pmat2[k],
+                                     pd.clv[inner].data(),
+                                     pd.scale[inner].data());
+          } else {
+            v1.tip_table = op.tt1[k];
+            v2.tip_table = op.tt2[k];
+            kernel::newview_spec<S>(tid, T, pd.patterns, pd.cats, v1, v2,
+                                    cmd.pmats.data() + op.pmat1[k],
+                                    cmd.pmats.data() + op.pmat2[k],
+                                    cmd.pmats_t.data() + op.pmat1[k],
+                                    cmd.pmats_t.data() + op.pmat2[k],
+                                    pd.clv[inner].data(),
+                                    pd.scale[inner].data());
+          }
         });
       }
     }
@@ -351,13 +448,22 @@ void Engine::execute(Command& cmd) {
         const int p = cmd.eval_parts[k];
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
         const kernel::ChildView vu = child_view(p, u);
-        const kernel::ChildView vv = child_view(p, v);
+        kernel::ChildView vv = child_view(p, v);
         double partial = 0.0;
         dispatch_states(pd.states, [&]<int S>() {
-          partial = kernel::evaluate_slice<S>(
-              tid, T, pd.patterns, pd.cats, vu, vv,
-              cmd.pmats.data() + cmd.eval_pmat[k],
-              pd.model.model().freqs().data(), pd.weights.data());
+          if (use_generic_) {
+            partial = kernel::evaluate_slice<S>(
+                tid, T, pd.patterns, pd.cats, vu, vv,
+                cmd.pmats.data() + cmd.eval_pmat[k],
+                pd.model.model().freqs().data(), pd.weights.data());
+          } else {
+            vv.tip_table = cmd.eval_tt[k];
+            partial = kernel::evaluate_spec<S>(
+                tid, T, pd.patterns, pd.cats, vu, vv,
+                cmd.pmats.data() + cmd.eval_pmat[k],
+                cmd.pmats_t.data() + cmd.eval_pmat[k],
+                pd.model.model().freqs().data(), pd.weights.data());
+          }
         });
         red_lnl_[static_cast<std::size_t>(tid) * red_stride_ +
                  static_cast<std::size_t>(p)] = partial;
@@ -371,12 +477,21 @@ void Engine::execute(Command& cmd) {
       const int p = cmd.sites_part;
       PartData& pd = *parts_[static_cast<std::size_t>(p)];
       const kernel::ChildView vu = child_view(p, u);
-      const kernel::ChildView vv = child_view(p, v);
+      kernel::ChildView vv = child_view(p, v);
       dispatch_states(pd.states, [&]<int S>() {
-        kernel::evaluate_sites_slice<S>(
-            tid, T, pd.patterns, pd.cats, vu, vv,
-            cmd.pmats.data() + cmd.sites_pmat,
-            pd.model.model().freqs().data(), cmd.sites_out);
+        if (use_generic_) {
+          kernel::evaluate_sites_slice<S>(
+              tid, T, pd.patterns, pd.cats, vu, vv,
+              cmd.pmats.data() + cmd.sites_pmat,
+              pd.model.model().freqs().data(), cmd.sites_out);
+        } else {
+          vv.tip_table = cmd.sites_tt;
+          kernel::evaluate_sites_spec<S>(
+              tid, T, pd.patterns, pd.cats, vu, vv,
+              cmd.pmats.data() + cmd.sites_pmat,
+              cmd.pmats_t.data() + cmd.sites_pmat,
+              pd.model.model().freqs().data(), cmd.sites_out);
+        }
       });
     }
 
@@ -384,14 +499,24 @@ void Engine::execute(Command& cmd) {
     if (cmd.do_sumtable) {
       const NodeId u = tree_.edge(root_edge_).a;
       const NodeId v = tree_.edge(root_edge_).b;
-      for (int p : cmd.sum_parts) {
+      for (std::size_t k = 0; k < cmd.sum_parts.size(); ++k) {
+        const int p = cmd.sum_parts[k];
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
-        const kernel::ChildView vu = child_view(p, u);
-        const kernel::ChildView vv = child_view(p, v);
+        kernel::ChildView vu = child_view(p, u);
+        kernel::ChildView vv = child_view(p, v);
         dispatch_states(pd.states, [&]<int S>() {
-          kernel::sumtable_slice<S>(tid, T, pd.patterns, pd.cats, vu, vv,
-                                    pd.model.model().sym_transform().data(),
-                                    pd.sumtable.data());
+          if (use_generic_) {
+            kernel::sumtable_slice<S>(tid, T, pd.patterns, pd.cats, vu, vv,
+                                      pd.model.model().sym_transform().data(),
+                                      pd.sumtable.data());
+          } else {
+            vu.tip_table = cmd.sum_ttu[k];
+            vv.tip_table = cmd.sum_ttv[k];
+            kernel::sumtable_spec<S>(tid, T, pd.patterns, pd.cats, vu, vv,
+                                     pd.model.model().sym_transform().data(),
+                                     cmd.symt.data() + cmd.sum_symt[k],
+                                     pd.sumtable.data());
+          }
         });
       }
     }
@@ -403,11 +528,18 @@ void Engine::execute(Command& cmd) {
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
         double d1 = 0.0, d2 = 0.0;
         dispatch_states(pd.states, [&]<int S>() {
-          kernel::nr_slice<S>(tid, T, pd.patterns, pd.cats,
-                              pd.sumtable.data(),
-                              cmd.scratch.data() + cmd.nr_exp[k],
-                              cmd.scratch.data() + cmd.nr_lam[k],
-                              pd.weights.data(), &d1, &d2);
+          if (use_generic_)
+            kernel::nr_slice<S>(tid, T, pd.patterns, pd.cats,
+                                pd.sumtable.data(),
+                                cmd.scratch.data() + cmd.nr_exp[k],
+                                cmd.scratch.data() + cmd.nr_lam[k],
+                                pd.weights.data(), &d1, &d2);
+          else
+            kernel::nr_spec<S>(tid, T, pd.patterns, pd.cats,
+                               pd.sumtable.data(),
+                               cmd.scratch.data() + cmd.nr_exp[k],
+                               cmd.scratch.data() + cmd.nr_lam[k],
+                               pd.weights.data(), &d1, &d2);
         });
         red_d1_[static_cast<std::size_t>(tid) * red_stride_ +
                 static_cast<std::size_t>(p)] = d1;
@@ -448,7 +580,8 @@ double Engine::loglikelihood(EdgeId edge, const std::vector<int>& partitions) {
     const PartData& pd = *parts_[static_cast<std::size_t>(p)];
     const auto& rates = pd.model.category_rates();
     const double b = lengths_.get(edge, p);
-    cmd.eval_pmat.push_back(cmd.pmats.size());
+    const std::size_t off = cmd.pmats.size();
+    cmd.eval_pmat.push_back(off);
     for (int c = 0; c < pd.cats; ++c) {
       pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
                                          pm);
@@ -456,6 +589,8 @@ double Engine::loglikelihood(EdgeId edge, const std::vector<int>& partitions) {
                        pm.data() + static_cast<std::size_t>(pd.states) *
                                        static_cast<std::size_t>(pd.states));
     }
+    // The root-edge matrix applies to the v side; a tip there gets a table.
+    cmd.eval_tt.push_back(prepare_edge_tables(cmd, p, off, edge, v));
   }
   execute(cmd);
 
@@ -498,6 +633,7 @@ std::vector<double> Engine::site_loglikelihoods(EdgeId edge, int p) {
                      pm.data() + static_cast<std::size_t>(pd.states) *
                                      static_cast<std::size_t>(pd.states));
   }
+  cmd.sites_tt = prepare_edge_tables(cmd, p, cmd.sites_pmat, edge, v);
   execute(cmd);
   root_edge_ = edge;
   sumtable_valid_ = false;
@@ -527,6 +663,25 @@ void Engine::compute_sumtable(const std::vector<int>& partitions) {
   ensure_clv(v, root_edge_, false, partitions, cmd);
   cmd.do_sumtable = true;
   cmd.sum_parts = partitions;
+  for (int p : partitions) {
+    const PartData& pd = *parts_[static_cast<std::size_t>(p)];
+    if (!use_generic_) {
+      const std::size_t off = cmd.symt.size();
+      cmd.sum_symt.push_back(off);
+      cmd.symt.resize(off + static_cast<std::size_t>(pd.states) *
+                                static_cast<std::size_t>(pd.states));
+      dispatch_states(pd.states, [&]<int S>() {
+        kernel::transpose_pmats<S>(pd.model.model().sym_transform().data(), 1,
+                                   cmd.symt.data() + off);
+      });
+    } else {
+      cmd.sum_symt.push_back(0);
+    }
+    cmd.sum_ttu.push_back(!use_generic_ && tree_.is_tip(u) ? sym_table_for(p)
+                                                           : nullptr);
+    cmd.sum_ttv.push_back(!use_generic_ && tree_.is_tip(v) ? sym_table_for(p)
+                                                           : nullptr);
+  }
   execute(cmd);
   sumtable_valid_ = true;
 }

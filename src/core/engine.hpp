@@ -49,6 +49,9 @@ struct EngineOptions {
   bool unlinked_branch_lengths = false;
   /// Collect per-thread timing instrumentation in the team.
   bool instrument = true;
+  /// Run the generic scalar reference kernels instead of the specialized
+  /// SIMD + tip-table paths (A/B testing and golden-value verification).
+  bool use_generic_kernels = false;
 };
 
 /// Aggregate engine counters for the ablation benchmarks.
@@ -161,6 +164,24 @@ class Engine {
   void execute(Command& cmd);
   kernel::ChildView child_view(int p, NodeId v) const;
 
+  /// Cached tip lookup table (P x indicator products, [code][cat][state])
+  /// for the tip endpoint `tip` of edge `e` in partition `p`. Rebuilt from
+  /// `pmat` (this edge's row-major per-category transition matrices) when
+  /// the partition's model epoch or the edge's branch length changed since
+  /// the table was last built. Master-thread only (command assembly).
+  const double* tip_table_for(int p, EdgeId e, NodeId tip, const double* pmat);
+  /// Specialized-path table preparation for the matrices of edge `e` just
+  /// appended to cmd.pmats at `off`, applied toward `endpoint`: keeps
+  /// cmd.pmats_t in lockstep, transposes for an inner endpoint, and returns
+  /// the refreshed tip lookup table for a tip endpoint (nullptr otherwise,
+  /// and always under use_generic_kernels).
+  const double* prepare_edge_tables(Command& cmd, int p, std::size_t off,
+                                    EdgeId e, NodeId endpoint);
+  /// Cached sym x indicator tip table ([code][state]) for partition `p`,
+  /// keyed on the model epoch alone (the symmetric transform is branch-
+  /// length independent).
+  const double* sym_table_for(int p);
+
   const CompressedAlignment& aln_;
   Tree tree_;
   std::vector<std::unique_ptr<PartData>> parts_;
@@ -174,6 +195,7 @@ class Engine {
 
   EdgeId root_edge_ = kNoId;
   bool sumtable_valid_ = false;
+  bool use_generic_ = false;
   std::vector<double> last_lnl_;            // per partition
 
   // Padded per-thread reduction buffers (lnl / d1 / d2), stride-aligned.

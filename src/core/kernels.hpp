@@ -1,242 +1,21 @@
-// The Phylogenetic Likelihood Kernel hot loops.
+// The Phylogenetic Likelihood Kernel hot loops — umbrella header.
 //
-// All functions here operate on one partition's conditional likelihood
-// vectors (CLVs) over a *cyclic slice* of its patterns: thread `tid` of `T`
-// processes patterns tid, tid+T, tid+2T, ... — the paper's distribution
-// scheme, chosen so that mixed DNA/protein alignments spread their expensive
-// 20-state columns evenly over threads.
+// The kernels live in src/core/kernels/ (see the README there):
 //
-// CLV layout: [pattern][rate_category][state], contiguous doubles.
-// Tip children have no CLV; they are represented by per-pattern codes into a
-// table of 0/1 indicator vectors (one per distinct state mask occurring in
-// the partition), so ambiguity codes cost nothing extra in the inner loop.
+//   generic.hpp      - scalar reference templates (ChildView, newview_slice,
+//                      evaluate_slice, sumtable_slice, nr_slice, ...)
+//   common.hpp       - SIMD building blocks shared by the specializations
+//   newview.hpp      - tip/tip, tip/inner, inner/inner SIMD newview
+//   evaluate.hpp     - SIMD evaluate + per-site evaluate
+//   derivatives.hpp  - SIMD sumtable + Newton-Raphson reduction
+//   tip_table.hpp    - precomputed tip lookup tables + P-matrix transposes
 //
-// Numerical scaling (RAxML style): whenever every entry of a freshly
-// computed per-pattern CLV block falls below 2^-256, the block is multiplied
-// by 2^256 and the pattern's scale count is incremented; evaluate() subtracts
-// count * 256 * ln 2 per site. Newton-Raphson derivative ratios are scale-
-// invariant, so nr_derivatives() ignores the counts.
+// The generic templates are the semantic reference: every specialized path
+// is golden-tested against them (exact scale counts, 1e-12 relative lnL).
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-
-namespace plk::kernel {
-
-/// Scaling threshold 2^-256 and its inverse, plus the per-count log term.
-inline constexpr double kScaleThreshold = 0x1.0p-256;
-inline constexpr double kScaleFactor = 0x1.0p+256;
-inline const double kLogScale = 256.0 * 0.69314718055994530942;
-
-/// Describes one child of a newview operation: either an inner-node CLV
-/// (clv != nullptr) or a tip (codes != nullptr).
-struct ChildView {
-  const double* clv = nullptr;        // [pattern][cat][state]
-  const std::int32_t* scale = nullptr;  // per-pattern scale counts (inner only)
-  const std::uint16_t* codes = nullptr;  // per-pattern indicator codes (tips)
-  const double* indicators = nullptr;    // [code][state] 0/1 table (tips)
-  bool is_tip() const { return codes != nullptr; }
-};
-
-/// newview: combine two children into the parent CLV.
-/// `p1`, `p2`: transition matrices per category, layout [cat][i][j].
-template <int S>
-void newview_slice(int tid, int nthreads, std::size_t patterns, int cats,
-                   const ChildView& c1, const ChildView& c2, const double* p1,
-                   const double* p2, double* out, std::int32_t* out_scale) {
-  const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
-    double* o = out + i * stride;
-    const double* l1 =
-        c1.is_tip() ? c1.indicators + static_cast<std::size_t>(c1.codes[i]) * S
-                    : c1.clv + i * stride;
-    const double* l2 =
-        c2.is_tip() ? c2.indicators + static_cast<std::size_t>(c2.codes[i]) * S
-                    : c2.clv + i * stride;
-
-    double mx = 0.0;
-    for (int c = 0; c < cats; ++c) {
-      const double* p1c = p1 + static_cast<std::size_t>(c) * S * S;
-      const double* p2c = p2 + static_cast<std::size_t>(c) * S * S;
-      // Tips have no category dimension; inner CLVs advance per category.
-      const double* l1c = c1.is_tip() ? l1 : l1 + static_cast<std::size_t>(c) * S;
-      const double* l2c = c2.is_tip() ? l2 : l2 + static_cast<std::size_t>(c) * S;
-      double* oc = o + static_cast<std::size_t>(c) * S;
-      for (int a = 0; a < S; ++a) {
-        double s1 = 0.0, s2 = 0.0;
-        const double* r1 = p1c + a * S;
-        const double* r2 = p2c + a * S;
-        for (int j = 0; j < S; ++j) {
-          s1 += r1[j] * l1c[j];
-          s2 += r2[j] * l2c[j];
-        }
-        const double v = s1 * s2;
-        oc[a] = v;
-        mx = v > mx ? v : mx;
-      }
-    }
-
-    std::int32_t cnt = 0;
-    if (!c1.is_tip()) cnt += c1.scale[i];
-    if (!c2.is_tip()) cnt += c2.scale[i];
-    if (mx < kScaleThreshold && mx > 0.0) {
-      for (std::size_t k = 0; k < stride; ++k) o[k] *= kScaleFactor;
-      ++cnt;
-    }
-    out_scale[i] = cnt;
-  }
-}
-
-/// evaluate: per-thread partial log-likelihood at the virtual root on the
-/// branch joining `cu` and `cv`, whose transition matrices for the current
-/// branch length are `p` ([cat][i][j], applied to the cv side).
-/// `freqs`: stationary frequencies. `weights`: pattern multiplicities.
-template <int S>
-double evaluate_slice(int tid, int nthreads, std::size_t patterns, int cats,
-                      const ChildView& cu, const ChildView& cv,
-                      const double* p, const double* freqs,
-                      const double* weights) {
-  const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  const double inv_cats = 1.0 / static_cast<double>(cats);
-  double lnl = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
-    const double* lu =
-        cu.is_tip() ? cu.indicators + static_cast<std::size_t>(cu.codes[i]) * S
-                    : cu.clv + i * stride;
-    const double* lv =
-        cv.is_tip() ? cv.indicators + static_cast<std::size_t>(cv.codes[i]) * S
-                    : cv.clv + i * stride;
-    double site = 0.0;
-    for (int c = 0; c < cats; ++c) {
-      const double* pc = p + static_cast<std::size_t>(c) * S * S;
-      const double* luc = cu.is_tip() ? lu : lu + static_cast<std::size_t>(c) * S;
-      const double* lvc = cv.is_tip() ? lv : lv + static_cast<std::size_t>(c) * S;
-      for (int a = 0; a < S; ++a) {
-        double inner = 0.0;
-        const double* row = pc + a * S;
-        for (int j = 0; j < S; ++j) inner += row[j] * lvc[j];
-        site += freqs[a] * luc[a] * inner;
-      }
-    }
-    site *= inv_cats;
-    std::int32_t scale = 0;
-    if (!cu.is_tip()) scale += cu.scale[i];
-    if (!cv.is_tip()) scale += cv.scale[i];
-    const double guarded = site > 1e-300 ? site : 1e-300;
-    lnl += weights[i] *
-           (std::log(guarded) - static_cast<double>(scale) * kLogScale);
-  }
-  return lnl;
-}
-
-/// evaluate_sites: per-pattern log-likelihoods (scale-corrected, NOT weight-
-/// multiplied) at the virtual root — the PLK's standard per-site output used
-/// for site-wise model comparison and topology tests.
-template <int S>
-void evaluate_sites_slice(int tid, int nthreads, std::size_t patterns,
-                          int cats, const ChildView& cu, const ChildView& cv,
-                          const double* p, const double* freqs, double* out) {
-  const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  const double inv_cats = 1.0 / static_cast<double>(cats);
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
-    const double* lu =
-        cu.is_tip() ? cu.indicators + static_cast<std::size_t>(cu.codes[i]) * S
-                    : cu.clv + i * stride;
-    const double* lv =
-        cv.is_tip() ? cv.indicators + static_cast<std::size_t>(cv.codes[i]) * S
-                    : cv.clv + i * stride;
-    double site = 0.0;
-    for (int c = 0; c < cats; ++c) {
-      const double* pc = p + static_cast<std::size_t>(c) * S * S;
-      const double* luc = cu.is_tip() ? lu : lu + static_cast<std::size_t>(c) * S;
-      const double* lvc = cv.is_tip() ? lv : lv + static_cast<std::size_t>(c) * S;
-      for (int a = 0; a < S; ++a) {
-        double inner = 0.0;
-        const double* row = pc + a * S;
-        for (int j = 0; j < S; ++j) inner += row[j] * lvc[j];
-        site += freqs[a] * luc[a] * inner;
-      }
-    }
-    site *= inv_cats;
-    std::int32_t scale = 0;
-    if (!cu.is_tip()) scale += cu.scale[i];
-    if (!cv.is_tip()) scale += cv.scale[i];
-    const double guarded = site > 1e-300 ? site : 1e-300;
-    out[i] = std::log(guarded) - static_cast<double>(scale) * kLogScale;
-  }
-}
-
-/// sumtable: precompute the symmetric-coordinate products for Newton-Raphson
-/// branch-length optimization at the virtual root joining `cu` and `cv`.
-/// `sym`: the S x S transform with row k = sqrt(pi_i) V_ik.
-/// Output layout: [pattern][cat][k].
-template <int S>
-void sumtable_slice(int tid, int nthreads, std::size_t patterns, int cats,
-                    const ChildView& cu, const ChildView& cv,
-                    const double* sym, double* out) {
-  const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
-    const double* lu =
-        cu.is_tip() ? cu.indicators + static_cast<std::size_t>(cu.codes[i]) * S
-                    : cu.clv + i * stride;
-    const double* lv =
-        cv.is_tip() ? cv.indicators + static_cast<std::size_t>(cv.codes[i]) * S
-                    : cv.clv + i * stride;
-    double* o = out + i * stride;
-    for (int c = 0; c < cats; ++c) {
-      const double* luc = cu.is_tip() ? lu : lu + static_cast<std::size_t>(c) * S;
-      const double* lvc = cv.is_tip() ? lv : lv + static_cast<std::size_t>(c) * S;
-      double* oc = o + static_cast<std::size_t>(c) * S;
-      for (int k = 0; k < S; ++k) {
-        const double* row = sym + k * S;
-        double x = 0.0, y = 0.0;
-        for (int j = 0; j < S; ++j) {
-          x += row[j] * luc[j];
-          y += row[j] * lvc[j];
-        }
-        oc[k] = x * y;
-      }
-    }
-  }
-}
-
-/// nr_derivatives: first and second derivative of the per-partition log-
-/// likelihood with respect to the branch length, from a precomputed sumtable.
-/// `exp_lam` layout [cat][k] = exp(lambda_k * r_c * b);
-/// `lam` layout [cat][k] = lambda_k * r_c.
-template <int S>
-void nr_slice(int tid, int nthreads, std::size_t patterns, int cats,
-              const double* sumtable, const double* exp_lam,
-              const double* lam, const double* weights, double* out_d1,
-              double* out_d2) {
-  const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  double d1 = 0.0, d2 = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
-    const double* st = sumtable + i * stride;
-    double f = 0.0, f1 = 0.0, f2 = 0.0;
-    for (int c = 0; c < cats; ++c) {
-      const double* stc = st + static_cast<std::size_t>(c) * S;
-      const double* ec = exp_lam + static_cast<std::size_t>(c) * S;
-      const double* lc = lam + static_cast<std::size_t>(c) * S;
-      for (int k = 0; k < S; ++k) {
-        const double x = stc[k] * ec[k];
-        f += x;
-        f1 += lc[k] * x;
-        f2 += lc[k] * lc[k] * x;
-      }
-    }
-    if (f < 1e-300) f = 1e-300;
-    const double r = f1 / f;
-    d1 += weights[i] * r;
-    d2 += weights[i] * (f2 / f - r * r);
-  }
-  *out_d1 = d1;
-  *out_d2 = d2;
-}
-
-}  // namespace plk::kernel
+#include "core/kernels/derivatives.hpp"
+#include "core/kernels/evaluate.hpp"
+#include "core/kernels/generic.hpp"
+#include "core/kernels/newview.hpp"
+#include "core/kernels/tip_table.hpp"

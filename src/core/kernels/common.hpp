@@ -1,0 +1,32 @@
+// Shared building blocks for the specialized SIMD kernels.
+#pragma once
+
+#include "core/kernels/generic.hpp"
+#include "util/simd.hpp"
+
+namespace plk::kernel {
+
+/// Lane-blocks per state vector. Both supported state counts (4, 20) are
+/// multiples of every SIMD backend's lane count (4/2/1), so kernels iterate
+/// whole blocks with no remainder handling.
+template <int S>
+inline constexpr int kBlocks = S / simd::kLanes;
+
+/// acc[b] = P^T x, i.e. acc covers s[a] = sum_j P[a][j] * x[j] for all a,
+/// with `pt` the transposed matrix [j][a] for one category. Accumulates j in
+/// ascending order, matching the generic scalar loop's summation order
+/// (up to FMA rounding).
+template <int S>
+inline void matvec_t(const double* pt, const double* x,
+                     simd::Vec (&acc)[kBlocks<S>]) {
+  constexpr int W = simd::kLanes;
+  for (int b = 0; b < kBlocks<S>; ++b) acc[b] = simd::zero();
+  for (int j = 0; j < S; ++j) {
+    const simd::Vec xj = simd::set1(x[j]);
+    const double* col = pt + j * S;
+    for (int b = 0; b < kBlocks<S>; ++b)
+      acc[b] = simd::fma(xj, simd::load(col + b * W), acc[b]);
+  }
+}
+
+}  // namespace plk::kernel

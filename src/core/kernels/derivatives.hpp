@@ -1,0 +1,122 @@
+// Specialized SIMD branch-length derivative kernels: the Newton-Raphson
+// sumtable and the d1/d2 reduction.
+//
+// The sumtable's symmetric transform depends only on the model (not the
+// branch length or rate category), so a tip child's sym x indicator products
+// are precomputed per model update (kernel::build_sym_tip_table, layout
+// [code][k]) and hoisted out of the category loop entirely. The nr pass is a
+// pure streaming reduction with no tip cases.
+#pragma once
+
+#include "core/kernels/common.hpp"
+#include "core/kernels/generic.hpp"
+
+namespace plk::kernel {
+
+namespace detail {
+
+template <int S, bool TipU, bool TipV>
+void sumtable_core(int tid, int nthreads, std::size_t patterns, int cats,
+                   const ChildView& cu, const ChildView& cv,
+                   const double* symt, double* out) {
+  constexpr int W = simd::kLanes;
+  constexpr int B = kBlocks<S>;
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double* lu =
+        TipU ? cu.tip_table + static_cast<std::size_t>(cu.codes[i]) * S
+             : cu.clv + i * stride;
+    const double* lv =
+        TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i]) * S
+             : cv.clv + i * stride;
+    double* o = out + i * stride;
+
+    // Tip-side coordinates are category-invariant: load once per pattern.
+    simd::Vec xu[B], xv[B];
+    if constexpr (TipU)
+      for (int b = 0; b < B; ++b) xu[b] = simd::load(lu + b * W);
+    if constexpr (TipV)
+      for (int b = 0; b < B; ++b) xv[b] = simd::load(lv + b * W);
+
+    for (int c = 0; c < cats; ++c) {
+      if constexpr (!TipU)
+        matvec_t<S>(symt, lu + static_cast<std::size_t>(c) * S, xu);
+      if constexpr (!TipV)
+        matvec_t<S>(symt, lv + static_cast<std::size_t>(c) * S, xv);
+      double* oc = o + static_cast<std::size_t>(c) * S;
+      for (int b = 0; b < B; ++b)
+        simd::store(oc + b * W, simd::mul(xu[b], xv[b]));
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Dispatch sumtable to the tip-case specialization. Tip children must carry
+/// a sym tip table ([code][k], build_sym_tip_table) to take a specialized
+/// path. `sym` is the row-major transform (generic fallback), `symt` its
+/// transpose ([j][k]).
+template <int S>
+void sumtable_spec(int tid, int nthreads, std::size_t patterns, int cats,
+                   const ChildView& cu, const ChildView& cv, const double* sym,
+                   const double* symt, double* out) {
+  const bool tu = cu.is_tip(), tv = cv.is_tip();
+  if ((tu && cu.tip_table == nullptr) || (tv && cv.tip_table == nullptr)) {
+    sumtable_slice<S>(tid, nthreads, patterns, cats, cu, cv, sym, out);
+    return;
+  }
+  if (tu && tv)
+    detail::sumtable_core<S, true, true>(tid, nthreads, patterns, cats, cu, cv,
+                                         symt, out);
+  else if (tu)
+    detail::sumtable_core<S, true, false>(tid, nthreads, patterns, cats, cu,
+                                          cv, symt, out);
+  else if (tv)
+    detail::sumtable_core<S, false, true>(tid, nthreads, patterns, cats, cu,
+                                          cv, symt, out);
+  else
+    detail::sumtable_core<S, false, false>(tid, nthreads, patterns, cats, cu,
+                                           cv, symt, out);
+}
+
+/// SIMD Newton-Raphson derivative reduction (same contract as nr_slice).
+template <int S>
+void nr_spec(int tid, int nthreads, std::size_t patterns, int cats,
+             const double* sumtable, const double* exp_lam, const double* lam,
+             const double* weights, double* out_d1, double* out_d2) {
+  constexpr int W = simd::kLanes;
+  constexpr int B = kBlocks<S>;
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  double d1 = 0.0, d2 = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double* st = sumtable + i * stride;
+    simd::Vec vf = simd::zero(), vf1 = simd::zero(), vf2 = simd::zero();
+    for (int c = 0; c < cats; ++c) {
+      const double* stc = st + static_cast<std::size_t>(c) * S;
+      const double* ec = exp_lam + static_cast<std::size_t>(c) * S;
+      const double* lc = lam + static_cast<std::size_t>(c) * S;
+      for (int b = 0; b < B; ++b) {
+        const simd::Vec x =
+            simd::mul(simd::load(stc + b * W), simd::load(ec + b * W));
+        const simd::Vec l = simd::load(lc + b * W);
+        const simd::Vec lx = simd::mul(l, x);
+        vf = simd::add(vf, x);
+        vf1 = simd::add(vf1, lx);
+        vf2 = simd::fma(l, lx, vf2);
+      }
+    }
+    double f = simd::reduce_add(vf);
+    const double f1 = simd::reduce_add(vf1);
+    const double f2 = simd::reduce_add(vf2);
+    if (f < 1e-300) f = 1e-300;
+    const double r = f1 / f;
+    d1 += weights[i] * r;
+    d2 += weights[i] * (f2 / f - r * r);
+  }
+  *out_d1 = d1;
+  *out_d2 = d2;
+}
+
+}  // namespace plk::kernel

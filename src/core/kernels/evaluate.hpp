@@ -1,0 +1,145 @@
+// Specialized SIMD evaluate kernels (total and per-site log-likelihood).
+//
+// The virtual-root evaluation applies the root branch's transition matrix to
+// the `cv` side only; a tip on that side uses its precomputed P x indicator
+// lookup table exactly as in newview. The `cu` side is consumed directly
+// (freqs[a] * lu[a] * inner[a]), so a tip there just loads its indicator
+// row — no table needed. Stationary frequencies are hoisted into registers
+// before the pattern loop.
+#pragma once
+
+#include "core/kernels/common.hpp"
+#include "core/kernels/generic.hpp"
+
+namespace plk::kernel {
+
+namespace detail {
+
+/// Per-pattern site likelihood (before the 1/cats normalization and log).
+template <int S, bool TipU, bool TipV>
+inline double eval_site(std::size_t i, int cats, std::size_t stride,
+                        const ChildView& cu, const ChildView& cv,
+                        const double* pt, const simd::Vec (&fr)[kBlocks<S>]) {
+  constexpr int W = simd::kLanes;
+  constexpr int B = kBlocks<S>;
+  const double* lu =
+      TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i]) * S
+           : cu.clv + i * stride;
+  const double* lv =
+      TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i]) * stride
+           : cv.clv + i * stride;
+  simd::Vec acc = simd::zero();
+  for (int c = 0; c < cats; ++c) {
+    const double* luc = TipU ? lu : lu + static_cast<std::size_t>(c) * S;
+    const double* lvc = lv + static_cast<std::size_t>(c) * S;
+    simd::Vec inner[B];
+    if constexpr (TipV) {
+      for (int b = 0; b < B; ++b) inner[b] = simd::load(lvc + b * W);
+    } else {
+      matvec_t<S>(pt + static_cast<std::size_t>(c) * S * S, lvc, inner);
+    }
+    for (int b = 0; b < B; ++b)
+      acc = simd::fma(simd::mul(fr[b], simd::load(luc + b * W)), inner[b],
+                      acc);
+  }
+  return simd::reduce_add(acc);
+}
+
+template <int S, bool TipU, bool TipV>
+double evaluate_core(int tid, int nthreads, std::size_t patterns, int cats,
+                     const ChildView& cu, const ChildView& cv,
+                     const double* pt, const double* freqs,
+                     const double* weights) {
+  constexpr int W = simd::kLanes;
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  simd::Vec fr[kBlocks<S>];
+  for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
+
+  double lnl = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double site =
+        eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
+    const std::int32_t scale = child_scale(cu, cv, i);
+    const double guarded = site > 1e-300 ? site : 1e-300;
+    lnl += weights[i] *
+           (std::log(guarded) - static_cast<double>(scale) * kLogScale);
+  }
+  return lnl;
+}
+
+template <int S, bool TipU, bool TipV>
+void evaluate_sites_core(int tid, int nthreads, std::size_t patterns, int cats,
+                         const ChildView& cu, const ChildView& cv,
+                         const double* pt, const double* freqs, double* out) {
+  constexpr int W = simd::kLanes;
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  simd::Vec fr[kBlocks<S>];
+  for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
+
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double site =
+        eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
+    const std::int32_t scale = child_scale(cu, cv, i);
+    const double guarded = site > 1e-300 ? site : 1e-300;
+    out[i] = std::log(guarded) - static_cast<double>(scale) * kLogScale;
+  }
+}
+
+}  // namespace detail
+
+/// Dispatch evaluate to the tip-case specialization; falls back to the
+/// generic reference kernel when a tip `cv` has no lookup table. `p` is
+/// row-major, `pt` transposed.
+template <int S>
+double evaluate_spec(int tid, int nthreads, std::size_t patterns, int cats,
+                     const ChildView& cu, const ChildView& cv, const double* p,
+                     const double* pt, const double* freqs,
+                     const double* weights) {
+  const bool tu = cu.is_tip(), tv = cv.is_tip();
+  if (tv && cv.tip_table == nullptr)
+    return evaluate_slice<S>(tid, nthreads, patterns, cats, cu, cv, p, freqs,
+                             weights);
+  if (tu && tv)
+    return detail::evaluate_core<S, true, true>(tid, nthreads, patterns, cats,
+                                                cu, cv, pt, freqs, weights);
+  if (tu)
+    return detail::evaluate_core<S, true, false>(tid, nthreads, patterns, cats,
+                                                 cu, cv, pt, freqs, weights);
+  if (tv)
+    return detail::evaluate_core<S, false, true>(tid, nthreads, patterns, cats,
+                                                 cu, cv, pt, freqs, weights);
+  return detail::evaluate_core<S, false, false>(tid, nthreads, patterns, cats,
+                                                cu, cv, pt, freqs, weights);
+}
+
+/// Per-site variant of evaluate_spec (same dispatch rules).
+template <int S>
+void evaluate_sites_spec(int tid, int nthreads, std::size_t patterns, int cats,
+                         const ChildView& cu, const ChildView& cv,
+                         const double* p, const double* pt, const double* freqs,
+                         double* out) {
+  const bool tu = cu.is_tip(), tv = cv.is_tip();
+  if (tv && cv.tip_table == nullptr) {
+    evaluate_sites_slice<S>(tid, nthreads, patterns, cats, cu, cv, p, freqs,
+                            out);
+    return;
+  }
+  if (tu && tv)
+    detail::evaluate_sites_core<S, true, true>(tid, nthreads, patterns, cats,
+                                               cu, cv, pt, freqs, out);
+  else if (tu)
+    detail::evaluate_sites_core<S, true, false>(tid, nthreads, patterns, cats,
+                                                cu, cv, pt, freqs, out);
+  else if (tv)
+    detail::evaluate_sites_core<S, false, true>(tid, nthreads, patterns, cats,
+                                                cu, cv, pt, freqs, out);
+  else
+    detail::evaluate_sites_core<S, false, false>(tid, nthreads, patterns, cats,
+                                                 cu, cv, pt, freqs, out);
+}
+
+}  // namespace plk::kernel

@@ -1,0 +1,260 @@
+// Generic scalar reference kernels for the Phylogenetic Likelihood Kernel.
+//
+// These are the original, straightforward template loops: one code path for
+// every tip/inner child combination, S-wide dot products against row-major
+// transition matrices. They remain the *reference implementation* — the
+// specialized/SIMD paths in newview.hpp / evaluate.hpp / derivatives.hpp are
+// golden-tested against these (exact scale counts, 1e-12 relative lnL) and
+// the engine can be switched back to them with
+// EngineOptions::use_generic_kernels.
+//
+// All functions operate on one partition's conditional likelihood vectors
+// (CLVs) over a *cyclic slice* of its patterns: thread `tid` of `T`
+// processes patterns tid, tid+T, tid+2T, ... — the paper's distribution
+// scheme, chosen so that mixed DNA/protein alignments spread their expensive
+// 20-state columns evenly over threads.
+//
+// CLV layout: [pattern][rate_category][state], contiguous doubles.
+// Tip children have no CLV; they are represented by per-pattern codes into a
+// table of 0/1 indicator vectors (one per distinct state mask occurring in
+// the partition), so ambiguity codes cost nothing extra in the inner loop.
+//
+// Numerical scaling (RAxML style): whenever every entry of a freshly
+// computed per-pattern CLV block falls below 2^-256, the block is multiplied
+// by 2^256 and the pattern's scale count is incremented; evaluate() subtracts
+// count * 256 * ln 2 per site. Newton-Raphson derivative ratios are scale-
+// invariant, so nr_derivatives() ignores the counts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace plk::kernel {
+
+/// Scaling threshold 2^-256 and its inverse, plus the per-count log term.
+inline constexpr double kScaleThreshold = 0x1.0p-256;
+inline constexpr double kScaleFactor = 0x1.0p+256;
+inline constexpr double kLogScale = 256.0 * 0.69314718055994530942;
+
+/// Describes one child of a newview operation: either an inner-node CLV
+/// (clv != nullptr) or a tip (codes != nullptr).
+struct ChildView {
+  const double* clv = nullptr;        // [pattern][cat][state]
+  const std::int32_t* scale = nullptr;  // per-pattern scale counts (inner only)
+  const std::uint16_t* codes = nullptr;  // per-pattern indicator codes (tips)
+  const double* indicators = nullptr;    // [code][state] 0/1 table (tips)
+  /// Optional precomputed lookup table for the specialized kernels (tips
+  /// only; built by kernel::build_tip_table / build_sym_tip_table):
+  ///   newview/evaluate: [code][cat][state] = P_cat x indicator products
+  ///   sumtable:         [code][state]      = sym x indicator products
+  /// The generic kernels ignore it.
+  const double* tip_table = nullptr;
+  bool is_tip() const { return codes != nullptr; }
+};
+
+/// Base pointer of child `c`'s likelihood data for pattern `i`: the indicator
+/// row for tips, the CLV block for inner nodes. `stride` = cats * S.
+template <int S>
+inline const double* child_pattern(const ChildView& c, std::size_t i,
+                                   std::size_t stride) {
+  return c.is_tip() ? c.indicators + static_cast<std::size_t>(c.codes[i]) * S
+                    : c.clv + i * stride;
+}
+
+/// Category-c view into a child's pattern block: tips have no category
+/// dimension (the same indicator row serves every category); inner CLVs
+/// advance by S per category.
+template <int S>
+inline const double* child_cat(const ChildView& c, const double* base, int cat) {
+  return c.is_tip() ? base : base + static_cast<std::size_t>(cat) * S;
+}
+
+/// Combined scale count of up to two children for pattern `i` (tips carry no
+/// scale counts).
+inline std::int32_t child_scale(const ChildView& c1, const ChildView& c2,
+                                std::size_t i) {
+  std::int32_t cnt = 0;
+  if (!c1.is_tip()) cnt += c1.scale[i];
+  if (!c2.is_tip()) cnt += c2.scale[i];
+  return cnt;
+}
+
+/// newview: combine two children into the parent CLV.
+/// `p1`, `p2`: transition matrices per category, layout [cat][i][j].
+template <int S>
+void newview_slice(int tid, int nthreads, std::size_t patterns, int cats,
+                   const ChildView& c1, const ChildView& c2, const double* p1,
+                   const double* p2, double* out, std::int32_t* out_scale) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    double* o = out + i * stride;
+    const double* l1 = child_pattern<S>(c1, i, stride);
+    const double* l2 = child_pattern<S>(c2, i, stride);
+
+    double mx = 0.0;
+    for (int c = 0; c < cats; ++c) {
+      const double* p1c = p1 + static_cast<std::size_t>(c) * S * S;
+      const double* p2c = p2 + static_cast<std::size_t>(c) * S * S;
+      const double* l1c = child_cat<S>(c1, l1, c);
+      const double* l2c = child_cat<S>(c2, l2, c);
+      double* oc = o + static_cast<std::size_t>(c) * S;
+      for (int a = 0; a < S; ++a) {
+        double s1 = 0.0, s2 = 0.0;
+        const double* r1 = p1c + a * S;
+        const double* r2 = p2c + a * S;
+        for (int j = 0; j < S; ++j) {
+          s1 += r1[j] * l1c[j];
+          s2 += r2[j] * l2c[j];
+        }
+        const double v = s1 * s2;
+        oc[a] = v;
+        mx = v > mx ? v : mx;
+      }
+    }
+
+    std::int32_t cnt = child_scale(c1, c2, i);
+    if (mx < kScaleThreshold && mx > 0.0) {
+      for (std::size_t k = 0; k < stride; ++k) o[k] *= kScaleFactor;
+      ++cnt;
+    }
+    out_scale[i] = cnt;
+  }
+}
+
+/// evaluate: per-thread partial log-likelihood at the virtual root on the
+/// branch joining `cu` and `cv`, whose transition matrices for the current
+/// branch length are `p` ([cat][i][j], applied to the cv side).
+/// `freqs`: stationary frequencies. `weights`: pattern multiplicities.
+template <int S>
+double evaluate_slice(int tid, int nthreads, std::size_t patterns, int cats,
+                      const ChildView& cu, const ChildView& cv,
+                      const double* p, const double* freqs,
+                      const double* weights) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  double lnl = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double* lu = child_pattern<S>(cu, i, stride);
+    const double* lv = child_pattern<S>(cv, i, stride);
+    double site = 0.0;
+    for (int c = 0; c < cats; ++c) {
+      const double* pc = p + static_cast<std::size_t>(c) * S * S;
+      const double* luc = child_cat<S>(cu, lu, c);
+      const double* lvc = child_cat<S>(cv, lv, c);
+      for (int a = 0; a < S; ++a) {
+        double inner = 0.0;
+        const double* row = pc + a * S;
+        for (int j = 0; j < S; ++j) inner += row[j] * lvc[j];
+        site += freqs[a] * luc[a] * inner;
+      }
+    }
+    site *= inv_cats;
+    const std::int32_t scale = child_scale(cu, cv, i);
+    const double guarded = site > 1e-300 ? site : 1e-300;
+    lnl += weights[i] *
+           (std::log(guarded) - static_cast<double>(scale) * kLogScale);
+  }
+  return lnl;
+}
+
+/// evaluate_sites: per-pattern log-likelihoods (scale-corrected, NOT weight-
+/// multiplied) at the virtual root — the PLK's standard per-site output used
+/// for site-wise model comparison and topology tests.
+template <int S>
+void evaluate_sites_slice(int tid, int nthreads, std::size_t patterns,
+                          int cats, const ChildView& cu, const ChildView& cv,
+                          const double* p, const double* freqs, double* out) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double* lu = child_pattern<S>(cu, i, stride);
+    const double* lv = child_pattern<S>(cv, i, stride);
+    double site = 0.0;
+    for (int c = 0; c < cats; ++c) {
+      const double* pc = p + static_cast<std::size_t>(c) * S * S;
+      const double* luc = child_cat<S>(cu, lu, c);
+      const double* lvc = child_cat<S>(cv, lv, c);
+      for (int a = 0; a < S; ++a) {
+        double inner = 0.0;
+        const double* row = pc + a * S;
+        for (int j = 0; j < S; ++j) inner += row[j] * lvc[j];
+        site += freqs[a] * luc[a] * inner;
+      }
+    }
+    site *= inv_cats;
+    const std::int32_t scale = child_scale(cu, cv, i);
+    const double guarded = site > 1e-300 ? site : 1e-300;
+    out[i] = std::log(guarded) - static_cast<double>(scale) * kLogScale;
+  }
+}
+
+/// sumtable: precompute the symmetric-coordinate products for Newton-Raphson
+/// branch-length optimization at the virtual root joining `cu` and `cv`.
+/// `sym`: the S x S transform with row k = sqrt(pi_i) V_ik.
+/// Output layout: [pattern][cat][k].
+template <int S>
+void sumtable_slice(int tid, int nthreads, std::size_t patterns, int cats,
+                    const ChildView& cu, const ChildView& cv,
+                    const double* sym, double* out) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double* lu = child_pattern<S>(cu, i, stride);
+    const double* lv = child_pattern<S>(cv, i, stride);
+    double* o = out + i * stride;
+    for (int c = 0; c < cats; ++c) {
+      const double* luc = child_cat<S>(cu, lu, c);
+      const double* lvc = child_cat<S>(cv, lv, c);
+      double* oc = o + static_cast<std::size_t>(c) * S;
+      for (int k = 0; k < S; ++k) {
+        const double* row = sym + k * S;
+        double x = 0.0, y = 0.0;
+        for (int j = 0; j < S; ++j) {
+          x += row[j] * luc[j];
+          y += row[j] * lvc[j];
+        }
+        oc[k] = x * y;
+      }
+    }
+  }
+}
+
+/// nr_derivatives: first and second derivative of the per-partition log-
+/// likelihood with respect to the branch length, from a precomputed sumtable.
+/// `exp_lam` layout [cat][k] = exp(lambda_k * r_c * b);
+/// `lam` layout [cat][k] = lambda_k * r_c.
+template <int S>
+void nr_slice(int tid, int nthreads, std::size_t patterns, int cats,
+              const double* sumtable, const double* exp_lam,
+              const double* lam, const double* weights, double* out_d1,
+              double* out_d2) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  double d1 = 0.0, d2 = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    const double* st = sumtable + i * stride;
+    double f = 0.0, f1 = 0.0, f2 = 0.0;
+    for (int c = 0; c < cats; ++c) {
+      const double* stc = st + static_cast<std::size_t>(c) * S;
+      const double* ec = exp_lam + static_cast<std::size_t>(c) * S;
+      const double* lc = lam + static_cast<std::size_t>(c) * S;
+      for (int k = 0; k < S; ++k) {
+        const double x = stc[k] * ec[k];
+        f += x;
+        f1 += lc[k] * x;
+        f2 += lc[k] * lc[k] * x;
+      }
+    }
+    if (f < 1e-300) f = 1e-300;
+    const double r = f1 / f;
+    d1 += weights[i] * r;
+    d2 += weights[i] * (f2 / f - r * r);
+  }
+  *out_d1 = d1;
+  *out_d2 = d2;
+}
+
+}  // namespace plk::kernel

@@ -1,0 +1,112 @@
+// Specialized SIMD newview kernels.
+//
+// Three tip-case specializations (tip/tip, tip/inner, inner/inner) selected
+// at dispatch time, all vectorized over the state dimension:
+//
+//   * An inner child costs one transposed matrix-vector product per category
+//     (column-broadcast FMAs, unit-stride loads — see common.hpp).
+//   * A tip child costs a single table-row load: its whole P x indicator
+//     product was precomputed into a tip lookup table (tip_table.hpp) when
+//     the transition matrix was last updated. In the tip/tip case the inner
+//     loop is just two loads, a multiply, and a max.
+//
+// The transition matrices arrive *transposed* ([cat][j][a], see
+// kernel::transpose_pmats); the row-major originals are also taken so the
+// dispatcher can fall back to the generic reference kernel when a tip child
+// has no lookup table.
+#pragma once
+
+#include "core/kernels/common.hpp"
+#include "core/kernels/generic.hpp"
+
+namespace plk::kernel {
+
+namespace detail {
+
+template <int S, bool Tip1, bool Tip2>
+void newview_core(int tid, int nthreads, std::size_t patterns, int cats,
+                  const ChildView& c1, const ChildView& c2, const double* p1t,
+                  const double* p2t, double* out, std::int32_t* out_scale) {
+  constexpr int W = simd::kLanes;
+  constexpr int B = kBlocks<S>;
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
+       i += static_cast<std::size_t>(nthreads)) {
+    double* o = out + i * stride;
+    // Tip tables share the CLV's [.][cat][state] layout, so the per-category
+    // addressing below is identical for both child kinds.
+    const double* l1 =
+        Tip1 ? c1.tip_table + static_cast<std::size_t>(c1.codes[i]) * stride
+             : c1.clv + i * stride;
+    const double* l2 =
+        Tip2 ? c2.tip_table + static_cast<std::size_t>(c2.codes[i]) * stride
+             : c2.clv + i * stride;
+
+    simd::Vec vmx = simd::zero();
+    for (int c = 0; c < cats; ++c) {
+      const double* l1c = l1 + static_cast<std::size_t>(c) * S;
+      const double* l2c = l2 + static_cast<std::size_t>(c) * S;
+      double* oc = o + static_cast<std::size_t>(c) * S;
+
+      simd::Vec s1[B], s2[B];
+      if constexpr (Tip1) {
+        for (int b = 0; b < B; ++b) s1[b] = simd::load(l1c + b * W);
+      } else {
+        matvec_t<S>(p1t + static_cast<std::size_t>(c) * S * S, l1c, s1);
+      }
+      if constexpr (Tip2) {
+        for (int b = 0; b < B; ++b) s2[b] = simd::load(l2c + b * W);
+      } else {
+        matvec_t<S>(p2t + static_cast<std::size_t>(c) * S * S, l2c, s2);
+      }
+      for (int b = 0; b < B; ++b) {
+        const simd::Vec v = simd::mul(s1[b], s2[b]);
+        simd::store(oc + b * W, v);
+        vmx = simd::max(vmx, v);
+      }
+    }
+
+    std::int32_t cnt = child_scale(c1, c2, i);
+    const double mx = simd::reduce_max(vmx);
+    if (mx < kScaleThreshold && mx > 0.0) {
+      const simd::Vec f = simd::set1(kScaleFactor);
+      for (std::size_t k = 0; k < stride; k += W)
+        simd::store(o + k, simd::mul(simd::load(o + k), f));
+      ++cnt;
+    }
+    out_scale[i] = cnt;
+  }
+}
+
+}  // namespace detail
+
+/// Dispatch newview to the tip-case specialization. `p1`/`p2` are the
+/// row-major matrices (generic-fallback path), `p1t`/`p2t` their transposes.
+/// Tip children must carry a tip_table to take a specialized path; otherwise
+/// the generic reference kernel runs.
+template <int S>
+void newview_spec(int tid, int nthreads, std::size_t patterns, int cats,
+                  const ChildView& c1, const ChildView& c2, const double* p1,
+                  const double* p2, const double* p1t, const double* p2t,
+                  double* out, std::int32_t* out_scale) {
+  const bool t1 = c1.is_tip(), t2 = c2.is_tip();
+  if ((t1 && c1.tip_table == nullptr) || (t2 && c2.tip_table == nullptr)) {
+    newview_slice<S>(tid, nthreads, patterns, cats, c1, c2, p1, p2, out,
+                     out_scale);
+    return;
+  }
+  if (t1 && t2)
+    detail::newview_core<S, true, true>(tid, nthreads, patterns, cats, c1, c2,
+                                        p1t, p2t, out, out_scale);
+  else if (t1)
+    detail::newview_core<S, true, false>(tid, nthreads, patterns, cats, c1, c2,
+                                         p1t, p2t, out, out_scale);
+  else if (t2)
+    detail::newview_core<S, false, true>(tid, nthreads, patterns, cats, c1, c2,
+                                         p1t, p2t, out, out_scale);
+  else
+    detail::newview_core<S, false, false>(tid, nthreads, patterns, cats, c1,
+                                          c2, p1t, p2t, out, out_scale);
+}
+
+}  // namespace plk::kernel

@@ -1,0 +1,162 @@
+// Shared raw-buffer fixture for kernel golden tests and benchmarks.
+//
+// Builds every input the kernels consume, in the exact shapes the engine
+// produces — random inner CLVs with nonzero scale counts, a tip child with
+// one-hot/ambiguity/gap indicator codes, per-category transition matrices
+// from a real substitution model (row-major + transposed), precomputed tip
+// lookup tables, the sumtable transform, and Newton-Raphson tables — so
+// tests and benches exercise generic and specialized kernels on identical
+// data. Not used by the engine itself.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "model/subst_model.hpp"
+#include "util/rng.hpp"
+
+namespace plk::kernel {
+
+template <int S>
+struct KernelRig {
+  std::size_t patterns;
+  int cats;
+  std::size_t stride;
+  std::vector<double> clv1, clv2, out, sumtab;
+  std::vector<std::int32_t> scale1, scale2, out_scale;
+  std::vector<std::uint16_t> codes;
+  std::vector<double> indicators;  // n_codes x S
+  std::size_t n_codes = static_cast<std::size_t>(S) + 2;
+  std::vector<double> p1, p2, p1t, p2t;    // [cat][i][j] and transposes
+  std::vector<double> tip_tab1, tip_tab2;  // P x indicator tables
+  std::vector<double> sym, symt, sym_tab;  // sumtable transform + tip table
+  std::vector<double> freqs, weights;
+  std::vector<double> exp_lam, lam;  // NR inputs at b = 0.23
+  SubstModel model;
+
+  /// `tiny_values` fills the CLVs with ~1e-80 entries so every newview
+  /// pattern falls below the scaling threshold (scale-count tests).
+  explicit KernelRig(std::size_t patterns_in, int cats_in,
+                     bool tiny_values = false)
+      : patterns(patterns_in),
+        cats(cats_in),
+        stride(static_cast<std::size_t>(cats_in) * S),
+        model(S == 4 ? gtr({1.5, 2.0, 0.6, 1.1, 3.0, 1.0},
+                           {0.3, 0.2, 0.2, 0.3})
+                     : protein_model("WAG")) {
+    Rng rng{1234 + S};
+    clv1.resize(patterns * stride);
+    clv2.resize(patterns * stride);
+    out.resize(patterns * stride);
+    sumtab.resize(patterns * stride);
+    scale1.resize(patterns);
+    scale2.resize(patterns);
+    out_scale.assign(patterns, 0);
+    const double lo = tiny_values ? 1e-80 : 0.1;
+    const double hi = tiny_values ? 2e-80 : 1.0;
+    for (auto& x : clv1) x = rng.uniform(lo, hi);
+    for (auto& x : clv2) x = rng.uniform(lo, hi);
+    for (std::size_t i = 0; i < patterns; ++i) {
+      scale1[i] = static_cast<std::int32_t>(i % 3);
+      scale2[i] = static_cast<std::int32_t>(i % 2);
+    }
+
+    // Indicator catalog: every one-hot state plus one two-state ambiguity
+    // and the all-gap mask, as real partitions produce.
+    indicators.assign(n_codes * S, 0.0);
+    for (int s = 0; s < S; ++s)
+      indicators[static_cast<std::size_t>(s) * S + s] = 1.0;
+    indicators[static_cast<std::size_t>(S) * S + 0] = 1.0;  // ambiguity {0,2}
+    indicators[static_cast<std::size_t>(S) * S + 2] = 1.0;
+    for (int s = 0; s < S; ++s)
+      indicators[(n_codes - 1) * S + static_cast<std::size_t>(s)] = 1.0;
+    codes.resize(patterns);
+    for (std::size_t i = 0; i < patterns; ++i)
+      codes[i] = static_cast<std::uint16_t>(i % n_codes);
+
+    // Transition matrices per category at two branch lengths, plus
+    // transposes and tip lookup tables.
+    Matrix pm;
+    const std::size_t ss = static_cast<std::size_t>(S) * S;
+    for (int c = 0; c < cats; ++c) {
+      const double r = 0.2 + 0.45 * c;
+      model.transition_matrix(0.13 * r, pm);
+      p1.insert(p1.end(), pm.data(), pm.data() + ss);
+      model.transition_matrix(0.21 * r, pm);
+      p2.insert(p2.end(), pm.data(), pm.data() + ss);
+    }
+    p1t.resize(p1.size());
+    p2t.resize(p2.size());
+    transpose_pmats<S>(p1.data(), cats, p1t.data());
+    transpose_pmats<S>(p2.data(), cats, p2t.data());
+    tip_tab1.resize(n_codes * stride);
+    tip_tab2.resize(n_codes * stride);
+    build_tip_table<S>(p1.data(), cats, indicators.data(), n_codes,
+                       tip_tab1.data());
+    build_tip_table<S>(p2.data(), cats, indicators.data(), n_codes,
+                       tip_tab2.data());
+
+    sym.assign(model.sym_transform().data(),
+               model.sym_transform().data() + ss);
+    symt.resize(ss);
+    transpose_pmats<S>(sym.data(), 1, symt.data());
+    sym_tab.resize(n_codes * S);
+    build_sym_tip_table<S>(sym.data(), indicators.data(), n_codes,
+                           sym_tab.data());
+
+    freqs = model.freqs();
+    weights.resize(patterns);
+    for (std::size_t i = 0; i < patterns; ++i) weights[i] = 1.0 + (i % 4);
+
+    const double b = 0.23;
+    exp_lam.resize(stride);
+    lam.resize(stride);
+    for (int c = 0; c < cats; ++c)
+      for (int k = 0; k < S; ++k) {
+        const double r = 0.2 + 0.45 * c;
+        lam[static_cast<std::size_t>(c) * S + k] =
+            model.eigenvalues()[static_cast<std::size_t>(k)] * r;
+        exp_lam[static_cast<std::size_t>(c) * S + k] =
+            std::exp(lam[static_cast<std::size_t>(c) * S + k] * b);
+      }
+
+    // A ready sumtable for the NR kernels.
+    sumtable_slice<S>(0, 1, patterns, cats, inner1(), inner2(), sym.data(),
+                      sumtab.data());
+  }
+
+  ChildView inner1() const {
+    ChildView v;
+    v.clv = clv1.data();
+    v.scale = scale1.data();
+    return v;
+  }
+  ChildView inner2() const {
+    ChildView v;
+    v.clv = clv2.data();
+    v.scale = scale2.data();
+    return v;
+  }
+  ChildView tip(const std::vector<double>& tab) const {
+    ChildView v;
+    v.codes = codes.data();
+    v.indicators = indicators.data();
+    v.tip_table = tab.data();
+    return v;
+  }
+  ChildView tip1() const { return tip(tip_tab1); }
+  ChildView tip2() const { return tip(tip_tab2); }
+  /// Tip view carrying the sym lookup table (for sumtable kernels).
+  ChildView tip_sym() const { return tip(sym_tab); }
+
+  /// Child for slot 1/2 by kind ('t' = tip, 'i' = inner), with the matching
+  /// P-product tip table.
+  ChildView child(int slot, char kind) const {
+    if (kind == 't') return slot == 1 ? tip1() : tip2();
+    return slot == 1 ? inner1() : inner2();
+  }
+};
+
+}  // namespace plk::kernel

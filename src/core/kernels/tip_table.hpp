@@ -1,0 +1,81 @@
+// Precomputed tip lookup tables.
+//
+// A tip child in the generic kernels costs an S-wide dot product per state
+// per category per pattern: s[a] = sum_j P_c[a][j] * ind[code][j]. But the
+// indicator catalog is tiny (<= 16 distinct masks for DNA, and far fewer
+// codes than patterns in practice), so the specialized kernels precompute
+//
+//     table[code][cat][a] = sum_j P_c[a][j] * ind[code][j]
+//
+// once per transition-matrix update and turn the tip child's whole
+// contribution into a single table-row load in the inner loop. The same
+// trick applies to the Newton-Raphson sumtable with the (category-free)
+// symmetric transform:
+//
+//     sym_table[code][k] = sum_j sym[k][j] * ind[code][j]
+//
+// The Engine owns the cached tables (one per tip-adjacent edge and
+// partition), keyed on the partition's model epoch and the edge's branch
+// length, and rebuilds them lazily while assembling a command — see
+// Engine::tip_table_for in core/engine.cpp.
+#pragma once
+
+#include <cstddef>
+
+namespace plk::kernel {
+
+/// Build a newview/evaluate tip table from per-category transition matrices
+/// `p` ([cat][i][j], row-major) and the 0/1 indicator catalog
+/// ([code][state], `ncodes` rows). `out` must hold ncodes * cats * S doubles.
+template <int S>
+void build_tip_table(const double* p, int cats, const double* indicators,
+                     std::size_t ncodes, double* out) {
+  for (std::size_t code = 0; code < ncodes; ++code) {
+    const double* ind = indicators + code * S;
+    for (int c = 0; c < cats; ++c) {
+      const double* pc = p + static_cast<std::size_t>(c) * S * S;
+      double* o = out + (code * static_cast<std::size_t>(cats) +
+                         static_cast<std::size_t>(c)) *
+                            S;
+      for (int a = 0; a < S; ++a) {
+        double s = 0.0;
+        const double* row = pc + a * S;
+        for (int j = 0; j < S; ++j) s += row[j] * ind[j];
+        o[a] = s;
+      }
+    }
+  }
+}
+
+/// Build a sumtable tip table from the symmetric transform `sym` (S x S,
+/// row k = sqrt(pi_i) V_ik). `out` must hold ncodes * S doubles.
+template <int S>
+void build_sym_tip_table(const double* sym, const double* indicators,
+                         std::size_t ncodes, double* out) {
+  for (std::size_t code = 0; code < ncodes; ++code) {
+    const double* ind = indicators + code * S;
+    double* o = out + code * S;
+    for (int k = 0; k < S; ++k) {
+      double s = 0.0;
+      const double* row = sym + k * S;
+      for (int j = 0; j < S; ++j) s += row[j] * ind[j];
+      o[k] = s;
+    }
+  }
+}
+
+/// Transpose per-category transition matrices from [cat][i][j] to
+/// [cat][j][i] — the layout the SIMD kernels consume (so a matrix-vector
+/// product becomes column-broadcast FMAs with unit-stride loads).
+/// `out` must hold cats * S * S doubles.
+template <int S>
+void transpose_pmats(const double* p, int cats, double* out) {
+  for (int c = 0; c < cats; ++c) {
+    const double* pc = p + static_cast<std::size_t>(c) * S * S;
+    double* oc = out + static_cast<std::size_t>(c) * S * S;
+    for (int i = 0; i < S; ++i)
+      for (int j = 0; j < S; ++j) oc[j * S + i] = pc[i * S + j];
+  }
+}
+
+}  // namespace plk::kernel

@@ -67,41 +67,42 @@ void ThreadTeam::worker_loop(int tid) {
     if (stop_.load(std::memory_order_acquire)) return;
     if (instrument_) {
       const double t0 = now_seconds();
-      (*fn_)(tid);
+      fn_(ctx_, tid);
       work_seconds_[static_cast<std::size_t>(tid)].value = now_seconds() - t0;
     } else {
-      (*fn_)(tid);
+      fn_(ctx_, tid);
     }
     done_.fetch_add(1, std::memory_order_release);
     ++next;
   }
 }
 
-void ThreadTeam::run(const std::function<void(int)>& fn) {
+void ThreadTeam::run(RawFn fn, void* ctx) {
   ++stats_.sync_count;
   if (nthreads_ == 1) {
     if (instrument_) {
       const double t0 = now_seconds();
-      fn(0);
+      fn(ctx, 0);
       const double dt = now_seconds() - t0;
       stats_.critical_path_seconds += dt;
       stats_.total_work_seconds += dt;
     } else {
-      fn(0);
+      fn(ctx, 0);
     }
     return;
   }
 
-  fn_ = &fn;
+  fn_ = fn;
+  ctx_ = ctx;
   done_.store(0, std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
 
   if (instrument_) {
     const double t0 = now_seconds();
-    fn(0);
+    fn(ctx, 0);
     work_seconds_[0].value = now_seconds() - t0;
   } else {
-    fn(0);
+    fn(ctx, 0);
   }
 
   spin_until([&] {

@@ -12,8 +12,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/aligned.hpp"
@@ -52,9 +53,28 @@ class ThreadTeam {
 
   int size() const { return nthreads_; }
 
-  /// Execute fn(tid) on every thread (master runs tid 0 inline); returns
-  /// after all threads finished. This is one synchronization event.
-  void run(const std::function<void(int)>& fn);
+  /// Broadcast command type: a raw function pointer plus opaque context.
+  /// Commands fire on every synchronization event of a run, so the broadcast
+  /// path deliberately avoids std::function (whose capture storage can heap-
+  /// allocate on every run() call).
+  using RawFn = void (*)(void* ctx, int tid);
+
+  /// Execute fn(ctx, tid) on every thread (master runs tid 0 inline);
+  /// returns after all threads finished. One synchronization event.
+  void run(RawFn fn, void* ctx);
+
+  /// Convenience overload for callables (lambdas): forwards a pointer to
+  /// `fn` as the context — no allocation, no type erasure overhead. The
+  /// callable only needs to outlive the call, which run() guarantees by
+  /// blocking until every thread finished.
+  template <class F>
+    requires(!std::is_convertible_v<F, RawFn>)
+  void run(F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run([](void* ctx, int tid) { (*static_cast<Fn*>(ctx))(tid); },
+        const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn))));
+  }
 
   /// Instrumentation snapshot.
   const TeamStats& stats() const { return stats_; }
@@ -68,7 +88,8 @@ class ThreadTeam {
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> done_{0};
   std::atomic<bool> stop_{false};
-  const std::function<void(int)>* fn_ = nullptr;
+  RawFn fn_ = nullptr;
+  void* ctx_ = nullptr;
   std::vector<std::thread> workers_;
   std::vector<PaddedDouble> work_seconds_;  // per-thread, per-command
   TeamStats stats_;

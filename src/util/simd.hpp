@@ -1,0 +1,155 @@
+// Portable SIMD layer for the likelihood kernels.
+//
+// One backend is selected at compile time from the target's instruction set:
+// AVX2 (4 doubles/vector, FMA when available), SSE2 and NEON (2 doubles),
+// or plain scalar (1 double) as the universal fallback. The kernels in
+// src/core/kernels/ are written once against this 4/2/1-lane-agnostic API
+// and vectorize over the state dimension; both supported state counts
+// (S=4 DNA, S=20 protein) are multiples of every backend's lane count, so
+// no remainder loops or padding are needed anywhere.
+//
+// Defining PLK_SIMD_FORCE_SCALAR picks the scalar backend regardless of the
+// target ISA — used by the golden-value tests to cross-check backends.
+//
+// All loads/stores use the unaligned forms: the engine allocates CLVs and
+// tip tables 64-byte aligned (util/aligned.hpp) so they decode to aligned
+// accesses anyway, but test rigs with plain std::vector buffers must not
+// fault.
+#pragma once
+
+#include <cstddef>
+
+#if !defined(PLK_SIMD_FORCE_SCALAR)
+#if defined(__AVX2__)
+#define PLK_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define PLK_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define PLK_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif  // !PLK_SIMD_FORCE_SCALAR
+
+namespace plk::simd {
+
+#if defined(PLK_SIMD_AVX2)
+
+inline constexpr int kLanes = 4;
+inline constexpr const char* kBackend = "avx2";
+
+struct Vec {
+  __m256d v;
+};
+
+inline Vec load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void store(double* p, Vec a) { _mm256_storeu_pd(p, a.v); }
+inline Vec set1(double x) { return {_mm256_set1_pd(x)}; }
+inline Vec zero() { return {_mm256_setzero_pd()}; }
+inline Vec add(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline Vec max(Vec a, Vec b) { return {_mm256_max_pd(a.v, b.v)}; }
+
+/// a * b + c.
+inline Vec fma(Vec a, Vec b, Vec c) {
+#if defined(__FMA__)
+  return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+  return {_mm256_add_pd(_mm256_mul_pd(a.v, b.v), c.v)};
+#endif
+}
+
+inline double reduce_add(Vec a) {
+  const __m128d lo = _mm256_castpd256_pd128(a.v);
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+inline double reduce_max(Vec a) {
+  const __m128d lo = _mm256_castpd256_pd128(a.v);
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);
+  const __m128d m = _mm_max_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_max_sd(m, _mm_unpackhi_pd(m, m)));
+}
+
+#elif defined(PLK_SIMD_SSE2)
+
+inline constexpr int kLanes = 2;
+inline constexpr const char* kBackend = "sse2";
+
+struct Vec {
+  __m128d v;
+};
+
+inline Vec load(const double* p) { return {_mm_loadu_pd(p)}; }
+inline void store(double* p, Vec a) { _mm_storeu_pd(p, a.v); }
+inline Vec set1(double x) { return {_mm_set1_pd(x)}; }
+inline Vec zero() { return {_mm_setzero_pd()}; }
+inline Vec add(Vec a, Vec b) { return {_mm_add_pd(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {_mm_sub_pd(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
+inline Vec max(Vec a, Vec b) { return {_mm_max_pd(a.v, b.v)}; }
+
+inline Vec fma(Vec a, Vec b, Vec c) {
+  return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+}
+
+inline double reduce_add(Vec a) {
+  return _mm_cvtsd_f64(_mm_add_sd(a.v, _mm_unpackhi_pd(a.v, a.v)));
+}
+
+inline double reduce_max(Vec a) {
+  return _mm_cvtsd_f64(_mm_max_sd(a.v, _mm_unpackhi_pd(a.v, a.v)));
+}
+
+#elif defined(PLK_SIMD_NEON)
+
+inline constexpr int kLanes = 2;
+inline constexpr const char* kBackend = "neon";
+
+struct Vec {
+  float64x2_t v;
+};
+
+inline Vec load(const double* p) { return {vld1q_f64(p)}; }
+inline void store(double* p, Vec a) { vst1q_f64(p, a.v); }
+inline Vec set1(double x) { return {vdupq_n_f64(x)}; }
+inline Vec zero() { return {vdupq_n_f64(0.0)}; }
+inline Vec add(Vec a, Vec b) { return {vaddq_f64(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {vsubq_f64(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {vmulq_f64(a.v, b.v)}; }
+inline Vec max(Vec a, Vec b) { return {vmaxq_f64(a.v, b.v)}; }
+
+inline Vec fma(Vec a, Vec b, Vec c) { return {vfmaq_f64(c.v, a.v, b.v)}; }
+
+inline double reduce_add(Vec a) { return vaddvq_f64(a.v); }
+inline double reduce_max(Vec a) { return vmaxvq_f64(a.v); }
+
+#else  // scalar fallback
+
+inline constexpr int kLanes = 1;
+inline constexpr const char* kBackend = "scalar";
+
+struct Vec {
+  double v;
+};
+
+inline Vec load(const double* p) { return {*p}; }
+inline void store(double* p, Vec a) { *p = a.v; }
+inline Vec set1(double x) { return {x}; }
+inline Vec zero() { return {0.0}; }
+inline Vec add(Vec a, Vec b) { return {a.v + b.v}; }
+inline Vec sub(Vec a, Vec b) { return {a.v - b.v}; }
+inline Vec mul(Vec a, Vec b) { return {a.v * b.v}; }
+inline Vec max(Vec a, Vec b) { return {a.v > b.v ? a.v : b.v}; }
+inline Vec fma(Vec a, Vec b, Vec c) { return {a.v * b.v + c.v}; }
+inline double reduce_add(Vec a) { return a.v; }
+inline double reduce_max(Vec a) { return a.v; }
+
+#endif
+
+}  // namespace plk::simd

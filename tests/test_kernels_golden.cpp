@@ -1,0 +1,285 @@
+// Golden-value tests: every specialized/SIMD kernel path against the generic
+// scalar reference template (core/kernels/generic.hpp).
+//
+// Matrix covered: S=4 (DNA) and S=20 (protein); 1-4 rate categories; all
+// tip/inner child combinations (tip/tip, tip/inner, inner/tip, inner/inner);
+// healthy values and patterns that force numerical scaling. Contract:
+//   * scale counts must match the reference EXACTLY (bit-compatible) on
+//     this matrix — a product landing within an ulp of the 2^-256 scaling
+//     threshold could in principle round to a different side under FMA,
+//     but each kernel flavor stays self-consistent; and
+//   * log-likelihoods / CLV entries / derivatives must agree to 1e-12
+//     relative error (FMA and lane-reduction reorderings only).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels/rig.hpp"
+#include "plk.hpp"
+#include "util/simd.hpp"
+
+namespace plk {
+namespace {
+
+constexpr std::size_t N = 41;  // patterns (odd: exercises slice tails)
+
+/// Relative-error comparator: |a-b| <= tol * max(|b|, scale). `scale` anchors
+/// the tolerance for values near zero — pass the buffer's max magnitude for
+/// array entries (so comparisons stay meaningful for pre-rescale tiny CLVs),
+/// or 1.0 for O(1)-or-larger scalars like log-likelihoods.
+void expect_rel(double a, double b, double tol, double scale,
+                const char* what) {
+  EXPECT_LE(std::abs(a - b), tol * std::max(std::abs(b), scale))
+      << what << ": got " << a << " want " << b;
+}
+
+/// Max |x| over a buffer (tolerance anchor for array comparisons).
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+/// The shared raw-buffer fixture, sized for the golden matrix.
+template <int S>
+kernel::KernelRig<S> golden_rig(int cats, bool tiny = false) {
+  return kernel::KernelRig<S>(N, cats, tiny);
+}
+
+template <int S>
+void check_newview(int cats, char k1, char k2, bool tiny, int T) {
+  auto r = golden_rig<S>(cats, tiny);
+  const kernel::ChildView c1 = r.child(1, k1);
+  const kernel::ChildView c2 = r.child(2, k2);
+
+  std::vector<double> want(N * r.stride, -1.0), got(N * r.stride, -2.0);
+  std::vector<std::int32_t> want_sc(N, -1), got_sc(N, -2);
+  kernel::newview_slice<S>(0, 1, N, cats, c1, c2, r.p1.data(), r.p2.data(),
+                           want.data(), want_sc.data());
+  for (int tid = 0; tid < T; ++tid)
+    kernel::newview_spec<S>(tid, T, N, cats, c1, c2, r.p1.data(), r.p2.data(),
+                            r.p1t.data(), r.p2t.data(), got.data(),
+                            got_sc.data());
+
+  EXPECT_EQ(got_sc, want_sc) << "scale counts must be bit-compatible";
+  const double scale = max_abs(want);
+  for (std::size_t k = 0; k < want.size(); ++k)
+    expect_rel(got[k], want[k], 1e-12, scale, "newview CLV entry");
+}
+
+template <int S>
+void check_evaluate(int cats, char ku, char kv, bool tiny, int T) {
+  auto r = golden_rig<S>(cats, tiny);
+  const kernel::ChildView cu = r.child(1, ku);
+  const kernel::ChildView cv = r.child(2, kv);
+
+  const double want =
+      kernel::evaluate_slice<S>(0, 1, N, cats, cu, cv, r.p2.data(),
+                                r.freqs.data(), r.weights.data());
+  double got = 0.0;
+  for (int tid = 0; tid < T; ++tid)
+    got += kernel::evaluate_spec<S>(tid, T, N, cats, cu, cv, r.p2.data(),
+                                    r.p2t.data(), r.freqs.data(),
+                                    r.weights.data());
+  expect_rel(got, want, 1e-12, 1.0, "evaluate lnL");
+
+  std::vector<double> want_sites(N, -1.0), got_sites(N, -2.0);
+  kernel::evaluate_sites_slice<S>(0, 1, N, cats, cu, cv, r.p2.data(),
+                                  r.freqs.data(), want_sites.data());
+  for (int tid = 0; tid < T; ++tid)
+    kernel::evaluate_sites_spec<S>(tid, T, N, cats, cu, cv, r.p2.data(),
+                                   r.p2t.data(), r.freqs.data(),
+                                   got_sites.data());
+  for (std::size_t i = 0; i < N; ++i)
+    expect_rel(got_sites[i], want_sites[i], 1e-12, 1.0, "per-site lnL");
+}
+
+template <int S>
+void check_sumtable_nr(int cats, char ku, char kv, int T) {
+  auto r = golden_rig<S>(cats);
+  // sumtable_spec expects sym tip tables on tip children.
+  const kernel::ChildView cu = ku == 't' ? r.tip_sym() : r.inner1();
+  const kernel::ChildView cv = kv == 't' ? r.tip_sym() : r.inner2();
+
+  std::vector<double> want(N * r.stride, -1.0), got(N * r.stride, -2.0);
+  kernel::sumtable_slice<S>(0, 1, N, cats, cu, cv, r.sym.data(), want.data());
+  for (int tid = 0; tid < T; ++tid)
+    kernel::sumtable_spec<S>(tid, T, N, cats, cu, cv, r.sym.data(),
+                             r.symt.data(), got.data());
+  const double scale = max_abs(want);
+  for (std::size_t k = 0; k < want.size(); ++k)
+    expect_rel(got[k], want[k], 1e-12, scale, "sumtable entry");
+
+  double want_d1 = 0.0, want_d2 = 0.0;
+  kernel::nr_slice<S>(0, 1, N, cats, want.data(), r.exp_lam.data(),
+                      r.lam.data(), r.weights.data(), &want_d1, &want_d2);
+  double got_d1 = 0.0, got_d2 = 0.0;
+  for (int tid = 0; tid < T; ++tid) {
+    double d1 = 0.0, d2 = 0.0;
+    kernel::nr_spec<S>(tid, T, N, cats, got.data(), r.exp_lam.data(),
+                       r.lam.data(), r.weights.data(), &d1, &d2);
+    got_d1 += d1;
+    got_d2 += d2;
+  }
+  expect_rel(got_d1, want_d1, 1e-12, 1.0, "NR d1");
+  expect_rel(got_d2, want_d2, 1e-12, 1.0, "NR d2");
+}
+
+struct Case {
+  char k1, k2;
+};
+constexpr Case kChildCases[] = {{'t', 't'}, {'t', 'i'}, {'i', 't'}, {'i', 'i'}};
+
+TEST(GoldenKernels, NewviewDnaAllCases) {
+  for (int cats = 1; cats <= 4; ++cats)
+    for (const Case& c : kChildCases)
+      for (int T : {1, 3}) check_newview<4>(cats, c.k1, c.k2, false, T);
+}
+
+TEST(GoldenKernels, NewviewProteinAllCases) {
+  for (int cats = 1; cats <= 4; ++cats)
+    for (const Case& c : kChildCases) check_newview<20>(cats, c.k1, c.k2, false, 1);
+}
+
+TEST(GoldenKernels, NewviewScalingForcedDna) {
+  // Tiny CLV values force a scaling event on every inner/inner and
+  // tip/inner pattern; counts must match the reference exactly.
+  for (int cats : {1, 4})
+    for (const Case& c : kChildCases) check_newview<4>(cats, c.k1, c.k2, true, 2);
+}
+
+TEST(GoldenKernels, NewviewScalingForcedProtein) {
+  for (const Case& c : kChildCases) check_newview<20>(4, c.k1, c.k2, true, 1);
+}
+
+TEST(GoldenKernels, EvaluateDnaAllCases) {
+  for (int cats = 1; cats <= 4; ++cats)
+    for (const Case& c : kChildCases)
+      for (int T : {1, 4}) check_evaluate<4>(cats, c.k1, c.k2, false, T);
+}
+
+TEST(GoldenKernels, EvaluateProteinAllCases) {
+  for (int cats = 1; cats <= 4; ++cats)
+    for (const Case& c : kChildCases) check_evaluate<20>(cats, c.k1, c.k2, false, 1);
+}
+
+TEST(GoldenKernels, EvaluateWithScaledChildren) {
+  for (const Case& c : kChildCases) {
+    check_evaluate<4>(2, c.k1, c.k2, true, 1);
+    check_evaluate<20>(2, c.k1, c.k2, true, 1);
+  }
+}
+
+TEST(GoldenKernels, SumtableAndNrDna) {
+  for (int cats = 1; cats <= 4; ++cats)
+    for (const Case& c : kChildCases)
+      for (int T : {1, 2}) check_sumtable_nr<4>(cats, c.k1, c.k2, T);
+}
+
+TEST(GoldenKernels, SumtableAndNrProtein) {
+  for (int cats = 1; cats <= 4; ++cats)
+    for (const Case& c : kChildCases) check_sumtable_nr<20>(cats, c.k1, c.k2, 1);
+}
+
+TEST(GoldenKernels, TipTableMatchesExplicitProduct) {
+  // table[code][cat][a] == sum_j P_c[a][j] * ind[code][j], computed here
+  // with plain loops against build_tip_table's output.
+  auto r = golden_rig<4>(3);
+  for (std::size_t code = 0; code < r.n_codes; ++code)
+    for (int c = 0; c < 3; ++c)
+      for (int a = 0; a < 4; ++a) {
+        double want = 0.0;
+        for (int j = 0; j < 4; ++j)
+          want += r.p1[static_cast<std::size_t>(c) * 16 + a * 4 + j] *
+                  r.indicators[code * 4 + static_cast<std::size_t>(j)];
+        const double got = r.tip_tab1[(code * 3 + c) * 4 + a];
+        EXPECT_DOUBLE_EQ(got, want);
+      }
+}
+
+TEST(GoldenKernels, DispatcherFallsBackWithoutTipTable) {
+  // A tip child without a lookup table must still produce reference results
+  // (the dispatcher routes to the generic kernel).
+  auto r = golden_rig<4>(2);
+  kernel::ChildView bare_tip = r.tip(r.tip_tab1);
+  bare_tip.tip_table = nullptr;
+
+  std::vector<double> want(N * r.stride), got(N * r.stride);
+  std::vector<std::int32_t> want_sc(N), got_sc(N);
+  kernel::newview_slice<4>(0, 1, N, 2, bare_tip, r.inner2(), r.p1.data(),
+                           r.p2.data(), want.data(), want_sc.data());
+  kernel::newview_spec<4>(0, 1, N, 2, bare_tip, r.inner2(), r.p1.data(),
+                          r.p2.data(), r.p1t.data(), r.p2t.data(), got.data(),
+                          got_sc.data());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got_sc, want_sc);
+}
+
+/// Build an engine over `data` with the given kernel flavor and thread count.
+std::unique_ptr<Engine> make_engine(const Dataset& data,
+                                    const CompressedAlignment& comp,
+                                    bool generic, int threads) {
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(part.type == DataType::kDna ? make_model("GTR")
+                                                    : make_model("WAG"),
+                        0.7, 4);
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.use_generic_kernels = generic;
+  return std::make_unique<Engine>(comp, data.true_tree, std::move(models), eo);
+}
+
+void check_engine_ab(const Dataset& data) {
+  const CompressedAlignment comp =
+      CompressedAlignment::build(data.alignment, data.scheme, true);
+  auto ref = make_engine(data, comp, true, 1);
+  auto spec = make_engine(data, comp, false, 2);
+
+  for (EdgeId e : {EdgeId{0}, EdgeId{3}, EdgeId{1}}) {
+    const double want = ref->loglikelihood(e);
+    const double got = spec->loglikelihood(e);
+    expect_rel(got, want, 1e-12, 1.0, "engine lnL");
+  }
+
+  std::vector<int> all(comp.partition_count());
+  for (std::size_t p = 0; p < all.size(); ++p) all[p] = static_cast<int>(p);
+  ref->prepare_root(0);
+  spec->prepare_root(0);
+  ref->compute_sumtable(all);
+  spec->compute_sumtable(all);
+  std::vector<double> lens(all.size(), 0.17), d1a(all.size()), d2a(all.size()),
+      d1b(all.size()), d2b(all.size());
+  ref->nr_derivatives(all, lens, d1a, d2a);
+  spec->nr_derivatives(all, lens, d1b, d2b);
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    expect_rel(d1b[k], d1a[k], 1e-10, 1.0, "engine NR d1");
+    expect_rel(d2b[k], d2a[k], 1e-10, 1.0, "engine NR d2");
+  }
+
+  const auto sites_a = ref->site_loglikelihoods(0, 0);
+  const auto sites_b = spec->site_loglikelihoods(0, 0);
+  ASSERT_EQ(sites_a.size(), sites_b.size());
+  for (std::size_t i = 0; i < sites_a.size(); ++i)
+    expect_rel(sites_b[i], sites_a[i], 1e-12, 1.0, "engine per-site lnL");
+}
+
+TEST(GoldenKernels, EngineGenericVsSpecializedDna) {
+  check_engine_ab(make_simulated_dna(10, 300, 150, 11));
+}
+
+TEST(GoldenKernels, EngineGenericVsSpecializedProteinMixed) {
+  check_engine_ab(make_realworld_like(8, 2, 80, 120, 0.1, true, 13));
+}
+
+TEST(GoldenKernels, SimdBackendReportsLanes) {
+  // Sanity: the selected backend's lane count divides both state counts.
+  EXPECT_EQ(4 % simd::kLanes, 0);
+  EXPECT_EQ(20 % simd::kLanes, 0);
+  SUCCEED() << "simd backend: " << simd::kBackend;
+}
+
+}  // namespace
+}  // namespace plk
