@@ -12,6 +12,9 @@
 // count at fixed total width to show the gap growing with P (the paper:
 // "the more and the shorter the partitions are, the better the performance
 // of newPAR versus oldPAR will become").
+#include <chrono>
+#include <thread>
+
 #include "common.hpp"
 
 namespace {
@@ -89,5 +92,33 @@ int main() {
   std::printf(
       "\n(expected: the old/new runtime and sync-count gaps grow with the "
       "partition count)\n");
+
+  // Wake-latency micro: the per-command broadcast overhead with hot
+  // (spinning) workers, and after a long serial gap in which the workers
+  // exhausted their spin budget and parked on the condition variable. The
+  // parked path pays one futex wake; it must stay within the same order of
+  // magnitude, and the hot path must not regress at all.
+  {
+    ThreadTeam team(threads, false);
+    const int hot_cmds = 2000;
+    team.run([](void*, int) {}, nullptr);  // spin-up
+    Timer t_hot;
+    for (int i = 0; i < hot_cmds; ++i) team.run([](void*, int) {}, nullptr);
+    const double hot_us = t_hot.seconds() / hot_cmds * 1e6;
+
+    const int gaps = 20;
+    double parked_us = 0.0;
+    for (int i = 0; i < gaps; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      Timer t;
+      team.run([](void*, int) {}, nullptr);
+      parked_us += t.seconds() * 1e6;
+    }
+    parked_us /= gaps;
+    std::printf(
+        "\nwake latency (%d threads): hot %.1f us/command, after 30 ms serial "
+        "gap (parked) %.1f us/command\n",
+        threads, hot_us, parked_us);
+  }
   return 0;
 }

@@ -1,0 +1,187 @@
+// E10: cost-weighted work scheduling — load balance across strategies.
+//
+// The paper's imbalance analysis stops at counting synchronization events;
+// this bench measures what the explicit scheduling layer
+// (parallel/schedule.hpp) does about the *within-command* imbalance on a
+// deliberately skewed scenario: many short partitions, mixed DNA (4-state)
+// and protein (20-state), varying gamma-category counts. Under the
+// historical cyclic split every partition hands its remainder patterns to
+// the low thread ids, and a 20-state remainder pattern costs ~25x a DNA one,
+// so thread 0 systematically runs long.
+//
+// For each strategy the same fixed workload runs (full-traversal
+// evaluations plus Newton-Raphson derivative passes), with per-thread CPU
+//-time instrumentation so the imbalance accounting stays meaningful even on
+// an oversubscribed machine. Output: a table plus BENCH_balance.json with
+// TeamStats::imbalance_seconds, parallel efficiency and the cost model's
+// predicted imbalance per strategy. lnL must agree to 1e-12 across all
+// strategies (the assignment must never change the mathematics).
+#include <cmath>
+#include <cstring>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace plk;
+
+struct BalanceResult {
+  std::string strategy;
+  double seconds = 0.0;
+  double lnl = 0.0;
+  double imbalance_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+  double total_work_seconds = 0.0;
+  double parallel_efficiency = 0.0;
+  double modeled_imbalance = 0.0;
+  std::uint64_t syncs = 0;
+};
+
+BalanceResult measure(const Dataset& data, const CompressedAlignment& comp,
+                      SchedulingStrategy strategy, int threads, int reps,
+                      int nr_reps) {
+  std::vector<PartitionModel> models;
+  Rng rng(7);
+  for (const auto& part : comp.partitions) {
+    SubstModel m = part.type == DataType::kDna
+                       ? make_model("GTR", empirical_frequencies(part))
+                       : make_model("WAG");
+    // Deterministic per-partition category counts 1-4: cost skew beyond the
+    // state count alone.
+    models.emplace_back(std::move(m), rng.uniform(0.5, 1.2),
+                        1 + static_cast<int>(models.size()) % 4);
+  }
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.unlinked_branch_lengths = true;
+  eo.schedule = strategy;
+  eo.instrument = true;
+  eo.instrument_cpu_time = true;  // scheduling-independent imbalance numbers
+  Engine eng(comp, data.true_tree, std::move(models), eo);
+
+  if (strategy == SchedulingStrategy::kMeasured) eng.calibrate_schedule(0);
+
+  std::vector<int> all(static_cast<std::size_t>(eng.partition_count()));
+  for (int p = 0; p < eng.partition_count(); ++p)
+    all[static_cast<std::size_t>(p)] = p;
+
+  eng.loglikelihood(0);  // warm CLVs, tip tables, page cache
+  eng.reset_stats();
+
+  BalanceResult res;
+  res.strategy = std::string(to_string(strategy));
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    eng.invalidate_all();  // force a full traversal command
+    res.lnl = eng.loglikelihood(0);
+  }
+  eng.prepare_root(0);
+  eng.compute_sumtable(all);
+  std::vector<double> lens(all.size()), d1(all.size()), d2(all.size());
+  for (int r = 0; r < nr_reps; ++r) {
+    for (std::size_t k = 0; k < all.size(); ++k)
+      lens[k] = 0.05 + 0.01 * static_cast<double>((r + static_cast<int>(k)) % 7);
+    eng.nr_derivatives(all, lens, d1, d2);
+  }
+  res.seconds = timer.seconds();
+
+  const TeamStats& ts = eng.team_stats();
+  res.imbalance_seconds = ts.imbalance_seconds;
+  res.critical_path_seconds = ts.critical_path_seconds;
+  res.total_work_seconds = ts.total_work_seconds;
+  res.parallel_efficiency =
+      ts.critical_path_seconds > 0.0
+          ? ts.total_work_seconds /
+                (static_cast<double>(threads) * ts.critical_path_seconds)
+          : 1.0;
+  res.syncs = ts.sync_count;
+  res.modeled_imbalance = eng.schedule().modeled_imbalance();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plk;
+  using namespace plk::bench;
+
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  const double scale = scale_from_env(1.0);
+  const int threads = [] {
+    if (const char* s = std::getenv("PLK_BALANCE_THREADS")) return std::atoi(s);
+    return 8;
+  }();
+  const int reps = std::max(1, static_cast<int>(40 * scale));
+  const int nr_reps = std::max(1, static_cast<int>(60 * scale));
+
+  // The skewed scenario: 28 short mixed partitions on 12 taxa. Pattern
+  // counts (20-90) are small against T=8, so cyclic remainder skew is a
+  // significant fraction of each command.
+  Dataset data = make_mixed_multigene(12, 16, 12, 20, 90, 20260730);
+  const CompressedAlignment comp =
+      CompressedAlignment::build(data.alignment, data.scheme, false);
+  print_dataset_info(data, scale);
+  std::printf("threads %d, %d evaluation reps + %d NR reps per strategy\n\n",
+              threads, reps, nr_reps);
+
+  const SchedulingStrategy strategies[] = {
+      SchedulingStrategy::kCyclic, SchedulingStrategy::kBlock,
+      SchedulingStrategy::kWeighted, SchedulingStrategy::kLpt,
+      SchedulingStrategy::kMeasured};
+
+  std::vector<BalanceResult> rows;
+  for (SchedulingStrategy s : strategies)
+    rows.push_back(measure(data, comp, s, threads, reps, nr_reps));
+
+  const BalanceResult& cyc = rows.front();
+  std::printf("%-10s %10s %12s %12s %12s %10s %10s\n", "strategy",
+              "runtime[s]", "imbal[s]", "critpath[s]", "totwork[s]", "par.eff",
+              "model.imb");
+  bool lnl_ok = true;
+  for (const auto& r : rows) {
+    std::printf("%-10s %10.3f %12.4f %12.4f %12.4f %10.3f %10.4f\n",
+                r.strategy.c_str(), r.seconds, r.imbalance_seconds,
+                r.critical_path_seconds, r.total_work_seconds,
+                r.parallel_efficiency, r.modeled_imbalance);
+    if (std::abs(r.lnl - cyc.lnl) > 1e-12 * std::abs(cyc.lnl)) lnl_ok = false;
+  }
+  std::printf("\nlnL agreement across strategies (1e-12 relative): %s\n",
+              lnl_ok ? "OK" : "FAILED");
+  if (!lnl_ok) return 1;
+
+  if (!json_path.empty()) {
+    JsonObject doc;
+    doc.add("bench", "balance");
+    doc.add("dataset", data.name);
+    doc.add("taxa", static_cast<long long>(data.alignment.taxon_count()));
+    doc.add("partitions", static_cast<long long>(comp.partition_count()));
+    doc.add("patterns", static_cast<long long>(comp.total_patterns()));
+    doc.add("threads", threads);
+    doc.add("eval_reps", reps);
+    doc.add("nr_reps", nr_reps);
+    doc.add("instrument", "thread_cpu_time");
+    doc.add("lnl_agreement_1e12", lnl_ok ? "true" : "false");
+    JsonArray arr;
+    for (const auto& r : rows) {
+      JsonObject o;
+      o.add("strategy", r.strategy);
+      o.add("seconds", r.seconds);
+      o.add("lnl", r.lnl);
+      o.add("delta_lnl_vs_cyclic", r.lnl - cyc.lnl);
+      o.add("imbalance_seconds", r.imbalance_seconds);
+      o.add("critical_path_seconds", r.critical_path_seconds);
+      o.add("total_work_seconds", r.total_work_seconds);
+      o.add("parallel_efficiency", r.parallel_efficiency);
+      o.add("modeled_imbalance", r.modeled_imbalance);
+      o.add("syncs", static_cast<long long>(r.syncs));
+      arr.add_raw(o.render(4));
+    }
+    doc.add_raw("strategies", arr.render(2));
+    write_json(json_path, doc);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -68,12 +68,12 @@ CaseResult compare_newview(kernel::KernelRig<S>& r, const std::string& name,
                            const kernel::ChildView& c2) {
   CaseResult res{name};
   res.generic_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::newview_slice<S>(0, 1, r.patterns, r.cats, c1, c2, r.p1.data(),
+    kernel::newview_slice<S>(0, r.patterns, 1, r.cats, c1, c2, r.p1.data(),
                              r.p2.data(), r.out.data(), r.out_scale.data());
     benchmark::DoNotOptimize(r.out.data());
   });
   res.spec_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::newview_spec<S>(0, 1, r.patterns, r.cats, c1, c2, r.p1.data(),
+    kernel::newview_spec<S>(0, r.patterns, 1, r.cats, c1, c2, r.p1.data(),
                             r.p2.data(), r.p1t.data(), r.p2t.data(),
                             r.out.data(), r.out_scale.data());
     benchmark::DoNotOptimize(r.out.data());
@@ -88,12 +88,12 @@ CaseResult compare_evaluate(kernel::KernelRig<S>& r, const std::string& name,
   CaseResult res{name};
   res.generic_ns = ns_per_pattern(r.patterns, [&] {
     benchmark::DoNotOptimize(kernel::evaluate_slice<S>(
-        0, 1, r.patterns, r.cats, cu, cv, r.p2.data(), r.freqs.data(),
+        0, r.patterns, 1, r.cats, cu, cv, r.p2.data(), r.freqs.data(),
         r.weights.data()));
   });
   res.spec_ns = ns_per_pattern(r.patterns, [&] {
     benchmark::DoNotOptimize(kernel::evaluate_spec<S>(
-        0, 1, r.patterns, r.cats, cu, cv, r.p2.data(), r.p2t.data(),
+        0, r.patterns, 1, r.cats, cu, cv, r.p2.data(), r.p2t.data(),
         r.freqs.data(), r.weights.data()));
   });
   return res;
@@ -105,12 +105,12 @@ CaseResult compare_sumtable(kernel::KernelRig<S>& r, const std::string& name,
                             const kernel::ChildView& cv) {
   CaseResult res{name};
   res.generic_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::sumtable_slice<S>(0, 1, r.patterns, r.cats, cu, cv, r.sym.data(),
+    kernel::sumtable_slice<S>(0, r.patterns, 1, r.cats, cu, cv, r.sym.data(),
                               r.sumtab.data());
     benchmark::DoNotOptimize(r.sumtab.data());
   });
   res.spec_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::sumtable_spec<S>(0, 1, r.patterns, r.cats, cu, cv, r.sym.data(),
+    kernel::sumtable_spec<S>(0, r.patterns, 1, r.cats, cu, cv, r.sym.data(),
                              r.symt.data(), r.sumtab.data());
     benchmark::DoNotOptimize(r.sumtab.data());
   });
@@ -121,18 +121,18 @@ template <int S>
 CaseResult compare_nr(kernel::KernelRig<S>& r, const std::string& name) {
   // Earlier sumtable cases reuse r.sumtab as their output buffer; rebuild it
   // so the NR timings run on defined inputs regardless of case order.
-  kernel::sumtable_slice<S>(0, 1, r.patterns, r.cats, r.inner1(), r.inner2(),
+  kernel::sumtable_slice<S>(0, r.patterns, 1, r.cats, r.inner1(), r.inner2(),
                             r.sym.data(), r.sumtab.data());
   CaseResult res{name};
   double d1 = 0.0, d2 = 0.0;
   res.generic_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::nr_slice<S>(0, 1, r.patterns, r.cats, r.sumtab.data(),
+    kernel::nr_slice<S>(0, r.patterns, 1, r.cats, r.sumtab.data(),
                         r.exp_lam.data(), r.lam.data(), r.weights.data(), &d1,
                         &d2);
     benchmark::DoNotOptimize(d1);
   });
   res.spec_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::nr_spec<S>(0, 1, r.patterns, r.cats, r.sumtab.data(),
+    kernel::nr_spec<S>(0, r.patterns, 1, r.cats, r.sumtab.data(),
                        r.exp_lam.data(), r.lam.data(), r.weights.data(), &d1,
                        &d2);
     benchmark::DoNotOptimize(d1);

@@ -36,6 +36,8 @@ enum class StartTree {
 struct AnalysisOptions {
   int threads = 1;
   Strategy strategy = Strategy::kNewPar;
+  /// Per-thread pattern work assignment (parallel/schedule.hpp).
+  SchedulingStrategy schedule = SchedulingStrategy::kCyclic;
   StartTree start_tree = StartTree::kRandom;
   /// Per-partition branch lengths (the paper's hard case) vs a joint
   /// estimate across partitions.

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
@@ -44,16 +45,19 @@ struct Engine::PartData {
   AlignedDoubleVec indicators;
   std::size_t n_codes = 0;  // rows in `indicators`
 
-  // Cached tip lookup tables for the specialized kernels. P tables are per
-  // tip-adjacent edge, keyed on (model epoch, branch length, tip endpoint);
-  // the sym table is per partition, keyed on the model epoch alone.
+  // Cached tip lookup tables for the specialized kernels: per tip-adjacent
+  // edge, a small LRU of tables keyed on (model epoch, branch length) — the
+  // content depends on nothing else, so branch-length sweeps that revisit a
+  // handful of candidate lengths (and cherry edges whose endpoints
+  // alternate) hit the cache instead of rebuilding. The sym table is per
+  // partition, keyed on the model epoch alone.
   struct TipTableEntry {
     std::uint32_t epoch = 0;
     double blen = -1.0;
-    NodeId tip = kNoId;
+    std::uint64_t last_used = 0;
     AlignedDoubleVec table;
   };
-  std::vector<TipTableEntry> tip_tables;  // [edge]
+  std::vector<std::array<TipTableEntry, kTipTableLruSize>> tip_tables;
   TipTableEntry sym_table;
 
   // Inner-node CLVs and scale counts, indexed by (node - tip_count).
@@ -160,6 +164,7 @@ Engine::Engine(const CompressedAlignment& aln, Tree tree,
   build_tip_data();
 
   use_generic_ = opts.use_generic_kernels;
+  sched_strategy_ = opts.schedule;
 
   // Allocate CLVs, scale counts, and tracking structures.
   const int inner_count = tree_.node_count() - tree_.tip_count();
@@ -180,7 +185,8 @@ Engine::Engine(const CompressedAlignment& aln, Tree tree,
                     std::vector<std::uint32_t>(parts_.size(), 0));
   last_lnl_.assign(parts_.size(), 0.0);
 
-  team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument);
+  team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument,
+                                       opts.instrument_cpu_time);
   red_stride_ = (parts_.size() + 7) / 8 * 8;
   const std::size_t red_size = static_cast<std::size_t>(opts.threads) * red_stride_;
   red_lnl_.assign(red_size, 0.0);
@@ -255,24 +261,34 @@ void Engine::invalidate_all() {
   sumtable_valid_ = false;
 }
 
-const double* Engine::tip_table_for(int p, EdgeId e, NodeId tip,
-                                    const double* pmat) {
+const double* Engine::tip_table_for(int p, EdgeId e, const double* pmat) {
   PartData& pd = *parts_[static_cast<std::size_t>(p)];
-  auto& ent = pd.tip_tables[static_cast<std::size_t>(e)];
+  auto& lru = pd.tip_tables[static_cast<std::size_t>(e)];
   const double b = lengths_.get(e, p);
   const std::uint32_t epoch = model_epoch_[static_cast<std::size_t>(p)];
-  if (ent.epoch != epoch || ent.blen != b || ent.tip != tip ||
-      ent.table.empty()) {
-    ent.table.resize(pd.n_codes * pd.clv_stride());
-    dispatch_states(pd.states, [&]<int S>() {
-      kernel::build_tip_table<S>(pmat, pd.cats, pd.indicators.data(),
-                                 pd.n_codes, ent.table.data());
-    });
-    ent.epoch = epoch;
-    ent.blen = b;
-    ent.tip = tip;
+  PartData::TipTableEntry* victim = &lru[0];
+  for (auto& ent : lru) {
+    if (!ent.table.empty() && ent.epoch == epoch && ent.blen == b) {
+      ent.last_used = ++tip_clock_;
+      ++stats_.tip_table_hits;
+      return ent.table.data();
+    }
+    if (ent.table.empty()) {
+      victim = &ent;  // prefer an unused slot over evicting
+      break;
+    }
+    if (ent.last_used < victim->last_used) victim = &ent;
   }
-  return ent.table.data();
+  victim->table.resize(pd.n_codes * pd.clv_stride());
+  dispatch_states(pd.states, [&]<int S>() {
+    kernel::build_tip_table<S>(pmat, pd.cats, pd.indicators.data(),
+                               pd.n_codes, victim->table.data());
+  });
+  victim->epoch = epoch;
+  victim->blen = b;
+  victim->last_used = ++tip_clock_;
+  ++stats_.tip_table_rebuilds;
+  return victim->table.data();
 }
 
 const double* Engine::sym_table_for(int p) {
@@ -291,6 +307,65 @@ const double* Engine::sym_table_for(int p) {
   return ent.table.data();
 }
 
+const WorkSchedule& Engine::schedule() {
+  if (sched_dirty_) {
+    // Measured weights are seconds-per-pattern — a different unit from the
+    // static states^2 x cats model — so they are only usable if EVERY
+    // partition has one (a partition whose timed reps landed below clock
+    // granularity would otherwise dwarf, or be dwarfed by, the rest).
+    bool use_measured = sched_strategy_ == SchedulingStrategy::kMeasured &&
+                        measured_cost_.size() == parts_.size();
+    if (use_measured)
+      for (double c : measured_cost_)
+        if (!(c > 0.0)) {
+          use_measured = false;
+          break;
+        }
+    std::vector<PartitionShape> shapes(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+      const PartData& pd = *parts_[p];
+      PartitionShape& sh = shapes[p];
+      sh.patterns = pd.patterns;
+      sh.states = pd.states;
+      sh.cats = pd.cats;
+      // Fold the observed seconds-per-pattern into the weight so that
+      // cost_per_pattern() == the measurement; without a complete
+      // calibration every partition keeps the static model.
+      if (use_measured)
+        sh.weight = measured_cost_[p] / (static_cast<double>(pd.states) *
+                                        static_cast<double>(pd.cats));
+    }
+    sched_ = WorkSchedule::build(sched_strategy_, team_->size(), shapes);
+    sched_dirty_ = false;
+  }
+  return sched_;
+}
+
+void Engine::set_scheduling_strategy(SchedulingStrategy s) {
+  if (s == sched_strategy_) return;
+  sched_strategy_ = s;
+  sched_dirty_ = true;
+}
+
+void Engine::calibrate_schedule(EdgeId edge, int reps) {
+  if (!team_->instrumented() || reps < 1) return;
+  measured_cost_.assign(parts_.size(), 0.0);
+  for (int p = 0; p < partition_count(); ++p) {
+    const std::vector<int> one{static_cast<int>(p)};
+    // Warm-up evaluation brings CLVs, tables and caches up to date so the
+    // timed repetitions measure the steady-state evaluate cost.
+    loglikelihood(edge, one);
+    const double before = team_->stats().total_work_seconds;
+    for (int r = 0; r < reps; ++r) loglikelihood(edge, one);
+    const double dt = team_->stats().total_work_seconds - before;
+    const auto n = parts_[static_cast<std::size_t>(p)]->patterns;
+    if (n > 0 && dt > 0.0)
+      measured_cost_[static_cast<std::size_t>(p)] =
+          dt / (static_cast<double>(reps) * static_cast<double>(n));
+  }
+  sched_dirty_ = true;
+}
+
 const double* Engine::prepare_edge_tables(Command& cmd, int p, std::size_t off,
                                           EdgeId e, NodeId endpoint) {
   if (use_generic_) return nullptr;
@@ -299,7 +374,7 @@ const double* Engine::prepare_edge_tables(Command& cmd, int p, std::size_t off,
   // need the transpose.
   cmd.pmats_t.resize(cmd.pmats.size());
   if (tree_.is_tip(endpoint))
-    return tip_table_for(p, e, endpoint, cmd.pmats.data() + off);
+    return tip_table_for(p, e, cmd.pmats.data() + off);
   const PartData& pd = *parts_[static_cast<std::size_t>(p)];
   dispatch_states(pd.states, [&]<int S>() {
     kernel::transpose_pmats<S>(cmd.pmats.data() + off, pd.cats,
@@ -404,13 +479,51 @@ void Engine::execute(Command& cmd) {
   if (cmd.do_eval) stats_.evaluations += cmd.eval_parts.size();
   if (cmd.do_nr) stats_.nr_iterations += cmd.nr_parts.size();
 
-  const int T = team_->size();
   const int tips = tree_.tip_count();
+  // Resolve the cached work assignment on the master before broadcasting;
+  // inside the command every thread reads it concurrently (const access).
+  const WorkSchedule& sched = schedule();
+
+  // The cost-balancing strategies split the *concatenated* pattern sequence,
+  // so a partition whose cost share is below 1/T belongs entirely to one
+  // thread — correct for multi-partition commands, but a command scoped to
+  // a single partition (oldPAR-style model/branch phases) would then run
+  // serially. Per-pattern cost is uniform within one partition, so such
+  // commands use an even block split instead. Assignments may differ freely
+  // between commands (each command ends in a full barrier); only ops
+  // *within* a command must share one assignment, which both paths honor.
+  int solo_part = -1;
+  if (sched.strategy() != SchedulingStrategy::kCyclic &&
+      sched.strategy() != SchedulingStrategy::kBlock && team_->size() > 1) {
+    const auto fold = [&](int p) {
+      if (solo_part == -1 || solo_part == p) solo_part = p;
+      else solo_part = -2;  // more than one partition involved
+    };
+    for (const auto& op : cmd.ops)
+      for (int p : op.parts) fold(p);
+    for (int p : cmd.eval_parts) fold(p);
+    for (int p : cmd.sum_parts) fold(p);
+    for (int p : cmd.nr_parts) fold(p);
+    if (cmd.do_sites) fold(cmd.sites_part);
+    if (solo_part < 0) solo_part = -1;
+  }
+  const std::size_t T = static_cast<std::size_t>(team_->size());
 
   team_->run([&](int tid) {
-    // 1. Traversal ops, in order (no intra-traversal barrier needed: with a
-    //    cyclic distribution, thread tid's slice of a parent CLV depends only
-    //    on its own slice of the children CLVs).
+    // Span lookup for this command (see solo_part above). `tmp` holds the
+    // synthesized block span, which lives for the duration of the use.
+    WorkSpan tmp;
+    const auto spans_of = [&](int p) -> std::span<const WorkSpan> {
+      if (p != solo_part) return sched.spans(tid, p);
+      tmp = block_span(p, parts_[static_cast<std::size_t>(p)]->patterns, tid,
+                       static_cast<int>(T));
+      if (tmp.begin >= tmp.end) return {};
+      return {&tmp, 1};
+    };
+    // 1. Traversal ops, in order (no intra-traversal barrier needed:
+    //    pattern i of a parent CLV depends only on pattern i of the child
+    //    CLVs, and a thread owns the same spans of a partition for every
+    //    op of the command).
     for (const auto& op : cmd.ops) {
       const std::size_t inner = static_cast<std::size_t>(op.node - tips);
       for (std::size_t k = 0; k < op.parts.size(); ++k) {
@@ -418,23 +531,27 @@ void Engine::execute(Command& cmd) {
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
         kernel::ChildView v1 = child_view(p, op.c1);
         kernel::ChildView v2 = child_view(p, op.c2);
+        if (!use_generic_) {
+          v1.tip_table = op.tt1[k];
+          v2.tip_table = op.tt2[k];
+        }
         dispatch_states(pd.states, [&]<int S>() {
-          if (use_generic_) {
-            kernel::newview_slice<S>(tid, T, pd.patterns, pd.cats, v1, v2,
-                                     cmd.pmats.data() + op.pmat1[k],
-                                     cmd.pmats.data() + op.pmat2[k],
-                                     pd.clv[inner].data(),
-                                     pd.scale[inner].data());
-          } else {
-            v1.tip_table = op.tt1[k];
-            v2.tip_table = op.tt2[k];
-            kernel::newview_spec<S>(tid, T, pd.patterns, pd.cats, v1, v2,
-                                    cmd.pmats.data() + op.pmat1[k],
-                                    cmd.pmats.data() + op.pmat2[k],
-                                    cmd.pmats_t.data() + op.pmat1[k],
-                                    cmd.pmats_t.data() + op.pmat2[k],
-                                    pd.clv[inner].data(),
-                                    pd.scale[inner].data());
+          for (const WorkSpan& s : spans_of(p)) {
+            if (use_generic_) {
+              kernel::newview_slice<S>(s.begin, s.end, s.step, pd.cats, v1,
+                                       v2, cmd.pmats.data() + op.pmat1[k],
+                                       cmd.pmats.data() + op.pmat2[k],
+                                       pd.clv[inner].data(),
+                                       pd.scale[inner].data());
+            } else {
+              kernel::newview_spec<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
+                                      cmd.pmats.data() + op.pmat1[k],
+                                      cmd.pmats.data() + op.pmat2[k],
+                                      cmd.pmats_t.data() + op.pmat1[k],
+                                      cmd.pmats_t.data() + op.pmat2[k],
+                                      pd.clv[inner].data(),
+                                      pd.scale[inner].data());
+            }
           }
         });
       }
@@ -449,22 +566,25 @@ void Engine::execute(Command& cmd) {
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
         const kernel::ChildView vu = child_view(p, u);
         kernel::ChildView vv = child_view(p, v);
+        if (!use_generic_) vv.tip_table = cmd.eval_tt[k];
         double partial = 0.0;
         dispatch_states(pd.states, [&]<int S>() {
-          if (use_generic_) {
-            partial = kernel::evaluate_slice<S>(
-                tid, T, pd.patterns, pd.cats, vu, vv,
-                cmd.pmats.data() + cmd.eval_pmat[k],
-                pd.model.model().freqs().data(), pd.weights.data());
-          } else {
-            vv.tip_table = cmd.eval_tt[k];
-            partial = kernel::evaluate_spec<S>(
-                tid, T, pd.patterns, pd.cats, vu, vv,
-                cmd.pmats.data() + cmd.eval_pmat[k],
-                cmd.pmats_t.data() + cmd.eval_pmat[k],
-                pd.model.model().freqs().data(), pd.weights.data());
+          for (const WorkSpan& s : spans_of(p)) {
+            if (use_generic_) {
+              partial += kernel::evaluate_slice<S>(
+                  s.begin, s.end, s.step, pd.cats, vu, vv,
+                  cmd.pmats.data() + cmd.eval_pmat[k],
+                  pd.model.model().freqs().data(), pd.weights.data());
+            } else {
+              partial += kernel::evaluate_spec<S>(
+                  s.begin, s.end, s.step, pd.cats, vu, vv,
+                  cmd.pmats.data() + cmd.eval_pmat[k],
+                  cmd.pmats_t.data() + cmd.eval_pmat[k],
+                  pd.model.model().freqs().data(), pd.weights.data());
+            }
           }
         });
+        // Threads without spans of p still publish their (zero) partial.
         red_lnl_[static_cast<std::size_t>(tid) * red_stride_ +
                  static_cast<std::size_t>(p)] = partial;
       }
@@ -478,19 +598,21 @@ void Engine::execute(Command& cmd) {
       PartData& pd = *parts_[static_cast<std::size_t>(p)];
       const kernel::ChildView vu = child_view(p, u);
       kernel::ChildView vv = child_view(p, v);
+      if (!use_generic_) vv.tip_table = cmd.sites_tt;
       dispatch_states(pd.states, [&]<int S>() {
-        if (use_generic_) {
-          kernel::evaluate_sites_slice<S>(
-              tid, T, pd.patterns, pd.cats, vu, vv,
-              cmd.pmats.data() + cmd.sites_pmat,
-              pd.model.model().freqs().data(), cmd.sites_out);
-        } else {
-          vv.tip_table = cmd.sites_tt;
-          kernel::evaluate_sites_spec<S>(
-              tid, T, pd.patterns, pd.cats, vu, vv,
-              cmd.pmats.data() + cmd.sites_pmat,
-              cmd.pmats_t.data() + cmd.sites_pmat,
-              pd.model.model().freqs().data(), cmd.sites_out);
+        for (const WorkSpan& s : spans_of(p)) {
+          if (use_generic_) {
+            kernel::evaluate_sites_slice<S>(
+                s.begin, s.end, s.step, pd.cats, vu, vv,
+                cmd.pmats.data() + cmd.sites_pmat,
+                pd.model.model().freqs().data(), cmd.sites_out);
+          } else {
+            kernel::evaluate_sites_spec<S>(
+                s.begin, s.end, s.step, pd.cats, vu, vv,
+                cmd.pmats.data() + cmd.sites_pmat,
+                cmd.pmats_t.data() + cmd.sites_pmat,
+                pd.model.model().freqs().data(), cmd.sites_out);
+          }
         }
       });
     }
@@ -504,18 +626,23 @@ void Engine::execute(Command& cmd) {
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
         kernel::ChildView vu = child_view(p, u);
         kernel::ChildView vv = child_view(p, v);
+        if (!use_generic_) {
+          vu.tip_table = cmd.sum_ttu[k];
+          vv.tip_table = cmd.sum_ttv[k];
+        }
         dispatch_states(pd.states, [&]<int S>() {
-          if (use_generic_) {
-            kernel::sumtable_slice<S>(tid, T, pd.patterns, pd.cats, vu, vv,
-                                      pd.model.model().sym_transform().data(),
-                                      pd.sumtable.data());
-          } else {
-            vu.tip_table = cmd.sum_ttu[k];
-            vv.tip_table = cmd.sum_ttv[k];
-            kernel::sumtable_spec<S>(tid, T, pd.patterns, pd.cats, vu, vv,
-                                     pd.model.model().sym_transform().data(),
-                                     cmd.symt.data() + cmd.sum_symt[k],
-                                     pd.sumtable.data());
+          for (const WorkSpan& s : spans_of(p)) {
+            if (use_generic_) {
+              kernel::sumtable_slice<S>(
+                  s.begin, s.end, s.step, pd.cats, vu, vv,
+                  pd.model.model().sym_transform().data(),
+                  pd.sumtable.data());
+            } else {
+              kernel::sumtable_spec<S>(
+                  s.begin, s.end, s.step, pd.cats, vu, vv,
+                  pd.model.model().sym_transform().data(),
+                  cmd.symt.data() + cmd.sum_symt[k], pd.sumtable.data());
+            }
           }
         });
       }
@@ -528,18 +655,23 @@ void Engine::execute(Command& cmd) {
         PartData& pd = *parts_[static_cast<std::size_t>(p)];
         double d1 = 0.0, d2 = 0.0;
         dispatch_states(pd.states, [&]<int S>() {
-          if (use_generic_)
-            kernel::nr_slice<S>(tid, T, pd.patterns, pd.cats,
-                                pd.sumtable.data(),
-                                cmd.scratch.data() + cmd.nr_exp[k],
-                                cmd.scratch.data() + cmd.nr_lam[k],
-                                pd.weights.data(), &d1, &d2);
-          else
-            kernel::nr_spec<S>(tid, T, pd.patterns, pd.cats,
-                               pd.sumtable.data(),
-                               cmd.scratch.data() + cmd.nr_exp[k],
-                               cmd.scratch.data() + cmd.nr_lam[k],
-                               pd.weights.data(), &d1, &d2);
+          for (const WorkSpan& s : spans_of(p)) {
+            double s1 = 0.0, s2 = 0.0;
+            if (use_generic_)
+              kernel::nr_slice<S>(s.begin, s.end, s.step, pd.cats,
+                                  pd.sumtable.data(),
+                                  cmd.scratch.data() + cmd.nr_exp[k],
+                                  cmd.scratch.data() + cmd.nr_lam[k],
+                                  pd.weights.data(), &s1, &s2);
+            else
+              kernel::nr_spec<S>(s.begin, s.end, s.step, pd.cats,
+                                 pd.sumtable.data(),
+                                 cmd.scratch.data() + cmd.nr_exp[k],
+                                 cmd.scratch.data() + cmd.nr_lam[k],
+                                 pd.weights.data(), &s1, &s2);
+            d1 += s1;
+            d2 += s2;
+          }
         });
         red_d1_[static_cast<std::size_t>(tid) * red_stride_ +
                 static_cast<std::size_t>(p)] = d1;

@@ -35,6 +35,7 @@
 #include "core/branch_lengths.hpp"
 #include "core/kernels.hpp"
 #include "core/partition_model.hpp"
+#include "parallel/schedule.hpp"
 #include "parallel/thread_team.hpp"
 #include "tree/tree.hpp"
 #include "util/aligned.hpp"
@@ -52,7 +53,17 @@ struct EngineOptions {
   /// Run the generic scalar reference kernels instead of the specialized
   /// SIMD + tip-table paths (A/B testing and golden-value verification).
   bool use_generic_kernels = false;
+  /// How pattern work is assigned to threads (parallel/schedule.hpp).
+  /// kCyclic reproduces the historical hard-coded split bit-for-bit.
+  SchedulingStrategy schedule = SchedulingStrategy::kCyclic;
+  /// Measure per-thread CPU time instead of wall time (see ThreadTeam).
+  bool instrument_cpu_time = false;
 };
+
+/// Entries per edge in the tip-table LRU cache: enough for a root-edge
+/// Newton-Raphson sweep that alternates between a handful of candidate
+/// branch lengths without rebuilding the table each time.
+inline constexpr int kTipTableLruSize = 4;
 
 /// Aggregate engine counters for the ablation benchmarks.
 struct EngineStats {
@@ -60,6 +71,8 @@ struct EngineStats {
   std::uint64_t newview_ops = 0;     ///< node-partition CLV recomputations
   std::uint64_t evaluations = 0;     ///< likelihood reductions
   std::uint64_t nr_iterations = 0;   ///< NR derivative reductions
+  std::uint64_t tip_table_rebuilds = 0;  ///< tip lookup table (re)builds
+  std::uint64_t tip_table_hits = 0;      ///< tip table LRU cache hits
 };
 
 /// The likelihood engine. Not copyable; owns large CLV buffers.
@@ -140,6 +153,25 @@ class Engine {
                       std::span<const double> lens, std::span<double> d1,
                       std::span<double> d2);
 
+  // --- work scheduling ------------------------------------------------------
+
+  /// The per-thread work assignment used by every command. Computed once per
+  /// (strategy, thread count, partition shapes) and cached; strategy changes
+  /// and calibration invalidate it (the engine's shape itself is fixed at
+  /// construction).
+  const WorkSchedule& schedule();
+
+  SchedulingStrategy scheduling_strategy() const { return sched_strategy_; }
+  /// Switch strategies between commands (master thread only).
+  void set_scheduling_strategy(SchedulingStrategy s);
+
+  /// Re-weight the kMeasured cost model from observed timings: evaluates
+  /// each partition alone at `edge` (`reps` instrumented commands each) and
+  /// records the per-pattern seconds seen by the team. Leaves likelihoods
+  /// unchanged, but moves the virtual root to `edge`. No-op when the team
+  /// is not instrumented.
+  void calibrate_schedule(EdgeId edge, int reps = 2);
+
   // --- instrumentation ------------------------------------------------------
 
   const EngineStats& stats() const { return stats_; }
@@ -165,11 +197,12 @@ class Engine {
   kernel::ChildView child_view(int p, NodeId v) const;
 
   /// Cached tip lookup table (P x indicator products, [code][cat][state])
-  /// for the tip endpoint `tip` of edge `e` in partition `p`. Rebuilt from
-  /// `pmat` (this edge's row-major per-category transition matrices) when
-  /// the partition's model epoch or the edge's branch length changed since
-  /// the table was last built. Master-thread only (command assembly).
-  const double* tip_table_for(int p, EdgeId e, NodeId tip, const double* pmat);
+  /// for edge `e` in partition `p`. Served from a small per-edge LRU keyed
+  /// on (model epoch, branch length) — the table's content depends on
+  /// nothing else — and rebuilt from `pmat` (this edge's row-major
+  /// per-category transition matrices) on a miss. Master-thread only
+  /// (command assembly).
+  const double* tip_table_for(int p, EdgeId e, const double* pmat);
   /// Specialized-path table preparation for the matrices of edge `e` just
   /// appended to cmd.pmats at `off`, applied toward `endpoint`: keeps
   /// cmd.pmats_t in lockstep, transposes for an inner endpoint, and returns
@@ -198,8 +231,16 @@ class Engine {
   bool use_generic_ = false;
   std::vector<double> last_lnl_;            // per partition
 
-  // Padded per-thread reduction buffers (lnl / d1 / d2), stride-aligned.
-  std::vector<double> red_lnl_, red_d1_, red_d2_;
+  // Work-assignment cache (see schedule()).
+  SchedulingStrategy sched_strategy_ = SchedulingStrategy::kCyclic;
+  WorkSchedule sched_;
+  bool sched_dirty_ = true;
+  std::vector<double> measured_cost_;       // per partition, sec/pattern
+  std::uint64_t tip_clock_ = 0;             // LRU recency counter
+
+  // Per-thread reduction buffers (lnl / d1 / d2). Rows are one cache-line
+  // aligned and stride-padded so two threads never write the same line.
+  AlignedDoubleVec red_lnl_, red_d1_, red_d2_;
   std::size_t red_stride_ = 0;
 
   EngineStats stats_;

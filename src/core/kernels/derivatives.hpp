@@ -16,14 +16,13 @@ namespace plk::kernel {
 namespace detail {
 
 template <int S, bool TipU, bool TipV>
-void sumtable_core(int tid, int nthreads, std::size_t patterns, int cats,
-                   const ChildView& cu, const ChildView& cv,
+void sumtable_core(std::size_t begin, std::size_t end, std::size_t step,
+                   int cats, const ChildView& cu, const ChildView& cv,
                    const double* symt, double* out) {
   constexpr int W = simd::kLanes;
   constexpr int B = kBlocks<S>;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double* lu =
         TipU ? cu.tip_table + static_cast<std::size_t>(cu.codes[i]) * S
              : cu.clv + i * stride;
@@ -58,39 +57,38 @@ void sumtable_core(int tid, int nthreads, std::size_t patterns, int cats,
 /// path. `sym` is the row-major transform (generic fallback), `symt` its
 /// transpose ([j][k]).
 template <int S>
-void sumtable_spec(int tid, int nthreads, std::size_t patterns, int cats,
-                   const ChildView& cu, const ChildView& cv, const double* sym,
-                   const double* symt, double* out) {
+void sumtable_spec(std::size_t begin, std::size_t end, std::size_t step,
+                   int cats, const ChildView& cu, const ChildView& cv,
+                   const double* sym, const double* symt, double* out) {
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if ((tu && cu.tip_table == nullptr) || (tv && cv.tip_table == nullptr)) {
-    sumtable_slice<S>(tid, nthreads, patterns, cats, cu, cv, sym, out);
+    sumtable_slice<S>(begin, end, step, cats, cu, cv, sym, out);
     return;
   }
   if (tu && tv)
-    detail::sumtable_core<S, true, true>(tid, nthreads, patterns, cats, cu, cv,
-                                         symt, out);
+    detail::sumtable_core<S, true, true>(begin, end, step, cats, cu, cv, symt,
+                                         out);
   else if (tu)
-    detail::sumtable_core<S, true, false>(tid, nthreads, patterns, cats, cu,
-                                          cv, symt, out);
+    detail::sumtable_core<S, true, false>(begin, end, step, cats, cu, cv,
+                                          symt, out);
   else if (tv)
-    detail::sumtable_core<S, false, true>(tid, nthreads, patterns, cats, cu,
-                                          cv, symt, out);
+    detail::sumtable_core<S, false, true>(begin, end, step, cats, cu, cv,
+                                          symt, out);
   else
-    detail::sumtable_core<S, false, false>(tid, nthreads, patterns, cats, cu,
-                                           cv, symt, out);
+    detail::sumtable_core<S, false, false>(begin, end, step, cats, cu, cv,
+                                           symt, out);
 }
 
 /// SIMD Newton-Raphson derivative reduction (same contract as nr_slice).
 template <int S>
-void nr_spec(int tid, int nthreads, std::size_t patterns, int cats,
+void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
              const double* sumtable, const double* exp_lam, const double* lam,
              const double* weights, double* out_d1, double* out_d2) {
   constexpr int W = simd::kLanes;
   constexpr int B = kBlocks<S>;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   double d1 = 0.0, d2 = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double* st = sumtable + i * stride;
     simd::Vec vf = simd::zero(), vf1 = simd::zero(), vf2 = simd::zero();
     for (int c = 0; c < cats; ++c) {

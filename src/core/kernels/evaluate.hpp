@@ -46,8 +46,8 @@ inline double eval_site(std::size_t i, int cats, std::size_t stride,
 }
 
 template <int S, bool TipU, bool TipV>
-double evaluate_core(int tid, int nthreads, std::size_t patterns, int cats,
-                     const ChildView& cu, const ChildView& cv,
+double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
+                     int cats, const ChildView& cu, const ChildView& cv,
                      const double* pt, const double* freqs,
                      const double* weights) {
   constexpr int W = simd::kLanes;
@@ -57,8 +57,7 @@ double evaluate_core(int tid, int nthreads, std::size_t patterns, int cats,
   for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
 
   double lnl = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double site =
         eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
@@ -70,8 +69,8 @@ double evaluate_core(int tid, int nthreads, std::size_t patterns, int cats,
 }
 
 template <int S, bool TipU, bool TipV>
-void evaluate_sites_core(int tid, int nthreads, std::size_t patterns, int cats,
-                         const ChildView& cu, const ChildView& cv,
+void evaluate_sites_core(std::size_t begin, std::size_t end, std::size_t step,
+                         int cats, const ChildView& cu, const ChildView& cv,
                          const double* pt, const double* freqs, double* out) {
   constexpr int W = simd::kLanes;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
@@ -79,8 +78,7 @@ void evaluate_sites_core(int tid, int nthreads, std::size_t patterns, int cats,
   simd::Vec fr[kBlocks<S>];
   for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
 
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double site =
         eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
@@ -95,51 +93,50 @@ void evaluate_sites_core(int tid, int nthreads, std::size_t patterns, int cats,
 /// generic reference kernel when a tip `cv` has no lookup table. `p` is
 /// row-major, `pt` transposed.
 template <int S>
-double evaluate_spec(int tid, int nthreads, std::size_t patterns, int cats,
-                     const ChildView& cu, const ChildView& cv, const double* p,
-                     const double* pt, const double* freqs,
+double evaluate_spec(std::size_t begin, std::size_t end, std::size_t step,
+                     int cats, const ChildView& cu, const ChildView& cv,
+                     const double* p, const double* pt, const double* freqs,
                      const double* weights) {
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if (tv && cv.tip_table == nullptr)
-    return evaluate_slice<S>(tid, nthreads, patterns, cats, cu, cv, p, freqs,
+    return evaluate_slice<S>(begin, end, step, cats, cu, cv, p, freqs,
                              weights);
   if (tu && tv)
-    return detail::evaluate_core<S, true, true>(tid, nthreads, patterns, cats,
-                                                cu, cv, pt, freqs, weights);
+    return detail::evaluate_core<S, true, true>(begin, end, step, cats, cu,
+                                                cv, pt, freqs, weights);
   if (tu)
-    return detail::evaluate_core<S, true, false>(tid, nthreads, patterns, cats,
-                                                 cu, cv, pt, freqs, weights);
+    return detail::evaluate_core<S, true, false>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, weights);
   if (tv)
-    return detail::evaluate_core<S, false, true>(tid, nthreads, patterns, cats,
-                                                 cu, cv, pt, freqs, weights);
-  return detail::evaluate_core<S, false, false>(tid, nthreads, patterns, cats,
-                                                cu, cv, pt, freqs, weights);
+    return detail::evaluate_core<S, false, true>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, weights);
+  return detail::evaluate_core<S, false, false>(begin, end, step, cats, cu,
+                                                cv, pt, freqs, weights);
 }
 
 /// Per-site variant of evaluate_spec (same dispatch rules).
 template <int S>
-void evaluate_sites_spec(int tid, int nthreads, std::size_t patterns, int cats,
-                         const ChildView& cu, const ChildView& cv,
+void evaluate_sites_spec(std::size_t begin, std::size_t end, std::size_t step,
+                         int cats, const ChildView& cu, const ChildView& cv,
                          const double* p, const double* pt, const double* freqs,
                          double* out) {
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if (tv && cv.tip_table == nullptr) {
-    evaluate_sites_slice<S>(tid, nthreads, patterns, cats, cu, cv, p, freqs,
-                            out);
+    evaluate_sites_slice<S>(begin, end, step, cats, cu, cv, p, freqs, out);
     return;
   }
   if (tu && tv)
-    detail::evaluate_sites_core<S, true, true>(tid, nthreads, patterns, cats,
-                                               cu, cv, pt, freqs, out);
+    detail::evaluate_sites_core<S, true, true>(begin, end, step, cats, cu, cv,
+                                               pt, freqs, out);
   else if (tu)
-    detail::evaluate_sites_core<S, true, false>(tid, nthreads, patterns, cats,
-                                                cu, cv, pt, freqs, out);
+    detail::evaluate_sites_core<S, true, false>(begin, end, step, cats, cu,
+                                                cv, pt, freqs, out);
   else if (tv)
-    detail::evaluate_sites_core<S, false, true>(tid, nthreads, patterns, cats,
-                                                cu, cv, pt, freqs, out);
+    detail::evaluate_sites_core<S, false, true>(begin, end, step, cats, cu,
+                                                cv, pt, freqs, out);
   else
-    detail::evaluate_sites_core<S, false, false>(tid, nthreads, patterns, cats,
-                                                 cu, cv, pt, freqs, out);
+    detail::evaluate_sites_core<S, false, false>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, out);
 }
 
 }  // namespace plk::kernel

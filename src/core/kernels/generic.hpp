@@ -9,10 +9,12 @@
 // EngineOptions::use_generic_kernels.
 //
 // All functions operate on one partition's conditional likelihood vectors
-// (CLVs) over a *cyclic slice* of its patterns: thread `tid` of `T`
-// processes patterns tid, tid+T, tid+2T, ... — the paper's distribution
-// scheme, chosen so that mixed DNA/protein alignments spread their expensive
-// 20-state columns evenly over threads.
+// (CLVs) over a *span* of its patterns: begin, begin+step, ... strictly
+// below end. The historical cyclic distribution is the span
+// (tid, patterns, T); the scheduling layer (parallel/schedule.hpp) can
+// instead hand threads contiguous cost-balanced spans (step 1). Pattern i of
+// the output depends only on pattern i of the inputs, so any disjoint
+// covering set of spans is race-free without intra-traversal barriers.
 //
 // CLV layout: [pattern][rate_category][state], contiguous doubles.
 // Tip children have no CLV; they are represented by per-pattern codes into a
@@ -82,12 +84,12 @@ inline std::int32_t child_scale(const ChildView& c1, const ChildView& c2,
 /// newview: combine two children into the parent CLV.
 /// `p1`, `p2`: transition matrices per category, layout [cat][i][j].
 template <int S>
-void newview_slice(int tid, int nthreads, std::size_t patterns, int cats,
-                   const ChildView& c1, const ChildView& c2, const double* p1,
-                   const double* p2, double* out, std::int32_t* out_scale) {
+void newview_slice(std::size_t begin, std::size_t end, std::size_t step,
+                   int cats, const ChildView& c1, const ChildView& c2,
+                   const double* p1, const double* p2, double* out,
+                   std::int32_t* out_scale) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     double* o = out + i * stride;
     const double* l1 = child_pattern<S>(c1, i, stride);
     const double* l2 = child_pattern<S>(c2, i, stride);
@@ -127,15 +129,14 @@ void newview_slice(int tid, int nthreads, std::size_t patterns, int cats,
 /// branch length are `p` ([cat][i][j], applied to the cv side).
 /// `freqs`: stationary frequencies. `weights`: pattern multiplicities.
 template <int S>
-double evaluate_slice(int tid, int nthreads, std::size_t patterns, int cats,
-                      const ChildView& cu, const ChildView& cv,
+double evaluate_slice(std::size_t begin, std::size_t end, std::size_t step,
+                      int cats, const ChildView& cu, const ChildView& cv,
                       const double* p, const double* freqs,
                       const double* weights) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   double lnl = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double* lu = child_pattern<S>(cu, i, stride);
     const double* lv = child_pattern<S>(cv, i, stride);
     double site = 0.0;
@@ -163,13 +164,12 @@ double evaluate_slice(int tid, int nthreads, std::size_t patterns, int cats,
 /// multiplied) at the virtual root — the PLK's standard per-site output used
 /// for site-wise model comparison and topology tests.
 template <int S>
-void evaluate_sites_slice(int tid, int nthreads, std::size_t patterns,
+void evaluate_sites_slice(std::size_t begin, std::size_t end, std::size_t step,
                           int cats, const ChildView& cu, const ChildView& cv,
                           const double* p, const double* freqs, double* out) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   const double inv_cats = 1.0 / static_cast<double>(cats);
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double* lu = child_pattern<S>(cu, i, stride);
     const double* lv = child_pattern<S>(cv, i, stride);
     double site = 0.0;
@@ -196,12 +196,11 @@ void evaluate_sites_slice(int tid, int nthreads, std::size_t patterns,
 /// `sym`: the S x S transform with row k = sqrt(pi_i) V_ik.
 /// Output layout: [pattern][cat][k].
 template <int S>
-void sumtable_slice(int tid, int nthreads, std::size_t patterns, int cats,
-                    const ChildView& cu, const ChildView& cv,
+void sumtable_slice(std::size_t begin, std::size_t end, std::size_t step,
+                    int cats, const ChildView& cu, const ChildView& cv,
                     const double* sym, double* out) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double* lu = child_pattern<S>(cu, i, stride);
     const double* lv = child_pattern<S>(cv, i, stride);
     double* o = out + i * stride;
@@ -227,14 +226,13 @@ void sumtable_slice(int tid, int nthreads, std::size_t patterns, int cats,
 /// `exp_lam` layout [cat][k] = exp(lambda_k * r_c * b);
 /// `lam` layout [cat][k] = lambda_k * r_c.
 template <int S>
-void nr_slice(int tid, int nthreads, std::size_t patterns, int cats,
+void nr_slice(std::size_t begin, std::size_t end, std::size_t step, int cats,
               const double* sumtable, const double* exp_lam,
               const double* lam, const double* weights, double* out_d1,
               double* out_d2) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   double d1 = 0.0, d2 = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     const double* st = sumtable + i * stride;
     double f = 0.0, f1 = 0.0, f2 = 0.0;
     for (int c = 0; c < cats; ++c) {

@@ -24,14 +24,14 @@ namespace plk::kernel {
 namespace detail {
 
 template <int S, bool Tip1, bool Tip2>
-void newview_core(int tid, int nthreads, std::size_t patterns, int cats,
-                  const ChildView& c1, const ChildView& c2, const double* p1t,
-                  const double* p2t, double* out, std::int32_t* out_scale) {
+void newview_core(std::size_t begin, std::size_t end, std::size_t step,
+                  int cats, const ChildView& c1, const ChildView& c2,
+                  const double* p1t, const double* p2t, double* out,
+                  std::int32_t* out_scale) {
   constexpr int W = simd::kLanes;
   constexpr int B = kBlocks<S>;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
-  for (std::size_t i = static_cast<std::size_t>(tid); i < patterns;
-       i += static_cast<std::size_t>(nthreads)) {
+  for (std::size_t i = begin; i < end; i += step) {
     double* o = out + i * stride;
     // Tip tables share the CLV's [.][cat][state] layout, so the per-category
     // addressing below is identical for both child kinds.
@@ -85,28 +85,27 @@ void newview_core(int tid, int nthreads, std::size_t patterns, int cats,
 /// Tip children must carry a tip_table to take a specialized path; otherwise
 /// the generic reference kernel runs.
 template <int S>
-void newview_spec(int tid, int nthreads, std::size_t patterns, int cats,
-                  const ChildView& c1, const ChildView& c2, const double* p1,
-                  const double* p2, const double* p1t, const double* p2t,
-                  double* out, std::int32_t* out_scale) {
+void newview_spec(std::size_t begin, std::size_t end, std::size_t step,
+                  int cats, const ChildView& c1, const ChildView& c2,
+                  const double* p1, const double* p2, const double* p1t,
+                  const double* p2t, double* out, std::int32_t* out_scale) {
   const bool t1 = c1.is_tip(), t2 = c2.is_tip();
   if ((t1 && c1.tip_table == nullptr) || (t2 && c2.tip_table == nullptr)) {
-    newview_slice<S>(tid, nthreads, patterns, cats, c1, c2, p1, p2, out,
-                     out_scale);
+    newview_slice<S>(begin, end, step, cats, c1, c2, p1, p2, out, out_scale);
     return;
   }
   if (t1 && t2)
-    detail::newview_core<S, true, true>(tid, nthreads, patterns, cats, c1, c2,
-                                        p1t, p2t, out, out_scale);
+    detail::newview_core<S, true, true>(begin, end, step, cats, c1, c2, p1t,
+                                        p2t, out, out_scale);
   else if (t1)
-    detail::newview_core<S, true, false>(tid, nthreads, patterns, cats, c1, c2,
-                                         p1t, p2t, out, out_scale);
+    detail::newview_core<S, true, false>(begin, end, step, cats, c1, c2, p1t,
+                                         p2t, out, out_scale);
   else if (t2)
-    detail::newview_core<S, false, true>(tid, nthreads, patterns, cats, c1, c2,
-                                         p1t, p2t, out, out_scale);
+    detail::newview_core<S, false, true>(begin, end, step, cats, c1, c2, p1t,
+                                         p2t, out, out_scale);
   else
-    detail::newview_core<S, false, false>(tid, nthreads, patterns, cats, c1,
-                                          c2, p1t, p2t, out, out_scale);
+    detail::newview_core<S, false, false>(begin, end, step, cats, c1, c2, p1t,
+                                          p2t, out, out_scale);
 }
 
 }  // namespace plk::kernel

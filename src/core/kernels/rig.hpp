@@ -123,7 +123,7 @@ struct KernelRig {
       }
 
     // A ready sumtable for the NR kernels.
-    sumtable_slice<S>(0, 1, patterns, cats, inner1(), inner2(), sym.data(),
+    sumtable_slice<S>(0, patterns, 1, cats, inner1(), inner2(), sym.data(),
                       sumtab.data());
   }
 

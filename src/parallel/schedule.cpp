@@ -1,0 +1,228 @@
+#include "parallel/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace plk {
+
+std::string_view to_string(SchedulingStrategy s) {
+  switch (s) {
+    case SchedulingStrategy::kCyclic:
+      return "cyclic";
+    case SchedulingStrategy::kBlock:
+      return "block";
+    case SchedulingStrategy::kWeighted:
+      return "weighted";
+    case SchedulingStrategy::kLpt:
+      return "lpt";
+    case SchedulingStrategy::kMeasured:
+      return "measured";
+  }
+  return "?";
+}
+
+std::optional<SchedulingStrategy> scheduling_strategy_from_string(
+    std::string_view name) {
+  for (SchedulingStrategy s :
+       {SchedulingStrategy::kCyclic, SchedulingStrategy::kBlock,
+        SchedulingStrategy::kWeighted, SchedulingStrategy::kLpt,
+        SchedulingStrategy::kMeasured})
+    if (name == to_string(s)) return s;
+  return std::nullopt;
+}
+
+namespace {
+
+using SpanGrid = std::vector<std::vector<std::vector<WorkSpan>>>;  // [tid][p]
+
+void build_cyclic(int T, const std::vector<PartitionShape>& shapes,
+                  SpanGrid& grid) {
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+    const std::size_t n = shapes[static_cast<std::size_t>(p)].patterns;
+    for (int t = 0; t < T; ++t)
+      if (static_cast<std::size_t>(t) < n)
+        grid[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)]
+            .push_back(WorkSpan{p, static_cast<std::size_t>(t), n,
+                                static_cast<std::size_t>(T)});
+  }
+}
+
+void build_block(int T, const std::vector<PartitionShape>& shapes,
+                 SpanGrid& grid) {
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+    const std::size_t n = shapes[static_cast<std::size_t>(p)].patterns;
+    for (int t = 0; t < T; ++t) {
+      const WorkSpan s = block_span(p, n, t, T);
+      if (s.begin < s.end)
+        grid[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)]
+            .push_back(s);
+    }
+  }
+}
+
+/// One global contiguous split of the concatenated pattern sequence into T
+/// equal-cost intervals. Split indices are derived per partition from the
+/// global cost boundaries, clamped monotone, so the spans are disjoint and
+/// cover every pattern exactly once regardless of rounding.
+void build_weighted(int T, const std::vector<PartitionShape>& shapes,
+                    SpanGrid& grid) {
+  double total = 0.0;
+  for (const auto& sh : shapes) total += sh.total_cost();
+  if (total <= 0.0) {
+    build_block(T, shapes, grid);
+    return;
+  }
+  double base = 0.0;  // cost before this partition
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+    const auto& sh = shapes[static_cast<std::size_t>(p)];
+    const double c = sh.cost_per_pattern();
+    const std::size_t n = sh.patterns;
+    std::size_t prev = 0;
+    for (int t = 0; t < T; ++t) {
+      // Upper cost boundary of thread t's interval.
+      const double bound =
+          t + 1 == T ? total : total * static_cast<double>(t + 1) /
+                                   static_cast<double>(T);
+      std::size_t hi = n;
+      if (t + 1 < T) {
+        const double split = (bound - base) / c;
+        hi = split <= 0.0
+                 ? 0
+                 : std::min(n, static_cast<std::size_t>(std::ceil(split)));
+        hi = std::max(hi, prev);
+      }
+      if (prev < hi)
+        grid[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)]
+            .push_back(WorkSpan{p, prev, hi, 1});
+      prev = hi;
+    }
+    base += sh.total_cost();
+  }
+}
+
+/// Longest-processing-time greedy bin packing over partition chunks: each
+/// partition is cut into chunks of roughly total/(4T) modeled cost, chunks
+/// are assigned largest-first to the least-loaded thread, and each thread's
+/// adjacent chunks of one partition are merged back into single spans.
+void build_lpt(int T, const std::vector<PartitionShape>& shapes,
+               SpanGrid& grid) {
+  double total = 0.0;
+  for (const auto& sh : shapes) total += sh.total_cost();
+  if (total <= 0.0) {
+    build_block(T, shapes, grid);
+    return;
+  }
+  const double target = total / (4.0 * static_cast<double>(T));
+
+  struct Chunk {
+    int part;
+    std::size_t begin, end;
+    double cost;
+  };
+  std::vector<Chunk> chunks;
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+    const auto& sh = shapes[static_cast<std::size_t>(p)];
+    const double c = sh.cost_per_pattern();
+    const std::size_t step = std::clamp(
+        static_cast<std::size_t>(std::ceil(target / c)), std::size_t{1},
+        std::max(sh.patterns, std::size_t{1}));
+    for (std::size_t lo = 0; lo < sh.patterns; lo += step) {
+      const std::size_t hi = std::min(sh.patterns, lo + step);
+      chunks.push_back(Chunk{p, lo, hi, c * static_cast<double>(hi - lo)});
+    }
+  }
+  // Largest first; deterministic tie-break keeps the schedule reproducible.
+  std::sort(chunks.begin(), chunks.end(), [](const Chunk& a, const Chunk& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    if (a.part != b.part) return a.part < b.part;
+    return a.begin < b.begin;
+  });
+
+  std::vector<double> load(static_cast<std::size_t>(T), 0.0);
+  for (const Chunk& ch : chunks) {
+    int best = 0;
+    for (int t = 1; t < T; ++t)
+      if (load[static_cast<std::size_t>(t)] <
+          load[static_cast<std::size_t>(best)])
+        best = t;
+    load[static_cast<std::size_t>(best)] += ch.cost;
+    grid[static_cast<std::size_t>(best)][static_cast<std::size_t>(ch.part)]
+        .push_back(WorkSpan{ch.part, ch.begin, ch.end, 1});
+  }
+  // Merge adjacent chunks a thread received from the same partition.
+  for (auto& per_thread : grid)
+    for (auto& spans : per_thread) {
+      std::sort(spans.begin(), spans.end(),
+                [](const WorkSpan& a, const WorkSpan& b) {
+                  return a.begin < b.begin;
+                });
+      std::vector<WorkSpan> merged;
+      for (const WorkSpan& s : spans) {
+        if (!merged.empty() && merged.back().end == s.begin)
+          merged.back().end = s.end;
+        else
+          merged.push_back(s);
+      }
+      spans = std::move(merged);
+    }
+}
+
+}  // namespace
+
+WorkSchedule WorkSchedule::build(SchedulingStrategy strategy, int threads,
+                                 const std::vector<PartitionShape>& shapes) {
+  if (threads < 1) throw std::invalid_argument("WorkSchedule needs >= 1 thread");
+  const int P = static_cast<int>(shapes.size());
+  SpanGrid grid(static_cast<std::size_t>(threads),
+                std::vector<std::vector<WorkSpan>>(
+                    static_cast<std::size_t>(P)));
+  switch (strategy) {
+    case SchedulingStrategy::kCyclic:
+      build_cyclic(threads, shapes, grid);
+      break;
+    case SchedulingStrategy::kBlock:
+      build_block(threads, shapes, grid);
+      break;
+    case SchedulingStrategy::kWeighted:
+    case SchedulingStrategy::kMeasured:
+      build_weighted(threads, shapes, grid);
+      break;
+    case SchedulingStrategy::kLpt:
+      build_lpt(threads, shapes, grid);
+      break;
+  }
+
+  WorkSchedule ws;
+  ws.strategy_ = strategy;
+  ws.threads_ = threads;
+  ws.partitions_ = P;
+  ws.index_.resize(static_cast<std::size_t>(threads) *
+                   static_cast<std::size_t>(P));
+  ws.modeled_cost_.assign(static_cast<std::size_t>(threads), 0.0);
+  for (int t = 0; t < threads; ++t)
+    for (int p = 0; p < P; ++p) {
+      auto& cell = grid[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+      ws.index_[static_cast<std::size_t>(t) * static_cast<std::size_t>(P) +
+                static_cast<std::size_t>(p)] = {ws.spans_.size(), cell.size()};
+      for (const WorkSpan& s : cell) {
+        ws.spans_.push_back(s);
+        ws.modeled_cost_[static_cast<std::size_t>(t)] +=
+            static_cast<double>(s.count()) *
+            shapes[static_cast<std::size_t>(p)].cost_per_pattern();
+      }
+    }
+  return ws;
+}
+
+double WorkSchedule::modeled_imbalance() const {
+  double mx = 0.0, sum = 0.0;
+  for (double c : modeled_cost_) {
+    mx = std::max(mx, c);
+    sum += c;
+  }
+  if (sum <= 0.0) return 0.0;
+  return static_cast<double>(threads_) * mx / sum - 1.0;
+}
+
+}  // namespace plk

@@ -1,0 +1,139 @@
+// Explicit per-thread work assignment for the PLK kernels.
+//
+// The paper's Pthreads code hard-wires a cyclic (tid, T) pattern split into
+// every kernel; this layer makes the assignment an explicit, pluggable
+// object instead. Each thread receives a list of WorkSpans — strided runs of
+// patterns of one partition — computed once per engine shape by a
+// SchedulingStrategy and reused for every command until invalidated.
+//
+// Correctness does not depend on the strategy: pattern i of a parent CLV is
+// computed from pattern i of the child CLVs only, so ANY disjoint covering
+// assignment of each partition's patterns to threads preserves the
+// no-intra-traversal-barrier property the cyclic split relied on — as long
+// as the same assignment is used for every op of a command, which the
+// engine guarantees by caching one WorkSchedule per shape.
+//
+// Strategies:
+//   * kCyclic   — thread tid owns patterns {tid, tid+T, ...} of every
+//                 partition, expressed as one strided span. Bit-identical to
+//                 the historical hard-coded split (same patterns per thread,
+//                 same in-thread accumulation order).
+//   * kBlock    — per partition, T near-equal contiguous blocks.
+//   * kWeighted — one global contiguous split of the concatenated pattern
+//                 sequence by the static per-pattern cost model
+//                 states x cats x weight; threads receive equal modeled
+//                 cost, so a mixed DNA+protein run no longer hands every
+//                 remainder pattern to the low tids.
+//   * kLpt      — partitions are cut into chunks of roughly equal modeled
+//                 cost and assigned longest-processing-time-first to the
+//                 least-loaded thread (greedy bin packing). Best for many
+//                 skewed partitions under multi-partition commands.
+//   * kMeasured — the weighted split, but with each partition's
+//                 cost-per-pattern replaced by timings observed through
+//                 TeamStats (Engine::calibrate_schedule()).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace plk {
+
+/// One strided run of patterns of one partition assigned to a thread:
+/// patterns begin, begin+step, ... strictly below end.
+struct WorkSpan {
+  int part = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t step = 1;
+
+  std::size_t count() const {
+    return begin >= end ? 0 : (end - begin - 1) / step + 1;
+  }
+  friend bool operator==(const WorkSpan&, const WorkSpan&) = default;
+};
+
+/// Thread `tid`'s share of an even T-way contiguous split of one
+/// partition's patterns (possibly empty). The single source of the
+/// block-split boundary math: used by the kBlock strategy and by the
+/// engine's single-partition-command fallback.
+inline WorkSpan block_span(int part, std::size_t patterns, int tid,
+                           int threads) {
+  const std::size_t lo = patterns * static_cast<std::size_t>(tid) /
+                         static_cast<std::size_t>(threads);
+  const std::size_t hi = patterns * static_cast<std::size_t>(tid + 1) /
+                         static_cast<std::size_t>(threads);
+  return WorkSpan{part, lo, hi, 1};
+}
+
+/// How pattern work is distributed over the thread team (see file header).
+enum class SchedulingStrategy { kCyclic, kBlock, kWeighted, kLpt, kMeasured };
+
+std::string_view to_string(SchedulingStrategy s);
+/// Parse "cyclic" / "block" / "weighted" / "lpt" / "measured".
+std::optional<SchedulingStrategy> scheduling_strategy_from_string(
+    std::string_view name);
+
+/// Everything the cost model knows about one partition.
+struct PartitionShape {
+  std::size_t patterns = 0;
+  int states = 4;
+  int cats = 1;
+  /// Per-pattern cost multiplier. The static model charges
+  /// states x cats x weight per pattern; the default weight equals the
+  /// state count because the kernels' inner matrix-vector loops are S wide
+  /// per state (making the static model quadratic in S, which is what the
+  /// newview/evaluate/sumtable hot loops actually cost). Measured mode
+  /// overwrites the whole product with observed seconds.
+  double weight = 0.0;  // 0 = "use the default of `states`"
+
+  double cost_per_pattern() const {
+    const double w = weight > 0.0 ? weight : static_cast<double>(states);
+    return static_cast<double>(states) * static_cast<double>(cats) * w;
+  }
+  double total_cost() const {
+    return cost_per_pattern() * static_cast<double>(patterns);
+  }
+};
+
+/// An immutable per-thread work assignment over all partitions.
+///
+/// Built once per (strategy, thread count, partition shapes) by build();
+/// spans(tid, part) is then a read-only lookup safe to call concurrently
+/// from every thread of a command.
+class WorkSchedule {
+ public:
+  WorkSchedule() = default;
+
+  static WorkSchedule build(SchedulingStrategy strategy, int threads,
+                            const std::vector<PartitionShape>& shapes);
+
+  SchedulingStrategy strategy() const { return strategy_; }
+  int threads() const { return threads_; }
+  int partitions() const { return partitions_; }
+
+  /// The spans of partition `part` owned by thread `tid` (possibly empty;
+  /// at most a handful of entries — one for every strategy except kLpt).
+  std::span<const WorkSpan> spans(int tid, int part) const {
+    const auto& ix = index_[static_cast<std::size_t>(tid) *
+                                static_cast<std::size_t>(partitions_) +
+                            static_cast<std::size_t>(part)];
+    return {spans_.data() + ix.first, ix.second};
+  }
+
+  /// Modeled relative imbalance: T * max(cost) / sum(cost) - 1 (0 = perfect).
+  double modeled_imbalance() const;
+
+ private:
+  SchedulingStrategy strategy_ = SchedulingStrategy::kCyclic;
+  int threads_ = 1;
+  int partitions_ = 0;
+  // Flat span storage; index_[tid * partitions_ + part] = (offset, count).
+  std::vector<WorkSpan> spans_;
+  std::vector<std::pair<std::size_t, std::size_t>> index_;
+  std::vector<double> modeled_cost_;
+};
+
+}  // namespace plk

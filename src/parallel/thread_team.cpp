@@ -1,6 +1,7 @@
 #include "parallel/thread_team.hpp"
 
 #include <chrono>
+#include <ctime>
 #include <stdexcept>
 
 namespace plk {
@@ -21,13 +22,21 @@ inline double now_seconds() {
       .count();
 }
 
-/// Spin for a bounded number of iterations, then fall back to yielding, so
-/// oversubscribed configurations (more threads than cores) still progress.
-/// The spin budget is generous (~a few ms): between commands the master
-/// performs serial orchestration (traversal lists, P matrices), and a worker
-/// that yields during that window pays a scheduler wake-up latency far
-/// larger than the command it is waiting for — RAxML's workers busy-wait
-/// for the same reason.
+/// CPU time consumed by the calling thread (falls back to wall time where
+/// no thread CPU clock exists).
+inline double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#endif
+  return now_seconds();
+}
+
+/// Spin for a bounded number of iterations, then fall back to yielding.
+/// Used only on the master side (waiting for workers to finish a command,
+/// a wait bounded by the command's own duration); workers use
+/// worker_wait(), which parks on a condition variable instead.
 template <class Pred>
 void spin_until(Pred&& pred) {
   long spins = 0;
@@ -42,9 +51,21 @@ void spin_until(Pred&& pred) {
 
 }  // namespace
 
-ThreadTeam::ThreadTeam(int nthreads, bool instrument)
-    : nthreads_(nthreads), instrument_(instrument) {
+ThreadTeam::ThreadTeam(int nthreads, bool instrument, bool cpu_time)
+    : nthreads_(nthreads), instrument_(instrument), cpu_time_(cpu_time) {
   if (nthreads_ < 1) throw std::invalid_argument("ThreadTeam needs >= 1 thread");
+  // Workers busy-wait between commands: during the short serial windows of
+  // command assembly a parked worker would pay a scheduler wake-up far
+  // larger than the command it waits for (RAxML busy-waits for the same
+  // reason). The budget is time-based — a fixed iteration count would span
+  // ~7 ms to ~100 ms depending on the CPU's pause latency — so a serial
+  // master phase longer than ~2 ms reliably parks the workers on every
+  // host. When the team oversubscribes the machine the budget drops to
+  // ~0.2 ms, since spinning there only steals cycles from the threads
+  // doing actual work.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_budget_seconds_ =
+      (hw != 0 && static_cast<unsigned>(nthreads_) > hw) ? 2e-4 : 2e-3;
   work_seconds_.resize(static_cast<std::size_t>(nthreads_));
   workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
   for (int tid = 1; tid < nthreads_; ++tid)
@@ -52,23 +73,72 @@ ThreadTeam::ThreadTeam(int nthreads, bool instrument)
 }
 
 ThreadTeam::~ThreadTeam() {
-  stop_.store(true, std::memory_order_release);
-  generation_.fetch_add(1, std::memory_order_release);
+  stop_.store(true, std::memory_order_seq_cst);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(park_mu_);
+    park_cv_.notify_all();
+  }
   for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_wait(std::uint64_t next) {
+  long spins = 0;
+  double spin_start = -1.0;
+  for (;;) {
+    if (generation_.load(std::memory_order_acquire) >= next ||
+        stop_.load(std::memory_order_acquire))
+      return;
+    // Check the clock only every few thousand pause iterations: the hot
+    // path stays a pure spin, and the budget is wall time, not a
+    // pause-latency-dependent iteration count.
+    if ((++spins & 0xfff) != 0) {
+      cpu_relax();
+      continue;
+    }
+    const double now = now_seconds();
+    if (spin_start < 0.0) spin_start = now;
+    if (now - spin_start < spin_budget_seconds_) {
+      cpu_relax();
+      continue;
+    }
+    // Register as parked *before* the final predicate re-check: the master
+    // bumps the generation first and reads parked_ second (both seq_cst),
+    // so either it sees us parked and notifies under the mutex, or our
+    // re-check below observes the bump. Either way no wake-up is lost.
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lk(park_mu_);
+      park_cv_.wait(lk, [&] {
+        return generation_.load(std::memory_order_seq_cst) >= next ||
+               stop_.load(std::memory_order_seq_cst);
+      });
+    }
+    parked_.fetch_sub(1, std::memory_order_seq_cst);
+    return;
+  }
+}
+
+void ThreadTeam::wake_parked() {
+  if (parked_.load(std::memory_order_seq_cst) == 0) return;
+  // Taking the mutex orders the notify after any in-flight wait() entry:
+  // a worker past its parked_ increment is either blocked in wait (gets the
+  // notify) or has not yet locked the mutex (re-checks the predicate after
+  // we release it, and sees the new generation).
+  std::lock_guard<std::mutex> lk(park_mu_);
+  park_cv_.notify_all();
 }
 
 void ThreadTeam::worker_loop(int tid) {
   std::uint64_t next = 1;
   for (;;) {
-    spin_until([&] {
-      return generation_.load(std::memory_order_acquire) >= next ||
-             stop_.load(std::memory_order_acquire);
-    });
+    worker_wait(next);
     if (stop_.load(std::memory_order_acquire)) return;
     if (instrument_) {
-      const double t0 = now_seconds();
+      const double t0 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
       fn_(ctx_, tid);
-      work_seconds_[static_cast<std::size_t>(tid)].value = now_seconds() - t0;
+      const double t1 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
+      work_seconds_[static_cast<std::size_t>(tid)].value = t1 - t0;
     } else {
       fn_(ctx_, tid);
     }
@@ -81,9 +151,11 @@ void ThreadTeam::run(RawFn fn, void* ctx) {
   ++stats_.sync_count;
   if (nthreads_ == 1) {
     if (instrument_) {
-      const double t0 = now_seconds();
+      const double t0 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
       fn(ctx, 0);
-      const double dt = now_seconds() - t0;
+      const double t1 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
+      const double dt = t1 - t0;
+      work_seconds_[0].value = dt;
       stats_.critical_path_seconds += dt;
       stats_.total_work_seconds += dt;
     } else {
@@ -95,12 +167,14 @@ void ThreadTeam::run(RawFn fn, void* ctx) {
   fn_ = fn;
   ctx_ = ctx;
   done_.store(0, std::memory_order_relaxed);
-  generation_.fetch_add(1, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  wake_parked();
 
   if (instrument_) {
-    const double t0 = now_seconds();
+    const double t0 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
     fn(ctx, 0);
-    work_seconds_[0].value = now_seconds() - t0;
+    const double t1 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
+    work_seconds_[0].value = t1 - t0;
   } else {
     fn(ctx, 0);
   }

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -45,7 +47,12 @@ class ThreadTeam {
   /// `nthreads` >= 1 total threads (including the master).
   /// `instrument`: collect per-thread work timings (small overhead: two
   /// clock reads per thread per command).
-  explicit ThreadTeam(int nthreads, bool instrument = true);
+  /// `cpu_time`: measure per-thread CPU time instead of wall time. Wall
+  /// time is the right default (it is what the caller waits for), but on an
+  /// oversubscribed machine it mostly measures the OS scheduler; CPU time
+  /// keeps the imbalance accounting meaningful there.
+  explicit ThreadTeam(int nthreads, bool instrument = true,
+                      bool cpu_time = false);
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;
@@ -79,15 +86,28 @@ class ThreadTeam {
   /// Instrumentation snapshot.
   const TeamStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TeamStats{}; }
+  bool instrumented() const { return instrument_; }
 
  private:
   void worker_loop(int tid);
+  /// Block worker until generation >= next or stop: bounded spin, then park
+  /// on the condition variable (so workers do not burn cores through long
+  /// serial master phases such as eigendecompositions).
+  void worker_wait(std::uint64_t next);
+  /// Wake parked workers after a generation bump (no-op syscall-free fast
+  /// path when nobody is parked).
+  void wake_parked();
 
   int nthreads_;
   bool instrument_;
+  bool cpu_time_;
+  double spin_budget_seconds_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> done_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<int> parked_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
   RawFn fn_ = nullptr;
   void* ctx_ = nullptr;
   std::vector<std::thread> workers_;

@@ -24,6 +24,7 @@
 #include "model/subst_model.hpp"
 #include "optimize/brent.hpp"
 #include "optimize/newton.hpp"
+#include "parallel/schedule.hpp"
 #include "parallel/thread_team.hpp"
 #include "parsimony/fitch.hpp"
 #include "search/nni.hpp"

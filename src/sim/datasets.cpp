@@ -107,6 +107,31 @@ Dataset make_realworld_like(int taxa, int partitions, std::size_t min_len,
   return build(name, taxa, std::move(parts), seed);
 }
 
+Dataset make_mixed_multigene(int taxa, int dna_partitions,
+                             int protein_partitions, std::size_t min_len,
+                             std::size_t max_len, std::uint64_t seed) {
+  Rng rng(seed ^ 0x3c6ef372ULL);
+  std::vector<SimPartition> parts;
+  const int total = dna_partitions + protein_partitions;
+  int dna_left = dna_partitions, prot_left = protein_partitions;
+  for (int g = 0; g < total; ++g) {
+    // Interleave the two alphabets so neither data type is contiguous in
+    // the concatenated pattern order.
+    const bool protein =
+        prot_left > 0 && (dna_left == 0 || g % 2 == 1);
+    (protein ? prot_left : dna_left)--;
+    const double u = rng.uniform(std::log(static_cast<double>(min_len)),
+                                 std::log(static_cast<double>(max_len)));
+    parts.push_back(make_sim_part("gene" + std::to_string(g),
+                                  static_cast<std::size_t>(std::exp(u)),
+                                  protein, rng));
+  }
+  const std::string name = "mixed_" + std::to_string(taxa) + "x" +
+                           std::to_string(dna_partitions) + "dna+" +
+                           std::to_string(protein_partitions) + "aa";
+  return build(name, taxa, std::move(parts), seed);
+}
+
 Dataset make_paper_d50_50000(double scale, std::uint64_t seed) {
   const int taxa = std::max(8, static_cast<int>(std::lround(50 * scale)));
   const auto sites =

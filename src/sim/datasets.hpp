@@ -51,6 +51,15 @@ Dataset make_realworld_like(int taxa, int partitions, std::size_t min_len,
                             std::size_t max_len, double missing_fraction,
                             bool protein, std::uint64_t seed);
 
+/// Mixed DNA + protein multi-gene dataset: `dna_partitions` randomized-GTR
+/// genes interleaved with `protein_partitions` WAG genes, lengths drawn
+/// log-uniformly in [min_len, max_len]. The per-pattern kernel cost then
+/// varies ~25x across partitions (4- vs 20-state), which is the skewed
+/// multi-partition scenario the work-scheduling strategies are about.
+Dataset make_mixed_multigene(int taxa, int dna_partitions,
+                             int protein_partitions, std::size_t min_len,
+                             std::size_t max_len, std::uint64_t seed);
+
 /// The paper's named datasets at a configurable scale factor in (0, 1]:
 /// scale 1 reproduces the published dimensions; smaller scales shrink taxa
 /// and sites proportionally for laptop-budget runs.

@@ -1,14 +1,42 @@
 #include "tree/newick.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <locale>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <unordered_map>
 
 namespace plk {
 
 namespace {
+
+/// Locale-independent double parse of [first, last): returns one past the
+/// consumed characters, or `first` on failure. Primary path is
+/// std::from_chars; libc++ before LLVM 20 ships only the integral
+/// overloads, so the fallback runs a classic-locale istringstream over the
+/// delimiter-bounded token (tokens are a handful of characters, so this
+/// stays O(1) per number — no whole-tail copies).
+const char* parse_double(const char* first, const char* last, double& value) {
+#if defined(__cpp_lib_to_chars)
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  return ec == std::errc{} ? ptr : first;
+#else
+  const char* tok_end = first;
+  while (tok_end < last && (std::isdigit(static_cast<unsigned char>(*tok_end)) ||
+                            *tok_end == '.' || *tok_end == '-' ||
+                            *tok_end == '+' || *tok_end == 'e' ||
+                            *tok_end == 'E'))
+    ++tok_end;
+  std::istringstream in(std::string(first, tok_end));
+  in.imbue(std::locale::classic());
+  if (!(in >> value)) return first;
+  if (in.eof()) return tok_end;
+  return first + in.tellg();
+#endif
+}
 
 /// Intermediate rooted parse tree.
 struct PNode {
@@ -77,18 +105,28 @@ class Parser {
         n->label += s_[pos_++];
     }
     skip_ws();
-    // Optional branch length.
+    // Optional branch length. std::from_chars is locale-independent (the
+    // Newick grammar is always C-locale: '.' decimal point, optional
+    // exponent) and consumes the number in place — no copy of the remaining
+    // input, no O(n^2) blowup on large trees, no misparse under a
+    // comma-decimal global locale.
     if (pos_ < s_.size() && s_[pos_] == ':') {
       ++pos_;
       skip_ws();
-      std::size_t used = 0;
-      try {
-        n->length = std::stod(std::string(s_.substr(pos_)), &used);
-      } catch (const std::exception&) {
-        fail("malformed branch length");
-      }
+      const char* first = s_.data() + pos_;
+      const char* last = s_.data() + s_.size();
+      // from_chars rejects a leading '+' (stod accepted it); skip it only
+      // when a number actually follows, so '+-1.5' still fails below.
+      if (first + 1 < last && *first == '+' &&
+          (std::isdigit(static_cast<unsigned char>(first[1])) ||
+           first[1] == '.'))
+        ++first;
+      double value = 0.0;
+      const char* ptr = parse_double(first, last, value);
+      if (ptr == first) fail("malformed branch length");
+      n->length = value;
       n->has_length = true;
-      pos_ += used;
+      pos_ = static_cast<std::size_t>(ptr - s_.data());
     }
     return n;
   }
@@ -233,6 +271,9 @@ Tree parse_newick(std::string_view text,
 
 std::string write_newick(const Tree& tree, int precision) {
   std::ostringstream out;
+  // Branch lengths must serialize with '.' regardless of the global locale
+  // (an imbued comma-decimal locale would emit Newick no parser accepts).
+  out.imbue(std::locale::classic());
   if (tree.tip_count() == 2) {
     out.precision(precision);
     out << '(' << tree.label(0) << ':' << tree.length(0) << ','

@@ -13,6 +13,7 @@
 
 #include "bio/msa_io.hpp"
 #include "core/analysis.hpp"
+#include "core/branch_opt.hpp"
 #include "core/engine.hpp"
 #include "model/matrix.hpp"
 #include "sim/datasets.hpp"
@@ -459,6 +460,72 @@ TEST(Engine, RejectsWrongStateCount) {
 }
 
 // --- stats ------------------------------------------------------------------------------
+
+// --- tip-table LRU cache ----------------------------------------------------
+
+TEST(Engine, TipTableLruBoundsRebuildsUnderAlternatingLengths) {
+  Rig s(6, 80, 80, 1, false, 4, 17);
+  Engine& eng = *s.engine;
+  // A root edge whose `b` endpoint is a tip: its evaluate-side tip table is
+  // rebuilt whenever (model epoch, branch length) misses the per-edge LRU.
+  EdgeId edge = kNoId;
+  for (EdgeId e = 0; e < eng.tree().edge_count() && edge == kNoId; ++e)
+    if (eng.tree().is_tip(eng.tree().edge(e).b)) edge = e;
+  ASSERT_NE(edge, kNoId);
+  eng.loglikelihood(edge);  // warm tables at the current length
+  const auto warm = eng.stats().tip_table_rebuilds;
+  const double b0 = eng.branch_lengths().get(edge, 0);
+
+  // A Newton/Brent-style candidate sweep revisits the same few lengths over
+  // and over; pre-LRU every revisit rebuilt the table.
+  double lnl_half = 0.0, lnl_double = 0.0;
+  for (int round = 0; round < 10; ++round) {
+    eng.branch_lengths().set_all(edge, b0 * 0.5);
+    lnl_half = eng.loglikelihood(edge);
+    eng.branch_lengths().set_all(edge, b0 * 2.0);
+    lnl_double = eng.loglikelihood(edge);
+  }
+  EXPECT_NE(lnl_half, lnl_double);
+  // Two new candidate lengths -> at most two rebuilds per partition,
+  // independent of the number of rounds (20 evaluations here).
+  const auto parts = static_cast<std::uint64_t>(eng.partition_count());
+  EXPECT_LE(eng.stats().tip_table_rebuilds - warm, 2 * parts);
+  EXPECT_GT(eng.stats().tip_table_hits, 10u);
+}
+
+TEST(Engine, TipTableRebuildsBoundedPerNrSweep) {
+  Rig s(10, 120, 30, 1, true, 4, 23);  // 4 partitions, unlinked lengths
+  Engine& eng = *s.engine;
+  eng.loglikelihood(0);
+  eng.reset_stats();
+  const BranchOptOptions opts;
+  optimize_branch_lengths(eng, Strategy::kNewPar, opts);
+  const auto& st = eng.stats();
+  // A sweep changes each edge's length once per pass, so rebuilds are
+  // bounded by (tip-adjacent edges) x partitions x (passes + warm slack) —
+  // NOT by the number of NR iterations the sweep performed.
+  const auto tips = static_cast<std::uint64_t>(eng.tree().tip_count());
+  const auto parts = static_cast<std::uint64_t>(eng.partition_count());
+  const auto bound =
+      tips * parts * static_cast<std::uint64_t>(opts.smoothing_passes + 2);
+  EXPECT_GT(st.nr_iterations, 0u);
+  EXPECT_LE(st.tip_table_rebuilds, bound);
+  EXPECT_GT(st.tip_table_hits, st.tip_table_rebuilds);
+}
+
+TEST(Engine, TipTableInvalidatedByModelEpoch) {
+  Rig s(6, 60, 60, 1, false, 4, 29);
+  Engine& eng = *s.engine;
+  const double before = eng.loglikelihood(0);
+  const auto warm = eng.stats().tip_table_rebuilds;
+  eng.loglikelihood(0);
+  EXPECT_EQ(eng.stats().tip_table_rebuilds, warm);  // cache hit
+  eng.model(0).set_alpha(eng.model(0).alpha() * 2.0);
+  eng.invalidate_partition(0);
+  const double after = eng.loglikelihood(0);
+  EXPECT_NE(before, after);
+  EXPECT_GT(eng.stats().tip_table_rebuilds, warm);  // epoch bump rebuilds
+}
 
 TEST(Engine, CommandAndEvaluationCounters) {
   Rig s(8, 80, 40, 2, false, 4, 13);

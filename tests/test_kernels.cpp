@@ -78,7 +78,7 @@ void reference_newview(const KernelRig& r, std::vector<double>& out) {
 
 TEST(Kernels, NewviewMatchesReference) {
   KernelRig r;
-  kernel::newview_slice<S>(0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(),
+  kernel::newview_slice<S>(0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(),
                            r.p2.data(), r.out.data(), r.out_scale.data());
   std::vector<double> ref;
   reference_newview(r, ref);
@@ -93,13 +93,13 @@ TEST(Kernels, SlicesPartitionTheWork) {
   KernelRig ref_rig;
   std::vector<double> whole(N * kStride), sliced(N * kStride, -7.0);
   std::vector<std::int32_t> sc(N);
-  kernel::newview_slice<S>(0, 1, N, C, ref_rig.inner1(), ref_rig.inner2(),
+  kernel::newview_slice<S>(0, N, 1, C, ref_rig.inner1(), ref_rig.inner2(),
                            ref_rig.p1.data(), ref_rig.p2.data(), whole.data(),
                            sc.data());
   for (int T : {2, 3, 5, 8}) {
     std::fill(sliced.begin(), sliced.end(), -7.0);
     for (int tid = 0; tid < T; ++tid)
-      kernel::newview_slice<S>(tid, T, N, C, ref_rig.inner1(),
+      kernel::newview_slice<S>(tid, N, T, C, ref_rig.inner1(),
                                ref_rig.inner2(), ref_rig.p1.data(),
                                ref_rig.p2.data(), sliced.data(), sc.data());
     EXPECT_EQ(sliced, whole) << "T=" << T;
@@ -122,7 +122,7 @@ TEST(Kernels, TipChildUsesIndicators) {
 
   std::vector<double> out_tip(N * kStride), out_inner(N * kStride);
   std::vector<std::int32_t> sc(N);
-  kernel::newview_slice<S>(0, 1, N, C, tip, r.inner2(), r.p1.data(),
+  kernel::newview_slice<S>(0, N, 1, C, tip, r.inner2(), r.p1.data(),
                            r.p2.data(), out_tip.data(), sc.data());
 
   // Equivalent "inner" child: one-hot CLV replicated per category.
@@ -134,7 +134,7 @@ TEST(Kernels, TipChildUsesIndicators) {
   kernel::ChildView as_inner;
   as_inner.clv = onehot.data();
   as_inner.scale = zero.data();
-  kernel::newview_slice<S>(0, 1, N, C, as_inner, r.inner2(), r.p1.data(),
+  kernel::newview_slice<S>(0, N, 1, C, as_inner, r.inner2(), r.p1.data(),
                            r.p2.data(), out_inner.data(), sc.data());
   for (std::size_t k = 0; k < out_tip.size(); ++k)
     EXPECT_NEAR(out_tip[k], out_inner[k], 1e-15);
@@ -154,7 +154,7 @@ TEST(Kernels, AmbiguousTipSumsStates) {
     tip.codes = codes.data();
     tip.indicators = ind;
     std::vector<double> out(N * kStride);
-    kernel::newview_slice<S>(0, 1, N, C, tip, r.inner2(), r.p1.data(),
+    kernel::newview_slice<S>(0, N, 1, C, tip, r.inner2(), r.p1.data(),
                              r.p2.data(), out.data(), sc.data());
     return out;
   };
@@ -179,7 +179,7 @@ TEST(Kernels, ScalingTriggersAndCounts) {
   r.scale2.assign(N, 2);
   std::vector<double> ref;
   reference_newview(r, ref);  // unscaled reference values
-  kernel::newview_slice<S>(0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(),
+  kernel::newview_slice<S>(0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(),
                            r.p2.data(), r.out.data(), r.out_scale.data());
   for (std::size_t i = 0; i < N; ++i) {
     EXPECT_EQ(r.out_scale[i], 6);  // 3 + 2 + 1 new scaling event
@@ -196,7 +196,7 @@ TEST(Kernels, NoScalingForHealthyValues) {
   KernelRig r;
   r.scale1.assign(N, 1);
   r.scale2.assign(N, 4);
-  kernel::newview_slice<S>(0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(),
+  kernel::newview_slice<S>(0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(),
                            r.p2.data(), r.out.data(), r.out_scale.data());
   for (std::size_t i = 0; i < N; ++i) EXPECT_EQ(r.out_scale[i], 5);
 }
@@ -205,7 +205,7 @@ TEST(Kernels, EvaluateMatchesReference) {
   KernelRig r;
   const double freqs[S] = {0.3, 0.2, 0.2, 0.3};
   const double got = kernel::evaluate_slice<S>(
-      0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
+      0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
       r.weights.data());
   double want = 0;
   for (std::size_t i = 0; i < N; ++i) {
@@ -226,11 +226,11 @@ TEST(Kernels, EvaluateAppliesScaleCounts) {
   KernelRig r;
   const double freqs[S] = {0.25, 0.25, 0.25, 0.25};
   const double base = kernel::evaluate_slice<S>(
-      0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
+      0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
       r.weights.data());
   r.scale1.assign(N, 1);
   const double scaled = kernel::evaluate_slice<S>(
-      0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
+      0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
       r.weights.data());
   EXPECT_NEAR(scaled, base - static_cast<double>(N) * kernel::kLogScale,
               1e-9);
@@ -240,12 +240,12 @@ TEST(Kernels, EvaluateSliceSumsAcrossThreads) {
   KernelRig r;
   const double freqs[S] = {0.3, 0.2, 0.2, 0.3};
   const double whole = kernel::evaluate_slice<S>(
-      0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
+      0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
       r.weights.data());
   for (int T : {2, 4, 7}) {
     double sum = 0;
     for (int tid = 0; tid < T; ++tid)
-      sum += kernel::evaluate_slice<S>(tid, T, N, C, r.inner1(), r.inner2(),
+      sum += kernel::evaluate_slice<S>(tid, N, T, C, r.inner1(), r.inner2(),
                                        r.p1.data(), freqs, r.weights.data());
     EXPECT_NEAR(sum, whole, 1e-10) << "T=" << T;
   }
@@ -260,7 +260,7 @@ TEST(Kernels, SumtableAndNrReproduceEvaluateDerivative) {
   const std::vector<double> rates{0.5, 1.5};  // two "categories"
 
   std::vector<double> sumtable(N * kStride);
-  kernel::sumtable_slice<S>(0, 1, N, C, r.inner1(), r.inner2(),
+  kernel::sumtable_slice<S>(0, N, 1, C, r.inner1(), r.inner2(),
                             m.sym_transform().data(), sumtable.data());
 
   auto lnl_at = [&](double b) {
@@ -270,7 +270,7 @@ TEST(Kernels, SumtableAndNrReproduceEvaluateDerivative) {
       m.transition_matrix(b * rates[static_cast<std::size_t>(c)], pm);
       std::copy(pm.data(), pm.data() + S * S, p.begin() + c * S * S);
     }
-    return kernel::evaluate_slice<S>(0, 1, N, C, r.inner1(), r.inner2(),
+    return kernel::evaluate_slice<S>(0, N, 1, C, r.inner1(), r.inner2(),
                                      p.data(), m.freqs().data(),
                                      r.weights.data());
   };
@@ -284,7 +284,7 @@ TEST(Kernels, SumtableAndNrReproduceEvaluateDerivative) {
       exp_lam[c * S + k] = std::exp(lam[c * S + k] * b);
     }
   double d1 = 0, d2 = 0;
-  kernel::nr_slice<S>(0, 1, N, C, sumtable.data(), exp_lam.data(), lam.data(),
+  kernel::nr_slice<S>(0, N, 1, C, sumtable.data(), exp_lam.data(), lam.data(),
                       r.weights.data(), &d1, &d2);
 
   const double h = 1e-6;
@@ -302,11 +302,11 @@ TEST(Kernels, WeightsScaleContributions) {
   KernelRig r;
   const double freqs[S] = {0.25, 0.25, 0.25, 0.25};
   const double w1 = kernel::evaluate_slice<S>(
-      0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
+      0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(), freqs,
       r.weights.data());
   std::vector<double> w3(N, 3.0);
   const double got = kernel::evaluate_slice<S>(
-      0, 1, N, C, r.inner1(), r.inner2(), r.p1.data(), freqs, w3.data());
+      0, N, 1, C, r.inner1(), r.inner2(), r.p1.data(), freqs, w3.data());
   EXPECT_NEAR(got, 3.0 * w1, 1e-9);
 }
 

@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "core/kernels/rig.hpp"
@@ -56,10 +57,10 @@ void check_newview(int cats, char k1, char k2, bool tiny, int T) {
 
   std::vector<double> want(N * r.stride, -1.0), got(N * r.stride, -2.0);
   std::vector<std::int32_t> want_sc(N, -1), got_sc(N, -2);
-  kernel::newview_slice<S>(0, 1, N, cats, c1, c2, r.p1.data(), r.p2.data(),
+  kernel::newview_slice<S>(0, N, 1, cats, c1, c2, r.p1.data(), r.p2.data(),
                            want.data(), want_sc.data());
   for (int tid = 0; tid < T; ++tid)
-    kernel::newview_spec<S>(tid, T, N, cats, c1, c2, r.p1.data(), r.p2.data(),
+    kernel::newview_spec<S>(tid, N, T, cats, c1, c2, r.p1.data(), r.p2.data(),
                             r.p1t.data(), r.p2t.data(), got.data(),
                             got_sc.data());
 
@@ -76,20 +77,20 @@ void check_evaluate(int cats, char ku, char kv, bool tiny, int T) {
   const kernel::ChildView cv = r.child(2, kv);
 
   const double want =
-      kernel::evaluate_slice<S>(0, 1, N, cats, cu, cv, r.p2.data(),
+      kernel::evaluate_slice<S>(0, N, 1, cats, cu, cv, r.p2.data(),
                                 r.freqs.data(), r.weights.data());
   double got = 0.0;
   for (int tid = 0; tid < T; ++tid)
-    got += kernel::evaluate_spec<S>(tid, T, N, cats, cu, cv, r.p2.data(),
+    got += kernel::evaluate_spec<S>(tid, N, T, cats, cu, cv, r.p2.data(),
                                     r.p2t.data(), r.freqs.data(),
                                     r.weights.data());
   expect_rel(got, want, 1e-12, 1.0, "evaluate lnL");
 
   std::vector<double> want_sites(N, -1.0), got_sites(N, -2.0);
-  kernel::evaluate_sites_slice<S>(0, 1, N, cats, cu, cv, r.p2.data(),
+  kernel::evaluate_sites_slice<S>(0, N, 1, cats, cu, cv, r.p2.data(),
                                   r.freqs.data(), want_sites.data());
   for (int tid = 0; tid < T; ++tid)
-    kernel::evaluate_sites_spec<S>(tid, T, N, cats, cu, cv, r.p2.data(),
+    kernel::evaluate_sites_spec<S>(tid, N, T, cats, cu, cv, r.p2.data(),
                                    r.p2t.data(), r.freqs.data(),
                                    got_sites.data());
   for (std::size_t i = 0; i < N; ++i)
@@ -104,21 +105,21 @@ void check_sumtable_nr(int cats, char ku, char kv, int T) {
   const kernel::ChildView cv = kv == 't' ? r.tip_sym() : r.inner2();
 
   std::vector<double> want(N * r.stride, -1.0), got(N * r.stride, -2.0);
-  kernel::sumtable_slice<S>(0, 1, N, cats, cu, cv, r.sym.data(), want.data());
+  kernel::sumtable_slice<S>(0, N, 1, cats, cu, cv, r.sym.data(), want.data());
   for (int tid = 0; tid < T; ++tid)
-    kernel::sumtable_spec<S>(tid, T, N, cats, cu, cv, r.sym.data(),
+    kernel::sumtable_spec<S>(tid, N, T, cats, cu, cv, r.sym.data(),
                              r.symt.data(), got.data());
   const double scale = max_abs(want);
   for (std::size_t k = 0; k < want.size(); ++k)
     expect_rel(got[k], want[k], 1e-12, scale, "sumtable entry");
 
   double want_d1 = 0.0, want_d2 = 0.0;
-  kernel::nr_slice<S>(0, 1, N, cats, want.data(), r.exp_lam.data(),
+  kernel::nr_slice<S>(0, N, 1, cats, want.data(), r.exp_lam.data(),
                       r.lam.data(), r.weights.data(), &want_d1, &want_d2);
   double got_d1 = 0.0, got_d2 = 0.0;
   for (int tid = 0; tid < T; ++tid) {
     double d1 = 0.0, d2 = 0.0;
-    kernel::nr_spec<S>(tid, T, N, cats, got.data(), r.exp_lam.data(),
+    kernel::nr_spec<S>(tid, N, T, cats, got.data(), r.exp_lam.data(),
                        r.lam.data(), r.weights.data(), &d1, &d2);
     got_d1 += d1;
     got_d2 += d2;
@@ -208,9 +209,9 @@ TEST(GoldenKernels, DispatcherFallsBackWithoutTipTable) {
 
   std::vector<double> want(N * r.stride), got(N * r.stride);
   std::vector<std::int32_t> want_sc(N), got_sc(N);
-  kernel::newview_slice<4>(0, 1, N, 2, bare_tip, r.inner2(), r.p1.data(),
+  kernel::newview_slice<4>(0, N, 1, 2, bare_tip, r.inner2(), r.p1.data(),
                            r.p2.data(), want.data(), want_sc.data());
-  kernel::newview_spec<4>(0, 1, N, 2, bare_tip, r.inner2(), r.p1.data(),
+  kernel::newview_spec<4>(0, N, 1, 2, bare_tip, r.inner2(), r.p1.data(),
                           r.p2.data(), r.p1t.data(), r.p2t.data(), got.data(),
                           got_sc.data());
   EXPECT_EQ(got, want);
@@ -218,6 +219,8 @@ TEST(GoldenKernels, DispatcherFallsBackWithoutTipTable) {
 }
 
 /// Build an engine over `data` with the given kernel flavor and thread count.
+/// PLK_TEST_SCHEDULE selects the work-scheduling strategy (ctest registers
+/// the engine A/B comparisons again under "weighted" and "lpt").
 std::unique_ptr<Engine> make_engine(const Dataset& data,
                                     const CompressedAlignment& comp,
                                     bool generic, int threads) {
@@ -229,6 +232,11 @@ std::unique_ptr<Engine> make_engine(const Dataset& data,
   EngineOptions eo;
   eo.threads = threads;
   eo.use_generic_kernels = generic;
+  if (const char* s = std::getenv("PLK_TEST_SCHEDULE")) {
+    const auto parsed = scheduling_strategy_from_string(s);
+    if (!parsed) throw std::invalid_argument("bad PLK_TEST_SCHEDULE");
+    eo.schedule = *parsed;
+  }
   return std::make_unique<Engine>(comp, data.true_tree, std::move(models), eo);
 }
 

@@ -1,0 +1,155 @@
+// Locale-robustness and scale tests for the Newick reader/writer.
+//
+// Branch-length parsing must be locale-independent (the grammar is always
+// C-locale: '.' decimal point, optional exponent) and must not copy the
+// remaining input per number — std::stod via substr did both wrong:
+// comma-decimal locales truncated "1.5e-3" at the '.', and each parsed
+// number copied the whole tail of the string, making large-tree parsing
+// O(n^2).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <locale>
+#include <string>
+
+#include "tree/newick.hpp"
+#include "tree/tree_gen.hpp"
+#include "util/rng.hpp"
+
+namespace plk {
+namespace {
+
+/// Install a comma-decimal global locale (C and, where possible, C++) and
+/// restore the previous state on destruction. `ok()` reports whether one was
+/// actually available on this system.
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() {
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8",
+          "fr_FR", "es_ES.UTF-8", "nl_NL.UTF-8", "pt_BR.UTF-8"}) {
+      if (std::setlocale(LC_ALL, name) == nullptr) continue;
+      const auto* lc = std::localeconv();
+      if (lc->decimal_point != nullptr && lc->decimal_point[0] == ',') {
+        ok_ = true;
+        try {
+          std::locale::global(std::locale(name));  // streams too
+        } catch (const std::runtime_error&) {
+        }
+        return;
+      }
+    }
+    std::setlocale(LC_ALL, "C");
+  }
+  ~CommaLocaleGuard() {
+    std::locale::global(std::locale::classic());
+    std::setlocale(LC_ALL, "C");
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+const char* kScientific = "((a:1.5e-3,b:2.25e+1):3.125e-2,c:0.5,d:1e-5);";
+
+void expect_scientific_lengths(const Tree& t) {
+  ASSERT_EQ(t.tip_count(), 4);
+  double min_len = 1e9, max_len = 0.0, sum = 0.0;
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    min_len = std::min(min_len, t.length(e));
+    max_len = std::max(max_len, t.length(e));
+    sum += t.length(e);
+  }
+  EXPECT_DOUBLE_EQ(min_len, 1e-5);
+  EXPECT_DOUBLE_EQ(max_len, 2.25e+1);
+  EXPECT_DOUBLE_EQ(sum, 1.5e-3 + 2.25e+1 + 3.125e-2 + 0.5 + 1e-5);
+}
+
+TEST(NewickLocale, ScientificNotationParsesInCLocale) {
+  expect_scientific_lengths(parse_newick(kScientific));
+}
+
+TEST(NewickLocale, ScientificNotationRoundTripsUnderCommaDecimalLocale) {
+  CommaLocaleGuard guard;
+  if (!guard.ok())
+    GTEST_SKIP() << "no comma-decimal locale installed on this system";
+
+  // Parse with ',' as the locale decimal point: every length must still
+  // read the full C-locale number.
+  const Tree t = parse_newick(kScientific);
+  expect_scientific_lengths(t);
+
+  // Serialize under the same locale: the writer must emit '.'-decimal
+  // Newick (not "1,5e-3"), and re-parsing must reproduce the lengths.
+  const std::string out = write_newick(t, 17);
+  // Structural commas here always precede a letter label or '('; a decimal
+  // comma would sit between two digits.
+  for (std::size_t i = 1; i + 1 < out.size(); ++i)
+    EXPECT_FALSE(out[i] == ',' &&
+                 std::isdigit(static_cast<unsigned char>(out[i - 1])) &&
+                 std::isdigit(static_cast<unsigned char>(out[i + 1])))
+        << "decimal comma in: " << out;
+  const Tree back = parse_newick(out);
+  expect_scientific_lengths(back);
+}
+
+/// A ','-decimal numpunct facet — lets the writer-side locale test run even
+/// on systems with no comma-decimal locale installed (the facet only
+/// affects C++ streams, which is exactly what the writer uses).
+struct CommaNumpunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+};
+
+TEST(NewickLocale, WriterEmitsDotDecimalUnderCommaGlobalCppLocale) {
+  const Tree t = parse_newick(kScientific);
+  std::locale::global(std::locale(std::locale::classic(), new CommaNumpunct));
+  const std::string out = write_newick(t, 17);
+  std::locale::global(std::locale::classic());
+  // Without the classic-locale imbue the stream would render "0,0015".
+  for (std::size_t i = 1; i + 1 < out.size(); ++i)
+    ASSERT_FALSE(out[i] == ',' &&
+                 std::isdigit(static_cast<unsigned char>(out[i - 1])) &&
+                 std::isdigit(static_cast<unsigned char>(out[i + 1])))
+        << "decimal comma in: " << out;
+  expect_scientific_lengths(parse_newick(out));
+}
+
+TEST(NewickLocale, MalformedLengthStillRejected) {
+  EXPECT_THROW(parse_newick("(a:abc,b:0.1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:,b:0.1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:+-1.5,b:0.1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:+,b:0.1);"), std::runtime_error);
+}
+
+TEST(NewickLocale, PlusSignAndNegativeExponentAccepted) {
+  const Tree t = parse_newick("(a:+0.25,b:2e-2,c:1.0);");
+  double sum = 0.0;
+  for (EdgeId e = 0; e < t.edge_count(); ++e) sum += t.length(e);
+  EXPECT_DOUBLE_EQ(sum, 0.25 + 0.02 + 1.0);
+}
+
+TEST(NewickScale, TenThousandTaxaRoundTrip) {
+  // Smoke test at production scale: 10k taxa parse + serialize + reparse.
+  // With the old substr-copy parsing this alone took O(n^2) character
+  // copies (~gigabytes); with from_chars it is linear.
+  Rng rng(2026);
+  const int n = 10000;
+  const Tree t = random_tree(n, rng);
+  const std::string text = write_newick(t, 10);
+  const Tree back = parse_newick(text);
+  ASSERT_EQ(back.tip_count(), n);
+  ASSERT_EQ(back.edge_count(), t.edge_count());
+  // Branch lengths survive the round trip (tip ids may be permuted, so
+  // compare the totals).
+  double sum_a = 0.0, sum_b = 0.0;
+  for (EdgeId e = 0; e < t.edge_count(); ++e) {
+    sum_a += t.length(e);
+    sum_b += back.length(e);
+  }
+  EXPECT_NEAR(sum_a, sum_b, 1e-6 * std::max(1.0, sum_a));
+}
+
+}  // namespace
+}  // namespace plk

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "parallel/thread_team.hpp"
 
@@ -128,11 +130,40 @@ TEST(ThreadTeam, DestructsCleanlyWithoutCommands) {
 }
 
 TEST(ThreadTeam, OversubscriptionStillCompletes) {
-  // More threads than cores: the yield fallback must keep things moving.
+  // More threads than cores: workers park instead of spinning forever.
   ThreadTeam team(64, false);
   std::atomic<int> total{0};
   team.run([&](int) { total.fetch_add(1); });
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadTeam, ParksAndWakesAcrossLongSerialPhases) {
+  // Long serial master phases (e.g. eigendecompositions during model
+  // optimization) exhaust the workers' spin budget; they must park on the
+  // condition variable and still wake promptly for the next command.
+  ThreadTeam team(4, false);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 3; ++round) {
+    team.run([&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  team.run([&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), 16);
+  // Destruction with parked workers must also join cleanly (covered by the
+  // fixture going out of scope right after an idle period).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+}
+
+TEST(ThreadTeam, CpuTimeInstrumentationMeasuresOwnWork) {
+  ThreadTeam team(2, true, /*cpu_time=*/true);
+  team.run([&](int) {
+    volatile double x = 0;
+    for (int i = 0; i < 500000; ++i) x += std::sqrt(i + 1.0);
+  });
+  const auto& st = team.stats();
+  EXPECT_GT(st.total_work_seconds, 0.0);
+  EXPECT_GT(st.critical_path_seconds, 0.0);
+  EXPECT_GE(st.imbalance_seconds, 0.0);
 }
 
 }  // namespace

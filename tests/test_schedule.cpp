@@ -1,0 +1,286 @@
+// Tests for parallel/schedule.hpp and its engine integration.
+//
+// Unit level: every strategy must assign each pattern of each partition to
+// exactly one thread (disjoint cover), kCyclic must reproduce the historical
+// hard-coded split span-for-span, and the cost-balancing strategies must
+// actually balance the modeled cost on skewed shapes.
+//
+// Engine level (the cross-thread-count invariance contract): on a mixed
+// DNA+protein multipartition, log-likelihood and first/second Newton-Raphson
+// derivatives agree within 1e-9 relative error for T in {1, 2, 4, 8} under
+// every scheduling strategy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/branch_opt.hpp"
+#include "core/engine.hpp"
+#include "parallel/schedule.hpp"
+#include "sim/datasets.hpp"
+#include "util/rng.hpp"
+
+namespace plk {
+namespace {
+
+std::vector<PartitionShape> skewed_shapes() {
+  // Mixed 4- and 20-state partitions, several with awkward remainders.
+  return {
+      {.patterns = 37, .states = 4, .cats = 4},
+      {.patterns = 11, .states = 20, .cats = 4},
+      {.patterns = 64, .states = 4, .cats = 1},
+      {.patterns = 5, .states = 20, .cats = 2},
+      {.patterns = 23, .states = 4, .cats = 4},
+      {.patterns = 9, .states = 20, .cats = 4},
+      {.patterns = 41, .states = 4, .cats = 2},
+  };
+}
+
+/// Every pattern of every partition owned by exactly one thread.
+void expect_disjoint_cover(const WorkSchedule& ws,
+                           const std::vector<PartitionShape>& shapes) {
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+    std::vector<int> owner(shapes[static_cast<std::size_t>(p)].patterns, -1);
+    for (int t = 0; t < ws.threads(); ++t)
+      for (const WorkSpan& s : ws.spans(t, p)) {
+        EXPECT_EQ(s.part, p);
+        EXPECT_GE(s.step, 1u);
+        for (std::size_t i = s.begin; i < s.end; i += s.step) {
+          ASSERT_LT(i, owner.size());
+          EXPECT_EQ(owner[i], -1) << "pattern " << i << " of partition " << p
+                                  << " assigned twice";
+          owner[i] = t;
+        }
+      }
+    for (std::size_t i = 0; i < owner.size(); ++i)
+      EXPECT_NE(owner[i], -1)
+          << "pattern " << i << " of partition " << p << " unassigned";
+  }
+}
+
+constexpr SchedulingStrategy kAllStrategies[] = {
+    SchedulingStrategy::kCyclic, SchedulingStrategy::kBlock,
+    SchedulingStrategy::kWeighted, SchedulingStrategy::kLpt,
+    SchedulingStrategy::kMeasured};
+
+TEST(WorkSchedule, EveryStrategyCoversEveryPatternExactlyOnce) {
+  const auto shapes = skewed_shapes();
+  for (SchedulingStrategy s : kAllStrategies)
+    for (int T : {1, 2, 3, 4, 8, 16}) {
+      const WorkSchedule ws = WorkSchedule::build(s, T, shapes);
+      SCOPED_TRACE(std::string(to_string(s)) + " T=" + std::to_string(T));
+      expect_disjoint_cover(ws, shapes);
+    }
+}
+
+TEST(WorkSchedule, CyclicReproducesHistoricalSplit) {
+  // One strided span per (thread, partition): begin=tid, end=patterns,
+  // step=T — the exact iteration the kernels hard-coded before.
+  const auto shapes = skewed_shapes();
+  const int T = 4;
+  const WorkSchedule ws =
+      WorkSchedule::build(SchedulingStrategy::kCyclic, T, shapes);
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p)
+    for (int t = 0; t < T; ++t) {
+      const auto sp = ws.spans(t, p);
+      const std::size_t n = shapes[static_cast<std::size_t>(p)].patterns;
+      ASSERT_EQ(sp.size(), 1u);
+      EXPECT_EQ(sp[0], (WorkSpan{p, static_cast<std::size_t>(t), n,
+                                 static_cast<std::size_t>(T)}));
+    }
+}
+
+TEST(WorkSchedule, BlockSpansAreContiguousAndOrdered) {
+  const auto shapes = skewed_shapes();
+  const WorkSchedule ws =
+      WorkSchedule::build(SchedulingStrategy::kBlock, 3, shapes);
+  for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+    std::size_t expect_begin = 0;
+    for (int t = 0; t < 3; ++t)
+      for (const WorkSpan& s : ws.spans(t, p)) {
+        EXPECT_EQ(s.step, 1u);
+        EXPECT_EQ(s.begin, expect_begin);
+        expect_begin = s.end;
+      }
+    EXPECT_EQ(expect_begin, shapes[static_cast<std::size_t>(p)].patterns);
+  }
+}
+
+TEST(WorkSchedule, WeightedBalancesSkewedCostWhereCyclicCannot) {
+  // Many short partitions: cyclic hands every remainder pattern to the low
+  // thread ids, weighted splits by cost and stays near-perfectly even.
+  std::vector<PartitionShape> shapes;
+  for (int g = 0; g < 24; ++g)
+    shapes.push_back({.patterns = static_cast<std::size_t>(9 + 2 * g),
+                      .states = g % 2 ? 20 : 4,
+                      .cats = 1 + g % 4});
+  const int T = 8;
+  const auto cyc = WorkSchedule::build(SchedulingStrategy::kCyclic, T, shapes);
+  const auto wgt =
+      WorkSchedule::build(SchedulingStrategy::kWeighted, T, shapes);
+  const auto lpt = WorkSchedule::build(SchedulingStrategy::kLpt, T, shapes);
+  EXPECT_GT(cyc.modeled_imbalance(), 0.02);
+  EXPECT_LT(wgt.modeled_imbalance(), cyc.modeled_imbalance());
+  EXPECT_LT(lpt.modeled_imbalance(), cyc.modeled_imbalance());
+  EXPECT_LT(wgt.modeled_imbalance(), 0.02);
+}
+
+TEST(WorkSchedule, LptMergesAdjacentChunks) {
+  // A single-partition schedule: whatever LPT assigns, each thread's spans
+  // within the partition must be merged (no two adjacent spans).
+  std::vector<PartitionShape> shapes{{.patterns = 1000, .states = 4, .cats = 4}};
+  const WorkSchedule ws = WorkSchedule::build(SchedulingStrategy::kLpt, 4, shapes);
+  for (int t = 0; t < 4; ++t) {
+    const auto sp = ws.spans(t, 0);
+    for (std::size_t k = 1; k < sp.size(); ++k)
+      EXPECT_GT(sp[k].begin, sp[k - 1].end);
+  }
+  expect_disjoint_cover(ws, shapes);
+}
+
+TEST(WorkSchedule, StrategyNamesRoundTrip) {
+  for (SchedulingStrategy s : kAllStrategies)
+    EXPECT_EQ(scheduling_strategy_from_string(to_string(s)), s);
+  EXPECT_FALSE(scheduling_strategy_from_string("bogus").has_value());
+}
+
+TEST(WorkSpanTest, CountsStridedPatterns) {
+  EXPECT_EQ((WorkSpan{0, 0, 10, 1}).count(), 10u);
+  EXPECT_EQ((WorkSpan{0, 3, 10, 4}).count(), 2u);   // 3, 7
+  EXPECT_EQ((WorkSpan{0, 10, 10, 1}).count(), 0u);
+  EXPECT_EQ((WorkSpan{0, 0, 41, 8}).count(), 6u);   // 0,8,...,40
+}
+
+// --- engine-level cross-thread-count invariance -------------------------------
+
+struct MixedRig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  MixedRig(int threads, SchedulingStrategy sched) {
+    data = make_mixed_multigene(8, 3, 2, 30, 120, 4242);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    Rng rng(99);
+    for (const auto& part : comp->partitions) {
+      SubstModel m = part.type == DataType::kDna
+                         ? make_model("GTR", empirical_frequencies(part))
+                         : make_model("WAG");
+      models.emplace_back(std::move(m), rng.uniform(0.5, 1.1), 4);
+    }
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.unlinked_branch_lengths = true;
+    eo.schedule = sched;
+    engine = std::make_unique<Engine>(*comp, data.true_tree,
+                                      std::move(models), eo);
+  }
+};
+
+struct Observations {
+  double lnl;
+  std::vector<double> d1, d2;
+};
+
+Observations observe(Engine& eng) {
+  Observations obs;
+  obs.lnl = eng.loglikelihood(0);
+  std::vector<int> all(static_cast<std::size_t>(eng.partition_count()));
+  for (int p = 0; p < eng.partition_count(); ++p)
+    all[static_cast<std::size_t>(p)] = p;
+  eng.prepare_root(1);
+  eng.compute_sumtable(all);
+  std::vector<double> lens(all.size());
+  for (std::size_t k = 0; k < all.size(); ++k) lens[k] = 0.07 + 0.03 * k;
+  obs.d1.resize(all.size());
+  obs.d2.resize(all.size());
+  eng.nr_derivatives(all, lens, obs.d1, obs.d2);
+  return obs;
+}
+
+TEST(ScheduleInvariance, LnlAndDerivativesAgreeAcrossThreadsAndStrategies) {
+  MixedRig ref_rig(1, SchedulingStrategy::kCyclic);
+  const Observations ref = observe(*ref_rig.engine);
+  ASSERT_TRUE(std::isfinite(ref.lnl));
+
+  for (SchedulingStrategy s : kAllStrategies)
+    for (int T : {1, 2, 4, 8}) {
+      MixedRig rig(T, s);
+      if (s == SchedulingStrategy::kMeasured)
+        rig.engine->calibrate_schedule(0);
+      const Observations got = observe(*rig.engine);
+      SCOPED_TRACE(std::string(to_string(s)) + " T=" + std::to_string(T));
+      EXPECT_NEAR(got.lnl, ref.lnl, 1e-9 * std::abs(ref.lnl));
+      for (std::size_t k = 0; k < ref.d1.size(); ++k) {
+        EXPECT_NEAR(got.d1[k], ref.d1[k],
+                    1e-9 * std::max(1.0, std::abs(ref.d1[k])));
+        EXPECT_NEAR(got.d2[k], ref.d2[k],
+                    1e-9 * std::max(1.0, std::abs(ref.d2[k])));
+      }
+    }
+}
+
+TEST(ScheduleInvariance, StrategySwitchMidRunKeepsLikelihood) {
+  MixedRig rig(4, SchedulingStrategy::kCyclic);
+  Engine& eng = *rig.engine;
+  const double ref = eng.loglikelihood(0);
+  for (SchedulingStrategy s :
+       {SchedulingStrategy::kBlock, SchedulingStrategy::kWeighted,
+        SchedulingStrategy::kLpt, SchedulingStrategy::kCyclic}) {
+    eng.set_scheduling_strategy(s);
+    eng.invalidate_all();
+    EXPECT_NEAR(eng.loglikelihood(0), ref, 1e-9 * std::abs(ref))
+        << to_string(s);
+    EXPECT_EQ(eng.schedule().strategy(), s);
+  }
+}
+
+TEST(ScheduleInvariance, SinglePartitionCommandsMatchUnderCostSplits) {
+  // oldPAR-style phases issue commands scoped to ONE partition; the global
+  // cost split may own such a partition with a single thread, so the engine
+  // block-splits those commands instead. Both the per-partition evaluations
+  // and a full oldPAR branch-length optimization must match the cyclic
+  // T=1 reference.
+  MixedRig ref_rig(1, SchedulingStrategy::kCyclic);
+  std::vector<double> ref_lnl(
+      static_cast<std::size_t>(ref_rig.engine->partition_count()));
+  for (int p = 0; p < ref_rig.engine->partition_count(); ++p) {
+    ref_rig.engine->loglikelihood(0, {p});
+    ref_lnl[static_cast<std::size_t>(p)] =
+        ref_rig.engine->per_partition_lnl()[static_cast<std::size_t>(p)];
+  }
+  const double ref_opt =
+      optimize_branch_lengths(*ref_rig.engine, Strategy::kOldPar);
+
+  for (SchedulingStrategy s :
+       {SchedulingStrategy::kWeighted, SchedulingStrategy::kLpt}) {
+    MixedRig rig(8, s);
+    SCOPED_TRACE(to_string(s));
+    for (int p = 0; p < rig.engine->partition_count(); ++p) {
+      rig.engine->loglikelihood(0, {p});
+      EXPECT_NEAR(
+          rig.engine->per_partition_lnl()[static_cast<std::size_t>(p)],
+          ref_lnl[static_cast<std::size_t>(p)],
+          1e-9 * std::abs(ref_lnl[static_cast<std::size_t>(p)]));
+    }
+    const double got_opt =
+        optimize_branch_lengths(*rig.engine, Strategy::kOldPar);
+    EXPECT_NEAR(got_opt, ref_opt, 1e-7 * std::abs(ref_opt));
+  }
+}
+
+TEST(ScheduleInvariance, AnalysisOptionPlumbsThrough) {
+  Dataset data = make_mixed_multigene(6, 2, 1, 30, 60, 7);
+  AnalysisOptions opts;
+  opts.threads = 2;
+  opts.schedule = SchedulingStrategy::kWeighted;
+  Analysis an(data.alignment, data.scheme, opts, data.true_tree);
+  EXPECT_EQ(an.engine().scheduling_strategy(), SchedulingStrategy::kWeighted);
+  EXPECT_TRUE(std::isfinite(an.loglikelihood()));
+}
+
+}  // namespace
+}  // namespace plk
