@@ -1,0 +1,156 @@
+// E11: batched multi-tree evaluation — bootstrap replicate throughput.
+//
+// The paper's Pthreads design ties one thread team to one tree; replicate-
+// heavy workflows (bootstrap support, multi-start searches) therefore pay a
+// full engine rebuild per replicate — tip re-encoding, thread spawn,
+// schedule construction — and every per-replicate command is its own
+// synchronization event. The EngineCore / EvalContext split removes the
+// rebuild, and the batched submit()/wait() API packs the per-replicate
+// commands of one optimization step into a single parallel region.
+//
+// This bench runs the SAME workload both ways and reports the throughput
+// ratio:
+//
+//   sequential — the pre-split architecture: one Engine per replicate over
+//                a per-replicate alignment copy, branch lengths optimized
+//                replicate by replicate;
+//   batched    — one EngineCore, one EvalContext per replicate holding only
+//                resampled pattern weights, branch lengths optimized for
+//                all replicates in lockstep (optimize_branch_lengths_batch).
+//
+// Per-replicate arithmetic is identical (same schedules, same thread count,
+// same reduction order), so the final log-likelihoods must agree to 1e-10;
+// the bench fails loudly if they do not. Output: a table plus
+// BENCH_batch.json (replicate throughput, speedup, sync counts).
+//
+// Env: PLK_BENCH_REPLICATES (default 16), PLK_BENCH_THREADS (first entry,
+// default 8), PLK_BENCH_SCALE (dataset size, default 1).
+#include <cmath>
+#include <cstring>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace plk;
+
+std::vector<PartitionModel> make_models(const CompressedAlignment& comp) {
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0,
+                        4);
+  return models;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_batch.json";
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  const double scale = bench::scale_from_env(1.0);
+  int replicates = 16;
+  if (const char* s = std::getenv("PLK_BENCH_REPLICATES"))
+    replicates = std::atoi(s);
+  const auto threads_list = bench::threads_from_env();
+  const int threads = threads_list.empty() ? 8 : threads_list[0];
+
+  const int taxa = std::max(6, static_cast<int>(12 * scale));
+  const std::size_t sites =
+      std::max<std::size_t>(300, static_cast<std::size_t>(1200 * scale));
+  Dataset data = make_simulated_dna(taxa, sites, sites / 4, /*seed=*/777);
+  auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
+  bench::print_dataset_info(data, scale);
+  std::printf("%d replicates, %d threads\n", replicates, threads);
+
+  // One weight set per replicate, shared by both paths so the workloads are
+  // identical draw for draw.
+  Rng rng(2024);
+  std::vector<std::vector<std::vector<double>>> weights;  // [rep][part][pat]
+  weights.reserve(static_cast<std::size_t>(replicates));
+  for (int r = 0; r < replicates; ++r)
+    weights.push_back(bootstrap_weights(comp, rng));
+
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.unlinked_branch_lengths = true;  // the paper's hard case: newPAR NR
+  const BranchOptOptions bo;
+
+  // --- sequential: one engine per replicate --------------------------------
+  std::vector<double> lnl_seq(static_cast<std::size_t>(replicates));
+  Timer seq_timer;
+  for (int r = 0; r < replicates; ++r) {
+    CompressedAlignment rep = comp;  // the per-replicate copy the old
+                                     // architecture forces
+    for (std::size_t p = 0; p < rep.partitions.size(); ++p)
+      rep.partitions[p].weights = weights[static_cast<std::size_t>(r)][p];
+    Engine eng(rep, data.true_tree, make_models(comp), eo);
+    lnl_seq[static_cast<std::size_t>(r)] =
+        optimize_branch_lengths(eng, Strategy::kNewPar, bo);
+  }
+  const double seq_seconds = seq_timer.seconds();
+
+  // --- batched: one core, one context per replicate ------------------------
+  Timer batch_timer;
+  EngineCore core(comp, make_models(comp), eo);
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  for (int r = 0; r < replicates; ++r) {
+    auto ctx = std::make_unique<EvalContext>(core, data.true_tree);
+    for (int p = 0; p < core.partition_count(); ++p)
+      ctx->set_pattern_weights(
+          p, weights[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)]);
+    ctxs.push_back(ctx.get());
+    owned.push_back(std::move(ctx));
+  }
+  const std::vector<double> lnl_batch =
+      optimize_branch_lengths_batch(core, ctxs, bo);
+  const double batch_seconds = batch_timer.seconds();
+
+  // --- verify + report -----------------------------------------------------
+  double max_diff = 0.0;
+  for (int r = 0; r < replicates; ++r)
+    max_diff = std::max(max_diff,
+                        std::abs(lnl_seq[static_cast<std::size_t>(r)] -
+                                 lnl_batch[static_cast<std::size_t>(r)]));
+  const double speedup = seq_seconds / batch_seconds;
+  const double seq_tput = replicates / seq_seconds;
+  const double batch_tput = replicates / batch_seconds;
+
+  std::printf("\n%-12s %12s %16s %14s\n", "path", "seconds",
+              "replicates/sec", "syncs");
+  std::printf("%-12s %12.3f %16.2f %14s\n", "sequential", seq_seconds,
+              seq_tput, "(per-engine)");
+  std::printf("%-12s %12.3f %16.2f %14llu\n", "batched", batch_seconds,
+              batch_tput,
+              static_cast<unsigned long long>(core.team_stats().sync_count));
+  std::printf("speedup: %.2fx   max |lnL_seq - lnL_batch| = %.3g\n", speedup,
+              max_diff);
+  if (max_diff > 1e-10) {
+    std::fprintf(stderr,
+                 "FAIL: batched and sequential likelihoods diverge (%.3g)\n",
+                 max_diff);
+    return 1;
+  }
+
+  bench::JsonObject doc;
+  doc.add("bench", "batch");
+  doc.add("dataset", data.name);
+  doc.add("scale", scale);
+  doc.add("replicates", replicates);
+  doc.add("threads", threads);
+  doc.add("seq_seconds", seq_seconds);
+  doc.add("batch_seconds", batch_seconds);
+  doc.add("seq_replicates_per_sec", seq_tput);
+  doc.add("batch_replicates_per_sec", batch_tput);
+  doc.add("speedup", speedup);
+  doc.add("batch_syncs",
+          static_cast<long long>(core.team_stats().sync_count));
+  doc.add("batch_requests", static_cast<long long>(core.stats().requests));
+  doc.add("batch_commands", static_cast<long long>(core.stats().commands));
+  doc.add("max_abs_lnl_diff", max_diff);
+  bench::write_json(json_path, doc);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

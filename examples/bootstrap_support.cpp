@@ -1,10 +1,17 @@
 // Bootstrap analysis: estimate branch support for an ML tree.
 //
-// Runs B bootstrap replicates (resampled pattern weights -> quick ML search
-// from a parsimony starting tree each) and draws the support values onto
-// the best-known tree — the classic Felsenstein-bootstrap workflow the
-// paper's introduction cites as the embarrassingly parallel layer *above*
-// the fine-grained PLK parallelism studied in the paper.
+// Runs B bootstrap replicates and draws the support values onto the
+// best-known tree — the classic Felsenstein-bootstrap workflow the paper's
+// introduction cites as the embarrassingly parallel layer *above* the
+// fine-grained PLK parallelism studied in the paper.
+//
+// Replicates run through ONE shared EngineCore: each replicate is an
+// EvalContext holding only resampled pattern weights (no alignment copy,
+// no tip re-encoding, no thread respawn), branch lengths are smoothed for
+// all replicates in lockstep through the core's batched submit()/wait()
+// API, and the per-replicate SPR searches share the core's tip-table LRUs
+// and thread team. Compare with the pre-batching one-engine-per-replicate
+// loop benchmarked in bench/bench_batch.cpp.
 //
 // Usage: example_bootstrap_support [taxa] [sites] [replicates]
 #include <cstdio>
@@ -22,45 +29,41 @@ int main(int argc, char** argv) {
   Dataset data = make_simulated_dna(taxa, sites, sites / 3, /*seed=*/4242);
   auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
 
-  auto make_models = [&] {
-    std::vector<PartitionModel> models;
-    for (const auto& part : comp.partitions)
-      models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0,
-                          4);
-    return models;
-  };
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0, 4);
   SearchOptions so;
   so.max_rounds = 1;
   so.spr_radius = 3;
   so.model_opts.optimize_rates = false;
 
-  // 1. Best tree on the original data, from a parsimony start.
-  Rng rng(7);
+  // One core for the whole analysis: best-tree search AND all replicates.
   EngineOptions eo;
   eo.threads = 8;
-  Engine best_engine(comp, parsimony_stepwise_tree(comp, rng), make_models(),
-                     eo);
+  EngineCore core(comp, std::move(models), eo);
+
+  // 1. Best tree on the original data, from a parsimony start.
+  Rng rng(7);
+  EvalContext best_ctx(core, parsimony_stepwise_tree(comp, rng));
+  Engine best_engine(core, best_ctx);
   const double best_lnl = search_ml(best_engine, so).final_lnl;
-  best_engine.sync_tree_lengths();
-  const Tree best = best_engine.tree();
+  const Tree best = best_ctx.tree();
   std::printf("best tree lnL: %.2f\n", best_lnl);
 
-  // 2. Replicate searches on resampled weights.
-  std::vector<Tree> rep_trees;
-  std::vector<CompressedAlignment> rep_data;  // must outlive their engines
-  rep_data.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    rep_data.push_back(bootstrap_replicate(comp, rng));
-    Engine eng(rep_data.back(), parsimony_stepwise_tree(rep_data.back(), rng),
-               make_models(), eo);
-    search_ml(eng, so);
-    eng.sync_tree_lengths();
-    rep_trees.push_back(eng.tree());
-    std::printf("  replicate %2d done (RF to best: %d)\r", r + 1,
-                rf_distance(rep_trees.back(), best));
-    std::fflush(stdout);
-  }
-  std::printf("\n");
+  // 2. Replicate searches on resampled weights, batched through the core.
+  core.reset_stats();
+  Timer timer;
+  const std::vector<Tree> rep_trees =
+      bootstrap_trees(core, best, reps, rng, so);
+  const double rep_seconds = timer.seconds();
+  for (int r = 0; r < reps; ++r)
+    std::printf("  replicate %2d: RF to best = %d\n", r + 1,
+                rf_distance(rep_trees[static_cast<std::size_t>(r)], best));
+  std::printf("%d replicates in %.2fs — %llu logical requests packed into "
+              "%llu parallel regions\n",
+              reps, rep_seconds,
+              static_cast<unsigned long long>(core.stats().requests),
+              static_cast<unsigned long long>(core.stats().commands));
 
   // 3. Draw support onto the best tree.
   auto support = bipartition_support(best, rep_trees);

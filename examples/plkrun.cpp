@@ -41,6 +41,8 @@ struct CliOptions {
   bool parsimony_start = true;
   int radius = 5;
   int rounds = 5;
+  int starts = 1;
+  int replicates = 0;
   std::uint64_t seed = 42;
 };
 
@@ -61,6 +63,10 @@ void usage() {
       "  --random-start   random instead of parsimony starting tree\n"
       "  --radius N       SPR radius (default 5)\n"
       "  --rounds N       max search rounds (default 5)\n"
+      "  --starts N       independent search starts over one shared engine\n"
+      "                   core (batched initial scoring; best tree wins)\n"
+      "  --replicates N   after the search, N bootstrap replicates batched\n"
+      "                   through the shared core; writes <prefix>.support\n"
       "  --seed N         RNG seed (default 42)\n"
       "  --simulate T,S,P simulate T taxa x S sites in partitions of P\n");
 }
@@ -126,6 +132,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       o.rounds = std::atoi(v);
+    } else if (a == "--starts") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.starts = std::atoi(v);
+    } else if (a == "--replicates") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.replicates = std::atoi(v);
     } else if (a == "--seed") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -203,6 +217,7 @@ int main(int argc, char** argv) {
                                           : StartTree::kRandom;
     opts.search.spr_radius = cli.radius;
     opts.search.max_rounds = cli.rounds;
+    opts.search_starts = cli.starts;
 
     std::optional<Tree> start;
     if (!cli.tree_path.empty()) {
@@ -230,6 +245,33 @@ int main(int argc, char** argv) {
     const std::string tree_file = cli.out_prefix + ".bestTree";
     write_file(tree_file, res.newick + "\n");
     std::printf("tree written to %s\n", tree_file.c_str());
+
+    // --- bootstrap support (batched through the shared engine core) --------
+    if (cli.replicates > 0) {
+      EngineCore& core = analysis.engine().core();
+      analysis.engine().sync_tree_lengths();
+      const Tree best = analysis.engine().tree();
+      SearchOptions bso;
+      bso.strategy = cli.strategy;
+      bso.spr_radius = cli.radius;
+      bso.max_rounds = 1;  // quick replicate searches from the best tree
+      Rng rng(cli.seed ^ 0xb0075);
+      core.reset_stats();
+      const std::vector<Tree> reps =
+          bootstrap_trees(core, best, cli.replicates, rng, bso);
+      const auto support = bipartition_support(best, reps);
+      double mean = 0;
+      for (const auto& [e, s] : support) mean += s;
+      if (!support.empty()) mean /= static_cast<double>(support.size());
+      std::printf("bootstrap: %d replicates, mean support %.0f%% (%llu "
+                  "requests in %llu parallel regions)\n",
+                  cli.replicates, 100.0 * mean,
+                  static_cast<unsigned long long>(core.stats().requests),
+                  static_cast<unsigned long long>(core.stats().commands));
+      const std::string support_file = cli.out_prefix + ".support";
+      write_file(support_file, write_newick_with_support(best, support) + "\n");
+      std::printf("support tree written to %s\n", support_file.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

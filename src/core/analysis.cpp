@@ -101,7 +101,30 @@ AnalysisResult Analysis::run_search() {
   SearchOptions so = opts_.search;
   so.strategy = opts_.strategy;
   AnalysisResult res;
-  res.search = search_ml(*engine_, so);
+  if (opts_.search_starts <= 1) {
+    res.search = search_ml(*engine_, so);
+  } else {
+    // Multi-start: extra random-start contexts over the engine's shared
+    // core (no tip re-encoding, no thread spawn, batched initial scoring).
+    std::vector<std::unique_ptr<EvalContext>> extra;
+    std::vector<EvalContext*> ctxs{&engine_->context()};
+    for (int s = 1; s < opts_.search_starts; ++s) {
+      Rng rng(opts_.seed + static_cast<std::uint64_t>(s));
+      extra.push_back(std::make_unique<EvalContext>(
+          engine_->core(), random_tree(data_->taxon_names, rng)));
+      ctxs.push_back(extra.back().get());
+    }
+    const MultiStartResult ms = search_ml_multistart(engine_->core(), ctxs, so);
+    if (ms.best > 0) {
+      engine_->context().copy_state_from(
+          *ctxs[static_cast<std::size_t>(ms.best)]);
+      // Refresh the primary context's evaluation state (per_partition_lnl)
+      // for the adopted tree; when the primary start won it is fresh
+      // already from its own search.
+      engine_->loglikelihood(0);
+    }
+    res.search = ms.results[static_cast<std::size_t>(ms.best)];
+  }
   res.lnl = res.search.final_lnl;
   res.seconds = timer.seconds();
   res.engine_stats = engine_->stats();

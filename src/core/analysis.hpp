@@ -47,6 +47,11 @@ struct AnalysisOptions {
   /// simulated data is generated with all-unique columns (m == m'); keep
   /// this on for real data.
   bool compress_patterns = true;
+  /// Independent starting trees for run_search(). Starts beyond the first
+  /// run as extra EvalContexts over the engine's shared core (scored in one
+  /// batched parallel region, then searched in turn — no per-start engine
+  /// rebuild); the best final tree is adopted into the engine.
+  int search_starts = 1;
   std::uint64_t seed = 42;  ///< for the random starting tree
   SearchOptions search;
   ModelOptOptions model_opts;

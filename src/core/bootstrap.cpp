@@ -1,25 +1,70 @@
 #include "core/bootstrap.hpp"
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
 
+#include "core/branch_opt.hpp"
+#include "core/engine.hpp"
 #include "tree/rf_distance.hpp"
 
 namespace plk {
 
-CompressedAlignment bootstrap_replicate(const CompressedAlignment& aln,
-                                        Rng& rng) {
-  CompressedAlignment rep = aln;
-  for (auto& part : rep.partitions) {
+std::vector<std::vector<double>> bootstrap_weights(
+    const CompressedAlignment& aln, Rng& rng) {
+  std::vector<std::vector<double>> out;
+  out.reserve(aln.partitions.size());
+  for (const auto& part : aln.partitions) {
     std::vector<double> fresh(part.pattern_count, 0.0);
     // Draw site_count columns with replacement, weighted by the original
     // multiplicities (each original column is equally likely).
     for (std::size_t s = 0; s < part.site_count; ++s)
       fresh[rng.discrete(part.weights)] += 1.0;
-    part.weights = std::move(fresh);
+    out.push_back(std::move(fresh));
   }
+  return out;
+}
+
+CompressedAlignment bootstrap_replicate(const CompressedAlignment& aln,
+                                        Rng& rng) {
+  CompressedAlignment rep = aln;
+  auto weights = bootstrap_weights(aln, rng);
+  for (std::size_t p = 0; p < rep.partitions.size(); ++p)
+    rep.partitions[p].weights = std::move(weights[p]);
   return rep;
+}
+
+std::vector<Tree> bootstrap_trees(EngineCore& core, const Tree& reference,
+                                  int replicates, Rng& rng,
+                                  const SearchOptions& opts) {
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  owned.reserve(static_cast<std::size_t>(replicates));
+  for (int r = 0; r < replicates; ++r) {
+    auto ctx = std::make_unique<EvalContext>(core, reference);
+    const auto weights = bootstrap_weights(core.alignment(), rng);
+    for (int p = 0; p < core.partition_count(); ++p)
+      ctx->set_pattern_weights(p, weights[static_cast<std::size_t>(p)]);
+    ctxs.push_back(ctx.get());
+    owned.push_back(std::move(ctx));
+  }
+
+  // Batched phase: smooth every replicate's branch lengths in lockstep
+  // (each optimization step is one parallel region for all replicates).
+  optimize_branch_lengths_batch(core, ctxs, opts.full_branch_opts);
+
+  // Per-replicate SPR searches (sequential decisions, shared core). The
+  // search's own initial branch smoothing converges immediately thanks to
+  // the batched pre-pass.
+  std::vector<Tree> trees;
+  trees.reserve(static_cast<std::size_t>(replicates));
+  for (EvalContext* ctx : ctxs) {
+    Engine view(core, *ctx);
+    search_ml(view, opts);
+    trees.push_back(ctx->tree());
+  }
+  return trees;
 }
 
 std::map<EdgeId, double> bipartition_support(

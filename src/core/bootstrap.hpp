@@ -13,15 +13,41 @@
 #include <vector>
 
 #include "bio/patterns.hpp"
+#include "core/engine_core.hpp"
+#include "search/search.hpp"
 #include "tree/tree.hpp"
 #include "util/rng.hpp"
 
 namespace plk {
 
-/// A bootstrap replicate: same patterns, multinomially resampled weights
-/// (per partition, preserving each partition's total site count).
+/// Resampled pattern weights of one bootstrap replicate, one vector per
+/// partition (each preserving its partition's total site count). This is
+/// all a replicate *is* in the pattern-compressed representation: feed the
+/// weights to EvalContext::set_pattern_weights and share everything else —
+/// tip data, thread team, schedules — through one EngineCore instead of
+/// copying the alignment per replicate.
+std::vector<std::vector<double>> bootstrap_weights(
+    const CompressedAlignment& aln, Rng& rng);
+
+/// A bootstrap replicate as a standalone alignment copy: same patterns,
+/// multinomially resampled weights. Kept for one-engine-per-replicate
+/// flows; replicate-heavy runs should prefer bootstrap_weights() + a shared
+/// EngineCore (see bootstrap_trees()).
 CompressedAlignment bootstrap_replicate(const CompressedAlignment& aln,
                                         Rng& rng);
+
+/// Bootstrap replicate trees through a shared EngineCore (the batched
+/// replacement for the one-engine-per-replicate loop): one EvalContext per
+/// replicate carrying resampled weights, all starting from `reference`
+/// (rapid-bootstrap style). Branch lengths are first smoothed for every
+/// replicate in lockstep through the core's batched submit()/wait() API —
+/// one parallel region per optimization step for the WHOLE set — and each
+/// replicate then runs its (inherently sequential) SPR search through an
+/// Engine facade view, still sharing the core's tip data, tip-table LRUs,
+/// thread team, and schedule. Returns one tree per replicate.
+std::vector<Tree> bootstrap_trees(EngineCore& core, const Tree& reference,
+                                  int replicates, Rng& rng,
+                                  const SearchOptions& opts);
 
 /// For each *internal* edge of `reference`, the fraction of `replicates`
 /// that contain the same tip bipartition. Trees must share tip ids.

@@ -124,4 +124,128 @@ double optimize_branch_lengths(Engine& engine, Strategy strategy,
   return engine.loglikelihood(order.empty() ? 0 : order.back());
 }
 
+std::vector<double> optimize_branch_lengths_batch(
+    EngineCore& core, std::span<EvalContext* const> ctxs,
+    const BranchOptOptions& opts) {
+  const std::size_t C = ctxs.size();
+  if (C == 0) return {};
+  const int P = core.partition_count();
+  std::vector<int> all(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) all[static_cast<std::size_t>(p)] = p;
+  const bool linked = core.linked_branch_lengths();
+
+  // Each context walks its own tree's DFS edge order; trees over the same
+  // taxa all have the same edge count, so step i is well-defined batch-wide.
+  std::vector<std::vector<EdgeId>> order(C);
+  for (std::size_t c = 0; c < C; ++c) order[c] = dfs_edge_order(ctxs[c]->tree());
+  const std::size_t E = order[0].size();
+  for (const auto& o : order)
+    if (o.size() != E)
+      throw std::invalid_argument(
+          "optimize_branch_lengths_batch: edge count mismatch");
+
+  // Per-context NR instances and request buffers. The request spans point
+  // into these vectors, so they are sized once and never reallocated
+  // between submit() and wait().
+  std::vector<std::vector<NewtonBranch>> nr(C);
+  std::vector<std::vector<int>> active(C);
+  std::vector<std::vector<double>> lens(C), d1(C), d2(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    lens[c].resize(static_cast<std::size_t>(P));
+    d1[c].resize(static_cast<std::size_t>(P));
+    d2[c].resize(static_cast<std::size_t>(P));
+  }
+
+  for (int pass = 0; pass < opts.smoothing_passes; ++pass) {
+    for (std::size_t ei = 0; ei < E; ++ei) {
+      // (i) relocate every context's virtual root — one parallel region.
+      for (std::size_t c = 0; c < C; ++c)
+        core.submit(*ctxs[c], EvalRequest::prepare_root(order[c][ei]));
+      core.wait();
+
+      // (ii) build every context's NR sumtable — one parallel region.
+      for (std::size_t c = 0; c < C; ++c)
+        core.submit(*ctxs[c], EvalRequest::sumtable(all));
+      core.wait();
+
+      // (iii) Newton-Raphson in lockstep: one parallel region per
+      // iteration round, shared by every non-converged context. Per
+      // context this reproduces optimize_edge's linked/newPAR schedule.
+      for (std::size_t c = 0; c < C; ++c) {
+        const EdgeId e = order[c][ei];
+        BranchLengths& bl = ctxs[c]->branch_lengths();
+        nr[c].clear();
+        if (linked) {
+          nr[c].emplace_back(bl.get(e, 0), kBranchMin, kBranchMax,
+                             opts.length_tolerance, opts.max_nr_iterations);
+          active[c] = all;  // joint: all partitions evaluate every round
+        } else {
+          active[c] = all;
+          for (int p = 0; p < P; ++p)
+            nr[c].emplace_back(bl.get(e, p), kBranchMin, kBranchMax,
+                               opts.length_tolerance, opts.max_nr_iterations);
+        }
+      }
+
+      bool any = true;
+      while (any) {
+        any = false;
+        std::vector<std::size_t> round;  // contexts in this round
+        for (std::size_t c = 0; c < C; ++c) {
+          if (linked ? nr[c][0].done() : active[c].empty()) continue;
+          round.push_back(c);
+          const std::size_t n = active[c].size();
+          for (std::size_t k = 0; k < n; ++k)
+            lens[c][k] = linked
+                             ? nr[c][0].current()
+                             : nr[c][static_cast<std::size_t>(active[c][k])]
+                                   .current();
+          core.submit(*ctxs[c],
+                      EvalRequest::nr_derivatives(
+                          active[c], std::span<const double>(lens[c]).first(n),
+                          std::span<double>(d1[c]).first(n),
+                          std::span<double>(d2[c]).first(n)));
+        }
+        if (round.empty()) break;
+        core.wait();
+
+        for (std::size_t c : round) {
+          const EdgeId e = order[c][ei];
+          BranchLengths& bl = ctxs[c]->branch_lengths();
+          if (linked) {
+            double s1 = 0.0, s2 = 0.0;
+            for (std::size_t k = 0; k < active[c].size(); ++k) {
+              s1 += d1[c][k];
+              s2 += d2[c][k];
+            }
+            nr[c][0].feed(s1, s2);
+            if (nr[c][0].done())
+              bl.set_all(e, nr[c][0].current());
+            else
+              any = true;
+          } else {
+            std::vector<int> still;
+            for (std::size_t k = 0; k < active[c].size(); ++k) {
+              auto& inst = nr[c][static_cast<std::size_t>(active[c][k])];
+              inst.feed(d1[c][k], d2[c][k]);
+              if (!inst.done())
+                still.push_back(active[c][k]);
+              else
+                bl.set(e, active[c][k], inst.current());
+            }
+            active[c] = std::move(still);
+            if (!active[c].empty()) any = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Final likelihoods, one batched evaluation.
+  std::vector<EdgeId> final_edges(C);
+  for (std::size_t c = 0; c < C; ++c)
+    final_edges[c] = order[c].empty() ? 0 : order[c].back();
+  return core.evaluate_batch(ctxs, final_edges);
+}
+
 }  // namespace plk

@@ -40,4 +40,22 @@ double optimize_branch_lengths(Engine& engine, Strategy strategy,
 void optimize_edge(Engine& engine, EdgeId edge, Strategy strategy,
                    const BranchOptOptions& opts = {});
 
+/// Batched lockstep branch-length optimization across many contexts of one
+/// shared core (bootstrap replicates, multi-start candidates): all contexts
+/// advance edge-by-edge together, and every step — root relocation, sumtable
+/// build, each Newton-Raphson iteration — is ONE parallel region for the
+/// whole batch instead of one per context. Converged contexts (and, in
+/// unlinked mode, converged partitions) drop out of the batch exactly as
+/// newPAR's convergence mask drops partitions.
+///
+/// Per context the arithmetic is identical to optimize_branch_lengths()
+/// under Strategy::kNewPar (or the linked schedule in linked mode) at the
+/// same thread count, so per-context results match the sequential
+/// one-engine-per-tree loop bit for bit.
+///
+/// Returns the final log-likelihood of each context.
+std::vector<double> optimize_branch_lengths_batch(
+    EngineCore& core, std::span<EvalContext* const> ctxs,
+    const BranchOptOptions& opts = {});
+
 }  // namespace plk

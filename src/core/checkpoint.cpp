@@ -28,12 +28,12 @@ void expect_keyword(std::istream& in, const char* kw) {
 
 }  // namespace
 
-std::string serialize_checkpoint(const Engine& engine) {
+std::string serialize_checkpoint(const EvalContext& ctx) {
   std::ostringstream out;
   out.precision(17);
-  const Tree& tree = engine.tree();
-  const BranchLengths& bl = engine.branch_lengths();
-  const int P = engine.partition_count();
+  const Tree& tree = ctx.tree();
+  const BranchLengths& bl = ctx.branch_lengths();
+  const int P = ctx.partition_count();
 
   out << kMagic << ' ' << kVersion << '\n';
   out << "taxa " << tree.tip_count() << '\n';
@@ -47,7 +47,7 @@ std::string serialize_checkpoint(const Engine& engine) {
 
   out << "partitions " << P << '\n';
   for (int p = 0; p < P; ++p) {
-    const PartitionModel& m = engine.model(p);
+    const PartitionModel& m = ctx.model(p);
     out << "alpha " << m.alpha() << '\n';
     const auto& exch = m.model().exchangeabilities();
     out << "exch " << exch.size();
@@ -68,7 +68,11 @@ std::string serialize_checkpoint(const Engine& engine) {
   return out.str();
 }
 
-void apply_checkpoint(Engine& engine, std::string_view text) {
+void apply_checkpoint(EvalContext& ctx, std::string_view text) {
+  // Restoring replaces the tree the queued commands were assembled
+  // against; like every other context mutator, refuse mid-batch.
+  if (ctx.core().has_pending())
+    fail("core has pending batched requests; wait() before restoring");
   std::istringstream in{std::string(text)};
   if (expect_word(in, "magic") != kMagic) fail("bad magic");
   int version = 0;
@@ -78,20 +82,20 @@ void apply_checkpoint(Engine& engine, std::string_view text) {
   expect_keyword(in, "taxa");
   int n_taxa = 0;
   in >> n_taxa;
-  if (n_taxa != engine.tree().tip_count()) fail("taxon count mismatch");
+  if (n_taxa != ctx.tree().tip_count()) fail("taxon count mismatch");
   std::vector<std::string> labels(static_cast<std::size_t>(n_taxa));
   for (auto& l : labels) {
     if (!(in >> l)) fail("truncated taxon list");
   }
   for (NodeId t = 0; t < n_taxa; ++t)
-    if (labels[static_cast<std::size_t>(t)] != engine.tree().label(t))
+    if (labels[static_cast<std::size_t>(t)] != ctx.tree().label(t))
       fail("taxon '" + labels[static_cast<std::size_t>(t)] +
            "' does not match the engine's alignment");
 
   expect_keyword(in, "edges");
   int n_edges = 0;
   in >> n_edges;
-  if (n_edges != engine.tree().edge_count()) fail("edge count mismatch");
+  if (n_edges != ctx.tree().edge_count()) fail("edge count mismatch");
   std::vector<Tree::Edge> edges(static_cast<std::size_t>(n_edges));
   for (auto& e : edges)
     if (!(in >> e.a >> e.b >> e.length)) fail("truncated edge list");
@@ -99,7 +103,7 @@ void apply_checkpoint(Engine& engine, std::string_view text) {
   expect_keyword(in, "partitions");
   int P = 0;
   in >> P;
-  if (P != engine.partition_count()) fail("partition count mismatch");
+  if (P != ctx.partition_count()) fail("partition count mismatch");
 
   struct PartState {
     double alpha = 1.0;
@@ -126,7 +130,7 @@ void apply_checkpoint(Engine& engine, std::string_view text) {
   const std::string mode = expect_word(in, "lengths mode");
   const bool linked = mode == "linked";
   if (!linked && mode != "unlinked") fail("bad lengths mode");
-  if (linked != engine.branch_lengths().linked())
+  if (linked != ctx.branch_lengths().linked())
     fail("branch-length mode mismatch");
   const int cols = linked ? 1 : P;
   std::vector<std::vector<double>> lens(
@@ -139,23 +143,39 @@ void apply_checkpoint(Engine& engine, std::string_view text) {
   // All parsed; now mutate the engine (strong-ish exception safety: the
   // model setters validate before we touch anything).
   Tree restored = Tree::from_edges(std::move(labels), std::move(edges));
-  engine.tree() = std::move(restored);
-  engine.invalidate_all();
+  ctx.tree() = std::move(restored);
+  ctx.invalidate_all();
   for (int p = 0; p < P; ++p) {
     auto& ps = parts[static_cast<std::size_t>(p)];
-    PartitionModel& m = engine.model(p);
+    PartitionModel& m = ctx.model(p);
     if (ps.exch.size() != m.model().exchangeabilities().size() ||
         ps.freqs.size() != m.model().freqs().size())
       fail("model dimension mismatch in partition " + std::to_string(p));
     m.model().set_exchangeabilities(std::move(ps.exch));
     m.model().set_freqs(std::move(ps.freqs));
     m.set_alpha(ps.alpha);
-    engine.invalidate_partition(p);
+    ctx.invalidate_partition(p);
   }
   for (EdgeId e = 0; e < n_edges; ++e)
     for (int p = 0; p < cols; ++p)
-      engine.branch_lengths().set(
+      ctx.branch_lengths().set(
           e, p, lens[static_cast<std::size_t>(e)][static_cast<std::size_t>(p)]);
+}
+
+std::string serialize_checkpoint(const Engine& engine) {
+  return serialize_checkpoint(engine.context());
+}
+
+void apply_checkpoint(Engine& engine, std::string_view text) {
+  apply_checkpoint(engine.context(), text);
+}
+
+void save_checkpoint_file(const EvalContext& ctx, const std::string& path) {
+  write_file(path, serialize_checkpoint(ctx));
+}
+
+void load_checkpoint_file(EvalContext& ctx, const std::string& path) {
+  apply_checkpoint(ctx, read_file(path));
 }
 
 void save_checkpoint_file(const Engine& engine, const std::string& path) {

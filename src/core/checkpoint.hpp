@@ -20,15 +20,26 @@
 
 namespace plk {
 
-/// Serialize the engine's tree, models and branch lengths.
-std::string serialize_checkpoint(const Engine& engine);
+/// Serialize the context's tree, models and branch lengths. A checkpoint
+/// captures exactly the per-tree half of the engine split, so any context
+/// of a shared core — a bootstrap replicate mid-run, a multi-start
+/// candidate — can be checkpointed independently.
+std::string serialize_checkpoint(const EvalContext& ctx);
 
-/// Restore a checkpoint into an engine built over the *same alignment*
-/// (taxa are validated by label). Invalidates all CLVs.
+/// Restore a checkpoint into a context whose core is built over the *same
+/// alignment* (taxa are validated by label). Invalidates all CLVs; does
+/// not touch the context's pattern weights (a bootstrap replicate restores
+/// its resampled weights separately, as it set them).
 /// Throws std::runtime_error on format or compatibility errors.
+void apply_checkpoint(EvalContext& ctx, std::string_view text);
+
+/// Engine facade forwarders (checkpoint the engine's own context).
+std::string serialize_checkpoint(const Engine& engine);
 void apply_checkpoint(Engine& engine, std::string_view text);
 
 /// File convenience wrappers.
+void save_checkpoint_file(const EvalContext& ctx, const std::string& path);
+void load_checkpoint_file(EvalContext& ctx, const std::string& path);
 void save_checkpoint_file(const Engine& engine, const std::string& path);
 void load_checkpoint_file(Engine& engine, const std::string& path);
 

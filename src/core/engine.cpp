@@ -1,876 +1,23 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cmath>
 #include <stdexcept>
-#include <unordered_map>
-
-#include "model/matrix.hpp"
 
 namespace plk {
 
-namespace {
-
-/// Dispatch a generic lambda templated on the (compile-time) state count.
-template <class Fn>
-void dispatch_states(int states, Fn&& fn) {
-  switch (states) {
-    case 4:
-      fn.template operator()<4>();
-      break;
-    case 20:
-      fn.template operator()<20>();
-      break;
-    default:
-      throw std::logic_error("unsupported state count " +
-                             std::to_string(states));
-  }
-}
-
-}  // namespace
-
-/// Per-partition engine state: model, encoded tips, CLVs, NR sumtable.
-struct Engine::PartData {
-  const CompressedPartition* src = nullptr;
-  PartitionModel model;
-  std::size_t patterns = 0;
-  int states = 4;
-  int cats = 4;
-  std::vector<double> weights;
-
-  // Tip encoding: per pattern, a code into `indicators` (rows of S doubles,
-  // one per distinct state mask occurring in this partition).
-  std::vector<std::vector<std::uint16_t>> tip_codes;  // [tip node][pattern]
-  AlignedDoubleVec indicators;
-  std::size_t n_codes = 0;  // rows in `indicators`
-
-  // Cached tip lookup tables for the specialized kernels: per tip-adjacent
-  // edge, a small LRU of tables keyed on (model epoch, branch length) — the
-  // content depends on nothing else, so branch-length sweeps that revisit a
-  // handful of candidate lengths (and cherry edges whose endpoints
-  // alternate) hit the cache instead of rebuilding. The sym table is per
-  // partition, keyed on the model epoch alone.
-  struct TipTableEntry {
-    std::uint32_t epoch = 0;
-    double blen = -1.0;
-    std::uint64_t last_used = 0;
-    AlignedDoubleVec table;
-  };
-  std::vector<std::array<TipTableEntry, kTipTableLruSize>> tip_tables;
-  TipTableEntry sym_table;
-
-  // Inner-node CLVs and scale counts, indexed by (node - tip_count).
-  std::vector<AlignedDoubleVec> clv;
-  std::vector<std::vector<std::int32_t>> scale;
-
-  // NR sumtable at the current root edge: [pattern][cat][state].
-  AlignedDoubleVec sumtable;
-
-  explicit PartData(PartitionModel m) : model(std::move(m)) {}
-
-  std::size_t clv_stride() const {
-    return static_cast<std::size_t>(cats) * static_cast<std::size_t>(states);
-  }
-};
-
-/// One parallel command: a traversal op list optionally fused with an
-/// evaluation, a sumtable pass, or an NR derivative pass.
-struct Engine::Command {
-  struct Op {
-    NodeId node = kNoId;
-    EdgeId toward = kNoId;  // the orientation this op establishes
-    NodeId c1 = kNoId, c2 = kNoId;
-    EdgeId e1 = kNoId, e2 = kNoId;
-    std::vector<int> parts;
-    // Offsets into `pmats` for each listed partition (child 1 and child 2).
-    // `pmats` and `pmats_t` are filled in lockstep, so the same offsets
-    // address the transposed matrices.
-    std::vector<std::size_t> pmat1, pmat2;
-    // Tip lookup tables per listed partition (nullptr for inner children).
-    std::vector<const double*> tt1, tt2;
-  };
-  std::vector<Op> ops;
-
-  bool do_eval = false;
-  EdgeId eval_edge = kNoId;
-  std::vector<int> eval_parts;
-  std::vector<std::size_t> eval_pmat;
-  std::vector<const double*> eval_tt;  // cv-side tip table per listed part
-
-  bool do_sumtable = false;
-  std::vector<int> sum_parts;
-  std::vector<std::size_t> sum_symt;       // transposed sym offsets (symt)
-  std::vector<const double*> sum_ttu, sum_ttv;  // sym tip tables
-
-  bool do_sites = false;
-  int sites_part = -1;
-  std::size_t sites_pmat = 0;
-  const double* sites_tt = nullptr;
-  double* sites_out = nullptr;
-
-  bool do_nr = false;
-  std::vector<int> nr_parts;
-  // Per listed partition: offsets into `scratch` for exp(lam*r*b) and lam*r
-  // tables, each cats*states doubles.
-  std::vector<std::size_t> nr_exp, nr_lam;
-
-  AlignedDoubleVec pmats;    // concatenated transition matrices (row-major)
-  AlignedDoubleVec pmats_t;  // same matrices transposed (lockstep offsets)
-  AlignedDoubleVec symt;     // transposed sym transforms (sum_symt offsets)
-  AlignedDoubleVec scratch;  // NR tables
-};
-
 Engine::Engine(const CompressedAlignment& aln, Tree tree,
                std::vector<PartitionModel> models, EngineOptions opts)
-    : aln_(aln),
-      tree_(std::move(tree)),
-      lengths_(BranchLengths::from_tree(tree_, static_cast<int>(aln.partition_count()),
-                                        !opts.unlinked_branch_lengths)) {
-  if (models.size() != aln.partition_count())
-    throw std::invalid_argument("need one model per partition");
-  if (static_cast<std::size_t>(tree_.tip_count()) != aln.taxon_count())
-    throw std::invalid_argument("tree/alignment taxon count mismatch");
+    : owned_core_(
+          std::make_unique<EngineCore>(aln, std::move(models), opts)),
+      owned_ctx_(std::make_unique<EvalContext>(*owned_core_, std::move(tree))),
+      core_(owned_core_.get()),
+      ctx_(owned_ctx_.get()) {}
 
-  for (std::size_t p = 0; p < models.size(); ++p) {
-    const auto& cp = aln.partitions[p];
-    if (models[p].model().states() != cp.states())
-      throw std::invalid_argument("model/partition state count mismatch for '" +
-                                  cp.name + "'");
-    auto pd = std::make_unique<PartData>(std::move(models[p]));
-    pd->src = &cp;
-    pd->patterns = cp.pattern_count;
-    pd->states = cp.states();
-    pd->cats = pd->model.gamma_categories();
-    pd->weights = cp.weights;
-    parts_.push_back(std::move(pd));
-  }
-
-  // Map tree tips to alignment taxa by name.
-  tip_of_taxon_.assign(aln.taxon_count(), kNoId);
-  std::unordered_map<std::string, NodeId> tip_by_label;
-  for (NodeId t = 0; t < tree_.tip_count(); ++t)
-    tip_by_label[tree_.label(t)] = t;
-  if (tip_by_label.size() != aln.taxon_count())
-    throw std::invalid_argument("duplicate tree tip labels");
-  for (std::size_t x = 0; x < aln.taxon_count(); ++x) {
-    auto it = tip_by_label.find(aln.taxon_names[x]);
-    if (it == tip_by_label.end())
-      throw std::invalid_argument("taxon '" + aln.taxon_names[x] +
-                                  "' missing from tree");
-    tip_of_taxon_[x] = it->second;
-  }
-
-  build_tip_data();
-
-  use_generic_ = opts.use_generic_kernels;
-  sched_strategy_ = opts.schedule;
-
-  // Allocate CLVs, scale counts, and tracking structures.
-  const int inner_count = tree_.node_count() - tree_.tip_count();
-  for (auto& pd : parts_) {
-    pd->tip_tables.resize(static_cast<std::size_t>(tree_.edge_count()));
-    pd->clv.resize(static_cast<std::size_t>(inner_count));
-    pd->scale.resize(static_cast<std::size_t>(inner_count));
-    for (int i = 0; i < inner_count; ++i) {
-      pd->clv[static_cast<std::size_t>(i)].assign(
-          pd->patterns * pd->clv_stride(), 0.0);
-      pd->scale[static_cast<std::size_t>(i)].assign(pd->patterns, 0);
-    }
-    pd->sumtable.assign(pd->patterns * pd->clv_stride(), 0.0);
-  }
-  orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
-  model_epoch_.assign(parts_.size(), 1);
-  clv_epoch_.assign(static_cast<std::size_t>(inner_count),
-                    std::vector<std::uint32_t>(parts_.size(), 0));
-  last_lnl_.assign(parts_.size(), 0.0);
-
-  team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument,
-                                       opts.instrument_cpu_time);
-  red_stride_ = (parts_.size() + 7) / 8 * 8;
-  const std::size_t red_size = static_cast<std::size_t>(opts.threads) * red_stride_;
-  red_lnl_.assign(red_size, 0.0);
-  red_d1_.assign(red_size, 0.0);
-  red_d2_.assign(red_size, 0.0);
+Engine::Engine(EngineCore& core, EvalContext& ctx)
+    : core_(&core), ctx_(&ctx) {
+  if (&ctx.core() != &core)
+    throw std::invalid_argument("Engine view: context belongs to another core");
 }
 
 Engine::~Engine() = default;
-
-void Engine::build_tip_data() {
-  for (auto& pd : parts_) {
-    const CompressedPartition& cp = *pd->src;
-    const int s = pd->states;
-    // Catalog of distinct state masks in this partition.
-    std::unordered_map<StateMask, std::uint16_t> code_of;
-    pd->tip_codes.assign(static_cast<std::size_t>(tree_.tip_count()), {});
-    std::vector<StateMask> catalog;
-    for (std::size_t x = 0; x < aln_.taxon_count(); ++x) {
-      const NodeId tip = tip_of_taxon_[x];
-      auto& codes = pd->tip_codes[static_cast<std::size_t>(tip)];
-      codes.resize(pd->patterns);
-      for (std::size_t i = 0; i < pd->patterns; ++i) {
-        const StateMask m = cp.tip_states[x][i];
-        auto [it, inserted] =
-            code_of.emplace(m, static_cast<std::uint16_t>(catalog.size()));
-        if (inserted) catalog.push_back(m);
-        codes[i] = it->second;
-      }
-    }
-    if (catalog.size() > 65535)
-      throw std::runtime_error("too many distinct state masks");
-    pd->n_codes = catalog.size();
-    pd->indicators.assign(catalog.size() * static_cast<std::size_t>(s), 0.0);
-    for (std::size_t c = 0; c < catalog.size(); ++c)
-      for (int j = 0; j < s; ++j)
-        if (catalog[c] & (StateMask{1} << j))
-          pd->indicators[c * static_cast<std::size_t>(s) +
-                         static_cast<std::size_t>(j)] = 1.0;
-  }
-}
-
-std::size_t Engine::pattern_count(int p) const {
-  return parts_[static_cast<std::size_t>(p)]->patterns;
-}
-
-std::size_t Engine::total_patterns() const {
-  std::size_t n = 0;
-  for (const auto& pd : parts_) n += pd->patterns;
-  return n;
-}
-
-const PartitionModel& Engine::model(int p) const {
-  return parts_[static_cast<std::size_t>(p)]->model;
-}
-
-PartitionModel& Engine::model(int p) {
-  return parts_[static_cast<std::size_t>(p)]->model;
-}
-
-void Engine::invalidate_partition(int p) {
-  ++model_epoch_[static_cast<std::size_t>(p)];
-  sumtable_valid_ = false;
-}
-
-void Engine::invalidate_node(NodeId v) {
-  if (!tree_.is_tip(v)) orient_[static_cast<std::size_t>(v)] = kNoId;
-  sumtable_valid_ = false;
-}
-
-void Engine::invalidate_all() {
-  std::fill(orient_.begin(), orient_.end(), kNoId);
-  sumtable_valid_ = false;
-}
-
-const double* Engine::tip_table_for(int p, EdgeId e, const double* pmat) {
-  PartData& pd = *parts_[static_cast<std::size_t>(p)];
-  auto& lru = pd.tip_tables[static_cast<std::size_t>(e)];
-  const double b = lengths_.get(e, p);
-  const std::uint32_t epoch = model_epoch_[static_cast<std::size_t>(p)];
-  PartData::TipTableEntry* victim = &lru[0];
-  for (auto& ent : lru) {
-    if (!ent.table.empty() && ent.epoch == epoch && ent.blen == b) {
-      ent.last_used = ++tip_clock_;
-      ++stats_.tip_table_hits;
-      return ent.table.data();
-    }
-    if (ent.table.empty()) {
-      victim = &ent;  // prefer an unused slot over evicting
-      break;
-    }
-    if (ent.last_used < victim->last_used) victim = &ent;
-  }
-  victim->table.resize(pd.n_codes * pd.clv_stride());
-  dispatch_states(pd.states, [&]<int S>() {
-    kernel::build_tip_table<S>(pmat, pd.cats, pd.indicators.data(),
-                               pd.n_codes, victim->table.data());
-  });
-  victim->epoch = epoch;
-  victim->blen = b;
-  victim->last_used = ++tip_clock_;
-  ++stats_.tip_table_rebuilds;
-  return victim->table.data();
-}
-
-const double* Engine::sym_table_for(int p) {
-  PartData& pd = *parts_[static_cast<std::size_t>(p)];
-  auto& ent = pd.sym_table;
-  const std::uint32_t epoch = model_epoch_[static_cast<std::size_t>(p)];
-  if (ent.epoch != epoch || ent.table.empty()) {
-    ent.table.resize(pd.n_codes * static_cast<std::size_t>(pd.states));
-    dispatch_states(pd.states, [&]<int S>() {
-      kernel::build_sym_tip_table<S>(pd.model.model().sym_transform().data(),
-                                     pd.indicators.data(), pd.n_codes,
-                                     ent.table.data());
-    });
-    ent.epoch = epoch;
-  }
-  return ent.table.data();
-}
-
-const WorkSchedule& Engine::schedule() {
-  if (sched_dirty_) {
-    // Measured weights are seconds-per-pattern — a different unit from the
-    // static states^2 x cats model — so they are only usable if EVERY
-    // partition has one (a partition whose timed reps landed below clock
-    // granularity would otherwise dwarf, or be dwarfed by, the rest).
-    bool use_measured = sched_strategy_ == SchedulingStrategy::kMeasured &&
-                        measured_cost_.size() == parts_.size();
-    if (use_measured)
-      for (double c : measured_cost_)
-        if (!(c > 0.0)) {
-          use_measured = false;
-          break;
-        }
-    std::vector<PartitionShape> shapes(parts_.size());
-    for (std::size_t p = 0; p < parts_.size(); ++p) {
-      const PartData& pd = *parts_[p];
-      PartitionShape& sh = shapes[p];
-      sh.patterns = pd.patterns;
-      sh.states = pd.states;
-      sh.cats = pd.cats;
-      // Fold the observed seconds-per-pattern into the weight so that
-      // cost_per_pattern() == the measurement; without a complete
-      // calibration every partition keeps the static model.
-      if (use_measured)
-        sh.weight = measured_cost_[p] / (static_cast<double>(pd.states) *
-                                        static_cast<double>(pd.cats));
-    }
-    sched_ = WorkSchedule::build(sched_strategy_, team_->size(), shapes);
-    sched_dirty_ = false;
-  }
-  return sched_;
-}
-
-void Engine::set_scheduling_strategy(SchedulingStrategy s) {
-  if (s == sched_strategy_) return;
-  sched_strategy_ = s;
-  sched_dirty_ = true;
-}
-
-void Engine::calibrate_schedule(EdgeId edge, int reps) {
-  if (!team_->instrumented() || reps < 1) return;
-  measured_cost_.assign(parts_.size(), 0.0);
-  for (int p = 0; p < partition_count(); ++p) {
-    const std::vector<int> one{static_cast<int>(p)};
-    // Warm-up evaluation brings CLVs, tables and caches up to date so the
-    // timed repetitions measure the steady-state evaluate cost.
-    loglikelihood(edge, one);
-    const double before = team_->stats().total_work_seconds;
-    for (int r = 0; r < reps; ++r) loglikelihood(edge, one);
-    const double dt = team_->stats().total_work_seconds - before;
-    const auto n = parts_[static_cast<std::size_t>(p)]->patterns;
-    if (n > 0 && dt > 0.0)
-      measured_cost_[static_cast<std::size_t>(p)] =
-          dt / (static_cast<double>(reps) * static_cast<double>(n));
-  }
-  sched_dirty_ = true;
-}
-
-const double* Engine::prepare_edge_tables(Command& cmd, int p, std::size_t off,
-                                          EdgeId e, NodeId endpoint) {
-  if (use_generic_) return nullptr;
-  // Keep pmats/pmats_t offsets interchangeable. A tip endpoint consumes its
-  // lookup table instead of the transposed matrix, so only inner endpoints
-  // need the transpose.
-  cmd.pmats_t.resize(cmd.pmats.size());
-  if (tree_.is_tip(endpoint))
-    return tip_table_for(p, e, cmd.pmats.data() + off);
-  const PartData& pd = *parts_[static_cast<std::size_t>(p)];
-  dispatch_states(pd.states, [&]<int S>() {
-    kernel::transpose_pmats<S>(cmd.pmats.data() + off, pd.cats,
-                               cmd.pmats_t.data() + off);
-  });
-  return nullptr;
-}
-
-kernel::ChildView Engine::child_view(int p, NodeId v) const {
-  const PartData& pd = *parts_[static_cast<std::size_t>(p)];
-  kernel::ChildView cv;
-  if (tree_.is_tip(v)) {
-    cv.codes = pd.tip_codes[static_cast<std::size_t>(v)].data();
-    cv.indicators = pd.indicators.data();
-  } else {
-    const std::size_t inner = static_cast<std::size_t>(v - tree_.tip_count());
-    cv.clv = pd.clv[inner].data();
-    cv.scale = pd.scale[inner].data();
-  }
-  return cv;
-}
-
-void Engine::ensure_clv(NodeId v, EdgeId via, bool need_all,
-                        const std::vector<int>& scope, Command& cmd) {
-  if (tree_.is_tip(v)) return;
-  const std::size_t inner = static_cast<std::size_t>(v - tree_.tip_count());
-  const bool flip = orient_[static_cast<std::size_t>(v)] != via;
-
-  std::vector<int> rec;
-  if (flip) {
-    rec.resize(parts_.size());
-    for (std::size_t p = 0; p < parts_.size(); ++p) rec[p] = static_cast<int>(p);
-  } else {
-    const auto consider = [&](int p) {
-      if (clv_epoch_[inner][static_cast<std::size_t>(p)] !=
-          model_epoch_[static_cast<std::size_t>(p)])
-        rec.push_back(p);
-    };
-    if (need_all) {
-      for (std::size_t p = 0; p < parts_.size(); ++p)
-        consider(static_cast<int>(p));
-    } else {
-      for (int p : scope) consider(p);
-    }
-  }
-  if (rec.empty()) return;
-
-  const bool rec_all = rec.size() == parts_.size();
-  for (EdgeId e : tree_.edges_of(v)) {
-    if (e == via) continue;
-    ensure_clv(tree_.other_end(e, v), e, rec_all, rec, cmd);
-  }
-  add_newview_op(v, via, rec, cmd);
-}
-
-void Engine::add_newview_op(NodeId v, EdgeId via, const std::vector<int>& parts,
-                            Command& cmd) {
-  Command::Op op;
-  op.node = v;
-  op.toward = via;
-  for (EdgeId e : tree_.edges_of(v)) {
-    if (e == via) continue;
-    if (op.c1 == kNoId) {
-      op.c1 = tree_.other_end(e, v);
-      op.e1 = e;
-    } else {
-      op.c2 = tree_.other_end(e, v);
-      op.e2 = e;
-    }
-  }
-  op.parts = parts;
-
-  // Precompute the per-category transition matrices for both child edges
-  // (row-major + transposed), and refresh tip lookup tables for tip children.
-  Matrix pm;
-  for (int p : parts) {
-    const PartData& pd = *parts_[static_cast<std::size_t>(p)];
-    const int s = pd.states;
-    const auto& rates = pd.model.category_rates();
-    for (int child = 0; child < 2; ++child) {
-      const EdgeId e = child == 0 ? op.e1 : op.e2;
-      const NodeId cn = child == 0 ? op.c1 : op.c2;
-      const double b = lengths_.get(e, p);
-      const std::size_t off = cmd.pmats.size();
-      (child == 0 ? op.pmat1 : op.pmat2).push_back(off);
-      for (int c = 0; c < pd.cats; ++c) {
-        pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
-                                           pm);
-        cmd.pmats.insert(cmd.pmats.end(), pm.data(),
-                         pm.data() + static_cast<std::size_t>(s) * s);
-      }
-      (child == 0 ? op.tt1 : op.tt2)
-          .push_back(prepare_edge_tables(cmd, p, off, e, cn));
-    }
-  }
-  cmd.ops.push_back(std::move(op));
-}
-
-void Engine::execute(Command& cmd) {
-  ++stats_.commands;
-  for (const auto& op : cmd.ops) stats_.newview_ops += op.parts.size();
-  if (cmd.do_eval) stats_.evaluations += cmd.eval_parts.size();
-  if (cmd.do_nr) stats_.nr_iterations += cmd.nr_parts.size();
-
-  const int tips = tree_.tip_count();
-  // Resolve the cached work assignment on the master before broadcasting;
-  // inside the command every thread reads it concurrently (const access).
-  const WorkSchedule& sched = schedule();
-
-  // The cost-balancing strategies split the *concatenated* pattern sequence,
-  // so a partition whose cost share is below 1/T belongs entirely to one
-  // thread — correct for multi-partition commands, but a command scoped to
-  // a single partition (oldPAR-style model/branch phases) would then run
-  // serially. Per-pattern cost is uniform within one partition, so such
-  // commands use an even block split instead. Assignments may differ freely
-  // between commands (each command ends in a full barrier); only ops
-  // *within* a command must share one assignment, which both paths honor.
-  int solo_part = -1;
-  if (sched.strategy() != SchedulingStrategy::kCyclic &&
-      sched.strategy() != SchedulingStrategy::kBlock && team_->size() > 1) {
-    const auto fold = [&](int p) {
-      if (solo_part == -1 || solo_part == p) solo_part = p;
-      else solo_part = -2;  // more than one partition involved
-    };
-    for (const auto& op : cmd.ops)
-      for (int p : op.parts) fold(p);
-    for (int p : cmd.eval_parts) fold(p);
-    for (int p : cmd.sum_parts) fold(p);
-    for (int p : cmd.nr_parts) fold(p);
-    if (cmd.do_sites) fold(cmd.sites_part);
-    if (solo_part < 0) solo_part = -1;
-  }
-  const std::size_t T = static_cast<std::size_t>(team_->size());
-
-  team_->run([&](int tid) {
-    // Span lookup for this command (see solo_part above). `tmp` holds the
-    // synthesized block span, which lives for the duration of the use.
-    WorkSpan tmp;
-    const auto spans_of = [&](int p) -> std::span<const WorkSpan> {
-      if (p != solo_part) return sched.spans(tid, p);
-      tmp = block_span(p, parts_[static_cast<std::size_t>(p)]->patterns, tid,
-                       static_cast<int>(T));
-      if (tmp.begin >= tmp.end) return {};
-      return {&tmp, 1};
-    };
-    // 1. Traversal ops, in order (no intra-traversal barrier needed:
-    //    pattern i of a parent CLV depends only on pattern i of the child
-    //    CLVs, and a thread owns the same spans of a partition for every
-    //    op of the command).
-    for (const auto& op : cmd.ops) {
-      const std::size_t inner = static_cast<std::size_t>(op.node - tips);
-      for (std::size_t k = 0; k < op.parts.size(); ++k) {
-        const int p = op.parts[k];
-        PartData& pd = *parts_[static_cast<std::size_t>(p)];
-        kernel::ChildView v1 = child_view(p, op.c1);
-        kernel::ChildView v2 = child_view(p, op.c2);
-        if (!use_generic_) {
-          v1.tip_table = op.tt1[k];
-          v2.tip_table = op.tt2[k];
-        }
-        dispatch_states(pd.states, [&]<int S>() {
-          for (const WorkSpan& s : spans_of(p)) {
-            if (use_generic_) {
-              kernel::newview_slice<S>(s.begin, s.end, s.step, pd.cats, v1,
-                                       v2, cmd.pmats.data() + op.pmat1[k],
-                                       cmd.pmats.data() + op.pmat2[k],
-                                       pd.clv[inner].data(),
-                                       pd.scale[inner].data());
-            } else {
-              kernel::newview_spec<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
-                                      cmd.pmats.data() + op.pmat1[k],
-                                      cmd.pmats.data() + op.pmat2[k],
-                                      cmd.pmats_t.data() + op.pmat1[k],
-                                      cmd.pmats_t.data() + op.pmat2[k],
-                                      pd.clv[inner].data(),
-                                      pd.scale[inner].data());
-            }
-          }
-        });
-      }
-    }
-
-    // 2. Optional fused evaluation at the root edge.
-    if (cmd.do_eval) {
-      const NodeId u = tree_.edge(cmd.eval_edge).a;
-      const NodeId v = tree_.edge(cmd.eval_edge).b;
-      for (std::size_t k = 0; k < cmd.eval_parts.size(); ++k) {
-        const int p = cmd.eval_parts[k];
-        PartData& pd = *parts_[static_cast<std::size_t>(p)];
-        const kernel::ChildView vu = child_view(p, u);
-        kernel::ChildView vv = child_view(p, v);
-        if (!use_generic_) vv.tip_table = cmd.eval_tt[k];
-        double partial = 0.0;
-        dispatch_states(pd.states, [&]<int S>() {
-          for (const WorkSpan& s : spans_of(p)) {
-            if (use_generic_) {
-              partial += kernel::evaluate_slice<S>(
-                  s.begin, s.end, s.step, pd.cats, vu, vv,
-                  cmd.pmats.data() + cmd.eval_pmat[k],
-                  pd.model.model().freqs().data(), pd.weights.data());
-            } else {
-              partial += kernel::evaluate_spec<S>(
-                  s.begin, s.end, s.step, pd.cats, vu, vv,
-                  cmd.pmats.data() + cmd.eval_pmat[k],
-                  cmd.pmats_t.data() + cmd.eval_pmat[k],
-                  pd.model.model().freqs().data(), pd.weights.data());
-            }
-          }
-        });
-        // Threads without spans of p still publish their (zero) partial.
-        red_lnl_[static_cast<std::size_t>(tid) * red_stride_ +
-                 static_cast<std::size_t>(p)] = partial;
-      }
-    }
-
-    // 2b. Optional per-site evaluation for one partition.
-    if (cmd.do_sites) {
-      const NodeId u = tree_.edge(cmd.eval_edge).a;
-      const NodeId v = tree_.edge(cmd.eval_edge).b;
-      const int p = cmd.sites_part;
-      PartData& pd = *parts_[static_cast<std::size_t>(p)];
-      const kernel::ChildView vu = child_view(p, u);
-      kernel::ChildView vv = child_view(p, v);
-      if (!use_generic_) vv.tip_table = cmd.sites_tt;
-      dispatch_states(pd.states, [&]<int S>() {
-        for (const WorkSpan& s : spans_of(p)) {
-          if (use_generic_) {
-            kernel::evaluate_sites_slice<S>(
-                s.begin, s.end, s.step, pd.cats, vu, vv,
-                cmd.pmats.data() + cmd.sites_pmat,
-                pd.model.model().freqs().data(), cmd.sites_out);
-          } else {
-            kernel::evaluate_sites_spec<S>(
-                s.begin, s.end, s.step, pd.cats, vu, vv,
-                cmd.pmats.data() + cmd.sites_pmat,
-                cmd.pmats_t.data() + cmd.sites_pmat,
-                pd.model.model().freqs().data(), cmd.sites_out);
-          }
-        }
-      });
-    }
-
-    // 3. Optional sumtable pass.
-    if (cmd.do_sumtable) {
-      const NodeId u = tree_.edge(root_edge_).a;
-      const NodeId v = tree_.edge(root_edge_).b;
-      for (std::size_t k = 0; k < cmd.sum_parts.size(); ++k) {
-        const int p = cmd.sum_parts[k];
-        PartData& pd = *parts_[static_cast<std::size_t>(p)];
-        kernel::ChildView vu = child_view(p, u);
-        kernel::ChildView vv = child_view(p, v);
-        if (!use_generic_) {
-          vu.tip_table = cmd.sum_ttu[k];
-          vv.tip_table = cmd.sum_ttv[k];
-        }
-        dispatch_states(pd.states, [&]<int S>() {
-          for (const WorkSpan& s : spans_of(p)) {
-            if (use_generic_) {
-              kernel::sumtable_slice<S>(
-                  s.begin, s.end, s.step, pd.cats, vu, vv,
-                  pd.model.model().sym_transform().data(),
-                  pd.sumtable.data());
-            } else {
-              kernel::sumtable_spec<S>(
-                  s.begin, s.end, s.step, pd.cats, vu, vv,
-                  pd.model.model().sym_transform().data(),
-                  cmd.symt.data() + cmd.sum_symt[k], pd.sumtable.data());
-            }
-          }
-        });
-      }
-    }
-
-    // 4. Optional NR derivative pass.
-    if (cmd.do_nr) {
-      for (std::size_t k = 0; k < cmd.nr_parts.size(); ++k) {
-        const int p = cmd.nr_parts[k];
-        PartData& pd = *parts_[static_cast<std::size_t>(p)];
-        double d1 = 0.0, d2 = 0.0;
-        dispatch_states(pd.states, [&]<int S>() {
-          for (const WorkSpan& s : spans_of(p)) {
-            double s1 = 0.0, s2 = 0.0;
-            if (use_generic_)
-              kernel::nr_slice<S>(s.begin, s.end, s.step, pd.cats,
-                                  pd.sumtable.data(),
-                                  cmd.scratch.data() + cmd.nr_exp[k],
-                                  cmd.scratch.data() + cmd.nr_lam[k],
-                                  pd.weights.data(), &s1, &s2);
-            else
-              kernel::nr_spec<S>(s.begin, s.end, s.step, pd.cats,
-                                 pd.sumtable.data(),
-                                 cmd.scratch.data() + cmd.nr_exp[k],
-                                 cmd.scratch.data() + cmd.nr_lam[k],
-                                 pd.weights.data(), &s1, &s2);
-            d1 += s1;
-            d2 += s2;
-          }
-        });
-        red_d1_[static_cast<std::size_t>(tid) * red_stride_ +
-                static_cast<std::size_t>(p)] = d1;
-        red_d2_[static_cast<std::size_t>(tid) * red_stride_ +
-                static_cast<std::size_t>(p)] = d2;
-      }
-    }
-  });
-
-  // Post-run bookkeeping: orientations and epochs for executed ops.
-  for (const auto& op : cmd.ops) {
-    orient_[static_cast<std::size_t>(op.node)] = op.toward;
-    const std::size_t inner = static_cast<std::size_t>(op.node - tips);
-    for (int p : op.parts)
-      clv_epoch_[inner][static_cast<std::size_t>(p)] =
-          model_epoch_[static_cast<std::size_t>(p)];
-  }
-}
-
-double Engine::loglikelihood(EdgeId edge) {
-  std::vector<int> all(parts_.size());
-  for (std::size_t p = 0; p < parts_.size(); ++p) all[p] = static_cast<int>(p);
-  return loglikelihood(edge, all);
-}
-
-double Engine::loglikelihood(EdgeId edge, const std::vector<int>& partitions) {
-  Command cmd;
-  const NodeId u = tree_.edge(edge).a;
-  const NodeId v = tree_.edge(edge).b;
-  ensure_clv(u, edge, false, partitions, cmd);
-  ensure_clv(v, edge, false, partitions, cmd);
-
-  cmd.do_eval = true;
-  cmd.eval_edge = edge;
-  cmd.eval_parts = partitions;
-  Matrix pm;
-  for (int p : partitions) {
-    const PartData& pd = *parts_[static_cast<std::size_t>(p)];
-    const auto& rates = pd.model.category_rates();
-    const double b = lengths_.get(edge, p);
-    const std::size_t off = cmd.pmats.size();
-    cmd.eval_pmat.push_back(off);
-    for (int c = 0; c < pd.cats; ++c) {
-      pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
-                                         pm);
-      cmd.pmats.insert(cmd.pmats.end(), pm.data(),
-                       pm.data() + static_cast<std::size_t>(pd.states) *
-                                       static_cast<std::size_t>(pd.states));
-    }
-    // The root-edge matrix applies to the v side; a tip there gets a table.
-    cmd.eval_tt.push_back(prepare_edge_tables(cmd, p, off, edge, v));
-  }
-  execute(cmd);
-
-  double total = 0.0;
-  for (int p : partitions) {
-    double lnl = 0.0;
-    for (int t = 0; t < team_->size(); ++t)
-      lnl += red_lnl_[static_cast<std::size_t>(t) * red_stride_ +
-                      static_cast<std::size_t>(p)];
-    last_lnl_[static_cast<std::size_t>(p)] = lnl;
-    total += lnl;
-  }
-  root_edge_ = edge;
-  sumtable_valid_ = false;
-  return total;
-}
-
-std::vector<double> Engine::site_loglikelihoods(EdgeId edge, int p) {
-  Command cmd;
-  const NodeId u = tree_.edge(edge).a;
-  const NodeId v = tree_.edge(edge).b;
-  const std::vector<int> one{p};
-  ensure_clv(u, edge, false, one, cmd);
-  ensure_clv(v, edge, false, one, cmd);
-
-  const PartData& pd = *parts_[static_cast<std::size_t>(p)];
-  std::vector<double> out(pd.patterns);
-  cmd.do_sites = true;
-  cmd.eval_edge = edge;
-  cmd.sites_part = p;
-  cmd.sites_out = out.data();
-  Matrix pm;
-  const auto& rates = pd.model.category_rates();
-  const double b = lengths_.get(edge, p);
-  cmd.sites_pmat = cmd.pmats.size();
-  for (int c = 0; c < pd.cats; ++c) {
-    pd.model.model().transition_matrix(b * rates[static_cast<std::size_t>(c)],
-                                       pm);
-    cmd.pmats.insert(cmd.pmats.end(), pm.data(),
-                     pm.data() + static_cast<std::size_t>(pd.states) *
-                                     static_cast<std::size_t>(pd.states));
-  }
-  cmd.sites_tt = prepare_edge_tables(cmd, p, cmd.sites_pmat, edge, v);
-  execute(cmd);
-  root_edge_ = edge;
-  sumtable_valid_ = false;
-  return out;
-}
-
-void Engine::prepare_root(EdgeId edge) {
-  Command cmd;
-  std::vector<int> all(parts_.size());
-  for (std::size_t p = 0; p < parts_.size(); ++p) all[p] = static_cast<int>(p);
-  const NodeId u = tree_.edge(edge).a;
-  const NodeId v = tree_.edge(edge).b;
-  ensure_clv(u, edge, true, all, cmd);
-  ensure_clv(v, edge, true, all, cmd);
-  if (!cmd.ops.empty()) execute(cmd);
-  root_edge_ = edge;
-  sumtable_valid_ = false;
-}
-
-void Engine::compute_sumtable(const std::vector<int>& partitions) {
-  if (root_edge_ == kNoId)
-    throw std::logic_error("compute_sumtable: no root edge prepared");
-  Command cmd;
-  const NodeId u = tree_.edge(root_edge_).a;
-  const NodeId v = tree_.edge(root_edge_).b;
-  ensure_clv(u, root_edge_, false, partitions, cmd);
-  ensure_clv(v, root_edge_, false, partitions, cmd);
-  cmd.do_sumtable = true;
-  cmd.sum_parts = partitions;
-  for (int p : partitions) {
-    const PartData& pd = *parts_[static_cast<std::size_t>(p)];
-    if (!use_generic_) {
-      const std::size_t off = cmd.symt.size();
-      cmd.sum_symt.push_back(off);
-      cmd.symt.resize(off + static_cast<std::size_t>(pd.states) *
-                                static_cast<std::size_t>(pd.states));
-      dispatch_states(pd.states, [&]<int S>() {
-        kernel::transpose_pmats<S>(pd.model.model().sym_transform().data(), 1,
-                                   cmd.symt.data() + off);
-      });
-    } else {
-      cmd.sum_symt.push_back(0);
-    }
-    cmd.sum_ttu.push_back(!use_generic_ && tree_.is_tip(u) ? sym_table_for(p)
-                                                           : nullptr);
-    cmd.sum_ttv.push_back(!use_generic_ && tree_.is_tip(v) ? sym_table_for(p)
-                                                           : nullptr);
-  }
-  execute(cmd);
-  sumtable_valid_ = true;
-}
-
-void Engine::nr_derivatives(const std::vector<int>& partitions,
-                            std::span<const double> lens, std::span<double> d1,
-                            std::span<double> d2) {
-  if (!sumtable_valid_)
-    throw std::logic_error("nr_derivatives: sumtable not computed");
-  if (lens.size() != partitions.size() || d1.size() != partitions.size() ||
-      d2.size() != partitions.size())
-    throw std::invalid_argument("nr_derivatives: size mismatch");
-
-  Command cmd;
-  cmd.do_nr = true;
-  cmd.nr_parts = partitions;
-  for (std::size_t k = 0; k < partitions.size(); ++k) {
-    const PartData& pd = *parts_[static_cast<std::size_t>(partitions[k])];
-    const auto& rates = pd.model.category_rates();
-    const auto& lambda = pd.model.model().eigenvalues();
-    const double b = std::clamp(lens[k], kBranchMin, kBranchMax);
-    cmd.nr_exp.push_back(cmd.scratch.size());
-    for (int c = 0; c < pd.cats; ++c)
-      for (int s = 0; s < pd.states; ++s)
-        cmd.scratch.push_back(
-            std::exp(lambda[static_cast<std::size_t>(s)] *
-                     rates[static_cast<std::size_t>(c)] * b));
-    cmd.nr_lam.push_back(cmd.scratch.size());
-    for (int c = 0; c < pd.cats; ++c)
-      for (int s = 0; s < pd.states; ++s)
-        cmd.scratch.push_back(lambda[static_cast<std::size_t>(s)] *
-                              rates[static_cast<std::size_t>(c)]);
-  }
-  execute(cmd);
-
-  for (std::size_t k = 0; k < partitions.size(); ++k) {
-    const int p = partitions[k];
-    double s1 = 0.0, s2 = 0.0;
-    for (int t = 0; t < team_->size(); ++t) {
-      s1 += red_d1_[static_cast<std::size_t>(t) * red_stride_ +
-                    static_cast<std::size_t>(p)];
-      s2 += red_d2_[static_cast<std::size_t>(t) * red_stride_ +
-                    static_cast<std::size_t>(p)];
-    }
-    d1[k] = s1;
-    d2[k] = s2;
-  }
-}
-
-void Engine::reset_stats() {
-  stats_ = EngineStats{};
-  team_->reset_stats();
-}
-
-void Engine::sync_tree_lengths() {
-  for (EdgeId e = 0; e < tree_.edge_count(); ++e)
-    tree_.set_length(e, lengths_.mean(e));
-}
 
 }  // namespace plk

@@ -1,10 +1,17 @@
 // The PLK engine: likelihood evaluation over a partitioned alignment.
 //
-// The engine owns, per partition: encoded tip data, per-inner-node CLVs with
-// scale counts, the model parameters, and a Newton-Raphson sumtable. It owns
-// the thread team and issues *commands* — each command is one parallel
-// region followed by one synchronization, mirroring the RAxML Pthreads
-// design the paper describes:
+// Engine is a thin facade over the EngineCore / EvalContext pair defined in
+// core/engine_core.hpp: one shared core (compressed tip data, per-partition
+// model prototypes, tip-table LRUs, the thread team, the cached work
+// schedule) bound to one evaluation context (tree, CLVs, orientation and
+// epoch state, branch lengths, NR sumtable, reduction rows). Every call
+// forwards; the single-context behavior — command structure, schedules,
+// reduction order — is bit-identical to the pre-split monolithic engine,
+// which the golden tests (tests/test_kernels_golden.cpp) pin down.
+//
+// The engine issues *commands* — each command is one parallel region
+// followed by one synchronization, mirroring the RAxML Pthreads design the
+// paper describes:
 //
 //   * traverse            - execute a (partial) tree traversal of newview ops
 //   * traverse + evaluate - same, then reduce per-partition log-likelihoods
@@ -12,12 +19,10 @@
 //   * nr_derivatives      - reduce d lnL/db, d2 lnL/db2 for a set of
 //                           partitions with per-partition candidate lengths
 //
-// CLV validity tracking: every inner node stores the edge its CLV "points
-// toward" (the virtual-root side); per-partition epochs invalidate CLVs when
-// a partition's model parameters change. Partial traversals fall out
-// naturally: moving the virtual root to an adjacent branch re-orients only
-// the nodes on the path (the paper's "3-4 inner likelihood vectors on
-// average" during tree search).
+// For evaluating MANY trees over one alignment (bootstrap replicates,
+// multi-start searches), share one EngineCore across several EvalContexts
+// and use the core's batched submit()/wait() API instead of one Engine per
+// tree — see core/engine_core.hpp and docs/architecture.md.
 //
 // Discipline required of callers (enforced by the optimizers in this repo):
 // branch lengths may only change on the *current* root edge (or be followed
@@ -26,124 +31,110 @@
 // the affected edges to the current root edge.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "bio/patterns.hpp"
-#include "core/branch_lengths.hpp"
-#include "core/kernels.hpp"
-#include "core/partition_model.hpp"
-#include "parallel/schedule.hpp"
-#include "parallel/thread_team.hpp"
-#include "tree/tree.hpp"
-#include "util/aligned.hpp"
+#include "core/engine_core.hpp"
 
 namespace plk {
 
-/// Engine construction options.
-struct EngineOptions {
-  /// Total threads (including the orchestrating master). 1 = sequential.
-  int threads = 1;
-  /// Per-partition branch lengths (unlinked) vs one joint set (linked).
-  bool unlinked_branch_lengths = false;
-  /// Collect per-thread timing instrumentation in the team.
-  bool instrument = true;
-  /// Run the generic scalar reference kernels instead of the specialized
-  /// SIMD + tip-table paths (A/B testing and golden-value verification).
-  bool use_generic_kernels = false;
-  /// How pattern work is assigned to threads (parallel/schedule.hpp).
-  /// kCyclic reproduces the historical hard-coded split bit-for-bit.
-  SchedulingStrategy schedule = SchedulingStrategy::kCyclic;
-  /// Measure per-thread CPU time instead of wall time (see ThreadTeam).
-  bool instrument_cpu_time = false;
-};
-
-/// Entries per edge in the tip-table LRU cache: enough for a root-edge
-/// Newton-Raphson sweep that alternates between a handful of candidate
-/// branch lengths without rebuilding the table each time.
-inline constexpr int kTipTableLruSize = 4;
-
-/// Aggregate engine counters for the ablation benchmarks.
-struct EngineStats {
-  std::uint64_t commands = 0;        ///< parallel commands (== syncs)
-  std::uint64_t newview_ops = 0;     ///< node-partition CLV recomputations
-  std::uint64_t evaluations = 0;     ///< likelihood reductions
-  std::uint64_t nr_iterations = 0;   ///< NR derivative reductions
-  std::uint64_t tip_table_rebuilds = 0;  ///< tip lookup table (re)builds
-  std::uint64_t tip_table_hits = 0;      ///< tip table LRU cache hits
-};
-
-/// The likelihood engine. Not copyable; owns large CLV buffers.
+/// The likelihood engine: one core + one context. Not copyable. Also usable
+/// as a non-owning view over an externally owned (core, context) pair, so
+/// code written against Engine& (the optimizers, the search) can drive any
+/// context of a shared core.
 class Engine {
  public:
-  /// `aln` must outlive the engine. Tree tip labels must match the
-  /// alignment's taxon names (any order). One model per partition.
+  /// Owning constructor: builds a private core and context. `aln` must
+  /// outlive the engine. Tree tip labels must match the alignment's taxon
+  /// names (any order). One model per partition.
   Engine(const CompressedAlignment& aln, Tree tree,
          std::vector<PartitionModel> models, EngineOptions opts = {});
+
+  /// Non-owning view: drive `ctx` (a context of `core`) through the Engine
+  /// API. Both must outlive the view.
+  Engine(EngineCore& core, EvalContext& ctx);
+
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  // --- the core/context pair ----------------------------------------------
+
+  EngineCore& core() { return *core_; }
+  const EngineCore& core() const { return *core_; }
+  EvalContext& context() { return *ctx_; }
+  const EvalContext& context() const { return *ctx_; }
+
   // --- structure accessors -------------------------------------------------
 
-  const Tree& tree() const { return tree_; }
-  Tree& tree() { return tree_; }
-  int partition_count() const { return static_cast<int>(parts_.size()); }
-  int threads() const { return team_->size(); }
-  std::size_t pattern_count(int p) const;
-  std::size_t total_patterns() const;
+  const Tree& tree() const { return ctx_->tree(); }
+  Tree& tree() { return ctx_->tree(); }
+  int partition_count() const { return core_->partition_count(); }
+  int threads() const { return core_->threads(); }
+  std::size_t pattern_count(int p) const { return core_->pattern_count(p); }
+  std::size_t total_patterns() const { return core_->total_patterns(); }
 
-  const PartitionModel& model(int p) const;
+  const PartitionModel& model(int p) const { return ctx_->model(p); }
   /// Mutable model access; call invalidate_partition(p) after changing it.
-  PartitionModel& model(int p);
+  PartitionModel& model(int p) { return ctx_->model(p); }
 
-  BranchLengths& branch_lengths() { return lengths_; }
-  const BranchLengths& branch_lengths() const { return lengths_; }
+  BranchLengths& branch_lengths() { return ctx_->branch_lengths(); }
+  const BranchLengths& branch_lengths() const {
+    return ctx_->branch_lengths();
+  }
 
   // --- invalidation --------------------------------------------------------
 
-  /// Mark all CLVs of partition `p` stale (after a model parameter change).
-  void invalidate_partition(int p);
-  /// Drop the orientation of node `v` (after topology surgery around it).
-  void invalidate_node(NodeId v);
-  /// Drop all orientations (full traversal on next evaluation).
-  void invalidate_all();
+  void invalidate_partition(int p) { ctx_->invalidate_partition(p); }
+  void invalidate_node(NodeId v) { ctx_->invalidate_node(v); }
+  void invalidate_all() { ctx_->invalidate_all(); }
 
   // --- likelihood ----------------------------------------------------------
 
   /// Log-likelihood with the virtual root on `edge`, summed over all
   /// partitions. One command (traversal ops fused with the evaluation).
-  double loglikelihood(EdgeId edge);
+  double loglikelihood(EdgeId edge) { return ctx_->loglikelihood(edge); }
 
   /// Log-likelihood restricted to the given partitions; fills
   /// per_partition_lnl() for exactly those partitions. This is the oldPAR /
   /// newPAR workhorse: oldPAR calls it with a single partition, newPAR with
   /// all active ones, at identical synchronization cost per call.
-  double loglikelihood(EdgeId edge, const std::vector<int>& partitions);
+  double loglikelihood(EdgeId edge, const std::vector<int>& partitions) {
+    return ctx_->loglikelihood(edge, partitions);
+  }
 
   /// Per-partition log-likelihoods from the most recent evaluation
   /// (entries for partitions not in that evaluation are stale).
-  std::span<const double> per_partition_lnl() const { return last_lnl_; }
+  std::span<const double> per_partition_lnl() const {
+    return ctx_->per_partition_lnl();
+  }
 
   /// Per-pattern log-likelihoods of partition `p` with the virtual root on
   /// `edge` (scale-corrected, not weight-multiplied: the total partition lnL
   /// is the weight-dot-product of this vector). One command.
-  std::vector<double> site_loglikelihoods(EdgeId edge, int p);
+  std::vector<double> site_loglikelihoods(EdgeId edge, int p) {
+    return ctx_->site_loglikelihoods(edge, p);
+  }
+  /// Allocation-free overload: writes into `out` (size pattern_count(p)).
+  void site_loglikelihoods(EdgeId edge, int p, std::span<double> out) {
+    ctx_->site_loglikelihoods(edge, p, out);
+  }
 
   /// The edge the CLVs currently point toward (kNoId before first use).
-  EdgeId root_edge() const { return root_edge_; }
+  EdgeId root_edge() const { return ctx_->root_edge(); }
 
   // --- branch-length optimization primitives -------------------------------
 
   /// Orient all CLVs toward `edge` (one command, possibly with zero ops).
-  void prepare_root(EdgeId edge);
+  void prepare_root(EdgeId edge) { ctx_->prepare_root(edge); }
 
   /// Precompute NR sumtables at the current root for `partitions`.
   /// prepare_root(edge) must have been called. One command.
-  void compute_sumtable(const std::vector<int>& partitions);
+  void compute_sumtable(const std::vector<int>& partitions) {
+    ctx_->compute_sumtable(partitions);
+  }
 
   /// d lnL / db and d2 lnL / db2 for each listed partition at candidate
   /// branch length `lens[i]` (one per listed partition; in linked mode pass
@@ -151,99 +142,44 @@ class Engine {
   /// One command regardless of how many partitions are listed.
   void nr_derivatives(const std::vector<int>& partitions,
                       std::span<const double> lens, std::span<double> d1,
-                      std::span<double> d2);
+                      std::span<double> d2) {
+    ctx_->nr_derivatives(partitions, lens, d1, d2);
+  }
 
   // --- work scheduling ------------------------------------------------------
 
-  /// The per-thread work assignment used by every command. Computed once per
-  /// (strategy, thread count, partition shapes) and cached; strategy changes
-  /// and calibration invalidate it (the engine's shape itself is fixed at
-  /// construction).
-  const WorkSchedule& schedule();
+  /// The per-thread work assignment used by every command (shared across
+  /// every context of the core).
+  const WorkSchedule& schedule() { return core_->schedule(); }
 
-  SchedulingStrategy scheduling_strategy() const { return sched_strategy_; }
+  SchedulingStrategy scheduling_strategy() const {
+    return core_->scheduling_strategy();
+  }
   /// Switch strategies between commands (master thread only).
-  void set_scheduling_strategy(SchedulingStrategy s);
+  void set_scheduling_strategy(SchedulingStrategy s) {
+    core_->set_scheduling_strategy(s);
+  }
 
-  /// Re-weight the kMeasured cost model from observed timings: evaluates
-  /// each partition alone at `edge` (`reps` instrumented commands each) and
-  /// records the per-pattern seconds seen by the team. Leaves likelihoods
-  /// unchanged, but moves the virtual root to `edge`. No-op when the team
-  /// is not instrumented.
-  void calibrate_schedule(EdgeId edge, int reps = 2);
+  /// Re-weight the kMeasured cost model from observed timings (see
+  /// EngineCore::calibrate_schedule). Moves the virtual root to `edge`.
+  void calibrate_schedule(EdgeId edge, int reps = 2) {
+    core_->calibrate_schedule(*ctx_, edge, reps);
+  }
 
   // --- instrumentation ------------------------------------------------------
 
-  const EngineStats& stats() const { return stats_; }
-  const TeamStats& team_stats() const { return team_->stats(); }
-  void reset_stats();
+  const EngineStats& stats() const { return core_->stats(); }
+  const TeamStats& team_stats() const { return core_->team_stats(); }
+  void reset_stats() { core_->reset_stats(); }
 
   /// Write mean branch lengths back into the tree (for Newick export).
-  void sync_tree_lengths();
+  void sync_tree_lengths() { ctx_->sync_tree_lengths(); }
 
  private:
-  struct PartData;
-  struct Command;
-
-  void build_tip_data();
-  /// Recursively ensure node `v`'s CLV points toward `via` and is fresh for
-  /// the scope; appends newview ops. `need_all`: validity required for every
-  /// partition (orientation flips), else for `scope` only.
-  void ensure_clv(NodeId v, EdgeId via, bool need_all,
-                  const std::vector<int>& scope, Command& cmd);
-  void add_newview_op(NodeId v, EdgeId via, const std::vector<int>& parts,
-                      Command& cmd);
-  void execute(Command& cmd);
-  kernel::ChildView child_view(int p, NodeId v) const;
-
-  /// Cached tip lookup table (P x indicator products, [code][cat][state])
-  /// for edge `e` in partition `p`. Served from a small per-edge LRU keyed
-  /// on (model epoch, branch length) — the table's content depends on
-  /// nothing else — and rebuilt from `pmat` (this edge's row-major
-  /// per-category transition matrices) on a miss. Master-thread only
-  /// (command assembly).
-  const double* tip_table_for(int p, EdgeId e, const double* pmat);
-  /// Specialized-path table preparation for the matrices of edge `e` just
-  /// appended to cmd.pmats at `off`, applied toward `endpoint`: keeps
-  /// cmd.pmats_t in lockstep, transposes for an inner endpoint, and returns
-  /// the refreshed tip lookup table for a tip endpoint (nullptr otherwise,
-  /// and always under use_generic_kernels).
-  const double* prepare_edge_tables(Command& cmd, int p, std::size_t off,
-                                    EdgeId e, NodeId endpoint);
-  /// Cached sym x indicator tip table ([code][state]) for partition `p`,
-  /// keyed on the model epoch alone (the symmetric transform is branch-
-  /// length independent).
-  const double* sym_table_for(int p);
-
-  const CompressedAlignment& aln_;
-  Tree tree_;
-  std::vector<std::unique_ptr<PartData>> parts_;
-  BranchLengths lengths_;
-  std::unique_ptr<ThreadTeam> team_;
-
-  std::vector<EdgeId> orient_;              // per node; kNoId = invalid
-  std::vector<std::uint32_t> model_epoch_;  // per partition
-  std::vector<std::vector<std::uint32_t>> clv_epoch_;  // [inner][partition]
-  std::vector<NodeId> tip_of_taxon_;        // alignment taxon -> tree tip
-
-  EdgeId root_edge_ = kNoId;
-  bool sumtable_valid_ = false;
-  bool use_generic_ = false;
-  std::vector<double> last_lnl_;            // per partition
-
-  // Work-assignment cache (see schedule()).
-  SchedulingStrategy sched_strategy_ = SchedulingStrategy::kCyclic;
-  WorkSchedule sched_;
-  bool sched_dirty_ = true;
-  std::vector<double> measured_cost_;       // per partition, sec/pattern
-  std::uint64_t tip_clock_ = 0;             // LRU recency counter
-
-  // Per-thread reduction buffers (lnl / d1 / d2). Rows are one cache-line
-  // aligned and stride-padded so two threads never write the same line.
-  AlignedDoubleVec red_lnl_, red_d1_, red_d2_;
-  std::size_t red_stride_ = 0;
-
-  EngineStats stats_;
+  std::unique_ptr<EngineCore> owned_core_;
+  std::unique_ptr<EvalContext> owned_ctx_;
+  EngineCore* core_;
+  EvalContext* ctx_;
 };
 
 }  // namespace plk

@@ -1,0 +1,1242 @@
+#include "core/engine_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "model/matrix.hpp"
+
+namespace plk {
+
+namespace {
+
+/// Dispatch a generic lambda templated on the (compile-time) state count.
+template <class Fn>
+void dispatch_states(int states, Fn&& fn) {
+  switch (states) {
+    case 4:
+      fn.template operator()<4>();
+      break;
+    case 20:
+      fn.template operator()<20>();
+      break;
+    default:
+      throw std::logic_error("unsupported state count " +
+                             std::to_string(states));
+  }
+}
+
+}  // namespace
+
+/// Per-partition shared state: model prototype, per-taxon tip encoding, and
+/// the tip lookup-table LRUs every context draws from.
+struct EngineCore::PartStatic {
+  const CompressedPartition* src = nullptr;
+  PartitionModel prototype;
+  std::size_t patterns = 0;
+  int states = 4;
+  int cats = 4;
+  std::vector<double> base_weights;
+
+  // Tip encoding: per taxon, a code into `indicators` (rows of S doubles,
+  // one per distinct state mask occurring in this partition). Stored per
+  // alignment taxon so trees with different tip orderings share it; each
+  // context maps its tree tips to taxa.
+  std::vector<std::vector<std::uint16_t>> taxon_codes;  // [taxon][pattern]
+  AlignedDoubleVec indicators;
+  std::size_t n_codes = 0;  // rows in `indicators`
+
+  // Cached tip lookup tables for the specialized kernels: per tip-adjacent
+  // edge, a small LRU of tables keyed on (model epoch, branch length). The
+  // table's content depends on nothing else, and model epochs are unique
+  // core-wide, so any number of contexts can share one LRU. Entries
+  // referenced by commands of the open batch carry `pinned_flush` equal to
+  // the core's flush id and are never evicted mid-batch; a flush that needs
+  // more live tables than kTipTableLruSize grows the vector and the core
+  // trims it back afterwards.
+  struct TipTableEntry {
+    std::uint64_t epoch = 0;
+    double blen = -1.0;
+    std::uint64_t last_used = 0;
+    std::uint64_t pinned_flush = 0;
+    AlignedDoubleVec table;
+  };
+  std::vector<std::vector<TipTableEntry>> tip_tables;  // [edge][slot]
+
+  explicit PartStatic(PartitionModel m) : prototype(std::move(m)) {}
+
+  std::size_t clv_stride() const {
+    return static_cast<std::size_t>(cats) * static_cast<std::size_t>(states);
+  }
+};
+
+/// Per-partition context state: the mutable model copy, pattern weights,
+/// CLVs with scale counts, the NR sumtable, and the sym tip table.
+struct EvalContext::PartDyn {
+  PartitionModel model;
+  std::vector<double> weights;
+
+  // Inner-node CLVs and scale counts, indexed by (node - tip_count).
+  std::vector<AlignedDoubleVec> clv;
+  std::vector<std::vector<std::int32_t>> scale;
+
+  // NR sumtable at the current root edge: [pattern][cat][state].
+  AlignedDoubleVec sumtable;
+
+  // Sym x indicator tip table, keyed on the context's model epoch.
+  std::uint64_t sym_epoch = 0;
+  AlignedDoubleVec sym_table;
+
+  explicit PartDyn(PartitionModel m) : model(std::move(m)) {}
+};
+
+/// One parallel command: a traversal op list optionally fused with an
+/// evaluation, a per-site evaluation, a sumtable pass, or an NR pass.
+struct EngineCore::Command {
+  struct Op {
+    NodeId node = kNoId;
+    EdgeId toward = kNoId;  // the orientation this op establishes
+    NodeId c1 = kNoId, c2 = kNoId;
+    EdgeId e1 = kNoId, e2 = kNoId;
+    std::vector<int> parts;
+    // The model epoch each partition's CLV is computed AT (captured during
+    // assembly): post-run bookkeeping stamps these, so a model invalidated
+    // between submit() and wait() correctly leaves its CLVs marked stale.
+    std::vector<std::uint64_t> epochs;
+    // Offsets into `pmats` for each listed partition (child 1 and child 2).
+    // `pmats` and `pmats_t` are filled in lockstep, so the same offsets
+    // address the transposed matrices.
+    std::vector<std::size_t> pmat1, pmat2;
+    // Tip lookup tables per listed partition (nullptr for inner children).
+    std::vector<const double*> tt1, tt2;
+  };
+  std::vector<Op> ops;
+
+  bool do_eval = false;
+  EdgeId eval_edge = kNoId;
+  std::vector<int> eval_parts;
+  std::vector<std::size_t> eval_pmat;
+  std::vector<const double*> eval_tt;  // cv-side tip table per listed part
+
+  bool do_sumtable = false;
+  std::vector<int> sum_parts;
+  std::vector<std::size_t> sum_symt;       // transposed sym offsets (symt)
+  std::vector<const double*> sum_ttu, sum_ttv;  // sym tip tables
+
+  bool do_sites = false;
+  int sites_part = -1;
+  std::size_t sites_pmat = 0;
+  const double* sites_tt = nullptr;
+  double* sites_out = nullptr;
+
+  bool do_nr = false;
+  std::vector<int> nr_parts;
+  // Per listed partition: offsets into `scratch` for exp(lam*r*b) and lam*r
+  // tables, each cats*states doubles.
+  std::vector<std::size_t> nr_exp, nr_lam;
+
+  AlignedDoubleVec pmats;    // concatenated transition matrices (row-major)
+  AlignedDoubleVec pmats_t;  // same matrices transposed (lockstep offsets)
+  AlignedDoubleVec symt;     // transposed sym transforms (sum_symt offsets)
+  AlignedDoubleVec scratch;  // NR tables
+};
+
+/// A queued request with its assembled command.
+struct EngineCore::Pending {
+  EvalContext* ctx = nullptr;
+  EvalRequest req;
+  Command cmd;
+  int solo_part = -1;
+};
+
+// ---------------------------------------------------------------------------
+// EngineCore
+// ---------------------------------------------------------------------------
+
+EngineCore::EngineCore(const CompressedAlignment& aln,
+                       std::vector<PartitionModel> models, EngineOptions opts)
+    : aln_(aln) {
+  if (models.size() != aln.partition_count())
+    throw std::invalid_argument("need one model per partition");
+
+  for (std::size_t p = 0; p < models.size(); ++p) {
+    const auto& cp = aln.partitions[p];
+    if (models[p].model().states() != cp.states())
+      throw std::invalid_argument("model/partition state count mismatch for '" +
+                                  cp.name + "'");
+    auto pd = std::make_unique<PartStatic>(std::move(models[p]));
+    pd->src = &cp;
+    pd->patterns = cp.pattern_count;
+    pd->states = cp.states();
+    pd->cats = pd->prototype.gamma_categories();
+    pd->base_weights = cp.weights;
+    parts_.push_back(std::move(pd));
+  }
+
+  build_tip_data();
+
+  unlinked_ = opts.unlinked_branch_lengths;
+  use_generic_ = opts.use_generic_kernels;
+  sched_strategy_ = opts.schedule;
+
+  // Any unrooted binary tree over n taxa has 2n - 3 edges, so the tip-table
+  // LRUs can be sized before the first context exists.
+  const std::size_t edges =
+      aln.taxon_count() >= 2 ? 2 * aln.taxon_count() - 3 : 0;
+  for (auto& pd : parts_) pd->tip_tables.resize(edges);
+
+  team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument,
+                                       opts.instrument_cpu_time);
+}
+
+EngineCore::~EngineCore() = default;
+
+void EngineCore::build_tip_data() {
+  for (auto& pd : parts_) {
+    const CompressedPartition& cp = *pd->src;
+    const int s = pd->states;
+    // Catalog of distinct state masks in this partition.
+    std::unordered_map<StateMask, std::uint16_t> code_of;
+    pd->taxon_codes.assign(aln_.taxon_count(), {});
+    std::vector<StateMask> catalog;
+    for (std::size_t x = 0; x < aln_.taxon_count(); ++x) {
+      auto& codes = pd->taxon_codes[x];
+      codes.resize(pd->patterns);
+      for (std::size_t i = 0; i < pd->patterns; ++i) {
+        const StateMask m = cp.tip_states[x][i];
+        auto [it, inserted] =
+            code_of.emplace(m, static_cast<std::uint16_t>(catalog.size()));
+        if (inserted) catalog.push_back(m);
+        codes[i] = it->second;
+      }
+    }
+    if (catalog.size() > 65535)
+      throw std::runtime_error("too many distinct state masks");
+    pd->n_codes = catalog.size();
+    pd->indicators.assign(catalog.size() * static_cast<std::size_t>(s), 0.0);
+    for (std::size_t c = 0; c < catalog.size(); ++c)
+      for (int j = 0; j < s; ++j)
+        if (catalog[c] & (StateMask{1} << j))
+          pd->indicators[c * static_cast<std::size_t>(s) +
+                         static_cast<std::size_t>(j)] = 1.0;
+  }
+}
+
+std::size_t EngineCore::pattern_count(int p) const {
+  return parts_[static_cast<std::size_t>(p)]->patterns;
+}
+
+std::size_t EngineCore::total_patterns() const {
+  std::size_t n = 0;
+  for (const auto& pd : parts_) n += pd->patterns;
+  return n;
+}
+
+const PartitionModel& EngineCore::prototype_model(int p) const {
+  return parts_[static_cast<std::size_t>(p)]->prototype;
+}
+
+const WorkSchedule& EngineCore::schedule() {
+  if (sched_dirty_) {
+    // Measured weights are seconds-per-pattern — a different unit from the
+    // static states^2 x cats model — so they are only usable if EVERY
+    // partition has one (a partition whose timed reps landed below clock
+    // granularity would otherwise dwarf, or be dwarfed by, the rest).
+    bool use_measured = sched_strategy_ == SchedulingStrategy::kMeasured &&
+                        measured_cost_.size() == parts_.size();
+    if (use_measured)
+      for (double c : measured_cost_)
+        if (!(c > 0.0)) {
+          use_measured = false;
+          break;
+        }
+    std::vector<PartitionShape> shapes(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+      const PartStatic& pd = *parts_[p];
+      PartitionShape& sh = shapes[p];
+      sh.patterns = pd.patterns;
+      sh.states = pd.states;
+      sh.cats = pd.cats;
+      // Fold the observed seconds-per-pattern into the weight so that
+      // cost_per_pattern() == the measurement; without a complete
+      // calibration every partition keeps the static model.
+      if (use_measured)
+        sh.weight = measured_cost_[p] / (static_cast<double>(pd.states) *
+                                        static_cast<double>(pd.cats));
+    }
+    sched_ = WorkSchedule::build(sched_strategy_, team_->size(), shapes);
+    sched_dirty_ = false;
+  }
+  return sched_;
+}
+
+void EngineCore::set_scheduling_strategy(SchedulingStrategy s) {
+  if (s == sched_strategy_) return;
+  sched_strategy_ = s;
+  sched_dirty_ = true;
+}
+
+void EngineCore::calibrate_schedule(EvalContext& ctx, EdgeId edge, int reps) {
+  if (!team_->instrumented() || reps < 1) return;
+  measured_cost_.assign(parts_.size(), 0.0);
+  for (int p = 0; p < partition_count(); ++p) {
+    const std::vector<int> one{p};
+    // Warm-up evaluation brings CLVs, tables and caches up to date so the
+    // timed repetitions measure the steady-state evaluate cost.
+    ctx.loglikelihood(edge, one);
+    const double before = team_->stats().total_work_seconds;
+    for (int r = 0; r < reps; ++r) ctx.loglikelihood(edge, one);
+    const double dt = team_->stats().total_work_seconds - before;
+    const auto n = parts_[static_cast<std::size_t>(p)]->patterns;
+    if (n > 0 && dt > 0.0)
+      measured_cost_[static_cast<std::size_t>(p)] =
+          dt / (static_cast<double>(reps) * static_cast<double>(n));
+  }
+  sched_dirty_ = true;
+}
+
+void EngineCore::reset_stats() {
+  stats_ = EngineStats{};
+  team_->reset_stats();
+}
+
+void EngineCore::check_not_pending(const EvalContext& ctx) const {
+  for (const Pending& item : pending_)
+    if (item.ctx == &ctx)
+      throw std::logic_error(
+          "EvalContext has a pending batched request; wait() first");
+}
+
+// --- tip lookup tables -------------------------------------------------------
+
+const double* EngineCore::tip_table_for(EvalContext& ctx, int p, EdgeId e,
+                                        const double* pmat) {
+  PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+  auto& lru = pd.tip_tables[static_cast<std::size_t>(e)];
+  const double b = ctx.lengths_.get(e, p);
+  const std::uint64_t epoch = ctx.model_epoch_[static_cast<std::size_t>(p)];
+
+  for (auto& ent : lru) {
+    if (!ent.table.empty() && ent.epoch == epoch && ent.blen == b) {
+      ent.last_used = ++tip_clock_;
+      ent.pinned_flush = flush_id_;
+      ++stats_.tip_table_hits;
+      return ent.table.data();
+    }
+  }
+  // Miss: reuse an empty unpinned slot, else grow up to capacity, else
+  // evict the least-recently-used unpinned entry. When every resident
+  // entry is pinned by the open batch, grow past capacity (entry table
+  // pointers are cached in queued commands and must stay alive until the
+  // flush); trim_tip_tables() shrinks the cache back afterwards.
+  PartStatic::TipTableEntry* victim = nullptr;
+  for (auto& ent : lru) {
+    if (ent.pinned_flush == flush_id_) continue;  // referenced by this batch
+    if (ent.table.empty()) {
+      victim = &ent;  // prefer an unused slot over evicting
+      break;
+    }
+    if (victim == nullptr || ent.last_used < victim->last_used) victim = &ent;
+  }
+  const bool have_empty_slot = victim != nullptr && victim->table.empty();
+  if (!have_empty_slot &&
+      (victim == nullptr ||
+       lru.size() < static_cast<std::size_t>(kTipTableLruSize))) {
+    if (lru.size() >= static_cast<std::size_t>(kTipTableLruSize))
+      lru_overflow_.emplace_back(p, e);
+    lru.emplace_back();
+    victim = &lru.back();
+  }
+  victim->table.resize(pd.n_codes * pd.clv_stride());
+  dispatch_states(pd.states, [&]<int S>() {
+    kernel::build_tip_table<S>(pmat, pd.cats, pd.indicators.data(),
+                               pd.n_codes, victim->table.data());
+  });
+  victim->epoch = epoch;
+  victim->blen = b;
+  victim->last_used = ++tip_clock_;
+  victim->pinned_flush = flush_id_;
+  ++stats_.tip_table_rebuilds;
+  return victim->table.data();
+}
+
+namespace {
+
+/// Erase unpinned entries, least-recently-used first, until `lru` holds at
+/// most `cap` (pinned entries — referenced by an open batch — never go).
+template <class Lru>
+void shrink_lru(Lru& lru, std::size_t cap, std::uint64_t flush_id) {
+  while (lru.size() > cap) {
+    auto oldest = lru.end();
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (it->pinned_flush == flush_id) continue;
+      if (oldest == lru.end() || it->last_used < oldest->last_used)
+        oldest = it;
+    }
+    if (oldest == lru.end()) return;  // everything pinned
+    lru.erase(oldest);
+  }
+}
+
+}  // namespace
+
+void EngineCore::trim_tip_tables(std::size_t batch_width) {
+  // Keep one entry per context of the batch that just ran (repeated wide
+  // batches — a lockstep bootstrap pass, a fixed-model topology scan —
+  // would otherwise rebuild (width - cap) tables per edge every flush),
+  // but never fewer than the steady-state LRU capacity.
+  const std::size_t cap =
+      std::max(static_cast<std::size_t>(kTipTableLruSize), batch_width);
+  for (const auto& [p, e] : lru_overflow_) {
+    shrink_lru(parts_[static_cast<std::size_t>(p)]
+                   ->tip_tables[static_cast<std::size_t>(e)],
+               cap, flush_id_);
+  }
+  lru_overflow_.clear();
+}
+
+void EngineCore::release_context_tables() {
+  // A destroyed context's epochs never recur, so over-cap entries are dead
+  // weight; shrink every LRU back to the steady-state capacity. (Entries
+  // within the cap that carry dead epochs are evicted by normal LRU
+  // traffic.)
+  for (auto& pd : parts_)
+    for (auto& lru : pd->tip_tables)
+      shrink_lru(lru, static_cast<std::size_t>(kTipTableLruSize), flush_id_);
+}
+
+const double* EngineCore::sym_table_for(EvalContext& ctx, int p) {
+  PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+  EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+  const std::uint64_t epoch = ctx.model_epoch_[static_cast<std::size_t>(p)];
+  if (dy.sym_epoch != epoch || dy.sym_table.empty()) {
+    dy.sym_table.resize(pd.n_codes * static_cast<std::size_t>(pd.states));
+    dispatch_states(pd.states, [&]<int S>() {
+      kernel::build_sym_tip_table<S>(dy.model.model().sym_transform().data(),
+                                     pd.indicators.data(), pd.n_codes,
+                                     dy.sym_table.data());
+    });
+    dy.sym_epoch = epoch;
+  }
+  return dy.sym_table.data();
+}
+
+const double* EngineCore::prepare_edge_tables(EvalContext& ctx, Command& cmd,
+                                              int p, std::size_t off, EdgeId e,
+                                              NodeId endpoint) {
+  if (use_generic_) return nullptr;
+  // Keep pmats/pmats_t offsets interchangeable. A tip endpoint consumes its
+  // lookup table instead of the transposed matrix, so only inner endpoints
+  // need the transpose.
+  cmd.pmats_t.resize(cmd.pmats.size());
+  if (ctx.tree_.is_tip(endpoint)) return tip_table_for(ctx, p, e, cmd.pmats.data() + off);
+  const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+  dispatch_states(pd.states, [&]<int S>() {
+    kernel::transpose_pmats<S>(cmd.pmats.data() + off, pd.cats,
+                               cmd.pmats_t.data() + off);
+  });
+  return nullptr;
+}
+
+// --- command assembly --------------------------------------------------------
+
+kernel::ChildView EngineCore::child_view(const EvalContext& ctx, int p,
+                                         NodeId v) const {
+  const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+  kernel::ChildView cv;
+  if (ctx.tree_.is_tip(v)) {
+    cv.codes =
+        pd.taxon_codes[ctx.taxon_of_tip_[static_cast<std::size_t>(v)]].data();
+    cv.indicators = pd.indicators.data();
+  } else {
+    const std::size_t inner =
+        static_cast<std::size_t>(v - ctx.tree_.tip_count());
+    const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+    cv.clv = dy.clv[inner].data();
+    cv.scale = dy.scale[inner].data();
+  }
+  return cv;
+}
+
+void EngineCore::ensure_clv(EvalContext& ctx, NodeId v, EdgeId via,
+                            bool need_all, const std::vector<int>& scope,
+                            Command& cmd) {
+  if (ctx.tree_.is_tip(v)) return;
+  const std::size_t inner = static_cast<std::size_t>(v - ctx.tree_.tip_count());
+  const bool flip = ctx.orient_[static_cast<std::size_t>(v)] != via;
+
+  std::vector<int> rec;
+  if (flip) {
+    rec.resize(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) rec[p] = static_cast<int>(p);
+  } else {
+    const auto consider = [&](int p) {
+      if (ctx.clv_epoch_[inner][static_cast<std::size_t>(p)] !=
+          ctx.model_epoch_[static_cast<std::size_t>(p)])
+        rec.push_back(p);
+    };
+    if (need_all) {
+      for (std::size_t p = 0; p < parts_.size(); ++p)
+        consider(static_cast<int>(p));
+    } else {
+      for (int p : scope) consider(p);
+    }
+  }
+  if (rec.empty()) return;
+
+  const bool rec_all = rec.size() == parts_.size();
+  for (EdgeId e : ctx.tree_.edges_of(v)) {
+    if (e == via) continue;
+    ensure_clv(ctx, ctx.tree_.other_end(e, v), e, rec_all, rec, cmd);
+  }
+  add_newview_op(ctx, v, via, rec, cmd);
+}
+
+void EngineCore::add_newview_op(EvalContext& ctx, NodeId v, EdgeId via,
+                                const std::vector<int>& parts, Command& cmd) {
+  Command::Op op;
+  op.node = v;
+  op.toward = via;
+  for (EdgeId e : ctx.tree_.edges_of(v)) {
+    if (e == via) continue;
+    if (op.c1 == kNoId) {
+      op.c1 = ctx.tree_.other_end(e, v);
+      op.e1 = e;
+    } else {
+      op.c2 = ctx.tree_.other_end(e, v);
+      op.e2 = e;
+    }
+  }
+  op.parts = parts;
+  op.epochs.reserve(parts.size());
+  for (int p : parts)
+    op.epochs.push_back(ctx.model_epoch_[static_cast<std::size_t>(p)]);
+
+  // Precompute the per-category transition matrices for both child edges
+  // (row-major + transposed), and refresh tip lookup tables for tip children.
+  Matrix pm;
+  for (int p : parts) {
+    const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+    const int s = parts_[static_cast<std::size_t>(p)]->states;
+    const int cats = parts_[static_cast<std::size_t>(p)]->cats;
+    const auto& rates = dy.model.category_rates();
+    for (int child = 0; child < 2; ++child) {
+      const EdgeId e = child == 0 ? op.e1 : op.e2;
+      const NodeId cn = child == 0 ? op.c1 : op.c2;
+      const double b = ctx.lengths_.get(e, p);
+      const std::size_t off = cmd.pmats.size();
+      (child == 0 ? op.pmat1 : op.pmat2).push_back(off);
+      for (int c = 0; c < cats; ++c) {
+        dy.model.model().transition_matrix(
+            b * rates[static_cast<std::size_t>(c)], pm);
+        cmd.pmats.insert(cmd.pmats.end(), pm.data(),
+                         pm.data() + static_cast<std::size_t>(s) * s);
+      }
+      (child == 0 ? op.tt1 : op.tt2)
+          .push_back(prepare_edge_tables(ctx, cmd, p, off, e, cn));
+    }
+  }
+  cmd.ops.push_back(std::move(op));
+}
+
+void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
+                               Command& cmd) {
+  const Tree& tree = ctx.tree_;
+  Matrix pm;
+  switch (req.kind) {
+    case EvalRequest::Kind::kEvaluate: {
+      const NodeId u = tree.edge(req.edge).a;
+      const NodeId v = tree.edge(req.edge).b;
+      ensure_clv(ctx, u, req.edge, false, req.partitions, cmd);
+      ensure_clv(ctx, v, req.edge, false, req.partitions, cmd);
+      cmd.do_eval = true;
+      cmd.eval_edge = req.edge;
+      cmd.eval_parts = req.partitions;
+      for (int p : req.partitions) {
+        const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+        const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+        const auto& rates = dy.model.category_rates();
+        const double b = ctx.lengths_.get(req.edge, p);
+        const std::size_t off = cmd.pmats.size();
+        cmd.eval_pmat.push_back(off);
+        for (int c = 0; c < pd.cats; ++c) {
+          dy.model.model().transition_matrix(
+              b * rates[static_cast<std::size_t>(c)], pm);
+          cmd.pmats.insert(cmd.pmats.end(), pm.data(),
+                           pm.data() + static_cast<std::size_t>(pd.states) *
+                                           static_cast<std::size_t>(pd.states));
+        }
+        // The root-edge matrix applies to the v side; a tip there gets a
+        // table.
+        cmd.eval_tt.push_back(prepare_edge_tables(ctx, cmd, p, off, req.edge, v));
+      }
+      break;
+    }
+
+    case EvalRequest::Kind::kSiteLnl: {
+      const NodeId u = tree.edge(req.edge).a;
+      const NodeId v = tree.edge(req.edge).b;
+      const int p = req.site_partition;
+      const std::vector<int> one{p};
+      ensure_clv(ctx, u, req.edge, false, one, cmd);
+      ensure_clv(ctx, v, req.edge, false, one, cmd);
+      const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+      const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+      if (req.sites_out.size() != pd.patterns)
+        throw std::invalid_argument("site_loglikelihoods: output size " +
+                                    std::to_string(req.sites_out.size()) +
+                                    " != pattern count " +
+                                    std::to_string(pd.patterns));
+      cmd.do_sites = true;
+      cmd.eval_edge = req.edge;
+      cmd.sites_part = p;
+      cmd.sites_out = req.sites_out.data();
+      const auto& rates = dy.model.category_rates();
+      const double b = ctx.lengths_.get(req.edge, p);
+      cmd.sites_pmat = cmd.pmats.size();
+      for (int c = 0; c < pd.cats; ++c) {
+        dy.model.model().transition_matrix(
+            b * rates[static_cast<std::size_t>(c)], pm);
+        cmd.pmats.insert(cmd.pmats.end(), pm.data(),
+                         pm.data() + static_cast<std::size_t>(pd.states) *
+                                         static_cast<std::size_t>(pd.states));
+      }
+      cmd.sites_tt =
+          prepare_edge_tables(ctx, cmd, p, cmd.sites_pmat, req.edge, v);
+      break;
+    }
+
+    case EvalRequest::Kind::kPrepareRoot: {
+      const NodeId u = tree.edge(req.edge).a;
+      const NodeId v = tree.edge(req.edge).b;
+      ensure_clv(ctx, u, req.edge, true, req.partitions, cmd);
+      ensure_clv(ctx, v, req.edge, true, req.partitions, cmd);
+      break;
+    }
+
+    case EvalRequest::Kind::kSumtable: {
+      if (ctx.root_edge_ == kNoId)
+        throw std::logic_error("compute_sumtable: no root edge prepared");
+      const NodeId u = tree.edge(ctx.root_edge_).a;
+      const NodeId v = tree.edge(ctx.root_edge_).b;
+      ensure_clv(ctx, u, ctx.root_edge_, false, req.partitions, cmd);
+      ensure_clv(ctx, v, ctx.root_edge_, false, req.partitions, cmd);
+      cmd.do_sumtable = true;
+      cmd.sum_parts = req.partitions;
+      for (int p : req.partitions) {
+        const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+        const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+        if (!use_generic_) {
+          const std::size_t off = cmd.symt.size();
+          cmd.sum_symt.push_back(off);
+          cmd.symt.resize(off + static_cast<std::size_t>(pd.states) *
+                                    static_cast<std::size_t>(pd.states));
+          dispatch_states(pd.states, [&]<int S>() {
+            kernel::transpose_pmats<S>(dy.model.model().sym_transform().data(),
+                                       1, cmd.symt.data() + off);
+          });
+        } else {
+          cmd.sum_symt.push_back(0);
+        }
+        cmd.sum_ttu.push_back(
+            !use_generic_ && tree.is_tip(u) ? sym_table_for(ctx, p) : nullptr);
+        cmd.sum_ttv.push_back(
+            !use_generic_ && tree.is_tip(v) ? sym_table_for(ctx, p) : nullptr);
+      }
+      break;
+    }
+
+    case EvalRequest::Kind::kNrDerivatives: {
+      if (!ctx.sumtable_valid_)
+        throw std::logic_error("nr_derivatives: sumtable not computed");
+      if (req.lens.size() != req.partitions.size() ||
+          req.d1.size() != req.partitions.size() ||
+          req.d2.size() != req.partitions.size())
+        throw std::invalid_argument("nr_derivatives: size mismatch");
+      cmd.do_nr = true;
+      cmd.nr_parts = req.partitions;
+      for (std::size_t k = 0; k < req.partitions.size(); ++k) {
+        const int p = req.partitions[k];
+        const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+        const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+        const auto& rates = dy.model.category_rates();
+        const auto& lambda = dy.model.model().eigenvalues();
+        const double b = std::clamp(req.lens[k], kBranchMin, kBranchMax);
+        cmd.nr_exp.push_back(cmd.scratch.size());
+        for (int c = 0; c < pd.cats; ++c)
+          for (int s = 0; s < pd.states; ++s)
+            cmd.scratch.push_back(
+                std::exp(lambda[static_cast<std::size_t>(s)] *
+                         rates[static_cast<std::size_t>(c)] * b));
+        cmd.nr_lam.push_back(cmd.scratch.size());
+        for (int c = 0; c < pd.cats; ++c)
+          for (int s = 0; s < pd.states; ++s)
+            cmd.scratch.push_back(lambda[static_cast<std::size_t>(s)] *
+                                  rates[static_cast<std::size_t>(c)]);
+      }
+      break;
+    }
+  }
+}
+
+// --- execution ---------------------------------------------------------------
+
+void EngineCore::run_item(const Pending& item, int tid,
+                          const WorkSchedule& sched) {
+  EvalContext& ctx = *item.ctx;
+  const Command& cmd = item.cmd;
+  const int tips = ctx.tree_.tip_count();
+  const int T = team_->size();
+
+  // Span lookup for this command. Commands scoped to a single partition
+  // would run serially under the global cost-split strategies (a partition
+  // whose cost share is below 1/T belongs entirely to one thread), so they
+  // fall back to an even block split; `tmp` holds the synthesized span.
+  WorkSpan tmp;
+  const auto spans_of = [&](int p) -> std::span<const WorkSpan> {
+    if (p != item.solo_part) return sched.spans(tid, p);
+    tmp = block_span(p, parts_[static_cast<std::size_t>(p)]->patterns, tid, T);
+    if (tmp.begin >= tmp.end) return {};
+    return {&tmp, 1};
+  };
+
+  // 1. Traversal ops, in order (no intra-traversal barrier needed: pattern
+  //    i of a parent CLV depends only on pattern i of the child CLVs, and a
+  //    thread owns the same spans of a partition for every op of the batch).
+  for (const auto& op : cmd.ops) {
+    const std::size_t inner = static_cast<std::size_t>(op.node - tips);
+    for (std::size_t k = 0; k < op.parts.size(); ++k) {
+      const int p = op.parts[k];
+      const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+      EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+      kernel::ChildView v1 = child_view(ctx, p, op.c1);
+      kernel::ChildView v2 = child_view(ctx, p, op.c2);
+      if (!use_generic_) {
+        v1.tip_table = op.tt1[k];
+        v2.tip_table = op.tt2[k];
+      }
+      dispatch_states(pd.states, [&]<int S>() {
+        for (const WorkSpan& s : spans_of(p)) {
+          if (use_generic_) {
+            kernel::newview_slice<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
+                                     cmd.pmats.data() + op.pmat1[k],
+                                     cmd.pmats.data() + op.pmat2[k],
+                                     dy.clv[inner].data(),
+                                     dy.scale[inner].data());
+          } else {
+            kernel::newview_spec<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
+                                    cmd.pmats.data() + op.pmat1[k],
+                                    cmd.pmats.data() + op.pmat2[k],
+                                    cmd.pmats_t.data() + op.pmat1[k],
+                                    cmd.pmats_t.data() + op.pmat2[k],
+                                    dy.clv[inner].data(),
+                                    dy.scale[inner].data());
+          }
+        }
+      });
+    }
+  }
+
+  // 2. Optional fused evaluation at the root edge.
+  if (cmd.do_eval) {
+    const NodeId u = ctx.tree_.edge(cmd.eval_edge).a;
+    const NodeId v = ctx.tree_.edge(cmd.eval_edge).b;
+    for (std::size_t k = 0; k < cmd.eval_parts.size(); ++k) {
+      const int p = cmd.eval_parts[k];
+      const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+      const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+      const kernel::ChildView vu = child_view(ctx, p, u);
+      kernel::ChildView vv = child_view(ctx, p, v);
+      if (!use_generic_) vv.tip_table = cmd.eval_tt[k];
+      double partial = 0.0;
+      dispatch_states(pd.states, [&]<int S>() {
+        for (const WorkSpan& s : spans_of(p)) {
+          if (use_generic_) {
+            partial += kernel::evaluate_slice<S>(
+                s.begin, s.end, s.step, pd.cats, vu, vv,
+                cmd.pmats.data() + cmd.eval_pmat[k],
+                dy.model.model().freqs().data(), dy.weights.data());
+          } else {
+            partial += kernel::evaluate_spec<S>(
+                s.begin, s.end, s.step, pd.cats, vu, vv,
+                cmd.pmats.data() + cmd.eval_pmat[k],
+                cmd.pmats_t.data() + cmd.eval_pmat[k],
+                dy.model.model().freqs().data(), dy.weights.data());
+          }
+        }
+      });
+      // Threads without spans of p still publish their (zero) partial.
+      ctx.red_lnl_[static_cast<std::size_t>(tid) * ctx.red_stride_ +
+                   static_cast<std::size_t>(p)] = partial;
+    }
+  }
+
+  // 2b. Optional per-site evaluation for one partition.
+  if (cmd.do_sites) {
+    const NodeId u = ctx.tree_.edge(cmd.eval_edge).a;
+    const NodeId v = ctx.tree_.edge(cmd.eval_edge).b;
+    const int p = cmd.sites_part;
+    const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+    const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+    const kernel::ChildView vu = child_view(ctx, p, u);
+    kernel::ChildView vv = child_view(ctx, p, v);
+    if (!use_generic_) vv.tip_table = cmd.sites_tt;
+    dispatch_states(pd.states, [&]<int S>() {
+      for (const WorkSpan& s : spans_of(p)) {
+        if (use_generic_) {
+          kernel::evaluate_sites_slice<S>(
+              s.begin, s.end, s.step, pd.cats, vu, vv,
+              cmd.pmats.data() + cmd.sites_pmat,
+              dy.model.model().freqs().data(), cmd.sites_out);
+        } else {
+          kernel::evaluate_sites_spec<S>(
+              s.begin, s.end, s.step, pd.cats, vu, vv,
+              cmd.pmats.data() + cmd.sites_pmat,
+              cmd.pmats_t.data() + cmd.sites_pmat,
+              dy.model.model().freqs().data(), cmd.sites_out);
+        }
+      }
+    });
+  }
+
+  // 3. Optional sumtable pass.
+  if (cmd.do_sumtable) {
+    const NodeId u = ctx.tree_.edge(ctx.root_edge_).a;
+    const NodeId v = ctx.tree_.edge(ctx.root_edge_).b;
+    for (std::size_t k = 0; k < cmd.sum_parts.size(); ++k) {
+      const int p = cmd.sum_parts[k];
+      const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+      EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+      kernel::ChildView vu = child_view(ctx, p, u);
+      kernel::ChildView vv = child_view(ctx, p, v);
+      if (!use_generic_) {
+        vu.tip_table = cmd.sum_ttu[k];
+        vv.tip_table = cmd.sum_ttv[k];
+      }
+      dispatch_states(pd.states, [&]<int S>() {
+        for (const WorkSpan& s : spans_of(p)) {
+          if (use_generic_) {
+            kernel::sumtable_slice<S>(s.begin, s.end, s.step, pd.cats, vu, vv,
+                                      dy.model.model().sym_transform().data(),
+                                      dy.sumtable.data());
+          } else {
+            kernel::sumtable_spec<S>(s.begin, s.end, s.step, pd.cats, vu, vv,
+                                     dy.model.model().sym_transform().data(),
+                                     cmd.symt.data() + cmd.sum_symt[k],
+                                     dy.sumtable.data());
+          }
+        }
+      });
+    }
+  }
+
+  // 4. Optional NR derivative pass.
+  if (cmd.do_nr) {
+    for (std::size_t k = 0; k < cmd.nr_parts.size(); ++k) {
+      const int p = cmd.nr_parts[k];
+      const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+      const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+      double d1 = 0.0, d2 = 0.0;
+      dispatch_states(pd.states, [&]<int S>() {
+        for (const WorkSpan& s : spans_of(p)) {
+          double s1 = 0.0, s2 = 0.0;
+          if (use_generic_)
+            kernel::nr_slice<S>(s.begin, s.end, s.step, pd.cats,
+                                dy.sumtable.data(),
+                                cmd.scratch.data() + cmd.nr_exp[k],
+                                cmd.scratch.data() + cmd.nr_lam[k],
+                                dy.weights.data(), &s1, &s2);
+          else
+            kernel::nr_spec<S>(s.begin, s.end, s.step, pd.cats,
+                               dy.sumtable.data(),
+                               cmd.scratch.data() + cmd.nr_exp[k],
+                               cmd.scratch.data() + cmd.nr_lam[k],
+                               dy.weights.data(), &s1, &s2);
+          d1 += s1;
+          d2 += s2;
+        }
+      });
+      ctx.red_d1_[static_cast<std::size_t>(tid) * ctx.red_stride_ +
+                  static_cast<std::size_t>(p)] = d1;
+      ctx.red_d2_[static_cast<std::size_t>(tid) * ctx.red_stride_ +
+                  static_cast<std::size_t>(p)] = d2;
+    }
+  }
+}
+
+void EngineCore::execute_batch(std::span<Pending> items) {
+  // Items whose command carries no work (a prepare_root that found every
+  // CLV already oriented) cost no synchronization, exactly like the
+  // monolithic engine's prepare_root fast path.
+  std::vector<Pending*> live;
+  live.reserve(items.size());
+  for (Pending& item : items) {
+    if (item.ctx == nullptr) continue;  // context died before the flush
+    const Command& cmd = item.cmd;
+    if (!cmd.ops.empty() || cmd.do_eval || cmd.do_sites || cmd.do_sumtable ||
+        cmd.do_nr)
+      live.push_back(&item);
+  }
+  if (live.empty()) return;
+
+  ++stats_.commands;
+  for (const Pending* item : live) {
+    ++stats_.requests;
+    for (const auto& op : item->cmd.ops) stats_.newview_ops += op.parts.size();
+    if (item->cmd.do_eval) stats_.evaluations += item->cmd.eval_parts.size();
+    if (item->cmd.do_nr) stats_.nr_iterations += item->cmd.nr_parts.size();
+  }
+
+  // Resolve the cached work assignment on the master before broadcasting;
+  // inside the command every thread reads it concurrently (const access).
+  const WorkSchedule& sched = schedule();
+
+  // Single-partition fallback (see run_item): computed per item, since a
+  // batch mixes commands of different scope. Assignments may differ freely
+  // between items (each item touches only its own context's buffers); only
+  // ops *within* one item must share an assignment, which both paths honor.
+  for (Pending* itemp : live) {
+    Pending& item = *itemp;
+    item.solo_part = -1;
+    if (sched.strategy() != SchedulingStrategy::kCyclic &&
+        sched.strategy() != SchedulingStrategy::kBlock && team_->size() > 1) {
+      int solo = -1;
+      const auto fold = [&](int p) {
+        if (solo == -1 || solo == p) solo = p;
+        else solo = -2;  // more than one partition involved
+      };
+      const Command& cmd = item.cmd;
+      for (const auto& op : cmd.ops)
+        for (int p : op.parts) fold(p);
+      for (int p : cmd.eval_parts) fold(p);
+      for (int p : cmd.sum_parts) fold(p);
+      for (int p : cmd.nr_parts) fold(p);
+      if (cmd.do_sites) fold(cmd.sites_part);
+      item.solo_part = solo < 0 ? -1 : solo;
+    }
+  }
+
+  team_->run([&](int tid) {
+    for (const Pending* item : live) run_item(*item, tid, sched);
+  });
+
+  // Post-run bookkeeping: orientations and epochs for executed ops.
+  for (const Pending* itemp : live) {
+    EvalContext& ctx = *itemp->ctx;
+    const int tips = ctx.tree_.tip_count();
+    for (const auto& op : itemp->cmd.ops) {
+      ctx.orient_[static_cast<std::size_t>(op.node)] = op.toward;
+      const std::size_t inner = static_cast<std::size_t>(op.node - tips);
+      for (std::size_t k = 0; k < op.parts.size(); ++k)
+        ctx.clv_epoch_[inner][static_cast<std::size_t>(op.parts[k])] =
+            op.epochs[k];
+    }
+  }
+
+  ++flush_id_;
+  trim_tip_tables(live.size());
+}
+
+double EngineCore::finalize(Pending& item) {
+  if (item.ctx == nullptr) return 0.0;  // context died before the flush
+  EvalContext& ctx = *item.ctx;
+  const EvalRequest& req = item.req;
+  double result = 0.0;
+  switch (req.kind) {
+    case EvalRequest::Kind::kEvaluate: {
+      for (int p : req.partitions) {
+        double lnl = 0.0;
+        for (int t = 0; t < team_->size(); ++t)
+          lnl += ctx.red_lnl_[static_cast<std::size_t>(t) * ctx.red_stride_ +
+                              static_cast<std::size_t>(p)];
+        ctx.last_lnl_[static_cast<std::size_t>(p)] = lnl;
+        result += lnl;
+      }
+      ctx.root_edge_ = req.edge;
+      ctx.sumtable_valid_ = false;
+      break;
+    }
+    case EvalRequest::Kind::kSiteLnl:
+    case EvalRequest::Kind::kPrepareRoot:
+      ctx.root_edge_ = req.edge;
+      ctx.sumtable_valid_ = false;
+      break;
+    case EvalRequest::Kind::kSumtable:
+      ctx.sumtable_valid_ = true;
+      break;
+    case EvalRequest::Kind::kNrDerivatives: {
+      for (std::size_t k = 0; k < req.partitions.size(); ++k) {
+        const int p = req.partitions[k];
+        double s1 = 0.0, s2 = 0.0;
+        for (int t = 0; t < team_->size(); ++t) {
+          s1 += ctx.red_d1_[static_cast<std::size_t>(t) * ctx.red_stride_ +
+                            static_cast<std::size_t>(p)];
+          s2 += ctx.red_d2_[static_cast<std::size_t>(t) * ctx.red_stride_ +
+                            static_cast<std::size_t>(p)];
+        }
+        req.d1[k] = s1;
+        req.d2[k] = s2;
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Expand the factories' "all partitions" marker in place. An explicitly
+/// empty partition list stays empty (a degenerate but valid command, same
+/// as the pre-split engine's).
+void normalize_scope(EvalRequest& req, int partition_count) {
+  if (!req.all_partitions) return;
+  req.all_partitions = false;
+  req.partitions.resize(static_cast<std::size_t>(partition_count));
+  for (int p = 0; p < partition_count; ++p)
+    req.partitions[static_cast<std::size_t>(p)] = p;
+}
+
+}  // namespace
+
+std::size_t EngineCore::submit(EvalContext& ctx, EvalRequest req) {
+  if (&ctx.core() != this)
+    throw std::invalid_argument("submit: context belongs to another core");
+  check_not_pending(ctx);
+  normalize_scope(req, partition_count());
+  Pending item;
+  item.ctx = &ctx;
+  item.req = std::move(req);
+  build_request(ctx, item.req, item.cmd);
+  pending_.push_back(std::move(item));
+  return pending_.size() - 1;
+}
+
+std::vector<double> EngineCore::wait() {
+  std::vector<Pending> batch = std::move(pending_);
+  pending_.clear();
+  std::vector<double> results(batch.size(), 0.0);
+  if (batch.empty()) return results;
+  execute_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    results[i] = finalize(batch[i]);
+  return results;
+}
+
+std::vector<double> EngineCore::evaluate_batch(
+    std::span<EvalContext* const> ctxs, std::span<const EdgeId> edges) {
+  if (ctxs.size() != edges.size())
+    throw std::invalid_argument("evaluate_batch: size mismatch");
+  for (std::size_t i = 0; i < ctxs.size(); ++i)
+    submit(*ctxs[i], EvalRequest::evaluate(edges[i]));
+  return wait();
+}
+
+double EngineCore::run_now(EvalContext& ctx, EvalRequest req) {
+  // Executing a one-off command would advance flush_id_ and trim the
+  // tip-table LRUs, invalidating table pointers cached inside still-queued
+  // commands — so direct context calls are refused while ANY batch is
+  // open, not just one involving this context.
+  if (!pending_.empty())
+    throw std::logic_error(
+        "EngineCore has pending batched requests; wait() before driving a "
+        "context directly");
+  normalize_scope(req, partition_count());
+  Pending item;
+  item.ctx = &ctx;
+  item.req = std::move(req);
+  build_request(ctx, item.req, item.cmd);
+  execute_batch({&item, 1});
+  return finalize(item);
+}
+
+// ---------------------------------------------------------------------------
+// EvalContext
+// ---------------------------------------------------------------------------
+
+EvalContext::EvalContext(EngineCore& core, Tree tree)
+    : EvalContext(core, std::move(tree), [&] {
+        std::vector<PartitionModel> models;
+        models.reserve(static_cast<std::size_t>(core.partition_count()));
+        for (int p = 0; p < core.partition_count(); ++p)
+          models.push_back(core.prototype_model(p));
+        return models;
+      }()) {}
+
+EvalContext::EvalContext(EngineCore& core, Tree tree,
+                         std::vector<PartitionModel> models)
+    : core_(&core),
+      tree_(std::move(tree)),
+      lengths_(BranchLengths::from_tree(tree_, core.partition_count(),
+                                        core.linked_branch_lengths())) {
+  const CompressedAlignment& aln = core.alignment();
+  if (static_cast<std::size_t>(tree_.tip_count()) != aln.taxon_count())
+    throw std::invalid_argument("tree/alignment taxon count mismatch");
+  if (models.size() != static_cast<std::size_t>(core.partition_count()))
+    throw std::invalid_argument("need one model per partition");
+  for (int p = 0; p < core.partition_count(); ++p) {
+    const PartitionModel& proto = core.prototype_model(p);
+    const PartitionModel& m = models[static_cast<std::size_t>(p)];
+    if (m.model().states() != proto.model().states() ||
+        m.gamma_categories() != proto.gamma_categories())
+      throw std::invalid_argument(
+          "context model shape mismatch in partition " + std::to_string(p));
+  }
+
+  // Map tree tips to alignment taxa by name (and back: the core's tip
+  // encodings are stored per taxon).
+  tip_of_taxon_.assign(aln.taxon_count(), kNoId);
+  taxon_of_tip_.assign(static_cast<std::size_t>(tree_.tip_count()), 0);
+  std::unordered_map<std::string, NodeId> tip_by_label;
+  for (NodeId t = 0; t < tree_.tip_count(); ++t)
+    tip_by_label[tree_.label(t)] = t;
+  if (tip_by_label.size() != aln.taxon_count())
+    throw std::invalid_argument("duplicate tree tip labels");
+  for (std::size_t x = 0; x < aln.taxon_count(); ++x) {
+    auto it = tip_by_label.find(aln.taxon_names[x]);
+    if (it == tip_by_label.end())
+      throw std::invalid_argument("taxon '" + aln.taxon_names[x] +
+                                  "' missing from tree");
+    tip_of_taxon_[x] = it->second;
+    taxon_of_tip_[static_cast<std::size_t>(it->second)] = x;
+  }
+
+  // Allocate CLVs, scale counts, and tracking structures.
+  const int inner_count = tree_.node_count() - tree_.tip_count();
+  for (int p = 0; p < core.partition_count(); ++p) {
+    auto dy = std::make_unique<PartDyn>(std::move(models[static_cast<std::size_t>(p)]));
+    const std::size_t patterns = core.pattern_count(p);
+    const std::size_t stride =
+        core.parts_[static_cast<std::size_t>(p)]->clv_stride();
+    dy->weights = core.parts_[static_cast<std::size_t>(p)]->base_weights;
+    dy->clv.resize(static_cast<std::size_t>(inner_count));
+    dy->scale.resize(static_cast<std::size_t>(inner_count));
+    for (int i = 0; i < inner_count; ++i) {
+      dy->clv[static_cast<std::size_t>(i)].assign(patterns * stride, 0.0);
+      dy->scale[static_cast<std::size_t>(i)].assign(patterns, 0);
+    }
+    dy->sumtable.assign(patterns * stride, 0.0);
+    dyn_.push_back(std::move(dy));
+  }
+  orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
+  model_epoch_.resize(dyn_.size());
+  for (auto& e : model_epoch_) e = core.next_epoch();
+  clv_epoch_.assign(static_cast<std::size_t>(inner_count),
+                    std::vector<std::uint64_t>(dyn_.size(), 0));
+  last_lnl_.assign(dyn_.size(), 0.0);
+
+  red_stride_ = (dyn_.size() + 7) / 8 * 8;
+  const std::size_t red_size =
+      static_cast<std::size_t>(core.threads()) * red_stride_;
+  red_lnl_.assign(red_size, 0.0);
+  red_d1_.assign(red_size, 0.0);
+  red_d2_.assign(red_size, 0.0);
+}
+
+EvalContext::~EvalContext() {
+  // A pending request must not outlive its context (possible when an
+  // exception unwinds a scope that submitted but never reached wait()):
+  // dead items keep their ticket slot so wait()'s result indexing holds,
+  // but are skipped by execution and finalization.
+  for (auto& item : core_->pending_)
+    if (item.ctx == this) item.ctx = nullptr;
+  core_->release_context_tables();
+}
+
+const PartitionModel& EvalContext::model(int p) const {
+  return dyn_[static_cast<std::size_t>(p)]->model;
+}
+
+PartitionModel& EvalContext::model(int p) {
+  return dyn_[static_cast<std::size_t>(p)]->model;
+}
+
+std::span<const double> EvalContext::pattern_weights(int p) const {
+  return dyn_[static_cast<std::size_t>(p)]->weights;
+}
+
+void EvalContext::set_pattern_weights(int p, std::span<const double> weights) {
+  PartDyn& dy = *dyn_[static_cast<std::size_t>(p)];
+  if (weights.size() != dy.weights.size())
+    throw std::invalid_argument("set_pattern_weights: size mismatch");
+  core_->check_not_pending(*this);
+  dy.weights.assign(weights.begin(), weights.end());
+}
+
+void EvalContext::invalidate_partition(int p) {
+  model_epoch_[static_cast<std::size_t>(p)] = core_->next_epoch();
+  sumtable_valid_ = false;
+}
+
+void EvalContext::invalidate_node(NodeId v) {
+  if (!tree_.is_tip(v)) orient_[static_cast<std::size_t>(v)] = kNoId;
+  sumtable_valid_ = false;
+}
+
+void EvalContext::invalidate_all() {
+  std::fill(orient_.begin(), orient_.end(), kNoId);
+  sumtable_valid_ = false;
+}
+
+double EvalContext::loglikelihood(EdgeId edge) {
+  return core_->run_now(*this, EvalRequest::evaluate(edge));
+}
+
+double EvalContext::loglikelihood(EdgeId edge,
+                                  const std::vector<int>& partitions) {
+  return core_->run_now(*this, EvalRequest::evaluate(edge, partitions));
+}
+
+std::vector<double> EvalContext::site_loglikelihoods(EdgeId edge, int p) {
+  std::vector<double> out(core_->pattern_count(p));
+  site_loglikelihoods(edge, p, out);
+  return out;
+}
+
+void EvalContext::site_loglikelihoods(EdgeId edge, int p,
+                                      std::span<double> out) {
+  core_->run_now(*this, EvalRequest::site_lnl(edge, p, out));
+}
+
+void EvalContext::prepare_root(EdgeId edge) {
+  core_->run_now(*this, EvalRequest::prepare_root(edge));
+}
+
+void EvalContext::compute_sumtable(const std::vector<int>& partitions) {
+  core_->run_now(*this, EvalRequest::sumtable(partitions));
+}
+
+void EvalContext::nr_derivatives(const std::vector<int>& partitions,
+                                 std::span<const double> lens,
+                                 std::span<double> d1, std::span<double> d2) {
+  core_->run_now(*this,
+                 EvalRequest::nr_derivatives(partitions, lens, d1, d2));
+}
+
+void EvalContext::sync_tree_lengths() {
+  for (EdgeId e = 0; e < tree_.edge_count(); ++e)
+    tree_.set_length(e, lengths_.mean(e));
+}
+
+void EvalContext::copy_state_from(const EvalContext& other) {
+  if (other.core_ != core_)
+    throw std::invalid_argument("copy_state_from: contexts share no core");
+  if (&other == this) return;
+  core_->check_not_pending(*this);
+  core_->check_not_pending(other);
+  tree_ = other.tree_;
+  lengths_ = other.lengths_;
+  // The tip-id -> taxon mapping belongs to the tree: contexts over the
+  // same core share the taxon set, but not necessarily the tip ordering.
+  tip_of_taxon_ = other.tip_of_taxon_;
+  taxon_of_tip_ = other.taxon_of_tip_;
+  for (std::size_t p = 0; p < dyn_.size(); ++p) {
+    dyn_[p]->model = other.dyn_[p]->model;
+    dyn_[p]->weights = other.dyn_[p]->weights;
+    invalidate_partition(static_cast<int>(p));
+  }
+  invalidate_all();
+  root_edge_ = kNoId;
+}
+
+}  // namespace plk

@@ -1,0 +1,414 @@
+// Shared likelihood-engine core and per-tree evaluation contexts.
+//
+// The former monolithic Engine is split in two:
+//
+//   * EngineCore  — everything replicate-independent and shareable across
+//     trees: the compressed tip encodings (stored per *taxon*, so any tree
+//     over the alignment's taxa can use them), per-partition model
+//     prototypes, the tip-lookup-table LRUs, the persistent ThreadTeam, and
+//     the cached WorkSchedule. One core serves any number of trees.
+//   * EvalContext — everything tree-specific: the tree, per-partition CLVs
+//     and scale counts, CLV orientation + epoch state, branch lengths, the
+//     NR sumtable, per-thread reduction rows, and per-context copies of the
+//     models and pattern weights (so bootstrap replicates and multi-start
+//     searches can diverge without touching the core).
+//
+// Contexts are cheap relative to a full Engine: no tip re-encoding, no
+// thread spawn, no schedule rebuild. Model-parameter epochs are allocated
+// from a core-global counter, so the shared tip-table LRUs can never serve
+// a table built for one context's model state to another context.
+//
+// Besides the classic per-context calls (EvalContext::loglikelihood() etc.,
+// one parallel region each), the core offers a *batched* front door:
+// submit() queues requests from several contexts and wait() executes the
+// whole queue in a SINGLE parallel region — one synchronization event for
+// the batch instead of one per tree. Replicate-heavy workflows (bootstrap,
+// multi-start search, topology comparison) use this to fill the load-
+// imbalance gaps a single tree's command leaves at every sync point.
+//
+// Threading contract: all public methods of EngineCore and EvalContext are
+// master-thread only (command assembly and execution are orchestrated by
+// the thread that owns the core, exactly as in the paper's Pthreads
+// design); parallelism happens inside wait()/the *_now calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bio/patterns.hpp"
+#include "core/branch_lengths.hpp"
+#include "core/kernels.hpp"
+#include "core/partition_model.hpp"
+#include "parallel/schedule.hpp"
+#include "parallel/thread_team.hpp"
+#include "tree/tree.hpp"
+#include "util/aligned.hpp"
+
+namespace plk {
+
+class EvalContext;
+
+/// Engine-core construction options.
+struct EngineOptions {
+  /// Total threads (including the orchestrating master). 1 = sequential.
+  int threads = 1;
+  /// Per-partition branch lengths (unlinked) vs one joint set (linked).
+  bool unlinked_branch_lengths = false;
+  /// Collect per-thread timing instrumentation in the team.
+  bool instrument = true;
+  /// Run the generic scalar reference kernels instead of the specialized
+  /// SIMD + tip-table paths (A/B testing and golden-value verification).
+  bool use_generic_kernels = false;
+  /// How pattern work is assigned to threads (parallel/schedule.hpp).
+  /// kCyclic reproduces the historical hard-coded split bit-for-bit.
+  SchedulingStrategy schedule = SchedulingStrategy::kCyclic;
+  /// Measure per-thread CPU time instead of wall time (see ThreadTeam).
+  bool instrument_cpu_time = false;
+};
+
+/// Entries per edge in the tip-table LRU cache: enough for a root-edge
+/// Newton-Raphson sweep that alternates between a handful of candidate
+/// branch lengths without rebuilding the table each time. A batch flush may
+/// temporarily exceed this (entries referenced by queued commands are
+/// pinned); the cache is trimmed back after the flush.
+inline constexpr int kTipTableLruSize = 4;
+
+/// Aggregate engine counters for the ablation benchmarks.
+struct EngineStats {
+  std::uint64_t commands = 0;   ///< parallel regions (== syncs)
+  std::uint64_t requests = 0;   ///< logical requests (>= commands: batching)
+  std::uint64_t newview_ops = 0;     ///< node-partition CLV recomputations
+  std::uint64_t evaluations = 0;     ///< likelihood reductions
+  std::uint64_t nr_iterations = 0;   ///< NR derivative reductions
+  std::uint64_t tip_table_rebuilds = 0;  ///< tip lookup table (re)builds
+  std::uint64_t tip_table_hits = 0;      ///< tip table LRU cache hits
+};
+
+/// One queued unit of work for the batched API. Span members reference
+/// caller storage that must stay alive until the wait() that flushes the
+/// request returns.
+struct EvalRequest {
+  enum class Kind {
+    kEvaluate,     ///< traverse + evaluate at `edge`; result = lnL
+    kSiteLnl,      ///< per-pattern lnL of `site_partition` at `edge`
+    kPrepareRoot,  ///< orient all CLVs toward `edge`
+    kSumtable,     ///< NR sumtable at the context's current root
+    kNrDerivatives ///< d1/d2 at candidate lengths `lens` (needs sumtable)
+  };
+
+  Kind kind = Kind::kEvaluate;
+  EdgeId edge = kNoId;          ///< evaluate / site-lnl / prepare-root
+  /// Partition scope (evaluate / sumtable / NR). An explicitly empty list
+  /// means "no partitions" (a degenerate but valid command, matching the
+  /// pre-split engine); use the factory overloads without a partition
+  /// argument — which set `all_partitions` — to mean "every partition".
+  std::vector<int> partitions;
+  bool all_partitions = false;
+  int site_partition = 0;
+  std::span<const double> lens;  ///< NR: one candidate length per partition
+  std::span<double> d1, d2;      ///< NR outputs (one per partition)
+  std::span<double> sites_out;   ///< site-lnl output (pattern_count(p))
+
+  static EvalRequest evaluate(EdgeId e) {
+    EvalRequest r;
+    r.kind = Kind::kEvaluate;
+    r.edge = e;
+    r.all_partitions = true;
+    return r;
+  }
+  static EvalRequest evaluate(EdgeId e, std::vector<int> parts) {
+    EvalRequest r;
+    r.kind = Kind::kEvaluate;
+    r.edge = e;
+    r.partitions = std::move(parts);
+    return r;
+  }
+  static EvalRequest prepare_root(EdgeId e) {
+    EvalRequest r;
+    r.kind = Kind::kPrepareRoot;
+    r.edge = e;
+    return r;
+  }
+  static EvalRequest sumtable() {
+    EvalRequest r;
+    r.kind = Kind::kSumtable;
+    r.all_partitions = true;
+    return r;
+  }
+  static EvalRequest sumtable(std::vector<int> parts) {
+    EvalRequest r;
+    r.kind = Kind::kSumtable;
+    r.partitions = std::move(parts);
+    return r;
+  }
+  static EvalRequest nr_derivatives(std::vector<int> parts,
+                                    std::span<const double> lens,
+                                    std::span<double> d1,
+                                    std::span<double> d2) {
+    EvalRequest r;
+    r.kind = Kind::kNrDerivatives;
+    r.partitions = std::move(parts);
+    r.lens = lens;
+    r.d1 = d1;
+    r.d2 = d2;
+    return r;
+  }
+  static EvalRequest site_lnl(EdgeId e, int p, std::span<double> out) {
+    EvalRequest r;
+    r.kind = Kind::kSiteLnl;
+    r.edge = e;
+    r.site_partition = p;
+    r.sites_out = out;
+    return r;
+  }
+};
+
+/// The shared, tree-independent half of the engine. Not copyable; owns the
+/// thread team and the large immutable tip-encoding buffers.
+class EngineCore {
+ public:
+  /// `aln` must outlive the core. One model prototype per partition;
+  /// contexts copy them (and may diverge afterwards).
+  EngineCore(const CompressedAlignment& aln,
+             std::vector<PartitionModel> models, EngineOptions opts = {});
+  ~EngineCore();
+
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  // --- structure accessors -------------------------------------------------
+
+  const CompressedAlignment& alignment() const { return aln_; }
+  int partition_count() const { return static_cast<int>(parts_.size()); }
+  int threads() const { return team_->size(); }
+  std::size_t pattern_count(int p) const;
+  std::size_t total_patterns() const;
+  bool linked_branch_lengths() const { return !unlinked_; }
+  bool use_generic_kernels() const { return use_generic_; }
+  /// The model prototype contexts start from (read-only; per-context models
+  /// are mutable through EvalContext::model()).
+  const PartitionModel& prototype_model(int p) const;
+
+  // --- batched evaluation --------------------------------------------------
+
+  /// Queue `req` for `ctx`; returns the request's ticket (its index into
+  /// the vector wait() returns). At most one pending request per context
+  /// (requests against one tree are inherently ordered); a second submit
+  /// for the same context throws std::logic_error. While ANY request is
+  /// pending, driving a context directly (loglikelihood() etc.) also
+  /// throws: a one-off command would invalidate the tip tables the queued
+  /// commands reference.
+  std::size_t submit(EvalContext& ctx, EvalRequest req);
+
+  /// Execute every queued request in ONE parallel region and return one
+  /// result per ticket (the lnL for kEvaluate, 0.0 for the others; NR and
+  /// site-lnl outputs are written to the spans in their requests).
+  std::vector<double> wait();
+
+  /// Convenience: evaluate ctxs[i] at edges[i] for all i in one parallel
+  /// region; returns the per-context log-likelihoods.
+  std::vector<double> evaluate_batch(std::span<EvalContext* const> ctxs,
+                                     std::span<const EdgeId> edges);
+
+  bool has_pending() const { return !pending_.empty(); }
+
+  // --- work scheduling -----------------------------------------------------
+
+  /// The per-thread work assignment used by every command (shared by all
+  /// contexts: it depends only on partition shapes, which the core fixes).
+  const WorkSchedule& schedule();
+
+  SchedulingStrategy scheduling_strategy() const { return sched_strategy_; }
+  /// Switch strategies between commands (master thread only).
+  void set_scheduling_strategy(SchedulingStrategy s);
+
+  /// Re-weight the kMeasured cost model from observed timings, evaluating
+  /// through `ctx` (see Engine::calibrate_schedule). No-op when the team is
+  /// not instrumented.
+  void calibrate_schedule(EvalContext& ctx, EdgeId edge, int reps = 2);
+
+  // --- instrumentation -----------------------------------------------------
+
+  const EngineStats& stats() const { return stats_; }
+  const TeamStats& team_stats() const { return team_->stats(); }
+  void reset_stats();
+
+ private:
+  friend class EvalContext;
+
+  struct PartStatic;
+  struct Command;
+  struct Pending;
+
+  void build_tip_data();
+
+  // Command assembly (master thread; records ops against ctx's current
+  // orientation/epoch state, which only execution updates).
+  void ensure_clv(EvalContext& ctx, NodeId v, EdgeId via, bool need_all,
+                  const std::vector<int>& scope, Command& cmd);
+  void add_newview_op(EvalContext& ctx, NodeId v, EdgeId via,
+                      const std::vector<int>& parts, Command& cmd);
+  void build_request(EvalContext& ctx, const EvalRequest& req, Command& cmd);
+
+  /// Execute the assembled commands of `items` in one parallel region,
+  /// then update each context's orientation/epoch bookkeeping.
+  void execute_batch(std::span<Pending> items);
+  /// Reduce results and apply the request's context state transition.
+  double finalize(Pending& item);
+  /// Assemble + execute + finalize one request immediately (the classic
+  /// one-command path used by EvalContext's methods).
+  double run_now(EvalContext& ctx, EvalRequest req);
+
+  void run_item(const Pending& item, int tid, const WorkSchedule& sched);
+  kernel::ChildView child_view(const EvalContext& ctx, int p, NodeId v) const;
+
+  /// Cached tip lookup table for edge `e` of `ctx`'s tree in partition `p`,
+  /// keyed on (model epoch, branch length). Epochs are core-globally unique,
+  /// so contexts never collide in the shared LRU; entries referenced by the
+  /// current batch are pinned against eviction until the flush completes.
+  const double* tip_table_for(EvalContext& ctx, int p, EdgeId e,
+                              const double* pmat);
+  const double* prepare_edge_tables(EvalContext& ctx, Command& cmd, int p,
+                                    std::size_t off, EdgeId e,
+                                    NodeId endpoint);
+  /// Per-context sym x indicator table ([code][state]), keyed on the model
+  /// epoch alone (branch-length independent).
+  const double* sym_table_for(EvalContext& ctx, int p);
+  void trim_tip_tables(std::size_t batch_width);
+  /// Shrink every tip-table LRU to steady-state capacity; called when a
+  /// context dies (its core-unique epochs can never hit again, so tables
+  /// retained for batch width would be dead weight).
+  void release_context_tables();
+
+  std::uint64_t next_epoch() { return ++epoch_counter_; }
+  void check_not_pending(const EvalContext& ctx) const;
+
+  const CompressedAlignment& aln_;
+  std::vector<std::unique_ptr<PartStatic>> parts_;
+  std::unique_ptr<ThreadTeam> team_;
+
+  bool unlinked_ = false;
+  bool use_generic_ = false;
+
+  // Work-assignment cache (see schedule()).
+  SchedulingStrategy sched_strategy_ = SchedulingStrategy::kCyclic;
+  WorkSchedule sched_;
+  bool sched_dirty_ = true;
+  std::vector<double> measured_cost_;  // per partition, sec/pattern
+
+  std::uint64_t epoch_counter_ = 0;  // model-state epochs, core-global
+  std::uint64_t tip_clock_ = 0;      // LRU recency counter
+  std::uint64_t flush_id_ = 1;       // pins LRU entries of the open batch
+  std::vector<std::pair<int, EdgeId>> lru_overflow_;  // to trim post-flush
+
+  std::vector<Pending> pending_;
+
+  EngineStats stats_;
+};
+
+/// The per-tree half of the engine: one evaluation state over a shared
+/// core. Not copyable; owns the CLV buffers for its tree.
+class EvalContext {
+ public:
+  /// `core` must outlive the context. The tree's tip labels must match the
+  /// core alignment's taxon names (any order). Models default to copies of
+  /// the core's prototypes; custom models must match the prototypes' state
+  /// and category counts. Pattern weights start as the alignment's and can
+  /// be replaced per context (bootstrap replicates).
+  EvalContext(EngineCore& core, Tree tree);
+  EvalContext(EngineCore& core, Tree tree, std::vector<PartitionModel> models);
+  ~EvalContext();
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  // --- structure accessors -------------------------------------------------
+
+  EngineCore& core() { return *core_; }
+  const EngineCore& core() const { return *core_; }
+
+  const Tree& tree() const { return tree_; }
+  Tree& tree() { return tree_; }
+  int partition_count() const { return core_->partition_count(); }
+
+  const PartitionModel& model(int p) const;
+  /// Mutable model access; call invalidate_partition(p) after changing it.
+  PartitionModel& model(int p);
+
+  BranchLengths& branch_lengths() { return lengths_; }
+  const BranchLengths& branch_lengths() const { return lengths_; }
+
+  std::span<const double> pattern_weights(int p) const;
+  /// Replace partition `p`'s pattern weights (size must match the pattern
+  /// count). Weights enter only at reduction time, so no CLV is
+  /// invalidated; previously returned likelihoods are simply stale.
+  void set_pattern_weights(int p, std::span<const double> weights);
+
+  // --- invalidation --------------------------------------------------------
+
+  /// Mark all CLVs of partition `p` stale (after a model parameter change).
+  void invalidate_partition(int p);
+  /// Drop the orientation of node `v` (after topology surgery around it).
+  void invalidate_node(NodeId v);
+  /// Drop all orientations (full traversal on next evaluation).
+  void invalidate_all();
+
+  // --- likelihood (one parallel region per call; see EngineCore::submit
+  // --- for the batched alternative) ---------------------------------------
+
+  double loglikelihood(EdgeId edge);
+  double loglikelihood(EdgeId edge, const std::vector<int>& partitions);
+  std::span<const double> per_partition_lnl() const { return last_lnl_; }
+
+  std::vector<double> site_loglikelihoods(EdgeId edge, int p);
+  /// Allocation-free overload: writes into `out` (size pattern_count(p)).
+  void site_loglikelihoods(EdgeId edge, int p, std::span<double> out);
+
+  /// The edge the CLVs currently point toward (kNoId before first use).
+  EdgeId root_edge() const { return root_edge_; }
+
+  void prepare_root(EdgeId edge);
+  void compute_sumtable(const std::vector<int>& partitions);
+  void nr_derivatives(const std::vector<int>& partitions,
+                      std::span<const double> lens, std::span<double> d1,
+                      std::span<double> d2);
+
+  // --- state management ----------------------------------------------------
+
+  /// Write mean branch lengths back into the tree (for Newick export).
+  void sync_tree_lengths();
+
+  /// Adopt `other`'s tree, branch lengths, and models (both contexts must
+  /// share this context's core). Invalidates everything; used to carry the
+  /// winner of a multi-start search back into the primary context.
+  void copy_state_from(const EvalContext& other);
+
+ private:
+  friend class EngineCore;
+
+  struct PartDyn;
+
+  EngineCore* core_;
+  Tree tree_;
+  std::vector<std::unique_ptr<PartDyn>> dyn_;
+  BranchLengths lengths_;
+
+  std::vector<EdgeId> orient_;                 // per node; kNoId = invalid
+  std::vector<std::uint64_t> model_epoch_;     // per partition (core-unique)
+  std::vector<std::vector<std::uint64_t>> clv_epoch_;  // [inner][partition]
+  std::vector<NodeId> tip_of_taxon_;           // alignment taxon -> tree tip
+  std::vector<std::size_t> taxon_of_tip_;      // tree tip -> alignment taxon
+
+  EdgeId root_edge_ = kNoId;
+  bool sumtable_valid_ = false;
+  std::vector<double> last_lnl_;               // per partition
+
+  // Per-thread reduction buffers (lnl / d1 / d2). Rows are one cache-line
+  // aligned and stride-padded so two threads never write the same line.
+  AlignedDoubleVec red_lnl_, red_d1_, red_d2_;
+  std::size_t red_stride_ = 0;
+};
+
+}  // namespace plk

@@ -101,19 +101,12 @@ void build_weighted(int T, const std::vector<PartitionShape>& shapes,
   }
 }
 
-/// Longest-processing-time greedy bin packing over partition chunks: each
-/// partition is cut into chunks of roughly total/(4T) modeled cost, chunks
-/// are assigned largest-first to the least-loaded thread, and each thread's
-/// adjacent chunks of one partition are merged back into single spans.
-void build_lpt(int T, const std::vector<PartitionShape>& shapes,
-               SpanGrid& grid) {
-  double total = 0.0;
-  for (const auto& sh : shapes) total += sh.total_cost();
-  if (total <= 0.0) {
-    build_block(T, shapes, grid);
-    return;
-  }
-  const double target = total / (4.0 * static_cast<double>(T));
+/// One LPT packing attempt at a given chunk-cost target. Returns the
+/// resulting modeled imbalance (T * max_load / total - 1); fills `grid`.
+double lpt_pack(int T, const std::vector<PartitionShape>& shapes,
+                double total, double target, SpanGrid& grid) {
+  for (auto& per_thread : grid)
+    for (auto& spans : per_thread) spans.clear();
 
   struct Chunk {
     int part;
@@ -166,6 +159,47 @@ void build_lpt(int T, const std::vector<PartitionShape>& shapes,
       }
       spans = std::move(merged);
     }
+
+  double mx = 0.0;
+  for (double l : load) mx = std::max(mx, l);
+  return static_cast<double>(T) * mx / total - 1.0;
+}
+
+/// Longest-processing-time greedy bin packing over partition chunks, with
+/// an ADAPTIVE chunk-cost target: packing is attempted at total/(4T) — the
+/// historical fixed target — and the target is halved until the packing's
+/// modeled imbalance drops below kLptImbalanceGoal (or the chunks become
+/// too fine to be worth the span-lookup overhead). The LPT makespan bound
+/// is opt + max_chunk_cost, so the achievable imbalance is governed by the
+/// chunk size relative to the observed command-length distribution — under
+/// kMeasured shapes this adapts to real timings, not the static model.
+void build_lpt(int T, const std::vector<PartitionShape>& shapes,
+               SpanGrid& grid) {
+  double total = 0.0;
+  for (const auto& sh : shapes) total += sh.total_cost();
+  if (total <= 0.0) {
+    build_block(T, shapes, grid);
+    return;
+  }
+  constexpr double kLptImbalanceGoal = 0.01;
+  // Finest useful chunk: never below total/(64T) — beyond that the
+  // spans-per-thread bookkeeping costs more than the imbalance it removes.
+  const double floor_target = total / (64.0 * static_cast<double>(T));
+  double target = total / (4.0 * static_cast<double>(T));
+  double best = lpt_pack(T, shapes, total, target, grid);
+  // Discrete packings are not monotone in the target, so walk the whole
+  // halving ladder and keep the best packing seen, stopping early once the
+  // goal is met.
+  SpanGrid trial(grid.size(),
+                 std::vector<std::vector<WorkSpan>>(shapes.size()));
+  while (best > kLptImbalanceGoal && target > floor_target) {
+    target = std::max(floor_target, target * 0.5);
+    const double imbalance = lpt_pack(T, shapes, total, target, trial);
+    if (imbalance < best) {
+      best = imbalance;
+      grid.swap(trial);
+    }
+  }
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "core/branch_lengths.hpp"
 #include "core/branch_opt.hpp"
 #include "core/engine.hpp"
+#include "core/engine_core.hpp"
 #include "core/model_opt.hpp"
 #include "core/partition_model.hpp"
 #include "core/strategy.hpp"

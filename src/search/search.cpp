@@ -157,4 +157,29 @@ SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
   return res;
 }
 
+MultiStartResult search_ml_multistart(EngineCore& core,
+                                      std::span<EvalContext* const> ctxs,
+                                      const SearchOptions& opts) {
+  MultiStartResult ms;
+  if (ctxs.empty()) return ms;
+
+  // Score every starting tree in one batched parallel region (and leave
+  // each context's CLVs fully oriented for its search's first commands).
+  std::vector<EdgeId> roots(ctxs.size(), 0);
+  const auto start_lnls = core.evaluate_batch(ctxs, roots);
+  for (std::size_t c = 0; c < ctxs.size(); ++c)
+    log_info("start " + std::to_string(c) +
+             ": lnL = " + std::to_string(start_lnls[c]));
+
+  for (std::size_t c = 0; c < ctxs.size(); ++c) {
+    Engine view(core, *ctxs[c]);
+    ms.results.push_back(search_ml(view, opts));
+    if (ms.best < 0 ||
+        ms.results[static_cast<std::size_t>(c)].final_lnl >
+            ms.results[static_cast<std::size_t>(ms.best)].final_lnl)
+      ms.best = static_cast<int>(c);
+  }
+  return ms;
+}
+
 }  // namespace plk

@@ -48,4 +48,22 @@ struct SearchResult {
 /// parameters are left at the best configuration found.
 SearchResult search_ml(Engine& engine, const SearchOptions& opts = {});
 
+/// Outcome of a multi-start search: one SearchResult per starting context,
+/// and the index of the best final likelihood.
+struct MultiStartResult {
+  std::vector<SearchResult> results;
+  int best = -1;
+};
+
+/// Multi-start ML search over several contexts of one shared core (each
+/// context holds its own starting tree and model copies). The starting
+/// trees are first scored in ONE batched parallel region through the
+/// core's submit()/wait() API; each context then runs its own full search
+/// through an Engine facade view, sharing the core's tip data, tip-table
+/// LRUs, thread team, and schedule — no per-start engine rebuild. Every
+/// context is left at its search's best configuration.
+MultiStartResult search_ml_multistart(EngineCore& core,
+                                      std::span<EvalContext* const> ctxs,
+                                      const SearchOptions& opts = {});
+
 }  // namespace plk

@@ -120,6 +120,77 @@ TEST(Checkpoint, RejectsWrongTaxa) {
   EXPECT_THROW(apply_checkpoint(*rig.engine, ckpt), std::runtime_error);
 }
 
+TEST(Checkpoint, EvalContextMidBootstrapRoundTripContinuesBitIdentical) {
+  // A bootstrap replicate — an EvalContext over a shared core with
+  // resampled pattern weights — is checkpointed mid-way through branch
+  // smoothing; a fresh context restores it and both continue through the
+  // identical remaining steps. The continuation log-likelihoods must match
+  // bit for bit.
+  Dataset d = make_simulated_dna(8, 300, 100, 1234);
+  auto comp = CompressedAlignment::build(d.alignment, d.scheme, true);
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 0.8,
+                        4);
+  EngineOptions eo;
+  eo.unlinked_branch_lengths = true;
+  EngineCore core(comp, std::move(models), eo);
+
+  Rng rng(99);
+  const auto rep_weights = bootstrap_weights(comp, rng);
+  const Tree start = d.true_tree;
+
+  EvalContext a(core, start);
+  for (int p = 0; p < core.partition_count(); ++p)
+    a.set_pattern_weights(p, rep_weights[static_cast<std::size_t>(p)]);
+
+  // Phase 1: optimize the first half of the edges (mid-bootstrap state).
+  Engine view_a(core, a);
+  const int E = a.tree().edge_count();
+  const BranchOptOptions bo;
+  for (EdgeId e = 0; e < E / 2; ++e)
+    optimize_edge(view_a, e, Strategy::kNewPar, bo);
+
+  const std::string ckpt = serialize_checkpoint(a);
+
+  // Restore into a fresh context (replicate weights restored by the
+  // caller, exactly as it set them before) — and into the original, so
+  // both sides share the one post-restore state any continuation sees.
+  EvalContext b(core, start);
+  for (int p = 0; p < core.partition_count(); ++p)
+    b.set_pattern_weights(p, rep_weights[static_cast<std::size_t>(p)]);
+  apply_checkpoint(b, ckpt);
+  apply_checkpoint(a, ckpt);
+
+  // Phase 2: identical continuation on both contexts.
+  Engine view_b(core, b);
+  for (EdgeId e = E / 2; e < E; ++e) {
+    optimize_edge(view_a, e, Strategy::kNewPar, bo);
+    optimize_edge(view_b, e, Strategy::kNewPar, bo);
+  }
+  const double lnl_a = view_a.loglikelihood(0);
+  const double lnl_b = view_b.loglikelihood(0);
+  EXPECT_EQ(lnl_a, lnl_b);  // bit-identical continuation
+  EXPECT_TRUE(std::isfinite(lnl_a));
+}
+
+TEST(Checkpoint, RefusesRestoreIntoPendingBatch) {
+  Dataset d = make_simulated_dna(6, 200, 100, 77);
+  auto comp = CompressedAlignment::build(d.alignment, d.scheme, true);
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0,
+                        4);
+  EngineCore core(comp, std::move(models), {});
+  EvalContext ctx(core, d.true_tree);
+  const std::string ckpt = serialize_checkpoint(ctx);
+  core.submit(ctx, EvalRequest::evaluate(0));
+  // Restoring would replace the tree the queued command was built against.
+  EXPECT_THROW(apply_checkpoint(ctx, ckpt), std::runtime_error);
+  core.wait();
+  apply_checkpoint(ctx, ckpt);  // fine after the flush
+}
+
 TEST(Checkpoint, SelfRestoreIsIdempotent) {
   Rig rig(14);
   const double before = rig.engine->loglikelihood(3);

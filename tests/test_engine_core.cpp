@@ -1,0 +1,381 @@
+// Tests for the EngineCore / EvalContext split and the batched evaluation
+// API (core/engine_core.hpp).
+//
+// Contracts pinned here:
+//   * a context over a shared core computes the same likelihoods as a
+//     standalone Engine over the same data (the facade is just core+ctx);
+//   * a context with bootstrap-resampled weights matches an Engine built
+//     over a bootstrap_replicate() alignment copy bit for bit;
+//   * batched evaluation (submit/wait, evaluate_batch) returns exactly the
+//     per-context sequential results while packing all requests into one
+//     parallel region, including batches large enough to overflow the
+//     shared tip-table LRUs (eviction pinning);
+//   * optimize_branch_lengths_batch reproduces the sequential
+//     one-engine-per-replicate optimizer bit for bit;
+//   * the pending-request discipline is enforced;
+//   * multi-start search over shared-core contexts picks the best start.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "plk.hpp"
+
+namespace plk {
+namespace {
+
+struct CoreRig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<EngineCore> core;
+
+  explicit CoreRig(int taxa, std::size_t sites, std::size_t plen,
+                   std::uint64_t seed = 4711, int threads = 1,
+                   bool unlinked = true) {
+    data = make_simulated_dna(taxa, sites, plen, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions)
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)), 0.7,
+                          4);
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.unlinked_branch_lengths = unlinked;
+    core = std::make_unique<EngineCore>(*comp, std::move(models), eo);
+  }
+
+  std::vector<PartitionModel> models_copy() const {
+    std::vector<PartitionModel> out;
+    for (int p = 0; p < core->partition_count(); ++p)
+      out.push_back(core->prototype_model(p));
+    return out;
+  }
+};
+
+TEST(EngineCore, ContextMatchesStandaloneEngine) {
+  CoreRig rig(8, 300, 100, 5);
+  EvalContext ctx(*rig.core, rig.data.true_tree);
+
+  EngineOptions eo;
+  eo.unlinked_branch_lengths = true;
+  Engine standalone(*rig.comp, rig.data.true_tree, rig.models_copy(), eo);
+
+  for (EdgeId e : {0, 3, 7}) {
+    EXPECT_EQ(ctx.loglikelihood(e), standalone.loglikelihood(e))
+        << "edge " << e;
+  }
+}
+
+TEST(EngineCore, ResampledWeightsMatchReplicateAlignmentEngine) {
+  CoreRig rig(8, 400, 200, 7);
+  Rng rng_a(31), rng_b(31);
+  const auto weights = bootstrap_weights(*rig.comp, rng_a);
+  const auto rep = bootstrap_replicate(*rig.comp, rng_b);  // same draws
+
+  EvalContext ctx(*rig.core, rig.data.true_tree);
+  for (int p = 0; p < rig.core->partition_count(); ++p)
+    ctx.set_pattern_weights(p, weights[static_cast<std::size_t>(p)]);
+
+  EngineOptions eo;
+  eo.unlinked_branch_lengths = true;
+  Engine rep_engine(rep, rig.data.true_tree, rig.models_copy(), eo);
+
+  EXPECT_EQ(ctx.loglikelihood(0), rep_engine.loglikelihood(0));
+  EXPECT_EQ(ctx.loglikelihood(2), rep_engine.loglikelihood(2));
+}
+
+TEST(EngineCore, EvaluateBatchMatchesSequentialPerContext) {
+  CoreRig rig(8, 360, 120, 11, /*threads=*/3);
+  Rng rng(17);
+
+  // Several contexts with different trees AND different weights.
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  std::vector<EdgeId> edges;
+  for (int c = 0; c < 5; ++c) {
+    Rng trng(100 + static_cast<std::uint64_t>(c));
+    auto ctx = std::make_unique<EvalContext>(
+        *rig.core, random_tree(rig.comp->taxon_names, trng));
+    const auto w = bootstrap_weights(*rig.comp, rng);
+    for (int p = 0; p < rig.core->partition_count(); ++p)
+      ctx->set_pattern_weights(p, w[static_cast<std::size_t>(p)]);
+    ctxs.push_back(ctx.get());
+    owned.push_back(std::move(ctx));
+    edges.push_back(static_cast<EdgeId>(c * 2));
+  }
+
+  // Sequential reference first, on twin contexts (so the batch below runs
+  // from the same cold-CLV state).
+  std::vector<double> want;
+  {
+    std::vector<std::unique_ptr<EvalContext>> twin;
+    for (int c = 0; c < 5; ++c) {
+      twin.push_back(std::make_unique<EvalContext>(*rig.core,
+                                                   ctxs[(std::size_t)c]->tree()));
+      for (int p = 0; p < rig.core->partition_count(); ++p)
+        twin.back()->set_pattern_weights(
+            p, ctxs[(std::size_t)c]->pattern_weights(p));
+      want.push_back(twin.back()->loglikelihood(edges[(std::size_t)c]));
+    }
+  }
+
+  const auto before = rig.core->team_stats().sync_count;
+  const auto got = rig.core->evaluate_batch(ctxs, edges);
+  const auto after = rig.core->team_stats().sync_count;
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < want.size(); ++c)
+    EXPECT_EQ(got[c], want[c]) << "context " << c;
+  EXPECT_EQ(after - before, 1u);  // the whole batch was ONE parallel region
+}
+
+TEST(EngineCore, LargeBatchSurvivesTipTableLruPressure) {
+  // More contexts than kTipTableLruSize, all evaluating at the SAME edge
+  // with different branch lengths: every context needs its own live tip
+  // table during the one batched command, which forces the per-edge LRU
+  // past its capacity (eviction pinning). Values must match sequential.
+  CoreRig rig(6, 200, 100, 13, /*threads=*/2);
+  const int C = 3 * kTipTableLruSize;
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  std::vector<EdgeId> edges;
+  for (int c = 0; c < C; ++c) {
+    auto ctx = std::make_unique<EvalContext>(*rig.core, rig.data.true_tree);
+    // Perturb every branch so each context's tip tables differ everywhere.
+    BranchLengths& bl = ctx->branch_lengths();
+    for (EdgeId e = 0; e < ctx->tree().edge_count(); ++e)
+      for (int p = 0; p < rig.core->partition_count(); ++p)
+        bl.set(e, p, bl.get(e, p) * (1.0 + 0.01 * (c + 1)));
+    ctxs.push_back(ctx.get());
+    owned.push_back(std::move(ctx));
+    edges.push_back(0);
+  }
+
+  std::vector<double> want;
+  for (int c = 0; c < C; ++c) {
+    EvalContext twin(*rig.core, rig.data.true_tree);
+    BranchLengths& bl = twin.branch_lengths();
+    for (EdgeId e = 0; e < twin.tree().edge_count(); ++e)
+      for (int p = 0; p < rig.core->partition_count(); ++p)
+        bl.set(e, p, bl.get(e, p) * (1.0 + 0.01 * (c + 1)));
+    want.push_back(twin.loglikelihood(0));
+  }
+
+  const auto got = rig.core->evaluate_batch(ctxs, edges);
+  for (int c = 0; c < C; ++c)
+    EXPECT_EQ(got[static_cast<std::size_t>(c)],
+              want[static_cast<std::size_t>(c)])
+        << "context " << c;
+}
+
+TEST(EngineCore, PendingDisciplineIsEnforced) {
+  CoreRig rig(6, 150, 150, 19);
+  EvalContext a(*rig.core, rig.data.true_tree);
+  EvalContext b(*rig.core, rig.data.true_tree);
+
+  rig.core->submit(a, EvalRequest::evaluate(0));
+  // Same context twice in one batch: refused.
+  EXPECT_THROW(rig.core->submit(a, EvalRequest::evaluate(1)),
+               std::logic_error);
+  // Direct calls while the core has an open batch: refused for EVERY
+  // context, pending or not (a one-off command would trim tip tables the
+  // queued commands still reference).
+  EXPECT_THROW(a.loglikelihood(0), std::logic_error);
+  EXPECT_THROW(b.loglikelihood(0), std::logic_error);
+  // Submitting a different context is fine.
+  rig.core->submit(b, EvalRequest::evaluate(0));
+  const auto res = rig.core->wait();
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0], res[1]);  // same tree, same weights
+  // Flushed: the contexts are usable again.
+  EXPECT_EQ(a.loglikelihood(0), res[0]);
+}
+
+TEST(EngineCore, ModelMutationBetweenSubmitAndWaitLeavesClvsStale) {
+  // The queued command runs with the OLD model's matrices; the CLVs it
+  // writes must therefore stay marked stale for the NEW model epoch, so
+  // the next direct evaluation recomputes them.
+  CoreRig rig(6, 200, 100, 71);
+  EvalContext ctx(*rig.core, rig.data.true_tree);
+  rig.core->submit(ctx, EvalRequest::evaluate(0));
+  ctx.model(0).set_alpha(2.5);
+  ctx.invalidate_partition(0);
+  rig.core->wait();
+
+  EvalContext fresh(*rig.core, rig.data.true_tree);
+  fresh.model(0).set_alpha(2.5);
+  fresh.invalidate_partition(0);
+  EXPECT_EQ(ctx.loglikelihood(0), fresh.loglikelihood(0));
+}
+
+TEST(EngineCore, DestroyingPendingContextIsSafe) {
+  // A context destroyed between submit() and wait() (exception unwind)
+  // must not leave a dangling queue entry; its ticket reports 0.0 and the
+  // surviving contexts' results are unaffected.
+  CoreRig rig(6, 200, 100, 73);
+  EvalContext keep(*rig.core, rig.data.true_tree);
+  const double want = keep.loglikelihood(0);
+  {
+    auto doomed = std::make_unique<EvalContext>(*rig.core, rig.data.true_tree);
+    rig.core->submit(*doomed, EvalRequest::evaluate(0));
+    rig.core->submit(keep, EvalRequest::evaluate(0));
+    doomed.reset();
+  }
+  const auto res = rig.core->wait();
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0], 0.0);
+  EXPECT_EQ(res[1], want);
+}
+
+TEST(EngineCore, ExplicitEmptyPartitionScopeStaysEmpty) {
+  // Pre-split semantics: an explicitly empty partition list is a
+  // degenerate command over nothing, NOT "all partitions".
+  CoreRig rig(6, 150, 150, 43);
+  EvalContext ctx(*rig.core, rig.data.true_tree);
+  const double full = ctx.loglikelihood(0);
+  EXPECT_LT(full, 0.0);
+  EXPECT_EQ(ctx.loglikelihood(0, {}), 0.0);
+  // Empty-scope sumtable and NR derivative passes are no-ops, not errors.
+  ctx.prepare_root(0);
+  ctx.compute_sumtable({});
+  ctx.nr_derivatives({}, {}, {}, {});
+  // The factory without a partition argument still means every partition.
+  rig.core->submit(ctx, EvalRequest::evaluate(0));
+  EXPECT_EQ(rig.core->wait().at(0), full);
+}
+
+TEST(EngineCore, BatchedBranchOptimizationMatchesSequentialBitForBit) {
+  CoreRig rig(8, 360, 90, 23, /*threads=*/2, /*unlinked=*/true);
+  const int R = 4;
+  Rng rng(2718);
+  std::vector<std::vector<std::vector<double>>> weights;
+  for (int r = 0; r < R; ++r)
+    weights.push_back(bootstrap_weights(*rig.comp, rng));
+
+  // Sequential: one engine per replicate over an alignment copy.
+  EngineOptions eo;
+  eo.threads = 2;
+  eo.unlinked_branch_lengths = true;
+  std::vector<double> want;
+  for (int r = 0; r < R; ++r) {
+    CompressedAlignment rep = *rig.comp;
+    for (std::size_t p = 0; p < rep.partitions.size(); ++p)
+      rep.partitions[p].weights = weights[static_cast<std::size_t>(r)][p];
+    Engine eng(rep, rig.data.true_tree, rig.models_copy(), eo);
+    want.push_back(optimize_branch_lengths(eng, Strategy::kNewPar));
+  }
+
+  // Batched: contexts over the shared core.
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  for (int r = 0; r < R; ++r) {
+    auto ctx = std::make_unique<EvalContext>(*rig.core, rig.data.true_tree);
+    for (int p = 0; p < rig.core->partition_count(); ++p)
+      ctx->set_pattern_weights(
+          p, weights[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)]);
+    ctxs.push_back(ctx.get());
+    owned.push_back(std::move(ctx));
+  }
+  const auto got = optimize_branch_lengths_batch(*rig.core, ctxs);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (int r = 0; r < R; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)],
+              want[static_cast<std::size_t>(r)])
+        << "replicate " << r;
+}
+
+TEST(EngineCore, CopyStateFromHandlesDifferentTipOrderings) {
+  // The destination context's tree maps tip ids to taxa differently from
+  // the source's; adoption must carry the mapping with the tree.
+  CoreRig rig(7, 200, 100, 83);
+  std::vector<std::string> rotated = rig.comp->taxon_names;
+  std::rotate(rotated.begin(), rotated.begin() + 2, rotated.end());
+  Rng r1(3), r2(9);
+  EvalContext a(*rig.core, random_tree(rotated, r1));
+  EvalContext b(*rig.core, random_tree(rig.comp->taxon_names, r2));
+  const double want = b.loglikelihood(0);
+  a.copy_state_from(b);
+  EXPECT_EQ(a.loglikelihood(0), want);
+}
+
+TEST(EngineCore, CopyStateFromCarriesTreeModelsAndLengths) {
+  CoreRig rig(7, 200, 100, 29);
+  Rng trng(5);
+  EvalContext a(*rig.core, random_tree(rig.comp->taxon_names, trng));
+  EvalContext b(*rig.core, rig.data.true_tree);
+  b.model(0).set_alpha(1.9);
+  b.invalidate_partition(0);
+  const double want = b.loglikelihood(0);
+
+  a.copy_state_from(b);
+  EXPECT_EQ(a.loglikelihood(0), want);
+  EXPECT_EQ(rf_distance(a.tree(), b.tree()), 0);
+  EXPECT_DOUBLE_EQ(a.model(0).alpha(), 1.9);
+}
+
+TEST(EngineCore, MultiStartSearchPicksBestStart) {
+  CoreRig rig(8, 500, 250, 37, /*threads=*/2);
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  for (int s = 0; s < 3; ++s) {
+    Rng trng(40 + static_cast<std::uint64_t>(s));
+    owned.push_back(std::make_unique<EvalContext>(
+        *rig.core, random_tree(rig.comp->taxon_names, trng)));
+    ctxs.push_back(owned.back().get());
+  }
+  SearchOptions so;
+  so.max_rounds = 1;
+  so.spr_radius = 2;
+  so.optimize_model = false;
+  const MultiStartResult ms = search_ml_multistart(*rig.core, ctxs, so);
+  ASSERT_EQ(ms.results.size(), 3u);
+  ASSERT_GE(ms.best, 0);
+  for (const auto& r : ms.results) {
+    EXPECT_TRUE(std::isfinite(r.final_lnl));
+    EXPECT_LE(r.final_lnl,
+              ms.results[static_cast<std::size_t>(ms.best)].final_lnl);
+  }
+}
+
+TEST(EngineCore, AnalysisMultiStartBeatsOrMatchesSingleStart) {
+  Dataset d = make_simulated_dna(8, 400, 200, 55);
+  AnalysisOptions single;
+  single.start_tree = StartTree::kRandom;
+  single.search.max_rounds = 1;
+  single.search.spr_radius = 2;
+  AnalysisOptions multi = single;
+  multi.search_starts = 3;
+
+  Analysis a1(d.alignment, d.scheme, single);
+  const double lnl1 = a1.run_search().lnl;
+  Analysis a3(d.alignment, d.scheme, multi);
+  const AnalysisResult r3 = a3.run_search();
+  // Start 0 is identical in both runs, so the 3-start best can only match
+  // or beat the single start.
+  EXPECT_GE(r3.lnl, lnl1 - 1e-9);
+  // The engine was left on the winning tree.
+  EXPECT_NEAR(a3.engine().loglikelihood(0), r3.lnl, 1e-6 * std::abs(r3.lnl));
+}
+
+TEST(EngineCore, StatsCountBatchedRequestsAgainstCommands) {
+  CoreRig rig(6, 200, 100, 61, /*threads=*/2);
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  std::vector<EdgeId> edges;
+  for (int c = 0; c < 4; ++c) {
+    owned.push_back(
+        std::make_unique<EvalContext>(*rig.core, rig.data.true_tree));
+    ctxs.push_back(owned.back().get());
+    edges.push_back(0);
+  }
+  rig.core->reset_stats();
+  rig.core->evaluate_batch(ctxs, edges);
+  EXPECT_EQ(rig.core->stats().commands, 1u);
+  EXPECT_EQ(rig.core->stats().requests, 4u);
+}
+
+}  // namespace
+}  // namespace plk

@@ -139,6 +139,55 @@ TEST(WorkSchedule, LptMergesAdjacentChunks) {
   expect_disjoint_cover(ws, shapes);
 }
 
+TEST(WorkSchedule, AdaptiveLptChunkTargetTightensSkewedPackings) {
+  // Heterogeneous per-pattern costs: a long cheap DNA partition plus a
+  // short expensive protein one. At the historical fixed total/(4T) chunk
+  // target the packing ends up with ~4T coarse chunks of uneven cost, and
+  // greedy LPT strands one thread ~20-30% over the mean; the adaptive
+  // target keeps halving until the modeled imbalance is within the 1% goal
+  // (floor: total/(64T)).
+  const std::vector<PartitionShape> shapes = {
+      {.patterns = 100000, .states = 4, .cats = 1, .weight = 0.25},  // c = 1
+      {.patterns = 37, .states = 20, .cats = 1, .weight = 45.0},     // c = 900
+  };
+  for (int T : {4, 8}) {
+    const WorkSchedule ws =
+        WorkSchedule::build(SchedulingStrategy::kLpt, T, shapes);
+    SCOPED_TRACE("T=" + std::to_string(T));
+    expect_disjoint_cover(ws, shapes);
+    EXPECT_LE(ws.modeled_imbalance(), 0.02);
+  }
+}
+
+TEST(WorkSchedule, AdaptiveLptStaysNearTheGoalOnLargeMixedShapes) {
+  // Large mixed shapes where pattern granularity is far below the goal:
+  // the adaptive target must land within (goal + LPT floor slack).
+  const std::vector<PartitionShape> shapes = {
+      {.patterns = 1031, .states = 20, .cats = 4},
+      {.patterns = 4096, .states = 4, .cats = 4},
+      {.patterns = 777, .states = 4, .cats = 2},
+      {.patterns = 2053, .states = 20, .cats = 1},
+  };
+  for (int T : {4, 8, 16}) {
+    const WorkSchedule ws =
+        WorkSchedule::build(SchedulingStrategy::kLpt, T, shapes);
+    SCOPED_TRACE("T=" + std::to_string(T));
+    expect_disjoint_cover(ws, shapes);
+    EXPECT_LE(ws.modeled_imbalance(), 0.02);
+  }
+}
+
+TEST(WorkSchedule, AdaptiveLptDegenerateShapesStayCorrect) {
+  // Fewer indivisible patterns than threads: no target can balance this;
+  // the adaptation must terminate and still produce a disjoint cover.
+  const std::vector<PartitionShape> shapes = {
+      {.patterns = 3, .states = 20, .cats = 4},
+  };
+  const WorkSchedule ws =
+      WorkSchedule::build(SchedulingStrategy::kLpt, 8, shapes);
+  expect_disjoint_cover(ws, shapes);
+}
+
 TEST(WorkSchedule, StrategyNamesRoundTrip) {
   for (SchedulingStrategy s : kAllStrategies)
     EXPECT_EQ(scheduling_strategy_from_string(to_string(s)), s);

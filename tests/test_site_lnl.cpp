@@ -92,6 +92,33 @@ TEST(SiteLnl, RespondsToModelChange) {
   EXPECT_GT(changed, static_cast<int>(before.size() / 2));
 }
 
+TEST(SiteLnl, SpanOverloadWritesIntoCallerStorage) {
+  Rig rig(8, 240, 120, 15);
+  Engine& eng = *rig.engine;
+  const auto want = eng.site_loglikelihoods(1, 0);
+
+  // One caller-owned buffer reused across partitions/edges: no per-call
+  // allocation. Poison it first so untouched entries would be caught.
+  std::vector<double> buf(eng.pattern_count(0), -777.0);
+  eng.site_loglikelihoods(1, 0, buf);
+  ASSERT_EQ(buf.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_DOUBLE_EQ(buf[i], want[i]) << "pattern " << i;
+
+  // Reuse for a different edge; values must be fully overwritten.
+  eng.site_loglikelihoods(4, 0, buf);
+  const auto want4 = eng.site_loglikelihoods(4, 0);
+  for (std::size_t i = 0; i < want4.size(); ++i)
+    EXPECT_DOUBLE_EQ(buf[i], want4[i]) << "pattern " << i;
+}
+
+TEST(SiteLnl, SpanOverloadRejectsWrongSize) {
+  Rig rig(8, 200, 200, 27);
+  std::vector<double> tiny(3);
+  EXPECT_THROW(rig.engine->site_loglikelihoods(0, 0, tiny),
+               std::invalid_argument);
+}
+
 // --- start tree options ------------------------------------------------------
 
 TEST(StartTrees, ParsimonyStartBeatsRandomStartInitially) {
