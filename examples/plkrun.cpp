@@ -39,6 +39,7 @@ struct CliOptions {
   bool do_search = false;
   bool do_optimize = false;
   bool parsimony_start = true;
+  bool batched_candidates = true;
   int radius = 5;
   int rounds = 5;
   int starts = 1;
@@ -61,6 +62,9 @@ void usage() {
       "  --search         full ML tree search\n"
       "  --optimize       model/branch optimization on the fixed tree\n"
       "  --random-start   random instead of parsimony starting tree\n"
+      "  --batched-candidates on|off\n"
+      "                   lockstep SPR candidate scoring (default on; off =\n"
+      "                   the sequential per-candidate scorer, for A/B runs)\n"
       "  --radius N       SPR radius (default 5)\n"
       "  --rounds N       max search rounds (default 5)\n"
       "  --starts N       independent search starts over one shared engine\n"
@@ -124,6 +128,17 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       o.do_optimize = true;
     } else if (a == "--random-start") {
       o.parsimony_start = false;
+    } else if (a == "--batched-candidates") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "on") == 0)
+        o.batched_candidates = true;
+      else if (std::strcmp(v, "off") == 0)
+        o.batched_candidates = false;
+      else {
+        std::fprintf(stderr, "--batched-candidates wants 'on' or 'off'\n");
+        return std::nullopt;
+      }
     } else if (a == "--radius") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -217,6 +232,7 @@ int main(int argc, char** argv) {
                                           : StartTree::kRandom;
     opts.search.spr_radius = cli.radius;
     opts.search.max_rounds = cli.rounds;
+    opts.search.batched_candidates = cli.batched_candidates;
     opts.search_starts = cli.starts;
 
     std::optional<Tree> start;
@@ -236,6 +252,20 @@ int main(int argc, char** argv) {
                 res.lnl, res.seconds,
                 static_cast<unsigned long long>(res.team_stats.sync_count),
                 res.team_stats.imbalance_seconds);
+    if (cli.do_search) {
+      std::printf("search: %llu candidates scored (%s scorer), %d accepted, "
+                  "%d rounds\n",
+                  static_cast<unsigned long long>(res.search.candidates_scored),
+                  cli.batched_candidates ? "batched" : "sequential",
+                  res.search.accepted_moves, res.search.rounds);
+      if (cli.batched_candidates)
+        std::printf("  batch: %llu groups in %llu lockstep waves, peak %zu "
+                    "CLV pool slots (%zu allocated)\n",
+                    static_cast<unsigned long long>(res.search.batch.groups),
+                    static_cast<unsigned long long>(res.search.batch.waves),
+                    res.search.batch.pool_slots_peak,
+                    res.search.batch.pool_slots_allocated);
+    }
     for (int p = 0; p < analysis.engine().partition_count(); ++p)
       std::printf("  partition %2d: alpha %.4f, lnL %.4f\n", p,
                   analysis.engine().model(p).alpha(),

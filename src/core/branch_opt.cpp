@@ -1,104 +1,114 @@
 #include "core/branch_opt.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "model/subst_model.hpp"
-#include "optimize/newton.hpp"
 #include "tree/traversal.hpp"
 
 namespace plk {
 
+// ---------------------------------------------------------------------------
+// EdgeNrStepper
+// ---------------------------------------------------------------------------
+
+void EdgeNrStepper::start(const BranchLengths& bl, EdgeId edge,
+                          std::span<const int> scope, bool linked,
+                          const BranchOptOptions& opts) {
+  edge_ = edge;
+  linked_ = linked;
+  scope_.assign(scope.begin(), scope.end());
+  nr_.clear();
+  lens_.resize(scope_.size());
+  d1_.resize(scope_.size());
+  d2_.resize(scope_.size());
+  if (linked_) {
+    nr_.emplace_back(bl.get(edge_, scope_.empty() ? 0 : scope_[0]), kBranchMin,
+                     kBranchMax, opts.length_tolerance,
+                     opts.max_nr_iterations);
+    active_ = scope_;  // joint: every scope partition evaluates every round
+    alive_.clear();
+  } else {
+    nr_.reserve(scope_.size());
+    alive_.resize(scope_.size());
+    for (std::size_t k = 0; k < scope_.size(); ++k) {
+      nr_.emplace_back(bl.get(edge_, scope_[k]), kBranchMin, kBranchMax,
+                       opts.length_tolerance, opts.max_nr_iterations);
+      alive_[k] = k;
+    }
+    active_ = scope_;
+  }
+}
+
+bool EdgeNrStepper::done() const {
+  if (linked_) return nr_.empty() || nr_[0].done();
+  return alive_.empty();
+}
+
+std::span<const double> EdgeNrStepper::lens() {
+  if (linked_) {
+    std::fill(lens_.begin(), lens_.end(), nr_[0].current());
+    return std::span<const double>(lens_).first(scope_.size());
+  }
+  for (std::size_t k = 0; k < alive_.size(); ++k)
+    lens_[k] = nr_[alive_[k]].current();
+  return std::span<const double>(lens_).first(alive_.size());
+}
+
+std::span<double> EdgeNrStepper::d1() {
+  return std::span<double>(d1_).first(linked_ ? scope_.size() : alive_.size());
+}
+
+std::span<double> EdgeNrStepper::d2() {
+  return std::span<double>(d2_).first(linked_ ? scope_.size() : alive_.size());
+}
+
+void EdgeNrStepper::feed(BranchLengths& bl) {
+  if (linked_) {
+    double s1 = 0.0, s2 = 0.0;
+    for (std::size_t k = 0; k < scope_.size(); ++k) {
+      s1 += d1_[k];
+      s2 += d2_[k];
+    }
+    nr_[0].feed(s1, s2);
+    if (nr_[0].done()) bl.set_all(edge_, nr_[0].current());
+    return;
+  }
+  std::vector<std::size_t> still;
+  still.reserve(alive_.size());
+  for (std::size_t k = 0; k < alive_.size(); ++k) {
+    NewtonBranch& inst = nr_[alive_[k]];
+    inst.feed(d1_[k], d2_[k]);
+    if (!inst.done())
+      still.push_back(alive_[k]);
+    else
+      bl.set(edge_, scope_[alive_[k]], inst.current());
+  }
+  alive_ = std::move(still);
+  active_.resize(alive_.size());
+  for (std::size_t k = 0; k < alive_.size(); ++k)
+    active_[k] = scope_[alive_[k]];
+}
+
+// ---------------------------------------------------------------------------
+// Sequential single-engine optimizers
+// ---------------------------------------------------------------------------
+
 namespace {
 
-std::vector<int> all_partitions(const Engine& engine) {
-  std::vector<int> all(static_cast<std::size_t>(engine.partition_count()));
-  for (int p = 0; p < engine.partition_count(); ++p)
-    all[static_cast<std::size_t>(p)] = p;
+std::vector<int> all_partitions(int count) {
+  std::vector<int> all(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p) all[static_cast<std::size_t>(p)] = p;
   return all;
 }
 
-/// Joint (linked) estimate: one NR instance whose derivatives are summed
-/// over all partitions. Identical schedule for both strategies.
-void optimize_edge_linked(Engine& engine, EdgeId edge,
-                          const BranchOptOptions& opts) {
-  const auto parts = all_partitions(engine);
-  engine.compute_sumtable(parts);
-  BranchLengths& bl = engine.branch_lengths();
-
-  NewtonBranch nr(bl.get(edge, 0), kBranchMin, kBranchMax,
-                  opts.length_tolerance, opts.max_nr_iterations);
-  std::vector<double> lens(parts.size());
-  std::vector<double> d1(parts.size()), d2(parts.size());
+/// Drive one stepper to convergence against a single engine (one
+/// nr_derivatives command per round — the classic sequential schedule).
+void run_nr(Engine& engine, EdgeNrStepper& nr) {
   while (!nr.done()) {
-    std::fill(lens.begin(), lens.end(), nr.current());
-    engine.nr_derivatives(parts, lens, d1, d2);
-    double s1 = 0.0, s2 = 0.0;
-    for (std::size_t k = 0; k < parts.size(); ++k) {
-      s1 += d1[k];
-      s2 += d2[k];
-    }
-    nr.feed(s1, s2);
-  }
-  bl.set_all(edge, nr.current());
-}
-
-/// oldPAR, unlinked: one partition at a time — per-partition sumtable and
-/// per-partition NR iteration commands.
-void optimize_edge_old(Engine& engine, EdgeId edge,
-                       const BranchOptOptions& opts) {
-  BranchLengths& bl = engine.branch_lengths();
-  for (int p = 0; p < engine.partition_count(); ++p) {
-    const std::vector<int> one{p};
-    engine.compute_sumtable(one);
-    NewtonBranch nr(bl.get(edge, p), kBranchMin, kBranchMax,
-                    opts.length_tolerance, opts.max_nr_iterations);
-    double len, d1, d2;
-    while (!nr.done()) {
-      len = nr.current();
-      engine.nr_derivatives(one, {&len, 1}, {&d1, 1}, {&d2, 1});
-      nr.feed(d1, d2);
-    }
-    bl.set(edge, p, nr.current());
-  }
-}
-
-/// newPAR, unlinked: all partitions advance simultaneously; converged
-/// partitions drop out of the command via the active list (the paper's
-/// boolean convergence vector).
-void optimize_edge_new(Engine& engine, EdgeId edge,
-                       const BranchOptOptions& opts) {
-  BranchLengths& bl = engine.branch_lengths();
-  const int P = engine.partition_count();
-
-  engine.compute_sumtable(all_partitions(engine));
-
-  std::vector<NewtonBranch> nr;
-  nr.reserve(static_cast<std::size_t>(P));
-  for (int p = 0; p < P; ++p)
-    nr.emplace_back(bl.get(edge, p), kBranchMin, kBranchMax,
-                    opts.length_tolerance, opts.max_nr_iterations);
-
-  std::vector<int> active = all_partitions(engine);
-  std::vector<double> lens, d1, d2;
-  while (!active.empty()) {
-    lens.resize(active.size());
-    d1.resize(active.size());
-    d2.resize(active.size());
-    for (std::size_t k = 0; k < active.size(); ++k)
-      lens[k] = nr[static_cast<std::size_t>(active[k])].current();
-    engine.nr_derivatives(active, lens, d1, d2);
-
-    std::vector<int> still_active;
-    for (std::size_t k = 0; k < active.size(); ++k) {
-      auto& inst = nr[static_cast<std::size_t>(active[k])];
-      inst.feed(d1[k], d2[k]);
-      if (!inst.done())
-        still_active.push_back(active[k]);
-      else
-        bl.set(edge, active[k], inst.current());
-    }
-    active = std::move(still_active);
+    engine.nr_derivatives(nr.active(), nr.lens(), nr.d1(), nr.d2());
+    nr.feed(engine.branch_lengths());
   }
 }
 
@@ -107,12 +117,25 @@ void optimize_edge_new(Engine& engine, EdgeId edge,
 void optimize_edge(Engine& engine, EdgeId edge, Strategy strategy,
                    const BranchOptOptions& opts) {
   engine.prepare_root(edge);
-  if (engine.branch_lengths().linked()) {
-    optimize_edge_linked(engine, edge, opts);
-  } else if (strategy == Strategy::kOldPar) {
-    optimize_edge_old(engine, edge, opts);
+  const bool linked = engine.branch_lengths().linked();
+  EdgeNrStepper nr;
+  if (linked || strategy != Strategy::kOldPar) {
+    // Joint (linked) estimate, or newPAR unlinked: one sumtable command for
+    // all partitions, then NR rounds that advance every non-converged
+    // partition at once (the paper's boolean convergence vector).
+    const auto parts = all_partitions(engine.partition_count());
+    engine.compute_sumtable(parts);
+    nr.start(engine.branch_lengths(), edge, parts, linked, opts);
+    run_nr(engine, nr);
   } else {
-    optimize_edge_new(engine, edge, opts);
+    // oldPAR, unlinked: one partition at a time — per-partition sumtable and
+    // per-partition NR iteration commands.
+    for (int p = 0; p < engine.partition_count(); ++p) {
+      const std::vector<int> one{p};
+      engine.compute_sumtable(one);
+      nr.start(engine.branch_lengths(), edge, one, false, opts);
+      run_nr(engine, nr);
+    }
   }
 }
 
@@ -124,15 +147,77 @@ double optimize_branch_lengths(Engine& engine, Strategy strategy,
   return engine.loglikelihood(order.empty() ? 0 : order.back());
 }
 
+// ---------------------------------------------------------------------------
+// Lockstep batch optimizers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Lockstep NR rounds for steppers that were just start()ed: one parallel
+/// region per round, shared by every context still iterating.
+void run_nr_batch(EngineCore& core, std::span<EvalContext* const> ctxs,
+                  std::span<EdgeNrStepper> nr) {
+  std::vector<std::size_t> round;
+  for (;;) {
+    round.clear();
+    for (std::size_t c = 0; c < ctxs.size(); ++c) {
+      if (nr[c].done()) continue;
+      round.push_back(c);
+      core.submit(*ctxs[c],
+                  EvalRequest::nr_derivatives(nr[c].active(), nr[c].lens(),
+                                              nr[c].d1(), nr[c].d2()));
+    }
+    if (round.empty()) return;
+    core.wait();
+    for (std::size_t c : round) nr[c].feed(ctxs[c]->branch_lengths());
+  }
+}
+
+}  // namespace
+
+void optimize_edge_batch(EngineCore& core, std::span<EvalContext* const> ctxs,
+                         std::span<const EdgeId> edges, Strategy strategy,
+                         const BranchOptOptions& opts) {
+  const std::size_t C = ctxs.size();
+  if (C != edges.size())
+    throw std::invalid_argument("optimize_edge_batch: size mismatch");
+  if (C == 0) return;
+  const bool linked = core.linked_branch_lengths();
+  std::vector<EdgeNrStepper> nr(C);
+
+  // (i) relocate every context's virtual root — one parallel region.
+  for (std::size_t c = 0; c < C; ++c)
+    core.submit(*ctxs[c], EvalRequest::prepare_root(edges[c]));
+  core.wait();
+
+  if (linked || strategy != Strategy::kOldPar) {
+    // (ii) every context's sumtable — one parallel region; (iii) lockstep NR.
+    const auto all = all_partitions(core.partition_count());
+    for (std::size_t c = 0; c < C; ++c)
+      core.submit(*ctxs[c], EvalRequest::sumtable(all));
+    core.wait();
+    for (std::size_t c = 0; c < C; ++c)
+      nr[c].start(ctxs[c]->branch_lengths(), edges[c], all, linked, opts);
+    run_nr_batch(core, ctxs, nr);
+  } else {
+    // oldPAR: partitions one at a time, each still lockstep across contexts.
+    for (int p = 0; p < core.partition_count(); ++p) {
+      const std::vector<int> one{p};
+      for (std::size_t c = 0; c < C; ++c)
+        core.submit(*ctxs[c], EvalRequest::sumtable(one));
+      core.wait();
+      for (std::size_t c = 0; c < C; ++c)
+        nr[c].start(ctxs[c]->branch_lengths(), edges[c], one, false, opts);
+      run_nr_batch(core, ctxs, nr);
+    }
+  }
+}
+
 std::vector<double> optimize_branch_lengths_batch(
     EngineCore& core, std::span<EvalContext* const> ctxs,
     const BranchOptOptions& opts) {
   const std::size_t C = ctxs.size();
   if (C == 0) return {};
-  const int P = core.partition_count();
-  std::vector<int> all(static_cast<std::size_t>(P));
-  for (int p = 0; p < P; ++p) all[static_cast<std::size_t>(p)] = p;
-  const bool linked = core.linked_branch_lengths();
 
   // Each context walks its own tree's DFS edge order; trees over the same
   // taxa all have the same edge count, so step i is well-defined batch-wide.
@@ -144,100 +229,11 @@ std::vector<double> optimize_branch_lengths_batch(
       throw std::invalid_argument(
           "optimize_branch_lengths_batch: edge count mismatch");
 
-  // Per-context NR instances and request buffers. The request spans point
-  // into these vectors, so they are sized once and never reallocated
-  // between submit() and wait().
-  std::vector<std::vector<NewtonBranch>> nr(C);
-  std::vector<std::vector<int>> active(C);
-  std::vector<std::vector<double>> lens(C), d1(C), d2(C);
-  for (std::size_t c = 0; c < C; ++c) {
-    lens[c].resize(static_cast<std::size_t>(P));
-    d1[c].resize(static_cast<std::size_t>(P));
-    d2[c].resize(static_cast<std::size_t>(P));
-  }
-
+  std::vector<EdgeId> step_edges(C);
   for (int pass = 0; pass < opts.smoothing_passes; ++pass) {
     for (std::size_t ei = 0; ei < E; ++ei) {
-      // (i) relocate every context's virtual root — one parallel region.
-      for (std::size_t c = 0; c < C; ++c)
-        core.submit(*ctxs[c], EvalRequest::prepare_root(order[c][ei]));
-      core.wait();
-
-      // (ii) build every context's NR sumtable — one parallel region.
-      for (std::size_t c = 0; c < C; ++c)
-        core.submit(*ctxs[c], EvalRequest::sumtable(all));
-      core.wait();
-
-      // (iii) Newton-Raphson in lockstep: one parallel region per
-      // iteration round, shared by every non-converged context. Per
-      // context this reproduces optimize_edge's linked/newPAR schedule.
-      for (std::size_t c = 0; c < C; ++c) {
-        const EdgeId e = order[c][ei];
-        BranchLengths& bl = ctxs[c]->branch_lengths();
-        nr[c].clear();
-        if (linked) {
-          nr[c].emplace_back(bl.get(e, 0), kBranchMin, kBranchMax,
-                             opts.length_tolerance, opts.max_nr_iterations);
-          active[c] = all;  // joint: all partitions evaluate every round
-        } else {
-          active[c] = all;
-          for (int p = 0; p < P; ++p)
-            nr[c].emplace_back(bl.get(e, p), kBranchMin, kBranchMax,
-                               opts.length_tolerance, opts.max_nr_iterations);
-        }
-      }
-
-      bool any = true;
-      while (any) {
-        any = false;
-        std::vector<std::size_t> round;  // contexts in this round
-        for (std::size_t c = 0; c < C; ++c) {
-          if (linked ? nr[c][0].done() : active[c].empty()) continue;
-          round.push_back(c);
-          const std::size_t n = active[c].size();
-          for (std::size_t k = 0; k < n; ++k)
-            lens[c][k] = linked
-                             ? nr[c][0].current()
-                             : nr[c][static_cast<std::size_t>(active[c][k])]
-                                   .current();
-          core.submit(*ctxs[c],
-                      EvalRequest::nr_derivatives(
-                          active[c], std::span<const double>(lens[c]).first(n),
-                          std::span<double>(d1[c]).first(n),
-                          std::span<double>(d2[c]).first(n)));
-        }
-        if (round.empty()) break;
-        core.wait();
-
-        for (std::size_t c : round) {
-          const EdgeId e = order[c][ei];
-          BranchLengths& bl = ctxs[c]->branch_lengths();
-          if (linked) {
-            double s1 = 0.0, s2 = 0.0;
-            for (std::size_t k = 0; k < active[c].size(); ++k) {
-              s1 += d1[c][k];
-              s2 += d2[c][k];
-            }
-            nr[c][0].feed(s1, s2);
-            if (nr[c][0].done())
-              bl.set_all(e, nr[c][0].current());
-            else
-              any = true;
-          } else {
-            std::vector<int> still;
-            for (std::size_t k = 0; k < active[c].size(); ++k) {
-              auto& inst = nr[c][static_cast<std::size_t>(active[c][k])];
-              inst.feed(d1[c][k], d2[c][k]);
-              if (!inst.done())
-                still.push_back(active[c][k]);
-              else
-                bl.set(e, active[c][k], inst.current());
-            }
-            active[c] = std::move(still);
-            if (!active[c].empty()) any = true;
-          }
-        }
-      }
+      for (std::size_t c = 0; c < C; ++c) step_edges[c] = order[c][ei];
+      optimize_edge_batch(core, ctxs, step_edges, Strategy::kNewPar, opts);
     }
   }
 

@@ -17,8 +17,12 @@
 // only ~5 % difference there.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "core/strategy.hpp"
+#include "optimize/newton.hpp"
 
 namespace plk {
 
@@ -27,6 +31,52 @@ struct BranchOptOptions {
   int max_nr_iterations = 32;   ///< per branch (per partition)
   double length_tolerance = 1e-6;
   int smoothing_passes = 2;     ///< full sweeps over all edges
+};
+
+/// The per-context Newton-Raphson stepping state for ONE edge, shared by
+/// every optimizer in this module (the sequential optimize_edge variants,
+/// the lockstep batch optimizers, and — through optimize_edge_batch — the
+/// batched SPR candidate scorer). It owns the NewtonBranch instances, the
+/// convergence mask, and the request buffers, so the derivative-iteration
+/// protocol exists exactly once:
+///
+///   stepper.start(bl, edge, scope, linked, opts);
+///   while (!stepper.done()) {
+///     // derivatives at stepper.lens() for stepper.active() -> d1()/d2()
+///     engine.nr_derivatives(stepper.active(), stepper.lens(),
+///                           stepper.d1(), stepper.d2());
+///     stepper.feed(bl);
+///   }
+///
+/// Linked mode drives one NewtonBranch whose derivatives are summed over
+/// the scope; unlinked mode drives one instance per scope partition with
+/// newPAR's convergence-mask drop-out (oldPAR is the same protocol with a
+/// single-partition scope). The buffers returned by lens()/d1()/d2() are
+/// stable (no reallocation) from start() until the next start(), as the
+/// batched EngineCore::submit()/wait() API requires of request spans.
+class EdgeNrStepper {
+ public:
+  void start(const BranchLengths& bl, EdgeId edge, std::span<const int> scope,
+             bool linked, const BranchOptOptions& opts);
+  bool done() const;
+  /// Partitions whose derivatives the current round must evaluate.
+  const std::vector<int>& active() const { return active_; }
+  /// Candidate lengths for active() (filled from the NR state on call).
+  std::span<const double> lens();
+  std::span<double> d1();
+  std::span<double> d2();
+  /// Consume the derivatives written into d1()/d2(); advances every active
+  /// NR instance and writes converged lengths back into `bl`.
+  void feed(BranchLengths& bl);
+
+ private:
+  EdgeId edge_ = kNoId;
+  bool linked_ = false;
+  std::vector<NewtonBranch> nr_;       // per scope entry (one in linked mode)
+  std::vector<int> scope_;
+  std::vector<std::size_t> alive_;     // indices into scope_ still iterating
+  std::vector<int> active_;
+  std::vector<double> lens_, d1_, d2_;
 };
 
 /// Optimize every branch length in `engine` (all partitions).
@@ -39,6 +89,20 @@ double optimize_branch_lengths(Engine& engine, Strategy strategy,
 /// SPR search optimizes only the three edges around an insertion point.
 void optimize_edge(Engine& engine, EdgeId edge, Strategy strategy,
                    const BranchOptOptions& opts = {});
+
+/// Lockstep single-edge optimization across many contexts of one shared
+/// core: context i optimizes (only) edges[i], and every step — the root
+/// relocation, the sumtable build, each Newton-Raphson derivative round —
+/// is ONE parallel region for the whole set. This is the edge-subset
+/// generalization of optimize_branch_lengths_batch (which is now a loop
+/// over it) and the engine of the batched SPR candidate scorer's 3-edge
+/// local optimization. Per context the command sequence and arithmetic are
+/// identical to optimize_edge() under `strategy` at the same thread count
+/// (kOldPar iterates partitions one at a time, still lockstep across
+/// contexts), so results match the sequential loop bit for bit.
+void optimize_edge_batch(EngineCore& core, std::span<EvalContext* const> ctxs,
+                         std::span<const EdgeId> edges, Strategy strategy,
+                         const BranchOptOptions& opts = {});
 
 /// Batched lockstep branch-length optimization across many contexts of one
 /// shared core (bootstrap replicates, multi-start candidates): all contexts

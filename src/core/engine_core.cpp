@@ -77,9 +77,16 @@ struct EvalContext::PartDyn {
   PartitionModel model;
   std::vector<double> weights;
 
-  // Inner-node CLVs and scale counts, indexed by (node - tip_count).
-  std::vector<AlignedDoubleVec> clv;
+  // Inner-node CLVs and scale counts, indexed by (node - tip_count). All
+  // kernel access goes through clv_ptr/scale_ptr: a regular context points
+  // them at its own storage below; an overlay context points them at its
+  // parent's buffers until a node is recomputed, at which point the node is
+  // redirected to a leased ClvSlotPool slot (slot_of[inner] >= 0).
+  std::vector<AlignedDoubleVec> clv;            // owned (empty for overlays)
   std::vector<std::vector<std::int32_t>> scale;
+  std::vector<double*> clv_ptr;
+  std::vector<std::int32_t*> scale_ptr;
+  std::vector<int> slot_of;                     // -1 = shared / owned
 
   // NR sumtable at the current root edge: [pattern][cat][state].
   AlignedDoubleVec sumtable;
@@ -149,6 +156,72 @@ struct EngineCore::Pending {
   Command cmd;
   int solo_part = -1;
 };
+
+// ---------------------------------------------------------------------------
+// ClvSlotPool
+// ---------------------------------------------------------------------------
+
+ClvSlotPool::ClvSlotPool(EngineCore& core, std::size_t soft_cap)
+    : core_(&core), soft_cap_(soft_cap) {
+  slots_.resize(static_cast<std::size_t>(core.partition_count()));
+}
+
+ClvSlotPool::Lease ClvSlotPool::acquire(int p) {
+  auto& list = slots_[static_cast<std::size_t>(p)];
+  int idx = -1;
+  for (std::size_t i = 0; i < list.size(); ++i)
+    if (!list[i]->in_use) {
+      idx = static_cast<int>(i);
+      break;
+    }
+  if (idx < 0) {
+    const PartitionModel& proto = core_->prototype_model(p);
+    const std::size_t stride =
+        static_cast<std::size_t>(proto.gamma_categories()) *
+        static_cast<std::size_t>(proto.model().states());
+    auto slot = std::make_unique<Slot>();
+    slot->clv.assign(core_->pattern_count(p) * stride, 0.0);
+    slot->scale.assign(core_->pattern_count(p), 0);
+    list.push_back(std::move(slot));
+    idx = static_cast<int>(list.size()) - 1;
+  }
+  Slot& s = *list[static_cast<std::size_t>(idx)];
+  s.in_use = true;
+  ++in_use_;
+  if (in_use_ > peak_) peak_ = in_use_;
+  return {idx, s.clv.data(), s.scale.data()};
+}
+
+void ClvSlotPool::release(int p, int slot) {
+  Slot& s = *slots_[static_cast<std::size_t>(p)][static_cast<std::size_t>(slot)];
+  if (!s.in_use) throw std::logic_error("ClvSlotPool: double release");
+  s.in_use = false;
+  --in_use_;
+}
+
+void ClvSlotPool::trim() {
+  // Leases are indices, so only free slots at the END of a partition's list
+  // can be dropped without disturbing live leases. Contexts release all
+  // their slots between candidate waves (rebind), so in steady state the
+  // whole list is free and trims fully down to the cap.
+  for (auto& list : slots_) {
+    std::size_t free = 0;
+    for (const auto& s : list)
+      if (!s->in_use) ++free;
+    while (!list.empty() && !list.back()->in_use && free > soft_cap_) {
+      list.pop_back();
+      --free;
+    }
+  }
+}
+
+std::size_t ClvSlotPool::slots_in_use() const { return in_use_; }
+
+std::size_t ClvSlotPool::slots_allocated() const {
+  std::size_t n = 0;
+  for (const auto& list : slots_) n += list.size();
+  return n;
+}
 
 // ---------------------------------------------------------------------------
 // EngineCore
@@ -299,6 +372,52 @@ void EngineCore::calibrate_schedule(EvalContext& ctx, EdgeId edge, int reps) {
 void EngineCore::reset_stats() {
   stats_ = EngineStats{};
   team_->reset_stats();
+}
+
+namespace {
+
+/// Serialize everything the likelihood of a partition depends on through the
+/// model: state count, Gamma layout, shape, exchangeabilities, frequencies.
+/// (Category rates are a pure function of alpha/cats/mode; the
+/// eigendecomposition is a pure function of exch/freqs.)
+void append_model_state(const PartitionModel& m, std::vector<double>& out) {
+  const SubstModel& sm = m.model();
+  out.push_back(static_cast<double>(sm.states()));
+  out.push_back(static_cast<double>(m.gamma_categories()));
+  out.push_back(static_cast<double>(static_cast<int>(m.gamma_mode())));
+  out.push_back(m.alpha());
+  out.insert(out.end(), sm.exchangeabilities().begin(),
+             sm.exchangeabilities().end());
+  out.insert(out.end(), sm.freqs().begin(), sm.freqs().end());
+}
+
+std::uint64_t fnv1a_doubles(const std::vector<double>& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(double); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t EngineCore::epoch_for_model(const PartitionModel& m) {
+  std::vector<double> state;
+  append_model_state(m, state);
+  const std::uint64_t h = fnv1a_doubles(state);
+  // Bound the registry: dropping entries only costs future sharing (a state
+  // seen again gets a fresh unique epoch), never correctness.
+  if (epoch_of_state_.size() > 4096) epoch_of_state_.clear();
+  auto [it, inserted] = epoch_of_state_.try_emplace(h);
+  if (!inserted) {
+    if (it->second.state == state) return it->second.epoch;
+    return next_epoch();  // true 64-bit collision: keep the epochs distinct
+  }
+  it->second.epoch = next_epoch();
+  it->second.state = std::move(state);
+  return it->second.epoch;
 }
 
 void EngineCore::check_not_pending(const EvalContext& ctx) const {
@@ -453,8 +572,8 @@ kernel::ChildView EngineCore::child_view(const EvalContext& ctx, int p,
     const std::size_t inner =
         static_cast<std::size_t>(v - ctx.tree_.tip_count());
     const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
-    cv.clv = dy.clv[inner].data();
-    cv.scale = dy.scale[inner].data();
+    cv.clv = dy.clv_ptr[inner];
+    cv.scale = dy.scale_ptr[inner];
   }
   return cv;
 }
@@ -495,6 +614,13 @@ void EngineCore::ensure_clv(EvalContext& ctx, NodeId v, EdgeId via,
 
 void EngineCore::add_newview_op(EvalContext& ctx, NodeId v, EdgeId via,
                                 const std::vector<int>& parts, Command& cmd) {
+  // Overlay contexts write into leased pool slots, never into the parent's
+  // shared buffers; redirect each written (node, partition) now, at assembly
+  // time, so execution-side pointer reads are stable.
+  const std::size_t vinner =
+      static_cast<std::size_t>(v - ctx.tree_.tip_count());
+  for (int p : parts) ctx.ensure_owned_clv(p, vinner);
+
   Command::Op op;
   op.node = v;
   op.toward = via;
@@ -722,16 +848,14 @@ void EngineCore::run_item(const Pending& item, int tid,
             kernel::newview_slice<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
                                      cmd.pmats.data() + op.pmat1[k],
                                      cmd.pmats.data() + op.pmat2[k],
-                                     dy.clv[inner].data(),
-                                     dy.scale[inner].data());
+                                     dy.clv_ptr[inner], dy.scale_ptr[inner]);
           } else {
             kernel::newview_spec<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
                                     cmd.pmats.data() + op.pmat1[k],
                                     cmd.pmats.data() + op.pmat2[k],
                                     cmd.pmats_t.data() + op.pmat1[k],
                                     cmd.pmats_t.data() + op.pmat2[k],
-                                    dy.clv[inner].data(),
-                                    dy.scale[inner].data());
+                                    dy.clv_ptr[inner], dy.scale_ptr[inner]);
           }
         }
       });
@@ -1111,16 +1235,28 @@ EvalContext::EvalContext(EngineCore& core, Tree tree,
     dy->weights = core.parts_[static_cast<std::size_t>(p)]->base_weights;
     dy->clv.resize(static_cast<std::size_t>(inner_count));
     dy->scale.resize(static_cast<std::size_t>(inner_count));
+    dy->clv_ptr.resize(static_cast<std::size_t>(inner_count));
+    dy->scale_ptr.resize(static_cast<std::size_t>(inner_count));
+    dy->slot_of.assign(static_cast<std::size_t>(inner_count), -1);
     for (int i = 0; i < inner_count; ++i) {
       dy->clv[static_cast<std::size_t>(i)].assign(patterns * stride, 0.0);
       dy->scale[static_cast<std::size_t>(i)].assign(patterns, 0);
+      dy->clv_ptr[static_cast<std::size_t>(i)] =
+          dy->clv[static_cast<std::size_t>(i)].data();
+      dy->scale_ptr[static_cast<std::size_t>(i)] =
+          dy->scale[static_cast<std::size_t>(i)].data();
     }
     dy->sumtable.assign(patterns * stride, 0.0);
     dyn_.push_back(std::move(dy));
   }
   orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
   model_epoch_.resize(dyn_.size());
-  for (auto& e : model_epoch_) e = core.next_epoch();
+  // Content-addressed: contexts constructed over identical model states
+  // (every bootstrap replicate, every fixed-model scan) share one epoch and
+  // with it the core's cached tip tables.
+  for (std::size_t p = 0; p < dyn_.size(); ++p)
+    model_epoch_[p] = core.epoch_for_model(dyn_[p]->model);
+  weights_stamp_.assign(dyn_.size(), 0);
   clv_epoch_.assign(static_cast<std::size_t>(inner_count),
                     std::vector<std::uint64_t>(dyn_.size(), 0));
   last_lnl_.assign(dyn_.size(), 0.0);
@@ -1133,6 +1269,99 @@ EvalContext::EvalContext(EngineCore& core, Tree tree,
   red_d2_.assign(red_size, 0.0);
 }
 
+EvalContext::EvalContext(const EvalContext& parent, ClvSlotPool& pool)
+    : core_(parent.core_),
+      pool_(&pool),
+      tree_(parent.tree_),
+      lengths_(parent.lengths_) {
+  if (parent.is_overlay())
+    throw std::invalid_argument(
+        "overlay EvalContext: parent must not itself be an overlay");
+  const int inner_count = tree_.node_count() - tree_.tip_count();
+  for (int p = 0; p < core_->partition_count(); ++p) {
+    auto dy =
+        std::make_unique<PartDyn>(parent.dyn_[static_cast<std::size_t>(p)]->model);
+    const std::size_t patterns = core_->pattern_count(p);
+    const std::size_t stride =
+        core_->parts_[static_cast<std::size_t>(p)]->clv_stride();
+    dy->weights = parent.dyn_[static_cast<std::size_t>(p)]->weights;
+    // No owned CLV storage: clv_ptr aliases the parent (or a leased slot).
+    dy->clv_ptr.assign(static_cast<std::size_t>(inner_count), nullptr);
+    dy->scale_ptr.assign(static_cast<std::size_t>(inner_count), nullptr);
+    dy->slot_of.assign(static_cast<std::size_t>(inner_count), -1);
+    dy->sumtable.assign(patterns * stride, 0.0);
+    dyn_.push_back(std::move(dy));
+  }
+  orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
+  model_epoch_ = parent.model_epoch_;
+  weights_stamp_.assign(dyn_.size(), 0);
+  parent_weights_stamp_ = parent.weights_stamp_;
+  clv_epoch_.assign(static_cast<std::size_t>(inner_count),
+                    std::vector<std::uint64_t>(dyn_.size(), 0));
+  last_lnl_.assign(dyn_.size(), 0.0);
+
+  red_stride_ = (dyn_.size() + 7) / 8 * 8;
+  const std::size_t red_size =
+      static_cast<std::size_t>(core_->threads()) * red_stride_;
+  red_lnl_.assign(red_size, 0.0);
+  red_d1_.assign(red_size, 0.0);
+  red_d2_.assign(red_size, 0.0);
+
+  rebind(parent);
+}
+
+void EvalContext::rebind(const EvalContext& parent) {
+  if (!is_overlay())
+    throw std::logic_error("rebind: not an overlay context");
+  if (parent.core_ != core_)
+    throw std::invalid_argument("rebind: parent belongs to another core");
+  if (parent.is_overlay())
+    throw std::invalid_argument("rebind: parent must not itself be an overlay");
+  core_->check_not_pending(*this);
+  core_->check_not_pending(parent);
+
+  const bool new_parent = bound_parent_ != &parent;
+  for (std::size_t p = 0; p < dyn_.size(); ++p) {
+    PartDyn& dy = *dyn_[p];
+    const PartDyn& pdy = *parent.dyn_[p];
+    // Per-context eviction: return every leased slot and share the parent's
+    // buffers again.
+    for (std::size_t i = 0; i < dy.slot_of.size(); ++i) {
+      if (dy.slot_of[i] >= 0) pool_->release(static_cast<int>(p), dy.slot_of[i]);
+      dy.slot_of[i] = -1;
+      dy.clv_ptr[i] = pdy.clv_ptr[i];
+      dy.scale_ptr[i] = pdy.scale_ptr[i];
+    }
+    // Models and weights change rarely between rebinds (only across model-
+    // optimization phases); re-copy only when the parent's actually moved.
+    if (new_parent || model_epoch_[p] != parent.model_epoch_[p])
+      dy.model = pdy.model;
+    if (new_parent || parent_weights_stamp_[p] != parent.weights_stamp_[p])
+      dy.weights = pdy.weights;
+  }
+  tree_ = parent.tree_;
+  lengths_ = parent.lengths_;
+  tip_of_taxon_ = parent.tip_of_taxon_;
+  taxon_of_tip_ = parent.taxon_of_tip_;
+  orient_ = parent.orient_;
+  clv_epoch_ = parent.clv_epoch_;
+  model_epoch_ = parent.model_epoch_;
+  parent_weights_stamp_ = parent.weights_stamp_;
+  root_edge_ = parent.root_edge_;
+  sumtable_valid_ = false;
+  bound_parent_ = &parent;
+}
+
+void EvalContext::ensure_owned_clv(int p, std::size_t inner) {
+  if (pool_ == nullptr) return;
+  PartDyn& dy = *dyn_[static_cast<std::size_t>(p)];
+  if (dy.slot_of[inner] >= 0) return;
+  const ClvSlotPool::Lease lease = pool_->acquire(p);
+  dy.slot_of[inner] = lease.slot;
+  dy.clv_ptr[inner] = lease.clv;
+  dy.scale_ptr[inner] = lease.scale;
+}
+
 EvalContext::~EvalContext() {
   // A pending request must not outlive its context (possible when an
   // exception unwinds a scope that submitted but never reached wait()):
@@ -1140,6 +1369,13 @@ EvalContext::~EvalContext() {
   // but are skipped by execution and finalization.
   for (auto& item : core_->pending_)
     if (item.ctx == this) item.ctx = nullptr;
+  if (pool_ != nullptr)
+    for (std::size_t p = 0; p < dyn_.size(); ++p) {
+      PartDyn& dy = *dyn_[p];
+      for (std::size_t i = 0; i < dy.slot_of.size(); ++i)
+        if (dy.slot_of[i] >= 0)
+          pool_->release(static_cast<int>(p), dy.slot_of[i]);
+    }
   core_->release_context_tables();
 }
 
@@ -1161,6 +1397,7 @@ void EvalContext::set_pattern_weights(int p, std::span<const double> weights) {
     throw std::invalid_argument("set_pattern_weights: size mismatch");
   core_->check_not_pending(*this);
   dy.weights.assign(weights.begin(), weights.end());
+  ++weights_stamp_[static_cast<std::size_t>(p)];
 }
 
 void EvalContext::invalidate_partition(int p) {

@@ -14,9 +14,15 @@
 //     searches can diverge without touching the core).
 //
 // Contexts are cheap relative to a full Engine: no tip re-encoding, no
-// thread spawn, no schedule rebuild. Model-parameter epochs are allocated
-// from a core-global counter, so the shared tip-table LRUs can never serve
-// a table built for one context's model state to another context.
+// thread spawn, no schedule rebuild. Model-parameter epochs are
+// *content-addressed* from a core-global registry: distinct model states
+// always get distinct epochs (so the shared tip-table LRUs can never serve
+// a table built for one model state to a context holding another), while
+// contexts whose models are identical share one epoch — and with it the
+// cached tip tables — which is what makes fixed-model candidate and
+// topology scans cheap. Overlay contexts (see the (parent, pool)
+// constructor and ClvSlotPool) go further and share the parent's CLV
+// buffers copy-on-score.
 //
 // Besides the classic per-context calls (EvalContext::loglikelihood() etc.,
 // one parallel region each), the core offers a *batched* front door:
@@ -35,6 +41,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bio/patterns.hpp"
@@ -49,6 +56,55 @@
 namespace plk {
 
 class EvalContext;
+class EngineCore;
+
+/// A bounded pool of CLV buffers leased to *overlay* evaluation contexts
+/// (see the EvalContext overlay constructor). An overlay shares its parent
+/// context's CLVs read-only and redirects only the nodes it recomputes into
+/// pool slots, so scoring hundreds of speculative candidates costs a handful
+/// of slots each instead of a full CLV allocation per candidate. Slots are
+/// sized per partition (pattern_count x cats x states). Releasing happens
+/// per context: EvalContext::rebind() and the destructor return every slot
+/// the context holds (the "per-context eviction" that caps memory across
+/// candidate waves); trim() then drops free slots above `soft_cap` per
+/// partition, so the pool's steady-state footprint follows the widest recent
+/// wave rather than the all-time peak. Master-thread only, like the core.
+class ClvSlotPool {
+ public:
+  /// `core` must outlive the pool. `soft_cap` = free slots retained per
+  /// partition by trim() (0 keeps everything until trim(0)).
+  explicit ClvSlotPool(EngineCore& core, std::size_t soft_cap = 64);
+
+  struct Lease {
+    int slot = -1;
+    double* clv = nullptr;
+    std::int32_t* scale = nullptr;
+  };
+
+  /// Lease a slot for partition `p` (reusing a free slot when possible).
+  Lease acquire(int p);
+  void release(int p, int slot);
+
+  /// Drop free slots beyond the soft cap (in-use slots are never touched).
+  void trim();
+
+  std::size_t slots_in_use() const;
+  std::size_t slots_allocated() const;
+  /// All-time high-water mark of concurrently leased slots (all partitions).
+  std::size_t peak_in_use() const { return peak_; }
+
+ private:
+  struct Slot {
+    AlignedDoubleVec clv;
+    std::vector<std::int32_t> scale;
+    bool in_use = false;
+  };
+  EngineCore* core_;
+  std::size_t soft_cap_;
+  std::vector<std::vector<std::unique_ptr<Slot>>> slots_;  // [partition]
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+};
 
 /// Engine-core construction options.
 struct EngineOptions {
@@ -283,6 +339,15 @@ class EngineCore {
   void release_context_tables();
 
   std::uint64_t next_epoch() { return ++epoch_counter_; }
+  /// Content-addressed model epoch: identical model states (same
+  /// exchangeabilities, frequencies, alpha, category layout) map to the SAME
+  /// epoch, so contexts over equal models — bootstrap replicates on the
+  /// prototype, fixed-model topology scans, candidate overlays — share
+  /// tip-table LRU entries instead of duplicating tables under core-unique
+  /// keys. Distinct states always get distinct epochs (the serialized state
+  /// is kept and compared, so a 64-bit hash collision degrades to a fresh
+  /// unique epoch, never to false sharing).
+  std::uint64_t epoch_for_model(const PartitionModel& m);
   void check_not_pending(const EvalContext& ctx) const;
 
   const CompressedAlignment& aln_;
@@ -299,6 +364,12 @@ class EngineCore {
   std::vector<double> measured_cost_;  // per partition, sec/pattern
 
   std::uint64_t epoch_counter_ = 0;  // model-state epochs, core-global
+  /// Content hash -> (epoch, serialized state) for epoch_for_model().
+  struct EpochEntry {
+    std::uint64_t epoch = 0;
+    std::vector<double> state;
+  };
+  std::unordered_map<std::uint64_t, EpochEntry> epoch_of_state_;
   std::uint64_t tip_clock_ = 0;      // LRU recency counter
   std::uint64_t flush_id_ = 1;       // pins LRU entries of the open batch
   std::vector<std::pair<int, EdgeId>> lru_overflow_;  // to trim post-flush
@@ -319,6 +390,18 @@ class EvalContext {
   /// be replaced per context (bootstrap replicates).
   EvalContext(EngineCore& core, Tree tree);
   EvalContext(EngineCore& core, Tree tree, std::vector<PartitionModel> models);
+
+  /// Overlay (copy-on-score) constructor: a lightweight scoring context over
+  /// `parent`'s state. The overlay shares the parent's CLV buffers read-only
+  /// and leases a slot from `pool` only for each node it recomputes itself,
+  /// so it costs O(touched nodes) CLV memory instead of O(inner nodes).
+  /// Both `parent` and `pool` must outlive the overlay, and the parent must
+  /// not be evaluated, re-rooted, or mutated while the overlay is in use
+  /// (its shared buffers would change underneath); call rebind() after any
+  /// parent change to re-synchronize. Used by the batched SPR candidate
+  /// scorer (search/candidate_batch.hpp).
+  EvalContext(const EvalContext& parent, ClvSlotPool& pool);
+
   ~EvalContext();
 
   EvalContext(const EvalContext&) = delete;
@@ -385,18 +468,40 @@ class EvalContext {
   /// winner of a multi-start search back into the primary context.
   void copy_state_from(const EvalContext& other);
 
+  /// True for overlay contexts created with the (parent, pool) constructor.
+  bool is_overlay() const { return pool_ != nullptr; }
+
+  /// Overlay contexts only: release every leased CLV slot back to the pool
+  /// (the per-context eviction) and re-adopt `parent`'s current tree, branch
+  /// lengths, orientation, and CLV validity state, sharing the parent's CLV
+  /// buffers again. Models and pattern weights are re-copied only when the
+  /// parent's have changed since the last rebind. The parent's CLVs are
+  /// shared as-is: whatever is valid in the parent is valid here.
+  void rebind(const EvalContext& parent);
+
  private:
   friend class EngineCore;
 
   struct PartDyn;
 
+  /// Redirect (inner, p) to an owned pool slot before a newview writes it
+  /// (no-op for non-overlay contexts and already-owned nodes). Called at
+  /// command-assembly time on the master thread.
+  void ensure_owned_clv(int p, std::size_t inner);
+
   EngineCore* core_;
+  ClvSlotPool* pool_ = nullptr;            // overlays only
+  const EvalContext* bound_parent_ = nullptr;  // last rebind() source
   Tree tree_;
   std::vector<std::unique_ptr<PartDyn>> dyn_;
   BranchLengths lengths_;
 
   std::vector<EdgeId> orient_;                 // per node; kNoId = invalid
-  std::vector<std::uint64_t> model_epoch_;     // per partition (core-unique)
+  std::vector<std::uint64_t> model_epoch_;     // per partition (content-keyed)
+  std::vector<std::uint64_t> weights_stamp_;   // per partition, bumped on
+                                               // set_pattern_weights
+  std::vector<std::uint64_t> parent_weights_stamp_;  // overlays: stamp seen
+                                                     // at last rebind
   std::vector<std::vector<std::uint64_t>> clv_epoch_;  // [inner][partition]
   std::vector<NodeId> tip_of_taxon_;           // alignment taxon -> tree tip
   std::vector<std::size_t> taxon_of_tip_;      // tree tip -> alignment taxon

@@ -1,0 +1,91 @@
+#include "search/candidate_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace plk {
+
+CandidateScorer::CandidateScorer(EngineCore& core, EvalContext& parent,
+                                 Strategy strategy,
+                                 const BranchOptOptions& local_opts,
+                                 const CandidateBatchOptions& opts)
+    : core_(core),
+      parent_(parent),
+      strategy_(strategy),
+      local_opts_(local_opts),
+      opts_(opts),
+      pool_(core, opts.pool_soft_cap) {
+  if (&parent.core() != &core)
+    throw std::invalid_argument(
+        "CandidateScorer: parent belongs to another core");
+  if (opts_.max_batch < 1)
+    throw std::invalid_argument("CandidateScorer: max_batch must be >= 1");
+}
+
+CandidateScorer::~CandidateScorer() = default;
+
+std::vector<double> CandidateScorer::score(std::span<const SprMove> moves) {
+  std::vector<double> out(moves.size(), 0.0);
+  if (moves.empty()) return out;
+  const EdgeId prune = moves[0].prune_edge;
+  for (const SprMove& m : moves)
+    if (m.prune_edge != prune)
+      throw std::invalid_argument(
+          "CandidateScorer::score: moves must share one prune edge");
+  ++stats_.groups;
+
+  for (std::size_t base = 0; base < moves.size();
+       base += static_cast<std::size_t>(opts_.max_batch)) {
+    const std::size_t K = std::min(moves.size() - base,
+                                   static_cast<std::size_t>(opts_.max_batch));
+    ++stats_.waves;
+
+    // The parent's CLVs must all be valid toward the prune edge before the
+    // overlays alias them (the sequential scorer performs the same
+    // prepare_root per candidate; here it runs once per wave and is free
+    // when the previous wave already oriented the parent). The parent is
+    // not touched again until the wave's scores are out.
+    parent_.prepare_root(prune);
+
+    while (overlays_.size() < K)
+      overlays_.push_back(std::make_unique<EvalContext>(parent_, pool_));
+
+    // Materialize the wave: re-synchronize each overlay with the parent
+    // (releasing any slots from the previous wave), apply its move
+    // speculatively, and invalidate exactly what the sequential scorer
+    // invalidates.
+    std::vector<EvalContext*> ctxs(K);
+    std::vector<EdgeId> carried(K), target(K), prune_edges(K);
+    for (std::size_t i = 0; i < K; ++i) {
+      EvalContext& ov = *overlays_[i];
+      ov.rebind(parent_);
+      const SprUndo undo = apply_spr(ov.tree(), moves[base + i]);
+      apply_spr_lengths(ov.branch_lengths(), undo);
+      invalidate_after_spr(ov, undo);
+      ctxs[i] = &ov;
+      carried[i] = undo.carried;
+      target[i] = undo.target;
+      prune_edges[i] = moves[base + i].prune_edge;
+    }
+
+    // Lockstep 3-edge local optimization (the "lazy" part of lazy SPR) —
+    // same edge order as the sequential local_optimize: carried, target,
+    // prune. Each step is a handful of parallel regions shared by the
+    // whole wave instead of per candidate.
+    optimize_edge_batch(core_, ctxs, carried, strategy_, local_opts_);
+    optimize_edge_batch(core_, ctxs, target, strategy_, local_opts_);
+    optimize_edge_batch(core_, ctxs, prune_edges, strategy_, local_opts_);
+
+    // One batched evaluation yields every candidate's score.
+    const std::vector<double> lnls = core_.evaluate_batch(ctxs, prune_edges);
+    for (std::size_t i = 0; i < K; ++i) out[base + i] = lnls[i];
+    stats_.candidates += K;
+  }
+
+  stats_.pool_slots_peak = std::max(stats_.pool_slots_peak, pool_.peak_in_use());
+  pool_.trim();
+  stats_.pool_slots_allocated = pool_.slots_allocated();
+  return out;
+}
+
+}  // namespace plk

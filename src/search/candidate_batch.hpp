@@ -1,0 +1,104 @@
+// Batched lockstep SPR candidate scoring.
+//
+// The lazy-SPR hill climb is the engine's dominant workload, and its unit of
+// work is the *candidate*: apply one radius-bounded SPR move speculatively,
+// quickly optimize the three branches around the insertion point, evaluate,
+// undo. Scored one at a time (search.cpp's sequential path), each candidate
+// costs ~5+ synchronized parallel regions — prepare_root, a sumtable and a
+// handful of Newton-Raphson rounds per optimized edge, the final evaluation
+// — with only a few edges' worth of work per region, so threads spend most
+// of their time at barriers.
+//
+// CandidateScorer turns the per-round candidate SET into the unit of work
+// instead. Every candidate of a prune edge is materialized onto an *overlay*
+// EvalContext (see core/engine_core.hpp): a lightweight scoring context that
+// shares the parent's CLV buffers copy-on-score and leases pool slots only
+// for the handful of nodes its move invalidates. All overlays then advance
+// in lockstep through the core's batched submit()/wait() API:
+//
+//   1. one batched prepare_root               (per wave, usually 0 ops)
+//   2. for each of the 3 local edges:         (optimize_edge_batch)
+//        one batched root relocation
+//        one batched sumtable build
+//        one batched region per NR round (convergence drop-out per context)
+//   3. one batched evaluation -> all scores
+//
+// so a wave of K candidates costs roughly the synchronization of ONE
+// sequential candidate. Per candidate the command sequence and arithmetic
+// are identical to the sequential scorer at the same thread count, so the
+// scores — and therefore the search's accepted-move sequence — match bit
+// for bit (tests/test_candidate_batch.cpp pins this down).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/branch_opt.hpp"
+#include "core/engine_core.hpp"
+#include "core/strategy.hpp"
+#include "search/spr.hpp"
+
+namespace plk {
+
+/// Knobs for the batched candidate scorer.
+struct CandidateBatchOptions {
+  /// Candidates scored per lockstep wave (= live overlay contexts, which
+  /// bounds CLV slot-pool memory: a wave leases at most
+  /// max_batch x touched-nodes-per-candidate slots per partition).
+  int max_batch = 32;
+  /// Free CLV slots the pool retains per partition between waves (the pool
+  /// trims itself back to this after each group of candidates).
+  std::size_t pool_soft_cap = 64;
+};
+
+/// Counters describing how the batched scorer spent its candidates.
+struct CandidateBatchStats {
+  std::uint64_t candidates = 0;   ///< moves scored through the batched path
+  std::uint64_t groups = 0;       ///< score() calls (one per prune edge/side)
+  std::uint64_t waves = 0;        ///< lockstep waves executed
+  std::size_t pool_slots_peak = 0;   ///< high-water leased CLV slots
+  std::size_t pool_slots_allocated = 0;  ///< pool slots currently allocated
+};
+
+/// Scores SPR candidate sets for one parent context in lockstep waves. The
+/// scorer owns the CLV slot pool and a reusable set of overlay contexts;
+/// construct it once per search and call score() per candidate group. The
+/// parent may change freely *between* score() calls (moves are committed,
+/// branch lengths smoothed, models re-optimized); each wave re-synchronizes
+/// the overlays via EvalContext::rebind(). Master-thread only.
+class CandidateScorer {
+ public:
+  /// `core`/`parent` must outlive the scorer; `parent` must be a context of
+  /// `core` (and not itself an overlay). `strategy` and `local_opts` mirror
+  /// the sequential scorer's SearchOptions (strategy + local_branch_opts).
+  CandidateScorer(EngineCore& core, EvalContext& parent, Strategy strategy,
+                  const BranchOptOptions& local_opts,
+                  const CandidateBatchOptions& opts = {});
+  ~CandidateScorer();
+
+  CandidateScorer(const CandidateScorer&) = delete;
+  CandidateScorer& operator=(const CandidateScorer&) = delete;
+
+  /// Score every move (all must share one prune edge — the per-round group
+  /// the search enumerates); returns one candidate lnL per move, in order.
+  /// The parent context is left exactly as found apart from its CLV
+  /// orientation (rooted at the group's prune edge, as the sequential
+  /// scorer also leaves it).
+  std::vector<double> score(std::span<const SprMove> moves);
+
+  const CandidateBatchStats& stats() const { return stats_; }
+
+ private:
+  EngineCore& core_;
+  EvalContext& parent_;
+  Strategy strategy_;
+  BranchOptOptions local_opts_;
+  CandidateBatchOptions opts_;
+  ClvSlotPool pool_;  // declared before overlays_: destroyed after them
+  std::vector<std::unique_ptr<EvalContext>> overlays_;
+  CandidateBatchStats stats_;
+};
+
+}  // namespace plk

@@ -1,7 +1,9 @@
 #include "search/search.hpp"
 
+#include <memory>
 #include <vector>
 
+#include "search/candidate_batch.hpp"
 #include "search/spr.hpp"
 #include "util/log.hpp"
 
@@ -26,20 +28,6 @@ void restore_lengths(BranchLengths& bl, EdgeId e,
   }
   for (int p = 0; p < bl.partition_count(); ++p)
     bl.set(e, p, saved[static_cast<std::size_t>(p)]);
-}
-
-/// Mirror apply_spr's default-length surgery onto the per-partition store:
-/// fused = fused + carried; carried = target / 2; target = target / 2.
-void apply_spr_lengths(BranchLengths& bl, const SprUndo& u) {
-  const int np = bl.linked() ? 1 : bl.partition_count();
-  for (int p = 0; p < np; ++p) {
-    const double lf = bl.get(u.fused, p);
-    const double lc = bl.get(u.carried, p);
-    const double lt = bl.get(u.target, p);
-    bl.set(u.fused, p, lf + lc);
-    bl.set(u.carried, p, 0.5 * lt);
-    bl.set(u.target, p, 0.5 * lt);
-  }
 }
 
 /// Quickly optimize the three branches around the insertion point
@@ -100,6 +88,14 @@ double commit_move(Engine& engine, const SprMove& move,
 SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
   SearchResult res;
 
+  // One scorer per search: its overlay contexts and CLV slot pool are
+  // reused across every candidate group and round.
+  std::unique_ptr<CandidateScorer> scorer;
+  if (opts.batched_candidates)
+    scorer = std::make_unique<CandidateScorer>(
+        engine.core(), engine.context(), opts.strategy,
+        opts.local_branch_opts, opts.candidate_batch);
+
   double lnl = optimize_branch_lengths(engine, opts.strategy,
                                        opts.full_branch_opts);
   if (opts.optimize_model)
@@ -120,15 +116,27 @@ SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
 
         const auto targets =
             spr_targets(engine.tree(), pe, s, opts.spr_radius);
+        std::vector<SprMove> moves;
+        moves.reserve(targets.size());
+        for (EdgeId t : targets) moves.push_back(SprMove{pe, s, t});
+
+        std::vector<double> cands;
+        if (scorer != nullptr) {
+          // Batched path: the whole candidate group in lockstep waves.
+          cands = scorer->score(moves);
+        } else {
+          cands.reserve(moves.size());
+          for (const SprMove& move : moves)
+            cands.push_back(score_candidate(engine, move, opts));
+        }
+        res.candidates_scored += moves.size();
+
         SprMove best_move;
         double best_lnl = lnl;
-        for (EdgeId t : targets) {
-          const SprMove move{pe, s, t};
-          const double cand = score_candidate(engine, move, opts);
-          ++res.candidates_scored;
-          if (cand > best_lnl) {
-            best_lnl = cand;
-            best_move = move;
+        for (std::size_t i = 0; i < moves.size(); ++i) {
+          if (cands[i] > best_lnl) {
+            best_lnl = cands[i];
+            best_move = moves[i];
           }
         }
         if (best_move.target_edge != kNoId &&
@@ -154,6 +162,7 @@ SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
 
   engine.sync_tree_lengths();
   res.final_lnl = lnl;
+  if (scorer != nullptr) res.batch = scorer->stats();
   return res;
 }
 

@@ -16,6 +16,7 @@
 #include "core/engine.hpp"
 #include "core/model_opt.hpp"
 #include "core/strategy.hpp"
+#include "search/candidate_batch.hpp"
 
 namespace plk {
 
@@ -27,6 +28,12 @@ struct SearchOptions {
   double epsilon = 0.1;        ///< stop when a round improves lnL by less
   double min_move_gain = 1e-4; ///< accept an SPR only above this gain
   bool optimize_model = true;  ///< run model-opt phases between rounds
+  /// Score each prune edge's candidate set in lockstep waves through the
+  /// batched CandidateScorer (identical scores and accepted moves; far
+  /// fewer synchronization events). Off = the historical one-candidate-at-
+  /// a-time scorer, kept for A/B comparison (bench/bench_search.cpp).
+  bool batched_candidates = true;
+  CandidateBatchOptions candidate_batch{};
   /// Quick local optimization applied to the 3 branches at an insertion.
   BranchOptOptions local_branch_opts{/*max_nr_iterations=*/8,
                                      /*length_tolerance=*/1e-4,
@@ -42,6 +49,8 @@ struct SearchResult {
   int rounds = 0;
   int accepted_moves = 0;
   std::uint64_t candidates_scored = 0;
+  /// Batched-scorer accounting (all zero when batched_candidates is off).
+  CandidateBatchStats batch;
 };
 
 /// Run the search on the engine's current tree; the engine's tree and

@@ -75,6 +75,11 @@ SprUndo apply_spr(Tree& tree, const SprMove& move) {
   u.len_fused = tree.length(u.fused);
   u.len_carried = tree.length(u.carried);
   u.len_target = tree.length(u.target);
+  for (NodeId v : {u.joint, u.x, u.y, u.a, u.b}) {
+    bool seen = false;
+    for (const auto& [node, order] : u.adjacency) seen |= node == v;
+    if (!seen) u.adjacency.emplace_back(v, tree.edges_of(v));
+  }
 
   // 1. Fuse: `fused` becomes x-y with the summed length.
   tree.reattach(u.fused, j, u.y);
@@ -95,14 +100,30 @@ void undo_spr(Tree& tree, const SprUndo& u) {
   tree.set_length(u.fused, u.len_fused);
   tree.set_length(u.carried, u.len_carried);
   tree.set_length(u.target, u.len_target);
+  // Reattach appends to adjacency lists; put the original order back so the
+  // round trip leaves NO trace (see the SprUndo::adjacency comment).
+  for (const auto& [node, order] : u.adjacency)
+    tree.restore_adjacency_order(node, order);
 }
 
-void invalidate_after_spr(Engine& engine, const SprUndo& u) {
-  const Tree& tree = engine.tree();
-  for (NodeId v : {u.joint, u.x, u.y, u.a, u.b}) engine.invalidate_node(v);
-  const EdgeId root = engine.root_edge();
+void apply_spr_lengths(BranchLengths& bl, const SprUndo& u) {
+  const int np = bl.linked() ? 1 : bl.partition_count();
+  for (int p = 0; p < np; ++p) {
+    const double lf = bl.get(u.fused, p);
+    const double lc = bl.get(u.carried, p);
+    const double lt = bl.get(u.target, p);
+    bl.set(u.fused, p, lf + lc);
+    bl.set(u.carried, p, 0.5 * lt);
+    bl.set(u.target, p, 0.5 * lt);
+  }
+}
+
+void invalidate_after_spr(EvalContext& ctx, const SprUndo& u) {
+  const Tree& tree = ctx.tree();
+  for (NodeId v : {u.joint, u.x, u.y, u.a, u.b}) ctx.invalidate_node(v);
+  const EdgeId root = ctx.root_edge();
   if (root == kNoId) {
-    engine.invalidate_all();
+    ctx.invalidate_all();
     return;
   }
   // Nodes whose root-oriented CLV subsumes a modified region: everything on
@@ -110,8 +131,12 @@ void invalidate_after_spr(Engine& engine, const SprUndo& u) {
   for (EdgeId region : {u.fused, u.target, u.carried}) {
     if (region == root) continue;
     for (NodeId v : tree.path_between_edges(region, root))
-      engine.invalidate_node(v);
+      ctx.invalidate_node(v);
   }
+}
+
+void invalidate_after_spr(Engine& engine, const SprUndo& u) {
+  invalidate_after_spr(engine.context(), u);
 }
 
 std::vector<EdgeId> spr_targets(const Tree& tree, EdgeId prune_edge,

@@ -31,6 +31,12 @@ struct SprUndo {
   EdgeId target = kNoId;       // edge that became joint-b (was a-b)
   NodeId x = kNoId, y = kNoId, a = kNoId, b = kNoId;
   double len_fused = 0, len_carried = 0, len_target = 0;
+  /// Adjacency-list orders of the rewired nodes before the move. undo_spr
+  /// restores them so an apply/undo round trip is EXACTLY side-effect-free:
+  /// edges_of() order steers which edge a later apply_spr treats as fused
+  /// vs carried (and every traversal's child order), so a scoring pass that
+  /// merely rotated the lists would silently change the rest of the search.
+  std::vector<std::pair<NodeId, std::vector<EdgeId>>> adjacency;
 };
 
 /// Check that a move is structurally legal: the joint is an inner node and
@@ -44,10 +50,17 @@ SprUndo apply_spr(Tree& tree, const SprMove& move);
 /// Restore the topology and the three affected default branch lengths.
 void undo_spr(Tree& tree, const SprUndo& undo);
 
-/// Invalidate engine CLVs made stale by an applied (or undone) SPR: the
+/// Mirror apply_spr's default-length surgery onto a per-partition branch-
+/// length store: fused += carried; carried = target / 2; target = target / 2.
+/// (apply_spr itself only rewrites the tree's own mean lengths.)
+void apply_spr_lengths(BranchLengths& bl, const SprUndo& undo);
+
+/// Invalidate context CLVs made stale by an applied (or undone) SPR: the
 /// rewired nodes plus every node on the paths from the two modified regions
-/// to the engine's current root edge. Call with the undo record returned by
+/// to the context's current root edge. Call with the undo record returned by
 /// apply_spr (after applying) or the same record again (after undoing).
+void invalidate_after_spr(EvalContext& ctx, const SprUndo& undo);
+/// Engine facade forwarder.
 void invalidate_after_spr(Engine& engine, const SprUndo& undo);
 
 /// All legal target edges for pruning `pruned_side` off `prune_edge`, within

@@ -90,6 +90,17 @@ void Tree::reattach(EdgeId e, NodeId from, NodeId to) {
   adjacency_[static_cast<std::size_t>(to)].push_back(e);
 }
 
+void Tree::restore_adjacency_order(NodeId v, const std::vector<EdgeId>& order) {
+  auto& adj = adjacency_[static_cast<std::size_t>(v)];
+  if (order.size() != adj.size())
+    throw std::logic_error("restore_adjacency_order: size mismatch");
+  for (EdgeId e : order)
+    if (std::find(adj.begin(), adj.end(), e) == adj.end())
+      throw std::logic_error(
+          "restore_adjacency_order: not a permutation of the current edges");
+  adj = order;
+}
+
 std::vector<NodeId> Tree::path_between_edges(EdgeId from, EdgeId to) const {
   if (from == to) return {};
   // BFS over nodes from both endpoints of `from` until an endpoint of `to`

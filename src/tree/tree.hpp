@@ -73,7 +73,17 @@ class Tree {
   // --- topology surgery (used by NNI/SPR; see search/) -------------------
 
   /// Replace endpoint `from` of edge `e` with `to`, updating adjacency.
+  /// The edge is appended to `to`'s adjacency list, so a reattach round trip
+  /// ROTATES list order; surgery that must undo exactly (speculative SPR
+  /// scoring) snapshots the affected lists and restores them afterwards.
   void reattach(EdgeId e, NodeId from, NodeId to);
+
+  /// Restore a node's adjacency-list order from a snapshot taken before
+  /// surgery. `order` must be a permutation of the node's current incident
+  /// edges (throws std::logic_error otherwise). Traversal and surgery code
+  /// consume edges_of() in list order, so an exact topological undo is only
+  /// side-effect-free if the order is restored too.
+  void restore_adjacency_order(NodeId v, const std::vector<EdgeId>& order);
 
   /// Nodes on the path between the midpoint of edge `from` and the midpoint
   /// of edge `to` (inclusive of endpoints of both edges).

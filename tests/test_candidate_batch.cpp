@@ -1,0 +1,317 @@
+// Tests for the batched lockstep SPR candidate scorer
+// (search/candidate_batch.hpp): per-candidate scores, the accepted-move
+// sequence, and the final likelihood must be IDENTICAL to the sequential
+// one-candidate-at-a-time scorer — bit-for-bit under the default cyclic
+// schedule — across thread counts, linked/unlinked branch lengths, and
+// both parallelization strategies; plus CLV-slot-pool behaviour under tight
+// wave limits and a mid-search checkpoint round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/checkpoint.hpp"
+#include "search/candidate_batch.hpp"
+#include "search/search.hpp"
+#include "search/spr.hpp"
+#include "sim/datasets.hpp"
+#include "tree/newick.hpp"
+#include "tree/tree_gen.hpp"
+
+namespace plk {
+namespace {
+
+std::vector<PartitionModel> make_models(const CompressedAlignment& comp) {
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0,
+                        4);
+  return models;
+}
+
+struct Rig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  Rig(int taxa, std::size_t sites, std::size_t plen, int threads,
+      bool unlinked, std::uint64_t seed,
+      std::optional<Tree> start = std::nullopt) {
+    data = make_simulated_dna(taxa, sites, plen, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.unlinked_branch_lengths = unlinked;
+    engine = std::make_unique<Engine>(
+        *comp, start ? std::move(*start) : data.true_tree, make_models(*comp),
+        eo);
+  }
+};
+
+SearchOptions quick_search(bool batched, int radius = 3, int rounds = 1) {
+  SearchOptions so;
+  so.batched_candidates = batched;
+  so.spr_radius = radius;
+  so.max_rounds = rounds;
+  so.optimize_model = false;  // model phases are shared code; keep tests fast
+  return so;
+}
+
+std::string tree_text(Engine& e) {
+  e.sync_tree_lengths();
+  return write_newick(e.tree());
+}
+
+/// Run the same search batched and sequentially from identical starts and
+/// require an identical outcome: final lnL (bit-equal under the default
+/// cyclic schedule), accepted-move count, candidate count, and final tree.
+void expect_equivalent(int taxa, std::size_t sites, std::size_t plen,
+                       int threads, bool unlinked, Strategy strategy,
+                       std::uint64_t seed, int radius = 3) {
+  Rng r1(seed), r2(seed);
+  Rig a(taxa, sites, plen, threads, unlinked, seed + 1,
+        random_tree(default_labels(taxa), r1));
+  Rig b(taxa, sites, plen, threads, unlinked, seed + 1,
+        random_tree(default_labels(taxa), r2));
+  SearchOptions so = quick_search(true, radius);
+  so.strategy = strategy;
+  const SearchResult batched = search_ml(*a.engine, so);
+  so.batched_candidates = false;
+  const SearchResult seq = search_ml(*b.engine, so);
+
+  EXPECT_EQ(batched.final_lnl, seq.final_lnl)
+      << "lnL diverged by " << std::abs(batched.final_lnl - seq.final_lnl);
+  ASSERT_LE(std::abs(batched.final_lnl - seq.final_lnl),
+            1e-10 * std::abs(seq.final_lnl));
+  EXPECT_EQ(batched.accepted_moves, seq.accepted_moves);
+  EXPECT_EQ(batched.candidates_scored, seq.candidates_scored);
+  EXPECT_EQ(batched.rounds, seq.rounds);
+  EXPECT_EQ(tree_text(*a.engine), tree_text(*b.engine))
+      << "accepted-move sequences diverged";
+  EXPECT_EQ(batched.batch.candidates, batched.candidates_scored);
+  EXPECT_GT(batched.batch.waves, 0u);
+  EXPECT_EQ(seq.batch.candidates, 0u);
+}
+
+// --- batched == sequential across the configuration matrix -------------------
+
+TEST(CandidateBatch, MatchesSequentialSingleThread) {
+  expect_equivalent(9, 300, 100, 1, true, Strategy::kNewPar, 101);
+}
+
+TEST(CandidateBatch, MatchesSequentialTwoThreads) {
+  expect_equivalent(9, 300, 100, 2, true, Strategy::kNewPar, 103);
+}
+
+TEST(CandidateBatch, MatchesSequentialFourThreads) {
+  expect_equivalent(8, 240, 80, 4, true, Strategy::kNewPar, 105);
+}
+
+TEST(CandidateBatch, MatchesSequentialEightThreads) {
+  expect_equivalent(8, 160, 80, 8, true, Strategy::kNewPar, 107, /*radius=*/2);
+}
+
+TEST(CandidateBatch, MatchesSequentialLinkedBranchLengths) {
+  expect_equivalent(9, 300, 100, 2, false, Strategy::kNewPar, 109);
+}
+
+TEST(CandidateBatch, MatchesSequentialOldPar) {
+  expect_equivalent(8, 240, 80, 2, true, Strategy::kOldPar, 111);
+}
+
+// --- per-candidate scores ----------------------------------------------------
+
+/// The scorer's per-candidate lnLs must equal scoring each move manually
+/// with the classic sequential primitives (apply, 3-edge optimize_edge,
+/// evaluate, undo) — bit for bit under the cyclic schedule.
+TEST(CandidateBatch, PerCandidateScoresMatchSequentialPrimitives) {
+  Rig rig(10, 300, 100, 2, true, 201);
+  Engine& eng = *rig.engine;
+  const SearchOptions so = quick_search(true);
+  optimize_branch_lengths(eng, so.strategy, so.full_branch_opts);
+
+  // Find a prune group with a healthy number of candidates.
+  std::vector<SprMove> moves;
+  for (EdgeId pe = 0; pe < eng.tree().edge_count() && moves.size() < 6; ++pe) {
+    for (int side = 0; side < 2 && moves.empty(); ++side) {
+      const NodeId s = side == 0 ? eng.tree().edge(pe).a : eng.tree().edge(pe).b;
+      if (eng.tree().is_tip(eng.tree().other_end(pe, s))) continue;
+      for (EdgeId t : spr_targets(eng.tree(), pe, s, 4))
+        moves.push_back(SprMove{pe, s, t});
+    }
+  }
+  ASSERT_GE(moves.size(), 3u);
+
+  CandidateScorer scorer(eng.core(), eng.context(), so.strategy,
+                         so.local_branch_opts);
+  const std::vector<double> batched = scorer.score(moves);
+
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const SprMove& move = moves[i];
+    BranchLengths& bl = eng.branch_lengths();
+    eng.prepare_root(move.prune_edge);
+    // Save the lengths the surgery and optimization will touch.
+    const NodeId joint = eng.tree().other_end(move.prune_edge, move.pruned_side);
+    std::vector<EdgeId> touched;
+    for (EdgeId e : eng.tree().edges_of(joint))
+      if (e != move.prune_edge) touched.push_back(e);
+    touched.push_back(move.target_edge);
+    touched.push_back(move.prune_edge);
+    std::vector<std::vector<double>> saved;
+    for (EdgeId e : touched) {
+      std::vector<double> row;
+      for (int p = 0; p < eng.partition_count(); ++p) row.push_back(bl.get(e, p));
+      saved.push_back(std::move(row));
+    }
+
+    SprUndo u = apply_spr(eng.tree(), move);
+    apply_spr_lengths(bl, u);
+    invalidate_after_spr(eng, u);
+    optimize_edge(eng, u.carried, so.strategy, so.local_branch_opts);
+    optimize_edge(eng, u.target, so.strategy, so.local_branch_opts);
+    optimize_edge(eng, move.prune_edge, so.strategy, so.local_branch_opts);
+    const double sequential = eng.loglikelihood(move.prune_edge);
+
+    eng.prepare_root(move.prune_edge);
+    undo_spr(eng.tree(), u);
+    invalidate_after_spr(eng, u);
+    for (std::size_t k = 0; k < touched.size(); ++k)
+      for (int p = 0; p < eng.partition_count(); ++p)
+        bl.set(touched[k], p, saved[k][static_cast<std::size_t>(p)]);
+
+    EXPECT_EQ(batched[i], sequential) << "candidate " << i;
+  }
+}
+
+// --- CLV slot pool -----------------------------------------------------------
+
+/// Tight waves must split the group without changing any result, and the
+/// pool's footprint must stay bounded by the wave width (per-context
+/// eviction at each rebind), far below one-full-context-per-candidate.
+TEST(CandidateBatch, WaveSplittingIsEquivalentAndBoundsPool) {
+  Rng r1(301), r2(301);
+  Rig a(10, 240, 80, 2, true, 302, random_tree(default_labels(10), r1));
+  Rig b(10, 240, 80, 2, true, 302, random_tree(default_labels(10), r2));
+
+  SearchOptions wide = quick_search(true);
+  wide.candidate_batch.max_batch = 64;
+  SearchOptions tight = quick_search(true);
+  tight.candidate_batch.max_batch = 2;
+  tight.candidate_batch.pool_soft_cap = 4;
+
+  const SearchResult rw = search_ml(*a.engine, wide);
+  const SearchResult rt = search_ml(*b.engine, tight);
+
+  EXPECT_EQ(rw.final_lnl, rt.final_lnl);
+  EXPECT_EQ(rw.accepted_moves, rt.accepted_moves);
+  EXPECT_EQ(rw.candidates_scored, rt.candidates_scored);
+  EXPECT_EQ(tree_text(*a.engine), tree_text(*b.engine));
+
+  EXPECT_GT(rt.batch.waves, rt.batch.groups);  // groups actually split
+  EXPECT_GT(rt.batch.pool_slots_peak, 0u);
+  // A wave of 2 candidates touches a few nodes each; the peak must stay a
+  // small multiple of the wave width times the partition count — nowhere
+  // near candidates x inner-nodes (the memory the pool exists to avoid).
+  const std::size_t parts =
+      static_cast<std::size_t>(a.engine->partition_count());
+  EXPECT_LE(rt.batch.pool_slots_peak,
+            2 * parts * static_cast<std::size_t>(
+                            a.engine->tree().node_count()));
+  EXPECT_LT(rt.batch.pool_slots_peak, rw.batch.pool_slots_peak * 2 + parts * 64);
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+/// A checkpoint taken mid-search restores into a fresh context such that
+/// the restored likelihood matches exactly and the CONTINUED search is
+/// identical between the batched and sequential scorers. (The continuation
+/// of the original in-memory engine may legitimately differ in the last
+/// decimals: the checkpoint's edge list rebuilds adjacency in canonical
+/// order, while the live tree carries the rotations of its commits.)
+TEST(CandidateBatch, CheckpointRoundTripMidSearch) {
+  Rng rng(401);
+  const Tree start = random_tree(default_labels(9), rng);
+  Rig a(9, 240, 80, 2, true, 402, start);
+
+  // Round 1 (batched), then snapshot.
+  const SearchResult mid = search_ml(*a.engine, quick_search(true, 3, 1));
+  const std::string snapshot = serialize_checkpoint(*a.engine);
+
+  // Restore into two fresh engines over the same alignment; the restored
+  // state must evaluate to the checkpointed likelihood bit for bit.
+  Rig b(9, 240, 80, 2, true, 402, start);
+  Rig c(9, 240, 80, 2, true, 402, start);
+  apply_checkpoint(*b.engine, snapshot);
+  apply_checkpoint(*c.engine, snapshot);
+  EXPECT_EQ(b.engine->loglikelihood(0), c.engine->loglikelihood(0));
+
+  // Continue the search from the restored state, batched vs sequential:
+  // identical moves, identical final state.
+  const SearchResult rb = search_ml(*b.engine, quick_search(true, 3, 1));
+  const SearchResult rc = search_ml(*c.engine, quick_search(false, 3, 1));
+  EXPECT_EQ(rb.final_lnl, rc.final_lnl);
+  EXPECT_EQ(rb.accepted_moves, rc.accepted_moves);
+  EXPECT_EQ(rb.candidates_scored, rc.candidates_scored);
+  EXPECT_EQ(tree_text(*b.engine), tree_text(*c.engine));
+
+  // And the original engine's own continuation lands on the same optimum.
+  const SearchResult ra = search_ml(*a.engine, quick_search(true, 3, 1));
+  EXPECT_GE(ra.final_lnl, mid.final_lnl - 1e-9);
+  EXPECT_NEAR(ra.final_lnl, rb.final_lnl, 1e-6 * std::abs(rb.final_lnl));
+}
+
+// --- tier-1 smoke ------------------------------------------------------------
+
+/// Small-search smoke: the batched path must run end to end on every push —
+/// improving the likelihood, keeping the tree valid, and reporting
+/// consistent batch statistics.
+TEST(CandidateBatch, SmallSearchSmoke) {
+  Rng rng(501);
+  Rig rig(8, 200, 100, 2, true, 502, random_tree(default_labels(8), rng));
+  const double start_lnl = rig.engine->loglikelihood(0);
+  SearchOptions so = quick_search(true, /*radius=*/2, /*rounds=*/2);
+  const SearchResult res = search_ml(*rig.engine, so);
+  rig.engine->tree().validate();
+  EXPECT_GT(res.final_lnl, start_lnl);
+  EXPECT_GT(res.candidates_scored, 0u);
+  EXPECT_EQ(res.batch.candidates, res.candidates_scored);
+  EXPECT_GT(res.batch.groups, 0u);
+  EXPECT_GE(res.batch.waves, res.batch.groups);
+  EXPECT_GT(res.batch.pool_slots_peak, 0u);
+}
+
+/// Multi-start searches ride on the batched scorer through shared-core
+/// contexts; batched and sequential scoring must pick the same winner with
+/// the same likelihood.
+TEST(CandidateBatch, MultiStartEquivalence) {
+  Dataset data = make_simulated_dna(8, 200, 100, 601);
+  auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
+  EngineOptions eo;
+  eo.threads = 2;
+  eo.unlinked_branch_lengths = true;
+
+  const auto run = [&](bool batched) {
+    EngineCore core(comp, make_models(comp), eo);
+    Rng rng(602);
+    std::vector<std::unique_ptr<EvalContext>> owned;
+    std::vector<EvalContext*> ctxs;
+    for (int s = 0; s < 2; ++s) {
+      owned.push_back(std::make_unique<EvalContext>(
+          core, random_tree(default_labels(8), rng)));
+      ctxs.push_back(owned.back().get());
+    }
+    SearchOptions so = quick_search(batched, 3, 1);
+    MultiStartResult ms = search_ml_multistart(core, ctxs, so);
+    EXPECT_EQ(ms.results.size(), 2u);
+    return ms.results[static_cast<std::size_t>(ms.best)].final_lnl;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace plk
