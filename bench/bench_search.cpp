@@ -1,34 +1,50 @@
-// E12: batched lockstep SPR candidate scoring — search throughput.
+// E12: batched + speculative SPR candidate scoring — search throughput.
 //
 // PR 3's batched submit()/wait() front door amortized synchronization across
-// bootstrap replicates; this bench measures the same idea applied INSIDE the
-// search, where the real time goes: the lazy-SPR hill climb's candidate
-// scoring. The sequential scorer pays ~15-20 synchronized parallel regions
-// per candidate (root relocation, per-edge sumtables, Newton-Raphson rounds,
-// the evaluation), each with only a few edges' work; the batched
-// CandidateScorer (search/candidate_batch.hpp) scores a prune edge's whole
-// candidate set in lockstep waves, so a wave of K candidates costs roughly
-// the synchronization of one.
+// bootstrap replicates; PR 4 applied it INSIDE the search by scoring each
+// prune edge's candidate set in lockstep waves; this revision batches
+// ACROSS prune-edge groups: the search speculatively enumerates a window of
+// groups against the frozen parent and merges their candidates into shared
+// waves, so the sync cost of a wave is amortized over several groups — and
+// the window adapts (1 after a commit, doubling while commit-free) so
+// speculation never wastes much scoring where moves still land.
 //
-// The same search runs both ways on the skewed mixed DNA+protein multigene
-// scenario (the work-scheduling benches' hard case) at each thread count,
-// and must produce the IDENTICAL accepted-move sequence and final lnL
-// (<= 1e-10; the bench fails loudly otherwise). Reported: end-to-end search
-// wall time, candidates scored per second, sync counts, and the batched/
-// sequential throughput ratio.
+// The same search runs three ways on the skewed mixed DNA+protein multigene
+// scenario (the work-scheduling benches' hard case) at each thread count:
+//
+//   sequential — one candidate at a time (~15-20 parallel regions each)
+//   batched    — PR 4's per-group lockstep waves (speculate_groups = 1)
+//   spec       — cross-group speculative waves (speculate_groups = 8)
+//
+// and all three must produce the IDENTICAL accepted-move sequence and final
+// lnL (<= 1e-10; the bench fails loudly otherwise). Reported: end-to-end
+// search wall time, candidates scored per second, sync counts, the batched/
+// sequential ratio (PR 4's metric) and the spec/batched ratio (this
+// revision's gate).
+//
+// --replicated N adds the lockstep multi-search scenario: N bootstrap
+// replicate searches through one shared core, run one-after-another vs
+// merged through search_ml_replicated (all replicates' waves in shared
+// parallel regions, round smoothing batched) — identical per-replicate
+// results, one throughput ratio.
 //
 // The JSON records `host_cores`: on hosts with fewer cores than the thread
-// count the ratio quantifies how much synchronization (barrier spin under
+// count the ratios quantify how much synchronization (barrier spin under
 // oversubscription) the batching removes, not parallel scaling — read
 // entries with threads > host_cores accordingly.
 //
 // Env: PLK_BENCH_THREADS (default "1,4,8"), PLK_BENCH_SCALE (default 1),
-// PLK_BENCH_RADIUS (default 3), PLK_BENCH_ROUNDS (default 1).
+// PLK_BENCH_RADIUS (default 3), PLK_BENCH_ROUNDS (default 2 — round 1 is
+// commit-dense, round 2 approximates the commit-free steady state, so the
+// scenario exercises both speculation regimes),
+// PLK_BENCH_REPSEARCH (default 0 = off; or pass --replicated N).
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "common.hpp"
+#include "core/bootstrap.hpp"
 #include "search/candidate_batch.hpp"
 
 namespace {
@@ -43,6 +59,7 @@ struct SearchRun {
   std::uint64_t syncs = 0;
   std::uint64_t commands = 0;
   std::uint64_t requests = 0;
+  std::uint64_t coarse = 0;
   int accepted = 0;
   std::string tree;
   CandidateBatchStats batch;
@@ -60,18 +77,27 @@ std::vector<PartitionModel> make_models(const CompressedAlignment& comp) {
   return models;
 }
 
+enum class Scorer { kSequential, kBatched, kSpeculative };
+
+SearchOptions make_search_opts(Scorer scorer, int radius, int rounds) {
+  SearchOptions so;
+  so.spr_radius = radius;
+  so.max_rounds = rounds;
+  so.optimize_model = false;  // isolate the candidate-scoring hot path
+  so.batched_candidates = scorer != Scorer::kSequential;
+  so.candidate_batch.speculate_groups =
+      scorer == Scorer::kSpeculative ? 8 : 1;
+  return so;
+}
+
 SearchRun run_search(const CompressedAlignment& comp, const Tree& start,
-                     int threads, bool batched, int radius, int rounds) {
+                     int threads, Scorer scorer, int radius, int rounds) {
   EngineOptions eo;
   eo.threads = threads;
   eo.unlinked_branch_lengths = true;
   Engine eng(comp, start, make_models(comp), eo);
 
-  SearchOptions so;
-  so.spr_radius = radius;
-  so.max_rounds = rounds;
-  so.optimize_model = false;  // isolate the candidate-scoring hot path
-  so.batched_candidates = batched;
+  const SearchOptions so = make_search_opts(scorer, radius, rounds);
 
   SearchRun out;
   Timer timer;
@@ -85,6 +111,7 @@ SearchRun run_search(const CompressedAlignment& comp, const Tree& start,
   out.syncs = eng.team_stats().sync_count;
   out.commands = eng.stats().commands;
   out.requests = eng.stats().requests;
+  out.coarse = eng.stats().coarse_commands;
   out.accepted = res.accepted_moves;
   out.batch = res.batch;
   eng.sync_tree_lengths();
@@ -92,15 +119,79 @@ SearchRun run_search(const CompressedAlignment& comp, const Tree& start,
   return out;
 }
 
+/// The lockstep multi-search scenario: R bootstrap replicate searches over
+/// one shared core, either one after another or merged through
+/// search_ml_replicated. Returns per-replicate lnLs + trees for the
+/// equality gate and the aggregate throughput.
+struct RepRun {
+  double seconds = 0.0;
+  double candidates_per_sec = 0.0;
+  std::uint64_t syncs = 0;
+  std::vector<double> lnls;
+  std::vector<std::string> trees;
+};
+
+RepRun run_replicated(const CompressedAlignment& comp, const Tree& start,
+                      int threads, int replicates, int radius, int rounds,
+                      bool lockstep) {
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.unlinked_branch_lengths = true;
+  EngineCore core(comp, make_models(comp), eo);
+  Rng rng(0xb00);
+  std::vector<std::unique_ptr<EvalContext>> owned;
+  std::vector<EvalContext*> ctxs;
+  for (int r = 0; r < replicates; ++r) {
+    owned.push_back(std::make_unique<EvalContext>(core, start));
+    const auto weights = bootstrap_weights(core.alignment(), rng);
+    for (int p = 0; p < core.partition_count(); ++p)
+      owned.back()->set_pattern_weights(p,
+                                        weights[static_cast<std::size_t>(p)]);
+    ctxs.push_back(owned.back().get());
+  }
+
+  const SearchOptions so = make_search_opts(Scorer::kSpeculative, radius,
+                                            rounds);
+  RepRun out;
+  Timer timer;
+  std::vector<SearchResult> results;
+  if (lockstep) {
+    results = search_ml_replicated(core, ctxs, so);
+  } else {
+    for (EvalContext* ctx : ctxs) {
+      Engine view(core, *ctx);
+      results.push_back(search_ml(view, so));
+    }
+  }
+  out.seconds = timer.seconds();
+  std::uint64_t candidates = 0;
+  for (const SearchResult& r : results) {
+    candidates += r.candidates_scored;
+    out.lnls.push_back(r.final_lnl);
+  }
+  for (EvalContext* ctx : ctxs) out.trees.push_back(write_newick(ctx->tree()));
+  out.candidates_per_sec =
+      out.seconds > 0 ? static_cast<double>(candidates) / out.seconds : 0.0;
+  out.syncs = core.team_stats().sync_count;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_search.json";
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  int rep_searches = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--replicated") == 0 && i + 1 < argc)
+      rep_searches = std::atoi(argv[i + 1]);
+  }
+  if (const char* s = std::getenv("PLK_BENCH_REPSEARCH"))
+    rep_searches = std::atoi(s);
 
   const double scale = bench::scale_from_env(1.0);
-  int radius = 3, rounds = 1;
+  int radius = 3, rounds = 2;
   if (const char* s = std::getenv("PLK_BENCH_RADIUS")) radius = std::atoi(s);
   if (const char* s = std::getenv("PLK_BENCH_ROUNDS")) rounds = std::atoi(s);
   std::vector<int> threads_list = {1, 4, 8};
@@ -122,68 +213,100 @@ int main(int argc, char** argv) {
   const Tree start = random_tree(default_labels(taxa), rng);
 
   bench::JsonArray rows;
-  double speedup_max_t = 0.0;
+  double batched_speedup_max_t = 0.0, spec_speedup_max_t = 0.0;
   int max_t = 0;
   bool ok = true;
 
   std::printf("%-3s %-11s %10s %16s %10s %9s\n", "T", "scorer", "seconds",
               "candidates/sec", "syncs", "accepted");
   for (int t : threads_list) {
-    const SearchRun batched =
-        run_search(comp, start, t, /*batched=*/true, radius, rounds);
     const SearchRun seq =
-        run_search(comp, start, t, /*batched=*/false, radius, rounds);
+        run_search(comp, start, t, Scorer::kSequential, radius, rounds);
+    const SearchRun batched =
+        run_search(comp, start, t, Scorer::kBatched, radius, rounds);
+    const SearchRun spec =
+        run_search(comp, start, t, Scorer::kSpeculative, radius, rounds);
 
-    const double lnl_diff = std::abs(batched.lnl - seq.lnl);
-    const bool same_moves = batched.tree == seq.tree &&
-                            batched.accepted == seq.accepted &&
-                            batched.candidates == seq.candidates;
-    if (lnl_diff > 1e-10 * std::abs(seq.lnl) || !same_moves) {
-      std::fprintf(stderr,
-                   "FAIL at T=%d: batched and sequential searches diverge "
-                   "(|dlnL| = %.3g, same_moves = %d)\n",
-                   t, lnl_diff, same_moves ? 1 : 0);
-      ok = false;
+    for (const SearchRun* run : {&batched, &spec}) {
+      const double lnl_diff = std::abs(run->lnl - seq.lnl);
+      const bool same_moves = run->tree == seq.tree &&
+                              run->accepted == seq.accepted &&
+                              run->candidates == seq.candidates;
+      if (lnl_diff > 1e-10 * std::abs(seq.lnl) || !same_moves) {
+        std::fprintf(stderr,
+                     "FAIL at T=%d: %s and sequential searches diverge "
+                     "(|dlnL| = %.3g, same_moves = %d)\n",
+                     t, run == &batched ? "batched" : "speculative", lnl_diff,
+                     same_moves ? 1 : 0);
+        ok = false;
+      }
     }
 
-    const double speedup =
+    const double batched_speedup =
         seq.candidates_per_sec > 0
             ? batched.candidates_per_sec / seq.candidates_per_sec
             : 0.0;
+    const double spec_speedup =
+        batched.candidates_per_sec > 0
+            ? spec.candidates_per_sec / batched.candidates_per_sec
+            : 0.0;
     if (t >= max_t) {
       max_t = t;
-      speedup_max_t = speedup;
+      batched_speedup_max_t = batched_speedup;
+      spec_speedup_max_t = spec_speedup;
     }
 
     std::printf("%-3d %-11s %10.3f %16.1f %10llu %9d\n", t, "sequential",
                 seq.seconds, seq.candidates_per_sec,
                 (unsigned long long)seq.syncs, seq.accepted);
-    std::printf("%-3d %-11s %10.3f %16.1f %10llu %9d   (%.2fx, %llu waves, "
-                "peak %zu pool slots)\n",
+    std::printf("%-3d %-11s %10.3f %16.1f %10llu %9d   (%.2fx seq, %llu "
+                "waves)\n",
                 t, "batched", batched.seconds, batched.candidates_per_sec,
-                (unsigned long long)batched.syncs, batched.accepted, speedup,
-                (unsigned long long)batched.batch.waves,
-                batched.batch.pool_slots_peak);
+                (unsigned long long)batched.syncs, batched.accepted,
+                batched_speedup, (unsigned long long)batched.batch.waves);
+    std::printf("%-3d %-11s %10.3f %16.1f %10llu %9d   (%.2fx batched, %llu "
+                "waves, %llu cross-group, %llu rescored, peak %zu slots)\n",
+                t, "speculative", spec.seconds, spec.candidates_per_sec,
+                (unsigned long long)spec.syncs, spec.accepted, spec_speedup,
+                (unsigned long long)spec.batch.waves,
+                (unsigned long long)spec.batch.cross_group_waves,
+                (unsigned long long)spec.batch.rescored_candidates,
+                spec.batch.pool_slots_peak);
 
     bench::JsonObject row;
     row.add("threads", t);
     row.add("seq_seconds", seq.seconds);
     row.add("batch_seconds", batched.seconds);
+    row.add("spec_seconds", spec.seconds);
     row.add("candidates", static_cast<long long>(seq.candidates));
     row.add("seq_candidates_per_sec", seq.candidates_per_sec);
     row.add("batch_candidates_per_sec", batched.candidates_per_sec);
-    row.add("speedup", speedup);
+    row.add("spec_candidates_per_sec", spec.candidates_per_sec);
+    row.add("speedup", batched_speedup);
+    row.add("spec_speedup_vs_batched", spec_speedup);
     row.add("seq_syncs", static_cast<long long>(seq.syncs));
     row.add("batch_syncs", static_cast<long long>(batched.syncs));
+    row.add("spec_syncs", static_cast<long long>(spec.syncs));
     row.add("batch_requests", static_cast<long long>(batched.requests));
     row.add("batch_commands", static_cast<long long>(batched.commands));
     row.add("batch_waves", static_cast<long long>(batched.batch.waves));
     row.add("batch_groups", static_cast<long long>(batched.batch.groups));
+    row.add("spec_waves", static_cast<long long>(spec.batch.waves));
+    row.add("spec_cross_group_waves",
+            static_cast<long long>(spec.batch.cross_group_waves));
+    row.add("spec_rescored",
+            static_cast<long long>(spec.batch.rescored_candidates));
+    row.add("spec_conflict_groups",
+            static_cast<long long>(spec.batch.conflict_groups));
+    row.add("spec_coarse_commands", static_cast<long long>(spec.coarse));
     row.add("pool_slots_peak",
-            static_cast<long long>(batched.batch.pool_slots_peak));
+            static_cast<long long>(spec.batch.pool_slots_peak));
     row.add("accepted_moves", seq.accepted);
-    row.add("max_abs_lnl_diff", lnl_diff);
-    row.add("identical_moves", same_moves ? 1 : 0);
+    row.add("max_abs_lnl_diff",
+            std::max(std::abs(batched.lnl - seq.lnl),
+                     std::abs(spec.lnl - seq.lnl)));
+    row.add("identical_moves",
+            (batched.tree == seq.tree && spec.tree == seq.tree) ? 1 : 0);
     rows.add_raw(row.render(2));
   }
 
@@ -197,13 +320,65 @@ int main(int argc, char** argv) {
   doc.add("rounds", rounds);
   doc.add("host_cores", host_cores);
   doc.add_raw("runs", rows.render(0));
-  doc.add("speedup_at_max_threads", speedup_max_t);
+  doc.add("speedup_at_max_threads", batched_speedup_max_t);
+  doc.add("spec_speedup_vs_batched_at_max_threads", spec_speedup_max_t);
+
+  // --- replicated lockstep searches ----------------------------------------
+  if (rep_searches > 0) {
+    const int t = threads_list.back();
+    std::printf("\nreplicated searches: %d bootstrap replicates at %d "
+                "threads\n",
+                rep_searches, t);
+    const RepRun serial = run_replicated(comp, start, t, rep_searches, radius,
+                                         rounds, /*lockstep=*/false);
+    const RepRun lockstep = run_replicated(comp, start, t, rep_searches,
+                                           radius, rounds, /*lockstep=*/true);
+    bool rep_same = serial.lnls.size() == lockstep.lnls.size();
+    double rep_lnl_diff = 0.0;
+    for (std::size_t r = 0; rep_same && r < serial.lnls.size(); ++r) {
+      rep_lnl_diff = std::max(
+          rep_lnl_diff, std::abs(serial.lnls[r] - lockstep.lnls[r]));
+      rep_same = serial.trees[r] == lockstep.trees[r];
+    }
+    if (!rep_same || rep_lnl_diff > 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: lockstep replicate searches diverge from serial "
+                   "(|dlnL| = %.3g, same_trees = %d)\n",
+                   rep_lnl_diff, rep_same ? 1 : 0);
+      ok = false;
+    }
+    const double rep_speedup = serial.candidates_per_sec > 0
+                                   ? lockstep.candidates_per_sec /
+                                         serial.candidates_per_sec
+                                   : 0.0;
+    std::printf("  serial   %10.3fs %16.1f cand/s %10llu syncs\n",
+                serial.seconds, serial.candidates_per_sec,
+                (unsigned long long)serial.syncs);
+    std::printf("  lockstep %10.3fs %16.1f cand/s %10llu syncs  (%.2fx)\n",
+                lockstep.seconds, lockstep.candidates_per_sec,
+                (unsigned long long)lockstep.syncs, rep_speedup);
+
+    bench::JsonObject rep;
+    rep.add("replicates", rep_searches);
+    rep.add("threads", t);
+    rep.add("serial_seconds", serial.seconds);
+    rep.add("lockstep_seconds", lockstep.seconds);
+    rep.add("serial_candidates_per_sec", serial.candidates_per_sec);
+    rep.add("lockstep_candidates_per_sec", lockstep.candidates_per_sec);
+    rep.add("serial_syncs", static_cast<long long>(serial.syncs));
+    rep.add("lockstep_syncs", static_cast<long long>(lockstep.syncs));
+    rep.add("speedup", rep_speedup);
+    rep.add("max_abs_lnl_diff", rep_lnl_diff);
+    rep.add("identical_trees", rep_same ? 1 : 0);
+    doc.add_raw("replicated", rep.render(0));
+  }
+
   bench::write_json(json_path, doc);
-  std::printf("\nspeedup at %d threads: %.2fx (candidates/sec, batched vs "
-              "sequential)%s\nwrote %s\n",
-              max_t, speedup_max_t,
+  std::printf("\nbatched vs sequential at %d threads: %.2fx; speculative vs "
+              "batched: %.2fx%s\nwrote %s\n",
+              max_t, batched_speedup_max_t, spec_speedup_max_t,
               max_t > host_cores
-                  ? "  [threads > host cores: ratio reflects synchronization "
+                  ? "  [threads > host cores: ratios reflect synchronization "
                     "cost removed, not parallel scaling]"
                   : "",
               json_path.c_str());

@@ -40,6 +40,8 @@ struct CliOptions {
   bool do_optimize = false;
   bool parsimony_start = true;
   bool batched_candidates = true;
+  int speculate = 8;
+  std::string batch_exec = "auto";
   int radius = 5;
   int rounds = 5;
   int starts = 1;
@@ -65,6 +67,10 @@ void usage() {
       "  --batched-candidates on|off\n"
       "                   lockstep SPR candidate scoring (default on; off =\n"
       "                   the sequential per-candidate scorer, for A/B runs)\n"
+      "  --speculate N    max prune-edge groups merged per speculative wave\n"
+      "                   window (default 8; 1 = per-group waves)\n"
+      "  --batch-exec M   batch flush execution: auto|fine|coarse (default\n"
+      "                   auto: coarse once items outnumber threads 2:1)\n"
       "  --radius N       SPR radius (default 5)\n"
       "  --rounds N       max search rounds (default 5)\n"
       "  --starts N       independent search starts over one shared engine\n"
@@ -139,6 +145,22 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         std::fprintf(stderr, "--batched-candidates wants 'on' or 'off'\n");
         return std::nullopt;
       }
+    } else if (a == "--speculate") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.speculate = std::atoi(v);
+      if (o.speculate < 1) {
+        std::fprintf(stderr, "--speculate wants N >= 1\n");
+        return std::nullopt;
+      }
+    } else if (a == "--batch-exec") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (!batch_exec_mode_from_string(v)) {
+        std::fprintf(stderr, "--batch-exec wants auto, fine, or coarse\n");
+        return std::nullopt;
+      }
+      o.batch_exec = v;
     } else if (a == "--radius") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -233,6 +255,7 @@ int main(int argc, char** argv) {
     opts.search.spr_radius = cli.radius;
     opts.search.max_rounds = cli.rounds;
     opts.search.batched_candidates = cli.batched_candidates;
+    opts.search.candidate_batch.speculate_groups = cli.speculate;
     opts.search_starts = cli.starts;
 
     std::optional<Tree> start;
@@ -242,6 +265,8 @@ int main(int argc, char** argv) {
       start = parse_newick(read_file(cli.tree_path), names);
     }
     Analysis analysis(aln, scheme, opts, std::move(start));
+    analysis.engine().core().set_batch_execution(
+        *batch_exec_mode_from_string(cli.batch_exec));
 
     // --- run ----------------------------------------------------------------
     AnalysisResult res =
@@ -259,12 +284,22 @@ int main(int argc, char** argv) {
                   cli.batched_candidates ? "batched" : "sequential",
                   res.search.accepted_moves, res.search.rounds);
       if (cli.batched_candidates)
-        std::printf("  batch: %llu groups in %llu lockstep waves, peak %zu "
-                    "CLV pool slots (%zu allocated)\n",
-                    static_cast<unsigned long long>(res.search.batch.groups),
-                    static_cast<unsigned long long>(res.search.batch.waves),
-                    res.search.batch.pool_slots_peak,
-                    res.search.batch.pool_slots_allocated);
+        std::printf(
+            "  batch: %llu groups in %llu lockstep waves (%llu cross-group), "
+            "%llu candidates re-scored / %llu groups re-enumerated after "
+            "commits, peak %zu CLV pool slots (%zu allocated), %llu coarse "
+            "flushes\n",
+            static_cast<unsigned long long>(res.search.batch.groups),
+            static_cast<unsigned long long>(res.search.batch.waves),
+            static_cast<unsigned long long>(
+                res.search.batch.cross_group_waves),
+            static_cast<unsigned long long>(
+                res.search.batch.rescored_candidates),
+            static_cast<unsigned long long>(res.search.batch.conflict_groups),
+            res.search.batch.pool_slots_peak,
+            res.search.batch.pool_slots_allocated,
+            static_cast<unsigned long long>(
+                analysis.engine().stats().coarse_commands));
     }
     for (int p = 0; p < analysis.engine().partition_count(); ++p)
       std::printf("  partition %2d: alpha %.4f, lnL %.4f\n", p,

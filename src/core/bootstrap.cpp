@@ -54,16 +54,15 @@ std::vector<Tree> bootstrap_trees(EngineCore& core, const Tree& reference,
   // (each optimization step is one parallel region for all replicates).
   optimize_branch_lengths_batch(core, ctxs, opts.full_branch_opts);
 
-  // Per-replicate SPR searches (sequential decisions, shared core). The
-  // search's own initial branch smoothing converges immediately thanks to
-  // the batched pre-pass.
+  // Replicate SPR searches in lockstep through the shared core: every
+  // replicate's current candidate wave flushes through one parallel region,
+  // and round-boundary smoothing runs as one batched pass (per replicate
+  // the outcome is identical to searching it alone). The search's own
+  // initial smoothing converges immediately thanks to the pre-pass above.
+  search_ml_replicated(core, ctxs, opts);
   std::vector<Tree> trees;
   trees.reserve(static_cast<std::size_t>(replicates));
-  for (EvalContext* ctx : ctxs) {
-    Engine view(core, *ctx);
-    search_ml(view, opts);
-    trees.push_back(ctx->tree());
-  }
+  for (EvalContext* ctx : ctxs) trees.push_back(ctx->tree());
   return trees;
 }
 

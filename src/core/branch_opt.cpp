@@ -103,38 +103,47 @@ std::vector<int> all_partitions(int count) {
   return all;
 }
 
-/// Drive one stepper to convergence against a single engine (one
-/// nr_derivatives command per round — the classic sequential schedule).
-void run_nr(Engine& engine, EdgeNrStepper& nr) {
+/// Drive one freshly start()ed stepper to convergence against a single
+/// engine. The FIRST derivative round fuses the root relocation and the
+/// sumtable build into its own command (EvalRequest::sumtable_nr) — one
+/// parallel region for what the classic protocol issued as three — and
+/// every later round is one nr_derivatives command, exactly as before.
+void run_nr(Engine& engine, EdgeId edge, EdgeNrStepper& nr) {
+  bool first = true;
   while (!nr.done()) {
-    engine.nr_derivatives(nr.active(), nr.lens(), nr.d1(), nr.d2());
+    if (first)
+      engine.nr_derivatives_at(edge, nr.active(), nr.lens(), nr.d1(),
+                               nr.d2());
+    else
+      engine.nr_derivatives(nr.active(), nr.lens(), nr.d1(), nr.d2());
+    first = false;
     nr.feed(engine.branch_lengths());
   }
+  // A stepper that starts converged (max_nr_iterations == 0) still owes the
+  // caller the classic side effect: the virtual root parked on `edge`.
+  if (first) engine.prepare_root(edge);
 }
 
 }  // namespace
 
 void optimize_edge(Engine& engine, EdgeId edge, Strategy strategy,
                    const BranchOptOptions& opts) {
-  engine.prepare_root(edge);
   const bool linked = engine.branch_lengths().linked();
   EdgeNrStepper nr;
   if (linked || strategy != Strategy::kOldPar) {
-    // Joint (linked) estimate, or newPAR unlinked: one sumtable command for
-    // all partitions, then NR rounds that advance every non-converged
-    // partition at once (the paper's boolean convergence vector).
+    // Joint (linked) estimate, or newPAR unlinked: one fused opener for all
+    // partitions, then NR rounds that advance every non-converged partition
+    // at once (the paper's boolean convergence vector).
     const auto parts = all_partitions(engine.partition_count());
-    engine.compute_sumtable(parts);
     nr.start(engine.branch_lengths(), edge, parts, linked, opts);
-    run_nr(engine, nr);
+    run_nr(engine, edge, nr);
   } else {
-    // oldPAR, unlinked: one partition at a time — per-partition sumtable and
-    // per-partition NR iteration commands.
+    // oldPAR, unlinked: one partition at a time — per-partition fused
+    // opener and per-partition NR iteration commands.
     for (int p = 0; p < engine.partition_count(); ++p) {
       const std::vector<int> one{p};
-      engine.compute_sumtable(one);
       nr.start(engine.branch_lengths(), edge, one, false, opts);
-      run_nr(engine, nr);
+      run_nr(engine, edge, nr);
     }
   }
 }
@@ -153,22 +162,39 @@ double optimize_branch_lengths(Engine& engine, Strategy strategy,
 
 namespace {
 
-/// Lockstep NR rounds for steppers that were just start()ed: one parallel
-/// region per round, shared by every context still iterating.
+/// Lockstep rounds for steppers that were just start()ed: one parallel
+/// region per round, shared by every context still iterating. Each
+/// context's FIRST round is the fused opener (root relocation + sumtable +
+/// derivatives in its one command — see EvalRequest::sumtable_nr); later
+/// rounds are plain derivative commands. Contexts whose stepper starts
+/// converged still get their root parked on their edge, preserving the
+/// classic optimize_edge side effect.
 void run_nr_batch(EngineCore& core, std::span<EvalContext* const> ctxs,
-                  std::span<EdgeNrStepper> nr) {
+                  std::span<const EdgeId> edges, std::span<EdgeNrStepper> nr) {
   std::vector<std::size_t> round;
+  bool first = true;
   for (;;) {
     round.clear();
     for (std::size_t c = 0; c < ctxs.size(); ++c) {
-      if (nr[c].done()) continue;
+      if (nr[c].done()) {
+        if (first) core.submit(*ctxs[c], EvalRequest::prepare_root(edges[c]));
+        continue;
+      }
       round.push_back(c);
       core.submit(*ctxs[c],
-                  EvalRequest::nr_derivatives(nr[c].active(), nr[c].lens(),
-                                              nr[c].d1(), nr[c].d2()));
+                  first ? EvalRequest::sumtable_nr(edges[c], nr[c].active(),
+                                                   nr[c].lens(), nr[c].d1(),
+                                                   nr[c].d2())
+                        : EvalRequest::nr_derivatives(nr[c].active(),
+                                                      nr[c].lens(), nr[c].d1(),
+                                                      nr[c].d2()));
     }
-    if (round.empty()) return;
+    if (round.empty()) {
+      if (first) core.wait();  // flush the parked prepare_roots
+      return;
+    }
     core.wait();
+    first = false;
     for (std::size_t c : round) nr[c].feed(ctxs[c]->branch_lengths());
   }
 }
@@ -185,30 +211,19 @@ void optimize_edge_batch(EngineCore& core, std::span<EvalContext* const> ctxs,
   const bool linked = core.linked_branch_lengths();
   std::vector<EdgeNrStepper> nr(C);
 
-  // (i) relocate every context's virtual root — one parallel region.
-  for (std::size_t c = 0; c < C; ++c)
-    core.submit(*ctxs[c], EvalRequest::prepare_root(edges[c]));
-  core.wait();
-
   if (linked || strategy != Strategy::kOldPar) {
-    // (ii) every context's sumtable — one parallel region; (iii) lockstep NR.
+    // Every context's fused opener — one parallel region — then lockstep NR.
     const auto all = all_partitions(core.partition_count());
     for (std::size_t c = 0; c < C; ++c)
-      core.submit(*ctxs[c], EvalRequest::sumtable(all));
-    core.wait();
-    for (std::size_t c = 0; c < C; ++c)
       nr[c].start(ctxs[c]->branch_lengths(), edges[c], all, linked, opts);
-    run_nr_batch(core, ctxs, nr);
+    run_nr_batch(core, ctxs, edges, nr);
   } else {
     // oldPAR: partitions one at a time, each still lockstep across contexts.
     for (int p = 0; p < core.partition_count(); ++p) {
       const std::vector<int> one{p};
       for (std::size_t c = 0; c < C; ++c)
-        core.submit(*ctxs[c], EvalRequest::sumtable(one));
-      core.wait();
-      for (std::size_t c = 0; c < C; ++c)
         nr[c].start(ctxs[c]->branch_lengths(), edges[c], one, false, opts);
-      run_nr_batch(core, ctxs, nr);
+      run_nr_batch(core, ctxs, edges, nr);
     }
   }
 }

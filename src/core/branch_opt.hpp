@@ -41,6 +41,11 @@ struct BranchOptOptions {
 /// protocol exists exactly once:
 ///
 ///   stepper.start(bl, edge, scope, linked, opts);
+///   // round 1: the FUSED opener — root relocation + sumtable + first
+///   // derivatives in ONE command (EvalRequest::sumtable_nr)
+///   engine.nr_derivatives_at(edge, stepper.active(), stepper.lens(),
+///                            stepper.d1(), stepper.d2());
+///   stepper.feed(bl);
 ///   while (!stepper.done()) {
 ///     // derivatives at stepper.lens() for stepper.active() -> d1()/d2()
 ///     engine.nr_derivatives(stepper.active(), stepper.lens(),

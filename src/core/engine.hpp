@@ -146,6 +146,15 @@ class Engine {
     ctx_->nr_derivatives(partitions, lens, d1, d2);
   }
 
+  /// Fused edge-optimization opener: prepare_root(edge) + compute_sumtable
+  /// + the first NR derivative round, in ONE command instead of three (the
+  /// arithmetic is identical; see EvalRequest::sumtable_nr).
+  void nr_derivatives_at(EdgeId edge, const std::vector<int>& partitions,
+                         std::span<const double> lens, std::span<double> d1,
+                         std::span<double> d2) {
+    ctx_->nr_derivatives_at(edge, partitions, lens, d1, d2);
+  }
+
   // --- work scheduling ------------------------------------------------------
 
   /// The per-thread work assignment used by every command (shared across

@@ -1,8 +1,10 @@
 #include "core/engine_core.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "model/matrix.hpp"
@@ -98,6 +100,21 @@ struct EvalContext::PartDyn {
   explicit PartDyn(PartitionModel m) : model(std::move(m)) {}
 };
 
+/// One deferred table-construction unit queued during command assembly and
+/// executed by the flush's parallel pre-stage: the per-category transition
+/// matrices of one (edge, partition), plus — depending on the endpoint —
+/// their transpose (inner child, specialized kernels) or the tip lookup
+/// table built from them (tip child). Tasks write disjoint destinations, so
+/// any thread may run any task with no ordering beyond "before phase 2".
+struct EngineCore::PmatTask {
+  int part = 0;
+  const PartitionModel* model = nullptr;  // the context's model (stable)
+  double blen = 0.0;
+  std::size_t off = 0;        // into cmd.pmats (and pmats_t for transposes)
+  bool transpose = false;     // inner endpoint on the specialized path
+  double* tip_dst = nullptr;  // reserved tip-table entry to fill, or null
+};
+
 /// One parallel command: a traversal op list optionally fused with an
 /// evaluation, a per-site evaluation, a sumtable pass, or an NR pass.
 struct EngineCore::Command {
@@ -127,6 +144,7 @@ struct EngineCore::Command {
   std::vector<const double*> eval_tt;  // cv-side tip table per listed part
 
   bool do_sumtable = false;
+  EdgeId sum_edge = kNoId;  // root edge the sumtable pass runs at
   std::vector<int> sum_parts;
   std::vector<std::size_t> sum_symt;       // transposed sym offsets (symt)
   std::vector<const double*> sum_ttu, sum_ttv;  // sym tip tables
@@ -147,6 +165,10 @@ struct EngineCore::Command {
   AlignedDoubleVec pmats_t;  // same matrices transposed (lockstep offsets)
   AlignedDoubleVec symt;     // transposed sym transforms (sum_symt offsets)
   AlignedDoubleVec scratch;  // NR tables
+
+  // Deferred pmat / transpose / tip-table construction (filled at assembly,
+  // executed by the flush's parallel pre-stage; see execute_batch).
+  std::vector<PmatTask> pmat_tasks;
 };
 
 /// A queued request with its assembled command.
@@ -252,6 +274,7 @@ EngineCore::EngineCore(const CompressedAlignment& aln,
   unlinked_ = opts.unlinked_branch_lengths;
   use_generic_ = opts.use_generic_kernels;
   sched_strategy_ = opts.schedule;
+  batch_exec_ = opts.batch_exec;
 
   // Any unrooted binary tree over n taxa has 2n - 3 edges, so the tip-table
   // LRUs can be sized before the first context exists.
@@ -407,17 +430,38 @@ std::uint64_t EngineCore::epoch_for_model(const PartitionModel& m) {
   std::vector<double> state;
   append_model_state(m, state);
   const std::uint64_t h = fnv1a_doubles(state);
-  // Bound the registry: dropping entries only costs future sharing (a state
-  // seen again gets a fresh unique epoch), never correctness.
-  if (epoch_of_state_.size() > 4096) epoch_of_state_.clear();
   auto [it, inserted] = epoch_of_state_.try_emplace(h);
   if (!inserted) {
-    if (it->second.state == state) return it->second.epoch;
+    if (it->second.state == state) {
+      it->second.last_used = ++epoch_use_clock_;
+      return it->second.epoch;
+    }
     return next_epoch();  // true 64-bit collision: keep the epochs distinct
   }
   it->second.epoch = next_epoch();
   it->second.state = std::move(state);
-  return it->second.epoch;
+  it->second.last_used = ++epoch_use_clock_;
+  const std::uint64_t epoch = it->second.epoch;
+  // Bound the registry as a real LRU: evicting an association only costs
+  // future sharing (the same state seen again gets a fresh unique epoch),
+  // never correctness — and unlike wholesale clearing, the states a long
+  // model-optimization run keeps returning to stay resident. Eviction is
+  // amortized: once over the cap, the stalest 1/16 go at once.
+  if (epoch_of_state_.size() > kEpochRegistryCap) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> stamps;  // (used, key)
+    stamps.reserve(epoch_of_state_.size());
+    for (const auto& [key, ent] : epoch_of_state_)
+      stamps.emplace_back(ent.last_used, key);
+    const std::size_t evict =
+        std::max<std::size_t>(1, kEpochRegistryCap / 16);
+    std::nth_element(stamps.begin(),
+                     stamps.begin() + static_cast<std::ptrdiff_t>(evict),
+                     stamps.end());
+    for (std::size_t i = 0; i < evict; ++i)
+      epoch_of_state_.erase(stamps[i].second);
+    stats_.epoch_registry_evictions += evict;
+  }
+  return epoch;
 }
 
 void EngineCore::check_not_pending(const EvalContext& ctx) const {
@@ -429,8 +473,8 @@ void EngineCore::check_not_pending(const EvalContext& ctx) const {
 
 // --- tip lookup tables -------------------------------------------------------
 
-const double* EngineCore::tip_table_for(EvalContext& ctx, int p, EdgeId e,
-                                        const double* pmat) {
+EngineCore::TipTableRef EngineCore::tip_table_for(EvalContext& ctx, int p,
+                                                  EdgeId e) {
   PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
   auto& lru = pd.tip_tables[static_cast<std::size_t>(e)];
   const double b = ctx.lengths_.get(e, p);
@@ -441,7 +485,10 @@ const double* EngineCore::tip_table_for(EvalContext& ctx, int p, EdgeId e,
       ent.last_used = ++tip_clock_;
       ent.pinned_flush = flush_id_;
       ++stats_.tip_table_hits;
-      return ent.table.data();
+      // A hit may be an entry merely *reserved* earlier in this flush's
+      // assembly: its construction task is already queued (once), and the
+      // pre-stage barrier orders that build before any kernel read.
+      return {ent.table.data(), nullptr, false};
     }
   }
   // Miss: reuse an empty unpinned slot, else grow up to capacity, else
@@ -467,17 +514,47 @@ const double* EngineCore::tip_table_for(EvalContext& ctx, int p, EdgeId e,
     lru.emplace_back();
     victim = &lru.back();
   }
+  // Reserve only: size the buffer and stamp the key now (so further lookups
+  // in this flush hit and the entry is pinned), but leave the contents to
+  // the caller's queued PmatTask — the table is a pure function of the
+  // transition matrices, which are themselves built in the parallel
+  // pre-stage.
   victim->table.resize(pd.n_codes * pd.clv_stride());
-  dispatch_states(pd.states, [&]<int S>() {
-    kernel::build_tip_table<S>(pmat, pd.cats, pd.indicators.data(),
-                               pd.n_codes, victim->table.data());
-  });
   victim->epoch = epoch;
   victim->blen = b;
   victim->last_used = ++tip_clock_;
   victim->pinned_flush = flush_id_;
   ++stats_.tip_table_rebuilds;
-  return victim->table.data();
+  return {victim->table.data(), victim->table.data(), true};
+}
+
+const double* EngineCore::queue_edge_tables(EvalContext& ctx, Command& cmd,
+                                            int p, EdgeId e, NodeId endpoint,
+                                            std::size_t& off_out) {
+  const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+  const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+  const std::size_t off = cmd.pmats.size();
+  off_out = off;
+  cmd.pmats.resize(off + static_cast<std::size_t>(pd.cats) *
+                             static_cast<std::size_t>(pd.states) *
+                             static_cast<std::size_t>(pd.states));
+  PmatTask task;
+  task.part = p;
+  task.model = &dy.model;
+  task.blen = ctx.lengths_.get(e, p);
+  task.off = off;
+  const double* tt = nullptr;
+  if (!use_generic_) {
+    if (ctx.tree_.is_tip(endpoint)) {
+      const TipTableRef ref = tip_table_for(ctx, p, e);
+      tt = ref.data;
+      task.tip_dst = ref.dst;  // null when the table is already resident
+    } else {
+      task.transpose = true;
+    }
+  }
+  cmd.pmat_tasks.push_back(task);
+  return tt;
 }
 
 namespace {
@@ -539,23 +616,6 @@ const double* EngineCore::sym_table_for(EvalContext& ctx, int p) {
     dy.sym_epoch = epoch;
   }
   return dy.sym_table.data();
-}
-
-const double* EngineCore::prepare_edge_tables(EvalContext& ctx, Command& cmd,
-                                              int p, std::size_t off, EdgeId e,
-                                              NodeId endpoint) {
-  if (use_generic_) return nullptr;
-  // Keep pmats/pmats_t offsets interchangeable. A tip endpoint consumes its
-  // lookup table instead of the transposed matrix, so only inner endpoints
-  // need the transpose.
-  cmd.pmats_t.resize(cmd.pmats.size());
-  if (ctx.tree_.is_tip(endpoint)) return tip_table_for(ctx, p, e, cmd.pmats.data() + off);
-  const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
-  dispatch_states(pd.states, [&]<int S>() {
-    kernel::transpose_pmats<S>(cmd.pmats.data() + off, pd.cats,
-                               cmd.pmats_t.data() + off);
-  });
-  return nullptr;
 }
 
 // --- command assembly --------------------------------------------------------
@@ -639,37 +699,55 @@ void EngineCore::add_newview_op(EvalContext& ctx, NodeId v, EdgeId via,
   for (int p : parts)
     op.epochs.push_back(ctx.model_epoch_[static_cast<std::size_t>(p)]);
 
-  // Precompute the per-category transition matrices for both child edges
-  // (row-major + transposed), and refresh tip lookup tables for tip children.
-  Matrix pm;
+  // Reserve space for the per-category transition matrices of both child
+  // edges and queue their construction (plus transposes / tip lookup
+  // tables) for the flush's parallel pre-stage.
   for (int p : parts) {
-    const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
-    const int s = parts_[static_cast<std::size_t>(p)]->states;
-    const int cats = parts_[static_cast<std::size_t>(p)]->cats;
-    const auto& rates = dy.model.category_rates();
     for (int child = 0; child < 2; ++child) {
       const EdgeId e = child == 0 ? op.e1 : op.e2;
       const NodeId cn = child == 0 ? op.c1 : op.c2;
-      const double b = ctx.lengths_.get(e, p);
-      const std::size_t off = cmd.pmats.size();
+      std::size_t off = 0;
+      const double* tt = queue_edge_tables(ctx, cmd, p, e, cn, off);
       (child == 0 ? op.pmat1 : op.pmat2).push_back(off);
-      for (int c = 0; c < cats; ++c) {
-        dy.model.model().transition_matrix(
-            b * rates[static_cast<std::size_t>(c)], pm);
-        cmd.pmats.insert(cmd.pmats.end(), pm.data(),
-                         pm.data() + static_cast<std::size_t>(s) * s);
-      }
-      (child == 0 ? op.tt1 : op.tt2)
-          .push_back(prepare_edge_tables(ctx, cmd, p, off, e, cn));
+      (child == 0 ? op.tt1 : op.tt2).push_back(tt);
     }
   }
   cmd.ops.push_back(std::move(op));
 }
 
+void EngineCore::assemble_sumtable(EvalContext& ctx, Command& cmd, EdgeId edge,
+                                   const std::vector<int>& parts) {
+  const Tree& tree = ctx.tree_;
+  const NodeId u = tree.edge(edge).a;
+  const NodeId v = tree.edge(edge).b;
+  cmd.do_sumtable = true;
+  cmd.sum_edge = edge;
+  cmd.sum_parts = parts;
+  for (int p : parts) {
+    const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+    const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+    if (!use_generic_) {
+      const std::size_t off = cmd.symt.size();
+      cmd.sum_symt.push_back(off);
+      cmd.symt.resize(off + static_cast<std::size_t>(pd.states) *
+                                static_cast<std::size_t>(pd.states));
+      dispatch_states(pd.states, [&]<int S>() {
+        kernel::transpose_pmats<S>(dy.model.model().sym_transform().data(), 1,
+                                   cmd.symt.data() + off);
+      });
+    } else {
+      cmd.sum_symt.push_back(0);
+    }
+    cmd.sum_ttu.push_back(
+        !use_generic_ && tree.is_tip(u) ? sym_table_for(ctx, p) : nullptr);
+    cmd.sum_ttv.push_back(
+        !use_generic_ && tree.is_tip(v) ? sym_table_for(ctx, p) : nullptr);
+  }
+}
+
 void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
                                Command& cmd) {
   const Tree& tree = ctx.tree_;
-  Matrix pm;
   switch (req.kind) {
     case EvalRequest::Kind::kEvaluate: {
       const NodeId u = tree.edge(req.edge).a;
@@ -680,22 +758,12 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       cmd.eval_edge = req.edge;
       cmd.eval_parts = req.partitions;
       for (int p : req.partitions) {
-        const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
-        const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
-        const auto& rates = dy.model.category_rates();
-        const double b = ctx.lengths_.get(req.edge, p);
-        const std::size_t off = cmd.pmats.size();
-        cmd.eval_pmat.push_back(off);
-        for (int c = 0; c < pd.cats; ++c) {
-          dy.model.model().transition_matrix(
-              b * rates[static_cast<std::size_t>(c)], pm);
-          cmd.pmats.insert(cmd.pmats.end(), pm.data(),
-                           pm.data() + static_cast<std::size_t>(pd.states) *
-                                           static_cast<std::size_t>(pd.states));
-        }
         // The root-edge matrix applies to the v side; a tip there gets a
         // table.
-        cmd.eval_tt.push_back(prepare_edge_tables(ctx, cmd, p, off, req.edge, v));
+        std::size_t off = 0;
+        const double* tt = queue_edge_tables(ctx, cmd, p, req.edge, v, off);
+        cmd.eval_pmat.push_back(off);
+        cmd.eval_tt.push_back(tt);
       }
       break;
     }
@@ -705,31 +773,24 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       const NodeId v = tree.edge(req.edge).b;
       const int p = req.site_partition;
       const std::vector<int> one{p};
-      ensure_clv(ctx, u, req.edge, false, one, cmd);
-      ensure_clv(ctx, v, req.edge, false, one, cmd);
-      const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+      // Validate BEFORE any assembly: queue_edge_tables stamps reserved
+      // tip-table entries into the shared LRU, and a throw after that would
+      // leave stamped keys whose contents are never built.
       if (req.sites_out.size() != pd.patterns)
         throw std::invalid_argument("site_loglikelihoods: output size " +
                                     std::to_string(req.sites_out.size()) +
                                     " != pattern count " +
                                     std::to_string(pd.patterns));
+      ensure_clv(ctx, u, req.edge, false, one, cmd);
+      ensure_clv(ctx, v, req.edge, false, one, cmd);
       cmd.do_sites = true;
       cmd.eval_edge = req.edge;
       cmd.sites_part = p;
       cmd.sites_out = req.sites_out.data();
-      const auto& rates = dy.model.category_rates();
-      const double b = ctx.lengths_.get(req.edge, p);
-      cmd.sites_pmat = cmd.pmats.size();
-      for (int c = 0; c < pd.cats; ++c) {
-        dy.model.model().transition_matrix(
-            b * rates[static_cast<std::size_t>(c)], pm);
-        cmd.pmats.insert(cmd.pmats.end(), pm.data(),
-                         pm.data() + static_cast<std::size_t>(pd.states) *
-                                         static_cast<std::size_t>(pd.states));
-      }
-      cmd.sites_tt =
-          prepare_edge_tables(ctx, cmd, p, cmd.sites_pmat, req.edge, v);
+      std::size_t off = 0;
+      cmd.sites_tt = queue_edge_tables(ctx, cmd, p, req.edge, v, off);
+      cmd.sites_pmat = off;
       break;
     }
 
@@ -748,38 +809,28 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       const NodeId v = tree.edge(ctx.root_edge_).b;
       ensure_clv(ctx, u, ctx.root_edge_, false, req.partitions, cmd);
       ensure_clv(ctx, v, ctx.root_edge_, false, req.partitions, cmd);
-      cmd.do_sumtable = true;
-      cmd.sum_parts = req.partitions;
-      for (int p : req.partitions) {
-        const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
-        const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
-        if (!use_generic_) {
-          const std::size_t off = cmd.symt.size();
-          cmd.sum_symt.push_back(off);
-          cmd.symt.resize(off + static_cast<std::size_t>(pd.states) *
-                                    static_cast<std::size_t>(pd.states));
-          dispatch_states(pd.states, [&]<int S>() {
-            kernel::transpose_pmats<S>(dy.model.model().sym_transform().data(),
-                                       1, cmd.symt.data() + off);
-          });
-        } else {
-          cmd.sum_symt.push_back(0);
-        }
-        cmd.sum_ttu.push_back(
-            !use_generic_ && tree.is_tip(u) ? sym_table_for(ctx, p) : nullptr);
-        cmd.sum_ttv.push_back(
-            !use_generic_ && tree.is_tip(v) ? sym_table_for(ctx, p) : nullptr);
-      }
+      assemble_sumtable(ctx, cmd, ctx.root_edge_, req.partitions);
       break;
     }
 
     case EvalRequest::Kind::kNrDerivatives: {
-      if (!ctx.sumtable_valid_)
-        throw std::logic_error("nr_derivatives: sumtable not computed");
+      // Validate BEFORE any assembly (see the kSiteLnl comment).
       if (req.lens.size() != req.partitions.size() ||
           req.d1.size() != req.partitions.size() ||
           req.d2.size() != req.partitions.size())
         throw std::invalid_argument("nr_derivatives: size mismatch");
+      if (req.sum_first) {
+        // Fused opener (EvalRequest::sumtable_nr): full prepare-root at
+        // req.edge plus the sumtable pass ride in this same command, ahead
+        // of the derivative pass below.
+        const NodeId u = tree.edge(req.edge).a;
+        const NodeId v = tree.edge(req.edge).b;
+        ensure_clv(ctx, u, req.edge, true, req.partitions, cmd);
+        ensure_clv(ctx, v, req.edge, true, req.partitions, cmd);
+        assemble_sumtable(ctx, cmd, req.edge, req.partitions);
+      } else if (!ctx.sumtable_valid_) {
+        throw std::logic_error("nr_derivatives: sumtable not computed");
+      }
       cmd.do_nr = true;
       cmd.nr_parts = req.partitions;
       for (std::size_t k = 0; k < req.partitions.size(); ++k) {
@@ -804,9 +855,57 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       break;
     }
   }
+
+  // The transposed-matrix buffer mirrors pmats offset-for-offset; only
+  // inner-endpoint regions are written (by transpose tasks) or read.
+  if (!use_generic_) cmd.pmats_t.resize(cmd.pmats.size());
 }
 
 // --- execution ---------------------------------------------------------------
+
+void EngineCore::run_pmat_task(Pending& item, const PmatTask& t,
+                               Matrix& pm) const {
+  Command& cmd = item.cmd;
+  const PartStatic& pd = *parts_[static_cast<std::size_t>(t.part)];
+  const std::size_t ss = static_cast<std::size_t>(pd.states) *
+                         static_cast<std::size_t>(pd.states);
+  double* dst = cmd.pmats.data() + t.off;
+  const auto& rates = t.model->category_rates();
+  for (int c = 0; c < pd.cats; ++c) {
+    t.model->model().transition_matrix(
+        t.blen * rates[static_cast<std::size_t>(c)], pm);
+    std::copy(pm.data(), pm.data() + ss,
+              dst + static_cast<std::size_t>(c) * ss);
+  }
+  if (t.transpose) {
+    dispatch_states(pd.states, [&]<int S>() {
+      kernel::transpose_pmats<S>(dst, pd.cats, cmd.pmats_t.data() + t.off);
+    });
+  }
+  if (t.tip_dst != nullptr) {
+    dispatch_states(pd.states, [&]<int S>() {
+      kernel::build_tip_table<S>(dst, pd.cats, pd.indicators.data(),
+                                 pd.n_codes, t.tip_dst);
+    });
+  }
+}
+
+double EngineCore::modeled_command_cost(const Command& cmd) const {
+  const auto part_cost = [&](int p) {
+    const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+    return static_cast<double>(pd.patterns) *
+           static_cast<double>(pd.states) * static_cast<double>(pd.states) *
+           static_cast<double>(pd.cats);
+  };
+  double c = 0.0;
+  for (const auto& op : cmd.ops)
+    for (int p : op.parts) c += part_cost(p);
+  for (int p : cmd.eval_parts) c += part_cost(p);
+  for (int p : cmd.sum_parts) c += part_cost(p);
+  for (int p : cmd.nr_parts) c += part_cost(p);
+  if (cmd.do_sites) c += part_cost(cmd.sites_part);
+  return c;
+}
 
 void EngineCore::run_item(const Pending& item, int tid,
                           const WorkSchedule& sched) {
@@ -924,10 +1023,11 @@ void EngineCore::run_item(const Pending& item, int tid,
     });
   }
 
-  // 3. Optional sumtable pass.
+  // 3. Optional sumtable pass (at the command's recorded root edge — for a
+  //    fused opener the context's root_edge_ only moves at finalize).
   if (cmd.do_sumtable) {
-    const NodeId u = ctx.tree_.edge(ctx.root_edge_).a;
-    const NodeId v = ctx.tree_.edge(ctx.root_edge_).b;
+    const NodeId u = ctx.tree_.edge(cmd.sum_edge).a;
+    const NodeId v = ctx.tree_.edge(cmd.sum_edge).b;
     for (std::size_t k = 0; k < cmd.sum_parts.size(); ++k) {
       const int p = cmd.sum_parts[k];
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
@@ -1041,8 +1141,63 @@ void EngineCore::execute_batch(std::span<Pending> items) {
     }
   }
 
+  // Gather the deferred table-construction tasks of every live item. They
+  // used to serialize on the master during assembly; here the whole team
+  // builds them as the region's first phase (cyclically split — tasks are
+  // independent and write disjoint buffers), separated from the kernels by
+  // an in-region barrier so no second synchronization event is paid.
+  struct TaskRef {
+    Pending* item;
+    const PmatTask* task;
+  };
+  std::vector<TaskRef> tasks;
+  for (Pending* itemp : live)
+    for (const PmatTask& t : itemp->cmd.pmat_tasks)
+      tasks.push_back({itemp, &t});
+
+  const int T = team_->size();
+
+  // Pick the item-to-thread mapping for this flush (see BatchExecMode):
+  // coarse assigns whole items to single threads once items outnumber the
+  // team 2:1 — each owner replays the fine schedule's per-thread spans, so
+  // results are bit-identical to fine execution in every mode.
+  bool coarse = false;
+  if (T > 1) {
+    coarse = batch_exec_ == BatchExecMode::kCoarse
+                 ? live.size() > 1
+                 : batch_exec_ == BatchExecMode::kAuto &&
+                       live.size() >= 2 * static_cast<std::size_t>(T);
+  }
+  std::vector<int> owner;
+  if (coarse) {
+    std::vector<double> cost(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+      cost[i] = modeled_command_cost(live[i]->cmd);
+    owner = lpt_assign(cost, T);
+    ++stats_.coarse_commands;
+  }
+
+  std::atomic<int> phase_done{0};
   team_->run([&](int tid) {
-    for (const Pending* item : live) run_item(*item, tid, sched);
+    if (!tasks.empty()) {
+      Matrix pm;
+      for (std::size_t i = static_cast<std::size_t>(tid); i < tasks.size();
+           i += static_cast<std::size_t>(T))
+        run_pmat_task(*tasks[i].item, *tasks[i].task, pm);
+      // Barrier: phase 2's kernels read what the tasks wrote. One fresh
+      // atomic per flush; acquire/release publishes the buffers.
+      phase_done.fetch_add(1, std::memory_order_acq_rel);
+      while (phase_done.load(std::memory_order_acquire) < T)
+        std::this_thread::yield();
+    }
+    if (coarse) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (owner[i] != tid) continue;
+        for (int vt = 0; vt < T; ++vt) run_item(*live[i], vt, sched);
+      }
+    } else {
+      for (const Pending* item : live) run_item(*item, tid, sched);
+    }
   });
 
   // Post-run bookkeeping: orientations and epochs for executed ops.
@@ -1090,6 +1245,10 @@ double EngineCore::finalize(Pending& item) {
       ctx.sumtable_valid_ = true;
       break;
     case EvalRequest::Kind::kNrDerivatives: {
+      if (req.sum_first) {
+        ctx.root_edge_ = req.edge;
+        ctx.sumtable_valid_ = true;
+      }
       for (std::size_t k = 0; k < req.partitions.size(); ++k) {
         const int p = req.partitions[k];
         double s1 = 0.0, s2 = 0.0;
@@ -1366,9 +1525,20 @@ EvalContext::~EvalContext() {
   // A pending request must not outlive its context (possible when an
   // exception unwinds a scope that submitted but never reached wait()):
   // dead items keep their ticket slot so wait()'s result indexing holds,
-  // but are skipped by execution and finalization.
-  for (auto& item : core_->pending_)
-    if (item.ctx == this) item.ctx = nullptr;
+  // but are skipped by execution and finalization. Any tip tables the dead
+  // command RESERVED in the shared LRU are built here, on the master, while
+  // this context's models are still alive — other queued commands may
+  // already reference the entries, and the stamped (epoch, blen) keys must
+  // never survive with unbuilt contents.
+  {
+    Matrix pm;
+    for (auto& item : core_->pending_)
+      if (item.ctx == this) {
+        for (const auto& task : item.cmd.pmat_tasks)
+          if (task.tip_dst != nullptr) core_->run_pmat_task(item, task, pm);
+        item.ctx = nullptr;
+      }
+  }
   if (pool_ != nullptr)
     for (std::size_t p = 0; p < dyn_.size(); ++p) {
       PartDyn& dy = *dyn_[p];
@@ -1448,6 +1618,15 @@ void EvalContext::nr_derivatives(const std::vector<int>& partitions,
                                  std::span<double> d1, std::span<double> d2) {
   core_->run_now(*this,
                  EvalRequest::nr_derivatives(partitions, lens, d1, d2));
+}
+
+void EvalContext::nr_derivatives_at(EdgeId edge,
+                                    const std::vector<int>& partitions,
+                                    std::span<const double> lens,
+                                    std::span<double> d1,
+                                    std::span<double> d2) {
+  core_->run_now(*this,
+                 EvalRequest::sumtable_nr(edge, partitions, lens, d1, d2));
 }
 
 void EvalContext::sync_tree_lengths() {

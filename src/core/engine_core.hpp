@@ -122,6 +122,11 @@ struct EngineOptions {
   SchedulingStrategy schedule = SchedulingStrategy::kCyclic;
   /// Measure per-thread CPU time instead of wall time (see ThreadTeam).
   bool instrument_cpu_time = false;
+  /// How multi-item batch flushes map items onto threads
+  /// (parallel/schedule.hpp). kAuto switches to coarse whole-item-per-thread
+  /// execution when a flush's items outnumber the threads 2:1; results are
+  /// bit-identical either way (coarse replays the fine per-thread spans).
+  BatchExecMode batch_exec = BatchExecMode::kAuto;
 };
 
 /// Entries per edge in the tip-table LRU cache: enough for a root-edge
@@ -130,6 +135,13 @@ struct EngineOptions {
 /// temporarily exceed this (entries referenced by queued commands are
 /// pinned); the cache is trimmed back after the flush.
 inline constexpr int kTipTableLruSize = 4;
+
+/// Capacity of the content-addressed model-epoch registry
+/// (EngineCore::epoch_for_model). Kept as a true LRU: exceeding the cap
+/// evicts the least-recently-used association batch-wise, so the model
+/// states a long optimization run keeps returning to retain their epochs —
+/// and with them the shared tip tables — indefinitely.
+inline constexpr std::size_t kEpochRegistryCap = 4096;
 
 /// Aggregate engine counters for the ablation benchmarks.
 struct EngineStats {
@@ -140,6 +152,8 @@ struct EngineStats {
   std::uint64_t nr_iterations = 0;   ///< NR derivative reductions
   std::uint64_t tip_table_rebuilds = 0;  ///< tip lookup table (re)builds
   std::uint64_t tip_table_hits = 0;      ///< tip table LRU cache hits
+  std::uint64_t coarse_commands = 0;     ///< flushes run coarse (item/thread)
+  std::uint64_t epoch_registry_evictions = 0;  ///< model-epoch LRU evictions
 };
 
 /// One queued unit of work for the batched API. Span members reference
@@ -156,6 +170,13 @@ struct EvalRequest {
 
   Kind kind = Kind::kEvaluate;
   EdgeId edge = kNoId;          ///< evaluate / site-lnl / prepare-root
+  /// kNrDerivatives only: fuse the full prepare-root at `edge` AND the
+  /// sumtable rebuild for `partitions` into the same command, ahead of the
+  /// derivative pass (the sumtable_nr factory). Each thread's NR spans read
+  /// only sumtable patterns the same thread wrote earlier in the region, so
+  /// no barrier is needed and the arithmetic is identical to issuing
+  /// prepare_root + sumtable + nr_derivatives as three commands.
+  bool sum_first = false;
   /// Partition scope (evaluate / sumtable / NR). An explicitly empty list
   /// means "no partitions" (a degenerate but valid command, matching the
   /// pre-split engine); use the factory overloads without a partition
@@ -209,6 +230,19 @@ struct EvalRequest {
     r.lens = lens;
     r.d1 = d1;
     r.d2 = d2;
+    return r;
+  }
+  /// Fused edge-optimization opener: relocate the virtual root to `e`
+  /// (full prepare-root semantics), rebuild the NR sumtable for `parts`,
+  /// and evaluate the first derivative round at `lens` — ONE parallel
+  /// region for what the classic protocol issued as three. This is the
+  /// first step of every EdgeNrStepper drive (see core/branch_opt.hpp).
+  static EvalRequest sumtable_nr(EdgeId e, std::vector<int> parts,
+                                 std::span<const double> lens,
+                                 std::span<double> d1, std::span<double> d2) {
+    EvalRequest r = nr_derivatives(std::move(parts), lens, d1, d2);
+    r.edge = e;
+    r.sum_first = true;
     return r;
   }
   static EvalRequest site_lnl(EdgeId e, int p, std::span<double> out) {
@@ -280,6 +314,24 @@ class EngineCore {
   /// Switch strategies between commands (master thread only).
   void set_scheduling_strategy(SchedulingStrategy s);
 
+  /// How multi-item flushes map items onto threads (see EngineOptions).
+  BatchExecMode batch_execution() const { return batch_exec_; }
+  /// Switch between flushes (master thread only). Results are identical in
+  /// every mode; only the item-to-thread mapping changes.
+  void set_batch_execution(BatchExecMode m) { batch_exec_ = m; }
+
+  /// Content-addressed model epoch: identical model states (same
+  /// exchangeabilities, frequencies, alpha, category layout) map to the SAME
+  /// epoch, so contexts over equal models — bootstrap replicates on the
+  /// prototype, fixed-model topology scans, candidate overlays — share
+  /// tip-table LRU entries instead of duplicating tables under core-unique
+  /// keys. Distinct states always get distinct epochs (the serialized state
+  /// is kept and compared, so a 64-bit hash collision degrades to a fresh
+  /// unique epoch, never to false sharing). The registry is a bounded LRU
+  /// (kEpochRegistryCap): evicting an association only costs future sharing,
+  /// and the states in active use survive arbitrary churn. Master only.
+  std::uint64_t epoch_for_model(const PartitionModel& m);
+
   /// Re-weight the kMeasured cost model from observed timings, evaluating
   /// through `ctx` (see Engine::calibrate_schedule). No-op when the team is
   /// not instrumented.
@@ -297,6 +349,7 @@ class EngineCore {
   struct PartStatic;
   struct Command;
   struct Pending;
+  struct PmatTask;
 
   void build_tip_data();
 
@@ -306,10 +359,20 @@ class EngineCore {
                   const std::vector<int>& scope, Command& cmd);
   void add_newview_op(EvalContext& ctx, NodeId v, EdgeId via,
                       const std::vector<int>& parts, Command& cmd);
+  /// Record a sumtable pass at `edge` into `cmd` (shared by the standalone
+  /// kSumtable request and the fused kNrDerivatives opener).
+  void assemble_sumtable(EvalContext& ctx, Command& cmd, EdgeId edge,
+                         const std::vector<int>& parts);
   void build_request(EvalContext& ctx, const EvalRequest& req, Command& cmd);
 
   /// Execute the assembled commands of `items` in one parallel region,
-  /// then update each context's orientation/epoch bookkeeping.
+  /// then update each context's orientation/epoch bookkeeping. The region
+  /// runs in two phases separated by an in-region barrier: the deferred
+  /// transition-matrix / transpose / tip-table construction queued during
+  /// assembly (parallelized across threads), then the commands themselves —
+  /// fine-grained (every thread runs its spans of every item) or coarse
+  /// (whole items assigned to threads by LPT over modeled command cost, each
+  /// replaying the fine per-thread spans so results stay bit-identical).
   void execute_batch(std::span<Pending> items);
   /// Reduce results and apply the request's context state transition.
   double finalize(Pending& item);
@@ -320,15 +383,37 @@ class EngineCore {
   void run_item(const Pending& item, int tid, const WorkSchedule& sched);
   kernel::ChildView child_view(const EvalContext& ctx, int p, NodeId v) const;
 
+  /// Execute one deferred table-construction task (transition matrices for
+  /// one edge-partition, plus its transpose or tip lookup table). Runs on
+  /// worker threads in execute_batch's pre-stage; `pm` is thread-local
+  /// scratch. Tasks are mutually independent (disjoint destinations).
+  void run_pmat_task(Pending& item, const PmatTask& t, Matrix& pm) const;
+  /// Static-model cost of a command (for the coarse executor's LPT item
+  /// assignment): sum of patterns x states^2 x cats over every partition
+  /// pass the command performs.
+  double modeled_command_cost(const Command& cmd) const;
+
   /// Cached tip lookup table for edge `e` of `ctx`'s tree in partition `p`,
   /// keyed on (model epoch, branch length). Epochs are core-globally unique,
   /// so contexts never collide in the shared LRU; entries referenced by the
   /// current batch are pinned against eviction until the flush completes.
-  const double* tip_table_for(EvalContext& ctx, int p, EdgeId e,
-                              const double* pmat);
-  const double* prepare_edge_tables(EvalContext& ctx, Command& cmd, int p,
-                                    std::size_t off, EdgeId e,
-                                    NodeId endpoint);
+  /// On a miss the entry is *reserved* (sized, keyed, pinned) but its table
+  /// is built later by the flush's parallel pre-stage; `build` tells the
+  /// caller to queue the construction task.
+  struct TipTableRef {
+    const double* data = nullptr;
+    double* dst = nullptr;
+    bool build = false;
+  };
+  TipTableRef tip_table_for(EvalContext& ctx, int p, EdgeId e);
+  /// Reserve pmat space for edge `e` toward `endpoint` in partition `p` and
+  /// queue the deferred construction task (matrices + transpose for inner
+  /// endpoints, matrices + tip lookup table for tip endpoints). Returns the
+  /// tip table pointer for tip endpoints (nullptr otherwise); `off_out`
+  /// receives the pmat offset.
+  const double* queue_edge_tables(EvalContext& ctx, Command& cmd, int p,
+                                  EdgeId e, NodeId endpoint,
+                                  std::size_t& off_out);
   /// Per-context sym x indicator table ([code][state]), keyed on the model
   /// epoch alone (branch-length independent).
   const double* sym_table_for(EvalContext& ctx, int p);
@@ -339,15 +424,6 @@ class EngineCore {
   void release_context_tables();
 
   std::uint64_t next_epoch() { return ++epoch_counter_; }
-  /// Content-addressed model epoch: identical model states (same
-  /// exchangeabilities, frequencies, alpha, category layout) map to the SAME
-  /// epoch, so contexts over equal models — bootstrap replicates on the
-  /// prototype, fixed-model topology scans, candidate overlays — share
-  /// tip-table LRU entries instead of duplicating tables under core-unique
-  /// keys. Distinct states always get distinct epochs (the serialized state
-  /// is kept and compared, so a 64-bit hash collision degrades to a fresh
-  /// unique epoch, never to false sharing).
-  std::uint64_t epoch_for_model(const PartitionModel& m);
   void check_not_pending(const EvalContext& ctx) const;
 
   const CompressedAlignment& aln_;
@@ -362,14 +438,18 @@ class EngineCore {
   WorkSchedule sched_;
   bool sched_dirty_ = true;
   std::vector<double> measured_cost_;  // per partition, sec/pattern
+  BatchExecMode batch_exec_ = BatchExecMode::kAuto;
 
   std::uint64_t epoch_counter_ = 0;  // model-state epochs, core-global
-  /// Content hash -> (epoch, serialized state) for epoch_for_model().
+  /// Content hash -> (epoch, serialized state, recency) for
+  /// epoch_for_model(); a bounded LRU over kEpochRegistryCap entries.
   struct EpochEntry {
     std::uint64_t epoch = 0;
     std::vector<double> state;
+    std::uint64_t last_used = 0;
   };
   std::unordered_map<std::uint64_t, EpochEntry> epoch_of_state_;
+  std::uint64_t epoch_use_clock_ = 0;  // registry recency counter
   std::uint64_t tip_clock_ = 0;      // LRU recency counter
   std::uint64_t flush_id_ = 1;       // pins LRU entries of the open batch
   std::vector<std::pair<int, EdgeId>> lru_overflow_;  // to trim post-flush
@@ -457,6 +537,11 @@ class EvalContext {
   void nr_derivatives(const std::vector<int>& partitions,
                       std::span<const double> lens, std::span<double> d1,
                       std::span<double> d2);
+  /// Fused prepare_root(edge) + compute_sumtable(partitions) +
+  /// nr_derivatives(...) — one command (see EvalRequest::sumtable_nr).
+  void nr_derivatives_at(EdgeId edge, const std::vector<int>& partitions,
+                         std::span<const double> lens, std::span<double> d1,
+                         std::span<double> d2);
 
   // --- state management ----------------------------------------------------
 

@@ -32,6 +32,48 @@ std::optional<SchedulingStrategy> scheduling_strategy_from_string(
   return std::nullopt;
 }
 
+std::string_view to_string(BatchExecMode m) {
+  switch (m) {
+    case BatchExecMode::kAuto:
+      return "auto";
+    case BatchExecMode::kFine:
+      return "fine";
+    case BatchExecMode::kCoarse:
+      return "coarse";
+  }
+  return "?";
+}
+
+std::optional<BatchExecMode> batch_exec_mode_from_string(
+    std::string_view name) {
+  for (BatchExecMode m :
+       {BatchExecMode::kAuto, BatchExecMode::kFine, BatchExecMode::kCoarse})
+    if (name == to_string(m)) return m;
+  return std::nullopt;
+}
+
+std::vector<int> lpt_assign(std::span<const double> cost, int threads) {
+  if (threads < 1) throw std::invalid_argument("lpt_assign needs >= 1 thread");
+  std::vector<std::size_t> order(cost.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cost[a] != cost[b]) return cost[a] > cost[b];
+    return a < b;
+  });
+  std::vector<int> owner(cost.size(), 0);
+  std::vector<double> load(static_cast<std::size_t>(threads), 0.0);
+  for (std::size_t i : order) {
+    int best = 0;
+    for (int t = 1; t < threads; ++t)
+      if (load[static_cast<std::size_t>(t)] <
+          load[static_cast<std::size_t>(best)])
+        best = t;
+    owner[i] = best;
+    load[static_cast<std::size_t>(best)] += cost[i];
+  }
+  return owner;
+}
+
 namespace {
 
 using SpanGrid = std::vector<std::vector<std::vector<WorkSpan>>>;  // [tid][p]
@@ -125,22 +167,17 @@ double lpt_pack(int T, const std::vector<PartitionShape>& shapes,
       chunks.push_back(Chunk{p, lo, hi, c * static_cast<double>(hi - lo)});
     }
   }
-  // Largest first; deterministic tie-break keeps the schedule reproducible.
-  std::sort(chunks.begin(), chunks.end(), [](const Chunk& a, const Chunk& b) {
-    if (a.cost != b.cost) return a.cost > b.cost;
-    if (a.part != b.part) return a.part < b.part;
-    return a.begin < b.begin;
-  });
-
+  // Largest first, ties by chunk index — chunks are generated in
+  // (part, begin) order, so the packing is reproducible.
+  std::vector<double> costs(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) costs[i] = chunks[i].cost;
+  const std::vector<int> owner = lpt_assign(costs, T);
   std::vector<double> load(static_cast<std::size_t>(T), 0.0);
-  for (const Chunk& ch : chunks) {
-    int best = 0;
-    for (int t = 1; t < T; ++t)
-      if (load[static_cast<std::size_t>(t)] <
-          load[static_cast<std::size_t>(best)])
-        best = t;
-    load[static_cast<std::size_t>(best)] += ch.cost;
-    grid[static_cast<std::size_t>(best)][static_cast<std::size_t>(ch.part)]
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Chunk& ch = chunks[i];
+    const int t = owner[i];
+    load[static_cast<std::size_t>(t)] += ch.cost;
+    grid[static_cast<std::size_t>(t)][static_cast<std::size_t>(ch.part)]
         .push_back(WorkSpan{ch.part, ch.begin, ch.end, 1});
   }
   // Merge adjacent chunks a thread received from the same partition.

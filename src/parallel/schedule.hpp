@@ -76,6 +76,34 @@ std::string_view to_string(SchedulingStrategy s);
 std::optional<SchedulingStrategy> scheduling_strategy_from_string(
     std::string_view name);
 
+/// How a multi-item batch flush (EngineCore::wait) maps items onto threads.
+///
+///   * kFine   — every thread walks every item and executes its own pattern
+///               spans of each (the pre-coarse behavior). Best when items
+///               are few and large: per-item balance is per-pattern perfect.
+///   * kCoarse — whole items are assigned to single threads (LPT over each
+///               item's modeled command cost); the owning thread replays the
+///               fine schedule's per-thread spans virtually, so reduction
+///               order — and therefore every result — is bit-identical to
+///               kFine. Best when items outnumber threads: each thread
+///               touches only its own items instead of dipping into every
+///               small context's spans.
+///   * kAuto   — wait() picks per flush from the batch shape (coarse once
+///               live items >= 2x threads).
+enum class BatchExecMode { kAuto, kFine, kCoarse };
+
+std::string_view to_string(BatchExecMode m);
+/// Parse "auto" / "fine" / "coarse".
+std::optional<BatchExecMode> batch_exec_mode_from_string(std::string_view name);
+
+/// Longest-processing-time greedy assignment of weighted items to
+/// `threads` bins: items are taken in decreasing cost order (ties broken by
+/// index, so the result is deterministic) and each goes to the currently
+/// least-loaded bin. Returns the owning bin per item. This is the packing
+/// rule shared by the kLpt pattern-chunk strategy and the coarse batch
+/// executor's item-to-thread assignment.
+std::vector<int> lpt_assign(std::span<const double> cost, int threads);
+
 /// Everything the cost model knows about one partition.
 struct PartitionShape {
   std::size_t patterns = 0;

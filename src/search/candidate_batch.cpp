@@ -20,9 +20,122 @@ CandidateScorer::CandidateScorer(EngineCore& core, EvalContext& parent,
         "CandidateScorer: parent belongs to another core");
   if (opts_.max_batch < 1)
     throw std::invalid_argument("CandidateScorer: max_batch must be >= 1");
+  if (opts_.speculate_groups < 1)
+    throw std::invalid_argument(
+        "CandidateScorer: speculate_groups must be >= 1");
 }
 
 CandidateScorer::~CandidateScorer() = default;
+
+bool CandidateScorer::stage(const SprMove& move, double* out,
+                            std::vector<WaveItem>& sink,
+                            std::vector<double>* opt_lengths) {
+  if (staged_ >= static_cast<std::size_t>(opts_.max_batch)) return false;
+
+  if (staged_ == 0) {
+    // The wave's overlays alias the parent's CLVs as-is; orienting the
+    // parent toward the first candidate's prune edge up front (usually a
+    // 0-op command) lets every same-group overlay inherit valid CLVs
+    // instead of re-orienting privately. Overlays of OTHER groups in the
+    // wave re-orient inside their own leased slots — extra newview work on
+    // the shared batched commands, no extra synchronization.
+    parent_.prepare_root(move.prune_edge);
+    wave_prune_ = move.prune_edge;
+    wave_cross_ = false;
+  } else if (move.prune_edge != wave_prune_) {
+    wave_cross_ = true;
+  }
+
+  while (overlays_.size() <= staged_)
+    overlays_.push_back(std::make_unique<EvalContext>(parent_, pool_));
+
+  // Materialize: re-synchronize the overlay with the parent (releasing any
+  // slots from the previous wave), apply its move speculatively, and
+  // invalidate exactly what the sequential scorer invalidates.
+  EvalContext& ov = *overlays_[staged_];
+  ov.rebind(parent_);
+  const SprUndo undo = apply_spr(ov.tree(), move);
+  apply_spr_lengths(ov.branch_lengths(), undo);
+  invalidate_after_spr(ov, undo);
+  sink.push_back(WaveItem{&ov, undo.carried, undo.target, move.prune_edge,
+                          out, opt_lengths});
+  ++staged_;
+  return true;
+}
+
+void CandidateScorer::flush_wave(EngineCore& core, Strategy strategy,
+                                 const BranchOptOptions& local_opts,
+                                 std::span<const WaveItem> items) {
+  if (items.empty()) return;
+  std::vector<EvalContext*> ctxs(items.size());
+  std::vector<EdgeId> carried(items.size()), target(items.size()),
+      prune(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ctxs[i] = items[i].ctx;
+    carried[i] = items[i].carried;
+    target[i] = items[i].target;
+    prune[i] = items[i].prune;
+  }
+
+  // Lockstep 3-edge local optimization (the "lazy" part of lazy SPR) —
+  // same edge order as the sequential local_optimize: carried, target,
+  // prune. Each step is a handful of parallel regions shared by the whole
+  // wave instead of per candidate.
+  optimize_edge_batch(core, ctxs, carried, strategy, local_opts);
+  optimize_edge_batch(core, ctxs, target, strategy, local_opts);
+  optimize_edge_batch(core, ctxs, prune, strategy, local_opts);
+
+  // Harvest the optimized local lengths for callers that may adopt the
+  // winning overlay's state at commit time (see WaveItem::opt_lengths).
+  for (const WaveItem& item : items) {
+    if (item.opt_lengths == nullptr) continue;
+    const BranchLengths& bl = item.ctx->branch_lengths();
+    const int np = bl.linked() ? 1 : bl.partition_count();
+    item.opt_lengths->clear();
+    item.opt_lengths->reserve(static_cast<std::size_t>(3 * np));
+    for (EdgeId e : {item.carried, item.target, item.prune})
+      for (int p = 0; p < np; ++p) item.opt_lengths->push_back(bl.get(e, p));
+  }
+
+  // One batched evaluation yields every candidate's score.
+  const std::vector<double> lnls = core.evaluate_batch(ctxs, prune);
+  for (std::size_t i = 0; i < items.size(); ++i) *items[i].out = lnls[i];
+}
+
+void CandidateScorer::finish_wave() {
+  if (staged_ == 0) return;
+  ++stats_.waves;
+  if (wave_cross_) ++stats_.cross_group_waves;
+  stats_.candidates += staged_;
+  staged_ = 0;
+  wave_prune_ = kNoId;
+  wave_cross_ = false;
+  stats_.pool_slots_peak =
+      std::max(stats_.pool_slots_peak, pool_.peak_in_use());
+  pool_.trim();
+  stats_.pool_slots_allocated = pool_.slots_allocated();
+}
+
+void CandidateScorer::score_groups(std::span<const GroupRequest> groups) {
+  stats_.groups += groups.size();
+  std::vector<WaveItem> sink;
+  const auto flush = [&] {
+    flush_wave(core_, strategy_, local_opts_, sink);
+    finish_wave();
+    sink.clear();
+  };
+  for (const GroupRequest& g : groups) {
+    if (g.out.size() != g.moves.size())
+      throw std::invalid_argument("score_groups: out/moves size mismatch");
+    for (std::size_t i = 0; i < g.moves.size(); ++i) {
+      if (!stage(g.moves[i], &g.out[i], sink)) {
+        flush();
+        stage(g.moves[i], &g.out[i], sink);
+      }
+    }
+  }
+  if (!sink.empty()) flush();
+}
 
 std::vector<double> CandidateScorer::score(std::span<const SprMove> moves) {
   std::vector<double> out(moves.size(), 0.0);
@@ -32,59 +145,8 @@ std::vector<double> CandidateScorer::score(std::span<const SprMove> moves) {
     if (m.prune_edge != prune)
       throw std::invalid_argument(
           "CandidateScorer::score: moves must share one prune edge");
-  ++stats_.groups;
-
-  for (std::size_t base = 0; base < moves.size();
-       base += static_cast<std::size_t>(opts_.max_batch)) {
-    const std::size_t K = std::min(moves.size() - base,
-                                   static_cast<std::size_t>(opts_.max_batch));
-    ++stats_.waves;
-
-    // The parent's CLVs must all be valid toward the prune edge before the
-    // overlays alias them (the sequential scorer performs the same
-    // prepare_root per candidate; here it runs once per wave and is free
-    // when the previous wave already oriented the parent). The parent is
-    // not touched again until the wave's scores are out.
-    parent_.prepare_root(prune);
-
-    while (overlays_.size() < K)
-      overlays_.push_back(std::make_unique<EvalContext>(parent_, pool_));
-
-    // Materialize the wave: re-synchronize each overlay with the parent
-    // (releasing any slots from the previous wave), apply its move
-    // speculatively, and invalidate exactly what the sequential scorer
-    // invalidates.
-    std::vector<EvalContext*> ctxs(K);
-    std::vector<EdgeId> carried(K), target(K), prune_edges(K);
-    for (std::size_t i = 0; i < K; ++i) {
-      EvalContext& ov = *overlays_[i];
-      ov.rebind(parent_);
-      const SprUndo undo = apply_spr(ov.tree(), moves[base + i]);
-      apply_spr_lengths(ov.branch_lengths(), undo);
-      invalidate_after_spr(ov, undo);
-      ctxs[i] = &ov;
-      carried[i] = undo.carried;
-      target[i] = undo.target;
-      prune_edges[i] = moves[base + i].prune_edge;
-    }
-
-    // Lockstep 3-edge local optimization (the "lazy" part of lazy SPR) —
-    // same edge order as the sequential local_optimize: carried, target,
-    // prune. Each step is a handful of parallel regions shared by the
-    // whole wave instead of per candidate.
-    optimize_edge_batch(core_, ctxs, carried, strategy_, local_opts_);
-    optimize_edge_batch(core_, ctxs, target, strategy_, local_opts_);
-    optimize_edge_batch(core_, ctxs, prune_edges, strategy_, local_opts_);
-
-    // One batched evaluation yields every candidate's score.
-    const std::vector<double> lnls = core_.evaluate_batch(ctxs, prune_edges);
-    for (std::size_t i = 0; i < K; ++i) out[base + i] = lnls[i];
-    stats_.candidates += K;
-  }
-
-  stats_.pool_slots_peak = std::max(stats_.pool_slots_peak, pool_.peak_in_use());
-  pool_.trim();
-  stats_.pool_slots_allocated = pool_.slots_allocated();
+  const GroupRequest g{moves, out};
+  score_groups({&g, 1});
   return out;
 }
 

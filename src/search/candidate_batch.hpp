@@ -1,4 +1,5 @@
-// Batched lockstep SPR candidate scoring.
+// Batched lockstep SPR candidate scoring — within and across prune-edge
+// candidate groups.
 //
 // The lazy-SPR hill climb is the engine's dominant workload, and its unit of
 // work is the *candidate*: apply one radius-bounded SPR move speculatively,
@@ -9,12 +10,12 @@
 // — with only a few edges' worth of work per region, so threads spend most
 // of their time at barriers.
 //
-// CandidateScorer turns the per-round candidate SET into the unit of work
-// instead. Every candidate of a prune edge is materialized onto an *overlay*
-// EvalContext (see core/engine_core.hpp): a lightweight scoring context that
-// shares the parent's CLV buffers copy-on-score and leases pool slots only
-// for the handful of nodes its move invalidates. All overlays then advance
-// in lockstep through the core's batched submit()/wait() API:
+// CandidateScorer turns candidate SETS into the unit of work instead. Every
+// candidate is materialized onto an *overlay* EvalContext (see
+// core/engine_core.hpp): a lightweight scoring context that shares the
+// parent's CLV buffers copy-on-score and leases pool slots only for the
+// handful of nodes its move invalidates. All overlays then advance in
+// lockstep through the core's batched submit()/wait() API:
 //
 //   1. one batched prepare_root               (per wave, usually 0 ops)
 //   2. for each of the 3 local edges:         (optimize_edge_batch)
@@ -24,8 +25,16 @@
 //   3. one batched evaluation -> all scores
 //
 // so a wave of K candidates costs roughly the synchronization of ONE
-// sequential candidate. Per candidate the command sequence and arithmetic
-// are identical to the sequential scorer at the same thread count, so the
+// sequential candidate. A wave is NOT limited to one prune edge's group:
+// the speculative search (search.cpp) enumerates several groups against a
+// frozen parent and merges their candidates into shared waves — an overlay
+// whose prune edge differs from the parent's current orientation simply
+// re-orients inside its own leased slots, riding the same batched commands.
+// The wave protocol is also exposed piecewise (stage / flush_wave /
+// finish_wave) so several parents' scorers — the replicate searches of
+// search_ml_replicated — can flush their current waves through ONE shared
+// parallel region. Per candidate the command sequence and arithmetic are
+// identical to the sequential scorer at the same thread count, so the
 // scores — and therefore the search's accepted-move sequence — match bit
 // for bit (tests/test_candidate_batch.cpp pins this down).
 #pragma once
@@ -49,25 +58,55 @@ struct CandidateBatchOptions {
   /// max_batch x touched-nodes-per-candidate slots per partition).
   int max_batch = 32;
   /// Free CLV slots the pool retains per partition between waves (the pool
-  /// trims itself back to this after each group of candidates).
+  /// trims itself back to this after each wave of candidates).
   std::size_t pool_soft_cap = 64;
+  /// Upper bound on the prune-edge groups the search speculatively
+  /// enumerates and scores per window against a frozen parent (1 restores
+  /// strict per-group scoring). The effective window adapts: it starts at 1,
+  /// doubles after every window that commits no move (speculation paid off),
+  /// and resets to 1 when a commit invalidates the window's tail — so
+  /// commit-dense early rounds speculate little and the long commit-free
+  /// tail merges up to this many groups per wave. Identical accepted-move
+  /// sequence at any value (see docs/search.md).
+  int speculate_groups = 8;
 };
 
 /// Counters describing how the batched scorer spent its candidates.
 struct CandidateBatchStats {
   std::uint64_t candidates = 0;   ///< moves scored through the batched path
-  std::uint64_t groups = 0;       ///< score() calls (one per prune edge/side)
+  std::uint64_t groups = 0;       ///< prune-edge groups scored
   std::uint64_t waves = 0;        ///< lockstep waves executed
+  std::uint64_t cross_group_waves = 0;  ///< waves spanning >1 prune edge
+  std::uint64_t rescored_candidates = 0;  ///< scored again after a commit
+                                          ///< invalidated their window
+  std::uint64_t conflict_groups = 0;  ///< groups re-enumerated after commits
   std::size_t pool_slots_peak = 0;   ///< high-water leased CLV slots
   std::size_t pool_slots_allocated = 0;  ///< pool slots currently allocated
 };
 
-/// Scores SPR candidate sets for one parent context in lockstep waves. The
+/// One materialized overlay candidate awaiting its lockstep flush: the
+/// overlay context (move applied, stale CLVs invalidated), the three local
+/// edges of its insertion point, and where its score goes. When
+/// `opt_lengths` is set, flush_wave also harvests the locally optimized
+/// per-partition lengths of [carried, target, prune] (concatenated, one
+/// value per edge in linked mode) — accepting a candidate can then ADOPT
+/// the overlay's optimized state instead of re-running the local
+/// optimization on the parent (the score already IS the committed lnL).
+struct WaveItem {
+  EvalContext* ctx = nullptr;
+  EdgeId carried = kNoId;
+  EdgeId target = kNoId;
+  EdgeId prune = kNoId;
+  double* out = nullptr;
+  std::vector<double>* opt_lengths = nullptr;
+};
+
+/// Scores SPR candidates for one parent context in lockstep waves. The
 /// scorer owns the CLV slot pool and a reusable set of overlay contexts;
-/// construct it once per search and call score() per candidate group. The
-/// parent may change freely *between* score() calls (moves are committed,
-/// branch lengths smoothed, models re-optimized); each wave re-synchronizes
-/// the overlays via EvalContext::rebind(). Master-thread only.
+/// construct it once per search. The parent may change freely *between*
+/// waves (moves are committed, branch lengths smoothed, models
+/// re-optimized); each wave re-synchronizes the overlays via
+/// EvalContext::rebind(). Master-thread only.
 class CandidateScorer {
  public:
   /// `core`/`parent` must outlive the scorer; `parent` must be a context of
@@ -81,14 +120,47 @@ class CandidateScorer {
   CandidateScorer(const CandidateScorer&) = delete;
   CandidateScorer& operator=(const CandidateScorer&) = delete;
 
-  /// Score every move (all must share one prune edge — the per-round group
-  /// the search enumerates); returns one candidate lnL per move, in order.
-  /// The parent context is left exactly as found apart from its CLV
-  /// orientation (rooted at the group's prune edge, as the sequential
-  /// scorer also leaves it).
+  /// Score every move (all must share one prune edge — one candidate
+  /// group); returns one candidate lnL per move, in order. The parent is
+  /// left exactly as found apart from its CLV orientation.
   std::vector<double> score(std::span<const SprMove> moves);
 
+  /// One group's scoring request for score_groups: a prune-edge group's
+  /// moves and the destination for their lnLs (out.size() == moves.size()).
+  struct GroupRequest {
+    std::span<const SprMove> moves;
+    std::span<double> out;
+  };
+  /// Score several groups' candidates against the (frozen) parent in merged
+  /// cross-group waves: candidates fill each wave to max_batch regardless
+  /// of group boundaries, so a window of small groups costs the
+  /// synchronization of its candidate count / max_batch — not its group
+  /// count. Scores are identical to per-group score() calls.
+  void score_groups(std::span<const GroupRequest> groups);
+
+  // --- the piecewise wave protocol (lockstep multi-search driver) ----------
+  //
+  // stage() materializes one candidate as an overlay into `sink`; a false
+  // return means the wave is full — flush before staging more. flush_wave()
+  // runs the lockstep protocol over staged items from ANY number of scorers
+  // (one shared parallel region per step). finish_wave() closes this
+  // scorer's participation in the flushed wave (stats, slot-pool trim) and
+  // must be called before its next stage(). score()/score_groups() are
+  // thin drivers over these three.
+
+  bool stage(const SprMove& move, double* out, std::vector<WaveItem>& sink,
+             std::vector<double>* opt_lengths = nullptr);
+  static void flush_wave(EngineCore& core, Strategy strategy,
+                         const BranchOptOptions& local_opts,
+                         std::span<const WaveItem> items);
+  void finish_wave();
+  /// Candidates currently staged (0 right after finish_wave()).
+  std::size_t staged() const { return staged_; }
+
   const CandidateBatchStats& stats() const { return stats_; }
+  /// Mutable access for the search driver's speculation counters
+  /// (rescored_candidates, conflict_groups).
+  CandidateBatchStats& stats() { return stats_; }
 
  private:
   EngineCore& core_;
@@ -98,6 +170,9 @@ class CandidateScorer {
   CandidateBatchOptions opts_;
   ClvSlotPool pool_;  // declared before overlays_: destroyed after them
   std::vector<std::unique_ptr<EvalContext>> overlays_;
+  std::size_t staged_ = 0;
+  EdgeId wave_prune_ = kNoId;  // first staged prune edge of the open wave
+  bool wave_cross_ = false;    // open wave spans >1 prune edge
   CandidateBatchStats stats_;
 };
 

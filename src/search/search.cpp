@@ -1,5 +1,6 @@
 #include "search/search.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -74,6 +75,8 @@ double score_candidate(Engine& engine, const SprMove& move,
 }
 
 /// Permanently apply a move (with local optimization); returns the new lnL.
+/// Used by the sequential scorer; the speculative machine commits by
+/// adopting the winning overlay's already-optimized state instead.
 double commit_move(Engine& engine, const SprMove& move,
                    const SearchOptions& opts) {
   engine.prepare_root(move.prune_edge);
@@ -83,18 +86,10 @@ double commit_move(Engine& engine, const SprMove& move,
   return local_optimize(engine, undo, move.prune_edge, opts);
 }
 
-}  // namespace
-
-SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
+/// The historical one-candidate-at-a-time search (batched_candidates off):
+/// kept verbatim as the A/B reference the batched paths are pinned against.
+SearchResult search_ml_sequential(Engine& engine, const SearchOptions& opts) {
   SearchResult res;
-
-  // One scorer per search: its overlay contexts and CLV slot pool are
-  // reused across every candidate group and round.
-  std::unique_ptr<CandidateScorer> scorer;
-  if (opts.batched_candidates)
-    scorer = std::make_unique<CandidateScorer>(
-        engine.core(), engine.context(), opts.strategy,
-        opts.local_branch_opts, opts.candidate_batch);
 
   double lnl = optimize_branch_lengths(engine, opts.strategy,
                                        opts.full_branch_opts);
@@ -121,14 +116,9 @@ SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
         for (EdgeId t : targets) moves.push_back(SprMove{pe, s, t});
 
         std::vector<double> cands;
-        if (scorer != nullptr) {
-          // Batched path: the whole candidate group in lockstep waves.
-          cands = scorer->score(moves);
-        } else {
-          cands.reserve(moves.size());
-          for (const SprMove& move : moves)
-            cands.push_back(score_candidate(engine, move, opts));
-        }
+        cands.reserve(moves.size());
+        for (const SprMove& move : moves)
+          cands.push_back(score_candidate(engine, move, opts));
         res.candidates_scored += moves.size();
 
         SprMove best_move;
@@ -162,8 +152,390 @@ SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
 
   engine.sync_tree_lengths();
   res.final_lnl = lnl;
-  if (scorer != nullptr) res.batch = scorer->stats();
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Speculative cross-group search machine
+// ---------------------------------------------------------------------------
+
+/// One prune-edge candidate group inside a speculative window. `side` is
+/// the endpoint INDEX into edge(pe) — the group iterates exactly like the
+/// sequential loop's (pe, side) pair — and `s` the node it resolved to at
+/// (re-)enumeration time.
+struct SpecGroup {
+  EdgeId pe = kNoId;
+  int side = 0;
+  NodeId s = kNoId;
+  std::vector<SprMove> moves;
+  std::vector<double> scores;
+  /// Per candidate: the overlay's optimized [carried, target, prune]
+  /// per-partition lengths, harvested at the flush so an accepted move can
+  /// adopt them (see WaveItem::opt_lengths).
+  std::vector<std::vector<double>> opt_lengths;
+  /// Candidates whose scores are staged-or-valid. All staged scores become
+  /// valid at the wave flush, and processing only runs between flushes, so
+  /// a fully-covered group (scored_upto == moves.size()) is decidable.
+  std::size_t scored_upto = 0;
+};
+
+/// The speculative lazy-SPR hill climb for ONE parent context, factored as
+/// a master-side state machine: it enumerates a WINDOW of prune-edge groups
+/// against the frozen parent, stages their candidates into cross-group
+/// waves (scored by the driver through CandidateScorer::flush_wave — for a
+/// single search on its own, for replicated searches merged with every
+/// other machine's wave), and processes the scored groups strictly in the
+/// sequential scorer's order:
+///
+///   * the best candidate of each group is committed iff it beats the
+///     running lnL by min_move_gain — exactly the sequential policy;
+///   * a commit stales EVERY un-processed score in the window (scores are
+///     whole-tree likelihoods), so the tail is re-scored; groups whose
+///     enumeration the commit may have changed (spr_group_conflicts) are
+///     additionally re-enumerated. Survivor groups keep their move lists —
+///     the conflict test guarantees re-enumeration would reproduce them.
+///
+/// The window size adapts — 1 after a window with a commit, doubling after
+/// every commit-free window up to speculate_groups — so commit-dense early
+/// rounds speculate little while the long commit-free tail merges many
+/// groups per wave. None of this changes any score or decision: the
+/// accepted-move sequence is identical to the sequential scorer's
+/// (bit-identical under the cyclic schedule).
+class SprSearchMachine {
+ public:
+  enum class Phase {
+    kScore,     ///< unscored candidates pending: stage_wave + flush + consume
+    kRoundEnd,  ///< round's groups processed: smooth/model-opt, end_round
+    kDone,
+  };
+
+  SprSearchMachine(EngineCore& core, EvalContext& ctx,
+                   const SearchOptions& opts)
+      : view_(core, ctx),
+        opts_(opts),
+        scorer_(core, ctx, opts.strategy, opts.local_branch_opts,
+                opts.candidate_batch) {}
+
+  Phase phase() const { return phase_; }
+  Engine& engine() { return view_; }
+
+  /// Start searching from likelihood `lnl` (after the driver's initial
+  /// smoothing / model optimization).
+  void begin(double lnl) {
+    lnl_ = lnl;
+    if (opts_.max_rounds < 1) {
+      phase_ = Phase::kDone;
+      return;
+    }
+    start_round();
+  }
+
+  /// kScore only: stage unscored candidates (window order) into `sink`
+  /// until the scorer's wave is full or the window is covered.
+  void stage_wave(std::vector<WaveItem>& sink) {
+    for (std::size_t gi = proc_; gi < window_.size(); ++gi) {
+      SpecGroup& g = window_[gi];
+      while (g.scored_upto < g.moves.size()) {
+        if (!scorer_.stage(g.moves[g.scored_upto], &g.scores[g.scored_upto],
+                           sink, &g.opt_lengths[g.scored_upto]))
+          return;
+        ++g.scored_upto;
+      }
+    }
+  }
+
+  /// After the driver flushed the staged wave: account it and continue
+  /// processing groups / refilling the window. Advances phase.
+  void consume() {
+    scorer_.finish_wave();
+    advance();
+  }
+
+  /// kRoundEnd only: the driver finished this round's smoothing (+ model
+  /// optimization) at likelihood `lnl`; log and either start the next round
+  /// or finish.
+  void end_round(double lnl) {
+    lnl_ = lnl;
+    log_info("search round " + std::to_string(res_.rounds) +
+             ": lnL = " + std::to_string(lnl_) + " (+" +
+             std::to_string(lnl_ - round_start_) + ", " +
+             std::to_string(res_.accepted_moves) + " moves)");
+    if (lnl_ - round_start_ < opts_.epsilon ||
+        res_.rounds >= opts_.max_rounds) {
+      phase_ = Phase::kDone;
+      return;
+    }
+    start_round();
+  }
+
+  SearchResult take_result() {
+    res_.final_lnl = lnl_;
+    res_.batch = scorer_.stats();
+    return res_;
+  }
+
+ private:
+  void start_round() {
+    round_start_ = lnl_;
+    ++res_.rounds;
+    cursor_pe_ = 0;
+    cursor_side_ = 0;
+    window_.clear();
+    proc_ = 0;
+    window_cap_ = 1;
+    committed_in_window_ = false;
+    advance();
+  }
+
+  /// (Re-)resolve a group against the CURRENT tree: its pruned-side node,
+  /// the tip-joint skip, and its target list. Clears any previous scores.
+  void enumerate(SpecGroup& g) {
+    const Tree& tree = view_.tree();
+    const auto& e = tree.edge(g.pe);
+    g.s = g.side == 0 ? e.a : e.b;
+    g.moves.clear();
+    g.scores.clear();
+    g.opt_lengths.clear();
+    g.scored_upto = 0;
+    const NodeId joint = tree.other_end(g.pe, g.s);
+    if (tree.is_tip(joint)) return;  // no candidates off a tip joint
+    for (EdgeId t : spr_targets(tree, g.pe, g.s, opts_.spr_radius))
+      g.moves.push_back(SprMove{g.pe, g.s, t});
+    g.scores.assign(g.moves.size(), 0.0);
+    g.opt_lengths.assign(g.moves.size(), {});
+  }
+
+  /// Commit an accepted move by ADOPTING the winning overlay's optimized
+  /// state: apply the surgery to the parent, install the three locally
+  /// optimized lengths harvested at the flush, and take the candidate's
+  /// score as the new likelihood — zero parallel regions, where the classic
+  /// commit re-ran the whole local optimization (~8 regions) to recompute
+  /// exactly these numbers. Deterministic kernels make the adopted values
+  /// bit-identical to the recomputation (the sequential A/B tests pin it).
+  void commit_by_adoption(const SprMove& move,
+                          std::span<const double> opt_lengths,
+                          double score) {
+    Engine& eng = view_;
+    const SprUndo undo = apply_spr(eng.tree(), move);
+    apply_spr_lengths(eng.branch_lengths(), undo);
+    BranchLengths& bl = eng.branch_lengths();
+    const int np = bl.linked() ? 1 : bl.partition_count();
+    const EdgeId local[3] = {undo.carried, undo.target, move.prune_edge};
+    for (int e = 0; e < 3; ++e)
+      for (int p = 0; p < np; ++p) {
+        const double len = opt_lengths[static_cast<std::size_t>(e * np + p)];
+        if (bl.linked())
+          bl.set_all(local[e], len);
+        else
+          bl.set(local[e], p, len);
+      }
+    invalidate_after_spr(eng, undo);
+    lnl_ = score;
+    ++res_.accepted_moves;
+    invalidate_tail(undo);
+  }
+
+  /// A commit changed the tree: every un-processed score in the window is a
+  /// stale whole-tree likelihood — mark it all for re-scoring — and groups
+  /// the surgery may have re-shaped re-enumerate as well.
+  void invalidate_tail(const SprUndo& undo) {
+    const Tree& tree = view_.tree();
+    for (std::size_t gi = proc_; gi < window_.size(); ++gi) {
+      SpecGroup& g = window_[gi];
+      scorer_.stats().rescored_candidates += g.scored_upto;
+      if (spr_group_conflicts(tree, g.pe, g.s, opts_.spr_radius, undo)) {
+        ++scorer_.stats().conflict_groups;
+        enumerate(g);
+      } else {
+        g.scored_upto = 0;
+      }
+    }
+  }
+
+  /// Process fully scored groups in order; on window exhaustion adapt the
+  /// speculation width and refill from the cursor. Leaves phase_ at kScore
+  /// (unscored candidates pending) or kRoundEnd (round's groups done).
+  void advance() {
+    const int n_edges = view_.tree().edge_count();
+    for (;;) {
+      while (proc_ < window_.size()) {
+        SpecGroup& g = window_[proc_];
+        if (g.scored_upto < g.moves.size()) {
+          phase_ = Phase::kScore;
+          return;
+        }
+        ++proc_;
+        if (!g.moves.empty()) ++scorer_.stats().groups;
+        res_.candidates_scored += g.moves.size();
+        SprMove best_move;
+        double best_lnl = lnl_;
+        std::size_t best_i = 0;
+        for (std::size_t i = 0; i < g.moves.size(); ++i) {
+          if (g.scores[i] > best_lnl) {
+            best_lnl = g.scores[i];
+            best_move = g.moves[i];
+            best_i = i;
+          }
+        }
+        if (best_move.target_edge != kNoId &&
+            best_lnl > lnl_ + opts_.min_move_gain) {
+          commit_by_adoption(best_move, g.opt_lengths[best_i], best_lnl);
+          committed_in_window_ = true;
+        }
+      }
+
+      // Window exhausted: adapt the speculation width and refill.
+      window_cap_ = committed_in_window_
+                        ? 1
+                        : std::min(window_cap_ * 2,
+                                   opts_.candidate_batch.speculate_groups);
+      committed_in_window_ = false;
+      window_.clear();
+      proc_ = 0;
+      while (static_cast<int>(window_.size()) < window_cap_ &&
+             cursor_pe_ < n_edges) {
+        SpecGroup g;
+        g.pe = cursor_pe_;
+        g.side = cursor_side_;
+        if (++cursor_side_ == 2) {
+          cursor_side_ = 0;
+          ++cursor_pe_;
+        }
+        enumerate(g);
+        window_.push_back(std::move(g));
+      }
+      if (window_.empty()) {
+        phase_ = Phase::kRoundEnd;
+        return;
+      }
+      // Loop: empty groups (tip joints, no targets) process immediately.
+    }
+  }
+
+  Engine view_;
+  SearchOptions opts_;
+  CandidateScorer scorer_;
+  Phase phase_ = Phase::kDone;
+
+  double lnl_ = 0.0;
+  double round_start_ = 0.0;
+  SearchResult res_;
+
+  EdgeId cursor_pe_ = 0;
+  int cursor_side_ = 0;
+  std::vector<SpecGroup> window_;
+  std::size_t proc_ = 0;
+  int window_cap_ = 1;
+  bool committed_in_window_ = false;
+};
+
+/// Batched branch-length smoothing for a set of parent contexts, preserving
+/// per-context arithmetic: the lockstep batch equals the sequential pass
+/// bit for bit under kNewPar (and in linked mode, where the strategies
+/// collapse); oldPAR's one-partition-at-a-time schedule has no batched
+/// equal, so it keeps its serial per-context pass.
+std::vector<double> smooth_parents(EngineCore& core,
+                                   std::span<EvalContext* const> ctxs,
+                                   const SearchOptions& opts) {
+  if (opts.strategy == Strategy::kOldPar && !core.linked_branch_lengths()) {
+    std::vector<double> lnls(ctxs.size());
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      Engine view(core, *ctxs[i]);
+      lnls[i] =
+          optimize_branch_lengths(view, opts.strategy, opts.full_branch_opts);
+    }
+    return lnls;
+  }
+  return optimize_branch_lengths_batch(core, ctxs, opts.full_branch_opts);
+}
+
+}  // namespace
+
+SearchResult search_ml(Engine& engine, const SearchOptions& opts) {
+  if (!opts.batched_candidates) return search_ml_sequential(engine, opts);
+  // The speculative driver protocol exists once: a single search is the
+  // one-context case of the lockstep driver (whose per-context smoothing
+  // and wave protocol are bit-identical to a dedicated single loop).
+  EvalContext* ctx = &engine.context();
+  return search_ml_replicated(engine.core(), {&ctx, 1}, opts)[0];
+}
+
+std::vector<SearchResult> search_ml_replicated(
+    EngineCore& core, std::span<EvalContext* const> ctxs,
+    const SearchOptions& opts) {
+  std::vector<SearchResult> out(ctxs.size());
+  if (ctxs.empty()) return out;
+
+  if (!opts.batched_candidates) {
+    // Nothing to merge without the wave protocol: run the searches in turn.
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      Engine view(core, *ctxs[i]);
+      out[i] = search_ml(view, opts);
+    }
+    return out;
+  }
+
+  // Initial smoothing as ONE batched pass over every replicate, then the
+  // (serial, Brent-driven) model phases per context.
+  std::vector<double> lnls = smooth_parents(core, ctxs, opts);
+  std::vector<std::unique_ptr<SprSearchMachine>> machines;
+  machines.reserve(ctxs.size());
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    machines.push_back(
+        std::make_unique<SprSearchMachine>(core, *ctxs[i], opts));
+    if (opts.optimize_model)
+      lnls[i] = optimize_model_parameters(machines[i]->engine(),
+                                          opts.strategy, opts.model_opts);
+    machines[i]->begin(lnls[i]);
+  }
+
+  std::vector<WaveItem> sink;
+  std::vector<std::size_t> stagers, enders;
+  for (;;) {
+    // Merge every active machine's current wave into one flush: each
+    // machine stages up to its scorer's wave capacity, and the union runs
+    // the lockstep protocol through shared parallel regions.
+    sink.clear();
+    stagers.clear();
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      if (machines[i]->phase() != SprSearchMachine::Phase::kScore) continue;
+      stagers.push_back(i);
+      machines[i]->stage_wave(sink);
+    }
+    if (!stagers.empty()) {
+      CandidateScorer::flush_wave(core, opts.strategy, opts.local_branch_opts,
+                                  sink);
+      for (std::size_t i : stagers) machines[i]->consume();
+      continue;
+    }
+
+    // No machine holds candidates: the active ones all sit at a round
+    // boundary — smooth them together, then let each close its round.
+    enders.clear();
+    for (std::size_t i = 0; i < machines.size(); ++i)
+      if (machines[i]->phase() == SprSearchMachine::Phase::kRoundEnd)
+        enders.push_back(i);
+    if (enders.empty()) break;  // all done
+
+    std::vector<EvalContext*> ender_ctxs(enders.size());
+    for (std::size_t k = 0; k < enders.size(); ++k)
+      ender_ctxs[k] = ctxs[enders[k]];
+    const std::vector<double> round_lnls =
+        smooth_parents(core, ender_ctxs, opts);
+    for (std::size_t k = 0; k < enders.size(); ++k) {
+      double l = round_lnls[k];
+      if (opts.optimize_model)
+        l = optimize_model_parameters(machines[enders[k]]->engine(),
+                                      opts.strategy, opts.model_opts);
+      machines[enders[k]]->end_round(l);
+    }
+  }
+
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    ctxs[i]->sync_tree_lengths();
+    out[i] = machines[i]->take_result();
+  }
+  return out;
 }
 
 MultiStartResult search_ml_multistart(EngineCore& core,
@@ -180,11 +552,13 @@ MultiStartResult search_ml_multistart(EngineCore& core,
     log_info("start " + std::to_string(c) +
              ": lnL = " + std::to_string(start_lnls[c]));
 
-  for (std::size_t c = 0; c < ctxs.size(); ++c) {
-    Engine view(core, *ctxs[c]);
-    ms.results.push_back(search_ml(view, opts));
+  // The searches advance in lockstep (one wave flush, one smoothing pass
+  // shared across all starts); per start the outcome is identical to
+  // running it alone.
+  ms.results = search_ml_replicated(core, ctxs, opts);
+  for (std::size_t c = 0; c < ms.results.size(); ++c) {
     if (ms.best < 0 ||
-        ms.results[static_cast<std::size_t>(c)].final_lnl >
+        ms.results[c].final_lnl >
             ms.results[static_cast<std::size_t>(ms.best)].final_lnl)
       ms.best = static_cast<int>(c);
   }

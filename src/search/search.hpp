@@ -67,12 +67,29 @@ struct MultiStartResult {
 /// Multi-start ML search over several contexts of one shared core (each
 /// context holds its own starting tree and model copies). The starting
 /// trees are first scored in ONE batched parallel region through the
-/// core's submit()/wait() API; each context then runs its own full search
-/// through an Engine facade view, sharing the core's tip data, tip-table
-/// LRUs, thread team, and schedule — no per-start engine rebuild. Every
-/// context is left at its search's best configuration.
+/// core's submit()/wait() API; the searches themselves then advance in
+/// lockstep through search_ml_replicated (falling back to one full search
+/// per context when batched candidate scoring is off), sharing the core's
+/// tip data, tip-table LRUs, thread team, and schedule — no per-start
+/// engine rebuild. Every context is left at its search's best
+/// configuration.
 MultiStartResult search_ml_multistart(EngineCore& core,
                                       std::span<EvalContext* const> ctxs,
                                       const SearchOptions& opts = {});
+
+/// Run one full ML search per context — bootstrap replicates, independent
+/// starts — with every search advancing in LOCKSTEP through the shared
+/// core: all replicates' current candidate waves flush through one parallel
+/// region per protocol step, and replicates that reach a round boundary
+/// wait for the rest so the round's branch-length smoothing runs as one
+/// batched pass (optimize_branch_lengths_batch). Per context the command
+/// sequence and arithmetic are identical to running search_ml on it alone
+/// (bit-identical under the cyclic schedule with the default kNewPar
+/// strategy), so this changes throughput, never results. With
+/// opts.batched_candidates off there is nothing to merge and the searches
+/// simply run one after another.
+std::vector<SearchResult> search_ml_replicated(
+    EngineCore& core, std::span<EvalContext* const> ctxs,
+    const SearchOptions& opts = {});
 
 }  // namespace plk

@@ -152,4 +152,43 @@ std::vector<EdgeId> spr_targets(const Tree& tree, EdgeId prune_edge,
   return out;
 }
 
+bool spr_group_conflicts(const Tree& tree, EdgeId prune_edge,
+                         NodeId pruned_side, int radius, const SprUndo& undo) {
+  // The committed move may have rewired the prune edge itself, replacing
+  // `pruned_side`; the group must then be re-resolved from its side index.
+  const auto& pe = tree.edge(prune_edge);
+  if (pruned_side != pe.a && pruned_side != pe.b) return true;
+
+  const NodeId rewired[] = {undo.joint, undo.x, undo.y, undo.a, undo.b};
+  const auto is_rewired = [&](NodeId v) {
+    for (NodeId r : rewired)
+      if (v == r) return true;
+    return false;
+  };
+
+  // Breadth-first hop distances from the pruning point (the joint node the
+  // target enumeration grows its ball from). Any rewired node within
+  // `radius` hops means the ball — or the adjacency order some traversal of
+  // it reads — may have changed.
+  const NodeId j = tree.other_end(prune_edge, pruned_side);
+  if (is_rewired(j) || is_rewired(pruned_side)) return true;
+  std::vector<int> dist(static_cast<std::size_t>(tree.node_count()), -1);
+  std::vector<NodeId> frontier{j}, next;
+  dist[static_cast<std::size_t>(j)] = 0;
+  for (int d = 0; d < radius && !frontier.empty(); ++d) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (EdgeId e : tree.edges_of(v)) {
+        const NodeId w = tree.other_end(e, v);
+        if (dist[static_cast<std::size_t>(w)] >= 0) continue;
+        dist[static_cast<std::size_t>(w)] = d + 1;
+        if (is_rewired(w)) return true;
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+  return false;
+}
+
 }  // namespace plk

@@ -68,4 +68,23 @@ void invalidate_after_spr(Engine& engine, const SprUndo& undo);
 std::vector<EdgeId> spr_targets(const Tree& tree, EdgeId prune_edge,
                                 NodeId pruned_side, int radius);
 
+/// Conflict test for speculative cross-group candidate scoring: does the
+/// committed move described by `undo` potentially change the candidate
+/// GROUP pruning `pruned_side` off `prune_edge` within `radius`?
+///
+/// Returns false only when the group's enumeration is provably unaffected:
+/// `pruned_side` is still an endpoint of `prune_edge` and every node the
+/// commit rewired (joint, x, y, a, b) lies strictly more than `radius` hops
+/// from the pruning point in the current (post-commit) tree. Then (a) no
+/// path of <= radius hops from the pruning point touches a rewired node or
+/// edge, so the radius ball — including the adjacency-list orders every
+/// traversal follows — is identical before and after the commit, and (b)
+/// spr_targets and the prune edge's endpoints resolve identically, so a
+/// target list enumerated against the pre-commit tree can be reused as-is.
+/// (Candidate SCORES still change with any commit — only the enumeration is
+/// stable; see search.cpp's speculative window.) Conservative by design:
+/// `true` only costs a re-enumeration.
+bool spr_group_conflicts(const Tree& tree, EdgeId prune_edge,
+                         NodeId pruned_side, int radius, const SprUndo& undo);
+
 }  // namespace plk

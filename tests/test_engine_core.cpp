@@ -360,6 +360,72 @@ TEST(EngineCore, AnalysisMultiStartBeatsOrMatchesSingleStart) {
   EXPECT_NEAR(a3.engine().loglikelihood(0), r3.lnl, 1e-6 * std::abs(r3.lnl));
 }
 
+/// The model-epoch registry is a real LRU: a model state in active use
+/// keeps its epoch (and with it tip-table sharing) through arbitrary churn
+/// from one-shot states, while the registry itself stays bounded.
+TEST(EngineCore, EpochRegistryLruKeepsHotStatesThroughChurn) {
+  CoreRig rig(6, 120, 60, 71);
+  EngineCore& core = *rig.core;
+
+  PartitionModel hot = core.prototype_model(0);
+  const std::uint64_t hot_epoch = core.epoch_for_model(hot);
+  EXPECT_EQ(core.epoch_for_model(hot), hot_epoch);  // content-addressed
+
+  // Churn far past the cap with distinct one-shot states, touching the hot
+  // state every few insertions so its recency stays fresh.
+  PartitionModel churn = core.prototype_model(0);
+  const std::size_t n = kEpochRegistryCap + kEpochRegistryCap / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    churn.set_alpha(0.05 + 1e-5 * static_cast<double>(i));
+    core.epoch_for_model(churn);
+    if (i % 64 == 0) EXPECT_EQ(core.epoch_for_model(hot), hot_epoch);
+  }
+  EXPECT_GT(core.stats().epoch_registry_evictions, 0u);
+  // The hot association survived every eviction wave...
+  EXPECT_EQ(core.epoch_for_model(hot), hot_epoch);
+  // ...while a state evicted long ago gets a fresh (unique) epoch — sharing
+  // lost, correctness kept.
+  churn.set_alpha(0.05);  // the very first churn state
+  const std::uint64_t revisit = core.epoch_for_model(churn);
+  EXPECT_NE(revisit, hot_epoch);
+}
+
+/// Coarse batch execution (whole items per thread) must be bit-identical
+/// to fine execution: the owning thread replays the fine schedule's spans.
+TEST(EngineCore, CoarseBatchExecutionIsBitIdenticalToFine) {
+  const auto run = [](BatchExecMode mode) {
+    CoreRig rig(8, 240, 80, 73, /*threads=*/4);
+    rig.core->set_batch_execution(mode);
+    std::vector<std::unique_ptr<EvalContext>> owned;
+    std::vector<EvalContext*> ctxs;
+    Rng rng(74);
+    for (int c = 0; c < 10; ++c) {
+      owned.push_back(std::make_unique<EvalContext>(
+          *rig.core, random_tree(default_labels(8), rng)));
+      ctxs.push_back(owned.back().get());
+    }
+    // Smoothing exercises prepare-root, sumtable, and NR flushes; the final
+    // batched evaluation exercises the fused eval reduction.
+    std::vector<double> lnls =
+        optimize_branch_lengths_batch(*rig.core, ctxs);
+    const std::uint64_t coarse = rig.core->stats().coarse_commands;
+    return std::make_pair(lnls, coarse);
+  };
+  const auto [fine, fine_coarse] = run(BatchExecMode::kFine);
+  const auto [coarse, coarse_count] = run(BatchExecMode::kCoarse);
+  ASSERT_EQ(fine.size(), coarse.size());
+  for (std::size_t i = 0; i < fine.size(); ++i)
+    EXPECT_EQ(fine[i], coarse[i]) << "context " << i;
+  EXPECT_EQ(fine_coarse, 0u);
+  EXPECT_GT(coarse_count, 0u);
+
+  // And kAuto engages coarse execution on its own once items outnumber the
+  // team 2:1, still bit-identically.
+  const auto [autos, auto_count] = run(BatchExecMode::kAuto);
+  for (std::size_t i = 0; i < fine.size(); ++i) EXPECT_EQ(fine[i], autos[i]);
+  EXPECT_GT(auto_count, 0u);
+}
+
 TEST(EngineCore, StatsCountBatchedRequestsAgainstCommands) {
   CoreRig rig(6, 200, 100, 61, /*threads=*/2);
   std::vector<std::unique_ptr<EvalContext>> owned;

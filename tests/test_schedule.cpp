@@ -11,6 +11,7 @@
 // every scheduling strategy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -319,6 +320,50 @@ TEST(ScheduleInvariance, SinglePartitionCommandsMatchUnderCostSplits) {
         optimize_branch_lengths(*rig.engine, Strategy::kOldPar);
     EXPECT_NEAR(got_opt, ref_opt, 1e-7 * std::abs(ref_opt));
   }
+}
+
+TEST(LptAssign, AssignsEveryItemDeterministically) {
+  const std::vector<double> cost{5.0, 1.0, 3.0, 3.0, 2.0, 8.0};
+  const auto a = lpt_assign(cost, 3);
+  ASSERT_EQ(a.size(), cost.size());
+  for (int t : a) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 3);
+  }
+  EXPECT_EQ(a, lpt_assign(cost, 3));  // deterministic, incl. the 3.0 tie
+
+  // LPT quality: max load <= opt + max item. opt >= total/T here.
+  std::vector<double> load(3, 0.0);
+  for (std::size_t i = 0; i < cost.size(); ++i)
+    load[static_cast<std::size_t>(a[i])] += cost[i];
+  const double total = 22.0;
+  EXPECT_LE(*std::max_element(load.begin(), load.end()), total / 3.0 + 8.0);
+}
+
+TEST(LptAssign, EdgeCases) {
+  EXPECT_TRUE(lpt_assign({}, 4).empty());
+  const std::vector<double> one{2.0};
+  EXPECT_EQ(lpt_assign(one, 1), std::vector<int>{0});
+  // Fewer items than threads: each item its own bin (the least-loaded rule
+  // never doubles up while an empty bin exists).
+  const std::vector<double> two{1.0, 1.0};
+  const auto a = lpt_assign(two, 8);
+  EXPECT_NE(a[0], a[1]);
+  // Uniform costs with items a multiple of threads: perfectly level.
+  const std::vector<double> uniform(12, 1.0);
+  std::vector<int> count(4, 0);
+  for (int t : lpt_assign(uniform, 4)) ++count[static_cast<std::size_t>(t)];
+  for (int c : count) EXPECT_EQ(c, 3);
+}
+
+TEST(BatchExecModeTest, NamesRoundTrip) {
+  for (BatchExecMode m : {BatchExecMode::kAuto, BatchExecMode::kFine,
+                          BatchExecMode::kCoarse}) {
+    const auto parsed = batch_exec_mode_from_string(to_string(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(batch_exec_mode_from_string("warp").has_value());
 }
 
 TEST(ScheduleInvariance, AnalysisOptionPlumbsThrough) {

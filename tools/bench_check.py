@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*_ci.json records.
+
+Compares each benchmark JSON produced by a CI run against the committed
+baseline of the same name in ci/baselines/, on the KEY RATIOS that the
+repository's performance work is about (ratios, not absolute seconds, so the
+gate is largely host-speed independent):
+
+  kernel   specialized/generic speedup (per-case geomean)
+  balance  weighted/cyclic imbalance_seconds (lower is better)
+           + the hard gate that every strategy agreed on the likelihood
+  batch    batched/sequential replicate throughput
+  search   batched/sequential candidates-per-sec, speculative/batched
+           candidates-per-sec, lockstep/serial replicated-search throughput
+           + the hard gates that the scorers produced identical moves and
+           likelihoods
+
+A metric REGRESSES when it falls outside the tolerance band around its
+baseline (worse by more than --tolerance, fractionally; a couple of noisy
+metrics carry wider built-in bands — see EXTRA_TOLERANCE). Hard correctness
+gates (identical moves, likelihood agreement) do not use bands: they fail
+the job outright. Improvements beyond the band are reported as hints to
+refresh the baseline.
+
+Baseline refresh workflow: see docs/ci.md. In short — download the
+`bench-json` artifact of a healthy run on the runner class CI uses, copy the
+files over ci/baselines/, and commit them together with the change that
+moved the numbers.
+
+Usage:
+  tools/bench_check.py [--baseline-dir ci/baselines] [--tolerance 0.4]
+                       BENCH_kernel_ci.json BENCH_search_ci.json ...
+
+Exit status: 0 = all gates green, 1 = regression or hard-gate failure,
+2 = usage/baseline problems.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+# Direction per metric: +1 = higher is better, -1 = lower is better.
+HIGHER, LOWER = +1, -1
+
+# Multiplier on --tolerance for metrics known to be noisy on shared runners
+# (imbalance_seconds is a difference of thread timings: tiny absolute
+# numbers at CI scale).
+EXTRA_TOLERANCE = {
+    "weighted_over_cyclic_imbalance": 1.5,
+}
+
+
+def geomean(xs):
+    xs = [x for x in xs if x > 0]
+    if not xs:
+        return 0.0
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def metrics_for(doc):
+    """Extract (metrics, hard_gates) from one bench JSON document.
+
+    metrics: {name: (value, direction)}
+    hard_gates: [(name, ok, detail)]
+    """
+    bench = doc.get("bench", "?")
+    metrics, hard = {}, []
+
+    if bench == "kernel":
+        speedups = [c["speedup"] for c in doc.get("cases", [])]
+        if speedups:
+            metrics["kernel_speedup_geomean"] = (geomean(speedups), HIGHER)
+
+    elif bench == "balance":
+        strategies = {s["strategy"]: s for s in doc.get("strategies", [])}
+        cyc = strategies.get("cyclic")
+        wgt = strategies.get("weighted")
+        if cyc and wgt and cyc.get("imbalance_seconds", 0) > 0:
+            metrics["weighted_over_cyclic_imbalance"] = (
+                wgt["imbalance_seconds"] / cyc["imbalance_seconds"],
+                LOWER,
+            )
+        agree = str(doc.get("lnl_agreement_1e12", "")).lower() == "true"
+        hard.append(
+            ("balance_lnl_agreement_1e12", agree,
+             "all scheduling strategies must agree on lnL to 1e-12"))
+
+    elif bench == "batch":
+        if "speedup" in doc:
+            metrics["batched_replicate_speedup"] = (doc["speedup"], HIGHER)
+        diff = doc.get("max_abs_lnl_diff")
+        hard.append(
+            ("batch_lnl_equal", diff is not None and abs(diff) <= 1e-6,
+             "missing max_abs_lnl_diff field" if diff is None else
+             f"batched vs sequential replicate lnL diff {diff:g} (<= 1e-6)"))
+
+    elif bench == "search":
+        runs = doc.get("runs", [])
+        if runs:
+            last = runs[-1]  # the highest thread count measured
+            if "speedup" in last:
+                metrics["batched_over_seq_candidates_per_sec"] = (
+                    last["speedup"], HIGHER)
+            if "spec_speedup_vs_batched" in last:
+                metrics["spec_over_batched_candidates_per_sec"] = (
+                    last["spec_speedup_vs_batched"], HIGHER)
+            # A missing field on a hard gate is a FAILURE, not a pass: if
+            # the bench's JSON schema drifts, the gate must scream rather
+            # than silently wave regressions through.
+            moves_ok = all(r.get("identical_moves") == 1 for r in runs)
+            hard.append(
+                ("search_identical_moves", moves_ok,
+                 "batched/speculative scorers must accept the exact "
+                 "sequential move sequence at every thread count "
+                 "(missing field counts as failure)"))
+            diffs = [r.get("max_abs_lnl_diff") for r in runs]
+            diffs_ok = all(d is not None and abs(d) <= 1e-6 for d in diffs)
+            detail = ("missing max_abs_lnl_diff field"
+                      if any(d is None for d in diffs) else
+                      f"scorer lnL diff {max(abs(d) for d in diffs):g} "
+                      "(<= 1e-6)")
+            hard.append(("search_lnl_equal", diffs_ok, detail))
+        rep = doc.get("replicated")
+        if rep:
+            if "speedup" in rep:
+                metrics["replicated_lockstep_speedup"] = (
+                    rep["speedup"], HIGHER)
+            hard.append(
+                ("replicated_identical_trees",
+                 rep.get("identical_trees") == 1,
+                 "lockstep replicate searches must reproduce the serial "
+                 "per-replicate trees (missing field counts as failure)"))
+
+    return metrics, hard
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="BENCH_*_ci.json files to check")
+    ap.add_argument("--baseline-dir", default="ci/baselines")
+    ap.add_argument("--tolerance", type=float, default=0.4,
+                    help="fractional band around the baseline (default 0.4)")
+    args = ap.parse_args()
+
+    failures, notes = [], []
+    for path in args.files:
+        name = os.path.basename(path)
+        try:
+            with open(path) as f:
+                current = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+
+        cur_metrics, hard = metrics_for(current)
+        for gate, ok, detail in hard:
+            tag = "ok  " if ok else "FAIL"
+            print(f"[{tag}] {name}: {gate} — {detail}")
+            if not ok:
+                failures.append(f"{name}: hard gate {gate}: {detail}")
+
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            notes.append(f"{name}: no baseline at {base_path} "
+                         "(add one — see docs/ci.md)")
+            continue
+        with open(base_path) as f:
+            base_metrics, _ = metrics_for(json.load(f))
+
+        for metric, (value, direction) in sorted(cur_metrics.items()):
+            if metric not in base_metrics:
+                notes.append(f"{name}: {metric} = {value:.3f} "
+                             "(new metric, no baseline value)")
+                continue
+            base = base_metrics[metric][0]
+            tol = args.tolerance * EXTRA_TOLERANCE.get(metric, 1.0)
+            if direction == HIGHER:
+                floor = base * (1.0 - tol)
+                ok = value >= floor
+                better = value > base * (1.0 + tol)
+                band = f">= {floor:.3f}"
+            else:
+                ceil = base * (1.0 + tol)
+                ok = value <= ceil
+                better = value < base * (1.0 - tol)
+                band = f"<= {ceil:.3f}"
+            tag = "ok  " if ok else "FAIL"
+            print(f"[{tag}] {name}: {metric} = {value:.3f} "
+                  f"(baseline {base:.3f}, gate {band})")
+            if not ok:
+                failures.append(
+                    f"{name}: {metric} regressed to {value:.3f} "
+                    f"(baseline {base:.3f}, allowed {band})")
+            elif better:
+                notes.append(
+                    f"{name}: {metric} = {value:.3f} is well beyond the "
+                    f"baseline {base:.3f} — consider refreshing ci/baselines "
+                    "(docs/ci.md)")
+
+    for note in notes:
+        print(f"[note] {note}")
+    if failures:
+        print("\nperf-regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf-regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
