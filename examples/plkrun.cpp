@@ -15,6 +15,16 @@
 //   plkrun --simulate 20,10000,500 -T 8 --search
 //
 // Outputs <prefix>.bestTree (Newick) and a run summary on stdout.
+//
+// Exit codes (stable contract for wrappers and schedulers):
+//   0  analysis completed (also --help)
+//   1  runtime error (bad input file, engine failure, ...)
+//   2  usage error (unknown flag, missing value, no input)
+//   3  interrupted: SIGINT/SIGTERM stopped the search at a round boundary;
+//      state was checkpointed when --checkpoint is set, so the run can be
+//      continued with --resume
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +36,12 @@
 namespace {
 
 using namespace plk;
+
+/// Raised by the signal handler; the search polls it at round boundaries
+/// and shuts down gracefully (final checkpoint included).
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 struct CliOptions {
   std::string alignment_path;
@@ -47,6 +63,9 @@ struct CliOptions {
   int starts = 1;
   int replicates = 0;
   std::uint64_t seed = 42;
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  bool resume = false;
 };
 
 void usage() {
@@ -78,7 +97,16 @@ void usage() {
       "  --replicates N   after the search, N bootstrap replicates batched\n"
       "                   through the shared core; writes <prefix>.support\n"
       "  --seed N         RNG seed (default 42)\n"
-      "  --simulate T,S,P simulate T taxa x S sites in partitions of P\n");
+      "  --simulate T,S,P simulate T taxa x S sites in partitions of P\n"
+      "  --checkpoint F   crash-consistent search checkpoint file (written\n"
+      "                   atomically, 2-deep ring F / F.1, checksummed)\n"
+      "  --checkpoint-every N\n"
+      "                   checkpoint every N-th search round (default 1)\n"
+      "  --resume         continue the search from --checkpoint F instead of\n"
+      "                   starting over (bit-identical to the same\n"
+      "                   checkpointed run left uninterrupted)\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage error, 3 interrupted\n"
+      "            (SIGINT/SIGTERM; checkpointed, resumable with --resume)\n");
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -185,6 +213,20 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       o.simulate_spec = v;
+    } else if (a == "--checkpoint") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.checkpoint_path = v;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.checkpoint_every = std::atoi(v);
+      if (o.checkpoint_every < 1) {
+        std::fprintf(stderr, "--checkpoint-every wants N >= 1\n");
+        return std::nullopt;
+      }
+    } else if (a == "--resume") {
+      o.resume = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       usage();
@@ -192,6 +234,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     }
   }
   if (!o.do_search && !o.do_optimize) o.do_search = true;
+  if (o.resume && o.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
+    return std::nullopt;
+  }
   if (o.alignment_path.empty() && o.simulate_spec.empty()) {
     std::fprintf(stderr, "need -s FILE or --simulate T,S,P\n");
     usage();
@@ -257,6 +303,12 @@ int main(int argc, char** argv) {
     opts.search.batched_candidates = cli.batched_candidates;
     opts.search.candidate_batch.speculate_groups = cli.speculate;
     opts.search_starts = cli.starts;
+    opts.search.checkpoint_path = cli.checkpoint_path;
+    opts.search.checkpoint_every = cli.checkpoint_every;
+    opts.search.resume = cli.resume;
+    opts.search.stop_flag = &g_stop;
+    std::signal(SIGINT, &handle_stop_signal);
+    std::signal(SIGTERM, &handle_stop_signal);
 
     std::optional<Tree> start;
     if (!cli.tree_path.empty()) {
@@ -310,6 +362,16 @@ int main(int argc, char** argv) {
     const std::string tree_file = cli.out_prefix + ".bestTree";
     write_file(tree_file, res.newick + "\n");
     std::printf("tree written to %s\n", tree_file.c_str());
+
+    if (cli.do_search && res.search.interrupted) {
+      std::printf("search interrupted by signal; state is consistent%s\n",
+                  cli.checkpoint_path.empty()
+                      ? ""
+                      : (", resume with --resume --checkpoint " +
+                         cli.checkpoint_path)
+                            .c_str());
+      return 3;
+    }
 
     // --- bootstrap support (batched through the shared engine core) --------
     if (cli.replicates > 0) {

@@ -1,16 +1,24 @@
 #include "core/checkpoint.hpp"
 
+#include <cstdio>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "bio/msa_io.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace plk {
 
 namespace {
 
 constexpr const char* kMagic = "plk-checkpoint";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("checkpoint: " + what);
@@ -26,9 +34,21 @@ void expect_keyword(std::istream& in, const char* kw) {
   if (expect_word(in, kw) != kw) fail(std::string("expected '") + kw + "'");
 }
 
+/// FNV-1a 64-bit over the checkpoint payload. Not cryptographic — the
+/// threat model is torn writes, truncation and bit rot, not an adversary.
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
-std::string serialize_checkpoint(const EvalContext& ctx) {
+std::string serialize_checkpoint(const EvalContext& ctx,
+                                 const SearchProgress* progress) {
   std::ostringstream out;
   out.precision(17);
   const Tree& tree = ctx.tree();
@@ -65,15 +85,46 @@ std::string serialize_checkpoint(const EvalContext& ctx) {
     for (int p = 0; p < cols; ++p) out << (p ? " " : "") << bl.get(e, p);
     out << '\n';
   }
-  return out.str();
+
+  if (progress != nullptr && progress->valid)
+    out << "search " << progress->rounds << ' ' << progress->accepted_moves
+        << ' ' << progress->candidates_scored << ' ' << progress->lnl << ' '
+        << (progress->done ? 1 : 0) << '\n';
+
+  // Content checksum over everything written so far (including the final
+  // newline), as the last line — readers verify it before parsing anything.
+  std::string text = out.str();
+  std::ostringstream sum;
+  sum << "checksum " << std::hex << std::setw(16) << std::setfill('0')
+      << fnv1a64(text) << '\n';
+  text += sum.str();
+  return text;
 }
 
-void apply_checkpoint(EvalContext& ctx, std::string_view text) {
+void apply_checkpoint(EvalContext& ctx, std::string_view text,
+                      SearchProgress* progress) {
+  if (progress != nullptr) *progress = SearchProgress{};
   // Restoring replaces the tree the queued commands were assembled
   // against; like every other context mutator, refuse mid-batch.
   if (ctx.core().has_pending())
     fail("core has pending batched requests; wait() before restoring");
-  std::istringstream in{std::string(text)};
+
+  // Verify the checksum trailer before parsing a single field: a torn or
+  // bit-flipped file must not be half-applied (or even half-trusted).
+  const auto cpos = text.rfind("\nchecksum ");
+  if (cpos == std::string_view::npos)
+    fail("missing checksum (corrupt or truncated checkpoint)");
+  const std::string_view payload = text.substr(0, cpos + 1);  // keep the \n
+  std::uint64_t want = 0;
+  try {
+    want = std::stoull(std::string(text.substr(cpos + 10)), nullptr, 16);
+  } catch (const std::exception&) {
+    fail("unparseable checksum field");
+  }
+  if (fnv1a64(payload) != want)
+    fail("checksum mismatch (corrupt or truncated checkpoint)");
+
+  std::istringstream in{std::string(payload)};
   if (expect_word(in, "magic") != kMagic) fail("bad magic");
   int version = 0;
   in >> version;
@@ -140,8 +191,22 @@ void apply_checkpoint(EvalContext& ctx, std::string_view text) {
     for (auto& v : row)
       if (!(in >> v)) fail("truncated branch lengths");
 
-  // All parsed; now mutate the engine (strong-ish exception safety: the
-  // model setters validate before we touch anything).
+  // Optional search-progress line (written by search_ml's round-boundary
+  // checkpoints); nothing else may follow.
+  SearchProgress sp;
+  std::string word;
+  if (in >> word) {
+    if (word != "search") fail("unexpected trailing content '" + word + "'");
+    int done_flag = 0;
+    if (!(in >> sp.rounds >> sp.accepted_moves >> sp.candidates_scored >>
+          sp.lnl >> done_flag))
+      fail("truncated search progress");
+    sp.done = done_flag != 0;
+    sp.valid = true;
+  }
+
+  // All parsed and checksum-verified; now mutate the engine (strong-ish
+  // exception safety: the model setters validate before we touch anything).
   Tree restored = Tree::from_edges(std::move(labels), std::move(edges));
   ctx.tree() = std::move(restored);
   ctx.invalidate_all();
@@ -160,6 +225,7 @@ void apply_checkpoint(EvalContext& ctx, std::string_view text) {
     for (int p = 0; p < cols; ++p)
       ctx.branch_lengths().set(
           e, p, lens[static_cast<std::size_t>(e)][static_cast<std::size_t>(p)]);
+  if (progress != nullptr) *progress = sp;
 }
 
 std::string serialize_checkpoint(const Engine& engine) {
@@ -170,20 +236,78 @@ void apply_checkpoint(Engine& engine, std::string_view text) {
   apply_checkpoint(engine.context(), text);
 }
 
-void save_checkpoint_file(const EvalContext& ctx, const std::string& path) {
-  write_file(path, serialize_checkpoint(ctx));
+namespace {
+
+/// Durable atomic replace: write `path.tmp` fully (flushed and fsynced),
+/// rotate the current file to `path.1` (the previous generation the loader
+/// falls back to), then rename the temp file into place. A crash at any
+/// point leaves `path` either the old or the new generation — never torn —
+/// and at worst a stale `path.tmp`, which no reader ever opens.
+void write_file_durable(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("cannot open '" + tmp + "' for writing");
+  // Fault injection (tests only): die after a partial write, before
+  // anything durable — the torn-write crash the temp-file protocol absorbs.
+  if (fault::enabled() && fault::should_fire(fault::Site::kCheckpointIo)) {
+    std::fwrite(text.data(), 1, text.size() / 2, f);
+    std::fclose(f);
+    fail("injected I/O failure writing '" + tmp + "'");
+  }
+  if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+    std::fclose(f);
+    fail("short write to '" + tmp + "'");
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    fail("flush failed for '" + tmp + "'");
+  }
+#if !defined(_WIN32)
+  fsync(fileno(f));
+#endif
+  if (std::fclose(f) != 0) fail("close failed for '" + tmp + "'");
+  // Rotate the previous generation; failure just means there was none yet.
+  std::rename(path.c_str(), (path + ".1").c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail("cannot rename '" + tmp + "' over '" + path + "'");
 }
 
-void load_checkpoint_file(EvalContext& ctx, const std::string& path) {
-  apply_checkpoint(ctx, read_file(path));
+}  // namespace
+
+void save_checkpoint_file(const EvalContext& ctx, const std::string& path,
+                          const SearchProgress* progress) {
+  write_file_durable(path, serialize_checkpoint(ctx, progress));
+}
+
+void load_checkpoint_file(EvalContext& ctx, const std::string& path,
+                          SearchProgress* progress) {
+  // apply_checkpoint parses and checksum-verifies the whole file before
+  // mutating anything, so falling back after a failed primary is safe.
+  std::string primary_error;
+  try {
+    apply_checkpoint(ctx, read_file(path), progress);
+    return;
+  } catch (const std::exception& e) {
+    primary_error = e.what();
+  }
+  const std::string prev = path + ".1";
+  try {
+    apply_checkpoint(ctx, read_file(prev), progress);
+  } catch (const std::exception& e) {
+    fail("cannot load '" + path + "' (" + primary_error +
+         "); previous generation '" + prev + "' also failed (" + e.what() +
+         ")");
+  }
+  log_warn("checkpoint: '" + path + "' unusable (" + primary_error +
+           "); resumed from previous generation '" + prev + "'");
 }
 
 void save_checkpoint_file(const Engine& engine, const std::string& path) {
-  write_file(path, serialize_checkpoint(engine));
+  save_checkpoint_file(engine.context(), path);
 }
 
 void load_checkpoint_file(Engine& engine, const std::string& path) {
-  apply_checkpoint(engine, read_file(path));
+  load_checkpoint_file(engine.context(), path);
 }
 
 }  // namespace plk

@@ -5,14 +5,26 @@
 // A plkit checkpoint captures everything the engine cannot recompute from
 // the alignment: the tree topology (as an explicit edge list, so edge ids —
 // and with them the per-partition branch-length matrix — survive exactly),
-// every partition's model parameters, and all branch lengths.
+// every partition's model parameters, all branch lengths, and (optionally)
+// the search-loop progress counters needed to resume a topology search.
 //
-// The text format is line-oriented and versioned; apply_checkpoint()
+// The text format is line-oriented and versioned (version 2): the payload
+// is followed by a `checksum <hex>` trailer — an FNV-1a-64 over every byte
+// up to and including the newline that precedes it — so a torn or bit-
+// flipped file is detected before any state is touched. apply_checkpoint()
 // validates taxa against the target engine and restores state such that the
 // engine's next log-likelihood equals the checkpointed one bit-for-bit
 // (given the same thread count).
+//
+// The file wrappers are crash-consistent: save writes to `path.tmp`,
+// flushes it to disk, rotates the previous checkpoint to `path.1`, and
+// renames the temp file into place — a crash at any instant leaves either
+// the old or the new generation intact, never a torn file under `path`.
+// load falls back to `path.1` when `path` is missing, truncated, or fails
+// its checksum, so a run always resumes from the last good generation.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -20,26 +32,50 @@
 
 namespace plk {
 
-/// Serialize the context's tree, models and branch lengths. A checkpoint
-/// captures exactly the per-tree half of the engine split, so any context
-/// of a shared core — a bootstrap replicate mid-run, a multi-start
-/// candidate — can be checkpointed independently.
-std::string serialize_checkpoint(const EvalContext& ctx);
+/// Search-loop progress carried by checkpoints written at round boundaries
+/// of search_ml (absent from checkpoints of a bare context; `valid` says
+/// which kind was loaded).
+struct SearchProgress {
+  int rounds = 0;
+  int accepted_moves = 0;
+  std::uint64_t candidates_scored = 0;
+  double lnl = 0.0;
+  /// The search had CONVERGED at this boundary (final checkpoint of a
+  /// completed run). Resuming such a checkpoint reports the recorded result
+  /// instead of searching further.
+  bool done = false;
+  bool valid = false;
+};
+
+/// Serialize the context's tree, models and branch lengths (plus search
+/// progress, when given). A checkpoint captures exactly the per-tree half
+/// of the engine split, so any context of a shared core — a bootstrap
+/// replicate mid-run, a multi-start candidate — can be checkpointed
+/// independently.
+std::string serialize_checkpoint(const EvalContext& ctx,
+                                 const SearchProgress* progress = nullptr);
 
 /// Restore a checkpoint into a context whose core is built over the *same
 /// alignment* (taxa are validated by label). Invalidates all CLVs; does
 /// not touch the context's pattern weights (a bootstrap replicate restores
-/// its resampled weights separately, as it set them).
-/// Throws std::runtime_error on format or compatibility errors.
-void apply_checkpoint(EvalContext& ctx, std::string_view text);
+/// its resampled weights separately, as it set them). When `progress` is
+/// non-null it receives the embedded search progress (valid=false if the
+/// checkpoint carries none).
+/// Throws std::runtime_error on checksum, format or compatibility errors.
+void apply_checkpoint(EvalContext& ctx, std::string_view text,
+                      SearchProgress* progress = nullptr);
 
 /// Engine facade forwarders (checkpoint the engine's own context).
 std::string serialize_checkpoint(const Engine& engine);
 void apply_checkpoint(Engine& engine, std::string_view text);
 
-/// File convenience wrappers.
-void save_checkpoint_file(const EvalContext& ctx, const std::string& path);
-void load_checkpoint_file(EvalContext& ctx, const std::string& path);
+/// Crash-consistent file wrappers: atomic rename with a 2-deep ring of
+/// last-good generations (`path`, then `path.1`) on save; checksum-verified
+/// load with automatic fallback to the previous generation.
+void save_checkpoint_file(const EvalContext& ctx, const std::string& path,
+                          const SearchProgress* progress = nullptr);
+void load_checkpoint_file(EvalContext& ctx, const std::string& path,
+                          SearchProgress* progress = nullptr);
 void save_checkpoint_file(const Engine& engine, const std::string& path);
 void load_checkpoint_file(Engine& engine, const std::string& path);
 

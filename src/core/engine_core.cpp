@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
+#include <new>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
 #include "model/matrix.hpp"
+#include "util/fault.hpp"
 
 namespace plk {
 
@@ -109,6 +113,7 @@ struct EvalContext::PartDyn {
 struct EngineCore::PmatTask {
   int part = 0;
   const PartitionModel* model = nullptr;  // the context's model (stable)
+  EdgeId edge = kNoId;        // for rollback of reserved tip-table entries
   double blen = 0.0;
   std::size_t off = 0;        // into cmd.pmats (and pmats_t for transposes)
   bool transpose = false;     // inner endpoint on the specialized path
@@ -189,6 +194,10 @@ ClvSlotPool::ClvSlotPool(EngineCore& core, std::size_t soft_cap)
 }
 
 ClvSlotPool::Lease ClvSlotPool::acquire(int p) {
+  // Fault injection (tests only): a CLV slot allocation failure, the
+  // resource-exhaustion case the search's degradation ladder must absorb.
+  if (fault::enabled() && fault::should_fire(fault::Site::kClvAlloc))
+    throw std::bad_alloc();
   auto& list = slots_[static_cast<std::size_t>(p)];
   int idx = -1;
   for (std::size_t i = 0; i < list.size(); ++i)
@@ -284,6 +293,10 @@ EngineCore::EngineCore(const CompressedAlignment& aln,
 
   team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument,
                                        opts.instrument_cpu_time);
+  check_numerics_ = opts.check_numerics;
+  team_->set_watchdog(opts.watchdog_seconds);
+  team_->set_diagnostics(&EngineCore::describe_active_flush, this);
+  fault::maybe_enable_fp_traps_from_env();
 }
 
 EngineCore::~EngineCore() = default;
@@ -531,6 +544,11 @@ EngineCore::TipTableRef EngineCore::tip_table_for(EvalContext& ctx, int p,
 const double* EngineCore::queue_edge_tables(EvalContext& ctx, Command& cmd,
                                             int p, EdgeId e, NodeId endpoint,
                                             std::size_t& off_out) {
+  // Fault injection (tests only): an allocation failure mid-assembly, after
+  // earlier calls for this command may already have reserved tip-table
+  // entries — the exact unwind path rollback_command_tables exists for.
+  if (fault::enabled() && fault::should_fire(fault::Site::kAssemblyThrow))
+    throw std::bad_alloc();
   const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
   const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
   const std::size_t off = cmd.pmats.size();
@@ -541,6 +559,7 @@ const double* EngineCore::queue_edge_tables(EvalContext& ctx, Command& cmd,
   PmatTask task;
   task.part = p;
   task.model = &dy.model;
+  task.edge = e;
   task.blen = ctx.lengths_.get(e, p);
   task.off = off;
   const double* tt = nullptr;
@@ -555,6 +574,34 @@ const double* EngineCore::queue_edge_tables(EvalContext& ctx, Command& cmd,
   }
   cmd.pmat_tasks.push_back(task);
   return tt;
+}
+
+void EngineCore::rollback_command_tables(Command& cmd) {
+  // Only tasks that were going to BUILD a tip table reserved an entry; a
+  // task whose lookup hit leaves the resident entry valid (its contents are
+  // real, built by a previous flush or an earlier queued command). Reserved
+  // entries are matched by their heap buffer (task.tip_dst aliases
+  // entry.table.data(), which is stable across LRU vector growth, unlike
+  // pointers to the entries themselves).
+  for (const PmatTask& t : cmd.pmat_tasks) {
+    if (t.tip_dst == nullptr) continue;
+    auto& lru = parts_[static_cast<std::size_t>(t.part)]
+                    ->tip_tables[static_cast<std::size_t>(t.edge)];
+    for (auto& ent : lru) {
+      if (ent.table.data() != t.tip_dst) continue;
+      // Clear, not erase: other queued commands may cache pointers into
+      // NEIGHBOURING entries of this LRU vector. An empty table never
+      // matches a lookup (hits require !table.empty()), so the stamped key
+      // is inert; unpinning lets the slot be reused next flush.
+      ent.table.clear();
+      ent.table.shrink_to_fit();
+      ent.epoch = 0;
+      ent.blen = -1.0;
+      ent.pinned_flush = 0;
+      break;
+    }
+  }
+  ++stats_.assembly_rollbacks;
 }
 
 namespace {
@@ -1177,6 +1224,13 @@ void EngineCore::execute_batch(std::span<Pending> items) {
     ++stats_.coarse_commands;
   }
 
+  // Shape of the flush entering the parallel region, for the watchdog's
+  // diagnostic dump (describe_active_flush reads these on the monitor
+  // thread while the command is in flight).
+  active_items_ = live.size();
+  active_tasks_ = tasks.size();
+  active_coarse_ = coarse;
+
   std::atomic<int> phase_done{0};
   team_->run([&](int tid) {
     if (!tasks.empty()) {
@@ -1267,6 +1321,98 @@ double EngineCore::finalize(Pending& item) {
   return result;
 }
 
+void EngineCore::maybe_inject_numeric_fault(Pending& item) {
+  // Only overlay (copy-on-score) contexts are poisoned: their frozen parent
+  // stays intact, so the search's ladder can retry from clean state and the
+  // test harness can demand a bit-identical final result. The NaN lands in
+  // the master's already-reduced row exactly as a non-finite CLV propagated
+  // through the reduction would; quiet-NaN stores raise no FP exception, so
+  // these tests also run under trapped-FP CI (PLK_FE_TRAP).
+  if (item.ctx == nullptr || !item.ctx->is_overlay()) return;
+  EvalContext& ctx = *item.ctx;
+  const EvalRequest& req = item.req;
+  if (req.partitions.empty()) return;
+  const auto p = static_cast<std::size_t>(req.partitions.front());
+  if (req.kind == EvalRequest::Kind::kEvaluate) {
+    if (fault::should_fire(fault::Site::kWaveEvalNan))
+      ctx.red_lnl_[p] = std::numeric_limits<double>::quiet_NaN();
+  } else if (req.kind == EvalRequest::Kind::kNrDerivatives) {
+    if (fault::should_fire(fault::Site::kWaveNrNan))
+      ctx.red_d1_[p] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+void EngineCore::collect_numeric_faults(const Pending& item,
+                                        std::vector<FaultRecord>& out) const {
+  // Runs after finalize(): the per-thread rows are already reduced into
+  // last_lnl_ / the request's d1/d2 outputs, so the check is O(partitions)
+  // per request regardless of pattern count or thread count.
+  if (item.ctx == nullptr) return;
+  const EvalContext& ctx = *item.ctx;
+  const EvalRequest& req = item.req;
+  const auto record = [&](FaultRecord::Value v, int p, EdgeId e) {
+    FaultRecord r;
+    r.value = v;
+    r.partition = p;
+    r.edge = e;
+    r.request_kind = static_cast<int>(req.kind);
+    r.overlay = ctx.is_overlay();
+    out.push_back(r);
+  };
+  switch (req.kind) {
+    case EvalRequest::Kind::kEvaluate:
+      for (int p : req.partitions)
+        if (!std::isfinite(ctx.last_lnl_[static_cast<std::size_t>(p)]))
+          record(FaultRecord::Value::kLnl, p, req.edge);
+      break;
+    case EvalRequest::Kind::kNrDerivatives:
+      for (std::size_t k = 0; k < req.partitions.size(); ++k) {
+        const EdgeId e = req.sum_first ? req.edge : ctx.root_edge_;
+        if (!std::isfinite(req.d1[k]))
+          record(FaultRecord::Value::kDeriv1, req.partitions[k], e);
+        if (!std::isfinite(req.d2[k]))
+          record(FaultRecord::Value::kDeriv2, req.partitions[k], e);
+      }
+      break;
+    default:
+      break;  // no reduced outputs to check
+  }
+}
+
+void EngineCore::raise_numeric_faults(std::span<Pending> items,
+                                      std::vector<FaultRecord> records) {
+  // Invalidate every context that contributed a record so that catching the
+  // fault and re-issuing work recomputes from clean state instead of
+  // reading poisoned CLVs.
+  std::vector<FaultRecord> scratch;
+  for (Pending& item : items) {
+    scratch.clear();
+    collect_numeric_faults(item, scratch);
+    if (!scratch.empty()) item.ctx->invalidate_all();
+  }
+  stats_.numeric_faults += records.size();
+  ++stats_.faulted_flushes;
+  std::ostringstream os;
+  os << "engine flush produced " << records.size()
+     << " non-finite reduction(s); first: "
+     << (records.front().value == FaultRecord::Value::kLnl ? "lnL"
+         : records.front().value == FaultRecord::Value::kDeriv1 ? "d1"
+                                                                : "d2")
+     << " partition " << records.front().partition << " edge "
+     << records.front().edge
+     << (records.front().overlay ? " (overlay)" : "");
+  throw EngineFault(os.str(), std::move(records));
+}
+
+std::string EngineCore::describe_active_flush(void* self) {
+  const auto* core = static_cast<const EngineCore*>(self);
+  std::ostringstream os;
+  os << "engine flush, " << core->active_items_.load() << " item(s), "
+     << core->active_tasks_.load() << " table task(s), "
+     << (core->active_coarse_.load() ? "coarse" : "fine") << " execution";
+  return os.str();
+}
+
 namespace {
 
 /// Expand the factories' "all partitions" marker in place. An explicitly
@@ -1290,9 +1436,25 @@ std::size_t EngineCore::submit(EvalContext& ctx, EvalRequest req) {
   Pending item;
   item.ctx = &ctx;
   item.req = std::move(req);
-  build_request(ctx, item.req, item.cmd);
+  try {
+    build_request(ctx, item.req, item.cmd);
+  } catch (...) {
+    // A mid-assembly throw (bad_alloc, validation) may have reserved
+    // tip-table entries whose contents would never be built; unwind them so
+    // the shared LRUs stay consistent and the queued batch is unaffected.
+    rollback_command_tables(item.cmd);
+    throw;
+  }
   pending_.push_back(std::move(item));
   return pending_.size() - 1;
+}
+
+void EngineCore::abort_pending() {
+  // Dropping every queued command together makes the per-command rollback
+  // safe: an entry reserved by one dropped command can only be referenced
+  // by other commands of the same (dropped) queue.
+  for (Pending& item : pending_) rollback_command_tables(item.cmd);
+  pending_.clear();
 }
 
 std::vector<double> EngineCore::wait() {
@@ -1301,8 +1463,19 @@ std::vector<double> EngineCore::wait() {
   std::vector<double> results(batch.size(), 0.0);
   if (batch.empty()) return results;
   execute_batch(batch);
+  if (fault::enabled())
+    for (Pending& item : batch) maybe_inject_numeric_fault(item);
+  // Finalize EVERY item before raising: the flush's bookkeeping (epochs,
+  // orientations, root edges, reduced outputs) completes whether or not a
+  // fault is detected, so the core accepts new commands immediately after a
+  // catch. Callers discard the poisoned results on throw.
   for (std::size_t i = 0; i < batch.size(); ++i)
     results[i] = finalize(batch[i]);
+  if (check_numerics_) {
+    std::vector<FaultRecord> records;
+    for (const Pending& item : batch) collect_numeric_faults(item, records);
+    if (!records.empty()) raise_numeric_faults(batch, std::move(records));
+  }
   return results;
 }
 
@@ -1328,9 +1501,21 @@ double EngineCore::run_now(EvalContext& ctx, EvalRequest req) {
   Pending item;
   item.ctx = &ctx;
   item.req = std::move(req);
-  build_request(ctx, item.req, item.cmd);
+  try {
+    build_request(ctx, item.req, item.cmd);
+  } catch (...) {
+    rollback_command_tables(item.cmd);
+    throw;
+  }
   execute_batch({&item, 1});
-  return finalize(item);
+  if (fault::enabled()) maybe_inject_numeric_fault(item);
+  const double result = finalize(item);
+  if (check_numerics_) {
+    std::vector<FaultRecord> records;
+    collect_numeric_faults(item, records);
+    if (!records.empty()) raise_numeric_faults({&item, 1}, std::move(records));
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------

@@ -41,11 +41,13 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bio/patterns.hpp"
 #include "core/branch_lengths.hpp"
+#include "core/fault_policy.hpp"
 #include "core/kernels.hpp"
 #include "core/partition_model.hpp"
 #include "parallel/schedule.hpp"
@@ -127,6 +129,17 @@ struct EngineOptions {
   /// execution when a flush's items outnumber the threads 2:1; results are
   /// bit-identical either way (coarse replays the fine per-thread spans).
   BatchExecMode batch_exec = BatchExecMode::kAuto;
+  /// Check every flushed request's reduced results (per-partition lnL sums,
+  /// NR derivative sums) for non-finite values and throw a structured
+  /// EngineFault (core/fault_policy.hpp) instead of silently propagating
+  /// NaN/Inf into downstream state. O(partitions) per request — not per
+  /// pattern — so the cost is noise next to the kernels.
+  bool check_numerics = true;
+  /// ThreadTeam watchdog: when a flush's workers make no progress for this
+  /// many seconds, the master logs one diagnostic dump (active command,
+  /// per-worker heartbeats) and keeps waiting — a silent hang becomes an
+  /// attributable one. 0 disables the deadline entirely.
+  double watchdog_seconds = 120.0;
 };
 
 /// Entries per edge in the tip-table LRU cache: enough for a root-edge
@@ -154,6 +167,9 @@ struct EngineStats {
   std::uint64_t tip_table_hits = 0;      ///< tip table LRU cache hits
   std::uint64_t coarse_commands = 0;     ///< flushes run coarse (item/thread)
   std::uint64_t epoch_registry_evictions = 0;  ///< model-epoch LRU evictions
+  std::uint64_t numeric_faults = 0;   ///< non-finite reductions detected
+  std::uint64_t faulted_flushes = 0;  ///< flushes that raised an EngineFault
+  std::uint64_t assembly_rollbacks = 0;  ///< commands unwound mid-assembly
 };
 
 /// One queued unit of work for the batched API. Span members reference
@@ -304,6 +320,14 @@ class EngineCore {
 
   bool has_pending() const { return !pending_.empty(); }
 
+  /// Discard every queued request WITHOUT executing it, unwinding the
+  /// tip-table entries its commands reserved. For fault recovery: a throw
+  /// mid-way through a caller's submit sequence (allocation failure during
+  /// assembly) can strand earlier queued requests whose output spans point
+  /// into stack frames the unwinding destroyed — executing them via wait()
+  /// would be use-after-free, so the recovery path aborts them instead.
+  void abort_pending();
+
   // --- work scheduling -----------------------------------------------------
 
   /// The per-thread work assignment used by every command (shared by all
@@ -364,6 +388,28 @@ class EngineCore {
   void assemble_sumtable(EvalContext& ctx, Command& cmd, EdgeId edge,
                          const std::vector<int>& parts);
   void build_request(EvalContext& ctx, const EvalRequest& req, Command& cmd);
+
+  /// Unwind a partially assembled command: clear and unpin exactly the
+  /// tip-table entries it reserved in the shared LRUs. A throw mid-assembly
+  /// always hits the NEWEST command (submit appends; run_now assembles with
+  /// an empty queue), so entries it reserved cannot be referenced by any
+  /// earlier queued command — clearing them is safe, and leaves no stamped
+  /// keys whose contents would never be built (the hazard the kSiteLnl
+  /// assembly comment describes).
+  void rollback_command_tables(Command& cmd);
+
+  /// Fault injection (util/fault.hpp): when armed, poison the reduced rows
+  /// of an overlay request as if a non-finite CLV had propagated into its
+  /// reduction. No-op (one cold branch) when injection is disarmed.
+  void maybe_inject_numeric_fault(Pending& item);
+  /// Containment check for one flushed request: append a FaultRecord per
+  /// non-finite reduced value (per-partition lnL / NR derivative sums).
+  void collect_numeric_faults(const Pending& item,
+                              std::vector<FaultRecord>& out) const;
+  /// Invalidate every faulted context, bump the fault counters, and throw
+  /// the aggregated EngineFault. `items` is the just-finalized flush.
+  [[noreturn]] void raise_numeric_faults(std::span<Pending> items,
+                                         std::vector<FaultRecord> records);
 
   /// Execute the assembled commands of `items` in one parallel region,
   /// then update each context's orientation/epoch bookkeeping. The region
@@ -455,6 +501,16 @@ class EngineCore {
   std::vector<std::pair<int, EdgeId>> lru_overflow_;  // to trim post-flush
 
   std::vector<Pending> pending_;
+
+  bool check_numerics_ = true;
+  /// Description of the flush currently inside team_->run(), read by the
+  /// watchdog's diagnostic dump (master sets it before entering the
+  /// parallel region; the dump happens on the watchdog monitor thread while
+  /// the command is in flight, hence atomics). No per-flush allocation.
+  std::atomic<std::size_t> active_items_{0};
+  std::atomic<std::size_t> active_tasks_{0};
+  std::atomic<bool> active_coarse_{false};
+  static std::string describe_active_flush(void* self);
 
   EngineStats stats_;
 };

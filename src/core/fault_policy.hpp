@@ -1,0 +1,65 @@
+// Structured engine faults: what the numerical-containment layer throws.
+//
+// EngineCore checks the already-reduced per-request results (per-partition
+// lnL sums, Newton-Raphson derivative sums) for non-finite values at every
+// flush boundary — a handful of isfinite() tests per request, nothing per
+// pattern. A silent NaN that would otherwise poison every downstream CLV
+// and branch-length update instead surfaces here as an EngineFault carrying
+// full attribution: which context, which request kind, which partition,
+// which edge. The faulted context's CLVs are invalidated before the throw,
+// so catching the fault and re-issuing work recomputes from clean state
+// (the search's degradation ladder in search.cpp does exactly that for
+// candidate waves, whose frozen parents make the retry bit-reproducible).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// Attribution of one non-finite reduction detected at a flush boundary.
+struct FaultRecord {
+  /// Which reduced quantity went non-finite.
+  enum class Value { kLnl, kDeriv1, kDeriv2 };
+  Value value = Value::kLnl;
+  int partition = -1;
+  /// The request's root/evaluation edge (kNoId for sumtable-style requests).
+  EdgeId edge = kNoId;
+  /// EvalRequest::Kind of the faulted request, as an int (the enum lives in
+  /// engine_core.hpp; this header stays below it).
+  int request_kind = 0;
+  /// True when the faulted context is a copy-on-score overlay — the
+  /// recoverable case: its frozen parent is untouched, so re-scoring from
+  /// the parent reproduces the fault-free result exactly.
+  bool overlay = false;
+};
+
+/// Thrown by EngineCore::wait() / the *_now calls when a flush produced
+/// non-finite reductions (and by nothing else). All per-flush bookkeeping
+/// has completed by the time this is thrown: the pending queue is empty,
+/// tip-table pins are released, and every faulted context has been
+/// invalidated — the core is ready for new commands immediately.
+class EngineFault : public std::runtime_error {
+ public:
+  EngineFault(const std::string& what, std::vector<FaultRecord> records)
+      : std::runtime_error(what), records_(std::move(records)) {}
+
+  const std::vector<FaultRecord>& records() const { return records_; }
+
+  /// True when every faulted context is an overlay (see FaultRecord::overlay)
+  /// — the caller can retry from the untouched parents.
+  bool overlays_only() const {
+    for (const FaultRecord& r : records_)
+      if (!r.overlay) return false;
+    return !records_.empty();
+  }
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace plk

@@ -1,8 +1,13 @@
 #include "parallel/thread_team.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <ctime>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace plk {
 
@@ -67,12 +72,14 @@ ThreadTeam::ThreadTeam(int nthreads, bool instrument, bool cpu_time)
   spin_budget_seconds_ =
       (hw != 0 && static_cast<unsigned>(nthreads_) > hw) ? 2e-4 : 2e-3;
   work_seconds_.resize(static_cast<std::size_t>(nthreads_));
+  heartbeats_ = std::make_unique<Heartbeat[]>(static_cast<std::size_t>(nthreads_));
   workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
   for (int tid = 1; tid < nthreads_; ++tid)
     workers_.emplace_back([this, tid] { worker_loop(tid); });
 }
 
 ThreadTeam::~ThreadTeam() {
+  set_watchdog(0.0);  // join the monitor before tearing the team down
   stop_.store(true, std::memory_order_seq_cst);
   generation_.fetch_add(1, std::memory_order_seq_cst);
   {
@@ -134,6 +141,13 @@ void ThreadTeam::worker_loop(int tid) {
   for (;;) {
     worker_wait(next);
     if (stop_.load(std::memory_order_acquire)) return;
+    // Fault injection (tests only): stall this worker before it touches the
+    // command, long enough to trip the watchdog deadline. The command still
+    // runs to completion afterwards, so results are unchanged — exactly the
+    // "silent hang becomes a diagnosed hang" scenario.
+    if (fault::enabled() && fault::should_fire(fault::Site::kWorkerStall))
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(fault::stall_seconds()));
     if (instrument_) {
       const double t0 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
       fn_(ctx_, tid);
@@ -142,14 +156,95 @@ void ThreadTeam::worker_loop(int tid) {
     } else {
       fn_(ctx_, tid);
     }
+    heartbeats_[static_cast<std::size_t>(tid)].gen.store(
+        next, std::memory_order_release);
     done_.fetch_add(1, std::memory_order_release);
     ++next;
   }
 }
 
+void ThreadTeam::dump_stall_diagnostics(double waited_seconds) {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  std::ostringstream os;
+  os << "watchdog: command generation " << gen << " incomplete after "
+     << waited_seconds << " s (deadline " << watchdog_seconds_ << " s); done "
+     << done_.load(std::memory_order_acquire) << "/" << (nthreads_ - 1)
+     << " workers, " << parked_.load(std::memory_order_seq_cst)
+     << " parked; heartbeats:";
+  for (int tid = 1; tid < nthreads_; ++tid) {
+    const std::uint64_t hb = heartbeat(tid);
+    os << " t" << tid << "=" << hb << (hb >= gen ? "" : "*");
+  }
+  os << " (* = behind)";
+  if (diag_fn_ != nullptr) os << "; command: " << diag_fn_(diag_ctx_);
+  log_warn(os.str());
+}
+
+void ThreadTeam::set_watchdog(double seconds) {
+  if (seconds > 0.0) {
+    watchdog_seconds_ = seconds;
+    if (!watchdog_.joinable()) {
+      wd_stop_.store(false, std::memory_order_release);
+      watchdog_ = std::thread([this] { watchdog_loop(); });
+    }
+    return;
+  }
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(wd_mu_);
+      wd_stop_.store(true, std::memory_order_release);
+    }
+    wd_cv_.notify_all();
+    watchdog_.join();
+    watchdog_ = std::thread();
+  }
+  watchdog_seconds_ = 0.0;
+}
+
+void ThreadTeam::watchdog_loop() {
+  // The monitor owns the one-dump-per-command bookkeeping: a command that
+  // overruns the deadline is dumped exactly once (keyed by its generation),
+  // however long it stays stuck. It cannot abandon the command — workers
+  // hold raw pointers into the issuer's stack — so the hang stays a hang,
+  // but an attributable one.
+  std::uint64_t last_dumped_gen = 0;
+  for (;;) {
+    const double period =
+        std::min(std::max(watchdog_seconds_ / 4.0, 1e-3), 1.0);
+    {
+      std::unique_lock<std::mutex> lk(wd_mu_);
+      wd_cv_.wait_for(lk, std::chrono::duration<double>(period), [&] {
+        return wd_stop_.load(std::memory_order_acquire);
+      });
+    }
+    if (wd_stop_.load(std::memory_order_acquire)) return;
+    if (!in_flight_.load(std::memory_order_acquire)) continue;
+    const double waited =
+        now_seconds() - cmd_start_.load(std::memory_order_acquire);
+    if (waited <= watchdog_seconds_) continue;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (gen == last_dumped_gen) continue;
+    last_dumped_gen = gen;
+    watchdog_dumps_.fetch_add(1, std::memory_order_acq_rel);
+    dump_stall_diagnostics(waited);
+  }
+}
+
 void ThreadTeam::run(RawFn fn, void* ctx) {
   ++stats_.sync_count;
+  // Watchdog bookkeeping brackets the WHOLE command, master share included:
+  // engine commands synchronize internally (phase barriers inside fn), so a
+  // stalled worker blocks the master inside its own fn — a post-fn wait
+  // deadline would never see it. The monitor thread reads these.
+  const bool wd = watchdog_seconds_ > 0.0;
+  if (wd) {
+    cmd_start_.store(now_seconds(), std::memory_order_release);
+    in_flight_.store(true, std::memory_order_release);
+  }
   if (nthreads_ == 1) {
+    // No workers, but a generation still identifies the command for the
+    // monitor's one-dump-per-command bookkeeping.
+    if (wd) generation_.fetch_add(1, std::memory_order_seq_cst);
     if (instrument_) {
       const double t0 = cpu_time_ ? thread_cpu_seconds() : now_seconds();
       fn(ctx, 0);
@@ -161,6 +256,7 @@ void ThreadTeam::run(RawFn fn, void* ctx) {
     } else {
       fn(ctx, 0);
     }
+    if (wd) in_flight_.store(false, std::memory_order_release);
     return;
   }
 
@@ -182,6 +278,7 @@ void ThreadTeam::run(RawFn fn, void* ctx) {
   spin_until([&] {
     return done_.load(std::memory_order_acquire) >= nthreads_ - 1;
   });
+  if (wd) in_flight_.store(false, std::memory_order_release);
 
   if (instrument_) {
     double max_dt = 0.0, sum_dt = 0.0;

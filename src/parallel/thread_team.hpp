@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -35,6 +36,9 @@ struct TeamStats {
   double imbalance_seconds = 0.0;
   /// Sum of all per-thread work time (useful to compute efficiency).
   double total_work_seconds = 0.0;
+  /// Watchdog diagnostic dumps emitted (commands still in flight past the
+  /// configured deadline; see set_watchdog()).
+  std::uint64_t watchdog_dumps = 0;
 };
 
 /// A fixed-size team of threads executing broadcast commands.
@@ -84,12 +88,62 @@ class ThreadTeam {
   }
 
   /// Instrumentation snapshot.
-  const TeamStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = TeamStats{}; }
+  const TeamStats& stats() const {
+    stats_.watchdog_dumps =
+        watchdog_dumps_.load(std::memory_order_acquire);
+    return stats_;
+  }
+  void reset_stats() {
+    stats_ = TeamStats{};
+    watchdog_dumps_.store(0, std::memory_order_release);
+  }
   bool instrumented() const { return instrument_; }
 
+  /// Watchdog deadline: a dedicated monitor thread (started here) checks
+  /// every deadline/4 whether the in-flight command has been running for
+  /// more than `seconds`; if so it logs ONE diagnostic dump for that
+  /// command — the issuer's description (set_diagnostics), the generation,
+  /// and each worker's last completed generation — and the command keeps
+  /// running. The monitor must be a separate thread: engine commands
+  /// synchronize internally (phase barriers inside fn), so a stalled worker
+  /// blocks the *master* inside its own share of the command, where it
+  /// could never poll a deadline. The hang stays a hang (nobody can safely
+  /// abandon a broadcast command), but it becomes an attributable one.
+  /// 0 stops the monitor and disables the deadline (the default).
+  /// Setup-time API: not safe to call concurrently with run().
+  void set_watchdog(double seconds);
+  double watchdog_seconds() const { return watchdog_seconds_; }
+
+  /// Optional issuer-side describer for the active command, included in
+  /// watchdog dumps (e.g. the engine reports its current flush's shape).
+  /// Same raw-pointer style as RawFn: the callback must stay valid for the
+  /// team's lifetime and is invoked on the watchdog thread while a command
+  /// is in flight — it must only read state that is stable for a command's
+  /// whole duration.
+  using DiagFn = std::string (*)(void* ctx);
+  void set_diagnostics(DiagFn fn, void* ctx) {
+    diag_fn_ = fn;
+    diag_ctx_ = ctx;
+  }
+
+  /// Last generation worker `tid` (1-based; 0 is the master) completed.
+  std::uint64_t heartbeat(int tid) const {
+    return heartbeats_[static_cast<std::size_t>(tid)].gen.load(
+        std::memory_order_acquire);
+  }
+
  private:
+  /// One worker's progress marker, padded to its own cache line so
+  /// heartbeat stores never share a line with a neighbour's.
+  struct alignas(64) Heartbeat {
+    std::atomic<std::uint64_t> gen{0};
+  };
+
   void worker_loop(int tid);
+  /// Monitor loop for the watchdog thread (see set_watchdog).
+  void watchdog_loop();
+  /// Emit the watchdog's one-per-command diagnostic dump.
+  void dump_stall_diagnostics(double waited_seconds);
   /// Block worker until generation >= next or stop: bounded spin, then park
   /// on the condition variable (so workers do not burn cores through long
   /// serial master phases such as eigendecompositions).
@@ -110,9 +164,23 @@ class ThreadTeam {
   std::condition_variable park_cv_;
   RawFn fn_ = nullptr;
   void* ctx_ = nullptr;
+  double watchdog_seconds_ = 0.0;
+  DiagFn diag_fn_ = nullptr;
+  void* diag_ctx_ = nullptr;
+  std::unique_ptr<Heartbeat[]> heartbeats_;
   std::vector<std::thread> workers_;
   std::vector<PaddedDouble> work_seconds_;  // per-thread, per-command
-  TeamStats stats_;
+  mutable TeamStats stats_;
+  // Watchdog monitor state. cmd_start_/in_flight_ are written by the master
+  // around each command and read by the monitor; watchdog_dumps_ is the
+  // monitor's counter, folded into stats_ on read.
+  std::atomic<double> cmd_start_{0.0};
+  std::atomic<bool> in_flight_{false};
+  std::atomic<std::uint64_t> watchdog_dumps_{0};
+  std::atomic<bool> wd_stop_{false};
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  std::thread watchdog_;
 };
 
 }  // namespace plk

@@ -116,6 +116,18 @@ void CandidateScorer::finish_wave() {
   stats_.pool_slots_allocated = pool_.slots_allocated();
 }
 
+void CandidateScorer::abort_wave() {
+  if (staged_ == 0) return;
+  ++stats_.wave_faults;
+  staged_ = 0;
+  wave_prune_ = kNoId;
+  wave_cross_ = false;
+  stats_.pool_slots_peak =
+      std::max(stats_.pool_slots_peak, pool_.peak_in_use());
+  pool_.trim();
+  stats_.pool_slots_allocated = pool_.slots_allocated();
+}
+
 void CandidateScorer::score_groups(std::span<const GroupRequest> groups) {
   stats_.groups += groups.size();
   std::vector<WaveItem> sink;

@@ -80,6 +80,7 @@ struct CandidateBatchStats {
   std::uint64_t rescored_candidates = 0;  ///< scored again after a commit
                                           ///< invalidated their window
   std::uint64_t conflict_groups = 0;  ///< groups re-enumerated after commits
+  std::uint64_t wave_faults = 0;  ///< waves aborted by an engine fault
   std::size_t pool_slots_peak = 0;   ///< high-water leased CLV slots
   std::size_t pool_slots_allocated = 0;  ///< pool slots currently allocated
 };
@@ -154,6 +155,12 @@ class CandidateScorer {
                          const BranchOptOptions& local_opts,
                          std::span<const WaveItem> items);
   void finish_wave();
+  /// Close a wave whose flush FAILED (EngineFault, allocation failure):
+  /// un-stage everything without counting a wave or its candidates, so the
+  /// staged moves can be staged again. flush_wave writes scores only after
+  /// the whole protocol succeeded, so no *out of an aborted wave was
+  /// touched; the overlays resynchronize at their next stage() as always.
+  void abort_wave();
   /// Candidates currently staged (0 right after finish_wave()).
   std::size_t staged() const { return staged_; }
 

@@ -1,9 +1,14 @@
 #include "search/search.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
+#include <new>
+#include <stdexcept>
 #include <vector>
 
+#include "core/checkpoint.hpp"
+#include "core/fault_policy.hpp"
 #include "search/candidate_batch.hpp"
 #include "search/spr.hpp"
 #include "util/log.hpp"
@@ -147,6 +152,12 @@ SearchResult search_ml_sequential(Engine& engine, const SearchOptions& opts) {
              ": lnL = " + std::to_string(lnl) + " (+" +
              std::to_string(lnl - round_start) + ", " +
              std::to_string(res.accepted_moves) + " moves)");
+    if (opts.stop_flag != nullptr &&
+        opts.stop_flag->load(std::memory_order_relaxed)) {
+      if (lnl - round_start >= opts.epsilon && round + 1 < opts.max_rounds)
+        res.interrupted = true;
+      break;
+    }
     if (lnl - round_start < opts.epsilon) break;
   }
 
@@ -230,16 +241,47 @@ class SprSearchMachine {
     start_round();
   }
 
+  /// Start from a restored checkpoint: the context already holds the
+  /// round-boundary state (the writer re-applied its own serialization
+  /// before continuing, so this state IS the one the uninterrupted run
+  /// searched from), and the counters pick up where it left off.
+  void begin_resumed(const SearchProgress& sp) {
+    res_.rounds = sp.rounds;
+    res_.accepted_moves = sp.accepted_moves;
+    res_.candidates_scored = sp.candidates_scored;
+    lnl_ = sp.lnl;
+    if (sp.done || res_.rounds >= opts_.max_rounds) {
+      phase_ = Phase::kDone;
+      return;
+    }
+    start_round();
+  }
+
   /// kScore only: stage unscored candidates (window order) into `sink`
-  /// until the scorer's wave is full or the window is covered.
+  /// until the scorer's wave is full or the window is covered. Snapshots
+  /// the staging cursors first so a faulted flush can rewind them.
   void stage_wave(std::vector<WaveItem>& sink) {
+    if (!have_snapshot_) {
+      snapshot_.clear();
+      for (const SpecGroup& g : window_) snapshot_.push_back(g.scored_upto);
+      have_snapshot_ = true;
+    }
+    // Degradation ladder, most-degraded rung: after repeated faults this
+    // machine stages ONE candidate per wave — effectively the sequential
+    // scorer, the smallest possible fault blast radius.
+    const std::size_t cap = fault_level_ >= 2
+                                ? 1
+                                : std::numeric_limits<std::size_t>::max();
+    std::size_t staged_now = 0;
     for (std::size_t gi = proc_; gi < window_.size(); ++gi) {
       SpecGroup& g = window_[gi];
       while (g.scored_upto < g.moves.size()) {
+        if (staged_now >= cap) return;
         if (!scorer_.stage(g.moves[g.scored_upto], &g.scores[g.scored_upto],
                            sink, &g.opt_lengths[g.scored_upto]))
           return;
         ++g.scored_upto;
+        ++staged_now;
       }
     }
   }
@@ -248,24 +290,64 @@ class SprSearchMachine {
   /// processing groups / refilling the window. Advances phase.
   void consume() {
     scorer_.finish_wave();
+    have_snapshot_ = false;
+    if (fault_level_ > 0 && ++clean_flushes_ >= kFaultDecayFlushes) {
+      --fault_level_;
+      clean_flushes_ = 0;
+    }
     advance();
   }
 
-  /// kRoundEnd only: the driver finished this round's smoothing (+ model
-  /// optimization) at likelihood `lnl`; log and either start the next round
-  /// or finish.
-  void end_round(double lnl) {
+  /// The wave this machine staged into FAILED (EngineFault / allocation
+  /// failure): rewind the staging cursors to the pre-stage snapshot — no
+  /// score of an aborted wave was written, and every overlay re-scores
+  /// from the untouched frozen parent, so the retried scores (and with
+  /// them the accepted-move sequence) are bit-identical to a fault-free
+  /// run — and climb one rung down the degradation ladder.
+  void on_wave_fault() {
+    scorer_.abort_wave();
+    if (have_snapshot_) {
+      for (std::size_t gi = 0; gi < window_.size(); ++gi)
+        window_[gi].scored_upto = snapshot_[gi];
+      have_snapshot_ = false;
+    }
+    fault_level_ = std::min(fault_level_ + 1, 2);
+    clean_flushes_ = 0;
+  }
+
+  /// kRoundEnd only: record this round's post-smoothing likelihood, log,
+  /// and report whether the search would continue (improvement >= epsilon
+  /// and rounds remain). The driver decides what happens next —
+  /// checkpoint, stop, or start_next_round() — so the decision point and
+  /// the persistence point coincide.
+  bool close_round(double lnl) {
     lnl_ = lnl;
     log_info("search round " + std::to_string(res_.rounds) +
              ": lnL = " + std::to_string(lnl_) + " (+" +
              std::to_string(lnl_ - round_start_) + ", " +
              std::to_string(res_.accepted_moves) + " moves)");
-    if (lnl_ - round_start_ < opts_.epsilon ||
-        res_.rounds >= opts_.max_rounds) {
-      phase_ = Phase::kDone;
-      return;
-    }
-    start_round();
+    return lnl_ - round_start_ >= opts_.epsilon &&
+           res_.rounds < opts_.max_rounds;
+  }
+
+  /// Continue with the next round (enumeration happens here, against the
+  /// context's CURRENT tree — after any checkpoint re-apply).
+  void start_next_round() { start_round(); }
+
+  /// Stop at this round boundary (converged, out of rounds, or told to).
+  void finish() { phase_ = Phase::kDone; }
+
+  void mark_interrupted() { res_.interrupted = true; }
+
+  /// Progress counters for a round-boundary checkpoint.
+  SearchProgress progress() const {
+    SearchProgress sp;
+    sp.rounds = res_.rounds;
+    sp.accepted_moves = res_.accepted_moves;
+    sp.candidates_scored = res_.candidates_scored;
+    sp.lnl = lnl_;
+    sp.valid = true;
+    return sp;
   }
 
   SearchResult take_result() {
@@ -384,11 +466,15 @@ class SprSearchMachine {
         }
       }
 
-      // Window exhausted: adapt the speculation width and refill.
-      window_cap_ = committed_in_window_
-                        ? 1
-                        : std::min(window_cap_ * 2,
-                                   opts_.candidate_batch.speculate_groups);
+      // Window exhausted: adapt the speculation width and refill. A faulted
+      // machine (ladder level >= 1) stops speculating across groups until
+      // it has seen enough clean flushes — window growth is what multiplies
+      // the work a faulted wave throws away.
+      const int cap_limit = fault_level_ >= 1
+                                ? 1
+                                : opts_.candidate_batch.speculate_groups;
+      window_cap_ =
+          committed_in_window_ ? 1 : std::min(window_cap_ * 2, cap_limit);
       committed_in_window_ = false;
       window_.clear();
       proc_ = 0;
@@ -427,6 +513,16 @@ class SprSearchMachine {
   std::size_t proc_ = 0;
   int window_cap_ = 1;
   bool committed_in_window_ = false;
+
+  /// Degradation ladder: 0 = full speculation, 1 = one group per window,
+  /// 2 = additionally one candidate per wave. Climbs on every faulted
+  /// flush, decays one rung per kFaultDecayFlushes clean flushes.
+  static constexpr int kFaultDecayFlushes = 8;
+  int fault_level_ = 0;
+  int clean_flushes_ = 0;
+  /// Per-group scored_upto at the last stage_wave (rewound on fault).
+  std::vector<std::size_t> snapshot_;
+  bool have_snapshot_ = false;
 };
 
 /// Batched branch-length smoothing for a set of parent contexts, preserving
@@ -475,22 +571,75 @@ std::vector<SearchResult> search_ml_replicated(
     return out;
   }
 
-  // Initial smoothing as ONE batched pass over every replicate, then the
-  // (serial, Brent-driven) model phases per context.
-  std::vector<double> lnls = smooth_parents(core, ctxs, opts);
+  // One checkpoint file per context (the single-search case keeps the bare
+  // path).
+  const auto ckpt_path = [&](std::size_t i) -> std::string {
+    if (opts.checkpoint_path.empty()) return {};
+    return ctxs.size() == 1 ? opts.checkpoint_path
+                            : opts.checkpoint_path + ".r" + std::to_string(i);
+  };
+  const auto stop_requested = [&] {
+    return opts.stop_flag != nullptr &&
+           opts.stop_flag->load(std::memory_order_relaxed);
+  };
+
   std::vector<std::unique_ptr<SprSearchMachine>> machines;
   machines.reserve(ctxs.size());
-  for (std::size_t i = 0; i < ctxs.size(); ++i) {
-    machines.push_back(
-        std::make_unique<SprSearchMachine>(core, *ctxs[i], opts));
-    if (opts.optimize_model)
-      lnls[i] = optimize_model_parameters(machines[i]->engine(),
-                                          opts.strategy, opts.model_opts);
-    machines[i]->begin(lnls[i]);
+  if (opts.resume && !opts.checkpoint_path.empty()) {
+    // Resume: each context restores its round-boundary state (falling back
+    // to the previous checkpoint generation on corruption) and its machine
+    // continues from the recorded counters. The writer re-applied its own
+    // serialization at every checkpointed boundary, so the restored state
+    // equals the one the uninterrupted run continued from — the resumed
+    // search replays it bit for bit.
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      SearchProgress sp;
+      load_checkpoint_file(*ctxs[i], ckpt_path(i), &sp);
+      if (!sp.valid)
+        throw std::runtime_error("search resume: checkpoint '" +
+                                 ckpt_path(i) +
+                                 "' carries no search progress");
+      machines.push_back(
+          std::make_unique<SprSearchMachine>(core, *ctxs[i], opts));
+      machines[i]->begin_resumed(sp);
+    }
+  } else {
+    // Initial smoothing as ONE batched pass over every replicate, then the
+    // (serial, Brent-driven) model phases per context.
+    std::vector<double> lnls = smooth_parents(core, ctxs, opts);
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      machines.push_back(
+          std::make_unique<SprSearchMachine>(core, *ctxs[i], opts));
+      if (opts.optimize_model)
+        lnls[i] = optimize_model_parameters(machines[i]->engine(),
+                                            opts.strategy, opts.model_opts);
+      machines[i]->begin(lnls[i]);
+    }
   }
 
   std::vector<WaveItem> sink;
   std::vector<std::size_t> stagers, enders;
+
+  // Wave-level fault recovery: a flush that throws an EngineFault (non-
+  // finite reductions, attributed and already contained by the core) or
+  // bad_alloc (CLV slot exhaustion) aborts the wave — no score of it was
+  // written — and every staging machine rewinds and retries degraded.
+  // Requests stranded in the core's queue by a mid-submit throw are
+  // aborted, NOT drained: their output spans may point into unwound stack
+  // frames.
+  // A *persistent* fault (every retry fails, even fully degraded) must not
+  // spin forever; past the cap the fault is clearly not transient and
+  // propagates to the caller.
+  constexpr int kMaxConsecutiveWaveFaults = 32;
+  int consecutive_wave_faults = 0;
+  const auto recover_wave = [&](const char* what) {
+    core.abort_pending();
+    if (++consecutive_wave_faults > kMaxConsecutiveWaveFaults) throw;
+    log_warn(std::string("search: candidate wave faulted (") + what +
+             "); rewinding and retrying degraded");
+    for (std::size_t i : stagers) machines[i]->on_wave_fault();
+  };
+
   for (;;) {
     // Merge every active machine's current wave into one flush: each
     // machine stages up to its scorer's wave capacity, and the union runs
@@ -503,9 +652,16 @@ std::vector<SearchResult> search_ml_replicated(
       machines[i]->stage_wave(sink);
     }
     if (!stagers.empty()) {
-      CandidateScorer::flush_wave(core, opts.strategy, opts.local_branch_opts,
-                                  sink);
-      for (std::size_t i : stagers) machines[i]->consume();
+      try {
+        CandidateScorer::flush_wave(core, opts.strategy,
+                                    opts.local_branch_opts, sink);
+        for (std::size_t i : stagers) machines[i]->consume();
+        consecutive_wave_faults = 0;
+      } catch (const EngineFault& f) {
+        recover_wave(f.what());
+      } catch (const std::bad_alloc&) {
+        recover_wave("allocation failure");
+      }
       continue;
     }
 
@@ -520,14 +676,67 @@ std::vector<SearchResult> search_ml_replicated(
     std::vector<EvalContext*> ender_ctxs(enders.size());
     for (std::size_t k = 0; k < enders.size(); ++k)
       ender_ctxs[k] = ctxs[enders[k]];
-    const std::vector<double> round_lnls =
-        smooth_parents(core, ender_ctxs, opts);
+    // Round-end smoothing gets one degraded retry: the parents' CLVs were
+    // invalidated by the fault, so the retry recomputes from clean state.
+    // A second consecutive failure is a real (not transient) problem and
+    // propagates.
+    std::vector<double> round_lnls;
+    try {
+      round_lnls = smooth_parents(core, ender_ctxs, opts);
+    } catch (const EngineFault& f) {
+      core.abort_pending();
+      log_warn(std::string("search: round-end smoothing faulted (") +
+               f.what() + "); retrying once from invalidated state");
+      for (EvalContext* c : ender_ctxs) c->invalidate_all();
+      round_lnls = smooth_parents(core, ender_ctxs, opts);
+    }
     for (std::size_t k = 0; k < enders.size(); ++k) {
+      SprSearchMachine& m = *machines[enders[k]];
       double l = round_lnls[k];
       if (opts.optimize_model)
-        l = optimize_model_parameters(machines[enders[k]]->engine(),
-                                      opts.strategy, opts.model_opts);
-      machines[enders[k]]->end_round(l);
+        l = optimize_model_parameters(m.engine(), opts.strategy,
+                                      opts.model_opts);
+      const bool cont = m.close_round(l);
+      const bool stopping = stop_requested();
+      const std::string path = ckpt_path(enders[k]);
+      const bool due =
+          !path.empty() && (cont || stopping) &&
+          (stopping || m.progress().rounds %
+                               std::max(1, opts.checkpoint_every) ==
+                           0);
+      if (due) {
+        // Canonicalize-then-persist: re-apply our own serialization so the
+        // state we continue from IS the state a resumed run will restore
+        // (Tree::from_edges normalizes adjacency order and frequency
+        // renormalization is only a fixed point after one round trip —
+        // without the re-apply, writer and resumer would enumerate the
+        // next round's candidates from ulp/ordering-different states).
+        // Enumeration for the next round happens in start_next_round(),
+        // strictly after this.
+        EvalContext& c = *ctxs[enders[k]];
+        SearchProgress sp = m.progress();
+        // A converged boundary writes a terminal checkpoint: resuming it
+        // reports the recorded result instead of searching past the
+        // convergence the original run already established.
+        sp.done = !cont;
+        apply_checkpoint(c, serialize_checkpoint(c, &sp));
+        try {
+          save_checkpoint_file(c, path, &sp);
+        } catch (const std::exception& e) {
+          // A failed write never kills the run; the ring on disk still
+          // holds the previous good generation.
+          log_warn(std::string("search: checkpoint write failed (") +
+                   e.what() + "); continuing without");
+        }
+      }
+      if (stopping) {
+        if (cont) m.mark_interrupted();
+        m.finish();
+      } else if (cont) {
+        m.start_next_round();
+      } else {
+        m.finish();
+      }
     }
   }
 

@@ -10,7 +10,9 @@
 // mix whose load balance the paper measures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "core/branch_opt.hpp"
 #include "core/engine.hpp"
@@ -41,6 +43,27 @@ struct SearchOptions {
   /// Full smoothing between rounds.
   BranchOptOptions full_branch_opts{};
   ModelOptOptions model_opts{};
+  /// When non-empty: write a crash-consistent checkpoint (core/checkpoint)
+  /// at every `checkpoint_every`-th round boundary — and always at the
+  /// boundary where the search stops. Replicated searches write one file
+  /// per context (`path.rK` for K > 0). At each checkpointed boundary the
+  /// writer re-applies its own serialized state before continuing, so a
+  /// later `resume` run continues the search BIT-IDENTICALLY to the
+  /// uninterrupted one (same moves, same final lnL). A failed write is
+  /// logged and the search carries on; the on-disk ring keeps the previous
+  /// good generation. Only the batched driver checkpoints; the sequential
+  /// A/B path (batched_candidates off) ignores these fields.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  /// Restore each context from its checkpoint (with fallback to the
+  /// previous generation on corruption) and continue the search from the
+  /// recorded round instead of starting over.
+  bool resume = false;
+  /// Cooperative shutdown: when the pointee becomes true, the search stops
+  /// at the next round boundary — after that round's smoothing, model
+  /// optimization and (if configured) final checkpoint — and marks the
+  /// result interrupted. The caller keeps ownership; nullptr disables.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 /// Search outcome summary.
@@ -49,6 +72,9 @@ struct SearchResult {
   int rounds = 0;
   int accepted_moves = 0;
   std::uint64_t candidates_scored = 0;
+  /// True when the search stopped early because SearchOptions::stop_flag
+  /// was raised (the state is still consistent and checkpointed).
+  bool interrupted = false;
   /// Batched-scorer accounting (all zero when batched_candidates is off).
   CandidateBatchStats batch;
 };

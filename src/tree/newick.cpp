@@ -74,6 +74,11 @@ class Parser {
   }
 
   std::unique_ptr<PNode> node() {
+    // The grammar recurses once per '(' nesting level; unchecked, a
+    // pathological input like "((((((..." overflows the stack long before
+    // any later validation sees it. Real trees nest O(taxa) deep at worst,
+    // so a fixed generous cap turns the crash into a parse error.
+    if (++depth_ > kMaxDepth) fail("nesting depth exceeds 10000");
     auto n = std::make_unique<PNode>();
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == '(') {
@@ -128,8 +133,11 @@ class Parser {
       n->has_length = true;
       pos_ = static_cast<std::size_t>(ptr - s_.data());
     }
+    --depth_;
     return n;
   }
+
+  static constexpr int kMaxDepth = 10000;
 
   static bool strchr_tok(char c) {
     return c == '(' || c == ')' || c == ',' || c == ':' || c == ';' ||
@@ -138,6 +146,7 @@ class Parser {
 
   std::string_view s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void collect_tips(const PNode* n, std::vector<const PNode*>& tips) {

@@ -1,0 +1,96 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__GLIBC__)
+#include <cfenv>
+#endif
+
+#include "util/rng.hpp"
+
+namespace plk::fault {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+struct SiteState {
+  std::atomic<std::uint64_t> fire_at{0};  // 0 = not armed
+  std::atomic<bool> repeat{false};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+SiteState g_sites[kSiteCount];
+std::atomic<double> g_stall_seconds{0.2};
+
+SiteState& state(Site s) { return g_sites[static_cast<int>(s)]; }
+
+}  // namespace
+
+void arm_site(Site site, std::uint64_t fire_at, bool repeat) {
+  SiteState& st = state(site);
+  st.fire_at.store(fire_at, std::memory_order_relaxed);
+  st.repeat.store(repeat, std::memory_order_relaxed);
+  st.count.store(0, std::memory_order_relaxed);
+  st.fired.store(0, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_seq_cst);
+}
+
+void disarm() {
+  detail::g_enabled.store(false, std::memory_order_seq_cst);
+  for (SiteState& st : g_sites) {
+    st.fire_at.store(0, std::memory_order_relaxed);
+    st.repeat.store(false, std::memory_order_relaxed);
+    st.count.store(0, std::memory_order_relaxed);
+    st.fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool should_fire(Site site) {
+  SiteState& st = state(site);
+  const std::uint64_t at = st.fire_at.load(std::memory_order_relaxed);
+  if (at == 0) return false;
+  const std::uint64_t n = st.count.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool fire =
+      n == at || (n > at && st.repeat.load(std::memory_order_relaxed));
+  if (fire) st.fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+std::uint64_t arrivals(Site site) {
+  return state(site).count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fired(Site site) {
+  return state(site).fired.load(std::memory_order_relaxed);
+}
+
+void set_stall_seconds(double s) {
+  g_stall_seconds.store(s, std::memory_order_relaxed);
+}
+
+double stall_seconds() {
+  return g_stall_seconds.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fire_at_for_seed(Site site, std::uint64_t seed,
+                               std::uint64_t max_n) {
+  if (max_n == 0) max_n = 1;
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ull *
+                            (static_cast<std::uint64_t>(site) + 1));
+  return 1 + splitmix64(x) % max_n;
+}
+
+void maybe_enable_fp_traps_from_env() {
+  const char* v = std::getenv("PLK_FE_TRAP");
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0) return;
+#if defined(__GLIBC__)
+  feenableexcept(FE_INVALID | FE_DIVBYZERO);
+#endif
+}
+
+}  // namespace plk::fault

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the robustness test suite.
+//
+// The fault-tolerance machinery (numerical containment in EngineCore::wait,
+// the search's degradation ladder, checkpoint ring recovery, the ThreadTeam
+// watchdog) only earns trust when every recovery path can be driven on
+// demand, repeatably. This header provides seed-driven, site-keyed injection
+// points: a test arms a SITE (one well-known failure location compiled into
+// the library) to fire on the Nth arrival, runs the workload, and the
+// library throws / corrupts / stalls exactly there — bit-reproducibly,
+// because arrivals are counted on the deterministic command stream, not on
+// wall time.
+//
+// Zero overhead when disarmed: every injection point is guarded by a single
+// relaxed atomic-bool load (`enabled()`), which is false for the whole
+// process unless a test armed a site. Sites themselves live on cold paths
+// (command assembly, flush boundaries, slot allocation, checkpoint I/O,
+// worker dispatch) — never inside pattern loops.
+//
+// Adding a site: extend Site, place
+//   `if (fault::enabled() && fault::should_fire(fault::Site::kMySite)) ...`
+// at the failure location, and document the site's arrival unit here and in
+// docs/robustness.md. Arrival units must be deterministic functions of the
+// workload (requests, allocations, writes — not threads or clocks).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace plk::fault {
+
+/// Injection sites. The comment gives the ARRIVAL unit each site counts.
+enum class Site : int {
+  /// One arrival per overlay-context kEvaluate request at a flush boundary;
+  /// firing poisons the request's reduced lnL row with a quiet NaN (as if a
+  /// non-finite CLV had propagated into the reduction).
+  kWaveEvalNan = 0,
+  /// One arrival per overlay-context kNrDerivatives request at a flush
+  /// boundary; firing poisons the reduced first-derivative row.
+  kWaveNrNan,
+  /// One arrival per ClvSlotPool::acquire; firing throws std::bad_alloc
+  /// (an overlay failed to lease a CLV slot mid-assembly).
+  kClvAlloc,
+  /// One arrival per checkpoint file write; firing aborts the write after
+  /// the temp file was created but before the atomic rename (simulating a
+  /// full disk / I/O error, leaving a stale .tmp behind).
+  kCheckpointIo,
+  /// One arrival per worker-thread command dispatch; firing stalls that
+  /// worker for stall_seconds() before it runs the command (watchdog food).
+  kWorkerStall,
+  /// One arrival per queue_edge_tables call during command assembly; firing
+  /// throws std::bad_alloc mid-assembly (regression driver for the
+  /// reserved-tip-table rollback).
+  kAssemblyThrow,
+  kSiteCount_,
+};
+
+inline constexpr int kSiteCount = static_cast<int>(Site::kSiteCount_);
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Fast-path guard every injection point checks first. Relaxed load of one
+/// process-global bool: effectively free, and exact ordering does not matter
+/// (tests arm/disarm on the master thread between workloads).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arm `site` to fire on its `fire_at`-th arrival (1-based). `repeat` makes
+/// it fire on every arrival from then on (persistent fault) instead of once
+/// (transient fault, the default — the recovery paths must survive both).
+/// Arming any site sets enabled(); sites not armed never fire.
+void arm_site(Site site, std::uint64_t fire_at, bool repeat = false);
+
+/// Disarm everything and reset all counters. Safe to call when not armed.
+void disarm();
+
+/// Count one arrival at `site`; returns true when the armed shot fires.
+/// Only call behind an enabled() check. Thread-safe (kWorkerStall arrives
+/// on worker threads); all other sites arrive on the master.
+bool should_fire(Site site);
+
+/// Arrivals observed at `site` since the last arm/disarm.
+std::uint64_t arrivals(Site site);
+/// Times `site` actually fired since the last arm/disarm.
+std::uint64_t fired(Site site);
+
+/// Stall duration for kWorkerStall (default 0.2 s).
+void set_stall_seconds(double s);
+double stall_seconds();
+
+/// Deterministic seed -> shot-number map for chaos sweeps: a sweep arms
+/// each site at fire_at_for_seed(site, seed, max_n) so different seeds hit
+/// different commands of the same workload. Returns a value in [1, max_n].
+std::uint64_t fire_at_for_seed(Site site, std::uint64_t seed,
+                               std::uint64_t max_n);
+
+/// RAII arming for tests: arms in the constructor, disarms (everything) in
+/// the destructor, so an ASSERT mid-test cannot leak an armed fault into
+/// the next one.
+class ScopedFault {
+ public:
+  ScopedFault(Site site, std::uint64_t fire_at, bool repeat = false) {
+    arm_site(site, fire_at, repeat);
+  }
+  ~ScopedFault() { disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+/// Enable floating-point exception trapping (FE_INVALID | FE_DIVBYZERO ->
+/// SIGFPE) when the PLK_FE_TRAP environment variable is set to a non-empty,
+/// non-"0" value. Called once from the EngineCore constructor; a no-op on
+/// platforms without feenableexcept. Turns latent NaN/Inf *sources* into
+/// hard failures in CI, where the containment layer would otherwise mask
+/// them at the next flush boundary.
+void maybe_enable_fp_traps_from_env();
+
+}  // namespace plk::fault

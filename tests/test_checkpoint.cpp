@@ -204,5 +204,143 @@ TEST(Checkpoint, SelfRestoreIsIdempotent) {
   EXPECT_EQ(serialize_checkpoint(*rig.engine), once);
 }
 
+// --- crash-consistency corruption matrix -------------------------------------
+//
+// The on-disk format (v2) ends in a checksum trailer and every write goes
+// temp-file -> fsync -> atomic rename with a 2-deep ring (path, path.1).
+// Each scenario below corrupts the ring a different way and checks the
+// loader's response: fall back when an older good generation exists, fail
+// loudly when none does, and never read a stale temp file.
+
+namespace {
+std::string ring_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void remove_ring(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+}  // namespace
+
+TEST(CheckpointCorruption, BitFlipFallsBackToPreviousGeneration) {
+  const std::string path = ring_path("plk_ckpt_bitflip.txt");
+  remove_ring(path);
+  Rig rig(20);
+  const double gen1 = rig.engine->loglikelihood(0);
+  save_checkpoint_file(*rig.engine, path);  // generation 1
+  optimize_branch_lengths(*rig.engine, Strategy::kNewPar);
+  save_checkpoint_file(*rig.engine, path);  // generation 2; gen 1 -> path.1
+
+  // Flip one payload bit of the newest generation.
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 3] ^= 0x10;
+  write_file(path, bytes);
+
+  Rig target(21);
+  load_checkpoint_file(*target.engine, path);  // falls back to path.1
+  EXPECT_DOUBLE_EQ(target.engine->loglikelihood(0), gen1);
+}
+
+TEST(CheckpointCorruption, TruncationFallsBackToPreviousGeneration) {
+  const std::string path = ring_path("plk_ckpt_trunc.txt");
+  remove_ring(path);
+  Rig rig(22);
+  const double gen1 = rig.engine->loglikelihood(0);
+  save_checkpoint_file(*rig.engine, path);
+  optimize_branch_lengths(*rig.engine, Strategy::kNewPar);
+  save_checkpoint_file(*rig.engine, path);
+
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() / 2));  // torn write
+
+  Rig target(23);
+  load_checkpoint_file(*target.engine, path);
+  EXPECT_DOUBLE_EQ(target.engine->loglikelihood(0), gen1);
+}
+
+TEST(CheckpointCorruption, BothGenerationsCorruptFailsLoudly) {
+  const std::string path = ring_path("plk_ckpt_bothbad.txt");
+  remove_ring(path);
+  Rig rig(24);
+  save_checkpoint_file(*rig.engine, path);
+  save_checkpoint_file(*rig.engine, path);
+  write_file(path, "garbage");
+  write_file(path + ".1", "more garbage");
+  Rig target(25);
+  EXPECT_THROW(load_checkpoint_file(*target.engine, path),
+               std::runtime_error);
+}
+
+TEST(CheckpointCorruption, VersionMismatchRejected) {
+  Rig rig(26);
+  std::string ckpt = serialize_checkpoint(*rig.engine);
+  // Forge a future format version; the (correct) checksum cannot save it.
+  const auto pos = ckpt.find("plk-checkpoint 2");
+  ASSERT_NE(pos, std::string::npos);
+  ckpt.replace(pos, 16, "plk-checkpoint 9");
+  EXPECT_THROW(apply_checkpoint(*rig.engine, ckpt), std::runtime_error);
+}
+
+TEST(CheckpointCorruption, StaleTempFileIsNeverRead) {
+  const std::string path = ring_path("plk_ckpt_staletmp.txt");
+  remove_ring(path);
+  Rig rig(27);
+  const double want = rig.engine->loglikelihood(0);
+  save_checkpoint_file(*rig.engine, path);
+  // A crash mid-write leaves a half-written temp file next to the ring.
+  write_file(path + ".tmp", "half-written garbage from a crashed writer");
+  Rig target(28);
+  load_checkpoint_file(*target.engine, path);
+  EXPECT_DOUBLE_EQ(target.engine->loglikelihood(0), want);
+}
+
+TEST(CheckpointCorruption, FaultedWriteLeavesRingIntact) {
+  const std::string path = ring_path("plk_ckpt_iofault.txt");
+  remove_ring(path);
+  Rig rig(29);
+  const double want = rig.engine->loglikelihood(0);
+  save_checkpoint_file(*rig.engine, path);
+
+  optimize_branch_lengths(*rig.engine, Strategy::kNewPar);
+  {
+    // The injected I/O error aborts the write after the temp file was
+    // created but before any rename touched the ring.
+    fault::ScopedFault f(fault::Site::kCheckpointIo, 1);
+    EXPECT_THROW(save_checkpoint_file(*rig.engine, path),
+                 std::runtime_error);
+  }
+  Rig target(30);
+  load_checkpoint_file(*target.engine, path);  // previous generation intact
+  EXPECT_DOUBLE_EQ(target.engine->loglikelihood(0), want);
+}
+
+TEST(CheckpointCorruption, SearchProgressRoundTrips) {
+  Rig rig(31);
+  SearchProgress out;
+  out.rounds = 4;
+  out.accepted_moves = 7;
+  out.candidates_scored = 123;
+  out.lnl = -1234.5;
+  out.valid = true;
+  EvalContext& ctx = rig.engine->context();
+  const std::string ckpt = serialize_checkpoint(ctx, &out);
+
+  SearchProgress in;
+  apply_checkpoint(ctx, ckpt, &in);
+  ASSERT_TRUE(in.valid);
+  EXPECT_EQ(in.rounds, 4);
+  EXPECT_EQ(in.accepted_moves, 7);
+  EXPECT_EQ(in.candidates_scored, 123u);
+  EXPECT_EQ(in.lnl, -1234.5);
+
+  // A plain (search-less) checkpoint reports no progress.
+  SearchProgress none;
+  none.valid = true;
+  apply_checkpoint(ctx, serialize_checkpoint(ctx), &none);
+  EXPECT_FALSE(none.valid);
+}
+
 }  // namespace
 }  // namespace plk

@@ -1,0 +1,324 @@
+// Chaos suite for the fault-tolerance layer (util/fault.hpp injection +
+// core containment + the search's degradation ladder + checkpoint ring +
+// ThreadTeam watchdog).
+//
+// The central invariant: a search that absorbs an injected fault must
+// produce results IDENTICAL to the fault-free run — same final lnL (bit
+// equal), same accepted moves, same tree — because every recovery path
+// (wave rewind, degraded retry, checkpoint fallback) re-executes the exact
+// same deterministic command stream. Set PLK_CHAOS_SEED to sweep the
+// injection points across different commands of the same workloads (CI runs
+// a nightly sweep); any seed must pass.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <optional>
+#include <string>
+
+#include "plk.hpp"
+
+namespace plk {
+namespace {
+
+std::uint64_t chaos_seed() {
+  const char* s = std::getenv("PLK_CHAOS_SEED");
+  if (s == nullptr || *s == '\0') return 1;
+  return std::strtoull(s, nullptr, 10);
+}
+
+std::vector<PartitionModel> make_models(const CompressedAlignment& comp) {
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions)
+    models.emplace_back(make_model("GTR", empirical_frequencies(part)), 1.0,
+                        4);
+  return models;
+}
+
+struct Rig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  Rig(int taxa, std::size_t sites, std::size_t plen, std::uint64_t seed,
+      std::optional<Tree> start = std::nullopt, EngineOptions eo = [] {
+        EngineOptions o;
+        o.threads = 2;
+        o.unlinked_branch_lengths = true;
+        return o;
+      }()) {
+    data = make_simulated_dna(taxa, sites, plen, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    engine = std::make_unique<Engine>(
+        *comp, start ? std::move(*start) : data.true_tree, make_models(*comp),
+        eo);
+  }
+};
+
+SearchOptions quick_search(int radius = 3, int rounds = 2) {
+  SearchOptions so;
+  so.batched_candidates = true;
+  so.spr_radius = radius;
+  so.max_rounds = rounds;
+  so.optimize_model = false;  // model phases are shared code; keep tests fast
+  return so;
+}
+
+std::string tree_text(Engine& e) {
+  e.sync_tree_lengths();
+  return write_newick(e.tree());
+}
+
+struct Outcome {
+  double lnl = 0.0;
+  int moves = 0;
+  int rounds = 0;
+  std::uint64_t cands = 0;
+  std::string tree;
+  std::uint64_t numeric_faults = 0;
+  std::uint64_t wave_faults = 0;
+  bool interrupted = false;
+};
+
+/// One full batched search from a deterministic random start; two calls
+/// with the same seed and options run the identical workload.
+Outcome run_search(std::uint64_t seed, const SearchOptions& so) {
+  Rng r(seed);
+  Rig rig(9, 300, 100, seed + 1, random_tree(default_labels(9), r));
+  const SearchResult res = search_ml(*rig.engine, so);
+  Outcome o;
+  o.lnl = res.final_lnl;
+  o.moves = res.accepted_moves;
+  o.rounds = res.rounds;
+  o.cands = res.candidates_scored;
+  o.tree = tree_text(*rig.engine);
+  o.numeric_faults = rig.engine->stats().numeric_faults;
+  o.wave_faults = res.batch.wave_faults;
+  o.interrupted = res.interrupted;
+  return o;
+}
+
+void expect_identical(const Outcome& faulted, const Outcome& clean) {
+  EXPECT_EQ(faulted.lnl, clean.lnl)
+      << "lnL diverged by " << std::abs(faulted.lnl - clean.lnl);
+  EXPECT_EQ(faulted.moves, clean.moves);
+  EXPECT_EQ(faulted.rounds, clean.rounds);
+  EXPECT_EQ(faulted.cands, clean.cands);
+  EXPECT_EQ(faulted.tree, clean.tree);
+}
+
+/// Inject `site` once mid-search (shot number seed-driven) and require the
+/// outcome to match the fault-free run exactly.
+void expect_fault_transparent(fault::Site site, bool expect_numeric) {
+  const SearchOptions so = quick_search();
+  const Outcome clean = run_search(501, so);
+  ASSERT_EQ(clean.numeric_faults, 0u);
+  ASSERT_EQ(clean.wave_faults, 0u);
+
+  Outcome faulted;
+  std::uint64_t fired = 0;
+  {
+    fault::ScopedFault f(site,
+                         fault::fire_at_for_seed(site, chaos_seed(), 10));
+    faulted = run_search(501, so);
+    fired = fault::fired(site);
+  }
+  ASSERT_GE(fired, 1u) << "injected fault never fired";
+  expect_identical(faulted, clean);
+  EXPECT_GE(faulted.wave_faults, 1u);
+  if (expect_numeric) EXPECT_GE(faulted.numeric_faults, 1u);
+}
+
+// --- numerical-fault containment + degradation ladder ------------------------
+
+TEST(FaultTolerance, WaveEvaluationNanIsTransparent) {
+  expect_fault_transparent(fault::Site::kWaveEvalNan, /*expect_numeric=*/true);
+}
+
+TEST(FaultTolerance, WaveDerivativeNanIsTransparent) {
+  expect_fault_transparent(fault::Site::kWaveNrNan, /*expect_numeric=*/true);
+}
+
+TEST(FaultTolerance, ClvSlotAllocationFailureIsTransparent) {
+  expect_fault_transparent(fault::Site::kClvAlloc, /*expect_numeric=*/false);
+}
+
+// --- mid-assembly throw: reserved tip tables roll back (regression) ----------
+
+TEST(FaultTolerance, AssemblyThrowRollsBackAndRetrySucceeds) {
+  Rig rig(8, 240, 80, 77);
+  const double want = rig.engine->loglikelihood(0);
+  rig.engine->context().invalidate_all();
+  {
+    fault::ScopedFault f(fault::Site::kAssemblyThrow, 1);
+    EXPECT_THROW(rig.engine->loglikelihood(0), std::bad_alloc);
+  }
+  // Without the rollback the aborted command's reserved tip-table entries
+  // would stay pinned/empty-keyed in the LRU and poison this retry.
+  EXPECT_EQ(rig.engine->loglikelihood(0), want);
+  EXPECT_GE(rig.engine->stats().assembly_rollbacks, 1u);
+}
+
+// --- checkpoint I/O faults ----------------------------------------------------
+
+TEST(FaultTolerance, CheckpointWriteFaultDoesNotPerturbSearch) {
+  const std::string base = std::string(::testing::TempDir());
+  const auto run_with = [&](const char* name,
+                            bool faulted) {
+    const std::string path = base + name;
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+    SearchOptions so = quick_search();
+    so.checkpoint_path = path;
+    if (!faulted) return run_search(601, so);
+    // Persistent fault: EVERY checkpoint write of the run fails; the
+    // search must shrug all of them off.
+    fault::ScopedFault f(fault::Site::kCheckpointIo, 1, /*repeat=*/true);
+    Outcome o = run_search(601, so);
+    EXPECT_GE(fault::fired(fault::Site::kCheckpointIo), 1u);
+    return o;
+  };
+  const Outcome clean = run_with("plk_faults_ckpt_clean.txt", false);
+  const Outcome faulted = run_with("plk_faults_ckpt_fault.txt", true);
+  expect_identical(faulted, clean);
+}
+
+// --- graceful stop + kill-and-resume -----------------------------------------
+
+TEST(FaultTolerance, StopFlagInterruptsSequentialSearchAtRoundBoundary) {
+  Rng r(31);
+  Rig rig(9, 300, 100, 32, random_tree(default_labels(9), r));
+  SearchOptions so = quick_search(3, 3);
+  so.batched_candidates = false;
+  so.epsilon = 1e-9;
+  std::atomic<bool> stop{true};
+  so.stop_flag = &stop;
+  const SearchResult res = search_ml(*rig.engine, so);
+  EXPECT_TRUE(res.interrupted);
+  EXPECT_EQ(res.rounds, 1);
+}
+
+TEST(FaultTolerance, KillAndResumeIsBitIdentical) {
+  const std::string base = std::string(::testing::TempDir());
+  const std::string path_a = base + "plk_faults_resume_a.txt";
+  const std::string path_b = base + "plk_faults_resume_b.txt";
+  for (const auto& p : {path_a, path_b}) {
+    std::remove(p.c_str());
+    std::remove((p + ".1").c_str());
+  }
+
+  SearchOptions so = quick_search(3, 3);
+  so.epsilon = 1e-9;  // run all 3 rounds, deterministically
+  so.checkpoint_every = 1;
+
+  const auto make_rig = [] {
+    Rng r(71);
+    return std::make_unique<Rig>(9, 300, 100, 72,
+                                 random_tree(default_labels(9), r));
+  };
+
+  // A: the uninterrupted reference run (checkpointing on — the write
+  // protocol's canonicalization is part of the trajectory being pinned).
+  auto a = make_rig();
+  SearchOptions so_a = so;
+  so_a.checkpoint_path = path_a;
+  const SearchResult ra = search_ml(*a->engine, so_a);
+  ASSERT_GT(ra.rounds, 1);
+
+  // B, phase 1: same run killed (cooperatively) at the first round
+  // boundary, leaving its checkpoint behind.
+  auto b1 = make_rig();
+  SearchOptions so_b = so;
+  so_b.checkpoint_path = path_b;
+  std::atomic<bool> stop{true};
+  so_b.stop_flag = &stop;
+  const SearchResult rb1 = search_ml(*b1->engine, so_b);
+  EXPECT_TRUE(rb1.interrupted);
+  ASSERT_LT(rb1.rounds, ra.rounds);
+
+  // B, phase 2: a fresh process (fresh rig) resumes from the checkpoint
+  // and must land exactly where A did — same lnL bit for bit, same moves,
+  // same tree.
+  auto b2 = make_rig();
+  SearchOptions so_r = so;
+  so_r.checkpoint_path = path_b;
+  so_r.resume = true;
+  const SearchResult rb2 = search_ml(*b2->engine, so_r);
+  EXPECT_FALSE(rb2.interrupted);
+  EXPECT_EQ(rb2.final_lnl, ra.final_lnl);
+  EXPECT_EQ(rb2.accepted_moves, ra.accepted_moves);
+  EXPECT_EQ(rb2.rounds, ra.rounds);
+  EXPECT_EQ(rb2.candidates_scored, ra.candidates_scored);
+  EXPECT_EQ(tree_text(*b2->engine), tree_text(*a->engine));
+
+  // Resuming A's terminal (converged) checkpoint reports the finished
+  // result instead of searching further.
+  auto a2 = make_rig();
+  SearchOptions so_t = so;
+  so_t.checkpoint_path = path_a;
+  so_t.resume = true;
+  const SearchResult rt = search_ml(*a2->engine, so_t);
+  EXPECT_EQ(rt.final_lnl, ra.final_lnl);
+  EXPECT_EQ(rt.rounds, ra.rounds);
+  EXPECT_EQ(rt.accepted_moves, ra.accepted_moves);
+  EXPECT_EQ(tree_text(*a2->engine), tree_text(*a->engine));
+}
+
+// --- worker stall + watchdog --------------------------------------------------
+
+TEST(FaultTolerance, WatchdogDumpsOnStalledWorkerAndResultIsUnchanged) {
+  EngineOptions eo;
+  eo.threads = 2;
+  eo.unlinked_branch_lengths = true;
+  eo.watchdog_seconds = 0.05;
+  Rig rig(8, 240, 80, 91, std::nullopt, eo);
+  const double want = rig.engine->loglikelihood(0);
+  const std::uint64_t dumps_before = rig.engine->team_stats().watchdog_dumps;
+
+  rig.engine->context().invalidate_all();
+  fault::set_stall_seconds(0.3);
+  double got = 0.0;
+  {
+    fault::ScopedFault f(fault::Site::kWorkerStall, 1);
+    got = rig.engine->loglikelihood(0);
+  }
+  fault::set_stall_seconds(0.2);
+  EXPECT_EQ(got, want);  // a stall delays, it never corrupts
+  EXPECT_GE(rig.engine->team_stats().watchdog_dumps, dumps_before + 1);
+}
+
+// --- injection bookkeeping ----------------------------------------------------
+
+TEST(FaultInjection, DisarmedHarnessIsInert) {
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::arrivals(fault::Site::kWaveEvalNan), 0u);
+  EXPECT_EQ(fault::fired(fault::Site::kWaveEvalNan), 0u);
+}
+
+TEST(FaultInjection, SeedMapIsDeterministicAndInRange) {
+  for (std::uint64_t seed : {1ull, 2ull, 42ull, 1234567ull}) {
+    for (int s = 0; s < fault::kSiteCount; ++s) {
+      const auto site = static_cast<fault::Site>(s);
+      const std::uint64_t a = fault::fire_at_for_seed(site, seed, 10);
+      EXPECT_EQ(a, fault::fire_at_for_seed(site, seed, 10));
+      EXPECT_GE(a, 1u);
+      EXPECT_LE(a, 10u);
+    }
+  }
+}
+
+TEST(FaultInjection, ScopedFaultDisarmsOnExit) {
+  {
+    fault::ScopedFault f(fault::Site::kWaveEvalNan, 1000);
+    EXPECT_TRUE(fault::enabled());
+  }
+  EXPECT_FALSE(fault::enabled());
+}
+
+}  // namespace
+}  // namespace plk

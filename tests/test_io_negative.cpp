@@ -1,0 +1,139 @@
+// Input-parsing hardening: hostile or malformed Newick / FASTA / PHYLIP
+// inputs must fail with a clean std::runtime_error — never crash, hang, or
+// blow the stack. A long-running analysis reads these files unattended; the
+// failure mode of a bad input is a diagnosable error at startup.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bio/msa_io.hpp"
+#include "tree/newick.hpp"
+
+namespace plk {
+namespace {
+
+// --- newick ------------------------------------------------------------------
+
+TEST(NewickNegative, DeepNestingIsAParseErrorNotAStackOverflow) {
+  // 100k unbalanced opens would recurse once per '(' — far past any real
+  // tree and, unguarded, past the thread's stack.
+  std::string bomb(100000, '(');
+  bomb += "a,b);";
+  try {
+    parse_newick(bomb);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting depth"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NewickNegative, RealisticNestingStillParses) {
+  // A 500-deep caterpillar is legitimate (pathological but real); the
+  // depth guard must not reject it.
+  std::string tree;
+  for (int i = 0; i < 500; ++i) tree += '(';
+  tree += "t0:0.1";
+  for (int i = 0; i < 500; ++i) {
+    tree += ",t" + std::to_string(i + 1) + ":0.1)";
+    if (i + 1 < 500) tree += ":0.1";
+  }
+  tree += ';';
+  EXPECT_NO_THROW(parse_newick(tree));
+}
+
+TEST(NewickNegative, UnterminatedGroup) {
+  EXPECT_THROW(parse_newick("((a:0.1,b:0.2"), std::runtime_error);
+}
+
+TEST(NewickNegative, UnterminatedQuotedLabel) {
+  EXPECT_THROW(parse_newick("('abc"), std::runtime_error);
+}
+
+TEST(NewickNegative, MalformedBranchLength) {
+  EXPECT_THROW(parse_newick("(a:zzz,b:0.1,c:0.1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:+-1.5,b:0.1,c:0.1);"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a:,b:0.1,c:0.1);"), std::runtime_error);
+}
+
+TEST(NewickNegative, TrailingGarbage) {
+  EXPECT_THROW(parse_newick("(a:0.1,b:0.1,c:0.1); extra"),
+               std::runtime_error);
+}
+
+TEST(NewickNegative, EmptyAndDegenerate) {
+  EXPECT_THROW(parse_newick(""), std::runtime_error);
+  EXPECT_THROW(parse_newick(";"), std::runtime_error);
+  EXPECT_THROW(parse_newick("(a);"), std::runtime_error);
+}
+
+TEST(NewickNegative, NonBinaryInnerNode) {
+  EXPECT_THROW(parse_newick("((a:1,b:1,c:1,d:1):1,e:1,f:1);"),
+               std::runtime_error);
+}
+
+TEST(NewickNegative, UnlabeledTip) {
+  EXPECT_THROW(parse_newick("(a:0.1,:0.2,c:0.1);"), std::runtime_error);
+}
+
+TEST(NewickNegative, TaxonOrderMismatches) {
+  const std::string tree = "(a:0.1,b:0.1,c:0.1);";
+  EXPECT_THROW(parse_newick(tree, {"a", "b"}), std::runtime_error);
+  EXPECT_THROW(parse_newick(tree, {"a", "b", "zz"}), std::runtime_error);
+  EXPECT_THROW(parse_newick(tree, {"a", "a", "c"}), std::runtime_error);
+}
+
+// --- FASTA -------------------------------------------------------------------
+
+TEST(FastaNegative, EmptyInput) {
+  EXPECT_THROW(read_fasta(""), std::runtime_error);
+  EXPECT_THROW(read_fasta("\n\n"), std::runtime_error);
+}
+
+TEST(FastaNegative, DataBeforeFirstHeader) {
+  EXPECT_THROW(read_fasta("ACGT\n>a\nACGT\n"), std::runtime_error);
+}
+
+TEST(FastaNegative, HeaderWithoutName) {
+  EXPECT_THROW(read_fasta(">\nACGT\n"), std::runtime_error);
+  EXPECT_THROW(read_fasta(">   \nACGT\n"), std::runtime_error);
+}
+
+TEST(FastaNegative, RecordWithoutSequence) {
+  EXPECT_THROW(read_fasta(">a\n>b\nACGT\n"), std::runtime_error);
+  EXPECT_THROW(read_fasta(">only\n"), std::runtime_error);
+}
+
+// --- PHYLIP ------------------------------------------------------------------
+
+TEST(PhylipNegative, MissingHeader) {
+  EXPECT_THROW(read_phylip(""), std::runtime_error);
+  EXPECT_THROW(read_phylip("not a header\n"), std::runtime_error);
+}
+
+TEST(PhylipNegative, FewerTaxaThanHeaderClaims) {
+  EXPECT_THROW(read_phylip("3 4\nt1 ACGT\nt2 ACGT\n"), std::runtime_error);
+}
+
+TEST(PhylipNegative, SiteCountMismatch) {
+  EXPECT_THROW(read_phylip("2 8\nt1 ACGT\nt2 ACGT\n"), std::runtime_error);
+}
+
+TEST(PhylipNegative, InterleavedBlockTooLong) {
+  EXPECT_THROW(read_phylip("2 8\nt1 ACGT\nt2 ACGT\n\nACGT\nACGT\nACGT\n"),
+               std::runtime_error);
+}
+
+// --- file-level --------------------------------------------------------------
+
+TEST(IoNegative, MissingFilesFailCleanly) {
+  EXPECT_THROW(read_file("/nonexistent/plk/input"), std::runtime_error);
+  EXPECT_THROW(read_fasta_file("/nonexistent/plk/input.fasta"),
+               std::runtime_error);
+  EXPECT_THROW(read_phylip_file("/nonexistent/plk/input.phy"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace plk
