@@ -1,0 +1,212 @@
+// E11: NUMA-aware sub-core sharding — scaling and reduction-determinism.
+//
+// Measures the shard layer (core/core_shard.hpp) on the mixed multi-gene
+// scenario: the same fixed workload (full-traversal evaluations plus fused
+// Newton-Raphson derivative passes) runs at shards = 1, 2, 4 with the
+// GLOBAL thread count held fixed, so the only variable is how the engine
+// splits partitions and virtual tids across sub-core teams.
+//
+//   strong scaling  fixed dataset, shards 1/2/4 — the paper-machine case
+//                   where each shard's team lands on its own NUMA node;
+//   weak scaling    gene count grows with the shard count (base x N), so
+//                   per-shard work stays constant;
+//   determinism     lnL and NR derivatives at every shard count must equal
+//                   the shards=1 run BIT FOR BIT (the two-level reduction
+//                   tree is shard-layout invariant) — recorded as the
+//                   bit_identical hard gate;
+//   sync accounting shard_team_syncs / commands = average teams engaged
+//                   per flush (1.0 = every flush stayed on one sub-core).
+//
+// On hosts with fewer cores than shard teams the scaling numbers only show
+// oversubscription overhead; host_cores and numa_nodes are recorded so the
+// gate (tools/bench_check.py) can judge the ratios in context.
+#include <cmath>
+#include <cstring>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace plk;
+
+struct ShardRun {
+  int shards = 0;
+  int shards_effective = 0;
+  double seconds = 0.0;
+  double lnl = 0.0;
+  double d1_sum = 0.0;  ///< order-independent fingerprint of the NR pass
+  bool bit_identical = true;
+  std::uint64_t commands = 0;
+  std::uint64_t shard_fanouts = 0;
+  double teams_per_flush = 0.0;
+};
+
+Dataset make_scenario(int taxa, int genes, std::uint64_t seed) {
+  // Mixed DNA + protein genes: partition costs vary ~25x, so the plan
+  // exercises both whole-partition LPT packing and huge-partition vt
+  // splitting.
+  return make_mixed_multigene(taxa, (genes * 2) / 3, genes - (genes * 2) / 3,
+                              40, 160, seed);
+}
+
+ShardRun measure(const Dataset& data, int shards, int threads, int reps,
+                 int nr_reps) {
+  const CompressedAlignment comp =
+      CompressedAlignment::build(data.alignment, data.scheme, false);
+  std::vector<PartitionModel> models;
+  Rng rng(11);
+  for (const auto& part : comp.partitions) {
+    SubstModel m = part.type == DataType::kDna
+                       ? make_model("GTR", empirical_frequencies(part))
+                       : make_model("WAG");
+    models.emplace_back(std::move(m), rng.uniform(0.5, 1.2), 4);
+  }
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.shards = shards;
+  eo.unlinked_branch_lengths = true;
+  Engine eng(comp, data.true_tree, std::move(models), eo);
+
+  std::vector<int> all(static_cast<std::size_t>(eng.partition_count()));
+  for (int p = 0; p < eng.partition_count(); ++p)
+    all[static_cast<std::size_t>(p)] = p;
+  std::vector<double> lens(all.size()), d1(all.size()), d2(all.size());
+
+  eng.loglikelihood(0);  // warm CLVs, tip tables, first-touched pages
+  eng.reset_stats();
+
+  ShardRun res;
+  res.shards = shards;
+  res.shards_effective = eng.shard_count();
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    eng.invalidate_all();
+    res.lnl = eng.loglikelihood(0);
+  }
+  for (int r = 0; r < nr_reps; ++r) {
+    for (std::size_t k = 0; k < all.size(); ++k)
+      lens[k] =
+          0.05 + 0.01 * static_cast<double>((r + static_cast<int>(k)) % 7);
+    eng.nr_derivatives_at(0, all, lens, d1, d2);
+    for (std::size_t k = 0; k < all.size(); ++k) res.d1_sum += d1[k];
+  }
+  res.seconds = timer.seconds();
+
+  const EngineStats& es = eng.stats();
+  res.commands = es.commands;
+  res.shard_fanouts = es.shard_fanouts;
+  res.teams_per_flush =
+      es.commands > 0 ? static_cast<double>(es.shard_team_syncs) /
+                            static_cast<double>(es.commands)
+                      : 0.0;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plk;
+  using namespace plk::bench;
+
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  const double scale = scale_from_env(1.0);
+  const int threads = [] {
+    if (const char* s = std::getenv("PLK_SHARD_THREADS")) return std::atoi(s);
+    return 4;
+  }();
+  const int reps = std::max(1, static_cast<int>(30 * scale));
+  const int nr_reps = std::max(1, static_cast<int>(40 * scale));
+  const int shard_counts[] = {1, 2, 4};
+
+  const HostTopology topo = HostTopology::detect();
+  std::printf("host: %d logical cpus, %zu numa node(s); threads %d, "
+              "%d eval reps + %d NR reps per config\n",
+              topo.logical_cpus, topo.nodes.size(), threads, reps, nr_reps);
+
+  // --- strong scaling: fixed dataset ---------------------------------------
+  const int base_genes = std::max(4, static_cast<int>(12 * scale));
+  Dataset data = make_scenario(12, base_genes, 20260807);
+  print_dataset_info(data, scale);
+
+  std::vector<ShardRun> strong;
+  for (int n : shard_counts)
+    strong.push_back(measure(data, n, threads, reps, nr_reps));
+
+  bool bit_identical = true;
+  std::printf("\nstrong scaling (fixed dataset, T=%d)\n", threads);
+  std::printf("%-8s %10s %9s %12s %14s %12s\n", "shards", "runtime[s]",
+              "speedup", "fanouts", "teams/flush", "lnL");
+  for (auto& r : strong) {
+    r.bit_identical = r.lnl == strong.front().lnl &&
+                      r.d1_sum == strong.front().d1_sum;
+    bit_identical = bit_identical && r.bit_identical;
+    std::printf("%-8d %10.3f %9.2f %12llu %14.2f %12.1f%s\n", r.shards,
+                r.seconds, strong.front().seconds / r.seconds,
+                static_cast<unsigned long long>(r.shard_fanouts),
+                r.teams_per_flush, r.lnl,
+                r.bit_identical ? "" : "  [lnL MISMATCH]");
+  }
+
+  // --- weak scaling: genes grow with the shard count -----------------------
+  std::printf("\nweak scaling (genes = %d x shards, T=%d)\n", base_genes,
+              threads);
+  std::printf("%-8s %10s %11s %12s %14s\n", "shards", "runtime[s]",
+              "efficiency", "fanouts", "teams/flush");
+  std::vector<ShardRun> weak;
+  for (int n : shard_counts) {
+    Dataset wd = make_scenario(12, base_genes * n, 20260807 + n);
+    weak.push_back(measure(wd, n, threads, reps, nr_reps));
+    const ShardRun& r = weak.back();
+    std::printf("%-8d %10.3f %11.2f %12llu %14.2f\n", r.shards, r.seconds,
+                weak.front().seconds / r.seconds,
+                static_cast<unsigned long long>(r.shard_fanouts),
+                r.teams_per_flush);
+  }
+
+  std::printf("\nbit-identity across shard counts: %s\n",
+              bit_identical ? "OK" : "FAILED");
+  if (!bit_identical) return 1;
+
+  if (!json_path.empty()) {
+    JsonObject doc;
+    doc.add("bench", "shard");
+    doc.add("dataset", data.name);
+    doc.add("taxa", static_cast<long long>(data.alignment.taxon_count()));
+    doc.add("partitions", static_cast<long long>(data.scheme.size()));
+    doc.add("threads", threads);
+    doc.add("host_cores", topo.logical_cpus);
+    doc.add("numa_nodes", static_cast<long long>(topo.nodes.size()));
+    doc.add("eval_reps", reps);
+    doc.add("nr_reps", nr_reps);
+    doc.add("bit_identical", bit_identical ? "true" : "false");
+    JsonArray sarr;
+    for (const auto& r : strong) {
+      JsonObject o;
+      o.add("shards", r.shards);
+      o.add("seconds", r.seconds);
+      o.add("speedup", strong.front().seconds / r.seconds);
+      o.add("lnl", r.lnl);
+      o.add("shard_fanouts", static_cast<long long>(r.shard_fanouts));
+      o.add("teams_per_flush", r.teams_per_flush);
+      sarr.add_raw(o.render(4));
+    }
+    doc.add_raw("strong", sarr.render(2));
+    JsonArray warr;
+    for (const auto& r : weak) {
+      JsonObject o;
+      o.add("shards", r.shards);
+      o.add("seconds", r.seconds);
+      o.add("efficiency", weak.front().seconds / r.seconds);
+      o.add("shard_fanouts", static_cast<long long>(r.shard_fanouts));
+      o.add("teams_per_flush", r.teams_per_flush);
+      warr.add_raw(o.render(4));
+    }
+    doc.add_raw("weak", warr.render(2));
+    write_json(json_path, doc);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

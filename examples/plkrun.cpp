@@ -50,6 +50,7 @@ struct CliOptions {
   std::string out_prefix = "plk";
   std::string simulate_spec;  // "taxa,sites,plen"
   int threads = 1;
+  int shards = 0;  // 0 = auto (PLK_SHARDS env, else 1)
   Strategy strategy = Strategy::kNewPar;
   bool joint_bl = false;
   bool do_search = false;
@@ -78,6 +79,9 @@ void usage() {
       "parsimony)\n"
       "  -o PREFIX        output prefix (default: plk)\n"
       "  -T N             threads (default 1)\n"
+      "  --shards N       NUMA-aware engine sub-cores; threads are split\n"
+      "                   across them and results stay bit-identical to\n"
+      "                   --shards 1 (default: PLK_SHARDS env, else 1)\n"
       "  --strategy S     'new' (default) or 'old' parallelization\n"
       "  --joint-bl       joint branch lengths (default: per-partition)\n"
       "  --search         full ML tree search\n"
@@ -143,6 +147,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       o.threads = std::atoi(v);
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.shards = std::atoi(v);
+      if (o.shards < 1) {
+        std::fprintf(stderr, "--shards needs >= 1\n");
+        return std::nullopt;
+      }
     } else if (a == "--strategy") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -293,6 +305,7 @@ int main(int argc, char** argv) {
 
     AnalysisOptions opts;
     opts.threads = cli.threads;
+    opts.shards = cli.shards;
     opts.strategy = cli.strategy;
     opts.per_partition_branch_lengths = !cli.joint_bl;
     opts.seed = cli.seed;
@@ -329,6 +342,17 @@ int main(int argc, char** argv) {
                 res.lnl, res.seconds,
                 static_cast<unsigned long long>(res.team_stats.sync_count),
                 res.team_stats.imbalance_seconds);
+    if (analysis.engine().shard_count() > 1) {
+      const EngineStats& es = analysis.engine().stats();
+      std::printf(
+          "  shards: %d sub-cores, %llu multi-shard flushes, %.2f team "
+          "syncs/flush\n",
+          analysis.engine().shard_count(),
+          static_cast<unsigned long long>(es.shard_fanouts),
+          es.commands > 0 ? static_cast<double>(es.shard_team_syncs) /
+                                static_cast<double>(es.commands)
+                          : 0.0);
+    }
     if (cli.do_search) {
       std::printf("search: %llu candidates scored (%s scorer), %d accepted, "
                   "%d rounds\n",

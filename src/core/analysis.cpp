@@ -58,6 +58,7 @@ Analysis::Analysis(const Alignment& aln, const PartitionScheme& scheme,
 
   EngineOptions eo;
   eo.threads = opts.threads;
+  eo.shards = opts.shards;
   eo.unlinked_branch_lengths = opts.per_partition_branch_lengths;
   eo.schedule = opts.schedule;
   engine_ = std::make_unique<Engine>(*data_, std::move(tree),

@@ -35,6 +35,9 @@ enum class StartTree {
 /// Configuration of an end-to-end analysis.
 struct AnalysisOptions {
   int threads = 1;
+  /// NUMA-aware sub-cores to shard the engine into (EngineOptions::shards:
+  /// 0 = auto — the PLK_SHARDS environment override, else 1).
+  int shards = 0;
   Strategy strategy = Strategy::kNewPar;
   /// Per-thread pattern work assignment (parallel/schedule.hpp).
   SchedulingStrategy schedule = SchedulingStrategy::kCyclic;

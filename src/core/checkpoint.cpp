@@ -17,6 +17,12 @@ namespace plk {
 
 namespace {
 
+// The payload serializes only logical search state — tree topology, branch
+// lengths, model parameters, search progress — never the execution layout.
+// A checkpoint is therefore invariant across thread counts AND shard counts:
+// a run checkpointed under --shards 1 resumes bit-identically under
+// --shards 4 and vice versa (the engine's reduction tree guarantees the
+// recomputed likelihoods match exactly).
 constexpr const char* kMagic = "plk-checkpoint";
 constexpr int kVersion = 2;
 

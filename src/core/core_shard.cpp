@@ -1,0 +1,30 @@
+#include "core/core_shard.hpp"
+
+namespace plk {
+
+CoreShard::CoreShard(int index, const ShardSpec& spec, int partitions,
+                     bool master_inline, bool instrument, bool cpu_time,
+                     std::vector<int> bind_cpus, int concurrency_hint)
+    : index_(index),
+      spec_(spec),
+      range_(static_cast<std::size_t>(partitions), {0, 0}) {
+  for (const ShardSlice& s : spec_.slices)
+    range_[static_cast<std::size_t>(s.part)] = {s.vt_begin, s.vt_end};
+  team_ = std::make_unique<ThreadTeam>(spec_.threads, instrument, cpu_time,
+                                       /*detached=*/!master_inline,
+                                       std::move(bind_cpus), concurrency_hint);
+}
+
+void CoreShard::cache_slice_costs(const WorkSchedule& sched,
+                                  const std::vector<PartitionShape>& shapes) {
+  slice_cost_.assign(shapes.size(), 0.0);
+  for (const ShardSlice& s : spec_.slices) {
+    double c = 0.0;
+    for (int vt = s.vt_begin; vt < s.vt_end; ++vt)
+      c += sched.tid_part_cost(vt, s.part,
+                               shapes[static_cast<std::size_t>(s.part)]);
+    slice_cost_[static_cast<std::size_t>(s.part)] = c;
+  }
+}
+
+}  // namespace plk

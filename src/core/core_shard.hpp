@@ -1,0 +1,81 @@
+// One NUMA-aware sub-core of a sharded EngineCore.
+//
+// A CoreShard owns a disjoint set of (partition, virtual-tid-range) slices
+// of the global work schedule plus the thread team that executes them. The
+// engine's master fans every flush out to the involved shards concurrently
+// (shard 0's team is master-inline, the rest are detached start()/join()
+// teams) and each shard barriers independently; the master then joins the
+// shards in fixed index order, which together with the unchanged fold over
+// per-(vt, partition) reduction rows forms the two-level deterministic
+// reduction tree. A shard's local thread `lt` replays exactly the virtual
+// tids vt with vt % threads() == lt of its owned slices, so every row holds
+// the bit-identical value a flat single-team run would produce.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "parallel/schedule.hpp"
+#include "parallel/thread_team.hpp"
+#include "parallel/topology.hpp"
+
+namespace plk {
+
+class CoreShard {
+ public:
+  /// `spec` is this shard's entry of the engine's ShardPlan; `partitions`
+  /// the global partition count; `master_inline` selects the classic
+  /// run()-driven team (shard 0) vs a detached start()/join() team;
+  /// `bind_cpus` the CPU set workers pin to (empty = unbound);
+  /// `concurrency_hint` the engine's total thread count across all shards.
+  CoreShard(int index, const ShardSpec& spec, int partitions,
+            bool master_inline, bool instrument, bool cpu_time,
+            std::vector<int> bind_cpus, int concurrency_hint);
+
+  int index() const { return index_; }
+  int threads() const { return spec_.threads; }
+  int node() const { return spec_.node; }
+  ThreadTeam& team() { return *team_; }
+  const ThreadTeam& team() const { return *team_; }
+
+  std::span<const ShardSlice> slices() const { return spec_.slices; }
+
+  /// Does this shard execute virtual tid `vt` of partition `part`?
+  bool owns(int part, int vt) const {
+    const auto& r = range_[static_cast<std::size_t>(part)];
+    return vt >= r.first && vt < r.second;
+  }
+  /// Does this shard own any vt of `part`?
+  bool owns_part(int part) const {
+    const auto& r = range_[static_cast<std::size_t>(part)];
+    return r.first < r.second;
+  }
+  /// Owned [vt_begin, vt_end) of `part` ((0, 0) when unowned).
+  std::pair<int, int> vt_range(int part) const {
+    return range_[static_cast<std::size_t>(part)];
+  }
+
+  /// Refresh the cached slice view of the (rebuilt) global schedule: the
+  /// modeled cost of this shard's owned vts per partition. Priced once per
+  /// schedule build, read per flush by the coarse item packer.
+  void cache_slice_costs(const WorkSchedule& sched,
+                         const std::vector<PartitionShape>& shapes);
+
+  /// Cached modeled cost of this shard's slice of `part` (0 when unowned).
+  double slice_cost(int part) const {
+    return part < static_cast<int>(slice_cost_.size())
+               ? slice_cost_[static_cast<std::size_t>(part)]
+               : 0.0;
+  }
+
+ private:
+  int index_;
+  ShardSpec spec_;
+  std::vector<std::pair<int, int>> range_;  ///< per partition, (0,0) unowned
+  std::vector<double> slice_cost_;          ///< cached slice view (see above)
+  std::unique_ptr<ThreadTeam> team_;
+};
+
+}  // namespace plk

@@ -73,6 +73,8 @@ class Engine {
   Tree& tree() { return ctx_->tree(); }
   int partition_count() const { return core_->partition_count(); }
   int threads() const { return core_->threads(); }
+  /// NUMA-aware sub-cores the engine is sharded into (1 = flat engine).
+  int shard_count() const { return core_->shard_count(); }
   std::size_t pattern_count(int p) const { return core_->pattern_count(p); }
   std::size_t total_patterns() const { return core_->total_patterns(); }
 

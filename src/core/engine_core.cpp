@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <new>
 #include <sstream>
@@ -88,14 +89,20 @@ struct EvalContext::PartDyn {
   // them at its own storage below; an overlay context points them at its
   // parent's buffers until a node is recomputed, at which point the node is
   // redirected to a leased ClvSlotPool slot (slot_of[inner] >= 0).
-  std::vector<AlignedDoubleVec> clv;            // owned (empty for overlays)
+  //
+  // CLV and sumtable storage is allocated WITHOUT value-initialization and
+  // zero-filled by EngineCore::first_touch_context, so under sharding the
+  // pages are first touched by the threads of the shard that owns the
+  // corresponding (partition, vt) slices. Scale counts are small and stay
+  // master-touched.
+  std::vector<AlignedNoInitDoubleVec> clv;      // owned (empty for overlays)
   std::vector<std::vector<std::int32_t>> scale;
   std::vector<double*> clv_ptr;
   std::vector<std::int32_t*> scale_ptr;
   std::vector<int> slot_of;                     // -1 = shared / owned
 
   // NR sumtable at the current root edge: [pattern][cat][state].
-  AlignedDoubleVec sumtable;
+  AlignedNoInitDoubleVec sumtable;
 
   // Sym x indicator tip table, keyed on the context's model epoch.
   std::uint64_t sym_epoch = 0;
@@ -111,11 +118,20 @@ struct EvalContext::PartDyn {
 /// table built from them (tip child). Tasks write disjoint destinations, so
 /// any thread may run any task with no ordering beyond "before phase 2".
 struct EngineCore::PmatTask {
+  /// kPmat builds per-category transition matrices (plus transposes / tip
+  /// lookup tables); kNrScratch fills a derivative pass's exp/lambda tables
+  /// in cmd.scratch. Both are assembly-time-recorded, flush-pre-stage-
+  /// executed units: folding the NR scratch here moved its exp() loops off
+  /// the serial master path into the already-parallel in-region pre-stage.
+  enum class Kind { kPmat, kNrScratch };
+  Kind kind = Kind::kPmat;
   int part = 0;
   const PartitionModel* model = nullptr;  // the context's model (stable)
   EdgeId edge = kNoId;        // for rollback of reserved tip-table entries
   double blen = 0.0;
-  std::size_t off = 0;        // into cmd.pmats (and pmats_t for transposes)
+  std::size_t off = 0;        // into cmd.pmats (kNrScratch: exp table offset
+                              // into cmd.scratch)
+  std::size_t off2 = 0;       // kNrScratch only: lambda table offset
   bool transpose = false;     // inner endpoint on the specialized path
   double* tip_dst = nullptr;  // reserved tip-table entry to fill, or null
 };
@@ -191,6 +207,7 @@ struct EngineCore::Pending {
 ClvSlotPool::ClvSlotPool(EngineCore& core, std::size_t soft_cap)
     : core_(&core), soft_cap_(soft_cap) {
   slots_.resize(static_cast<std::size_t>(core.partition_count()));
+  next_id_.assign(static_cast<std::size_t>(core.partition_count()), 0);
 }
 
 ClvSlotPool::Lease ClvSlotPool::acquire(int p) {
@@ -199,48 +216,56 @@ ClvSlotPool::Lease ClvSlotPool::acquire(int p) {
   if (fault::enabled() && fault::should_fire(fault::Site::kClvAlloc))
     throw std::bad_alloc();
   auto& list = slots_[static_cast<std::size_t>(p)];
-  int idx = -1;
-  for (std::size_t i = 0; i < list.size(); ++i)
-    if (!list[i]->in_use) {
-      idx = static_cast<int>(i);
+  Slot* found = nullptr;
+  int id = -1;
+  for (auto& [sid, slot] : list)  // ordered map: lowest free id first
+    if (!slot->in_use) {
+      id = sid;
+      found = slot.get();
       break;
     }
-  if (idx < 0) {
+  if (found == nullptr) {
     const PartitionModel& proto = core_->prototype_model(p);
     const std::size_t stride =
         static_cast<std::size_t>(proto.gamma_categories()) *
         static_cast<std::size_t>(proto.model().states());
     auto slot = std::make_unique<Slot>();
-    slot->clv.assign(core_->pattern_count(p) * stride, 0.0);
-    slot->scale.assign(core_->pattern_count(p), 0);
-    list.push_back(std::move(slot));
-    idx = static_cast<int>(list.size()) - 1;
+    // No-init buffers: every pattern of a slot's CLV and scale counts is
+    // written by the newview that targets it before anything reads them, so
+    // zero-filling here would only mis-place the pages on the master's node.
+    slot->clv.resize(core_->pattern_count(p) * stride);
+    slot->scale.resize(core_->pattern_count(p));
+    id = next_id_[static_cast<std::size_t>(p)]++;
+    found = slot.get();
+    list.emplace(id, std::move(slot));
   }
-  Slot& s = *list[static_cast<std::size_t>(idx)];
-  s.in_use = true;
+  found->in_use = true;
   ++in_use_;
   if (in_use_ > peak_) peak_ = in_use_;
-  return {idx, s.clv.data(), s.scale.data()};
+  return {id, found->clv.data(), found->scale.data()};
 }
 
 void ClvSlotPool::release(int p, int slot) {
-  Slot& s = *slots_[static_cast<std::size_t>(p)][static_cast<std::size_t>(slot)];
+  Slot& s = *slots_[static_cast<std::size_t>(p)].at(slot);
   if (!s.in_use) throw std::logic_error("ClvSlotPool: double release");
   s.in_use = false;
   --in_use_;
 }
 
 void ClvSlotPool::trim() {
-  // Leases are indices, so only free slots at the END of a partition's list
-  // can be dropped without disturbing live leases. Contexts release all
-  // their slots between candidate waves (rebind), so in steady state the
-  // whole list is free and trims fully down to the cap.
+  // Ids are stable handles (the map never renumbers), so ANY free slot can
+  // be reclaimed regardless of where it sits — a wave that released its
+  // middle slots while later ones stay leased no longer pins the middle.
+  // Reclaim from the highest id down so the low, oldest ids stay warm for
+  // acquire()'s lowest-free-id reuse.
   for (auto& list : slots_) {
     std::size_t free = 0;
-    for (const auto& s : list)
+    for (const auto& [id, s] : list)
       if (!s->in_use) ++free;
-    while (!list.empty() && !list.back()->in_use && free > soft_cap_) {
-      list.pop_back();
+    for (auto it = list.end(); it != list.begin() && free > soft_cap_;) {
+      --it;
+      if (it->second->in_use) continue;
+      it = list.erase(it);
       --free;
     }
   }
@@ -291,9 +316,50 @@ EngineCore::EngineCore(const CompressedAlignment& aln,
       aln.taxon_count() >= 2 ? 2 * aln.taxon_count() - 3 : 0;
   for (auto& pd : parts_) pd->tip_tables.resize(edges);
 
-  team_ = std::make_unique<ThreadTeam>(opts.threads, opts.instrument,
-                                       opts.instrument_cpu_time);
+  // Shard layout: split the global threads across N sub-cores, each owning
+  // a disjoint set of (partition, vt-range) slices of the schedule. 0 =
+  // auto (PLK_SHARDS env, default 1 — the classic flat engine).
+  vt_threads_ = std::max(1, opts.threads);
+  int nshards = opts.shards;
+  if (nshards == 0) {
+    nshards = 1;
+    if (const char* env = std::getenv("PLK_SHARDS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) nshards = v;
+    }
+  }
+  nshards = std::max(1, nshards);
+  {
+    std::vector<PartitionShape> shapes(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+      shapes[p].patterns = parts_[p]->patterns;
+      shapes[p].states = parts_[p]->states;
+      shapes[p].cats = parts_[p]->cats;
+    }
+    const HostTopology topo = HostTopology::detect();
+    plan_ = ShardPlan::build(nshards, vt_threads_, shapes, topo);
+    int total_threads = 0;
+    for (int s = 0; s < plan_.shard_count(); ++s)
+      total_threads += plan_.shard(s).threads;
+    for (int s = 0; s < plan_.shard_count(); ++s) {
+      const ShardSpec& spec = plan_.shard(s);
+      std::vector<int> cpus;
+      if (spec.node >= 0)
+        for (const NumaNode& node : topo.nodes)
+          if (node.id == spec.node) cpus = node.cpus;
+      shards_.push_back(std::make_unique<CoreShard>(
+          s, spec, partition_count(), /*master_inline=*/s == 0,
+          opts.instrument, opts.instrument_cpu_time, std::move(cpus),
+          total_threads));
+    }
+  }
+  team_ = &shards_[0]->team();
   check_numerics_ = opts.check_numerics;
+  // The watchdog monitors the master-inline team. The master blocks inside
+  // its own share of shard 0's command — and a cross-shard flush holds a
+  // shared pre-stage barrier inside it — so a stalled worker on any shard
+  // participating alongside shard 0 surfaces as shard 0's command
+  // overrunning the deadline.
   team_->set_watchdog(opts.watchdog_seconds);
   team_->set_diagnostics(&EngineCore::describe_active_flush, this);
   fault::maybe_enable_fp_traps_from_env();
@@ -346,21 +412,37 @@ const PartitionModel& EngineCore::prototype_model(int p) const {
   return parts_[static_cast<std::size_t>(p)]->prototype;
 }
 
+namespace {
+
+/// A measured per-partition cost vector is only usable if EVERY partition
+/// has a positive entry (a partition whose timed reps landed below clock
+/// granularity would otherwise dwarf, or be dwarfed by, the rest).
+bool measured_complete(const std::vector<double>& cost, std::size_t parts) {
+  if (cost.size() != parts) return false;
+  for (double c : cost)
+    if (!(c > 0.0)) return false;
+  return true;
+}
+
+}  // namespace
+
 const WorkSchedule& EngineCore::schedule() {
   if (sched_dirty_) {
     // Measured weights are seconds-per-pattern — a different unit from the
-    // static states^2 x cats model — so they are only usable if EVERY
-    // partition has one (a partition whose timed reps landed below clock
-    // granularity would otherwise dwarf, or be dwarfed by, the rest).
-    bool use_measured = sched_strategy_ == SchedulingStrategy::kMeasured &&
-                        measured_cost_.size() == parts_.size();
-    if (use_measured)
-      for (double c : measured_cost_)
-        if (!(c > 0.0)) {
-          use_measured = false;
-          break;
-        }
+    // static states^2 x cats model — so they are only usable when complete
+    // (see measured_complete above).
+    const bool use_measured =
+        sched_strategy_ == SchedulingStrategy::kMeasured &&
+        measured_complete(measured_cost_, parts_.size());
+    // Pure NR passes get their own schedule when NR was calibrated
+    // separately: NR's inner loops are linear in the state count where
+    // newview/evaluate are quadratic, so one shared cost model necessarily
+    // skews one of them on mixed DNA+protein data.
+    const bool use_measured_nr =
+        sched_strategy_ == SchedulingStrategy::kMeasured &&
+        measured_complete(measured_nr_cost_, parts_.size());
     std::vector<PartitionShape> shapes(parts_.size());
+    std::vector<PartitionShape> shapes_nr(parts_.size());
     for (std::size_t p = 0; p < parts_.size(); ++p) {
       const PartStatic& pd = *parts_[p];
       PartitionShape& sh = shapes[p];
@@ -373,11 +455,30 @@ const WorkSchedule& EngineCore::schedule() {
       if (use_measured)
         sh.weight = measured_cost_[p] / (static_cast<double>(pd.states) *
                                         static_cast<double>(pd.cats));
+      shapes_nr[p] = sh;
+      if (use_measured_nr)
+        shapes_nr[p].weight =
+            measured_nr_cost_[p] /
+            (static_cast<double>(pd.states) * static_cast<double>(pd.cats));
+      else
+        shapes_nr[p].weight = sh.weight;
     }
-    sched_ = WorkSchedule::build(sched_strategy_, team_->size(), shapes);
+    sched_ = WorkSchedule::build(sched_strategy_, vt_threads_, shapes);
+    sched_nr_ = use_measured_nr
+                    ? WorkSchedule::build(sched_strategy_, vt_threads_,
+                                          shapes_nr)
+                    : sched_;
+    // Refresh every shard's cached slice view (per-partition modeled cost
+    // of its owned vts) — the coarse packer prices items with it.
+    for (auto& shard : shards_) shard->cache_slice_costs(sched_, shapes);
     sched_dirty_ = false;
   }
   return sched_;
+}
+
+const WorkSchedule& EngineCore::schedule_nr() {
+  schedule();  // rebuilds both on dirty
+  return sched_nr_;
 }
 
 void EngineCore::set_scheduling_strategy(SchedulingStrategy s) {
@@ -394,12 +495,36 @@ void EngineCore::calibrate_schedule(EvalContext& ctx, EdgeId edge, int reps) {
     // Warm-up evaluation brings CLVs, tables and caches up to date so the
     // timed repetitions measure the steady-state evaluate cost.
     ctx.loglikelihood(edge, one);
-    const double before = team_->stats().total_work_seconds;
+    const double before = team_stats().total_work_seconds;
     for (int r = 0; r < reps; ++r) ctx.loglikelihood(edge, one);
-    const double dt = team_->stats().total_work_seconds - before;
+    const double dt = team_stats().total_work_seconds - before;
     const auto n = parts_[static_cast<std::size_t>(p)]->patterns;
     if (n > 0 && dt > 0.0)
       measured_cost_[static_cast<std::size_t>(p)] =
+          dt / (static_cast<double>(reps) * static_cast<double>(n));
+  }
+  // Time the pure Newton-Raphson derivative pass separately: its inner
+  // loops are linear in the state count where newview/evaluate are
+  // quadratic, so sharing evaluate's cost model would systematically
+  // misplace NR work on mixed DNA+protein data. schedule_nr() only departs
+  // from schedule() when this vector comes out complete.
+  measured_nr_cost_.assign(parts_.size(), 0.0);
+  ctx.prepare_root(edge);
+  for (int p = 0; p < partition_count(); ++p) {
+    const std::vector<int> one{p};
+    double len = ctx.branch_lengths().get(edge, p);
+    double d1 = 0.0, d2 = 0.0;
+    ctx.compute_sumtable(one);
+    // Warm-up NR round, then the timed pure-NR repetitions (the sumtable
+    // stays valid across NR rounds, so each rep is one NR-only command).
+    ctx.nr_derivatives(one, {&len, 1}, {&d1, 1}, {&d2, 1});
+    const double before = team_stats().total_work_seconds;
+    for (int r = 0; r < reps; ++r)
+      ctx.nr_derivatives(one, {&len, 1}, {&d1, 1}, {&d2, 1});
+    const double dt = team_stats().total_work_seconds - before;
+    const auto n = parts_[static_cast<std::size_t>(p)]->patterns;
+    if (n > 0 && dt > 0.0)
+      measured_nr_cost_[static_cast<std::size_t>(p)] =
           dt / (static_cast<double>(reps) * static_cast<double>(n));
   }
   sched_dirty_ = true;
@@ -407,7 +532,19 @@ void EngineCore::calibrate_schedule(EvalContext& ctx, EdgeId edge, int reps) {
 
 void EngineCore::reset_stats() {
   stats_ = EngineStats{};
-  team_->reset_stats();
+  for (auto& shard : shards_) shard->team().reset_stats();
+  agg_team_stats_ = TeamStats{};
+}
+
+const TeamStats& EngineCore::team_stats() const {
+  if (shards_.size() == 1) return team_->stats();
+  // Fan-out deltas (sync/critical-path/work/imbalance) are folded into
+  // agg_team_stats_ as each flush completes; only the monitor-thread
+  // watchdog counter needs refreshing on read.
+  std::uint64_t dumps = 0;
+  for (const auto& shard : shards_) dumps += shard->team().stats().watchdog_dumps;
+  agg_team_stats_.watchdog_dumps = dumps;
+  return agg_team_stats_;
 }
 
 namespace {
@@ -884,20 +1021,22 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
         const int p = req.partitions[k];
         const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
         const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
-        const auto& rates = dy.model.category_rates();
-        const auto& lambda = dy.model.model().eigenvalues();
-        const double b = std::clamp(req.lens[k], kBranchMin, kBranchMax);
-        cmd.nr_exp.push_back(cmd.scratch.size());
-        for (int c = 0; c < pd.cats; ++c)
-          for (int s = 0; s < pd.states; ++s)
-            cmd.scratch.push_back(
-                std::exp(lambda[static_cast<std::size_t>(s)] *
-                         rates[static_cast<std::size_t>(c)] * b));
-        cmd.nr_lam.push_back(cmd.scratch.size());
-        for (int c = 0; c < pd.cats; ++c)
-          for (int s = 0; s < pd.states; ++s)
-            cmd.scratch.push_back(lambda[static_cast<std::size_t>(s)] *
-                                  rates[static_cast<std::size_t>(c)]);
+        // Reserve the exp/lambda tables and defer their (exp-heavy) fill to
+        // the flush's parallel pre-stage — a kNrScratch PmatTask, priced
+        // and routed exactly like the transition-matrix tasks.
+        const std::size_t n = static_cast<std::size_t>(pd.cats) *
+                              static_cast<std::size_t>(pd.states);
+        PmatTask t;
+        t.kind = PmatTask::Kind::kNrScratch;
+        t.part = p;
+        t.model = &dy.model;
+        t.blen = std::clamp(req.lens[k], kBranchMin, kBranchMax);
+        t.off = cmd.scratch.size();
+        t.off2 = t.off + n;
+        cmd.nr_exp.push_back(t.off);
+        cmd.nr_lam.push_back(t.off2);
+        cmd.scratch.resize(t.off + 2 * n);
+        cmd.pmat_tasks.push_back(t);
       }
       break;
     }
@@ -914,6 +1053,23 @@ void EngineCore::run_pmat_task(Pending& item, const PmatTask& t,
                                Matrix& pm) const {
   Command& cmd = item.cmd;
   const PartStatic& pd = *parts_[static_cast<std::size_t>(t.part)];
+  if (t.kind == PmatTask::Kind::kNrScratch) {
+    // Same expression order as the old master-side loops, so the tables —
+    // and with them every derivative — are bit-identical.
+    const auto& rates = t.model->category_rates();
+    const auto& lambda = t.model->model().eigenvalues();
+    double* ex = cmd.scratch.data() + t.off;
+    double* lam = cmd.scratch.data() + t.off2;
+    std::size_t i = 0;
+    for (int c = 0; c < pd.cats; ++c)
+      for (int s = 0; s < pd.states; ++s, ++i) {
+        ex[i] = std::exp(lambda[static_cast<std::size_t>(s)] *
+                         rates[static_cast<std::size_t>(c)] * t.blen);
+        lam[i] = lambda[static_cast<std::size_t>(s)] *
+                 rates[static_cast<std::size_t>(c)];
+      }
+    return;
+  }
   const std::size_t ss = static_cast<std::size_t>(pd.states) *
                          static_cast<std::size_t>(pd.states);
   double* dst = cmd.pmats.data() + t.off;
@@ -955,11 +1111,18 @@ double EngineCore::modeled_command_cost(const Command& cmd) const {
 }
 
 void EngineCore::run_item(const Pending& item, int tid,
-                          const WorkSchedule& sched) {
+                          const WorkSchedule& sched, const CoreShard* shard) {
   EvalContext& ctx = *item.ctx;
   const Command& cmd = item.cmd;
   const int tips = ctx.tree_.tip_count();
-  const int T = team_->size();
+  const int T = threads();
+
+  // Sharded execution: `tid` is a VIRTUAL tid of the global schedule, and
+  // this shard runs only the (partition, tid) pairs it owns. The skipped
+  // pairs — including their reduction-row writes — are executed by exactly
+  // one sibling shard, so every row is written once per command and the
+  // master's fold sees the same values as a flat single-team run.
+  const auto skip = [&](int p) { return shard != nullptr && !shard->owns(p, tid); };
 
   // Span lookup for this command. Commands scoped to a single partition
   // would run serially under the global cost-split strategies (a partition
@@ -980,6 +1143,7 @@ void EngineCore::run_item(const Pending& item, int tid,
     const std::size_t inner = static_cast<std::size_t>(op.node - tips);
     for (std::size_t k = 0; k < op.parts.size(); ++k) {
       const int p = op.parts[k];
+      if (skip(p)) continue;
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
       EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
       kernel::ChildView v1 = child_view(ctx, p, op.c1);
@@ -1014,6 +1178,7 @@ void EngineCore::run_item(const Pending& item, int tid,
     const NodeId v = ctx.tree_.edge(cmd.eval_edge).b;
     for (std::size_t k = 0; k < cmd.eval_parts.size(); ++k) {
       const int p = cmd.eval_parts[k];
+      if (skip(p)) continue;
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
       const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
       const kernel::ChildView vu = child_view(ctx, p, u);
@@ -1043,7 +1208,7 @@ void EngineCore::run_item(const Pending& item, int tid,
   }
 
   // 2b. Optional per-site evaluation for one partition.
-  if (cmd.do_sites) {
+  if (cmd.do_sites && !skip(cmd.sites_part)) {
     const NodeId u = ctx.tree_.edge(cmd.eval_edge).a;
     const NodeId v = ctx.tree_.edge(cmd.eval_edge).b;
     const int p = cmd.sites_part;
@@ -1077,6 +1242,7 @@ void EngineCore::run_item(const Pending& item, int tid,
     const NodeId v = ctx.tree_.edge(cmd.sum_edge).b;
     for (std::size_t k = 0; k < cmd.sum_parts.size(); ++k) {
       const int p = cmd.sum_parts[k];
+      if (skip(p)) continue;
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
       EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
       kernel::ChildView vu = child_view(ctx, p, u);
@@ -1106,6 +1272,7 @@ void EngineCore::run_item(const Pending& item, int tid,
   if (cmd.do_nr) {
     for (std::size_t k = 0; k < cmd.nr_parts.size(); ++k) {
       const int p = cmd.nr_parts[k];
+      if (skip(p)) continue;
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
       const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
       double d1 = 0.0, d2 = 0.0;
@@ -1159,9 +1326,20 @@ void EngineCore::execute_batch(std::span<Pending> items) {
     if (item->cmd.do_nr) stats_.nr_iterations += item->cmd.nr_parts.size();
   }
 
-  // Resolve the cached work assignment on the master before broadcasting;
-  // inside the command every thread reads it concurrently (const access).
+  // Resolve the cached work assignments on the master before broadcasting;
+  // inside the command every thread reads them concurrently (const access).
+  // Pure NR items (a derivative pass with no newview/eval/sumtable in the
+  // region) run under the NR-calibrated schedule; everything else — and in
+  // particular every fused sumtable_nr command, whose NR spans must read
+  // exactly the sumtable patterns the same thread wrote — stays on the
+  // primary schedule. The two only differ after a kMeasured calibration.
   const WorkSchedule& sched = schedule();
+  const WorkSchedule& nr_sched = schedule_nr();
+  const auto sched_of = [&](const Command& cmd) -> const WorkSchedule& {
+    const bool pure_nr = cmd.do_nr && !cmd.do_sumtable && !cmd.do_eval &&
+                         !cmd.do_sites && cmd.ops.empty();
+    return pure_nr ? nr_sched : sched;
+  };
 
   // Single-partition fallback (see run_item): computed per item, since a
   // batch mixes commands of different scope. Assignments may differ freely
@@ -1171,7 +1349,7 @@ void EngineCore::execute_batch(std::span<Pending> items) {
     Pending& item = *itemp;
     item.solo_part = -1;
     if (sched.strategy() != SchedulingStrategy::kCyclic &&
-        sched.strategy() != SchedulingStrategy::kBlock && team_->size() > 1) {
+        sched.strategy() != SchedulingStrategy::kBlock && threads() > 1) {
       int solo = -1;
       const auto fold = [&](int p) {
         if (solo == -1 || solo == p) solo = p;
@@ -1202,57 +1380,256 @@ void EngineCore::execute_batch(std::span<Pending> items) {
     for (const PmatTask& t : itemp->cmd.pmat_tasks)
       tasks.push_back({itemp, &t});
 
-  const int T = team_->size();
+  const int T = threads();
 
-  // Pick the item-to-thread mapping for this flush (see BatchExecMode):
-  // coarse assigns whole items to single threads once items outnumber the
-  // team 2:1 — each owner replays the fine schedule's per-thread spans, so
-  // results are bit-identical to fine execution in every mode.
-  bool coarse = false;
-  if (T > 1) {
-    coarse = batch_exec_ == BatchExecMode::kCoarse
-                 ? live.size() > 1
-                 : batch_exec_ == BatchExecMode::kAuto &&
-                       live.size() >= 2 * static_cast<std::size_t>(T);
-  }
-  std::vector<int> owner;
-  if (coarse) {
-    std::vector<double> cost(live.size());
-    for (std::size_t i = 0; i < live.size(); ++i)
-      cost[i] = modeled_command_cost(live[i]->cmd);
-    owner = lpt_assign(cost, T);
-    ++stats_.coarse_commands;
-  }
-
-  // Shape of the flush entering the parallel region, for the watchdog's
-  // diagnostic dump (describe_active_flush reads these on the monitor
-  // thread while the command is in flight).
-  active_items_ = live.size();
-  active_tasks_ = tasks.size();
-  active_coarse_ = coarse;
-
-  std::atomic<int> phase_done{0};
-  team_->run([&](int tid) {
-    if (!tasks.empty()) {
-      Matrix pm;
-      for (std::size_t i = static_cast<std::size_t>(tid); i < tasks.size();
-           i += static_cast<std::size_t>(T))
-        run_pmat_task(*tasks[i].item, *tasks[i].task, pm);
-      // Barrier: phase 2's kernels read what the tasks wrote. One fresh
-      // atomic per flush; acquire/release publishes the buffers.
-      phase_done.fetch_add(1, std::memory_order_acq_rel);
-      while (phase_done.load(std::memory_order_acquire) < T)
-        std::this_thread::yield();
+  if (shards_.size() == 1) {
+    // Flat single-team engine: the classic one-region flush, unchanged.
+    // Pick the item-to-thread mapping (see BatchExecMode): coarse assigns
+    // whole items to single threads once items outnumber the team 2:1 —
+    // each owner replays the fine schedule's per-thread spans, so results
+    // are bit-identical to fine execution in every mode.
+    bool coarse = false;
+    if (T > 1) {
+      coarse = batch_exec_ == BatchExecMode::kCoarse
+                   ? live.size() > 1
+                   : batch_exec_ == BatchExecMode::kAuto &&
+                         live.size() >= 2 * static_cast<std::size_t>(T);
     }
+    std::vector<int> owner;
     if (coarse) {
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        if (owner[i] != tid) continue;
-        for (int vt = 0; vt < T; ++vt) run_item(*live[i], vt, sched);
-      }
-    } else {
-      for (const Pending* item : live) run_item(*item, tid, sched);
+      std::vector<double> cost(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i)
+        cost[i] = modeled_command_cost(live[i]->cmd);
+      owner = lpt_assign(cost, T);
+      ++stats_.coarse_commands;
     }
-  });
+
+    // Shape of the flush entering the parallel region, for the watchdog's
+    // diagnostic dump (describe_active_flush reads these on the monitor
+    // thread while the command is in flight).
+    active_items_ = live.size();
+    active_tasks_ = tasks.size();
+    active_coarse_ = coarse;
+    active_shards_ = 1;
+    ++stats_.shard_team_syncs;
+
+    std::atomic<int> phase_done{0};
+    team_->run([&](int tid) {
+      if (!tasks.empty()) {
+        Matrix pm;
+        for (std::size_t i = static_cast<std::size_t>(tid); i < tasks.size();
+             i += static_cast<std::size_t>(T))
+          run_pmat_task(*tasks[i].item, *tasks[i].task, pm);
+        // Barrier: phase 2's kernels read what the tasks wrote. One fresh
+        // atomic per flush; acquire/release publishes the buffers.
+        phase_done.fetch_add(1, std::memory_order_acq_rel);
+        while (phase_done.load(std::memory_order_acquire) < T)
+          std::this_thread::yield();
+      }
+      if (coarse) {
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (owner[i] != tid) continue;
+          for (int vt = 0; vt < T; ++vt)
+            run_item(*live[i], vt, sched_of(live[i]->cmd));
+        }
+      } else {
+        for (const Pending* item : live)
+          run_item(*item, tid, sched_of(item->cmd));
+      }
+    });
+  } else {
+    // Sharded fan-out: every engaged shard team executes its owned
+    // (partition, vt) slices of ALL live items concurrently; the master
+    // starts the detached teams, runs its own (shard 0) share inline, and
+    // joins the rest in fixed index order. Reduction rows are written by
+    // exactly one shard each, and the fixed-order fold in finalize() is
+    // untouched — the two-level reduction is deterministic and
+    // bit-identical to the flat engine at every shard count.
+
+    // A shard is engaged iff it owns a slice of any partition the flush
+    // references; uninvolved shard teams are not woken at all (this is what
+    // keeps single-partition NR ping-pong on one team).
+    std::vector<char> part_ref(parts_.size(), 0);
+    for (const Pending* item : live) {
+      const Command& cmd = item->cmd;
+      for (const auto& op : cmd.ops)
+        for (int p : op.parts) part_ref[static_cast<std::size_t>(p)] = 1;
+      for (int p : cmd.eval_parts) part_ref[static_cast<std::size_t>(p)] = 1;
+      for (int p : cmd.sum_parts) part_ref[static_cast<std::size_t>(p)] = 1;
+      for (int p : cmd.nr_parts) part_ref[static_cast<std::size_t>(p)] = 1;
+      if (cmd.do_sites) part_ref[static_cast<std::size_t>(cmd.sites_part)] = 1;
+    }
+
+    struct ShardExec {
+      EngineCore* core = nullptr;
+      CoreShard* shard = nullptr;
+      const std::vector<Pending*>* live = nullptr;
+      const std::vector<const WorkSchedule*>* item_sched = nullptr;
+      std::vector<TaskRef> tasks;  // this shard's pre-stage share
+      bool have_tasks = false;     // ANY shard has tasks -> global barrier
+      std::atomic<int>* phase_done = nullptr;
+      int barrier_total = 0;
+      bool coarse = false;
+      std::vector<int> owner;  // per live item, owning local thread
+    };
+
+    // Resolve each item's schedule once (pointer-stable member caches).
+    std::vector<const WorkSchedule*> item_sched(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+      item_sched[i] = &sched_of(live[i]->cmd);
+
+    std::atomic<int> phase_done{0};
+    std::vector<ShardExec> exec(shards_.size());
+    std::vector<CoreShard*> engaged;
+    int barrier_total = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      CoreShard& sh = *shards_[s];
+      bool hit = false;
+      for (const ShardSlice& slice : sh.slices())
+        if (part_ref[static_cast<std::size_t>(slice.part)]) {
+          hit = true;
+          break;
+        }
+      if (!hit) continue;
+      engaged.push_back(&sh);
+      barrier_total += sh.threads();
+      ShardExec& ex = exec[s];
+      ex.core = this;
+      ex.shard = &sh;
+      ex.live = &live;
+      ex.item_sched = &item_sched;
+      ex.phase_done = &phase_done;
+      // Pre-stage tasks go to the partition's primary owner shard (which is
+      // necessarily engaged: its partition is referenced). Sub-shards of a
+      // split partition read the tables the primary built, so the pre-stage
+      // barrier spans ALL engaged teams, not each team alone.
+      for (const TaskRef& t : tasks)
+        if (plan_.primary_owner(t.task->part) == static_cast<int>(s))
+          ex.tasks.push_back(t);
+    }
+    for (CoreShard* sh : engaged) {
+      ShardExec& ex = exec[static_cast<std::size_t>(sh->index())];
+      ex.have_tasks = !tasks.empty();
+      ex.barrier_total = barrier_total;
+      // Per-shard coarse decision against the LOCAL team size, pricing each
+      // item by the shard's cached slice view of the schedule. Replayed vts
+      // are the same either way, so the mode never changes results.
+      const int ts = sh->threads();
+      bool coarse = false;
+      if (ts > 1) {
+        coarse = batch_exec_ == BatchExecMode::kCoarse
+                     ? live.size() > 1
+                     : batch_exec_ == BatchExecMode::kAuto &&
+                           live.size() >= 2 * static_cast<std::size_t>(ts);
+      }
+      if (coarse) {
+        std::vector<double> cost(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const Command& cmd = live[i]->cmd;
+          double c = 0.0;
+          for (const auto& op : cmd.ops)
+            for (int p : op.parts) c += sh->slice_cost(p);
+          for (int p : cmd.eval_parts) c += sh->slice_cost(p);
+          for (int p : cmd.sum_parts) c += sh->slice_cost(p);
+          for (int p : cmd.nr_parts) c += sh->slice_cost(p);
+          if (cmd.do_sites) c += sh->slice_cost(cmd.sites_part);
+          cost[i] = c;
+        }
+        ex.owner = lpt_assign(cost, ts);
+        ex.coarse = true;
+      }
+    }
+    bool any_coarse = false;
+    for (CoreShard* sh : engaged)
+      any_coarse |= exec[static_cast<std::size_t>(sh->index())].coarse;
+    if (any_coarse) ++stats_.coarse_commands;
+
+    active_items_ = live.size();
+    active_tasks_ = tasks.size();
+    active_coarse_ = any_coarse;
+    active_shards_ = static_cast<int>(engaged.size());
+    stats_.shard_team_syncs += engaged.size();
+    if (engaged.size() > 1) ++stats_.shard_fanouts;
+
+    // One shard-team thread's share of the flush. `lt` is a LOCAL thread id
+    // of its team; it executes the virtual tids vt with vt % team_size ==
+    // lt, filtered to the shard's owned (partition, vt) pairs inside
+    // run_item.
+    const ThreadTeam::RawFn entry = [](void* ctxp, int lt) {
+      ShardExec& ex = *static_cast<ShardExec*>(ctxp);
+      EngineCore& core = *ex.core;
+      const CoreShard* sh = ex.shard;
+      const int ts = sh->threads();
+      if (ex.have_tasks) {
+        Matrix pm;
+        for (std::size_t i = static_cast<std::size_t>(lt); i < ex.tasks.size();
+             i += static_cast<std::size_t>(ts))
+          core.run_pmat_task(*ex.tasks[i].item, *ex.tasks[i].task, pm);
+        // Cross-shard barrier: kernels of ANY shard may read tables a
+        // sibling shard's pre-stage built (split partitions), so all
+        // engaged threads rendezvous before phase 2.
+        ex.phase_done->fetch_add(1, std::memory_order_acq_rel);
+        while (ex.phase_done->load(std::memory_order_acquire) <
+               ex.barrier_total)
+          std::this_thread::yield();
+      }
+      const std::vector<Pending*>& live_items = *ex.live;
+      const std::vector<const WorkSchedule*>& isched = *ex.item_sched;
+      const int T = core.threads();
+      if (ex.coarse) {
+        for (std::size_t i = 0; i < live_items.size(); ++i) {
+          if (ex.owner[i] != lt) continue;
+          for (int vt = 0; vt < T; ++vt)
+            core.run_item(*live_items[i], vt, *isched[i], sh);
+        }
+      } else {
+        for (std::size_t i = 0; i < live_items.size(); ++i)
+          for (int vt = lt; vt < T; vt += ts)
+            core.run_item(*live_items[i], vt, *isched[i], sh);
+      }
+    };
+
+    // Instrumentation snapshot of the engaged teams, folded into the
+    // aggregate after the joins (sync_count counts this whole fan-out as
+    // ONE logical event; critical path takes the slowest concurrent team).
+    struct StatSnap {
+      double crit, work, imb;
+    };
+    std::vector<StatSnap> before(engaged.size());
+    const bool instr = team_->instrumented();
+    if (instr)
+      for (std::size_t i = 0; i < engaged.size(); ++i) {
+        const TeamStats& st = engaged[i]->team().stats();
+        before[i] = {st.critical_path_seconds, st.total_work_seconds,
+                     st.imbalance_seconds};
+      }
+
+    // Fixed-order fan-out: start detached teams 1..N-1, run shard 0's
+    // master-inline share, join in index order. The joins transitively
+    // order every shard's writes before the master's next broadcast.
+    for (CoreShard* sh : engaged)
+      if (sh->index() != 0)
+        sh->team().start(entry, &exec[static_cast<std::size_t>(sh->index())]);
+    if (!engaged.empty() && engaged.front()->index() == 0)
+      team_->run(entry, &exec[0]);
+    for (CoreShard* sh : engaged)
+      if (sh->index() != 0) sh->team().join();
+
+    ++agg_team_stats_.sync_count;
+    if (instr) {
+      double max_crit = 0.0;
+      for (std::size_t i = 0; i < engaged.size(); ++i) {
+        const TeamStats& st = engaged[i]->team().stats();
+        max_crit =
+            std::max(max_crit, st.critical_path_seconds - before[i].crit);
+        agg_team_stats_.total_work_seconds +=
+            st.total_work_seconds - before[i].work;
+        agg_team_stats_.imbalance_seconds +=
+            st.imbalance_seconds - before[i].imb;
+      }
+      agg_team_stats_.critical_path_seconds += max_crit;
+    }
+  }
 
   // Post-run bookkeeping: orientations and epochs for executed ops.
   for (const Pending* itemp : live) {
@@ -1280,7 +1657,11 @@ double EngineCore::finalize(Pending& item) {
     case EvalRequest::Kind::kEvaluate: {
       for (int p : req.partitions) {
         double lnl = 0.0;
-        for (int t = 0; t < team_->size(); ++t)
+        // Fold over ALL virtual tids, not any one team's size: under shards
+        // the rows of one partition may have been written by several teams,
+        // and this unchanged fixed-order fold is what makes the two-level
+        // reduction shard-layout invariant.
+        for (int t = 0; t < threads(); ++t)
           lnl += ctx.red_lnl_[static_cast<std::size_t>(t) * ctx.red_stride_ +
                               static_cast<std::size_t>(p)];
         ctx.last_lnl_[static_cast<std::size_t>(p)] = lnl;
@@ -1306,7 +1687,7 @@ double EngineCore::finalize(Pending& item) {
       for (std::size_t k = 0; k < req.partitions.size(); ++k) {
         const int p = req.partitions[k];
         double s1 = 0.0, s2 = 0.0;
-        for (int t = 0; t < team_->size(); ++t) {
+        for (int t = 0; t < threads(); ++t) {
           s1 += ctx.red_d1_[static_cast<std::size_t>(t) * ctx.red_stride_ +
                             static_cast<std::size_t>(p)];
           s2 += ctx.red_d2_[static_cast<std::size_t>(t) * ctx.red_stride_ +
@@ -1357,6 +1738,7 @@ void EngineCore::collect_numeric_faults(const Pending& item,
     r.edge = e;
     r.request_kind = static_cast<int>(req.kind);
     r.overlay = ctx.is_overlay();
+    if (shards_.size() > 1 && p >= 0) r.shard = plan_.primary_owner(p);
     out.push_back(r);
   };
   switch (req.kind) {
@@ -1401,6 +1783,8 @@ void EngineCore::raise_numeric_faults(std::span<Pending> items,
      << " partition " << records.front().partition << " edge "
      << records.front().edge
      << (records.front().overlay ? " (overlay)" : "");
+  if (records.front().shard >= 0)
+    os << " shard " << records.front().shard;
   throw EngineFault(os.str(), std::move(records));
 }
 
@@ -1409,8 +1793,72 @@ std::string EngineCore::describe_active_flush(void* self) {
   std::ostringstream os;
   os << "engine flush, " << core->active_items_.load() << " item(s), "
      << core->active_tasks_.load() << " table task(s), "
-     << (core->active_coarse_.load() ? "coarse" : "fine") << " execution";
+     << (core->active_coarse_.load() ? "coarse" : "fine") << " execution, "
+     << core->active_shards_.load() << " shard(s) engaged";
   return os.str();
+}
+
+void EngineCore::first_touch_context(EvalContext& ctx) {
+  // Zero-fill the context's no-init CLV/sumtable storage. Unsharded the
+  // master fills everything — byte-identical to the classic value-init
+  // allocation. Sharded, each shard's own threads fill the pattern blocks
+  // backing the (partition, vt) slices the shard owns, so the backing pages
+  // are first touched — and thus physically placed — on the memory node of
+  // the threads that will read and write them. The fill value is zero
+  // either way; results cannot depend on the touching thread.
+  if (shards_.size() == 1) {
+    for (auto& dyp : ctx.dyn_) {
+      EvalContext::PartDyn& dy = *dyp;
+      for (auto& v : dy.clv) std::fill(v.begin(), v.end(), 0.0);
+      std::fill(dy.sumtable.begin(), dy.sumtable.end(), 0.0);
+    }
+    return;
+  }
+
+  struct TouchCtx {
+    EngineCore* core;
+    EvalContext* ctx;
+    const CoreShard* shard;
+  };
+  const ThreadTeam::RawFn entry = [](void* ctxp, int lt) {
+    TouchCtx& tc = *static_cast<TouchCtx*>(ctxp);
+    EngineCore& core = *tc.core;
+    const auto T = static_cast<std::size_t>(core.threads());
+    const auto ts = static_cast<std::size_t>(tc.shard->threads());
+    for (int p = 0; p < core.partition_count(); ++p) {
+      const auto [lo, hi] = tc.shard->vt_range(p);
+      if (lo >= hi) continue;
+      EvalContext::PartDyn& dy = *tc.ctx->dyn_[static_cast<std::size_t>(p)];
+      const std::size_t patterns = core.pattern_count(p);
+      const std::size_t stride =
+          core.parts_[static_cast<std::size_t>(p)]->clv_stride();
+      // The shard's owned pattern block, proportional to its vt range and
+      // sub-split over its local threads. The vt boundaries tile
+      // [0, patterns) exactly, so across all shards and threads every
+      // element is touched exactly once.
+      const std::size_t b0 = patterns * static_cast<std::size_t>(lo) / T;
+      const std::size_t b1 = patterns * static_cast<std::size_t>(hi) / T;
+      const std::size_t lt0 = b0 + (b1 - b0) * static_cast<std::size_t>(lt) / ts;
+      const std::size_t lt1 =
+          b0 + (b1 - b0) * (static_cast<std::size_t>(lt) + 1) / ts;
+      if (lt0 >= lt1) continue;
+      for (auto& v : dy.clv)
+        std::fill(v.begin() + static_cast<std::ptrdiff_t>(lt0 * stride),
+                  v.begin() + static_cast<std::ptrdiff_t>(lt1 * stride), 0.0);
+      std::fill(
+          dy.sumtable.begin() + static_cast<std::ptrdiff_t>(lt0 * stride),
+          dy.sumtable.begin() + static_cast<std::ptrdiff_t>(lt1 * stride),
+          0.0);
+    }
+  };
+
+  std::vector<TouchCtx> tctx(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    tctx[s] = {this, &ctx, shards_[s].get()};
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    shards_[s]->team().start(entry, &tctx[s]);
+  team_->run(entry, &tctx[0]);
+  for (std::size_t s = 1; s < shards_.size(); ++s) shards_[s]->team().join();
 }
 
 namespace {
@@ -1583,16 +2031,19 @@ EvalContext::EvalContext(EngineCore& core, Tree tree,
     dy->scale_ptr.resize(static_cast<std::size_t>(inner_count));
     dy->slot_of.assign(static_cast<std::size_t>(inner_count), -1);
     for (int i = 0; i < inner_count; ++i) {
-      dy->clv[static_cast<std::size_t>(i)].assign(patterns * stride, 0.0);
+      // No-init allocation; first_touch_context zero-fills below, on the
+      // owning shard's threads when the engine is sharded.
+      dy->clv[static_cast<std::size_t>(i)].resize(patterns * stride);
       dy->scale[static_cast<std::size_t>(i)].assign(patterns, 0);
       dy->clv_ptr[static_cast<std::size_t>(i)] =
           dy->clv[static_cast<std::size_t>(i)].data();
       dy->scale_ptr[static_cast<std::size_t>(i)] =
           dy->scale[static_cast<std::size_t>(i)].data();
     }
-    dy->sumtable.assign(patterns * stride, 0.0);
+    dy->sumtable.resize(patterns * stride);
     dyn_.push_back(std::move(dy));
   }
+  core.first_touch_context(*this);
   orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
   model_epoch_.resize(dyn_.size());
   // Content-addressed: contexts constructed over identical model states
@@ -1633,9 +2084,10 @@ EvalContext::EvalContext(const EvalContext& parent, ClvSlotPool& pool)
     dy->clv_ptr.assign(static_cast<std::size_t>(inner_count), nullptr);
     dy->scale_ptr.assign(static_cast<std::size_t>(inner_count), nullptr);
     dy->slot_of.assign(static_cast<std::size_t>(inner_count), -1);
-    dy->sumtable.assign(patterns * stride, 0.0);
+    dy->sumtable.resize(patterns * stride);  // zero-filled just below
     dyn_.push_back(std::move(dy));
   }
+  core_->first_touch_context(*this);
   orient_.assign(static_cast<std::size_t>(tree_.node_count()), kNoId);
   model_epoch_ = parent.model_epoch_;
   weights_stamp_.assign(dyn_.size(), 0);

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -47,11 +48,13 @@
 
 #include "bio/patterns.hpp"
 #include "core/branch_lengths.hpp"
+#include "core/core_shard.hpp"
 #include "core/fault_policy.hpp"
 #include "core/kernels.hpp"
 #include "core/partition_model.hpp"
 #include "parallel/schedule.hpp"
 #include "parallel/thread_team.hpp"
+#include "parallel/topology.hpp"
 #include "tree/tree.hpp"
 #include "util/aligned.hpp"
 
@@ -71,6 +74,16 @@ class EngineCore;
 /// candidate waves); trim() then drops free slots above `soft_cap` per
 /// partition, so the pool's steady-state footprint follows the widest recent
 /// wave rather than the all-time peak. Master-thread only, like the core.
+///
+/// Slot ids are STABLE handles (monotonically assigned per partition, held
+/// in an id-keyed map), so trim() can reclaim ANY free slot — not just a
+/// free suffix — without invalidating the ids leased contexts still hold.
+/// Under a fragmented wave (middle slots released, late slots still leased)
+/// the old dense-vector pool could only shrink from the tail; the stable
+/// pool's footprint follows the true live set. Slot buffers are allocated
+/// no-init: a slot's CLV and scale counts are always fully written by the
+/// newview that first targets it before any read, so the pages are touched
+/// first — and therefore NUMA-placed — by the owning shard's kernel threads.
 class ClvSlotPool {
  public:
   /// `core` must outlive the pool. `soft_cap` = free slots retained per
@@ -83,11 +96,13 @@ class ClvSlotPool {
     std::int32_t* scale = nullptr;
   };
 
-  /// Lease a slot for partition `p` (reusing a free slot when possible).
+  /// Lease a slot for partition `p` (reusing the lowest free id when
+  /// possible — deterministic, like the old lowest-free-index scan).
   Lease acquire(int p);
   void release(int p, int slot);
 
   /// Drop free slots beyond the soft cap (in-use slots are never touched).
+  /// Reclaims from the highest free id down, wherever it sits in the map.
   void trim();
 
   std::size_t slots_in_use() const;
@@ -97,13 +112,14 @@ class ClvSlotPool {
 
  private:
   struct Slot {
-    AlignedDoubleVec clv;
-    std::vector<std::int32_t> scale;
+    AlignedNoInitDoubleVec clv;
+    NoInitInt32Vec scale;
     bool in_use = false;
   };
   EngineCore* core_;
   std::size_t soft_cap_;
-  std::vector<std::vector<std::unique_ptr<Slot>>> slots_;  // [partition]
+  std::vector<std::map<int, std::unique_ptr<Slot>>> slots_;  // [partition]
+  std::vector<int> next_id_;  // per partition, monotonic
   std::size_t in_use_ = 0;
   std::size_t peak_ = 0;
 };
@@ -111,7 +127,19 @@ class ClvSlotPool {
 /// Engine-core construction options.
 struct EngineOptions {
   /// Total threads (including the orchestrating master). 1 = sequential.
+  /// Under sharding this stays the GLOBAL count: it is split across the
+  /// shard teams, and it remains the virtual-tid width of the schedule and
+  /// the reduction, so results are bit-identical at every shard count.
   int threads = 1;
+  /// NUMA-aware sub-cores (core/core_shard.hpp). Each shard owns a disjoint
+  /// set of (partition, vt-range) slices and its own thread team; a flush
+  /// fans out to the involved shards concurrently and results come back
+  /// through a two-level deterministic reduction (fixed per-vt rows, then
+  /// the master's fixed-order fold), bit-identical to shards=1.
+  /// 1 = the classic single-team engine; 0 = auto: read the PLK_SHARDS
+  /// environment variable (absent/invalid -> 1). Values above `threads`
+  /// oversubscribe (every shard team has >= 1 thread).
+  int shards = 0;
   /// Per-partition branch lengths (unlinked) vs one joint set (linked).
   bool unlinked_branch_lengths = false;
   /// Collect per-thread timing instrumentation in the team.
@@ -170,6 +198,11 @@ struct EngineStats {
   std::uint64_t numeric_faults = 0;   ///< non-finite reductions detected
   std::uint64_t faulted_flushes = 0;  ///< flushes that raised an EngineFault
   std::uint64_t assembly_rollbacks = 0;  ///< commands unwound mid-assembly
+  std::uint64_t shard_fanouts = 0;    ///< flushes engaging > 1 shard team
+  /// Shard teams engaged summed over flushes. Divided by `commands` this is
+  /// the syncs-per-flush figure of the sharded engine: 1.0 means every
+  /// flush stayed on one team (no cross-shard fan-out cost at all).
+  std::uint64_t shard_team_syncs = 0;
 };
 
 /// One queued unit of work for the batched API. Span members reference
@@ -288,7 +321,13 @@ class EngineCore {
 
   const CompressedAlignment& alignment() const { return aln_; }
   int partition_count() const { return static_cast<int>(parts_.size()); }
-  int threads() const { return team_->size(); }
+  /// Global virtual-tid count T: the schedule's width and the reduction-row
+  /// count, independent of how many shard teams the threads are split over.
+  int threads() const { return vt_threads_; }
+  /// Number of sub-cores the engine fans flushes out to (1 = flat engine).
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const CoreShard& shard(int s) const { return *shards_[s]; }
+  const ShardPlan& shard_plan() const { return plan_; }
   std::size_t pattern_count(int p) const;
   std::size_t total_patterns() const;
   bool linked_branch_lengths() const { return !unlinked_; }
@@ -334,6 +373,16 @@ class EngineCore {
   /// contexts: it depends only on partition shapes, which the core fixes).
   const WorkSchedule& schedule();
 
+  /// The schedule used for PURE Newton-Raphson commands (derivative passes
+  /// with no newview/eval/sumtable in the same region). Identical to
+  /// schedule() until calibrate_schedule() has measured NR separately; under
+  /// kMeasured it then reflects NR's own per-partition cost, which scales
+  /// differently in the state count than newview (linear vs quadratic
+  /// inner loops). Fused sumtable_nr commands always stay on schedule():
+  /// their NR spans must read exactly the sumtable patterns the same thread
+  /// wrote earlier in the region.
+  const WorkSchedule& schedule_nr();
+
   SchedulingStrategy scheduling_strategy() const { return sched_strategy_; }
   /// Switch strategies between commands (master thread only).
   void set_scheduling_strategy(SchedulingStrategy s);
@@ -364,7 +413,15 @@ class EngineCore {
   // --- instrumentation -----------------------------------------------------
 
   const EngineStats& stats() const { return stats_; }
-  const TeamStats& team_stats() const { return team_->stats(); }
+  /// Aggregate team instrumentation. With one shard this is exactly the
+  /// flat team's stats. With several, counters are combined so the numbers
+  /// keep their single-team meaning: sync_count counts LOGICAL master-side
+  /// synchronization events (a flush fanned to k concurrent teams is ONE
+  /// event — the per-team broadcasts are in EngineStats::shard_team_syncs),
+  /// total work, imbalance, and watchdog dumps sum across teams, and the
+  /// critical path takes the per-fan-out maximum over the teams running
+  /// concurrently (the wall-clock-relevant path through the slowest shard).
+  const TeamStats& team_stats() const;
   void reset_stats();
 
  private:
@@ -426,8 +483,20 @@ class EngineCore {
   /// one-command path used by EvalContext's methods).
   double run_now(EvalContext& ctx, EvalRequest req);
 
-  void run_item(const Pending& item, int tid, const WorkSchedule& sched);
+  /// Execute virtual tid `tid`'s share of one item under `sched`. When
+  /// `shard` is non-null, (partition, tid) pairs the shard does not own are
+  /// skipped — including their reduction-row writes, which exactly one
+  /// shard performs per (vt, partition).
+  void run_item(const Pending& item, int tid, const WorkSchedule& sched,
+                const CoreShard* shard = nullptr);
   kernel::ChildView child_view(const EvalContext& ctx, int p, NodeId v) const;
+
+  /// First-touch initialization for a context's freshly (no-init) allocated
+  /// CLV / scale / sumtable buffers: fans zero-filling out so every page is
+  /// first written — and therefore NUMA-placed — by the shard team that
+  /// will execute it. Single-shard cores fill on the master (the classic
+  /// behavior, byte for byte).
+  void first_touch_context(EvalContext& ctx);
 
   /// Execute one deferred table-construction task (transition matrices for
   /// one edge-partition, plus its transpose or tip lookup table). Runs on
@@ -474,16 +543,26 @@ class EngineCore {
 
   const CompressedAlignment& aln_;
   std::vector<std::unique_ptr<PartStatic>> parts_;
-  std::unique_ptr<ThreadTeam> team_;
+  /// The sub-cores (core/core_shard.hpp), built once from the static
+  /// ShardPlan. Shard 0's team is master-inline; the rest are detached.
+  std::vector<std::unique_ptr<CoreShard>> shards_;
+  ShardPlan plan_;
+  /// Global virtual-tid count T (see threads()).
+  int vt_threads_ = 1;
+  /// Shard 0's team (non-owning) — the master-inline team used for
+  /// single-team fast paths and master-side bookkeeping.
+  ThreadTeam* team_ = nullptr;
 
   bool unlinked_ = false;
   bool use_generic_ = false;
 
-  // Work-assignment cache (see schedule()).
+  // Work-assignment cache (see schedule() / schedule_nr()).
   SchedulingStrategy sched_strategy_ = SchedulingStrategy::kCyclic;
   WorkSchedule sched_;
+  WorkSchedule sched_nr_;
   bool sched_dirty_ = true;
-  std::vector<double> measured_cost_;  // per partition, sec/pattern
+  std::vector<double> measured_cost_;     // per partition, sec/pattern
+  std::vector<double> measured_nr_cost_;  // per partition, sec/pattern (NR)
   BatchExecMode batch_exec_ = BatchExecMode::kAuto;
 
   std::uint64_t epoch_counter_ = 0;  // model-state epochs, core-global
@@ -510,9 +589,13 @@ class EngineCore {
   std::atomic<std::size_t> active_items_{0};
   std::atomic<std::size_t> active_tasks_{0};
   std::atomic<bool> active_coarse_{false};
+  std::atomic<int> active_shards_{0};
   static std::string describe_active_flush(void* self);
 
   EngineStats stats_;
+  /// Aggregated cross-team instrumentation (see team_stats()). Updated per
+  /// fan-out with per-team stat deltas; watchdog dumps folded in on read.
+  mutable TeamStats agg_team_stats_;
 };
 
 /// The per-tree half of the engine: one evaluation state over a shared

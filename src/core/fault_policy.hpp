@@ -36,6 +36,10 @@ struct FaultRecord {
   /// recoverable case: its frozen parent is untouched, so re-scoring from
   /// the parent reproduces the fault-free result exactly.
   bool overlay = false;
+  /// Primary owner shard of the faulted partition (-1 when the engine runs
+  /// unsharded). Containment attribution: the fault is localized to one
+  /// sub-core's slice; sibling shards' contexts and buffers are untouched.
+  int shard = -1;
 };
 
 /// Thrown by EngineCore::wait() / the *_now calls when a flush produced

@@ -286,6 +286,14 @@ WorkSchedule WorkSchedule::build(SchedulingStrategy strategy, int threads,
   return ws;
 }
 
+double WorkSchedule::tid_part_cost(int tid, int part,
+                                   const PartitionShape& shape) const {
+  double patterns = 0.0;
+  for (const WorkSpan& s : spans(tid, part))
+    patterns += static_cast<double>(s.count());
+  return patterns * shape.cost_per_pattern();
+}
+
 double WorkSchedule::modeled_imbalance() const {
   double mx = 0.0, sum = 0.0;
   for (double c : modeled_cost_) {

@@ -154,6 +154,12 @@ class WorkSchedule {
   /// Modeled relative imbalance: T * max(cost) / sum(cost) - 1 (0 = perfect).
   double modeled_imbalance() const;
 
+  /// Modeled cost of thread `tid`'s spans of `part` under `shape`. This is
+  /// the unit a shard's cached slice view aggregates over its owned virtual
+  /// tids: summing it for vt in [vt_begin, vt_end) prices exactly the share
+  /// of a command the shard will execute, whatever the strategy.
+  double tid_part_cost(int tid, int part, const PartitionShape& shape) const;
+
  private:
   SchedulingStrategy strategy_ = SchedulingStrategy::kCyclic;
   int threads_ = 1;

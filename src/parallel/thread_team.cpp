@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "parallel/topology.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
@@ -56,8 +57,15 @@ void spin_until(Pred&& pred) {
 
 }  // namespace
 
-ThreadTeam::ThreadTeam(int nthreads, bool instrument, bool cpu_time)
-    : nthreads_(nthreads), instrument_(instrument), cpu_time_(cpu_time) {
+ThreadTeam::ThreadTeam(int nthreads, bool instrument, bool cpu_time,
+                       bool detached, std::vector<int> bind_cpus,
+                       int concurrency_hint)
+    : nthreads_(nthreads),
+      instrument_(instrument),
+      cpu_time_(cpu_time),
+      detached_(detached),
+      spawned_(detached ? nthreads : nthreads - 1),
+      bind_cpus_(std::move(bind_cpus)) {
   if (nthreads_ < 1) throw std::invalid_argument("ThreadTeam needs >= 1 thread");
   // Workers busy-wait between commands: during the short serial windows of
   // command assembly a parked worker would pay a scheduler wake-up far
@@ -65,16 +73,18 @@ ThreadTeam::ThreadTeam(int nthreads, bool instrument, bool cpu_time)
   // reason). The budget is time-based — a fixed iteration count would span
   // ~7 ms to ~100 ms depending on the CPU's pause latency — so a serial
   // master phase longer than ~2 ms reliably parks the workers on every
-  // host. When the team oversubscribes the machine the budget drops to
+  // host. When the team (or, under sharding, the whole engine — the
+  // concurrency hint) oversubscribes the machine the budget drops to
   // ~0.2 ms, since spinning there only steals cycles from the threads
   // doing actual work.
   const unsigned hw = std::thread::hardware_concurrency();
-  spin_budget_seconds_ =
-      (hw != 0 && static_cast<unsigned>(nthreads_) > hw) ? 2e-4 : 2e-3;
+  const unsigned occupancy = static_cast<unsigned>(
+      concurrency_hint > nthreads_ ? concurrency_hint : nthreads_);
+  spin_budget_seconds_ = (hw != 0 && occupancy > hw) ? 2e-4 : 2e-3;
   work_seconds_.resize(static_cast<std::size_t>(nthreads_));
   heartbeats_ = std::make_unique<Heartbeat[]>(static_cast<std::size_t>(nthreads_));
-  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
-  for (int tid = 1; tid < nthreads_; ++tid)
+  workers_.reserve(static_cast<std::size_t>(spawned_));
+  for (int tid = detached_ ? 0 : 1; tid < nthreads_; ++tid)
     workers_.emplace_back([this, tid] { worker_loop(tid); });
 }
 
@@ -137,6 +147,7 @@ void ThreadTeam::wake_parked() {
 }
 
 void ThreadTeam::worker_loop(int tid) {
+  if (!bind_cpus_.empty()) bind_current_thread(bind_cpus_);
   std::uint64_t next = 1;
   for (;;) {
     worker_wait(next);
@@ -168,10 +179,10 @@ void ThreadTeam::dump_stall_diagnostics(double waited_seconds) {
   std::ostringstream os;
   os << "watchdog: command generation " << gen << " incomplete after "
      << waited_seconds << " s (deadline " << watchdog_seconds_ << " s); done "
-     << done_.load(std::memory_order_acquire) << "/" << (nthreads_ - 1)
+     << done_.load(std::memory_order_acquire) << "/" << spawned_
      << " workers, " << parked_.load(std::memory_order_seq_cst)
      << " parked; heartbeats:";
-  for (int tid = 1; tid < nthreads_; ++tid) {
+  for (int tid = detached_ ? 0 : 1; tid < nthreads_; ++tid) {
     const std::uint64_t hb = heartbeat(tid);
     os << " t" << tid << "=" << hb << (hb >= gen ? "" : "*");
   }
@@ -230,7 +241,46 @@ void ThreadTeam::watchdog_loop() {
   }
 }
 
+void ThreadTeam::start(RawFn fn, void* ctx) {
+  ++stats_.sync_count;
+  if (watchdog_seconds_ > 0.0) {
+    cmd_start_.store(now_seconds(), std::memory_order_release);
+    in_flight_.store(true, std::memory_order_release);
+  }
+  fn_ = fn;
+  ctx_ = ctx;
+  done_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  wake_parked();
+}
+
+void ThreadTeam::join() {
+  spin_until([&] {
+    return done_.load(std::memory_order_acquire) >= spawned_;
+  });
+  if (watchdog_seconds_ > 0.0)
+    in_flight_.store(false, std::memory_order_release);
+  if (instrument_) fold_command_timings();
+}
+
+void ThreadTeam::fold_command_timings() {
+  double max_dt = 0.0, sum_dt = 0.0;
+  for (int t = 0; t < nthreads_; ++t) {
+    const double dt = work_seconds_[static_cast<std::size_t>(t)].value;
+    max_dt = dt > max_dt ? dt : max_dt;
+    sum_dt += dt;
+  }
+  stats_.critical_path_seconds += max_dt;
+  stats_.total_work_seconds += sum_dt;
+  stats_.imbalance_seconds += nthreads_ * max_dt - sum_dt;
+}
+
 void ThreadTeam::run(RawFn fn, void* ctx) {
+  if (detached_) {  // no inline master share: broadcast and wait
+    start(fn, ctx);
+    join();
+    return;
+  }
   ++stats_.sync_count;
   // Watchdog bookkeeping brackets the WHOLE command, master share included:
   // engine commands synchronize internally (phase barriers inside fn), so a
@@ -276,21 +326,11 @@ void ThreadTeam::run(RawFn fn, void* ctx) {
   }
 
   spin_until([&] {
-    return done_.load(std::memory_order_acquire) >= nthreads_ - 1;
+    return done_.load(std::memory_order_acquire) >= spawned_;
   });
   if (wd) in_flight_.store(false, std::memory_order_release);
 
-  if (instrument_) {
-    double max_dt = 0.0, sum_dt = 0.0;
-    for (int t = 0; t < nthreads_; ++t) {
-      const double dt = work_seconds_[static_cast<std::size_t>(t)].value;
-      max_dt = dt > max_dt ? dt : max_dt;
-      sum_dt += dt;
-    }
-    stats_.critical_path_seconds += max_dt;
-    stats_.total_work_seconds += sum_dt;
-    stats_.imbalance_seconds += nthreads_ * max_dt - sum_dt;
-  }
+  if (instrument_) fold_command_timings();
 }
 
 }  // namespace plk

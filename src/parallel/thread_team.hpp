@@ -43,20 +43,39 @@ struct TeamStats {
 
 /// A fixed-size team of threads executing broadcast commands.
 ///
-/// Thread 0 is the calling (master) thread itself; `size() - 1` workers are
-/// spawned on construction and joined on destruction. Not re-entrant: only
-/// the master may call run(), and nested run() is not allowed.
+/// In the default (master-inline) mode, thread 0 is the calling (master)
+/// thread itself; `size() - 1` workers are spawned on construction and
+/// joined on destruction. Not re-entrant: only the master may call run(),
+/// and nested run() is not allowed.
+///
+/// In DETACHED mode all `size()` threads are spawned workers and the owner
+/// drives commands asynchronously with start()/join() instead of run().
+/// This is what lets one master fan a flush out to several shard teams
+/// concurrently: start() broadcasts and returns immediately; join() blocks
+/// until every worker finished. The sharded engine keeps shard 0's team
+/// master-inline (the master contributes its own core there) and runs
+/// shards 1..N-1 detached.
 class ThreadTeam {
  public:
-  /// `nthreads` >= 1 total threads (including the master).
+  /// `nthreads` >= 1 total threads (including the master in master-inline
+  /// mode; all spawned in detached mode).
   /// `instrument`: collect per-thread work timings (small overhead: two
   /// clock reads per thread per command).
   /// `cpu_time`: measure per-thread CPU time instead of wall time. Wall
   /// time is the right default (it is what the caller waits for), but on an
   /// oversubscribed machine it mostly measures the OS scheduler; CPU time
   /// keeps the imbalance accounting meaningful there.
+  /// `detached`: spawn all `nthreads` threads as workers and drive them via
+  /// start()/join().
+  /// `bind_cpus`: when non-empty, every spawned worker pins itself to this
+  /// CPU set on startup (no-op unless built with PLK_NUMA_BIND).
+  /// `concurrency_hint`: total number of engine threads sharing the machine
+  /// (0 = just this team); used to size the between-command spin budget when
+  /// several shard teams coexist.
   explicit ThreadTeam(int nthreads, bool instrument = true,
-                      bool cpu_time = false);
+                      bool cpu_time = false, bool detached = false,
+                      std::vector<int> bind_cpus = {},
+                      int concurrency_hint = 0);
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;
@@ -70,9 +89,20 @@ class ThreadTeam {
   /// allocate on every run() call).
   using RawFn = void (*)(void* ctx, int tid);
 
-  /// Execute fn(ctx, tid) on every thread (master runs tid 0 inline);
-  /// returns after all threads finished. One synchronization event.
+  /// Execute fn(ctx, tid) on every thread (master runs tid 0 inline unless
+  /// the team is detached); returns after all threads finished. One
+  /// synchronization event.
   void run(RawFn fn, void* ctx);
+
+  /// Detached-mode broadcast: publish the command to all workers and return
+  /// without waiting. Exactly one join() must follow before the next
+  /// start(). `fn`/`ctx` must stay valid until that join() returns.
+  void start(RawFn fn, void* ctx);
+
+  /// Block until every worker finished the command published by start().
+  void join();
+
+  bool detached() const { return detached_; }
 
   /// Convenience overload for callables (lambdas): forwards a pointer to
   /// `fn` as the context — no allocation, no type erasure overhead. The
@@ -152,9 +182,17 @@ class ThreadTeam {
   /// path when nobody is parked).
   void wake_parked();
 
+  /// Fold per-thread work timings of a completed command into stats_.
+  void fold_command_timings();
+
   int nthreads_;
   bool instrument_;
   bool cpu_time_;
+  bool detached_;
+  /// Workers that must report done per command: nthreads_ when detached,
+  /// nthreads_ - 1 when the master runs tid 0 inline.
+  int spawned_;
+  std::vector<int> bind_cpus_;
   double spin_budget_seconds_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> done_{0};

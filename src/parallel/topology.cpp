@@ -1,0 +1,197 @@
+#include "parallel/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace plk {
+namespace {
+
+// Parse a sysfs cpulist string ("0-3,8,10-11") into sorted CPU ids.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    const int lo = std::stoi(text.substr(i), &end);
+    i += end;
+    int hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      hi = std::stoi(text.substr(i), &end);
+      i += end;
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  return cpus;
+}
+
+std::string read_small_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "re");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace
+
+HostTopology HostTopology::detect() {
+  HostTopology topo;
+  const unsigned hw = std::thread::hardware_concurrency();
+  topo.logical_cpus = hw > 0 ? static_cast<int>(hw) : 1;
+#if defined(__linux__)
+  for (int id = 0; id < 1024; ++id) {
+    const std::string base =
+        "/sys/devices/system/node/node" + std::to_string(id);
+    const std::string list = read_small_file(base + "/cpulist");
+    if (list.empty()) {
+      if (id > 0) break;  // node0 may be absent only on exotic layouts
+      continue;
+    }
+    NumaNode node;
+    node.id = id;
+    node.cpus = parse_cpulist(list);
+    if (!node.cpus.empty()) topo.nodes.push_back(std::move(node));
+  }
+#endif
+  if (topo.nodes.empty()) {
+    NumaNode node;
+    node.id = 0;
+    node.cpus.resize(static_cast<std::size_t>(topo.logical_cpus));
+    std::iota(node.cpus.begin(), node.cpus.end(), 0);
+    topo.nodes.push_back(std::move(node));
+  }
+  return topo;
+}
+
+ShardPlan ShardPlan::build(int shards, int threads,
+                           const std::vector<PartitionShape>& shapes,
+                           const HostTopology& topo) {
+  ShardPlan plan;
+  const int N = std::max(1, shards);
+  const int T = std::max(1, threads);
+  plan.threads_ = T;
+  plan.specs_.resize(static_cast<std::size_t>(N));
+  plan.owner_.assign(shapes.size() * static_cast<std::size_t>(T), 0);
+
+  const int nodes = static_cast<int>(topo.nodes.size());
+  for (int s = 0; s < N; ++s) {
+    ShardSpec& spec = plan.specs_[static_cast<std::size_t>(s)];
+    spec.threads = std::max(1, T / N + (s < T % N ? 1 : 0));
+    spec.node = nodes > 1 ? topo.nodes[s % nodes].id : -1;
+  }
+  if (N == 1) {
+    ShardSpec& spec = plan.specs_.front();
+    for (std::size_t p = 0; p < shapes.size(); ++p)
+      spec.slices.push_back({static_cast<int>(p), 0, T});
+    return plan;
+  }
+
+  // Cumulative team sizes decide the vt boundaries of split partitions. When
+  // N <= T the boundary of shard s is exactly its cumulative thread count, so
+  // every local thread of a split slice replays exactly one vt per partition.
+  std::vector<int> vt_lo(static_cast<std::size_t>(N) + 1, 0);
+  int sum_t = 0;
+  for (int s = 0; s < N; ++s) sum_t += plan.specs_[s].threads;
+  {
+    int cum = 0;
+    for (int s = 0; s < N; ++s) {
+      vt_lo[static_cast<std::size_t>(s)] =
+          static_cast<int>(static_cast<long long>(T) * cum / sum_t);
+      cum += plan.specs_[s].threads;
+    }
+    vt_lo[static_cast<std::size_t>(N)] = T;
+  }
+
+  std::vector<double> cost(shapes.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t p = 0; p < shapes.size(); ++p) {
+    cost[p] = static_cast<double>(shapes[p].patterns) *
+              shapes[p].cost_per_pattern();
+    total += cost[p];
+  }
+  const double huge_threshold = total > 0.0 ? 1.5 * total / N : 0.0;
+
+  // Normalized per-shard load, seeded with the shares of split partitions.
+  std::vector<double> load(static_cast<std::size_t>(N), 0.0);
+  std::vector<int> whole;
+  for (std::size_t p = 0; p < shapes.size(); ++p) {
+    const bool split = total > 0.0 && cost[p] > huge_threshold;
+    if (!split) {
+      whole.push_back(static_cast<int>(p));
+      continue;
+    }
+    for (int s = 0; s < N; ++s) {
+      const int lo = vt_lo[static_cast<std::size_t>(s)];
+      const int hi = vt_lo[static_cast<std::size_t>(s) + 1];
+      if (hi <= lo) continue;
+      plan.specs_[s].slices.push_back({static_cast<int>(p), lo, hi});
+      load[static_cast<std::size_t>(s)] += cost[p] * (hi - lo) / T;
+      for (int vt = lo; vt < hi; ++vt)
+        plan.owner_[p * static_cast<std::size_t>(T) + vt] = s;
+    }
+  }
+
+  // Remaining partitions go whole to the least-loaded shard (normalized by
+  // team size), largest first, ties to the lowest shard index.
+  std::sort(whole.begin(), whole.end(), [&](int a, int b) {
+    if (cost[static_cast<std::size_t>(a)] != cost[static_cast<std::size_t>(b)])
+      return cost[static_cast<std::size_t>(a)] >
+             cost[static_cast<std::size_t>(b)];
+    return a < b;
+  });
+  for (const int p : whole) {
+    int best = 0;
+    double best_load = load[0] / plan.specs_[0].threads;
+    for (int s = 1; s < N; ++s) {
+      const double l = load[static_cast<std::size_t>(s)] /
+                       plan.specs_[static_cast<std::size_t>(s)].threads;
+      if (l < best_load) {
+        best = s;
+        best_load = l;
+      }
+    }
+    plan.specs_[static_cast<std::size_t>(best)].slices.push_back({p, 0, T});
+    load[static_cast<std::size_t>(best)] += cost[static_cast<std::size_t>(p)];
+    for (int vt = 0; vt < T; ++vt)
+      plan.owner_[static_cast<std::size_t>(p) * T + vt] = best;
+  }
+  for (auto& spec : plan.specs_)
+    std::sort(spec.slices.begin(), spec.slices.end(),
+              [](const ShardSlice& a, const ShardSlice& b) {
+                return a.part < b.part;
+              });
+  return plan;
+}
+
+bool bind_current_thread(const std::vector<int>& cpus) {
+#if defined(PLK_NUMA_BIND) && defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus)
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+}  // namespace plk

@@ -1,0 +1,97 @@
+// Host topology detection and the shard plan: how EngineCore splits its
+// partitions and virtual thread ids across NUMA-aware sub-cores.
+//
+// The plan's contract is the bit-identity invariant of the sharded engine:
+// `threads` (T) stays the GLOBAL virtual-tid count at every shard count, and
+// the plan assigns every (partition, vt) pair to exactly one shard. A shard's
+// local threads replay whole virtual tids of the single global WorkSchedule,
+// so every per-(vt, partition) reduction row holds the same value it would
+// under one flat team, and the master's fixed-order fold over vt = 0..T-1 is
+// unchanged. Huge partitions are split across shards by VT RANGE — never by
+// raw pattern range, which would regroup a left-fold mid-stream and change
+// the floating-point result.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/schedule.hpp"
+
+namespace plk {
+
+/// One NUMA node as detected from the OS (or a synthetic single node).
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;  ///< logical CPUs on this node, sorted
+};
+
+/// Host machine shape. On Linux this is parsed from
+/// /sys/devices/system/node; elsewhere (or when sysfs is absent) it
+/// degrades to one node covering every logical CPU.
+struct HostTopology {
+  std::vector<NumaNode> nodes;
+  int logical_cpus = 1;
+
+  static HostTopology detect();
+};
+
+/// One shard's share of one partition: the half-open virtual-tid interval
+/// [vt_begin, vt_end) of the global schedule that this shard executes.
+/// Whole (un-split) partitions appear as [0, T).
+struct ShardSlice {
+  int part = 0;
+  int vt_begin = 0;
+  int vt_end = 0;
+};
+
+/// Static description of one shard: its local team size, the NUMA node its
+/// worker threads should bind to (-1 = unbound), and its slices.
+struct ShardSpec {
+  int threads = 1;
+  int node = -1;
+  std::vector<ShardSlice> slices;  ///< sorted by part, disjoint vt ranges
+};
+
+/// Deterministic assignment of every (partition, vt) pair to one shard.
+///
+/// Built once at engine construction from the STATIC partition shapes (never
+/// from measured costs — the plan also decides first-touch page placement, so
+/// it must not shift under recalibration). Thread counts split T as evenly as
+/// possible (t_s = T/N + (s < T%N), clamped to >= 1 so N > T oversubscribes
+/// rather than dropping shards). Partitions whose modeled cost exceeds
+/// 1.5x the per-shard average are split across ALL shards by vt range in
+/// proportion to team size; the rest are LPT-packed whole onto the shard with
+/// the lowest normalized load. Everything is a pure function of
+/// (shards, threads, shapes), so two engines with the same inputs — e.g. a
+/// checkpoint writer and its resumer — build identical plans.
+class ShardPlan {
+ public:
+  static ShardPlan build(int shards, int threads,
+                         const std::vector<PartitionShape>& shapes,
+                         const HostTopology& topo);
+
+  int shard_count() const { return static_cast<int>(specs_.size()); }
+  int threads() const { return threads_; }
+  const ShardSpec& shard(int s) const { return specs_[s]; }
+
+  /// Shard owning virtual tid `vt` of partition `part`.
+  int owner(int part, int vt) const {
+    return owner_[static_cast<std::size_t>(part) * threads_ + vt];
+  }
+
+  /// Shard owning vt 0 of `part` — the canonical builder of the partition's
+  /// shared per-flush state (pmat buffers, tip tables, NR scratch).
+  int primary_owner(int part) const { return owner(part, 0); }
+
+ private:
+  int threads_ = 1;
+  std::vector<ShardSpec> specs_;
+  std::vector<int> owner_;  ///< dense [part * threads_ + vt] lookup
+};
+
+/// Pin the calling thread to the given CPU set. Compiled to a no-op unless
+/// PLK_NUMA_BIND is enabled at configure time (and on non-Linux hosts).
+/// Returns true when an affinity mask was actually applied.
+bool bind_current_thread(const std::vector<int>& cpus);
+
+}  // namespace plk

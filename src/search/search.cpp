@@ -635,6 +635,10 @@ std::vector<SearchResult> search_ml_replicated(
   const auto recover_wave = [&](const char* what) {
     core.abort_pending();
     if (++consecutive_wave_faults > kMaxConsecutiveWaveFaults) throw;
+    // Under a sharded core the fault message carries the owning sub-core
+    // (FaultRecord::shard): containment means only that shard's slice
+    // produced the poison, and the retry below recomputes from clean state
+    // on all shards identically.
     log_warn(std::string("search: candidate wave faulted (") + what +
              "); rewinding and retrying degraded");
     for (std::size_t i : stagers) machines[i]->on_wave_fault();

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace plk {
@@ -61,6 +64,45 @@ class AlignedAllocator {
 
 /// Vector of doubles aligned for vectorized kernel loops.
 using AlignedDoubleVec = std::vector<double, AlignedAllocator<double>>;
+
+/// Aligned allocator whose default-construct is a no-op for trivial types.
+/// `resize()` on a vector using it allocates pages without touching them, so
+/// the first write decides NUMA placement (first-touch). Buffers using this
+/// must be fully written before they are read.
+template <class T, std::size_t Align = kVectorAlign>
+class NoInitAllocator : public AlignedAllocator<T, Align> {
+ public:
+  static_assert(std::is_trivially_default_constructible_v<T>,
+                "no-init allocation only makes sense for trivial types");
+  NoInitAllocator() noexcept = default;
+  template <class U>
+  NoInitAllocator(const NoInitAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = NoInitAllocator<U, Align>;
+  };
+
+  // Value-initialization requests (resize, assign) become no-ops; explicit
+  // construct-with-args (push_back with a value) still works.
+  template <class U>
+  void construct(U*) noexcept {}
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+
+  friend bool operator==(const NoInitAllocator&, const NoInitAllocator&) {
+    return true;
+  }
+};
+
+/// Aligned vector of doubles whose resize does NOT zero-fill: pages stay
+/// untouched until a kernel thread writes them (NUMA first-touch).
+using AlignedNoInitDoubleVec = std::vector<double, NoInitAllocator<double>>;
+
+/// Scale-count vector variant with the same first-touch property.
+using NoInitInt32Vec = std::vector<std::int32_t, NoInitAllocator<std::int32_t>>;
 
 /// A double padded out to a full cache line. Arrays of `PaddedDouble` are used
 /// for per-thread partial reductions so writes from different threads never

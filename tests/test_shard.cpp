@@ -1,0 +1,429 @@
+// Tests for the sharded EngineCore (core/core_shard.hpp,
+// parallel/topology.hpp): the NUMA-aware sub-core layer between the engine
+// and its thread teams.
+//
+// Contracts pinned here:
+//   * ShardPlan::build covers every (partition, virtual tid) pair exactly
+//     once, deterministically, at every (shards x threads) configuration;
+//   * likelihoods, NR derivatives, and accepted search moves are
+//     BIT-identical across shard counts at every tested thread count — the
+//     two-level reduction tree (fixed per-vt rows, fixed-order master fold)
+//     is shard-layout invariant. This includes the split-partition path
+//     (one huge partition spread over all shards by vt range) and coarse
+//     batch execution;
+//   * an injected numeric fault in a sharded flush is attributed to the
+//     owning sub-core, contained to the faulted overlay, and recoverable;
+//   * checkpoints restore bit-identically across differing shard counts;
+//   * ClvSlotPool's stable handles let trim() reclaim free slots that are
+//     not the highest-numbered ones (the old tail-only contraction kept
+//     them allocated forever);
+//   * EngineOptions::shards = 0 honors the PLK_SHARDS environment override.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plk.hpp"
+
+namespace plk {
+namespace {
+
+/// Clear PLK_SHARDS for rigs that pin an explicit shard count, so running
+/// this suite under the CI's PLK_SHARDS=2 environment cannot skew the
+/// shards=1 references. Restores the previous value on scope exit.
+struct ShardEnvGuard {
+  std::string saved;
+  bool had = false;
+  ShardEnvGuard() {
+    if (const char* v = std::getenv("PLK_SHARDS")) {
+      saved = v;
+      had = true;
+    }
+    unsetenv("PLK_SHARDS");
+  }
+  ~ShardEnvGuard() {
+    if (had) setenv("PLK_SHARDS", saved.c_str(), 1);
+  }
+};
+
+struct ShardRig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<EngineCore> core;
+
+  /// Mixed DNA+protein multi-gene data: partition costs vary ~25x, so the
+  /// plan exercises both whole-partition assignment and huge-partition
+  /// splitting.
+  ShardRig(int shards, int threads, std::uint64_t seed = 271,
+           bool single_partition = false) {
+    data = single_partition
+               ? make_unpartitioned_dna(7, 240, seed)
+               : make_mixed_multigene(7, 3, 2, 60, 200, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions) {
+      SubstModel m = part.type == DataType::kDna
+                         ? make_model("GTR", empirical_frequencies(part))
+                         : make_model("WAG");
+      models.emplace_back(std::move(m), 0.8, 4);
+    }
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.shards = shards;
+    eo.unlinked_branch_lengths = true;
+    core = std::make_unique<EngineCore>(*comp, std::move(models), eo);
+  }
+};
+
+// --- ShardPlan ---------------------------------------------------------------
+
+std::vector<PartitionShape> demo_shapes() {
+  // One huge partition (index 1) and several small ones.
+  return {{120, 4, 4, 1.0}, {900, 20, 4, 1.0}, {80, 4, 4, 1.0},
+          {150, 4, 4, 1.0}, {60, 20, 4, 1.0}};
+}
+
+TEST(ShardPlan, CoversEveryVtOfEveryPartitionExactlyOnce) {
+  const auto shapes = demo_shapes();
+  for (int N : {1, 2, 3, 4}) {
+    for (int T : {1, 2, 4, 8}) {
+      const ShardPlan plan = ShardPlan::build(N, T, shapes, HostTopology{});
+      ASSERT_EQ(plan.shard_count(), N);
+      // Every (partition, vt) must be owned by exactly one shard, and the
+      // owner table must agree with the shards' slice lists.
+      for (int p = 0; p < static_cast<int>(shapes.size()); ++p) {
+        for (int vt = 0; vt < T; ++vt) {
+          const int owner = plan.owner(p, vt);
+          ASSERT_GE(owner, 0) << "N=" << N << " T=" << T;
+          ASSERT_LT(owner, N);
+          int claimed = 0;
+          for (int s = 0; s < N; ++s)
+            for (const ShardSlice& sl : plan.shard(s).slices)
+              if (sl.part == p && vt >= sl.vt_begin && vt < sl.vt_end) {
+                ++claimed;
+                EXPECT_EQ(s, owner);
+              }
+          EXPECT_EQ(claimed, 1) << "p=" << p << " vt=" << vt;
+        }
+      }
+      // Shard team sizes split T exactly when N <= T; N > T oversubscribes
+      // to one thread per shard rather than dropping shards.
+      int total = 0;
+      for (int s = 0; s < N; ++s) {
+        EXPECT_GE(plan.shard(s).threads, 1);
+        total += plan.shard(s).threads;
+      }
+      EXPECT_EQ(total, std::max(N, T));
+    }
+  }
+}
+
+TEST(ShardPlan, IsDeterministic) {
+  const auto shapes = demo_shapes();
+  const ShardPlan a = ShardPlan::build(3, 8, shapes, HostTopology{});
+  const ShardPlan b = ShardPlan::build(3, 8, shapes, HostTopology{});
+  for (int s = 0; s < 3; ++s) {
+    const ShardSpec& x = a.shard(s);
+    const ShardSpec& y = b.shard(s);
+    ASSERT_EQ(x.slices.size(), y.slices.size());
+    EXPECT_EQ(x.threads, y.threads);
+    for (std::size_t i = 0; i < x.slices.size(); ++i) {
+      EXPECT_EQ(x.slices[i].part, y.slices[i].part);
+      EXPECT_EQ(x.slices[i].vt_begin, y.slices[i].vt_begin);
+      EXPECT_EQ(x.slices[i].vt_end, y.slices[i].vt_end);
+    }
+  }
+}
+
+// --- bit-identity across the (shards x threads) matrix -----------------------
+
+struct RefValues {
+  std::vector<double> lnl;        // per probed edge
+  std::vector<double> d1, d2;     // NR at edge 0, all partitions
+};
+
+RefValues probe(EngineCore& core, const Tree& tree) {
+  EvalContext ctx(core, tree);
+  RefValues out;
+  for (EdgeId e : {0, 3, 7}) out.lnl.push_back(ctx.loglikelihood(e));
+  const int P = core.partition_count();
+  std::vector<int> parts;
+  std::vector<double> lens;
+  for (int p = 0; p < P; ++p) {
+    parts.push_back(p);
+    lens.push_back(ctx.branch_lengths().get(0, p));
+  }
+  out.d1.assign(parts.size(), 0.0);
+  out.d2.assign(parts.size(), 0.0);
+  ctx.nr_derivatives_at(0, parts, lens, out.d1, out.d2);
+  return out;
+}
+
+TEST(ShardBitIdentity, LnlAndDerivativesAcrossShardThreadMatrix) {
+  ShardEnvGuard env;
+  for (int T : {1, 2, 4, 8}) {
+    ShardRig ref(1, T);
+    const RefValues want = probe(*ref.core, ref.data.true_tree);
+    for (int N : {2, 4}) {
+      ShardRig rig(N, T);
+      ASSERT_EQ(rig.core->shard_count(), N);
+      const RefValues got = probe(*rig.core, rig.data.true_tree);
+      for (std::size_t i = 0; i < want.lnl.size(); ++i)
+        EXPECT_EQ(got.lnl[i], want.lnl[i])
+            << "shards=" << N << " threads=" << T << " probe " << i;
+      for (std::size_t k = 0; k < want.d1.size(); ++k) {
+        EXPECT_EQ(got.d1[k], want.d1[k])
+            << "shards=" << N << " threads=" << T << " partition " << k;
+        EXPECT_EQ(got.d2[k], want.d2[k])
+            << "shards=" << N << " threads=" << T << " partition " << k;
+      }
+    }
+  }
+}
+
+TEST(ShardBitIdentity, SplitPartitionPathMatchesFlat) {
+  // A single-partition dataset forces the huge-partition path: the one
+  // partition is split by vt range across ALL shards (no whole-partition
+  // assignment possible), so this pins the vt-slice replay rather than the
+  // partition routing.
+  ShardEnvGuard env;
+  for (int T : {2, 4}) {
+    ShardRig ref(1, T, 99, /*single_partition=*/true);
+    const RefValues want = probe(*ref.core, ref.data.true_tree);
+    for (int N : {2, 4}) {
+      ShardRig rig(N, T, 99, /*single_partition=*/true);
+      // One partition, N shards: with N <= T every shard owns a vt slice of
+      // it (with N > T the vt boundaries leave some shards empty — allowed).
+      if (N <= T)
+        for (int s = 0; s < N; ++s)
+          EXPECT_TRUE(rig.core->shard(s).owns_part(0))
+              << "shard " << s << " owns no slice of the only partition";
+      const RefValues got = probe(*rig.core, rig.data.true_tree);
+      for (std::size_t i = 0; i < want.lnl.size(); ++i)
+        EXPECT_EQ(got.lnl[i], want.lnl[i]) << "shards=" << N << " T=" << T;
+      for (std::size_t k = 0; k < want.d1.size(); ++k) {
+        EXPECT_EQ(got.d1[k], want.d1[k]);
+        EXPECT_EQ(got.d2[k], want.d2[k]);
+      }
+    }
+  }
+}
+
+TEST(ShardBitIdentity, CoarseBatchExecutionMatchesFlat) {
+  // Batched evaluation across many contexts under kCoarse: per-shard owners
+  // replay whole items, which must reproduce the flat engine's values
+  // exactly (each vt row is computed by the same schedule spans either way).
+  ShardEnvGuard env;
+  const int T = 4;
+  const auto run = [](ShardRig& rig) {
+    rig.core->set_batch_execution(BatchExecMode::kCoarse);
+    std::vector<std::unique_ptr<EvalContext>> owned;
+    std::vector<EvalContext*> ctxs;
+    std::vector<EdgeId> edges;
+    for (int c = 0; c < 6; ++c) {
+      Rng trng(7000 + static_cast<std::uint64_t>(c));
+      owned.push_back(std::make_unique<EvalContext>(
+          *rig.core, random_tree(rig.comp->taxon_names, trng)));
+      ctxs.push_back(owned.back().get());
+      edges.push_back(static_cast<EdgeId>(c));
+    }
+    return rig.core->evaluate_batch(ctxs, edges);
+  };
+  ShardRig ref(1, T);
+  ShardRig rig(2, T);
+  const auto want = run(ref);
+  const auto got = run(rig);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < want.size(); ++c)
+    EXPECT_EQ(got[c], want[c]) << "context " << c;
+}
+
+TEST(ShardBitIdentity, SearchMovesIdenticalAcrossShards) {
+  ShardEnvGuard env;
+  SearchOptions so;
+  so.spr_radius = 3;
+  so.max_rounds = 2;
+  const auto run = [&](int shards) {
+    Dataset data = make_simulated_dna(8, 240, 80, 4242);
+    auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp.partitions)
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)), 0.8,
+                          4);
+    EngineOptions eo;
+    eo.threads = 4;
+    eo.shards = shards;
+    eo.unlinked_branch_lengths = true;
+    Rng trng(17);
+    Engine engine(comp, random_tree(comp.taxon_names, trng),
+                  std::move(models), eo);
+    const SearchResult res = search_ml(engine, so);
+    engine.sync_tree_lengths();
+    return std::pair<SearchResult, std::string>(
+        res, write_newick(engine.tree(), 10));
+  };
+  const auto [res1, tree1] = run(1);
+  const auto [res2, tree2] = run(2);
+  EXPECT_EQ(res2.final_lnl, res1.final_lnl);
+  EXPECT_EQ(res2.accepted_moves, res1.accepted_moves);
+  EXPECT_EQ(res2.candidates_scored, res1.candidates_scored);
+  EXPECT_EQ(res2.rounds, res1.rounds);
+  EXPECT_EQ(tree2, tree1);
+}
+
+// --- fault containment -------------------------------------------------------
+
+TEST(ShardFaults, InjectedNanIsAttributedToOwningShardAndContained) {
+  ShardEnvGuard env;
+  ShardRig rig(2, 4);
+  EvalContext parent(*rig.core, rig.data.true_tree);
+  const double clean = parent.loglikelihood(0);
+
+  ClvSlotPool pool(*rig.core);
+  EvalContext overlay(parent, pool);
+  const double overlay_clean = overlay.loglikelihood(0);
+  EXPECT_EQ(overlay_clean, clean);
+
+  bool thrown = false;
+  {
+    fault::ScopedFault f(fault::Site::kWaveEvalNan, 1);
+    try {
+      overlay.loglikelihood(0);
+    } catch (const EngineFault& e) {
+      thrown = true;
+      ASSERT_FALSE(e.records().empty());
+      const FaultRecord& r = e.records().front();
+      EXPECT_TRUE(r.overlay);
+      // Sharded core: the record names the sub-core owning the poisoned
+      // partition.
+      EXPECT_GE(r.shard, 0);
+      EXPECT_LT(r.shard, rig.core->shard_count());
+      EXPECT_EQ(r.shard, rig.core->shard_plan().primary_owner(r.partition));
+    }
+  }
+  ASSERT_TRUE(thrown) << "injected fault did not surface";
+  // Containment: the parent (a sibling context on the same core) still
+  // evaluates cleanly and bit-identically, and the invalidated overlay
+  // recomputes the clean value.
+  EXPECT_EQ(parent.loglikelihood(0), clean);
+  overlay.rebind(parent);
+  EXPECT_EQ(overlay.loglikelihood(0), clean);
+}
+
+// --- checkpoints across shard counts -----------------------------------------
+
+TEST(ShardCheckpoint, RoundTripAcrossDifferingShardCounts) {
+  ShardEnvGuard env;
+  const auto build = [](int shards, int threads) {
+    Dataset data = make_simulated_dna(8, 300, 100, 1234);
+    auto comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions)
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)), 0.7,
+                          4);
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.shards = shards;
+    eo.unlinked_branch_lengths = true;
+    Rng trng(0xbeef);
+    auto engine = std::make_unique<Engine>(
+        *comp, random_tree(comp->taxon_names, trng), std::move(models), eo);
+    return std::pair(std::move(comp), std::move(engine));
+  };
+
+  // Fixed global thread count throughout: the sharded engine's bit-identity
+  // contract holds across SHARD counts at a given T (T is the reduction-row
+  // width; changing it regroups the fold and may shift the last ulp).
+  auto [comp1, flat] = build(1, 4);
+  const double want = flat->loglikelihood(0);
+  const std::string ckpt = serialize_checkpoint(*flat);
+
+  // Restore into a sharded engine: the checkpoint carries only logical
+  // state, and the sharded reduction is bit-identical, so the restored
+  // likelihood matches exactly.
+  auto [comp2, sharded] = build(2, 4);
+  apply_checkpoint(*sharded, ckpt);
+  EXPECT_EQ(sharded->loglikelihood(0), want);
+
+  // And back: serialize the sharded engine, restore into a flat one.
+  const std::string ckpt2 = serialize_checkpoint(*sharded);
+  auto [comp3, flat2] = build(1, 4);
+  apply_checkpoint(*flat2, ckpt2);
+  EXPECT_EQ(flat2->loglikelihood(0), want);
+
+  // A wider shard split restores identically too.
+  auto [comp4, wide] = build(4, 4);
+  apply_checkpoint(*wide, ckpt2);
+  EXPECT_EQ(wide->loglikelihood(0), want);
+}
+
+// --- ClvSlotPool stable handles ----------------------------------------------
+
+TEST(ShardPool, TrimReclaimsNonTailFreeSlots) {
+  ShardEnvGuard env;
+  ShardRig rig(1, 1);
+  ClvSlotPool pool(*rig.core, /*soft_cap=*/0);
+  const auto a = pool.acquire(0);
+  const auto b = pool.acquire(0);
+  const auto c = pool.acquire(0);
+  EXPECT_EQ(a.slot, 0);
+  EXPECT_EQ(b.slot, 1);
+  EXPECT_EQ(c.slot, 2);
+  ASSERT_EQ(pool.slots_allocated(), 3u);
+
+  // Free the MIDDLE slot: under the old tail-only contraction this slot
+  // could never be reclaimed while slot 2 stayed in use; stable handles let
+  // trim() erase it wherever it sits.
+  pool.release(0, b.slot);
+  pool.trim();
+  EXPECT_EQ(pool.slots_allocated(), 2u);
+  EXPECT_EQ(pool.slots_in_use(), 2u);
+
+  // The surviving leases are untouched and the freed id is NOT resurrected:
+  // fresh ids keep growing monotonically, so a stale handle can never alias
+  // a new lease.
+  const auto d = pool.acquire(0);
+  EXPECT_EQ(d.slot, 3);
+  pool.release(0, a.slot);
+  pool.release(0, c.slot);
+  pool.release(0, d.slot);
+  pool.trim();
+  EXPECT_EQ(pool.slots_allocated(), 0u);
+}
+
+// --- environment override + stats -------------------------------------------
+
+TEST(ShardOptions, AutoShardsHonorsEnvironment) {
+  ShardEnvGuard env;
+  setenv("PLK_SHARDS", "3", 1);
+  ShardRig rig(0, 4);  // shards = 0 -> auto
+  EXPECT_EQ(rig.core->shard_count(), 3);
+  unsetenv("PLK_SHARDS");
+  ShardRig flat(0, 4);
+  EXPECT_EQ(flat.core->shard_count(), 1);
+}
+
+TEST(ShardStats, FanOutAccountingAndLogicalSyncs) {
+  ShardEnvGuard env;
+  ShardRig rig(2, 4);
+  EvalContext ctx(*rig.core, rig.data.true_tree);
+  rig.core->reset_stats();
+  const auto sync_before = rig.core->team_stats().sync_count;
+  ctx.loglikelihood(0);
+  // One flush = ONE logical sync event regardless of how many shard teams
+  // it engaged (the flat engine's accounting, preserved).
+  EXPECT_EQ(rig.core->team_stats().sync_count - sync_before,
+            rig.core->stats().commands);
+  // Multi-partition full-traversal flush engages both shards.
+  EXPECT_GE(rig.core->stats().shard_fanouts, 1u);
+  EXPECT_GE(rig.core->stats().shard_team_syncs, rig.core->stats().commands);
+}
+
+}  // namespace
+}  // namespace plk

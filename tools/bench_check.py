@@ -14,6 +14,10 @@ gate is largely host-speed independent):
            candidates-per-sec, lockstep/serial replicated-search throughput
            + the hard gates that the scorers produced identical moves and
            likelihoods
+  shard    shards=2 over shards=1 throughput (on a small host this is the
+           sub-core fan-out overhead rather than a NUMA speedup)
+           + the hard gate that every shard count reproduced the shards=1
+           likelihoods and derivatives bit for bit
 
 A metric REGRESSES when it falls outside the tolerance band around its
 baseline (worse by more than --tolerance, fractionally; a couple of noisy
@@ -132,6 +136,24 @@ def metrics_for(doc):
                  rep.get("identical_trees") == 1,
                  "lockstep replicate searches must reproduce the serial "
                  "per-replicate trees (missing field counts as failure)"))
+
+    elif bench == "shard":
+        # Determinism is the hard gate: every shard count must reproduce
+        # the shards=1 likelihoods AND derivatives bit for bit (a missing
+        # field fails — schema drift must scream, not wave through).
+        ident = str(doc.get("bit_identical", "")).lower() == "true"
+        hard.append(
+            ("shard_bit_identical", ident,
+             "lnL/derivatives must be bit-identical across shard counts "
+             "(missing field counts as failure)"))
+        strong = {s.get("shards"): s for s in doc.get("strong", [])}
+        s2 = strong.get(2)
+        # The scaling ratio is only meaningful with real parallel hardware
+        # under the teams; on a 1-core runner shards=2 measures pure
+        # fan-out overhead, so gate the overhead ratio instead of demanding
+        # a speedup that the host cannot physically deliver.
+        if s2 and "speedup" in s2:
+            metrics["shard2_over_shard1_throughput"] = (s2["speedup"], HIGHER)
 
     return metrics, hard
 
