@@ -1,0 +1,200 @@
+// E12: streaming placement throughput — the likelihood-as-a-service bench.
+//
+// Measures the PlacementEngine (server/placement.hpp) on a simulated
+// placement workload: a reference tree plus a stream of noisy-copy queries
+// with known true insertion edges.
+//
+//   sequential   one query at a time, ONE candidate per wave — the
+//                reference scoring path every placement must reproduce;
+//   batched      all queries submitted up front, lanes merging their
+//                candidate scoring into shared lockstep waves (the
+//                server's steady-state shape); per-query latency is
+//                submit-to-result under that full load.
+//
+// The hard gate: every batched placement's (edge, lnL, pendant) must equal
+// the sequential scoring of the same query BIT FOR BIT — wave composition
+// must not leak into results. Recorded as bit_identical in
+// BENCH_place.json and enforced by tools/bench_check.py.
+//
+// Like the other benches, absolute seconds depend on the host;
+// host_cores is recorded so the gate can warn when a baseline from a
+// different machine class is being compared against.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace plk;
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  const std::size_t k = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(p / 100.0 * static_cast<double>(v.size() - 1) +
+                               0.5));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plk::bench;
+
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  const double scale = scale_from_env(1.0);
+  const int threads = [] {
+    if (const char* s = std::getenv("PLK_PLACE_THREADS")) return std::atoi(s);
+    return 2;
+  }();
+  const int taxa = std::max(8, static_cast<int>(16 * scale));
+  const std::size_t sites =
+      std::max<std::size_t>(400, static_cast<std::size_t>(2000 * scale));
+  const int queries = std::max(16, static_cast<int>(96 * scale));
+  const int lanes = 8;
+
+  const HostTopology topo = HostTopology::detect();
+  std::printf("host: %d logical cpus; threads %d, lanes %d\n",
+              topo.logical_cpus, threads, lanes);
+
+  const PlacementScenario sc =
+      make_placement_scenario(taxa, sites, queries, 20260807);
+  std::printf("reference %s, %d queries\n", sc.reference.name.c_str(),
+              queries);
+
+  PlacementOptions po;
+  po.lanes = lanes;
+  po.max_candidates = 8;
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.unlinked_branch_lengths = true;
+  PlacementEngine eng(sc.reference.alignment, sc.reference.scheme,
+                      Tree(sc.reference.true_tree), po, eo);
+  const double ref_lnl = eng.optimize_reference();
+  eng.start_service();
+  std::printf("reference lnL %.4f\n", ref_lnl);
+
+  // --- sequential reference pass -------------------------------------------
+  std::vector<PlacementResult> seq(static_cast<std::size_t>(queries));
+  // Warm-up (slot tip tables, parent CLVs) outside the timed window.
+  eng.place_sequential(sc.queries[0].data);
+  Timer seq_timer;
+  for (int i = 0; i < queries; ++i)
+    seq[static_cast<std::size_t>(i)] =
+        eng.place_sequential(sc.queries[static_cast<std::size_t>(i)].data);
+  const double seq_seconds = seq_timer.seconds();
+
+  // --- batched streaming pass ----------------------------------------------
+  std::map<std::uint64_t, std::size_t> by_ticket;
+  std::vector<std::chrono::steady_clock::time_point> submit_at(
+      static_cast<std::size_t>(queries));
+  std::vector<double> latency_ms(static_cast<std::size_t>(queries), 0.0);
+  std::vector<PlacementResult> bat(static_cast<std::size_t>(queries));
+
+  Timer bat_timer;
+  for (int i = 0; i < queries; ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    by_ticket[eng.submit(sc.queries[k].data)] = k;
+    submit_at[k] = std::chrono::steady_clock::now();
+  }
+  std::size_t collected = 0;
+  while (collected < static_cast<std::size_t>(queries)) {
+    eng.pump();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [ticket, result] : eng.drain_ready()) {
+      const std::size_t k = by_ticket.at(ticket);
+      bat[k] = std::move(result);
+      latency_ms[k] =
+          std::chrono::duration<double, std::milli>(now - submit_at[k])
+              .count();
+      ++collected;
+    }
+  }
+  const double bat_seconds = bat_timer.seconds();
+
+  // --- bit-identity hard gate ----------------------------------------------
+  bool bit_identical = true;
+  for (int i = 0; i < queries; ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (!bat[k].ok || !seq[k].ok || bat[k].edge != seq[k].edge ||
+        bat[k].lnl != seq[k].lnl ||
+        bat[k].pendant_length != seq[k].pendant_length) {
+      bit_identical = false;
+      std::printf("MISMATCH query %d: batched (edge %lld, lnl %.17g) vs "
+                  "sequential (edge %lld, lnl %.17g)\n",
+                  i, static_cast<long long>(bat[k].edge), bat[k].lnl,
+                  static_cast<long long>(seq[k].edge), seq[k].lnl);
+    }
+  }
+  std::size_t true_hits = 0;
+  for (int i = 0; i < queries; ++i)
+    if (bat[static_cast<std::size_t>(i)].edge ==
+        sc.true_edges[static_cast<std::size_t>(i)])
+      ++true_hits;
+
+  const PlacementStats& ps = eng.stats();
+  const double seq_per_sec = static_cast<double>(queries) / seq_seconds;
+  const double bat_per_sec = static_cast<double>(queries) / bat_seconds;
+  const double occupancy =
+      ps.waves == 0 ? 0.0
+                    : static_cast<double>(ps.wave_lanes) /
+                          (static_cast<double>(ps.waves) * lanes);
+  const double p50 = percentile(latency_ms, 50);
+  const double p99 = percentile(latency_ms, 99);
+
+  std::printf("\n%-12s %12s %14s\n", "mode", "runtime[s]", "placements/s");
+  std::printf("%-12s %12.3f %14.1f\n", "sequential", seq_seconds,
+              seq_per_sec);
+  std::printf("%-12s %12.3f %14.1f   (speedup %.2f)\n", "batched",
+              bat_seconds, bat_per_sec, bat_per_sec / seq_per_sec);
+  std::printf("latency under full load: p50 %.2f ms, p99 %.2f ms\n", p50,
+              p99);
+  std::printf("waves: %llu (%llu items, occupancy %.2f), true-edge recovery "
+              "%zu/%d\n",
+              static_cast<unsigned long long>(ps.waves),
+              static_cast<unsigned long long>(ps.wave_items), occupancy,
+              true_hits, queries);
+  std::printf("bit-identity batched vs sequential: %s\n",
+              bit_identical ? "OK" : "FAILED");
+
+  if (!json_path.empty()) {
+    JsonObject doc;
+    doc.add("bench", "place");
+    doc.add("dataset", sc.reference.name);
+    doc.add("taxa", taxa);
+    doc.add("sites", static_cast<long long>(sites));
+    doc.add("queries", queries);
+    doc.add("threads", threads);
+    doc.add("lanes", lanes);
+    doc.add("candidates", po.max_candidates);
+    doc.add("host_cores", topo.logical_cpus);
+    doc.add("bit_identical", bit_identical ? "true" : "false");
+    doc.add("true_edge_recovery",
+            static_cast<double>(true_hits) / static_cast<double>(queries));
+    JsonObject s;
+    s.add("seconds", seq_seconds);
+    s.add("placements_per_sec", seq_per_sec);
+    doc.add_raw("sequential", s.render(2));
+    JsonObject b;
+    b.add("seconds", bat_seconds);
+    b.add("placements_per_sec", bat_per_sec);
+    b.add("speedup", bat_per_sec / seq_per_sec);
+    b.add("latency_p50_ms", p50);
+    b.add("latency_p99_ms", p99);
+    b.add("waves", static_cast<long long>(ps.waves));
+    b.add("wave_items", static_cast<long long>(ps.wave_items));
+    b.add("wave_occupancy", occupancy);
+    doc.add_raw("batched", b.render(2));
+    write_json(json_path, doc);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return bit_identical ? 0 : 1;
+}

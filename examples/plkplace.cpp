@@ -1,0 +1,205 @@
+// plkplace — command-line client for the plkserved placement daemon.
+//
+//   # place every sequence of a FASTA against a running server
+//   plkplace --port 7717 -s queries.fasta
+//
+//   # keep the server's lanes full with a deeper pipeline window
+//   plkplace -s queries.fasta --window 64
+//
+// Prints one TSV row per query (id, edge, lnL, pendant length) and a
+// summary line; --stats appends the server's STATS counters.
+//
+// Exit codes: 0 all queries placed, 1 runtime error or any failed
+// placement, 2 usage error, 3 interrupted (SIGINT/SIGTERM: stops sending,
+// drains the responses already in flight).
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "plk.hpp"
+
+namespace {
+
+using namespace plk;
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct CliOptions {
+  std::string host = "127.0.0.1";
+  int port = 7717;
+  std::string query_path;
+  int window = 32;
+  bool show_stats = false;
+};
+
+void usage() {
+  std::printf(
+      "plkplace — stream queries to a plkserved placement daemon\n"
+      "  --host ADDR   server IPv4 address (default 127.0.0.1)\n"
+      "  --port N      server port (default 7717)\n"
+      "  -s FILE       query sequences (FASTA, reference column layout)\n"
+      "  --window N    max pipelined in-flight requests (default 32)\n"
+      "  --stats       print server statistics after placing\n"
+      "exit codes: 0 ok, 1 runtime error / failed placement, 2 usage,\n"
+      "            3 interrupted\n");
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "-h" || a == "--help") {
+      usage();
+      return std::nullopt;
+    } else if (a == "--host") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.host = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.port = std::atoi(v);
+    } else if (a == "-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.query_path = v;
+    } else if (a == "--window") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.window = std::atoi(v);
+      if (o.window < 1) {
+        std::fprintf(stderr, "--window wants N >= 1\n");
+        return std::nullopt;
+      }
+    } else if (a == "--stats") {
+      o.show_stats = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      usage();
+      return std::nullopt;
+    }
+  }
+  if (o.query_path.empty()) {
+    std::fprintf(stderr, "need -s FILE with query sequences\n");
+    usage();
+    return std::nullopt;
+  }
+  return o;
+}
+
+/// Print one response row; returns true when the placement succeeded.
+bool print_response(const WireMessage& m) {
+  const std::string* id = m.get_string("id");
+  const bool ok = m.get_bool("ok").value_or(false);
+  if (ok) {
+    std::printf("%s\t%lld\t%.6f\t%.6f\n", id != nullptr ? id->c_str() : "?",
+                static_cast<long long>(m.get_number("edge").value_or(-1)),
+                m.get_number("lnl").value_or(0.0),
+                m.get_number("pendant").value_or(0.0));
+  } else {
+    const std::string* err = m.get_string("error");
+    std::printf("%s\tFAILED\t%s\n", id != nullptr ? id->c_str() : "?",
+                err != nullptr ? err->c_str() : "unknown error");
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parse_args(argc, argv);
+  if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+  const CliOptions& cli = *parsed;
+
+  std::signal(SIGINT, &handle_stop_signal);
+  std::signal(SIGTERM, &handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    const Alignment queries = read_fasta_file(cli.query_path);
+    if (queries.taxon_count() == 0) {
+      std::fprintf(stderr, "no sequences in %s\n", cli.query_path.c_str());
+      return 1;
+    }
+
+    PlacementClient client;
+    std::string err;
+    if (!client.connect(cli.host, cli.port, &err)) {
+      std::fprintf(stderr, "connect failed: %s\n", err.c_str());
+      return 1;
+    }
+    auto hi = client.hello(&err);
+    if (!hi || !hi->get_bool("ok").value_or(false)) {
+      std::fprintf(stderr, "handshake failed: %s\n",
+                   !hi ? err.c_str()
+                       : hi->get_string("error") != nullptr
+                             ? hi->get_string("error")->c_str()
+                             : "rejected");
+      return 1;
+    }
+    std::printf("# server: %zu-edge reference, %lld lanes\n",
+                static_cast<std::size_t>(hi->get_number("edges").value_or(0)),
+                static_cast<long long>(hi->get_number("lanes").value_or(0)));
+
+    // Pipelined stream: keep up to `window` requests in flight so the
+    // server can merge this client's queries into shared waves.
+    std::size_t sent = 0, received = 0, failed = 0;
+    std::size_t inflight = 0;
+    const std::size_t total = queries.taxon_count();
+    bool interrupted = false;
+    while (received < sent ||
+           (sent < total && !interrupted)) {
+      interrupted = interrupted || g_stop.load(std::memory_order_relaxed);
+      while (!interrupted && sent < total &&
+             inflight < static_cast<std::size_t>(cli.window)) {
+        const Sequence& q = queries.sequences()[sent];
+        if (!client.send_place(q.name, q.data, &err)) {
+          std::fprintf(stderr, "send failed: %s\n", err.c_str());
+          return 1;
+        }
+        ++sent;
+        ++inflight;
+      }
+      if (inflight == 0) break;
+      auto resp = client.read_message(&err);
+      if (!resp) {
+        std::fprintf(stderr, "read failed: %s\n", err.c_str());
+        return 1;
+      }
+      ++received;
+      --inflight;
+      if (!print_response(*resp)) ++failed;
+    }
+    std::printf("# placed %zu/%zu queries, %zu failed%s\n", received, total,
+                failed, interrupted ? " (interrupted)" : "");
+
+    if (cli.show_stats) {
+      auto st = client.stats(&err);
+      if (st) {
+        for (const auto& [k, v] : st->fields()) {
+          if (v.kind == WireValue::Kind::kNumber)
+            std::printf("# stats %s = %s\n", k.c_str(),
+                        json_number(v.num).c_str());
+        }
+      }
+    }
+    client.quit();
+    if (interrupted) return 3;
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,334 @@
+// plkserved — the streaming phylogenetic placement daemon.
+//
+// Loads a reference alignment + tree ONCE, optimizes the reference model
+// state (or warm-restarts it from a checkpoint ring), and then serves
+// placement queries over NDJSON-on-TCP for as long as it runs:
+//
+//   # serve a reference on port 7717 with 8 threads and 16 query lanes
+//   plkserved -s ref.fasta -t ref.nwk -T 8 --lanes 16
+//
+//   # no data at hand? simulate a reference
+//   plkserved --simulate 24,3000 --port 7717
+//
+//   # warm restart: reuse the optimized model state from the last run
+//   plkserved -s ref.fasta -t ref.nwk --checkpoint ref.ckpt
+//
+// The protocol is one JSON object per line (docs/server.md):
+//   {"op":"place","id":"q1","seq":"ACGT..."} ->
+//   {"ok":true,"op":"place","id":"q1","edge":7,"lnl":-1931.53,...}
+//
+// Exit codes (same contract as plkrun):
+//   0  clean shutdown (quit of the last client does NOT stop the server)
+//   1  runtime error (bad input, socket failure, engine fault)
+//   2  usage error
+//   3  interrupted: SIGINT/SIGTERM drained in-flight queries, answered
+//      them, wrote the final checkpoint (with --checkpoint), and exited
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "plk.hpp"
+
+namespace {
+
+using namespace plk;
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct CliOptions {
+  std::string alignment_path;
+  std::string partition_path;
+  std::string tree_path;
+  std::string simulate_spec;  // "taxa,sites"
+  std::string write_queries_path;
+  int sim_queries = 32;
+  std::string bind_address = "127.0.0.1";
+  int port = 7717;
+  int threads = 1;
+  int shards = 0;
+  int lanes = 8;
+  int candidates = 8;
+  std::size_t max_sessions = 64;
+  std::size_t max_queue = 1024;
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  std::uint64_t seed = 42;
+  bool no_model_opt = false;
+};
+
+void usage() {
+  std::printf(
+      "plkserved — streaming phylogenetic placement daemon\n"
+      "  -s FILE          reference alignment (FASTA or relaxed PHYLIP)\n"
+      "  -t FILE          reference tree (Newick; required with -s)\n"
+      "  -q FILE          RAxML-style partition file (default: one DNA/GTR)\n"
+      "  --simulate T,S   simulated reference: T taxa, S sites\n"
+      "  --queries N      with --simulate: held-out queries generated (32)\n"
+      "  --write-queries FILE\n"
+      "                   with --simulate: write the held-out queries as\n"
+      "                   FASTA (feed to plkplace / soak drivers)\n"
+      "  --bind ADDR      IPv4 bind address (default 127.0.0.1)\n"
+      "  --port N         listen port (default 7717; 0 = ephemeral, printed)\n"
+      "  -T N             threads (default 1)\n"
+      "  --shards N       NUMA-aware engine sub-cores (default: PLK_SHARDS)\n"
+      "  --lanes N        concurrent query lanes per wave (default 8)\n"
+      "  --candidates N   parsimony-shortlisted edges per query (default 8)\n"
+      "  --max-sessions N admission limit (default 64)\n"
+      "  --max-queue N    engine queue bound before backpressure (1024)\n"
+      "  --checkpoint F   model-state checkpoint ring: warm restart from it\n"
+      "                   when readable, write it at shutdown\n"
+      "  --checkpoint-every N\n"
+      "                   also checkpoint every N placements (default: only\n"
+      "                   at shutdown)\n"
+      "  --no-model-opt   skip model optimization at startup (branch lengths\n"
+      "                   only)\n"
+      "  --seed N         RNG seed for --simulate (default 42)\n"
+      "exit codes: 0 clean stop, 1 runtime error, 2 usage, 3 interrupted\n"
+      "            (SIGINT/SIGTERM; in-flight queries answered, checkpoint\n"
+      "            written)\n");
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "-h" || a == "--help") {
+      usage();
+      return std::nullopt;
+    } else if (a == "-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.alignment_path = v;
+    } else if (a == "-q") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.partition_path = v;
+    } else if (a == "-t") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.tree_path = v;
+    } else if (a == "--simulate") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.simulate_spec = v;
+    } else if (a == "--queries") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.sim_queries = std::atoi(v);
+      if (o.sim_queries < 1) {
+        std::fprintf(stderr, "--queries wants N >= 1\n");
+        return std::nullopt;
+      }
+    } else if (a == "--write-queries") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.write_queries_path = v;
+    } else if (a == "--bind") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.bind_address = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.port = std::atoi(v);
+    } else if (a == "-T") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.threads = std::atoi(v);
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.shards = std::atoi(v);
+    } else if (a == "--lanes") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.lanes = std::atoi(v);
+      if (o.lanes < 1) {
+        std::fprintf(stderr, "--lanes wants N >= 1\n");
+        return std::nullopt;
+      }
+    } else if (a == "--candidates") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.candidates = std::atoi(v);
+      if (o.candidates < 1) {
+        std::fprintf(stderr, "--candidates wants N >= 1\n");
+        return std::nullopt;
+      }
+    } else if (a == "--max-sessions") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.max_sessions = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--max-queue") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.max_queue = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--checkpoint") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.checkpoint_path = v;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.checkpoint_every = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--no-model-opt") {
+      o.no_model_opt = true;
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      usage();
+      return std::nullopt;
+    }
+  }
+  if (o.alignment_path.empty() && o.simulate_spec.empty()) {
+    std::fprintf(stderr, "need -s FILE (with -t FILE) or --simulate T,S\n");
+    usage();
+    return std::nullopt;
+  }
+  if (!o.alignment_path.empty() && o.tree_path.empty()) {
+    std::fprintf(stderr, "-s needs a reference tree via -t FILE\n");
+    return std::nullopt;
+  }
+  return o;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parse_args(argc, argv);
+  if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+  const CliOptions& cli = *parsed;
+  Log::set_level(LogLevel::Info);
+
+  try {
+    // --- reference inputs ---------------------------------------------------
+    Alignment aln;
+    PartitionScheme scheme;
+    Tree tree;
+    if (!cli.simulate_spec.empty()) {
+      int taxa = 0;
+      std::size_t sites = 0;
+      if (std::sscanf(cli.simulate_spec.c_str(), "%d,%zu", &taxa, &sites) !=
+          2) {
+        std::fprintf(stderr, "bad --simulate spec (want T,S)\n");
+        return 2;
+      }
+      PlacementScenario sc =
+          make_placement_scenario(taxa, sites, cli.sim_queries, cli.seed);
+      if (!cli.write_queries_path.empty()) {
+        std::string fasta;
+        for (const auto& q : sc.queries)
+          fasta += ">" + q.name + "\n" + q.data + "\n";
+        write_file(cli.write_queries_path, fasta);
+        std::printf("wrote %zu queries to %s\n", sc.queries.size(),
+                    cli.write_queries_path.c_str());
+      }
+      aln = std::move(sc.reference.alignment);
+      scheme = std::move(sc.reference.scheme);
+      tree = std::move(sc.reference.true_tree);
+      std::printf("simulated reference %s\n", sc.reference.name.c_str());
+    } else {
+      aln = ends_with(cli.alignment_path, ".phy") ||
+                    ends_with(cli.alignment_path, ".phylip")
+                ? read_phylip_file(cli.alignment_path)
+                : read_fasta_file(cli.alignment_path);
+      scheme = cli.partition_path.empty()
+                   ? PartitionScheme::single(DataType::kDna, aln.site_count())
+                   : PartitionScheme::parse(read_file(cli.partition_path));
+      scheme.validate(aln.site_count());
+      std::vector<std::string> names;
+      for (const auto& s : aln.sequences()) names.push_back(s.name);
+      tree = parse_newick(read_file(cli.tree_path), names);
+    }
+    std::printf("reference: %zu taxa, %zu sites, %zu partitions; %d threads, "
+                "%d lanes x %d candidates\n",
+                aln.taxon_count(), aln.site_count(), scheme.size(),
+                cli.threads, cli.lanes, cli.candidates);
+
+    // --- engine -------------------------------------------------------------
+    PlacementOptions popts;
+    popts.lanes = cli.lanes;
+    popts.max_candidates = cli.candidates;
+    popts.max_queue = cli.max_queue;
+    popts.optimize_models = !cli.no_model_opt;
+    EngineOptions eopts;
+    eopts.threads = cli.threads;
+    eopts.shards = cli.shards;
+    eopts.unlinked_branch_lengths = true;
+    PlacementEngine engine(aln, scheme, std::move(tree), popts, eopts);
+
+    bool warm = false;
+    if (!cli.checkpoint_path.empty())
+      warm = engine.warm_restart(cli.checkpoint_path);
+    if (warm) {
+      std::printf("warm restart from %s\n", cli.checkpoint_path.c_str());
+    } else {
+      const double lnl = engine.optimize_reference();
+      std::printf("reference optimized: lnL %.4f\n", lnl);
+      if (!cli.checkpoint_path.empty())
+        engine.save_checkpoint(cli.checkpoint_path);
+    }
+    engine.start_service();
+
+    // --- serve --------------------------------------------------------------
+    ServerOptions sopts;
+    sopts.bind_address = cli.bind_address;
+    sopts.port = cli.port;
+    sopts.max_sessions = cli.max_sessions;
+    sopts.checkpoint_path = cli.checkpoint_path;
+    sopts.checkpoint_every = cli.checkpoint_every;
+    PlkServer server(engine, sopts);
+    server.open();
+    std::printf("plkserved listening on %s:%d (max %zu sessions)\n",
+                cli.bind_address.c_str(), server.port(), cli.max_sessions);
+    std::fflush(stdout);
+
+    std::signal(SIGINT, &handle_stop_signal);
+    std::signal(SIGTERM, &handle_stop_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    const int rc = server.run(g_stop);
+
+    const PlacementStats& ps = engine.stats();
+    const ServerStats& ss = server.stats();
+    std::printf(
+        "served %llu placements (%llu failed) over %llu sessions in %llu "
+        "waves (occupancy %.2f), %llu rejected at admission, p50 %.2f ms / "
+        "p99 %.2f ms\n",
+        static_cast<unsigned long long>(ps.placed),
+        static_cast<unsigned long long>(ps.failed),
+        static_cast<unsigned long long>(ss.sessions_accepted),
+        static_cast<unsigned long long>(ps.waves),
+        ps.waves == 0 ? 0.0
+                      : static_cast<double>(ps.wave_lanes) /
+                            (static_cast<double>(ps.waves) *
+                             engine.lane_count()),
+        static_cast<unsigned long long>(ss.sessions_rejected),
+        server.latency().percentile(50), server.latency().percentile(99));
+    if (rc != 0) return rc;
+    return g_stop.load(std::memory_order_relaxed) ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

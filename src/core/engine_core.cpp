@@ -49,8 +49,13 @@ struct EngineCore::PartStatic {
   // Tip encoding: per taxon, a code into `indicators` (rows of S doubles,
   // one per distinct state mask occurring in this partition). Stored per
   // alignment taxon so trees with different tip orderings share it; each
-  // context maps its tree tips to taxa.
+  // context maps its tree tips to taxa. The mask -> code catalog is kept
+  // after construction so set_taxon_masks() can re-encode a query-slot
+  // taxon's row (extending the catalog when a query carries a mask the
+  // reference data never produced).
   std::vector<std::vector<std::uint16_t>> taxon_codes;  // [taxon][pattern]
+  std::unordered_map<StateMask, std::uint16_t> code_of;
+  std::vector<StateMask> catalog;
   AlignedDoubleVec indicators;
   std::size_t n_codes = 0;  // rows in `indicators`
 
@@ -67,6 +72,11 @@ struct EngineCore::PartStatic {
     double blen = -1.0;
     std::uint64_t last_used = 0;
     std::uint64_t pinned_flush = 0;
+    /// Service pin (EngineCore::pin_service_context): the entry matches the
+    /// pinned context's model epoch AND its steady-state branch length, so
+    /// eviction policies (LRU shrink, dead-context release) skip it. Overlay
+    /// churn at other lengths stays evictable.
+    bool pinned_service = false;
     AlignedDoubleVec table;
   };
   std::vector<std::vector<TipTableEntry>> tip_tables;  // [edge][slot]
@@ -371,10 +381,11 @@ void EngineCore::build_tip_data() {
   for (auto& pd : parts_) {
     const CompressedPartition& cp = *pd->src;
     const int s = pd->states;
-    // Catalog of distinct state masks in this partition.
-    std::unordered_map<StateMask, std::uint16_t> code_of;
+    // Catalog of distinct state masks in this partition (kept on pd so
+    // set_taxon_masks can translate — and extend — after construction).
+    auto& code_of = pd->code_of;
+    auto& catalog = pd->catalog;
     pd->taxon_codes.assign(aln_.taxon_count(), {});
-    std::vector<StateMask> catalog;
     for (std::size_t x = 0; x < aln_.taxon_count(); ++x) {
       auto& codes = pd->taxon_codes[x];
       codes.resize(pd->patterns);
@@ -396,6 +407,70 @@ void EngineCore::build_tip_data() {
           pd->indicators[c * static_cast<std::size_t>(s) +
                          static_cast<std::size_t>(j)] = 1.0;
   }
+}
+
+void EngineCore::set_taxon_masks(std::size_t x,
+                                 std::span<const std::vector<StateMask>> masks) {
+  if (x >= aln_.taxon_count())
+    throw std::invalid_argument("set_taxon_masks: taxon out of range");
+  if (masks.size() != parts_.size())
+    throw std::invalid_argument("set_taxon_masks: need one row per partition");
+  if (!pending_.empty())
+    throw std::logic_error(
+        "set_taxon_masks: a batch is pending; wait() first");
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    PartStatic& pd = *parts_[p];
+    if (masks[p].size() != pd.patterns)
+      throw std::invalid_argument("set_taxon_masks: pattern count mismatch "
+                                  "in partition " + std::to_string(p));
+    auto& codes = pd.taxon_codes[x];
+    bool grew = false;
+    for (std::size_t i = 0; i < pd.patterns; ++i) {
+      const StateMask m = masks[p][i];
+      auto [it, inserted] =
+          pd.code_of.emplace(m, static_cast<std::uint16_t>(pd.catalog.size()));
+      if (inserted) {
+        if (pd.catalog.size() >= 65535)
+          throw std::runtime_error("too many distinct state masks");
+        pd.catalog.push_back(m);
+        grew = true;
+      }
+      codes[i] = it->second;
+    }
+    if (grew) {
+      // The catalog gained rows: cached tip lookup tables (and per-context
+      // sym tables, caught by the size check in sym_table_for) are sized by
+      // n_codes and must not be read with the new codes. Drop every cached
+      // table of this partition — pinned or not; the pin protects against
+      // eviction policy, not against invalidation.
+      const int s = pd.states;
+      pd.n_codes = pd.catalog.size();
+      pd.indicators.assign(pd.n_codes * static_cast<std::size_t>(s), 0.0);
+      for (std::size_t c = 0; c < pd.catalog.size(); ++c)
+        for (int j = 0; j < s; ++j)
+          if (pd.catalog[c] & (StateMask{1} << j))
+            pd.indicators[c * static_cast<std::size_t>(s) +
+                          static_cast<std::size_t>(j)] = 1.0;
+      for (auto& lru : pd.tip_tables) lru.clear();
+      ++stats_.tip_catalog_extensions;
+    }
+  }
+}
+
+void EngineCore::pin_service_context(const EvalContext* ctx) {
+  if (ctx != nullptr && ctx->core_ != this)
+    throw std::invalid_argument(
+        "pin_service_context: context belongs to another core");
+  // Dropping or replacing a pin leaves stale pinned_service flags behind;
+  // clear them so the entries rejoin normal LRU eviction.
+  if (service_ctx_ != nullptr)
+    for (auto& pd : parts_)
+      for (auto& lru : pd->tip_tables)
+        for (auto& ent : lru) ent.pinned_service = false;
+  service_ctx_ = ctx;
+  service_epochs_.clear();
+  if (ctx != nullptr)
+    service_epochs_ = ctx->model_epoch_;
 }
 
 std::size_t EngineCore::pattern_count(int p) const {
@@ -600,10 +675,18 @@ std::uint64_t EngineCore::epoch_for_model(const PartitionModel& m) {
   if (epoch_of_state_.size() > kEpochRegistryCap) {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> stamps;  // (used, key)
     stamps.reserve(epoch_of_state_.size());
-    for (const auto& [key, ent] : epoch_of_state_)
+    for (const auto& [key, ent] : epoch_of_state_) {
+      // The pinned service context's epochs never leave the registry: losing
+      // one would silently orphan the service's pinned tip tables (fresh
+      // overlays would re-register the same state under a NEW epoch and
+      // rebuild every table).
+      if (std::find(service_epochs_.begin(), service_epochs_.end(),
+                    ent.epoch) != service_epochs_.end())
+        continue;
       stamps.emplace_back(ent.last_used, key);
-    const std::size_t evict =
-        std::max<std::size_t>(1, kEpochRegistryCap / 16);
+    }
+    const std::size_t evict = std::min(
+        stamps.size(), std::max<std::size_t>(1, kEpochRegistryCap / 16));
     std::nth_element(stamps.begin(),
                      stamps.begin() + static_cast<std::ptrdiff_t>(evict),
                      stamps.end());
@@ -629,11 +712,21 @@ EngineCore::TipTableRef EngineCore::tip_table_for(EvalContext& ctx, int p,
   auto& lru = pd.tip_tables[static_cast<std::size_t>(e)];
   const double b = ctx.lengths_.get(e, p);
   const std::uint64_t epoch = ctx.model_epoch_[static_cast<std::size_t>(p)];
+  // Does this (epoch, blen) key belong to the pinned service context's
+  // steady state? Overlays share the parent's content-addressed epoch, so
+  // the check must also match the length against the PINNED context (not
+  // the requester): NR churn at other lengths stays evictable.
+  const bool service =
+      service_ctx_ != nullptr && e < service_ctx_->lengths_.edge_count() &&
+      std::find(service_epochs_.begin(), service_epochs_.end(), epoch) !=
+          service_epochs_.end() &&
+      service_ctx_->lengths_.get(e, p) == b;
 
   for (auto& ent : lru) {
     if (!ent.table.empty() && ent.epoch == epoch && ent.blen == b) {
       ent.last_used = ++tip_clock_;
       ent.pinned_flush = flush_id_;
+      if (service) ent.pinned_service = true;
       ++stats_.tip_table_hits;
       // A hit may be an entry merely *reserved* earlier in this flush's
       // assembly: its construction task is already queued (once), and the
@@ -649,6 +742,7 @@ EngineCore::TipTableRef EngineCore::tip_table_for(EvalContext& ctx, int p,
   PartStatic::TipTableEntry* victim = nullptr;
   for (auto& ent : lru) {
     if (ent.pinned_flush == flush_id_) continue;  // referenced by this batch
+    if (ent.pinned_service) continue;             // service steady state
     if (ent.table.empty()) {
       victim = &ent;  // prefer an unused slot over evicting
       break;
@@ -674,6 +768,7 @@ EngineCore::TipTableRef EngineCore::tip_table_for(EvalContext& ctx, int p,
   victim->blen = b;
   victim->last_used = ++tip_clock_;
   victim->pinned_flush = flush_id_;
+  victim->pinned_service = service;
   ++stats_.tip_table_rebuilds;
   return {victim->table.data(), victim->table.data(), true};
 }
@@ -744,13 +839,15 @@ void EngineCore::rollback_command_tables(Command& cmd) {
 namespace {
 
 /// Erase unpinned entries, least-recently-used first, until `lru` holds at
-/// most `cap` (pinned entries — referenced by an open batch — never go).
+/// most `cap` (pinned entries — referenced by an open batch, or part of the
+/// pinned service context's steady state — never go).
 template <class Lru>
 void shrink_lru(Lru& lru, std::size_t cap, std::uint64_t flush_id) {
   while (lru.size() > cap) {
     auto oldest = lru.end();
     for (auto it = lru.begin(); it != lru.end(); ++it) {
       if (it->pinned_flush == flush_id) continue;
+      if (it->pinned_service) continue;
       if (oldest == lru.end() || it->last_used < oldest->last_used)
         oldest = it;
     }
@@ -790,7 +887,11 @@ const double* EngineCore::sym_table_for(EvalContext& ctx, int p) {
   PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
   EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
   const std::uint64_t epoch = ctx.model_epoch_[static_cast<std::size_t>(p)];
-  if (dy.sym_epoch != epoch || dy.sym_table.empty()) {
+  // The size check catches catalog growth (set_taxon_masks): a cached sym
+  // table sized for the old code count must rebuild before the new codes
+  // can index it.
+  if (dy.sym_epoch != epoch ||
+      dy.sym_table.size() != pd.n_codes * static_cast<std::size_t>(pd.states)) {
     dy.sym_table.resize(pd.n_codes * static_cast<std::size_t>(pd.states));
     dispatch_states(pd.states, [&]<int S>() {
       kernel::build_sym_tip_table<S>(dy.model.model().sym_transform().data(),
@@ -1986,8 +2087,14 @@ EvalContext::EvalContext(EngineCore& core, Tree tree,
       lengths_(BranchLengths::from_tree(tree_, core.partition_count(),
                                         core.linked_branch_lengths())) {
   const CompressedAlignment& aln = core.alignment();
-  if (static_cast<std::size_t>(tree_.tip_count()) != aln.taxon_count())
-    throw std::invalid_argument("tree/alignment taxon count mismatch");
+  // A tree over a SUBSET of the core's taxa is allowed: the core's tip
+  // encodings are per taxon and kernels only ever read through
+  // taxon_of_tip_, so any tree whose tip labels all resolve to taxa works.
+  // A placement service exploits this — its core alignment carries extra
+  // query-slot taxa that the reference tree (and each lane tree, which uses
+  // exactly one slot) does not include.
+  if (static_cast<std::size_t>(tree_.tip_count()) > aln.taxon_count())
+    throw std::invalid_argument("tree has more tips than alignment taxa");
   if (models.size() != static_cast<std::size_t>(core.partition_count()))
     throw std::invalid_argument("need one model per partition");
   for (int p = 0; p < core.partition_count(); ++p) {
@@ -2000,21 +2107,25 @@ EvalContext::EvalContext(EngineCore& core, Tree tree,
   }
 
   // Map tree tips to alignment taxa by name (and back: the core's tip
-  // encodings are stored per taxon).
+  // encodings are stored per taxon). Taxa absent from the tree keep
+  // tip_of_taxon_ == kNoId; every tree tip must name a taxon.
   tip_of_taxon_.assign(aln.taxon_count(), kNoId);
   taxon_of_tip_.assign(static_cast<std::size_t>(tree_.tip_count()), 0);
   std::unordered_map<std::string, NodeId> tip_by_label;
   for (NodeId t = 0; t < tree_.tip_count(); ++t)
     tip_by_label[tree_.label(t)] = t;
-  if (tip_by_label.size() != aln.taxon_count())
+  if (tip_by_label.size() != static_cast<std::size_t>(tree_.tip_count()))
     throw std::invalid_argument("duplicate tree tip labels");
-  for (std::size_t x = 0; x < aln.taxon_count(); ++x) {
-    auto it = tip_by_label.find(aln.taxon_names[x]);
-    if (it == tip_by_label.end())
-      throw std::invalid_argument("taxon '" + aln.taxon_names[x] +
-                                  "' missing from tree");
-    tip_of_taxon_[x] = it->second;
-    taxon_of_tip_[static_cast<std::size_t>(it->second)] = x;
+  std::unordered_map<std::string, std::size_t> taxon_by_name;
+  for (std::size_t x = 0; x < aln.taxon_count(); ++x)
+    taxon_by_name[aln.taxon_names[x]] = x;
+  for (NodeId t = 0; t < tree_.tip_count(); ++t) {
+    auto it = taxon_by_name.find(tree_.label(t));
+    if (it == taxon_by_name.end())
+      throw std::invalid_argument("tree tip '" + tree_.label(t) +
+                                  "' missing from alignment");
+    tip_of_taxon_[it->second] = t;
+    taxon_of_tip_[static_cast<std::size_t>(t)] = it->second;
   }
 
   // Allocate CLVs, scale counts, and tracking structures.
@@ -2183,6 +2294,7 @@ EvalContext::~EvalContext() {
         if (dy.slot_of[i] >= 0)
           pool_->release(static_cast<int>(p), dy.slot_of[i]);
     }
+  if (core_->service_ctx_ == this) core_->pin_service_context(nullptr);
   core_->release_context_tables();
 }
 

@@ -195,6 +195,7 @@ struct EngineStats {
   std::uint64_t tip_table_hits = 0;      ///< tip table LRU cache hits
   std::uint64_t coarse_commands = 0;     ///< flushes run coarse (item/thread)
   std::uint64_t epoch_registry_evictions = 0;  ///< model-epoch LRU evictions
+  std::uint64_t tip_catalog_extensions = 0;  ///< state-mask catalog growths
   std::uint64_t numeric_faults = 0;   ///< non-finite reductions detected
   std::uint64_t faulted_flushes = 0;  ///< flushes that raised an EngineFault
   std::uint64_t assembly_rollbacks = 0;  ///< commands unwound mid-assembly
@@ -335,6 +336,33 @@ class EngineCore {
   /// The model prototype contexts start from (read-only; per-context models
   /// are mutable through EvalContext::model()).
   const PartitionModel& prototype_model(int p) const;
+
+  // --- mutable tip encodings (placement query slots) -----------------------
+
+  /// Rewrite taxon `x`'s per-pattern state masks: `masks[p]` holds one mask
+  /// per pattern of partition p (masks.size() == partition_count()). The
+  /// masks are translated into the per-partition code catalogs built at
+  /// construction; a mask the catalog has never seen extends the catalog
+  /// (and invalidates that partition's cached tip lookup tables, which are
+  /// sized by code count — counted in EngineStats::tip_catalog_extensions).
+  ///
+  /// This is the streaming-placement "query slot" mechanism: the server's
+  /// core alignment carries extra all-gap taxa whose rows are re-encoded per
+  /// query. A slot taxon's codes feed kernels only through trees whose CLV
+  /// orientation excludes the slot tip (the lane parent is permanently
+  /// rooted at the pendant edge), so no cached CLV state is invalidated by
+  /// the rewrite. Master thread only; throws while a batch is pending.
+  void set_taxon_masks(std::size_t x,
+                       std::span<const std::vector<StateMask>> masks);
+
+  /// Pin `ctx` as a long-lived service context: its tip-table LRU entries
+  /// and model epochs are exempt from the eviction that other contexts'
+  /// churn (and death — release_context_tables()) would otherwise apply.
+  /// A placement service pins its reference/lane parents so the hot tables
+  /// never rebuild mid-service. Pass nullptr to unpin. One pin at a time is
+  /// plenty (lane parents share one model state, hence one epoch set);
+  /// pinning replaces the previous pin. Master thread only.
+  void pin_service_context(const EvalContext* ctx);
 
   // --- batched evaluation --------------------------------------------------
 
@@ -578,6 +606,12 @@ class EngineCore {
   std::uint64_t tip_clock_ = 0;      // LRU recency counter
   std::uint64_t flush_id_ = 1;       // pins LRU entries of the open batch
   std::vector<std::pair<int, EdgeId>> lru_overflow_;  // to trim post-flush
+
+  /// Service pin (pin_service_context): the long-lived context whose tip
+  /// tables are marked eviction-exempt, and its model epochs (protected in
+  /// the epoch registry's LRU eviction).
+  const EvalContext* service_ctx_ = nullptr;
+  std::vector<std::uint64_t> service_epochs_;
 
   std::vector<Pending> pending_;
 

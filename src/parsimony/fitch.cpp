@@ -185,4 +185,125 @@ Tree parsimony_stepwise_tree(const CompressedAlignment& aln, Rng& rng) {
   return Tree::from_edges(std::move(labels), std::move(edges));
 }
 
+namespace {
+
+/// Directed Fitch set of the subtree hanging off node `v` away from edge
+/// `via` (the component containing v when `via` is cut), memoized per
+/// directed edge: slot 2*via + (v == edge.a ? 0 : 1).
+const std::vector<StateMask>& directed_set(
+    const Tree& tree, const CompressedPartition& part,
+    const std::vector<int>& taxon_of, NodeId v, EdgeId via,
+    std::vector<std::vector<StateMask>>& memo, std::vector<char>& done) {
+  const std::size_t slot =
+      2 * static_cast<std::size_t>(via) + (tree.edge(via).a == v ? 0 : 1);
+  if (done[slot]) return memo[slot];
+  std::vector<StateMask>& out = memo[slot];
+  if (taxon_of[static_cast<std::size_t>(v)] >= 0) {
+    const auto& masks =
+        part.tip_states[static_cast<std::size_t>(taxon_of[v])];
+    out.assign(masks.begin(), masks.end());
+  } else {
+    bool first = true;
+    for (EdgeId e : tree.edges_of(v)) {
+      if (e == via) continue;
+      const std::vector<StateMask>& child = directed_set(
+          tree, part, taxon_of, tree.other_end(e, v), e, memo, done);
+      if (first) {
+        out = child;
+        first = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const StateMask inter = out[i] & child[i];
+        out[i] = inter ? inter : (out[i] | child[i]);
+      }
+    }
+  }
+  done[slot] = 1;
+  return out;
+}
+
+}  // namespace
+
+ParsimonyInserter::ParsimonyInserter(const Tree& tree,
+                                     const CompressedAlignment& aln) {
+  if (tree.tip_count() < 3)
+    throw std::invalid_argument("ParsimonyInserter: need >= 3 taxa");
+  std::unordered_map<std::string, int> taxon_by_name;
+  for (std::size_t x = 0; x < aln.taxon_count(); ++x)
+    taxon_by_name[aln.taxon_names[x]] = static_cast<int>(x);
+  std::vector<int> taxon_of(static_cast<std::size_t>(tree.node_count()), -1);
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (!tree.is_tip(v)) continue;
+    auto it = taxon_by_name.find(tree.label(v));
+    if (it == taxon_by_name.end())
+      throw std::invalid_argument("ParsimonyInserter: tree tip '" +
+                                  tree.label(v) + "' missing from alignment");
+    taxon_of[static_cast<std::size_t>(v)] = it->second;
+  }
+
+  const std::size_t n_edges = static_cast<std::size_t>(tree.edge_count());
+  edge_sets_.resize(aln.partitions.size());
+  weights_.resize(aln.partitions.size());
+  for (std::size_t p = 0; p < aln.partitions.size(); ++p) {
+    const CompressedPartition& part = aln.partitions[p];
+    weights_[p] = part.weights;
+    std::vector<std::vector<StateMask>> memo(2 * n_edges);
+    std::vector<char> done(2 * n_edges, 0);
+    auto& sets = edge_sets_[p];
+    sets.resize(n_edges);
+    for (EdgeId e = 0; e < tree.edge_count(); ++e) {
+      const Tree::Edge& ed = tree.edge(e);
+      const std::vector<StateMask>& a =
+          directed_set(tree, part, taxon_of, ed.a, e, memo, done);
+      const std::vector<StateMask>& b =
+          directed_set(tree, part, taxon_of, ed.b, e, memo, done);
+      auto& es = sets[static_cast<std::size_t>(e)];
+      es.resize(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const StateMask inter = a[i] & b[i];
+        es[i] = inter ? inter : (a[i] | b[i]);
+      }
+    }
+  }
+}
+
+std::vector<double> ParsimonyInserter::costs(
+    std::span<const std::vector<StateMask>> query_masks) const {
+  if (query_masks.size() != edge_sets_.size())
+    throw std::invalid_argument("ParsimonyInserter: partition count mismatch");
+  const std::size_t n_edges =
+      edge_sets_.empty() ? 0 : edge_sets_[0].size();
+  std::vector<double> out(n_edges, 0.0);
+  for (std::size_t p = 0; p < edge_sets_.size(); ++p) {
+    const auto& q = query_masks[p];
+    if (q.size() != weights_[p].size())
+      throw std::invalid_argument("ParsimonyInserter: pattern count mismatch");
+    for (std::size_t e = 0; e < n_edges; ++e) {
+      const auto& es = edge_sets_[p][e];
+      double c = 0;
+      for (std::size_t i = 0; i < es.size(); ++i)
+        if ((q[i] & es[i]) == 0) c += weights_[p][i];
+      out[e] += c;
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> ParsimonyInserter::shortlist(
+    std::span<const std::vector<StateMask>> query_masks,
+    std::size_t keep) const {
+  const std::vector<double> c = costs(query_masks);
+  std::vector<EdgeId> order(c.size());
+  for (std::size_t e = 0; e < c.size(); ++e)
+    order[e] = static_cast<EdgeId>(e);
+  std::sort(order.begin(), order.end(), [&](EdgeId x, EdgeId y) {
+    const double cx = c[static_cast<std::size_t>(x)];
+    const double cy = c[static_cast<std::size_t>(y)];
+    return cx != cy ? cx < cy : x < y;
+  });
+  if (keep < order.size()) order.resize(keep);
+  return order;
+}
+
 }  // namespace plk

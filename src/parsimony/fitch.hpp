@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "bio/patterns.hpp"
 #include "tree/tree.hpp"
@@ -27,5 +29,44 @@ double parsimony_score(const Tree& tree, const CompressedAlignment& aln);
 /// Deterministic given the RNG state. O(n^2 * patterns) — run once per
 /// analysis, like RAxML.
 Tree parsimony_stepwise_tree(const CompressedAlignment& aln, Rng& rng);
+
+/// Per-edge parsimony insertion costs on a FIXED reference tree — the
+/// placement server's candidate prefilter.
+///
+/// Construction runs a two-pass directed Fitch sweep per partition and
+/// stores, for every edge, the state set the edge "shows" an inserted tip:
+/// the intersection of the two endpoint-directed Fitch sets when non-empty,
+/// else their union (the set a Fitch pass meeting at a node in the middle of
+/// the edge would combine the query against). costs() then charges a query
+/// one weighted mutation for every pattern whose query mask does not
+/// intersect the edge set — a deterministic O(edges x patterns) proxy for
+/// the full stepwise-insertion score (cheap enough to run per query, and
+/// monotone enough to rank candidate edges for the likelihood stage).
+class ParsimonyInserter {
+ public:
+  /// Tip labels of `tree` must resolve in `aln` (the alignment may carry
+  /// MORE taxa than the tree — e.g. a placement core's query slots).
+  ParsimonyInserter(const Tree& tree, const CompressedAlignment& aln);
+
+  /// One insertion cost per edge of the reference tree. `query_masks[p]`
+  /// holds one state mask per pattern of partition p.
+  std::vector<double> costs(
+      std::span<const std::vector<StateMask>> query_masks) const;
+
+  /// The `keep` cheapest edges (all edges when keep >= edge_count), ordered
+  /// by (cost, edge id) — a deterministic shortlist for candidate scoring.
+  std::vector<EdgeId> shortlist(
+      std::span<const std::vector<StateMask>> query_masks,
+      std::size_t keep) const;
+
+  int edge_count() const { return static_cast<int>(edge_sets_.empty()
+                                                       ? 0
+                                                       : edge_sets_[0].size()); }
+
+ private:
+  // edge_sets_[partition][edge][pattern]: the combined edge state set.
+  std::vector<std::vector<std::vector<StateMask>>> edge_sets_;
+  std::vector<std::vector<double>> weights_;  // [partition][pattern]
+};
 
 }  // namespace plk

@@ -30,6 +30,14 @@ CandidateScorer::~CandidateScorer() = default;
 bool CandidateScorer::stage(const SprMove& move, double* out,
                             std::vector<WaveItem>& sink,
                             std::vector<double>* opt_lengths) {
+  GraftCandidate g;
+  g.move = move;
+  return stage_graft(g, out, sink, opt_lengths);
+}
+
+bool CandidateScorer::stage_graft(const GraftCandidate& g, double* out,
+                                  std::vector<WaveItem>& sink,
+                                  std::vector<double>* opt_lengths) {
   if (staged_ >= static_cast<std::size_t>(opts_.max_batch)) return false;
 
   if (staged_ == 0) {
@@ -38,11 +46,13 @@ bool CandidateScorer::stage(const SprMove& move, double* out,
     // 0-op command) lets every same-group overlay inherit valid CLVs
     // instead of re-orienting privately. Overlays of OTHER groups in the
     // wave re-orient inside their own leased slots — extra newview work on
-    // the shared batched commands, no extra synchronization.
-    parent_.prepare_root(move.prune_edge);
-    wave_prune_ = move.prune_edge;
+    // the shared batched commands, no extra synchronization. (A placement
+    // lane keeps its parent permanently rooted at the pendant edge, so for
+    // lanes this is a true 0-op after the first wave.)
+    parent_.prepare_root(g.move.prune_edge);
+    wave_prune_ = g.move.prune_edge;
     wave_cross_ = false;
-  } else if (move.prune_edge != wave_prune_) {
+  } else if (g.move.prune_edge != wave_prune_) {
     wave_cross_ = true;
   }
 
@@ -51,13 +61,20 @@ bool CandidateScorer::stage(const SprMove& move, double* out,
 
   // Materialize: re-synchronize the overlay with the parent (releasing any
   // slots from the previous wave), apply its move speculatively, and
-  // invalidate exactly what the sequential scorer invalidates.
+  // invalidate exactly what the sequential scorer invalidates. The in-place
+  // form skips the surgery: the parent's topology already IS the candidate,
+  // so the overlay only carries the local re-optimization.
   EvalContext& ov = *overlays_[staged_];
   ov.rebind(parent_);
-  const SprUndo undo = apply_spr(ov.tree(), move);
-  apply_spr_lengths(ov.branch_lengths(), undo);
-  invalidate_after_spr(ov, undo);
-  sink.push_back(WaveItem{&ov, undo.carried, undo.target, move.prune_edge,
+  EdgeId carried = g.carried, target = g.target;
+  if (!g.in_place) {
+    const SprUndo undo = apply_spr(ov.tree(), g.move);
+    apply_spr_lengths(ov.branch_lengths(), undo);
+    invalidate_after_spr(ov, undo);
+    carried = undo.carried;
+    target = undo.target;
+  }
+  sink.push_back(WaveItem{&ov, carried, target, g.move.prune_edge,
                           out, opt_lengths});
   ++staged_;
   return true;

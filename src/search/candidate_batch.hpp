@@ -102,6 +102,26 @@ struct WaveItem {
   std::vector<double>* opt_lengths = nullptr;
 };
 
+/// One graft candidate against a scorer's parent — the reusable unit behind
+/// both SPR search candidates and streaming-placement candidates. Two forms:
+///
+///   * SPR (in_place == false): re-graft the subtree hanging off
+///     `move.pruned_side` of `move.prune_edge` onto `move.target_edge`
+///     (exactly what stage() does — stage() is now a wrapper over this).
+///   * in-place (in_place == true): score the parent's CURRENT topology at
+///     the attachment described by `carried`/`target` (the two halves of an
+///     already-split edge) and `move.prune_edge` (the pendant edge), with no
+///     topology surgery. A placement lane uses this for the "leave the query
+///     at its park edge" candidate: same 3-edge local optimization, same
+///     final evaluation, same wave — so its score is comparable bit-for-bit
+///     with the SPR candidates it competes against.
+struct GraftCandidate {
+  SprMove move;
+  bool in_place = false;
+  EdgeId carried = kNoId;  ///< in-place only: one half of the split edge
+  EdgeId target = kNoId;   ///< in-place only: the other half
+};
+
 /// Scores SPR candidates for one parent context in lockstep waves. The
 /// scorer owns the CLV slot pool and a reusable set of overlay contexts;
 /// construct it once per search. The parent may change freely *between*
@@ -151,6 +171,12 @@ class CandidateScorer {
 
   bool stage(const SprMove& move, double* out, std::vector<WaveItem>& sink,
              std::vector<double>* opt_lengths = nullptr);
+  /// The graft-scoring primitive stage() is a wrapper over: materialize one
+  /// GraftCandidate (SPR or in-place) as an overlay into `sink`. Same wave
+  /// discipline and return contract as stage().
+  bool stage_graft(const GraftCandidate& g, double* out,
+                   std::vector<WaveItem>& sink,
+                   std::vector<double>* opt_lengths = nullptr);
   static void flush_wave(EngineCore& core, Strategy strategy,
                          const BranchOptOptions& local_opts,
                          std::span<const WaveItem> items);

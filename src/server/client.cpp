@@ -1,0 +1,163 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace plk {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+PlacementClient::~PlacementClient() { close(); }
+
+bool PlacementClient::connect(const std::string& host, int port,
+                              std::string* error) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket() failed");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    set_error(error, "bad IPv4 address: " + host);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    set_error(error, std::string("connect() failed: ") + std::strerror(e));
+    return false;
+  }
+  fd_ = fd;
+  in_ = LineBuffer();
+  return true;
+}
+
+void PlacementClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool PlacementClient::send_line(const std::string& line, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      set_error(error, std::string("send() failed: ") + std::strerror(errno));
+      close();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<WireMessage> PlacementClient::read_message(std::string* error) {
+  while (true) {
+    if (auto line = in_.next_line()) {
+      if (line->oversized) {
+        set_error(error, "oversized response line");
+        return std::nullopt;
+      }
+      std::string perr;
+      auto msg = WireMessage::parse(line->text, &perr);
+      if (!msg) {
+        set_error(error, "bad response: " + perr);
+        return std::nullopt;
+      }
+      return msg;
+    }
+    if (fd_ < 0) {
+      set_error(error, "not connected");
+      return std::nullopt;
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_error(error, n == 0 ? "connection closed by server"
+                            : std::string("recv() failed: ") +
+                                  std::strerror(errno));
+    close();
+    return std::nullopt;
+  }
+}
+
+std::optional<WireMessage> PlacementClient::request(const WireMessage& msg,
+                                                    std::string* error) {
+  if (!send_line(msg.serialize() + "\n", error)) return std::nullopt;
+  return read_message(error);
+}
+
+bool PlacementClient::send_place(const std::string& id, const std::string& seq,
+                                 std::string* error) {
+  WireMessage m;
+  m.set("op", "place");
+  m.set("id", id);
+  m.set("seq", seq);
+  return send_line(m.serialize() + "\n", error);
+}
+
+bool PlacementClient::send_raw(const std::string& bytes, std::string* error) {
+  return send_line(bytes, error);
+}
+
+std::optional<WireMessage> PlacementClient::hello(std::string* error) {
+  WireMessage m;
+  m.set("op", "hello");
+  m.set("client", "plk");
+  return request(m, error);
+}
+
+std::optional<WireMessage> PlacementClient::stats(std::string* error) {
+  WireMessage m;
+  m.set("op", "stats");
+  return request(m, error);
+}
+
+std::optional<WireMessage> PlacementClient::place(const std::string& id,
+                                                  const std::string& seq,
+                                                  std::string* error) {
+  WireMessage m;
+  m.set("op", "place");
+  m.set("id", id);
+  m.set("seq", seq);
+  return request(m, error);
+}
+
+void PlacementClient::quit() {
+  if (fd_ < 0) return;
+  WireMessage m;
+  m.set("op", "quit");
+  send_line(m.serialize() + "\n", nullptr);
+  // Best-effort read of the quit ack so the server sees an orderly close.
+  read_message(nullptr);
+  close();
+}
+
+}  // namespace plk

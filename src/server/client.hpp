@@ -1,0 +1,62 @@
+// Client side of the placement protocol: a blocking TCP connection with
+// NDJSON framing, used by the plkplace CLI, the tests, and the soak/bench
+// drivers. Two usage styles:
+//
+//   * request(): classic synchronous request -> response.
+//   * send_place() ... read_message(): pipelined — flood the server with
+//     place requests and collect responses as they stream back, which is
+//     how a client keeps the server's lanes full.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace plk {
+
+class PlacementClient {
+ public:
+  PlacementClient() = default;
+  ~PlacementClient();
+
+  PlacementClient(const PlacementClient&) = delete;
+  PlacementClient& operator=(const PlacementClient&) = delete;
+
+  /// Connect to an IPv4 host ("127.0.0.1") and port. Returns false (with
+  /// *error set) on failure.
+  bool connect(const std::string& host, int port,
+               std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one message and block for the next response line.
+  std::optional<WireMessage> request(const WireMessage& msg,
+                                     std::string* error = nullptr);
+
+  /// Pipelined sends: write a place request without waiting.
+  bool send_place(const std::string& id, const std::string& seq,
+                  std::string* error = nullptr);
+  /// Write raw bytes verbatim (no framing added) — protocol tests use this
+  /// to exercise the server's malformed-frame handling.
+  bool send_raw(const std::string& bytes, std::string* error = nullptr);
+  /// Block for the next complete response line (any op).
+  std::optional<WireMessage> read_message(std::string* error = nullptr);
+
+  // Convenience wrappers over request().
+  std::optional<WireMessage> hello(std::string* error = nullptr);
+  std::optional<WireMessage> stats(std::string* error = nullptr);
+  std::optional<WireMessage> place(const std::string& id,
+                                   const std::string& seq,
+                                   std::string* error = nullptr);
+  void quit();
+
+ private:
+  bool send_line(const std::string& line, std::string* error);
+
+  int fd_ = -1;
+  LineBuffer in_;
+};
+
+}  // namespace plk

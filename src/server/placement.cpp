@@ -1,0 +1,444 @@
+#include "server/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/analysis.hpp"
+#include "core/checkpoint.hpp"
+#include "core/engine.hpp"
+
+namespace plk {
+
+struct PlacementEngine::Lane {
+  std::size_t slot_taxon = 0;  ///< combined-alignment row of the slot
+  std::unique_ptr<EvalContext> parent;
+  std::unique_ptr<CandidateScorer> scorer;
+  bool busy = false;
+  std::uint64_t ticket = 0;
+  std::vector<EdgeId> cand_edges;              ///< reference edge ids
+  std::vector<double> cand_lnl;                ///< one score per candidate
+  std::vector<std::vector<double>> cand_lens;  ///< harvested local lengths
+};
+
+namespace {
+
+/// The lane-tree surgery: the reference tree plus one slot tip grafted onto
+/// `park`. Ids are arranged so every REFERENCE edge keeps its id (the
+/// protocol's placement edges need no mapping): reference tips keep their
+/// ids, the slot tip takes id R, reference inner nodes shift up by one, and
+/// the park edge is split in place — its id keeps the half toward its `a`
+/// endpoint, the new half gets id 2R-3 and the pendant edge id 2R-2.
+Tree make_lane_tree(const Tree& ref, const std::string& slot_label,
+                    EdgeId park, double pendant_start) {
+  const NodeId r = ref.tip_count();
+  const auto map_node = [r](NodeId v) { return v < r ? v : v + 1; };
+  std::vector<Tree::Edge> edges(static_cast<std::size_t>(ref.edge_count()) +
+                                2);
+  for (EdgeId e = 0; e < ref.edge_count(); ++e)
+    edges[static_cast<std::size_t>(e)] =
+        Tree::Edge{map_node(ref.edge(e).a), map_node(ref.edge(e).b),
+                   ref.length(e)};
+  const NodeId slot_tip = r;
+  const NodeId joint = 2 * r - 1;
+  auto& pk = edges[static_cast<std::size_t>(park)];
+  const NodeId park_b = pk.b;
+  const double half = pk.length * 0.5;
+  pk.b = joint;
+  pk.length = half;
+  edges[static_cast<std::size_t>(ref.edge_count())] =
+      Tree::Edge{joint, park_b, half};
+  edges[static_cast<std::size_t>(ref.edge_count()) + 1] =
+      Tree::Edge{joint, slot_tip, pendant_start};
+
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(r) + 1);
+  for (NodeId t = 0; t < r; ++t) labels.push_back(ref.label(t));
+  labels.push_back(slot_label);
+  return Tree::from_edges(std::move(labels), std::move(edges));
+}
+
+std::vector<PartitionModel> prototype_models(const CompressedAlignment& comp) {
+  std::vector<PartitionModel> models;
+  models.reserve(comp.partitions.size());
+  for (const auto& part : comp.partitions) {
+    SubstModel m = part.type == DataType::kDna
+                       ? make_model(part.model_name.empty() ? "GTR"
+                                                            : part.model_name,
+                                    empirical_frequencies(part))
+                       : make_model(part.model_name.empty() ? "WAG"
+                                                            : part.model_name);
+    models.emplace_back(std::move(m), /*alpha=*/1.0, /*gamma_cats=*/4);
+  }
+  return models;
+}
+
+}  // namespace
+
+PlacementEngine::PlacementEngine(const Alignment& reference,
+                                 const PartitionScheme& scheme,
+                                 Tree reference_tree,
+                                 const PlacementOptions& opts,
+                                 const EngineOptions& engine_opts)
+    : opts_(opts), scheme_(scheme), ref_tree_(std::move(reference_tree)) {
+  if (reference.taxon_count() < 4)
+    throw std::invalid_argument("PlacementEngine: need >= 4 reference taxa");
+  if (static_cast<std::size_t>(ref_tree_.tip_count()) !=
+      reference.taxon_count())
+    throw std::invalid_argument(
+        "PlacementEngine: reference tree / alignment taxon count mismatch");
+  opts_.lanes = std::max(1, opts_.lanes);
+  opts_.max_candidates =
+      std::clamp(opts_.max_candidates, 1, ref_tree_.edge_count());
+  opts_.batch.max_batch = std::max(opts_.batch.max_batch,
+                                   opts_.max_candidates);
+  ref_taxa_ = reference.taxon_count();
+  ref_sites_ = reference.site_count();
+  scheme_.validate(ref_sites_);
+  park_edge_ = 0;
+  e1_ = ref_tree_.edge_count();
+  pendant_ = ref_tree_.edge_count() + 1;
+
+  // The core's alignment: the reference plus one all-gap row per lane. Gap
+  // rows add no new column patterns, so the reference compression — and
+  // with it every per-pattern buffer — is unchanged by the slots.
+  combined_ = reference;
+  for (int k = 0; k < opts_.lanes; ++k)
+    combined_.add("__plk_slot" + std::to_string(k),
+                  std::string(ref_sites_, '-'));
+
+  comp_ = std::make_unique<CompressedAlignment>(
+      CompressedAlignment::build(combined_, scheme_, true));
+  core_ = std::make_unique<EngineCore>(*comp_, prototype_models(*comp_),
+                                       engine_opts);
+  ref_ctx_ = std::make_unique<EvalContext>(*core_, ref_tree_);
+}
+
+PlacementEngine::~PlacementEngine() = default;
+
+bool PlacementEngine::warm_restart(const std::string& checkpoint_path) {
+  if (service_started())
+    throw std::logic_error("warm_restart: service already started");
+  try {
+    load_checkpoint_file(*ref_ctx_, checkpoint_path);
+  } catch (const std::exception&) {
+    return false;
+  }
+  // Adopt the restored topology/edge order so the lanes are built over
+  // exactly the checkpointed reference.
+  ref_tree_ = ref_ctx_->tree();
+  return true;
+}
+
+double PlacementEngine::optimize_reference() {
+  if (service_started())
+    throw std::logic_error("optimize_reference: service already started");
+  Engine view(*core_, *ref_ctx_);
+  optimize_branch_lengths(view, opts_.strategy, opts_.startup_branch_opts);
+  if (opts_.optimize_models) {
+    optimize_model_parameters(view, opts_.strategy, opts_.model_opts);
+    optimize_branch_lengths(view, opts_.strategy, opts_.startup_branch_opts);
+  }
+  return view.loglikelihood(park_edge_);
+}
+
+void PlacementEngine::start_service() {
+  if (service_started())
+    throw std::logic_error("start_service: already started");
+
+  std::vector<PartitionModel> models;
+  models.reserve(static_cast<std::size_t>(core_->partition_count()));
+  for (int p = 0; p < core_->partition_count(); ++p)
+    models.push_back(ref_ctx_->model(p));
+
+  const BranchLengths& rbl = ref_ctx_->branch_lengths();
+  const int np = core_->partition_count();
+  for (int k = 0; k < opts_.lanes; ++k) {
+    auto lane = std::make_unique<Lane>();
+    lane->slot_taxon = ref_taxa_ + static_cast<std::size_t>(k);
+    Tree lt = make_lane_tree(ref_tree_,
+                             combined_.name(lane->slot_taxon), park_edge_,
+                             opts_.pendant_start);
+    lane->parent =
+        std::make_unique<EvalContext>(*core_, std::move(lt), models);
+    // Adopt the reference's per-partition lengths exactly; the park edge's
+    // value is split across its two halves.
+    BranchLengths& bl = lane->parent->branch_lengths();
+    for (EdgeId e = 0; e < ref_tree_.edge_count(); ++e)
+      for (int p = 0; p < np; ++p) {
+        if (e == park_edge_) {
+          const double half = rbl.get(e, p) * 0.5;
+          bl.set(e, p, half);
+          bl.set(e1_, p, half);
+        } else {
+          bl.set(e, p, rbl.get(e, p));
+        }
+      }
+    for (int p = 0; p < np; ++p) bl.set(pendant_, p, opts_.pendant_start);
+
+    lane->scorer = std::make_unique<CandidateScorer>(
+        *core_, *lane->parent, opts_.strategy, opts_.local_opts, opts_.batch);
+    // Permanent rooting at the pendant edge: every inner CLV now summarizes
+    // a subtree of reference tips only, so per-query slot re-encoding never
+    // invalidates the parent. This is the one full traversal a lane pays.
+    lane->parent->prepare_root(pendant_);
+    lanes_.push_back(std::move(lane));
+  }
+  // Pin lane 0's parent: all lanes share its model state (hence epochs) and
+  // branch lengths, so one pin shields every lane's hot tip tables.
+  core_->pin_service_context(lanes_[0]->parent.get());
+
+  inserter_ = std::make_unique<ParsimonyInserter>(ref_tree_, *comp_);
+
+  // Representative global site per (partition, pattern) for query encoding.
+  rep_site_.assign(comp_->partitions.size(), {});
+  for (std::size_t p = 0; p < comp_->partitions.size(); ++p) {
+    const CompressedPartition& part = comp_->partitions[p];
+    const std::vector<std::size_t> sites = scheme_[p].sites();
+    rep_site_[p].assign(part.pattern_count, static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < part.site_to_pattern.size(); ++i) {
+      const std::size_t j = part.site_to_pattern[i];
+      if (rep_site_[p][j] == static_cast<std::size_t>(-1))
+        rep_site_[p][j] = sites[i];
+    }
+  }
+}
+
+void PlacementEngine::save_checkpoint(const std::string& path) const {
+  save_checkpoint_file(*ref_ctx_, path);
+}
+
+std::vector<std::vector<StateMask>> PlacementEngine::encode_query(
+    std::string_view seq) const {
+  if (seq.size() != ref_sites_)
+    throw std::runtime_error(
+        "query length " + std::to_string(seq.size()) +
+        " != reference sites " + std::to_string(ref_sites_));
+  std::vector<std::vector<StateMask>> masks(comp_->partitions.size());
+  for (std::size_t p = 0; p < comp_->partitions.size(); ++p) {
+    const CompressedPartition& part = comp_->partitions[p];
+    const Alphabet& ab = part.alphabet();
+    masks[p].resize(part.pattern_count);
+    // Each pattern takes the query's character at the pattern's FIRST
+    // member column — the deterministic rule both the streaming path and
+    // place_sequential share (and the price of riding the reference
+    // compression: a query is represented per reference pattern, not per
+    // raw column).
+    for (std::size_t j = 0; j < part.pattern_count; ++j)
+      masks[p][j] = ab.encode(seq[rep_site_[p][j]]);
+  }
+  return masks;
+}
+
+std::uint64_t PlacementEngine::submit(std::string sequence) {
+  if (!service_started())
+    throw std::logic_error("submit: service not started");
+  if (!can_accept()) throw std::runtime_error("placement queue full");
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.push_back(PendingQuery{ticket, std::move(sequence)});
+  ++stats_.submitted;
+  return ticket;
+}
+
+bool PlacementEngine::assign_query(Lane& lane, PendingQuery&& q) {
+  std::vector<std::vector<StateMask>> masks;
+  try {
+    masks = encode_query(q.seq);
+  } catch (const std::exception& ex) {
+    PlacementResult r;
+    r.error = ex.what();
+    ready_.emplace_back(q.ticket, std::move(r));
+    ++stats_.placed;
+    ++stats_.failed;
+    return false;
+  }
+  lane.cand_edges = inserter_->shortlist(
+      masks, static_cast<std::size_t>(opts_.max_candidates));
+  core_->set_taxon_masks(lane.slot_taxon, masks);
+  lane.busy = true;
+  lane.ticket = q.ticket;
+  lane.cand_lnl.assign(lane.cand_edges.size(), 0.0);
+  lane.cand_lens.assign(lane.cand_edges.size(), {});
+  return true;
+}
+
+void PlacementEngine::stage_lane(Lane& lane, std::vector<WaveItem>& sink) {
+  const NodeId slot_tip = ref_tree_.tip_count();
+  for (std::size_t i = 0; i < lane.cand_edges.size(); ++i) {
+    const EdgeId e = lane.cand_edges[i];
+    GraftCandidate g;
+    if (e == park_edge_) {
+      // The query already sits on the park edge: score the parent topology
+      // in place (same 3-edge local optimization, no surgery).
+      g.in_place = true;
+      g.carried = park_edge_;
+      g.target = e1_;
+      g.move = SprMove{pendant_, slot_tip, kNoId};
+    } else {
+      g.move = SprMove{pendant_, slot_tip, e};
+    }
+    if (!lane.scorer->stage_graft(g, &lane.cand_lnl[i], sink,
+                                  &lane.cand_lens[i]))
+      throw std::logic_error("placement wave overflow (max_batch too small)");
+  }
+}
+
+void PlacementEngine::harvest_lane(Lane& lane) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < lane.cand_edges.size(); ++i) {
+    if (lane.cand_lnl[i] > lane.cand_lnl[best] ||
+        (lane.cand_lnl[i] == lane.cand_lnl[best] &&
+         lane.cand_edges[i] < lane.cand_edges[best]))
+      best = i;
+  }
+  PlacementResult r;
+  r.ok = true;
+  r.edge = lane.cand_edges[best];
+  r.lnl = lane.cand_lnl[best];
+  r.candidates = static_cast<int>(lane.cand_edges.size());
+  // Harvested layout: [carried, target, prune] x partitions; the pendant
+  // (prune) lengths are the trailing block.
+  const std::vector<double>& lens = lane.cand_lens[best];
+  if (!lens.empty() && lens.size() % 3 == 0) {
+    const std::size_t np = lens.size() / 3;
+    double sum = 0;
+    for (std::size_t p = 0; p < np; ++p) sum += lens[2 * np + p];
+    r.pendant_length = sum / static_cast<double>(np);
+  }
+  ready_.emplace_back(lane.ticket, std::move(r));
+  ++stats_.placed;
+  lane.busy = false;
+}
+
+void PlacementEngine::fail_lane(Lane& lane, const std::string& error) {
+  PlacementResult r;
+  r.error = error;
+  ready_.emplace_back(lane.ticket, std::move(r));
+  ++stats_.placed;
+  ++stats_.failed;
+  lane.busy = false;
+}
+
+bool PlacementEngine::pump() {
+  if (!service_started()) throw std::logic_error("pump: service not started");
+  const std::size_t ready_before = ready_.size();
+
+  // Fill free lanes from the queue (a bad query banks an error and frees
+  // the lane for the next one).
+  for (auto& lane : lanes_) {
+    if (lane->busy) continue;
+    while (!queue_.empty()) {
+      PendingQuery q = std::move(queue_.front());
+      queue_.pop_front();
+      if (assign_query(*lane, std::move(q))) break;
+    }
+  }
+
+  // Stage every active lane's candidates and flush them as ONE merged wave
+  // set: cross-lane batching is the entire point of the lane design.
+  std::vector<WaveItem> sink;
+  std::vector<Lane*> active;
+  for (auto& lane : lanes_)
+    if (lane->busy) active.push_back(lane.get());
+  if (!active.empty()) {
+    try {
+      for (Lane* lane : active) stage_lane(*lane, sink);
+      CandidateScorer::flush_wave(*core_, opts_.strategy, opts_.local_opts,
+                                  sink);
+    } catch (const std::exception& ex) {
+      if (core_->has_pending()) core_->abort_pending();
+      for (Lane* lane : active) {
+        lane->scorer->abort_wave();
+        fail_lane(*lane, ex.what());
+      }
+      return ready_.size() != ready_before;
+    }
+    for (Lane* lane : active) {
+      lane->scorer->finish_wave();
+      harvest_lane(*lane);
+    }
+    ++stats_.waves;
+    stats_.wave_items += sink.size();
+    stats_.wave_lanes += active.size();
+  }
+  return ready_.size() != ready_before;
+}
+
+std::vector<std::pair<std::uint64_t, PlacementResult>>
+PlacementEngine::drain_ready() {
+  std::vector<std::pair<std::uint64_t, PlacementResult>> out;
+  out.swap(ready_);
+  return out;
+}
+
+void PlacementEngine::abort_all(const std::string& reason) {
+  if (core_ && core_->has_pending()) core_->abort_pending();
+  for (auto& lane : lanes_) {
+    if (!lane->busy) continue;
+    lane->scorer->abort_wave();
+    fail_lane(*lane, reason);
+  }
+  while (!queue_.empty()) {
+    PlacementResult r;
+    r.error = reason;
+    ready_.emplace_back(queue_.front().ticket, std::move(r));
+    ++stats_.placed;
+    ++stats_.failed;
+    queue_.pop_front();
+  }
+}
+
+PlacementResult PlacementEngine::place_sequential(std::string_view sequence) {
+  if (!service_started())
+    throw std::logic_error("place_sequential: service not started");
+  for (const auto& lane : lanes_)
+    if (lane->busy)
+      throw std::logic_error("place_sequential: engine not idle");
+
+  Lane& lane = *lanes_[0];
+  PlacementResult bad;
+  std::vector<std::vector<StateMask>> masks;
+  try {
+    masks = encode_query(sequence);
+  } catch (const std::exception& ex) {
+    bad.error = ex.what();
+    return bad;
+  }
+  lane.cand_edges = inserter_->shortlist(
+      masks, static_cast<std::size_t>(opts_.max_candidates));
+  core_->set_taxon_masks(lane.slot_taxon, masks);
+  lane.cand_lnl.assign(lane.cand_edges.size(), 0.0);
+  lane.cand_lens.assign(lane.cand_edges.size(), {});
+  lane.busy = true;
+
+  // One candidate per wave: the sequential single-query reference scoring.
+  const NodeId slot_tip = ref_tree_.tip_count();
+  for (std::size_t i = 0; i < lane.cand_edges.size(); ++i) {
+    const EdgeId e = lane.cand_edges[i];
+    GraftCandidate g;
+    if (e == park_edge_) {
+      g.in_place = true;
+      g.carried = park_edge_;
+      g.target = e1_;
+      g.move = SprMove{pendant_, slot_tip, kNoId};
+    } else {
+      g.move = SprMove{pendant_, slot_tip, e};
+    }
+    std::vector<WaveItem> sink;
+    lane.scorer->stage_graft(g, &lane.cand_lnl[i], sink, &lane.cand_lens[i]);
+    CandidateScorer::flush_wave(*core_, opts_.strategy, opts_.local_opts,
+                                sink);
+    lane.scorer->finish_wave();
+  }
+
+  // Reuse the streaming harvest (identical selection rule), then take the
+  // banked result back out — place_sequential is ticketless.
+  lane.ticket = 0;
+  harvest_lane(lane);
+  PlacementResult r = std::move(ready_.back().second);
+  ready_.pop_back();
+  --stats_.placed;
+  return r;
+}
+
+}  // namespace plk

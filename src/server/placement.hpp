@@ -1,0 +1,241 @@
+// Streaming phylogenetic placement on the EngineCore batching front door.
+//
+// The server-side problem: a fixed reference alignment + ML tree, and an
+// open-ended stream of query sequences, each asking "which edge of the
+// reference tree does this sequence attach to, and with what likelihood?".
+// Placing one query is a mini SPR scan — materialize the query on each
+// candidate edge, locally optimize the three branches at the insertion
+// point, evaluate — and scoring queries one at a time would spend the whole
+// engine on barrier waits, exactly the failure mode the batched candidate
+// scorer (search/candidate_batch.hpp) exists to fix.
+//
+// PlacementEngine therefore turns queries into *lanes* that share lockstep
+// waves:
+//
+//   * The engine core is built over the reference alignment plus `lanes`
+//     all-gap "query slot" taxa. All-gap rows preserve the reference's
+//     pattern compression (a gap column constraint is absorbed into every
+//     existing pattern), and EngineCore::set_taxon_masks() re-encodes a
+//     slot's per-pattern state masks per query in O(patterns).
+//   * Each lane owns a long-lived parent EvalContext over the reference
+//     tree with the lane's slot tip grafted onto a fixed "park" edge, and
+//     the context is permanently rooted at the slot tip's pendant edge.
+//     With that orientation NO inner CLV includes the slot tip's data, so
+//     rewriting the slot's codes invalidates nothing: the parent's CLVs are
+//     computed once at service start and never again.
+//   * Placing a query = encode it against the reference compression, rank
+//     the reference edges with the directed-Fitch parsimony prefilter
+//     (parsimony/fitch.hpp), and score the best `max_candidates` edges as
+//     overlay graft candidates (CandidateScorer::stage_graft): an SPR of
+//     the pendant edge onto each candidate edge, or the in-place form for
+//     the park edge itself. Candidates from EVERY active lane merge into
+//     shared waves, so a pump over L lanes x K candidates costs the
+//     synchronization of roughly ONE sequential candidate.
+//
+// Determinism: per candidate the wave protocol's arithmetic is independent
+// of wave composition (the candidate-batch equivalence the repo's tier-1
+// tests pin down), lane trees are identical in shape (same node/edge ids)
+// and share one pinned model state, and the parsimony prefilter is a pure
+// function of the query — so a placement's (edge, lnL) is bit-identical
+// whether the query was scored alone or merged into waves with dozens of
+// concurrent strangers, at the same (threads, shards). place_sequential()
+// IS that reference path; tests/test_server.cpp holds the two equal.
+//
+// Master-thread discipline: like the core it drives, a PlacementEngine is
+// single-threaded — the server's socket loop and the engine share one
+// thread, and concurrency comes from wave batching, not from threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/alignment.hpp"
+#include "bio/partition.hpp"
+#include "bio/patterns.hpp"
+#include "core/branch_opt.hpp"
+#include "core/engine_core.hpp"
+#include "core/model_opt.hpp"
+#include "core/strategy.hpp"
+#include "parsimony/fitch.hpp"
+#include "search/candidate_batch.hpp"
+#include "tree/tree.hpp"
+
+namespace plk {
+
+/// Placement-service configuration.
+struct PlacementOptions {
+  /// Query slots: the number of queries scored concurrently per wave set.
+  int lanes = 8;
+  /// Candidate edges kept by the parsimony prefilter per query (clamped to
+  /// the reference edge count).
+  int max_candidates = 8;
+  /// Submitted-but-unassigned queries held before submit() refuses (the
+  /// server turns a full queue into socket backpressure).
+  std::size_t max_queue = 1024;
+  /// Starting pendant branch length for a parked query tip.
+  double pendant_start = 0.1;
+  Strategy strategy = Strategy::kNewPar;
+  /// Local 3-edge optimization at each insertion point (mirrors the search
+  /// scorer's local_branch_opts).
+  BranchOptOptions local_opts{/*max_nr_iterations=*/8,
+                              /*length_tolerance=*/1e-4,
+                              /*smoothing_passes=*/1};
+  /// Startup optimization of the reference context (skipped on a warm
+  /// restart from a checkpoint).
+  BranchOptOptions startup_branch_opts{};
+  ModelOptOptions model_opts{};
+  bool optimize_models = true;
+  /// Wave sizing for each lane's scorer; max_batch is raised to
+  /// max_candidates automatically so one query always fits one wave.
+  CandidateBatchOptions batch{};
+};
+
+/// Service counters (monotonic; the server adds transport-level stats).
+struct PlacementStats {
+  std::uint64_t submitted = 0;   ///< queries accepted by submit()
+  std::uint64_t placed = 0;      ///< results produced (ok or failed)
+  std::uint64_t failed = 0;      ///< results that carry an error
+  std::uint64_t waves = 0;       ///< merged wave sets flushed
+  std::uint64_t wave_items = 0;  ///< candidates scored across all waves
+  std::uint64_t wave_lanes = 0;  ///< lane participations across all waves
+};
+
+/// One placement outcome.
+struct PlacementResult {
+  bool ok = false;
+  std::string error;
+  EdgeId edge = kNoId;        ///< best reference edge
+  double lnl = 0.0;           ///< candidate lnL at that edge
+  double pendant_length = 0;  ///< optimized pendant length (partition mean)
+  int candidates = 0;         ///< candidates actually scored
+};
+
+/// The placement service engine. Construction builds the core (reference +
+/// slot taxa) and the reference context; then either warm_restart() or
+/// optimize_reference() readies the model state, and start_service() builds
+/// the lanes. Queries flow submit() -> pump() -> drain_ready().
+class PlacementEngine {
+ public:
+  PlacementEngine(const Alignment& reference, const PartitionScheme& scheme,
+                  Tree reference_tree, const PlacementOptions& opts = {},
+                  const EngineOptions& engine_opts = {});
+  ~PlacementEngine();
+
+  PlacementEngine(const PlacementEngine&) = delete;
+  PlacementEngine& operator=(const PlacementEngine&) = delete;
+
+  // --- startup --------------------------------------------------------------
+
+  /// Restore reference models + branch lengths from a checkpoint file
+  /// (core/checkpoint.hpp ring). Returns false — leaving the engine ready
+  /// for optimize_reference() — when the file is missing or unreadable.
+  bool warm_restart(const std::string& checkpoint_path);
+
+  /// Optimize reference branch lengths (and models, per options) on the
+  /// fixed reference topology. Returns the final reference lnL.
+  double optimize_reference();
+
+  /// Build the lanes (slot grafts, permanent pendant rooting, service pin)
+  /// and the parsimony prefilter. Must be called once, after warm_restart()
+  /// or optimize_reference(); queries are accepted afterwards.
+  void start_service();
+  bool service_started() const { return !lanes_.empty(); }
+
+  /// Write the reference context's checkpoint (crash-consistent ring).
+  void save_checkpoint(const std::string& path) const;
+
+  // --- query stream ---------------------------------------------------------
+
+  bool can_accept() const { return queue_.size() < opts_.max_queue; }
+  std::size_t queued() const { return queue_.size(); }
+  /// Queries submitted whose results have not been drained yet.
+  std::size_t in_flight() const { return queue_.size() + ready_.size(); }
+
+  /// Enqueue a query sequence (reference column layout; length must equal
+  /// the reference site count — checked at scoring time, an error result).
+  /// Returns the query's ticket. Throws std::runtime_error when the queue
+  /// is full (check can_accept() first).
+  std::uint64_t submit(std::string sequence);
+
+  /// One scheduling step: assign queued queries to free lanes, stage every
+  /// assigned query's candidates, flush them as ONE merged wave set, and
+  /// bank the results. Returns true if any query was placed.
+  bool pump();
+
+  /// Take all banked results (ticket -> result), in completion order.
+  std::vector<std::pair<std::uint64_t, PlacementResult>> drain_ready();
+
+  /// Fail every queued query (shutdown drain); aborts any pending engine
+  /// batch first. The failures are banked as results.
+  void abort_all(const std::string& reason);
+
+  // --- reference scoring path ----------------------------------------------
+
+  /// Score one query with ONE candidate per wave on lane 0 — the sequential
+  /// single-query reference whose (edge, lnL) the batched path must match
+  /// bit-for-bit. Requires an idle engine (no queued queries).
+  PlacementResult place_sequential(std::string_view sequence);
+
+  // --- introspection --------------------------------------------------------
+
+  const Tree& reference_tree() const { return ref_tree_; }
+  int lane_count() const { return static_cast<int>(lanes_.size()); }
+  std::size_t reference_sites() const { return ref_sites_; }
+  const PlacementStats& stats() const { return stats_; }
+  EngineCore& core() { return *core_; }
+  EvalContext& reference_context() { return *ref_ctx_; }
+
+ private:
+  struct Lane;
+  struct PendingQuery {
+    std::uint64_t ticket = 0;
+    std::string seq;
+  };
+
+  /// Encode a query row against the reference pattern compression: one
+  /// state mask per pattern per partition, using each pattern's
+  /// representative site. Throws std::runtime_error on a length mismatch.
+  std::vector<std::vector<StateMask>> encode_query(
+      std::string_view seq) const;
+
+  /// Stage lane's shortlisted candidates into `sink` (scores land in the
+  /// lane's per-candidate buffers).
+  void stage_lane(Lane& lane, std::vector<WaveItem>& sink);
+  /// Harvest the staged lane's best candidate into a banked result.
+  void harvest_lane(Lane& lane);
+  void fail_lane(Lane& lane, const std::string& error);
+  /// Assign one pending query to a free lane (encode + prefilter + slot
+  /// re-encode); banks an error result instead on a bad query.
+  bool assign_query(Lane& lane, PendingQuery&& q);
+
+  PlacementOptions opts_;
+  Alignment combined_;  ///< reference rows + all-gap slot rows
+  PartitionScheme scheme_;
+  Tree ref_tree_;
+  std::size_t ref_taxa_ = 0;
+  std::size_t ref_sites_ = 0;
+  EdgeId park_edge_ = 0;   ///< reference edge the slot tips park on
+  EdgeId pendant_ = kNoId; ///< lane-tree id of every slot pendant edge
+  EdgeId e1_ = kNoId;      ///< lane-tree id of the park edge's split half
+
+  std::unique_ptr<CompressedAlignment> comp_;
+  std::unique_ptr<EngineCore> core_;
+  std::unique_ptr<EvalContext> ref_ctx_;
+  std::unique_ptr<ParsimonyInserter> inserter_;
+  /// Per-partition, per-pattern representative global site (first site of
+  /// the pattern), for query encoding.
+  std::vector<std::vector<std::size_t>> rep_site_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::deque<PendingQuery> queue_;
+  std::vector<std::pair<std::uint64_t, PlacementResult>> ready_;
+  std::uint64_t next_ticket_ = 1;
+  PlacementStats stats_;
+};
+
+}  // namespace plk

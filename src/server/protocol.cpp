@@ -1,0 +1,309 @@
+#include "server/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace plk {
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n'))
+    ++i;
+}
+
+bool parse_string(std::string_view s, std::size_t& i, std::string& out,
+                  std::string& err) {
+  if (i >= s.size() || s[i] != '"') {
+    err = "expected string";
+    return false;
+  }
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    const char c = s[i++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (i >= s.size()) break;
+    const char e = s[i++];
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 > s.size()) {
+          err = "truncated \\u escape";
+          return false;
+        }
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = s[i++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F')
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          else {
+            err = "bad \\u escape";
+            return false;
+          }
+        }
+        // Minimal UTF-8 encoding of the BMP code point (the protocol's own
+        // payloads are ASCII; this keeps foreign ids from being rejected).
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        err = "bad escape";
+        return false;
+    }
+  }
+  err = "unterminated string";
+  return false;
+}
+
+}  // namespace
+
+std::optional<WireMessage> WireMessage::parse(std::string_view line,
+                                              std::string* error) {
+  std::string err;
+  const auto fail = [&](const std::string& what) -> std::optional<WireMessage> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return fail("expected '{'");
+  ++i;
+  WireMessage msg;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws(line, i);
+      std::string key;
+      if (!parse_string(line, i, key, err)) return fail(err);
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+      ++i;
+      skip_ws(line, i);
+      WireValue v;
+      if (i >= line.size()) return fail("truncated value");
+      const char c = line[i];
+      if (c == '"') {
+        v.kind = WireValue::Kind::kString;
+        if (!parse_string(line, i, v.str, err)) return fail(err);
+      } else if (c == 't' && line.substr(i, 4) == "true") {
+        v.kind = WireValue::Kind::kBool;
+        v.flag = true;
+        i += 4;
+      } else if (c == 'f' && line.substr(i, 5) == "false") {
+        v.kind = WireValue::Kind::kBool;
+        v.flag = false;
+        i += 5;
+      } else if (c == 'n' && line.substr(i, 4) == "null") {
+        v.kind = WireValue::Kind::kNull;
+        i += 4;
+      } else if (c == '-' || (c >= '0' && c <= '9')) {
+        const std::string num(line.substr(i));
+        char* end = nullptr;
+        v.kind = WireValue::Kind::kNumber;
+        v.num = std::strtod(num.c_str(), &end);
+        if (end == num.c_str()) return fail("bad number");
+        i += static_cast<std::size_t>(end - num.c_str());
+      } else {
+        return fail("unsupported value (flat objects only)");
+      }
+      msg.fields_.emplace_back(std::move(key), std::move(v));
+      skip_ws(line, i);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) return fail("trailing bytes after object");
+  return msg;
+}
+
+WireValue* WireMessage::find(std::string_view key) {
+  for (auto& [k, v] : fields_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const WireValue* WireMessage::find(std::string_view key) const {
+  for (const auto& [k, v] : fields_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void WireMessage::set(std::string key, std::string value) {
+  WireValue v;
+  v.kind = WireValue::Kind::kString;
+  v.str = std::move(value);
+  if (WireValue* old = find(key)) {
+    *old = std::move(v);
+    return;
+  }
+  fields_.emplace_back(std::move(key), std::move(v));
+}
+
+void WireMessage::set_number(std::string key, double value) {
+  WireValue v;
+  v.kind = WireValue::Kind::kNumber;
+  v.num = value;
+  if (WireValue* old = find(key)) {
+    *old = std::move(v);
+    return;
+  }
+  fields_.emplace_back(std::move(key), std::move(v));
+}
+
+void WireMessage::set_bool(std::string key, bool value) {
+  WireValue v;
+  v.kind = WireValue::Kind::kBool;
+  v.flag = value;
+  if (WireValue* old = find(key)) {
+    *old = std::move(v);
+    return;
+  }
+  fields_.emplace_back(std::move(key), std::move(v));
+}
+
+const std::string* WireMessage::get_string(std::string_view key) const {
+  const WireValue* v = find(key);
+  return v != nullptr && v->kind == WireValue::Kind::kString ? &v->str
+                                                             : nullptr;
+}
+
+std::optional<double> WireMessage::get_number(std::string_view key) const {
+  const WireValue* v = find(key);
+  if (v == nullptr || v->kind != WireValue::Kind::kNumber) return std::nullopt;
+  return v->num;
+}
+
+std::optional<bool> WireMessage::get_bool(std::string_view key) const {
+  const WireValue* v = find(key);
+  if (v == nullptr || v->kind != WireValue::Kind::kBool) return std::nullopt;
+  return v->flag;
+}
+
+bool WireMessage::has(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // 17 significant digits round-trip any double exactly; trim to the
+  // shortest representation for integral values (edge ids, counters).
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string WireMessage::serialize() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\":";
+    switch (v.kind) {
+      case WireValue::Kind::kString:
+        out += '"';
+        out += json_escape(v.str);
+        out += '"';
+        break;
+      case WireValue::Kind::kNumber: out += json_number(v.num); break;
+      case WireValue::Kind::kBool: out += v.flag ? "true" : "false"; break;
+      case WireValue::Kind::kNull: out += "null"; break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+void LineBuffer::append(const char* data, std::size_t n) {
+  buf_.append(data, n);
+}
+
+std::optional<LineBuffer::Line> LineBuffer::next_line() {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) {
+    if (buf_.size() > max_line_) {
+      // Partial line already too long: surface it truncated so the caller
+      // can reject it; drop the buffered prefix (the rest of the oversized
+      // line is discarded as it streams in via the same path).
+      Line line{std::move(buf_), true};
+      buf_.clear();
+      line.text.resize(max_line_);
+      return line;
+    }
+    return std::nullopt;
+  }
+  Line line{buf_.substr(0, nl), nl > max_line_};
+  buf_.erase(0, nl + 1);
+  if (line.oversized) line.text.resize(max_line_);
+  return line;
+}
+
+}  // namespace plk

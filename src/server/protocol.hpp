@@ -1,0 +1,110 @@
+// The placement server's wire protocol: NDJSON over a byte stream.
+//
+// Every protocol message is ONE line — a single-level JSON object with
+// string keys and scalar (string / number / bool) values — terminated by
+// '\n'. Line framing keeps the parser trivial and the stream resynchronizable
+// (a malformed line is rejected without poisoning the connection), and flat
+// objects are all the placement protocol needs:
+//
+//   -> {"op":"hello","client":"plkplace"}
+//   <- {"ok":true,"op":"hello","server":"plkserved","edges":17,...}
+//   -> {"op":"place","id":"q0","seq":"ACGT..."}
+//   <- {"ok":true,"op":"place","id":"q0","edge":7,"lnl":-1931.5,...}
+//   -> {"op":"stats"}            -> {"op":"quit"}
+//
+// Numbers are serialized with 17 significant digits, so a double — the
+// placement lnL whose bit-identity the tests pin down — round-trips exactly
+// through the text protocol.
+//
+// No external JSON dependency: the subset grammar here (flat objects,
+// doubles, strings with standard escapes, true/false/null) is parsed and
+// emitted by ~200 lines below.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plk {
+
+/// One scalar field value of a wire message.
+struct WireValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;
+  double num = 0.0;
+  bool flag = false;
+};
+
+/// A single-level JSON object: ordered (key, scalar) pairs. Field order is
+/// preserved on serialization so responses are byte-stable.
+class WireMessage {
+ public:
+  /// Parse one line. Returns std::nullopt on malformed input and, when
+  /// `error` is non-null, a one-line description of what went wrong.
+  static std::optional<WireMessage> parse(std::string_view line,
+                                          std::string* error = nullptr);
+
+  void set(std::string key, std::string value);
+  void set(std::string key, const char* value) {
+    set(std::move(key), std::string(value));
+  }
+  void set_number(std::string key, double value);
+  void set_bool(std::string key, bool value);
+
+  /// nullptr when the key is absent or not a string.
+  const std::string* get_string(std::string_view key) const;
+  std::optional<double> get_number(std::string_view key) const;
+  std::optional<bool> get_bool(std::string_view key) const;
+  bool has(std::string_view key) const;
+
+  /// One line of JSON, without the trailing '\n'.
+  std::string serialize() const;
+
+  const std::vector<std::pair<std::string, WireValue>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  WireValue* find(std::string_view key);
+  const WireValue* find(std::string_view key) const;
+  std::vector<std::pair<std::string, WireValue>> fields_;
+};
+
+/// Escape a string for embedding in a JSON document (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Format a double with enough digits to round-trip bit-exactly.
+std::string json_number(double v);
+
+/// Incremental NDJSON splitter over an append-only byte stream: feed raw
+/// socket reads in, take complete lines out. A line longer than `max_line`
+/// bytes is reported as oversized (next_line returns it truncated with
+/// `oversized` set) so a hostile or confused peer cannot grow the buffer
+/// without bound.
+class LineBuffer {
+ public:
+  explicit LineBuffer(std::size_t max_line = 8 * 1024 * 1024)
+      : max_line_(max_line) {}
+
+  void append(const char* data, std::size_t n);
+
+  struct Line {
+    std::string text;
+    bool oversized = false;
+  };
+  /// Next complete line (without '\n'), or std::nullopt when the buffer
+  /// holds only a partial line.
+  std::optional<Line> next_line();
+
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t max_line_;
+};
+
+}  // namespace plk

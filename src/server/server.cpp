@@ -1,0 +1,432 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace plk {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+PlkServer::PlkServer(PlacementEngine& engine, const ServerOptions& opts)
+    : engine_(engine), opts_(opts) {
+  if (!engine_.service_started())
+    throw std::logic_error("PlkServer: engine service not started");
+}
+
+PlkServer::~PlkServer() {
+  for (auto& [fd, s] : sessions_.all()) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void PlkServer::open() {
+  if (listen_fd_ >= 0) throw std::logic_error("PlkServer: already open");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad bind address: " + opts_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(e));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("listen() failed: ") +
+                             std::strerror(e));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+}
+
+bool PlkServer::step(int timeout_ms) {
+  if (listen_fd_ < 0) throw std::logic_error("PlkServer: not open");
+
+  std::vector<pollfd> pfds;
+  pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  // Backpressure: a full engine queue withholds POLLIN from every session,
+  // parking unread requests in kernel socket buffers until waves drain.
+  const bool accept_reads = engine_.can_accept();
+  for (auto& [fd, s] : sessions_.all()) {
+    short ev = 0;
+    if (accept_reads && !s.closing) ev |= POLLIN;
+    if (!s.out.empty()) ev |= POLLOUT;
+    pfds.push_back(pollfd{fd, ev, 0});
+  }
+
+  // Never sleep while the engine has work to pump.
+  const int timeout = engine_.queued() > 0 ? 0 : timeout_ms;
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+  if (rc < 0 && errno != EINTR)
+    throw std::runtime_error(std::string("poll() failed: ") +
+                             std::strerror(errno));
+
+  bool activity = false;
+  if (rc > 0 && (pfds[0].revents & POLLIN) != 0) {
+    accept_new();
+    activity = true;
+  }
+  for (std::size_t i = 1; i < pfds.size(); ++i) {
+    Session* s = sessions_.find(pfds[i].fd);
+    if (s == nullptr) continue;  // closed earlier this step
+    const short re = pfds[i].revents;
+    if ((re & POLLIN) != 0) {
+      activity = true;
+      if (!read_session(*s)) continue;
+    }
+    if ((re & (POLLERR | POLLNVAL)) != 0 ||
+        ((re & POLLHUP) != 0 && (re & POLLIN) == 0)) {
+      close_session(pfds[i].fd, /*dropped=*/true);
+      activity = true;
+    }
+  }
+
+  if (engine_.queued() > 0) {
+    engine_.pump();
+    activity = true;
+  }
+  deliver_results();
+
+  std::vector<int> done;
+  for (auto& [fd, s] : sessions_.all()) {
+    if (!s.out.empty() && !flush_out(s)) continue;
+    if (s.closing && s.out.empty()) done.push_back(fd);
+  }
+  for (const int fd : done) close_session(fd, /*dropped=*/false);
+
+  maybe_checkpoint();
+  return activity;
+}
+
+int PlkServer::run(const std::atomic<bool>& stop) {
+  try {
+    while (!stop.load(std::memory_order_relaxed)) step(50);
+  } catch (const std::exception&) {
+    shutdown("server error");
+    return 1;
+  }
+  shutdown("server shutting down");
+  return 0;
+}
+
+void PlkServer::shutdown(const std::string& reason) {
+  // Drain: every queued query fails with `reason`, the failures are
+  // delivered like normal responses, and sockets get a bounded best-effort
+  // flush so clients see their answers before the FIN.
+  engine_.abort_all(reason);
+  deliver_results();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    bool pending = false;
+    for (auto& [fd, s] : sessions_.all())
+      if (!s.out.empty()) {
+        flush_out(s);
+        pending = true;
+      }
+    if (!pending) break;
+    pollfd pf{-1, 0, 0};
+    ::poll(&pf, 0, 10);  // small sleep between flush attempts
+  }
+  std::vector<int> fds;
+  for (auto& [fd, s] : sessions_.all()) fds.push_back(fd);
+  for (const int fd : fds) close_session(fd, /*dropped=*/false);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!opts_.checkpoint_path.empty()) {
+    engine_.save_checkpoint(opts_.checkpoint_path);
+    ++stats_.checkpoints;
+  }
+}
+
+void PlkServer::accept_new() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or transient error: next step retries
+    set_nonblocking(fd);
+    if (sessions_.size() >= opts_.max_sessions) {
+      // Admission control: reject at the door with a parseable reason.
+      // The socket is fresh, so this small line lands in its send buffer.
+      WireMessage m;
+      m.set_bool("ok", false);
+      m.set("error", "server at capacity");
+      const std::string line = m.serialize() + "\n";
+      ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      ++stats_.sessions_rejected;
+      continue;
+    }
+    sessions_.open(fd);
+    ++stats_.sessions_accepted;
+  }
+}
+
+bool PlkServer::read_session(Session& s) {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(s.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      s.in.append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n == 0) {
+      s.closing = true;  // orderly EOF: flush what we owe, then close
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_session(s.fd, /*dropped=*/true);
+    return false;
+  }
+  while (auto line = s.in.next_line()) {
+    // Skip blank keepalive lines.
+    std::string_view t = line->text;
+    while (!t.empty() && (t.back() == '\r' || t.back() == ' '))
+      t.remove_suffix(1);
+    if (t.empty() && !line->oversized) continue;
+    handle_line(s, line->text, line->oversized);
+    if (!engine_.can_accept()) break;  // leave the rest buffered
+  }
+  return true;
+}
+
+void PlkServer::handle_line(Session& s, const std::string& text,
+                            bool oversized) {
+  if (oversized) {
+    ++stats_.malformed;
+    WireMessage m;
+    m.set_bool("ok", false);
+    m.set("error", "line too long");
+    respond(s, m);
+    return;
+  }
+  std::string err;
+  std::optional<WireMessage> req = WireMessage::parse(text, &err);
+  if (!req) {
+    ++stats_.malformed;
+    WireMessage m;
+    m.set_bool("ok", false);
+    m.set("error", "malformed frame: " + err);
+    respond(s, m);
+    return;
+  }
+  ++stats_.requests;
+  const std::string* op = req->get_string("op");
+  if (op == nullptr) {
+    WireMessage m;
+    m.set_bool("ok", false);
+    m.set("error", "missing op");
+    respond(s, m);
+    return;
+  }
+
+  if (*op == "hello") {
+    WireMessage m;
+    m.set_bool("ok", true);
+    m.set("op", "hello");
+    m.set("server", "plkserved");
+    m.set_number("proto", 1);
+    m.set_number("taxa", static_cast<double>(
+                             engine_.reference_tree().tip_count()));
+    m.set_number("sites", static_cast<double>(engine_.reference_sites()));
+    m.set_number("edges", static_cast<double>(
+                              engine_.reference_tree().edge_count()));
+    m.set_number("lanes", engine_.lane_count());
+    respond(s, m);
+    return;
+  }
+
+  if (*op == "place") {
+    const std::string* id = req->get_string("id");
+    const std::string* seq = req->get_string("seq");
+    if (seq == nullptr) {
+      WireMessage m;
+      m.set_bool("ok", false);
+      m.set("op", "place");
+      if (id != nullptr) m.set("id", *id);
+      m.set("error", "place: missing seq");
+      respond(s, m);
+      return;
+    }
+    if (!engine_.can_accept()) {
+      // Backpressure normally prevents this; it can still trip when one
+      // read delivers more requests than the queue has room for.
+      WireMessage m;
+      m.set_bool("ok", false);
+      m.set("op", "place");
+      if (id != nullptr) m.set("id", *id);
+      m.set("error", "busy: placement queue full");
+      respond(s, m);
+      return;
+    }
+    const std::uint64_t ticket = engine_.submit(*seq);
+    TicketInfo info;
+    info.session_id = s.id;
+    if (id != nullptr) {
+      info.request_id = *id;
+      info.has_id = true;
+    }
+    info.start = std::chrono::steady_clock::now();
+    tickets_.emplace(ticket, std::move(info));
+    ++s.inflight;
+    return;
+  }
+
+  if (*op == "stats") {
+    respond(s, stats_message());
+    return;
+  }
+
+  if (*op == "quit") {
+    WireMessage m;
+    m.set_bool("ok", true);
+    m.set("op", "quit");
+    respond(s, m);
+    s.closing = true;
+    return;
+  }
+
+  WireMessage m;
+  m.set_bool("ok", false);
+  m.set("error", "unknown op: " + *op);
+  respond(s, m);
+}
+
+void PlkServer::respond(Session& s, const WireMessage& msg) {
+  s.out += msg.serialize();
+  s.out += '\n';
+}
+
+void PlkServer::deliver_results() {
+  for (auto& [ticket, result] : engine_.drain_ready()) {
+    const auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) continue;
+    TicketInfo info = std::move(it->second);
+    tickets_.erase(it);
+    latency_.record(ms_since(info.start));
+    Session* s = sessions_.find_by_id(info.session_id);
+    if (s == nullptr) continue;  // session went away mid-flight
+    if (s->inflight > 0) --s->inflight;
+    WireMessage m;
+    m.set_bool("ok", result.ok);
+    m.set("op", "place");
+    if (info.has_id) m.set("id", info.request_id);
+    if (result.ok) {
+      m.set_number("edge", static_cast<double>(result.edge));
+      m.set_number("lnl", result.lnl);
+      m.set_number("pendant", result.pendant_length);
+      m.set_number("candidates", result.candidates);
+    } else {
+      m.set("error", result.error);
+    }
+    respond(*s, m);
+  }
+}
+
+bool PlkServer::flush_out(Session& s) {
+  while (!s.out.empty()) {
+    const ssize_t n = ::send(s.fd, s.out.data(), s.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      s.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    close_session(s.fd, /*dropped=*/true);
+    return false;
+  }
+  return true;
+}
+
+void PlkServer::close_session(int fd, bool dropped) {
+  Session* s = sessions_.find(fd);
+  if (s == nullptr) return;
+  ::close(fd);
+  sessions_.erase(fd);
+  if (dropped)
+    ++stats_.sessions_dropped;
+  else
+    ++stats_.sessions_closed;
+}
+
+void PlkServer::maybe_checkpoint() {
+  if (opts_.checkpoint_every == 0 || opts_.checkpoint_path.empty()) return;
+  const std::uint64_t placed = engine_.stats().placed;
+  if (placed - last_ckpt_placed_ < opts_.checkpoint_every) return;
+  engine_.save_checkpoint(opts_.checkpoint_path);
+  last_ckpt_placed_ = placed;
+  ++stats_.checkpoints;
+}
+
+WireMessage PlkServer::stats_message() {
+  const PlacementStats& ps = engine_.stats();
+  WireMessage m;
+  m.set_bool("ok", true);
+  m.set("op", "stats");
+  m.set_number("sessions", static_cast<double>(sessions_.size()));
+  m.set_number("sessions_accepted",
+               static_cast<double>(stats_.sessions_accepted));
+  m.set_number("sessions_rejected",
+               static_cast<double>(stats_.sessions_rejected));
+  m.set_number("sessions_closed",
+               static_cast<double>(stats_.sessions_closed));
+  m.set_number("sessions_dropped",
+               static_cast<double>(stats_.sessions_dropped));
+  m.set_number("requests", static_cast<double>(stats_.requests));
+  m.set_number("malformed", static_cast<double>(stats_.malformed));
+  m.set_number("bytes_in", static_cast<double>(stats_.bytes_in));
+  m.set_number("bytes_out", static_cast<double>(stats_.bytes_out));
+  m.set_number("submitted", static_cast<double>(ps.submitted));
+  m.set_number("placed", static_cast<double>(ps.placed));
+  m.set_number("failed", static_cast<double>(ps.failed));
+  m.set_number("queued", static_cast<double>(engine_.queued()));
+  m.set_number("waves", static_cast<double>(ps.waves));
+  m.set_number("wave_items", static_cast<double>(ps.wave_items));
+  m.set_number("wave_lanes", static_cast<double>(ps.wave_lanes));
+  m.set_number("wave_occupancy",
+               ps.waves == 0 ? 0.0
+                             : static_cast<double>(ps.wave_lanes) /
+                                   (static_cast<double>(ps.waves) *
+                                    engine_.lane_count()));
+  m.set_number("latency_p50_ms", latency_.percentile(50));
+  m.set_number("latency_p99_ms", latency_.percentile(99));
+  m.set_number("checkpoints", static_cast<double>(stats_.checkpoints));
+  return m;
+}
+
+}  // namespace plk

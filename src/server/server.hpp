@@ -1,0 +1,104 @@
+// plkserved's transport layer: a single-threaded poll() event loop that
+// shares its thread with the PlacementEngine it fronts (the engine core's
+// master-thread discipline makes this mandatory, not a style choice —
+// every public EngineCore entry point must run on one thread).
+//
+// The loop per step: accept new connections (admission control rejects at
+// the door once max_sessions is reached), read request lines from sessions,
+// feed `place` requests into the engine queue, pump the engine (ONE merged
+// wave set across every active lane), deliver banked results back onto the
+// sessions that asked, and flush outbound buffers. Backpressure is applied
+// where a stream server must: while the engine queue is full the loop stops
+// POLLIN-ing sessions, so unread requests stay in the kernel socket buffer
+// and TCP flow control pushes back on the clients — no unbounded queues
+// anywhere in the server.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "server/placement.hpp"
+#include "server/session.hpp"
+
+namespace plk {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad
+  int port = 0;                            ///< 0 = ephemeral (see port())
+  std::size_t max_sessions = 64;
+  /// Write the engine checkpoint every N placements (0 = only at shutdown).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+};
+
+/// The placement daemon's socket front end over a started PlacementEngine.
+/// Construct, open(), then either run() (blocking loop with a stop flag)
+/// or call step() yourself (tests drive the loop directly).
+class PlkServer {
+ public:
+  PlkServer(PlacementEngine& engine, const ServerOptions& opts);
+  ~PlkServer();
+
+  PlkServer(const PlkServer&) = delete;
+  PlkServer& operator=(const PlkServer&) = delete;
+
+  /// Bind + listen. Throws std::runtime_error on socket failure.
+  void open();
+  /// The bound port (resolves option port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// One event-loop iteration: poll up to timeout_ms (0 = nonblocking),
+  /// then accept/read/pump/deliver/flush. Returns true if anything
+  /// happened. Must be called from the engine's master thread.
+  bool step(int timeout_ms);
+
+  /// Loop step() until `stop` becomes true, then drain gracefully:
+  /// abort queued queries, deliver the failures, flush sockets, write the
+  /// final checkpoint, close everything. Returns 0 on a clean stop, 1 if
+  /// the loop died on an exception.
+  int run(const std::atomic<bool>& stop);
+
+  /// The graceful drain run() performs; callable directly by tests.
+  void shutdown(const std::string& reason);
+
+  std::size_t session_count() const { return sessions_.size(); }
+  const ServerStats& stats() const { return stats_; }
+  const RollingLatency& latency() const { return latency_; }
+
+ private:
+  struct TicketInfo {
+    std::uint64_t session_id = 0;
+    std::string request_id;
+    bool has_id = false;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  void accept_new();
+  /// Drain the session's socket into its LineBuffer and handle complete
+  /// lines. Returns false if the session was closed/dropped.
+  bool read_session(Session& s);
+  void handle_line(Session& s, const std::string& text, bool oversized);
+  void respond(Session& s, const WireMessage& msg);
+  void deliver_results();
+  /// Push the session's out buffer into the socket; drops the session on a
+  /// hard write error. Returns false if the session went away.
+  bool flush_out(Session& s);
+  void close_session(int fd, bool dropped);
+  void maybe_checkpoint();
+  WireMessage stats_message();
+
+  PlacementEngine& engine_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  SessionRegistry sessions_;
+  ServerStats stats_;
+  RollingLatency latency_;
+  std::unordered_map<std::uint64_t, TicketInfo> tickets_;
+  std::uint64_t last_ckpt_placed_ = 0;
+};
+
+}  // namespace plk

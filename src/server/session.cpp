@@ -1,0 +1,51 @@
+#include "server/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plk {
+
+Session& SessionRegistry::open(int fd) {
+  Session& s = sessions_[fd];
+  s.fd = fd;
+  s.id = next_id_++;
+  return s;
+}
+
+Session* SessionRegistry::find(int fd) {
+  const auto it = sessions_.find(fd);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Session* SessionRegistry::find_by_id(std::uint64_t id) {
+  for (auto& [fd, s] : sessions_)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+void SessionRegistry::erase(int fd) { sessions_.erase(fd); }
+
+void RollingLatency::record(double ms) {
+  if (ring_.empty()) return;
+  ring_[head_] = ms;
+  head_ = (head_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  ++count_;
+}
+
+double RollingLatency::percentile(double p) const {
+  if (filled_ == 0) return 0.0;
+  std::vector<double> v(ring_.begin(),
+                        ring_.begin() + static_cast<std::ptrdiff_t>(filled_));
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::size_t k = std::min(
+      filled_ - 1,
+      static_cast<std::size_t>(std::floor(clamped / 100.0 *
+                                          static_cast<double>(filled_ - 1) +
+                                          0.5)));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[static_cast<std::ptrdiff_t>(k)];
+}
+
+}  // namespace plk

@@ -1,0 +1,75 @@
+// Session bookkeeping for the placement server: one Session per connected
+// client socket, a registry keyed by fd, and the rolling transport/latency
+// statistics the STATS endpoint reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace plk {
+
+/// One connected client. Owned by the SessionRegistry; the fd is owned (and
+/// closed) by the server's event loop, not by this struct.
+struct Session {
+  int fd = -1;
+  std::uint64_t id = 0;   ///< monotonic session id (never reused, unlike fds)
+  LineBuffer in;          ///< inbound NDJSON splitter
+  std::string out;        ///< outbound bytes not yet accepted by the socket
+  bool closing = false;   ///< close once `out` drains (quit / fatal error)
+  std::size_t inflight = 0;  ///< placements submitted, responses not yet sent
+};
+
+/// fd -> Session map with stable iteration order (the poll vector is built
+/// from it every step, so determinism here keeps the loop debuggable).
+class SessionRegistry {
+ public:
+  Session& open(int fd);
+  Session* find(int fd);
+  /// Find by session id (tickets reference sessions by id, not fd, so a
+  /// ticket can never deliver into a recycled fd).
+  Session* find_by_id(std::uint64_t id);
+  void erase(int fd);
+  std::size_t size() const { return sessions_.size(); }
+  std::map<int, Session>& all() { return sessions_; }
+
+ private:
+  std::map<int, Session> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Fixed-capacity latency ring: O(1) record, percentile by copy + select.
+class RollingLatency {
+ public:
+  explicit RollingLatency(std::size_t capacity = 4096) : ring_(capacity) {}
+
+  void record(double ms);
+  /// Percentile over the retained window; 0 when empty. p in [0, 100].
+  double percentile(double p) const;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::vector<double> ring_;
+  std::size_t filled_ = 0;
+  std::size_t head_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Transport-level counters (the engine adds PlacementStats).
+struct ServerStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_rejected = 0;  ///< admission control refusals
+  std::uint64_t sessions_closed = 0;    ///< orderly closes (quit / EOF)
+  std::uint64_t sessions_dropped = 0;   ///< socket errors mid-session
+  std::uint64_t requests = 0;           ///< parsed protocol requests
+  std::uint64_t malformed = 0;          ///< rejected lines
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t checkpoints = 0;        ///< periodic checkpoints written
+};
+
+}  // namespace plk

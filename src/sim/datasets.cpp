@@ -174,4 +174,42 @@ Dataset make_paper_r26_21451(double scale, std::uint64_t seed) {
                              seed);
 }
 
+PlacementScenario make_placement_scenario(int taxa, std::size_t sites,
+                                          int queries, std::uint64_t seed) {
+  if (taxa < 4)
+    throw std::invalid_argument("make_placement_scenario: need >= 4 taxa");
+  if (queries < 1)
+    throw std::invalid_argument("make_placement_scenario: need >= 1 query");
+  PlacementScenario sc;
+  // Two partitions so query encoding and placement exercise the
+  // multi-partition paths.
+  sc.reference = make_simulated_dna(
+      taxa, sites, std::max<std::size_t>(100, (sites + 1) / 2), seed);
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const Tree& tree = sc.reference.true_tree;
+  const Alignment& aln = sc.reference.alignment;
+  const std::string_view dna = Alphabet::for_type(DataType::kDna).symbols();
+  for (int k = 0; k < queries; ++k) {
+    // Spread sources across the reference tips (wrapping when
+    // queries > taxa), so concurrent sessions hit distinct true edges.
+    const NodeId src = static_cast<NodeId>(k % taxa);
+    const std::size_t row = aln.find_taxon(tree.label(src));
+    std::string data{aln.row(row)};
+    for (char& ch : data) {
+      const double u = rng.uniform();
+      if (u < 0.02) {
+        auto pick = static_cast<std::size_t>(rng.uniform() * 4.0);
+        ch = dna[std::min<std::size_t>(pick, 3)];
+      } else if (u < 0.03) {
+        ch = '-';
+      }
+    }
+    sc.queries.push_back(Sequence{"q" + std::to_string(k), std::move(data)});
+    sc.source_tips.push_back(src);
+    sc.true_edges.push_back(tree.edges_of(src)[0]);
+  }
+  return sc;
+}
+
 }  // namespace plk

@@ -68,4 +68,20 @@ Dataset make_paper_d100_50000(double scale, std::uint64_t seed);
 Dataset make_paper_r125_19839(double scale, std::uint64_t seed);
 Dataset make_paper_r26_21451(double scale, std::uint64_t seed);
 
+/// A streaming-placement workload: a reference dataset plus held-out query
+/// sequences with KNOWN true insertion edges. Each query is a noisy copy
+/// (deterministic ~2% substitutions, ~1% gaps) of one reference tip's row,
+/// so its best insertion edge is that tip's pendant edge — which is what
+/// `true_edges` records. Queries cycle through the reference tips, so
+/// `queries` may exceed `taxa`.
+struct PlacementScenario {
+  Dataset reference;  ///< alignment + scheme + reference tree (2 partitions)
+  std::vector<Sequence> queries;   ///< query rows, reference column layout
+  std::vector<NodeId> source_tips; ///< per query: the tip it was derived from
+  std::vector<EdgeId> true_edges;  ///< per query: source tip's pendant edge
+};
+
+PlacementScenario make_placement_scenario(int taxa, std::size_t sites,
+                                          int queries, std::uint64_t seed);
+
 }  // namespace plk

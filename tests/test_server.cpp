@@ -1,0 +1,529 @@
+// Tests for server/: the NDJSON wire protocol, the streaming placement
+// engine (including the bit-identity of batched concurrent placement
+// against sequential single-query scoring across thread/shard configs),
+// and the TCP server end to end — admission control, malformed frames,
+// and concurrent multi-session traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/placement.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "sim/datasets.hpp"
+#include "tree/newick.hpp"
+#include "tree/tree.hpp"
+
+namespace plk {
+namespace {
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, RoundTrip) {
+  WireMessage m;
+  m.set("op", "place");
+  m.set("id", "q1");
+  m.set_number("edge", 7);
+  m.set_number("lnl", -1931.5311111111112);
+  m.set_bool("ok", true);
+  const std::string line = m.serialize();
+  std::string err;
+  auto back = WireMessage::parse(line, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back->get_string("op"), "place");
+  EXPECT_EQ(*back->get_string("id"), "q1");
+  EXPECT_EQ(back->get_number("edge"), 7.0);
+  EXPECT_EQ(back->get_bool("ok"), true);
+  // Field order is preserved, so serialization is byte-stable.
+  EXPECT_EQ(back->serialize(), line);
+}
+
+TEST(Protocol, DoublesRoundTripBitExactly) {
+  const double values[] = {-1931.5311111111112, 0.1, 1e-17, -4134.337,
+                           12345678.000000123, 3.0, -0.0};
+  for (const double v : values) {
+    WireMessage m;
+    m.set_number("x", v);
+    auto back = WireMessage::parse(m.serialize());
+    ASSERT_TRUE(back.has_value());
+    const double r = *back->get_number("x");
+    EXPECT_EQ(std::memcmp(&r, &v, sizeof v) == 0 || r == v, true) << v;
+    EXPECT_EQ(r, v);
+  }
+}
+
+TEST(Protocol, EscapesAndUnicode) {
+  WireMessage m;
+  m.set("s", "a\"b\\c\nd\te\x01");
+  auto back = WireMessage::parse(m.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back->get_string("s"), "a\"b\\c\nd\te\x01");
+  auto uni = WireMessage::parse("{\"s\":\"\\u0041\\u00e9\"}");
+  ASSERT_TRUE(uni.has_value());
+  EXPECT_EQ(*uni->get_string("s"), "A\xc3\xa9");
+}
+
+TEST(Protocol, RejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(WireMessage::parse("not json", &err).has_value());
+  EXPECT_FALSE(WireMessage::parse("{\"a\":1", &err).has_value());
+  EXPECT_FALSE(WireMessage::parse("{\"a\":[1,2]}", &err).has_value());
+  EXPECT_FALSE(WireMessage::parse("{\"a\":{\"b\":1}}", &err).has_value());
+  EXPECT_FALSE(WireMessage::parse("{\"a\":1}garbage", &err).has_value());
+  EXPECT_FALSE(WireMessage::parse("", &err).has_value());
+  EXPECT_TRUE(WireMessage::parse("{}").has_value());
+  EXPECT_TRUE(WireMessage::parse("  {\"a\":null}  ").has_value());
+}
+
+TEST(Protocol, LineBufferSplitsAndBoundsLines) {
+  LineBuffer lb(/*max_line=*/16);
+  const std::string chunk = "{\"a\":1}\n{\"b\"";
+  lb.append(chunk.data(), chunk.size());
+  auto l1 = lb.next_line();
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->text, "{\"a\":1}");
+  EXPECT_FALSE(l1->oversized);
+  EXPECT_FALSE(lb.next_line().has_value());  // partial line stays buffered
+  const std::string rest = ":2}\n";
+  lb.append(rest.data(), rest.size());
+  auto l2 = lb.next_line();
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l2->text, "{\"b\":2}");
+
+  const std::string big(64, 'x');
+  lb.append(big.data(), big.size());
+  auto over = lb.next_line();
+  ASSERT_TRUE(over.has_value());
+  EXPECT_TRUE(over->oversized);
+  EXPECT_LE(over->text.size(), 16u);
+}
+
+// --- parsimony prefilter ----------------------------------------------------
+
+TEST(ParsimonyInserter, ExactCopyOfTipCostsZeroAtItsPendantEdge) {
+  Alignment aln;
+  aln.add("a", "AACCGGTT");
+  aln.add("b", "AACCGGAA");
+  aln.add("c", "CCAAGGTT");
+  aln.add("d", "CCAATTTT");
+  const PartitionScheme scheme =
+      PartitionScheme::single(DataType::kDna, aln.site_count());
+  const CompressedAlignment comp =
+      CompressedAlignment::build(aln, scheme, true);
+  const Tree tree = parse_newick("((a:1,b:1):1,(c:1,d:1):1);",
+                                 {"a", "b", "c", "d"});
+  const ParsimonyInserter ins(tree, comp);
+
+  // Encode a's row against the compression.
+  std::vector<std::vector<StateMask>> q(1);
+  const CompressedPartition& part = comp.partitions[0];
+  q[0].resize(part.pattern_count);
+  for (std::size_t i = 0; i < part.site_to_pattern.size(); ++i)
+    q[0][part.site_to_pattern[i]] = part.alphabet().encode(aln.at(0, i));
+
+  const std::vector<double> costs = ins.costs(q);
+  const EdgeId a_pendant = tree.edges_of(/*tip a=*/0)[0];
+  EXPECT_EQ(costs[static_cast<std::size_t>(a_pendant)], 0.0);
+  // The shortlist ranks that edge first.
+  const auto top = ins.shortlist(q, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(costs[static_cast<std::size_t>(top[0])], 0.0);
+}
+
+// --- placement engine -------------------------------------------------------
+
+PlacementEngine make_engine_over(const PlacementScenario& sc, int threads,
+                                 int shards, int lanes) {
+  PlacementOptions po;
+  po.lanes = lanes;
+  po.max_candidates = 6;
+  EngineOptions eo;
+  eo.threads = threads;
+  eo.shards = shards;
+  eo.unlinked_branch_lengths = true;
+  return PlacementEngine(sc.reference.alignment, sc.reference.scheme,
+                         Tree(sc.reference.true_tree), po, eo);
+}
+
+/// Submit every query, pump the engine dry, and return results in query
+/// order (the batched concurrent path).
+std::vector<PlacementResult> place_batched(PlacementEngine& eng,
+                                           const PlacementScenario& sc) {
+  std::map<std::uint64_t, std::size_t> by_ticket;
+  for (std::size_t i = 0; i < sc.queries.size(); ++i)
+    by_ticket[eng.submit(sc.queries[i].data)] = i;
+  std::vector<PlacementResult> out(sc.queries.size());
+  std::size_t collected = 0;
+  while (collected < sc.queries.size()) {
+    eng.pump();
+    for (auto& [ticket, result] : eng.drain_ready()) {
+      out[by_ticket.at(ticket)] = std::move(result);
+      ++collected;
+    }
+  }
+  return out;
+}
+
+TEST(PlacementEngine, BatchedMatchesSequentialBitForBit) {
+  const PlacementScenario sc = make_placement_scenario(10, 400, 12, 7);
+  struct Config {
+    int threads, shards;
+  };
+  const Config configs[] = {{1, 1}, {1, 2}, {4, 1}, {4, 2}};
+  // Results per config, for the cross-shard comparison afterwards.
+  std::map<int, std::vector<PlacementResult>> by_threads_s1;
+  for (const Config& c : configs) {
+    SCOPED_TRACE("threads=" + std::to_string(c.threads) +
+                 " shards=" + std::to_string(c.shards));
+    PlacementEngine eng = make_engine_over(sc, c.threads, c.shards, 4);
+    eng.optimize_reference();
+    eng.start_service();
+
+    const std::vector<PlacementResult> batched = place_batched(eng, sc);
+    ASSERT_EQ(batched.size(), sc.queries.size());
+    // The engine's own wave stats prove the queries were actually merged:
+    // fewer waves than queries means lanes shared flushes.
+    EXPECT_LT(eng.stats().waves, sc.queries.size());
+
+    for (std::size_t i = 0; i < sc.queries.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      const PlacementResult seq =
+          eng.place_sequential(sc.queries[i].data);
+      ASSERT_TRUE(batched[i].ok) << batched[i].error;
+      ASSERT_TRUE(seq.ok) << seq.error;
+      // Bit-identical: best edge, its lnL, and the optimized pendant
+      // length must not depend on wave composition.
+      EXPECT_EQ(batched[i].edge, seq.edge);
+      EXPECT_EQ(batched[i].lnl, seq.lnl);
+      EXPECT_EQ(batched[i].pendant_length, seq.pendant_length);
+    }
+
+    if (c.shards == 1) {
+      by_threads_s1[c.threads] = batched;
+    } else {
+      // Sharding must not change a single placement bit.
+      const auto& base = by_threads_s1.at(c.threads);
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_EQ(batched[i].edge, base[i].edge);
+        EXPECT_EQ(batched[i].lnl, base[i].lnl);
+      }
+    }
+  }
+}
+
+TEST(PlacementEngine, RecoversTrueEdges) {
+  // Queries are noisy copies of reference tips; ML placement should put
+  // most of them back on their source tip's pendant edge.
+  const PlacementScenario sc = make_placement_scenario(12, 600, 12, 3);
+  PlacementEngine eng = make_engine_over(sc, 1, 1, 4);
+  eng.optimize_reference();
+  eng.start_service();
+  const std::vector<PlacementResult> res = place_batched(eng, sc);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    ASSERT_TRUE(res[i].ok) << res[i].error;
+    if (res[i].edge == sc.true_edges[i]) ++hits;
+  }
+  EXPECT_GE(hits * 2, res.size()) << hits << "/" << res.size();
+}
+
+TEST(PlacementEngine, BadQueryLengthFailsCleanly) {
+  const PlacementScenario sc = make_placement_scenario(8, 200, 2, 5);
+  PlacementEngine eng = make_engine_over(sc, 1, 1, 2);
+  eng.optimize_reference();
+  eng.start_service();
+  const std::uint64_t bad = eng.submit("ACGT");  // wrong length
+  const std::uint64_t good = eng.submit(sc.queries[0].data);
+  while (eng.stats().placed < 2) eng.pump();
+  bool saw_bad = false, saw_good = false;
+  for (auto& [ticket, r] : eng.drain_ready()) {
+    if (ticket == bad) {
+      saw_bad = true;
+      EXPECT_FALSE(r.ok);
+      EXPECT_NE(r.error.find("reference sites"), std::string::npos);
+    }
+    if (ticket == good) {
+      saw_good = true;
+      EXPECT_TRUE(r.ok) << r.error;
+    }
+  }
+  EXPECT_TRUE(saw_bad);
+  EXPECT_TRUE(saw_good);
+  EXPECT_EQ(eng.stats().failed, 1u);
+}
+
+TEST(PlacementEngine, WarmRestartReproducesPlacements) {
+  const PlacementScenario sc = make_placement_scenario(10, 300, 4, 9);
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "plk_server_warm.ckpt";
+  std::remove(ckpt.c_str());
+
+  PlacementEngine a = make_engine_over(sc, 1, 1, 2);
+  EXPECT_FALSE(a.warm_restart(ckpt));  // nothing to restore yet
+  a.optimize_reference();
+  a.save_checkpoint(ckpt);
+  a.start_service();
+
+  PlacementEngine b = make_engine_over(sc, 1, 1, 2);
+  ASSERT_TRUE(b.warm_restart(ckpt));  // skips optimization entirely
+  b.start_service();
+
+  for (const auto& q : sc.queries) {
+    const PlacementResult ra = a.place_sequential(q.data);
+    const PlacementResult rb = b.place_sequential(q.data);
+    ASSERT_TRUE(ra.ok && rb.ok);
+    EXPECT_EQ(ra.edge, rb.edge);
+    EXPECT_EQ(ra.lnl, rb.lnl);
+  }
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".1").c_str());
+}
+
+// --- TCP server -------------------------------------------------------------
+
+/// Scenario + started engine + open server on an ephemeral port. The
+/// server is stepped from the test's main thread (the engine's master
+/// thread); clients run in their own threads over blocking sockets.
+struct TestServer {
+  PlacementScenario sc;
+  std::unique_ptr<PlacementEngine> engine;
+  std::unique_ptr<PlkServer> server;
+
+  explicit TestServer(std::size_t max_sessions = 64, int lanes = 4)
+      : sc(make_placement_scenario(10, 300, 16, 11)) {
+    PlacementOptions po;
+    po.lanes = lanes;
+    po.max_candidates = 5;
+    EngineOptions eo;
+    eo.threads = 1;
+    eo.unlinked_branch_lengths = true;
+    engine = std::make_unique<PlacementEngine>(
+        sc.reference.alignment, sc.reference.scheme,
+        Tree(sc.reference.true_tree), po, eo);
+    engine->optimize_reference();
+    engine->start_service();
+    ServerOptions so;
+    so.port = 0;
+    so.max_sessions = max_sessions;
+    server = std::make_unique<PlkServer>(*engine, so);
+    server->open();
+  }
+
+  /// Step the server until `remaining` client threads have finished, then
+  /// a few times more so every quit/close drains.
+  void pump_until_done(const std::atomic<int>& remaining) {
+    while (remaining.load(std::memory_order_relaxed) > 0) server->step(2);
+    for (int i = 0; i < 25; ++i) server->step(1);
+  }
+};
+
+TEST(Server, PlacementsOverSocketMatchSequential) {
+  TestServer ts;
+  std::atomic<int> remaining{1};
+  std::vector<WireMessage> responses;
+  std::thread client_thread([&] {
+    PlacementClient c;
+    std::string err;
+    if (!c.connect("127.0.0.1", ts.server->port(), &err)) {
+      ADD_FAILURE() << "connect: " << err;
+      remaining = 0;
+      return;
+    }
+    auto hi = c.hello(&err);
+    EXPECT_TRUE(hi.has_value() && hi->get_bool("ok").value_or(false));
+    // Pipeline every query, then drain the responses.
+    const std::size_t n = ts.sc.queries.size();
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(c.send_place("q" + std::to_string(i),
+                               ts.sc.queries[i].data, &err))
+          << err;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto resp = c.read_message(&err);
+      if (!resp.has_value()) {
+        ADD_FAILURE() << "read: " << err;
+        break;
+      }
+      responses.push_back(std::move(*resp));
+    }
+    c.quit();
+    remaining = 0;
+  });
+  ts.pump_until_done(remaining);
+  client_thread.join();
+
+  ASSERT_EQ(responses.size(), ts.sc.queries.size());
+  for (const WireMessage& r : responses) {
+    ASSERT_TRUE(r.get_bool("ok").value_or(false))
+        << (r.get_string("error") != nullptr ? *r.get_string("error") : "");
+    const std::string* id = r.get_string("id");
+    ASSERT_NE(id, nullptr);
+    const std::size_t i =
+        static_cast<std::size_t>(std::atoll(id->c_str() + 1));
+    // The engine is idle now: score the same query sequentially and hold
+    // the wire response to it, bit for bit (the protocol's 17-digit
+    // doubles make this exact).
+    const PlacementResult seq =
+        ts.engine->place_sequential(ts.sc.queries[i].data);
+    EXPECT_EQ(r.get_number("edge"), static_cast<double>(seq.edge));
+    EXPECT_EQ(r.get_number("lnl"), seq.lnl);
+  }
+  EXPECT_EQ(ts.server->stats().sessions_dropped, 0u);
+}
+
+TEST(Server, AdmissionRejectsSessionsOverCapacity) {
+  TestServer ts(/*max_sessions=*/1);
+  std::atomic<int> remaining{2};
+  std::atomic<bool> first_connected{false}, second_done{false};
+  std::thread first([&] {
+    PlacementClient c;
+    std::string err;
+    EXPECT_TRUE(c.connect("127.0.0.1", ts.server->port(), &err)) << err;
+    auto hi = c.hello(&err);
+    EXPECT_TRUE(hi.has_value()) << err;  // session is established
+    first_connected = true;
+    while (!second_done.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    c.quit();
+    --remaining;
+  });
+  std::thread second([&] {
+    while (!first_connected.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    PlacementClient c;
+    std::string err;
+    EXPECT_TRUE(c.connect("127.0.0.1", ts.server->port(), &err)) << err;
+    auto msg = c.read_message(&err);  // the rejection line
+    ASSERT_TRUE(msg.has_value()) << err;
+    EXPECT_FALSE(msg->get_bool("ok").value_or(true));
+    ASSERT_NE(msg->get_string("error"), nullptr);
+    EXPECT_NE(msg->get_string("error")->find("capacity"), std::string::npos);
+    second_done = true;
+    --remaining;
+  });
+  ts.pump_until_done(remaining);
+  first.join();
+  second.join();
+  EXPECT_EQ(ts.server->stats().sessions_rejected, 1u);
+}
+
+TEST(Server, MalformedFramesDoNotPoisonTheSession) {
+  TestServer ts;
+  std::atomic<int> remaining{1};
+  std::thread client_thread([&] {
+    PlacementClient c;
+    std::string err;
+    EXPECT_TRUE(c.connect("127.0.0.1", ts.server->port(), &err)) << err;
+
+    const auto expect_error = [&](const std::string& raw,
+                                  const std::string& needle) {
+      ASSERT_TRUE(c.send_raw(raw, &err)) << err;
+      auto resp = c.read_message(&err);
+      ASSERT_TRUE(resp.has_value()) << err;
+      EXPECT_FALSE(resp->get_bool("ok").value_or(true)) << raw;
+      ASSERT_NE(resp->get_string("error"), nullptr) << raw;
+      EXPECT_NE(resp->get_string("error")->find(needle), std::string::npos)
+          << raw << " -> " << *resp->get_string("error");
+    };
+    expect_error("this is not json\n", "malformed");
+    expect_error("{\"op\":[1,2]}\n", "malformed");
+    expect_error("{\"seq\":\"ACGT\"}\n", "missing op");
+    expect_error("{\"op\":\"warp\"}\n", "unknown op");
+    expect_error("{\"op\":\"place\",\"id\":\"x\"}\n", "missing seq");
+    // Wrong-length sequence: accepted on the wire, failed by the engine.
+    expect_error("{\"op\":\"place\",\"id\":\"x\",\"seq\":\"ACGT\"}\n",
+                 "reference sites");
+
+    // The session survived all of that.
+    auto hi = c.hello(&err);
+    ASSERT_TRUE(hi.has_value()) << err;
+    EXPECT_TRUE(hi->get_bool("ok").value_or(false));
+    c.quit();
+    remaining = 0;
+  });
+  ts.pump_until_done(remaining);
+  client_thread.join();
+  EXPECT_EQ(ts.server->stats().sessions_dropped, 0u);
+  EXPECT_GE(ts.server->stats().malformed, 2u);
+}
+
+TEST(Server, ConcurrentSessionsAllServedAndBitIdentical) {
+  TestServer ts(/*max_sessions=*/64, /*lanes=*/8);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 4;
+  std::atomic<int> remaining{kClients};
+  // [client][query] -> (edge, lnl) straight off the wire.
+  std::vector<std::vector<std::pair<double, double>>> got(
+      kClients, std::vector<std::pair<double, double>>(
+                    kPerClient, {-1.0, 0.0}));
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      PlacementClient c;
+      std::string err;
+      if (!c.connect("127.0.0.1", ts.server->port(), &err)) {
+        ADD_FAILURE() << "connect: " << err;
+        --remaining;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t q =
+            static_cast<std::size_t>(t * kPerClient + i) %
+            ts.sc.queries.size();
+        EXPECT_TRUE(
+            c.send_place(std::to_string(i), ts.sc.queries[q].data, &err))
+            << err;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        auto resp = c.read_message(&err);
+        if (!resp.has_value()) {
+          ADD_FAILURE() << "client " << t << " read: " << err;
+          break;
+        }
+        EXPECT_TRUE(resp->get_bool("ok").value_or(false));
+        const std::string* id = resp->get_string("id");
+        ASSERT_NE(id, nullptr);
+        const int slot = std::atoi(id->c_str());
+        got[static_cast<std::size_t>(t)][static_cast<std::size_t>(slot)] = {
+            resp->get_number("edge").value_or(-2.0),
+            resp->get_number("lnl").value_or(0.0)};
+      }
+      c.quit();
+      --remaining;
+    });
+  }
+  ts.pump_until_done(remaining);
+  for (auto& th : clients) th.join();
+
+  // Zero dropped sessions, every client served.
+  EXPECT_EQ(ts.server->stats().sessions_dropped, 0u);
+  EXPECT_EQ(ts.server->stats().sessions_accepted,
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(ts.engine->stats().placed,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+
+  // Every wire result equals the sequential reference scoring of the same
+  // query — placement does not depend on which strangers shared the wave.
+  for (int t = 0; t < kClients; ++t)
+    for (int i = 0; i < kPerClient; ++i) {
+      const std::size_t q = static_cast<std::size_t>(t * kPerClient + i) %
+                            ts.sc.queries.size();
+      const PlacementResult seq =
+          ts.engine->place_sequential(ts.sc.queries[q].data);
+      ASSERT_TRUE(seq.ok);
+      EXPECT_EQ(got[t][i].first, static_cast<double>(seq.edge))
+          << "client " << t << " query " << i;
+      EXPECT_EQ(got[t][i].second, seq.lnl)
+          << "client " << t << " query " << i;
+    }
+}
+
+}  // namespace
+}  // namespace plk

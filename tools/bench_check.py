@@ -18,13 +18,20 @@ gate is largely host-speed independent):
            sub-core fan-out overhead rather than a NUMA speedup)
            + the hard gate that every shard count reproduced the shards=1
            likelihoods and derivatives bit for bit
+  place    batched streaming placement over sequential single-query
+           placement throughput
+           + the hard gate that every batched placement (edge, lnL,
+           pendant length) equals the sequential scoring bit for bit
 
 A metric REGRESSES when it falls outside the tolerance band around its
 baseline (worse by more than --tolerance, fractionally; a couple of noisy
 metrics carry wider built-in bands — see EXTRA_TOLERANCE). Hard correctness
 gates (identical moves, likelihood agreement) do not use bands: they fail
 the job outright. Improvements beyond the band are reported as hints to
-refresh the baseline.
+refresh the baseline. When a bench records `host_cores` and it differs
+between the baseline and the current run, a warning is printed: throughput
+ratios saturate differently across core counts, so a band miss on a new
+runner class usually means "refresh the baseline", not "regression".
 
 Baseline refresh workflow: see docs/ci.md. In short — download the
 `bench-json` artifact of a healthy run on the runner class CI uses, copy the
@@ -155,6 +162,21 @@ def metrics_for(doc):
         if s2 and "speedup" in s2:
             metrics["shard2_over_shard1_throughput"] = (s2["speedup"], HIGHER)
 
+    elif bench == "place":
+        # The service contract: wave composition must not leak into
+        # results. Every batched placement must equal the sequential
+        # single-query scoring of the same query bit for bit (a missing
+        # field fails — schema drift must scream, not wave through).
+        ident = str(doc.get("bit_identical", "")).lower() == "true"
+        hard.append(
+            ("place_bit_identical", ident,
+             "batched placements (edge, lnL, pendant) must be bit-identical "
+             "to sequential scoring (missing field counts as failure)"))
+        bat = doc.get("batched", {})
+        if "speedup" in bat:
+            metrics["batched_over_sequential_placements"] = (
+                bat["speedup"], HIGHER)
+
     return metrics, hard
 
 
@@ -189,7 +211,22 @@ def main():
                          "(add one — see docs/ci.md)")
             continue
         with open(base_path) as f:
-            base_metrics, _ = metrics_for(json.load(f))
+            base_doc = json.load(f)
+        base_metrics, _ = metrics_for(base_doc)
+
+        # Ratios are largely host-independent, but not entirely: a baseline
+        # recorded on a different core count saturates threads/shards/lanes
+        # differently. Warn so a band miss on a new runner class is read as
+        # "refresh the baseline", not as a code regression.
+        cur_cores = current.get("host_cores")
+        base_cores = base_doc.get("host_cores")
+        if (cur_cores is not None and base_cores is not None
+                and cur_cores != base_cores):
+            notes.append(
+                f"{name}: baseline was recorded on a {base_cores}-core host "
+                f"but this run measured on {cur_cores} cores — throughput "
+                "ratios may not be comparable; consider refreshing the "
+                "baseline on this runner class (docs/ci.md)")
 
         for metric, (value, direction) in sorted(cur_metrics.items()):
             if metric not in base_metrics:

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Soak test for the placement server: one plkserved daemon, SOAK_CLIENTS
+# concurrent pipelined plkplace clients looping over a query FASTA for
+# SOAK_DURATION seconds. Verifies the long-run service contract:
+#
+#   * every client pass succeeds (all placements ok, no connection errors),
+#   * the server drops zero sessions (sessions_dropped == 0 in STATS),
+#   * SIGTERM drains gracefully and the daemon exits with code 3.
+#
+# Usage: tools/server_soak.sh [BUILD_DIR]       (default: build)
+# Env:   SOAK_CLIENTS (64), SOAK_DURATION (60 s), SOAK_QUERIES (32),
+#        SOAK_THREADS (2)
+set -u -o pipefail
+
+BUILD=${1:-build}
+CLIENTS=${SOAK_CLIENTS:-64}
+DURATION=${SOAK_DURATION:-60}
+QUERIES=${SOAK_QUERIES:-32}
+THREADS=${SOAK_THREADS:-2}
+WORK=$(mktemp -d)
+trap 'kill "$SRV_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+echo "soak: $CLIENTS clients x ${DURATION}s over $QUERIES queries"
+
+"$BUILD/plkserved" --simulate 16,1000 --queries "$QUERIES" \
+    --write-queries "$WORK/queries.fasta" --port 0 -T "$THREADS" \
+    --lanes 16 --max-sessions $((CLIENTS * 2)) \
+    --checkpoint "$WORK/soak.ckpt" > "$WORK/served.log" 2>&1 &
+SRV_PID=$!
+
+for _ in $(seq 1 150); do
+  grep -q "listening on" "$WORK/served.log" && break
+  kill -0 "$SRV_PID" 2>/dev/null || { echo "server died during startup:";
+                                      cat "$WORK/served.log"; exit 1; }
+  sleep 0.2
+done
+PORT=$(grep -oP 'listening on [0-9.]+:\K[0-9]+' "$WORK/served.log")
+[ -n "$PORT" ] || { echo "no port in server log"; cat "$WORK/served.log"; exit 1; }
+echo "server up on port $PORT (pid $SRV_PID)"
+
+client_loop() {
+  local id=$1 end=$((SECONDS + DURATION)) passes=0
+  while [ "$SECONDS" -lt "$end" ]; do
+    "$BUILD/plkplace" --port "$PORT" -s "$WORK/queries.fasta" \
+        > /dev/null 2>"$WORK/client_$id.err" || {
+      echo "client $id FAILED on pass $passes:"; cat "$WORK/client_$id.err"
+      return 1
+    }
+    passes=$((passes + 1))
+  done
+  echo "$passes" > "$WORK/passes_$id"
+}
+
+PIDS=()
+for c in $(seq 1 "$CLIENTS"); do
+  client_loop "$c" &
+  PIDS+=($!)
+done
+
+FAILED=0
+for p in "${PIDS[@]}"; do
+  wait "$p" || FAILED=1
+done
+[ "$FAILED" -eq 0 ] || { echo "soak FAILED: client error"; exit 1; }
+
+TOTAL_PASSES=$(cat "$WORK"/passes_* 2>/dev/null | awk '{s+=$1} END {print s+0}')
+echo "all $CLIENTS clients done ($TOTAL_PASSES total passes)"
+
+# Final stats through one more session: the dropped-session hard gate.
+STATS=$("$BUILD/plkplace" --port "$PORT" -s "$WORK/queries.fasta" --stats \
+        | grep '^# stats') || { echo "stats pass failed"; exit 1; }
+echo "$STATS"
+DROPPED=$(echo "$STATS" | awk '/sessions_dropped/ {print $NF}')
+if [ "$DROPPED" != "0" ]; then
+  echo "soak FAILED: $DROPPED dropped session(s)"
+  exit 1
+fi
+
+# Graceful shutdown contract: SIGTERM -> drain -> exit code 3.
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+RC=$?
+SRV_PID=""
+tail -2 "$WORK/served.log"
+if [ "$RC" -ne 3 ]; then
+  echo "soak FAILED: expected exit code 3 after SIGTERM, got $RC"
+  exit 1
+fi
+echo "soak passed: zero dropped sessions, graceful SIGTERM exit"
