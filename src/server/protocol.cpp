@@ -249,8 +249,9 @@ std::string json_number(double v) {
   char buf[40];
   // 17 significant digits round-trip any double exactly; trim to the
   // shortest representation for integral values (edge ids, counters).
-  if (v == static_cast<double>(static_cast<long long>(v)) &&
-      std::abs(v) < 1e15) {
+  // Range check first: double -> long long is UB at or beyond 2^63.
+  if (std::abs(v) < 1e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
   } else {
     std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -287,15 +288,28 @@ void LineBuffer::append(const char* data, std::size_t n) {
 }
 
 std::optional<LineBuffer::Line> LineBuffer::next_line() {
+  if (discarding_) {
+    // Swallow the continuation of an oversized line (already surfaced
+    // truncated) up to and including its terminating '\n', so one
+    // oversized request yields exactly one error response.
+    const std::size_t end = buf_.find('\n');
+    if (end == std::string::npos) {
+      buf_.clear();
+      return std::nullopt;
+    }
+    buf_.erase(0, end + 1);
+    discarding_ = false;
+  }
   const std::size_t nl = buf_.find('\n');
   if (nl == std::string::npos) {
     if (buf_.size() > max_line_) {
       // Partial line already too long: surface it truncated so the caller
-      // can reject it; drop the buffered prefix (the rest of the oversized
-      // line is discarded as it streams in via the same path).
+      // can reject it, then discard the rest of the logical line as it
+      // streams in (see discarding_ above).
       Line line{std::move(buf_), true};
       buf_.clear();
       line.text.resize(max_line_);
+      discarding_ = true;
       return line;
     }
     return std::nullopt;

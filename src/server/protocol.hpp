@@ -84,7 +84,9 @@ std::string json_number(double v);
 /// socket reads in, take complete lines out. A line longer than `max_line`
 /// bytes is reported as oversized (next_line returns it truncated with
 /// `oversized` set) so a hostile or confused peer cannot grow the buffer
-/// without bound.
+/// without bound; the remainder of that logical line is then swallowed up
+/// to its terminating '\n' so one oversized request produces exactly one
+/// surfaced line.
 class LineBuffer {
  public:
   explicit LineBuffer(std::size_t max_line = 8 * 1024 * 1024)
@@ -105,6 +107,9 @@ class LineBuffer {
  private:
   std::string buf_;
   std::size_t max_line_;
+  /// An oversized partial line was surfaced; swallow bytes until the next
+  /// '\n' without emitting lines, then resume normal framing.
+  bool discarding_ = false;
 };
 
 }  // namespace plk

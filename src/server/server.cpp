@@ -38,6 +38,7 @@ PlkServer::PlkServer(PlacementEngine& engine, const ServerOptions& opts)
 PlkServer::~PlkServer() {
   for (auto& [fd, s] : sessions_.all()) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
 }
 
 void PlkServer::open() {
@@ -71,6 +72,8 @@ void PlkServer::open() {
     port_ = static_cast<int>(ntohs(bound.sin_port));
   set_nonblocking(fd);
   listen_fd_ = fd;
+  // Held in reserve for accept_new's fd-exhaustion path.
+  reserve_fd_ = ::open("/dev/null", O_RDONLY);
 }
 
 bool PlkServer::step(int timeout_ms) {
@@ -121,6 +124,16 @@ bool PlkServer::step(int timeout_ms) {
   }
   deliver_results();
 
+  // Re-drain requests parked in userspace LineBuffers. read_session stops
+  // processing lines once the engine queue fills, and poll() only re-fires
+  // for NEW kernel bytes — bytes already recv()'d would otherwise strand a
+  // pipelined client that sent its burst and is silently waiting.
+  for (auto& [fd, s] : sessions_.all()) {
+    if (!engine_.can_accept()) break;  // queued > 0 -> next step polls at 0
+    if (s.closing || s.in.buffered() == 0) continue;
+    if (process_buffered(s)) activity = true;
+  }
+
   std::vector<int> done;
   for (auto& [fd, s] : sessions_.all()) {
     if (!s.out.empty() && !flush_out(s)) continue;
@@ -167,6 +180,10 @@ void PlkServer::shutdown(const std::string& reason) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (reserve_fd_ >= 0) {
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
+  }
   if (!opts_.checkpoint_path.empty()) {
     engine_.save_checkpoint(opts_.checkpoint_path);
     ++stats_.checkpoints;
@@ -176,7 +193,25 @@ void PlkServer::shutdown(const std::string& reason) {
 void PlkServer::accept_new() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) break;  // EAGAIN or transient error: next step retries
+    if (fd < 0) {
+      if ((errno == EMFILE || errno == ENFILE) && reserve_fd_ >= 0) {
+        // fd exhaustion: the pending connection stays in the backlog and
+        // keeps the listen fd level-triggered readable, so without this
+        // the loop would spin at 100% CPU. Momentarily release the reserve
+        // descriptor, accept the connection, and close it so the backlog
+        // drains.
+        ::close(reserve_fd_);
+        reserve_fd_ = -1;
+        const int doomed = ::accept(listen_fd_, nullptr, nullptr);
+        if (doomed >= 0) {
+          ::close(doomed);
+          ++stats_.sessions_rejected;
+        }
+        reserve_fd_ = ::open("/dev/null", O_RDONLY);
+        if (doomed >= 0) continue;
+      }
+      break;  // EAGAIN or transient error: next step retries
+    }
     set_nonblocking(fd);
     if (sessions_.size() >= opts_.max_sessions) {
       // Admission control: reject at the door with a parseable reason.
@@ -213,16 +248,28 @@ bool PlkServer::read_session(Session& s) {
     close_session(s.fd, /*dropped=*/true);
     return false;
   }
-  while (auto line = s.in.next_line()) {
+  process_buffered(s);
+  return true;
+}
+
+bool PlkServer::process_buffered(Session& s) {
+  bool handled = false;
+  while (engine_.can_accept()) {  // leave the rest buffered when full
+    auto line = s.in.next_line();
+    if (!line) break;
+    handled = true;
     // Skip blank keepalive lines.
     std::string_view t = line->text;
     while (!t.empty() && (t.back() == '\r' || t.back() == ' '))
       t.remove_suffix(1);
     if (t.empty() && !line->oversized) continue;
     handle_line(s, line->text, line->oversized);
-    if (!engine_.can_accept()) break;  // leave the rest buffered
+    // A quit ends the session at the protocol level: anything the client
+    // pipelined after it would be acknowledged and then dropped when the
+    // socket closes, so stop here and discard the remainder.
+    if (s.closing) break;
   }
-  return true;
+  return handled;
 }
 
 void PlkServer::handle_line(Session& s, const std::string& text,

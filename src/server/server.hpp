@@ -80,6 +80,12 @@ class PlkServer {
   /// Drain the session's socket into its LineBuffer and handle complete
   /// lines. Returns false if the session was closed/dropped.
   bool read_session(Session& s);
+  /// Handle complete lines already buffered for the session, stopping when
+  /// the engine queue fills or the session starts closing. Returns true if
+  /// at least one line was consumed. Called from read_session and again
+  /// from step() after waves drain (poll cannot re-fire for bytes that
+  /// were already moved to userspace).
+  bool process_buffered(Session& s);
   void handle_line(Session& s, const std::string& text, bool oversized);
   void respond(Session& s, const WireMessage& msg);
   void deliver_results();
@@ -93,6 +99,9 @@ class PlkServer {
   PlacementEngine& engine_;
   ServerOptions opts_;
   int listen_fd_ = -1;
+  /// Idle descriptor released-then-reacquired so accept() can drain the
+  /// backlog (accept + close) during EMFILE/ENFILE instead of spinning.
+  int reserve_fd_ = -1;
   int port_ = 0;
   SessionRegistry sessions_;
   ServerStats stats_;

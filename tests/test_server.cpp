@@ -47,8 +47,11 @@ TEST(Protocol, RoundTrip) {
 }
 
 TEST(Protocol, DoublesRoundTripBitExactly) {
-  const double values[] = {-1931.5311111111112, 0.1, 1e-17, -4134.337,
-                           12345678.000000123, 3.0, -0.0};
+  // The last two exceed long long range: json_number must take the %.17g
+  // path without ever evaluating the double -> long long cast (UB there).
+  const double values[] = {-1931.5311111111112, 0.1,  1e-17,  -4134.337,
+                           12345678.000000123,  3.0,  -0.0,   9.3e18,
+                           -1.2e19};
   for (const double v : values) {
     WireMessage m;
     m.set_number("x", v);
@@ -104,6 +107,37 @@ TEST(Protocol, LineBufferSplitsAndBoundsLines) {
   ASSERT_TRUE(over.has_value());
   EXPECT_TRUE(over->oversized);
   EXPECT_LE(over->text.size(), 16u);
+}
+
+TEST(Protocol, OversizedLineContinuationIsDiscarded) {
+  LineBuffer lb(/*max_line=*/16);
+  const std::string big(64, 'x');
+  lb.append(big.data(), big.size());
+  auto over = lb.next_line();
+  ASSERT_TRUE(over.has_value());
+  EXPECT_TRUE(over->oversized);
+  // The rest of the same logical line must be swallowed, not resurfaced as
+  // more oversized chunks (one request -> exactly one surfaced line).
+  const std::string more(40, 'y');
+  lb.append(more.data(), more.size());
+  EXPECT_FALSE(lb.next_line().has_value());
+  const std::string tail = "zz\n{\"a\":1}\n";
+  lb.append(tail.data(), tail.size());
+  auto next = lb.next_line();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->oversized);
+  EXPECT_EQ(next->text, "{\"a\":1}");
+
+  // A complete oversized line (terminator already present) does not start
+  // discarding: framing resumes at the very next line.
+  const std::string oneshot = std::string(64, 'w') + "\n{\"b\":2}\n";
+  lb.append(oneshot.data(), oneshot.size());
+  auto w = lb.next_line();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->oversized);
+  auto b = lb.next_line();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->text, "{\"b\":2}");
 }
 
 // --- parsimony prefilter ----------------------------------------------------
@@ -297,11 +331,13 @@ struct TestServer {
   std::unique_ptr<PlacementEngine> engine;
   std::unique_ptr<PlkServer> server;
 
-  explicit TestServer(std::size_t max_sessions = 64, int lanes = 4)
+  explicit TestServer(std::size_t max_sessions = 64, int lanes = 4,
+                      std::size_t max_queue = 1024)
       : sc(make_placement_scenario(10, 300, 16, 11)) {
     PlacementOptions po;
     po.lanes = lanes;
     po.max_candidates = 5;
+    po.max_queue = max_queue;
     EngineOptions eo;
     eo.threads = 1;
     eo.unlinked_branch_lengths = true;
@@ -452,6 +488,88 @@ TEST(Server, MalformedFramesDoNotPoisonTheSession) {
   client_thread.join();
   EXPECT_EQ(ts.server->stats().sessions_dropped, 0u);
   EXPECT_GE(ts.server->stats().malformed, 2u);
+}
+
+// Regression: a pipelined burst larger than the engine queue used to hang.
+// read_session recv()'d the whole burst into the userspace LineBuffer and
+// stopped processing when the queue filled; poll never re-fired (no new
+// kernel bytes), so the buffered requests were never resumed. step() now
+// re-drains buffered sessions after each pump.
+TEST(Server, PipelinedBurstBeyondQueueCapacityAllAnswered) {
+  TestServer ts(/*max_sessions=*/64, /*lanes=*/4, /*max_queue=*/2);
+  std::atomic<int> remaining{1};
+  std::size_t answered = 0, ok = 0;
+  std::thread client_thread([&] {
+    PlacementClient c;
+    std::string err;
+    if (!c.connect("127.0.0.1", ts.server->port(), &err)) {
+      ADD_FAILURE() << "connect: " << err;
+      remaining = 0;
+      return;
+    }
+    // One burst: every query hits the socket before any response is read.
+    const std::size_t n = ts.sc.queries.size();
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(c.send_place("q" + std::to_string(i),
+                               ts.sc.queries[i].data, &err))
+          << err;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto resp = c.read_message(&err);
+      if (!resp.has_value()) {
+        ADD_FAILURE() << "read: " << err;
+        break;
+      }
+      ++answered;
+      if (resp->get_bool("ok").value_or(false)) ++ok;
+    }
+    c.quit();
+    remaining = 0;
+  });
+  ts.pump_until_done(remaining);
+  client_thread.join();
+  EXPECT_EQ(answered, ts.sc.queries.size());
+  EXPECT_EQ(ok, ts.sc.queries.size());  // no "busy" rejections either
+  EXPECT_EQ(ts.server->stats().sessions_dropped, 0u);
+}
+
+TEST(Server, RequestsPipelinedAfterQuitAreDiscarded) {
+  TestServer ts;
+  std::atomic<int> remaining{1};
+  std::thread client_thread([&] {
+    PlacementClient c;
+    std::string err;
+    if (!c.connect("127.0.0.1", ts.server->port(), &err)) {
+      ADD_FAILURE() << "connect: " << err;
+      remaining = 0;
+      return;
+    }
+    // quit and a place in one write: the place lands after the protocol
+    // session ended, so it must be discarded, not acknowledged-then-lost.
+    WireMessage q;
+    q.set("op", "quit");
+    WireMessage p;
+    p.set("op", "place");
+    p.set("id", "late");
+    p.set("seq", ts.sc.queries[0].data);
+    EXPECT_TRUE(
+        c.send_raw(q.serialize() + "\n" + p.serialize() + "\n", &err))
+        << err;
+    auto resp = c.read_message(&err);
+    if (!resp.has_value()) {
+      ADD_FAILURE() << "read: " << err;
+    } else {
+      const std::string* op = resp->get_string("op");
+      EXPECT_TRUE(op != nullptr && *op == "quit");
+      EXPECT_TRUE(resp->get_bool("ok").value_or(false));
+      // Server closes after the quit response: no reply for "late" ever.
+      EXPECT_FALSE(c.read_message(&err).has_value());
+    }
+    remaining = 0;
+  });
+  ts.pump_until_done(remaining);
+  client_thread.join();
+  EXPECT_EQ(ts.engine->stats().submitted, 0u);
+  EXPECT_EQ(ts.server->stats().sessions_closed, 1u);
 }
 
 TEST(Server, ConcurrentSessionsAllServedAndBitIdentical) {
