@@ -11,8 +11,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/kernels/dispatch.hpp"
 #include "model/matrix.hpp"
 #include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace plk {
 
@@ -317,6 +319,9 @@ EngineCore::EngineCore(const CompressedAlignment& aln,
 
   unlinked_ = opts.unlinked_branch_lengths;
   use_generic_ = opts.use_generic_kernels;
+  log_info("simd kernels: " +
+           (use_generic_ ? std::string("generic (use_generic_kernels)")
+                         : kernel::describe_active_backend()));
   sched_strategy_ = opts.schedule;
   batch_exec_ = opts.batch_exec;
 
@@ -1217,6 +1222,9 @@ void EngineCore::run_item(const Pending& item, int tid,
   const Command& cmd = item.cmd;
   const int tips = ctx.tree_.tip_count();
   const int T = threads();
+  // Specialized kernels go through the runtime-selected backend table (the
+  // generic reference path below stays a direct template call).
+  const kernel::KernelTable& kt = kernel::active_kernels();
 
   // Sharded execution: `tid` is a VIRTUAL tid of the global schedule, and
   // this shard runs only the (partition, tid) pairs it owns. The skipped
@@ -1261,12 +1269,12 @@ void EngineCore::run_item(const Pending& item, int tid,
                                      cmd.pmats.data() + op.pmat2[k],
                                      dy.clv_ptr[inner], dy.scale_ptr[inner]);
           } else {
-            kernel::newview_spec<S>(s.begin, s.end, s.step, pd.cats, v1, v2,
-                                    cmd.pmats.data() + op.pmat1[k],
-                                    cmd.pmats.data() + op.pmat2[k],
-                                    cmd.pmats_t.data() + op.pmat1[k],
-                                    cmd.pmats_t.data() + op.pmat2[k],
-                                    dy.clv_ptr[inner], dy.scale_ptr[inner]);
+            kt.newview<S>()(s.begin, s.end, s.step, pd.cats, v1, v2,
+                            cmd.pmats.data() + op.pmat1[k],
+                            cmd.pmats.data() + op.pmat2[k],
+                            cmd.pmats_t.data() + op.pmat1[k],
+                            cmd.pmats_t.data() + op.pmat2[k],
+                            dy.clv_ptr[inner], dy.scale_ptr[inner]);
           }
         }
       });
@@ -1294,7 +1302,7 @@ void EngineCore::run_item(const Pending& item, int tid,
                 cmd.pmats.data() + cmd.eval_pmat[k],
                 dy.model.model().freqs().data(), dy.weights.data());
           } else {
-            partial += kernel::evaluate_spec<S>(
+            partial += kt.evaluate<S>()(
                 s.begin, s.end, s.step, pd.cats, vu, vv,
                 cmd.pmats.data() + cmd.eval_pmat[k],
                 cmd.pmats_t.data() + cmd.eval_pmat[k],
@@ -1326,7 +1334,7 @@ void EngineCore::run_item(const Pending& item, int tid,
               cmd.pmats.data() + cmd.sites_pmat,
               dy.model.model().freqs().data(), cmd.sites_out);
         } else {
-          kernel::evaluate_sites_spec<S>(
+          kt.evaluate_sites<S>()(
               s.begin, s.end, s.step, pd.cats, vu, vv,
               cmd.pmats.data() + cmd.sites_pmat,
               cmd.pmats_t.data() + cmd.sites_pmat,
@@ -1359,10 +1367,10 @@ void EngineCore::run_item(const Pending& item, int tid,
                                       dy.model.model().sym_transform().data(),
                                       dy.sumtable.data());
           } else {
-            kernel::sumtable_spec<S>(s.begin, s.end, s.step, pd.cats, vu, vv,
-                                     dy.model.model().sym_transform().data(),
-                                     cmd.symt.data() + cmd.sum_symt[k],
-                                     dy.sumtable.data());
+            kt.sumtable<S>()(s.begin, s.end, s.step, pd.cats, vu, vv,
+                             dy.model.model().sym_transform().data(),
+                             cmd.symt.data() + cmd.sum_symt[k],
+                             dy.sumtable.data());
           }
         }
       });
@@ -1387,11 +1395,10 @@ void EngineCore::run_item(const Pending& item, int tid,
                                 cmd.scratch.data() + cmd.nr_lam[k],
                                 dy.weights.data(), &s1, &s2);
           else
-            kernel::nr_spec<S>(s.begin, s.end, s.step, pd.cats,
-                               dy.sumtable.data(),
-                               cmd.scratch.data() + cmd.nr_exp[k],
-                               cmd.scratch.data() + cmd.nr_lam[k],
-                               dy.weights.data(), &s1, &s2);
+            kt.nr<S>()(s.begin, s.end, s.step, pd.cats, dy.sumtable.data(),
+                       cmd.scratch.data() + cmd.nr_exp[k],
+                       cmd.scratch.data() + cmd.nr_lam[k],
+                       dy.weights.data(), &s1, &s2);
           d1 += s1;
           d2 += s2;
         }

@@ -8,12 +8,15 @@
 //   newview.hpp      - tip/tip, tip/inner, inner/inner SIMD newview
 //   evaluate.hpp     - SIMD evaluate + per-site evaluate
 //   derivatives.hpp  - SIMD sumtable + Newton-Raphson reduction
+//   avx512.hpp       - dedicated 8-lane kernels (only under AVX-512 forcing)
 //   tip_table.hpp    - precomputed tip lookup tables + P-matrix transposes
+//   dispatch.hpp     - runtime backend selection (KernelTable)
 //
 // The generic templates are the semantic reference: every specialized path
 // is golden-tested against them (exact scale counts, 1e-12 relative lnL).
 #pragma once
 
+#include "core/kernels/avx512.hpp"
 #include "core/kernels/derivatives.hpp"
 #include "core/kernels/evaluate.hpp"
 #include "core/kernels/generic.hpp"

@@ -1,0 +1,772 @@
+// Dedicated AVX-512 kernels (8 double lanes).
+//
+// Neither supported state count is a multiple of 8, so the width-agnostic
+// templates in newview.hpp / evaluate.hpp / derivatives.hpp do not apply at
+// this width. Instead:
+//
+//   S=4 (DNA)      TWO PATTERNS PER VECTOR: one zmm holds the 4-state blocks
+//                  of patterns (i, i+step) in its 256-bit halves. A
+//                  transposed mat-vec is then four broadcast-FMAs where the
+//                  broadcast replicates x[j] *within each half*
+//                  (_mm512_permutex_pd) against the matrix column duplicated
+//                  into both halves (_mm512_broadcast_f64x4) — one
+//                  instruction stream serves two patterns. newview processes
+//                  two pattern-pairs (four patterns) per iteration so four
+//                  independent FMA chains cover the latency. Per-pattern
+//                  site values / scale decisions come from per-half
+//                  reductions, so the evaluate/nr left-folds stay in span
+//                  order. Because spans may be cyclic (step > 1), the halves
+//                  are assembled with two 256-bit loads rather than one
+//                  512-bit load — pattern pairs need not be contiguous.
+//
+//   S=20 (protein) PAD TO 24: the state vector is two full 8-lane blocks
+//                  plus a 4-lane tail accessed through lane mask 0b1111
+//                  (simd::maskz_load / mask_store). Masked tail loads
+//                  zero-fill the upper lanes, which are additive/multiplic-
+//                  ative dead weight through the whole pipeline, and masked
+//                  tail stores never touch the next category's data or read
+//                  or write past a buffer's end.
+//
+// Trailing patterns that do not fill a tile (at most 3 for DNA newview, 1
+// elsewhere) fall through to the generic reference slices — correct by
+// definition and off the hot path.
+//
+// This header is only compiled under PLK_SIMD_FORCE_AVX512 (the runtime-
+// dispatch backend TU, core/kernels/backend_avx512.cpp); everything lives in
+// the backend's inline namespace like the other specialized kernels.
+#pragma once
+
+#include "core/kernels/generic.hpp"
+#include "util/simd.hpp"
+
+#if defined(PLK_SIMD_AVX512)
+
+namespace plk::kernel {
+PLK_SIMD_NS_BEGIN
+
+namespace detail {
+
+/// Lane mask selecting the 4-double tail block of a 20-state vector.
+inline constexpr unsigned char kTail20 = 0x0F;
+
+/// Pack two patterns' 4-double state blocks into one zmm: [a0..a3 | b0..b3].
+inline __m512d load2x4(const double* a, const double* b) {
+  return _mm512_insertf64x4(_mm512_castpd256_pd512(_mm256_loadu_pd(a)),
+                            _mm256_loadu_pd(b), 1);
+}
+
+inline void store2x4(double* a, double* b, __m512d v) {
+  _mm256_storeu_pd(a, _mm512_castpd512_pd256(v));
+  _mm256_storeu_pd(b, _mm512_extractf64x4_pd(v, 1));
+}
+
+/// Duplicate one 4-double matrix column into both 256-bit halves.
+inline __m512d bcast_col4(const double* col) {
+  return _mm512_broadcast_f64x4(_mm256_loadu_pd(col));
+}
+
+/// Replicate element j within each 256-bit half: [a_j x4 | b_j x4].
+template <int J>
+inline __m512d bcast_elem4(__m512d x) {
+  return _mm512_permutex_pd(x, J * 0x55);
+}
+
+inline double rsum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+inline double rmax256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d m = _mm_max_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_max_sd(m, _mm_unpackhi_pd(m, m)));
+}
+
+inline double rsum_lo(__m512d v) { return rsum256(_mm512_castpd512_pd256(v)); }
+inline double rsum_hi(__m512d v) {
+  return rsum256(_mm512_extractf64x4_pd(v, 1));
+}
+inline double rmax_lo(__m512d v) { return rmax256(_mm512_castpd512_pd256(v)); }
+inline double rmax_hi(__m512d v) {
+  return rmax256(_mm512_extractf64x4_pd(v, 1));
+}
+
+/// Two-pattern transposed mat-vec for S=4: s = P^T-style accumulation with
+/// x packed as [x_p0 | x_p1] and each column duplicated into both halves.
+/// Ascending-j order like matvec_t.
+inline __m512d matvec2x4(const double* pt, __m512d x) {
+  __m512d acc = _mm512_mul_pd(bcast_elem4<0>(x), bcast_col4(pt));
+  acc = _mm512_fmadd_pd(bcast_elem4<1>(x), bcast_col4(pt + 4), acc);
+  acc = _mm512_fmadd_pd(bcast_elem4<2>(x), bcast_col4(pt + 8), acc);
+  acc = _mm512_fmadd_pd(bcast_elem4<3>(x), bcast_col4(pt + 12), acc);
+  return acc;
+}
+
+/// Multiply one pattern's whole CLV block by the scale factor (stride is
+/// always a multiple of 4, not necessarily of 8).
+inline void rescale_block(double* o, std::size_t stride) {
+  const __m256d f = _mm256_set1_pd(kScaleFactor);
+  for (std::size_t k = 0; k < stride; k += 4)
+    _mm256_storeu_pd(o + k, _mm256_mul_pd(_mm256_loadu_pd(o + k), f));
+}
+
+/// 20 doubles as two full 8-lane blocks plus a masked 4-lane tail.
+inline void load20(const double* p, simd::Vec (&v)[3]) {
+  v[0] = simd::load(p);
+  v[1] = simd::load(p + 8);
+  v[2] = simd::maskz_load(kTail20, p + 16);
+}
+
+inline void store20(double* p, const simd::Vec (&v)[3]) {
+  simd::store(p, v[0]);
+  simd::store(p + 8, v[1]);
+  simd::mask_store(p + 16, kTail20, v[2]);
+}
+
+/// Transposed mat-vec for S=20 over padded blocks, ascending-j order.
+inline void matvec20(const double* pt, const double* x, simd::Vec (&acc)[3]) {
+  acc[0] = simd::zero();
+  acc[1] = simd::zero();
+  acc[2] = simd::zero();
+  for (int j = 0; j < 20; ++j) {
+    const simd::Vec xj = simd::set1(x[j]);
+    const double* col = pt + j * 20;
+    acc[0] = simd::fma(xj, simd::load(col), acc[0]);
+    acc[1] = simd::fma(xj, simd::load(col + 8), acc[1]);
+    acc[2] = simd::fma(xj, simd::maskz_load(kTail20, col + 16), acc[2]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S=4 cores
+// ---------------------------------------------------------------------------
+
+/// One pattern-pair's newview body: compute, store, and scale patterns i0/i1.
+template <bool Tip1, bool Tip2>
+inline void newview4_pair(std::size_t i0, std::size_t i1, int cats,
+                          std::size_t stride, const ChildView& c1,
+                          const ChildView& c2, const double* p1t,
+                          const double* p2t, double* out,
+                          std::int32_t* out_scale) {
+  double* o0 = out + i0 * stride;
+  double* o1 = out + i1 * stride;
+  const double* l1a =
+      Tip1 ? c1.tip_table + static_cast<std::size_t>(c1.codes[i0]) * stride
+           : c1.clv + i0 * stride;
+  const double* l1b =
+      Tip1 ? c1.tip_table + static_cast<std::size_t>(c1.codes[i1]) * stride
+           : c1.clv + i1 * stride;
+  const double* l2a =
+      Tip2 ? c2.tip_table + static_cast<std::size_t>(c2.codes[i0]) * stride
+           : c2.clv + i0 * stride;
+  const double* l2b =
+      Tip2 ? c2.tip_table + static_cast<std::size_t>(c2.codes[i1]) * stride
+           : c2.clv + i1 * stride;
+
+  __m512d vmx = _mm512_setzero_pd();
+  for (int c = 0; c < cats; ++c) {
+    const std::size_t coff = static_cast<std::size_t>(c) * 4;
+    __m512d s1, s2;
+    if constexpr (Tip1)
+      s1 = load2x4(l1a + coff, l1b + coff);
+    else
+      s1 = matvec2x4(p1t + coff * 4, load2x4(l1a + coff, l1b + coff));
+    if constexpr (Tip2)
+      s2 = load2x4(l2a + coff, l2b + coff);
+    else
+      s2 = matvec2x4(p2t + coff * 4, load2x4(l2a + coff, l2b + coff));
+    const __m512d v = _mm512_mul_pd(s1, s2);
+    store2x4(o0 + coff, o1 + coff, v);
+    vmx = _mm512_max_pd(vmx, v);
+  }
+
+  std::int32_t cnt0 = child_scale(c1, c2, i0);
+  const double mx0 = rmax_lo(vmx);
+  if (mx0 < kScaleThreshold && mx0 > 0.0) {
+    rescale_block(o0, stride);
+    ++cnt0;
+  }
+  out_scale[i0] = cnt0;
+
+  std::int32_t cnt1 = child_scale(c1, c2, i1);
+  const double mx1 = rmax_hi(vmx);
+  if (mx1 < kScaleThreshold && mx1 > 0.0) {
+    rescale_block(o1, stride);
+    ++cnt1;
+  }
+  out_scale[i1] = cnt1;
+}
+
+template <bool Tip1, bool Tip2>
+void newview4_core(std::size_t begin, std::size_t end, std::size_t step,
+                   int cats, const ChildView& c1, const ChildView& c2,
+                   const double* p1, const double* p2, const double* p1t,
+                   const double* p2t, double* out, std::int32_t* out_scale) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 4;
+  std::size_t i = begin;
+  // Two pattern-pairs per iteration: four independent FMA chains.
+  for (; i < end && i + 3 * step < end; i += 4 * step) {
+    newview4_pair<Tip1, Tip2>(i, i + step, cats, stride, c1, c2, p1t, p2t,
+                              out, out_scale);
+    newview4_pair<Tip1, Tip2>(i + 2 * step, i + 3 * step, cats, stride, c1,
+                              c2, p1t, p2t, out, out_scale);
+  }
+  if (i < end && i + step < end) {
+    newview4_pair<Tip1, Tip2>(i, i + step, cats, stride, c1, c2, p1t, p2t,
+                              out, out_scale);
+    i += 2 * step;
+  }
+  if (i < end)
+    newview_slice<4>(i, end, step, cats, c1, c2, p1, p2, out, out_scale);
+}
+
+/// Two-pattern site likelihoods for S=4 (lower half = i0, upper = i1).
+template <bool TipU, bool TipV>
+inline void eval4_pair(std::size_t i0, std::size_t i1, int cats,
+                       std::size_t stride, const ChildView& cu,
+                       const ChildView& cv, const double* pt, __m512d fr,
+                       double* site0, double* site1) {
+  const double* lu0 =
+      TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i0]) * 4
+           : cu.clv + i0 * stride;
+  const double* lu1 =
+      TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i1]) * 4
+           : cu.clv + i1 * stride;
+  const double* lv0 =
+      TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i0]) * stride
+           : cv.clv + i0 * stride;
+  const double* lv1 =
+      TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i1]) * stride
+           : cv.clv + i1 * stride;
+  __m512d acc = _mm512_setzero_pd();
+  for (int c = 0; c < cats; ++c) {
+    const std::size_t coff = static_cast<std::size_t>(c) * 4;
+    const double* luc0 = TipU ? lu0 : lu0 + coff;
+    const double* luc1 = TipU ? lu1 : lu1 + coff;
+    __m512d inner;
+    if constexpr (TipV)
+      inner = load2x4(lv0 + coff, lv1 + coff);
+    else
+      inner = matvec2x4(pt + coff * 4, load2x4(lv0 + coff, lv1 + coff));
+    const __m512d lu2 = load2x4(luc0, luc1);
+    acc = _mm512_fmadd_pd(_mm512_mul_pd(fr, lu2), inner, acc);
+  }
+  *site0 = rsum_lo(acc);
+  *site1 = rsum_hi(acc);
+}
+
+template <bool TipU, bool TipV>
+double evaluate4_core(std::size_t begin, std::size_t end, std::size_t step,
+                      int cats, const ChildView& cu, const ChildView& cv,
+                      const double* p, const double* pt, const double* freqs,
+                      const double* weights) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 4;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  const __m512d fr = bcast_col4(freqs);
+  double lnl = 0.0;
+  std::size_t i = begin;
+  for (; i < end && i + step < end; i += 2 * step) {
+    const std::size_t i1 = i + step;
+    double s0, s1;
+    eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0, &s1);
+    const double site0 = s0 * inv_cats;
+    const double site1 = s1 * inv_cats;
+    const double g0 = site0 > 1e-300 ? site0 : 1e-300;
+    const double g1 = site1 > 1e-300 ? site1 : 1e-300;
+    lnl += weights[i] *
+           (std::log(g0) -
+            static_cast<double>(child_scale(cu, cv, i)) * kLogScale);
+    lnl += weights[i1] *
+           (std::log(g1) -
+            static_cast<double>(child_scale(cu, cv, i1)) * kLogScale);
+  }
+  if (i < end)
+    lnl += evaluate_slice<4>(i, end, step, cats, cu, cv, p, freqs, weights);
+  return lnl;
+}
+
+template <bool TipU, bool TipV>
+void evaluate4_sites_core(std::size_t begin, std::size_t end,
+                          std::size_t step, int cats, const ChildView& cu,
+                          const ChildView& cv, const double* p,
+                          const double* pt, const double* freqs, double* out) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 4;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  const __m512d fr = bcast_col4(freqs);
+  std::size_t i = begin;
+  for (; i < end && i + step < end; i += 2 * step) {
+    const std::size_t i1 = i + step;
+    double s0, s1;
+    eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0, &s1);
+    const double site0 = s0 * inv_cats;
+    const double site1 = s1 * inv_cats;
+    const double g0 = site0 > 1e-300 ? site0 : 1e-300;
+    const double g1 = site1 > 1e-300 ? site1 : 1e-300;
+    out[i] = std::log(g0) -
+             static_cast<double>(child_scale(cu, cv, i)) * kLogScale;
+    out[i1] = std::log(g1) -
+              static_cast<double>(child_scale(cu, cv, i1)) * kLogScale;
+  }
+  if (i < end)
+    evaluate_sites_slice<4>(i, end, step, cats, cu, cv, p, freqs, out);
+}
+
+template <bool TipU, bool TipV>
+void sumtable4_core(std::size_t begin, std::size_t end, std::size_t step,
+                    int cats, const ChildView& cu, const ChildView& cv,
+                    const double* sym, const double* symt, double* out) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 4;
+  std::size_t i = begin;
+  for (; i < end && i + step < end; i += 2 * step) {
+    const std::size_t i1 = i + step;
+    const double* lu0 =
+        TipU ? cu.tip_table + static_cast<std::size_t>(cu.codes[i]) * 4
+             : cu.clv + i * stride;
+    const double* lu1 =
+        TipU ? cu.tip_table + static_cast<std::size_t>(cu.codes[i1]) * 4
+             : cu.clv + i1 * stride;
+    const double* lv0 =
+        TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i]) * 4
+             : cv.clv + i * stride;
+    const double* lv1 =
+        TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i1]) * 4
+             : cv.clv + i1 * stride;
+    double* o0 = out + i * stride;
+    double* o1 = out + i1 * stride;
+
+    // Tip-side coordinates are category-invariant: pack once per pair.
+    __m512d xu, xv;
+    if constexpr (TipU) xu = load2x4(lu0, lu1);
+    if constexpr (TipV) xv = load2x4(lv0, lv1);
+
+    for (int c = 0; c < cats; ++c) {
+      const std::size_t coff = static_cast<std::size_t>(c) * 4;
+      if constexpr (!TipU)
+        xu = matvec2x4(symt, load2x4(lu0 + coff, lu1 + coff));
+      if constexpr (!TipV)
+        xv = matvec2x4(symt, load2x4(lv0 + coff, lv1 + coff));
+      store2x4(o0 + coff, o1 + coff, _mm512_mul_pd(xu, xv));
+    }
+  }
+  if (i < end) sumtable_slice<4>(i, end, step, cats, cu, cv, sym, out);
+}
+
+// ---------------------------------------------------------------------------
+// S=20 cores
+// ---------------------------------------------------------------------------
+
+template <bool Tip1, bool Tip2>
+void newview20_core(std::size_t begin, std::size_t end, std::size_t step,
+                    int cats, const ChildView& c1, const ChildView& c2,
+                    const double* p1t, const double* p2t, double* out,
+                    std::int32_t* out_scale) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 20;
+  for (std::size_t i = begin; i < end; i += step) {
+    double* o = out + i * stride;
+    const double* l1 =
+        Tip1 ? c1.tip_table + static_cast<std::size_t>(c1.codes[i]) * stride
+             : c1.clv + i * stride;
+    const double* l2 =
+        Tip2 ? c2.tip_table + static_cast<std::size_t>(c2.codes[i]) * stride
+             : c2.clv + i * stride;
+
+    simd::Vec vmx = simd::zero();
+    for (int c = 0; c < cats; ++c) {
+      const std::size_t coff = static_cast<std::size_t>(c) * 20;
+      simd::Vec s1[3], s2[3];
+      if constexpr (Tip1)
+        load20(l1 + coff, s1);
+      else
+        matvec20(p1t + coff * 20, l1 + coff, s1);
+      if constexpr (Tip2)
+        load20(l2 + coff, s2);
+      else
+        matvec20(p2t + coff * 20, l2 + coff, s2);
+      simd::Vec v[3];
+      for (int b = 0; b < 3; ++b) {
+        v[b] = simd::mul(s1[b], s2[b]);
+        vmx = simd::max(vmx, v[b]);
+      }
+      store20(o + coff, v);
+    }
+
+    std::int32_t cnt = child_scale(c1, c2, i);
+    // Padded tail lanes are zero everywhere, so they never win the max.
+    const double mx = simd::reduce_max(vmx);
+    if (mx < kScaleThreshold && mx > 0.0) {
+      rescale_block(o, stride);
+      ++cnt;
+    }
+    out_scale[i] = cnt;
+  }
+}
+
+template <bool TipU, bool TipV>
+double evaluate20_core(std::size_t begin, std::size_t end, std::size_t step,
+                       int cats, const ChildView& cu, const ChildView& cv,
+                       const double* pt, const double* freqs,
+                       const double* weights) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 20;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  simd::Vec fr[3];
+  load20(freqs, fr);
+
+  double lnl = 0.0;
+  for (std::size_t i = begin; i < end; i += step) {
+    const double* lu =
+        TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i]) * 20
+             : cu.clv + i * stride;
+    const double* lv =
+        TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i]) * stride
+             : cv.clv + i * stride;
+    simd::Vec acc = simd::zero();
+    for (int c = 0; c < cats; ++c) {
+      const std::size_t coff = static_cast<std::size_t>(c) * 20;
+      const double* luc = TipU ? lu : lu + coff;
+      simd::Vec inner[3];
+      if constexpr (TipV)
+        load20(lv + coff, inner);
+      else
+        matvec20(pt + coff * 20, lv + coff, inner);
+      simd::Vec lub[3];
+      load20(luc, lub);
+      for (int b = 0; b < 3; ++b)
+        acc = simd::fma(simd::mul(fr[b], lub[b]), inner[b], acc);
+    }
+    const double site = simd::reduce_add(acc) * inv_cats;
+    const std::int32_t scale = child_scale(cu, cv, i);
+    const double guarded = site > 1e-300 ? site : 1e-300;
+    lnl += weights[i] *
+           (std::log(guarded) - static_cast<double>(scale) * kLogScale);
+  }
+  return lnl;
+}
+
+template <bool TipU, bool TipV>
+void evaluate20_sites_core(std::size_t begin, std::size_t end,
+                           std::size_t step, int cats, const ChildView& cu,
+                           const ChildView& cv, const double* pt,
+                           const double* freqs, double* out) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 20;
+  const double inv_cats = 1.0 / static_cast<double>(cats);
+  simd::Vec fr[3];
+  load20(freqs, fr);
+
+  for (std::size_t i = begin; i < end; i += step) {
+    const double* lu =
+        TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i]) * 20
+             : cu.clv + i * stride;
+    const double* lv =
+        TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i]) * stride
+             : cv.clv + i * stride;
+    simd::Vec acc = simd::zero();
+    for (int c = 0; c < cats; ++c) {
+      const std::size_t coff = static_cast<std::size_t>(c) * 20;
+      const double* luc = TipU ? lu : lu + coff;
+      simd::Vec inner[3];
+      if constexpr (TipV)
+        load20(lv + coff, inner);
+      else
+        matvec20(pt + coff * 20, lv + coff, inner);
+      simd::Vec lub[3];
+      load20(luc, lub);
+      for (int b = 0; b < 3; ++b)
+        acc = simd::fma(simd::mul(fr[b], lub[b]), inner[b], acc);
+    }
+    const double site = simd::reduce_add(acc) * inv_cats;
+    const std::int32_t scale = child_scale(cu, cv, i);
+    const double guarded = site > 1e-300 ? site : 1e-300;
+    out[i] = std::log(guarded) - static_cast<double>(scale) * kLogScale;
+  }
+}
+
+template <bool TipU, bool TipV>
+void sumtable20_core(std::size_t begin, std::size_t end, std::size_t step,
+                     int cats, const ChildView& cu, const ChildView& cv,
+                     const double* symt, double* out) {
+  const std::size_t stride = static_cast<std::size_t>(cats) * 20;
+  for (std::size_t i = begin; i < end; i += step) {
+    const double* lu =
+        TipU ? cu.tip_table + static_cast<std::size_t>(cu.codes[i]) * 20
+             : cu.clv + i * stride;
+    const double* lv =
+        TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i]) * 20
+             : cv.clv + i * stride;
+    double* o = out + i * stride;
+
+    simd::Vec xu[3], xv[3];
+    if constexpr (TipU) load20(lu, xu);
+    if constexpr (TipV) load20(lv, xv);
+
+    for (int c = 0; c < cats; ++c) {
+      const std::size_t coff = static_cast<std::size_t>(c) * 20;
+      if constexpr (!TipU) matvec20(symt, lu + coff, xu);
+      if constexpr (!TipV) matvec20(symt, lv + coff, xv);
+      simd::Vec v[3];
+      for (int b = 0; b < 3; ++b) v[b] = simd::mul(xu[b], xv[b]);
+      store20(o + coff, v);
+    }
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatchers: same names/signatures/fallback rules as the width-agnostic
+// headers, so the backend TU's kernel table is populated identically.
+// ---------------------------------------------------------------------------
+
+template <int S>
+void newview_spec(std::size_t begin, std::size_t end, std::size_t step,
+                  int cats, const ChildView& c1, const ChildView& c2,
+                  const double* p1, const double* p2, const double* p1t,
+                  const double* p2t, double* out, std::int32_t* out_scale) {
+  static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
+  const bool t1 = c1.is_tip(), t2 = c2.is_tip();
+  if ((t1 && c1.tip_table == nullptr) || (t2 && c2.tip_table == nullptr)) {
+    newview_slice<S>(begin, end, step, cats, c1, c2, p1, p2, out, out_scale);
+    return;
+  }
+  if constexpr (S == 4) {
+    if (t1 && t2)
+      detail::newview4_core<true, true>(begin, end, step, cats, c1, c2, p1,
+                                        p2, p1t, p2t, out, out_scale);
+    else if (t1)
+      detail::newview4_core<true, false>(begin, end, step, cats, c1, c2, p1,
+                                         p2, p1t, p2t, out, out_scale);
+    else if (t2)
+      detail::newview4_core<false, true>(begin, end, step, cats, c1, c2, p1,
+                                         p2, p1t, p2t, out, out_scale);
+    else
+      detail::newview4_core<false, false>(begin, end, step, cats, c1, c2, p1,
+                                          p2, p1t, p2t, out, out_scale);
+  } else {
+    if (t1 && t2)
+      detail::newview20_core<true, true>(begin, end, step, cats, c1, c2, p1t,
+                                         p2t, out, out_scale);
+    else if (t1)
+      detail::newview20_core<true, false>(begin, end, step, cats, c1, c2, p1t,
+                                          p2t, out, out_scale);
+    else if (t2)
+      detail::newview20_core<false, true>(begin, end, step, cats, c1, c2, p1t,
+                                          p2t, out, out_scale);
+    else
+      detail::newview20_core<false, false>(begin, end, step, cats, c1, c2,
+                                           p1t, p2t, out, out_scale);
+  }
+}
+
+template <int S>
+double evaluate_spec(std::size_t begin, std::size_t end, std::size_t step,
+                     int cats, const ChildView& cu, const ChildView& cv,
+                     const double* p, const double* pt, const double* freqs,
+                     const double* weights) {
+  static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
+  const bool tu = cu.is_tip(), tv = cv.is_tip();
+  if (tv && cv.tip_table == nullptr)
+    return evaluate_slice<S>(begin, end, step, cats, cu, cv, p, freqs,
+                             weights);
+  if constexpr (S == 4) {
+    if (tu && tv)
+      return detail::evaluate4_core<true, true>(begin, end, step, cats, cu,
+                                                cv, p, pt, freqs, weights);
+    if (tu)
+      return detail::evaluate4_core<true, false>(begin, end, step, cats, cu,
+                                                 cv, p, pt, freqs, weights);
+    if (tv)
+      return detail::evaluate4_core<false, true>(begin, end, step, cats, cu,
+                                                 cv, p, pt, freqs, weights);
+    return detail::evaluate4_core<false, false>(begin, end, step, cats, cu,
+                                                cv, p, pt, freqs, weights);
+  } else {
+    if (tu && tv)
+      return detail::evaluate20_core<true, true>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, weights);
+    if (tu)
+      return detail::evaluate20_core<true, false>(begin, end, step, cats, cu,
+                                                  cv, pt, freqs, weights);
+    if (tv)
+      return detail::evaluate20_core<false, true>(begin, end, step, cats, cu,
+                                                  cv, pt, freqs, weights);
+    return detail::evaluate20_core<false, false>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, weights);
+  }
+}
+
+template <int S>
+void evaluate_sites_spec(std::size_t begin, std::size_t end, std::size_t step,
+                         int cats, const ChildView& cu, const ChildView& cv,
+                         const double* p, const double* pt,
+                         const double* freqs, double* out) {
+  static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
+  const bool tu = cu.is_tip(), tv = cv.is_tip();
+  if (tv && cv.tip_table == nullptr) {
+    evaluate_sites_slice<S>(begin, end, step, cats, cu, cv, p, freqs, out);
+    return;
+  }
+  if constexpr (S == 4) {
+    if (tu && tv)
+      detail::evaluate4_sites_core<true, true>(begin, end, step, cats, cu, cv,
+                                               p, pt, freqs, out);
+    else if (tu)
+      detail::evaluate4_sites_core<true, false>(begin, end, step, cats, cu,
+                                                cv, p, pt, freqs, out);
+    else if (tv)
+      detail::evaluate4_sites_core<false, true>(begin, end, step, cats, cu,
+                                                cv, p, pt, freqs, out);
+    else
+      detail::evaluate4_sites_core<false, false>(begin, end, step, cats, cu,
+                                                 cv, p, pt, freqs, out);
+  } else {
+    if (tu && tv)
+      detail::evaluate20_sites_core<true, true>(begin, end, step, cats, cu,
+                                                cv, pt, freqs, out);
+    else if (tu)
+      detail::evaluate20_sites_core<true, false>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, out);
+    else if (tv)
+      detail::evaluate20_sites_core<false, true>(begin, end, step, cats, cu,
+                                                 cv, pt, freqs, out);
+    else
+      detail::evaluate20_sites_core<false, false>(begin, end, step, cats, cu,
+                                                  cv, pt, freqs, out);
+  }
+}
+
+template <int S>
+void sumtable_spec(std::size_t begin, std::size_t end, std::size_t step,
+                   int cats, const ChildView& cu, const ChildView& cv,
+                   const double* sym, const double* symt, double* out) {
+  static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
+  const bool tu = cu.is_tip(), tv = cv.is_tip();
+  if ((tu && cu.tip_table == nullptr) || (tv && cv.tip_table == nullptr)) {
+    sumtable_slice<S>(begin, end, step, cats, cu, cv, sym, out);
+    return;
+  }
+  if constexpr (S == 4) {
+    if (tu && tv)
+      detail::sumtable4_core<true, true>(begin, end, step, cats, cu, cv, sym,
+                                         symt, out);
+    else if (tu)
+      detail::sumtable4_core<true, false>(begin, end, step, cats, cu, cv, sym,
+                                          symt, out);
+    else if (tv)
+      detail::sumtable4_core<false, true>(begin, end, step, cats, cu, cv, sym,
+                                          symt, out);
+    else
+      detail::sumtable4_core<false, false>(begin, end, step, cats, cu, cv,
+                                           sym, symt, out);
+  } else {
+    if (tu && tv)
+      detail::sumtable20_core<true, true>(begin, end, step, cats, cu, cv,
+                                          symt, out);
+    else if (tu)
+      detail::sumtable20_core<true, false>(begin, end, step, cats, cu, cv,
+                                           symt, out);
+    else if (tv)
+      detail::sumtable20_core<false, true>(begin, end, step, cats, cu, cv,
+                                           symt, out);
+    else
+      detail::sumtable20_core<false, false>(begin, end, step, cats, cu, cv,
+                                            symt, out);
+  }
+}
+
+/// AVX-512 Newton-Raphson derivative reduction (same contract as nr_slice).
+/// DNA packs two patterns per vector (six independent accumulator chains per
+/// pair, exp_lam/lam loads shared); protein streams padded 20->24 blocks.
+template <int S>
+void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
+             const double* sumtable, const double* exp_lam, const double* lam,
+             const double* weights, double* out_d1, double* out_d2) {
+  static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  double d1 = 0.0, d2 = 0.0;
+  if constexpr (S == 4) {
+    std::size_t i = begin;
+    for (; i < end && i + step < end; i += 2 * step) {
+      const std::size_t i1 = i + step;
+      const double* st0 = sumtable + i * stride;
+      const double* st1 = sumtable + i1 * stride;
+      __m512d vf = _mm512_setzero_pd();
+      __m512d vf1 = _mm512_setzero_pd();
+      __m512d vf2 = _mm512_setzero_pd();
+      for (int c = 0; c < cats; ++c) {
+        const std::size_t coff = static_cast<std::size_t>(c) * 4;
+        const __m512d e = detail::bcast_col4(exp_lam + coff);
+        const __m512d l = detail::bcast_col4(lam + coff);
+        const __m512d x =
+            _mm512_mul_pd(detail::load2x4(st0 + coff, st1 + coff), e);
+        const __m512d lx = _mm512_mul_pd(l, x);
+        vf = _mm512_add_pd(vf, x);
+        vf1 = _mm512_add_pd(vf1, lx);
+        vf2 = _mm512_fmadd_pd(l, lx, vf2);
+      }
+      double fa = detail::rsum_lo(vf);
+      double fb = detail::rsum_hi(vf);
+      const double f1a = detail::rsum_lo(vf1);
+      const double f1b = detail::rsum_hi(vf1);
+      const double f2a = detail::rsum_lo(vf2);
+      const double f2b = detail::rsum_hi(vf2);
+      if (fa < 1e-300) fa = 1e-300;
+      if (fb < 1e-300) fb = 1e-300;
+      const double ra = f1a / fa;
+      d1 += weights[i] * ra;
+      d2 += weights[i] * (f2a / fa - ra * ra);
+      const double rb = f1b / fb;
+      d1 += weights[i1] * rb;
+      d2 += weights[i1] * (f2b / fb - rb * rb);
+    }
+    if (i < end) {
+      double td1 = 0.0, td2 = 0.0;
+      nr_slice<4>(i, end, step, cats, sumtable, exp_lam, lam, weights, &td1,
+                  &td2);
+      d1 += td1;
+      d2 += td2;
+    }
+  } else {
+    for (std::size_t i = begin; i < end; i += step) {
+      const double* st = sumtable + i * stride;
+      simd::Vec vf = simd::zero(), vf1 = simd::zero(), vf2 = simd::zero();
+      for (int c = 0; c < cats; ++c) {
+        const std::size_t coff = static_cast<std::size_t>(c) * 20;
+        const double* stc = st + coff;
+        const double* ec = exp_lam + coff;
+        const double* lc = lam + coff;
+        for (int b = 0; b < 3; ++b) {
+          const simd::Vec sv =
+              b < 2 ? simd::load(stc + b * 8)
+                    : simd::maskz_load(detail::kTail20, stc + 16);
+          const simd::Vec e = b < 2
+                                  ? simd::load(ec + b * 8)
+                                  : simd::maskz_load(detail::kTail20, ec + 16);
+          const simd::Vec l = b < 2
+                                  ? simd::load(lc + b * 8)
+                                  : simd::maskz_load(detail::kTail20, lc + 16);
+          const simd::Vec x = simd::mul(sv, e);
+          const simd::Vec lx = simd::mul(l, x);
+          vf = simd::add(vf, x);
+          vf1 = simd::add(vf1, lx);
+          vf2 = simd::fma(l, lx, vf2);
+        }
+      }
+      double f = simd::reduce_add(vf);
+      const double f1 = simd::reduce_add(vf1);
+      const double f2 = simd::reduce_add(vf2);
+      if (f < 1e-300) f = 1e-300;
+      const double r = f1 / f;
+      d1 += weights[i] * r;
+      d2 += weights[i] * (f2 / f - r * r);
+    }
+  }
+  *out_d1 = d1;
+  *out_d2 = d2;
+}
+
+PLK_SIMD_NS_END
+}  // namespace plk::kernel
+
+#endif  // PLK_SIMD_AVX512

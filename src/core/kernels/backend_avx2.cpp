@@ -1,0 +1,32 @@
+// Runtime-dispatch backend TU: AVX2.
+//
+// CMake compiles this file with -mavx2 -mfma on x86 GNU/Clang, which defines
+// __AVX2__ here even when the rest of the build targets baseline x86-64; the
+// dispatcher only hands this table out after a CPUID probe. Compiles to an
+// empty table when AVX2 codegen is unavailable or under a global
+// PLK_SIMD_FORCE_SCALAR build.
+#if !defined(PLK_SIMD_FORCE_SCALAR) && defined(__AVX2__)
+
+#define PLK_SIMD_FORCE_AVX2 1
+#include "core/kernels/backend_impl.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_avx2() {
+  static const KernelTable t = make_backend_table();
+  return &t;
+}
+
+}  // namespace plk::kernel
+
+#else
+
+#include "core/kernels/dispatch.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_avx2() { return nullptr; }
+
+}  // namespace plk::kernel
+
+#endif

@@ -1,0 +1,33 @@
+// Runtime-dispatch backend TU: AVX-512 (dedicated kernels, avx512.hpp).
+//
+// CMake compiles this file with -mavx512f -mavx512dq on x86 GNU/Clang, so
+// the table always EXISTS in an x86 binary regardless of the build host; the
+// dispatcher only hands it out when CPUID reports avx512f+avx512dq, and the
+// CI matrix leans on exactly that: compile always, runtime-skip on runners
+// without the instruction set. Compiles to an empty table when AVX-512
+// codegen is unavailable or under a global PLK_SIMD_FORCE_SCALAR build.
+#if !defined(PLK_SIMD_FORCE_SCALAR) && defined(__AVX512F__)
+
+#define PLK_SIMD_FORCE_AVX512 1
+#include "core/kernels/backend_impl.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_avx512() {
+  static const KernelTable t = make_backend_table();
+  return &t;
+}
+
+}  // namespace plk::kernel
+
+#else
+
+#include "core/kernels/dispatch.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_avx512() { return nullptr; }
+
+}  // namespace plk::kernel
+
+#endif

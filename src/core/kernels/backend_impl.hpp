@@ -1,0 +1,36 @@
+// Shared body for the runtime-dispatch backend TUs.
+//
+// Each backend_<isa>.cpp defines its PLK_SIMD_FORCE_* macro and THEN
+// includes this header, so every template below instantiates against that
+// backend (inside its inline namespace — see util/simd.hpp). The resulting
+// KernelTable carries plain function pointers with unversioned signatures,
+// which is the only thing that crosses the TU boundary.
+//
+// NOT an ordinary header: include it only from a backend TU.
+#pragma once
+
+#include "core/kernels.hpp"
+#include "core/kernels/dispatch.hpp"
+
+namespace plk::kernel {
+PLK_SIMD_NS_BEGIN
+
+inline KernelTable make_backend_table() {
+  KernelTable t;
+  t.name = simd::kBackend;
+  t.lanes = simd::kLanes;
+  t.newview4 = &newview_spec<4>;
+  t.newview20 = &newview_spec<20>;
+  t.evaluate4 = &evaluate_spec<4>;
+  t.evaluate20 = &evaluate_spec<20>;
+  t.evaluate_sites4 = &evaluate_sites_spec<4>;
+  t.evaluate_sites20 = &evaluate_sites_spec<20>;
+  t.sumtable4 = &sumtable_spec<4>;
+  t.sumtable20 = &sumtable_spec<20>;
+  t.nr4 = &nr_spec<4>;
+  t.nr20 = &nr_spec<20>;
+  return t;
+}
+
+PLK_SIMD_NS_END
+}  // namespace plk::kernel

@@ -1,0 +1,30 @@
+// Runtime-dispatch backend TU: NEON (aarch64 baseline; the ambient backend
+// there, mirrored into the dispatch table for uniformity). Compiles to an
+// empty table off ARM or under a global PLK_SIMD_FORCE_SCALAR build.
+#if !defined(PLK_SIMD_FORCE_SCALAR) && \
+    (defined(__ARM_NEON) || defined(__aarch64__))
+
+// The ambient selection already picks NEON on ARM; no force macro needed,
+// and none exists (NEON is never cross-forced onto another ISA).
+#include "core/kernels/backend_impl.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_neon() {
+  static const KernelTable t = make_backend_table();
+  return &t;
+}
+
+}  // namespace plk::kernel
+
+#else
+
+#include "core/kernels/dispatch.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_neon() { return nullptr; }
+
+}  // namespace plk::kernel
+
+#endif

@@ -1,0 +1,14 @@
+// Runtime-dispatch backend TU: scalar (always compiled, universal fallback).
+#ifndef PLK_SIMD_FORCE_SCALAR
+#define PLK_SIMD_FORCE_SCALAR 1
+#endif
+#include "core/kernels/backend_impl.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_scalar() {
+  static const KernelTable t = make_backend_table();
+  return &t;
+}
+
+}  // namespace plk::kernel

@@ -1,0 +1,30 @@
+// Runtime-dispatch backend TU: SSE2 (x86-64 baseline, no extra flags).
+//
+// Compiles to an empty table on non-x86 targets and under a global
+// PLK_SIMD_FORCE_SCALAR build (where only the scalar backend may exist).
+#if !defined(PLK_SIMD_FORCE_SCALAR) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__))
+
+#define PLK_SIMD_FORCE_SSE2 1
+#include "core/kernels/backend_impl.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_sse2() {
+  static const KernelTable t = make_backend_table();
+  return &t;
+}
+
+}  // namespace plk::kernel
+
+#else
+
+#include "core/kernels/dispatch.hpp"
+
+namespace plk::kernel {
+
+const KernelTable* backend_table_sse2() { return nullptr; }
+
+}  // namespace plk::kernel
+
+#endif

@@ -1,14 +1,23 @@
 // Shared building blocks for the specialized SIMD kernels.
+//
+// Everything here depends on the compile-time SIMD backend, so the contents
+// live inside the backend's inline namespace (PLK_SIMD_NS_BEGIN): each
+// runtime-dispatch backend TU gets its own instantiations with distinct
+// mangled names. The AVX-512 backend (8 lanes) is excluded — neither state
+// count is a multiple of 8, so it has dedicated kernels in avx512.hpp.
 #pragma once
 
 #include "core/kernels/generic.hpp"
 #include "util/simd.hpp"
 
+#if !defined(PLK_SIMD_AVX512)
+
 namespace plk::kernel {
+PLK_SIMD_NS_BEGIN
 
 /// Lane-blocks per state vector. Both supported state counts (4, 20) are
-/// multiples of every SIMD backend's lane count (4/2/1), so kernels iterate
-/// whole blocks with no remainder handling.
+/// multiples of every width-agnostic backend's lane count (4/2/1), so the
+/// kernels iterate whole blocks with no remainder handling.
 template <int S>
 inline constexpr int kBlocks = S / simd::kLanes;
 
@@ -29,4 +38,34 @@ inline void matvec_t(const double* pt, const double* x,
   }
 }
 
+/// Two transposed mat-vec products against the SAME matrix, for two patterns
+/// at once: each column is loaded once and feeds two independent FMA chains,
+/// doubling the instruction-level parallelism of the latency-bound S=4 case
+/// while halving the matrix load traffic. Each accumulator sees exactly the
+/// operation sequence matvec_t would give it, so results are bit-identical
+/// to two separate matvec_t calls.
+template <int S>
+inline void matvec_t2(const double* pt, const double* x0, const double* x1,
+                      simd::Vec (&a0)[kBlocks<S>],
+                      simd::Vec (&a1)[kBlocks<S>]) {
+  constexpr int W = simd::kLanes;
+  for (int b = 0; b < kBlocks<S>; ++b) {
+    a0[b] = simd::zero();
+    a1[b] = simd::zero();
+  }
+  for (int j = 0; j < S; ++j) {
+    const simd::Vec xj0 = simd::set1(x0[j]);
+    const simd::Vec xj1 = simd::set1(x1[j]);
+    const double* col = pt + j * S;
+    for (int b = 0; b < kBlocks<S>; ++b) {
+      const simd::Vec c = simd::load(col + b * W);
+      a0[b] = simd::fma(xj0, c, a0[b]);
+      a1[b] = simd::fma(xj1, c, a1[b]);
+    }
+  }
+}
+
+PLK_SIMD_NS_END
 }  // namespace plk::kernel
+
+#endif  // !PLK_SIMD_AVX512

@@ -6,12 +6,25 @@
 // are precomputed per model update (kernel::build_sym_tip_table, layout
 // [code][k]) and hoisted out of the category loop entirely. The nr pass is a
 // pure streaming reduction with no tip cases.
+//
+// The S=4 nr path processes TWO patterns per iteration: at four states each
+// pattern's f/f1/f2 accumulation is a short dependent chain capped by three
+// horizontal reductions, so pairing patterns (i, i+step) runs six
+// independent accumulator chains and shares the exp_lam/lam loads (which are
+// pattern-invariant) between both patterns. Per-pattern arithmetic and the
+// weighted d1/d2 left-fold order are unchanged — results are bit-identical
+// to the single-pattern path.
+//
+// Not compiled for the AVX-512 backend (dedicated layouts in avx512.hpp).
 #pragma once
 
 #include "core/kernels/common.hpp"
 #include "core/kernels/generic.hpp"
 
+#if !defined(PLK_SIMD_AVX512)
+
 namespace plk::kernel {
+PLK_SIMD_NS_BEGIN
 
 namespace detail {
 
@@ -88,7 +101,48 @@ void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
   constexpr int B = kBlocks<S>;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   double d1 = 0.0, d2 = 0.0;
-  for (std::size_t i = begin; i < end; i += step) {
+  std::size_t i = begin;
+  if constexpr (S == 4) {
+    for (; i < end && i + step < end; i += 2 * step) {
+      const std::size_t i1 = i + step;
+      const double* st0 = sumtable + i * stride;
+      const double* st1 = sumtable + i1 * stride;
+      simd::Vec vfa = simd::zero(), vf1a = simd::zero(), vf2a = simd::zero();
+      simd::Vec vfb = simd::zero(), vf1b = simd::zero(), vf2b = simd::zero();
+      for (int c = 0; c < cats; ++c) {
+        const std::size_t coff = static_cast<std::size_t>(c) * S;
+        for (int b = 0; b < B; ++b) {
+          const simd::Vec e = simd::load(exp_lam + coff + b * W);
+          const simd::Vec l = simd::load(lam + coff + b * W);
+          const simd::Vec x0 = simd::mul(simd::load(st0 + coff + b * W), e);
+          const simd::Vec x1 = simd::mul(simd::load(st1 + coff + b * W), e);
+          const simd::Vec lx0 = simd::mul(l, x0);
+          const simd::Vec lx1 = simd::mul(l, x1);
+          vfa = simd::add(vfa, x0);
+          vfb = simd::add(vfb, x1);
+          vf1a = simd::add(vf1a, lx0);
+          vf1b = simd::add(vf1b, lx1);
+          vf2a = simd::fma(l, lx0, vf2a);
+          vf2b = simd::fma(l, lx1, vf2b);
+        }
+      }
+      double fa = simd::reduce_add(vfa);
+      const double f1a = simd::reduce_add(vf1a);
+      const double f2a = simd::reduce_add(vf2a);
+      double fb = simd::reduce_add(vfb);
+      const double f1b = simd::reduce_add(vf1b);
+      const double f2b = simd::reduce_add(vf2b);
+      if (fa < 1e-300) fa = 1e-300;
+      if (fb < 1e-300) fb = 1e-300;
+      const double ra = f1a / fa;
+      d1 += weights[i] * ra;
+      d2 += weights[i] * (f2a / fa - ra * ra);
+      const double rb = f1b / fb;
+      d1 += weights[i1] * rb;
+      d2 += weights[i1] * (f2b / fb - rb * rb);
+    }
+  }
+  for (; i < end; i += step) {
     const double* st = sumtable + i * stride;
     simd::Vec vf = simd::zero(), vf1 = simd::zero(), vf2 = simd::zero();
     for (int c = 0; c < cats; ++c) {
@@ -117,4 +171,7 @@ void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
   *out_d2 = d2;
 }
 
+PLK_SIMD_NS_END
 }  // namespace plk::kernel
+
+#endif  // !PLK_SIMD_AVX512

@@ -1,0 +1,92 @@
+// Runtime SIMD backend selection (see dispatch.hpp).
+#include "core/kernels/dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace plk::kernel {
+
+// Exported by the backend TUs; nullptr when a backend is not compiled in.
+const KernelTable* backend_table_scalar();
+const KernelTable* backend_table_sse2();
+const KernelTable* backend_table_avx2();
+const KernelTable* backend_table_avx512();
+const KernelTable* backend_table_neon();
+
+namespace {
+
+bool cpu_supports(const char* name) {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (std::strcmp(name, "avx512") == 0)
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq");
+  if (std::strcmp(name, "avx2") == 0) return __builtin_cpu_supports("avx2");
+#else
+  // Off x86 the only tables that exist (scalar, neon) are baseline.
+  if (std::strcmp(name, "avx512") == 0 || std::strcmp(name, "avx2") == 0)
+    return false;
+#endif
+  // sse2 is the x86-64 baseline, neon the aarch64 baseline, scalar universal;
+  // their tables exist only on targets where they run.
+  return true;
+}
+
+struct Selection {
+  const KernelTable* table = nullptr;
+  std::string how;  // "auto" or "PLK_FORCE_SIMD" (+ fallback note)
+};
+
+Selection select() {
+  std::vector<const KernelTable*> avail = available_backends();
+  Selection s;
+  s.table = avail.front();  // never empty: scalar is unconditional
+  s.how = "auto";
+  const char* force = std::getenv("PLK_FORCE_SIMD");
+  if (force != nullptr && force[0] != '\0') {
+    for (const KernelTable* t : avail) {
+      if (std::strcmp(t->name, force) == 0) {
+        s.table = t;
+        s.how = "PLK_FORCE_SIMD";
+        return s;
+      }
+    }
+    s.how = std::string("auto; PLK_FORCE_SIMD=") + force +
+            " unavailable on this build/CPU";
+  }
+  return s;
+}
+
+const Selection& selection() {
+  static const Selection s = select();
+  return s;
+}
+
+}  // namespace
+
+std::vector<const KernelTable*> available_backends() {
+  const KernelTable* candidates[] = {
+      backend_table_avx512(), backend_table_avx2(), backend_table_neon(),
+      backend_table_sse2(), backend_table_scalar()};
+  std::vector<const KernelTable*> avail;
+  for (const KernelTable* t : candidates)
+    if (t != nullptr && cpu_supports(t->name)) avail.push_back(t);
+  return avail;
+}
+
+const KernelTable* find_backend(std::string_view name) {
+  for (const KernelTable* t : available_backends())
+    if (name == t->name) return t;
+  return nullptr;
+}
+
+const KernelTable& active_kernels() { return *selection().table; }
+
+std::string describe_active_backend() {
+  const Selection& s = selection();
+  return std::string(s.table->name) + " (" + s.how + ", " +
+         std::to_string(s.table->lanes) +
+         (s.table->lanes == 1 ? " lane)" : " lanes)");
+}
+
+}  // namespace plk::kernel

@@ -1,0 +1,116 @@
+// Runtime SIMD backend dispatch for the specialized kernels.
+//
+// The width-agnostic kernel templates compile against ONE backend per
+// translation unit (util/simd.hpp). To pick the instruction set at runtime
+// instead — so a single binary can run AVX-512 where the CPU has it, AVX2
+// elsewhere, and scalar under test forcing — the library compiles one
+// backend TU per instruction set (backend_{scalar,sse2,avx2,avx512,neon}.cpp,
+// each pinning a PLK_SIMD_FORCE_* macro and carrying per-source codegen
+// flags) and each TU exports a table of function pointers to its
+// instantiations. The backend-versioned inline namespaces in the kernel
+// headers keep those parallel instantiations ODR-distinct.
+//
+// Selection happens once per process (first call to active_kernels()):
+//   1. PLK_FORCE_SIMD=avx512|avx2|sse2|neon|scalar — explicit override; if
+//      the named backend is not compiled in or the CPU lacks it, selection
+//      falls back to the best available and describe_active_backend() says
+//      so (callers that need hard forcing check name themselves).
+//   2. Otherwise the best backend the CPU supports, by CPUID probe.
+//
+// The table signatures use only unversioned types (ChildView lives in plain
+// plk::kernel), so every backend's spec functions share them. Entries are
+// the *_spec dispatchers: tip-table fallback rules are per-backend and
+// identical everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/kernels/generic.hpp"
+
+namespace plk::kernel {
+
+/// Function-pointer table for one SIMD backend's specialized kernels,
+/// instantiated for both supported state counts.
+struct KernelTable {
+  const char* name = "none";
+  int lanes = 0;
+
+  using NewviewFn = void (*)(std::size_t, std::size_t, std::size_t, int,
+                             const ChildView&, const ChildView&,
+                             const double*, const double*, const double*,
+                             const double*, double*, std::int32_t*);
+  using EvaluateFn = double (*)(std::size_t, std::size_t, std::size_t, int,
+                                const ChildView&, const ChildView&,
+                                const double*, const double*, const double*,
+                                const double*);
+  using EvaluateSitesFn = void (*)(std::size_t, std::size_t, std::size_t, int,
+                                   const ChildView&, const ChildView&,
+                                   const double*, const double*,
+                                   const double*, double*);
+  using SumtableFn = void (*)(std::size_t, std::size_t, std::size_t, int,
+                              const ChildView&, const ChildView&,
+                              const double*, const double*, double*);
+  using NrFn = void (*)(std::size_t, std::size_t, std::size_t, int,
+                        const double*, const double*, const double*,
+                        const double*, double*, double*);
+
+  NewviewFn newview4 = nullptr;
+  NewviewFn newview20 = nullptr;
+  EvaluateFn evaluate4 = nullptr;
+  EvaluateFn evaluate20 = nullptr;
+  EvaluateSitesFn evaluate_sites4 = nullptr;
+  EvaluateSitesFn evaluate_sites20 = nullptr;
+  SumtableFn sumtable4 = nullptr;
+  SumtableFn sumtable20 = nullptr;
+  NrFn nr4 = nullptr;
+  NrFn nr20 = nullptr;
+
+  template <int S>
+  NewviewFn newview() const {
+    static_assert(S == 4 || S == 20);
+    return S == 4 ? newview4 : newview20;
+  }
+  template <int S>
+  EvaluateFn evaluate() const {
+    static_assert(S == 4 || S == 20);
+    return S == 4 ? evaluate4 : evaluate20;
+  }
+  template <int S>
+  EvaluateSitesFn evaluate_sites() const {
+    static_assert(S == 4 || S == 20);
+    return S == 4 ? evaluate_sites4 : evaluate_sites20;
+  }
+  template <int S>
+  SumtableFn sumtable() const {
+    static_assert(S == 4 || S == 20);
+    return S == 4 ? sumtable4 : sumtable20;
+  }
+  template <int S>
+  NrFn nr() const {
+    static_assert(S == 4 || S == 20);
+    return S == 4 ? nr4 : nr20;
+  }
+};
+
+/// The table selected for this process (PLK_FORCE_SIMD override, else the
+/// best backend this CPU supports). Stable after the first call.
+const KernelTable& active_kernels();
+
+/// Table for a named backend, or nullptr when it is not compiled into this
+/// binary or the CPU lacks the instruction set. Names as in PLK_FORCE_SIMD.
+const KernelTable* find_backend(std::string_view name);
+
+/// Every backend usable on this machine, best (widest) first. Always
+/// non-empty: scalar is compiled in unconditionally.
+std::vector<const KernelTable*> available_backends();
+
+/// One-line human-readable description of the active selection, e.g.
+/// "avx512 (auto, 8 lanes)" or "scalar (PLK_FORCE_SIMD)", including a note
+/// when a forced backend was unavailable. For startup logging.
+std::string describe_active_backend();
+
+}  // namespace plk::kernel

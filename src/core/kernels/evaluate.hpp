@@ -6,12 +6,26 @@
 // (freqs[a] * lu[a] * inner[a]), so a tip there just loads its indicator
 // row — no table needed. Stationary frequencies are hoisted into registers
 // before the pattern loop.
+//
+// The S=4 path evaluates TWO patterns per iteration: the per-site
+// accumulation is a short serial FMA chain whose horizontal reduce_add
+// dominates at four states, so pairing patterns (i, i+step) amortizes that
+// latency over two independent accumulators and shares the transition-matrix
+// column loads. Each pattern's site value is computed with exactly the
+// single-pattern operation sequence, and the weighted log-likelihood
+// left-fold still adds sites in ascending span order, so results are
+// bit-identical to the single-pattern path.
+//
+// Not compiled for the AVX-512 backend (dedicated layouts in avx512.hpp).
 #pragma once
 
 #include "core/kernels/common.hpp"
 #include "core/kernels/generic.hpp"
 
+#if !defined(PLK_SIMD_AVX512)
+
 namespace plk::kernel {
+PLK_SIMD_NS_BEGIN
 
 namespace detail {
 
@@ -45,6 +59,53 @@ inline double eval_site(std::size_t i, int cats, std::size_t stride,
   return simd::reduce_add(acc);
 }
 
+/// Two-pattern site likelihoods (S=4 path; see file comment). Patterns i0
+/// and i1 run through the category loop with independent accumulators.
+template <int S, bool TipU, bool TipV>
+inline void eval_site2(std::size_t i0, std::size_t i1, int cats,
+                       std::size_t stride, const ChildView& cu,
+                       const ChildView& cv, const double* pt,
+                       const simd::Vec (&fr)[kBlocks<S>], double* site0,
+                       double* site1) {
+  constexpr int W = simd::kLanes;
+  constexpr int B = kBlocks<S>;
+  const double* lu0 =
+      TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i0]) * S
+           : cu.clv + i0 * stride;
+  const double* lu1 =
+      TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i1]) * S
+           : cu.clv + i1 * stride;
+  const double* lv0 =
+      TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i0]) * stride
+           : cv.clv + i0 * stride;
+  const double* lv1 =
+      TipV ? cv.tip_table + static_cast<std::size_t>(cv.codes[i1]) * stride
+           : cv.clv + i1 * stride;
+  simd::Vec acc0 = simd::zero(), acc1 = simd::zero();
+  for (int c = 0; c < cats; ++c) {
+    const std::size_t coff = static_cast<std::size_t>(c) * S;
+    const double* luc0 = TipU ? lu0 : lu0 + coff;
+    const double* luc1 = TipU ? lu1 : lu1 + coff;
+    simd::Vec inner0[B], inner1[B];
+    if constexpr (TipV) {
+      for (int b = 0; b < B; ++b) {
+        inner0[b] = simd::load(lv0 + coff + b * W);
+        inner1[b] = simd::load(lv1 + coff + b * W);
+      }
+    } else {
+      matvec_t2<S>(pt + coff * S, lv0 + coff, lv1 + coff, inner0, inner1);
+    }
+    for (int b = 0; b < B; ++b) {
+      acc0 = simd::fma(simd::mul(fr[b], simd::load(luc0 + b * W)), inner0[b],
+                       acc0);
+      acc1 = simd::fma(simd::mul(fr[b], simd::load(luc1 + b * W)), inner1[b],
+                       acc1);
+    }
+  }
+  *site0 = simd::reduce_add(acc0);
+  *site1 = simd::reduce_add(acc1);
+}
+
 template <int S, bool TipU, bool TipV>
 double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
                      int cats, const ChildView& cu, const ChildView& cv,
@@ -57,7 +118,26 @@ double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
   for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
 
   double lnl = 0.0;
-  for (std::size_t i = begin; i < end; i += step) {
+  std::size_t i = begin;
+  if constexpr (S == 4) {
+    for (; i < end && i + step < end; i += 2 * step) {
+      const std::size_t i1 = i + step;
+      double s0, s1;
+      eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0,
+                                &s1);
+      const double site0 = s0 * inv_cats;
+      const double site1 = s1 * inv_cats;
+      const double g0 = site0 > 1e-300 ? site0 : 1e-300;
+      const double g1 = site1 > 1e-300 ? site1 : 1e-300;
+      lnl += weights[i] *
+             (std::log(g0) -
+              static_cast<double>(child_scale(cu, cv, i)) * kLogScale);
+      lnl += weights[i1] *
+             (std::log(g1) -
+              static_cast<double>(child_scale(cu, cv, i1)) * kLogScale);
+    }
+  }
+  for (; i < end; i += step) {
     const double site =
         eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
@@ -78,7 +158,24 @@ void evaluate_sites_core(std::size_t begin, std::size_t end, std::size_t step,
   simd::Vec fr[kBlocks<S>];
   for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
 
-  for (std::size_t i = begin; i < end; i += step) {
+  std::size_t i = begin;
+  if constexpr (S == 4) {
+    for (; i < end && i + step < end; i += 2 * step) {
+      const std::size_t i1 = i + step;
+      double s0, s1;
+      eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0,
+                                &s1);
+      const double site0 = s0 * inv_cats;
+      const double site1 = s1 * inv_cats;
+      const double g0 = site0 > 1e-300 ? site0 : 1e-300;
+      const double g1 = site1 > 1e-300 ? site1 : 1e-300;
+      out[i] = std::log(g0) -
+               static_cast<double>(child_scale(cu, cv, i)) * kLogScale;
+      out[i1] = std::log(g1) -
+                static_cast<double>(child_scale(cu, cv, i1)) * kLogScale;
+    }
+  }
+  for (; i < end; i += step) {
     const double site =
         eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
@@ -139,4 +236,7 @@ void evaluate_sites_spec(std::size_t begin, std::size_t end, std::size_t step,
                                                  cv, pt, freqs, out);
 }
 
+PLK_SIMD_NS_END
 }  // namespace plk::kernel
+
+#endif  // !PLK_SIMD_AVX512

@@ -10,16 +10,34 @@
 //     the transition matrix was last updated. In the tip/tip case the inner
 //     loop is just two loads, a multiply, and a max.
 //
+// The S=4 path processes TWO patterns per iteration: at four states a
+// matrix-vector product is a serial chain of four FMAs, so a single pattern
+// leaves the FMA pipes mostly idle (latency-bound, not throughput-bound).
+// Pairing patterns (i, i+step) interleaves four independent accumulator
+// chains per category and shares each transition-matrix column load between
+// both patterns, which also keeps the two children's CLV tiles for the whole
+// categories x 2-patterns block resident in registers/L1. Per-pattern
+// arithmetic order is unchanged, so results are bit-identical to the
+// single-pattern path. An odd trailing pattern falls through to the
+// single-pattern core.
+//
 // The transition matrices arrive *transposed* ([cat][j][a], see
 // kernel::transpose_pmats); the row-major originals are also taken so the
 // dispatcher can fall back to the generic reference kernel when a tip child
 // has no lookup table.
+//
+// Not compiled for the AVX-512 backend (8 lanes does not divide S=4/20);
+// see avx512.hpp for its dedicated layouts.
 #pragma once
+
 
 #include "core/kernels/common.hpp"
 #include "core/kernels/generic.hpp"
 
+#if !defined(PLK_SIMD_AVX512)
+
 namespace plk::kernel {
+PLK_SIMD_NS_BEGIN
 
 namespace detail {
 
@@ -78,6 +96,130 @@ void newview_core(std::size_t begin, std::size_t end, std::size_t step,
   }
 }
 
+/// Two-pattern newview core (S=4 path; see file comment). Patterns i and
+/// i+step run in lockstep through the category loop with independent
+/// accumulators; the scale decision stays strictly per-pattern.
+///
+/// FixedCats > 0 pins the category count at compile time so the CLV stride
+/// becomes a constant (shift-and-add addressing, fully unrolled category
+/// loop). The dispatcher routes the ubiquitous cats==4 case here; measured
+/// ~15% per-pattern on the inner/inner DNA case versus the runtime-cats
+/// instantiation. Arithmetic is identical — only address computation and
+/// loop control change — so results stay bitwise equal.
+template <int S, bool Tip1, bool Tip2, int FixedCats = 0>
+void newview_core2(std::size_t begin, std::size_t end, std::size_t step,
+                   int cats_arg, const ChildView& c1, const ChildView& c2,
+                   const double* p1t, const double* p2t, double* out,
+                   std::int32_t* out_scale) {
+  constexpr int W = simd::kLanes;
+  constexpr int B = kBlocks<S>;
+  const int cats = FixedCats > 0 ? FixedCats : cats_arg;
+  const std::size_t stride = static_cast<std::size_t>(cats) * S;
+  std::size_t i = begin;
+  for (; i < end && i + step < end; i += 2 * step) {
+    const std::size_t i1 = i + step;
+    double* o0 = out + i * stride;
+    double* o1 = out + i1 * stride;
+    const double* l1a =
+        Tip1 ? c1.tip_table + static_cast<std::size_t>(c1.codes[i]) * stride
+             : c1.clv + i * stride;
+    const double* l1b =
+        Tip1 ? c1.tip_table + static_cast<std::size_t>(c1.codes[i1]) * stride
+             : c1.clv + i1 * stride;
+    const double* l2a =
+        Tip2 ? c2.tip_table + static_cast<std::size_t>(c2.codes[i]) * stride
+             : c2.clv + i * stride;
+    const double* l2b =
+        Tip2 ? c2.tip_table + static_cast<std::size_t>(c2.codes[i1]) * stride
+             : c2.clv + i1 * stride;
+
+    simd::Vec vmx0 = simd::zero(), vmx1 = simd::zero();
+    for (int c = 0; c < cats; ++c) {
+      const std::size_t coff = static_cast<std::size_t>(c) * S;
+      simd::Vec s1a[B], s1b[B], s2a[B], s2b[B];
+      if constexpr (Tip1) {
+        for (int b = 0; b < B; ++b) {
+          s1a[b] = simd::load(l1a + coff + b * W);
+          s1b[b] = simd::load(l1b + coff + b * W);
+        }
+      } else {
+        matvec_t2<S>(p1t + coff * S, l1a + coff, l1b + coff, s1a, s1b);
+      }
+      if constexpr (Tip2) {
+        for (int b = 0; b < B; ++b) {
+          s2a[b] = simd::load(l2a + coff + b * W);
+          s2b[b] = simd::load(l2b + coff + b * W);
+        }
+      } else {
+        matvec_t2<S>(p2t + coff * S, l2a + coff, l2b + coff, s2a, s2b);
+      }
+      for (int b = 0; b < B; ++b) {
+        const simd::Vec v0 = simd::mul(s1a[b], s2a[b]);
+        const simd::Vec v1 = simd::mul(s1b[b], s2b[b]);
+        simd::store(o0 + coff + b * W, v0);
+        simd::store(o1 + coff + b * W, v1);
+        vmx0 = simd::max(vmx0, v0);
+        vmx1 = simd::max(vmx1, v1);
+      }
+    }
+
+    std::int32_t cnt0 = child_scale(c1, c2, i);
+    const double mx0 = simd::reduce_max(vmx0);
+    if (mx0 < kScaleThreshold && mx0 > 0.0) {
+      const simd::Vec f = simd::set1(kScaleFactor);
+      for (std::size_t k = 0; k < stride; k += W)
+        simd::store(o0 + k, simd::mul(simd::load(o0 + k), f));
+      ++cnt0;
+    }
+    out_scale[i] = cnt0;
+
+    std::int32_t cnt1 = child_scale(c1, c2, i1);
+    const double mx1 = simd::reduce_max(vmx1);
+    if (mx1 < kScaleThreshold && mx1 > 0.0) {
+      const simd::Vec f = simd::set1(kScaleFactor);
+      for (std::size_t k = 0; k < stride; k += W)
+        simd::store(o1 + k, simd::mul(simd::load(o1 + k), f));
+      ++cnt1;
+    }
+    out_scale[i1] = cnt1;
+  }
+  if (i < end)  // odd trailing pattern
+    newview_core<S, Tip1, Tip2>(i, end, step, cats, c1, c2, p1t, p2t, out,
+                                out_scale);
+}
+
+// NOTE on cache blocking (measured, see src/core/kernels/README.md): a
+// pattern-SoA tiled variant of the inner/inner DNA case — category loop
+// hoisted outside an L1-sized tile of 32 patterns, 4x4 transposes turning
+// lanes into patterns — was implemented and benchmarked against
+// newview_core2 at -O3 with the backend TU's exact flags. core2 won at
+// every working-set size (12.6 vs 13.3 ns/pattern cache-resident, 17.1 vs
+// 20.6 streaming): the pattern-major CLV layout already makes newview a
+// single sequential pass that touches each byte exactly once, so there is
+// no temporal reuse for a tile to exploit, and the three transposes per
+// quad are pure overhead on top of FMA chains the OoO core already
+// overlaps across the two patterns. The SoA variant was therefore removed;
+// the two-pattern AoS core below is the fast path.
+
+template <int S, bool Tip1, bool Tip2>
+inline void newview_dispatch_core(std::size_t begin, std::size_t end,
+                                  std::size_t step, int cats,
+                                  const ChildView& c1, const ChildView& c2,
+                                  const double* p1t, const double* p2t,
+                                  double* out, std::int32_t* out_scale) {
+  if constexpr (S == 4) {
+    if (cats == 4)  // the common engine configuration: constant-fold stride
+      newview_core2<S, Tip1, Tip2, 4>(begin, end, step, cats, c1, c2, p1t,
+                                      p2t, out, out_scale);
+    else
+      newview_core2<S, Tip1, Tip2>(begin, end, step, cats, c1, c2, p1t, p2t,
+                                   out, out_scale);
+  } else {
+    newview_core<S, Tip1, Tip2>(begin, end, step, cats, c1, c2, p1t, p2t, out,
+                                out_scale);
+  }
+}
+
 }  // namespace detail
 
 /// Dispatch newview to the tip-case specialization. `p1`/`p2` are the
@@ -95,17 +237,23 @@ void newview_spec(std::size_t begin, std::size_t end, std::size_t step,
     return;
   }
   if (t1 && t2)
-    detail::newview_core<S, true, true>(begin, end, step, cats, c1, c2, p1t,
-                                        p2t, out, out_scale);
+    detail::newview_dispatch_core<S, true, true>(begin, end, step, cats, c1,
+                                                 c2, p1t, p2t, out, out_scale);
   else if (t1)
-    detail::newview_core<S, true, false>(begin, end, step, cats, c1, c2, p1t,
-                                         p2t, out, out_scale);
+    detail::newview_dispatch_core<S, true, false>(begin, end, step, cats, c1,
+                                                  c2, p1t, p2t, out,
+                                                  out_scale);
   else if (t2)
-    detail::newview_core<S, false, true>(begin, end, step, cats, c1, c2, p1t,
-                                         p2t, out, out_scale);
+    detail::newview_dispatch_core<S, false, true>(begin, end, step, cats, c1,
+                                                  c2, p1t, p2t, out,
+                                                  out_scale);
   else
-    detail::newview_core<S, false, false>(begin, end, step, cats, c1, c2, p1t,
-                                          p2t, out, out_scale);
+    detail::newview_dispatch_core<S, false, false>(begin, end, step, cats, c1,
+                                                   c2, p1t, p2t, out,
+                                                   out_scale);
 }
 
+PLK_SIMD_NS_END
 }  // namespace plk::kernel
+
+#endif  // !PLK_SIMD_AVX512

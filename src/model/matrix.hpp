@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace plk {
 
 /// Row-major square matrix of doubles.
@@ -37,16 +39,28 @@ class Matrix {
     return m;
   }
 
-  /// Matrix product (this * rhs); sizes must match.
+  /// Matrix product (this * rhs); sizes must match. The row-accumulation
+  /// (i-k-j) order vectorizes over j with unit-stride rows while keeping the
+  /// per-entry summation in ascending k, and structural zeros in `this`
+  /// still skip their whole row pass.
   Matrix multiply(const Matrix& rhs) const {
     if (rhs.n_ != n_) throw std::invalid_argument("matrix size mismatch");
+    constexpr std::size_t W = simd::kLanes;
     Matrix out(n_);
-    for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t i = 0; i < n_; ++i) {
+      double* o = out.row(i);
       for (std::size_t k = 0; k < n_; ++k) {
         const double a = (*this)(i, k);
         if (a == 0.0) continue;
-        for (std::size_t j = 0; j < n_; ++j) out(i, j) += a * rhs(k, j);
+        const double* r = rhs.row(k);
+        const simd::Vec av = simd::set1(a);
+        std::size_t j = 0;
+        for (; j + W <= n_; j += W)
+          simd::store(o + j, simd::fma(av, simd::load(r + j),
+                                       simd::load(o + j)));
+        for (; j < n_; ++j) o[j] += a * r[j];
       }
+    }
     return out;
   }
 

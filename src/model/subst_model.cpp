@@ -130,15 +130,32 @@ void SubstModel::transition_matrix(double t, Matrix& out) const {
   const std::size_t s = static_cast<std::size_t>(states_);
   t = std::clamp(t, kBranchMin, kBranchMax);
   if (out.size() != s) out = Matrix(s);
+  // Row i of P(t) is sum_k [left(i,k) exp(lambda_k t)] * right-row-k: with
+  // the per-row weights hoisted, the j loop runs vectorized over unit-stride
+  // rows of right_ while each entry still accumulates k in ascending order
+  // (the same association as the old scalar i-j-k loop, up to FMA rounding).
+  // Pmat builds sit on the parallel pre-stage critical path (one call per
+  // category per PmatTask), which is why this is not a naive triple loop.
+  constexpr std::size_t W = simd::kLanes;
   double expl[32];
+  double w[32];
   for (std::size_t k = 0; k < s; ++k)
     expl[k] = std::exp(eigenvalues_[k] * t);
   for (std::size_t i = 0; i < s; ++i) {
-    for (std::size_t j = 0; j < s; ++j) {
-      double p = 0.0;
+    double* o = out.row(i);
+    for (std::size_t k = 0; k < s; ++k) w[k] = left_(i, k) * expl[k];
+    std::size_t j = 0;
+    for (; j + W <= s; j += W) {
+      simd::Vec acc = simd::zero();
       for (std::size_t k = 0; k < s; ++k)
-        p += left_(i, k) * expl[k] * right_(k, j);
-      out(i, j) = p > 0.0 ? p : 0.0;  // clamp round-off negatives
+        acc = simd::fma(simd::set1(w[k]), simd::load(right_.row(k) + j), acc);
+      // clamp round-off negatives (and -0.0) to +0.0
+      simd::store(o + j, simd::max(acc, simd::zero()));
+    }
+    for (; j < s; ++j) {
+      double p = 0.0;
+      for (std::size_t k = 0; k < s; ++k) p += w[k] * right_(k, j);
+      o[j] = p > 0.0 ? p : 0.0;
     }
   }
 }

@@ -67,6 +67,12 @@ class SubstModel {
   /// yields symmetric coordinate k: A(k, i) = sqrt(pi_i) * V(i, k).
   const Matrix& sym_transform() const { return sym_; }
 
+  /// Eigendecomposition factors of Q: P(t) = eigen_left * diag(exp(lambda t))
+  /// * eigen_right. Exposed for benches/tests that need a reference P(t)
+  /// build independent of transition_matrix()'s loop structure.
+  const Matrix& eigen_left() const { return left_; }
+  const Matrix& eigen_right() const { return right_; }
+
   /// Bounds for exchangeability optimization (RAxML's RATE_MIN/RATE_MAX).
   static constexpr double kRateMin = 1e-4;
   static constexpr double kRateMax = 1e6;

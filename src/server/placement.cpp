@@ -284,27 +284,36 @@ void PlacementEngine::stage_lane(Lane& lane, std::vector<WaveItem>& sink) {
 }
 
 void PlacementEngine::harvest_lane(Lane& lane) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < lane.cand_edges.size(); ++i) {
-    if (lane.cand_lnl[i] > lane.cand_lnl[best] ||
-        (lane.cand_lnl[i] == lane.cand_lnl[best] &&
-         lane.cand_edges[i] < lane.cand_edges[best]))
-      best = i;
+  if (lane.cand_edges.empty()) {
+    fail_lane(lane, "no candidate edges for query");
+    return;
   }
-  PlacementResult r;
-  r.ok = true;
-  r.edge = lane.cand_edges[best];
-  r.lnl = lane.cand_lnl[best];
-  r.candidates = static_cast<int>(lane.cand_edges.size());
   // Harvested layout: [carried, target, prune] x partitions; the pendant
   // (prune) lengths are the trailing block.
-  const std::vector<double>& lens = lane.cand_lens[best];
-  if (!lens.empty() && lens.size() % 3 == 0) {
+  auto pendant_of = [&](std::size_t i) {
+    const std::vector<double>& lens = lane.cand_lens[i];
+    if (lens.empty() || lens.size() % 3 != 0) return 0.0;
     const std::size_t np = lens.size() / 3;
     double sum = 0;
     for (std::size_t p = 0; p < np; ++p) sum += lens[2 * np + p];
-    r.pendant_length = sum / static_cast<double>(np);
-  }
+    return sum / static_cast<double>(np);
+  };
+  PlacementResult r;
+  r.ok = true;
+  r.candidates = static_cast<int>(lane.cand_edges.size());
+  r.ranked.resize(lane.cand_edges.size());
+  for (std::size_t i = 0; i < lane.cand_edges.size(); ++i)
+    r.ranked[i] = {lane.cand_edges[i], lane.cand_lnl[i], pendant_of(i)};
+  // Best first; edge ids are distinct within a shortlist, so the lnL-then-
+  // edge order is total and the sort deterministic. ranked[0] reproduces the
+  // old single-best selection (max lnL, lowest edge id on ties) exactly.
+  std::sort(r.ranked.begin(), r.ranked.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              return a.lnl > b.lnl || (a.lnl == b.lnl && a.edge < b.edge);
+            });
+  r.edge = r.ranked[0].edge;
+  r.lnl = r.ranked[0].lnl;
+  r.pendant_length = r.ranked[0].pendant_length;
   ready_.emplace_back(lane.ticket, std::move(r));
   ++stats_.placed;
   lane.busy = false;

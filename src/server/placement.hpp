@@ -105,6 +105,13 @@ struct PlacementStats {
   std::uint64_t wave_lanes = 0;  ///< lane participations across all waves
 };
 
+/// One scored candidate, as harvested from a lane.
+struct RankedCandidate {
+  EdgeId edge = kNoId;
+  double lnl = 0.0;
+  double pendant_length = 0.0;  ///< optimized pendant length (partition mean)
+};
+
 /// One placement outcome.
 struct PlacementResult {
   bool ok = false;
@@ -113,6 +120,10 @@ struct PlacementResult {
   double lnl = 0.0;           ///< candidate lnL at that edge
   double pendant_length = 0;  ///< optimized pendant length (partition mean)
   int candidates = 0;         ///< candidates actually scored
+  /// Every scored candidate, best first (lnL descending, edge id ascending
+  /// on ties); ranked[0] mirrors (edge, lnl, pendant_length). Lets the
+  /// server answer "rank": k requests without re-scoring.
+  std::vector<RankedCandidate> ranked;
 };
 
 /// The placement service engine. Construction builds the core (reference +

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -348,6 +349,8 @@ void PlkServer::handle_line(Session& s, const std::string& text,
       info.request_id = *id;
       info.has_id = true;
     }
+    if (const std::optional<double> rank = req->get_number("rank"))
+      info.rank = std::clamp(static_cast<int>(*rank), 0, 1024);
     info.start = std::chrono::steady_clock::now();
     tickets_.emplace(ticket, std::move(info));
     ++s.inflight;
@@ -398,6 +401,20 @@ void PlkServer::deliver_results() {
       m.set_number("lnl", result.lnl);
       m.set_number("pendant", result.pendant_length);
       m.set_number("candidates", result.candidates);
+      if (info.rank > 0) {
+        // Flat single-level wire format: candidate i becomes edge<i>/
+        // lnl<i>/pendant<i>, best first; "rank" echoes how many came back.
+        const std::size_t k =
+            std::min(result.ranked.size(), static_cast<std::size_t>(info.rank));
+        m.set_number("rank", static_cast<double>(k));
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::string suffix = std::to_string(i);
+          m.set_number("edge" + suffix,
+                       static_cast<double>(result.ranked[i].edge));
+          m.set_number("lnl" + suffix, result.ranked[i].lnl);
+          m.set_number("pendant" + suffix, result.ranked[i].pendant_length);
+        }
+      }
     } else {
       m.set("error", result.error);
     }

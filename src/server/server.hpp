@@ -73,6 +73,8 @@ class PlkServer {
     std::uint64_t session_id = 0;
     std::string request_id;
     bool has_id = false;
+    /// Top-k candidates requested via the optional "rank" field (0 = none).
+    int rank = 0;
     std::chrono::steady_clock::time_point start;
   };
 

@@ -5,11 +5,34 @@
 // or plain scalar (1 double) as the universal fallback. The kernels in
 // src/core/kernels/ are written once against this 4/2/1-lane-agnostic API
 // and vectorize over the state dimension; both supported state counts
-// (S=4 DNA, S=20 protein) are multiples of every backend's lane count, so
-// no remainder loops or padding are needed anywhere.
+// (S=4 DNA, S=20 protein) are multiples of those backends' lane counts, so
+// no remainder loops or padding are needed there.
 //
-// Defining PLK_SIMD_FORCE_SCALAR picks the scalar backend regardless of the
-// target ISA — used by the golden-value tests to cross-check backends.
+// An AVX-512 backend (8 doubles/vector) also exists but is NEVER selected
+// from the ambient ISA macros, even when the compiler targets it (e.g. under
+// -march=native on an AVX-512 host): at 8 lanes neither state count is a
+// lane multiple, so the width-agnostic kernels do not apply and AVX-512 uses
+// dedicated kernels (core/kernels/avx512.hpp) with a 2-patterns-per-vector
+// layout for S=4 and 20-padded-to-24 masked blocks for S=20. It is reached
+// only through its force macro, from the runtime-dispatch backend TU
+// (core/kernels/backend_avx512.cpp).
+//
+// Force macros (compile-time backend pinning, highest priority first):
+//   PLK_SIMD_FORCE_SCALAR   scalar regardless of ISA (golden cross-checks)
+//   PLK_SIMD_FORCE_AVX512   AVX-512 (requires -mavx512f -mavx512dq)
+//   PLK_SIMD_FORCE_AVX2     AVX2    (requires -mavx2, FMA used if enabled)
+//   PLK_SIMD_FORCE_SSE2     SSE2    (x86-64 baseline)
+// The runtime dispatcher (core/kernels/dispatch.hpp) compiles one TU per
+// backend with these macros and selects a kernel table at startup from CPUID
+// and the PLK_FORCE_SIMD environment override.
+//
+// Everything backend-dependent lives inside an *inline namespace* named
+// after the backend (PLK_SIMD_NS). SIMD-dependent kernel headers wrap their
+// contents in PLK_SIMD_NS_BEGIN/END so that template instantiations made
+// under different force macros get distinct mangled names — multiple backend
+// TUs can then coexist in one binary without ODR collisions, while ordinary
+// `plk::simd::` / `plk::kernel::` qualified names keep resolving through the
+// inline namespace.
 //
 // All loads/stores use the unaligned forms: the engine allocates CLVs and
 // tip tables 64-byte aligned (util/aligned.hpp) so they decode to aligned
@@ -19,8 +42,18 @@
 
 #include <cstddef>
 
-#if !defined(PLK_SIMD_FORCE_SCALAR)
-#if defined(__AVX2__)
+#if defined(PLK_SIMD_FORCE_SCALAR)
+// scalar: no ISA headers needed
+#elif defined(PLK_SIMD_FORCE_AVX512)
+#define PLK_SIMD_AVX512 1
+#include <immintrin.h>
+#elif defined(PLK_SIMD_FORCE_AVX2)
+#define PLK_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(PLK_SIMD_FORCE_SSE2)
+#define PLK_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__AVX2__)
 #define PLK_SIMD_AVX2 1
 #include <immintrin.h>
 #elif defined(__SSE2__) || defined(_M_X64) || \
@@ -31,11 +64,65 @@
 #define PLK_SIMD_NEON 1
 #include <arm_neon.h>
 #endif
-#endif  // !PLK_SIMD_FORCE_SCALAR
 
-namespace plk::simd {
+#if defined(PLK_SIMD_AVX512)
+#define PLK_SIMD_NS v_avx512
+#elif defined(PLK_SIMD_AVX2)
+#define PLK_SIMD_NS v_avx2
+#elif defined(PLK_SIMD_SSE2)
+#define PLK_SIMD_NS v_sse2
+#elif defined(PLK_SIMD_NEON)
+#define PLK_SIMD_NS v_neon
+#else
+#define PLK_SIMD_NS v_scalar
+#endif
 
-#if defined(PLK_SIMD_AVX2)
+#define PLK_SIMD_NS_BEGIN inline namespace PLK_SIMD_NS {
+#define PLK_SIMD_NS_END }
+
+namespace plk {
+namespace simd {
+PLK_SIMD_NS_BEGIN
+
+#if defined(PLK_SIMD_AVX512)
+
+inline constexpr int kLanes = 8;
+inline constexpr const char* kBackend = "avx512";
+
+struct Vec {
+  __m512d v;
+};
+
+inline Vec load(const double* p) { return {_mm512_loadu_pd(p)}; }
+inline void store(double* p, Vec a) { _mm512_storeu_pd(p, a.v); }
+inline Vec set1(double x) { return {_mm512_set1_pd(x)}; }
+inline Vec zero() { return {_mm512_setzero_pd()}; }
+inline Vec add(Vec a, Vec b) { return {_mm512_add_pd(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {_mm512_sub_pd(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {_mm512_mul_pd(a.v, b.v)}; }
+inline Vec max(Vec a, Vec b) { return {_mm512_max_pd(a.v, b.v)}; }
+
+/// a * b + c. VFMADD...PD on zmm registers is part of AVX512F itself.
+inline Vec fma(Vec a, Vec b, Vec c) {
+  return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+}
+
+inline double reduce_add(Vec a) { return _mm512_reduce_add_pd(a.v); }
+inline double reduce_max(Vec a) { return _mm512_reduce_max_pd(a.v); }
+
+/// Masked forms for the S=20 pad-to-24 layout: the protein state vector is
+/// two full 8-lane blocks plus a 4-lane tail accessed through lane mask
+/// 0b1111. maskz_load zero-fills the upper lanes (additive identities), so
+/// tail blocks flow through the same add/mul/fma pipeline as full blocks
+/// without ever touching memory past the 20th state.
+inline Vec maskz_load(unsigned char m, const double* p) {
+  return {_mm512_maskz_loadu_pd(static_cast<__mmask8>(m), p)};
+}
+inline void mask_store(double* p, unsigned char m, Vec a) {
+  _mm512_mask_storeu_pd(p, static_cast<__mmask8>(m), a.v);
+}
+
+#elif defined(PLK_SIMD_AVX2)
 
 inline constexpr int kLanes = 4;
 inline constexpr const char* kBackend = "avx2";
@@ -152,4 +239,6 @@ inline double reduce_max(Vec a) { return a.v; }
 
 #endif
 
-}  // namespace plk::simd
+PLK_SIMD_NS_END
+}  // namespace simd
+}  // namespace plk

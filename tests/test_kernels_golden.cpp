@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/kernels/dispatch.hpp"
 #include "core/kernels/rig.hpp"
 #include "plk.hpp"
 #include "util/simd.hpp"
@@ -282,11 +283,161 @@ TEST(GoldenKernels, EngineGenericVsSpecializedProteinMixed) {
   check_engine_ab(make_realworld_like(8, 2, 80, 120, 0.1, true, 13));
 }
 
+// --- runtime-dispatched backends --------------------------------------------
+//
+// Every backend table the build carries AND the host CPU supports, through
+// the same generic-reference contract as the ambient-backend tests above —
+// with pattern counts chosen so no backend's vector width divides them
+// cleanly: counts below the widest lane count (8), odd counts, and counts
+// where patterns % (2*lanes) != 0 for the two-pattern DNA paths. The
+// dispatcher skips AVX-512 on hosts without it, so this compiles everywhere
+// and runs what the CPU can.
+
+/// One full kernel pass (newview + evaluate + sites + sumtable + nr) through
+/// a backend table at `n` patterns, against the generic reference slices.
+template <int S>
+void check_backend_table(const kernel::KernelTable& kt, std::size_t n,
+                         int cats, char k1, char k2, bool tiny, int T) {
+  kernel::KernelRig<S> r(n, cats, tiny);
+  const kernel::ChildView c1 = r.child(1, k1);
+  const kernel::ChildView c2 = r.child(2, k2);
+
+  std::vector<double> want(n * r.stride, -1.0), got(n * r.stride, -2.0);
+  std::vector<std::int32_t> want_sc(n, -1), got_sc(n, -2);
+  kernel::newview_slice<S>(0, n, 1, cats, c1, c2, r.p1.data(), r.p2.data(),
+                           want.data(), want_sc.data());
+  for (int tid = 0; tid < T; ++tid)
+    kt.newview<S>()(tid, n, T, cats, c1, c2, r.p1.data(), r.p2.data(),
+                    r.p1t.data(), r.p2t.data(), got.data(), got_sc.data());
+  EXPECT_EQ(got_sc, want_sc) << "scale counts must be bit-compatible";
+  const double nv_scale = max_abs(want);
+  for (std::size_t k = 0; k < want.size(); ++k)
+    expect_rel(got[k], want[k], 1e-12, nv_scale, "newview CLV entry");
+
+  const double want_lnl =
+      kernel::evaluate_slice<S>(0, n, 1, cats, c1, c2, r.p2.data(),
+                                r.freqs.data(), r.weights.data());
+  double got_lnl = 0.0;
+  for (int tid = 0; tid < T; ++tid)
+    got_lnl += kt.evaluate<S>()(tid, n, T, cats, c1, c2, r.p2.data(),
+                                r.p2t.data(), r.freqs.data(),
+                                r.weights.data());
+  expect_rel(got_lnl, want_lnl, 1e-12, 1.0, "evaluate lnL");
+
+  std::vector<double> want_sites(n, -1.0), got_sites(n, -2.0);
+  kernel::evaluate_sites_slice<S>(0, n, 1, cats, c1, c2, r.p2.data(),
+                                  r.freqs.data(), want_sites.data());
+  for (int tid = 0; tid < T; ++tid)
+    kt.evaluate_sites<S>()(tid, n, T, cats, c1, c2, r.p2.data(), r.p2t.data(),
+                           r.freqs.data(), got_sites.data());
+  for (std::size_t i = 0; i < n; ++i)
+    expect_rel(got_sites[i], want_sites[i], 1e-12, 1.0, "per-site lnL");
+
+  // Sumtable + NR want sym tip tables on tip children.
+  const kernel::ChildView su = k1 == 't' ? r.tip_sym() : r.inner1();
+  const kernel::ChildView sv = k2 == 't' ? r.tip_sym() : r.inner2();
+  std::vector<double> want_st(n * r.stride, -1.0), got_st(n * r.stride, -2.0);
+  kernel::sumtable_slice<S>(0, n, 1, cats, su, sv, r.sym.data(),
+                            want_st.data());
+  for (int tid = 0; tid < T; ++tid)
+    kt.sumtable<S>()(tid, n, T, cats, su, sv, r.sym.data(), r.symt.data(),
+                     got_st.data());
+  const double st_scale = max_abs(want_st);
+  for (std::size_t k = 0; k < want_st.size(); ++k)
+    expect_rel(got_st[k], want_st[k], 1e-12, st_scale, "sumtable entry");
+
+  double want_d1 = 0.0, want_d2 = 0.0;
+  kernel::nr_slice<S>(0, n, 1, cats, want_st.data(), r.exp_lam.data(),
+                      r.lam.data(), r.weights.data(), &want_d1, &want_d2);
+  double got_d1 = 0.0, got_d2 = 0.0;
+  for (int tid = 0; tid < T; ++tid) {
+    double d1 = 0.0, d2 = 0.0;
+    kt.nr<S>()(tid, n, T, cats, got_st.data(), r.exp_lam.data(), r.lam.data(),
+               r.weights.data(), &d1, &d2);
+    got_d1 += d1;
+    got_d2 += d2;
+  }
+  expect_rel(got_d1, want_d1, 1e-12, 1.0, "NR d1");
+  expect_rel(got_d2, want_d2, 1e-12, 1.0, "NR d2");
+}
+
+// Remainder counts: 1 and 2 are below every vector path's width; 3, 5, 7
+// leave tails for both 4- and 8-lane kernels; 9 and 13 are odd with at least
+// one full 2-pattern (and one 8-lane) block; 41 matches the ambient suite.
+constexpr std::size_t kRemainderCounts[] = {1, 2, 3, 5, 7, 9, 13, 41};
+
+TEST(GoldenKernels, AllBackendsDnaRemainderCounts) {
+  for (const kernel::KernelTable* kt : kernel::available_backends()) {
+    SCOPED_TRACE(kt->name);
+    for (std::size_t n : kRemainderCounts)
+      for (const Case& c : kChildCases)
+        for (int T : {1, 3})
+          check_backend_table<4>(*kt, n, 2, c.k1, c.k2, false, T);
+  }
+}
+
+TEST(GoldenKernels, AllBackendsProteinRemainderCounts) {
+  for (const kernel::KernelTable* kt : kernel::available_backends()) {
+    SCOPED_TRACE(kt->name);
+    for (std::size_t n : kRemainderCounts)
+      for (const Case& c : kChildCases)
+        check_backend_table<20>(*kt, n, 2, c.k1, c.k2, false, 1);
+  }
+}
+
+TEST(GoldenKernels, AllBackendsScalingForced) {
+  for (const kernel::KernelTable* kt : kernel::available_backends()) {
+    SCOPED_TRACE(kt->name);
+    for (std::size_t n : {std::size_t{5}, std::size_t{13}}) {
+      for (const Case& c : kChildCases) {
+        check_backend_table<4>(*kt, n, 4, c.k1, c.k2, true, 2);
+        check_backend_table<20>(*kt, n, 4, c.k1, c.k2, true, 1);
+      }
+    }
+  }
+}
+
+TEST(GoldenKernels, BackendsAgreeOnLnlAcrossLaneCounts) {
+  // Cross-backend contract: the same evaluate over the same buffers must
+  // agree across every available backend to 1e-12 relative (they differ
+  // only in FMA/reduction association).
+  const auto backends = kernel::available_backends();
+  ASSERT_FALSE(backends.empty());
+  for (std::size_t n : kRemainderCounts) {
+    kernel::KernelRig<4> r4(n, 3);
+    kernel::KernelRig<20> r20(n, 3);
+    double base4 = 0.0, base20 = 0.0;
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+      SCOPED_TRACE(backends[b]->name);
+      const double lnl4 = backends[b]->evaluate4(
+          0, n, 1, 3, r4.inner1(), r4.inner2(), r4.p2.data(), r4.p2t.data(),
+          r4.freqs.data(), r4.weights.data());
+      const double lnl20 = backends[b]->evaluate20(
+          0, n, 1, 3, r20.inner1(), r20.inner2(), r20.p2.data(),
+          r20.p2t.data(), r20.freqs.data(), r20.weights.data());
+      if (b == 0) {
+        base4 = lnl4;
+        base20 = lnl20;
+      } else {
+        expect_rel(lnl4, base4, 1e-12, 1.0, "cross-backend DNA lnL");
+        expect_rel(lnl20, base20, 1e-12, 1.0, "cross-backend protein lnL");
+      }
+    }
+  }
+}
+
 TEST(GoldenKernels, SimdBackendReportsLanes) {
-  // Sanity: the selected backend's lane count divides both state counts.
+  // Sanity: the ambient backend's lane count divides both state counts (the
+  // 8-lane AVX-512 kernels are dispatch-only, never the ambient templates).
   EXPECT_EQ(4 % simd::kLanes, 0);
   EXPECT_EQ(20 % simd::kLanes, 0);
-  SUCCEED() << "simd backend: " << simd::kBackend;
+  // And the runtime dispatcher always lands on a usable table.
+  const kernel::KernelTable& kt = kernel::active_kernels();
+  EXPECT_GE(kt.lanes, 1);
+  EXPECT_NE(kt.newview4, nullptr);
+  EXPECT_NE(kt.nr20, nullptr);
+  SUCCEED() << "ambient simd backend: " << simd::kBackend
+            << "; dispatched: " << kernel::describe_active_backend();
 }
 
 }  // namespace

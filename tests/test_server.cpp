@@ -414,6 +414,72 @@ TEST(Server, PlacementsOverSocketMatchSequential) {
   EXPECT_EQ(ts.server->stats().sessions_dropped, 0u);
 }
 
+TEST(Server, RankReturnsTopCandidatesBestFirst) {
+  TestServer ts;
+  std::atomic<int> remaining{1};
+  std::optional<WireMessage> ranked, plain;
+  std::thread client_thread([&] {
+    PlacementClient c;
+    std::string err;
+    if (!c.connect("127.0.0.1", ts.server->port(), &err)) {
+      ADD_FAILURE() << "connect: " << err;
+      remaining = 0;
+      return;
+    }
+    WireMessage req;
+    req.set("op", "place");
+    req.set("id", "r0");
+    req.set("seq", ts.sc.queries[0].data);
+    req.set_number("rank", 3);
+    ranked = c.request(req, &err);
+    // The same query without "rank" must come back in the old shape.
+    auto resp = c.place("p0", ts.sc.queries[0].data, &err);
+    plain = std::move(resp);
+    c.quit();
+    remaining = 0;
+  });
+  ts.pump_until_done(remaining);
+  client_thread.join();
+
+  ASSERT_TRUE(ranked.has_value());
+  ASSERT_TRUE(ranked->get_bool("ok").value_or(false))
+      << (ranked->get_string("error") ? *ranked->get_string("error") : "");
+  const double k = ranked->get_number("rank").value_or(-1.0);
+  const double n = ranked->get_number("candidates").value_or(-1.0);
+  ASSERT_GT(k, 0.0);
+  EXPECT_EQ(k, std::min(3.0, n));
+  // ranked[0] mirrors the flat best-placement fields.
+  EXPECT_EQ(ranked->get_number("edge0"), ranked->get_number("edge"));
+  EXPECT_EQ(ranked->get_number("lnl0"), ranked->get_number("lnl"));
+  EXPECT_EQ(ranked->get_number("pendant0"), ranked->get_number("pendant"));
+  // Best first, every entry complete.
+  double prev = *ranked->get_number("lnl0");
+  for (int i = 1; i < static_cast<int>(k); ++i) {
+    const std::string s = std::to_string(i);
+    ASSERT_TRUE(ranked->get_number("edge" + s).has_value()) << i;
+    ASSERT_TRUE(ranked->get_number("pendant" + s).has_value()) << i;
+    const double lnl = ranked->get_number("lnl" + s).value_or(1.0);
+    EXPECT_LE(lnl, prev);
+    prev = lnl;
+  }
+  // The engine is idle now: the ranked list must match the sequential
+  // reference path bit for bit, like the best placement does.
+  const PlacementResult seq = ts.engine->place_sequential(ts.sc.queries[0].data);
+  ASSERT_GE(seq.ranked.size(), static_cast<std::size_t>(k));
+  for (int i = 0; i < static_cast<int>(k); ++i) {
+    const std::string s = std::to_string(i);
+    EXPECT_EQ(*ranked->get_number("edge" + s),
+              static_cast<double>(seq.ranked[static_cast<std::size_t>(i)].edge));
+    EXPECT_EQ(*ranked->get_number("lnl" + s),
+              seq.ranked[static_cast<std::size_t>(i)].lnl);
+  }
+
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(plain->get_bool("ok").value_or(false));
+  EXPECT_FALSE(plain->has("rank"));
+  EXPECT_FALSE(plain->has("edge0"));
+}
+
 TEST(Server, AdmissionRejectsSessionsOverCapacity) {
   TestServer ts(/*max_sessions=*/1);
   std::atomic<int> remaining{2};

@@ -83,6 +83,25 @@ def metrics_for(doc):
         speedups = [c["speedup"] for c in doc.get("cases", [])]
         if speedups:
             metrics["kernel_speedup_geomean"] = (geomean(speedups), HIGHER)
+        # Individually-gated cases: the reduction-bound two-pattern DNA paths
+        # and the cache-blocked inner-inner newview are the PR-level targets
+        # a geomean over a dozen cases could quietly absorb.
+        by_case = {c.get("name"): c.get("speedup")
+                   for c in doc.get("cases", [])}
+        for case in ("newview_dna_inner_inner", "nr_dna",
+                     "pmat_build_dna", "pmat_build_protein"):
+            if by_case.get(case):
+                metrics[f"kernel_{case}_speedup"] = (by_case[case], HIGHER)
+        # Absolute pmat-build cost per (branch, category) task. ns, not a
+        # ratio — only comparable within one runner class (the host_cores
+        # warning below covers cross-class moves).
+        pm = doc.get("pmat_build") or {}
+        if pm.get("dna_ns_per_task"):
+            metrics["pmat_build_dna_ns_per_task"] = (
+                pm["dna_ns_per_task"], LOWER)
+        if pm.get("protein_ns_per_task"):
+            metrics["pmat_build_protein_ns_per_task"] = (
+                pm["protein_ns_per_task"], LOWER)
 
     elif bench == "balance":
         strategies = {s["strategy"]: s for s in doc.get("strategies", [])}
