@@ -42,6 +42,22 @@ std::vector<PartitionModel> make_models(const CompressedAlignment& comp) {
   return models;
 }
 
+/// GTR+R4+I with deliberately unequal weights: exercises the weighted
+/// per-category kernel path plus the invariant-site term end to end.
+std::vector<PartitionModel> make_freerate_models(
+    const CompressedAlignment& comp) {
+  const ModelSpec spec = parse_model_spec("GTR+R4+I");
+  std::vector<PartitionModel> models;
+  for (const auto& part : comp.partitions) {
+    RateModel rm = make_rate_model(spec);
+    rm.set_free({0.25, 0.7, 1.6, 4.0}, {0.4, 0.3, 0.2, 0.1});
+    rm.set_p_inv(0.15);
+    models.emplace_back(make_subst_model(spec, empirical_frequencies(part)),
+                        std::move(rm));
+  }
+  return models;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,60 +93,90 @@ int main(int argc, char** argv) {
   eo.unlinked_branch_lengths = true;  // the paper's hard case: newPAR NR
   const BranchOptOptions bo;
 
-  // --- sequential: one engine per replicate --------------------------------
-  std::vector<double> lnl_seq(static_cast<std::size_t>(replicates));
-  Timer seq_timer;
-  for (int r = 0; r < replicates; ++r) {
-    CompressedAlignment rep = comp;  // the per-replicate copy the old
-                                     // architecture forces
-    for (std::size_t p = 0; p < rep.partitions.size(); ++p)
-      rep.partitions[p].weights = weights[static_cast<std::size_t>(r)][p];
-    Engine eng(rep, data.true_tree, make_models(comp), eo);
-    lnl_seq[static_cast<std::size_t>(r)] =
-        optimize_branch_lengths(eng, Strategy::kNewPar, bo);
-  }
-  const double seq_seconds = seq_timer.seconds();
+  struct RunResult {
+    double seq_seconds = 0, batch_seconds = 0, max_diff = 0;
+    long long syncs = 0, requests = 0, commands = 0;
+  };
+  // Run the identical workload both ways under one model family; returns
+  // timings plus the sequential/batched likelihood disagreement (a hard
+  // gate: per-replicate arithmetic is the same, so it must be ~0).
+  const auto run_family =
+      [&](const std::vector<PartitionModel>& proto) -> RunResult {
+    RunResult res;
 
-  // --- batched: one core, one context per replicate ------------------------
-  Timer batch_timer;
-  EngineCore core(comp, make_models(comp), eo);
-  std::vector<std::unique_ptr<EvalContext>> owned;
-  std::vector<EvalContext*> ctxs;
-  for (int r = 0; r < replicates; ++r) {
-    auto ctx = std::make_unique<EvalContext>(core, data.true_tree);
-    for (int p = 0; p < core.partition_count(); ++p)
-      ctx->set_pattern_weights(
-          p, weights[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)]);
-    ctxs.push_back(ctx.get());
-    owned.push_back(std::move(ctx));
-  }
-  const std::vector<double> lnl_batch =
-      optimize_branch_lengths_batch(core, ctxs, bo);
-  const double batch_seconds = batch_timer.seconds();
+    // sequential: one engine per replicate, over the per-replicate
+    // alignment copy the old architecture forces.
+    std::vector<double> lnl_seq(static_cast<std::size_t>(replicates));
+    Timer seq_timer;
+    for (int r = 0; r < replicates; ++r) {
+      CompressedAlignment rep = comp;
+      for (std::size_t p = 0; p < rep.partitions.size(); ++p)
+        rep.partitions[p].weights = weights[static_cast<std::size_t>(r)][p];
+      Engine eng(rep, data.true_tree, proto, eo);
+      lnl_seq[static_cast<std::size_t>(r)] =
+          optimize_branch_lengths(eng, Strategy::kNewPar, bo);
+    }
+    res.seq_seconds = seq_timer.seconds();
 
-  // --- verify + report -----------------------------------------------------
-  double max_diff = 0.0;
-  for (int r = 0; r < replicates; ++r)
-    max_diff = std::max(max_diff,
-                        std::abs(lnl_seq[static_cast<std::size_t>(r)] -
-                                 lnl_batch[static_cast<std::size_t>(r)]));
-  const double speedup = seq_seconds / batch_seconds;
-  const double seq_tput = replicates / seq_seconds;
-  const double batch_tput = replicates / batch_seconds;
+    // batched: one core, one context per replicate.
+    Timer batch_timer;
+    EngineCore core(comp, proto, eo);
+    std::vector<std::unique_ptr<EvalContext>> owned;
+    std::vector<EvalContext*> ctxs;
+    for (int r = 0; r < replicates; ++r) {
+      auto ctx = std::make_unique<EvalContext>(core, data.true_tree);
+      for (int p = 0; p < core.partition_count(); ++p)
+        ctx->set_pattern_weights(
+            p,
+            weights[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)]);
+      ctxs.push_back(ctx.get());
+      owned.push_back(std::move(ctx));
+    }
+    const std::vector<double> lnl_batch =
+        optimize_branch_lengths_batch(core, ctxs, bo);
+    res.batch_seconds = batch_timer.seconds();
 
-  std::printf("\n%-12s %12s %16s %14s\n", "path", "seconds",
+    for (int r = 0; r < replicates; ++r)
+      res.max_diff = std::max(res.max_diff,
+                              std::abs(lnl_seq[static_cast<std::size_t>(r)] -
+                                       lnl_batch[static_cast<std::size_t>(r)]));
+    res.syncs = static_cast<long long>(core.team_stats().sync_count);
+    res.requests = static_cast<long long>(core.stats().requests);
+    res.commands = static_cast<long long>(core.stats().commands);
+    return res;
+  };
+
+  const RunResult gamma = run_family(make_models(comp));
+  // Same workload under GTR+R4+I: the weighted per-category kernels plus the
+  // invariant-site term. The batch/gamma ratio is the CI gate on the cost of
+  // the generalized rate path.
+  const RunResult fr = run_family(make_freerate_models(comp));
+
+  const double speedup = gamma.seq_seconds / gamma.batch_seconds;
+  const double fr_speedup = fr.seq_seconds / fr.batch_seconds;
+  const double fr_over_gamma = fr.batch_seconds / gamma.batch_seconds;
+  const double seq_tput = replicates / gamma.seq_seconds;
+  const double batch_tput = replicates / gamma.batch_seconds;
+
+  std::printf("\n%-22s %12s %16s %14s\n", "path", "seconds",
               "replicates/sec", "syncs");
-  std::printf("%-12s %12.3f %16.2f %14s\n", "sequential", seq_seconds,
+  std::printf("%-22s %12.3f %16.2f %14s\n", "sequential", gamma.seq_seconds,
               seq_tput, "(per-engine)");
-  std::printf("%-12s %12.3f %16.2f %14llu\n", "batched", batch_seconds,
-              batch_tput,
-              static_cast<unsigned long long>(core.team_stats().sync_count));
-  std::printf("speedup: %.2fx   max |lnL_seq - lnL_batch| = %.3g\n", speedup,
-              max_diff);
-  if (max_diff > 1e-10) {
+  std::printf("%-22s %12.3f %16.2f %14lld\n", "batched", gamma.batch_seconds,
+              batch_tput, gamma.syncs);
+  std::printf("%-22s %12.3f %16.2f %14s\n", "sequential +R4+I",
+              fr.seq_seconds, replicates / fr.seq_seconds, "(per-engine)");
+  std::printf("%-22s %12.3f %16.2f %14lld\n", "batched +R4+I",
+              fr.batch_seconds, replicates / fr.batch_seconds, fr.syncs);
+  std::printf(
+      "speedup: %.2fx (+R4+I %.2fx)   +R4+I/gamma batched cost: %.2fx\n"
+      "max |lnL_seq - lnL_batch| = %.3g (gamma), %.3g (+R4+I)\n",
+      speedup, fr_speedup, fr_over_gamma, gamma.max_diff, fr.max_diff);
+  if (gamma.max_diff > 1e-10 || fr.max_diff > 1e-10) {
     std::fprintf(stderr,
-                 "FAIL: batched and sequential likelihoods diverge (%.3g)\n",
-                 max_diff);
+                 "FAIL: batched and sequential likelihoods diverge "
+                 "(gamma %.3g, +R4+I %.3g)\n",
+                 gamma.max_diff, fr.max_diff);
     return 1;
   }
 
@@ -140,16 +186,20 @@ int main(int argc, char** argv) {
   doc.add("scale", scale);
   doc.add("replicates", replicates);
   doc.add("threads", threads);
-  doc.add("seq_seconds", seq_seconds);
-  doc.add("batch_seconds", batch_seconds);
+  doc.add("seq_seconds", gamma.seq_seconds);
+  doc.add("batch_seconds", gamma.batch_seconds);
   doc.add("seq_replicates_per_sec", seq_tput);
   doc.add("batch_replicates_per_sec", batch_tput);
   doc.add("speedup", speedup);
-  doc.add("batch_syncs",
-          static_cast<long long>(core.team_stats().sync_count));
-  doc.add("batch_requests", static_cast<long long>(core.stats().requests));
-  doc.add("batch_commands", static_cast<long long>(core.stats().commands));
-  doc.add("max_abs_lnl_diff", max_diff);
+  doc.add("batch_syncs", gamma.syncs);
+  doc.add("batch_requests", gamma.requests);
+  doc.add("batch_commands", gamma.commands);
+  doc.add("max_abs_lnl_diff", gamma.max_diff);
+  doc.add("freerates_seq_seconds", fr.seq_seconds);
+  doc.add("freerates_batch_seconds", fr.batch_seconds);
+  doc.add("freerates_speedup", fr_speedup);
+  doc.add("free_rates_over_gamma", fr_over_gamma);
+  doc.add("freerates_max_abs_lnl_diff", fr.max_diff);
   bench::write_json(json_path, doc);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

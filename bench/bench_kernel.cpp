@@ -90,17 +90,18 @@ CaseResult compare_newview(kernel::KernelRig<S>& r, const std::string& name,
 template <int S>
 CaseResult compare_evaluate(kernel::KernelRig<S>& r, const std::string& name,
                             const kernel::ChildView& cu,
-                            const kernel::ChildView& cv) {
+                            const kernel::ChildView& cv,
+                            const kernel::RateView& rv = {}) {
   CaseResult res{name};
   res.generic_ns = ns_per_pattern(r.patterns, [&] {
     benchmark::DoNotOptimize(kernel::evaluate_slice<S>(
         0, r.patterns, 1, r.cats, cu, cv, r.p2.data(), r.freqs.data(),
-        r.weights.data()));
+        r.weights.data(), rv));
   });
   res.spec_ns = ns_per_pattern(r.patterns, [&] {
     benchmark::DoNotOptimize(kernel::active_kernels().evaluate<S>()(
         0, r.patterns, 1, r.cats, cu, cv, r.p2.data(), r.p2t.data(),
-        r.freqs.data(), r.weights.data()));
+        r.freqs.data(), r.weights.data(), rv));
   });
   return res;
 }
@@ -125,23 +126,28 @@ CaseResult compare_sumtable(kernel::KernelRig<S>& r, const std::string& name,
 }
 
 template <int S>
-CaseResult compare_nr(kernel::KernelRig<S>& r, const std::string& name) {
+CaseResult compare_nr(kernel::KernelRig<S>& r, const std::string& name,
+                      bool weighted = false) {
   // Earlier sumtable cases reuse r.sumtab as their output buffer; rebuild it
   // so the NR timings run on defined inputs regardless of case order.
   kernel::sumtable_slice<S>(0, r.patterns, 1, r.cats, r.inner1(), r.inner2(),
                             r.sym.data(), r.sumtab.data());
+  // Weighted = the engine's +R/+I contract: category weights folded into the
+  // exp table, the view carrying the invariant term and root scale counts.
+  const double* ex = weighted ? r.exp_lam_w.data() : r.exp_lam.data();
+  const kernel::RateView rv =
+      weighted ? r.nr_rate_view() : kernel::RateView{};
   CaseResult res{name};
   double d1 = 0.0, d2 = 0.0;
   res.generic_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::nr_slice<S>(0, r.patterns, 1, r.cats, r.sumtab.data(),
-                        r.exp_lam.data(), r.lam.data(), r.weights.data(), &d1,
-                        &d2);
+    kernel::nr_slice<S>(0, r.patterns, 1, r.cats, r.sumtab.data(), ex,
+                        r.lam.data(), r.weights.data(), &d1, &d2, rv);
     benchmark::DoNotOptimize(d1);
   });
   res.spec_ns = ns_per_pattern(r.patterns, [&] {
-    kernel::active_kernels().nr<S>()(0, r.patterns, 1, r.cats, r.sumtab.data(),
-                                     r.exp_lam.data(), r.lam.data(),
-                                     r.weights.data(), &d1, &d2);
+    kernel::active_kernels().nr<S>()(0, r.patterns, 1, r.cats,
+                                     r.sumtab.data(), ex, r.lam.data(),
+                                     r.weights.data(), &d1, &d2, rv);
     benchmark::DoNotOptimize(d1);
   });
   return res;
@@ -220,12 +226,19 @@ int run_json_mode(const std::string& path) {
                                       dna.inner1(), dna.inner2()));
   cases.push_back(compare_evaluate<20>(prot, "evaluate_protein_inner_inner",
                                        prot.inner1(), prot.inner2()));
+  cases.push_back(compare_evaluate<4>(dna, "evaluate_dna_freerates_pinv",
+                                      dna.inner1(), dna.inner2(),
+                                      dna.rate_view()));
+  cases.push_back(compare_evaluate<20>(prot, "evaluate_protein_freerates_pinv",
+                                       prot.inner1(), prot.inner2(),
+                                       prot.rate_view()));
   cases.push_back(compare_sumtable<4>(dna, "sumtable_dna_tip_inner",
                                       dna.tip_sym(), dna.inner2()));
   cases.push_back(compare_sumtable<4>(dna, "sumtable_dna_inner_inner",
                                       dna.inner1(), dna.inner2()));
   cases.push_back(compare_nr<4>(dna, "nr_dna"));
   cases.push_back(compare_nr<20>(prot, "nr_protein"));
+  cases.push_back(compare_nr<4>(dna, "nr_dna_freerates_pinv", true));
   double pmat_dna_ns = 0.0, pmat_prot_ns = 0.0;
   cases.push_back(compare_pmat_build(make_model("GTR"), "pmat_build_dna",
                                      &pmat_dna_ns));

@@ -64,6 +64,7 @@ struct CliOptions {
   int starts = 1;
   int replicates = 0;
   std::uint64_t seed = 42;
+  std::string model;
   std::string checkpoint_path;
   int checkpoint_every = 1;
   bool resume = false;
@@ -100,6 +101,9 @@ void usage() {
       "                   core (batched initial scoring; best tree wins)\n"
       "  --replicates N   after the search, N bootstrap replicates batched\n"
       "                   through the shared core; writes <prefix>.support\n"
+      "  --model SPEC     substitution + rate model for every partition,\n"
+      "                   e.g. GTR+G4, HKY{2.5}+I, WAG+R4+I (default: the\n"
+      "                   partition file's model, else GTR+G4 / WAG+G4)\n"
       "  --seed N         RNG seed (default 42)\n"
       "  --simulate T,S,P simulate T taxa x S sites in partitions of P\n"
       "  --checkpoint F   crash-consistent search checkpoint file (written\n"
@@ -166,6 +170,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         std::fprintf(stderr, "unknown strategy '%s'\n", v);
         return std::nullopt;
       }
+    } else if (a == "--model") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.model = v;
     } else if (a == "--joint-bl") {
       o.joint_bl = true;
     } else if (a == "--search") {
@@ -308,6 +316,7 @@ int main(int argc, char** argv) {
     opts.shards = cli.shards;
     opts.strategy = cli.strategy;
     opts.per_partition_branch_lengths = !cli.joint_bl;
+    opts.model = cli.model;
     opts.seed = cli.seed;
     opts.start_tree = cli.parsimony_start ? StartTree::kParsimony
                                           : StartTree::kRandom;
@@ -377,11 +386,24 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(
                 analysis.engine().stats().coarse_commands));
     }
-    for (int p = 0; p < analysis.engine().partition_count(); ++p)
-      std::printf("  partition %2d: alpha %.4f, lnL %.4f\n", p,
-                  analysis.engine().model(p).alpha(),
+    for (int p = 0; p < analysis.engine().partition_count(); ++p) {
+      const PartitionModel& pm = analysis.engine().model(p);
+      const RateModel& rm = pm.rate_model();
+      std::string rate_info;
+      char buf[48];
+      if (rm.kind() == RateModel::Kind::kGamma && rm.categories() > 1) {
+        std::snprintf(buf, sizeof buf, ", alpha %.4f", pm.alpha());
+        rate_info += buf;
+      }
+      if (rm.invariant_sites()) {
+        std::snprintf(buf, sizeof buf, ", p-inv %.4f", rm.p_inv());
+        rate_info += buf;
+      }
+      std::printf("  partition %2d: %s%s, lnL %.4f\n", p,
+                  describe_model(pm).c_str(), rate_info.c_str(),
                   analysis.engine().per_partition_lnl()[
                       static_cast<std::size_t>(p)]);
+    }
 
     const std::string tree_file = cli.out_prefix + ".bestTree";
     write_file(tree_file, res.newick + "\n");

@@ -2,9 +2,11 @@
 
 #include <stdexcept>
 
+#include "model/model_spec.hpp"
 #include "parsimony/fitch.hpp"
 #include "tree/newick.hpp"
 #include "tree/tree_gen.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace plk {
@@ -35,13 +37,32 @@ Analysis::Analysis(const Alignment& aln, const PartitionScheme& scheme,
   std::vector<PartitionModel> models;
   models.reserve(data_->partitions.size());
   for (const auto& part : data_->partitions) {
-    SubstModel m = part.type == DataType::kDna
-                       ? make_model(part.model_name.empty() ? "GTR"
-                                                            : part.model_name,
-                                    empirical_frequencies(part))
-                       : make_model(part.model_name.empty() ? "WAG"
-                                                            : part.model_name);
-    models.emplace_back(std::move(m), /*alpha=*/1.0, opts.gamma_categories);
+    // Model resolution order: the analysis-wide spec string, the partition
+    // scheme's model name (itself parsed as a spec, so partition files may
+    // say "HKY{2.5}+I"), then the family default for the data type.
+    const std::string spec_text =
+        !opts.model.empty()           ? opts.model
+        : !part.model_name.empty()    ? part.model_name
+        : part.type == DataType::kDna ? "GTR"
+                                      : "WAG";
+    ModelSpec spec = parse_model_spec(spec_text);
+    const bool want_protein = is_protein_model_name(spec.name);
+    if (want_protein != (part.type == DataType::kProtein))
+      throw std::invalid_argument(
+          "model '" + spec_text + "' is a " +
+          (want_protein ? std::string("protein") : std::string("DNA")) +
+          " model but partition '" + part.name + "' holds " +
+          (part.type == DataType::kDna ? "DNA" : "protein") + " data");
+    // Deprecated fallback: a bare family name keeps the historic behavior
+    // of AnalysisOptions::gamma_categories equal-weight Gamma categories.
+    if (spec.rate_kind == ModelSpec::RateKind::kNone) {
+      spec.rate_kind = ModelSpec::RateKind::kGamma;
+      spec.categories = opts.gamma_categories;
+    }
+    SubstModel m = make_subst_model(spec, empirical_frequencies(part));
+    models.emplace_back(std::move(m), make_rate_model(spec));
+    log_info("partition '" + part.name +
+             "': model " + describe_model(models.back()));
   }
 
   Tree tree = start_tree ? std::move(*start_tree) : [&] {

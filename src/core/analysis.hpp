@@ -45,6 +45,14 @@ struct AnalysisOptions {
   /// Per-partition branch lengths (the paper's hard case) vs a joint
   /// estimate across partitions.
   bool per_partition_branch_lengths = true;
+  /// Model specification string (model/model_spec.hpp), e.g. "GTR+G4",
+  /// "HKY{2.5}+I", "WAG+R4+I". Applied to every partition; empty falls back
+  /// to the partition scheme's model name (or GTR/WAG by data type). A spec
+  /// without a +G/+R suffix picks up `gamma_categories` below.
+  std::string model;
+  /// DEPRECATED: category count used only when neither `model` nor the
+  /// partition scheme names a rate suffix. Kept so existing callers keep
+  /// their exact pre-ModelSpec behavior.
   int gamma_categories = 4;
   /// Deduplicate alignment columns into weighted patterns. The paper's
   /// simulated data is generated with all-unique columns (m == m'); keep

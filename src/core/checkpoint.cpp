@@ -10,6 +10,8 @@
 #endif
 
 #include "bio/msa_io.hpp"
+#include "model/model_spec.hpp"
+#include "model/rates.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
@@ -24,7 +26,14 @@ namespace {
 // --shards 4 and vice versa (the engine's reduction tree guarantees the
 // recomputed likelihoods match exactly).
 constexpr const char* kMagic = "plk-checkpoint";
-constexpr int kVersion = 2;
+// Version history:
+//   2  alpha/exch/freqs per partition (hard-coded discrete Gamma)
+//   3  adds the canonical model-spec string, the full rate-model state
+//      (Gamma shape or free rates+weights) and the +I proportion
+// The reader accepts both; v2 files restore as plain Gamma at the stored
+// alpha, exactly as the engine that wrote them would.
+constexpr int kVersion = 3;
+constexpr int kMinVersion = 2;
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("checkpoint: " + what);
@@ -83,6 +92,21 @@ std::string serialize_checkpoint(const EvalContext& ctx,
     out << "freqs " << freqs.size();
     for (double f : freqs) out << ' ' << f;
     out << '\n';
+    // v3: the structural spec (metadata for humans and servers) plus the
+    // full rate-model state, so +R/+I resume bit-identically.
+    out << "model " << describe_model(m) << '\n';
+    const RateModel& r = m.rate_model();
+    if (r.kind() == RateModel::Kind::kGamma) {
+      out << "ratemodel gamma " << r.categories() << ' '
+          << static_cast<int>(r.gamma_mode()) << ' ' << r.alpha() << '\n';
+    } else {
+      out << "ratemodel free " << r.categories();
+      for (double x : r.rates()) out << ' ' << x;
+      for (double w : r.weights()) out << ' ' << w;
+      out << '\n';
+    }
+    out << "pinv " << (r.invariant_sites() ? 1 : 0) << ' ' << r.p_inv()
+        << '\n';
   }
 
   out << "lengths " << (bl.linked() ? "linked" : "unlinked") << '\n';
@@ -134,7 +158,8 @@ void apply_checkpoint(EvalContext& ctx, std::string_view text,
   if (expect_word(in, "magic") != kMagic) fail("bad magic");
   int version = 0;
   in >> version;
-  if (version != kVersion) fail("unsupported version");
+  if (version < kMinVersion || version > kVersion)
+    fail("unsupported version " + std::to_string(version));
 
   expect_keyword(in, "taxa");
   int n_taxa = 0;
@@ -165,6 +190,15 @@ void apply_checkpoint(EvalContext& ctx, std::string_view text,
   struct PartState {
     double alpha = 1.0;
     std::vector<double> exch, freqs;
+    // v3 rate-model state (v2 files restore as plain Gamma at `alpha`).
+    bool has_rate_model = false;
+    bool rm_gamma = true;
+    int rm_cats = 0;
+    int rm_mode = 0;
+    double rm_alpha = 1.0;
+    std::vector<double> rm_rates, rm_weights;
+    bool invariant = false;
+    double p_inv = 0.0;
   };
   std::vector<PartState> parts(static_cast<std::size_t>(P));
   for (auto& ps : parts) {
@@ -181,6 +215,37 @@ void apply_checkpoint(EvalContext& ctx, std::string_view text,
     ps.freqs.resize(k);
     for (auto& f : ps.freqs)
       if (!(in >> f)) fail("truncated frequencies");
+    if (version >= 3) {
+      expect_keyword(in, "model");
+      const std::string spec = expect_word(in, "model spec");
+      parse_model_spec(spec);  // validates; the numbers below are canonical
+      expect_keyword(in, "ratemodel");
+      const std::string kind = expect_word(in, "rate-model kind");
+      if (kind == "gamma") {
+        if (!(in >> ps.rm_cats >> ps.rm_mode >> ps.rm_alpha))
+          fail("truncated gamma rate model");
+        if (ps.rm_mode != 0 && ps.rm_mode != 1) fail("bad gamma mode");
+      } else if (kind == "free") {
+        ps.rm_gamma = false;
+        if (!(in >> ps.rm_cats)) fail("truncated free rate model");
+        if (ps.rm_cats < 1 || ps.rm_cats > 64)
+          fail("bad free-rate category count");
+        ps.rm_rates.resize(static_cast<std::size_t>(ps.rm_cats));
+        ps.rm_weights.resize(static_cast<std::size_t>(ps.rm_cats));
+        for (auto& r : ps.rm_rates)
+          if (!(in >> r)) fail("truncated free rates");
+        for (auto& w : ps.rm_weights)
+          if (!(in >> w)) fail("truncated free weights");
+      } else {
+        fail("unknown rate-model kind '" + kind + "'");
+      }
+      expect_keyword(in, "pinv");
+      int inv_flag = 0;
+      if (!(in >> inv_flag >> ps.p_inv)) fail("truncated pinv");
+      if (inv_flag != 0 && inv_flag != 1) fail("bad pinv flag");
+      ps.invariant = inv_flag == 1;
+      ps.has_rate_model = true;
+    }
   }
 
   expect_keyword(in, "lengths");
@@ -224,7 +289,23 @@ void apply_checkpoint(EvalContext& ctx, std::string_view text,
       fail("model dimension mismatch in partition " + std::to_string(p));
     m.model().set_exchangeabilities(std::move(ps.exch));
     m.model().set_freqs(std::move(ps.freqs));
-    m.set_alpha(ps.alpha);
+    if (ps.has_rate_model) {
+      if (ps.rm_cats != m.gamma_categories())
+        fail("rate category count mismatch in partition " + std::to_string(p) +
+             " (engine has " + std::to_string(m.gamma_categories()) +
+             ", checkpoint has " + std::to_string(ps.rm_cats) + ")");
+      RateModel rm =
+          ps.rm_gamma
+              ? RateModel::gamma(ps.rm_alpha, ps.rm_cats,
+                                 static_cast<GammaMode>(ps.rm_mode))
+              : RateModel::restore_free(std::move(ps.rm_rates),
+                                        std::move(ps.rm_weights), ps.invariant,
+                                        ps.p_inv);
+      if (ps.rm_gamma && ps.invariant) rm.enable_invariant(ps.p_inv);
+      m.set_rate_model(std::move(rm));
+    } else {
+      m.set_alpha(ps.alpha);
+    }
     ctx.invalidate_partition(p);
   }
   for (EdgeId e = 0; e < n_edges; ++e)

@@ -83,7 +83,30 @@ struct EngineCore::PartStatic {
   };
   std::vector<std::vector<TipTableEntry>> tip_tables;  // [edge][slot]
 
+  // Per-pattern invariant-site state masks: the AND of every alignment
+  // taxon's mask for that pattern (gaps and ambiguity codes are compatible
+  // with any state they contain). Nonzero means the pattern COULD be an
+  // invariant site — the +I term's per-pattern frequency sum runs over the
+  // surviving states. Computed over ALL alignment taxa (not the taxa of any
+  // one tree), so every context of this core agrees on it; lazily built and
+  // invalidated when set_taxon_masks rewrites a taxon's row.
+  std::vector<StateMask> inv_masks;
+  bool inv_masks_dirty = true;
+  std::uint64_t inv_mask_gen = 0;  // bumped on invalidation (contexts key
+                                   // their cached inv_contrib on it)
+
   explicit PartStatic(PartitionModel m) : prototype(std::move(m)) {}
+
+  const std::vector<StateMask>& invariant_masks() {
+    if (inv_masks_dirty) {
+      inv_masks.assign(patterns, ~StateMask{0});
+      for (const auto& codes : taxon_codes)
+        for (std::size_t i = 0; i < patterns; ++i)
+          inv_masks[i] &= catalog[codes[i]];
+      inv_masks_dirty = false;
+    }
+    return inv_masks;
+  }
 
   std::size_t clv_stride() const {
     return static_cast<std::size_t>(cats) * static_cast<std::size_t>(states);
@@ -115,6 +138,19 @@ struct EvalContext::PartDyn {
 
   // NR sumtable at the current root edge: [pattern][cat][state].
   AlignedNoInitDoubleVec sumtable;
+
+  // Per-pattern root scale counts captured by the sumtable pass (+I models
+  // only — the NR fold needs them to lift the invariant term into the
+  // sumtable's scaled units; empty otherwise).
+  std::vector<std::int32_t> sum_scale;
+
+  // Per-pattern invariant-site contribution p_inv * sum(freqs over the
+  // pattern's invariant mask), consumed by evaluate/nr. Refreshed at
+  // assembly whenever the model epoch moved (inv_epoch tracks it); empty
+  // for models without the +I term.
+  std::vector<double> inv_contrib;
+  std::uint64_t inv_epoch = 0;
+  std::uint64_t inv_gen = 0;  // PartStatic::inv_mask_gen it was built at
 
   // Sym x indicator tip table, keyed on the context's model epoch.
   std::uint64_t sym_epoch = 0;
@@ -442,6 +478,11 @@ void EngineCore::set_taxon_masks(std::size_t x,
       }
       codes[i] = it->second;
     }
+    // The taxon's row changed, so the all-taxa invariant masks are stale
+    // regardless of catalog growth; bumping the generation makes every +I
+    // context refresh its cached inv_contrib on next use.
+    pd.inv_masks_dirty = true;
+    ++pd.inv_mask_gen;
     if (grew) {
       // The catalog gained rows: cached tip lookup tables (and per-context
       // sym tables, caught by the size check in sym_table_for) are sized by
@@ -630,15 +671,17 @@ const TeamStats& EngineCore::team_stats() const {
 namespace {
 
 /// Serialize everything the likelihood of a partition depends on through the
-/// model: state count, Gamma layout, shape, exchangeabilities, frequencies.
-/// (Category rates are a pure function of alpha/cats/mode; the
-/// eigendecomposition is a pure function of exch/freqs.)
+/// model: state count, the full rate-heterogeneity state (kind, Gamma
+/// layout, shape, p_inv, per-category rates and weights — via
+/// RateModel::append_state), exchangeabilities, frequencies. The
+/// eigendecomposition is a pure function of exch/freqs. Tip tables are keyed
+/// on the epochs this produces, so two models may share an epoch only if
+/// EVERY number the kernels consume matches — which is why the rate-model
+/// state must be in here even though pmats don't depend on the weights.
 void append_model_state(const PartitionModel& m, std::vector<double>& out) {
   const SubstModel& sm = m.model();
   out.push_back(static_cast<double>(sm.states()));
-  out.push_back(static_cast<double>(m.gamma_categories()));
-  out.push_back(static_cast<double>(static_cast<int>(m.gamma_mode())));
-  out.push_back(m.alpha());
+  m.rate_model().append_state(out);
   out.insert(out.end(), sm.exchangeabilities().begin(),
              sm.exchangeabilities().end());
   out.insert(out.end(), sm.freqs().begin(), sm.freqs().end());
@@ -1013,6 +1056,7 @@ void EngineCore::assemble_sumtable(EvalContext& ctx, Command& cmd, EdgeId edge,
   cmd.do_sumtable = true;
   cmd.sum_edge = edge;
   cmd.sum_parts = parts;
+  for (int p : parts) refresh_invariant(ctx, p);
   for (int p : parts) {
     const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
     const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
@@ -1035,6 +1079,31 @@ void EngineCore::assemble_sumtable(EvalContext& ctx, Command& cmd, EdgeId edge,
   }
 }
 
+void EngineCore::refresh_invariant(EvalContext& ctx, int p) {
+  EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+  if (!dy.model.invariant_sites()) return;
+  PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
+  const std::uint64_t epoch = ctx.model_epoch_[static_cast<std::size_t>(p)];
+  if (!dy.inv_contrib.empty() && dy.inv_epoch == epoch &&
+      dy.inv_gen == pd.inv_mask_gen)
+    return;
+  const std::vector<StateMask>& masks = pd.invariant_masks();
+  const auto& freqs = dy.model.model().freqs();
+  const double p_inv = dy.model.p_inv();
+  dy.inv_contrib.resize(pd.patterns);
+  for (std::size_t i = 0; i < pd.patterns; ++i) {
+    double s = 0.0;
+    for (int a = 0; a < pd.states; ++a)
+      if (masks[i] & (StateMask{1} << a)) s += freqs[static_cast<std::size_t>(a)];
+    dy.inv_contrib[i] = p_inv * s;
+  }
+  dy.inv_epoch = epoch;
+  dy.inv_gen = pd.inv_mask_gen;
+  // The NR fold needs the root scale counts alongside (captured by the
+  // sumtable pass); size the buffer here so execution never allocates.
+  dy.sum_scale.resize(pd.patterns);
+}
+
 void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
                                Command& cmd) {
   const Tree& tree = ctx.tree_;
@@ -1047,6 +1116,7 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       cmd.do_eval = true;
       cmd.eval_edge = req.edge;
       cmd.eval_parts = req.partitions;
+      for (int p : req.partitions) refresh_invariant(ctx, p);
       for (int p : req.partitions) {
         // The root-edge matrix applies to the v side; a tip there gets a
         // table.
@@ -1076,6 +1146,7 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       ensure_clv(ctx, v, req.edge, false, one, cmd);
       cmd.do_sites = true;
       cmd.eval_edge = req.edge;
+      refresh_invariant(ctx, p);
       cmd.sites_part = p;
       cmd.sites_out = req.sites_out.data();
       std::size_t off = 0;
@@ -1123,6 +1194,7 @@ void EngineCore::build_request(EvalContext& ctx, const EvalRequest& req,
       }
       cmd.do_nr = true;
       cmd.nr_parts = req.partitions;
+      for (int p : req.partitions) refresh_invariant(ctx, p);
       for (std::size_t k = 0; k < req.partitions.size(); ++k) {
         const int p = req.partitions[k];
         const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
@@ -1161,9 +1233,14 @@ void EngineCore::run_pmat_task(Pending& item, const PmatTask& t,
   const PartStatic& pd = *parts_[static_cast<std::size_t>(t.part)];
   if (t.kind == PmatTask::Kind::kNrScratch) {
     // Same expression order as the old master-side loops, so the tables —
-    // and with them every derivative — are bit-identical.
+    // and with them every derivative — are bit-identical. Non-uniform
+    // category weights fold into the exp table here (each f/f1/f2 term
+    // carries exactly one factor of e), which keeps the kernels' inner
+    // loops weight-free; the uniform path stays verbatim.
     const auto& rates = t.model->category_rates();
     const auto& lambda = t.model->model().eigenvalues();
+    const bool weighted = !t.model->uniform_categories();
+    const auto& cw = t.model->category_weights();
     double* ex = cmd.scratch.data() + t.off;
     double* lam = cmd.scratch.data() + t.off2;
     std::size_t i = 0;
@@ -1171,6 +1248,7 @@ void EngineCore::run_pmat_task(Pending& item, const PmatTask& t,
       for (int s = 0; s < pd.states; ++s, ++i) {
         ex[i] = std::exp(lambda[static_cast<std::size_t>(s)] *
                          rates[static_cast<std::size_t>(c)] * t.blen);
+        if (weighted) ex[i] *= cw[static_cast<std::size_t>(c)];
         lam[i] = lambda[static_cast<std::size_t>(s)] *
                  rates[static_cast<std::size_t>(c)];
       }
@@ -1293,6 +1371,10 @@ void EngineCore::run_item(const Pending& item, int tid,
       const kernel::ChildView vu = child_view(ctx, p, u);
       kernel::ChildView vv = child_view(ctx, p, v);
       if (!use_generic_) vv.tip_table = cmd.eval_tt[k];
+      kernel::RateView rv;
+      if (!dy.model.uniform_categories())
+        rv.cat_w = dy.model.category_weights().data();
+      if (dy.model.invariant_sites()) rv.inv = dy.inv_contrib.data();
       double partial = 0.0;
       dispatch_states(pd.states, [&]<int S>() {
         for (const WorkSpan& s : spans_of(p)) {
@@ -1300,13 +1382,13 @@ void EngineCore::run_item(const Pending& item, int tid,
             partial += kernel::evaluate_slice<S>(
                 s.begin, s.end, s.step, pd.cats, vu, vv,
                 cmd.pmats.data() + cmd.eval_pmat[k],
-                dy.model.model().freqs().data(), dy.weights.data());
+                dy.model.model().freqs().data(), dy.weights.data(), rv);
           } else {
             partial += kt.evaluate<S>()(
                 s.begin, s.end, s.step, pd.cats, vu, vv,
                 cmd.pmats.data() + cmd.eval_pmat[k],
                 cmd.pmats_t.data() + cmd.eval_pmat[k],
-                dy.model.model().freqs().data(), dy.weights.data());
+                dy.model.model().freqs().data(), dy.weights.data(), rv);
           }
         }
       });
@@ -1326,19 +1408,23 @@ void EngineCore::run_item(const Pending& item, int tid,
     const kernel::ChildView vu = child_view(ctx, p, u);
     kernel::ChildView vv = child_view(ctx, p, v);
     if (!use_generic_) vv.tip_table = cmd.sites_tt;
+    kernel::RateView rv;
+    if (!dy.model.uniform_categories())
+      rv.cat_w = dy.model.category_weights().data();
+    if (dy.model.invariant_sites()) rv.inv = dy.inv_contrib.data();
     dispatch_states(pd.states, [&]<int S>() {
       for (const WorkSpan& s : spans_of(p)) {
         if (use_generic_) {
           kernel::evaluate_sites_slice<S>(
               s.begin, s.end, s.step, pd.cats, vu, vv,
               cmd.pmats.data() + cmd.sites_pmat,
-              dy.model.model().freqs().data(), cmd.sites_out);
+              dy.model.model().freqs().data(), cmd.sites_out, rv);
         } else {
           kt.evaluate_sites<S>()(
               s.begin, s.end, s.step, pd.cats, vu, vv,
               cmd.pmats.data() + cmd.sites_pmat,
               cmd.pmats_t.data() + cmd.sites_pmat,
-              dy.model.model().freqs().data(), cmd.sites_out);
+              dy.model.model().freqs().data(), cmd.sites_out, rv);
         }
       }
     });
@@ -1374,6 +1460,14 @@ void EngineCore::run_item(const Pending& item, int tid,
           }
         }
       });
+      // +I models: capture the root scale counts over the same spans — the
+      // NR fold lifts the (unscaled) invariant term into the sumtable's
+      // scaled units with them. Threads write disjoint spans.
+      if (dy.model.invariant_sites()) {
+        for (const WorkSpan& s : spans_of(p))
+          for (std::size_t i = s.begin; i < s.end; i += s.step)
+            dy.sum_scale[i] = kernel::child_scale(vu, vv, i);
+      }
     }
   }
 
@@ -1384,6 +1478,11 @@ void EngineCore::run_item(const Pending& item, int tid,
       if (skip(p)) continue;
       const PartStatic& pd = *parts_[static_cast<std::size_t>(p)];
       const EvalContext::PartDyn& dy = *ctx.dyn_[static_cast<std::size_t>(p)];
+      kernel::RateView rv;  // weights ride in the exp table; only +I here
+      if (dy.model.invariant_sites()) {
+        rv.inv = dy.inv_contrib.data();
+        rv.scale = dy.sum_scale.data();
+      }
       double d1 = 0.0, d2 = 0.0;
       dispatch_states(pd.states, [&]<int S>() {
         for (const WorkSpan& s : spans_of(p)) {
@@ -1393,12 +1492,12 @@ void EngineCore::run_item(const Pending& item, int tid,
                                 dy.sumtable.data(),
                                 cmd.scratch.data() + cmd.nr_exp[k],
                                 cmd.scratch.data() + cmd.nr_lam[k],
-                                dy.weights.data(), &s1, &s2);
+                                dy.weights.data(), &s1, &s2, rv);
           else
             kt.nr<S>()(s.begin, s.end, s.step, pd.cats, dy.sumtable.data(),
                        cmd.scratch.data() + cmd.nr_exp[k],
                        cmd.scratch.data() + cmd.nr_lam[k],
-                       dy.weights.data(), &s1, &s2);
+                       dy.weights.data(), &s1, &s2, rv);
           d1 += s1;
           d2 += s2;
         }

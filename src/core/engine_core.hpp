@@ -474,6 +474,12 @@ class EngineCore {
                          const std::vector<int>& parts);
   void build_request(EvalContext& ctx, const EvalRequest& req, Command& cmd);
 
+  /// Refresh ctx's cached per-pattern +I contribution for partition `p`
+  /// (no-op without an invariant-sites term, and when both the model epoch
+  /// and the invariant-mask generation are unchanged). Master thread, during
+  /// assembly: execution reads the result concurrently but never writes it.
+  void refresh_invariant(EvalContext& ctx, int p);
+
   /// Unwind a partially assembled command: clear and unpin exactly the
   /// tip-table entries it reserved in the shared LRUs. A throw mid-assembly
   /// always hits the NEWEST command (submit appends; run_now assembles with

@@ -224,11 +224,13 @@ void newview4_core(std::size_t begin, std::size_t end, std::size_t step,
 }
 
 /// Two-pattern site likelihoods for S=4 (lower half = i0, upper = i1).
+/// `cw`: optional per-category mixture weights; null keeps the historic
+/// unweighted accumulation sequence bit-for-bit.
 template <bool TipU, bool TipV>
 inline void eval4_pair(std::size_t i0, std::size_t i1, int cats,
                        std::size_t stride, const ChildView& cu,
                        const ChildView& cv, const double* pt, __m512d fr,
-                       double* site0, double* site1) {
+                       const double* cw, double* site0, double* site1) {
   const double* lu0 =
       TipU ? cu.indicators + static_cast<std::size_t>(cu.codes[i0]) * 4
            : cu.clv + i0 * stride;
@@ -252,7 +254,9 @@ inline void eval4_pair(std::size_t i0, std::size_t i1, int cats,
     else
       inner = matvec2x4(pt + coff * 4, load2x4(lv0 + coff, lv1 + coff));
     const __m512d lu2 = load2x4(luc0, luc1);
-    acc = _mm512_fmadd_pd(_mm512_mul_pd(fr, lu2), inner, acc);
+    __m512d fl = _mm512_mul_pd(fr, lu2);
+    if (cw) fl = _mm512_mul_pd(fl, _mm512_set1_pd(cw[c]));
+    acc = _mm512_fmadd_pd(fl, inner, acc);
   }
   *site0 = rsum_lo(acc);
   *site1 = rsum_hi(acc);
@@ -262,16 +266,33 @@ template <bool TipU, bool TipV>
 double evaluate4_core(std::size_t begin, std::size_t end, std::size_t step,
                       int cats, const ChildView& cu, const ChildView& cv,
                       const double* p, const double* pt, const double* freqs,
-                      const double* weights) {
+                      const double* weights, const RateView& rv) {
   const std::size_t stride = static_cast<std::size_t>(cats) * 4;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   const __m512d fr = bcast_col4(freqs);
   double lnl = 0.0;
   std::size_t i = begin;
+  if (rv.cat_w) {
+    for (; i < end && i + step < end; i += 2 * step) {
+      const std::size_t i1 = i + step;
+      double s0, s1;
+      eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, rv.cat_w,
+                             &s0, &s1);
+      lnl += weights[i] * site_lnl(s0, child_scale(cu, cv, i),
+                                   rv.inv ? rv.inv[i] : 0.0);
+      lnl += weights[i1] * site_lnl(s1, child_scale(cu, cv, i1),
+                                    rv.inv ? rv.inv[i1] : 0.0);
+    }
+    if (i < end)
+      lnl += evaluate_slice<4>(i, end, step, cats, cu, cv, p, freqs, weights,
+                               rv);
+    return lnl;
+  }
   for (; i < end && i + step < end; i += 2 * step) {
     const std::size_t i1 = i + step;
     double s0, s1;
-    eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0, &s1);
+    eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, nullptr, &s0,
+                           &s1);
     const double site0 = s0 * inv_cats;
     const double site1 = s1 * inv_cats;
     const double g0 = site0 > 1e-300 ? site0 : 1e-300;
@@ -292,15 +313,32 @@ template <bool TipU, bool TipV>
 void evaluate4_sites_core(std::size_t begin, std::size_t end,
                           std::size_t step, int cats, const ChildView& cu,
                           const ChildView& cv, const double* p,
-                          const double* pt, const double* freqs, double* out) {
+                          const double* pt, const double* freqs, double* out,
+                          const RateView& rv) {
   const std::size_t stride = static_cast<std::size_t>(cats) * 4;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   const __m512d fr = bcast_col4(freqs);
   std::size_t i = begin;
+  if (rv.cat_w) {
+    for (; i < end && i + step < end; i += 2 * step) {
+      const std::size_t i1 = i + step;
+      double s0, s1;
+      eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, rv.cat_w,
+                             &s0, &s1);
+      out[i] = site_lnl(s0, child_scale(cu, cv, i),
+                        rv.inv ? rv.inv[i] : 0.0);
+      out[i1] = site_lnl(s1, child_scale(cu, cv, i1),
+                         rv.inv ? rv.inv[i1] : 0.0);
+    }
+    if (i < end)
+      evaluate_sites_slice<4>(i, end, step, cats, cu, cv, p, freqs, out, rv);
+    return;
+  }
   for (; i < end && i + step < end; i += 2 * step) {
     const std::size_t i1 = i + step;
     double s0, s1;
-    eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0, &s1);
+    eval4_pair<TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, nullptr, &s0,
+                           &s1);
     const double site0 = s0 * inv_cats;
     const double site1 = s1 * inv_cats;
     const double g0 = site0 > 1e-300 ? site0 : 1e-300;
@@ -408,7 +446,7 @@ template <bool TipU, bool TipV>
 double evaluate20_core(std::size_t begin, std::size_t end, std::size_t step,
                        int cats, const ChildView& cu, const ChildView& cv,
                        const double* pt, const double* freqs,
-                       const double* weights) {
+                       const double* weights, const RateView& rv) {
   const std::size_t stride = static_cast<std::size_t>(cats) * 20;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   simd::Vec fr[3];
@@ -433,8 +471,21 @@ double evaluate20_core(std::size_t begin, std::size_t end, std::size_t step,
         matvec20(pt + coff * 20, lv + coff, inner);
       simd::Vec lub[3];
       load20(luc, lub);
-      for (int b = 0; b < 3; ++b)
-        acc = simd::fma(simd::mul(fr[b], lub[b]), inner[b], acc);
+      if (rv.cat_w) {
+        const simd::Vec wc = simd::set1(rv.cat_w[c]);
+        for (int b = 0; b < 3; ++b)
+          acc = simd::fma(simd::mul(simd::mul(fr[b], wc), lub[b]), inner[b],
+                          acc);
+      } else {
+        for (int b = 0; b < 3; ++b)
+          acc = simd::fma(simd::mul(fr[b], lub[b]), inner[b], acc);
+      }
+    }
+    if (rv.cat_w) {
+      lnl += weights[i] * site_lnl(simd::reduce_add(acc),
+                                   child_scale(cu, cv, i),
+                                   rv.inv ? rv.inv[i] : 0.0);
+      continue;
     }
     const double site = simd::reduce_add(acc) * inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
@@ -449,7 +500,8 @@ template <bool TipU, bool TipV>
 void evaluate20_sites_core(std::size_t begin, std::size_t end,
                            std::size_t step, int cats, const ChildView& cu,
                            const ChildView& cv, const double* pt,
-                           const double* freqs, double* out) {
+                           const double* freqs, double* out,
+                           const RateView& rv) {
   const std::size_t stride = static_cast<std::size_t>(cats) * 20;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   simd::Vec fr[3];
@@ -473,8 +525,20 @@ void evaluate20_sites_core(std::size_t begin, std::size_t end,
         matvec20(pt + coff * 20, lv + coff, inner);
       simd::Vec lub[3];
       load20(luc, lub);
-      for (int b = 0; b < 3; ++b)
-        acc = simd::fma(simd::mul(fr[b], lub[b]), inner[b], acc);
+      if (rv.cat_w) {
+        const simd::Vec wc = simd::set1(rv.cat_w[c]);
+        for (int b = 0; b < 3; ++b)
+          acc = simd::fma(simd::mul(simd::mul(fr[b], wc), lub[b]), inner[b],
+                          acc);
+      } else {
+        for (int b = 0; b < 3; ++b)
+          acc = simd::fma(simd::mul(fr[b], lub[b]), inner[b], acc);
+      }
+    }
+    if (rv.cat_w) {
+      out[i] = site_lnl(simd::reduce_add(acc), child_scale(cu, cv, i),
+                        rv.inv ? rv.inv[i] : 0.0);
+      continue;
     }
     const double site = simd::reduce_add(acc) * inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
@@ -563,36 +627,40 @@ template <int S>
 double evaluate_spec(std::size_t begin, std::size_t end, std::size_t step,
                      int cats, const ChildView& cu, const ChildView& cv,
                      const double* p, const double* pt, const double* freqs,
-                     const double* weights) {
+                     const double* weights, const RateView& rv = {}) {
   static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if (tv && cv.tip_table == nullptr)
     return evaluate_slice<S>(begin, end, step, cats, cu, cv, p, freqs,
-                             weights);
+                             weights, rv);
   if constexpr (S == 4) {
     if (tu && tv)
       return detail::evaluate4_core<true, true>(begin, end, step, cats, cu,
-                                                cv, p, pt, freqs, weights);
+                                                cv, p, pt, freqs, weights,
+                                                rv);
     if (tu)
       return detail::evaluate4_core<true, false>(begin, end, step, cats, cu,
-                                                 cv, p, pt, freqs, weights);
+                                                 cv, p, pt, freqs, weights,
+                                                 rv);
     if (tv)
       return detail::evaluate4_core<false, true>(begin, end, step, cats, cu,
-                                                 cv, p, pt, freqs, weights);
+                                                 cv, p, pt, freqs, weights,
+                                                 rv);
     return detail::evaluate4_core<false, false>(begin, end, step, cats, cu,
-                                                cv, p, pt, freqs, weights);
+                                                cv, p, pt, freqs, weights,
+                                                rv);
   } else {
     if (tu && tv)
       return detail::evaluate20_core<true, true>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, weights);
+                                                 cv, pt, freqs, weights, rv);
     if (tu)
       return detail::evaluate20_core<true, false>(begin, end, step, cats, cu,
-                                                  cv, pt, freqs, weights);
+                                                  cv, pt, freqs, weights, rv);
     if (tv)
       return detail::evaluate20_core<false, true>(begin, end, step, cats, cu,
-                                                  cv, pt, freqs, weights);
+                                                  cv, pt, freqs, weights, rv);
     return detail::evaluate20_core<false, false>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, weights);
+                                                 cv, pt, freqs, weights, rv);
   }
 }
 
@@ -600,39 +668,41 @@ template <int S>
 void evaluate_sites_spec(std::size_t begin, std::size_t end, std::size_t step,
                          int cats, const ChildView& cu, const ChildView& cv,
                          const double* p, const double* pt,
-                         const double* freqs, double* out) {
+                         const double* freqs, double* out,
+                         const RateView& rv = {}) {
   static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if (tv && cv.tip_table == nullptr) {
-    evaluate_sites_slice<S>(begin, end, step, cats, cu, cv, p, freqs, out);
+    evaluate_sites_slice<S>(begin, end, step, cats, cu, cv, p, freqs, out,
+                            rv);
     return;
   }
   if constexpr (S == 4) {
     if (tu && tv)
       detail::evaluate4_sites_core<true, true>(begin, end, step, cats, cu, cv,
-                                               p, pt, freqs, out);
+                                               p, pt, freqs, out, rv);
     else if (tu)
       detail::evaluate4_sites_core<true, false>(begin, end, step, cats, cu,
-                                                cv, p, pt, freqs, out);
+                                                cv, p, pt, freqs, out, rv);
     else if (tv)
       detail::evaluate4_sites_core<false, true>(begin, end, step, cats, cu,
-                                                cv, p, pt, freqs, out);
+                                                cv, p, pt, freqs, out, rv);
     else
       detail::evaluate4_sites_core<false, false>(begin, end, step, cats, cu,
-                                                 cv, p, pt, freqs, out);
+                                                 cv, p, pt, freqs, out, rv);
   } else {
     if (tu && tv)
       detail::evaluate20_sites_core<true, true>(begin, end, step, cats, cu,
-                                                cv, pt, freqs, out);
+                                                cv, pt, freqs, out, rv);
     else if (tu)
       detail::evaluate20_sites_core<true, false>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, out);
+                                                 cv, pt, freqs, out, rv);
     else if (tv)
       detail::evaluate20_sites_core<false, true>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, out);
+                                                 cv, pt, freqs, out, rv);
     else
       detail::evaluate20_sites_core<false, false>(begin, end, step, cats, cu,
-                                                  cv, pt, freqs, out);
+                                                  cv, pt, freqs, out, rv);
   }
 }
 
@@ -681,7 +751,8 @@ void sumtable_spec(std::size_t begin, std::size_t end, std::size_t step,
 template <int S>
 void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
              const double* sumtable, const double* exp_lam, const double* lam,
-             const double* weights, double* out_d1, double* out_d2) {
+             const double* weights, double* out_d1, double* out_d2,
+             const RateView& rv = {}) {
   static_assert(S == 4 || S == 20, "AVX-512 kernels cover S=4 and S=20");
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   double d1 = 0.0, d2 = 0.0;
@@ -705,25 +776,21 @@ void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
         vf1 = _mm512_add_pd(vf1, lx);
         vf2 = _mm512_fmadd_pd(l, lx, vf2);
       }
-      double fa = detail::rsum_lo(vf);
-      double fb = detail::rsum_hi(vf);
+      const double fa = detail::rsum_lo(vf);
+      const double fb = detail::rsum_hi(vf);
       const double f1a = detail::rsum_lo(vf1);
       const double f1b = detail::rsum_hi(vf1);
       const double f2a = detail::rsum_lo(vf2);
       const double f2b = detail::rsum_hi(vf2);
-      if (fa < 1e-300) fa = 1e-300;
-      if (fb < 1e-300) fb = 1e-300;
-      const double ra = f1a / fa;
-      d1 += weights[i] * ra;
-      d2 += weights[i] * (f2a / fa - ra * ra);
-      const double rb = f1b / fb;
-      d1 += weights[i1] * rb;
-      d2 += weights[i1] * (f2b / fb - rb * rb);
+      nr_fold(fa, f1a, f2a, weights[i], rv.inv ? rv.inv[i] : 0.0,
+              rv.scale ? rv.scale[i] : 0, d1, d2);
+      nr_fold(fb, f1b, f2b, weights[i1], rv.inv ? rv.inv[i1] : 0.0,
+              rv.scale ? rv.scale[i1] : 0, d1, d2);
     }
     if (i < end) {
       double td1 = 0.0, td2 = 0.0;
       nr_slice<4>(i, end, step, cats, sumtable, exp_lam, lam, weights, &td1,
-                  &td2);
+                  &td2, rv);
       d1 += td1;
       d2 += td2;
     }
@@ -753,13 +820,11 @@ void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
           vf2 = simd::fma(l, lx, vf2);
         }
       }
-      double f = simd::reduce_add(vf);
+      const double f = simd::reduce_add(vf);
       const double f1 = simd::reduce_add(vf1);
       const double f2 = simd::reduce_add(vf2);
-      if (f < 1e-300) f = 1e-300;
-      const double r = f1 / f;
-      d1 += weights[i] * r;
-      d2 += weights[i] * (f2 / f - r * r);
+      nr_fold(f, f1, f2, weights[i], rv.inv ? rv.inv[i] : 0.0,
+              rv.scale ? rv.scale[i] : 0, d1, d2);
     }
   }
   *out_d1 = d1;

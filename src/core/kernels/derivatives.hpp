@@ -92,11 +92,14 @@ void sumtable_spec(std::size_t begin, std::size_t end, std::size_t step,
                                            symt, out);
 }
 
-/// SIMD Newton-Raphson derivative reduction (same contract as nr_slice).
+/// SIMD Newton-Raphson derivative reduction (same contract as nr_slice:
+/// category weights arrive folded into exp_lam, rv carries only the +I
+/// term).
 template <int S>
 void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
              const double* sumtable, const double* exp_lam, const double* lam,
-             const double* weights, double* out_d1, double* out_d2) {
+             const double* weights, double* out_d1, double* out_d2,
+             const RateView& rv = {}) {
   constexpr int W = simd::kLanes;
   constexpr int B = kBlocks<S>;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
@@ -126,20 +129,16 @@ void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
           vf2b = simd::fma(l, lx1, vf2b);
         }
       }
-      double fa = simd::reduce_add(vfa);
+      const double fa = simd::reduce_add(vfa);
       const double f1a = simd::reduce_add(vf1a);
       const double f2a = simd::reduce_add(vf2a);
-      double fb = simd::reduce_add(vfb);
+      const double fb = simd::reduce_add(vfb);
       const double f1b = simd::reduce_add(vf1b);
       const double f2b = simd::reduce_add(vf2b);
-      if (fa < 1e-300) fa = 1e-300;
-      if (fb < 1e-300) fb = 1e-300;
-      const double ra = f1a / fa;
-      d1 += weights[i] * ra;
-      d2 += weights[i] * (f2a / fa - ra * ra);
-      const double rb = f1b / fb;
-      d1 += weights[i1] * rb;
-      d2 += weights[i1] * (f2b / fb - rb * rb);
+      nr_fold(fa, f1a, f2a, weights[i], rv.inv ? rv.inv[i] : 0.0,
+              rv.scale ? rv.scale[i] : 0, d1, d2);
+      nr_fold(fb, f1b, f2b, weights[i1], rv.inv ? rv.inv[i1] : 0.0,
+              rv.scale ? rv.scale[i1] : 0, d1, d2);
     }
   }
   for (; i < end; i += step) {
@@ -159,13 +158,11 @@ void nr_spec(std::size_t begin, std::size_t end, std::size_t step, int cats,
         vf2 = simd::fma(l, lx, vf2);
       }
     }
-    double f = simd::reduce_add(vf);
+    const double f = simd::reduce_add(vf);
     const double f1 = simd::reduce_add(vf1);
     const double f2 = simd::reduce_add(vf2);
-    if (f < 1e-300) f = 1e-300;
-    const double r = f1 / f;
-    d1 += weights[i] * r;
-    d2 += weights[i] * (f2 / f - r * r);
+    nr_fold(f, f1, f2, weights[i], rv.inv ? rv.inv[i] : 0.0,
+            rv.scale ? rv.scale[i] : 0, d1, d2);
   }
   *out_d1 = d1;
   *out_d2 = d2;

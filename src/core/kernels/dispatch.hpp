@@ -43,20 +43,24 @@ struct KernelTable {
                              const ChildView&, const ChildView&,
                              const double*, const double*, const double*,
                              const double*, double*, std::int32_t*);
+  // evaluate / nr take a trailing RateView (rate-heterogeneity view). The
+  // spec functions declare it defaulted, but defaults do not travel through
+  // function pointers: every call through this table spells the argument
+  // out (kernel::RateView{} for the historic equal-weight behavior).
   using EvaluateFn = double (*)(std::size_t, std::size_t, std::size_t, int,
                                 const ChildView&, const ChildView&,
                                 const double*, const double*, const double*,
-                                const double*);
+                                const double*, const RateView&);
   using EvaluateSitesFn = void (*)(std::size_t, std::size_t, std::size_t, int,
                                    const ChildView&, const ChildView&,
                                    const double*, const double*,
-                                   const double*, double*);
+                                   const double*, double*, const RateView&);
   using SumtableFn = void (*)(std::size_t, std::size_t, std::size_t, int,
                               const ChildView&, const ChildView&,
                               const double*, const double*, double*);
   using NrFn = void (*)(std::size_t, std::size_t, std::size_t, int,
                         const double*, const double*, const double*,
-                        const double*, double*, double*);
+                        const double*, double*, double*, const RateView&);
 
   NewviewFn newview4 = nullptr;
   NewviewFn newview20 = nullptr;

@@ -30,10 +30,13 @@ PLK_SIMD_NS_BEGIN
 namespace detail {
 
 /// Per-pattern site likelihood (before the 1/cats normalization and log).
+/// `cw`: optional per-category mixture weights; null keeps the historic
+/// unweighted accumulation sequence bit-for-bit.
 template <int S, bool TipU, bool TipV>
 inline double eval_site(std::size_t i, int cats, std::size_t stride,
                         const ChildView& cu, const ChildView& cv,
-                        const double* pt, const simd::Vec (&fr)[kBlocks<S>]) {
+                        const double* pt, const simd::Vec (&fr)[kBlocks<S>],
+                        const double* cw) {
   constexpr int W = simd::kLanes;
   constexpr int B = kBlocks<S>;
   const double* lu =
@@ -52,9 +55,17 @@ inline double eval_site(std::size_t i, int cats, std::size_t stride,
     } else {
       matvec_t<S>(pt + static_cast<std::size_t>(c) * S * S, lvc, inner);
     }
-    for (int b = 0; b < B; ++b)
-      acc = simd::fma(simd::mul(fr[b], simd::load(luc + b * W)), inner[b],
-                      acc);
+    if (cw) {
+      const simd::Vec wc = simd::set1(cw[c]);
+      for (int b = 0; b < B; ++b)
+        acc = simd::fma(
+            simd::mul(simd::mul(fr[b], wc), simd::load(luc + b * W)),
+            inner[b], acc);
+    } else {
+      for (int b = 0; b < B; ++b)
+        acc = simd::fma(simd::mul(fr[b], simd::load(luc + b * W)), inner[b],
+                        acc);
+    }
   }
   return simd::reduce_add(acc);
 }
@@ -65,8 +76,8 @@ template <int S, bool TipU, bool TipV>
 inline void eval_site2(std::size_t i0, std::size_t i1, int cats,
                        std::size_t stride, const ChildView& cu,
                        const ChildView& cv, const double* pt,
-                       const simd::Vec (&fr)[kBlocks<S>], double* site0,
-                       double* site1) {
+                       const simd::Vec (&fr)[kBlocks<S>], const double* cw,
+                       double* site0, double* site1) {
   constexpr int W = simd::kLanes;
   constexpr int B = kBlocks<S>;
   const double* lu0 =
@@ -95,11 +106,23 @@ inline void eval_site2(std::size_t i0, std::size_t i1, int cats,
     } else {
       matvec_t2<S>(pt + coff * S, lv0 + coff, lv1 + coff, inner0, inner1);
     }
-    for (int b = 0; b < B; ++b) {
-      acc0 = simd::fma(simd::mul(fr[b], simd::load(luc0 + b * W)), inner0[b],
-                       acc0);
-      acc1 = simd::fma(simd::mul(fr[b], simd::load(luc1 + b * W)), inner1[b],
-                       acc1);
+    if (cw) {
+      const simd::Vec wc = simd::set1(cw[c]);
+      for (int b = 0; b < B; ++b) {
+        acc0 = simd::fma(
+            simd::mul(simd::mul(fr[b], wc), simd::load(luc0 + b * W)),
+            inner0[b], acc0);
+        acc1 = simd::fma(
+            simd::mul(simd::mul(fr[b], wc), simd::load(luc1 + b * W)),
+            inner1[b], acc1);
+      }
+    } else {
+      for (int b = 0; b < B; ++b) {
+        acc0 = simd::fma(simd::mul(fr[b], simd::load(luc0 + b * W)),
+                         inner0[b], acc0);
+        acc1 = simd::fma(simd::mul(fr[b], simd::load(luc1 + b * W)),
+                         inner1[b], acc1);
+      }
     }
   }
   *site0 = simd::reduce_add(acc0);
@@ -110,7 +133,7 @@ template <int S, bool TipU, bool TipV>
 double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
                      int cats, const ChildView& cu, const ChildView& cv,
                      const double* pt, const double* freqs,
-                     const double* weights) {
+                     const double* weights, const RateView& rv) {
   constexpr int W = simd::kLanes;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   const double inv_cats = 1.0 / static_cast<double>(cats);
@@ -119,12 +142,36 @@ double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
 
   double lnl = 0.0;
   std::size_t i = begin;
+  if (rv.cat_w) {
+    // Weighted mixture: the site value already includes the category
+    // weights (and their (1 - p_inv) factor), so there is no 1/cats
+    // normalization; the +I term enters through site_lnl.
+    if constexpr (S == 4) {
+      for (; i < end && i + step < end; i += 2 * step) {
+        const std::size_t i1 = i + step;
+        double s0, s1;
+        eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr,
+                                  rv.cat_w, &s0, &s1);
+        lnl += weights[i] * site_lnl(s0, child_scale(cu, cv, i),
+                                     rv.inv ? rv.inv[i] : 0.0);
+        lnl += weights[i1] * site_lnl(s1, child_scale(cu, cv, i1),
+                                      rv.inv ? rv.inv[i1] : 0.0);
+      }
+    }
+    for (; i < end; i += step) {
+      const double site = eval_site<S, TipU, TipV>(i, cats, stride, cu, cv,
+                                                   pt, fr, rv.cat_w);
+      lnl += weights[i] * site_lnl(site, child_scale(cu, cv, i),
+                                   rv.inv ? rv.inv[i] : 0.0);
+    }
+    return lnl;
+  }
   if constexpr (S == 4) {
     for (; i < end && i + step < end; i += 2 * step) {
       const std::size_t i1 = i + step;
       double s0, s1;
-      eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0,
-                                &s1);
+      eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, nullptr,
+                                &s0, &s1);
       const double site0 = s0 * inv_cats;
       const double site1 = s1 * inv_cats;
       const double g0 = site0 > 1e-300 ? site0 : 1e-300;
@@ -139,7 +186,8 @@ double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
   }
   for (; i < end; i += step) {
     const double site =
-        eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
+        eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr, nullptr) *
+        inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
     const double guarded = site > 1e-300 ? site : 1e-300;
     lnl += weights[i] *
@@ -151,7 +199,8 @@ double evaluate_core(std::size_t begin, std::size_t end, std::size_t step,
 template <int S, bool TipU, bool TipV>
 void evaluate_sites_core(std::size_t begin, std::size_t end, std::size_t step,
                          int cats, const ChildView& cu, const ChildView& cv,
-                         const double* pt, const double* freqs, double* out) {
+                         const double* pt, const double* freqs, double* out,
+                         const RateView& rv) {
   constexpr int W = simd::kLanes;
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   const double inv_cats = 1.0 / static_cast<double>(cats);
@@ -159,12 +208,33 @@ void evaluate_sites_core(std::size_t begin, std::size_t end, std::size_t step,
   for (int b = 0; b < kBlocks<S>; ++b) fr[b] = simd::load(freqs + b * W);
 
   std::size_t i = begin;
+  if (rv.cat_w) {
+    if constexpr (S == 4) {
+      for (; i < end && i + step < end; i += 2 * step) {
+        const std::size_t i1 = i + step;
+        double s0, s1;
+        eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr,
+                                  rv.cat_w, &s0, &s1);
+        out[i] = site_lnl(s0, child_scale(cu, cv, i),
+                          rv.inv ? rv.inv[i] : 0.0);
+        out[i1] = site_lnl(s1, child_scale(cu, cv, i1),
+                           rv.inv ? rv.inv[i1] : 0.0);
+      }
+    }
+    for (; i < end; i += step) {
+      const double site = eval_site<S, TipU, TipV>(i, cats, stride, cu, cv,
+                                                   pt, fr, rv.cat_w);
+      out[i] = site_lnl(site, child_scale(cu, cv, i),
+                        rv.inv ? rv.inv[i] : 0.0);
+    }
+    return;
+  }
   if constexpr (S == 4) {
     for (; i < end && i + step < end; i += 2 * step) {
       const std::size_t i1 = i + step;
       double s0, s1;
-      eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, &s0,
-                                &s1);
+      eval_site2<S, TipU, TipV>(i, i1, cats, stride, cu, cv, pt, fr, nullptr,
+                                &s0, &s1);
       const double site0 = s0 * inv_cats;
       const double site1 = s1 * inv_cats;
       const double g0 = site0 > 1e-300 ? site0 : 1e-300;
@@ -177,7 +247,8 @@ void evaluate_sites_core(std::size_t begin, std::size_t end, std::size_t step,
   }
   for (; i < end; i += step) {
     const double site =
-        eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr) * inv_cats;
+        eval_site<S, TipU, TipV>(i, cats, stride, cu, cv, pt, fr, nullptr) *
+        inv_cats;
     const std::int32_t scale = child_scale(cu, cv, i);
     const double guarded = site > 1e-300 ? site : 1e-300;
     out[i] = std::log(guarded) - static_cast<double>(scale) * kLogScale;
@@ -193,22 +264,22 @@ template <int S>
 double evaluate_spec(std::size_t begin, std::size_t end, std::size_t step,
                      int cats, const ChildView& cu, const ChildView& cv,
                      const double* p, const double* pt, const double* freqs,
-                     const double* weights) {
+                     const double* weights, const RateView& rv = {}) {
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if (tv && cv.tip_table == nullptr)
     return evaluate_slice<S>(begin, end, step, cats, cu, cv, p, freqs,
-                             weights);
+                             weights, rv);
   if (tu && tv)
     return detail::evaluate_core<S, true, true>(begin, end, step, cats, cu,
-                                                cv, pt, freqs, weights);
+                                                cv, pt, freqs, weights, rv);
   if (tu)
     return detail::evaluate_core<S, true, false>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, weights);
+                                                 cv, pt, freqs, weights, rv);
   if (tv)
     return detail::evaluate_core<S, false, true>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, weights);
+                                                 cv, pt, freqs, weights, rv);
   return detail::evaluate_core<S, false, false>(begin, end, step, cats, cu,
-                                                cv, pt, freqs, weights);
+                                                cv, pt, freqs, weights, rv);
 }
 
 /// Per-site variant of evaluate_spec (same dispatch rules).
@@ -216,24 +287,25 @@ template <int S>
 void evaluate_sites_spec(std::size_t begin, std::size_t end, std::size_t step,
                          int cats, const ChildView& cu, const ChildView& cv,
                          const double* p, const double* pt, const double* freqs,
-                         double* out) {
+                         double* out, const RateView& rv = {}) {
   const bool tu = cu.is_tip(), tv = cv.is_tip();
   if (tv && cv.tip_table == nullptr) {
-    evaluate_sites_slice<S>(begin, end, step, cats, cu, cv, p, freqs, out);
+    evaluate_sites_slice<S>(begin, end, step, cats, cu, cv, p, freqs, out,
+                            rv);
     return;
   }
   if (tu && tv)
     detail::evaluate_sites_core<S, true, true>(begin, end, step, cats, cu, cv,
-                                               pt, freqs, out);
+                                               pt, freqs, out, rv);
   else if (tu)
     detail::evaluate_sites_core<S, true, false>(begin, end, step, cats, cu,
-                                                cv, pt, freqs, out);
+                                                cv, pt, freqs, out, rv);
   else if (tv)
     detail::evaluate_sites_core<S, false, true>(begin, end, step, cats, cu,
-                                                cv, pt, freqs, out);
+                                                cv, pt, freqs, out, rv);
   else
     detail::evaluate_sites_core<S, false, false>(begin, end, step, cats, cu,
-                                                 cv, pt, freqs, out);
+                                                 cv, pt, freqs, out, rv);
 }
 
 PLK_SIMD_NS_END

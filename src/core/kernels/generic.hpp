@@ -81,6 +81,59 @@ inline std::int32_t child_scale(const ChildView& c1, const ChildView& c2,
   return cnt;
 }
 
+/// Rate-heterogeneity view for evaluate / nr_derivatives. Every field may be
+/// null; a default-constructed RateView selects the historic equal-weight
+/// discrete-Gamma behavior bit-for-bit, which is why it is a defaulted
+/// trailing parameter on the kernels below.
+struct RateView {
+  /// Per-category mixture weights with the (1 - p_inv) factor folded in
+  /// (RateModel::eval_weights()). Null = the historic uniform 1/cats
+  /// averaging, summed across categories first and multiplied once — kept
+  /// verbatim so plain-Gamma results stay bit-identical.
+  const double* cat_w = nullptr;
+  /// Per-pattern invariant-site contribution p_inv * sum of the stationary
+  /// frequencies of the states pattern i could be invariant in (0 for
+  /// patterns with more than one residue). Null = no +I term.
+  const double* inv = nullptr;
+  /// Per-pattern scale counts at the virtual root (only consulted by
+  /// nr_derivatives when `inv` is set: the sumtable entries carry the CLV
+  /// scaling, the invariant term does not, so it must be lifted into the
+  /// same scaled units before the ratios are formed).
+  const std::int32_t* scale = nullptr;
+};
+
+/// Per-site log-likelihood from the (scaled) variable-rate mixture `site`,
+/// its scale count, and the unscaled invariant contribution `inv`.
+/// inv <= 0 reproduces the historic expression exactly; otherwise the two
+/// terms are combined in log space (the scaled mixture can sit hundreds of
+/// orders of magnitude below the invariant term, so a naive sum underflows).
+inline double site_lnl(double site, std::int32_t scale, double inv) {
+  const double guarded = site > 1e-300 ? site : 1e-300;
+  const double la =
+      std::log(guarded) - static_cast<double>(scale) * kLogScale;
+  if (!(inv > 0.0)) return la;
+  const double lb = std::log(inv);
+  const double hi = la > lb ? la : lb;
+  const double lo = la > lb ? lb : la;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+/// Fold one pattern's Newton-Raphson terms into the d1/d2 accumulators.
+/// f, f1, f2 are the (scaled) mixture likelihood and its branch-length
+/// derivatives; the invariant term is constant in the branch length, so it
+/// only enters the denominator — lifted by ldexp into f's scaled units.
+/// inv <= 0 reproduces the historic fold exactly. When ldexp overflows to
+/// +inf the ratios collapse to 0, which is the right limit: the invariant
+/// term dominates and the site's derivative contribution vanishes.
+inline void nr_fold(double f, double f1, double f2, double w, double inv,
+                    std::int32_t scale, double& d1, double& d2) {
+  if (inv > 0.0) f += std::ldexp(inv, 256 * scale);
+  if (f < 1e-300) f = 1e-300;
+  const double r = f1 / f;
+  d1 += w * r;
+  d2 += w * (f2 / f - r * r);
+}
+
 /// newview: combine two children into the parent CLV.
 /// `p1`, `p2`: transition matrices per category, layout [cat][i][j].
 template <int S>
@@ -128,11 +181,13 @@ void newview_slice(std::size_t begin, std::size_t end, std::size_t step,
 /// branch joining `cu` and `cv`, whose transition matrices for the current
 /// branch length are `p` ([cat][i][j], applied to the cv side).
 /// `freqs`: stationary frequencies. `weights`: pattern multiplicities.
+/// `rv`: optional rate-heterogeneity view (per-category weights, +I term);
+/// the default selects the historic equal-weight path bit-for-bit.
 template <int S>
 double evaluate_slice(std::size_t begin, std::size_t end, std::size_t step,
                       int cats, const ChildView& cu, const ChildView& cv,
                       const double* p, const double* freqs,
-                      const double* weights) {
+                      const double* weights, const RateView& rv = {}) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   double lnl = 0.0;
@@ -140,6 +195,24 @@ double evaluate_slice(std::size_t begin, std::size_t end, std::size_t step,
     const double* lu = child_pattern<S>(cu, i, stride);
     const double* lv = child_pattern<S>(cv, i, stride);
     double site = 0.0;
+    if (rv.cat_w) {
+      for (int c = 0; c < cats; ++c) {
+        const double* pc = p + static_cast<std::size_t>(c) * S * S;
+        const double* luc = child_cat<S>(cu, lu, c);
+        const double* lvc = child_cat<S>(cv, lv, c);
+        double site_c = 0.0;
+        for (int a = 0; a < S; ++a) {
+          double inner = 0.0;
+          const double* row = pc + a * S;
+          for (int j = 0; j < S; ++j) inner += row[j] * lvc[j];
+          site_c += freqs[a] * luc[a] * inner;
+        }
+        site += rv.cat_w[c] * site_c;
+      }
+      lnl += weights[i] * site_lnl(site, child_scale(cu, cv, i),
+                                   rv.inv ? rv.inv[i] : 0.0);
+      continue;
+    }
     for (int c = 0; c < cats; ++c) {
       const double* pc = p + static_cast<std::size_t>(c) * S * S;
       const double* luc = child_cat<S>(cu, lu, c);
@@ -166,13 +239,32 @@ double evaluate_slice(std::size_t begin, std::size_t end, std::size_t step,
 template <int S>
 void evaluate_sites_slice(std::size_t begin, std::size_t end, std::size_t step,
                           int cats, const ChildView& cu, const ChildView& cv,
-                          const double* p, const double* freqs, double* out) {
+                          const double* p, const double* freqs, double* out,
+                          const RateView& rv = {}) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   const double inv_cats = 1.0 / static_cast<double>(cats);
   for (std::size_t i = begin; i < end; i += step) {
     const double* lu = child_pattern<S>(cu, i, stride);
     const double* lv = child_pattern<S>(cv, i, stride);
     double site = 0.0;
+    if (rv.cat_w) {
+      for (int c = 0; c < cats; ++c) {
+        const double* pc = p + static_cast<std::size_t>(c) * S * S;
+        const double* luc = child_cat<S>(cu, lu, c);
+        const double* lvc = child_cat<S>(cv, lv, c);
+        double site_c = 0.0;
+        for (int a = 0; a < S; ++a) {
+          double inner = 0.0;
+          const double* row = pc + a * S;
+          for (int j = 0; j < S; ++j) inner += row[j] * lvc[j];
+          site_c += freqs[a] * luc[a] * inner;
+        }
+        site += rv.cat_w[c] * site_c;
+      }
+      out[i] = site_lnl(site, child_scale(cu, cv, i),
+                        rv.inv ? rv.inv[i] : 0.0);
+      continue;
+    }
     for (int c = 0; c < cats; ++c) {
       const double* pc = p + static_cast<std::size_t>(c) * S * S;
       const double* luc = child_cat<S>(cu, lu, c);
@@ -225,11 +317,16 @@ void sumtable_slice(std::size_t begin, std::size_t end, std::size_t step,
 /// likelihood with respect to the branch length, from a precomputed sumtable.
 /// `exp_lam` layout [cat][k] = exp(lambda_k * r_c * b);
 /// `lam` layout [cat][k] = lambda_k * r_c.
+/// Per-category mixture weights need no extra input here: the engine folds
+/// them into `exp_lam` (each f/f1/f2 term carries exactly one factor of the
+/// exponential, so scaling it by w_c weights all three consistently). `rv`
+/// only supplies the +I term: rv.inv + rv.scale (per-pattern root scale
+/// counts), both null for the historic behavior.
 template <int S>
 void nr_slice(std::size_t begin, std::size_t end, std::size_t step, int cats,
               const double* sumtable, const double* exp_lam,
               const double* lam, const double* weights, double* out_d1,
-              double* out_d2) {
+              double* out_d2, const RateView& rv = {}) {
   const std::size_t stride = static_cast<std::size_t>(cats) * S;
   double d1 = 0.0, d2 = 0.0;
   for (std::size_t i = begin; i < end; i += step) {
@@ -246,10 +343,8 @@ void nr_slice(std::size_t begin, std::size_t end, std::size_t step, int cats,
         f2 += lc[k] * lc[k] * x;
       }
     }
-    if (f < 1e-300) f = 1e-300;
-    const double r = f1 / f;
-    d1 += weights[i] * r;
-    d2 += weights[i] * (f2 / f - r * r);
+    nr_fold(f, f1, f2, weights[i], rv.inv ? rv.inv[i] : 0.0,
+            rv.scale ? rv.scale[i] : 0, d1, d2);
   }
   *out_d1 = d1;
   *out_d2 = d2;

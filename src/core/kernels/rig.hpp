@@ -34,6 +34,14 @@ struct KernelRig {
   std::vector<double> sym, symt, sym_tab;  // sumtable transform + tip table
   std::vector<double> freqs, weights;
   std::vector<double> exp_lam, lam;  // NR inputs at b = 0.23
+  // Rate-heterogeneity fixtures (free-rates + invariant sites): non-uniform
+  // category weights with (1 - p_inv) folded in, a per-pattern invariant
+  // contribution (zero on most patterns, as real alignments produce), root
+  // scale counts for the NR fold, and the exp table with the weights folded
+  // (the engine's NR contract for non-uniform categories).
+  std::vector<double> cat_w, inv_contrib, exp_lam_w;
+  std::vector<std::int32_t> root_scale;
+  static constexpr double kPinv = 0.15;
   SubstModel model;
 
   /// `tiny_values` fills the CLVs with ~1e-80 entries so every newview
@@ -122,9 +130,44 @@ struct KernelRig {
             std::exp(lam[static_cast<std::size_t>(c) * S + k] * b);
       }
 
+    cat_w.resize(static_cast<std::size_t>(cats));
+    double wsum = 0.0;
+    for (int c = 0; c < cats; ++c) {
+      cat_w[static_cast<std::size_t>(c)] = 1.0 + 0.3 * c;
+      wsum += cat_w[static_cast<std::size_t>(c)];
+    }
+    for (auto& w : cat_w) w *= (1.0 - kPinv) / wsum;
+    inv_contrib.resize(patterns);
+    root_scale.resize(patterns);
+    for (std::size_t i = 0; i < patterns; ++i) {
+      inv_contrib[i] = i % 3 == 0 ? kPinv * freqs[i % S] : 0.0;
+      root_scale[i] = static_cast<std::int32_t>(i % 2);
+    }
+    exp_lam_w.resize(stride);
+    for (int c = 0; c < cats; ++c)
+      for (int k = 0; k < S; ++k)
+        exp_lam_w[static_cast<std::size_t>(c) * S + k] =
+            exp_lam[static_cast<std::size_t>(c) * S + k] *
+            cat_w[static_cast<std::size_t>(c)];
+
     // A ready sumtable for the NR kernels.
     sumtable_slice<S>(0, patterns, 1, cats, inner1(), inner2(), sym.data(),
                       sumtab.data());
+  }
+
+  /// Weighted-category + invariant-sites view for evaluate kernels.
+  RateView rate_view() const {
+    RateView rv;
+    rv.cat_w = cat_w.data();
+    rv.inv = inv_contrib.data();
+    return rv;
+  }
+  /// NR variant: weights ride in exp_lam_w, the view adds +I and scales.
+  RateView nr_rate_view() const {
+    RateView rv;
+    rv.inv = inv_contrib.data();
+    rv.scale = root_scale.data();
+    return rv;
   }
 
   ChildView inner1() const {

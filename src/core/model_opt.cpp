@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "model/gamma.hpp"
+#include "model/rates.hpp"
 #include "model/subst_model.hpp"
 #include "optimize/brent.hpp"
 
@@ -15,40 +16,89 @@ EdgeId eval_edge(const Engine& engine) {
   return engine.root_edge() == kNoId ? 0 : engine.root_edge();
 }
 
-/// Apply a parameter proposal for one partition (alpha or exchangeability
-/// `rate_index`) and invalidate its CLVs.
-void apply_param(Engine& engine, int p, int rate_index, double value) {
-  if (rate_index < 0)
-    engine.model(p).set_alpha(value);
-  else
-    engine.model(p).model().set_exchangeability(rate_index, value);
+/// One optimizable model coordinate. The free-rate/-weight mutators
+/// re-normalize the whole mixture inside apply (the normalization invariant
+/// sum w_c r_c = 1/(1-p) is restored after every proposal), so each
+/// coordinate is a well-defined deterministic objective for Brent even
+/// though the underlying parameters move together.
+struct ParamRef {
+  enum class Kind { kAlpha, kExch, kPinv, kFreeRate, kFreeWeight };
+  Kind kind = Kind::kAlpha;
+  int index = 0;  ///< exchangeability / free category index
+};
+
+/// Apply a parameter proposal for one partition and invalidate its CLVs.
+void apply_param(Engine& engine, int p, ParamRef ref, double value) {
+  PartitionModel& m = engine.model(p);
+  switch (ref.kind) {
+    case ParamRef::Kind::kAlpha:
+      m.set_alpha(value);
+      break;
+    case ParamRef::Kind::kExch:
+      m.model().set_exchangeability(ref.index, value);
+      break;
+    case ParamRef::Kind::kPinv:
+      m.set_p_inv(value);
+      break;
+    case ParamRef::Kind::kFreeRate:
+      m.set_free_rate(ref.index, value);
+      break;
+    case ParamRef::Kind::kFreeWeight:
+      m.set_free_weight(ref.index, value);
+      break;
+  }
   engine.invalidate_partition(p);
 }
 
-double current_param(const Engine& engine, int p, int rate_index) {
-  if (rate_index < 0) return engine.model(p).alpha();
-  return engine.model(p).model()
-      .exchangeabilities()[static_cast<std::size_t>(rate_index)];
+/// Free-category rates span [kFreeRateMin, kFreeRateMax] — eight decades.
+/// Brent probes them in log space so the early golden sections land on
+/// sensible magnitudes; a linear interval would spend every first probe
+/// above 1e3 and pin the small-rate categories against the lower bound.
+bool log_scaled(ParamRef ref) {
+  return ref.kind == ParamRef::Kind::kFreeRate;
+}
+double to_brent(ParamRef ref, double v) {
+  return log_scaled(ref) ? std::log(v) : v;
+}
+double from_brent(ParamRef ref, double v) {
+  return log_scaled(ref) ? std::exp(v) : v;
 }
 
-/// oldPAR: optimize `rate_index` (or alpha when negative) for the listed
-/// partitions one at a time; every Brent iteration is a single-partition
-/// likelihood command.
+double current_param(const Engine& engine, int p, ParamRef ref) {
+  const PartitionModel& m = engine.model(p);
+  switch (ref.kind) {
+    case ParamRef::Kind::kAlpha:
+      return m.alpha();
+    case ParamRef::Kind::kExch:
+      return m.model().exchangeabilities()[static_cast<std::size_t>(ref.index)];
+    case ParamRef::Kind::kPinv:
+      return m.p_inv();
+    case ParamRef::Kind::kFreeRate:
+      return m.rate_model().rates()[static_cast<std::size_t>(ref.index)];
+    case ParamRef::Kind::kFreeWeight:
+      return m.rate_model().weights()[static_cast<std::size_t>(ref.index)];
+  }
+  return 0.0;  // unreachable
+}
+
+/// oldPAR: optimize one coordinate for the listed partitions one at a time;
+/// every Brent iteration is a single-partition likelihood command.
 void optimize_param_old(Engine& engine, const std::vector<int>& parts,
-                        int rate_index, double lo, double hi,
+                        ParamRef ref, double lo, double hi,
                         const ModelOptOptions& opts) {
   const EdgeId edge = eval_edge(engine);
   for (int p : parts) {
-    const double start = current_param(engine, p, rate_index);
-    BrentMinimizer bm(lo, hi, opts.brent_rel_tol, 1e-8,
-                      opts.max_brent_iterations, start);
+    const double start = to_brent(ref, current_param(engine, p, ref));
+    BrentMinimizer bm(to_brent(ref, lo), to_brent(ref, hi),
+                      opts.brent_rel_tol, 1e-8, opts.max_brent_iterations,
+                      start);
     while (!bm.done()) {
-      apply_param(engine, p, rate_index, bm.proposal());
+      apply_param(engine, p, ref, from_brent(ref, bm.proposal()));
       const double lnl = engine.loglikelihood(edge, {p});
       bm.feed(-lnl);
     }
     // Restore the best point found (Brent's last proposal need not be it).
-    apply_param(engine, p, rate_index, bm.best());
+    apply_param(engine, p, ref, from_brent(ref, bm.best()));
     engine.loglikelihood(edge, {p});
   }
 }
@@ -57,15 +107,15 @@ void optimize_param_old(Engine& engine, const std::vector<int>& parts,
 /// each iteration evaluates all active partitions' proposals in ONE command,
 /// with converged partitions masked out (the paper's convergence vector).
 void optimize_param_new(Engine& engine, const std::vector<int>& parts,
-                        int rate_index, double lo, double hi,
+                        ParamRef ref, double lo, double hi,
                         const ModelOptOptions& opts) {
   const EdgeId edge = eval_edge(engine);
   std::vector<BrentMinimizer> bm;
   bm.reserve(parts.size());
   for (int p : parts)
-    bm.emplace_back(lo, hi, opts.brent_rel_tol, 1e-8,
-                    opts.max_brent_iterations,
-                    current_param(engine, p, rate_index));
+    bm.emplace_back(to_brent(ref, lo), to_brent(ref, hi), opts.brent_rel_tol,
+                    1e-8, opts.max_brent_iterations,
+                    to_brent(ref, current_param(engine, p, ref)));
 
   std::vector<int> active_idx(parts.size());
   for (std::size_t k = 0; k < parts.size(); ++k)
@@ -76,8 +126,8 @@ void optimize_param_new(Engine& engine, const std::vector<int>& parts,
     active_parts.reserve(active_idx.size());
     for (int k : active_idx) {
       const int p = parts[static_cast<std::size_t>(k)];
-      apply_param(engine, p, rate_index,
-                  bm[static_cast<std::size_t>(k)].proposal());
+      apply_param(engine, p, ref,
+                  from_brent(ref, bm[static_cast<std::size_t>(k)].proposal()));
       active_parts.push_back(p);
     }
     engine.loglikelihood(edge, active_parts);
@@ -94,46 +144,79 @@ void optimize_param_new(Engine& engine, const std::vector<int>& parts,
 
   // Commit every partition's best point (one final joint evaluation).
   for (std::size_t k = 0; k < parts.size(); ++k)
-    apply_param(engine, parts[k], rate_index, bm[k].best());
+    apply_param(engine, parts[k], ref, from_brent(ref, bm[k].best()));
   engine.loglikelihood(edge, parts);
 }
 
 void optimize_param(Engine& engine, Strategy strategy,
-                    const std::vector<int>& parts, int rate_index, double lo,
+                    const std::vector<int>& parts, ParamRef ref, double lo,
                     double hi, const ModelOptOptions& opts) {
   if (parts.empty()) return;
   if (strategy == Strategy::kOldPar)
-    optimize_param_old(engine, parts, rate_index, lo, hi, opts);
+    optimize_param_old(engine, parts, ref, lo, hi, opts);
   else
-    optimize_param_new(engine, parts, rate_index, lo, hi, opts);
+    optimize_param_new(engine, parts, ref, lo, hi, opts);
 }
 
 }  // namespace
 
 double optimize_model_parameters(Engine& engine, Strategy strategy,
                                  const ModelOptOptions& opts) {
-  std::vector<int> all_parts, dna_parts;
+  std::vector<int> gamma_parts, dna_parts, pinv_parts, free_parts;
   int max_dna_rates = 0;
+  int max_free_cats = 0;
   for (int p = 0; p < engine.partition_count(); ++p) {
-    all_parts.push_back(p);
-    if (engine.model(p).model().states() == 4) {
+    const PartitionModel& m = engine.model(p);
+    const RateModel& r = m.rate_model();
+    if (r.kind() == RateModel::Kind::kGamma && r.categories() > 1)
+      gamma_parts.push_back(p);
+    if (m.model().states() == 4) {
       dna_parts.push_back(p);
-      max_dna_rates = engine.model(p).model().free_rate_count();
+      max_dna_rates = m.model().free_rate_count();
+    }
+    if (r.invariant_sites()) pinv_parts.push_back(p);
+    if (r.kind() == RateModel::Kind::kFree) {
+      free_parts.push_back(p);
+      max_free_cats = std::max(max_free_cats, r.categories());
     }
   }
 
   if (opts.optimize_alpha)
-    optimize_param(engine, strategy, all_parts, -1, kAlphaMin, kAlphaMax,
-                   opts);
+    optimize_param(engine, strategy, gamma_parts,
+                   {ParamRef::Kind::kAlpha, 0}, kAlphaMin, kAlphaMax, opts);
 
   if (opts.optimize_rates) {
     // Coordinate descent over the DNA exchangeabilities: rate k is optimized
     // across all DNA partitions (simultaneously under newPAR) before moving
     // to rate k+1 — the schedule RAxML uses.
     for (int k = 0; k < max_dna_rates; ++k)
-      optimize_param(engine, strategy, dna_parts, k, SubstModel::kRateMin,
-                     SubstModel::kRateMax, opts);
+      optimize_param(engine, strategy, dna_parts, {ParamRef::Kind::kExch, k},
+                     SubstModel::kRateMin, SubstModel::kRateMax, opts);
   }
+
+  if (opts.optimize_free_rates) {
+    // Same coordinate-descent schedule for the +R mixture: category c's rate
+    // across all free-rate partitions (those with at least c+1 categories),
+    // then category c's weight — each proposal re-normalizes inside apply.
+    const auto with_cat = [&](int c) {
+      std::vector<int> out;
+      for (int p : free_parts)
+        if (engine.model(p).rate_model().categories() > c) out.push_back(p);
+      return out;
+    };
+    for (int c = 0; c < max_free_cats; ++c)
+      optimize_param(engine, strategy, with_cat(c),
+                     {ParamRef::Kind::kFreeRate, c}, kFreeRateMin,
+                     kFreeRateMax, opts);
+    for (int c = 0; c < max_free_cats; ++c)
+      optimize_param(engine, strategy, with_cat(c),
+                     {ParamRef::Kind::kFreeWeight, c}, kFreeWeightMin,
+                     1.0 - kFreeWeightMin, opts);
+  }
+
+  if (opts.optimize_pinv)
+    optimize_param(engine, strategy, pinv_parts, {ParamRef::Kind::kPinv, 0},
+                   kPinvMin, kPinvMax, opts);
 
   return engine.loglikelihood(eval_edge(engine));
 }

@@ -26,6 +26,8 @@ namespace plk {
 struct ModelOptOptions {
   bool optimize_alpha = true;
   bool optimize_rates = true;   ///< DNA exchangeabilities (protein: skipped)
+  bool optimize_pinv = true;    ///< +I proportion (models carrying the term)
+  bool optimize_free_rates = true;  ///< +R category rates AND weights
   double brent_rel_tol = 1e-3;
   int max_brent_iterations = 60;
 };

@@ -1,10 +1,11 @@
 // Per-partition likelihood model parameters.
 //
 // A partitioned analysis estimates, for every partition (gene): the
-// substitution model's exchangeabilities, the Gamma shape alpha, and —
-// optionally — its own branch lengths. This bundle owns the first two; the
-// engine signals parameter changes via epochs so only the affected
-// partition's CLVs are recomputed.
+// substitution model's exchangeabilities, the rate-heterogeneity parameters
+// (Gamma shape, free rates/weights, invariant proportion), and — optionally
+// — its own branch lengths. This bundle owns the first two; the engine
+// signals parameter changes via epochs so only the affected partition's CLVs
+// are recomputed.
 #pragma once
 
 #include <string>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "model/gamma.hpp"
+#include "model/rates.hpp"
 #include "model/subst_model.hpp"
 
 namespace plk {
@@ -19,38 +21,51 @@ namespace plk {
 /// One partition's substitution model plus rate heterogeneity.
 class PartitionModel {
  public:
+  /// Legacy constructor: discrete Gamma with `gamma_cats` categories.
   PartitionModel(SubstModel model, double alpha = 1.0, int gamma_cats = 4,
                  GammaMode mode = GammaMode::kMean)
       : model_(std::move(model)),
-        gamma_cats_(gamma_cats),
-        mode_(mode) {
-    set_alpha(alpha);
-  }
+        rates_(RateModel::gamma(alpha, gamma_cats, mode)) {}
+
+  /// General constructor: any rate-heterogeneity model.
+  PartitionModel(SubstModel model, RateModel rates)
+      : model_(std::move(model)), rates_(std::move(rates)) {}
 
   const SubstModel& model() const { return model_; }
   SubstModel& model() { return model_; }
 
-  double alpha() const { return alpha_; }
-  int gamma_categories() const { return gamma_cats_; }
-  GammaMode gamma_mode() const { return mode_; }
+  const RateModel& rate_model() const { return rates_; }
+  void set_rate_model(RateModel rates) { rates_ = std::move(rates); }
 
-  /// Category rate multipliers (mean 1, one per category).
-  const std::vector<double>& category_rates() const { return rates_; }
+  double alpha() const { return rates_.alpha(); }
+  int gamma_categories() const { return rates_.categories(); }
+  GammaMode gamma_mode() const { return rates_.gamma_mode(); }
+
+  double p_inv() const { return rates_.p_inv(); }
+  bool invariant_sites() const { return rates_.invariant_sites(); }
+
+  /// Category rate multipliers (one per category; see RateModel for the
+  /// normalization invariant).
+  const std::vector<double>& category_rates() const { return rates_.rates(); }
+  /// Kernel-facing per-category weights with (1 - p_inv) folded in.
+  const std::vector<double>& category_weights() const {
+    return rates_.eval_weights();
+  }
+  /// True when kernels may take the historic equal-weight fast path.
+  bool uniform_categories() const { return rates_.uniform_categories(); }
 
   /// Set the Gamma shape and refresh category rates. Clamped to
-  /// [kAlphaMin, kAlphaMax].
-  void set_alpha(double alpha) {
-    alpha_ = alpha < kAlphaMin ? kAlphaMin
-                               : (alpha > kAlphaMax ? kAlphaMax : alpha);
-    rates_ = discrete_gamma_rates(alpha_, gamma_cats_, mode_);
-  }
+  /// [kAlphaMin, kAlphaMax]. No-op on category rates for free-rate models.
+  void set_alpha(double alpha) { rates_.set_alpha(alpha); }
+  /// Set the invariant proportion (implies the +I term; clamped).
+  void set_p_inv(double p) { rates_.set_p_inv(p); }
+  /// Free-rate mutators; forward to RateModel (kFree only).
+  void set_free_rate(int c, double rate) { rates_.set_free_rate(c, rate); }
+  void set_free_weight(int c, double w) { rates_.set_free_weight(c, w); }
 
  private:
   SubstModel model_;
-  double alpha_ = 1.0;
-  int gamma_cats_;
-  GammaMode mode_;
-  std::vector<double> rates_;
+  RateModel rates_;
 };
 
 }  // namespace plk

@@ -1,0 +1,273 @@
+#include "model/model_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/partition_model.hpp"
+
+namespace plk {
+
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string up(s);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return up;
+}
+
+/// Shortest decimal form that parses back to exactly the same double.
+std::string format_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+bool is_dna_family(const std::string& name) {
+  return name == "JC" || name == "K80" || name == "HKY" || name == "GTR";
+}
+
+/// Resolve a (possibly aliased) family name to canonical form, or "" when
+/// the name is unknown.
+std::string canonical_family(const std::string& up) {
+  if (up == "JC" || up == "JC69") return "JC";
+  if (up == "K80" || up == "K2P") return "K80";
+  if (up == "HKY" || up == "HKY85") return "HKY";
+  if (up == "GTR" || up == "DNA") return "GTR";
+  if (up == "PROT" || up == "AA" || up == "PROTGAMMA") return "WAG";
+  if (up == "WAG" || up == "JTT" || up == "LG" || up == "DAYHOFF") return up;
+  return "";
+}
+
+}  // namespace
+
+bool is_protein_model_name(std::string_view name) {
+  const std::string canon = canonical_family(upper(name));
+  return !canon.empty() && !is_dna_family(canon);
+}
+
+ModelSpec parse_model_spec(std::string_view text) {
+  const auto fail = [&](const std::string& why) {
+    return std::invalid_argument("model spec '" + std::string(text) +
+                                 "': " + why);
+  };
+  std::size_t i = 0;
+  std::size_t end = text.size();
+  while (i < end && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  while (end > i && std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  if (i == end) throw fail("empty");
+
+  // Family name: a run of alphanumerics.
+  const std::size_t name_start = i;
+  while (i < end && std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+  if (i == name_start) throw fail("missing model name");
+  ModelSpec spec;
+  spec.name =
+      canonical_family(upper(text.substr(name_start, i - name_start)));
+  if (spec.name.empty())
+    throw fail("unknown model '" +
+               std::string(text.substr(name_start, i - name_start)) + "'");
+
+  // Optional {p1,p2,...} parameter block.
+  if (i < end && text[i] == '{') {
+    const std::size_t close = text.find('}', i);
+    if (close == std::string_view::npos || close >= end)
+      throw fail("unterminated '{'");
+    std::string_view body = text.substr(i + 1, close - i - 1);
+    if (body.empty()) throw fail("empty parameter block");
+    while (!body.empty()) {
+      const std::size_t comma = body.find(',');
+      const std::string_view tok =
+          comma == std::string_view::npos ? body : body.substr(0, comma);
+      // strtod needs a NUL-terminated copy; require the token to be fully
+      // consumed so "1.5x" and "" are rejected, and the result finite so
+      // "inf"/"nan" never reach the model layer.
+      const std::string t(tok);
+      char* parsed_end = nullptr;
+      const double v = std::strtod(t.c_str(), &parsed_end);
+      if (t.empty() || parsed_end != t.c_str() + t.size() ||
+          !std::isfinite(v))
+        throw fail("bad parameter '" + t + "'");
+      spec.params.push_back(v);
+      body = comma == std::string_view::npos ? std::string_view{}
+                                             : body.substr(comma + 1);
+      if (comma != std::string_view::npos && body.empty())
+        throw fail("trailing ',' in parameter block");
+    }
+    i = close + 1;
+  }
+
+  // +SUFFIX chain.
+  while (i < end) {
+    if (text[i] != '+')
+      throw fail("unexpected '" + std::string(1, text[i]) + "'");
+    if (++i >= end) throw fail("dangling '+'");
+    const char c =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(text[i])));
+    ++i;
+    if (c == 'G' || c == 'R') {
+      if (spec.rate_kind != ModelSpec::RateKind::kNone)
+        throw fail("more than one rate-heterogeneity term");
+      spec.rate_kind = c == 'G' ? ModelSpec::RateKind::kGamma
+                                : ModelSpec::RateKind::kFree;
+      int k = 4;
+      if (i < end && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        const std::size_t digits = i;
+        while (i < end && std::isdigit(static_cast<unsigned char>(text[i])))
+          ++i;
+        const auto res = std::from_chars(text.data() + digits,
+                                         text.data() + i, k);
+        if (res.ec != std::errc{}) throw fail("bad category count");
+      }
+      if (k < 1 || k > 64)
+        throw fail("category count " + std::to_string(k) +
+                   " out of range [1, 64]");
+      spec.categories = k;
+    } else if (c == 'I') {
+      if (spec.invariant) throw fail("duplicate +I");
+      spec.invariant = true;
+    } else if (c == 'F') {
+      if (spec.freq_mode != ModelSpec::FreqMode::kDefault)
+        throw fail("duplicate +F term");
+      if (i >= end) throw fail("+F needs a mode (C, O, or E)");
+      const char m = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(text[i])));
+      ++i;
+      if (m == 'C')
+        spec.freq_mode = ModelSpec::FreqMode::kCounts;
+      else if (m == 'O')
+        spec.freq_mode = ModelSpec::FreqMode::kModel;
+      else if (m == 'E')
+        spec.freq_mode = ModelSpec::FreqMode::kEqual;
+      else
+        throw fail("unknown frequency mode '" + std::string(1, m) + "'");
+    } else {
+      throw fail("unknown suffix '+" + std::string(1, c) + "'");
+    }
+  }
+
+  // Per-family parameter arity.
+  const std::size_t np = spec.params.size();
+  if (spec.name == "K80" || spec.name == "HKY") {
+    if (np > 1) throw fail(spec.name + " takes at most one parameter (kappa)");
+  } else if (spec.name == "GTR") {
+    if (np != 0 && np != 6)
+      throw fail("GTR takes 0 or 6 exchangeability parameters, got " +
+                 std::to_string(np));
+  } else if (np != 0) {
+    throw fail(spec.name + " takes no parameters");
+  }
+  return spec;
+}
+
+std::string to_string(const ModelSpec& spec) {
+  std::string out = spec.name;
+  if (!spec.params.empty()) {
+    out += '{';
+    for (std::size_t k = 0; k < spec.params.size(); ++k) {
+      if (k) out += ',';
+      out += format_double(spec.params[k]);
+    }
+    out += '}';
+  }
+  if (spec.rate_kind == ModelSpec::RateKind::kGamma)
+    out += "+G" + std::to_string(spec.categories);
+  else if (spec.rate_kind == ModelSpec::RateKind::kFree)
+    out += "+R" + std::to_string(spec.categories);
+  if (spec.invariant) out += "+I";
+  switch (spec.freq_mode) {
+    case ModelSpec::FreqMode::kDefault: break;
+    case ModelSpec::FreqMode::kCounts: out += "+FC"; break;
+    case ModelSpec::FreqMode::kModel: out += "+FO"; break;
+    case ModelSpec::FreqMode::kEqual: out += "+FE"; break;
+  }
+  return out;
+}
+
+SubstModel make_subst_model(const ModelSpec& spec,
+                            const std::vector<double>& counts_freqs) {
+  const bool dna = is_dna_family(spec.name);
+  const int states = dna ? 4 : 20;
+
+  // Resolve the frequency source. Empty means "the family's own defaults"
+  // (equal for DNA, the model table for protein) — the same fallback the
+  // pre-ModelSpec engine used, which keeps legacy runs bit-identical.
+  std::vector<double> freqs;
+  switch (spec.freq_mode) {
+    case ModelSpec::FreqMode::kDefault:
+      if (dna) freqs = counts_freqs;  // protein default: model frequencies
+      break;
+    case ModelSpec::FreqMode::kCounts:
+      freqs = counts_freqs;
+      break;
+    case ModelSpec::FreqMode::kModel:
+      break;
+    case ModelSpec::FreqMode::kEqual:
+      freqs.assign(static_cast<std::size_t>(states),
+                   1.0 / static_cast<double>(states));
+      break;
+  }
+
+  if (spec.name == "JC") {
+    SubstModel m(4, std::vector<double>(6, 1.0),
+                 freqs.empty() ? std::vector<double>(4, 0.25) : freqs);
+    m.set_name("JC");
+    return m;
+  }
+  if (spec.name == "K80" || spec.name == "HKY") {
+    const double kappa = spec.params.empty() ? 2.0 : spec.params[0];
+    // K80 is HKY constrained to equal frequencies; an explicit +F mode
+    // overrides that constraint.
+    if (spec.name == "K80" &&
+        spec.freq_mode == ModelSpec::FreqMode::kDefault)
+      freqs.clear();
+    SubstModel m(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0},
+                 freqs.empty() ? std::vector<double>(4, 0.25) : freqs);
+    m.set_name(spec.name);
+    return m;
+  }
+  if (spec.name == "GTR") {
+    SubstModel m(4,
+                 spec.params.empty() ? std::vector<double>(6, 1.0)
+                                     : spec.params,
+                 freqs.empty() ? std::vector<double>(4, 0.25) : freqs);
+    m.set_name("GTR");
+    return m;
+  }
+  SubstModel m = protein_model(spec.name);
+  if (!freqs.empty()) m.set_freqs(std::move(freqs));
+  return m;
+}
+
+RateModel make_rate_model(const ModelSpec& spec) {
+  RateModel rm =
+      spec.rate_kind == ModelSpec::RateKind::kFree
+          ? RateModel::free_from_gamma(spec.categories)
+          : RateModel::gamma(1.0, spec.rate_kind == ModelSpec::RateKind::kGamma
+                                      ? spec.categories
+                                      : 1);
+  if (spec.invariant) rm.enable_invariant();
+  return rm;
+}
+
+std::string describe_model(const PartitionModel& pm) {
+  ModelSpec spec;
+  spec.name = pm.model().name();
+  const RateModel& rm = pm.rate_model();
+  if (rm.kind() == RateModel::Kind::kFree) {
+    spec.rate_kind = ModelSpec::RateKind::kFree;
+    spec.categories = rm.categories();
+  } else if (rm.categories() > 1) {
+    spec.rate_kind = ModelSpec::RateKind::kGamma;
+    spec.categories = rm.categories();
+  }
+  spec.invariant = rm.invariant_sites();
+  return to_string(spec);
+}
+
+}  // namespace plk

@@ -1,0 +1,87 @@
+// Model specification strings.
+//
+// One string names the full per-partition model — substitution family,
+// optional explicit parameters, rate heterogeneity, invariant sites, and
+// frequency handling:
+//
+//     NAME[{p1,p2,...}][+G[k] | +R[k]][+I][+F{C|O|E}]
+//
+//     GTR+G4          GTR, 4-category discrete Gamma (the seed default)
+//     HKY{2.5}+I      HKY with kappa fixed at 2.5 plus invariant sites
+//     LG+R4+I         protein LG, 4 free-rate categories, +I
+//     JC              plain Jukes-Cantor, single rate
+//     GTR+G4+FE       GTR with equal frequencies instead of counts
+//
+// +G / +R default to 4 categories when k is omitted. +F selects the
+// stationary-frequency source: C = empirical counts from the alignment,
+// O = the model family's own frequencies, E = equal 1/S; omitted means the
+// family default (counts for DNA, model frequencies for protein).
+//
+// Family parameters in {...}: kappa for K80/HKY (1 value), the six
+// exchangeabilities AC,AG,AT,CG,CT,GT for GTR; JC and the protein families
+// take none. Aliases: JC69=JC, K2P=K80, HKY85=HKY, DNA=GTR,
+// PROT/AA/PROTGAMMA=WAG.
+//
+// parse_model_spec / to_string round-trip: to_string always prints the
+// canonical form (aliases resolved, category count explicit, shortest
+// round-trip number formatting), and parsing the canonical form yields an
+// identical ModelSpec.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/rates.hpp"
+#include "model/subst_model.hpp"
+
+namespace plk {
+
+class PartitionModel;
+
+/// Parsed form of a model specification string; see file comment.
+struct ModelSpec {
+  enum class RateKind { kNone, kGamma, kFree };
+  enum class FreqMode { kDefault, kCounts, kModel, kEqual };
+
+  std::string name;            ///< canonical family name ("GTR", "WAG", ...)
+  std::vector<double> params;  ///< family parameters (empty = defaults)
+  RateKind rate_kind = RateKind::kNone;
+  int categories = 0;          ///< rate categories (0 when rate_kind kNone)
+  bool invariant = false;      ///< +I term present
+  FreqMode freq_mode = FreqMode::kDefault;
+
+  bool operator==(const ModelSpec&) const = default;
+};
+
+/// Parse a model specification. Throws std::invalid_argument with a message
+/// naming the offending token on any malformed input (unknown family, bad
+/// parameter count, non-finite numbers, duplicate or conflicting suffixes,
+/// trailing garbage, ...).
+ModelSpec parse_model_spec(std::string_view text);
+
+/// Canonical string form; parse_model_spec(to_string(s)) == s.
+std::string to_string(const ModelSpec& spec);
+
+/// True for the 20-state protein family names and their aliases.
+bool is_protein_model_name(std::string_view name);
+
+/// Build the substitution model a spec describes. `counts_freqs` are the
+/// empirical frequencies from the alignment, used when the spec's frequency
+/// mode resolves to counts (explicitly via +FC or by the DNA default); an
+/// empty vector falls back to the family's built-in frequencies.
+SubstModel make_subst_model(const ModelSpec& spec,
+                            const std::vector<double>& counts_freqs = {});
+
+/// Build the rate model a spec describes (kNone -> single unit-rate
+/// category). Gamma starts at alpha = 1, free rates at the Gamma(1) grid
+/// with uniform weights, +I at kPinvStart.
+RateModel make_rate_model(const ModelSpec& spec);
+
+/// Reconstruct the canonical structural spec string for a live partition
+/// model: family name plus rate suffixes (+G/+R/+I). Numeric parameter
+/// values are intentionally omitted — this names the model shape, the
+/// numbers live in checkpoints.
+std::string describe_model(const PartitionModel& pm);
+
+}  // namespace plk

@@ -1,0 +1,177 @@
+#include "model/rates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace plk {
+
+namespace {
+
+double clamp_rate(double r) {
+  if (!(r > 0.0) || !std::isfinite(r))
+    throw std::invalid_argument("free rate must be finite and > 0");
+  return std::clamp(r, kFreeRateMin, kFreeRateMax);
+}
+
+}  // namespace
+
+RateModel RateModel::gamma(double alpha, int cats, GammaMode mode) {
+  if (cats < 1) throw std::invalid_argument("rate categories must be >= 1");
+  RateModel m;
+  m.kind_ = Kind::kGamma;
+  m.mode_ = mode;
+  m.alpha_ = std::clamp(alpha, kAlphaMin, kAlphaMax);
+  m.rates_.resize(static_cast<std::size_t>(cats));
+  m.weights_.assign(static_cast<std::size_t>(cats),
+                    1.0 / static_cast<double>(cats));
+  m.refresh_gamma();
+  return m;
+}
+
+RateModel RateModel::free(std::vector<double> rates,
+                          std::vector<double> weights) {
+  if (rates.empty() || rates.size() != weights.size())
+    throw std::invalid_argument(
+        "free rate model needs matching non-empty rates and weights");
+  RateModel m;
+  m.kind_ = Kind::kFree;
+  m.rates_ = std::move(rates);
+  m.weights_ = std::move(weights);
+  for (double& r : m.rates_) r = clamp_rate(r);
+  double wsum = 0.0;
+  for (double w : m.weights_) {
+    if (!(w > 0.0) || !std::isfinite(w))
+      throw std::invalid_argument("free weight must be finite and > 0");
+    wsum += w;
+  }
+  for (double& w : m.weights_) w /= wsum;
+  m.normalize_free();
+  return m;
+}
+
+RateModel RateModel::free_from_gamma(int cats, double alpha) {
+  return free(discrete_gamma_rates(alpha, cats),
+              std::vector<double>(static_cast<std::size_t>(cats),
+                                  1.0 / static_cast<double>(cats)));
+}
+
+RateModel RateModel::restore_free(std::vector<double> rates,
+                                  std::vector<double> weights, bool invariant,
+                                  double p_inv) {
+  if (rates.empty() || rates.size() != weights.size())
+    throw std::invalid_argument(
+        "free rate model needs matching non-empty rates and weights");
+  for (double r : rates)
+    if (!(r > 0.0) || !std::isfinite(r))
+      throw std::invalid_argument("free rate must be finite and > 0");
+  for (double w : weights)
+    if (!(w > 0.0) || !std::isfinite(w))
+      throw std::invalid_argument("free weight must be finite and > 0");
+  RateModel m;
+  m.kind_ = Kind::kFree;
+  m.rates_ = std::move(rates);
+  m.weights_ = std::move(weights);
+  m.invariant_ = invariant;
+  m.p_inv_ = invariant ? p_inv : 0.0;
+  m.refresh_eval_weights();
+  return m;
+}
+
+void RateModel::set_alpha(double alpha) {
+  alpha_ = std::clamp(alpha, kAlphaMin, kAlphaMax);
+  if (kind_ == Kind::kGamma) refresh_gamma();
+}
+
+void RateModel::enable_invariant(double p0) {
+  invariant_ = true;
+  set_p_inv(p0);
+}
+
+void RateModel::set_p_inv(double p) {
+  invariant_ = true;
+  p_inv_ = std::clamp(p, kPinvMin, kPinvMax);
+  if (kind_ == Kind::kGamma)
+    refresh_gamma();
+  else
+    normalize_free();
+}
+
+void RateModel::set_free_rate(int c, double rate) {
+  if (kind_ != Kind::kFree)
+    throw std::logic_error("set_free_rate: not a free-rate model");
+  rates_.at(static_cast<std::size_t>(c)) = clamp_rate(rate);
+  normalize_free();
+}
+
+void RateModel::set_free_weight(int c, double weight) {
+  if (kind_ != Kind::kFree)
+    throw std::logic_error("set_free_weight: not a free-rate model");
+  const std::size_t k = static_cast<std::size_t>(c);
+  const double w =
+      std::clamp(weight, kFreeWeightMin, 1.0 - kFreeWeightMin);
+  // Scale the other weights to absorb the change so the simplex constraint
+  // holds exactly by construction.
+  const double others = 1.0 - weights_.at(k);
+  const double scale = others > 0.0 ? (1.0 - w) / others : 0.0;
+  for (std::size_t j = 0; j < weights_.size(); ++j)
+    if (j != k) weights_[j] *= scale;
+  weights_[k] = w;
+  normalize_free();
+}
+
+void RateModel::set_free(std::vector<double> rates,
+                         std::vector<double> weights) {
+  if (kind_ != Kind::kFree)
+    throw std::logic_error("set_free: not a free-rate model");
+  *this = [&] {
+    RateModel m = RateModel::free(std::move(rates), std::move(weights));
+    m.invariant_ = invariant_;
+    m.p_inv_ = p_inv_;
+    m.normalize_free();
+    return m;
+  }();
+}
+
+void RateModel::refresh_gamma() {
+  const int cats = categories();
+  rates_ = discrete_gamma_rates(alpha_, cats, mode_);
+  // The (1 - p) rescale keeps the all-site mean rate at 1. The p == 0
+  // branch is not an optimization: skipping the divide keeps plain-Gamma
+  // category rates bit-identical to the pre-RateModel engine.
+  if (p_inv_ > 0.0)
+    for (double& r : rates_) r /= (1.0 - p_inv_);
+  refresh_eval_weights();
+}
+
+void RateModel::normalize_free() {
+  double mean = 0.0;
+  for (std::size_t c = 0; c < rates_.size(); ++c)
+    mean += weights_[c] * rates_[c];
+  if (!(mean > 0.0))
+    throw std::invalid_argument("free rate model has zero mean rate");
+  const double target = 1.0 / (1.0 - p_inv_);
+  const double scale = target / mean;
+  for (double& r : rates_) r *= scale;
+  refresh_eval_weights();
+}
+
+void RateModel::refresh_eval_weights() {
+  eval_weights_.resize(weights_.size());
+  const double q = 1.0 - p_inv_;
+  for (std::size_t c = 0; c < weights_.size(); ++c)
+    eval_weights_[c] = q * weights_[c];
+}
+
+void RateModel::append_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(static_cast<int>(kind_)));
+  out.push_back(static_cast<double>(static_cast<int>(mode_)));
+  out.push_back(static_cast<double>(categories()));
+  out.push_back(alpha_);
+  out.push_back(invariant_ ? 1.0 : 0.0);
+  out.push_back(p_inv_);
+  out.insert(out.end(), rates_.begin(), rates_.end());
+  out.insert(out.end(), weights_.begin(), weights_.end());
+}
+
+}  // namespace plk

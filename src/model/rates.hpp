@@ -1,0 +1,136 @@
+// Rate-heterogeneity models: discrete Gamma, free rates (+R), and the
+// proportion-of-invariant-sites (+I) term.
+//
+// A rate model assigns every alignment site a rate multiplier drawn from a
+// small discrete mixture: K categories with rates r_c and weights w_c
+// (sum w_c = 1), plus optionally an invariant class of probability p that
+// evolves at rate 0. The per-site likelihood becomes
+//     L_i = (1 - p) * sum_c w_c * L_i(r_c)  +  p * [i invariant] * pi_{x_i}
+// Two shapes are supported:
+//
+//   kGamma  discrete Gamma (Yang 1994): K equiprobable categories whose
+//           rates are a pure function of the shape alpha. This is the seed
+//           engine's model; with p = 0 it is bit-identical to the historic
+//           hard-coded equal-weight path.
+//   kFree   free rates (+R k): K independent (rate, weight) pairs, both
+//           optimized by maximum likelihood. Strictly more general than
+//           Gamma at the cost of 2(K-1) extra free parameters.
+//
+// Normalization invariant (IQ-TREE convention): the category rates always
+// satisfy sum_c w_c * r_c = 1 / (1 - p), so the expected rate over ALL sites
+// — including the invariant class at rate 0 — is exactly 1 and branch
+// lengths keep their "expected substitutions per site" meaning under any
+// mixture shape.
+#pragma once
+
+#include <vector>
+
+#include "model/gamma.hpp"
+
+namespace plk {
+
+/// Bounds for proportion-of-invariant-sites optimization.
+inline constexpr double kPinvMin = 1e-6;
+inline constexpr double kPinvMax = 0.99;
+/// Starting value when +I is enabled without an explicit proportion.
+inline constexpr double kPinvStart = 0.1;
+
+/// Bounds for free-rate optimization (multiplier space) and the floor for
+/// free-category weights.
+inline constexpr double kFreeRateMin = 1e-4;
+inline constexpr double kFreeRateMax = 1e4;
+inline constexpr double kFreeWeightMin = 1e-3;
+
+/// A discrete rate-heterogeneity mixture; see file comment.
+class RateModel {
+ public:
+  enum class Kind { kGamma, kFree };
+
+  /// Discrete Gamma with `cats` equiprobable categories (the seed model).
+  static RateModel gamma(double alpha, int cats,
+                         GammaMode mode = GammaMode::kMean);
+  /// Free rates from explicit per-category rates and weights. Weights are
+  /// renormalized to sum 1, rates rescaled to the normalization invariant.
+  static RateModel free(std::vector<double> rates,
+                        std::vector<double> weights);
+  /// Free rates seeded from the discrete Gamma grid at shape `alpha` with
+  /// uniform weights — the standard +R starting point.
+  static RateModel free_from_gamma(int cats, double alpha = 1.0);
+  /// Reconstruct a serialized free-rate state VERBATIM (checkpoint restore):
+  /// rates and weights are taken as already normalized and are not rescaled
+  /// — re-running normalize_free on its own output shifts values by a few
+  /// ulps, which would break bit-identical resume. Inputs must come from
+  /// append_state-equivalent serialization, not user input.
+  static RateModel restore_free(std::vector<double> rates,
+                                std::vector<double> weights, bool invariant,
+                                double p_inv);
+
+  Kind kind() const { return kind_; }
+  int categories() const { return static_cast<int>(rates_.size()); }
+  GammaMode gamma_mode() const { return mode_; }
+  double alpha() const { return alpha_; }
+
+  /// Proportion of invariant sites (0 when the +I term is off).
+  double p_inv() const { return p_inv_; }
+  /// Whether the +I term is part of the model (it may currently sit at a
+  /// proportion of kPinvMin; the optimizer only moves p when this is set).
+  bool invariant_sites() const { return invariant_; }
+
+  /// Category rate multipliers (normalized; see file comment).
+  const std::vector<double>& rates() const { return rates_; }
+  /// Raw category weights, summing to exactly . . . well, 1 up to round-off;
+  /// Gamma weights are the exact constant 1/K.
+  const std::vector<double>& weights() const { return weights_; }
+  /// Kernel-facing weights with the (1 - p_inv) factor folded in:
+  /// L_i = sum_c eval_weights[c] * L_i(r_c) + inv_contrib_i.
+  const std::vector<double>& eval_weights() const { return eval_weights_; }
+
+  /// True when the kernels may take the historic equal-weight fast path
+  /// (uniform 1/K weights, no invariant term) — this is what keeps plain
+  /// GAMMA runs bit-identical to the pre-RateModel engine.
+  bool uniform_categories() const {
+    return kind_ == Kind::kGamma && !invariant_;
+  }
+
+  /// Set the Gamma shape (kGamma only; clamped to [kAlphaMin, kAlphaMax])
+  /// and refresh the category rates.
+  void set_alpha(double alpha);
+  /// Turn the +I term on at proportion `p0`.
+  void enable_invariant(double p0 = kPinvStart);
+  /// Set the invariant proportion (clamped to [kPinvMin, kPinvMax]; implies
+  /// enable_invariant). Rates are re-normalized.
+  void set_p_inv(double p);
+  /// Replace free-rate category c's rate (kFree only, clamped) and
+  /// re-normalize all rates to the invariant.
+  void set_free_rate(int c, double rate);
+  /// Replace free-rate category c's weight (kFree only, clamped to
+  /// [kFreeWeightMin, 1 - kFreeWeightMin]); the other weights are scaled to
+  /// keep the sum at 1, and rates are re-normalized.
+  void set_free_weight(int c, double weight);
+  /// Replace all free rates and weights at once (kFree only).
+  void set_free(std::vector<double> rates, std::vector<double> weights);
+
+  /// Append every number the likelihood depends on through this rate model
+  /// (kind, mode, alpha, p, rates, weights) — the engine's content-addressed
+  /// model-epoch registry hashes this.
+  void append_state(std::vector<double>& out) const;
+
+  bool operator==(const RateModel& o) const = default;
+
+ private:
+  RateModel() = default;
+  void refresh_gamma();
+  void normalize_free();
+  void refresh_eval_weights();
+
+  Kind kind_ = Kind::kGamma;
+  GammaMode mode_ = GammaMode::kMean;
+  double alpha_ = 1.0;
+  double p_inv_ = 0.0;
+  bool invariant_ = false;
+  std::vector<double> rates_;
+  std::vector<double> weights_;
+  std::vector<double> eval_weights_;
+};
+
+}  // namespace plk

@@ -16,6 +16,22 @@ std::size_t exch_count(int states) {
          static_cast<std::size_t>(states - 1) / 2;
 }
 
+/// Structured validation for the model-parameter vectors: every entry must
+/// be a finite, strictly positive number. NaN, +/-inf, zero, and negatives
+/// are all rejected with the offending index and value spelled out, so
+/// hostile input never reaches decompose() (where it would surface as an
+/// inscrutable "degenerate rate matrix" — or not surface at all: +inf passes
+/// a plain `!(r > 0.0)` test).
+void check_positive_finite(const std::vector<double>& v, const char* what) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double x = v[i];
+    if (!std::isfinite(x) || !(x > 0.0))
+      throw std::invalid_argument(
+          "SubstModel: " + std::string(what) + "[" + std::to_string(i) +
+          "] = " + std::to_string(x) + " is not a finite positive number");
+  }
+}
+
 }  // namespace
 
 SubstModel::SubstModel(int states, std::vector<double> exch,
@@ -26,13 +42,10 @@ SubstModel::SubstModel(int states, std::vector<double> exch,
     throw std::invalid_argument("wrong exchangeability count");
   if (freqs_.size() != static_cast<std::size_t>(states_))
     throw std::invalid_argument("wrong frequency count");
-  for (double r : exch_)
-    if (!(r > 0.0)) throw std::invalid_argument("non-positive exchangeability");
+  check_positive_finite(exch_, "exchangeability");
+  check_positive_finite(freqs_, "frequency");
   double fsum = 0.0;
-  for (double f : freqs_) {
-    if (!(f > 0.0)) throw std::invalid_argument("non-positive frequency");
-    fsum += f;
-  }
+  for (double f : freqs_) fsum += f;
   // Skip the division when already normalized: repeated renormalization of
   // an almost-1 sum would oscillate in the last ulp (breaking byte-stable
   // checkpoints) without improving anything.
@@ -44,6 +57,11 @@ SubstModel::SubstModel(int states, std::vector<double> exch,
 void SubstModel::set_exchangeability(int k, double value) {
   if (k < 0 || k >= free_rate_count())
     throw std::out_of_range("exchangeability index");
+  // NaN passes straight through std::clamp, so reject non-finite first.
+  if (!std::isfinite(value))
+    throw std::invalid_argument(
+        "SubstModel: exchangeability[" + std::to_string(k) + "] = " +
+        std::to_string(value) + " is not a finite positive number");
   exch_[static_cast<std::size_t>(k)] =
       std::clamp(value, kRateMin, kRateMax);
   decompose();
@@ -52,8 +70,7 @@ void SubstModel::set_exchangeability(int k, double value) {
 void SubstModel::set_exchangeabilities(std::vector<double> exch) {
   if (exch.size() != exch_.size())
     throw std::invalid_argument("wrong exchangeability count");
-  for (double r : exch)
-    if (!(r > 0.0)) throw std::invalid_argument("non-positive exchangeability");
+  check_positive_finite(exch, "exchangeability");
   exch_ = std::move(exch);
   decompose();
 }
@@ -61,11 +78,9 @@ void SubstModel::set_exchangeabilities(std::vector<double> exch) {
 void SubstModel::set_freqs(std::vector<double> freqs) {
   if (freqs.size() != static_cast<std::size_t>(states_))
     throw std::invalid_argument("wrong frequency count");
+  check_positive_finite(freqs, "frequency");
   double fsum = 0.0;
-  for (double f : freqs) {
-    if (!(f > 0.0)) throw std::invalid_argument("non-positive frequency");
-    fsum += f;
-  }
+  for (double f : freqs) fsum += f;
   if (std::abs(fsum - 1.0) > 1e-12)
     for (double& f : freqs) f /= fsum;
   freqs_ = std::move(freqs);
@@ -163,24 +178,31 @@ void SubstModel::transition_matrix(double t, Matrix& out) const {
 // --- factories --------------------------------------------------------------
 
 SubstModel jc69() {
-  return SubstModel(4, std::vector<double>(6, 1.0),
-                    std::vector<double>(4, 0.25));
+  SubstModel m(4, std::vector<double>(6, 1.0), std::vector<double>(4, 0.25));
+  m.set_name("JC");
+  return m;
 }
 
 SubstModel k80(double kappa) {
   // Exchangeability order: AC, AG, AT, CG, CT, GT; transitions are AG, CT.
-  return SubstModel(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0},
-                    std::vector<double>(4, 0.25));
+  SubstModel m(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0},
+               std::vector<double>(4, 0.25));
+  m.set_name("K80");
+  return m;
 }
 
 SubstModel hky85(double kappa, std::vector<double> freqs) {
-  return SubstModel(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0}, std::move(freqs));
+  SubstModel m(4, {1.0, kappa, 1.0, 1.0, kappa, 1.0}, std::move(freqs));
+  m.set_name("HKY");
+  return m;
 }
 
 SubstModel gtr(std::vector<double> six_rates, std::vector<double> freqs) {
   if (six_rates.size() != 6)
     throw std::invalid_argument("GTR needs 6 exchangeabilities");
-  return SubstModel(4, std::move(six_rates), std::move(freqs));
+  SubstModel m(4, std::move(six_rates), std::move(freqs));
+  m.set_name("GTR");
+  return m;
 }
 
 SubstModel protein_model(std::string_view name) {
@@ -211,7 +233,9 @@ SubstModel protein_model(std::string_view name) {
     fsum += f;
   }
   for (auto& f : freqs) f /= fsum;
-  return SubstModel(20, std::move(exch), std::move(freqs));
+  SubstModel m(20, std::move(exch), std::move(freqs));
+  m.set_name(up == "PROT" || up == "AA" || up == "PROTGAMMA" ? "WAG" : up);
+  return m;
 }
 
 SubstModel make_model(std::string_view name, const std::vector<double>& freqs) {
@@ -221,8 +245,12 @@ SubstModel make_model(std::string_view name, const std::vector<double>& freqs) {
   auto dna_freqs = [&]() -> std::vector<double> {
     return freqs.empty() ? std::vector<double>(4, 0.25) : freqs;
   };
-  if (up == "JC" || up == "JC69")
-    return freqs.empty() ? jc69() : SubstModel(4, std::vector<double>(6, 1.0), freqs);
+  if (up == "JC" || up == "JC69") {
+    if (freqs.empty()) return jc69();
+    SubstModel m(4, std::vector<double>(6, 1.0), freqs);
+    m.set_name("JC");
+    return m;
+  }
   if (up == "K80" || up == "K2P") return k80();
   if (up == "HKY" || up == "HKY85") return hky85(2.0, dna_freqs());
   if (up == "GTR" || up == "DNA")

@@ -41,6 +41,13 @@ class SubstModel {
   const std::vector<double>& freqs() const { return freqs_; }
   const std::vector<double>& exchangeabilities() const { return exch_; }
 
+  /// Canonical model-family name ("GTR", "HKY", "WAG", ...; "CUSTOM" for
+  /// models built directly from matrices). Set by the named factories so the
+  /// ModelSpec layer can reconstruct a canonical spec string from a live
+  /// model.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
   /// Number of free exchangeability parameters (the last one is the fixed
   /// reference, RAxML convention: G<->T == 1 for DNA).
   int free_rate_count() const { return static_cast<int>(exch_.size()) - 1; }
@@ -81,6 +88,7 @@ class SubstModel {
   void decompose();
 
   int states_;
+  std::string name_ = "CUSTOM";
   std::vector<double> exch_;
   std::vector<double> freqs_;
   Matrix q_;                        // normalized rate matrix

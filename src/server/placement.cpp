@@ -7,6 +7,7 @@
 #include "core/analysis.hpp"
 #include "core/checkpoint.hpp"
 #include "core/engine.hpp"
+#include "model/model_spec.hpp"
 
 namespace plk {
 
@@ -62,13 +63,18 @@ std::vector<PartitionModel> prototype_models(const CompressedAlignment& comp) {
   std::vector<PartitionModel> models;
   models.reserve(comp.partitions.size());
   for (const auto& part : comp.partitions) {
-    SubstModel m = part.type == DataType::kDna
-                       ? make_model(part.model_name.empty() ? "GTR"
-                                                            : part.model_name,
-                                    empirical_frequencies(part))
-                       : make_model(part.model_name.empty() ? "WAG"
-                                                            : part.model_name);
-    models.emplace_back(std::move(m), /*alpha=*/1.0, /*gamma_cats=*/4);
+    // Same resolution as Analysis: the partition name is a full model spec,
+    // so reference partition files may carry "+R4" or "+I" suffixes.
+    ModelSpec spec = parse_model_spec(
+        !part.model_name.empty()          ? part.model_name
+        : part.type == DataType::kDna     ? "GTR"
+                                          : "WAG");
+    if (spec.rate_kind == ModelSpec::RateKind::kNone) {
+      spec.rate_kind = ModelSpec::RateKind::kGamma;
+      spec.categories = 4;
+    }
+    models.emplace_back(make_subst_model(spec, empirical_frequencies(part)),
+                        make_rate_model(spec));
   }
   return models;
 }

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "model/model_spec.hpp"
+
 namespace plk {
 
 namespace {
@@ -26,6 +28,19 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Comma-joined model specs of the engine's reference partitions, so clients
+/// can see what likelihood model their placements are scored under.
+std::string model_summary(PlacementEngine& engine) {
+  EvalContext& ctx = engine.reference_context();
+  std::string out;
+  const int parts = engine.core().partition_count();
+  for (int p = 0; p < parts; ++p) {
+    if (p > 0) out += ',';
+    out += describe_model(ctx.model(p));
+  }
+  return out;
 }
 
 }  // namespace
@@ -315,6 +330,7 @@ void PlkServer::handle_line(Session& s, const std::string& text,
     m.set_number("edges", static_cast<double>(
                               engine_.reference_tree().edge_count()));
     m.set_number("lanes", engine_.lane_count());
+    m.set("model", model_summary(engine_));
     respond(s, m);
     return;
   }
@@ -490,6 +506,7 @@ WireMessage PlkServer::stats_message() {
   m.set_number("latency_p50_ms", latency_.percentile(50));
   m.set_number("latency_p99_ms", latency_.percentile(99));
   m.set_number("checkpoints", static_cast<double>(stats_.checkpoints));
+  m.set("model", model_summary(engine_));
   return m;
 }
 

@@ -81,6 +81,49 @@ Dataset make_unpartitioned_dna(int taxa, std::size_t sites,
   return build(name, taxa, std::move(parts), seed);
 }
 
+Dataset make_freerate_dna(int taxa, std::size_t sites,
+                          std::size_t partition_length, std::uint64_t seed) {
+  Rng rng(seed ^ 0xf4ee4a7eULL);
+  std::vector<SimPartition> parts;
+  std::size_t remaining = sites;
+  int idx = 0;
+  while (remaining > 0) {
+    std::size_t len = std::min(partition_length, remaining);
+    if (remaining - len < partition_length / 2 && remaining - len > 0)
+      len = remaining;
+    SimPartition part = make_sim_part("gene" + std::to_string(idx++), len,
+                                      false, rng);
+    // A 4-category free-rate mixture: rates spread log-uniformly over two
+    // decades, weights Dirichlet-ish (jittered uniform, normalized) — a
+    // shape no Gamma alpha reproduces, so +R fits measurably beat +G here.
+    part.free_rates.resize(4);
+    part.free_weights.resize(4);
+    double wsum = 0.0, mean = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      part.free_rates[static_cast<std::size_t>(c)] =
+          std::exp(rng.uniform(std::log(0.05), std::log(5.0)));
+      part.free_weights[static_cast<std::size_t>(c)] =
+          0.1 + rng.uniform() * 0.9;
+      wsum += part.free_weights[static_cast<std::size_t>(c)];
+    }
+    for (int c = 0; c < 4; ++c) {
+      part.free_weights[static_cast<std::size_t>(c)] /= wsum;
+      mean += part.free_weights[static_cast<std::size_t>(c)] *
+              part.free_rates[static_cast<std::size_t>(c)];
+    }
+    // Mean rate 1 over the variable sites keeps branch lengths calibrated.
+    for (double& r : part.free_rates) r /= mean;
+    part.p_inv = rng.uniform(0.1, 0.3);
+    part.model_name = "GTR+R4+I";
+    parts.push_back(std::move(part));
+    remaining -= len;
+  }
+  const std::string name = "fr" + std::to_string(taxa) + "_" +
+                           std::to_string(sites) + "_p" +
+                           std::to_string(partition_length);
+  return build(name, taxa, std::move(parts), seed);
+}
+
 Dataset make_realworld_like(int taxa, int partitions, std::size_t min_len,
                             std::size_t max_len, double missing_fraction,
                             bool protein, std::uint64_t seed) {

@@ -43,6 +43,15 @@ Dataset make_simulated_dna(int taxa, std::size_t sites,
 Dataset make_unpartitioned_dna(int taxa, std::size_t sites,
                                std::uint64_t seed);
 
+/// Heterogeneous-rate variant of the dXX_YYYY family: every partition is
+/// generated under a KNOWN free-rate mixture (4 categories with unequal
+/// weights, randomized per partition) plus a randomized invariant-site
+/// proportion in [0.1, 0.3], and the partition scheme names the matching
+/// "GTR+R4+I" spec — so an analysis over it exercises the +R/+I fitting
+/// path against data whose generating parameters are recoverable.
+Dataset make_freerate_dna(int taxa, std::size_t sites,
+                          std::size_t partition_length, std::uint64_t seed);
+
 /// Real-world-like multi-gene dataset: `partitions` genes with lengths drawn
 /// log-uniformly in [min_len, max_len]; `missing_fraction` of (taxon, gene)
 /// cells carry no data (gappy alignment). `protein` selects 20-state data

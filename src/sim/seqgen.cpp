@@ -19,11 +19,29 @@ void simulate_partition(const Tree& tree, const SimPartition& part, Rng& rng,
   const std::size_t m = part.sites;
   const auto& freqs = part.model.freqs();
 
-  // Per-site rate categories from a fine discrete Gamma grid.
-  const auto grid = discrete_gamma_rates(part.alpha, part.rate_grid);
+  // Per-site rate categories: an explicit free-rate mixture when given,
+  // else a fine discrete Gamma grid. Invariant sites (+I) get the sentinel
+  // category and are copied verbatim down the tree. The Gamma/no-+I path
+  // draws exactly as the pre-free-rate simulator did (same RNG stream).
+  constexpr std::uint8_t kInvSite = 0xFF;
+  const bool free_mix = !part.free_rates.empty();
+  if (free_mix && part.free_rates.size() != part.free_weights.size())
+    throw std::invalid_argument(
+        "simulate: free_rates and free_weights must match in size");
+  const std::vector<double> grid =
+      free_mix ? part.free_rates
+               : discrete_gamma_rates(part.alpha, part.rate_grid);
+  if (grid.size() >= kInvSite)
+    throw std::invalid_argument("simulate: too many rate categories");
   std::vector<std::uint8_t> cat(m);
-  for (auto& c : cat)
-    c = static_cast<std::uint8_t>(rng.below(grid.size()));
+  for (auto& c : cat) {
+    if (part.p_inv > 0.0 && rng.uniform() < part.p_inv) {
+      c = kInvSite;
+      continue;
+    }
+    c = static_cast<std::uint8_t>(free_mix ? rng.discrete(part.free_weights)
+                                           : rng.below(grid.size()));
+  }
 
   // Per-edge, per-category transition matrices.
   std::vector<std::vector<Matrix>> pmat(
@@ -59,6 +77,10 @@ void simulate_partition(const Tree& tree, const SimPartition& part, Rng& rng,
       const auto& vseq = seq[static_cast<std::size_t>(v)];
       const auto& per_cat = pmat[static_cast<std::size_t>(e)];
       for (std::size_t i = 0; i < m; ++i) {
+        if (cat[i] == kInvSite) {  // invariant site: no substitutions ever
+          wseq[i] = vseq[i];
+          continue;
+        }
         const double* row = per_cat[cat[i]].row(vseq[i]);
         // Inverse-CDF sample over the row (rows sum to ~1).
         double u = rng.uniform();
@@ -115,7 +137,9 @@ PartitionScheme simulate_scheme(const std::vector<SimPartition>& parts) {
     PartitionDef def;
     def.name = part.name;
     def.type = part.model.states() == 4 ? DataType::kDna : DataType::kProtein;
-    def.model_name = def.type == DataType::kDna ? "GTR" : "WAG";
+    def.model_name = !part.model_name.empty() ? part.model_name
+                     : def.type == DataType::kDna ? "GTR"
+                                                  : "WAG";
     def.ranges.push_back(SiteRange{offset, offset + part.sites, 1});
     offset += part.sites;
     scheme.add(std::move(def));

@@ -35,6 +35,17 @@ struct SimPartition {
   /// Taxa (by tip id) with no data for this gene — filled with gaps, which
   /// produces the "gappy" phylogenomic alignments the paper describes.
   std::vector<NodeId> missing_taxa;
+  /// Free-rate mixture: when non-empty, per-site rates are drawn from these
+  /// categories (weights must match in size and sum to ~1) instead of the
+  /// Gamma grid above — the generating analogue of a +R fit.
+  std::vector<double> free_rates;
+  std::vector<double> free_weights;
+  /// Proportion of invariant sites (+I): each site is, with this
+  /// probability, held constant across the whole tree (rate 0).
+  double p_inv = 0.0;
+  /// Model spec reported by simulate_scheme() (e.g. "GTR+R4+I"); empty
+  /// falls back to the bare family for the data type (GTR / WAG).
+  std::string model_name;
 };
 
 /// Simulate all partitions on `tree`; returns the concatenated alignment

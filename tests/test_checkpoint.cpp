@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iomanip>
+#include <sstream>
 
 #include "plk.hpp"
 
@@ -204,6 +208,104 @@ TEST(Checkpoint, SelfRestoreIsIdempotent) {
   EXPECT_EQ(serialize_checkpoint(*rig.engine), once);
 }
 
+// --- format versioning -------------------------------------------------------
+
+namespace {
+
+/// Same FNV-1a the checkpoint writer uses; the v2 back-compat test edits
+/// checkpoint text and must re-seal the checksum trailer.
+std::uint64_t test_fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Rewrite a serialized checkpoint's payload with `edit`, then re-seal it.
+std::string reseal(std::string text,
+                   const std::function<void(std::string&)>& edit) {
+  const auto cpos = text.rfind("\nchecksum ");
+  EXPECT_NE(cpos, std::string::npos);
+  std::string payload = text.substr(0, cpos + 1);
+  edit(payload);
+  std::ostringstream sum;
+  sum << "checksum " << std::hex << std::setw(16) << std::setfill('0')
+      << test_fnv1a64(payload) << '\n';
+  return payload + sum.str();
+}
+
+}  // namespace
+
+TEST(Checkpoint, ReadsVersion2FilesAsPlainGamma) {
+  // A v3 checkpoint stripped of its rate-model lines and stamped "2" is
+  // exactly what the pre-RateModel engine wrote; it must restore as plain
+  // equal-weight Gamma at the recorded alpha, bit-identically.
+  Rig source(31);
+  source.engine->model(1).set_alpha(0.456);
+  source.engine->invalidate_partition(1);
+  const double want = source.engine->loglikelihood(0);
+
+  const std::string v2 =
+      reseal(serialize_checkpoint(*source.engine), [](std::string& payload) {
+        const auto vpos = payload.find("plk-checkpoint 3");
+        ASSERT_NE(vpos, std::string::npos);
+        payload.replace(vpos, 16, "plk-checkpoint 2");
+        // Drop every v3-only line (model / ratemodel / pinv).
+        std::istringstream in(payload);
+        std::string out, line;
+        while (std::getline(in, line)) {
+          if (line.rfind("model ", 0) == 0 ||
+              line.rfind("ratemodel ", 0) == 0 ||
+              line.rfind("pinv ", 0) == 0)
+            continue;
+          out += line;
+          out += '\n';
+        }
+        payload = std::move(out);
+      });
+
+  Rig target(32);
+  apply_checkpoint(*target.engine, v2);
+  EXPECT_EQ(target.engine->loglikelihood(0), want);
+  EXPECT_DOUBLE_EQ(target.engine->model(1).alpha(), 0.456);
+  EXPECT_EQ(target.engine->model(1).rate_model(), RateModel::gamma(0.456, 4));
+}
+
+TEST(Checkpoint, RejectsRateModelCategoryCountMismatch) {
+  // The CLV layout is sized by the category count at engine construction; a
+  // checkpoint with a different count must be refused, not half-applied.
+  Rig source(33);
+  const std::string ckpt =
+      reseal(serialize_checkpoint(*source.engine), [](std::string& payload) {
+        const auto rpos = payload.find("ratemodel gamma 4");
+        ASSERT_NE(rpos, std::string::npos);
+        payload.replace(rpos, 17, "ratemodel gamma 8");
+      });
+  Rig target(34);
+  EXPECT_THROW(apply_checkpoint(*target.engine, ckpt), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsMalformedRateModelLines) {
+  Rig source(35);
+  const std::string base = serialize_checkpoint(*source.engine);
+  const auto corrupt = [&](const std::string& from, const std::string& to) {
+    return reseal(base, [&](std::string& payload) {
+      const auto pos = payload.find(from);
+      ASSERT_NE(pos, std::string::npos);
+      payload.replace(pos, from.size(), to);
+    });
+  };
+  Rig target(36);
+  EXPECT_THROW(apply_checkpoint(*target.engine,
+                                corrupt("ratemodel gamma", "ratemodel bogus")),
+               std::runtime_error);
+  EXPECT_THROW(
+      apply_checkpoint(*target.engine, corrupt("pinv 0", "pinv 7")),
+      std::runtime_error);
+}
+
 // --- crash-consistency corruption matrix -------------------------------------
 //
 // The on-disk format (v2) ends in a checksum trailer and every write goes
@@ -277,7 +379,7 @@ TEST(CheckpointCorruption, VersionMismatchRejected) {
   Rig rig(26);
   std::string ckpt = serialize_checkpoint(*rig.engine);
   // Forge a future format version; the (correct) checksum cannot save it.
-  const auto pos = ckpt.find("plk-checkpoint 2");
+  const auto pos = ckpt.find("plk-checkpoint 3");
   ASSERT_NE(pos, std::string::npos);
   ckpt.replace(pos, 16, "plk-checkpoint 9");
   EXPECT_THROW(apply_checkpoint(*rig.engine, ckpt), std::runtime_error);

@@ -321,7 +321,7 @@ void check_backend_table(const kernel::KernelTable& kt, std::size_t n,
   for (int tid = 0; tid < T; ++tid)
     got_lnl += kt.evaluate<S>()(tid, n, T, cats, c1, c2, r.p2.data(),
                                 r.p2t.data(), r.freqs.data(),
-                                r.weights.data());
+                                r.weights.data(), kernel::RateView{});
   expect_rel(got_lnl, want_lnl, 1e-12, 1.0, "evaluate lnL");
 
   std::vector<double> want_sites(n, -1.0), got_sites(n, -2.0);
@@ -329,7 +329,8 @@ void check_backend_table(const kernel::KernelTable& kt, std::size_t n,
                                   r.freqs.data(), want_sites.data());
   for (int tid = 0; tid < T; ++tid)
     kt.evaluate_sites<S>()(tid, n, T, cats, c1, c2, r.p2.data(), r.p2t.data(),
-                           r.freqs.data(), got_sites.data());
+                           r.freqs.data(), got_sites.data(),
+                           kernel::RateView{});
   for (std::size_t i = 0; i < n; ++i)
     expect_rel(got_sites[i], want_sites[i], 1e-12, 1.0, "per-site lnL");
 
@@ -353,7 +354,7 @@ void check_backend_table(const kernel::KernelTable& kt, std::size_t n,
   for (int tid = 0; tid < T; ++tid) {
     double d1 = 0.0, d2 = 0.0;
     kt.nr<S>()(tid, n, T, cats, got_st.data(), r.exp_lam.data(), r.lam.data(),
-               r.weights.data(), &d1, &d2);
+               r.weights.data(), &d1, &d2, kernel::RateView{});
     got_d1 += d1;
     got_d2 += d2;
   }
@@ -411,10 +412,11 @@ TEST(GoldenKernels, BackendsAgreeOnLnlAcrossLaneCounts) {
       SCOPED_TRACE(backends[b]->name);
       const double lnl4 = backends[b]->evaluate4(
           0, n, 1, 3, r4.inner1(), r4.inner2(), r4.p2.data(), r4.p2t.data(),
-          r4.freqs.data(), r4.weights.data());
+          r4.freqs.data(), r4.weights.data(), kernel::RateView{});
       const double lnl20 = backends[b]->evaluate20(
           0, n, 1, 3, r20.inner1(), r20.inner2(), r20.p2.data(),
-          r20.p2t.data(), r20.freqs.data(), r20.weights.data());
+          r20.p2t.data(), r20.freqs.data(), r20.weights.data(),
+          kernel::RateView{});
       if (b == 0) {
         base4 = lnl4;
         base20 = lnl20;
@@ -423,6 +425,99 @@ TEST(GoldenKernels, BackendsAgreeOnLnlAcrossLaneCounts) {
         expect_rel(lnl20, base20, 1e-12, 1.0, "cross-backend protein lnL");
       }
     }
+  }
+}
+
+// --- weighted-category (+R) and invariant-sites (+I) paths ------------------
+
+/// Backend evaluate / evaluate_sites / nr against the generic reference
+/// slices under a weighted-category + invariant-sites RateView — the +R/+I
+/// path every backend must agree on to 1e-12 relative.
+template <int S>
+void check_backend_table_rates(const kernel::KernelTable& kt, std::size_t n,
+                               int cats, int T) {
+  kernel::KernelRig<S> r(n, cats);
+  const kernel::ChildView cu = r.inner1();
+  const kernel::ChildView cv = r.inner2();
+  const kernel::RateView rv = r.rate_view();
+
+  const double want_lnl =
+      kernel::evaluate_slice<S>(0, n, 1, cats, cu, cv, r.p2.data(),
+                                r.freqs.data(), r.weights.data(), rv);
+  double got_lnl = 0.0;
+  for (int tid = 0; tid < T; ++tid)
+    got_lnl += kt.evaluate<S>()(tid, n, T, cats, cu, cv, r.p2.data(),
+                                r.p2t.data(), r.freqs.data(),
+                                r.weights.data(), rv);
+  expect_rel(got_lnl, want_lnl, 1e-12, 1.0, "+R+I evaluate lnL");
+
+  std::vector<double> want_sites(n, -1.0), got_sites(n, -2.0);
+  kernel::evaluate_sites_slice<S>(0, n, 1, cats, cu, cv, r.p2.data(),
+                                  r.freqs.data(), want_sites.data(), rv);
+  for (int tid = 0; tid < T; ++tid)
+    kt.evaluate_sites<S>()(tid, n, T, cats, cu, cv, r.p2.data(), r.p2t.data(),
+                           r.freqs.data(), got_sites.data(), rv);
+  for (std::size_t i = 0; i < n; ++i)
+    expect_rel(got_sites[i], want_sites[i], 1e-12, 1.0, "+R+I per-site lnL");
+
+  // NR: category weights ride in the premultiplied exp table (exp_lam_w);
+  // the view carries the invariant term and the root scale counts.
+  std::vector<double> st(n * r.stride, -1.0);
+  kernel::sumtable_slice<S>(0, n, 1, cats, r.inner1(), r.inner2(),
+                            r.sym.data(), st.data());
+  const kernel::RateView nrv = r.nr_rate_view();
+  double want_d1 = 0.0, want_d2 = 0.0;
+  kernel::nr_slice<S>(0, n, 1, cats, st.data(), r.exp_lam_w.data(),
+                      r.lam.data(), r.weights.data(), &want_d1, &want_d2,
+                      nrv);
+  double got_d1 = 0.0, got_d2 = 0.0;
+  for (int tid = 0; tid < T; ++tid) {
+    double d1 = 0.0, d2 = 0.0;
+    kt.nr<S>()(tid, n, T, cats, st.data(), r.exp_lam_w.data(), r.lam.data(),
+               r.weights.data(), &d1, &d2, nrv);
+    got_d1 += d1;
+    got_d2 += d2;
+  }
+  expect_rel(got_d1, want_d1, 1e-12, 1.0, "+R+I NR d1");
+  expect_rel(got_d2, want_d2, 1e-12, 1.0, "+R+I NR d2");
+}
+
+TEST(GoldenKernels, AllBackendsWeightedRatesDna) {
+  for (const kernel::KernelTable* kt : kernel::available_backends()) {
+    SCOPED_TRACE(kt->name);
+    for (std::size_t n : kRemainderCounts)
+      for (int T : {1, 3}) check_backend_table_rates<4>(*kt, n, 4, T);
+  }
+}
+
+TEST(GoldenKernels, AllBackendsWeightedRatesProtein) {
+  for (const kernel::KernelTable* kt : kernel::available_backends()) {
+    SCOPED_TRACE(kt->name);
+    for (std::size_t n : kRemainderCounts)
+      check_backend_table_rates<20>(*kt, n, 2, 1);
+  }
+}
+
+TEST(GoldenKernels, UniformWeightsMatchLegacyPath) {
+  // The weighted branch with exactly-uniform 1/cats weights and no +I term
+  // must agree with the historic sum-then-scale expression to round-off
+  // (they associate the category average differently, so equality is 1e-12
+  // relative, not bitwise — the engine keeps plain Gamma bitwise by passing
+  // a null view instead).
+  for (std::size_t n : kRemainderCounts) {
+    kernel::KernelRig<4> r(n, 4);
+    const std::vector<double> uniform(4, 0.25);
+    kernel::RateView rv;
+    rv.cat_w = uniform.data();
+    const double legacy =
+        kernel::evaluate_slice<4>(0, n, 1, 4, r.inner1(), r.inner2(),
+                                  r.p2.data(), r.freqs.data(),
+                                  r.weights.data());
+    const double weighted =
+        kernel::evaluate_slice<4>(0, n, 1, 4, r.inner1(), r.inner2(),
+                                  r.p2.data(), r.freqs.data(),
+                                  r.weights.data(), rv);
+    expect_rel(weighted, legacy, 1e-12, 1.0, "uniform-weight lnL");
   }
 }
 

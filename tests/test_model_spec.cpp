@@ -1,0 +1,296 @@
+// Tests for model/model_spec.hpp (the model specification grammar),
+// model/rates.hpp (Gamma / free-rate / +I mixtures), and the hostile-input
+// validation of SubstModel parameter vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/partition_model.hpp"
+#include "model/gamma.hpp"
+#include "model/model_spec.hpp"
+#include "model/rates.hpp"
+#include "model/subst_model.hpp"
+
+namespace plk {
+namespace {
+
+// --- parsing ----------------------------------------------------------------
+
+TEST(ModelSpec, ParsesBareFamilies) {
+  EXPECT_EQ(parse_model_spec("GTR").name, "GTR");
+  EXPECT_EQ(parse_model_spec("GTR").rate_kind, ModelSpec::RateKind::kNone);
+  EXPECT_EQ(parse_model_spec("JC").name, "JC");
+  EXPECT_EQ(parse_model_spec("WAG").name, "WAG");
+  EXPECT_EQ(parse_model_spec("LG").name, "LG");
+}
+
+TEST(ModelSpec, ResolvesAliases) {
+  EXPECT_EQ(parse_model_spec("JC69").name, "JC");
+  EXPECT_EQ(parse_model_spec("K2P").name, "K80");
+  EXPECT_EQ(parse_model_spec("HKY85").name, "HKY");
+  EXPECT_EQ(parse_model_spec("DNA").name, "GTR");
+  EXPECT_EQ(parse_model_spec("PROT").name, "WAG");
+  EXPECT_EQ(parse_model_spec("protgamma").name, "WAG");
+  EXPECT_EQ(parse_model_spec("gtr+g4").name, "GTR");  // case-insensitive
+}
+
+TEST(ModelSpec, ParsesRateSuffixes) {
+  ModelSpec g = parse_model_spec("GTR+G4");
+  EXPECT_EQ(g.rate_kind, ModelSpec::RateKind::kGamma);
+  EXPECT_EQ(g.categories, 4);
+  EXPECT_FALSE(g.invariant);
+
+  ModelSpec r = parse_model_spec("WAG+R6+I");
+  EXPECT_EQ(r.rate_kind, ModelSpec::RateKind::kFree);
+  EXPECT_EQ(r.categories, 6);
+  EXPECT_TRUE(r.invariant);
+
+  // Category count defaults to 4 when omitted.
+  EXPECT_EQ(parse_model_spec("GTR+G").categories, 4);
+  EXPECT_EQ(parse_model_spec("GTR+R").categories, 4);
+
+  // +I alone: no rate mixture, invariant term on.
+  ModelSpec i = parse_model_spec("HKY+I");
+  EXPECT_EQ(i.rate_kind, ModelSpec::RateKind::kNone);
+  EXPECT_TRUE(i.invariant);
+}
+
+TEST(ModelSpec, ParsesParameters) {
+  ModelSpec hky = parse_model_spec("HKY{2.5}");
+  ASSERT_EQ(hky.params.size(), 1u);
+  EXPECT_DOUBLE_EQ(hky.params[0], 2.5);
+
+  ModelSpec gtr = parse_model_spec("GTR{1,2,3,4,5,6}+G4");
+  ASSERT_EQ(gtr.params.size(), 6u);
+  EXPECT_DOUBLE_EQ(gtr.params[5], 6.0);
+}
+
+TEST(ModelSpec, ParsesFrequencyModes) {
+  EXPECT_EQ(parse_model_spec("GTR+FC").freq_mode,
+            ModelSpec::FreqMode::kCounts);
+  EXPECT_EQ(parse_model_spec("WAG+FO").freq_mode, ModelSpec::FreqMode::kModel);
+  EXPECT_EQ(parse_model_spec("GTR+G4+FE").freq_mode,
+            ModelSpec::FreqMode::kEqual);
+}
+
+TEST(ModelSpec, RoundTripsThroughCanonicalForm) {
+  // parse -> print -> parse must be the identity on the parsed struct.
+  for (const char* text :
+       {"GTR", "GTR+G4", "GTR+R4+I", "HKY{2.5}+I", "GTR{1.5,2,3,0.5,2.25,1}",
+        "WAG+R6", "LG+G8+FE", "JC+I", "K80{4}+G2", "DAYHOFF+I+FO"}) {
+    SCOPED_TRACE(text);
+    const ModelSpec spec = parse_model_spec(text);
+    const std::string canon = to_string(spec);
+    EXPECT_EQ(parse_model_spec(canon), spec);
+    // And printing is a fixed point on canonical text.
+    EXPECT_EQ(to_string(parse_model_spec(canon)), canon);
+  }
+}
+
+TEST(ModelSpec, RejectsHostileInput) {
+  for (const char* text :
+       {"", "   ", "BOGUS", "GTR+", "GTR+X", "GTR+G0", "GTR+G65", "GTR+G4+G4",
+        "GTR+G4+R4", "GTR+I+I", "GTR+F", "GTR+FZ", "GTR+FC+FE", "GTR{",
+        "GTR{}", "GTR{1,2}", "GTR{1,2,3,4,5,6,7}", "HKY{1,2}", "JC{1}",
+        "WAG{1}", "HKY{abc}", "HKY{1.5x}", "HKY{nan}", "HKY{inf}", "HKY{}",
+        "GTR{1,}", "GTR junk", "GTR+G4junk", "+G4"}) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW(parse_model_spec(text), std::invalid_argument);
+  }
+}
+
+TEST(ModelSpec, ProteinNameClassification) {
+  EXPECT_TRUE(is_protein_model_name("WAG"));
+  EXPECT_TRUE(is_protein_model_name("lg"));
+  EXPECT_TRUE(is_protein_model_name("PROT"));
+  EXPECT_FALSE(is_protein_model_name("GTR"));
+  EXPECT_FALSE(is_protein_model_name("JC69"));
+  EXPECT_FALSE(is_protein_model_name("NOSUCH"));
+}
+
+// --- spec -> model construction ---------------------------------------------
+
+TEST(ModelSpec, MakeSubstModelHonorsParams) {
+  const SubstModel hky =
+      make_subst_model(parse_model_spec("HKY{3.5}"), {0.1, 0.2, 0.3, 0.4});
+  EXPECT_EQ(hky.name(), "HKY");
+  EXPECT_DOUBLE_EQ(hky.exchangeabilities()[1], 3.5);  // AG = kappa
+  EXPECT_DOUBLE_EQ(hky.freqs()[3], 0.4);
+
+  // K80 constrains frequencies to equal even when counts are supplied...
+  const SubstModel k80 =
+      make_subst_model(parse_model_spec("K80{2.0}"), {0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(k80.freqs()[0], 0.25);
+  // ...unless an explicit +FC lifts the constraint.
+  const SubstModel k80fc =
+      make_subst_model(parse_model_spec("K80{2.0}+FC"), {0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(k80fc.freqs()[0], 0.1);
+
+  const SubstModel equal =
+      make_subst_model(parse_model_spec("GTR+FE"), {0.1, 0.2, 0.3, 0.4});
+  for (double f : equal.freqs()) EXPECT_DOUBLE_EQ(f, 0.25);
+}
+
+TEST(ModelSpec, MakeRateModelShapes) {
+  const RateModel none = make_rate_model(parse_model_spec("GTR"));
+  EXPECT_EQ(none.categories(), 1);
+  EXPECT_FALSE(none.invariant_sites());
+
+  const RateModel g4 = make_rate_model(parse_model_spec("GTR+G4"));
+  EXPECT_EQ(g4.kind(), RateModel::Kind::kGamma);
+  EXPECT_EQ(g4.categories(), 4);
+
+  const RateModel r4i = make_rate_model(parse_model_spec("GTR+R4+I"));
+  EXPECT_EQ(r4i.kind(), RateModel::Kind::kFree);
+  EXPECT_EQ(r4i.categories(), 4);
+  EXPECT_TRUE(r4i.invariant_sites());
+  EXPECT_DOUBLE_EQ(r4i.p_inv(), kPinvStart);
+}
+
+TEST(ModelSpec, DescribeModelNamesTheShape) {
+  const PartitionModel gamma(
+      make_subst_model(parse_model_spec("GTR")),
+      make_rate_model(parse_model_spec("GTR+G4")));
+  EXPECT_EQ(describe_model(gamma), "GTR+G4");
+
+  const PartitionModel free_i(
+      make_subst_model(parse_model_spec("HKY{2.0}")),
+      make_rate_model(parse_model_spec("HKY+R4+I")));
+  EXPECT_EQ(describe_model(free_i), "HKY+R4+I");
+}
+
+// --- RateModel invariants ---------------------------------------------------
+
+TEST(RateModel, GammaMatchesDiscreteGammaBitwise) {
+  // Plain Gamma must reproduce the historic grid exactly — this is the
+  // bit-identity contract for pre-RateModel engine results.
+  for (double alpha : {0.3, 1.0, 2.7}) {
+    const RateModel m = RateModel::gamma(alpha, 4);
+    const auto want = discrete_gamma_rates(alpha, 4);
+    ASSERT_EQ(m.rates().size(), want.size());
+    for (std::size_t c = 0; c < want.size(); ++c)
+      EXPECT_EQ(m.rates()[c], want[c]);  // bitwise
+    EXPECT_TRUE(m.uniform_categories());
+  }
+}
+
+TEST(RateModel, NormalizationInvariantHolds) {
+  // sum_c w_c r_c == 1 / (1 - p) under every mutation path.
+  const auto check = [](const RateModel& m) {
+    double mean = 0.0;
+    for (int c = 0; c < m.categories(); ++c)
+      mean += m.weights()[static_cast<std::size_t>(c)] *
+              m.rates()[static_cast<std::size_t>(c)];
+    EXPECT_NEAR(mean, 1.0 / (1.0 - m.p_inv()), 1e-12);
+  };
+
+  RateModel g = RateModel::gamma(0.8, 4);
+  check(g);
+  g.enable_invariant(0.2);
+  check(g);
+  g.set_alpha(1.6);
+  check(g);
+
+  RateModel f = RateModel::free({0.2, 1.0, 3.0}, {0.5, 0.3, 0.2});
+  check(f);
+  f.set_free_rate(1, 2.0);
+  check(f);
+  f.set_free_weight(0, 0.4);
+  check(f);
+  f.set_p_inv(0.15);
+  check(f);
+  double wsum = 0.0;
+  for (double w : f.weights()) wsum += w;
+  EXPECT_NEAR(wsum, 1.0, 1e-12);
+}
+
+TEST(RateModel, EvalWeightsCarryPinvFactor) {
+  RateModel m = RateModel::gamma(1.0, 4);
+  m.enable_invariant(0.25);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_DOUBLE_EQ(m.eval_weights()[static_cast<std::size_t>(c)],
+                     0.75 * m.weights()[static_cast<std::size_t>(c)]);
+  EXPECT_FALSE(m.uniform_categories());
+}
+
+TEST(RateModel, RestoreFreeIsVerbatim) {
+  RateModel f = RateModel::free({0.2, 1.0, 3.0}, {0.5, 0.3, 0.2});
+  f.set_p_inv(0.12);
+  const RateModel back =
+      RateModel::restore_free(f.rates(), f.weights(), true, f.p_inv());
+  EXPECT_EQ(back, f);  // bitwise: no renormalization on restore
+}
+
+TEST(RateModel, RejectsHostileInput) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(RateModel::gamma(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(RateModel::free({}, {}), std::invalid_argument);
+  EXPECT_THROW(RateModel::free({1.0}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(RateModel::free({nan, 1.0}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(RateModel::free({inf, 1.0}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(RateModel::free({-1.0, 1.0}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(RateModel::free({1.0, 1.0}, {0.5, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(RateModel::free({1.0, 1.0}, {0.5, nan}),
+               std::invalid_argument);
+  EXPECT_THROW(RateModel::restore_free({1.0}, {0.5, 0.5}, false, 0.0),
+               std::invalid_argument);
+  RateModel g = RateModel::gamma(1.0, 4);
+  EXPECT_THROW(g.set_free_rate(0, 2.0), std::logic_error);
+  EXPECT_THROW(g.set_free_weight(0, 0.5), std::logic_error);
+}
+
+// --- SubstModel hostile-input validation ------------------------------------
+
+TEST(SubstModel, RejectsMalformedParameterVectors) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> exch(6, 1.0);
+  const std::vector<double> freqs(4, 0.25);
+
+  // Wrong sizes.
+  EXPECT_THROW(SubstModel(4, {1.0, 1.0}, freqs), std::invalid_argument);
+  EXPECT_THROW(SubstModel(4, exch, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(SubstModel(1, {}, {1.0}), std::invalid_argument);
+
+  // Non-finite / non-positive entries, in both vectors.
+  for (double bad : {nan, inf, -inf, -1.0, 0.0}) {
+    SCOPED_TRACE(bad);
+    std::vector<double> e = exch;
+    e[3] = bad;
+    EXPECT_THROW(SubstModel(4, e, freqs), std::invalid_argument);
+    std::vector<double> f = freqs;
+    f[2] = bad;
+    EXPECT_THROW(SubstModel(4, exch, f), std::invalid_argument);
+  }
+
+  // The error message names the offending slot.
+  try {
+    std::vector<double> e = exch;
+    e[3] = nan;
+    SubstModel m(4, e, freqs);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("exchangeability[3]"),
+              std::string::npos)
+        << err.what();
+  }
+
+  // Mutators run the same checks.
+  SubstModel m(4, exch, freqs);
+  EXPECT_THROW(m.set_exchangeability(0, nan), std::invalid_argument);
+  EXPECT_THROW(m.set_exchangeability(99, 1.0), std::out_of_range);
+  EXPECT_THROW(m.set_exchangeabilities({1.0, nan, 1.0, 1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(m.set_freqs({0.25, 0.25, 0.25, -0.25}), std::invalid_argument);
+  EXPECT_THROW(m.set_freqs({0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plk

@@ -1,0 +1,369 @@
+// Engine-level tests of the rate-heterogeneity generalization: free-rate
+// (+R) and invariant-sites (+I) models driven end-to-end through the
+// EngineCore — determinism across the (shards x threads) matrix and batch
+// execution modes, equivalence of the RateModel Gamma path with the historic
+// constructor, +R/+I checkpoint round trips (including mid-optimization),
+// and parameter recovery on data simulated under a known free-rate mixture.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plk.hpp"
+
+namespace plk {
+namespace {
+
+/// Clear PLK_SHARDS so explicit shard counts in rigs are not overridden by
+/// the CI environment (same guard as test_shard.cpp).
+struct ShardEnvGuard {
+  std::string saved;
+  bool had = false;
+  ShardEnvGuard() {
+    if (const char* v = std::getenv("PLK_SHARDS")) {
+      saved = v;
+      had = true;
+    }
+    unsetenv("PLK_SHARDS");
+  }
+  ~ShardEnvGuard() {
+    if (had) setenv("PLK_SHARDS", saved.c_str(), 1);
+  }
+};
+
+/// Per-partition +R4+I models with deterministic, deliberately non-uniform
+/// rates and weights, so the weighted-category and invariant-site kernel
+/// paths are genuinely exercised (uniform weights would mask mix-ups).
+std::vector<PartitionModel> freerate_models(const CompressedAlignment& comp) {
+  std::vector<PartitionModel> models;
+  int p = 0;
+  for (const auto& part : comp.partitions) {
+    const std::string family =
+        part.type == DataType::kDna ? "GTR" : "WAG";
+    const ModelSpec spec = parse_model_spec(family + "+R4+I");
+    RateModel rm = make_rate_model(spec);
+    rm.set_free({0.2 + 0.05 * p, 0.7, 1.6, 4.0}, {0.4, 0.3, 0.2, 0.1});
+    rm.set_p_inv(0.10 + 0.02 * p);
+    models.emplace_back(make_subst_model(spec, empirical_frequencies(part)),
+                        std::move(rm));
+    ++p;
+  }
+  return models;
+}
+
+struct RateRig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<EngineCore> core;
+
+  RateRig(int shards, int threads, std::uint64_t seed = 4711) {
+    data = make_mixed_multigene(7, 3, 2, 60, 200, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    EngineOptions eo;
+    eo.threads = threads;
+    eo.shards = shards;
+    eo.unlinked_branch_lengths = true;
+    core = std::make_unique<EngineCore>(*comp, freerate_models(*comp), eo);
+  }
+};
+
+struct Probe {
+  std::vector<double> lnl;     // per probed edge
+  std::vector<double> d1, d2;  // NR at edge 0, all partitions
+};
+
+Probe probe(EngineCore& core, const Tree& tree) {
+  EvalContext ctx(core, tree);
+  Probe out;
+  for (EdgeId e : {0, 3, 7}) out.lnl.push_back(ctx.loglikelihood(e));
+  std::vector<int> parts;
+  std::vector<double> lens;
+  for (int p = 0; p < core.partition_count(); ++p) {
+    parts.push_back(p);
+    lens.push_back(ctx.branch_lengths().get(0, p));
+  }
+  out.d1.assign(parts.size(), 0.0);
+  out.d2.assign(parts.size(), 0.0);
+  ctx.nr_derivatives_at(0, parts, lens, out.d1, out.d2);
+  return out;
+}
+
+// --- determinism across shards, threads, and execution modes ----------------
+
+TEST(RateEngine, FreeRatesPinvBitIdenticalAcrossShards) {
+  ShardEnvGuard env;
+  for (int T : {1, 2, 4, 8}) {
+    RateRig ref(1, T);
+    const Probe want = probe(*ref.core, ref.data.true_tree);
+    for (double v : want.lnl) ASSERT_TRUE(std::isfinite(v));
+    for (int N : {2}) {
+      RateRig rig(N, T);
+      const Probe got = probe(*rig.core, rig.data.true_tree);
+      for (std::size_t i = 0; i < want.lnl.size(); ++i)
+        EXPECT_EQ(got.lnl[i], want.lnl[i])
+            << "shards=" << N << " threads=" << T << " probe " << i;
+      for (std::size_t k = 0; k < want.d1.size(); ++k) {
+        EXPECT_EQ(got.d1[k], want.d1[k]) << "partition " << k;
+        EXPECT_EQ(got.d2[k], want.d2[k]) << "partition " << k;
+      }
+    }
+  }
+}
+
+TEST(RateEngine, FreeRatesPinvStableAcrossThreadCounts) {
+  // Thread counts change the reduction association (same contract as the
+  // plain-Gamma engine: 1e-9 relative), never the math.
+  ShardEnvGuard env;
+  Probe want;
+  for (int T : {1, 2, 4, 8}) {
+    RateRig rig(1, T);
+    const Probe got = probe(*rig.core, rig.data.true_tree);
+    if (T == 1) {
+      want = got;
+      continue;
+    }
+    for (std::size_t i = 0; i < want.lnl.size(); ++i)
+      EXPECT_NEAR(got.lnl[i], want.lnl[i], 1e-9 * std::abs(want.lnl[i]))
+          << "threads=" << T;
+    for (std::size_t k = 0; k < want.d1.size(); ++k) {
+      EXPECT_NEAR(got.d1[k], want.d1[k],
+                  1e-8 * std::max(1.0, std::abs(want.d1[k])));
+      EXPECT_NEAR(got.d2[k], want.d2[k],
+                  1e-8 * std::max(1.0, std::abs(want.d2[k])));
+    }
+  }
+}
+
+TEST(RateEngine, FreeRatesPinvCoarseBatchMatchesFine) {
+  ShardEnvGuard env;
+  const auto run = [](BatchExecMode mode) {
+    RateRig rig(2, 4);
+    rig.core->set_batch_execution(mode);
+    std::vector<std::unique_ptr<EvalContext>> owned;
+    std::vector<EvalContext*> ctxs;
+    std::vector<EdgeId> edges;
+    for (int c = 0; c < 6; ++c) {
+      Rng trng(9000 + static_cast<std::uint64_t>(c));
+      owned.push_back(std::make_unique<EvalContext>(
+          *rig.core, random_tree(rig.comp->taxon_names, trng)));
+      ctxs.push_back(owned.back().get());
+      edges.push_back(static_cast<EdgeId>(c));
+    }
+    return rig.core->evaluate_batch(ctxs, edges);
+  };
+  const auto fine = run(BatchExecMode::kFine);
+  const auto coarse = run(BatchExecMode::kCoarse);
+  ASSERT_EQ(coarse.size(), fine.size());
+  for (std::size_t c = 0; c < fine.size(); ++c)
+    EXPECT_EQ(coarse[c], fine[c]) << "context " << c;
+}
+
+// --- the Gamma special case -------------------------------------------------
+
+TEST(RateEngine, RateModelGammaMatchesHistoricConstructorBitwise) {
+  // PartitionModel(SubstModel, alpha, cats) and the explicit
+  // RateModel::gamma path must drive the engine to bit-identical results —
+  // this is the API-level statement of the plain-Gamma compatibility
+  // contract.
+  ShardEnvGuard env;
+  Dataset data = make_simulated_dna(8, 240, 80, 515);
+  auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
+  const auto lnl_of = [&](bool explicit_rate_model) {
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp.partitions) {
+      SubstModel m = make_model("GTR", empirical_frequencies(part));
+      if (explicit_rate_model)
+        models.emplace_back(std::move(m), RateModel::gamma(0.7, 4));
+      else
+        models.emplace_back(std::move(m), 0.7, 4);
+    }
+    EngineOptions eo;
+    eo.threads = 2;
+    eo.unlinked_branch_lengths = true;
+    EngineCore core(comp, std::move(models), eo);
+    EvalContext ctx(core, data.true_tree);
+    return ctx.loglikelihood(0);
+  };
+  EXPECT_EQ(lnl_of(true), lnl_of(false));
+}
+
+TEST(RateEngine, PinvTermChangesAndImprovesFitOnInvariantRichData) {
+  // Data simulated with 25% invariant sites: turning +I on (at a sensible
+  // proportion) must improve the fit, and the +I likelihood must differ
+  // from the plain-Gamma one (the term is actually live in the kernels).
+  ShardEnvGuard env;
+  Dataset data = make_freerate_dna(8, 400, 400, 2024);
+  auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
+  const auto lnl_of = [&](double p_inv) {
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp.partitions) {
+      RateModel rm = RateModel::gamma(1.0, 4);
+      if (p_inv > 0.0) rm.enable_invariant(p_inv);
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)),
+                          std::move(rm));
+    }
+    EngineOptions eo;
+    eo.threads = 2;
+    eo.unlinked_branch_lengths = true;
+    EngineCore core(comp, std::move(models), eo);
+    EvalContext ctx(core, data.true_tree);
+    return ctx.loglikelihood(0);
+  };
+  const double without = lnl_of(0.0);
+  const double with = lnl_of(0.2);
+  EXPECT_NE(with, without);
+  EXPECT_GT(with, without);  // the generating process had p_inv in [0.1,0.3]
+}
+
+// --- optimization -----------------------------------------------------------
+
+struct OptRig {
+  Dataset data;
+  std::unique_ptr<CompressedAlignment> comp;
+  std::unique_ptr<Engine> engine;
+
+  /// Engine over invariant-rich free-rate data; `spec_suffix` picks the
+  /// fitted model shape (e.g. "+G4" vs "+R4+I").
+  explicit OptRig(const std::string& spec_suffix, std::uint64_t seed = 909) {
+    data = make_freerate_dna(7, 360, 360, seed);
+    comp = std::make_unique<CompressedAlignment>(
+        CompressedAlignment::build(data.alignment, data.scheme, true));
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp->partitions) {
+      const ModelSpec spec = parse_model_spec("GTR" + spec_suffix);
+      models.emplace_back(make_subst_model(spec, empirical_frequencies(part)),
+                          make_rate_model(spec));
+    }
+    EngineOptions eo;
+    eo.threads = 2;
+    eo.unlinked_branch_lengths = true;
+    engine = std::make_unique<Engine>(*comp, data.true_tree,
+                                      std::move(models), eo);
+  }
+};
+
+TEST(RateEngine, OptimizerImprovesFreeRatePinvParameters) {
+  OptRig rig("+R4+I");
+  optimize_branch_lengths(*rig.engine, Strategy::kNewPar);
+  const double before = rig.engine->loglikelihood(0);
+  const double after =
+      optimize_model_parameters(*rig.engine, Strategy::kNewPar);
+  EXPECT_GE(after, before - 1e-9);
+  EXPECT_GT(after, before + 0.1);  // must actually move on this data
+  // The fitted proportion moved off its kPinvStart initialization.
+  bool moved = false;
+  for (int p = 0; p < rig.engine->partition_count(); ++p) {
+    const RateModel& rm = rig.engine->model(p).rate_model();
+    EXPECT_EQ(rm.kind(), RateModel::Kind::kFree);
+    if (std::abs(rm.p_inv() - kPinvStart) > 1e-6) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(RateEngine, FreeRatesFitAtLeastAsWellAsGammaOnFreeRateData) {
+  // +R nests +G-shaped mixtures, so on data generated under a non-Gamma
+  // mixture the optimized +R4+I fit must not lose to +G4 (this is the
+  // engine-level counterpart of the bench free_rates_over_gamma gate).
+  const auto fit = [](const std::string& suffix) {
+    OptRig rig(suffix);
+    double lnl = optimize_branch_lengths(*rig.engine, Strategy::kNewPar);
+    // Alternate model and branch-length passes until a composite pass stops
+    // paying: +R4+I carries ~9 extra parameters per partition and needs
+    // several coordinate-descent rounds to unfold from its Gamma start.
+    for (int pass = 0; pass < 12; ++pass) {
+      const double prev = lnl;
+      lnl = optimize_model_parameters(*rig.engine, Strategy::kNewPar);
+      lnl = optimize_branch_lengths(*rig.engine, Strategy::kNewPar);
+      if (lnl - prev < 1e-3) break;
+    }
+    return lnl;
+  };
+  const double gamma = fit("+G4");
+  const double free_rates = fit("+R4+I");
+  EXPECT_GE(free_rates, gamma - 1e-6);
+}
+
+TEST(RateEngine, OldParStrategyAgreesOnFreeRateModels) {
+  // The lockstep (newPAR) and broadcast (oldPAR) drivers must land on the
+  // same optimum for +R/+I parameters too.
+  OptRig a("+R4+I"), b("+R4+I");
+  optimize_branch_lengths(*a.engine, Strategy::kNewPar);
+  optimize_branch_lengths(*b.engine, Strategy::kOldPar);
+  const double la =
+      optimize_model_parameters(*a.engine, Strategy::kNewPar);
+  const double lb =
+      optimize_model_parameters(*b.engine, Strategy::kOldPar);
+  EXPECT_NEAR(la, lb, 1e-4 * std::abs(la));
+}
+
+// --- checkpoints ------------------------------------------------------------
+
+TEST(RateEngine, CheckpointRoundTripsFreeRatePinvStateMidOptimization) {
+  // Interrupt a +R4+I model-parameter optimization midway, checkpoint, and
+  // restore into a fresh engine with different starting parameters: the
+  // restored likelihood must match bit-for-bit and the rate-model state
+  // verbatim, and continuing the optimization must work.
+  OptRig source("+R4+I", 313);
+  optimize_branch_lengths(*source.engine, Strategy::kNewPar);
+  // One coordinate-descent pass = "midway" (the full loop would alternate
+  // with branch lengths until converged).
+  optimize_model_parameters(*source.engine, Strategy::kNewPar);
+  const double want = source.engine->loglikelihood(0);
+
+  const std::string ckpt = serialize_checkpoint(*source.engine);
+
+  OptRig target("+R4+I", 313);
+  target.engine->model(0).set_free_rate(0, 2.0);
+  target.engine->model(0).set_p_inv(0.4);
+  target.engine->invalidate_partition(0);
+  ASSERT_NE(target.engine->loglikelihood(0), want);
+
+  apply_checkpoint(*target.engine, ckpt);
+  EXPECT_EQ(target.engine->loglikelihood(0), want);
+  for (int p = 0; p < source.engine->partition_count(); ++p) {
+    const RateModel& s = source.engine->model(p).rate_model();
+    const RateModel& t = target.engine->model(p).rate_model();
+    EXPECT_EQ(t, s) << "partition " << p;
+  }
+
+  // Both sides continue the interrupted optimization identically.
+  const double cont_s =
+      optimize_model_parameters(*source.engine, Strategy::kNewPar);
+  const double cont_t =
+      optimize_model_parameters(*target.engine, Strategy::kNewPar);
+  EXPECT_EQ(cont_t, cont_s);
+}
+
+TEST(RateEngine, CheckpointRoundTripsGammaPinvState) {
+  ShardEnvGuard env;
+  Dataset data = make_simulated_dna(7, 200, 100, 77);
+  auto comp = CompressedAlignment::build(data.alignment, data.scheme, true);
+  const auto build = [&](double alpha) {
+    std::vector<PartitionModel> models;
+    for (const auto& part : comp.partitions) {
+      RateModel rm = RateModel::gamma(alpha, 4);
+      rm.enable_invariant(0.17);
+      models.emplace_back(make_model("GTR", empirical_frequencies(part)),
+                          std::move(rm));
+    }
+    EngineOptions eo;
+    eo.unlinked_branch_lengths = true;
+    return std::make_unique<Engine>(comp, data.true_tree, std::move(models),
+                                    eo);
+  };
+  auto source = build(0.62);
+  const double want = source->loglikelihood(0);
+  const std::string ckpt = serialize_checkpoint(*source);
+  auto target = build(1.9);
+  apply_checkpoint(*target, ckpt);
+  EXPECT_EQ(target->loglikelihood(0), want);
+  EXPECT_EQ(target->model(0).rate_model(), source->model(0).rate_model());
+}
+
+}  // namespace
+}  // namespace plk

@@ -89,7 +89,8 @@ def metrics_for(doc):
         by_case = {c.get("name"): c.get("speedup")
                    for c in doc.get("cases", [])}
         for case in ("newview_dna_inner_inner", "nr_dna",
-                     "pmat_build_dna", "pmat_build_protein"):
+                     "pmat_build_dna", "pmat_build_protein",
+                     "evaluate_dna_freerates_pinv", "nr_dna_freerates_pinv"):
             if by_case.get(case):
                 metrics[f"kernel_{case}_speedup"] = (by_case[case], HIGHER)
         # Absolute pmat-build cost per (branch, category) task. ns, not a
@@ -125,6 +126,21 @@ def metrics_for(doc):
             ("batch_lnl_equal", diff is not None and abs(diff) <= 1e-6,
              "missing max_abs_lnl_diff field" if diff is None else
              f"batched vs sequential replicate lnL diff {diff:g} (<= 1e-6)"))
+        # Generalized rate path: the +R4+I replica of the workload must stay
+        # within a band of the gamma cost (weighted-category kernels are the
+        # hot loops) and must reproduce its sequential run exactly too.
+        if "free_rates_over_gamma" in doc:
+            metrics["free_rates_over_gamma"] = (
+                doc["free_rates_over_gamma"], LOWER)
+        if "freerates_speedup" in doc:
+            metrics["freerates_replicate_speedup"] = (
+                doc["freerates_speedup"], HIGHER)
+        if "freerates_max_abs_lnl_diff" in doc:
+            fr_diff = doc["freerates_max_abs_lnl_diff"]
+            hard.append(
+                ("batch_freerates_lnl_equal", abs(fr_diff) <= 1e-6,
+                 f"+R4+I batched vs sequential replicate lnL diff "
+                 f"{fr_diff:g} (<= 1e-6)"))
 
     elif bench == "search":
         runs = doc.get("runs", [])
